@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Extension experiment for paper Section 7 ("estimators that can be
+ * obtained even earlier ... derived from a higher-level description
+ * of the design"): calibrate per-metric power laws on small
+ * configurations of parameterized components, extrapolate the
+ * synthesis metrics of configurations never elaborated, and compare
+ * against ground truth.
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.hh"
+#include "core/early.hh"
+#include "core/estimator.hh"
+#include "data/paper_data.hh"
+#include "designs/registry.hh"
+#include "util/str.hh"
+#include "util/table.hh"
+
+using namespace ucx;
+
+int
+main()
+{
+    banner("Extension: early estimation",
+           "Power-law extrapolation of synthesis metrics from small "
+           "configurations.");
+
+    struct Study
+    {
+        const char *design;
+        const char *param;
+        std::vector<int64_t> calibrate;
+        int64_t target;
+    };
+    const Study studies[] = {
+        {"exec_cluster", "LANES", {1, 2, 3}, 8},
+        {"mmu_lite", "ENTRIES", {2, 4, 8}, 32},
+        {"issue_queue", "ENTRIES", {2, 4, 8}, 24},
+        {"memctrl", "BANKS", {1, 2, 4}, 8},
+    };
+
+    FittedEstimator dee1 = fitDee1(paperDataset());
+
+    Table t({"Design", "param", "target", "metric", "predicted",
+             "actual", "error"});
+    Table laws({"Design", "param", "Cells exponent",
+                "FanInLC exponent", "fit rms (log)"});
+    for (const Study &s : studies) {
+        const ShippedDesign &sd = shippedDesign(s.design);
+        Design design = sd.load();
+        EarlyEstimator early(design, sd.top, s.param);
+        early.calibrate(s.calibrate);
+
+        MetricValues predicted = early.predictMetrics(s.target);
+        MetricValues actual = early.measureActual(s.target);
+        for (Metric m :
+             {Metric::Cells, Metric::FanInLC, Metric::AreaL}) {
+            double p = predicted[static_cast<size_t>(m)];
+            double a = actual[static_cast<size_t>(m)];
+            if (a <= 0.0)
+                continue;
+            double err = 100.0 * (p - a) / a;
+            t.addRow({sd.name,
+                      std::string(s.param) + "=" +
+                          std::to_string(s.target),
+                      std::to_string(s.target), metricName(m),
+                      fmtCompact(p, 0), fmtCompact(a, 0),
+                      fmtFixed(err, 1) + "%"});
+        }
+        laws.addRow({sd.name, s.param,
+                     fmtFixed(early.law(Metric::Cells).beta, 2),
+                     fmtFixed(early.law(Metric::FanInLC).beta, 2),
+                     fmtFixed(early.law(Metric::Cells).rmsLog, 3)});
+    }
+    std::cout << t.render() << "\n";
+    std::cout << "Fitted scaling exponents (metric ~ param^beta):\n\n"
+              << laws.render() << "\n";
+
+    // Close the loop: early effort estimate for the unbuilt
+    // 8-lane cluster.
+    {
+        const ShippedDesign &sd = shippedDesign("exec_cluster");
+        Design design = sd.load();
+        EarlyEstimator early(design, sd.top, "LANES");
+        early.calibrate({1, 2, 3});
+        MetricValues m = early.predictMetrics(8);
+        double effort = dee1.predictMedian(m);
+        auto [lo, hi] = dee1.confidenceInterval(effort, 0.90);
+        std::cout
+            << "Early effort estimate for an unbuilt 8-lane "
+               "exec_cluster: "
+            << fmtFixed(effort, 2) << " PM, 90% CI ["
+            << fmtFixed(lo, 2) << ", " << fmtFixed(hi, 2)
+            << "]\n(predicted before ever elaborating the 8-lane "
+               "configuration).\n";
+    }
+    return 0;
+}

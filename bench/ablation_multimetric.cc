@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Extension experiment for the closing point of paper Section 5.1.1:
+ * do estimators combining *three or more* metrics pay off? The paper
+ * says the small correlation improvement is not worth it at 18 data
+ * points; this harness quantifies that with AIC/BIC across 1-, 2-,
+ * and 3-metric models built greedily around Stmts.
+ */
+
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hh"
+#include "core/search.hh"
+#include "data/paper_data.hh"
+#include "util/str.hh"
+#include "util/table.hh"
+
+using namespace ucx;
+
+namespace
+{
+
+std::string
+comboName(const std::vector<Metric> &metrics)
+{
+    std::string name;
+    for (Metric m : metrics)
+        name += (name.empty() ? "" : "+") + metricName(m);
+    return name;
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Extension: >2-metric estimators",
+           "Does adding metrics beyond DEE1 pay? (Section 5.1.1, "
+           "closing remark)");
+
+    const Dataset &data = paperDataset();
+
+    // Greedy forward selection starting from the best single.
+    std::vector<Metric> chosen;
+    std::vector<Metric> remaining(allMetrics().begin(),
+                                  allMetrics().end());
+    Table t({"Model", "k", "sigma_eps", "AIC", "BIC"});
+    t.setAlign(0, Align::Left);
+    for (int round = 0; round < 4; ++round) {
+        double best_sigma = 1e18;
+        Metric best = remaining.front();
+        FittedEstimator best_fit;
+        for (Metric candidate : remaining) {
+            std::vector<Metric> trial = chosen;
+            trial.push_back(candidate);
+            FittedEstimator fit = fitEstimator(data, trial);
+            if (fit.sigmaEps() < best_sigma) {
+                best_sigma = fit.sigmaEps();
+                best = candidate;
+                best_fit = fit;
+            }
+        }
+        chosen.push_back(best);
+        remaining.erase(
+            std::find(remaining.begin(), remaining.end(), best));
+        t.addRow({comboName(chosen),
+                  std::to_string(chosen.size()),
+                  fmtFixed(best_fit.sigmaEps(), 3),
+                  fmtFixed(best_fit.aic(), 1),
+                  fmtFixed(best_fit.bic(), 1)});
+    }
+    std::cout << t.render() << "\n";
+
+    // The reference models from the paper.
+    FittedEstimator dee1 = fitDee1(data);
+    FittedEstimator stmts = fitEstimator(data, {Metric::Stmts});
+    Table ref({"Reference", "sigma_eps", "AIC", "BIC"});
+    ref.setAlign(0, Align::Left);
+    ref.addRow({"Stmts (best single)",
+                fmtFixed(stmts.sigmaEps(), 3),
+                fmtFixed(stmts.aic(), 1), fmtFixed(stmts.bic(), 1)});
+    ref.addRow({"DEE1 = Stmts+FanInLC (paper's pick)",
+                fmtFixed(dee1.sigmaEps(), 3),
+                fmtFixed(dee1.aic(), 1), fmtFixed(dee1.bic(), 1)});
+    std::cout << ref.render() << "\n";
+
+    std::cout
+        << "Reading: sigma_eps keeps falling as metrics are added "
+           "(it must: the models\nnest), but BIC bottoms out at 2-3 "
+           "metrics — with 18 observations the extra\nweights stop "
+           "paying for themselves, matching the paper's "
+           "recommendation to\nstay at two metrics unless more "
+           "data is available.\n";
+    return 0;
+}

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Shared formatting helpers for the table/figure reproduction
+ * harnesses in bench/.
+ */
+
+#ifndef UCX_BENCH_BENCH_UTIL_HH
+#define UCX_BENCH_BENCH_UTIL_HH
+
+#include <iostream>
+#include <string>
+
+namespace ucx
+{
+
+/** Print a bench banner naming the paper artifact reproduced. */
+inline void
+banner(const std::string &what, const std::string &detail)
+{
+    std::cout << "==============================================="
+                 "=================\n";
+    std::cout << "uComplexity reproduction: " << what << "\n";
+    std::cout << detail << "\n";
+    std::cout << "==============================================="
+                 "=================\n\n";
+}
+
+} // namespace ucx
+
+#endif // UCX_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Reproduces paper Figure 3: the multiplicative factors (yl, yh) of
+ * the 68% and 90% confidence intervals as a function of sigma_eps
+ * in [0, 0.7], including the worked example at sigma = 0.45.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "stats/lognormal.hh"
+#include "util/str.hh"
+#include "util/table.hh"
+
+using namespace ucx;
+
+int
+main()
+{
+    banner("Figure 3",
+           "68% and 90% confidence-interval factors vs sigma_eps.");
+
+    Table t({"sigma_eps", "yl (68%)", "yh (68%)", "yl (90%)",
+             "yh (90%)"});
+    for (double s = 0.0; s <= 0.701; s += 0.05) {
+        auto [l68, h68] = errorFactors(s, 0.68);
+        auto [l90, h90] = errorFactors(s, 0.90);
+        t.addRow({fmtFixed(s, 2), fmtFixed(l68, 3),
+                  fmtFixed(h68, 3), fmtFixed(l90, 3),
+                  fmtFixed(h90, 3)});
+    }
+    std::cout << t.render() << "\n";
+
+    auto [yl, yh] = errorFactors(0.45, 0.90);
+    std::cout << "Worked example (paper): sigma_eps = 0.45 -> "
+              << "yl = " << fmtFixed(yl, 2)
+              << ", yh = " << fmtFixed(yh, 2)
+              << " (paper: ~0.5 and ~2.1).\n";
+    std::cout << "The 90% CI for an estimate eff is "
+                 "(yl * eff, yh * eff).\n";
+    return 0;
+}

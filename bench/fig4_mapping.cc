@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Reproduces paper Figure 4: the sigma_eps -> 90% CI mapping over
+ * [0.4, 0.7], annotated with where each refit estimator lands
+ * (DEE1, LoC & FanInLC, Stmts, Nets — the usable ones fall in this
+ * window).
+ */
+
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hh"
+#include "core/estimator.hh"
+#include "data/paper_data.hh"
+#include "stats/lognormal.hh"
+#include "util/str.hh"
+#include "util/table.hh"
+
+using namespace ucx;
+
+int
+main()
+{
+    banner("Figure 4",
+           "Mapping between sigma_eps and the 90% CI, annotated "
+           "with the fitted estimators.");
+
+    const Dataset &data = paperDataset();
+
+    struct Mark
+    {
+        std::string name;
+        double sigma;
+    };
+    std::vector<Mark> marks;
+    marks.push_back({"DEE1", fitDee1(data).sigmaEps()});
+    for (Metric m : {Metric::Stmts, Metric::LoC, Metric::FanInLC,
+                     Metric::Nets}) {
+        marks.push_back(
+            {metricName(m), fitEstimator(data, {m}).sigmaEps()});
+    }
+    std::sort(marks.begin(), marks.end(),
+              [](const Mark &a, const Mark &b) {
+                  return a.sigma < b.sigma;
+              });
+
+    Table t({"sigma_eps", "yl (90%)", "yh (90%)", "estimators here"});
+    t.setAlign(3, Align::Left);
+    for (double s = 0.40; s <= 0.701; s += 0.025) {
+        auto [yl, yh] = errorFactors(s, 0.90);
+        std::string here;
+        for (const Mark &mark : marks) {
+            if (mark.sigma >= s - 0.0125 && mark.sigma < s + 0.0125)
+                here += (here.empty() ? "" : ", ") + mark.name;
+        }
+        t.addRow({fmtFixed(s, 3), fmtFixed(yl, 2), fmtFixed(yh, 2),
+                  here});
+    }
+    std::cout << t.render() << "\n";
+
+    Table m({"Estimator", "sigma_eps", "90% CI"});
+    for (const Mark &mark : marks) {
+        auto [yl, yh] = errorFactors(mark.sigma, 0.90);
+        m.addRow({mark.name, fmtFixed(mark.sigma, 3),
+                  "(" + fmtFixed(yl, 2) + ", " + fmtFixed(yh, 2) +
+                      ")"});
+    }
+    std::cout << m.render();
+    return 0;
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Reproduces paper Figure 6: accuracy of every estimator with vs
+ * without the µComplexity accounting procedure (Section 5.3) — on
+ * the paper's data via the documented no-accounting reconstruction,
+ * and mechanically on the shipped µHDL designs via the real
+ * accounting pass.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "core/estimator.hh"
+#include "core/measure.hh"
+#include "data/paper_data.hh"
+#include "designs/registry.hh"
+#include "util/str.hh"
+#include "util/table.hh"
+
+using namespace ucx;
+
+int
+main()
+{
+    banner("Figure 6",
+           "sigma_eps without vs with the accounting procedure "
+           "(Section 2.2).");
+
+    const Dataset &with = paperDataset();
+    const Dataset &without = paperDatasetNoAccounting();
+
+    Table t({"Estimator", "with procedure", "without procedure",
+             "paper (without)"});
+    {
+        double w = fitDee1(with).sigmaEps();
+        double wo = fitDee1(without).sigmaEps();
+        t.addRow({"DEE1", fmtFixed(w, 2), fmtFixed(wo, 2),
+                  "~unchanged"});
+        t.addRule();
+    }
+    for (Metric m : allMetrics()) {
+        double w = fitEstimator(with, {m}).sigmaEps();
+        double wo = fitEstimator(without, {m}).sigmaEps();
+        std::string paper = "-";
+        if (m == Metric::FanInLC)
+            paper = "1.18";
+        else if (m == Metric::Nets)
+            paper = "1.07";
+        else if (m == Metric::Stmts || m == Metric::LoC)
+            paper = "unchanged";
+        t.addRow({metricName(m), fmtFixed(w, 2), fmtFixed(wo, 2),
+                  paper});
+    }
+    std::cout << t.render() << "\n";
+    std::cout
+        << "The paper tabulates only the FanInLC/Nets values; the "
+           "without-procedure\nmetric values are reconstructed from "
+           "per-component instance-multiplicity\nfactors "
+           "(src/data/paper_data.cc), concentrated in IVM as the "
+           "paper describes.\nSource metrics (Stmts, LoC) are "
+           "untouched by the procedure; DEE1 moves\nlittle because "
+           "the regression shifts weight onto Stmts.\n\n";
+
+    // Mechanical demonstration on the shipped µHDL components.
+    std::cout << "Mechanical ablation on shipped uHDL components "
+                 "(real accounting pass):\n\n";
+    Table mech({"Component", "Metric", "with", "without",
+                "inflation"});
+    for (const char *name :
+         {"exec_cluster", "mmu_lite", "issue_queue", "memctrl"}) {
+        const ShippedDesign &sd = shippedDesign(name);
+        Design design = sd.load();
+        auto w = measureComponent(design, sd.top,
+                                  AccountingMode::WithProcedure);
+        auto wo = measureComponent(design, sd.top,
+                                   AccountingMode::WithoutProcedure);
+        for (Metric m : {Metric::FanInLC, Metric::Cells}) {
+            double a = w.metrics[static_cast<size_t>(m)];
+            double b = wo.metrics[static_cast<size_t>(m)];
+            mech.addRow({sd.name, metricName(m), fmtCompact(a, 0),
+                         fmtCompact(b, 0),
+                         fmtFixed(b / std::max(a, 1.0), 1) + "x"});
+        }
+    }
+    std::cout << mech.render();
+    return 0;
+}

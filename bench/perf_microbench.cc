@@ -1,0 +1,144 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the library's hot paths:
+ * likelihood evaluation, model fitting (analytic vs Laplace vs
+ * AGHQ — the key design-choice ablation), parsing, elaboration, and
+ * the synthesis pipeline.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/estimator.hh"
+#include "data/paper_data.hh"
+#include "designs/registry.hh"
+#include "hdl/parser.hh"
+#include "hdl/source_metrics.hh"
+#include "nlme/generic.hh"
+#include "nlme/mixed_model.hh"
+#include "nlme/pooled.hh"
+#include "synth/elaborate.hh"
+#include "synth/metrics.hh"
+
+namespace
+{
+
+using namespace ucx;
+
+NlmeData
+paperNlme()
+{
+    return paperDataset().toNlmeData(
+        {Metric::Stmts, Metric::FanInLC});
+}
+
+void
+BM_LogLikelihoodAnalytic(benchmark::State &state)
+{
+    MixedModel model(paperNlme());
+    std::vector<double> w = {0.002, 0.0003};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            model.logLikelihood(w, 0.45, 0.3));
+    }
+}
+BENCHMARK(BM_LogLikelihoodAnalytic);
+
+void
+BM_LogLikelihoodLaplace(benchmark::State &state)
+{
+    GenericNlmeConfig cfg;
+    cfg.integration = Integration::Laplace;
+    GenericNlme model(paperNlme(), logLinearMean(), cfg);
+    std::vector<double> w = {0.002, 0.0003};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            model.logLikelihood(w, 0.45, 0.3));
+    }
+}
+BENCHMARK(BM_LogLikelihoodLaplace);
+
+void
+BM_LogLikelihoodAghq(benchmark::State &state)
+{
+    GenericNlmeConfig cfg;
+    cfg.integration = Integration::Aghq;
+    cfg.quadraturePoints = static_cast<size_t>(state.range(0));
+    GenericNlme model(paperNlme(), logLinearMean(), cfg);
+    std::vector<double> w = {0.002, 0.0003};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            model.logLikelihood(w, 0.45, 0.3));
+    }
+}
+BENCHMARK(BM_LogLikelihoodAghq)->Arg(5)->Arg(15)->Arg(31);
+
+void
+BM_FitDee1Mixed(benchmark::State &state)
+{
+    const Dataset &data = paperDataset();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(fitDee1(data));
+}
+BENCHMARK(BM_FitDee1Mixed)->Unit(benchmark::kMillisecond);
+
+void
+BM_FitDee1Pooled(benchmark::State &state)
+{
+    const Dataset &data = paperDataset();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            fitDee1(data, FitMode::Pooled));
+    }
+}
+BENCHMARK(BM_FitDee1Pooled)->Unit(benchmark::kMillisecond);
+
+void
+BM_ParsePipeline(benchmark::State &state)
+{
+    const ShippedDesign &sd = shippedDesign("pipeline");
+    for (auto _ : state)
+        benchmark::DoNotOptimize(parseSource(sd.source));
+}
+BENCHMARK(BM_ParsePipeline)->Unit(benchmark::kMicrosecond);
+
+void
+BM_SourceMetricsPipeline(benchmark::State &state)
+{
+    const ShippedDesign &sd = shippedDesign("pipeline");
+    for (auto _ : state)
+        benchmark::DoNotOptimize(measureSource(sd.source));
+}
+BENCHMARK(BM_SourceMetricsPipeline)->Unit(benchmark::kMicrosecond);
+
+void
+BM_ElaboratePipeline(benchmark::State &state)
+{
+    Design design = shippedDesign("pipeline").load();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(elaborate(design, "pipeline"));
+}
+BENCHMARK(BM_ElaboratePipeline)->Unit(benchmark::kMillisecond);
+
+void
+BM_SynthesizePipeline(benchmark::State &state)
+{
+    Design design = shippedDesign("pipeline").load();
+    ElabResult r = elaborate(design, "pipeline");
+    for (auto _ : state)
+        benchmark::DoNotOptimize(synthesize(r.rtl));
+}
+BENCHMARK(BM_SynthesizePipeline)->Unit(benchmark::kMillisecond);
+
+void
+BM_SynthesizeIssueQueue(benchmark::State &state)
+{
+    Design design = shippedDesign("issue_queue").load();
+    ElabResult r = elaborate(design, "issue_queue");
+    for (auto _ : state)
+        benchmark::DoNotOptimize(synthesize(r.rtl));
+}
+BENCHMARK(BM_SynthesizeIssueQueue)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Reproduces paper Table 1: characteristics of the processor designs
+ * used in the evaluation, plus the synthetic µHDL components this
+ * library ships to exercise the same measurement pipeline.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "data/paper_data.hh"
+#include "designs/registry.hh"
+#include "hdl/source_metrics.hh"
+#include "util/table.hh"
+
+using namespace ucx;
+
+int
+main()
+{
+    banner("Table 1",
+           "Characteristics of the processor designs used in the "
+           "evaluation.");
+
+    Table t({"Characteristic", "Leon3", "PUMA", "IVM"});
+    const auto &rows = paperTable1();
+    auto col = [&](auto get) {
+        return std::vector<std::string>{get(rows[0]), get(rows[1]),
+                                        get(rows[2])};
+    };
+    auto add_row = [&](const std::string &name, auto get) {
+        auto v = col(get);
+        t.addRow({name, v[0], v[1], v[2]});
+    };
+    add_row("ISA",
+            [](const ProcessorCharacteristics &p) { return p.isa; });
+    add_row("Execution", [](const ProcessorCharacteristics &p) {
+        return p.execution;
+    });
+    add_row("Pipeline stages", [](const ProcessorCharacteristics &p) {
+        return std::to_string(p.pipelineStages);
+    });
+    add_row("FE, IS width", [](const ProcessorCharacteristics &p) {
+        return p.fetchIssueWidth;
+    });
+    add_row("DI, RE width", [](const ProcessorCharacteristics &p) {
+        return p.dispatchRetireWidth;
+    });
+    add_row("Branch predictor",
+            [](const ProcessorCharacteristics &p) {
+                return p.branchPredictor;
+            });
+    add_row("Caches", [](const ProcessorCharacteristics &p) {
+        return p.caches;
+    });
+    add_row("Multiproc. support",
+            [](const ProcessorCharacteristics &p) {
+                return p.multiprocessorSupport ? std::string("Yes")
+                                               : std::string("No");
+            });
+    add_row("HDL Language", [](const ProcessorCharacteristics &p) {
+        return p.hdlLanguage;
+    });
+    std::cout << t.render() << "\n";
+
+    std::cout << "Synthetic uHDL components shipped with this "
+                 "reproduction (substitute\nfor the proprietary "
+                 "sources; measured by the same pipeline):\n\n";
+    Table s({"Component", "Top module", "LoC", "Description"});
+    for (const auto &sd : shippedDesigns()) {
+        size_t loc = countLoc(sd.source);
+        s.addRow({sd.name, sd.top, std::to_string(loc),
+                  sd.description});
+    }
+    s.setAlign(3, Align::Left);
+    std::cout << s.render();
+    return 0;
+}

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Reproduces paper Table 4 — the headline result: accuracy
+ * (sigma_eps) of every design-effort estimator, fitted with the
+ * nonlinear mixed-effects model, plus the rho_i = 1 ablation row,
+ * and the DEE1 analysis of Section 5.1.1 (AIC/BIC, pair search).
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "core/search.hh"
+#include "data/paper_data.hh"
+#include "util/str.hh"
+#include "util/table.hh"
+
+using namespace ucx;
+
+int
+main()
+{
+    banner("Table 4",
+           "Accuracy of various design effort estimators "
+           "(sigma_eps; lower is better).");
+
+    const Dataset &data = paperDataset();
+
+    // ------------------------------------------------------ body
+    FittedEstimator dee1 = fitDee1(data);
+    Table body({"Module", "Effort", "DEE1", "Stmts", "LoC",
+                "FanInLC", "Nets", "Freq", "AreaL", "PowerD",
+                "PowerS", "AreaS", "Cells", "FFs"});
+    for (const Component &c : data.components()) {
+        std::vector<std::string> row = {c.fullName(),
+                                        fmtCompact(c.effort, 2)};
+        double est = dee1.predictMedian(
+            c.metrics, dee1.productivity(c.project));
+        row.push_back(fmtFixed(est, 1));
+        for (Metric m : allMetrics()) {
+            row.push_back(fmtCompact(
+                c.metrics[static_cast<size_t>(m)], 1));
+        }
+        body.addRow(row);
+    }
+    std::cout << body.render() << "\n";
+
+    // -------------------------------------------------- sigma rows
+    std::cout << "Estimator accuracy, refit with this library's "
+                 "NLME implementation:\n\n";
+    Table sig({"Estimator", "sigma_eps (mixed)", "paper",
+               "sigma_eps (rho=1)", "paper ", "90% CI (mixed)"});
+    sig.setAlign(5, Align::Left);
+    {
+        FittedEstimator pooled_dee1 = fitDee1(data, FitMode::Pooled);
+        auto [lo, hi] = dee1.confidenceInterval(1.0, 0.90);
+        sig.addRow({"DEE1", fmtFixed(dee1.sigmaEps(), 2),
+                    fmtFixed(paperDee1Reference().sigmaMixed, 2),
+                    fmtFixed(pooled_dee1.sigmaEps(), 2),
+                    fmtFixed(paperDee1Reference().sigmaPooled, 2),
+                    "(" + fmtFixed(lo, 2) + ", " + fmtFixed(hi, 2) +
+                        ")"});
+        sig.addRule();
+    }
+    for (const PaperSigma &ref : paperSigmas()) {
+        FittedEstimator mixed = fitEstimator(data, {ref.metric});
+        FittedEstimator pooled =
+            fitEstimator(data, {ref.metric}, FitMode::Pooled);
+        auto [lo, hi] = mixed.confidenceInterval(1.0, 0.90);
+        sig.addRow({metricName(ref.metric),
+                    fmtFixed(mixed.sigmaEps(), 2),
+                    fmtFixed(ref.sigmaMixed, 2),
+                    fmtFixed(pooled.sigmaEps(), 2),
+                    fmtFixed(ref.sigmaPooled, 2),
+                    "(" + fmtFixed(lo, 2) + ", " + fmtFixed(hi, 2) +
+                        ")"});
+    }
+    std::cout << sig.render() << "\n";
+
+    // ------------------------------------------- DEE1 diagnostics
+    std::cout << "Section 5.1.1 - DEE1 vs Stmts information "
+                 "criteria:\n\n";
+    FittedEstimator stmts = fitEstimator(data, {Metric::Stmts});
+    Table ic({"Model", "AIC", "paper AIC", "BIC", "paper BIC"});
+    ic.addRow({"DEE1 (Stmts + FanInLC)", fmtFixed(dee1.aic(), 1),
+               fmtFixed(paperDee1Reference().aicDee1, 1),
+               fmtFixed(dee1.bic(), 1),
+               fmtFixed(paperDee1Reference().bicDee1, 1)});
+    ic.addRow({"Stmts", fmtFixed(stmts.aic(), 1),
+               fmtFixed(paperDee1Reference().aicStmts, 1),
+               fmtFixed(stmts.bic(), 1),
+               fmtFixed(paperDee1Reference().bicStmts, 1)});
+    std::cout << ic.render() << "\n";
+
+    std::cout << "Fitted DEE1 weights: w_Stmts = "
+              << fmtCompact(dee1.weights()[0], 6)
+              << ", w_FanInLC = "
+              << fmtCompact(dee1.weights()[1], 6) << "\n";
+    std::cout << "Fitted productivities (rho_i, median team = 1):\n";
+    for (const auto &[team, rho] : dee1.productivities())
+        std::cout << "  " << team << ": " << fmtFixed(rho, 2)
+                  << "\n";
+    std::cout << "\n";
+
+    // ------------------------------------------------ pair search
+    std::cout << "Two-metric estimator search (top 5 of 55 pairs, "
+                 "by sigma_eps):\n\n";
+    auto pairs = rankMetricPairs(data);
+    Table top({"Rank", "Pair", "sigma_eps", "AIC", "BIC"});
+    top.setAlign(1, Align::Left);
+    for (size_t i = 0; i < 5 && i < pairs.size(); ++i) {
+        const auto &entry = pairs[i];
+        top.addRow({std::to_string(i + 1),
+                    metricName(entry.metrics[0]) + " + " +
+                        metricName(entry.metrics[1]),
+                    fmtFixed(entry.fit.sigmaEps(), 3),
+                    fmtFixed(entry.fit.aic(), 1),
+                    fmtFixed(entry.fit.bic(), 1)});
+    }
+    std::cout << top.render() << "\n";
+
+    auto rank_of = [&](Metric a, Metric b) {
+        for (size_t i = 0; i < pairs.size(); ++i) {
+            bool hit = (pairs[i].metrics[0] == a &&
+                        pairs[i].metrics[1] == b) ||
+                       (pairs[i].metrics[0] == b &&
+                        pairs[i].metrics[1] == a);
+            if (hit)
+                return i + 1;
+        }
+        return pairs.size();
+    };
+    std::cout << "Stmts + FanInLC (= DEE1) ranks #"
+              << rank_of(Metric::Stmts, Metric::FanInLC)
+              << " of 55; Stmts + Nets ranks #"
+              << rank_of(Metric::Stmts, Metric::Nets) << ".\n";
+    std::cout
+        << "Paper: Stmts+Nets and Stmts+FanInLC tied at the top; "
+           "the authors chose\nStmts+FanInLC as DEE1 because its "
+           "constituents are individually stronger.\nOur exhaustive "
+           "search finds a few pairs with lower sigma_eps on this "
+           "18-point\nsample (e.g. Stmts+PowerD); with so few data "
+           "points such pairs are likely\noverfit, exactly the "
+           "paper's argument for preferring individually strong\n"
+           "constituents.\n";
+    return 0;
+}

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The Section 3.1.1 usage loop: a project starts with no
+ * team-specific calibration, assumes rho = 1, and re-fits the model
+ * as components complete verification, converging on the team's
+ * true productivity and sharpening the estimates for the remaining
+ * components.
+ *
+ * The "true" team simulated here is 1.6x slower than the median
+ * (rho = 0.625); watch the tracker discover that.
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "core/tracker.hh"
+#include "data/paper_data.hh"
+#include "util/rng.hh"
+#include "util/str.hh"
+#include "util/table.hh"
+
+using namespace ucx;
+
+namespace
+{
+
+MetricValues
+makeMetrics(double stmts, double fan)
+{
+    MetricValues v{};
+    v[static_cast<size_t>(Metric::Stmts)] = stmts;
+    v[static_cast<size_t>(Metric::FanInLC)] = fan;
+    return v;
+}
+
+} // namespace
+
+int
+main()
+{
+    const double true_rho = 0.625; // slower-than-median team
+
+    // Past-project history: the published dataset.
+    ProductivityTracker tracker(paperDataset(), "NewCore");
+
+    // The plan: eight components, measured up front (metrics are
+    // available at RTL-complete, long before verification ends).
+    struct Planned
+    {
+        const char *name;
+        double stmts;
+        double fan;
+    };
+    const Planned plan[] = {
+        {"Fetch", 900, 7000},   {"Decode", 700, 2500},
+        {"Rename", 600, 3500},  {"Issue", 800, 8000},
+        {"Execute", 1400, 12000}, {"Memory", 1100, 9000},
+        {"Retire", 500, 4000},  {"DebugUnit", 300, 1500},
+    };
+
+    std::cout << "Initial estimates (no team history, rho = 1):\n\n";
+    std::vector<PendingComponent> pending;
+    for (const Planned &p : plan)
+        pending.push_back({p.name, makeMetrics(p.stmts, p.fan)});
+    Table t0({"Component", "median PM", "90% interval"});
+    t0.setAlign(2, Align::Left);
+    for (const auto &e : tracker.estimate(pending)) {
+        t0.addRow({e.name, fmtFixed(e.median, 1),
+                   "[" + fmtFixed(e.low90, 1) + ", " +
+                       fmtFixed(e.high90, 1) + "]"});
+    }
+    std::cout << t0.render() << "\n";
+
+    // Components complete one by one; the team's actual efforts are
+    // drawn from the generative model with the true rho.
+    Rng rng(2005);
+    std::cout << "Completing components and re-calibrating "
+                 "(true rho = "
+              << fmtFixed(true_rho, 3) << "):\n\n";
+    Table tc({"After completing", "rho estimate",
+              "median PM for 'Execute'"});
+    const FittedEstimator &initial = tracker.estimator();
+    for (size_t i = 0; i < 5; ++i) {
+        const Planned &p = plan[i];
+        MetricValues metrics = makeMetrics(p.stmts, p.fan);
+        double typical = initial.predictMedian(metrics, 1.0);
+        double actual = typical / true_rho *
+                        rng.lognormal(0.0, 0.25);
+        tracker.completeComponent(p.name, metrics, actual);
+
+        std::vector<PendingComponent> exec = {
+            {"Execute", makeMetrics(1400, 12000)}};
+        double est = tracker.estimate(exec)[0].median;
+        tc.addRow({p.name,
+                   fmtFixed(tracker.currentRho().value(), 3),
+                   fmtFixed(est, 1)});
+    }
+    std::cout << tc.render() << "\n";
+
+    std::cout
+        << "The rho estimate shrinks toward the team's true "
+           "productivity as evidence\naccumulates, and the "
+           "remaining-component estimates inflate accordingly\n"
+           "(a rho < 1 team needs proportionally more "
+           "person-months; Eq. 1).\n";
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * End-to-end scenario: measure a real (µHDL) RTL component with the
+ * full pipeline — parse, apply the Section 2.2 accounting procedure,
+ * synthesize — then feed the measured metrics into a DEE1 estimator
+ * calibrated on the published dataset.
+ *
+ * This is the workflow the paper proposes for early estimation: the
+ * metrics are measurable as soon as a module is written, 1-2 years
+ * before RTL verification completes (Figure 1).
+ */
+
+#include <iostream>
+
+#include "core/estimator.hh"
+#include "core/measure.hh"
+#include "data/paper_data.hh"
+#include "designs/registry.hh"
+#include "util/str.hh"
+#include "util/table.hh"
+
+using namespace ucx;
+
+int
+main()
+{
+    FittedEstimator dee1 = fitDee1(paperDataset());
+
+    std::cout << "Measuring shipped uHDL components and estimating "
+                 "their design effort\n(DEE1 calibrated on the "
+                 "published dataset, rho = 1):\n\n";
+
+    Table t({"Component", "Stmts", "FanInLC", "median PM",
+             "90% interval", "module types"});
+    t.setAlign(4, Align::Left);
+    for (const char *name :
+         {"alu", "decoder", "regfile", "fetch", "cache_ctrl",
+          "memctrl", "issue_queue", "rob", "lsq", "exec_cluster",
+          "rat_standard", "rat_sliding", "pipeline"}) {
+        const ShippedDesign &sd = shippedDesign(name);
+        Design design = sd.load();
+
+        // Full measurement with the accounting procedure: each
+        // module type counted once, parameters minimized.
+        ComponentMeasurement m = measureComponent(design, sd.top);
+
+        double median = dee1.predictMedian(m.metrics);
+        auto [lo, hi] = dee1.confidenceInterval(median, 0.90);
+        t.addRow({sd.name,
+                  fmtCompact(m.metrics[static_cast<size_t>(
+                                 Metric::Stmts)], 0),
+                  fmtCompact(m.metrics[static_cast<size_t>(
+                                 Metric::FanInLC)], 0),
+                  fmtFixed(median, 2),
+                  "[" + fmtFixed(lo, 2) + ", " + fmtFixed(hi, 2) +
+                      "]",
+                  std::to_string(m.moduleCounts.size())});
+    }
+    std::cout << t.render() << "\n";
+
+    // Show the accounting procedure's decisions for one component.
+    const ShippedDesign &sd = shippedDesign("exec_cluster");
+    Design design = sd.load();
+    ComponentMeasurement m = measureComponent(design, sd.top);
+    std::cout << "Accounting decisions for 'exec_cluster':\n";
+    for (const auto &[module, count] : m.moduleCounts) {
+        std::cout << "  module '" << module << "': " << count
+                  << " instance(s), measured once at params {";
+        bool first = true;
+        for (const auto &[p, v] : m.measuredParams.at(module)) {
+            std::cout << (first ? "" : ", ") << p << "=" << v;
+            first = false;
+        }
+        std::cout << "}\n";
+    }
+    std::cout << "\nNote: the absolute person-month scale borrows "
+                 "the paper's calibration;\nthese synthetic "
+                 "components are far smaller than the paper's "
+                 "(e.g. a full\nfetch unit), so the point is the "
+                 "pipeline, not the absolute numbers.\n";
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Quickstart: calibrate the recommended DEE1 estimator on the
+ * published µComplexity dataset and estimate the design effort of a
+ * new processor component from its metrics.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <iostream>
+
+#include "core/estimator.hh"
+#include "data/paper_data.hh"
+#include "util/str.hh"
+
+using namespace ucx;
+
+int
+main()
+{
+    // 1. Calibrate DEE1 (Stmts + FanInLC) on the paper's 18
+    //    components from 4 projects. The fit returns the weights of
+    //    Equation 1, the accuracy sigma_eps, and per-team
+    //    productivities rho_i.
+    FittedEstimator dee1 = fitDee1(paperDataset());
+
+    std::cout << "Calibrated DEE1 on the published dataset:\n"
+              << "  w_Stmts   = " << fmtCompact(dee1.weights()[0], 6)
+              << "\n  w_FanInLC = "
+              << fmtCompact(dee1.weights()[1], 6)
+              << "\n  sigma_eps = " << fmtFixed(dee1.sigmaEps(), 3)
+              << " (paper: 0.46)"
+              << "\n  sigma_rho = " << fmtFixed(dee1.sigmaRho(), 3)
+              << "\n\n";
+
+    // 2. Estimate a new component. Suppose your team just finished
+    //    the RTL of a load-store unit: 1500 HDL statements, logic
+    //    cones summing to 9000 fan-ins.
+    MetricValues lsu{};
+    lsu[static_cast<size_t>(Metric::Stmts)] = 1500;
+    lsu[static_cast<size_t>(Metric::FanInLC)] = 9000;
+
+    // With no calibration data for your team yet, use rho = 1
+    // (a median-productivity team).
+    double median = dee1.predictMedian(lsu);
+    double mean = dee1.predictMean(lsu);
+    auto [lo, hi] = dee1.confidenceInterval(median, 0.90);
+
+    std::cout << "Estimate for a new load-store unit "
+              << "(Stmts=1500, FanInLC=9000):\n"
+              << "  median effort: " << fmtFixed(median, 1)
+              << " person-months\n"
+              << "  mean effort:   " << fmtFixed(mean, 1)
+              << " person-months (Eq. 4)\n"
+              << "  90% interval:  [" << fmtFixed(lo, 1) << ", "
+              << fmtFixed(hi, 1) << "] person-months\n\n";
+
+    // 3. If the designing team is known to be fast (rho > 1) or
+    //    slow (rho < 1), Equation 1 divides by rho.
+    std::cout << "Same component by a rho = 0.7 team: "
+              << fmtFixed(dee1.predictMedian(lsu, 0.7), 1)
+              << " person-months\n";
+    std::cout << "Same component by a rho = 1.4 team: "
+              << fmtFixed(dee1.predictMedian(lsu, 1.4), 1)
+              << " person-months\n";
+    return 0;
+}

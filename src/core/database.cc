@@ -1,0 +1,165 @@
+#include "core/database.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.hh"
+#include "util/error.hh"
+#include "util/str.hh"
+
+namespace ucx
+{
+
+namespace
+{
+
+std::vector<std::string>
+headerFields()
+{
+    std::vector<std::string> fields = {"project", "component",
+                                       "effort"};
+    for (Metric m : allMetrics())
+        fields.push_back(metricName(m));
+    return fields;
+}
+
+/**
+ * Minimal CSV field splitter for the subset this module writes:
+ * quoted fields with doubled quotes, no embedded newlines.
+ */
+std::vector<std::string>
+splitCsvLine(const std::string &line)
+{
+    std::vector<std::string> fields;
+    std::string field;
+    bool quoted = false;
+    for (size_t i = 0; i < line.size(); ++i) {
+        char c = line[i];
+        if (quoted) {
+            if (c == '"') {
+                if (i + 1 < line.size() && line[i + 1] == '"') {
+                    field += '"';
+                    ++i;
+                } else {
+                    quoted = false;
+                }
+            } else {
+                field += c;
+            }
+        } else if (c == '"') {
+            quoted = true;
+        } else if (c == ',') {
+            fields.push_back(field);
+            field.clear();
+        } else {
+            field += c;
+        }
+    }
+    require(!quoted, "unterminated quote in CSV line");
+    fields.push_back(field);
+    return fields;
+}
+
+double
+parseNumber(const std::string &text, const std::string &what)
+{
+    try {
+        size_t pos = 0;
+        double v = std::stod(text, &pos);
+        require(pos == trim(text).size() || pos == text.size(),
+                "trailing junk in " + what + ": '" + text + "'");
+        return v;
+    } catch (const std::invalid_argument &) {
+        fatal("non-numeric " + what + ": '" + text + "'");
+    } catch (const std::out_of_range &) {
+        fatal("out-of-range " + what + ": '" + text + "'");
+    }
+}
+
+} // namespace
+
+void
+saveDatasetCsv(const Dataset &dataset, std::ostream &out)
+{
+    CsvWriter writer(out);
+    writer.writeRow(headerFields());
+    for (const Component &c : dataset.components()) {
+        std::vector<std::string> row = {c.project, c.name,
+                                        fmtCompact(c.effort, 6)};
+        for (Metric m : allMetrics()) {
+            row.push_back(fmtCompact(
+                c.metrics[static_cast<size_t>(m)], 6));
+        }
+        writer.writeRow(row);
+    }
+}
+
+Dataset
+loadDatasetCsv(std::istream &in)
+{
+    std::string line;
+    require(static_cast<bool>(std::getline(in, line)),
+            "empty dataset file");
+    // Tolerate a UTF-8 BOM and trailing CR.
+    if (line.size() >= 3 && line[0] == '\xef')
+        line = line.substr(3);
+    if (!line.empty() && line.back() == '\r')
+        line.pop_back();
+
+    std::vector<std::string> header = splitCsvLine(line);
+    std::vector<std::string> expect = headerFields();
+    require(header.size() == expect.size(),
+            "dataset header has " + std::to_string(header.size()) +
+                " columns; expected " +
+                std::to_string(expect.size()));
+    for (size_t i = 0; i < expect.size(); ++i) {
+        require(toLower(trim(header[i])) == toLower(expect[i]),
+                "unexpected column '" + header[i] + "'; expected '" +
+                    expect[i] + "'");
+    }
+
+    Dataset dataset;
+    size_t line_no = 1;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        if (trim(line).empty())
+            continue;
+        std::vector<std::string> fields = splitCsvLine(line);
+        require(fields.size() == expect.size(),
+                "line " + std::to_string(line_no) + ": expected " +
+                    std::to_string(expect.size()) + " fields, got " +
+                    std::to_string(fields.size()));
+        Component c;
+        c.project = trim(fields[0]);
+        c.name = trim(fields[1]);
+        c.effort = parseNumber(fields[2], "effort");
+        for (size_t k = 0; k < numMetrics; ++k) {
+            c.metrics[static_cast<size_t>(allMetrics()[k])] =
+                parseNumber(fields[3 + k],
+                            metricName(allMetrics()[k]));
+        }
+        dataset.add(std::move(c));
+    }
+    return dataset;
+}
+
+void
+saveDatasetFile(const Dataset &dataset, const std::string &path)
+{
+    std::ofstream out(path);
+    require(out.good(), "cannot open '" + path + "' for writing");
+    saveDatasetCsv(dataset, out);
+    require(out.good(), "write to '" + path + "' failed");
+}
+
+Dataset
+loadDatasetFile(const std::string &path)
+{
+    std::ifstream in(path);
+    require(in.good(), "cannot open '" + path + "'");
+    return loadDatasetCsv(in);
+}
+
+} // namespace ucx

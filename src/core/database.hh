@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Calibration-database persistence.
+ *
+ * Paper Section 3.1.1: "the basic principle is to use the best
+ * possible estimates for w_k and rho at any time. Ideally, this
+ * means maintaining a continuously updated database of component
+ * measurements and of reported design efforts." This module stores
+ * that database as a CSV file: one row per component with project,
+ * name, effort, and all Table 3 metrics.
+ */
+
+#ifndef UCX_CORE_DATABASE_HH
+#define UCX_CORE_DATABASE_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "core/dataset.hh"
+
+namespace ucx
+{
+
+/**
+ * Serialize a dataset as CSV (header row + one row per component).
+ *
+ * @param dataset Components to write.
+ * @param out     Destination stream.
+ */
+void saveDatasetCsv(const Dataset &dataset, std::ostream &out);
+
+/**
+ * Parse a dataset from CSV produced by saveDatasetCsv (or written by
+ * hand with the same header).
+ *
+ * @param in Source stream.
+ * @return The dataset; throws UcxError on malformed input (wrong
+ *         header, non-numeric fields, missing columns).
+ */
+Dataset loadDatasetCsv(std::istream &in);
+
+/**
+ * Convenience: write the dataset to a file path.
+ *
+ * @param dataset Components to write.
+ * @param path    Destination file (created/truncated).
+ */
+void saveDatasetFile(const Dataset &dataset, const std::string &path);
+
+/**
+ * Convenience: read a dataset from a file path.
+ *
+ * @param path Source file.
+ * @return The dataset; throws UcxError when the file cannot be read.
+ */
+Dataset loadDatasetFile(const std::string &path);
+
+} // namespace ucx
+
+#endif // UCX_CORE_DATABASE_HH

@@ -1,0 +1,124 @@
+#include "core/dataset.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hh"
+
+namespace ucx
+{
+
+void
+Dataset::add(Component component)
+{
+    require(component.effort > 0.0,
+            "component '" + component.fullName() +
+                "' needs effort > 0");
+    require(!component.project.empty(), "component needs a project");
+    require(!component.name.empty(), "component needs a name");
+    components_.push_back(std::move(component));
+}
+
+std::vector<std::string>
+Dataset::projects() const
+{
+    std::vector<std::string> names;
+    for (const auto &c : components_) {
+        if (std::find(names.begin(), names.end(), c.project) ==
+            names.end()) {
+            names.push_back(c.project);
+        }
+    }
+    return names;
+}
+
+Dataset
+Dataset::filterProject(const std::string &project) const
+{
+    Dataset out;
+    for (const auto &c : components_)
+        if (c.project == project)
+            out.add(c);
+    return out;
+}
+
+namespace
+{
+
+bool
+rowUsable(const Component &c, const std::vector<Metric> &metrics)
+{
+    double sum = 0.0;
+    for (Metric m : metrics)
+        sum += c.metrics[static_cast<size_t>(m)];
+    return sum > 0.0;
+}
+
+} // namespace
+
+std::vector<Component>
+Dataset::usableComponents(const std::vector<Metric> &metrics,
+                          ZeroPolicy policy) const
+{
+    require(!metrics.empty(), "need at least one metric");
+    std::vector<Component> out;
+    for (const std::string &proj : projects()) {
+        for (const auto &c : components_) {
+            if (c.project != proj)
+                continue;
+            if (!rowUsable(c, metrics)) {
+                switch (policy) {
+                  case ZeroPolicy::Drop:
+                    continue;
+                  case ZeroPolicy::Error:
+                    fatal("component '" + c.fullName() +
+                          "' has all-zero metrics for this subset");
+                  case ZeroPolicy::ClampToOne: {
+                    Component clamped = c;
+                    for (Metric m : metrics) {
+                        double &v =
+                            clamped
+                                .metrics[static_cast<size_t>(m)];
+                        if (v <= 0.0)
+                            v = 1.0;
+                    }
+                    out.push_back(std::move(clamped));
+                    continue;
+                  }
+                }
+            }
+            out.push_back(c);
+        }
+    }
+    return out;
+}
+
+NlmeData
+Dataset::toNlmeData(const std::vector<Metric> &metrics,
+                    ZeroPolicy policy) const
+{
+    std::vector<Component> usable = usableComponents(metrics, policy);
+    require(!usable.empty(), "no usable components for metric subset");
+
+    NlmeData data;
+    for (const std::string &proj : projects()) {
+        std::vector<std::vector<double>> rows;
+        std::vector<double> y;
+        for (const auto &c : usable) {
+            if (c.project != proj)
+                continue;
+            rows.push_back(selectMetrics(c.metrics, metrics));
+            y.push_back(std::log(c.effort));
+        }
+        if (rows.empty())
+            continue;
+        NlmeGroup group;
+        group.name = proj;
+        group.y = std::move(y);
+        group.x = Matrix::fromRows(rows);
+        data.groups.push_back(std::move(group));
+    }
+    return data;
+}
+
+} // namespace ucx

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Components, projects, and the calibration dataset — the accounting
+ * unit of the µComplexity methodology (paper Section 2.2: the design
+ * is partitioned into disjoint components measured individually).
+ */
+
+#ifndef UCX_CORE_DATASET_HH
+#define UCX_CORE_DATASET_HH
+
+#include <string>
+#include <vector>
+
+#include "core/metric.hh"
+#include "nlme/data.hh"
+
+namespace ucx
+{
+
+/**
+ * Treatment of components whose selected metric values are all zero
+ * (e.g. the FFs = 0 rows of paper Table 4): the log-linear model is
+ * undefined on them.
+ */
+enum class ZeroPolicy
+{
+    ClampToOne, ///< Floor zero values at 1 (reproduces the paper).
+    Drop,       ///< Skip the offending components.
+    Error,      ///< Refuse to build the regression input.
+};
+
+/**
+ * One measured design component: a data point of the regression
+ * (paper Section 3: "each component ... is a data point consisting
+ * of the reported design effort and the measured metrics").
+ */
+struct Component
+{
+    std::string project;  ///< Team/project name (grouping variable).
+    std::string name;     ///< Component name, e.g. "Fetch".
+    double effort = 0.0;  ///< Reported design effort (person-months).
+    MetricValues metrics{}; ///< All Table 3 metric values.
+
+    /** @return "Project-Name" as used in the paper's tables. */
+    std::string fullName() const { return project + "-" + name; }
+};
+
+/** A calibration dataset: components from one or more projects. */
+class Dataset
+{
+  public:
+    /** Create an empty dataset. */
+    Dataset() = default;
+
+    /**
+     * Append a component.
+     *
+     * @param component Component with effort > 0.
+     */
+    void add(Component component);
+
+    /** @return All components in insertion order. */
+    const std::vector<Component> &components() const
+    {
+        return components_;
+    }
+
+    /** @return The number of components. */
+    size_t size() const { return components_.size(); }
+
+    /** @return Distinct project names, in first-appearance order. */
+    std::vector<std::string> projects() const;
+
+    /**
+     * Restrict to the components of one project.
+     *
+     * @param project Project name.
+     * @return A dataset containing only that project's components.
+     */
+    Dataset filterProject(const std::string &project) const;
+
+    /**
+     * Build the grouped regression input for a metric subset.
+     *
+     * Components whose selected metric values are all zero make the
+     * model's log(w.m) undefined. The policy decides their fate;
+     * ClampToOne (floor the zero values at the smallest measurable
+     * value, 1) reproduces the published Table 4 FFs row exactly and
+     * is the default.
+     *
+     * @param metrics Metric subset used as covariates.
+     * @param policy  Treatment of all-zero rows.
+     * @return Grouped data with y = log(effort).
+     */
+    NlmeData toNlmeData(const std::vector<Metric> &metrics,
+                        ZeroPolicy policy =
+                            ZeroPolicy::ClampToOne) const;
+
+    /**
+     * @param metrics Metric subset.
+     * @param policy  See toNlmeData.
+     * @return The components actually used for the subset (clamped
+     *         or with zero rows removed, per the policy), in group
+     *         order matching toNlmeData.
+     */
+    std::vector<Component> usableComponents(
+        const std::vector<Metric> &metrics,
+        ZeroPolicy policy = ZeroPolicy::ClampToOne) const;
+
+  private:
+    std::vector<Component> components_;
+};
+
+} // namespace ucx
+
+#endif // UCX_CORE_DATASET_HH

@@ -1,0 +1,164 @@
+#include "core/early.hh"
+
+#include <cmath>
+
+#include "hdl/source_metrics.hh"
+#include "linalg/solve.hh"
+#include "synth/elaborate.hh"
+#include "synth/metrics.hh"
+#include "util/error.hh"
+
+namespace ucx
+{
+
+double
+ScalingFit::predict(double param) const
+{
+    if (!valid)
+        return 0.0;
+    require(param > 0.0, "scaling law needs param > 0");
+    return std::exp(alpha + beta * std::log(param));
+}
+
+ScalingFit
+fitScalingLaw(const std::vector<std::pair<double, double>> &points)
+{
+    std::vector<std::pair<double, double>> usable;
+    for (const auto &[p, m] : points) {
+        require(p > 0.0, "scaling law needs params > 0");
+        if (m > 0.0)
+            usable.push_back({p, m});
+    }
+    ScalingFit fit;
+    if (usable.size() < 2)
+        return fit; // invalid
+
+    // Degenerate case: all params equal.
+    bool distinct = false;
+    for (size_t i = 1; i < usable.size(); ++i)
+        distinct |= usable[i].first != usable[0].first;
+    if (!distinct)
+        return fit;
+
+    Matrix x(usable.size(), 2);
+    Vector y(usable.size());
+    for (size_t i = 0; i < usable.size(); ++i) {
+        x(i, 0) = 1.0;
+        x(i, 1) = std::log(usable[i].first);
+        y[i] = std::log(usable[i].second);
+    }
+    Vector beta = leastSquares(x, y);
+    fit.alpha = beta[0];
+    fit.beta = beta[1];
+    fit.valid = true;
+
+    double ss = 0.0;
+    for (size_t i = 0; i < usable.size(); ++i) {
+        double r = y[i] - (fit.alpha + fit.beta * x(i, 1));
+        ss += r * r;
+    }
+    fit.rmsLog = std::sqrt(ss / static_cast<double>(usable.size()));
+    return fit;
+}
+
+EarlyEstimator::EarlyEstimator(const Design &design, std::string top,
+                               std::string param_name)
+    : design_(design), top_(std::move(top)),
+      param_(std::move(param_name))
+{
+    require(design_.hasModule(top_), "unknown top module " + top_);
+    bool has_param = false;
+    for (const auto &p : design_.module(top_).params)
+        has_param |= p.name == param_;
+    require(has_param, "module '" + top_ + "' has no parameter '" +
+                           param_ + "'");
+}
+
+MetricValues
+EarlyEstimator::measureAt(int64_t value) const
+{
+    ElabOptions opts;
+    opts.topParams[param_] = value;
+    ElabResult elab = elaborate(design_, top_, opts);
+    SynthMetrics m = synthesize(elab.rtl);
+
+    MetricValues out{};
+    SourceMetrics src = measureSource(design_.sourceText(), top_);
+    out[static_cast<size_t>(Metric::Stmts)] =
+        static_cast<double>(src.stmts);
+    out[static_cast<size_t>(Metric::LoC)] =
+        static_cast<double>(src.loc);
+    out[static_cast<size_t>(Metric::FanInLC)] =
+        static_cast<double>(m.fanInLC);
+    out[static_cast<size_t>(Metric::Nets)] =
+        static_cast<double>(m.nets);
+    out[static_cast<size_t>(Metric::Freq)] = m.freqMHz;
+    out[static_cast<size_t>(Metric::AreaL)] = m.areaLogicUm2;
+    out[static_cast<size_t>(Metric::PowerD)] = m.powerDynamicMw;
+    out[static_cast<size_t>(Metric::PowerS)] = m.powerStaticUw;
+    out[static_cast<size_t>(Metric::AreaS)] = m.areaStorageUm2;
+    out[static_cast<size_t>(Metric::Cells)] =
+        static_cast<double>(m.cells);
+    out[static_cast<size_t>(Metric::FFs)] =
+        static_cast<double>(m.ffs);
+    return out;
+}
+
+void
+EarlyEstimator::calibrate(const std::vector<int64_t> &values)
+{
+    require(values.size() >= 2,
+            "need at least two calibration points");
+    std::vector<MetricValues> measured;
+    for (int64_t v : values) {
+        require(v > 0, "parameter values must be > 0");
+        measured.push_back(measureAt(v));
+    }
+    sourceMetrics_ = measured[0];
+
+    for (Metric m : allMetrics()) {
+        if (m == Metric::Stmts || m == Metric::LoC)
+            continue; // parameter-independent
+        std::vector<std::pair<double, double>> points;
+        for (size_t i = 0; i < values.size(); ++i) {
+            points.push_back(
+                {static_cast<double>(values[i]),
+                 measured[i][static_cast<size_t>(m)]});
+        }
+        fits_[m] = fitScalingLaw(points);
+    }
+    calibrated_ = true;
+}
+
+double
+EarlyEstimator::predictMetric(Metric metric, int64_t value) const
+{
+    require(calibrated_, "calibrate() first");
+    if (metric == Metric::Stmts || metric == Metric::LoC)
+        return sourceMetrics_[static_cast<size_t>(metric)];
+    return fits_.at(metric).predict(static_cast<double>(value));
+}
+
+MetricValues
+EarlyEstimator::predictMetrics(int64_t value) const
+{
+    MetricValues out{};
+    for (Metric m : allMetrics())
+        out[static_cast<size_t>(m)] = predictMetric(m, value);
+    return out;
+}
+
+MetricValues
+EarlyEstimator::measureActual(int64_t value) const
+{
+    return measureAt(value);
+}
+
+const ScalingFit &
+EarlyEstimator::law(Metric metric) const
+{
+    require(calibrated_, "calibrate() first");
+    return fits_.at(metric);
+}
+
+} // namespace ucx

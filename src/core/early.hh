@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Early estimation from higher-level descriptions — the paper's
+ * Section 7 future-work direction: "Such early estimators would
+ * allow design considerations to be made early, when the costs are
+ * low ... Such estimators must necessarily be derived from a
+ * higher-level description of the design."
+ *
+ * The higher-level description here is a parameterized µHDL
+ * component plus a target configuration that has not been built
+ * yet. The estimator synthesizes a few *small* configurations
+ * (cheap), fits a power law metric ~ a * param^b per metric, and
+ * extrapolates the synthesis metrics — and hence the design effort
+ * — of the large configuration without ever elaborating it.
+ */
+
+#ifndef UCX_CORE_EARLY_HH
+#define UCX_CORE_EARLY_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/metric.hh"
+#include "hdl/design.hh"
+
+namespace ucx
+{
+
+/** A fitted power law m(p) = exp(alpha) * p^beta. */
+struct ScalingFit
+{
+    double alpha = 0.0;   ///< Log-space intercept.
+    double beta = 0.0;    ///< Exponent.
+    double rmsLog = 0.0;  ///< Residual rms in log space.
+    bool valid = false;   ///< Enough positive observations to fit.
+
+    /**
+     * @param param Parameter value (> 0).
+     * @return The predicted metric value, 0 when invalid.
+     */
+    double predict(double param) const;
+};
+
+/**
+ * Fit a power law to (param, metric) observations by least squares
+ * in log-log space. Non-positive metric observations are skipped;
+ * fewer than two usable points yields an invalid fit.
+ *
+ * @param points Observations; params must be > 0.
+ * @return The fitted law.
+ */
+ScalingFit fitScalingLaw(
+    const std::vector<std::pair<double, double>> &points);
+
+/**
+ * Predicts the synthesis metrics of unbuilt configurations of one
+ * parameterized component.
+ */
+class EarlyEstimator
+{
+  public:
+    /**
+     * Create an estimator for one top-level parameter.
+     *
+     * @param design     The component's design.
+     * @param top        Top module name.
+     * @param param_name Name of the parameter being scaled.
+     */
+    EarlyEstimator(const Design &design, std::string top,
+                   std::string param_name);
+
+    /**
+     * Synthesize the given (small) configurations and fit the
+     * per-metric scaling laws.
+     *
+     * @param values At least two distinct positive parameter values.
+     */
+    void calibrate(const std::vector<int64_t> &values);
+
+    /**
+     * Predict one synthesis metric at an unbuilt configuration.
+     *
+     * @param metric Which metric.
+     * @param value  Parameter value (> 0).
+     * @return The extrapolated metric value; source metrics (Stmts,
+     *         LoC) are parameter-independent and returned directly.
+     */
+    double predictMetric(Metric metric, int64_t value) const;
+
+    /** @return All metrics extrapolated at @p value. */
+    MetricValues predictMetrics(int64_t value) const;
+
+    /**
+     * Ground truth for accuracy studies: synthesize the
+     * configuration for real.
+     *
+     * @param value Parameter value.
+     * @return The measured metrics.
+     */
+    MetricValues measureActual(int64_t value) const;
+
+    /** @return The fitted law for one metric. */
+    const ScalingFit &law(Metric metric) const;
+
+  private:
+    MetricValues measureAt(int64_t value) const;
+
+    const Design &design_;
+    std::string top_;
+    std::string param_;
+    std::map<Metric, ScalingFit> fits_;
+    MetricValues sourceMetrics_{};
+    bool calibrated_ = false;
+};
+
+} // namespace ucx
+
+#endif // UCX_CORE_EARLY_HH

@@ -1,0 +1,101 @@
+#include "core/estimator.hh"
+
+#include <cmath>
+
+#include "nlme/mixed_model.hh"
+#include "nlme/pooled.hh"
+#include "stats/lognormal.hh"
+#include "util/error.hh"
+
+namespace ucx
+{
+
+double
+FittedEstimator::productivity(const std::string &project) const
+{
+    auto it = rho_.find(project);
+    require(it != rho_.end(),
+            "project '" + project + "' was not in the training data");
+    return it->second;
+}
+
+double
+FittedEstimator::predictMedian(const MetricValues &values,
+                               double rho) const
+{
+    require(rho > 0.0, "productivity must be > 0");
+    std::vector<double> m = selectMetrics(values, metrics_);
+    double lin = 0.0;
+    for (size_t k = 0; k < m.size(); ++k)
+        lin += weights_[k] * m[k];
+    require(lin > 0.0,
+            "all selected metrics are zero; estimate undefined");
+    return lin / rho;
+}
+
+double
+FittedEstimator::predictMean(const MetricValues &values, double rho) const
+{
+    // Paper Equation 4: mean = median * exp((s_eps^2 + s_rho^2)/2).
+    double median = predictMedian(values, rho);
+    return median *
+           std::exp((sigmaEps_ * sigmaEps_ + sigmaRho_ * sigmaRho_) /
+                    2.0);
+}
+
+std::pair<double, double>
+FittedEstimator::confidenceInterval(double median_estimate,
+                                    double confidence) const
+{
+    require(median_estimate > 0.0, "median estimate must be > 0");
+    auto [yl, yh] = errorFactors(sigmaEps_, confidence);
+    return {yl * median_estimate, yh * median_estimate};
+}
+
+FittedEstimator
+fitEstimator(const Dataset &dataset, const std::vector<Metric> &metrics,
+             FitMode mode, ZeroPolicy zero_policy)
+{
+    require(!metrics.empty(), "estimator needs at least one metric");
+    NlmeData data = dataset.toNlmeData(metrics, zero_policy);
+
+    FittedEstimator est;
+    est.metrics_ = metrics;
+    est.mode_ = mode;
+    est.nUsed_ = data.totalObservations();
+
+    if (mode == FitMode::MixedEffects) {
+        MixedModel model(data);
+        MixedFit fit = model.fit();
+        est.weights_ = fit.weights;
+        est.sigmaEps_ = fit.sigmaEps;
+        est.sigmaRho_ = fit.sigmaRho;
+        est.logLik_ = fit.logLik;
+        est.aic_ = fit.aic;
+        est.bic_ = fit.bic;
+        est.converged_ = fit.converged;
+        for (size_t i = 0; i < fit.groupNames.size(); ++i)
+            est.rho_[fit.groupNames[i]] = fit.productivity[i];
+    } else {
+        PooledModel model(data);
+        PooledFit fit = model.fit();
+        est.weights_ = fit.weights;
+        est.sigmaEps_ = fit.sigmaEps;
+        est.sigmaRho_ = 0.0;
+        est.logLik_ = fit.logLik;
+        est.aic_ = fit.aic;
+        est.bic_ = fit.bic;
+        est.converged_ = fit.converged;
+        for (const auto &g : data.groups)
+            est.rho_[g.name] = 1.0;
+    }
+    return est;
+}
+
+FittedEstimator
+fitDee1(const Dataset &dataset, FitMode mode)
+{
+    return fitEstimator(dataset, {Metric::Stmts, Metric::FanInLC}, mode);
+}
+
+} // namespace ucx

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Design-effort estimators (paper Section 2.3, Equation 1):
+ *
+ *     eff = (1/rho) * sum_k w_k * m_k
+ *
+ * An estimator is a metric subset; fitting it calibrates the weights
+ * w_k, the accuracy sigma_eps, the spread of productivities
+ * sigma_rho, and the per-project productivities rho_i.
+ */
+
+#ifndef UCX_CORE_ESTIMATOR_HH
+#define UCX_CORE_ESTIMATOR_HH
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/dataset.hh"
+#include "core/metric.hh"
+
+namespace ucx
+{
+
+/** How the estimator weights are calibrated. */
+enum class FitMode
+{
+    MixedEffects, ///< Full model with productivity random effect.
+    Pooled,       ///< rho_i = 1 for all projects (paper Section 3.2).
+};
+
+/** A calibrated design-effort estimator. */
+class FittedEstimator
+{
+  public:
+    /** @return The metrics the estimator combines. */
+    const std::vector<Metric> &metrics() const { return metrics_; }
+
+    /** @return The fitted weights, aligned with metrics(). */
+    const std::vector<double> &weights() const { return weights_; }
+
+    /** @return The residual log-sd (the paper's accuracy measure). */
+    double sigmaEps() const { return sigmaEps_; }
+
+    /** @return The productivity log-sd (0 for pooled fits). */
+    double sigmaRho() const { return sigmaRho_; }
+
+    /** @return Maximized log-likelihood. */
+    double logLik() const { return logLik_; }
+
+    /** @return Akaike information criterion. */
+    double aic() const { return aic_; }
+
+    /** @return Bayesian information criterion. */
+    double bic() const { return bic_; }
+
+    /** @return The fit mode used. */
+    FitMode mode() const { return mode_; }
+
+    /** @return Components used by the fit (zero rows dropped). */
+    size_t componentsUsed() const { return nUsed_; }
+
+    /** @return True when the underlying optimizer converged. */
+    bool converged() const { return converged_; }
+
+    /**
+     * Productivity of a calibrated project.
+     *
+     * @param project Project present in the training data.
+     * @return rho_i; throws UcxError for unknown projects.
+     */
+    double productivity(const std::string &project) const;
+
+    /** @return All per-project productivities. */
+    const std::map<std::string, double> &productivities() const
+    {
+        return rho_;
+    }
+
+    /**
+     * Median effort estimate (paper Equation 1).
+     *
+     * @param values All metric values of the component.
+     * @param rho    Productivity of the designing team (1 = typical).
+     * @return Estimated median person-months.
+     */
+    double predictMedian(const MetricValues &values,
+                         double rho = 1.0) const;
+
+    /**
+     * Mean effort estimate (paper Equation 4): the median inflated
+     * by exp((sigma_eps^2 + sigma_rho^2) / 2).
+     *
+     * @param values All metric values of the component.
+     * @param rho    Productivity of the designing team.
+     * @return Estimated mean person-months.
+     */
+    double predictMean(const MetricValues &values,
+                       double rho = 1.0) const;
+
+    /**
+     * Confidence interval around a median estimate (paper Figure 3).
+     *
+     * @param median_estimate Output of predictMedian.
+     * @param confidence      Coverage in (0,1), e.g. 0.90.
+     * @return The (low, high) effort bounds.
+     */
+    std::pair<double, double> confidenceInterval(
+        double median_estimate, double confidence = 0.90) const;
+
+  private:
+    friend FittedEstimator fitEstimator(const Dataset &,
+                                        const std::vector<Metric> &,
+                                        FitMode, ZeroPolicy);
+
+    std::vector<Metric> metrics_;
+    std::vector<double> weights_;
+    double sigmaEps_ = 0.0;
+    double sigmaRho_ = 0.0;
+    double logLik_ = 0.0;
+    double aic_ = 0.0;
+    double bic_ = 0.0;
+    FitMode mode_ = FitMode::MixedEffects;
+    size_t nUsed_ = 0;
+    bool converged_ = false;
+    std::map<std::string, double> rho_;
+};
+
+/**
+ * Calibrate an estimator on a dataset.
+ *
+ * @param dataset     Training components.
+ * @param metrics     Metric subset defining the estimator.
+ * @param mode        Mixed-effects (recommended) or pooled.
+ * @param zero_policy Treatment of all-zero metric rows (see
+ *                    Dataset::toNlmeData).
+ * @return The calibrated estimator.
+ */
+FittedEstimator fitEstimator(const Dataset &dataset,
+                             const std::vector<Metric> &metrics,
+                             FitMode mode = FitMode::MixedEffects,
+                             ZeroPolicy zero_policy =
+                                 ZeroPolicy::ClampToOne);
+
+/**
+ * Fit the paper's recommended DEE1 estimator (Stmts + FanInLC,
+ * Section 5.1.1).
+ *
+ * @param dataset Training components.
+ * @param mode    Fit mode.
+ * @return The calibrated DEE1.
+ */
+FittedEstimator fitDee1(const Dataset &dataset,
+                        FitMode mode = FitMode::MixedEffects);
+
+} // namespace ucx
+
+#endif // UCX_CORE_ESTIMATOR_HH

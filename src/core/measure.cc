@@ -1,0 +1,149 @@
+#include "core/measure.hh"
+
+#include <algorithm>
+
+#include "hdl/const_eval.hh"
+#include "hdl/source_metrics.hh"
+#include "synth/metrics.hh"
+#include "util/error.hh"
+#include "util/logging.hh"
+
+namespace ucx
+{
+
+namespace
+{
+
+/**
+ * Elaborate one module as its own top with given parameters,
+ * black-boxing its children so only the module's own logic is
+ * measured (the count-once rule).
+ */
+ElabResult
+elabModuleAsTop(const Design &design, const std::string &module_name,
+                const std::map<std::string, int64_t> &params)
+{
+    ElabOptions opts;
+    opts.topParams = params;
+    opts.blackBoxChildren = true;
+    return elaborate(design, module_name, opts);
+}
+
+void
+accumulate(MetricValues &into, const SynthMetrics &m, bool first)
+{
+    auto idx = [](Metric metric) {
+        return static_cast<size_t>(metric);
+    };
+    into[idx(Metric::FanInLC)] += static_cast<double>(m.fanInLC);
+    into[idx(Metric::Nets)] += static_cast<double>(m.nets);
+    into[idx(Metric::Cells)] += static_cast<double>(m.cells);
+    into[idx(Metric::FFs)] += static_cast<double>(m.ffs);
+    into[idx(Metric::AreaL)] += m.areaLogicUm2;
+    into[idx(Metric::AreaS)] += m.areaStorageUm2;
+    into[idx(Metric::PowerD)] += m.powerDynamicMw;
+    into[idx(Metric::PowerS)] += m.powerStaticUw;
+    // Frequency is limited by the slowest structure, not summed.
+    double &freq = into[idx(Metric::Freq)];
+    if (first || m.freqMHz < freq)
+        freq = m.freqMHz;
+}
+
+} // namespace
+
+std::map<std::string, int64_t>
+minimizeParameters(const Design &design, const std::string &module_name)
+{
+    const Module &mod = design.module(module_name);
+
+    // Defaults evaluated in declaration order.
+    std::map<std::string, int64_t> defaults;
+    {
+        ConstEnv env;
+        for (const auto &p : mod.params) {
+            int64_t v = evalConst(*p.value, env);
+            env[p.name] = v;
+            defaults[p.name] = v;
+        }
+    }
+    if (defaults.empty())
+        return {};
+
+    GenerateStats reference =
+        elabModuleAsTop(design, module_name, defaults).stats;
+
+    std::map<std::string, int64_t> chosen = defaults;
+    for (const auto &p : mod.params) {
+        int64_t def = defaults[p.name];
+        if (def <= 1)
+            continue;
+        for (int64_t v = 1; v < def; ++v) {
+            std::map<std::string, int64_t> candidate = chosen;
+            candidate[p.name] = v;
+            bool ok = true;
+            GenerateStats stats;
+            try {
+                stats =
+                    elabModuleAsTop(design, module_name, candidate)
+                        .stats;
+            } catch (const UcxError &) {
+                ok = false;
+            }
+            if (ok && !stats.degenerateAgainst(reference)) {
+                chosen[p.name] = v;
+                break;
+            }
+        }
+    }
+    return chosen;
+}
+
+ComponentMeasurement
+measureComponent(const Design &design, const std::string &top,
+                 AccountingMode mode)
+{
+    ComponentMeasurement result;
+
+    // Source metrics are accounting-independent (paper Section 5.3:
+    // "the absence of the accounting procedure does not affect
+    // them").
+    SourceMetrics src = measureSource(design.sourceText(), top);
+    result.metrics[static_cast<size_t>(Metric::LoC)] =
+        static_cast<double>(src.loc);
+    result.metrics[static_cast<size_t>(Metric::Stmts)] =
+        static_cast<double>(src.stmts);
+
+    // As-written elaboration gives the instance census either way.
+    ElabResult whole = elaborate(design, top);
+    whole.top.countModules(result.moduleCounts);
+
+    if (mode == AccountingMode::WithoutProcedure) {
+        // Whole flattened design: every instance contributes, at its
+        // instantiated parameter values.
+        SynthMetrics m = synthesize(whole.rtl);
+        accumulate(result.metrics, m, true);
+        std::map<std::string, int64_t> top_params;
+        for (const auto &[name, value] : whole.top.params)
+            top_params[name] = value;
+        result.measuredParams[top] = top_params;
+        return result;
+    }
+
+    // With the accounting procedure: each reachable module type is
+    // measured once, standalone, at its minimal non-degenerate
+    // parameterization.
+    bool first = true;
+    for (const auto &[module_name, count] : result.moduleCounts) {
+        (void)count;
+        std::map<std::string, int64_t> params =
+            minimizeParameters(design, module_name);
+        result.measuredParams[module_name] = params;
+        ElabResult one = elabModuleAsTop(design, module_name, params);
+        SynthMetrics m = synthesize(one.rtl);
+        accumulate(result.metrics, m, first);
+        first = false;
+    }
+    return result;
+}
+
+} // namespace ucx

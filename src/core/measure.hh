@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Component measurement: µHDL source -> all Table 3 metrics, with or
+ * without the µComplexity accounting procedure (paper Section 2.2).
+ *
+ * With the procedure:
+ *  - count each module *type* once, no matter how many instances the
+ *    component contains ("account for a single instance");
+ *  - measure each type at its minimal non-degenerate
+ *    parameterization ("minimize the value of component
+ *    parameters"), found by scanning each parameter down from its
+ *    default and rejecting values whose elaboration loses generate
+ *    loops or conditional branches that the default keeps.
+ *
+ * Without the procedure, the component is flattened as written and
+ * every instance contributes at its instantiated size — the ablation
+ * of paper Section 5.3 / Figure 6.
+ *
+ * The two source metrics (LoC, Stmts) are measured on the source
+ * text either way; the paper notes the procedure does not affect
+ * them.
+ */
+
+#ifndef UCX_CORE_MEASURE_HH
+#define UCX_CORE_MEASURE_HH
+
+#include <map>
+#include <string>
+
+#include "core/metric.hh"
+#include "hdl/design.hh"
+#include "synth/elaborate.hh"
+
+namespace ucx
+{
+
+/** Whether to apply the Section 2.2 accounting procedure. */
+enum class AccountingMode
+{
+    WithProcedure,    ///< Count-once + parameter minimization.
+    WithoutProcedure, ///< Flatten as written.
+};
+
+/** Full measurement of one component. */
+struct ComponentMeasurement
+{
+    MetricValues metrics{}; ///< All Table 3 metrics.
+
+    /** Instances per module type in the as-written component. */
+    std::map<std::string, size_t> moduleCounts;
+
+    /**
+     * Per module type, the parameter values actually measured
+     * (minimal non-degenerate under WithProcedure, as-written
+     * defaults under WithoutProcedure).
+     */
+    std::map<std::string, std::map<std::string, int64_t>>
+        measuredParams;
+};
+
+/**
+ * Find the minimal non-degenerate parameterization of a module
+ * (paper Section 2.2's scaling rule).
+ *
+ * Each parameter is scanned upward from 1 toward its default; the
+ * smallest value whose elaboration (a) succeeds and (b) keeps every
+ * generate loop and conditional branch that the default
+ * parameterization exercises is selected. Parameters are minimized
+ * in declaration order, holding earlier choices fixed.
+ *
+ * @param design      The design containing the module.
+ * @param module_name Module to minimize.
+ * @return Parameter name -> minimal value.
+ */
+std::map<std::string, int64_t> minimizeParameters(
+    const Design &design, const std::string &module_name);
+
+/**
+ * Measure one component.
+ *
+ * @param design µHDL design of the component (all its modules).
+ * @param top    The component's top module.
+ * @param mode   Accounting mode.
+ * @return Metric values and accounting diagnostics.
+ */
+ComponentMeasurement measureComponent(
+    const Design &design, const std::string &top,
+    AccountingMode mode = AccountingMode::WithProcedure);
+
+} // namespace ucx
+
+#endif // UCX_CORE_MEASURE_HH

@@ -1,0 +1,102 @@
+#include "core/metric.hh"
+
+#include "util/error.hh"
+#include "util/str.hh"
+
+namespace ucx
+{
+
+namespace
+{
+
+struct MetricInfo
+{
+    std::string name;
+    std::string description;
+    std::string tool;
+};
+
+const std::array<MetricInfo, numMetrics> &
+infos()
+{
+    static const std::array<MetricInfo, numMetrics> table = {{
+        {"Stmts", "Number of statements in the HDL code",
+         "ucx_hdl source metrics (paper: -)"},
+        {"LoC", "Number of lines in the HDL code",
+         "ucx_hdl source metrics (paper: -)"},
+        {"FanInLC", "Total number of inputs of all logic cones",
+         "ucx_synth LUT mapper (paper: Synplify Pro)"},
+        {"Nets", "Number of nets",
+         "ucx_synth netlist (paper: Design Comp)"},
+        {"Freq", "Frequency for 90nm Stratix-II EP2S90 FPGA (MHz)",
+         "ucx_synth timing (paper: Synplify Pro)"},
+        {"AreaL", "Logic area in um^2",
+         "ucx_synth area model (paper: Design Comp)"},
+        {"PowerD", "Dynamic power in mW",
+         "ucx_synth power model (paper: Design Comp)"},
+        {"PowerS", "Static power in uW",
+         "ucx_synth power model (paper: Design Comp)"},
+        {"AreaS", "Storage area in um^2",
+         "ucx_synth area model (paper: Design Comp)"},
+        {"Cells", "Number of standard cells",
+         "ucx_synth mapper (paper: Design Comp)"},
+        {"FFs", "Number of flip-flops",
+         "ucx_synth netlist (paper: Synplify Pro)"},
+    }};
+    return table;
+}
+
+} // namespace
+
+const std::array<Metric, numMetrics> &
+allMetrics()
+{
+    static const std::array<Metric, numMetrics> all = {
+        Metric::Stmts,  Metric::LoC,    Metric::FanInLC, Metric::Nets,
+        Metric::Freq,   Metric::AreaL,  Metric::PowerD,  Metric::PowerS,
+        Metric::AreaS,  Metric::Cells,  Metric::FFs,
+    };
+    return all;
+}
+
+const std::string &
+metricName(Metric metric)
+{
+    return infos()[static_cast<size_t>(metric)].name;
+}
+
+const std::string &
+metricDescription(Metric metric)
+{
+    return infos()[static_cast<size_t>(metric)].description;
+}
+
+const std::string &
+metricTool(Metric metric)
+{
+    return infos()[static_cast<size_t>(metric)].tool;
+}
+
+Metric
+metricFromName(const std::string &name)
+{
+    std::string needle = toLower(name);
+    for (Metric m : allMetrics()) {
+        if (toLower(metricName(m)) == needle)
+            return m;
+    }
+    fatal("unknown metric name: " + name);
+}
+
+std::vector<double>
+selectMetrics(const MetricValues &values,
+              const std::vector<Metric> &metrics)
+{
+    std::vector<double> out;
+    out.reserve(metrics.size());
+    for (Metric m : metrics)
+        out.push_back(values[static_cast<size_t>(m)]);
+    return out;
+}
+
+} // namespace ucx

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The design metrics of paper Table 3.
+ *
+ * Each metric is one candidate design-effort estimator input. The
+ * enum order matches the estimator columns of paper Table 4.
+ */
+
+#ifndef UCX_CORE_METRIC_HH
+#define UCX_CORE_METRIC_HH
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ucx
+{
+
+/** Identifier of one measurable design metric (paper Table 3). */
+enum class Metric : size_t
+{
+    Stmts = 0, ///< Number of statements in the HDL code.
+    LoC,       ///< Number of lines in the HDL code.
+    FanInLC,   ///< Total inputs of all logic cones.
+    Nets,      ///< Number of nets.
+    Freq,      ///< Max frequency (MHz) on the FPGA target.
+    AreaL,     ///< Logic area in um^2.
+    PowerD,    ///< Dynamic power in mW.
+    PowerS,    ///< Static power in uW.
+    AreaS,     ///< Storage area in um^2.
+    Cells,     ///< Number of standard cells.
+    FFs,       ///< Number of flip-flops.
+};
+
+/** Number of distinct metrics. */
+inline constexpr size_t numMetrics = 11;
+
+/** All metrics, in Table 4 column order. */
+const std::array<Metric, numMetrics> &allMetrics();
+
+/** @return The short name used in the paper's tables (e.g. "LoC"). */
+const std::string &metricName(Metric metric);
+
+/** @return A one-line description matching paper Table 3. */
+const std::string &metricDescription(Metric metric);
+
+/**
+ * @return The tool the paper used to obtain the metric ("Synplify
+ *         Pro", "Design Comp", or "-" for source metrics); in this
+ *         reproduction the corresponding ucx_hdl/ucx_synth pass.
+ */
+const std::string &metricTool(Metric metric);
+
+/**
+ * Look a metric up by its table name (case-insensitive).
+ *
+ * @param name Name such as "FanInLC".
+ * @return The metric; throws UcxError for unknown names.
+ */
+Metric metricFromName(const std::string &name);
+
+/** Fixed-size array of all metric values for one component. */
+using MetricValues = std::array<double, numMetrics>;
+
+/**
+ * Select a subset of values in the order given by @p metrics.
+ *
+ * @param values  Full metric array.
+ * @param metrics Metrics to extract.
+ * @return The selected values.
+ */
+std::vector<double> selectMetrics(const MetricValues &values,
+                                  const std::vector<Metric> &metrics);
+
+} // namespace ucx
+
+#endif // UCX_CORE_METRIC_HH

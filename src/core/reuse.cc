@@ -1,0 +1,53 @@
+#include "core/reuse.hh"
+
+#include <algorithm>
+
+#include "util/error.hh"
+
+namespace ucx
+{
+
+double
+adaptationAdjustment(const ReuseFactors &factors)
+{
+    auto check = [](double v, const char *name) {
+        require(v >= 0.0 && v <= 1.0,
+                std::string(name) + " must be in [0,1]");
+    };
+    check(factors.designModified, "designModified");
+    check(factors.codeModified, "codeModified");
+    check(factors.integration, "integration");
+    check(factors.minimumIntegration, "minimumIntegration");
+
+    double aaf = 0.4 * factors.designModified +
+                 0.3 * factors.codeModified +
+                 0.3 * factors.integration;
+    return std::clamp(std::max(aaf, factors.minimumIntegration), 0.0,
+                      1.0);
+}
+
+double
+predictReusedMedian(const FittedEstimator &estimator,
+                    const MetricValues &values,
+                    const ReuseFactors &factors, double rho)
+{
+    return estimator.predictMedian(values, rho) *
+           adaptationAdjustment(factors);
+}
+
+double
+predictMixedDesign(
+    const FittedEstimator &estimator,
+    const std::vector<MetricValues> &fresh,
+    const std::vector<std::pair<MetricValues, ReuseFactors>> &reused,
+    double rho)
+{
+    double total = 0.0;
+    for (const auto &values : fresh)
+        total += estimator.predictMedian(values, rho);
+    for (const auto &[values, factors] : reused)
+        total += predictReusedMedian(estimator, values, factors, rho);
+    return total;
+}
+
+} // namespace ucx

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Reuse-adjusted effort estimation.
+ *
+ * Paper Section 2.5: "our analysis has implicitly assumed that each
+ * component is implemented from scratch. In practice, components
+ * are sometimes reused from older designs ... Integrating a reused
+ * component incurs some design effort, even if it requires no
+ * modification at all. The software engineering literature has
+ * discussed effort estimation for reused components [Boehm]. We
+ * regard the study of reuse in hardware as a subject for future
+ * work."
+ *
+ * This extension implements that cited approach: a COCOMO-style
+ * adaptation adjustment factor (AAF) combining the fractions of the
+ * design and the code that must change plus the integration burden,
+ * with a floor so that even unmodified reuse is never free.
+ */
+
+#ifndef UCX_CORE_REUSE_HH
+#define UCX_CORE_REUSE_HH
+
+#include "core/estimator.hh"
+
+namespace ucx
+{
+
+/** How much of a reused component must be reworked. */
+struct ReuseFactors
+{
+    /** Fraction of the microarchitecture/design changed, [0,1]. */
+    double designModified = 0.0;
+    /** Fraction of the HDL code changed, [0,1]. */
+    double codeModified = 0.0;
+    /** Relative integration/re-verification burden, [0,1]. */
+    double integration = 0.0;
+    /**
+     * Minimum fraction of from-scratch effort charged even for
+     * untouched reuse (interface understanding, hookup, regression
+     * runs).
+     */
+    double minimumIntegration = 0.05;
+};
+
+/**
+ * COCOMO-style adaptation adjustment factor:
+ * AAF = max(0.4 DM + 0.3 CM + 0.3 IM, minimumIntegration).
+ *
+ * @param factors Reuse fractions (validated to [0,1]).
+ * @return The multiplier on from-scratch effort, in
+ *         [minimumIntegration, 1].
+ */
+double adaptationAdjustment(const ReuseFactors &factors);
+
+/**
+ * Median effort estimate for a reused component: the from-scratch
+ * estimate of paper Eq. 1 scaled by the adaptation adjustment.
+ *
+ * @param estimator Calibrated estimator.
+ * @param values    The component's metric values.
+ * @param factors   Reuse fractions.
+ * @param rho       Team productivity.
+ * @return Estimated median person-months.
+ */
+double predictReusedMedian(const FittedEstimator &estimator,
+                           const MetricValues &values,
+                           const ReuseFactors &factors,
+                           double rho = 1.0);
+
+/**
+ * Total median effort for a design mixing new and reused
+ * components.
+ *
+ * @param estimator Calibrated estimator.
+ * @param fresh     Metric values of from-scratch components.
+ * @param reused    (metrics, factors) pairs of reused components.
+ * @param rho       Team productivity.
+ * @return Sum of the per-component median estimates.
+ */
+double predictMixedDesign(
+    const FittedEstimator &estimator,
+    const std::vector<MetricValues> &fresh,
+    const std::vector<std::pair<MetricValues, ReuseFactors>> &reused,
+    double rho = 1.0);
+
+} // namespace ucx
+
+#endif // UCX_CORE_REUSE_HH

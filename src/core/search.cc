@@ -1,0 +1,54 @@
+#include "core/search.hh"
+
+#include <algorithm>
+
+namespace ucx
+{
+
+namespace
+{
+
+void
+sortBySigma(std::vector<RankedEstimator> &ranked)
+{
+    std::stable_sort(ranked.begin(), ranked.end(),
+                     [](const RankedEstimator &a,
+                        const RankedEstimator &b) {
+                         return a.fit.sigmaEps() < b.fit.sigmaEps();
+                     });
+}
+
+} // namespace
+
+std::vector<RankedEstimator>
+rankSingleMetrics(const Dataset &dataset, FitMode mode)
+{
+    std::vector<RankedEstimator> ranked;
+    for (Metric m : allMetrics()) {
+        RankedEstimator entry;
+        entry.metrics = {m};
+        entry.fit = fitEstimator(dataset, entry.metrics, mode);
+        ranked.push_back(std::move(entry));
+    }
+    sortBySigma(ranked);
+    return ranked;
+}
+
+std::vector<RankedEstimator>
+rankMetricPairs(const Dataset &dataset, FitMode mode)
+{
+    std::vector<RankedEstimator> ranked;
+    const auto &all = allMetrics();
+    for (size_t i = 0; i < all.size(); ++i) {
+        for (size_t j = i + 1; j < all.size(); ++j) {
+            RankedEstimator entry;
+            entry.metrics = {all[i], all[j]};
+            entry.fit = fitEstimator(dataset, entry.metrics, mode);
+            ranked.push_back(std::move(entry));
+        }
+    }
+    sortBySigma(ranked);
+    return ranked;
+}
+
+} // namespace ucx

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Estimator search: rank all single-metric estimators and all
+ * two-metric combinations by accuracy, the experiment behind paper
+ * Table 4 and the DEE1 selection of Section 5.1.1.
+ */
+
+#ifndef UCX_CORE_SEARCH_HH
+#define UCX_CORE_SEARCH_HH
+
+#include <vector>
+
+#include "core/estimator.hh"
+
+namespace ucx
+{
+
+/** One ranked estimator candidate. */
+struct RankedEstimator
+{
+    std::vector<Metric> metrics; ///< Metric subset.
+    FittedEstimator fit;         ///< Its calibration on the dataset.
+};
+
+/**
+ * Fit every single-metric estimator and sort by ascending sigma_eps.
+ *
+ * @param dataset Training components.
+ * @param mode    Fit mode.
+ * @return One entry per metric, most accurate first.
+ */
+std::vector<RankedEstimator> rankSingleMetrics(
+    const Dataset &dataset, FitMode mode = FitMode::MixedEffects);
+
+/**
+ * Fit every unordered pair of distinct metrics and sort by ascending
+ * sigma_eps. With 11 metrics this fits 55 models; the paper found
+ * Stmts+Nets and Stmts+FanInLC tied at the top and chose the latter
+ * as DEE1.
+ *
+ * @param dataset Training components.
+ * @param mode    Fit mode.
+ * @return One entry per pair, most accurate first.
+ */
+std::vector<RankedEstimator> rankMetricPairs(
+    const Dataset &dataset, FitMode mode = FitMode::MixedEffects);
+
+} // namespace ucx
+
+#endif // UCX_CORE_SEARCH_HH

@@ -1,0 +1,94 @@
+#include "core/tracker.hh"
+
+#include <algorithm>
+
+#include "util/error.hh"
+
+namespace ucx
+{
+
+ProductivityTracker::ProductivityTracker(Dataset history,
+                                         std::string project,
+                                         std::vector<Metric> metrics)
+    : history_(std::move(history)), project_(std::move(project)),
+      metrics_(std::move(metrics))
+{
+    require(!metrics_.empty(), "tracker needs at least one metric");
+    refit();
+}
+
+void
+ProductivityTracker::refit()
+{
+    fit_ = fitEstimator(history_, metrics_, FitMode::MixedEffects);
+}
+
+void
+ProductivityTracker::completeComponent(const std::string &name,
+                                       const MetricValues &metrics,
+                                       double effort)
+{
+    Component c;
+    c.project = project_;
+    c.name = name;
+    c.effort = effort;
+    c.metrics = metrics;
+    history_.add(std::move(c));
+    ++completed_;
+    refit();
+}
+
+std::optional<double>
+ProductivityTracker::currentRho() const
+{
+    if (completed_ == 0)
+        return std::nullopt;
+    return fit_.productivity(project_);
+}
+
+std::vector<ComponentEstimate>
+ProductivityTracker::estimate(
+    const std::vector<PendingComponent> &pending) const
+{
+    double rho = currentRho().value_or(1.0);
+    std::vector<ComponentEstimate> out;
+    out.reserve(pending.size());
+    for (const auto &p : pending) {
+        ComponentEstimate e;
+        e.name = p.name;
+        e.median = fit_.predictMedian(p.metrics, rho);
+        e.mean = fit_.predictMean(p.metrics, rho);
+        auto [lo, hi] = fit_.confidenceInterval(e.median, 0.90);
+        e.low90 = lo;
+        e.high90 = hi;
+        out.push_back(e);
+    }
+    return out;
+}
+
+std::vector<ComponentEstimate>
+ProductivityTracker::relativeEstimate(
+    const std::vector<PendingComponent> &pending) const
+{
+    std::vector<ComponentEstimate> out;
+    out.reserve(pending.size());
+    double max_median = 0.0;
+    for (const auto &p : pending) {
+        ComponentEstimate e;
+        e.name = p.name;
+        e.median = fit_.predictMedian(p.metrics, 1.0);
+        max_median = std::max(max_median, e.median);
+        out.push_back(e);
+    }
+    require(max_median > 0.0, "no positive estimates to normalize");
+    for (auto &e : out) {
+        e.median /= max_median;
+        e.mean = e.median;
+        auto [yl, yh] = fit_.confidenceInterval(1.0, 0.90);
+        e.low90 = e.median * yl;
+        e.high90 = e.median * yh;
+    }
+    return out;
+}
+
+} // namespace ucx

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Productivity tracker: the recommended usage loop of paper
+ * Section 3.1.1.
+ *
+ * "Maintain a continuously updated database of component
+ * measurements and of reported design efforts, and periodically
+ * re-fit the model to obtain more up-to-date estimates for rho and,
+ * to a lesser extent, w_k. ... As some components in the current
+ * project are completely verified, we can re-calibrate the model and
+ * obtain successively better estimates of the current rho. Such rho
+ * can be used to estimate the design effort for the remaining
+ * components of the design."
+ */
+
+#ifndef UCX_CORE_TRACKER_HH
+#define UCX_CORE_TRACKER_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/estimator.hh"
+
+namespace ucx
+{
+
+/** A pending (not yet verified) component awaiting an estimate. */
+struct PendingComponent
+{
+    std::string name;       ///< Component name.
+    MetricValues metrics{}; ///< Measured metrics (available early).
+};
+
+/** An effort estimate for a pending component. */
+struct ComponentEstimate
+{
+    std::string name;     ///< Component name.
+    double median = 0.0;  ///< Median person-months (Eq. 1).
+    double mean = 0.0;    ///< Mean person-months (Eq. 4).
+    double low90 = 0.0;   ///< 90% CI lower bound.
+    double high90 = 0.0;  ///< 90% CI upper bound.
+};
+
+/**
+ * Maintains the calibration database for one ongoing project and
+ * refits the model as components complete.
+ */
+class ProductivityTracker
+{
+  public:
+    /**
+     * Create a tracker.
+     *
+     * @param history Completed components from past projects.
+     * @param project Name of the ongoing project.
+     * @param metrics Metric subset of the estimator in use
+     *                (default: DEE1's Stmts + FanInLC).
+     */
+    ProductivityTracker(Dataset history, std::string project,
+                        std::vector<Metric> metrics = {
+                            Metric::Stmts, Metric::FanInLC});
+
+    /**
+     * Record a completed (implemented + verified) component of the
+     * ongoing project and re-calibrate the model.
+     *
+     * @param name    Component name.
+     * @param metrics Measured metrics.
+     * @param effort  Reported person-months.
+     */
+    void completeComponent(const std::string &name,
+                           const MetricValues &metrics, double effort);
+
+    /**
+     * Latest estimate of the ongoing project's productivity.
+     *
+     * @return rho for the project, or std::nullopt before any of its
+     *         components completed (paper: assume rho = 1 and make
+     *         relative estimates only).
+     */
+    std::optional<double> currentRho() const;
+
+    /**
+     * Estimate the remaining components using the latest
+     * calibration.
+     *
+     * @param pending Components still to be designed/verified.
+     * @return One estimate per pending component; uses currentRho()
+     *         when available and rho = 1 otherwise.
+     */
+    std::vector<ComponentEstimate> estimate(
+        const std::vector<PendingComponent> &pending) const;
+
+    /**
+     * Relative effort estimates with rho = 1 (paper: "a component
+     * with an estimated design effort of x is likely to take half as
+     * many person-months as one with estimated design effort 2x").
+     *
+     * @param pending Components to compare.
+     * @return Estimates normalized so the largest median is 1.
+     */
+    std::vector<ComponentEstimate> relativeEstimate(
+        const std::vector<PendingComponent> &pending) const;
+
+    /** @return The latest fitted estimator. */
+    const FittedEstimator &estimator() const { return fit_; }
+
+    /** @return Number of completed components of the ongoing project. */
+    size_t completedInProject() const { return completed_; }
+
+  private:
+    void refit();
+
+    Dataset history_;
+    std::string project_;
+    std::vector<Metric> metrics_;
+    FittedEstimator fit_;
+    size_t completed_ = 0;
+};
+
+} // namespace ucx
+
+#endif // UCX_CORE_TRACKER_HH

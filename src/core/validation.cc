@@ -1,0 +1,136 @@
+#include "core/validation.hh"
+
+#include <cmath>
+
+#include "util/error.hh"
+
+namespace ucx
+{
+
+double
+CrossValidationResult::rmsLogError() const
+{
+    require(!records.empty(), "no hold-out records");
+    double ss = 0.0;
+    for (const auto &r : records)
+        ss += r.logError * r.logError;
+    return std::sqrt(ss / static_cast<double>(records.size()));
+}
+
+double
+CrossValidationResult::meanLogError() const
+{
+    require(!records.empty(), "no hold-out records");
+    double sum = 0.0;
+    for (const auto &r : records)
+        sum += r.logError;
+    return sum / static_cast<double>(records.size());
+}
+
+double
+CrossValidationResult::withinFactorTwo() const
+{
+    require(!records.empty(), "no hold-out records");
+    size_t hits = 0;
+    for (const auto &r : records)
+        hits += std::abs(r.logError) <= std::log(2.0);
+    return static_cast<double>(hits) /
+           static_cast<double>(records.size());
+}
+
+namespace
+{
+
+/** Clamp selected metrics the way the fit's ZeroPolicy default
+ * would, so hold-out predictions of all-zero rows stay defined. */
+MetricValues
+clampSelected(const MetricValues &values,
+              const std::vector<Metric> &metrics)
+{
+    double sum = 0.0;
+    for (Metric m : metrics)
+        sum += values[static_cast<size_t>(m)];
+    if (sum > 0.0)
+        return values;
+    MetricValues out = values;
+    for (Metric m : metrics)
+        out[static_cast<size_t>(m)] = 1.0;
+    return out;
+}
+
+} // namespace
+
+CrossValidationResult
+leaveOneComponentOut(const Dataset &dataset,
+                     const std::vector<Metric> &metrics, FitMode mode)
+{
+    const auto &components = dataset.components();
+    require(components.size() >= 3,
+            "need at least three components");
+
+    CrossValidationResult result;
+    for (size_t hold = 0; hold < components.size(); ++hold) {
+        Dataset train;
+        for (size_t i = 0; i < components.size(); ++i)
+            if (i != hold)
+                train.add(components[i]);
+
+        const Component &target = components[hold];
+        // The held-out team must still be present to estimate rho.
+        bool team_present = false;
+        for (const auto &c : train.components())
+            team_present |= c.project == target.project;
+        if (!team_present)
+            continue;
+
+        FittedEstimator fit = fitEstimator(train, metrics, mode);
+        double rho = mode == FitMode::MixedEffects
+                         ? fit.productivity(target.project)
+                         : 1.0;
+        double predicted = fit.predictMedian(
+            clampSelected(target.metrics, metrics), rho);
+
+        HoldOutRecord record;
+        record.component = target.fullName();
+        record.actual = target.effort;
+        record.predicted = predicted;
+        record.logError = std::log(predicted / target.effort);
+        result.records.push_back(record);
+    }
+    require(!result.records.empty(), "no usable folds");
+    return result;
+}
+
+CrossValidationResult
+leaveOneProjectOut(const Dataset &dataset,
+                   const std::vector<Metric> &metrics, FitMode mode)
+{
+    auto projects = dataset.projects();
+    require(projects.size() >= 3, "need at least three projects");
+
+    CrossValidationResult result;
+    for (const std::string &held : projects) {
+        Dataset train;
+        for (const auto &c : dataset.components())
+            if (c.project != held)
+                train.add(c);
+
+        FittedEstimator fit = fitEstimator(train, metrics, mode);
+        for (const auto &c : dataset.components()) {
+            if (c.project != held)
+                continue;
+            // Cold start: the held-out team's rho is unknown.
+            double predicted = fit.predictMedian(
+                clampSelected(c.metrics, metrics), 1.0);
+            HoldOutRecord record;
+            record.component = c.fullName();
+            record.actual = c.effort;
+            record.predicted = predicted;
+            record.logError = std::log(predicted / c.effort);
+            result.records.push_back(record);
+        }
+    }
+    return result;
+}
+
+} // namespace ucx

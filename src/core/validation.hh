@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Out-of-sample validation of effort estimators.
+ *
+ * The paper evaluates estimators in-sample (sigma_eps of the fit).
+ * These cross-validation drivers measure what a practitioner
+ * actually experiences: the error when predicting a component (or a
+ * whole team) that was *not* in the calibration set — directly
+ * supporting the Section 3.1.1 use cases.
+ */
+
+#ifndef UCX_CORE_VALIDATION_HH
+#define UCX_CORE_VALIDATION_HH
+
+#include <string>
+#include <vector>
+
+#include "core/estimator.hh"
+
+namespace ucx
+{
+
+/** One held-out prediction. */
+struct HoldOutRecord
+{
+    std::string component; ///< Full component name.
+    double actual = 0.0;   ///< Reported person-months.
+    double predicted = 0.0; ///< Median prediction.
+    double logError = 0.0; ///< log(predicted / actual).
+};
+
+/** Summary of a cross-validation run. */
+struct CrossValidationResult
+{
+    std::vector<HoldOutRecord> records;
+
+    /** @return sqrt(mean(logError^2)) — comparable to sigma_eps. */
+    double rmsLogError() const;
+
+    /** @return mean(logError) — systematic bias in log space. */
+    double meanLogError() const;
+
+    /** @return Fraction of |predicted/actual| ratios within 2x. */
+    double withinFactorTwo() const;
+};
+
+/**
+ * Leave-one-component-out cross-validation: each component is
+ * predicted from a model fitted on the remaining 17, using the
+ * held-out component's own team productivity (the team has other
+ * components in the training set).
+ *
+ * @param dataset Calibration components (>= 3 per team recommended).
+ * @param metrics Estimator metric subset.
+ * @param mode    Fit mode for the per-fold fits.
+ * @return Hold-out records and summaries.
+ */
+CrossValidationResult leaveOneComponentOut(
+    const Dataset &dataset, const std::vector<Metric> &metrics,
+    FitMode mode = FitMode::MixedEffects);
+
+/**
+ * Leave-one-project-out cross-validation: every component of one
+ * team is predicted from a model fitted on the other teams, with
+ * rho = 1 (the held-out team's productivity is unknown — the cold-
+ * start scenario of Section 3.1.1).
+ *
+ * @param dataset Calibration components from >= 3 projects.
+ * @param metrics Estimator metric subset.
+ * @param mode    Fit mode for the per-fold fits.
+ * @return Hold-out records and summaries.
+ */
+CrossValidationResult leaveOneProjectOut(
+    const Dataset &dataset, const std::vector<Metric> &metrics,
+    FitMode mode = FitMode::MixedEffects);
+
+} // namespace ucx
+
+#endif // UCX_CORE_VALIDATION_HH

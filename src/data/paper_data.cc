@@ -1,0 +1,239 @@
+#include "data/paper_data.hh"
+
+#include "util/error.hh"
+
+namespace ucx
+{
+
+const std::vector<ProcessorCharacteristics> &
+paperTable1()
+{
+    static const std::vector<ProcessorCharacteristics> table = {
+        {"Leon3", "Sparc V8", "In-order", 7, "1, 1", "1, 1", "None",
+         "Blocking", true, "VHDL-89"},
+        {"PUMA", "PPC subset", "Out-of-order", 9, "2, 2", "4, 2",
+         "Gshare", "Non-block", false, "Verilog-95"},
+        {"IVM", "Alpha subset", "Out-of-order", 7, "8, 4", "4, 8",
+         "Tournament", "Not modeled", false, "Verilog-95"},
+    };
+    return table;
+}
+
+namespace
+{
+
+/** One raw row of paper Table 4. */
+struct Row
+{
+    const char *project;
+    const char *name;
+    double effort;  ///< Table 4 column 2.
+    double dee1;    ///< Authors' fitted DEE1 estimate (column 3).
+    double stmts, loc, faninlc, nets, freq;
+    double areal, powerd, powers, areas, cells, ffs;
+};
+
+// Verbatim from paper Table 4. Columns: Effort, DEE1, Stmts, LoC,
+// FanInLC, Nets, Freq, AreaL, PowerD, PowerS, AreaS, Cells, FFs.
+const Row rawRows[] = {
+    {"Leon3", "Pipeline", 24, 12.8, 2070, 2814, 10502, 4299, 56, 50199,
+     80, 409, 68411, 3586, 1062},
+    {"Leon3", "Cache", 6, 7.3, 1172, 1092, 6325, 1980, 94, 37456, 57,
+     332, 12556, 3, 210},
+    {"Leon3", "MMU", 6, 4.4, 721, 1943, 3149, 1130, 84, 60136, 23, 287,
+     112765, 246, 699},
+    {"Leon3", "MemCtrl", 6, 5.4, 938, 1421, 2692, 853, 138, 7394, 5, 2,
+     11938, 704, 275},
+    {"PUMA", "Fetch", 3, 2.2, 586, 1490, 5192, 1292, 68, 147096, 226,
+     3513, 555168, 1809, 1786},
+    {"PUMA", "Decode", 4, 6.2, 1998, 3416, 4724, 5662, 65, 78076, 11,
+     526, 47604, 5189, 464},
+    {"PUMA", "ROB", 4, 2.2, 503, 913, 6965, 9840, 41, 82527, 733, 816,
+     1022, 9709, 922},
+    {"PUMA", "Execute", 12, 12.6, 3762, 9613, 18260, 10681, 49, 92473,
+     44, 1370, 119746, 10867, 1725},
+    {"PUMA", "Memory", 1, 3.3, 976, 2251, 5034, 1089, 60, 43418, 80,
+     602, 115841, 4337, 1549},
+    {"IVM", "Fetch", 10, 8, 1432, 4972, 15726, 4914, 71, 212663, 8, 2,
+     135074, 1859, 1661},
+    {"IVM", "Decode", 2, 1.7, 391, 963, 1044, 504, 104, 2022, 2, 6, 73,
+     2, 0},
+    {"IVM", "Rename", 4, 2.7, 566, 2519, 3307, 1134, 159, 70146, 1, 1,
+     26740, 121, 510},
+    {"IVM", "Issue", 4, 3.6, 624, 2704, 8063, 4603, 60, 90388, 2, 1,
+     68667, 3414, 2729},
+    {"IVM", "Execute", 3, 5.4, 961, 4083, 11045, 4476, 91, 619561, 5, 5,
+     154655, 940, 0},
+    {"IVM", "Memory", 10, 11.6, 2240, 5308, 19021, 23247, 54, 267753,
+     73, 2, 625952, 12050, 2510},
+    {"IVM", "Retire", 5, 5, 1021, 2278, 6635, 3357, 71, 36100, 2, 1,
+     50375, 1923, 924},
+    {"RAT", "Standard", 0.6, 0.7, 64, 250, 3889, 2905, 137, 34254, 4,
+     275, 17603, 2596, 288},
+    {"RAT", "Sliding", 1, 1, 78, 334, 5586, 4936, 119, 52210, 10, 459,
+     60713, 4507, 612},
+};
+
+Component
+toComponent(const Row &row)
+{
+    Component c;
+    c.project = row.project;
+    c.name = row.name;
+    c.effort = row.effort;
+    c.metrics[static_cast<size_t>(Metric::Stmts)] = row.stmts;
+    c.metrics[static_cast<size_t>(Metric::LoC)] = row.loc;
+    c.metrics[static_cast<size_t>(Metric::FanInLC)] = row.faninlc;
+    c.metrics[static_cast<size_t>(Metric::Nets)] = row.nets;
+    c.metrics[static_cast<size_t>(Metric::Freq)] = row.freq;
+    c.metrics[static_cast<size_t>(Metric::AreaL)] = row.areal;
+    c.metrics[static_cast<size_t>(Metric::PowerD)] = row.powerd;
+    c.metrics[static_cast<size_t>(Metric::PowerS)] = row.powers;
+    c.metrics[static_cast<size_t>(Metric::AreaS)] = row.areas;
+    c.metrics[static_cast<size_t>(Metric::Cells)] = row.cells;
+    c.metrics[static_cast<size_t>(Metric::FFs)] = row.ffs;
+    return c;
+}
+
+/**
+ * Instance-multiplicity / parameter-inflation factors used to
+ * reconstruct the no-accounting measurements (paper Section 5.3).
+ *
+ * The paper explains the pattern but not the factors; these are
+ * synthetic, chosen to reflect the described design structure:
+ * IVM models a 4-issue Alpha superscalar "with many cases of
+ * multiple instantiations of the same component, and of
+ * parameterized components"; the narrower PUMA and the 4-way RAT
+ * have fewer; the single-issue Leon3 "has practically no such types
+ * of components".
+ */
+struct InflationRow
+{
+    const char *full_name;
+    double factor; ///< Multiplier on additive synthesis metrics.
+};
+
+// Note that a *uniform* per-project factor would be absorbed by the
+// productivity random effect; what destroys the fit (and what the
+// paper describes) is the dispersion *within* a project: IVM's 8-wide
+// fetch and many-ported wakeup/issue replicate enormously while its
+// decode barely does.
+const InflationRow inflation[] = {
+    {"Leon3-Pipeline", 1.0}, {"Leon3-Cache", 1.12},
+    {"Leon3-MMU", 1.0},      {"Leon3-MemCtrl", 1.04},
+    {"PUMA-Fetch", 1.23},    {"PUMA-Decode", 2.4},
+    {"PUMA-ROB", 1.45},      {"PUMA-Execute", 4.2},
+    {"PUMA-Memory", 1.08},   {"IVM-Fetch", 13.0},
+    {"IVM-Decode", 1.16},    {"IVM-Rename", 2.4},
+    {"IVM-Issue", 11.0},     {"IVM-Execute", 18.0},
+    {"IVM-Memory", 3.6},     {"IVM-Retire", 1.75},
+    {"RAT-Standard", 1.2},   {"RAT-Sliding", 1.45},
+};
+
+double
+inflationFactor(const std::string &full_name)
+{
+    for (const auto &row : inflation)
+        if (full_name == row.full_name)
+            return row.factor;
+    panic("no inflation factor for " + full_name);
+}
+
+} // namespace
+
+const Dataset &
+paperDataset()
+{
+    static const Dataset dataset = [] {
+        Dataset d;
+        for (const Row &row : rawRows)
+            d.add(toComponent(row));
+        return d;
+    }();
+    return dataset;
+}
+
+const std::vector<ReportedEffort> &
+paperTable2Efforts()
+{
+    static const std::vector<ReportedEffort> table = {
+        {"Leon3", "Pipeline", 24}, {"Leon3", "Cache", 6},
+        {"Leon3", "MMU", 6},       {"Leon3", "MemCtrl", 6},
+        {"PUMA", "Fetch", 3},      {"PUMA", "Decode", 4},
+        {"PUMA", "ROB", 4},        {"PUMA", "Execute", 12},
+        {"PUMA", "Memory", 1},     {"IVM", "Fetch", 10},
+        {"IVM", "Decode", 2},      {"IVM", "Rename", 4},
+        {"IVM", "Issue", 4},       {"IVM", "Execute", 3},
+        {"IVM", "Memory", 10},     {"IVM", "Retire", 5},
+        {"RAT", "Standard", 0.3},  {"RAT", "Sliding", 0.5},
+    };
+    return table;
+}
+
+const std::vector<PaperSigma> &
+paperSigmas()
+{
+    static const std::vector<PaperSigma> table = {
+        {Metric::Stmts, 0.50, 0.60},  {Metric::LoC, 0.55, 0.69},
+        {Metric::FanInLC, 0.55, 0.82}, {Metric::Nets, 0.67, 1.08},
+        {Metric::Freq, 0.94, 1.12},   {Metric::AreaL, 1.23, 1.35},
+        {Metric::PowerD, 1.34, 1.82}, {Metric::PowerS, 1.44, 3.21},
+        {Metric::AreaS, 2.07, 2.07},  {Metric::Cells, 2.09, 2.55},
+        {Metric::FFs, 2.14, 2.18},
+    };
+    return table;
+}
+
+const PaperDee1Reference &
+paperDee1Reference()
+{
+    static const PaperDee1Reference ref;
+    return ref;
+}
+
+const std::vector<double> &
+paperDee1Estimates()
+{
+    static const std::vector<double> estimates = [] {
+        std::vector<double> v;
+        for (const Row &row : rawRows)
+            v.push_back(row.dee1);
+        return v;
+    }();
+    return estimates;
+}
+
+const Dataset &
+paperDatasetNoAccounting()
+{
+    static const Dataset dataset = [] {
+        Dataset d;
+        for (const Row &row : rawRows) {
+            Component c = toComponent(row);
+            double f = inflationFactor(c.fullName());
+            // Additive synthesis metrics scale with replication and
+            // parameter inflation; source metrics are untouched; max
+            // frequency degrades mildly as structures grow.
+            for (Metric m : {Metric::FanInLC, Metric::Nets,
+                             Metric::AreaL, Metric::PowerD,
+                             Metric::PowerS, Metric::AreaS,
+                             Metric::Cells, Metric::FFs}) {
+                c.metrics[static_cast<size_t>(m)] *= f;
+            }
+            size_t freq = static_cast<size_t>(Metric::Freq);
+            c.metrics[freq] /= 1.0 + 0.15 * (f - 1.0);
+            d.add(c);
+        }
+        return d;
+    }();
+    return dataset;
+}
+
+const PaperNoAccountingReference &
+paperNoAccountingReference()
+{
+    static const PaperNoAccountingReference ref;
+    return ref;
+}
+
+} // namespace ucx

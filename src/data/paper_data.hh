@@ -1,0 +1,129 @@
+/**
+ * @file
+ * The published µComplexity evaluation data, embedded verbatim.
+ *
+ * This is the paper's own measurement of the Leon3, PUMA, IVM, and
+ * RAT designs (Tables 1, 2, and 4), used to reproduce the regression
+ * results exactly. The HDL/synthesis substrate in ucx_hdl/ucx_synth
+ * exists to run the same pipeline on designs we do have the source
+ * for; the original processors' HDL is not redistributable, but the
+ * paper prints every measured value, so the statistics replay on the
+ * real numbers.
+ */
+
+#ifndef UCX_DATA_PAPER_DATA_HH
+#define UCX_DATA_PAPER_DATA_HH
+
+#include <string>
+#include <vector>
+
+#include "core/dataset.hh"
+#include "core/metric.hh"
+
+namespace ucx
+{
+
+/** One row of paper Table 1 (processor characteristics). */
+struct ProcessorCharacteristics
+{
+    std::string name;
+    std::string isa;
+    std::string execution;
+    int pipelineStages;
+    std::string fetchIssueWidth;
+    std::string dispatchRetireWidth;
+    std::string branchPredictor;
+    std::string caches;
+    bool multiprocessorSupport;
+    std::string hdlLanguage;
+};
+
+/** @return The three processor rows of paper Table 1. */
+const std::vector<ProcessorCharacteristics> &paperTable1();
+
+/**
+ * @return The calibration dataset of paper Table 4: 18 components
+ *         from 4 projects with reported effort and all 11 metric
+ *         values. The effort column follows Table 4 (RAT rows 0.6 /
+ *         1.0; note the paper's own Table 2 lists 0.3 / 0.5 for the
+ *         RAT — see paperTable2Efforts()).
+ */
+const Dataset &paperDataset();
+
+/** One reported-effort row of paper Table 2. */
+struct ReportedEffort
+{
+    std::string project;
+    std::string component;
+    double personMonths;
+};
+
+/** @return Paper Table 2 exactly as printed (RAT rows 0.3 / 0.5). */
+const std::vector<ReportedEffort> &paperTable2Efforts();
+
+/**
+ * Reference accuracy values printed in the paper, used by tests and
+ * EXPERIMENTS.md to compare our fits against the published fits.
+ */
+struct PaperSigma
+{
+    Metric metric;        ///< Single-metric estimator.
+    double sigmaMixed;    ///< Table 4 penultimate row.
+    double sigmaPooled;   ///< Table 4 last row (rho_i = 1).
+};
+
+/** @return The published sigma_eps for each single-metric estimator. */
+const std::vector<PaperSigma> &paperSigmas();
+
+/** Published DEE1 reference values (paper Section 5.1.1). */
+struct PaperDee1Reference
+{
+    double sigmaMixed = 0.46;  ///< Table 4.
+    double sigmaPooled = 0.53; ///< Table 4 last row.
+    double aicDee1 = 34.8;     ///< Section 5.1.1.
+    double bicDee1 = 38.4;     ///< Section 5.1.1.
+    double aicStmts = 37.0;    ///< Section 5.1.1.
+    double bicStmts = 39.7;    ///< Section 5.1.1.
+};
+
+/** @return The published DEE1 accuracy numbers. */
+const PaperDee1Reference &paperDee1Reference();
+
+/**
+ * DEE1 estimate column of paper Table 4 (the per-component values
+ * the authors' fitted DEE1 produced), in paperDataset() order.
+ */
+const std::vector<double> &paperDee1Estimates();
+
+/**
+ * The dataset measured *without* the accounting procedure (paper
+ * Section 5.3, Figure 6).
+ *
+ * The paper never tabulates these raw metric values; it reports the
+ * resulting sigma_eps (FanInLC 1.18, Nets 1.07, "Stmts and LoC
+ * unchanged", "DEE1 changes little") and explains the mechanism:
+ * multiple instantiation and generous parameterizations concentrated
+ * in IVM (a 4-issue superscalar), some in PUMA, almost none in
+ * Leon3/RAT. This function reconstructs the no-accounting
+ * measurements by scaling each component's *synthesis* metrics with
+ * that component's instance-multiplicity and parameter-inflation
+ * factor (documented per component in paper_data.cc); source metrics
+ * (Stmts, LoC) are unchanged because the accounting procedure never
+ * affected them. The reconstruction preserves the mechanism and the
+ * published outcome shape; the raw values are synthetic.
+ */
+const Dataset &paperDatasetNoAccounting();
+
+/** Published no-accounting sigma_eps where the paper quotes them. */
+struct PaperNoAccountingReference
+{
+    double sigmaFanInLC = 1.18; ///< Section 5.3.
+    double sigmaNets = 1.07;    ///< Section 5.3.
+};
+
+/** @return The quoted no-accounting reference values. */
+const PaperNoAccountingReference &paperNoAccountingReference();
+
+} // namespace ucx
+
+#endif // UCX_DATA_PAPER_DATA_HH

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Synthetic ALU component: a parameterized arithmetic/logic unit
+ * with flags, the smallest shipped design.
+ */
+
+#include "designs/sources.hh"
+
+namespace ucx
+{
+
+const char *aluSource = R"HDL(
+// Parameterized ALU with zero/negative flags.
+module alu #(parameter W = 16) (
+    input  wire [W-1:0] a,
+    input  wire [W-1:0] b,
+    input  wire [3:0]   op,
+    output reg  [W-1:0] y,
+    output wire         zero,
+    output wire         neg
+);
+    wire [W-1:0] sum;
+    wire [W-1:0] diff;
+
+    assign sum  = a + b;
+    assign diff = a - b;
+
+    always @* begin
+        case (op)
+            4'd0: y = sum;
+            4'd1: y = diff;
+            4'd2: y = a & b;
+            4'd3: y = a | b;
+            4'd4: y = a ^ b;
+            4'd5: y = ~a;
+            4'd6: y = a << 1;
+            4'd7: y = a >> 1;
+            4'd8: y = (a < b) ? {{(W-1){1'b0}}, 1'b1} : {W{1'b0}};
+            default: y = a;
+        endcase
+    end
+
+    assign zero = ~(|y);
+    assign neg  = y[W-1];
+endmodule
+)HDL";
+
+} // namespace ucx

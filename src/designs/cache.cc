@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Synthetic cache controller and memory controller components.
+ */
+
+#include "designs/sources.hh"
+
+namespace ucx
+{
+
+const char *cacheCtrlSource = R"HDL(
+// Direct-mapped write-through cache controller with a refill FSM.
+module cache_ctrl #(parameter W = 32, parameter IDXW = 6,
+                    parameter TAGW = 20) (
+    input  wire          clk,
+    input  wire          rst,
+    // CPU side.
+    input  wire          req_valid,
+    input  wire          req_write,
+    input  wire [W-1:0]  req_addr,
+    input  wire [W-1:0]  req_wdata,
+    output reg           resp_valid,
+    output wire [W-1:0]  resp_rdata,
+    output wire          busy,
+    // Memory side.
+    output reg           mem_req,
+    output reg           mem_write,
+    output wire [W-1:0]  mem_addr,
+    output wire [W-1:0]  mem_wdata,
+    input  wire          mem_ack,
+    input  wire [W-1:0]  mem_rdata
+);
+    localparam ST_IDLE   = 2'd0;
+    localparam ST_LOOKUP = 2'd1;
+    localparam ST_REFILL = 2'd2;
+    localparam ST_WRITE  = 2'd3;
+
+    reg [1:0] state;
+
+    reg [TAGW-1:0] tags  [0:(1<<IDXW)-1];
+    reg [W-1:0]    data  [0:(1<<IDXW)-1];
+    reg [(1<<IDXW)-1:0] valid;
+
+    reg [W-1:0] held_addr;
+    reg [W-1:0] held_wdata;
+    reg         held_write;
+
+    wire [IDXW-1:0] idx;
+    wire [TAGW-1:0] tag;
+    assign idx = held_addr[IDXW+1:2];
+    assign tag = held_addr[IDXW+TAGW+1:IDXW+2];
+
+    wire [TAGW-1:0] stored_tag;
+    assign stored_tag = tags[idx];
+    wire [(1<<IDXW)-1:0] valid_shifted;
+    assign valid_shifted = valid >> idx;
+    wire line_valid;
+    assign line_valid = valid_shifted[0];
+    wire hit;
+    assign hit = line_valid & (stored_tag == tag);
+
+    assign resp_rdata = data[idx];
+    assign busy = state != ST_IDLE;
+    assign mem_addr  = held_addr;
+    assign mem_wdata = held_wdata;
+
+    always @(posedge clk) begin
+        resp_valid <= 1'b0;
+        mem_req    <= 1'b0;
+        mem_write  <= 1'b0;
+        if (rst) begin
+            state <= ST_IDLE;
+            valid <= {(1<<IDXW){1'b0}};
+            held_addr  <= {W{1'b0}};
+            held_wdata <= {W{1'b0}};
+            held_write <= 1'b0;
+        end else begin
+            case (state)
+                ST_IDLE: begin
+                    if (req_valid) begin
+                        held_addr  <= req_addr;
+                        held_wdata <= req_wdata;
+                        held_write <= req_write;
+                        state <= ST_LOOKUP;
+                    end
+                end
+                ST_LOOKUP: begin
+                    if (held_write) begin
+                        // Write-through: update line if present and
+                        // always write memory.
+                        if (hit)
+                            data[idx] <= held_wdata;
+                        mem_req   <= 1'b1;
+                        mem_write <= 1'b1;
+                        state <= ST_WRITE;
+                    end else begin
+                        if (hit) begin
+                            resp_valid <= 1'b1;
+                            state <= ST_IDLE;
+                        end else begin
+                            mem_req <= 1'b1;
+                            state <= ST_REFILL;
+                        end
+                    end
+                end
+                ST_REFILL: begin
+                    if (mem_ack) begin
+                        data[idx] <= mem_rdata;
+                        tags[idx] <= tag;
+                        valid <= valid |
+                            ({{((1<<IDXW)-1){1'b0}}, 1'b1} << idx);
+                        resp_valid <= 1'b1;
+                        state <= ST_IDLE;
+                    end else begin
+                        mem_req <= 1'b1;
+                    end
+                end
+                ST_WRITE: begin
+                    if (mem_ack) begin
+                        resp_valid <= 1'b1;
+                        state <= ST_IDLE;
+                    end else begin
+                        mem_req   <= 1'b1;
+                        mem_write <= 1'b1;
+                    end
+                end
+                default: state <= ST_IDLE;
+            endcase
+        end
+    end
+endmodule
+)HDL";
+
+const char *memCtrlSource = R"HDL(
+// Simple SDRAM-style memory controller: bank tracking, a refresh
+// counter, and a request FSM.
+module memctrl #(parameter W = 32, parameter BANKS = 4,
+                 parameter REFRESH_BITS = 10) (
+    input  wire          clk,
+    input  wire          rst,
+    input  wire          req_valid,
+    input  wire          req_write,
+    input  wire [W-1:0]  req_addr,
+    input  wire [W-1:0]  req_wdata,
+    output reg           resp_valid,
+    output reg  [W-1:0]  resp_rdata,
+    // DRAM pins (modeled).
+    output reg           cmd_activate,
+    output reg           cmd_rw,
+    output reg           cmd_refresh,
+    output wire [W-1:0]  dram_addr,
+    output wire [W-1:0]  dram_wdata,
+    input  wire [W-1:0]  dram_rdata
+);
+    localparam ST_IDLE     = 3'd0;
+    localparam ST_ACTIVATE = 3'd1;
+    localparam ST_RW       = 3'd2;
+    localparam ST_DONE     = 3'd3;
+    localparam ST_REFRESH  = 3'd4;
+
+    reg [2:0] state;
+    reg [REFRESH_BITS-1:0] refresh_ctr;
+    reg refresh_due;
+
+    // One open-row tracker per bank.
+    genvar g;
+    wire [BANKS-1:0] row_hit;
+    reg  [W-1:0] held_addr;
+    reg  [W-1:0] held_wdata;
+    reg          held_write;
+
+    wire [1:0] bank_sel;
+    assign bank_sel = held_addr[3:2];
+
+    generate
+        for (g = 0; g < BANKS; g = g + 1) begin : bank
+            reg [15:0] open_row;
+            reg        row_open;
+            assign row_hit[g] = row_open &
+                                (open_row == held_addr[19:4]);
+            always @(posedge clk) begin
+                if (rst) begin
+                    open_row <= 16'd0;
+                    row_open <= 1'b0;
+                end else begin
+                    if ((state == ST_ACTIVATE) &&
+                        (bank_sel == g)) begin
+                        open_row <= held_addr[19:4];
+                        row_open <= 1'b1;
+                    end
+                    if (state == ST_REFRESH)
+                        row_open <= 1'b0;
+                end
+            end
+        end
+    endgenerate
+
+    wire [BANKS-1:0] hit_shifted;
+    assign hit_shifted = row_hit >> bank_sel;
+    wire cur_row_hit;
+    assign cur_row_hit = hit_shifted[0];
+
+    assign dram_addr  = held_addr;
+    assign dram_wdata = held_wdata;
+
+    always @(posedge clk) begin
+        resp_valid   <= 1'b0;
+        cmd_activate <= 1'b0;
+        cmd_rw       <= 1'b0;
+        cmd_refresh  <= 1'b0;
+        if (rst) begin
+            state <= ST_IDLE;
+            refresh_ctr <= {REFRESH_BITS{1'b0}};
+            refresh_due <= 1'b0;
+            held_addr   <= {W{1'b0}};
+            held_wdata  <= {W{1'b0}};
+            held_write  <= 1'b0;
+            resp_rdata  <= {W{1'b0}};
+        end else begin
+            refresh_ctr <= refresh_ctr + 1'b1;
+            if (&refresh_ctr)
+                refresh_due <= 1'b1;
+            case (state)
+                ST_IDLE: begin
+                    if (refresh_due) begin
+                        cmd_refresh <= 1'b1;
+                        refresh_due <= 1'b0;
+                        state <= ST_REFRESH;
+                    end else begin
+                        if (req_valid) begin
+                            held_addr  <= req_addr;
+                            held_wdata <= req_wdata;
+                            held_write <= req_write;
+                            state <= ST_ACTIVATE;
+                        end
+                    end
+                end
+                ST_ACTIVATE: begin
+                    if (cur_row_hit) begin
+                        state <= ST_RW;
+                    end else begin
+                        cmd_activate <= 1'b1;
+                        state <= ST_RW;
+                    end
+                end
+                ST_RW: begin
+                    cmd_rw <= 1'b1;
+                    if (!held_write)
+                        resp_rdata <= dram_rdata;
+                    state <= ST_DONE;
+                end
+                ST_DONE: begin
+                    resp_valid <= 1'b1;
+                    state <= ST_IDLE;
+                end
+                ST_REFRESH: begin
+                    state <= ST_IDLE;
+                end
+                default: state <= ST_IDLE;
+            endcase
+        end
+    end
+endmodule
+)HDL";
+
+} // namespace ucx

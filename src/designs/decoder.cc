@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Synthetic instruction decoder for a small RISC encoding.
+ */
+
+#include "designs/sources.hh"
+
+namespace ucx
+{
+
+const char *decoderSource = R"HDL(
+// Decoder for a 32-bit RISC-like encoding:
+//   [31:26] opcode, [25:21] rd, [20:16] rs1, [15:11] rs2,
+//   [15:0] imm16.
+module decoder #(parameter W = 32) (
+    input  wire [W-1:0] instr,
+    output reg  [3:0]   alu_op,
+    output wire [4:0]   rd,
+    output wire [4:0]   rs1,
+    output wire [4:0]   rs2,
+    output wire [15:0]  imm,
+    output reg          uses_imm,
+    output reg          is_load,
+    output reg          is_store,
+    output reg          is_branch,
+    output reg          writes_rd
+);
+    wire [5:0] opcode;
+    assign opcode = instr[31:26];
+    assign rd  = instr[25:21];
+    assign rs1 = instr[20:16];
+    assign rs2 = instr[15:11];
+    assign imm = instr[15:0];
+
+    always @* begin
+        alu_op    = 4'd0;
+        uses_imm  = 1'b0;
+        is_load   = 1'b0;
+        is_store  = 1'b0;
+        is_branch = 1'b0;
+        writes_rd = 1'b1;
+        case (opcode)
+            6'd0: alu_op = 4'd0;                    // add
+            6'd1: alu_op = 4'd1;                    // sub
+            6'd2: alu_op = 4'd2;                    // and
+            6'd3: alu_op = 4'd3;                    // or
+            6'd4: alu_op = 4'd4;                    // xor
+            6'd5: begin alu_op = 4'd0; uses_imm = 1'b1; end // addi
+            6'd6: begin alu_op = 4'd2; uses_imm = 1'b1; end // andi
+            6'd7: begin alu_op = 4'd8; end          // slt
+            6'd8: begin                              // load
+                is_load  = 1'b1;
+                uses_imm = 1'b1;
+            end
+            6'd9: begin                              // store
+                is_store  = 1'b1;
+                uses_imm  = 1'b1;
+                writes_rd = 1'b0;
+            end
+            6'd10: begin                             // beq
+                is_branch = 1'b1;
+                writes_rd = 1'b0;
+                alu_op    = 4'd1;
+            end
+            6'd11: begin                             // bne
+                is_branch = 1'b1;
+                writes_rd = 1'b0;
+                alu_op    = 4'd1;
+            end
+            default: begin
+                writes_rd = 1'b0;                    // nop / illegal
+            end
+        endcase
+    end
+endmodule
+)HDL";
+
+} // namespace ucx

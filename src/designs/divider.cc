@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Synthetic serial divider and a dual-issue scoreboard — additional
+ * components for the measurement pipeline.
+ */
+
+#include "designs/sources.hh"
+
+namespace ucx
+{
+
+const char *dividerSource = R"HDL(
+// Restoring serial divider: one quotient bit per cycle.
+module div_unit #(parameter W = 16) (
+    input  wire         clk,
+    input  wire         rst,
+    input  wire         start,
+    input  wire [W-1:0] dividend,
+    input  wire [W-1:0] divisor,
+    output reg          done,
+    output reg          div_by_zero,
+    output reg  [W-1:0] quotient,
+    output reg  [W-1:0] remainder
+);
+    localparam CNTW = 6;
+
+    reg [W-1:0]   quo;
+    reg [W:0]     rem;       // one extra bit for the trial subtract
+    reg [W-1:0]   dvd;
+    reg [W-1:0]   dvs;
+    reg [CNTW-1:0] cycles;
+    reg busy;
+
+    wire [W:0] trial;
+    assign trial = {rem[W-1:0], dvd[W-1]} - {1'b0, dvs};
+
+    always @(posedge clk) begin
+        done <= 1'b0;
+        if (rst) begin
+            quo    <= {W{1'b0}};
+            rem    <= {(W+1){1'b0}};
+            dvd    <= {W{1'b0}};
+            dvs    <= {W{1'b0}};
+            cycles <= {CNTW{1'b0}};
+            busy   <= 1'b0;
+            div_by_zero <= 1'b0;
+            quotient  <= {W{1'b0}};
+            remainder <= {W{1'b0}};
+        end else begin
+            if (start & !busy) begin
+                if (divisor == {W{1'b0}}) begin
+                    div_by_zero <= 1'b1;
+                    done <= 1'b1;
+                end else begin
+                    div_by_zero <= 1'b0;
+                    quo    <= {W{1'b0}};
+                    rem    <= {(W+1){1'b0}};
+                    dvd    <= dividend;
+                    dvs    <= divisor;
+                    cycles <= {CNTW{1'b0}};
+                    busy   <= 1'b1;
+                end
+            end else begin
+                if (busy) begin
+                    if (trial[W]) begin
+                        // Trial subtract went negative: restore.
+                        rem <= {rem[W-1:0], dvd[W-1]};
+                        quo <= {quo[W-2:0], 1'b0};
+                    end else begin
+                        rem <= trial;
+                        quo <= {quo[W-2:0], 1'b1};
+                    end
+                    dvd <= dvd << 1;
+                    cycles <= cycles + 1'b1;
+                    if (cycles == (W - 1)) begin
+                        busy <= 1'b0;
+                        done <= 1'b1;
+                        quotient <= trial[W]
+                            ? {quo[W-2:0], 1'b0}
+                            : {quo[W-2:0], 1'b1};
+                        // Restored remainder includes the final
+                        // shifted-in dividend bit.
+                        remainder <= trial[W]
+                            ? {rem[W-2:0], dvd[W-1]}
+                            : trial[W-1:0];
+                    end
+                end
+            end
+        end
+    end
+endmodule
+)HDL";
+
+const char *scoreboardSource = R"HDL(
+// Dual-issue in-order scoreboard: tracks which architectural
+// registers have results in flight and stalls dependent issues.
+module scoreboard #(parameter REGS = 32, parameter IDXW = 5,
+                    parameter LATW = 3) (
+    input  wire            clk,
+    input  wire            rst,
+    // Issue slot 0.
+    input  wire            i0_valid,
+    input  wire [IDXW-1:0] i0_rs1,
+    input  wire [IDXW-1:0] i0_rs2,
+    input  wire [IDXW-1:0] i0_rd,
+    input  wire            i0_writes,
+    input  wire [LATW-1:0] i0_latency,
+    output wire            i0_stall,
+    // Issue slot 1 (younger; also checks slot 0's destination).
+    input  wire            i1_valid,
+    input  wire [IDXW-1:0] i1_rs1,
+    input  wire [IDXW-1:0] i1_rs2,
+    input  wire [IDXW-1:0] i1_rd,
+    input  wire            i1_writes,
+    input  wire [LATW-1:0] i1_latency,
+    output wire            i1_stall
+);
+    genvar g;
+
+    // One down-counter per architectural register; non-zero means a
+    // result is still in flight.
+    wire [REGS-1:0] pending;
+
+    wire grant0;
+    wire grant1;
+    // Helper wires: per-source pending checks.
+    wire [REGS-1:0] p_shift_i0s1;
+    wire [REGS-1:0] p_shift_i0s2;
+    wire [REGS-1:0] p_shift_i1s1;
+    wire [REGS-1:0] p_shift_i1s2;
+    assign p_shift_i0s1 = pending >> i0_rs1;
+    assign p_shift_i0s2 = pending >> i0_rs2;
+    assign p_shift_i1s1 = pending >> i1_rs1;
+    assign p_shift_i1s2 = pending >> i1_rs2;
+
+    wire i0_dep;
+    assign i0_dep = p_shift_i0s1[0] | p_shift_i0s2[0];
+    wire i1_raw_dep;
+    assign i1_raw_dep = p_shift_i1s1[0] | p_shift_i1s2[0];
+    // Intra-bundle: slot 1 depends on slot 0's destination.
+    wire i1_bundle_dep;
+    assign i1_bundle_dep = grant0 & i0_writes &
+        ((i1_rs1 == i0_rd) | (i1_rs2 == i0_rd));
+
+    assign grant0 = i0_valid & !i0_dep;
+    assign grant1 = i1_valid & !i1_raw_dep & !i1_bundle_dep &
+                    grant0;
+    assign i0_stall = i0_valid & !grant0;
+    assign i1_stall = i1_valid & !grant1;
+
+    generate
+        for (g = 0; g < REGS; g = g + 1) begin : regtrack
+            reg [LATW-1:0] cnt;
+            assign pending[g] = |cnt;
+            always @(posedge clk) begin
+                if (rst) begin
+                    cnt <= {LATW{1'b0}};
+                end else begin
+                    if (grant1 & i1_writes & (i1_rd == g))
+                        cnt <= i1_latency;
+                    else begin
+                        if (grant0 & i0_writes & (i0_rd == g))
+                            cnt <= i0_latency;
+                        else begin
+                            if (|cnt)
+                                cnt <= cnt - 1'b1;
+                        end
+                    end
+                end
+            end
+        end
+    endgenerate
+endmodule
+)HDL";
+
+} // namespace ucx

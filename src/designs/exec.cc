@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Synthetic execute cluster (multiple ALU lanes with a bypass
+ * network) and a sequential multiplier — components with heavy
+ * instance replication, the accounting-ablation showcases.
+ */
+
+#include "designs/sources.hh"
+
+namespace ucx
+{
+
+const char *execClusterSource = R"HDL(
+// Multi-lane execute cluster: LANES identical ALUs plus a full
+// bypass network between lanes. With the accounting procedure the
+// ALU counts once and LANES scales to its minimal non-degenerate
+// value; without it, every lane's logic is measured.
+module exec_cluster #(parameter W = 16, parameter LANES = 4) (
+    input  wire               clk,
+    input  wire               rst,
+    input  wire [LANES*W-1:0] op_a_flat,
+    input  wire [LANES*W-1:0] op_b_flat,
+    input  wire [LANES*4-1:0] op_sel_flat,
+    input  wire [LANES*2-1:0] byp_a_sel_flat,
+    output wire [LANES*W-1:0] result_flat,
+    output wire [LANES-1:0]   zero_flat
+);
+    genvar g;
+    // Last-cycle results for bypassing.
+    reg [LANES*W-1:0] prev_results;
+
+    generate
+        for (g = 0; g < LANES; g = g + 1) begin : lane
+            wire [W-1:0] a_raw;
+            wire [W-1:0] b_in;
+            wire [3:0]   op;
+            wire [1:0]   byp;
+            assign a_raw = op_a_flat[(g+1)*W-1:g*W];
+            assign b_in  = op_b_flat[(g+1)*W-1:g*W];
+            assign op    = op_sel_flat[(g+1)*4-1:g*4];
+            assign byp   = byp_a_sel_flat[(g+1)*2-1:g*2];
+
+            // Bypass mux: operand A may come from any lane's
+            // previous result.
+            wire [LANES*W-1:0] prev_shifted;
+            assign prev_shifted = prev_results >> (byp * W);
+            wire [W-1:0] a_byp;
+            assign a_byp = prev_shifted[W-1:0];
+            wire [W-1:0] a_in;
+            assign a_in = (byp == 2'd0) ? a_raw : a_byp;
+
+            wire [W-1:0] y;
+            wire         z;
+            wire         n;
+            alu #(.W(W)) u_alu (
+                .a(a_in),
+                .b(b_in),
+                .op(op),
+                .y(y),
+                .zero(z),
+                .neg(n)
+            );
+            assign result_flat[(g+1)*W-1:g*W] = y;
+            assign zero_flat[g] = z;
+        end
+    endgenerate
+
+    always @(posedge clk) begin
+        if (rst)
+            prev_results <= {(LANES*W){1'b0}};
+        else
+            prev_results <= result_flat;
+    end
+endmodule
+)HDL";
+
+const char *serialMulSource = R"HDL(
+// Sequential shift-add multiplier: W cycles per product.
+module serial_mul #(parameter W = 16) (
+    input  wire           clk,
+    input  wire           rst,
+    input  wire           start,
+    input  wire [W-1:0]   a,
+    input  wire [W-1:0]   b,
+    output reg            done,
+    output reg  [2*W-1:0] product
+);
+    localparam CNTW = 6;
+
+    reg [2*W-1:0] acc;
+    reg [2*W-1:0] shifted_a;
+    reg [W-1:0]   remaining_b;
+    reg [CNTW-1:0] cycles;
+    reg busy;
+
+    always @(posedge clk) begin
+        done <= 1'b0;
+        if (rst) begin
+            acc         <= {(2*W){1'b0}};
+            shifted_a   <= {(2*W){1'b0}};
+            remaining_b <= {W{1'b0}};
+            cycles      <= {CNTW{1'b0}};
+            busy        <= 1'b0;
+            product     <= {(2*W){1'b0}};
+        end else begin
+            if (start & !busy) begin
+                acc         <= {(2*W){1'b0}};
+                shifted_a   <= {{W{1'b0}}, a};
+                remaining_b <= b;
+                cycles      <= {CNTW{1'b0}};
+                busy        <= 1'b1;
+            end else begin
+                if (busy) begin
+                    if (remaining_b[0])
+                        acc <= acc + shifted_a;
+                    shifted_a   <= shifted_a << 1;
+                    remaining_b <= remaining_b >> 1;
+                    cycles      <= cycles + 1'b1;
+                    if (cycles == (W - 1)) begin
+                        busy    <= 1'b0;
+                        done    <= 1'b1;
+                        product <= remaining_b[0]
+                                   ? (acc + shifted_a) : acc;
+                    end
+                end
+            end
+        end
+    end
+endmodule
+)HDL";
+
+} // namespace ucx

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Synthetic fetch unit: PC generation, gshare branch predictor, and
+ * a direct-mapped branch target buffer.
+ */
+
+#include "designs/sources.hh"
+
+namespace ucx
+{
+
+const char *fetchSource = R"HDL(
+// Gshare predictor: global history register XOR PC indexes a
+// pattern history table of 2-bit saturating counters.
+module gshare #(parameter HIST = 8, parameter IDXW = 10) (
+    input  wire            clk,
+    input  wire            rst,
+    input  wire [IDXW-1:0] lookup_pc,
+    output wire            predict_taken,
+    // Update interface (at resolve time).
+    input  wire            update_en,
+    input  wire [IDXW-1:0] update_pc,
+    input  wire            update_taken
+);
+    reg [HIST-1:0] ghr;
+    reg [1:0] pht [0:(1<<IDXW)-1];
+
+    wire [IDXW-1:0] lookup_idx;
+    wire [IDXW-1:0] update_idx;
+    assign lookup_idx = lookup_pc ^ {{(IDXW-HIST){1'b0}}, ghr};
+    assign update_idx = update_pc ^ {{(IDXW-HIST){1'b0}}, ghr};
+
+    wire [1:0] counter;
+    assign counter = pht[lookup_idx];
+    assign predict_taken = counter[1];
+
+    wire [1:0] old_counter;
+    assign old_counter = pht[update_idx];
+    wire [1:0] next_counter;
+    assign next_counter =
+        update_taken ? ((old_counter == 2'd3) ? 2'd3
+                                              : (old_counter + 2'd1))
+                     : ((old_counter == 2'd0) ? 2'd0
+                                              : (old_counter - 2'd1));
+
+    always @(posedge clk) begin
+        if (rst) begin
+            ghr <= {HIST{1'b0}};
+        end else begin
+            if (update_en) begin
+                pht[update_idx] <= next_counter;
+                ghr <= {ghr[HIST-2:0], update_taken};
+            end
+        end
+    end
+endmodule
+
+// Direct-mapped branch target buffer.
+module btb #(parameter W = 32, parameter IDXW = 8,
+             parameter TAGW = 10) (
+    input  wire          clk,
+    input  wire          rst,
+    input  wire [W-1:0]  lookup_pc,
+    output wire          hit,
+    output wire [W-1:0]  target,
+    input  wire          update_en,
+    input  wire [W-1:0]  update_pc,
+    input  wire [W-1:0]  update_target
+);
+    reg [TAGW-1:0] tags    [0:(1<<IDXW)-1];
+    reg [W-1:0]    targets [0:(1<<IDXW)-1];
+    reg [(1<<IDXW)-1:0] valid;
+
+    wire [IDXW-1:0] idx;
+    wire [TAGW-1:0] tag;
+    assign idx = lookup_pc[IDXW+1:2];
+    assign tag = lookup_pc[IDXW+TAGW+1:IDXW+2];
+
+    wire [IDXW-1:0] uidx;
+    wire [TAGW-1:0] utag;
+    assign uidx = update_pc[IDXW+1:2];
+    assign utag = update_pc[IDXW+TAGW+1:IDXW+2];
+
+    wire [TAGW-1:0] stored_tag;
+    assign stored_tag = tags[idx];
+    wire [(1<<IDXW)-1:0] valid_shifted;
+    assign valid_shifted = valid >> idx;
+    wire valid_bit;
+    assign valid_bit = valid_shifted[0];
+    assign hit = valid_bit & (stored_tag == tag);
+    assign target = targets[idx];
+
+    always @(posedge clk) begin
+        if (rst) begin
+            valid <= {(1<<IDXW){1'b0}};
+        end else begin
+            if (update_en) begin
+                tags[uidx]    <= utag;
+                targets[uidx] <= update_target;
+                valid <= valid | ({{((1<<IDXW)-1){1'b0}}, 1'b1} << uidx);
+            end
+        end
+    end
+endmodule
+
+// Fetch unit: sequential/predicted/redirected PC selection.
+module fetch #(parameter W = 32, parameter IDXW = 8,
+               parameter HIST = 8) (
+    input  wire          clk,
+    input  wire          rst,
+    output wire [W-1:0]  imem_addr,
+    input  wire          stall,
+    // Redirect from execute on mispredict.
+    input  wire          redirect,
+    input  wire [W-1:0]  redirect_pc,
+    // Branch resolution for predictor training.
+    input  wire          resolve_en,
+    input  wire [W-1:0]  resolve_pc,
+    input  wire          resolve_taken,
+    input  wire [W-1:0]  resolve_target,
+    // Fetched PC handed to decode.
+    output reg  [W-1:0]  fetch_pc,
+    output reg           fetch_valid
+);
+    reg [W-1:0] pc;
+
+    wire predict_taken;
+    gshare #(.HIST(HIST), .IDXW(IDXW+2)) u_gshare (
+        .clk(clk),
+        .rst(rst),
+        .lookup_pc(pc[IDXW+3:2]),
+        .predict_taken(predict_taken),
+        .update_en(resolve_en),
+        .update_pc(resolve_pc[IDXW+3:2]),
+        .update_taken(resolve_taken)
+    );
+
+    wire        btb_hit;
+    wire [W-1:0] btb_target;
+    btb #(.W(W), .IDXW(IDXW)) u_btb (
+        .clk(clk),
+        .rst(rst),
+        .lookup_pc(pc),
+        .hit(btb_hit),
+        .target(btb_target),
+        .update_en(resolve_en & resolve_taken),
+        .update_pc(resolve_pc),
+        .update_target(resolve_target)
+    );
+
+    wire take_pred;
+    assign take_pred = predict_taken & btb_hit;
+    wire [W-1:0] pc_next;
+    assign pc_next = redirect ? redirect_pc
+                   : (take_pred ? btb_target : (pc + 4));
+
+    assign imem_addr = pc;
+
+    always @(posedge clk) begin
+        if (rst) begin
+            pc          <= {W{1'b0}};
+            fetch_pc    <= {W{1'b0}};
+            fetch_valid <= 1'b0;
+        end else begin
+            if (!stall) begin
+                pc          <= pc_next;
+                fetch_pc    <= pc;
+                fetch_valid <= !redirect;
+            end
+        end
+    end
+endmodule
+)HDL";
+
+} // namespace ucx

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Synthetic MMU-lite: a fully-associative TLB with round-robin
+ * replacement, built from per-entry generate logic.
+ */
+
+#include "designs/sources.hh"
+
+namespace ucx
+{
+
+const char *mmuLiteSource = R"HDL(
+// Fully-associative TLB. Each entry compares its stored virtual
+// page number against the lookup in parallel; the matching entry's
+// physical page number is collected with an OR tree (at most one
+// entry matches by construction).
+module mmu_lite #(parameter VPNW = 20, parameter PPNW = 18,
+                  parameter ENTRIES = 8) (
+    input  wire            clk,
+    input  wire            rst,
+    input  wire            lookup_valid,
+    input  wire [VPNW-1:0] lookup_vpn,
+    output wire            hit,
+    output wire [PPNW-1:0] ppn,
+    // Fill interface (on miss, from the table walker).
+    input  wire            fill_valid,
+    input  wire [VPNW-1:0] fill_vpn,
+    input  wire [PPNW-1:0] fill_ppn
+);
+    genvar g;
+    wire [ENTRIES-1:0] match;
+    // Per-entry PPN, masked by its match bit, flattened.
+    wire [ENTRIES*PPNW-1:0] masked_flat;
+    // OR-accumulation chain, flattened; slot 0 is all zeros.
+    wire [(ENTRIES+1)*PPNW-1:0] chain_flat;
+
+    // Replacement pointer: round robin.
+    reg [7:0] fill_ptr;
+    always @(posedge clk) begin
+        if (rst)
+            fill_ptr <= 8'd0;
+        else begin
+            if (fill_valid) begin
+                if (fill_ptr == (ENTRIES - 1))
+                    fill_ptr <= 8'd0;
+                else
+                    fill_ptr <= fill_ptr + 8'd1;
+            end
+        end
+    end
+
+    assign chain_flat[PPNW-1:0] = {PPNW{1'b0}};
+
+    generate
+        for (g = 0; g < ENTRIES; g = g + 1) begin : entry
+            reg [VPNW-1:0] vpn_tag;
+            reg [PPNW-1:0] ppn_val;
+            reg            vld;
+            always @(posedge clk) begin
+                if (rst) begin
+                    vld <= 1'b0;
+                    vpn_tag <= {VPNW{1'b0}};
+                    ppn_val <= {PPNW{1'b0}};
+                end else begin
+                    if (fill_valid && (fill_ptr == g)) begin
+                        vpn_tag <= fill_vpn;
+                        ppn_val <= fill_ppn;
+                        vld <= 1'b1;
+                    end
+                end
+            end
+            assign match[g] = vld & (vpn_tag == lookup_vpn) &
+                              lookup_valid;
+            assign masked_flat[(g+1)*PPNW-1:g*PPNW] =
+                ppn_val & {PPNW{match[g]}};
+            assign chain_flat[(g+2)*PPNW-1:(g+1)*PPNW] =
+                chain_flat[(g+1)*PPNW-1:g*PPNW] |
+                masked_flat[(g+1)*PPNW-1:g*PPNW];
+        end
+    endgenerate
+
+    assign hit = |match;
+    assign ppn = chain_flat[(ENTRIES+1)*PPNW-1:ENTRIES*PPNW];
+endmodule
+)HDL";
+
+} // namespace ucx

@@ -1,0 +1,317 @@
+/**
+ * @file
+ * Synthetic out-of-order backend components: issue queue, reorder
+ * buffer, and load/store queue.
+ */
+
+#include "designs/sources.hh"
+
+namespace ucx
+{
+
+const char *issueQueueSource = R"HDL(
+// Out-of-order issue queue: parallel wakeup on a writeback tag and
+// priority selection of one ready entry per cycle.
+module issue_queue #(parameter ENTRIES = 8, parameter TAGW = 6,
+                     parameter OPW = 4) (
+    input  wire            clk,
+    input  wire            rst,
+    // Allocate one new uop.
+    input  wire            alloc_valid,
+    input  wire [TAGW-1:0] alloc_dst,
+    input  wire [TAGW-1:0] alloc_src1,
+    input  wire [TAGW-1:0] alloc_src2,
+    input  wire            alloc_src1_ready,
+    input  wire            alloc_src2_ready,
+    input  wire [OPW-1:0]  alloc_op,
+    output wire            full,
+    // Wakeup broadcast.
+    input  wire            wb_valid,
+    input  wire [TAGW-1:0] wb_tag,
+    // Issue port.
+    output reg             issue_valid,
+    output reg  [TAGW-1:0] issue_dst,
+    output reg  [OPW-1:0]  issue_op
+);
+    genvar g;
+    integer i;
+
+    wire [ENTRIES-1:0] ready;
+    wire [ENTRIES-1:0] valid_vec;
+    // Flattened per-entry payload for the selection mux.
+    wire [ENTRIES*TAGW-1:0] dst_flat;
+    wire [ENTRIES*OPW-1:0]  op_flat;
+
+    // Allocation pointer: first free entry (priority encoder).
+    reg [7:0] alloc_idx;
+    reg       have_free;
+    always @* begin
+        alloc_idx = 8'd0;
+        have_free = 1'b0;
+        for (i = ENTRIES - 1; i >= 0; i = i - 1) begin
+            if (!valid_vec[i]) begin
+                alloc_idx = i;
+                have_free = 1'b1;
+            end
+        end
+    end
+    assign full = !have_free;
+
+    // Issue selection: oldest-index-first priority encoder.
+    reg [7:0] sel_idx;
+    reg       sel_any;
+    always @* begin
+        sel_idx = 8'd0;
+        sel_any = 1'b0;
+        for (i = ENTRIES - 1; i >= 0; i = i - 1) begin
+            if (ready[i]) begin
+                sel_idx = i;
+                sel_any = 1'b1;
+            end
+        end
+    end
+
+    generate
+        for (g = 0; g < ENTRIES; g = g + 1) begin : entry
+            reg            vld;
+            reg [TAGW-1:0] dst;
+            reg [TAGW-1:0] src1;
+            reg [TAGW-1:0] src2;
+            reg            r1;
+            reg            r2;
+            reg [OPW-1:0]  op;
+
+            wire wake1;
+            wire wake2;
+            assign wake1 = wb_valid & (src1 == wb_tag);
+            assign wake2 = wb_valid & (src2 == wb_tag);
+            assign ready[g] = vld & (r1 | wake1) & (r2 | wake2);
+            assign valid_vec[g] = vld;
+            assign dst_flat[(g+1)*TAGW-1:g*TAGW] = dst;
+            assign op_flat[(g+1)*OPW-1:g*OPW] = op;
+
+            always @(posedge clk) begin
+                if (rst) begin
+                    vld  <= 1'b0;
+                    dst  <= {TAGW{1'b0}};
+                    src1 <= {TAGW{1'b0}};
+                    src2 <= {TAGW{1'b0}};
+                    r1   <= 1'b0;
+                    r2   <= 1'b0;
+                    op   <= {OPW{1'b0}};
+                end else begin
+                    if (wake1)
+                        r1 <= 1'b1;
+                    if (wake2)
+                        r2 <= 1'b1;
+                    if (alloc_valid & have_free &
+                        (alloc_idx == g)) begin
+                        vld  <= 1'b1;
+                        dst  <= alloc_dst;
+                        src1 <= alloc_src1;
+                        src2 <= alloc_src2;
+                        r1   <= alloc_src1_ready;
+                        r2   <= alloc_src2_ready;
+                        op   <= alloc_op;
+                    end
+                    if (sel_any & (sel_idx == g))
+                        vld <= 1'b0;
+                end
+            end
+        end
+    endgenerate
+
+    // Issue-port muxes over the flattened payloads.
+    wire [ENTRIES*TAGW-1:0] dst_shifted;
+    wire [ENTRIES*OPW-1:0]  op_shifted;
+    assign dst_shifted = dst_flat >> (sel_idx * TAGW);
+    assign op_shifted  = op_flat >> (sel_idx * OPW);
+
+    always @(posedge clk) begin
+        if (rst) begin
+            issue_valid <= 1'b0;
+            issue_dst   <= {TAGW{1'b0}};
+            issue_op    <= {OPW{1'b0}};
+        end else begin
+            issue_valid <= sel_any;
+            issue_dst   <= dst_shifted[TAGW-1:0];
+            issue_op    <= op_shifted[OPW-1:0];
+        end
+    end
+endmodule
+)HDL";
+
+const char *robSource = R"HDL(
+// Reorder buffer: circular allocate/retire pointers, payload RAMs,
+// and per-entry completion bits.
+module rob #(parameter ENTRIES = 16, parameter IDXW = 4,
+             parameter PCW = 32, parameter TAGW = 6) (
+    input  wire            clk,
+    input  wire            rst,
+    // Dispatch.
+    input  wire            disp_valid,
+    input  wire [PCW-1:0]  disp_pc,
+    input  wire [TAGW-1:0] disp_dst,
+    output wire            full,
+    output wire [IDXW-1:0] disp_idx,
+    // Completion broadcast.
+    input  wire            comp_valid,
+    input  wire [IDXW-1:0] comp_idx,
+    // Retire port.
+    output reg             retire_valid,
+    output reg  [PCW-1:0]  retire_pc,
+    output reg  [TAGW-1:0] retire_dst
+);
+    reg [IDXW-1:0] head;
+    reg [IDXW-1:0] tail;
+    reg [IDXW:0]   count;
+
+    reg [PCW-1:0]  pcs  [0:(1<<IDXW)-1];
+    reg [TAGW-1:0] dsts [0:(1<<IDXW)-1];
+    reg [(1<<IDXW)-1:0] done;
+
+    assign full = count == (1 << IDXW);
+    assign disp_idx = tail;
+
+    wire [(1<<IDXW)-1:0] done_at_head;
+    assign done_at_head = done >> head;
+    wire head_done;
+    assign head_done = done_at_head[0];
+    wire can_retire;
+    assign can_retire = (count != 0) & head_done;
+
+    always @(posedge clk) begin
+        retire_valid <= 1'b0;
+        if (rst) begin
+            head  <= {IDXW{1'b0}};
+            tail  <= {IDXW{1'b0}};
+            count <= {(IDXW+1){1'b0}};
+            done  <= {(1<<IDXW){1'b0}};
+            retire_pc  <= {PCW{1'b0}};
+            retire_dst <= {TAGW{1'b0}};
+        end else begin
+            if (disp_valid & !full) begin
+                pcs[tail]  <= disp_pc;
+                dsts[tail] <= disp_dst;
+                done <= done &
+                    ~({{((1<<IDXW)-1){1'b0}}, 1'b1} << tail);
+                tail <= tail + 1'b1;
+                if (!can_retire)
+                    count <= count + 1'b1;
+            end else begin
+                if (can_retire)
+                    count <= count - 1'b1;
+            end
+            if (comp_valid)
+                done <= done |
+                    ({{((1<<IDXW)-1){1'b0}}, 1'b1} << comp_idx);
+            if (can_retire) begin
+                retire_valid <= 1'b1;
+                retire_pc    <= pcs[head];
+                retire_dst   <= dsts[head];
+                head <= head + 1'b1;
+            end
+        end
+    end
+endmodule
+)HDL";
+
+const char *lsqSource = R"HDL(
+// Load/store queue: stores wait in order; loads search older stores
+// for a matching address (store-to-load forwarding).
+module lsq #(parameter ENTRIES = 8, parameter AW = 32,
+             parameter DW = 32) (
+    input  wire          clk,
+    input  wire          rst,
+    // Store enqueue.
+    input  wire          st_valid,
+    input  wire [AW-1:0] st_addr,
+    input  wire [DW-1:0] st_data,
+    output wire          st_full,
+    // Store drain (commit to memory).
+    input  wire          drain_en,
+    output wire          drain_valid,
+    output wire [AW-1:0] drain_addr,
+    output wire [DW-1:0] drain_data,
+    // Load lookup.
+    input  wire          ld_valid,
+    input  wire [AW-1:0] ld_addr,
+    output wire          fwd_hit,
+    output wire [DW-1:0] fwd_data
+);
+    genvar g;
+    reg [3:0] head;
+    reg [3:0] tail;
+    reg [4:0] count;
+
+    reg [AW-1:0] addrs [0:ENTRIES-1];
+    reg [DW-1:0] datas [0:ENTRIES-1];
+    reg [ENTRIES-1:0] vld;
+
+    assign st_full = count == ENTRIES;
+    assign drain_valid = count != 0;
+    assign drain_addr = addrs[head];
+    assign drain_data = datas[head];
+
+    // Parallel address match against all valid stores.
+    wire [ENTRIES-1:0] match;
+    wire [ENTRIES*DW-1:0] data_flat;
+    wire [ENTRIES*DW-1:0] chain_flat_lo;
+    generate
+        for (g = 0; g < ENTRIES; g = g + 1) begin : srch
+            // Address compare per entry; reads the payload RAM via
+            // a dedicated read port per entry position.
+            assign match[g] = vld[g] & ld_valid &
+                              (addrs[g] == ld_addr);
+            assign data_flat[(g+1)*DW-1:g*DW] =
+                datas[g] & {DW{match[g]}};
+        end
+    endgenerate
+
+    assign fwd_hit = |match;
+
+    // OR-combine the (at most one) matching entry's data.
+    assign chain_flat_lo[DW-1:0] = data_flat[DW-1:0];
+    generate
+        for (g = 1; g < ENTRIES; g = g + 1) begin : fold
+            assign chain_flat_lo[(g+1)*DW-1:g*DW] =
+                chain_flat_lo[g*DW-1:(g-1)*DW] |
+                data_flat[(g+1)*DW-1:g*DW];
+        end
+    endgenerate
+    assign fwd_data = chain_flat_lo[ENTRIES*DW-1:(ENTRIES-1)*DW];
+
+    always @(posedge clk) begin
+        if (rst) begin
+            head  <= 4'd0;
+            tail  <= 4'd0;
+            count <= 5'd0;
+            vld   <= {ENTRIES{1'b0}};
+        end else begin
+            if (st_valid & !st_full) begin
+                addrs[tail] <= st_addr;
+                datas[tail] <= st_data;
+                vld <= vld | ({{(ENTRIES-1){1'b0}}, 1'b1} << tail);
+                if (tail == (ENTRIES - 1))
+                    tail <= 4'd0;
+                else
+                    tail <= tail + 4'd1;
+                if (!(drain_en & drain_valid))
+                    count <= count + 5'd1;
+            end else begin
+                if (drain_en & drain_valid)
+                    count <= count - 5'd1;
+            end
+            if (drain_en & drain_valid) begin
+                vld <= vld & ~({{(ENTRIES-1){1'b0}}, 1'b1} << head);
+                if (head == (ENTRIES - 1))
+                    head <= 4'd0;
+                else
+                    head <= head + 4'd1;
+            end
+        end
+    end
+endmodule
+)HDL";
+
+} // namespace ucx

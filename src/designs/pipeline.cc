@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Synthetic 5-stage in-order pipeline (the Leon3-Pipeline analogue):
+ * fetch, decode, execute, memory, writeback, with forwarding.
+ * Instantiates the decoder, ALU, and register file components.
+ */
+
+#include "designs/sources.hh"
+
+namespace ucx
+{
+
+const char *pipelineSource = R"HDL(
+// 5-stage in-order pipeline core. Instruction and data memory are
+// external ports (the cache components model them separately).
+module pipeline #(parameter W = 32, parameter AW = 5) (
+    input  wire          clk,
+    input  wire          rst,
+    // Instruction fetch interface.
+    output wire [W-1:0]  imem_addr,
+    input  wire [W-1:0]  imem_data,
+    // Data memory interface.
+    output wire [W-1:0]  dmem_addr,
+    output wire [W-1:0]  dmem_wdata,
+    output wire          dmem_we,
+    input  wire [W-1:0]  dmem_rdata,
+    // Retired-instruction trace.
+    output reg  [W-1:0]  retire_pc,
+    output reg           retire_valid
+);
+    // ------------------------------------------------ fetch
+    reg [W-1:0] pc;
+    wire [W-1:0] pc_next;
+    wire         take_branch;
+    wire [W-1:0] branch_target;
+
+    assign imem_addr = pc;
+    assign pc_next = take_branch ? branch_target : (pc + 4);
+
+    always @(posedge clk) begin
+        if (rst)
+            pc <= {W{1'b0}};
+        else
+            pc <= pc_next;
+    end
+
+    // IF/ID pipeline registers.
+    reg [W-1:0] ifid_instr;
+    reg [W-1:0] ifid_pc;
+    reg         ifid_valid;
+    always @(posedge clk) begin
+        if (rst | take_branch) begin
+            ifid_instr <= {W{1'b0}};
+            ifid_pc    <= {W{1'b0}};
+            ifid_valid <= 1'b0;
+        end else begin
+            ifid_instr <= imem_data;
+            ifid_pc    <= pc;
+            ifid_valid <= 1'b1;
+        end
+    end
+
+    // ------------------------------------------------ decode
+    wire [3:0]  dec_alu_op;
+    wire [4:0]  dec_rd;
+    wire [4:0]  dec_rs1;
+    wire [4:0]  dec_rs2;
+    wire [15:0] dec_imm;
+    wire        dec_uses_imm;
+    wire        dec_is_load;
+    wire        dec_is_store;
+    wire        dec_is_branch;
+    wire        dec_writes_rd;
+
+    decoder #(.W(W)) u_decoder (
+        .instr(ifid_instr),
+        .alu_op(dec_alu_op),
+        .rd(dec_rd),
+        .rs1(dec_rs1),
+        .rs2(dec_rs2),
+        .imm(dec_imm),
+        .uses_imm(dec_uses_imm),
+        .is_load(dec_is_load),
+        .is_store(dec_is_store),
+        .is_branch(dec_is_branch),
+        .writes_rd(dec_writes_rd)
+    );
+
+    wire [W-1:0] rf_rdata1;
+    wire [W-1:0] rf_rdata2;
+    wire         wb_we;
+    wire [4:0]   wb_rd;
+    wire [W-1:0] wb_value;
+
+    regfile #(.W(W), .AW(AW)) u_regfile (
+        .clk(clk),
+        .we(wb_we),
+        .waddr(wb_rd),
+        .wdata(wb_value),
+        .raddr0(dec_rs1),
+        .raddr1(dec_rs2),
+        .rdata0(rf_rdata1),
+        .rdata1(rf_rdata2)
+    );
+
+    // ID/EX pipeline registers.
+    reg [W-1:0] idex_op1;
+    reg [W-1:0] idex_op2;
+    reg [W-1:0] idex_store_data;
+    reg [3:0]   idex_alu_op;
+    reg [4:0]   idex_rd;
+    reg [4:0]   idex_rs1;
+    reg [4:0]   idex_rs2;
+    reg         idex_is_load;
+    reg         idex_is_store;
+    reg         idex_is_branch;
+    reg         idex_writes_rd;
+    reg         idex_valid;
+    reg [W-1:0] idex_pc;
+    reg [W-1:0] idex_imm_ext;
+
+    wire [W-1:0] imm_ext;
+    assign imm_ext = {{(W-16){dec_imm[15]}}, dec_imm};
+
+    always @(posedge clk) begin
+        if (rst | take_branch) begin
+            idex_valid     <= 1'b0;
+            idex_alu_op    <= 4'd0;
+            idex_rd        <= 5'd0;
+            idex_rs1       <= 5'd0;
+            idex_rs2       <= 5'd0;
+            idex_is_load   <= 1'b0;
+            idex_is_store  <= 1'b0;
+            idex_is_branch <= 1'b0;
+            idex_writes_rd <= 1'b0;
+            idex_op1       <= {W{1'b0}};
+            idex_op2       <= {W{1'b0}};
+            idex_store_data <= {W{1'b0}};
+            idex_pc        <= {W{1'b0}};
+            idex_imm_ext   <= {W{1'b0}};
+        end else begin
+            idex_valid     <= ifid_valid;
+            idex_alu_op    <= dec_alu_op;
+            idex_rd        <= dec_rd;
+            idex_rs1       <= dec_rs1;
+            idex_rs2       <= dec_rs2;
+            idex_is_load   <= dec_is_load;
+            idex_is_store  <= dec_is_store;
+            idex_is_branch <= dec_is_branch;
+            idex_writes_rd <= dec_writes_rd & ifid_valid;
+            idex_op1       <= rf_rdata1;
+            idex_op2       <= dec_uses_imm ? imm_ext : rf_rdata2;
+            idex_store_data <= rf_rdata2;
+            idex_pc        <= ifid_pc;
+            idex_imm_ext   <= imm_ext;
+        end
+    end
+
+    // ------------------------------------------------ execute
+    // Forwarding from MEM and WB stages.
+    reg [W-1:0] exmem_result;
+    reg [4:0]   exmem_rd;
+    reg         exmem_writes_rd;
+
+    wire fwd1_mem;
+    wire fwd1_wb;
+    wire fwd2_mem;
+    wire fwd2_wb;
+    assign fwd1_mem = exmem_writes_rd & (exmem_rd == idex_rs1);
+    assign fwd1_wb  = wb_we & (wb_rd == idex_rs1);
+    assign fwd2_mem = exmem_writes_rd & (exmem_rd == idex_rs2);
+    assign fwd2_wb  = wb_we & (wb_rd == idex_rs2);
+
+    wire [W-1:0] alu_in1;
+    wire [W-1:0] alu_in2;
+    assign alu_in1 = fwd1_mem ? exmem_result :
+                     (fwd1_wb ? wb_value : idex_op1);
+    assign alu_in2 = fwd2_mem ? exmem_result :
+                     (fwd2_wb ? wb_value : idex_op2);
+
+    wire [W-1:0] alu_y;
+    wire         alu_zero;
+    wire         alu_neg;
+    alu #(.W(W)) u_alu (
+        .a(alu_in1),
+        .b(alu_in2),
+        .op(idex_alu_op),
+        .y(alu_y),
+        .zero(alu_zero),
+        .neg(alu_neg)
+    );
+
+    assign take_branch = idex_valid & idex_is_branch & alu_zero;
+    assign branch_target = idex_pc + (idex_imm_ext << 2);
+
+    // EX/MEM pipeline registers.
+    reg [W-1:0] exmem_store_data;
+    reg         exmem_is_load;
+    reg         exmem_is_store;
+    reg         exmem_valid;
+    reg [W-1:0] exmem_pc;
+    always @(posedge clk) begin
+        if (rst) begin
+            exmem_result     <= {W{1'b0}};
+            exmem_store_data <= {W{1'b0}};
+            exmem_rd         <= 5'd0;
+            exmem_writes_rd  <= 1'b0;
+            exmem_is_load    <= 1'b0;
+            exmem_is_store   <= 1'b0;
+            exmem_valid      <= 1'b0;
+            exmem_pc         <= {W{1'b0}};
+        end else begin
+            exmem_result     <= alu_y;
+            exmem_store_data <= idex_store_data;
+            exmem_rd         <= idex_rd;
+            exmem_writes_rd  <= idex_writes_rd;
+            exmem_is_load    <= idex_is_load & idex_valid;
+            exmem_is_store   <= idex_is_store & idex_valid;
+            exmem_valid      <= idex_valid;
+            exmem_pc         <= idex_pc;
+        end
+    end
+
+    // ------------------------------------------------ memory
+    assign dmem_addr  = exmem_result;
+    assign dmem_wdata = exmem_store_data;
+    assign dmem_we    = exmem_is_store;
+
+    // MEM/WB pipeline registers.
+    reg [W-1:0] memwb_value;
+    reg [4:0]   memwb_rd;
+    reg         memwb_we;
+    reg         memwb_valid;
+    reg [W-1:0] memwb_pc;
+    always @(posedge clk) begin
+        if (rst) begin
+            memwb_value <= {W{1'b0}};
+            memwb_rd    <= 5'd0;
+            memwb_we    <= 1'b0;
+            memwb_valid <= 1'b0;
+            memwb_pc    <= {W{1'b0}};
+        end else begin
+            memwb_value <= exmem_is_load ? dmem_rdata : exmem_result;
+            memwb_rd    <= exmem_rd;
+            memwb_we    <= exmem_writes_rd;
+            memwb_valid <= exmem_valid;
+            memwb_pc    <= exmem_pc;
+        end
+    end
+
+    // ------------------------------------------------ writeback
+    assign wb_we    = memwb_we;
+    assign wb_rd    = memwb_rd;
+    assign wb_value = memwb_value;
+
+    always @(posedge clk) begin
+        if (rst) begin
+            retire_pc    <= {W{1'b0}};
+            retire_valid <= 1'b0;
+        end else begin
+            retire_pc    <= memwb_pc;
+            retire_valid <= memwb_valid;
+        end
+    end
+endmodule
+)HDL";
+
+} // namespace ucx

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Synthetic register alias tables: the standard 4-wide design and
+ * the sliding-register-window variant (the RAT project of the
+ * paper's evaluation, Section 4.1).
+ */
+
+#include "designs/sources.hh"
+
+namespace ucx
+{
+
+const char *ratStandardSource = R"HDL(
+// Standard register alias table: renames up to WIDTH instructions
+// per cycle, with intra-bundle dependency checks so later slots see
+// the mappings allocated by earlier slots in the same cycle.
+module rat_standard #(parameter WIDTH = 4, parameter LREGW = 5,
+                      parameter PREGW = 7) (
+    input  wire                   clk,
+    input  wire                   rst,
+    // Per-slot rename requests (flattened).
+    input  wire [WIDTH-1:0]       req_valid,
+    input  wire [WIDTH*LREGW-1:0] lsrc1_flat,
+    input  wire [WIDTH*LREGW-1:0] lsrc2_flat,
+    input  wire [WIDTH*LREGW-1:0] ldst_flat,
+    input  wire [WIDTH*PREGW-1:0] pdst_flat,
+    // Renamed outputs.
+    output wire [WIDTH*PREGW-1:0] psrc1_flat,
+    output wire [WIDTH*PREGW-1:0] psrc2_flat
+);
+    genvar g;
+    genvar h;
+
+    reg [PREGW-1:0] map [0:(1<<LREGW)-1];
+
+    generate
+        for (g = 0; g < WIDTH; g = g + 1) begin : slot
+            wire [LREGW-1:0] s1;
+            wire [LREGW-1:0] s2;
+            assign s1 = lsrc1_flat[(g+1)*LREGW-1:g*LREGW];
+            assign s2 = lsrc2_flat[(g+1)*LREGW-1:g*LREGW];
+
+            // Table lookups.
+            wire [PREGW-1:0] t1;
+            wire [PREGW-1:0] t2;
+            assign t1 = map[s1];
+            assign t2 = map[s2];
+
+            // Intra-bundle bypass: chain of override muxes walking
+            // earlier slots; the newest older writer wins.
+            wire [(g+1)*PREGW-1:0] c1;
+            wire [(g+1)*PREGW-1:0] c2;
+            assign c1[PREGW-1:0] = t1;
+            assign c2[PREGW-1:0] = t2;
+            for (h = 0; h < g; h = h + 1) begin : dep
+                wire hit1;
+                wire hit2;
+                assign hit1 = req_valid[h] &
+                    (ldst_flat[(h+1)*LREGW-1:h*LREGW] == s1);
+                assign hit2 = req_valid[h] &
+                    (ldst_flat[(h+1)*LREGW-1:h*LREGW] == s2);
+                assign c1[(h+2)*PREGW-1:(h+1)*PREGW] = hit1
+                    ? pdst_flat[(h+1)*PREGW-1:h*PREGW]
+                    : c1[(h+1)*PREGW-1:h*PREGW];
+                assign c2[(h+2)*PREGW-1:(h+1)*PREGW] = hit2
+                    ? pdst_flat[(h+1)*PREGW-1:h*PREGW]
+                    : c2[(h+1)*PREGW-1:h*PREGW];
+            end
+            assign psrc1_flat[(g+1)*PREGW-1:g*PREGW] =
+                c1[(g+1)*PREGW-1:g*PREGW];
+            assign psrc2_flat[(g+1)*PREGW-1:g*PREGW] =
+                c2[(g+1)*PREGW-1:g*PREGW];
+
+            // Table update: last slot writing a logical register
+            // wins; earlier writes to the same register are
+            // overwritten in program order next cycle anyway, so a
+            // plain per-slot write port suffices here.
+            always @(posedge clk) begin
+                if (!rst) begin
+                    if (req_valid[g]) begin
+                        map[ldst_flat[(g+1)*LREGW-1:g*LREGW]] <=
+                            pdst_flat[(g+1)*PREGW-1:g*PREGW];
+                    end
+                end
+            end
+        end
+    endgenerate
+endmodule
+)HDL";
+
+const char *ratSlidingSource = R"HDL(
+// Register alias table with sliding register windows: logical
+// registers in the windowed range are offset by the current window
+// pointer before the table lookup (Sparc-style windows, paper
+// Section 4.1 and reference [16]).
+module rat_sliding #(parameter WIDTH = 4, parameter LREGW = 5,
+                     parameter PREGW = 7, parameter WINW = 3) (
+    input  wire                   clk,
+    input  wire                   rst,
+    input  wire [WIDTH-1:0]       req_valid,
+    input  wire [WIDTH*LREGW-1:0] lsrc1_flat,
+    input  wire [WIDTH*LREGW-1:0] lsrc2_flat,
+    input  wire [WIDTH*LREGW-1:0] ldst_flat,
+    input  wire [WIDTH*PREGW-1:0] pdst_flat,
+    // Window control: save/restore slide the window pointer.
+    input  wire                   win_save,
+    input  wire                   win_restore,
+    output wire [WIDTH*PREGW-1:0] psrc1_flat,
+    output wire [WIDTH*PREGW-1:0] psrc2_flat
+);
+    genvar g;
+    genvar h;
+
+    reg [WINW-1:0] cwp;
+    // The windowed table is larger: one window's worth of extra
+    // logical names per window position.
+    reg [PREGW-1:0] map [0:(1<<(LREGW+WINW))-1];
+
+    always @(posedge clk) begin
+        if (rst)
+            cwp <= {WINW{1'b0}};
+        else begin
+            if (win_save)
+                cwp <= cwp + 1'b1;
+            else begin
+                if (win_restore)
+                    cwp <= cwp - 1'b1;
+            end
+        end
+    end
+
+    generate
+        for (g = 0; g < WIDTH; g = g + 1) begin : slot
+            wire [LREGW-1:0] s1;
+            wire [LREGW-1:0] s2;
+            wire [LREGW-1:0] d;
+            assign s1 = lsrc1_flat[(g+1)*LREGW-1:g*LREGW];
+            assign s2 = lsrc2_flat[(g+1)*LREGW-1:g*LREGW];
+            assign d  = ldst_flat[(g+1)*LREGW-1:g*LREGW];
+
+            // Window translation: registers 8..31 are windowed (the
+            // top bit pair selects globals vs window), modeled as an
+            // adder on the table index.
+            wire [LREGW+WINW-1:0] s1_idx;
+            wire [LREGW+WINW-1:0] s2_idx;
+            wire [LREGW+WINW-1:0] d_idx;
+            wire s1_glob;
+            wire s2_glob;
+            wire d_glob;
+            assign s1_glob = ~(|s1[LREGW-1:3]);
+            assign s2_glob = ~(|s2[LREGW-1:3]);
+            assign d_glob  = ~(|d[LREGW-1:3]);
+            assign s1_idx = s1_glob
+                ? {{WINW{1'b0}}, s1}
+                : ({{WINW{1'b0}}, s1} + ({{LREGW{1'b0}}, cwp} << 3));
+            assign s2_idx = s2_glob
+                ? {{WINW{1'b0}}, s2}
+                : ({{WINW{1'b0}}, s2} + ({{LREGW{1'b0}}, cwp} << 3));
+            assign d_idx = d_glob
+                ? {{WINW{1'b0}}, d}
+                : ({{WINW{1'b0}}, d} + ({{LREGW{1'b0}}, cwp} << 3));
+
+            wire [PREGW-1:0] t1;
+            wire [PREGW-1:0] t2;
+            assign t1 = map[s1_idx];
+            assign t2 = map[s2_idx];
+
+            wire [(g+1)*PREGW-1:0] c1;
+            wire [(g+1)*PREGW-1:0] c2;
+            assign c1[PREGW-1:0] = t1;
+            assign c2[PREGW-1:0] = t2;
+            for (h = 0; h < g; h = h + 1) begin : dep
+                wire hit1;
+                wire hit2;
+                assign hit1 = req_valid[h] &
+                    (ldst_flat[(h+1)*LREGW-1:h*LREGW] == s1);
+                assign hit2 = req_valid[h] &
+                    (ldst_flat[(h+1)*LREGW-1:h*LREGW] == s2);
+                assign c1[(h+2)*PREGW-1:(h+1)*PREGW] = hit1
+                    ? pdst_flat[(h+1)*PREGW-1:h*PREGW]
+                    : c1[(h+1)*PREGW-1:h*PREGW];
+                assign c2[(h+2)*PREGW-1:(h+1)*PREGW] = hit2
+                    ? pdst_flat[(h+1)*PREGW-1:h*PREGW]
+                    : c2[(h+1)*PREGW-1:h*PREGW];
+            end
+            assign psrc1_flat[(g+1)*PREGW-1:g*PREGW] =
+                c1[(g+1)*PREGW-1:g*PREGW];
+            assign psrc2_flat[(g+1)*PREGW-1:g*PREGW] =
+                c2[(g+1)*PREGW-1:g*PREGW];
+
+            always @(posedge clk) begin
+                if (!rst) begin
+                    if (req_valid[g])
+                        map[d_idx] <=
+                            pdst_flat[(g+1)*PREGW-1:g*PREGW];
+                end
+            end
+        end
+    endgenerate
+endmodule
+)HDL";
+
+} // namespace ucx

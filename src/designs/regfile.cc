@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Synthetic register file: parameterized width/depth, two read
+ * ports, one write port, with write-through bypass.
+ */
+
+#include "designs/sources.hh"
+
+namespace ucx
+{
+
+const char *regfileSource = R"HDL(
+// Two-read one-write register file with same-cycle bypass.
+module regfile #(parameter W = 32, parameter AW = 5) (
+    input  wire          clk,
+    input  wire          we,
+    input  wire [AW-1:0] waddr,
+    input  wire [W-1:0]  wdata,
+    input  wire [AW-1:0] raddr0,
+    input  wire [AW-1:0] raddr1,
+    output wire [W-1:0]  rdata0,
+    output wire [W-1:0]  rdata1
+);
+    reg [W-1:0] regs [0:(1<<AW)-1];
+
+    always @(posedge clk) begin
+        if (we)
+            regs[waddr] <= wdata;
+    end
+
+    // Bypass a same-cycle write to a matching read.
+    wire hit0;
+    wire hit1;
+    assign hit0 = we & (raddr0 == waddr);
+    assign hit1 = we & (raddr1 == waddr);
+    assign rdata0 = hit0 ? wdata : regs[raddr0];
+    assign rdata1 = hit1 ? wdata : regs[raddr1];
+endmodule
+)HDL";
+
+} // namespace ucx

@@ -1,0 +1,95 @@
+#include "designs/registry.hh"
+
+#include "designs/sources.hh"
+#include "util/error.hh"
+
+namespace ucx
+{
+
+Design
+ShippedDesign::load() const
+{
+    Design design;
+    design.addSource(source, name + ".v");
+    return design;
+}
+
+const std::vector<ShippedDesign> &
+shippedDesigns()
+{
+    static const std::vector<ShippedDesign> designs = [] {
+        auto cat = [](std::initializer_list<const char *> parts) {
+            std::string out;
+            for (const char *p : parts)
+                out += p;
+            return out;
+        };
+        std::vector<ShippedDesign> d;
+        d.push_back({"alu", "alu",
+                     "Parameterized ALU with flags",
+                     aluSource});
+        d.push_back({"regfile", "regfile",
+                     "Two-read one-write register file with bypass",
+                     regfileSource});
+        d.push_back({"decoder", "decoder",
+                     "RISC instruction decoder",
+                     decoderSource});
+        d.push_back({"pipeline", "pipeline",
+                     "5-stage in-order pipeline (Leon3-Pipeline "
+                     "analogue)",
+                     cat({aluSource, regfileSource, decoderSource,
+                          pipelineSource})});
+        d.push_back({"fetch", "fetch",
+                     "Fetch unit with gshare predictor and BTB",
+                     fetchSource});
+        d.push_back({"cache_ctrl", "cache_ctrl",
+                     "Direct-mapped write-through cache controller",
+                     cacheCtrlSource});
+        d.push_back({"memctrl", "memctrl",
+                     "SDRAM-style memory controller",
+                     memCtrlSource});
+        d.push_back({"mmu_lite", "mmu_lite",
+                     "Fully-associative TLB (MMU-lite)",
+                     mmuLiteSource});
+        d.push_back({"issue_queue", "issue_queue",
+                     "Out-of-order issue queue with wakeup/select",
+                     issueQueueSource});
+        d.push_back({"rob", "rob",
+                     "Reorder buffer with completion tracking",
+                     robSource});
+        d.push_back({"lsq", "lsq",
+                     "Load/store queue with forwarding",
+                     lsqSource});
+        d.push_back({"exec_cluster", "exec_cluster",
+                     "Multi-lane execute cluster with bypass network",
+                     cat({aluSource, execClusterSource})});
+        d.push_back({"rat_standard", "rat_standard",
+                     "Standard 4-wide register alias table",
+                     ratStandardSource});
+        d.push_back({"rat_sliding", "rat_sliding",
+                     "Sliding-register-window alias table",
+                     ratSlidingSource});
+        d.push_back({"serial_mul", "serial_mul",
+                     "Sequential shift-add multiplier",
+                     serialMulSource});
+        d.push_back({"div_unit", "div_unit",
+                     "Restoring serial divider",
+                     dividerSource});
+        d.push_back({"scoreboard", "scoreboard",
+                     "Dual-issue in-order scoreboard",
+                     scoreboardSource});
+        return d;
+    }();
+    return designs;
+}
+
+const ShippedDesign &
+shippedDesign(const std::string &name)
+{
+    for (const auto &d : shippedDesigns())
+        if (d.name == name)
+            return d;
+    fatal("unknown shipped design '" + name + "'");
+}
+
+} // namespace ucx

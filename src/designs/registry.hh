@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Registry of the synthetic µHDL processor components shipped with
+ * the library.
+ *
+ * These stand in for the proprietary Leon3/PUMA/IVM/RAT sources the
+ * paper measured: they exercise the same measurement pipeline
+ * (parse, elaborate, synthesize, account) end to end, including
+ * parameterized modules, generate loops, and repeated instantiation
+ * — the ingredients of the Section 5.3 accounting ablation.
+ */
+
+#ifndef UCX_DESIGNS_REGISTRY_HH
+#define UCX_DESIGNS_REGISTRY_HH
+
+#include <string>
+#include <vector>
+
+#include "hdl/design.hh"
+
+namespace ucx
+{
+
+/** One shipped synthetic component. */
+struct ShippedDesign
+{
+    std::string name;        ///< Registry key, e.g. "alu".
+    std::string top;         ///< Top module name.
+    std::string description; ///< One-line description.
+    std::string source;      ///< Full µHDL source text.
+
+    /** @return The parsed design (parsing the embedded source). */
+    Design load() const;
+};
+
+/** @return All shipped designs. */
+const std::vector<ShippedDesign> &shippedDesigns();
+
+/**
+ * Look a shipped design up by name.
+ *
+ * @param name Registry key.
+ * @return The design; throws UcxError for unknown names.
+ */
+const ShippedDesign &shippedDesign(const std::string &name);
+
+} // namespace ucx
+
+#endif // UCX_DESIGNS_REGISTRY_HH

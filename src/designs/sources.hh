@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Embedded µHDL source texts of the shipped synthetic components.
+ * One translation unit per component keeps the sources reviewable.
+ */
+
+#ifndef UCX_DESIGNS_SOURCES_HH
+#define UCX_DESIGNS_SOURCES_HH
+
+namespace ucx
+{
+
+extern const char *aluSource;          ///< Parameterized ALU.
+extern const char *regfileSource;      ///< Multi-port register file.
+extern const char *decoderSource;      ///< Instruction decoder.
+extern const char *pipelineSource;     ///< 5-stage in-order pipeline.
+extern const char *fetchSource;        ///< Fetch unit with gshare.
+extern const char *cacheCtrlSource;    ///< Direct-mapped cache ctrl.
+extern const char *memCtrlSource;      ///< Memory controller FSM.
+extern const char *mmuLiteSource;      ///< TLB-based MMU-lite.
+extern const char *issueQueueSource;   ///< OoO issue queue.
+extern const char *robSource;          ///< Reorder buffer.
+extern const char *lsqSource;          ///< Load/store queue.
+extern const char *execClusterSource;  ///< Multi-lane execute cluster.
+extern const char *ratStandardSource;  ///< Standard 4-wide RAT.
+extern const char *ratSlidingSource;   ///< Sliding-window RAT.
+extern const char *serialMulSource;    ///< Sequential multiplier.
+extern const char *dividerSource;      ///< Restoring serial divider.
+extern const char *scoreboardSource;   ///< Dual-issue scoreboard.
+
+} // namespace ucx
+
+#endif // UCX_DESIGNS_SOURCES_HH

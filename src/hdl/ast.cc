@@ -1,0 +1,151 @@
+#include "hdl/ast.hh"
+
+namespace ucx
+{
+
+ExprPtr
+makeNumber(uint64_t value, int width, int line)
+{
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::Number;
+    e->value = value;
+    e->literalWidth = width;
+    e->line = line;
+    return e;
+}
+
+ExprPtr
+makeIdent(std::string name, int line)
+{
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::Ident;
+    e->name = std::move(name);
+    e->line = line;
+    return e;
+}
+
+ExprPtr
+Expr::clone() const
+{
+    auto e = std::make_unique<Expr>();
+    e->kind = kind;
+    e->line = line;
+    e->value = value;
+    e->literalWidth = literalWidth;
+    e->name = name;
+    e->unOp = unOp;
+    e->binOp = binOp;
+    if (a)
+        e->a = a->clone();
+    if (b)
+        e->b = b->clone();
+    if (c)
+        e->c = c->clone();
+    for (const auto &p : parts)
+        e->parts.push_back(p->clone());
+    return e;
+}
+
+StmtPtr
+Stmt::clone() const
+{
+    auto s = std::make_unique<Stmt>();
+    s->kind = kind;
+    s->line = line;
+    for (const auto &child : stmts)
+        s->stmts.push_back(child->clone());
+    if (cond)
+        s->cond = cond->clone();
+    if (thenStmt)
+        s->thenStmt = thenStmt->clone();
+    if (elseStmt)
+        s->elseStmt = elseStmt->clone();
+    if (subject)
+        s->subject = subject->clone();
+    for (const auto &item : items) {
+        CaseItem ci;
+        for (const auto &l : item.labels)
+            ci.labels.push_back(l->clone());
+        if (item.body)
+            ci.body = item.body->clone();
+        s->items.push_back(std::move(ci));
+    }
+    if (lhs)
+        s->lhs = lhs->clone();
+    if (rhs)
+        s->rhs = rhs->clone();
+    s->nonBlocking = nonBlocking;
+    s->loopVar = loopVar;
+    if (loopInit)
+        s->loopInit = loopInit->clone();
+    if (loopStep)
+        s->loopStep = loopStep->clone();
+    return s;
+}
+
+ItemPtr
+Item::clone() const
+{
+    auto i = std::make_unique<Item>();
+    i->kind = kind;
+    i->line = line;
+    i->isReg = isReg;
+    if (msb)
+        i->msb = msb->clone();
+    if (lsb)
+        i->lsb = lsb->clone();
+    i->names = names;
+    if (arrayLeft)
+        i->arrayLeft = arrayLeft->clone();
+    if (arrayRight)
+        i->arrayRight = arrayRight->clone();
+    i->param.name = param.name;
+    i->param.isLocal = param.isLocal;
+    i->param.line = param.line;
+    if (param.value)
+        i->param.value = param.value->clone();
+    if (lhs)
+        i->lhs = lhs->clone();
+    if (rhs)
+        i->rhs = rhs->clone();
+    i->sequential = sequential;
+    i->edges = edges;
+    if (body)
+        i->body = body->clone();
+    i->moduleName = moduleName;
+    i->instName = instName;
+    for (const auto &c : paramOverrides) {
+        Connection conn;
+        conn.port = c.port;
+        if (c.expr)
+            conn.expr = c.expr->clone();
+        i->paramOverrides.push_back(std::move(conn));
+    }
+    for (const auto &c : connections) {
+        Connection conn;
+        conn.port = c.port;
+        if (c.expr)
+            conn.expr = c.expr->clone();
+        i->connections.push_back(std::move(conn));
+    }
+    i->genvar = genvar;
+    if (genInit)
+        i->genInit = genInit->clone();
+    if (genCond)
+        i->genCond = genCond->clone();
+    if (genStep)
+        i->genStep = genStep->clone();
+    for (const auto &child : genBody)
+        i->genBody.push_back(child->clone());
+    i->genLabel = genLabel;
+    if (genIfCond)
+        i->genIfCond = genIfCond->clone();
+    for (const auto &child : genThen)
+        i->genThen.push_back(child->clone());
+    for (const auto &child : genElse)
+        i->genElse.push_back(child->clone());
+    i->genvarNames = genvarNames;
+    return i;
+}
+
+} // namespace ucx

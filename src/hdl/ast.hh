@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Abstract syntax tree for µHDL.
+ *
+ * Plain structs with a kind tag; consumers dispatch on the kind.
+ * Ownership is by std::unique_ptr down the tree.
+ */
+
+#ifndef UCX_HDL_AST_HH
+#define UCX_HDL_AST_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ucx
+{
+
+// ---------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------
+
+/** Expression node kinds. */
+enum class ExprKind
+{
+    Number,   ///< Literal, possibly sized.
+    Ident,    ///< Signal, parameter, or genvar reference.
+    Index,    ///< Bit select or memory-word select base[idx].
+    Range,    ///< Part select base[msb:lsb].
+    Unary,    ///< Unary or reduction operator.
+    Binary,   ///< Binary operator.
+    Ternary,  ///< cond ? a : b.
+    Concat,   ///< {a, b, ...}.
+    Repl,     ///< {n{expr}}.
+};
+
+/** Unary operator kinds. */
+enum class UnOp
+{
+    Plus, Minus, Not, BitNot, RedAnd, RedOr, RedXor,
+};
+
+/** Binary operator kinds. */
+enum class BinOp
+{
+    Add, Sub, Mul, Div, Mod,
+    And, Or, Xor,
+    LogAnd, LogOr,
+    Eq, Ne, Lt, Le, Gt, Ge,
+    Shl, Shr,
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/** One expression node. */
+struct Expr
+{
+    ExprKind kind;
+    int line = 0;
+
+    // Number.
+    uint64_t value = 0;
+    int literalWidth = -1; ///< -1 for unsized literals.
+
+    // Ident / Index / Range base name.
+    std::string name;
+
+    // Unary / Binary operators.
+    UnOp unOp = UnOp::Plus;
+    BinOp binOp = BinOp::Add;
+
+    // Children: operands / index / range bounds / concat parts /
+    // replication (count in a, body in b).
+    ExprPtr a;
+    ExprPtr b;
+    ExprPtr c;
+    std::vector<ExprPtr> parts;
+
+    /** Deep copy (used when unrolling generate loops). */
+    ExprPtr clone() const;
+};
+
+/** @return A number literal expression. */
+ExprPtr makeNumber(uint64_t value, int width = -1, int line = 0);
+
+/** @return An identifier expression. */
+ExprPtr makeIdent(std::string name, int line = 0);
+
+// ---------------------------------------------------------------
+// Statements (procedural code inside always blocks)
+// ---------------------------------------------------------------
+
+/** Statement node kinds. */
+enum class StmtKind
+{
+    Block,  ///< begin ... end.
+    If,     ///< if/else.
+    Case,   ///< case/casez.
+    Assign, ///< Blocking or non-blocking assignment.
+    For,    ///< Procedural for loop with integer induction.
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/** One arm of a case statement. */
+struct CaseItem
+{
+    std::vector<ExprPtr> labels; ///< Empty for the default arm.
+    StmtPtr body;
+};
+
+/** One procedural statement. */
+struct Stmt
+{
+    StmtKind kind;
+    int line = 0;
+
+    std::vector<StmtPtr> stmts; ///< Block children.
+
+    ExprPtr cond;               ///< If/For condition.
+    StmtPtr thenStmt;           ///< If-then / For body.
+    StmtPtr elseStmt;           ///< If-else.
+
+    ExprPtr subject;            ///< Case subject.
+    std::vector<CaseItem> items; ///< Case arms.
+
+    // Assignment.
+    ExprPtr lhs;
+    ExprPtr rhs;
+    bool nonBlocking = false;
+
+    // For loop: name and bounds of the induction variable.
+    std::string loopVar;
+    ExprPtr loopInit;
+    ExprPtr loopStep; ///< RHS of the step assignment.
+
+    /** Deep copy (used when unrolling generate loops). */
+    StmtPtr clone() const;
+};
+
+// ---------------------------------------------------------------
+// Module items
+// ---------------------------------------------------------------
+
+/** Port direction. */
+enum class PortDir
+{
+    Input,
+    Output,
+    Inout,
+};
+
+/** An ANSI-style port declaration in the module header. */
+struct Port
+{
+    PortDir dir = PortDir::Input;
+    bool isReg = false;   ///< Declared as output reg.
+    ExprPtr msb;          ///< Null for 1-bit ports.
+    ExprPtr lsb;
+    std::string name;
+    int line = 0;
+};
+
+/** A module parameter (or localparam). */
+struct Param
+{
+    std::string name;
+    ExprPtr value;
+    bool isLocal = false;
+    int line = 0;
+};
+
+/** Module item kinds. */
+enum class ItemKind
+{
+    Net,         ///< wire/reg declaration (possibly a memory).
+    Localparam,  ///< localparam declaration.
+    ContAssign,  ///< assign lhs = rhs.
+    Always,      ///< always block.
+    Instance,    ///< Module instantiation.
+    GenFor,      ///< generate for loop.
+    GenIf,       ///< generate if.
+    Genvar,      ///< genvar declaration.
+};
+
+/** Clock/reset edge sensitivity of a sequential always block. */
+struct EdgeEvent
+{
+    bool posedge = true;
+    std::string signal;
+};
+
+struct Item;
+using ItemPtr = std::unique_ptr<Item>;
+
+/** One named connection of an instantiation. */
+struct Connection
+{
+    std::string port;
+    ExprPtr expr; ///< Null for unconnected ports: .p().
+};
+
+/** One module item. */
+struct Item
+{
+    ItemKind kind;
+    int line = 0;
+
+    // Net declaration.
+    bool isReg = false;
+    ExprPtr msb;
+    ExprPtr lsb;
+    std::vector<std::string> names;
+    ExprPtr arrayLeft;  ///< Memory bound: reg [..] m [left:right].
+    ExprPtr arrayRight;
+
+    // Localparam.
+    Param param;
+
+    // Continuous assignment.
+    ExprPtr lhs;
+    ExprPtr rhs;
+
+    // Always block.
+    bool sequential = false;       ///< True for @(posedge ...).
+    std::vector<EdgeEvent> edges;  ///< Edge list when sequential.
+    StmtPtr body;
+
+    // Instance.
+    std::string moduleName;
+    std::string instName;
+    std::vector<Connection> paramOverrides;
+    std::vector<Connection> connections;
+
+    // Generate for.
+    std::string genvar;
+    ExprPtr genInit;
+    ExprPtr genCond;
+    ExprPtr genStep;
+    std::vector<ItemPtr> genBody;
+    std::string genLabel;
+
+    // Generate if.
+    ExprPtr genIfCond;
+    std::vector<ItemPtr> genThen;
+    std::vector<ItemPtr> genElse;
+
+    // Genvar declaration.
+    std::vector<std::string> genvarNames;
+
+    /** Deep copy (used when unrolling nested generates). */
+    ItemPtr clone() const;
+};
+
+/** One µHDL module. */
+struct Module
+{
+    std::string name;
+    std::vector<Param> params; ///< Header parameters, in order.
+    std::vector<Port> ports;
+    std::vector<ItemPtr> items;
+    int line = 0;
+};
+
+/** A parsed source file: a list of modules. */
+struct SourceFile
+{
+    std::string file;
+    std::vector<Module> modules;
+};
+
+} // namespace ucx
+
+#endif // UCX_HDL_AST_HH

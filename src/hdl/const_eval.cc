@@ -1,0 +1,107 @@
+#include "hdl/const_eval.hh"
+
+#include "util/error.hh"
+
+namespace ucx
+{
+
+int64_t
+evalConst(const Expr &expr, const ConstEnv &env)
+{
+    switch (expr.kind) {
+      case ExprKind::Number:
+        return static_cast<int64_t>(expr.value);
+      case ExprKind::Ident: {
+        auto it = env.find(expr.name);
+        require(it != env.end(),
+                "'" + expr.name + "' is not a constant (line " +
+                    std::to_string(expr.line) + ")");
+        return it->second;
+      }
+      case ExprKind::Unary: {
+        int64_t v = evalConst(*expr.a, env);
+        switch (expr.unOp) {
+          case UnOp::Plus: return v;
+          case UnOp::Minus: return -v;
+          case UnOp::Not: return v == 0 ? 1 : 0;
+          case UnOp::BitNot: return ~v;
+          case UnOp::RedAnd:
+          case UnOp::RedOr:
+          case UnOp::RedXor:
+            fatal("reduction operators are not constant expressions");
+        }
+        break;
+      }
+      case ExprKind::Binary: {
+        int64_t a = evalConst(*expr.a, env);
+        int64_t b = evalConst(*expr.b, env);
+        switch (expr.binOp) {
+          case BinOp::Add: return a + b;
+          case BinOp::Sub: return a - b;
+          case BinOp::Mul: return a * b;
+          case BinOp::Div:
+            require(b != 0, "constant division by zero");
+            return a / b;
+          case BinOp::Mod:
+            require(b != 0, "constant modulo by zero");
+            return a % b;
+          case BinOp::And: return a & b;
+          case BinOp::Or: return a | b;
+          case BinOp::Xor: return a ^ b;
+          case BinOp::LogAnd: return (a != 0 && b != 0) ? 1 : 0;
+          case BinOp::LogOr: return (a != 0 || b != 0) ? 1 : 0;
+          case BinOp::Eq: return a == b ? 1 : 0;
+          case BinOp::Ne: return a != b ? 1 : 0;
+          case BinOp::Lt: return a < b ? 1 : 0;
+          case BinOp::Le: return a <= b ? 1 : 0;
+          case BinOp::Gt: return a > b ? 1 : 0;
+          case BinOp::Ge: return a >= b ? 1 : 0;
+          case BinOp::Shl:
+            require(b >= 0 && b < 63, "bad constant shift amount");
+            return a << b;
+          case BinOp::Shr:
+            require(b >= 0 && b < 63, "bad constant shift amount");
+            return static_cast<int64_t>(
+                static_cast<uint64_t>(a) >> b);
+        }
+        break;
+      }
+      case ExprKind::Ternary:
+        return evalConst(*expr.a, env) != 0 ? evalConst(*expr.b, env)
+                                            : evalConst(*expr.c, env);
+      case ExprKind::Index:
+      case ExprKind::Range:
+      case ExprKind::Concat:
+      case ExprKind::Repl:
+        fatal("expression is not a compile-time constant (line " +
+              std::to_string(expr.line) + ")");
+    }
+    panic("unreachable expression kind in evalConst");
+}
+
+bool
+isConst(const Expr &expr, const ConstEnv &env)
+{
+    switch (expr.kind) {
+      case ExprKind::Number:
+        return true;
+      case ExprKind::Ident:
+        return env.count(expr.name) > 0;
+      case ExprKind::Unary:
+        return expr.unOp != UnOp::RedAnd && expr.unOp != UnOp::RedOr &&
+               expr.unOp != UnOp::RedXor && isConst(*expr.a, env);
+      case ExprKind::Binary:
+        return isConst(*expr.a, env) && isConst(*expr.b, env);
+      case ExprKind::Ternary:
+        return isConst(*expr.a, env) && isConst(*expr.b, env) &&
+               isConst(*expr.c, env);
+      case ExprKind::Index:
+      case ExprKind::Range:
+      case ExprKind::Concat:
+      case ExprKind::Repl:
+        return false;
+    }
+    return false;
+}
+
+} // namespace ucx

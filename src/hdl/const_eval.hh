@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Constant expression evaluation for µHDL: parameter values, widths,
+ * generate bounds.
+ *
+ * This is also where the paper's notion of "degenerate
+ * parameterization" becomes checkable: the elaborator uses these
+ * evaluations to decide which generate loops and conditionals
+ * survive constant propagation (paper Section 2.2).
+ */
+
+#ifndef UCX_HDL_CONST_EVAL_HH
+#define UCX_HDL_CONST_EVAL_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "hdl/ast.hh"
+
+namespace ucx
+{
+
+/** Environment mapping parameter/genvar names to constant values. */
+using ConstEnv = std::map<std::string, int64_t>;
+
+/**
+ * Evaluate a constant expression.
+ *
+ * @param expr Expression containing only literals, names bound in
+ *             @p env, and pure operators.
+ * @param env  Name bindings.
+ * @return The value; throws UcxError on unbound names, division by
+ *         zero, or non-constant constructs (selects, concats of
+ *         signals).
+ */
+int64_t evalConst(const Expr &expr, const ConstEnv &env);
+
+/**
+ * Check whether an expression is constant under an environment
+ * (i.e. evalConst would succeed).
+ *
+ * @param expr Expression to test.
+ * @param env  Name bindings.
+ * @return True when the expression is a compile-time constant.
+ */
+bool isConst(const Expr &expr, const ConstEnv &env);
+
+} // namespace ucx
+
+#endif // UCX_HDL_CONST_EVAL_HH

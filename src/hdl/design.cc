@@ -1,0 +1,46 @@
+#include "hdl/design.hh"
+
+#include "hdl/parser.hh"
+#include "util/error.hh"
+
+namespace ucx
+{
+
+void
+Design::addSource(const std::string &source, const std::string &file)
+{
+    SourceFile sf = parseSource(source, file);
+    for (auto &mod : sf.modules)
+        addModule(std::move(mod));
+    source_ += source;
+    if (!source_.empty() && source_.back() != '\n')
+        source_ += '\n';
+}
+
+void
+Design::addModule(Module module)
+{
+    // Take the key before moving: the RHS of the map assignment is
+    // sequenced before the subscript expression.
+    std::string name = module.name;
+    require(modules_.find(name) == modules_.end(),
+            "duplicate module '" + name + "'");
+    order_.push_back(name);
+    modules_[name] = std::make_shared<Module>(std::move(module));
+}
+
+const Module &
+Design::module(const std::string &name) const
+{
+    auto it = modules_.find(name);
+    require(it != modules_.end(), "unknown module '" + name + "'");
+    return *it->second;
+}
+
+bool
+Design::hasModule(const std::string &name) const
+{
+    return modules_.find(name) != modules_.end();
+}
+
+} // namespace ucx

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * A design: a set of parsed modules with name lookup, the unit the
+ * elaborator and the accounting procedure operate on.
+ */
+
+#ifndef UCX_HDL_DESIGN_HH
+#define UCX_HDL_DESIGN_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hdl/ast.hh"
+
+namespace ucx
+{
+
+/** A collection of modules forming one design. */
+class Design
+{
+  public:
+    /** Create an empty design. */
+    Design() = default;
+
+    /**
+     * Parse source text and add its modules.
+     *
+     * @param source µHDL source text.
+     * @param file   File name for diagnostics.
+     */
+    void addSource(const std::string &source,
+                   const std::string &file = "<input>");
+
+    /**
+     * Add an already-parsed module.
+     *
+     * @param module Module to add; duplicate names are an error.
+     */
+    void addModule(Module module);
+
+    /**
+     * Look a module up by name.
+     *
+     * @param name Module name.
+     * @return The module; throws UcxError when missing.
+     */
+    const Module &module(const std::string &name) const;
+
+    /** @return True when a module with this name exists. */
+    bool hasModule(const std::string &name) const;
+
+    /** @return All module names in insertion order. */
+    const std::vector<std::string> &moduleNames() const
+    {
+        return order_;
+    }
+
+    /** @return Concatenated source text of everything added. */
+    const std::string &sourceText() const { return source_; }
+
+  private:
+    std::map<std::string, std::shared_ptr<Module>> modules_;
+    std::vector<std::string> order_;
+    std::string source_;
+};
+
+} // namespace ucx
+
+#endif // UCX_HDL_DESIGN_HH

@@ -1,0 +1,402 @@
+#include "hdl/lexer.hh"
+
+#include <cctype>
+#include <unordered_map>
+
+#include "util/error.hh"
+
+namespace ucx
+{
+
+const char *
+tokName(Tok tok)
+{
+    switch (tok) {
+      case Tok::Identifier: return "identifier";
+      case Tok::Number: return "number";
+      case Tok::KwModule: return "'module'";
+      case Tok::KwEndmodule: return "'endmodule'";
+      case Tok::KwInput: return "'input'";
+      case Tok::KwOutput: return "'output'";
+      case Tok::KwInout: return "'inout'";
+      case Tok::KwWire: return "'wire'";
+      case Tok::KwReg: return "'reg'";
+      case Tok::KwParameter: return "'parameter'";
+      case Tok::KwLocalparam: return "'localparam'";
+      case Tok::KwAssign: return "'assign'";
+      case Tok::KwAlways: return "'always'";
+      case Tok::KwBegin: return "'begin'";
+      case Tok::KwEnd: return "'end'";
+      case Tok::KwIf: return "'if'";
+      case Tok::KwElse: return "'else'";
+      case Tok::KwCase: return "'case'";
+      case Tok::KwCasez: return "'casez'";
+      case Tok::KwEndcase: return "'endcase'";
+      case Tok::KwDefault: return "'default'";
+      case Tok::KwFor: return "'for'";
+      case Tok::KwGenerate: return "'generate'";
+      case Tok::KwEndgenerate: return "'endgenerate'";
+      case Tok::KwGenvar: return "'genvar'";
+      case Tok::KwPosedge: return "'posedge'";
+      case Tok::KwNegedge: return "'negedge'";
+      case Tok::KwInteger: return "'integer'";
+      case Tok::KwSigned: return "'signed'";
+      case Tok::LParen: return "'('";
+      case Tok::RParen: return "')'";
+      case Tok::LBracket: return "'['";
+      case Tok::RBracket: return "']'";
+      case Tok::LBrace: return "'{'";
+      case Tok::RBrace: return "'}'";
+      case Tok::Comma: return "','";
+      case Tok::Semicolon: return "';'";
+      case Tok::Colon: return "':'";
+      case Tok::Dot: return "'.'";
+      case Tok::Hash: return "'#'";
+      case Tok::At: return "'@'";
+      case Tok::Question: return "'?'";
+      case Tok::Assign: return "'='";
+      case Tok::NonBlocking: return "'<='";
+      case Tok::Plus: return "'+'";
+      case Tok::Minus: return "'-'";
+      case Tok::Star: return "'*'";
+      case Tok::Slash: return "'/'";
+      case Tok::Percent: return "'%'";
+      case Tok::Amp: return "'&'";
+      case Tok::Pipe: return "'|'";
+      case Tok::Caret: return "'^'";
+      case Tok::Tilde: return "'~'";
+      case Tok::Bang: return "'!'";
+      case Tok::AmpAmp: return "'&&'";
+      case Tok::PipePipe: return "'||'";
+      case Tok::EqEq: return "'=='";
+      case Tok::BangEq: return "'!='";
+      case Tok::Lt: return "'<'";
+      case Tok::Gt: return "'>'";
+      case Tok::GtEq: return "'>='";
+      case Tok::Shl: return "'<<'";
+      case Tok::Shr: return "'>>'";
+      case Tok::Eof: return "end of input";
+    }
+    return "?";
+}
+
+namespace
+{
+
+const std::unordered_map<std::string, Tok> &
+keywords()
+{
+    static const std::unordered_map<std::string, Tok> map = {
+        {"module", Tok::KwModule},
+        {"endmodule", Tok::KwEndmodule},
+        {"input", Tok::KwInput},
+        {"output", Tok::KwOutput},
+        {"inout", Tok::KwInout},
+        {"wire", Tok::KwWire},
+        {"reg", Tok::KwReg},
+        {"parameter", Tok::KwParameter},
+        {"localparam", Tok::KwLocalparam},
+        {"assign", Tok::KwAssign},
+        {"always", Tok::KwAlways},
+        {"begin", Tok::KwBegin},
+        {"end", Tok::KwEnd},
+        {"if", Tok::KwIf},
+        {"else", Tok::KwElse},
+        {"case", Tok::KwCase},
+        {"casez", Tok::KwCasez},
+        {"endcase", Tok::KwEndcase},
+        {"default", Tok::KwDefault},
+        {"for", Tok::KwFor},
+        {"generate", Tok::KwGenerate},
+        {"endgenerate", Tok::KwEndgenerate},
+        {"genvar", Tok::KwGenvar},
+        {"posedge", Tok::KwPosedge},
+        {"negedge", Tok::KwNegedge},
+        {"integer", Tok::KwInteger},
+        {"signed", Tok::KwSigned},
+    };
+    return map;
+}
+
+} // namespace
+
+Lexer::Lexer(std::string source, std::string file)
+    : source_(std::move(source)), file_(std::move(file))
+{}
+
+void
+Lexer::error(const std::string &msg) const
+{
+    fatal(file_ + ":" + std::to_string(line_) + ":" +
+          std::to_string(column_) + ": " + msg);
+}
+
+char
+Lexer::peek(size_t ahead) const
+{
+    if (pos_ + ahead >= source_.size())
+        return '\0';
+    return source_[pos_ + ahead];
+}
+
+char
+Lexer::advance()
+{
+    char c = source_[pos_++];
+    if (c == '\n') {
+        ++line_;
+        column_ = 1;
+    } else {
+        ++column_;
+    }
+    return c;
+}
+
+bool
+Lexer::atEnd() const
+{
+    return pos_ >= source_.size();
+}
+
+void
+Lexer::skipWhitespaceAndComments()
+{
+    while (!atEnd()) {
+        char c = peek();
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            advance();
+        } else if (c == '/' && peek(1) == '/') {
+            while (!atEnd() && peek() != '\n')
+                advance();
+        } else if (c == '/' && peek(1) == '*') {
+            int start_line = line_;
+            advance();
+            advance();
+            while (!atEnd() && !(peek() == '*' && peek(1) == '/'))
+                advance();
+            if (atEnd()) {
+                line_ = start_line;
+                error("unterminated block comment");
+            }
+            advance();
+            advance();
+        } else {
+            break;
+        }
+    }
+}
+
+Token
+Lexer::makeToken(Tok kind) const
+{
+    Token t;
+    t.kind = kind;
+    t.line = line_;
+    t.column = column_;
+    return t;
+}
+
+Token
+Lexer::lexNumber()
+{
+    Token t = makeToken(Tok::Number);
+
+    auto read_digits = [&](int base) {
+        uint64_t v = 0;
+        bool any = false;
+        while (!atEnd()) {
+            char c = peek();
+            int digit = -1;
+            if (c == '_') {
+                advance();
+                continue;
+            }
+            if (std::isdigit(static_cast<unsigned char>(c)))
+                digit = c - '0';
+            else if (base == 16 && std::isxdigit(
+                         static_cast<unsigned char>(c)))
+                digit = std::tolower(c) - 'a' + 10;
+            else
+                break;
+            if (digit >= base)
+                break;
+            v = v * base + static_cast<uint64_t>(digit);
+            t.text += c;
+            any = true;
+            advance();
+        }
+        if (!any)
+            error("expected digits in numeric literal");
+        return v;
+    };
+
+    uint64_t first = 0;
+    bool have_first = false;
+    if (peek() != '\'') {
+        first = read_digits(10);
+        have_first = true;
+    }
+
+    if (peek() == '\'') {
+        advance();
+        char basec = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(peek())));
+        int base = 0;
+        switch (basec) {
+          case 'b': base = 2; break;
+          case 'o': base = 8; break;
+          case 'd': base = 10; break;
+          case 'h': base = 16; break;
+          default:
+            error("bad base character in sized literal");
+        }
+        advance();
+        t.text += '\'';
+        t.text += basec;
+        t.value = read_digits(base);
+        t.width = have_first ? static_cast<int>(first) : -1;
+        if (t.width == 0)
+            error("literal width must be >= 1");
+    } else {
+        t.value = first;
+        t.width = -1;
+    }
+    return t;
+}
+
+Token
+Lexer::lexIdentifierOrKeyword()
+{
+    Token t = makeToken(Tok::Identifier);
+    while (!atEnd()) {
+        char c = peek();
+        if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+            c == '$') {
+            t.text += c;
+            advance();
+        } else {
+            break;
+        }
+    }
+    auto it = keywords().find(t.text);
+    if (it != keywords().end())
+        t.kind = it->second;
+    return t;
+}
+
+Token
+Lexer::lexOperator()
+{
+    Token t = makeToken(Tok::Eof);
+    char c = advance();
+    switch (c) {
+      case '(': t.kind = Tok::LParen; break;
+      case ')': t.kind = Tok::RParen; break;
+      case '[': t.kind = Tok::LBracket; break;
+      case ']': t.kind = Tok::RBracket; break;
+      case '{': t.kind = Tok::LBrace; break;
+      case '}': t.kind = Tok::RBrace; break;
+      case ',': t.kind = Tok::Comma; break;
+      case ';': t.kind = Tok::Semicolon; break;
+      case ':': t.kind = Tok::Colon; break;
+      case '.': t.kind = Tok::Dot; break;
+      case '#': t.kind = Tok::Hash; break;
+      case '@': t.kind = Tok::At; break;
+      case '?': t.kind = Tok::Question; break;
+      case '+': t.kind = Tok::Plus; break;
+      case '-': t.kind = Tok::Minus; break;
+      case '*': t.kind = Tok::Star; break;
+      case '/': t.kind = Tok::Slash; break;
+      case '%': t.kind = Tok::Percent; break;
+      case '~': t.kind = Tok::Tilde; break;
+      case '^': t.kind = Tok::Caret; break;
+      case '&':
+        if (peek() == '&') {
+            advance();
+            t.kind = Tok::AmpAmp;
+        } else {
+            t.kind = Tok::Amp;
+        }
+        break;
+      case '|':
+        if (peek() == '|') {
+            advance();
+            t.kind = Tok::PipePipe;
+        } else {
+            t.kind = Tok::Pipe;
+        }
+        break;
+      case '=':
+        if (peek() == '=') {
+            advance();
+            t.kind = Tok::EqEq;
+        } else {
+            t.kind = Tok::Assign;
+        }
+        break;
+      case '!':
+        if (peek() == '=') {
+            advance();
+            t.kind = Tok::BangEq;
+        } else {
+            t.kind = Tok::Bang;
+        }
+        break;
+      case '<':
+        if (peek() == '=') {
+            advance();
+            t.kind = Tok::NonBlocking;
+        } else if (peek() == '<') {
+            advance();
+            t.kind = Tok::Shl;
+        } else {
+            t.kind = Tok::Lt;
+        }
+        break;
+      case '>':
+        if (peek() == '=') {
+            advance();
+            t.kind = Tok::GtEq;
+        } else if (peek() == '>') {
+            advance();
+            t.kind = Tok::Shr;
+        } else {
+            t.kind = Tok::Gt;
+        }
+        break;
+      default:
+        error(std::string("unexpected character '") + c + "'");
+    }
+    return t;
+}
+
+std::vector<Token>
+Lexer::tokenize()
+{
+    std::vector<Token> tokens;
+    while (true) {
+        skipWhitespaceAndComments();
+        if (atEnd())
+            break;
+        char c = peek();
+        int line = line_;
+        int col = column_;
+        Token t;
+        if (std::isdigit(static_cast<unsigned char>(c)) || c == '\'') {
+            t = lexNumber();
+        } else if (std::isalpha(static_cast<unsigned char>(c)) ||
+                   c == '_' || c == '$') {
+            t = lexIdentifierOrKeyword();
+        } else {
+            t = lexOperator();
+        }
+        t.line = line;
+        t.column = col;
+        tokens.push_back(std::move(t));
+    }
+    Token eof = makeToken(Tok::Eof);
+    tokens.push_back(eof);
+    return tokens;
+}
+
+} // namespace ucx

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Lexer for µHDL source text.
+ *
+ * Also the authority for the paper's two source metrics: it exposes
+ * the line/comment structure that the LoC counter needs.
+ */
+
+#ifndef UCX_HDL_LEXER_HH
+#define UCX_HDL_LEXER_HH
+
+#include <string>
+#include <vector>
+
+#include "hdl/token.hh"
+
+namespace ucx
+{
+
+/** Converts µHDL source text into a token stream. */
+class Lexer
+{
+  public:
+    /**
+     * Create a lexer.
+     *
+     * @param source Full source text.
+     * @param file   File name used in diagnostics.
+     */
+    explicit Lexer(std::string source, std::string file = "<input>");
+
+    /**
+     * Lex the whole input.
+     *
+     * @return All tokens, terminated by one Tok::Eof token. Throws
+     *         UcxError on malformed input (bad literal, stray char,
+     *         unterminated block comment).
+     */
+    std::vector<Token> tokenize();
+
+    /** @return The file name given at construction. */
+    const std::string &file() const { return file_; }
+
+  private:
+    [[noreturn]] void error(const std::string &msg) const;
+
+    char peek(size_t ahead = 0) const;
+    char advance();
+    bool atEnd() const;
+    void skipWhitespaceAndComments();
+
+    Token lexNumber();
+    Token lexIdentifierOrKeyword();
+    Token lexOperator();
+
+    Token makeToken(Tok kind) const;
+
+    std::string source_;
+    std::string file_;
+    size_t pos_ = 0;
+    int line_ = 1;
+    int column_ = 1;
+};
+
+} // namespace ucx
+
+#endif // UCX_HDL_LEXER_HH

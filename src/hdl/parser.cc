@@ -1,0 +1,925 @@
+#include "hdl/parser.hh"
+
+#include "hdl/lexer.hh"
+#include "util/error.hh"
+
+namespace ucx
+{
+
+Parser::Parser(std::vector<Token> tokens, std::string file)
+    : tokens_(std::move(tokens)), file_(std::move(file))
+{
+    require(!tokens_.empty() && tokens_.back().kind == Tok::Eof,
+            "token stream must end in Eof");
+}
+
+void
+Parser::error(const std::string &msg) const
+{
+    const Token &t = peek();
+    fatal(file_ + ":" + std::to_string(t.line) + ": " + msg +
+          " (found " + tokName(t.kind) +
+          (t.text.empty() ? "" : " '" + t.text + "'") + ")");
+}
+
+const Token &
+Parser::peek(size_t ahead) const
+{
+    size_t idx = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[idx];
+}
+
+const Token &
+Parser::advance()
+{
+    const Token &t = tokens_[pos_];
+    if (pos_ + 1 < tokens_.size())
+        ++pos_;
+    return t;
+}
+
+bool
+Parser::check(Tok kind) const
+{
+    return peek().kind == kind;
+}
+
+bool
+Parser::match(Tok kind)
+{
+    if (!check(kind))
+        return false;
+    advance();
+    return true;
+}
+
+const Token &
+Parser::expect(Tok kind, const std::string &context)
+{
+    if (!check(kind))
+        error("expected " + std::string(tokName(kind)) + " " + context);
+    return advance();
+}
+
+SourceFile
+Parser::parse()
+{
+    SourceFile sf;
+    sf.file = file_;
+    while (!check(Tok::Eof)) {
+        if (!check(Tok::KwModule))
+            error("expected 'module' at top level");
+        sf.modules.push_back(parseModule());
+    }
+    return sf;
+}
+
+Module
+Parser::parseModule()
+{
+    Module mod;
+    mod.line = peek().line;
+    expect(Tok::KwModule, "to start a module");
+    mod.name = expect(Tok::Identifier, "after 'module'").text;
+
+    if (match(Tok::Hash)) {
+        expect(Tok::LParen, "after '#'");
+        do {
+            match(Tok::KwParameter); // keyword optional after comma
+            mod.params.push_back(parseParam(false));
+        } while (match(Tok::Comma));
+        expect(Tok::RParen, "to close parameter list");
+    }
+
+    expect(Tok::LParen, "to open the port list");
+    if (!check(Tok::RParen)) {
+        do {
+            parsePortGroup(mod.ports);
+        } while (match(Tok::Comma));
+    }
+    expect(Tok::RParen, "to close the port list");
+    expect(Tok::Semicolon, "after the module header");
+
+    while (!check(Tok::KwEndmodule)) {
+        if (check(Tok::Eof))
+            error("unterminated module '" + mod.name + "'");
+        ItemPtr item = parseItem();
+        if (item)
+            mod.items.push_back(std::move(item));
+    }
+    expect(Tok::KwEndmodule, "to close the module");
+    return mod;
+}
+
+Param
+Parser::parseParam(bool is_local)
+{
+    Param p;
+    p.isLocal = is_local;
+    p.line = peek().line;
+    p.name = expect(Tok::Identifier, "as parameter name").text;
+    expect(Tok::Assign, "after parameter name");
+    p.value = parseExpr();
+    return p;
+}
+
+void
+Parser::parsePortGroup(std::vector<Port> &ports)
+{
+    PortDir dir = PortDir::Input;
+    if (match(Tok::KwInput))
+        dir = PortDir::Input;
+    else if (match(Tok::KwOutput))
+        dir = PortDir::Output;
+    else if (match(Tok::KwInout))
+        dir = PortDir::Inout;
+    else
+        error("expected a port direction");
+
+    bool is_reg = false;
+    if (match(Tok::KwReg))
+        is_reg = true;
+    else
+        match(Tok::KwWire);
+    match(Tok::KwSigned);
+
+    Port port;
+    port.dir = dir;
+    port.isReg = is_reg;
+    port.line = peek().line;
+    parseRange(port.msb, port.lsb);
+    port.name = expect(Tok::Identifier, "as port name").text;
+    ports.push_back(std::move(port));
+}
+
+bool
+Parser::parseRange(ExprPtr &msb, ExprPtr &lsb)
+{
+    if (!match(Tok::LBracket))
+        return false;
+    msb = parseExpr();
+    expect(Tok::Colon, "inside a range");
+    lsb = parseExpr();
+    expect(Tok::RBracket, "to close a range");
+    return true;
+}
+
+ItemPtr
+Parser::parseItem()
+{
+    switch (peek().kind) {
+      case Tok::KwWire:
+      case Tok::KwReg:
+        return parseNetDecl();
+      case Tok::KwInteger:
+        return parseIntegerDecl();
+      case Tok::KwGenvar:
+        return parseGenvarDecl();
+      case Tok::KwLocalparam:
+        return parseLocalparam();
+      case Tok::KwParameter: {
+        // Body parameter declaration; treated like localparam with
+        // override-ability handled at elaboration.
+        advance();
+        auto item = std::make_unique<Item>();
+        item->kind = ItemKind::Localparam;
+        item->line = peek().line;
+        item->param = parseParam(false);
+        expect(Tok::Semicolon, "after parameter declaration");
+        return item;
+      }
+      case Tok::KwAssign:
+        return parseContAssign();
+      case Tok::KwAlways:
+        return parseAlways();
+      case Tok::KwGenerate: {
+        advance();
+        auto region = std::make_unique<Item>();
+        // A generate region is just a container; we inline its items
+        // into a GenIf with constant-true condition for simplicity.
+        region->kind = ItemKind::GenIf;
+        region->line = peek().line;
+        region->genIfCond = makeNumber(1, -1, peek().line);
+        while (!check(Tok::KwEndgenerate)) {
+            if (check(Tok::Eof))
+                error("unterminated generate region");
+            ItemPtr item = parseItem();
+            if (item)
+                region->genThen.push_back(std::move(item));
+        }
+        expect(Tok::KwEndgenerate, "to close generate");
+        return region;
+      }
+      case Tok::KwFor:
+        return parseGenFor();
+      case Tok::KwIf:
+        return parseGenIf();
+      case Tok::Identifier:
+        return parseInstance();
+      default:
+        error("expected a module item");
+    }
+}
+
+ItemPtr
+Parser::parseNetDecl()
+{
+    auto item = std::make_unique<Item>();
+    item->kind = ItemKind::Net;
+    item->line = peek().line;
+    item->isReg = check(Tok::KwReg);
+    advance(); // wire or reg
+    match(Tok::KwSigned);
+    parseRange(item->msb, item->lsb);
+
+    item->names.push_back(
+        expect(Tok::Identifier, "as net name").text);
+    if (match(Tok::LBracket)) {
+        item->arrayLeft = parseExpr();
+        expect(Tok::Colon, "inside memory bounds");
+        item->arrayRight = parseExpr();
+        expect(Tok::RBracket, "to close memory bounds");
+    } else {
+        while (match(Tok::Comma)) {
+            item->names.push_back(
+                expect(Tok::Identifier, "as net name").text);
+        }
+    }
+    expect(Tok::Semicolon, "after net declaration");
+    return item;
+}
+
+ItemPtr
+Parser::parseIntegerDecl()
+{
+    // Procedural loop variables: compile-time only, same handling as
+    // genvars.
+    expect(Tok::KwInteger, "to start integer declaration");
+    auto item = std::make_unique<Item>();
+    item->kind = ItemKind::Genvar;
+    item->line = peek().line;
+    do {
+        item->genvarNames.push_back(
+            expect(Tok::Identifier, "as integer name").text);
+    } while (match(Tok::Comma));
+    expect(Tok::Semicolon, "after integer declaration");
+    return item;
+}
+
+ItemPtr
+Parser::parseGenvarDecl()
+{
+    expect(Tok::KwGenvar, "to start genvar declaration");
+    auto item = std::make_unique<Item>();
+    item->kind = ItemKind::Genvar;
+    item->line = peek().line;
+    do {
+        item->genvarNames.push_back(
+            expect(Tok::Identifier, "as genvar name").text);
+    } while (match(Tok::Comma));
+    expect(Tok::Semicolon, "after genvar declaration");
+    return item;
+}
+
+ItemPtr
+Parser::parseLocalparam()
+{
+    expect(Tok::KwLocalparam, "to start localparam");
+    auto item = std::make_unique<Item>();
+    item->kind = ItemKind::Localparam;
+    item->line = peek().line;
+    item->param = parseParam(true);
+    expect(Tok::Semicolon, "after localparam");
+    return item;
+}
+
+ItemPtr
+Parser::parseContAssign()
+{
+    expect(Tok::KwAssign, "to start continuous assignment");
+    auto item = std::make_unique<Item>();
+    item->kind = ItemKind::ContAssign;
+    item->line = peek().line;
+    item->lhs = parseLvalue();
+    expect(Tok::Assign, "in continuous assignment");
+    item->rhs = parseExpr();
+    expect(Tok::Semicolon, "after continuous assignment");
+    return item;
+}
+
+ItemPtr
+Parser::parseAlways()
+{
+    expect(Tok::KwAlways, "to start always block");
+    auto item = std::make_unique<Item>();
+    item->kind = ItemKind::Always;
+    item->line = peek().line;
+    expect(Tok::At, "after 'always'");
+
+    if (match(Tok::Star)) {
+        item->sequential = false;
+    } else {
+        expect(Tok::LParen, "after '@'");
+        if (match(Tok::Star)) {
+            item->sequential = false;
+        } else if (check(Tok::KwPosedge) || check(Tok::KwNegedge)) {
+            item->sequential = true;
+            do {
+                EdgeEvent ev;
+                if (match(Tok::KwPosedge)) {
+                    ev.posedge = true;
+                } else {
+                    expect(Tok::KwNegedge, "in sensitivity list");
+                    ev.posedge = false;
+                }
+                ev.signal =
+                    expect(Tok::Identifier, "after edge keyword").text;
+                item->edges.push_back(std::move(ev));
+                // Accept both ',' and 'or' separators.
+                if (match(Tok::Comma))
+                    continue;
+                if (check(Tok::Identifier) && peek().text == "or") {
+                    advance();
+                    continue;
+                }
+                break;
+            } while (true);
+        } else {
+            // Plain identifier sensitivity list: combinational.
+            item->sequential = false;
+            do {
+                expect(Tok::Identifier, "in sensitivity list");
+                if (match(Tok::Comma))
+                    continue;
+                if (check(Tok::Identifier) && peek().text == "or") {
+                    advance();
+                    continue;
+                }
+                break;
+            } while (true);
+        }
+        expect(Tok::RParen, "to close sensitivity list");
+    }
+
+    item->body = parseStmt();
+    return item;
+}
+
+ItemPtr
+Parser::parseInstance()
+{
+    auto item = std::make_unique<Item>();
+    item->kind = ItemKind::Instance;
+    item->line = peek().line;
+    item->moduleName = expect(Tok::Identifier, "as module name").text;
+
+    if (match(Tok::Hash)) {
+        expect(Tok::LParen, "after '#'");
+        do {
+            Connection conn;
+            expect(Tok::Dot, "in parameter override");
+            conn.port =
+                expect(Tok::Identifier, "as parameter name").text;
+            expect(Tok::LParen, "after parameter name");
+            conn.expr = parseExpr();
+            expect(Tok::RParen, "to close parameter override");
+            item->paramOverrides.push_back(std::move(conn));
+        } while (match(Tok::Comma));
+        expect(Tok::RParen, "to close parameter overrides");
+    }
+
+    item->instName = expect(Tok::Identifier, "as instance name").text;
+    expect(Tok::LParen, "to open port connections");
+    if (!check(Tok::RParen)) {
+        do {
+            Connection conn;
+            expect(Tok::Dot, "in port connection");
+            conn.port = expect(Tok::Identifier, "as port name").text;
+            expect(Tok::LParen, "after port name");
+            if (!check(Tok::RParen))
+                conn.expr = parseExpr();
+            expect(Tok::RParen, "to close port connection");
+            item->connections.push_back(std::move(conn));
+        } while (match(Tok::Comma));
+    }
+    expect(Tok::RParen, "to close port connections");
+    expect(Tok::Semicolon, "after instantiation");
+    return item;
+}
+
+std::vector<ItemPtr>
+Parser::parseGenBlock()
+{
+    std::vector<ItemPtr> items;
+    if (match(Tok::KwBegin)) {
+        if (match(Tok::Colon))
+            expect(Tok::Identifier, "as generate block label");
+        while (!check(Tok::KwEnd)) {
+            if (check(Tok::Eof))
+                error("unterminated generate block");
+            ItemPtr item = parseItem();
+            if (item)
+                items.push_back(std::move(item));
+        }
+        expect(Tok::KwEnd, "to close generate block");
+    } else {
+        items.push_back(parseItem());
+    }
+    return items;
+}
+
+ItemPtr
+Parser::parseGenFor()
+{
+    auto item = std::make_unique<Item>();
+    item->kind = ItemKind::GenFor;
+    item->line = peek().line;
+    expect(Tok::KwFor, "to start generate for");
+    expect(Tok::LParen, "after 'for'");
+    item->genvar = expect(Tok::Identifier, "as loop variable").text;
+    expect(Tok::Assign, "in loop init");
+    item->genInit = parseExpr();
+    expect(Tok::Semicolon, "after loop init");
+    item->genCond = parseExpr();
+    expect(Tok::Semicolon, "after loop condition");
+    std::string step_var =
+        expect(Tok::Identifier, "as loop step variable").text;
+    if (step_var != item->genvar)
+        error("loop step must assign the loop variable");
+    expect(Tok::Assign, "in loop step");
+    item->genStep = parseExpr();
+    expect(Tok::RParen, "to close loop header");
+    item->genBody = parseGenBlock();
+    return item;
+}
+
+ItemPtr
+Parser::parseGenIf()
+{
+    auto item = std::make_unique<Item>();
+    item->kind = ItemKind::GenIf;
+    item->line = peek().line;
+    expect(Tok::KwIf, "to start generate if");
+    expect(Tok::LParen, "after 'if'");
+    item->genIfCond = parseExpr();
+    expect(Tok::RParen, "to close generate if condition");
+    item->genThen = parseGenBlock();
+    if (match(Tok::KwElse)) {
+        if (check(Tok::KwIf)) {
+            item->genElse.push_back(parseGenIf());
+        } else {
+            item->genElse = parseGenBlock();
+        }
+    }
+    return item;
+}
+
+StmtPtr
+Parser::parseStmt()
+{
+    switch (peek().kind) {
+      case Tok::KwBegin:
+        return parseBlock();
+      case Tok::KwIf:
+        return parseIf();
+      case Tok::KwCase:
+        advance();
+        return parseCase(false);
+      case Tok::KwCasez:
+        advance();
+        return parseCase(true);
+      case Tok::KwFor:
+        return parseFor();
+      case Tok::Identifier:
+      case Tok::LBrace:
+        return parseAssignStmt();
+      default:
+        error("expected a statement");
+    }
+}
+
+StmtPtr
+Parser::parseBlock()
+{
+    auto s = std::make_unique<Stmt>();
+    s->kind = StmtKind::Block;
+    s->line = peek().line;
+    expect(Tok::KwBegin, "to open block");
+    if (match(Tok::Colon))
+        expect(Tok::Identifier, "as block label");
+    while (!check(Tok::KwEnd)) {
+        if (check(Tok::Eof))
+            error("unterminated begin/end block");
+        s->stmts.push_back(parseStmt());
+    }
+    expect(Tok::KwEnd, "to close block");
+    return s;
+}
+
+StmtPtr
+Parser::parseIf()
+{
+    auto s = std::make_unique<Stmt>();
+    s->kind = StmtKind::If;
+    s->line = peek().line;
+    expect(Tok::KwIf, "to start if");
+    expect(Tok::LParen, "after 'if'");
+    s->cond = parseExpr();
+    expect(Tok::RParen, "to close if condition");
+    s->thenStmt = parseStmt();
+    if (match(Tok::KwElse))
+        s->elseStmt = parseStmt();
+    return s;
+}
+
+StmtPtr
+Parser::parseCase(bool casez)
+{
+    (void)casez; // casez wildcards are not supported in labels; the
+                 // keyword is accepted for source compatibility.
+    auto s = std::make_unique<Stmt>();
+    s->kind = StmtKind::Case;
+    s->line = peek().line;
+    expect(Tok::LParen, "after 'case'");
+    s->subject = parseExpr();
+    expect(Tok::RParen, "to close case subject");
+    while (!check(Tok::KwEndcase)) {
+        if (check(Tok::Eof))
+            error("unterminated case statement");
+        CaseItem item;
+        if (match(Tok::KwDefault)) {
+            match(Tok::Colon);
+        } else {
+            do {
+                item.labels.push_back(parseExpr());
+            } while (match(Tok::Comma));
+            expect(Tok::Colon, "after case labels");
+        }
+        item.body = parseStmt();
+        s->items.push_back(std::move(item));
+    }
+    expect(Tok::KwEndcase, "to close case");
+    return s;
+}
+
+StmtPtr
+Parser::parseFor()
+{
+    auto s = std::make_unique<Stmt>();
+    s->kind = StmtKind::For;
+    s->line = peek().line;
+    expect(Tok::KwFor, "to start for loop");
+    expect(Tok::LParen, "after 'for'");
+    s->loopVar = expect(Tok::Identifier, "as loop variable").text;
+    expect(Tok::Assign, "in loop init");
+    s->loopInit = parseExpr();
+    expect(Tok::Semicolon, "after loop init");
+    s->cond = parseExpr();
+    expect(Tok::Semicolon, "after loop condition");
+    std::string step_var =
+        expect(Tok::Identifier, "as loop step variable").text;
+    if (step_var != s->loopVar)
+        error("loop step must assign the loop variable");
+    expect(Tok::Assign, "in loop step");
+    s->loopStep = parseExpr();
+    expect(Tok::RParen, "to close loop header");
+    s->thenStmt = parseStmt();
+    return s;
+}
+
+StmtPtr
+Parser::parseAssignStmt()
+{
+    auto s = std::make_unique<Stmt>();
+    s->kind = StmtKind::Assign;
+    s->line = peek().line;
+    s->lhs = parseLvalue();
+    if (match(Tok::NonBlocking)) {
+        s->nonBlocking = true;
+    } else {
+        expect(Tok::Assign, "in assignment");
+        s->nonBlocking = false;
+    }
+    s->rhs = parseExpr();
+    expect(Tok::Semicolon, "after assignment");
+    return s;
+}
+
+ExprPtr
+Parser::parseLvalue()
+{
+    if (check(Tok::LBrace)) {
+        // Concatenation lvalue.
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::Concat;
+        e->line = peek().line;
+        advance();
+        do {
+            e->parts.push_back(parseLvalue());
+        } while (match(Tok::Comma));
+        expect(Tok::RBrace, "to close lvalue concatenation");
+        return e;
+    }
+
+    const Token &id = expect(Tok::Identifier, "as assignment target");
+    ExprPtr e = makeIdent(id.text, id.line);
+    while (check(Tok::LBracket)) {
+        advance();
+        ExprPtr first = parseExpr();
+        if (match(Tok::Colon)) {
+            auto range = std::make_unique<Expr>();
+            range->kind = ExprKind::Range;
+            range->line = id.line;
+            range->name = e->name;
+            range->a = std::move(first);
+            range->b = parseExpr();
+            expect(Tok::RBracket, "to close part select");
+            require(e->kind == ExprKind::Ident,
+                    "part select only allowed on plain identifiers");
+            e = std::move(range);
+        } else {
+            auto idx = std::make_unique<Expr>();
+            idx->kind = ExprKind::Index;
+            idx->line = id.line;
+            idx->a = std::move(e);
+            idx->b = std::move(first);
+            expect(Tok::RBracket, "to close index");
+            e = std::move(idx);
+        }
+    }
+    return e;
+}
+
+ExprPtr
+Parser::parseExpr()
+{
+    return parseTernary();
+}
+
+ExprPtr
+Parser::parseTernary()
+{
+    ExprPtr cond = parseLogOr();
+    if (!match(Tok::Question))
+        return cond;
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::Ternary;
+    e->line = cond->line;
+    e->a = std::move(cond);
+    e->b = parseExpr();
+    expect(Tok::Colon, "in ternary expression");
+    e->c = parseExpr();
+    return e;
+}
+
+namespace
+{
+
+ExprPtr
+makeBinary(BinOp op, ExprPtr lhs, ExprPtr rhs)
+{
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::Binary;
+    e->binOp = op;
+    e->line = lhs->line;
+    e->a = std::move(lhs);
+    e->b = std::move(rhs);
+    return e;
+}
+
+} // namespace
+
+ExprPtr
+Parser::parseLogOr()
+{
+    ExprPtr e = parseLogAnd();
+    while (match(Tok::PipePipe))
+        e = makeBinary(BinOp::LogOr, std::move(e), parseLogAnd());
+    return e;
+}
+
+ExprPtr
+Parser::parseLogAnd()
+{
+    ExprPtr e = parseBitOr();
+    while (match(Tok::AmpAmp))
+        e = makeBinary(BinOp::LogAnd, std::move(e), parseBitOr());
+    return e;
+}
+
+ExprPtr
+Parser::parseBitOr()
+{
+    ExprPtr e = parseBitXor();
+    while (match(Tok::Pipe))
+        e = makeBinary(BinOp::Or, std::move(e), parseBitXor());
+    return e;
+}
+
+ExprPtr
+Parser::parseBitXor()
+{
+    ExprPtr e = parseBitAnd();
+    while (match(Tok::Caret))
+        e = makeBinary(BinOp::Xor, std::move(e), parseBitAnd());
+    return e;
+}
+
+ExprPtr
+Parser::parseBitAnd()
+{
+    ExprPtr e = parseEquality();
+    while (match(Tok::Amp))
+        e = makeBinary(BinOp::And, std::move(e), parseEquality());
+    return e;
+}
+
+ExprPtr
+Parser::parseEquality()
+{
+    ExprPtr e = parseRelational();
+    while (true) {
+        if (match(Tok::EqEq))
+            e = makeBinary(BinOp::Eq, std::move(e), parseRelational());
+        else if (match(Tok::BangEq))
+            e = makeBinary(BinOp::Ne, std::move(e), parseRelational());
+        else
+            break;
+    }
+    return e;
+}
+
+ExprPtr
+Parser::parseRelational()
+{
+    ExprPtr e = parseShift();
+    while (true) {
+        if (match(Tok::Lt))
+            e = makeBinary(BinOp::Lt, std::move(e), parseShift());
+        else if (match(Tok::NonBlocking)) // '<=' is Le in expressions
+            e = makeBinary(BinOp::Le, std::move(e), parseShift());
+        else if (match(Tok::Gt))
+            e = makeBinary(BinOp::Gt, std::move(e), parseShift());
+        else if (match(Tok::GtEq))
+            e = makeBinary(BinOp::Ge, std::move(e), parseShift());
+        else
+            break;
+    }
+    return e;
+}
+
+ExprPtr
+Parser::parseShift()
+{
+    ExprPtr e = parseAdditive();
+    while (true) {
+        if (match(Tok::Shl))
+            e = makeBinary(BinOp::Shl, std::move(e), parseAdditive());
+        else if (match(Tok::Shr))
+            e = makeBinary(BinOp::Shr, std::move(e), parseAdditive());
+        else
+            break;
+    }
+    return e;
+}
+
+ExprPtr
+Parser::parseAdditive()
+{
+    ExprPtr e = parseMultiplicative();
+    while (true) {
+        if (match(Tok::Plus))
+            e = makeBinary(BinOp::Add, std::move(e),
+                           parseMultiplicative());
+        else if (match(Tok::Minus))
+            e = makeBinary(BinOp::Sub, std::move(e),
+                           parseMultiplicative());
+        else
+            break;
+    }
+    return e;
+}
+
+ExprPtr
+Parser::parseMultiplicative()
+{
+    ExprPtr e = parseUnary();
+    while (true) {
+        if (match(Tok::Star))
+            e = makeBinary(BinOp::Mul, std::move(e), parseUnary());
+        else if (match(Tok::Slash))
+            e = makeBinary(BinOp::Div, std::move(e), parseUnary());
+        else if (match(Tok::Percent))
+            e = makeBinary(BinOp::Mod, std::move(e), parseUnary());
+        else
+            break;
+    }
+    return e;
+}
+
+ExprPtr
+Parser::parseUnary()
+{
+    auto make_unary = [&](UnOp op) {
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::Unary;
+        e->unOp = op;
+        e->line = peek().line;
+        e->a = parseUnary();
+        return e;
+    };
+    if (match(Tok::Tilde))
+        return make_unary(UnOp::BitNot);
+    if (match(Tok::Bang))
+        return make_unary(UnOp::Not);
+    if (match(Tok::Minus))
+        return make_unary(UnOp::Minus);
+    if (match(Tok::Plus))
+        return make_unary(UnOp::Plus);
+    if (match(Tok::Amp))
+        return make_unary(UnOp::RedAnd);
+    if (match(Tok::Pipe))
+        return make_unary(UnOp::RedOr);
+    if (match(Tok::Caret))
+        return make_unary(UnOp::RedXor);
+    return parsePrimary();
+}
+
+ExprPtr
+Parser::parsePrimary()
+{
+    if (check(Tok::Number)) {
+        const Token &t = advance();
+        return makeNumber(t.value, t.width, t.line);
+    }
+    if (match(Tok::LParen)) {
+        ExprPtr e = parseExpr();
+        expect(Tok::RParen, "to close parenthesized expression");
+        return e;
+    }
+    if (check(Tok::LBrace)) {
+        int line = peek().line;
+        advance();
+        ExprPtr first = parseExpr();
+        if (check(Tok::LBrace)) {
+            // Replication {n{expr}}.
+            advance();
+            auto e = std::make_unique<Expr>();
+            e->kind = ExprKind::Repl;
+            e->line = line;
+            e->a = std::move(first);
+            e->b = parseExpr();
+            expect(Tok::RBrace, "to close replication body");
+            expect(Tok::RBrace, "to close replication");
+            return e;
+        }
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::Concat;
+        e->line = line;
+        e->parts.push_back(std::move(first));
+        while (match(Tok::Comma))
+            e->parts.push_back(parseExpr());
+        expect(Tok::RBrace, "to close concatenation");
+        return e;
+    }
+    if (check(Tok::Identifier)) {
+        const Token &id = advance();
+        ExprPtr e = makeIdent(id.text, id.line);
+        while (check(Tok::LBracket)) {
+            advance();
+            ExprPtr first = parseExpr();
+            if (match(Tok::Colon)) {
+                auto range = std::make_unique<Expr>();
+                range->kind = ExprKind::Range;
+                range->line = id.line;
+                require(e->kind == ExprKind::Ident,
+                        "part select only allowed on identifiers");
+                range->name = e->name;
+                range->a = std::move(first);
+                range->b = parseExpr();
+                expect(Tok::RBracket, "to close part select");
+                e = std::move(range);
+            } else {
+                auto idx = std::make_unique<Expr>();
+                idx->kind = ExprKind::Index;
+                idx->line = id.line;
+                idx->a = std::move(e);
+                idx->b = std::move(first);
+                expect(Tok::RBracket, "to close index");
+                e = std::move(idx);
+            }
+        }
+        return e;
+    }
+    error("expected an expression");
+}
+
+SourceFile
+parseSource(const std::string &source, const std::string &file)
+{
+    Lexer lexer(source, file);
+    Parser parser(lexer.tokenize(), file);
+    return parser.parse();
+}
+
+} // namespace ucx

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Recursive-descent parser for µHDL.
+ */
+
+#ifndef UCX_HDL_PARSER_HH
+#define UCX_HDL_PARSER_HH
+
+#include <string>
+#include <vector>
+
+#include "hdl/ast.hh"
+#include "hdl/token.hh"
+
+namespace ucx
+{
+
+/** Parses a token stream into a SourceFile AST. */
+class Parser
+{
+  public:
+    /**
+     * Create a parser.
+     *
+     * @param tokens Token stream ending in Tok::Eof.
+     * @param file   File name used in diagnostics.
+     */
+    Parser(std::vector<Token> tokens, std::string file = "<input>");
+
+    /**
+     * Parse the whole input.
+     *
+     * @return The parsed source file. Throws UcxError with a
+     *         line-numbered message on syntax errors.
+     */
+    SourceFile parse();
+
+  private:
+    [[noreturn]] void error(const std::string &msg) const;
+
+    const Token &peek(size_t ahead = 0) const;
+    const Token &advance();
+    bool check(Tok kind) const;
+    bool match(Tok kind);
+    const Token &expect(Tok kind, const std::string &context);
+
+    Module parseModule();
+    Param parseParam(bool is_local);
+    void parsePortGroup(std::vector<Port> &ports);
+    ItemPtr parseItem();
+    ItemPtr parseNetDecl();
+    ItemPtr parseIntegerDecl();
+    ItemPtr parseGenvarDecl();
+    ItemPtr parseLocalparam();
+    ItemPtr parseContAssign();
+    ItemPtr parseAlways();
+    ItemPtr parseInstance();
+    ItemPtr parseGenFor();
+    ItemPtr parseGenIf();
+    std::vector<ItemPtr> parseGenBlock();
+
+    StmtPtr parseStmt();
+    StmtPtr parseBlock();
+    StmtPtr parseIf();
+    StmtPtr parseCase(bool casez);
+    StmtPtr parseFor();
+    StmtPtr parseAssignStmt();
+
+    ExprPtr parseExpr();
+    ExprPtr parseTernary();
+    ExprPtr parseLogOr();
+    ExprPtr parseLogAnd();
+    ExprPtr parseBitOr();
+    ExprPtr parseBitXor();
+    ExprPtr parseBitAnd();
+    ExprPtr parseEquality();
+    ExprPtr parseRelational();
+    ExprPtr parseShift();
+    ExprPtr parseAdditive();
+    ExprPtr parseMultiplicative();
+    ExprPtr parseUnary();
+    ExprPtr parsePrimary();
+    ExprPtr parseLvalue();
+
+    /** Parse an optional [msb:lsb] range into out parameters. */
+    bool parseRange(ExprPtr &msb, ExprPtr &lsb);
+
+    std::vector<Token> tokens_;
+    std::string file_;
+    size_t pos_ = 0;
+};
+
+/**
+ * Convenience: lex and parse source text in one call.
+ *
+ * @param source µHDL source text.
+ * @param file   File name for diagnostics.
+ * @return The parsed source file.
+ */
+SourceFile parseSource(const std::string &source,
+                       const std::string &file = "<input>");
+
+} // namespace ucx
+
+#endif // UCX_HDL_PARSER_HH

@@ -1,0 +1,156 @@
+#include "hdl/source_metrics.hh"
+
+#include <cctype>
+
+#include "hdl/parser.hh"
+
+namespace ucx
+{
+
+size_t
+countLoc(const std::string &source)
+{
+    size_t loc = 0;
+    bool in_block_comment = false;
+    bool line_has_code = false;
+    bool in_line_comment = false;
+
+    for (size_t i = 0; i <= source.size(); ++i) {
+        char c = i < source.size() ? source[i] : '\n';
+        if (c == '\n') {
+            if (line_has_code)
+                ++loc;
+            line_has_code = false;
+            in_line_comment = false;
+            continue;
+        }
+        if (in_line_comment)
+            continue;
+        if (in_block_comment) {
+            if (c == '*' && i + 1 < source.size() &&
+                source[i + 1] == '/') {
+                in_block_comment = false;
+                ++i;
+            }
+            continue;
+        }
+        if (c == '/' && i + 1 < source.size()) {
+            if (source[i + 1] == '/') {
+                in_line_comment = true;
+                ++i;
+                continue;
+            }
+            if (source[i + 1] == '*') {
+                in_block_comment = true;
+                ++i;
+                continue;
+            }
+        }
+        if (!std::isspace(static_cast<unsigned char>(c)))
+            line_has_code = true;
+    }
+    return loc;
+}
+
+namespace
+{
+
+size_t countStmt(const Stmt &stmt);
+
+size_t
+countStmtList(const std::vector<StmtPtr> &stmts)
+{
+    size_t n = 0;
+    for (const auto &s : stmts)
+        n += countStmt(*s);
+    return n;
+}
+
+size_t
+countStmt(const Stmt &stmt)
+{
+    switch (stmt.kind) {
+      case StmtKind::Block:
+        return countStmtList(stmt.stmts);
+      case StmtKind::If: {
+        size_t n = 1 + countStmt(*stmt.thenStmt);
+        if (stmt.elseStmt)
+            n += countStmt(*stmt.elseStmt);
+        return n;
+      }
+      case StmtKind::Case: {
+        size_t n = 1;
+        for (const auto &item : stmt.items)
+            n += countStmt(*item.body);
+        return n;
+      }
+      case StmtKind::Assign:
+        return 1;
+      case StmtKind::For:
+        return 1 + countStmt(*stmt.thenStmt);
+    }
+    return 0;
+}
+
+size_t countItem(const Item &item);
+
+size_t
+countItemList(const std::vector<ItemPtr> &items)
+{
+    size_t n = 0;
+    for (const auto &i : items)
+        n += countItem(*i);
+    return n;
+}
+
+size_t
+countItem(const Item &item)
+{
+    switch (item.kind) {
+      case ItemKind::Net:
+        return item.names.size();
+      case ItemKind::Localparam:
+        return 1;
+      case ItemKind::ContAssign:
+        return 1;
+      case ItemKind::Always:
+        return 1 + countStmt(*item.body);
+      case ItemKind::Instance:
+        return 1;
+      case ItemKind::GenFor:
+        return 1 + countItemList(item.genBody);
+      case ItemKind::GenIf: {
+        size_t n = 1 + countItemList(item.genThen);
+        n += countItemList(item.genElse);
+        return n;
+      }
+      case ItemKind::Genvar:
+        return item.genvarNames.size();
+    }
+    return 0;
+}
+
+} // namespace
+
+size_t
+countStmts(const Module &module)
+{
+    // Ports and parameters count one statement each: they are
+    // declarations the designer wrote.
+    size_t n = module.ports.size() + module.params.size();
+    n += countItemList(module.items);
+    return n;
+}
+
+SourceMetrics
+measureSource(const std::string &source, const std::string &file)
+{
+    SourceMetrics m;
+    m.loc = countLoc(source);
+    SourceFile sf = parseSource(source, file);
+    for (const auto &mod : sf.modules)
+        m.stmts += countStmts(mod);
+    return m;
+}
+
+} // namespace ucx

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Source metrics of paper Table 3: LoC (lines of HDL code) and Stmts
+ * (HDL statements).
+ *
+ * Following the paper, these are measured on the source text/AST and
+ * need no synthesis; they are available as soon as a module is
+ * written (Section 2.5 requires metrics measurable before
+ * verification starts).
+ */
+
+#ifndef UCX_HDL_SOURCE_METRICS_HH
+#define UCX_HDL_SOURCE_METRICS_HH
+
+#include <cstddef>
+#include <string>
+
+#include "hdl/ast.hh"
+
+namespace ucx
+{
+
+/** Measured source metrics of one source text or module. */
+struct SourceMetrics
+{
+    size_t loc = 0;   ///< Code lines (excluding blank/comment-only).
+    size_t stmts = 0; ///< Statement count (see countStmts).
+};
+
+/**
+ * Count lines of code in µHDL source text. Blank lines and lines
+ * containing only comments do not count; a line with any code does.
+ *
+ * @param source Full source text.
+ * @return Number of code lines.
+ */
+size_t countLoc(const std::string &source);
+
+/**
+ * Count statements in a module: declarations (one per declared
+ * name), continuous assignments, procedural statements (assignments,
+ * if, case arms, for), instantiations, and generate constructs.
+ *
+ * @param module Parsed module.
+ * @return Statement count.
+ */
+size_t countStmts(const Module &module);
+
+/**
+ * Measure a whole source file: LoC from the text, Stmts summed over
+ * its modules.
+ *
+ * @param source Source text.
+ * @param file   File name for diagnostics.
+ * @return Both source metrics.
+ */
+SourceMetrics measureSource(const std::string &source,
+                            const std::string &file = "<input>");
+
+} // namespace ucx
+
+#endif // UCX_HDL_SOURCE_METRICS_HH

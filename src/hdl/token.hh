@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Token definitions for the µHDL front end.
+ *
+ * µHDL is the Verilog-2001 subset implemented by this reproduction:
+ * enough of the language to express the synthetic processor
+ * components in src/designs and to exercise the paper's accounting
+ * procedure (parameters, generate loops, hierarchical designs).
+ */
+
+#ifndef UCX_HDL_TOKEN_HH
+#define UCX_HDL_TOKEN_HH
+
+#include <cstdint>
+#include <string>
+
+namespace ucx
+{
+
+/** Kinds of µHDL tokens. */
+enum class Tok
+{
+    // Literals and identifiers.
+    Identifier,
+    Number,      ///< Possibly sized/based literal.
+    // Keywords.
+    KwModule, KwEndmodule, KwInput, KwOutput, KwInout, KwWire, KwReg,
+    KwParameter, KwLocalparam, KwAssign, KwAlways, KwBegin, KwEnd,
+    KwIf, KwElse, KwCase, KwCasez, KwEndcase, KwDefault, KwFor,
+    KwGenerate, KwEndgenerate, KwGenvar, KwPosedge, KwNegedge,
+    KwInteger, KwSigned,
+    // Punctuation.
+    LParen, RParen, LBracket, RBracket, LBrace, RBrace,
+    Comma, Semicolon, Colon, Dot, Hash, At, Question,
+    // Operators.
+    Assign,        ///< =
+    NonBlocking,   ///< <=  (also less-equal; parser disambiguates)
+    Plus, Minus, Star, Slash, Percent,
+    Amp, Pipe, Caret, Tilde, Bang,
+    AmpAmp, PipePipe, EqEq, BangEq,
+    Lt, Gt, GtEq, Shl, Shr,
+    // End of input.
+    Eof,
+};
+
+/** @return A printable name for a token kind (for diagnostics). */
+const char *tokName(Tok tok);
+
+/** One lexed token. */
+struct Token
+{
+    Tok kind = Tok::Eof;
+    std::string text;   ///< Source spelling (identifiers, numbers).
+    uint64_t value = 0; ///< Numeric value for Tok::Number.
+    int width = -1;     ///< Literal bit width, -1 when unsized.
+    int line = 0;       ///< 1-based source line.
+    int column = 0;     ///< 1-based source column.
+};
+
+} // namespace ucx
+
+#endif // UCX_HDL_TOKEN_HH

@@ -1,0 +1,219 @@
+#include "linalg/decompose.hh"
+
+#include <cmath>
+
+#include "util/error.hh"
+
+namespace ucx
+{
+
+Cholesky::Cholesky(const Matrix &a)
+{
+    require(a.square(), "Cholesky needs a square matrix");
+    size_t n = a.rows();
+    l_ = Matrix(n, n);
+    for (size_t j = 0; j < n; ++j) {
+        double diag = a(j, j);
+        for (size_t k = 0; k < j; ++k)
+            diag -= l_(j, k) * l_(j, k);
+        require(diag > 0.0, "matrix is not positive definite");
+        l_(j, j) = std::sqrt(diag);
+        for (size_t i = j + 1; i < n; ++i) {
+            double sum = a(i, j);
+            for (size_t k = 0; k < j; ++k)
+                sum -= l_(i, k) * l_(j, k);
+            l_(i, j) = sum / l_(j, j);
+        }
+    }
+}
+
+Vector
+Cholesky::solve(const Vector &b) const
+{
+    size_t n = l_.rows();
+    require(b.size() == n, "rhs size mismatch in Cholesky::solve");
+    // Forward substitution L y = b.
+    Vector y(n);
+    for (size_t i = 0; i < n; ++i) {
+        double sum = b[i];
+        for (size_t k = 0; k < i; ++k)
+            sum -= l_(i, k) * y[k];
+        y[i] = sum / l_(i, i);
+    }
+    // Back substitution L^T x = y.
+    Vector x(n);
+    for (size_t ii = n; ii-- > 0;) {
+        double sum = y[ii];
+        for (size_t k = ii + 1; k < n; ++k)
+            sum -= l_(k, ii) * x[k];
+        x[ii] = sum / l_(ii, ii);
+    }
+    return x;
+}
+
+double
+Cholesky::logDet() const
+{
+    double sum = 0.0;
+    for (size_t i = 0; i < l_.rows(); ++i)
+        sum += std::log(l_(i, i));
+    return 2.0 * sum;
+}
+
+Lu::Lu(const Matrix &a)
+    : lu_(a)
+{
+    require(a.square(), "LU needs a square matrix");
+    size_t n = a.rows();
+    perm_.resize(n);
+    for (size_t i = 0; i < n; ++i)
+        perm_[i] = i;
+
+    for (size_t col = 0; col < n; ++col) {
+        // Partial pivoting.
+        size_t pivot = col;
+        double best = std::abs(lu_(col, col));
+        for (size_t r = col + 1; r < n; ++r) {
+            if (std::abs(lu_(r, col)) > best) {
+                best = std::abs(lu_(r, col));
+                pivot = r;
+            }
+        }
+        require(best > 1e-300, "singular matrix in LU");
+        if (pivot != col) {
+            for (size_t c = 0; c < n; ++c)
+                std::swap(lu_(pivot, c), lu_(col, c));
+            std::swap(perm_[pivot], perm_[col]);
+            sign_ = -sign_;
+        }
+        for (size_t r = col + 1; r < n; ++r) {
+            lu_(r, col) /= lu_(col, col);
+            double f = lu_(r, col);
+            for (size_t c = col + 1; c < n; ++c)
+                lu_(r, c) -= f * lu_(col, c);
+        }
+    }
+}
+
+Vector
+Lu::solve(const Vector &b) const
+{
+    size_t n = lu_.rows();
+    require(b.size() == n, "rhs size mismatch in Lu::solve");
+    Vector y(n);
+    for (size_t i = 0; i < n; ++i) {
+        double sum = b[perm_[i]];
+        for (size_t k = 0; k < i; ++k)
+            sum -= lu_(i, k) * y[k];
+        y[i] = sum;
+    }
+    Vector x(n);
+    for (size_t ii = n; ii-- > 0;) {
+        double sum = y[ii];
+        for (size_t k = ii + 1; k < n; ++k)
+            sum -= lu_(ii, k) * x[k];
+        x[ii] = sum / lu_(ii, ii);
+    }
+    return x;
+}
+
+double
+Lu::det() const
+{
+    double d = sign_;
+    for (size_t i = 0; i < lu_.rows(); ++i)
+        d *= lu_(i, i);
+    return d;
+}
+
+Qr::Qr(const Matrix &a)
+    : qr_(a)
+{
+    require(a.rows() >= a.cols(), "QR needs rows >= cols");
+    size_t m = a.rows();
+    size_t n = a.cols();
+    betas_.assign(n, 0.0);
+
+    for (size_t j = 0; j < n; ++j) {
+        // Householder vector for column j.
+        double nrm = 0.0;
+        for (size_t i = j; i < m; ++i)
+            nrm += qr_(i, j) * qr_(i, j);
+        nrm = std::sqrt(nrm);
+        if (nrm == 0.0) {
+            betas_[j] = 0.0;
+            continue;
+        }
+        double alpha = qr_(j, j) >= 0 ? -nrm : nrm;
+        double v0 = qr_(j, j) - alpha;
+        qr_(j, j) = alpha;
+        // Store v in the subdiagonal (scaled so v0 is implicit).
+        double vnorm2 = v0 * v0;
+        for (size_t i = j + 1; i < m; ++i)
+            vnorm2 += qr_(i, j) * qr_(i, j);
+        if (vnorm2 == 0.0) {
+            betas_[j] = 0.0;
+            continue;
+        }
+        betas_[j] = 2.0 / vnorm2;
+        // Apply the reflector to the trailing columns. We keep v's
+        // tail in place below the diagonal and remember v0 via the
+        // scaling trick: normalize tail by v0 at apply time instead.
+        for (size_t c = j + 1; c < n; ++c) {
+            double s = v0 * qr_(j, c);
+            for (size_t i = j + 1; i < m; ++i)
+                s += qr_(i, j) * qr_(i, c);
+            s *= betas_[j];
+            qr_(j, c) -= s * v0;
+            for (size_t i = j + 1; i < m; ++i)
+                qr_(i, c) -= s * qr_(i, j);
+        }
+        // Persist v0 by scaling the stored tail so that v0 == 1.
+        for (size_t i = j + 1; i < m; ++i)
+            qr_(i, j) /= v0;
+        betas_[j] *= v0 * v0;
+    }
+}
+
+Vector
+Qr::solveLeastSquares(const Vector &b) const
+{
+    size_t m = qr_.rows();
+    size_t n = qr_.cols();
+    require(b.size() == m, "rhs size mismatch in Qr");
+    Vector y(b);
+    // Apply Q^T: for each reflector j with implicit v0 == 1.
+    for (size_t j = 0; j < n; ++j) {
+        if (betas_[j] == 0.0)
+            continue;
+        double s = y[j];
+        for (size_t i = j + 1; i < m; ++i)
+            s += qr_(i, j) * y[i];
+        s *= betas_[j];
+        y[j] -= s;
+        for (size_t i = j + 1; i < m; ++i)
+            y[i] -= s * qr_(i, j);
+    }
+    // Back substitution with R (upper n x n block).
+    Vector x(n);
+    for (size_t ii = n; ii-- > 0;) {
+        double sum = y[ii];
+        for (size_t k = ii + 1; k < n; ++k)
+            sum -= qr_(ii, k) * x[k];
+        require(std::abs(qr_(ii, ii)) > 1e-300,
+                "rank-deficient matrix in QR solve");
+        x[ii] = sum / qr_(ii, ii);
+    }
+    return x;
+}
+
+bool
+Qr::fullRank() const
+{
+    for (size_t i = 0; i < qr_.cols(); ++i)
+        if (std::abs(qr_(i, i)) < 1e-12)
+            return false;
+    return true;
+}
+
+} // namespace ucx

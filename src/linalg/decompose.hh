@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Matrix decompositions: Cholesky, LU (partial pivoting), and
+ * Householder QR. These back the multivariate-normal likelihood in
+ * the mixed-effects model and the least-squares baselines.
+ */
+
+#ifndef UCX_LINALG_DECOMPOSE_HH
+#define UCX_LINALG_DECOMPOSE_HH
+
+#include "linalg/matrix.hh"
+
+namespace ucx
+{
+
+/**
+ * Cholesky factorization A = L * L^T of a symmetric positive-definite
+ * matrix.
+ */
+class Cholesky
+{
+  public:
+    /**
+     * Factorize a symmetric positive-definite matrix.
+     *
+     * @param a Square SPD matrix; throws UcxError if not SPD.
+     */
+    explicit Cholesky(const Matrix &a);
+
+    /** @return The lower-triangular factor L. */
+    const Matrix &lower() const { return l_; }
+
+    /**
+     * Solve A x = b using the factorization.
+     *
+     * @param b Right-hand side, length = dimension of A.
+     * @return The solution x.
+     */
+    Vector solve(const Vector &b) const;
+
+    /** @return log(det(A)) computed stably from the factor. */
+    double logDet() const;
+
+  private:
+    Matrix l_;
+};
+
+/** LU factorization with partial pivoting, P A = L U. */
+class Lu
+{
+  public:
+    /**
+     * Factorize a square matrix.
+     *
+     * @param a Square matrix; throws UcxError if singular to working
+     *          precision.
+     */
+    explicit Lu(const Matrix &a);
+
+    /**
+     * Solve A x = b.
+     *
+     * @param b Right-hand side.
+     * @return The solution x.
+     */
+    Vector solve(const Vector &b) const;
+
+    /** @return det(A), including the pivot sign. */
+    double det() const;
+
+  private:
+    Matrix lu_;
+    std::vector<size_t> perm_;
+    int sign_ = 1;
+};
+
+/** Householder QR factorization A = Q R for m >= n. */
+class Qr
+{
+  public:
+    /**
+     * Factorize a tall (or square) matrix.
+     *
+     * @param a Matrix with rows() >= cols().
+     */
+    explicit Qr(const Matrix &a);
+
+    /**
+     * Least-squares solve: minimize ||A x - b||_2.
+     *
+     * @param b Right-hand side, length = rows of A.
+     * @return The least-squares solution x (length = cols of A).
+     */
+    Vector solveLeastSquares(const Vector &b) const;
+
+    /** @return True when R has no near-zero diagonal (full rank). */
+    bool fullRank() const;
+
+  private:
+    Matrix qr_;            ///< Packed Householder vectors + R.
+    Vector betas_;         ///< Householder scaling factors.
+};
+
+} // namespace ucx
+
+#endif // UCX_LINALG_DECOMPOSE_HH

@@ -1,0 +1,178 @@
+#include "linalg/matrix.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hh"
+
+namespace ucx
+{
+
+Matrix::Matrix(size_t rows, size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill)
+{}
+
+Matrix
+Matrix::fromRows(const std::vector<Vector> &rows)
+{
+    if (rows.empty())
+        return Matrix();
+    Matrix m(rows.size(), rows[0].size());
+    for (size_t r = 0; r < rows.size(); ++r) {
+        require(rows[r].size() == m.cols_, "ragged rows in fromRows");
+        for (size_t c = 0; c < m.cols_; ++c)
+            m(r, c) = rows[r][c];
+    }
+    return m;
+}
+
+Matrix
+Matrix::identity(size_t n)
+{
+    Matrix m(n, n);
+    for (size_t i = 0; i < n; ++i)
+        m(i, i) = 1.0;
+    return m;
+}
+
+double &
+Matrix::operator()(size_t r, size_t c)
+{
+    ensure(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[r * cols_ + c];
+}
+
+double
+Matrix::operator()(size_t r, size_t c) const
+{
+    ensure(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[r * cols_ + c];
+}
+
+Matrix
+Matrix::transposed() const
+{
+    Matrix t(cols_, rows_);
+    for (size_t r = 0; r < rows_; ++r)
+        for (size_t c = 0; c < cols_; ++c)
+            t(c, r) = (*this)(r, c);
+    return t;
+}
+
+Vector
+add(const Vector &a, const Vector &b)
+{
+    require(a.size() == b.size(), "vector size mismatch in add");
+    Vector out(a.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        out[i] = a[i] + b[i];
+    return out;
+}
+
+Vector
+sub(const Vector &a, const Vector &b)
+{
+    require(a.size() == b.size(), "vector size mismatch in sub");
+    Vector out(a.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        out[i] = a[i] - b[i];
+    return out;
+}
+
+Vector
+scale(const Vector &a, double s)
+{
+    Vector out(a.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        out[i] = a[i] * s;
+    return out;
+}
+
+double
+dot(const Vector &a, const Vector &b)
+{
+    require(a.size() == b.size(), "vector size mismatch in dot");
+    double sum = 0.0;
+    for (size_t i = 0; i < a.size(); ++i)
+        sum += a[i] * b[i];
+    return sum;
+}
+
+double
+norm(const Vector &a)
+{
+    return std::sqrt(dot(a, a));
+}
+
+double
+maxAbs(const Vector &a)
+{
+    double m = 0.0;
+    for (double v : a)
+        m = std::max(m, std::abs(v));
+    return m;
+}
+
+Matrix
+matmul(const Matrix &a, const Matrix &b)
+{
+    require(a.cols() == b.rows(), "matmul inner dimension mismatch");
+    Matrix out(a.rows(), b.cols());
+    for (size_t r = 0; r < a.rows(); ++r) {
+        for (size_t k = 0; k < a.cols(); ++k) {
+            double av = a(r, k);
+            if (av == 0.0)
+                continue;
+            for (size_t c = 0; c < b.cols(); ++c)
+                out(r, c) += av * b(k, c);
+        }
+    }
+    return out;
+}
+
+Vector
+matvec(const Matrix &a, const Vector &x)
+{
+    require(a.cols() == x.size(), "matvec dimension mismatch");
+    Vector out(a.rows(), 0.0);
+    for (size_t r = 0; r < a.rows(); ++r)
+        for (size_t c = 0; c < a.cols(); ++c)
+            out[r] += a(r, c) * x[c];
+    return out;
+}
+
+Matrix
+add(const Matrix &a, const Matrix &b)
+{
+    require(a.rows() == b.rows() && a.cols() == b.cols(),
+            "matrix shape mismatch in add");
+    Matrix out(a.rows(), a.cols());
+    for (size_t r = 0; r < a.rows(); ++r)
+        for (size_t c = 0; c < a.cols(); ++c)
+            out(r, c) = a(r, c) + b(r, c);
+    return out;
+}
+
+Matrix
+scale(const Matrix &a, double s)
+{
+    Matrix out(a.rows(), a.cols());
+    for (size_t r = 0; r < a.rows(); ++r)
+        for (size_t c = 0; c < a.cols(); ++c)
+            out(r, c) = a(r, c) * s;
+    return out;
+}
+
+double
+maxAbsDiff(const Matrix &a, const Matrix &b)
+{
+    require(a.rows() == b.rows() && a.cols() == b.cols(),
+            "matrix shape mismatch in maxAbsDiff");
+    double m = 0.0;
+    for (size_t r = 0; r < a.rows(); ++r)
+        for (size_t c = 0; c < a.cols(); ++c)
+            m = std::max(m, std::abs(a(r, c) - b(r, c)));
+    return m;
+}
+
+} // namespace ucx

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Dense row-major matrix and vector helpers.
+ *
+ * Sized for statistics work (tens of rows/columns): clarity and
+ * correctness over blocking/SIMD.
+ */
+
+#ifndef UCX_LINALG_MATRIX_HH
+#define UCX_LINALG_MATRIX_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace ucx
+{
+
+/** Column vector represented as a flat array of doubles. */
+using Vector = std::vector<double>;
+
+/** Dense row-major matrix of doubles. */
+class Matrix
+{
+  public:
+    /** Create an empty 0x0 matrix. */
+    Matrix() = default;
+
+    /**
+     * Create a rows x cols matrix.
+     *
+     * @param rows Number of rows.
+     * @param cols Number of columns.
+     * @param fill Initial value of every element.
+     */
+    Matrix(size_t rows, size_t cols, double fill = 0.0);
+
+    /**
+     * Create a matrix from nested initializer data (rows of equal
+     * length).
+     *
+     * @param rows Row data; all rows must have the same length.
+     */
+    static Matrix fromRows(const std::vector<Vector> &rows);
+
+    /**
+     * @param n Dimension.
+     * @return The n x n identity matrix.
+     */
+    static Matrix identity(size_t n);
+
+    /** @return Number of rows. */
+    size_t rows() const { return rows_; }
+
+    /** @return Number of columns. */
+    size_t cols() const { return cols_; }
+
+    /** Element access (unchecked in release semantics, asserted). */
+    double &operator()(size_t r, size_t c);
+
+    /** Element access, const. */
+    double operator()(size_t r, size_t c) const;
+
+    /** @return The transpose of this matrix. */
+    Matrix transposed() const;
+
+    /** @return True when the matrix is square. */
+    bool square() const { return rows_ == cols_; }
+
+    /** @return Raw storage, row-major. */
+    const std::vector<double> &data() const { return data_; }
+
+  private:
+    size_t rows_ = 0;
+    size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+/** @return a + b elementwise; sizes must match. */
+Vector add(const Vector &a, const Vector &b);
+
+/** @return a - b elementwise; sizes must match. */
+Vector sub(const Vector &a, const Vector &b);
+
+/** @return s * a elementwise. */
+Vector scale(const Vector &a, double s);
+
+/** @return Dot product of a and b; sizes must match. */
+double dot(const Vector &a, const Vector &b);
+
+/** @return Euclidean norm of a. */
+double norm(const Vector &a);
+
+/** @return Largest absolute element of a (0 for empty). */
+double maxAbs(const Vector &a);
+
+/** @return Matrix product a * b; inner dimensions must match. */
+Matrix matmul(const Matrix &a, const Matrix &b);
+
+/** @return Matrix-vector product a * x. */
+Vector matvec(const Matrix &a, const Vector &x);
+
+/** @return a + b elementwise; shapes must match. */
+Matrix add(const Matrix &a, const Matrix &b);
+
+/** @return s * a elementwise. */
+Matrix scale(const Matrix &a, double s);
+
+/** @return Largest absolute elementwise difference between a and b. */
+double maxAbsDiff(const Matrix &a, const Matrix &b);
+
+} // namespace ucx
+
+#endif // UCX_LINALG_MATRIX_HH

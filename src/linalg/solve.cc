@@ -1,0 +1,43 @@
+#include "linalg/solve.hh"
+
+#include "linalg/decompose.hh"
+
+namespace ucx
+{
+
+Vector
+solveLinear(const Matrix &a, const Vector &b)
+{
+    return Lu(a).solve(b);
+}
+
+Vector
+solveSpd(const Matrix &a, const Vector &b)
+{
+    return Cholesky(a).solve(b);
+}
+
+Vector
+leastSquares(const Matrix &x, const Vector &y)
+{
+    return Qr(x).solveLeastSquares(y);
+}
+
+Matrix
+inverse(const Matrix &a)
+{
+    Lu lu(a);
+    size_t n = a.rows();
+    Matrix inv(n, n);
+    Vector e(n, 0.0);
+    for (size_t c = 0; c < n; ++c) {
+        e[c] = 1.0;
+        Vector col = lu.solve(e);
+        for (size_t r = 0; r < n; ++r)
+            inv(r, c) = col[r];
+        e[c] = 0.0;
+    }
+    return inv;
+}
+
+} // namespace ucx

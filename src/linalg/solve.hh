@@ -1,0 +1,52 @@
+/**
+ * @file
+ * High-level solve helpers built on the decompositions.
+ */
+
+#ifndef UCX_LINALG_SOLVE_HH
+#define UCX_LINALG_SOLVE_HH
+
+#include "linalg/matrix.hh"
+
+namespace ucx
+{
+
+/**
+ * Solve a general square system A x = b via LU.
+ *
+ * @param a Square coefficient matrix.
+ * @param b Right-hand side.
+ * @return The solution x.
+ */
+Vector solveLinear(const Matrix &a, const Vector &b);
+
+/**
+ * Solve an SPD system A x = b via Cholesky.
+ *
+ * @param a Symmetric positive-definite matrix.
+ * @param b Right-hand side.
+ * @return The solution x.
+ */
+Vector solveSpd(const Matrix &a, const Vector &b);
+
+/**
+ * Ordinary least squares: minimize ||X beta - y||_2 via QR.
+ *
+ * @param x Design matrix (rows = observations).
+ * @param y Response vector.
+ * @return The coefficient vector beta.
+ */
+Vector leastSquares(const Matrix &x, const Vector &y);
+
+/**
+ * Invert a square matrix via LU (for the small covariance matrices
+ * used in reporting; prefer solve* for systems).
+ *
+ * @param a Square matrix.
+ * @return The inverse of a.
+ */
+Matrix inverse(const Matrix &a);
+
+} // namespace ucx
+
+#endif // UCX_LINALG_SOLVE_HH

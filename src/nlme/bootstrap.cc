@@ -1,0 +1,87 @@
+#include "nlme/bootstrap.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hh"
+#include "util/rng.hh"
+
+namespace ucx
+{
+
+std::vector<double>
+BootstrapResult::sigmaEpsSamples() const
+{
+    std::vector<double> out;
+    out.reserve(fits.size());
+    for (const auto &f : fits)
+        out.push_back(f.sigmaEps);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::vector<double>
+BootstrapResult::sigmaRhoSamples() const
+{
+    std::vector<double> out;
+    out.reserve(fits.size());
+    for (const auto &f : fits)
+        out.push_back(f.sigmaRho);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::pair<double, double>
+BootstrapResult::sigmaEpsInterval(double level) const
+{
+    require(level > 0.0 && level < 1.0, "level must be in (0,1)");
+    require(!fits.empty(), "no bootstrap replicates");
+    std::vector<double> s = sigmaEpsSamples();
+    double tail = (1.0 - level) / 2.0;
+    auto at = [&](double p) {
+        double idx = p * static_cast<double>(s.size() - 1);
+        size_t lo = static_cast<size_t>(idx);
+        size_t hi = std::min(lo + 1, s.size() - 1);
+        double frac = idx - static_cast<double>(lo);
+        return s[lo] + frac * (s[hi] - s[lo]);
+    };
+    return {at(tail), at(1.0 - tail)};
+}
+
+BootstrapResult
+parametricBootstrap(const NlmeData &data, const MixedFit &fit,
+                    const BootstrapConfig &config)
+{
+    require(config.replicates >= 1, "need at least one replicate");
+    data.validate();
+    require(fit.weights.size() == data.numCovariates(),
+            "fit does not match data");
+
+    Rng rng(config.seed);
+    BootstrapResult result;
+    result.fits.reserve(config.replicates);
+
+    for (size_t rep = 0; rep < config.replicates; ++rep) {
+        NlmeData sim = data;
+        for (auto &group : sim.groups) {
+            double b = rng.normal(0.0, fit.sigmaRho);
+            for (size_t j = 0; j < group.y.size(); ++j) {
+                double lin = 0.0;
+                for (size_t k = 0; k < fit.weights.size(); ++k)
+                    lin += fit.weights[k] * group.x(j, k);
+                ensure(lin > 0.0,
+                       "non-positive linear predictor in bootstrap");
+                group.y[j] = b + std::log(lin) +
+                             rng.normal(0.0, fit.sigmaEps);
+            }
+        }
+        MixedModelConfig mc;
+        mc.starts = config.starts;
+        mc.seed = rng.next();
+        MixedModel model(sim, mc);
+        result.fits.push_back(model.fit());
+    }
+    return result;
+}
+
+} // namespace ucx

@@ -1,0 +1,25 @@
+#include "nlme/criteria.hh"
+
+#include <cmath>
+
+#include "util/error.hh"
+
+namespace ucx
+{
+
+double
+aic(double log_lik, size_t n_params)
+{
+    return -2.0 * log_lik + 2.0 * static_cast<double>(n_params);
+}
+
+double
+bic(double log_lik, size_t n_params, size_t n_obs)
+{
+    require(n_obs >= 1, "bic needs at least one observation");
+    return -2.0 * log_lik +
+           static_cast<double>(n_params) *
+               std::log(static_cast<double>(n_obs));
+}
+
+} // namespace ucx

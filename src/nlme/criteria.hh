@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Information criteria used to compare fitted models (paper
+ * Section 5.1.1 reports AIC/BIC for DEE1 vs Stmts).
+ */
+
+#ifndef UCX_NLME_CRITERIA_HH
+#define UCX_NLME_CRITERIA_HH
+
+#include <cstddef>
+
+namespace ucx
+{
+
+/**
+ * Akaike's information criterion.
+ *
+ * @param log_lik  Maximized log-likelihood.
+ * @param n_params Number of free parameters.
+ * @return AIC = -2 log_lik + 2 n_params (lower is better).
+ */
+double aic(double log_lik, size_t n_params);
+
+/**
+ * Bayesian information criterion.
+ *
+ * @param log_lik  Maximized log-likelihood.
+ * @param n_params Number of free parameters.
+ * @param n_obs    Number of observations.
+ * @return BIC = -2 log_lik + n_params ln(n_obs) (lower is better).
+ */
+double bic(double log_lik, size_t n_params, size_t n_obs);
+
+} // namespace ucx
+
+#endif // UCX_NLME_CRITERIA_HH

@@ -1,0 +1,53 @@
+#include "nlme/data.hh"
+
+#include "util/error.hh"
+
+namespace ucx
+{
+
+size_t
+NlmeData::totalObservations() const
+{
+    size_t n = 0;
+    for (const auto &g : groups)
+        n += g.y.size();
+    return n;
+}
+
+size_t
+NlmeData::numCovariates() const
+{
+    if (groups.empty())
+        return 0;
+    return groups[0].x.cols();
+}
+
+void
+NlmeData::validate() const
+{
+    require(!groups.empty(), "data set has no groups");
+    size_t ncov = groups[0].x.cols();
+    require(ncov >= 1, "data set has no covariates");
+    for (const auto &g : groups) {
+        require(!g.y.empty(), "group '" + g.name + "' is empty");
+        require(g.x.rows() == g.y.size(),
+                "group '" + g.name + "': x rows != y size");
+        require(g.x.cols() == ncov,
+                "group '" + g.name + "': covariate count mismatch");
+        for (size_t r = 0; r < g.x.rows(); ++r) {
+            double sum = 0.0;
+            bool negative = false;
+            for (size_t c = 0; c < ncov; ++c) {
+                sum += g.x(r, c);
+                negative = negative || g.x(r, c) < 0.0;
+            }
+            require(!negative,
+                    "group '" + g.name + "': negative metric value");
+            require(sum > 0.0,
+                    "group '" + g.name +
+                        "': all-zero metric row (log undefined)");
+        }
+    }
+}
+
+} // namespace ucx

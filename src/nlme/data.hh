@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Grouped data layout shared by all regression fitters.
+ *
+ * A group is one design project/team (Leon3, PUMA, IVM, RAT in the
+ * paper); an observation inside a group is one component with its
+ * log design effort and metric vector.
+ */
+
+#ifndef UCX_NLME_DATA_HH
+#define UCX_NLME_DATA_HH
+
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hh"
+
+namespace ucx
+{
+
+/** One subject/team with its observations. */
+struct NlmeGroup
+{
+    std::string name;       ///< Team identifier (paper: SUBJECT=team).
+    std::vector<double> y;  ///< Responses: log reported effort.
+    Matrix x;               ///< Covariates; row j = metrics of obs j.
+};
+
+/** A full grouped data set. */
+struct NlmeData
+{
+    std::vector<NlmeGroup> groups;
+
+    /** @return Total number of observations across all groups. */
+    size_t totalObservations() const;
+
+    /** @return Number of covariate columns (0 when empty). */
+    size_t numCovariates() const;
+
+    /**
+     * Validate shape invariants: at least one group, equal covariate
+     * counts, y size matching x rows, strictly positive covariate
+     * row sums (the model takes log of w.x).
+     *
+     * Throws UcxError when a check fails.
+     */
+    void validate() const;
+};
+
+} // namespace ucx
+
+#endif // UCX_NLME_DATA_HH

@@ -1,0 +1,227 @@
+#include "nlme/generic.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "nlme/criteria.hh"
+#include "opt/multistart.hh"
+#include "opt/transform.hh"
+#include "stats/gauss_hermite.hh"
+#include "util/error.hh"
+
+namespace ucx
+{
+
+MeanFn
+logLinearMean()
+{
+    return [](const std::vector<double> &w, const std::vector<double> &x,
+              double b) {
+        double lin = 0.0;
+        for (size_t k = 0; k < w.size(); ++k)
+            lin += w[k] * x[k];
+        if (lin <= 0.0)
+            return -std::numeric_limits<double>::infinity();
+        return b + std::log(lin);
+    };
+}
+
+GenericNlme::GenericNlme(NlmeData data, MeanFn mean,
+                         GenericNlmeConfig config)
+    : data_(std::move(data)), mean_(std::move(mean)), config_(config)
+{
+    data_.validate();
+    require(config_.quadraturePoints >= 1 &&
+                config_.quadraturePoints <= 64,
+            "quadraturePoints must be in [1,64]");
+}
+
+double
+GenericNlme::groupJoint(const NlmeGroup &group,
+                        const std::vector<double> &weights, double var_e,
+                        double var_r, double b) const
+{
+    std::vector<double> xrow(group.x.cols());
+    double ll = -0.5 * (std::log(2.0 * M_PI * var_r) + b * b / var_r);
+    for (size_t j = 0; j < group.y.size(); ++j) {
+        for (size_t c = 0; c < xrow.size(); ++c)
+            xrow[c] = group.x(j, c);
+        double mu = mean_(weights, xrow, b);
+        if (!std::isfinite(mu))
+            return -std::numeric_limits<double>::infinity();
+        double resid = group.y[j] - mu;
+        ll += -0.5 * (std::log(2.0 * M_PI * var_e) +
+                      resid * resid / var_e);
+    }
+    return ll;
+}
+
+void
+GenericNlme::groupMode(const NlmeGroup &group,
+                       const std::vector<double> &weights, double var_e,
+                       double var_r, double &b_mode,
+                       double &curvature) const
+{
+    // Safeguarded Newton on h(b) = groupJoint(..., b) with numeric
+    // derivatives; h is smooth and unimodal for reasonable means.
+    double b = 0.0;
+    const double step = 1e-5;
+    for (int it = 0; it < 100; ++it) {
+        double hp = groupJoint(group, weights, var_e, var_r, b + step);
+        double h0 = groupJoint(group, weights, var_e, var_r, b);
+        double hm = groupJoint(group, weights, var_e, var_r, b - step);
+        double d1 = (hp - hm) / (2.0 * step);
+        double d2 = (hp - 2.0 * h0 + hm) / (step * step);
+        if (!std::isfinite(d1) || !std::isfinite(d2) || d2 >= 0.0) {
+            // Fall back to a coarse scan when curvature is unusable.
+            double best_b = b;
+            double best_h = h0;
+            for (double cand = -5.0; cand <= 5.0; cand += 0.05) {
+                double h = groupJoint(group, weights, var_e, var_r,
+                                      cand);
+                if (h > best_h) {
+                    best_h = h;
+                    best_b = cand;
+                }
+            }
+            b = best_b;
+            hp = groupJoint(group, weights, var_e, var_r, b + step);
+            h0 = best_h;
+            hm = groupJoint(group, weights, var_e, var_r, b - step);
+            d2 = (hp - 2.0 * h0 + hm) / (step * step);
+            break;
+        }
+        double delta = d1 / d2;
+        // Newton step (d2 < 0 at a maximum): b_new = b - d1/d2.
+        double b_new = b - delta;
+        if (std::abs(b_new - b) < 1e-12) {
+            b = b_new;
+            break;
+        }
+        b = b_new;
+    }
+    b_mode = b;
+    double hp = groupJoint(group, weights, var_e, var_r, b + step);
+    double h0 = groupJoint(group, weights, var_e, var_r, b);
+    double hm = groupJoint(group, weights, var_e, var_r, b - step);
+    curvature = -(hp - 2.0 * h0 + hm) / (step * step);
+    if (!(curvature > 0.0))
+        curvature = 1.0 / var_r; // conservative fallback
+}
+
+double
+GenericNlme::logLikelihood(const std::vector<double> &weights,
+                           double sigma_eps, double sigma_rho) const
+{
+    require(sigma_eps > 0.0 && sigma_rho > 0.0,
+            "generic NLME needs positive sigmas");
+    double var_e = sigma_eps * sigma_eps;
+    double var_r = sigma_rho * sigma_rho;
+
+    static thread_local GaussHermiteRule rule;
+    if (config_.integration == Integration::Aghq &&
+        rule.nodes.size() != config_.quadraturePoints) {
+        rule = gaussHermite(config_.quadraturePoints);
+    }
+
+    double total = 0.0;
+    for (const auto &g : data_.groups) {
+        double b_mode = 0.0;
+        double curv = 0.0;
+        groupMode(g, weights, var_e, var_r, b_mode, curv);
+        double h_mode = groupJoint(g, weights, var_e, var_r, b_mode);
+        if (!std::isfinite(h_mode))
+            return -std::numeric_limits<double>::infinity();
+
+        if (config_.integration == Integration::Laplace) {
+            // log \int e^h db ~= h(b*) + 0.5 log(2 pi / curv).
+            total += h_mode + 0.5 * std::log(2.0 * M_PI / curv);
+        } else {
+            // AGHQ centered at the mode, scaled by the curvature:
+            // \int e^h db ~= sqrt(2) s sum_q w_q e^{x_q^2}
+            //                e^{h(b* + sqrt(2) s x_q)}.
+            double s = 1.0 / std::sqrt(curv);
+            double sum = 0.0;
+            for (size_t q = 0; q < rule.nodes.size(); ++q) {
+                double xq = rule.nodes[q];
+                double b = b_mode + std::sqrt(2.0) * s * xq;
+                double h = groupJoint(g, weights, var_e, var_r, b);
+                sum += rule.weights[q] *
+                       std::exp(h - h_mode + xq * xq);
+            }
+            total += h_mode + std::log(std::sqrt(2.0) * s * sum);
+        }
+    }
+    return total;
+}
+
+MixedFit
+GenericNlme::fit() const
+{
+    const size_t ncov = data_.numCovariates();
+    const size_t nobs = data_.totalObservations();
+
+    double ybar = 0.0;
+    std::vector<double> mbar(ncov, 0.0);
+    for (const auto &g : data_.groups) {
+        for (size_t j = 0; j < g.y.size(); ++j) {
+            ybar += g.y[j];
+            for (size_t k = 0; k < ncov; ++k)
+                mbar[k] += g.x(j, k);
+        }
+    }
+    ybar /= static_cast<double>(nobs);
+    for (double &m : mbar)
+        m /= static_cast<double>(nobs);
+
+    std::vector<double> theta0;
+    for (size_t k = 0; k < ncov; ++k) {
+        theta0.push_back(std::exp(ybar) /
+                         (std::max(mbar[k], 1e-12) *
+                          static_cast<double>(ncov)));
+    }
+    theta0.push_back(0.5);
+    theta0.push_back(0.5);
+
+    ParamTransform transform(
+        std::vector<Constraint>(ncov + 2, Constraint::Positive));
+    std::vector<double> u0 = transform.toUnconstrained(theta0);
+
+    Objective nll = [&](const std::vector<double> &u) {
+        std::vector<double> theta = transform.toConstrained(u);
+        std::vector<double> w(theta.begin(), theta.begin() + ncov);
+        double se = std::max(theta[ncov], 1e-6);
+        double sr = std::max(theta[ncov + 1], 1e-6);
+        return -logLikelihood(w, se, sr);
+    };
+
+    MultistartConfig ms;
+    ms.starts = config_.starts;
+    ms.seed = config_.seed;
+    OptResult opt = multistartMinimize(nll, u0, ms);
+
+    std::vector<double> theta = transform.toConstrained(opt.x);
+    MixedFit fit;
+    fit.weights.assign(theta.begin(), theta.begin() + ncov);
+    fit.sigmaEps = std::max(theta[ncov], 1e-6);
+    fit.sigmaRho = std::max(theta[ncov + 1], 1e-6);
+    fit.logLik = -opt.fx;
+    fit.nParams = ncov + 2;
+    fit.aic = aic(fit.logLik, fit.nParams);
+    fit.bic = bic(fit.logLik, fit.nParams, nobs);
+    fit.converged = opt.converged;
+
+    double var_e = fit.sigmaEps * fit.sigmaEps;
+    double var_r = fit.sigmaRho * fit.sigmaRho;
+    for (const auto &g : data_.groups) {
+        double b_mode = 0.0;
+        double curv = 0.0;
+        groupMode(g, fit.weights, var_e, var_r, b_mode, curv);
+        fit.groupNames.push_back(g.name);
+        fit.ranef.push_back(b_mode);
+        fit.productivity.push_back(std::exp(-b_mode));
+    }
+    return fit;
+}
+
+} // namespace ucx

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Generic one-random-intercept NLME fitters: Laplace approximation
+ * and adaptive Gauss-Hermite quadrature (AGHQ).
+ *
+ * These integrate the random effect numerically for an arbitrary
+ * mean function, like SAS PROC NLMIXED does. For the µComplexity
+ * model the intercept is additive in log space, so both must agree
+ * with the analytic MixedModel — that agreement is a key correctness
+ * property tested in tests/nlme/.
+ */
+
+#ifndef UCX_NLME_GENERIC_HH
+#define UCX_NLME_GENERIC_HH
+
+#include <functional>
+
+#include "nlme/data.hh"
+#include "nlme/mixed_model.hh"
+
+namespace ucx
+{
+
+/**
+ * Conditional mean of one observation given the random effect.
+ *
+ * @param weights Fixed-effect parameter vector (all > 0).
+ * @param x       Covariate row of the observation.
+ * @param b       Random-effect value for the group.
+ * @return The conditional mean of the response.
+ */
+using MeanFn = std::function<double(const std::vector<double> &weights,
+                                    const std::vector<double> &x,
+                                    double b)>;
+
+/** @return The µComplexity mean b + log(w . x). */
+MeanFn logLinearMean();
+
+/** Integration scheme for the random effect. */
+enum class Integration
+{
+    Laplace, ///< Second-order Laplace approximation.
+    Aghq,    ///< Adaptive Gauss-Hermite quadrature.
+};
+
+/** Configuration for the generic fitter. */
+struct GenericNlmeConfig
+{
+    Integration integration = Integration::Aghq;
+    size_t quadraturePoints = 15; ///< AGHQ node count.
+    size_t starts = 4;            ///< Multi-start count.
+    uint64_t seed = 77;           ///< Multi-start jitter seed.
+};
+
+/**
+ * Generic nonlinear mixed-effects fitter for the model
+ *
+ *     y_ij = mean(w, x_ij, b_i) + N(0, sigma_eps^2),
+ *     b_i ~ N(0, sigma_rho^2).
+ */
+class GenericNlme
+{
+  public:
+    /**
+     * Create a fitter.
+     *
+     * @param data   Grouped observations; validated on construction.
+     * @param mean   Conditional mean function.
+     * @param config Fitter configuration.
+     */
+    GenericNlme(NlmeData data, MeanFn mean, GenericNlmeConfig config = {});
+
+    /**
+     * Approximate marginal log-likelihood at the given parameters.
+     *
+     * @param weights   Fixed effects; all > 0.
+     * @param sigma_eps Residual sd; > 0.
+     * @param sigma_rho Random-effect sd; > 0.
+     * @return The integrated log-likelihood under the configured
+     *         scheme.
+     */
+    double logLikelihood(const std::vector<double> &weights,
+                         double sigma_eps, double sigma_rho) const;
+
+    /**
+     * Fit by maximizing the approximated marginal likelihood.
+     *
+     * @return Fitted parameters; ranef holds the per-group posterior
+     *         modes.
+     */
+    MixedFit fit() const;
+
+  private:
+    /**
+     * Find the mode of the per-group joint log-density in b and its
+     * negative second derivative there (by safeguarded Newton).
+     */
+    void groupMode(const NlmeGroup &group,
+                   const std::vector<double> &weights, double var_e,
+                   double var_r, double &b_mode, double &curvature) const;
+
+    /** Joint log-density of one group at random-effect value b. */
+    double groupJoint(const NlmeGroup &group,
+                      const std::vector<double> &weights, double var_e,
+                      double var_r, double b) const;
+
+    NlmeData data_;
+    MeanFn mean_;
+    GenericNlmeConfig config_;
+};
+
+} // namespace ucx
+
+#endif // UCX_NLME_GENERIC_HH

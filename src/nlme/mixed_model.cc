@@ -1,0 +1,179 @@
+#include "nlme/mixed_model.hh"
+
+#include <cmath>
+
+#include "nlme/criteria.hh"
+#include "opt/multistart.hh"
+#include "opt/transform.hh"
+#include "util/error.hh"
+
+namespace ucx
+{
+
+namespace
+{
+
+/**
+ * Log-density of a zero-mean MVN with compound-symmetric covariance
+ * sigma_e^2 I + sigma_r^2 J, evaluated at residual vector r, using
+ * the closed-form inverse and determinant of that structure.
+ */
+double
+groupLogLik(const std::vector<double> &r, double var_e, double var_r)
+{
+    double n = static_cast<double>(r.size());
+    double tau = var_e + n * var_r;
+
+    double ss = 0.0;
+    double s = 0.0;
+    for (double v : r) {
+        ss += v * v;
+        s += v;
+    }
+
+    double log_det = (n - 1.0) * std::log(var_e) + std::log(tau);
+    double quad = (ss - (var_r / tau) * s * s) / var_e;
+    return -0.5 * (n * std::log(2.0 * M_PI) + log_det + quad);
+}
+
+} // namespace
+
+MixedModel::MixedModel(NlmeData data, MixedModelConfig config)
+    : data_(std::move(data)), config_(config)
+{
+    data_.validate();
+}
+
+std::vector<std::vector<double>>
+MixedModel::residuals(const std::vector<double> &weights) const
+{
+    std::vector<std::vector<double>> out;
+    out.reserve(data_.groups.size());
+    for (const auto &g : data_.groups) {
+        std::vector<double> r(g.y.size());
+        for (size_t j = 0; j < g.y.size(); ++j) {
+            double lin = 0.0;
+            for (size_t k = 0; k < weights.size(); ++k)
+                lin += weights[k] * g.x(j, k);
+            if (lin <= 0.0)
+                return {}; // signal invalid weights
+            r[j] = g.y[j] - std::log(lin);
+        }
+        out.push_back(std::move(r));
+    }
+    return out;
+}
+
+double
+MixedModel::logLikelihood(const std::vector<double> &weights,
+                          double sigma_eps, double sigma_rho) const
+{
+    require(weights.size() == data_.numCovariates(),
+            "weight count does not match covariates");
+    require(sigma_eps > 0.0, "sigma_eps must be > 0");
+    require(sigma_rho >= 0.0, "sigma_rho must be >= 0");
+
+    auto res = residuals(weights);
+    if (res.empty())
+        return -std::numeric_limits<double>::infinity();
+
+    double var_e = sigma_eps * sigma_eps;
+    double var_r = sigma_rho * sigma_rho;
+    double ll = 0.0;
+    for (const auto &r : res)
+        ll += groupLogLik(r, var_e, var_r);
+    return ll;
+}
+
+std::vector<double>
+MixedModel::empiricalBayes(const std::vector<double> &weights,
+                           double sigma_eps, double sigma_rho) const
+{
+    auto res = residuals(weights);
+    require(!res.empty(), "invalid weights in empiricalBayes");
+    double var_e = sigma_eps * sigma_eps;
+    double var_r = sigma_rho * sigma_rho;
+
+    std::vector<double> b;
+    b.reserve(res.size());
+    for (const auto &r : res) {
+        double n = static_cast<double>(r.size());
+        double sum = 0.0;
+        for (double v : r)
+            sum += v;
+        // Posterior mean of b_i given the group residuals: shrinkage
+        // of the group mean toward zero.
+        b.push_back(var_r * sum / (var_e + n * var_r));
+    }
+    return b;
+}
+
+MixedFit
+MixedModel::fit() const
+{
+    const size_t ncov = data_.numCovariates();
+    const size_t nobs = data_.totalObservations();
+
+    // Starting weights: put the linear predictor on the scale of the
+    // observed efforts; exp(mean(y)) spread evenly across metrics.
+    double ybar = 0.0;
+    std::vector<double> mbar(ncov, 0.0);
+    for (const auto &g : data_.groups) {
+        for (size_t j = 0; j < g.y.size(); ++j) {
+            ybar += g.y[j];
+            for (size_t k = 0; k < ncov; ++k)
+                mbar[k] += g.x(j, k);
+        }
+    }
+    ybar /= static_cast<double>(nobs);
+    for (double &m : mbar)
+        m /= static_cast<double>(nobs);
+
+    std::vector<double> theta0;
+    for (size_t k = 0; k < ncov; ++k) {
+        double denom = std::max(mbar[k], 1e-12) *
+                       static_cast<double>(ncov);
+        theta0.push_back(std::exp(ybar) / denom);
+    }
+    theta0.push_back(0.5); // sigma_eps
+    theta0.push_back(0.5); // sigma_rho
+
+    std::vector<Constraint> cons(ncov + 2, Constraint::Positive);
+    ParamTransform transform(cons);
+    std::vector<double> u0 = transform.toUnconstrained(theta0);
+
+    const double min_sigma = config_.minSigma;
+    Objective nll = [&](const std::vector<double> &u) {
+        std::vector<double> theta = transform.toConstrained(u);
+        std::vector<double> w(theta.begin(), theta.begin() + ncov);
+        double se = std::max(theta[ncov], min_sigma);
+        double sr = std::max(theta[ncov + 1], min_sigma);
+        double ll = logLikelihood(w, se, sr);
+        return -ll;
+    };
+
+    MultistartConfig ms;
+    ms.starts = config_.starts;
+    ms.seed = config_.seed;
+    OptResult opt = multistartMinimize(nll, u0, ms);
+
+    std::vector<double> theta = transform.toConstrained(opt.x);
+    MixedFit fit;
+    fit.weights.assign(theta.begin(), theta.begin() + ncov);
+    fit.sigmaEps = std::max(theta[ncov], min_sigma);
+    fit.sigmaRho = std::max(theta[ncov + 1], min_sigma);
+    fit.logLik = -opt.fx;
+    fit.nParams = ncov + 2;
+    fit.aic = aic(fit.logLik, fit.nParams);
+    fit.bic = bic(fit.logLik, fit.nParams, nobs);
+    fit.converged = opt.converged;
+
+    fit.ranef = empiricalBayes(fit.weights, fit.sigmaEps, fit.sigmaRho);
+    for (const auto &g : data_.groups)
+        fit.groupNames.push_back(g.name);
+    for (double b : fit.ranef)
+        fit.productivity.push_back(std::exp(-b));
+    return fit;
+}
+
+} // namespace ucx

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The µComplexity nonlinear mixed-effects model (paper Section 3.1),
+ * fitted by exact maximum likelihood.
+ *
+ * Model, after the paper's log transformation (Appendix A):
+ *
+ *     log Eff_ij = b_i + log( sum_k w_k * m_ijk ) + N(0, sigma_eps^2)
+ *     b_i ~ N(0, sigma_rho^2),   productivity rho_i = exp(-b_i)
+ *
+ * Because the random intercept b_i enters additively, the marginal
+ * distribution of each group's log efforts is multivariate normal
+ * with compound-symmetric covariance sigma_eps^2 I + sigma_rho^2 J.
+ * The marginal likelihood is therefore *analytic*: no Laplace or
+ * quadrature approximation is needed (those live in generic.hh as
+ * cross-checks). This is the same ML criterion SAS PROC NLMIXED and
+ * R nlme(method="ML") maximize for this model.
+ */
+
+#ifndef UCX_NLME_MIXED_MODEL_HH
+#define UCX_NLME_MIXED_MODEL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nlme/data.hh"
+
+namespace ucx
+{
+
+/** Result of a mixed-effects fit. */
+struct MixedFit
+{
+    std::vector<double> weights;      ///< Fitted w_k (all > 0).
+    double sigmaEps = 0.0;            ///< Residual log-sd (paper's key
+                                      ///< accuracy number).
+    double sigmaRho = 0.0;            ///< Random-effect log-sd.
+    double logLik = 0.0;              ///< Maximized log-likelihood.
+    double aic = 0.0;                 ///< Akaike information criterion.
+    double bic = 0.0;                 ///< Bayesian information criterion.
+    size_t nParams = 0;               ///< Free parameters counted in
+                                      ///< AIC/BIC.
+    bool converged = false;           ///< Optimizer reported success.
+
+    std::vector<std::string> groupNames; ///< Group order for ranef.
+    std::vector<double> ranef;        ///< Empirical-Bayes b_i.
+    std::vector<double> productivity; ///< rho_i = exp(-b_i).
+};
+
+/** Configuration for the mixed-effects fitter. */
+struct MixedModelConfig
+{
+    size_t starts = 8;        ///< Multi-start count.
+    uint64_t seed = 20051204; ///< Multi-start jitter seed.
+    double minSigma = 1e-6;   ///< Lower clamp on sigmas during search.
+};
+
+/** Exact-ML fitter for the µComplexity mixed-effects model. */
+class MixedModel
+{
+  public:
+    /**
+     * Create a fitter over a validated data set.
+     *
+     * @param data   Grouped observations; validated on construction.
+     * @param config Fitter configuration.
+     */
+    explicit MixedModel(NlmeData data, MixedModelConfig config = {});
+
+    /**
+     * Fit the model by maximum likelihood.
+     *
+     * @return The fitted parameters and diagnostics.
+     */
+    MixedFit fit() const;
+
+    /**
+     * Exact marginal log-likelihood at given parameters.
+     *
+     * @param weights   Metric weights w_k; all > 0.
+     * @param sigma_eps Residual log-sd; > 0.
+     * @param sigma_rho Random-effect log-sd; >= 0.
+     * @return The marginal log-likelihood.
+     */
+    double logLikelihood(const std::vector<double> &weights,
+                         double sigma_eps, double sigma_rho) const;
+
+    /**
+     * Empirical-Bayes (posterior mean) random effects at given
+     * parameters.
+     *
+     * @param weights   Metric weights.
+     * @param sigma_eps Residual log-sd.
+     * @param sigma_rho Random-effect log-sd.
+     * @return One b_i per group, in data order.
+     */
+    std::vector<double> empiricalBayes(const std::vector<double> &weights,
+                                       double sigma_eps,
+                                       double sigma_rho) const;
+
+    /** @return The data set the fitter was built over. */
+    const NlmeData &data() const { return data_; }
+
+  private:
+    /** Per-group residuals r_ij = y_ij - log(w . m_ij). */
+    std::vector<std::vector<double>> residuals(
+        const std::vector<double> &weights) const;
+
+    NlmeData data_;
+    MixedModelConfig config_;
+};
+
+} // namespace ucx
+
+#endif // UCX_NLME_MIXED_MODEL_HH

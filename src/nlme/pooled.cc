@@ -1,0 +1,94 @@
+#include "nlme/pooled.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "nlme/criteria.hh"
+#include "opt/multistart.hh"
+#include "opt/transform.hh"
+#include "util/error.hh"
+
+namespace ucx
+{
+
+PooledModel::PooledModel(NlmeData data, PooledModelConfig config)
+    : data_(std::move(data)), config_(config)
+{
+    data_.validate();
+}
+
+double
+PooledModel::rss(const std::vector<double> &weights) const
+{
+    require(weights.size() == data_.numCovariates(),
+            "weight count does not match covariates");
+    double ss = 0.0;
+    for (const auto &g : data_.groups) {
+        for (size_t j = 0; j < g.y.size(); ++j) {
+            double lin = 0.0;
+            for (size_t k = 0; k < weights.size(); ++k)
+                lin += weights[k] * g.x(j, k);
+            if (lin <= 0.0)
+                return std::numeric_limits<double>::infinity();
+            double r = g.y[j] - std::log(lin);
+            ss += r * r;
+        }
+    }
+    return ss;
+}
+
+PooledFit
+PooledModel::fit() const
+{
+    const size_t ncov = data_.numCovariates();
+    const size_t nobs = data_.totalObservations();
+
+    double ybar = 0.0;
+    std::vector<double> mbar(ncov, 0.0);
+    for (const auto &g : data_.groups) {
+        for (size_t j = 0; j < g.y.size(); ++j) {
+            ybar += g.y[j];
+            for (size_t k = 0; k < ncov; ++k)
+                mbar[k] += g.x(j, k);
+        }
+    }
+    ybar /= static_cast<double>(nobs);
+    for (double &m : mbar)
+        m /= static_cast<double>(nobs);
+
+    std::vector<double> theta0;
+    for (size_t k = 0; k < ncov; ++k) {
+        theta0.push_back(std::exp(ybar) /
+                         (std::max(mbar[k], 1e-12) *
+                          static_cast<double>(ncov)));
+    }
+
+    ParamTransform transform(
+        std::vector<Constraint>(ncov, Constraint::Positive));
+    std::vector<double> u0 = transform.toUnconstrained(theta0);
+
+    // With sigma profiled out, ML in the weights reduces to least
+    // squares on the log scale.
+    Objective obj = [&](const std::vector<double> &u) {
+        return rss(transform.toConstrained(u));
+    };
+
+    MultistartConfig ms;
+    ms.starts = config_.starts;
+    ms.seed = config_.seed;
+    OptResult opt = multistartMinimize(obj, u0, ms);
+
+    PooledFit fit;
+    fit.weights = transform.toConstrained(opt.x);
+    double n = static_cast<double>(nobs);
+    double var_ml = opt.fx / n; // ML variance estimate
+    fit.sigmaEps = std::sqrt(var_ml);
+    fit.logLik = -0.5 * n * (std::log(2.0 * M_PI * var_ml) + 1.0);
+    fit.nParams = ncov + 1;
+    fit.aic = aic(fit.logLik, fit.nParams);
+    fit.bic = bic(fit.logLik, fit.nParams, nobs);
+    fit.converged = opt.converged;
+    return fit;
+}
+
+} // namespace ucx

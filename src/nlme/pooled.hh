@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Pooled model without productivity adjustment (paper Section 3.2):
+ * all rho_i fixed to 1, leaving the nonlinear regression
+ *
+ *     log Eff_ij = log( sum_k w_k m_ijk ) + N(0, sigma_eps^2).
+ *
+ * This produces the "sigma_eps (rho_i = 1)" row of paper Table 4.
+ */
+
+#ifndef UCX_NLME_POOLED_HH
+#define UCX_NLME_POOLED_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "nlme/data.hh"
+
+namespace ucx
+{
+
+/** Result of a pooled (no random effect) fit. */
+struct PooledFit
+{
+    std::vector<double> weights; ///< Fitted w_k (all > 0).
+    double sigmaEps = 0.0;       ///< ML residual log-sd.
+    double logLik = 0.0;         ///< Maximized log-likelihood.
+    double aic = 0.0;            ///< Akaike information criterion.
+    double bic = 0.0;            ///< Bayesian information criterion.
+    size_t nParams = 0;          ///< Parameters counted in AIC/BIC.
+    bool converged = false;      ///< Optimizer reported success.
+};
+
+/** Configuration for the pooled fitter. */
+struct PooledModelConfig
+{
+    size_t starts = 8;        ///< Multi-start count.
+    uint64_t seed = 19521205; ///< Multi-start jitter seed.
+};
+
+/** ML fitter for the pooled model. */
+class PooledModel
+{
+  public:
+    /**
+     * Create a fitter; grouping in the data is ignored except for
+     * validation.
+     *
+     * @param data   Grouped observations.
+     * @param config Fitter configuration.
+     */
+    explicit PooledModel(NlmeData data, PooledModelConfig config = {});
+
+    /** Fit the pooled model by maximum likelihood. */
+    PooledFit fit() const;
+
+    /**
+     * Residual sum of squares of log errors at given weights.
+     *
+     * @param weights Metric weights; all > 0.
+     * @return sum over observations of (y - log(w.x))^2, or +inf for
+     *         weights making any linear predictor non-positive.
+     */
+    double rss(const std::vector<double> &weights) const;
+
+  private:
+    NlmeData data_;
+    PooledModelConfig config_;
+};
+
+} // namespace ucx
+
+#endif // UCX_NLME_POOLED_HH

@@ -1,0 +1,192 @@
+#include "nlme/profile.hh"
+
+#include <cmath>
+
+#include "opt/multistart.hh"
+#include "opt/transform.hh"
+#include "stats/normal.hh"
+#include "util/error.hh"
+
+namespace ucx
+{
+
+namespace
+{
+
+/** Pack the free (non-fixed) parameters for the inner optimizer. */
+struct FreeLayout
+{
+    size_t ncov;
+    MixedParam fixed;
+    size_t weightIndex;
+
+    size_t
+    count() const
+    {
+        return ncov + 2 - 1;
+    }
+
+    /** Build full parameter vectors from free ones + fixed value. */
+    void
+    unpack(const std::vector<double> &free_params, double fixed_value,
+           std::vector<double> &weights, double &sigma_eps,
+           double &sigma_rho) const
+    {
+        weights.clear();
+        size_t cursor = 0;
+        for (size_t k = 0; k < ncov; ++k) {
+            if (fixed == MixedParam::Weight && k == weightIndex)
+                weights.push_back(fixed_value);
+            else
+                weights.push_back(free_params[cursor++]);
+        }
+        if (fixed == MixedParam::SigmaEps)
+            sigma_eps = fixed_value;
+        else
+            sigma_eps = free_params[cursor++];
+        if (fixed == MixedParam::SigmaRho)
+            sigma_rho = fixed_value;
+        else
+            sigma_rho = free_params[cursor++];
+    }
+
+    /** Extract the free starting values from an ML fit. */
+    std::vector<double>
+    packStart(const MixedFit &fit) const
+    {
+        std::vector<double> start;
+        for (size_t k = 0; k < ncov; ++k) {
+            if (!(fixed == MixedParam::Weight && k == weightIndex))
+                start.push_back(std::max(fit.weights[k], 1e-12));
+        }
+        if (fixed != MixedParam::SigmaEps)
+            start.push_back(std::max(fit.sigmaEps, 1e-6));
+        if (fixed != MixedParam::SigmaRho)
+            start.push_back(std::max(fit.sigmaRho, 1e-6));
+        return start;
+    }
+};
+
+} // namespace
+
+double
+profileLogLik(const MixedModel &model, const MixedFit &fit,
+              MixedParam param, size_t weight_index, double value,
+              size_t starts)
+{
+    require(value > 0.0, "profiled parameter must be > 0");
+    size_t ncov = fit.weights.size();
+    require(param != MixedParam::Weight || weight_index < ncov,
+            "weight index out of range");
+
+    FreeLayout layout{ncov, param, weight_index};
+    ParamTransform transform(std::vector<Constraint>(
+        layout.count(), Constraint::Positive));
+
+    Objective nll = [&](const std::vector<double> &u) {
+        std::vector<double> free_params = transform.toConstrained(u);
+        std::vector<double> weights;
+        double se = 0.0;
+        double sr = 0.0;
+        layout.unpack(free_params, value, weights, se, sr);
+        se = std::max(se, 1e-6);
+        sr = std::max(sr, 1e-6);
+        return -model.logLikelihood(weights, se, sr);
+    };
+
+    std::vector<double> start = layout.packStart(fit);
+    MultistartConfig ms;
+    ms.starts = starts;
+    ms.jitterSigma = 0.5;
+    OptResult opt =
+        multistartMinimize(nll, transform.toUnconstrained(start), ms);
+    return -opt.fx;
+}
+
+ProfileInterval
+profileInterval(const MixedModel &model, const MixedFit &fit,
+                MixedParam param, size_t weight_index,
+                const ProfileConfig &config)
+{
+    require(config.level > 0.0 && config.level < 1.0,
+            "confidence level must be in (0,1)");
+
+    double mle = 0.0;
+    switch (param) {
+      case MixedParam::Weight:
+        require(weight_index < fit.weights.size(),
+                "weight index out of range");
+        mle = fit.weights[weight_index];
+        break;
+      case MixedParam::SigmaEps:
+        mle = fit.sigmaEps;
+        break;
+      case MixedParam::SigmaRho:
+        mle = fit.sigmaRho;
+        break;
+    }
+    require(mle > 0.0, "MLE must be positive to profile");
+
+    // chi2_{1} quantile from the normal quantile.
+    double z = Normal::stdQuantile(0.5 + config.level / 2.0);
+    double threshold = fit.logLik - 0.5 * z * z;
+
+    auto pll = [&](double v) {
+        return profileLogLik(model, fit, param, weight_index, v,
+                             config.starts);
+    };
+
+    ProfileInterval interval;
+    interval.level = config.level;
+
+    // Walk outward geometrically until the profile drops below the
+    // threshold, then bisect.
+    auto search = [&](bool upward) -> std::pair<double, bool> {
+        double factor = upward ? 1.6 : 1.0 / 1.6;
+        double inside = mle;
+        double candidate = mle * factor;
+        double limit_hi = mle * config.rangeFactor;
+        double limit_lo = mle / config.rangeFactor;
+        while (candidate <= limit_hi && candidate >= limit_lo) {
+            if (pll(candidate) < threshold)
+                break;
+            inside = candidate;
+            candidate *= factor;
+        }
+        if (candidate > limit_hi || candidate < limit_lo) {
+            // Never crossed: open interval at the cap.
+            return {inside, true};
+        }
+        // Bisection between inside (ll >= threshold) and candidate.
+        double lo = std::min(inside, candidate);
+        double hi = std::max(inside, candidate);
+        for (int it = 0; it < 60; ++it) {
+            double mid = std::sqrt(lo * hi); // geometric midpoint
+            bool mid_inside = pll(mid) >= threshold;
+            if (upward) {
+                if (mid_inside)
+                    lo = mid;
+                else
+                    hi = mid;
+            } else {
+                if (mid_inside)
+                    hi = mid;
+                else
+                    lo = mid;
+            }
+            if (hi / lo - 1.0 < config.tolerance)
+                break;
+        }
+        return {upward ? lo : hi, false};
+    };
+
+    auto [upper, upper_open] = search(true);
+    auto [lower, lower_open] = search(false);
+    interval.upper = upper;
+    interval.upperOpen = upper_open;
+    interval.lower = lower;
+    interval.lowerOpen = lower_open;
+    return interval;
+}
+
+} // namespace ucx

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Profile-likelihood confidence intervals for the mixed-effects
+ * model parameters.
+ *
+ * The paper reports only point estimates of sigma_eps; a downstream
+ * user comparing estimators on a small dataset (18 points!) needs to
+ * know how uncertain those sigmas are. The profile interval for a
+ * parameter is the set of values whose profile log-likelihood stays
+ * within chi2_{1,level}/2 of the maximum, re-optimizing all other
+ * parameters at each candidate value.
+ */
+
+#ifndef UCX_NLME_PROFILE_HH
+#define UCX_NLME_PROFILE_HH
+
+#include <cstddef>
+
+#include "nlme/mixed_model.hh"
+
+namespace ucx
+{
+
+/** Which parameter of the mixed model to profile. */
+enum class MixedParam
+{
+    Weight,   ///< One of the w_k (select with weightIndex).
+    SigmaEps, ///< Residual log-sd.
+    SigmaRho, ///< Random-effect log-sd.
+};
+
+/** A profile-likelihood confidence interval. */
+struct ProfileInterval
+{
+    double lower = 0.0;      ///< Lower bound.
+    double upper = 0.0;      ///< Upper bound.
+    double level = 0.95;     ///< Confidence level used.
+    bool lowerOpen = false;  ///< Search hit its range cap below.
+    bool upperOpen = false;  ///< Search hit its range cap above.
+};
+
+/** Configuration for the profiler. */
+struct ProfileConfig
+{
+    double level = 0.95;   ///< Confidence level in (0,1).
+    size_t starts = 2;     ///< Multi-starts per profile point.
+    double rangeFactor = 400.0; ///< Max multiplicative search range.
+    double tolerance = 1e-3;    ///< Relative bisection tolerance.
+};
+
+/**
+ * Profile one parameter of a fitted mixed model.
+ *
+ * @param model        The model (provides the likelihood).
+ * @param fit          Its ML fit (center of the profile).
+ * @param param        Which parameter to profile.
+ * @param weight_index Index of the weight when param == Weight.
+ * @param config       Profiler options.
+ * @return The profile interval around the MLE.
+ */
+ProfileInterval profileInterval(const MixedModel &model,
+                                const MixedFit &fit, MixedParam param,
+                                size_t weight_index = 0,
+                                const ProfileConfig &config = {});
+
+/**
+ * The profile log-likelihood: max over all other parameters with one
+ * parameter fixed.
+ *
+ * @param model        The model.
+ * @param fit          ML fit used for starting values.
+ * @param param        Which parameter is fixed.
+ * @param weight_index Index of the weight when param == Weight.
+ * @param value        The fixed value (> 0).
+ * @param starts       Multi-start count for the inner optimization.
+ * @return The maximized log-likelihood at the fixed value.
+ */
+double profileLogLik(const MixedModel &model, const MixedFit &fit,
+                     MixedParam param, size_t weight_index,
+                     double value, size_t starts = 2);
+
+} // namespace ucx
+
+#endif // UCX_NLME_PROFILE_HH

@@ -1,0 +1,168 @@
+#include "opt/bfgs.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "linalg/matrix.hh"
+#include "util/error.hh"
+
+namespace ucx
+{
+
+std::vector<double>
+numericGradient(const Objective &f, const std::vector<double> &x,
+                double rel_step)
+{
+    std::vector<double> g(x.size());
+    std::vector<double> xp(x);
+    for (size_t i = 0; i < x.size(); ++i) {
+        double h = rel_step * std::max(1.0, std::abs(x[i]));
+        double orig = xp[i];
+        xp[i] = orig + h;
+        double fp = f(xp);
+        xp[i] = orig - h;
+        double fm = f(xp);
+        xp[i] = orig;
+        g[i] = (fp - fm) / (2.0 * h);
+    }
+    return g;
+}
+
+std::vector<double>
+numericHessian(const Objective &f, const std::vector<double> &x,
+               double rel_step)
+{
+    size_t n = x.size();
+    std::vector<double> hess(n * n, 0.0);
+    std::vector<double> xp(x);
+    double f0 = f(x);
+    std::vector<double> h(n);
+    for (size_t i = 0; i < n; ++i)
+        h[i] = rel_step * std::max(1.0, std::abs(x[i]));
+
+    for (size_t i = 0; i < n; ++i) {
+        // Diagonal: (f(x+h) - 2 f(x) + f(x-h)) / h^2.
+        double oi = xp[i];
+        xp[i] = oi + h[i];
+        double fp = f(xp);
+        xp[i] = oi - h[i];
+        double fm = f(xp);
+        xp[i] = oi;
+        hess[i * n + i] = (fp - 2.0 * f0 + fm) / (h[i] * h[i]);
+        for (size_t j = i + 1; j < n; ++j) {
+            double oj = xp[j];
+            xp[i] = oi + h[i];
+            xp[j] = oj + h[j];
+            double fpp = f(xp);
+            xp[j] = oj - h[j];
+            double fpm = f(xp);
+            xp[i] = oi - h[i];
+            double fmm = f(xp);
+            xp[j] = oj + h[j];
+            double fmp = f(xp);
+            xp[i] = oi;
+            xp[j] = oj;
+            double v = (fpp - fpm - fmp + fmm) / (4.0 * h[i] * h[j]);
+            hess[i * n + j] = v;
+            hess[j * n + i] = v;
+        }
+    }
+    return hess;
+}
+
+OptResult
+bfgs(const Objective &f, const std::vector<double> &start,
+     const BfgsConfig &config)
+{
+    require(!start.empty(), "bfgs needs a non-empty start point");
+    const size_t n = start.size();
+
+    OptResult result;
+    auto eval = [&](const std::vector<double> &x) {
+        ++result.evaluations;
+        double v = f(x);
+        return std::isfinite(v) ? v
+                                : std::numeric_limits<double>::max();
+    };
+
+    std::vector<double> x = start;
+    double fx = eval(x);
+    std::vector<double> g = numericGradient(f, x, config.fdStep);
+    Matrix hinv = Matrix::identity(n);
+
+    for (size_t it = 0; it < config.maxIterations; ++it) {
+        ++result.iterations;
+        if (maxAbs(g) < config.gradTol) {
+            result.converged = true;
+            break;
+        }
+
+        // Search direction d = -Hinv * g.
+        Vector d = matvec(hinv, g);
+        for (double &v : d)
+            v = -v;
+        double slope = dot(d, g);
+        if (slope >= 0.0) {
+            // Reset to steepest descent when curvature info goes bad.
+            hinv = Matrix::identity(n);
+            d = scale(g, -1.0);
+            slope = dot(d, g);
+        }
+
+        // Backtracking Armijo line search.
+        double alpha = 1.0;
+        double fnew = fx;
+        std::vector<double> xnew(x);
+        bool accepted = false;
+        for (int ls = 0; ls < 60; ++ls) {
+            for (size_t i = 0; i < n; ++i)
+                xnew[i] = x[i] + alpha * d[i];
+            fnew = eval(xnew);
+            if (fnew <= fx + 1e-4 * alpha * slope) {
+                accepted = true;
+                break;
+            }
+            alpha *= 0.5;
+        }
+        if (!accepted) {
+            result.converged = maxAbs(g) < 1e-4;
+            break;
+        }
+
+        std::vector<double> gnew =
+            numericGradient(f, xnew, config.fdStep);
+
+        // BFGS inverse-Hessian update.
+        Vector s = sub(xnew, x);
+        Vector yv = sub(gnew, g);
+        double sy = dot(s, yv);
+        if (sy > 1e-12) {
+            double rho = 1.0 / sy;
+            // hinv = (I - rho s y^T) hinv (I - rho y s^T) + rho s s^T
+            Vector hy = matvec(hinv, yv);
+            double yhy = dot(yv, hy);
+            for (size_t i = 0; i < n; ++i) {
+                for (size_t j = 0; j < n; ++j) {
+                    hinv(i, j) += rho * rho * yhy * s[i] * s[j] -
+                                  rho * (s[i] * hy[j] + hy[i] * s[j]) +
+                                  rho * s[i] * s[j];
+                }
+            }
+        }
+
+        double step = norm(s);
+        x = std::move(xnew);
+        fx = fnew;
+        g = std::move(gnew);
+        if (step < config.stepTol) {
+            result.converged = true;
+            break;
+        }
+    }
+
+    result.x = x;
+    result.fx = fx;
+    return result;
+}
+
+} // namespace ucx

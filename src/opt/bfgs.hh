@@ -1,0 +1,63 @@
+/**
+ * @file
+ * BFGS quasi-Newton minimizer with numeric gradients; used to polish
+ * Nelder-Mead solutions of the likelihood fits.
+ */
+
+#ifndef UCX_OPT_BFGS_HH
+#define UCX_OPT_BFGS_HH
+
+#include "opt/objective.hh"
+
+namespace ucx
+{
+
+/** Configuration for the BFGS minimizer. */
+struct BfgsConfig
+{
+    double gradTol = 1e-8;        ///< Convergence on gradient norm.
+    double stepTol = 1e-12;       ///< Convergence on step size.
+    size_t maxIterations = 500;   ///< Iteration budget.
+    double fdStep = 1e-6;         ///< Relative finite-difference step.
+};
+
+/**
+ * Minimize a smooth objective with BFGS and a backtracking Armijo
+ * line search; gradients are central finite differences.
+ *
+ * @param f      Objective to minimize.
+ * @param start  Initial point.
+ * @param config Algorithm parameters.
+ * @return Best point found and bookkeeping.
+ */
+OptResult bfgs(const Objective &f, const std::vector<double> &start,
+               const BfgsConfig &config = {});
+
+/**
+ * Central-difference gradient of f at x.
+ *
+ * @param f       Objective.
+ * @param x       Evaluation point.
+ * @param rel_step Relative step size per coordinate.
+ * @return The numeric gradient.
+ */
+std::vector<double> numericGradient(const Objective &f,
+                                    const std::vector<double> &x,
+                                    double rel_step = 1e-6);
+
+/**
+ * Numeric Hessian of f at x by central differences of the gradient;
+ * used for observed-information standard errors.
+ *
+ * @param f        Objective.
+ * @param x        Evaluation point.
+ * @param rel_step Relative step size per coordinate.
+ * @return Row-major n*n Hessian (flattened).
+ */
+std::vector<double> numericHessian(const Objective &f,
+                                   const std::vector<double> &x,
+                                   double rel_step = 1e-4);
+
+} // namespace ucx
+
+#endif // UCX_OPT_BFGS_HH

@@ -1,0 +1,45 @@
+#include "opt/multistart.hh"
+
+#include <limits>
+
+#include "opt/bfgs.hh"
+#include "opt/nelder_mead.hh"
+#include "util/error.hh"
+#include "util/rng.hh"
+
+namespace ucx
+{
+
+OptResult
+multistartMinimize(const Objective &f, const std::vector<double> &start,
+                   const MultistartConfig &config)
+{
+    require(config.starts >= 1, "multistart needs at least one start");
+    Rng rng(config.seed);
+
+    OptResult best;
+    best.fx = std::numeric_limits<double>::max();
+
+    for (size_t s = 0; s < config.starts; ++s) {
+        std::vector<double> x0 = start;
+        if (s > 0) {
+            for (double &v : x0)
+                v += rng.normal(0.0, config.jitterSigma);
+        }
+        OptResult r = nelderMead(f, x0);
+        if (r.fx < best.fx) {
+            best = std::move(r);
+        }
+    }
+
+    if (config.polishWithBfgs) {
+        OptResult polished = bfgs(f, best.x);
+        if (polished.fx < best.fx) {
+            polished.evaluations += best.evaluations;
+            best = std::move(polished);
+        }
+    }
+    return best;
+}
+
+} // namespace ucx

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Multi-start minimization driver: Nelder-Mead from several jittered
+ * starting points, best solution polished with BFGS.
+ *
+ * The two-metric likelihood surfaces of the µComplexity fits have
+ * ridges where one weight collapses to zero; multi-start keeps the
+ * fitter out of those local traps.
+ */
+
+#ifndef UCX_OPT_MULTISTART_HH
+#define UCX_OPT_MULTISTART_HH
+
+#include <cstdint>
+
+#include "opt/objective.hh"
+
+namespace ucx
+{
+
+/** Configuration for the multi-start driver. */
+struct MultistartConfig
+{
+    size_t starts = 8;          ///< Number of starting points.
+    double jitterSigma = 1.0;   ///< Log-space jitter around start.
+    uint64_t seed = 12345;      ///< RNG seed for jitter.
+    bool polishWithBfgs = true; ///< Run BFGS from the best NM point.
+};
+
+/**
+ * Run multi-start minimization.
+ *
+ * @param f      Objective to minimize (unconstrained space).
+ * @param start  Nominal starting point; other starts are jittered
+ *               copies.
+ * @param config Driver parameters.
+ * @return The best result across all starts.
+ */
+OptResult multistartMinimize(const Objective &f,
+                             const std::vector<double> &start,
+                             const MultistartConfig &config = {});
+
+} // namespace ucx
+
+#endif // UCX_OPT_MULTISTART_HH

@@ -1,0 +1,153 @@
+#include "opt/nelder_mead.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.hh"
+
+namespace ucx
+{
+
+namespace
+{
+
+/** One simplex vertex: point plus cached objective value. */
+struct Vertex
+{
+    std::vector<double> x;
+    double fx;
+};
+
+double
+diameter(const std::vector<Vertex> &simplex)
+{
+    double d = 0.0;
+    const auto &base = simplex[0].x;
+    for (size_t v = 1; v < simplex.size(); ++v)
+        for (size_t i = 0; i < base.size(); ++i)
+            d = std::max(d, std::abs(simplex[v].x[i] - base[i]));
+    return d;
+}
+
+} // namespace
+
+OptResult
+nelderMead(const Objective &f, const std::vector<double> &start,
+           const NelderMeadConfig &config)
+{
+    require(!start.empty(), "nelderMead needs a non-empty start point");
+    const size_t n = start.size();
+
+    OptResult result;
+    auto eval = [&](const std::vector<double> &x) {
+        ++result.evaluations;
+        double v = f(x);
+        return std::isfinite(v) ? v
+                                : std::numeric_limits<double>::max();
+    };
+
+    // Build the initial simplex around the start point.
+    std::vector<Vertex> simplex;
+    simplex.reserve(n + 1);
+    simplex.push_back({start, eval(start)});
+    for (size_t i = 0; i < n; ++i) {
+        std::vector<double> x = start;
+        double step = config.initialStep;
+        if (x[i] != 0.0)
+            step *= std::max(1.0, std::abs(x[i]));
+        x[i] += step;
+        simplex.push_back({x, eval(x)});
+    }
+
+    auto byValue = [](const Vertex &a, const Vertex &b) {
+        return a.fx < b.fx;
+    };
+
+    bool restarted = false;
+    while (result.evaluations < config.maxEvaluations) {
+        std::sort(simplex.begin(), simplex.end(), byValue);
+        ++result.iterations;
+
+        double spread = simplex.back().fx - simplex.front().fx;
+        if (spread < config.fTol && diameter(simplex) < config.xTol) {
+            if (restarted) {
+                result.converged = true;
+                break;
+            }
+            // One restart with a fresh simplex around the best point
+            // guards against false convergence on a degenerate
+            // simplex.
+            restarted = true;
+            std::vector<double> best = simplex.front().x;
+            simplex.clear();
+            simplex.push_back({best, eval(best)});
+            for (size_t i = 0; i < n; ++i) {
+                std::vector<double> x = best;
+                x[i] += config.initialStep * 0.1 *
+                        std::max(1.0, std::abs(x[i]));
+                simplex.push_back({x, eval(x)});
+            }
+            continue;
+        }
+
+        // Centroid of all vertices but the worst.
+        std::vector<double> centroid(n, 0.0);
+        for (size_t v = 0; v + 1 < simplex.size(); ++v)
+            for (size_t i = 0; i < n; ++i)
+                centroid[i] += simplex[v].x[i];
+        for (double &c : centroid)
+            c /= static_cast<double>(n);
+
+        const Vertex &worst = simplex.back();
+        auto blend = [&](double t) {
+            std::vector<double> x(n);
+            for (size_t i = 0; i < n; ++i)
+                x[i] = centroid[i] + t * (worst.x[i] - centroid[i]);
+            return x;
+        };
+
+        // Reflection.
+        std::vector<double> xr = blend(-1.0);
+        double fr = eval(xr);
+        if (fr < simplex.front().fx) {
+            // Expansion.
+            std::vector<double> xe = blend(-2.0);
+            double fe = eval(xe);
+            if (fe < fr)
+                simplex.back() = {std::move(xe), fe};
+            else
+                simplex.back() = {std::move(xr), fr};
+            continue;
+        }
+        if (fr < simplex[simplex.size() - 2].fx) {
+            simplex.back() = {std::move(xr), fr};
+            continue;
+        }
+        // Contraction (outside if the reflected point improved on the
+        // worst, inside otherwise).
+        bool outside = fr < worst.fx;
+        std::vector<double> xc = blend(outside ? -0.5 : 0.5);
+        double fc = eval(xc);
+        if (fc < std::min(fr, worst.fx)) {
+            simplex.back() = {std::move(xc), fc};
+            continue;
+        }
+        // Shrink toward the best vertex.
+        for (size_t v = 1; v < simplex.size(); ++v) {
+            for (size_t i = 0; i < n; ++i) {
+                simplex[v].x[i] = simplex[0].x[i] +
+                                  0.5 * (simplex[v].x[i] -
+                                         simplex[0].x[i]);
+            }
+            simplex[v].fx = eval(simplex[v].x);
+        }
+    }
+
+    std::sort(simplex.begin(), simplex.end(), byValue);
+    result.x = simplex.front().x;
+    result.fx = simplex.front().fx;
+    return result;
+}
+
+} // namespace ucx

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Nelder-Mead downhill simplex minimizer.
+ *
+ * The derivative-free workhorse for the NLME likelihoods, whose
+ * profiled objectives are smooth but awkward to differentiate near
+ * the sigma -> 0 boundary.
+ */
+
+#ifndef UCX_OPT_NELDER_MEAD_HH
+#define UCX_OPT_NELDER_MEAD_HH
+
+#include "opt/objective.hh"
+
+namespace ucx
+{
+
+/** Configuration for the Nelder-Mead minimizer. */
+struct NelderMeadConfig
+{
+    double initialStep = 0.5;   ///< Initial simplex edge length.
+    double fTol = 1e-12;        ///< Absolute spread tolerance on f.
+    double xTol = 1e-10;        ///< Simplex diameter tolerance.
+    size_t maxEvaluations = 40000; ///< Evaluation budget.
+};
+
+/**
+ * Minimize an objective with the Nelder-Mead simplex method
+ * (standard reflection/expansion/contraction/shrink coefficients,
+ * with the adaptive restart of O'Neill applied once on convergence).
+ *
+ * @param f      Objective to minimize.
+ * @param start  Initial point; also sets the dimension.
+ * @param config Algorithm parameters.
+ * @return Best point found and bookkeeping.
+ */
+OptResult nelderMead(const Objective &f, const std::vector<double> &start,
+                     const NelderMeadConfig &config = {});
+
+} // namespace ucx
+
+#endif // UCX_OPT_NELDER_MEAD_HH

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Common objective-function plumbing shared by the optimizers.
+ */
+
+#ifndef UCX_OPT_OBJECTIVE_HH
+#define UCX_OPT_OBJECTIVE_HH
+
+#include <functional>
+#include <vector>
+
+namespace ucx
+{
+
+/** Scalar objective over a parameter vector (to be minimized). */
+using Objective = std::function<double(const std::vector<double> &)>;
+
+/** Result of an optimization run. */
+struct OptResult
+{
+    std::vector<double> x;     ///< Minimizer found.
+    double fx = 0.0;           ///< Objective value at x.
+    size_t evaluations = 0;    ///< Objective evaluations used.
+    size_t iterations = 0;     ///< Iterations performed.
+    bool converged = false;    ///< Tolerance met before budget ran out.
+};
+
+} // namespace ucx
+
+#endif // UCX_OPT_OBJECTIVE_HH

@@ -1,0 +1,79 @@
+#include "opt/transform.hh"
+
+#include <cmath>
+
+#include "util/error.hh"
+
+namespace ucx
+{
+
+double
+softplus(double x)
+{
+    if (x > 30.0)
+        return x;
+    if (x < -30.0)
+        return std::exp(x);
+    return std::log1p(std::exp(x));
+}
+
+double
+softplusInv(double y)
+{
+    require(y > 0.0, "softplusInv needs y > 0");
+    if (y > 30.0)
+        return y;
+    return std::log(std::expm1(y));
+}
+
+ParamTransform::ParamTransform(std::vector<Constraint> constraints)
+    : constraints_(std::move(constraints))
+{}
+
+std::vector<double>
+ParamTransform::toUnconstrained(const std::vector<double> &theta) const
+{
+    require(theta.size() == constraints_.size(),
+            "parameter size mismatch in toUnconstrained");
+    std::vector<double> u(theta.size());
+    for (size_t i = 0; i < theta.size(); ++i) {
+        switch (constraints_[i]) {
+          case Constraint::None:
+            u[i] = theta[i];
+            break;
+          case Constraint::Positive:
+            require(theta[i] > 0.0,
+                    "positive-constrained parameter must be > 0");
+            u[i] = std::log(theta[i]);
+            break;
+          case Constraint::NonNegative:
+            u[i] = softplusInv(std::max(theta[i], 1e-12));
+            break;
+        }
+    }
+    return u;
+}
+
+std::vector<double>
+ParamTransform::toConstrained(const std::vector<double> &u) const
+{
+    require(u.size() == constraints_.size(),
+            "parameter size mismatch in toConstrained");
+    std::vector<double> theta(u.size());
+    for (size_t i = 0; i < u.size(); ++i) {
+        switch (constraints_[i]) {
+          case Constraint::None:
+            theta[i] = u[i];
+            break;
+          case Constraint::Positive:
+            theta[i] = std::exp(u[i]);
+            break;
+          case Constraint::NonNegative:
+            theta[i] = softplus(u[i]);
+            break;
+        }
+    }
+    return theta;
+}
+
+} // namespace ucx

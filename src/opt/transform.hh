@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Box-constraint transforms: map constrained model parameters
+ * (positive weights, positive sigmas) to the unconstrained space the
+ * optimizers work in.
+ */
+
+#ifndef UCX_OPT_TRANSFORM_HH
+#define UCX_OPT_TRANSFORM_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace ucx
+{
+
+/** Kind of constraint on one parameter. */
+enum class Constraint
+{
+    None,        ///< Unconstrained (identity transform).
+    Positive,    ///< (0, inf) via exp/log.
+    NonNegative, ///< [0, inf) via softplus.
+};
+
+/**
+ * Elementwise transform between a constrained parameter vector and
+ * its unconstrained optimizer-space image.
+ */
+class ParamTransform
+{
+  public:
+    /**
+     * Create a transform.
+     *
+     * @param constraints One constraint per parameter.
+     */
+    explicit ParamTransform(std::vector<Constraint> constraints);
+
+    /** @return Number of parameters. */
+    size_t size() const { return constraints_.size(); }
+
+    /**
+     * Map a constrained point into unconstrained space.
+     *
+     * @param theta Constrained parameters (must satisfy constraints).
+     * @return The unconstrained image.
+     */
+    std::vector<double> toUnconstrained(
+        const std::vector<double> &theta) const;
+
+    /**
+     * Map an unconstrained point back into the constrained space.
+     *
+     * @param u Unconstrained parameters.
+     * @return The constrained parameters.
+     */
+    std::vector<double> toConstrained(const std::vector<double> &u) const;
+
+  private:
+    std::vector<Constraint> constraints_;
+};
+
+/** Numerically safe softplus log(1 + e^x). */
+double softplus(double x);
+
+/** Inverse of softplus; y must be > 0. */
+double softplusInv(double y);
+
+} // namespace ucx
+
+#endif // UCX_OPT_TRANSFORM_HH

@@ -1,0 +1,128 @@
+#include "stats/descriptive.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.hh"
+
+namespace ucx
+{
+
+double
+mean(const std::vector<double> &xs)
+{
+    require(!xs.empty(), "mean of empty sample");
+    return std::accumulate(xs.begin(), xs.end(), 0.0) /
+           static_cast<double>(xs.size());
+}
+
+double
+variance(const std::vector<double> &xs)
+{
+    require(xs.size() >= 2, "variance needs at least two samples");
+    double m = mean(xs);
+    double ss = 0.0;
+    for (double x : xs)
+        ss += (x - m) * (x - m);
+    return ss / static_cast<double>(xs.size() - 1);
+}
+
+double
+stddev(const std::vector<double> &xs)
+{
+    return std::sqrt(variance(xs));
+}
+
+double
+quantile(std::vector<double> xs, double p)
+{
+    require(!xs.empty(), "quantile of empty sample");
+    require(p >= 0.0 && p <= 1.0, "quantile needs p in [0,1]");
+    std::sort(xs.begin(), xs.end());
+    if (xs.size() == 1)
+        return xs[0];
+    double h = p * static_cast<double>(xs.size() - 1);
+    size_t lo = static_cast<size_t>(std::floor(h));
+    size_t hi = std::min(lo + 1, xs.size() - 1);
+    double frac = h - static_cast<double>(lo);
+    return xs[lo] + frac * (xs[hi] - xs[lo]);
+}
+
+double
+median(std::vector<double> xs)
+{
+    return quantile(std::move(xs), 0.5);
+}
+
+double
+pearson(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    require(xs.size() == ys.size(), "pearson needs equal sizes");
+    require(xs.size() >= 2, "pearson needs at least two samples");
+    double mx = mean(xs);
+    double my = mean(ys);
+    double sxy = 0.0, sxx = 0.0, syy = 0.0;
+    for (size_t i = 0; i < xs.size(); ++i) {
+        double dx = xs[i] - mx;
+        double dy = ys[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    require(sxx > 0.0 && syy > 0.0, "pearson needs non-constant samples");
+    return sxy / std::sqrt(sxx * syy);
+}
+
+namespace
+{
+
+std::vector<double>
+ranks(const std::vector<double> &xs)
+{
+    std::vector<size_t> idx(xs.size());
+    std::iota(idx.begin(), idx.end(), 0);
+    std::sort(idx.begin(), idx.end(),
+              [&](size_t a, size_t b) { return xs[a] < xs[b]; });
+    std::vector<double> r(xs.size());
+    size_t i = 0;
+    while (i < idx.size()) {
+        size_t j = i;
+        while (j + 1 < idx.size() && xs[idx[j + 1]] == xs[idx[i]])
+            ++j;
+        // Average rank for the tie group [i, j].
+        double avg = (static_cast<double>(i) + static_cast<double>(j)) /
+                         2.0 +
+                     1.0;
+        for (size_t k = i; k <= j; ++k)
+            r[idx[k]] = avg;
+        i = j + 1;
+    }
+    return r;
+}
+
+} // namespace
+
+double
+spearman(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    return pearson(ranks(xs), ranks(ys));
+}
+
+double
+rmsLogError(const std::vector<double> &est,
+            const std::vector<double> &actual)
+{
+    require(est.size() == actual.size(), "rmsLogError size mismatch");
+    require(!est.empty(), "rmsLogError of empty sample");
+    double ss = 0.0;
+    for (size_t i = 0; i < est.size(); ++i) {
+        require(est[i] > 0.0 && actual[i] > 0.0,
+                "rmsLogError needs positive values");
+        double d = std::log(est[i] / actual[i]);
+        ss += d * d;
+    }
+    return std::sqrt(ss / static_cast<double>(est.size()));
+}
+
+} // namespace ucx

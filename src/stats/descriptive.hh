@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Descriptive statistics over samples: moments, quantiles, and the
+ * correlation helpers used in tests and reports.
+ */
+
+#ifndef UCX_STATS_DESCRIPTIVE_HH
+#define UCX_STATS_DESCRIPTIVE_HH
+
+#include <vector>
+
+namespace ucx
+{
+
+/** @return Arithmetic mean; sample must be non-empty. */
+double mean(const std::vector<double> &xs);
+
+/**
+ * @param xs Sample with at least two elements.
+ * @return Unbiased (n-1) sample variance.
+ */
+double variance(const std::vector<double> &xs);
+
+/** @return sqrt(variance(xs)). */
+double stddev(const std::vector<double> &xs);
+
+/**
+ * Empirical quantile with linear interpolation (type-7, the R
+ * default).
+ *
+ * @param xs Non-empty sample (copied and sorted internally).
+ * @param p  Probability in [0, 1].
+ * @return The p-quantile.
+ */
+double quantile(std::vector<double> xs, double p);
+
+/** @return The sample median. */
+double median(std::vector<double> xs);
+
+/**
+ * Pearson correlation coefficient of two equally-sized samples with
+ * at least two elements and non-zero variance.
+ */
+double pearson(const std::vector<double> &xs,
+               const std::vector<double> &ys);
+
+/**
+ * Spearman rank correlation (average ranks for ties).
+ */
+double spearman(const std::vector<double> &xs,
+                const std::vector<double> &ys);
+
+/**
+ * Root of the mean of squared log-ratios log(est/actual); a scale-
+ * free residual summary analogous to the paper's sigma_epsilon.
+ *
+ * @param est    Estimates; all > 0.
+ * @param actual Actuals; all > 0 and same length.
+ * @return sqrt(mean(log(est_i / actual_i)^2)).
+ */
+double rmsLogError(const std::vector<double> &est,
+                   const std::vector<double> &actual);
+
+} // namespace ucx
+
+#endif // UCX_STATS_DESCRIPTIVE_HH

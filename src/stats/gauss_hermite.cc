@@ -1,0 +1,92 @@
+#include "stats/gauss_hermite.hh"
+
+#include <cmath>
+
+#include "util/error.hh"
+
+namespace ucx
+{
+
+namespace
+{
+
+/**
+ * Evaluate the (physicists') Hermite polynomial H_n and its
+ * derivative at x via the three-term recurrence, returning the
+ * *orthonormalized* value pair used by the Newton iteration.
+ */
+void
+hermiteEval(size_t n, double x, double &h, double &dh)
+{
+    // Orthonormal recurrence: ht_{k+1} = x*sqrt(2/(k+1)) ht_k
+    //                                    - sqrt(k/(k+1)) ht_{k-1}
+    double p0 = std::pow(M_PI, -0.25); // ht_0
+    double p1 = std::sqrt(2.0) * x * p0;
+    if (n == 0) {
+        h = p0;
+        dh = 0.0;
+        return;
+    }
+    for (size_t k = 1; k < n; ++k) {
+        double p2 = x * std::sqrt(2.0 / (k + 1.0)) * p1 -
+                    std::sqrt(k / (k + 1.0)) * p0;
+        p0 = p1;
+        p1 = p2;
+    }
+    h = p1;
+    dh = std::sqrt(2.0 * n) * p0;
+}
+
+} // namespace
+
+GaussHermiteRule
+gaussHermite(size_t n)
+{
+    require(n >= 1 && n <= 64, "gaussHermite supports 1..64 nodes");
+    GaussHermiteRule rule;
+    rule.nodes.assign(n, 0.0);
+    rule.weights.assign(n, 0.0);
+
+    // Initial guesses (Stroud & Secrest style), largest root first.
+    size_t m = (n + 1) / 2;
+    double z = 0.0;
+    for (size_t i = 0; i < m; ++i) {
+        if (i == 0) {
+            z = std::sqrt(2.0 * n + 1.0) -
+                1.85575 * std::pow(2.0 * n + 1.0, -1.0 / 6.0);
+        } else if (i == 1) {
+            z -= 1.14 * std::pow(static_cast<double>(n), 0.426) / z;
+        } else if (i == 2) {
+            z = 1.86 * z - 0.86 * rule.nodes[0];
+        } else if (i == 3) {
+            z = 1.91 * z - 0.91 * rule.nodes[1];
+        } else {
+            z = 2.0 * z - rule.nodes[i - 2];
+        }
+
+        double h = 0.0, dh = 1.0;
+        for (int it = 0; it < 100; ++it) {
+            hermiteEval(n, z, h, dh);
+            double dz = h / dh;
+            z -= dz;
+            if (std::abs(dz) < 1e-14)
+                break;
+        }
+        hermiteEval(n, z, h, dh);
+        rule.nodes[i] = z;
+        rule.weights[i] = 2.0 / (dh * dh);
+        // Symmetric counterpart.
+        rule.nodes[n - 1 - i] = -z;
+        rule.weights[n - 1 - i] = rule.weights[i];
+    }
+    if (n % 2 == 1) {
+        // Center the middle node exactly at zero.
+        rule.nodes[m - 1] = 0.0;
+        double h = 0.0, dh = 1.0;
+        hermiteEval(n, 0.0, h, dh);
+        rule.weights[m - 1] = 2.0 / (dh * dh);
+    }
+    return rule;
+}
+
+} // namespace ucx

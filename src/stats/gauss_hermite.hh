@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Gauss-Hermite quadrature nodes and weights.
+ *
+ * Backs the adaptive-quadrature NLME fitter that cross-checks the
+ * analytic marginal likelihood of the µComplexity model.
+ */
+
+#ifndef UCX_STATS_GAUSS_HERMITE_HH
+#define UCX_STATS_GAUSS_HERMITE_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace ucx
+{
+
+/** One Gauss-Hermite quadrature rule. */
+struct GaussHermiteRule
+{
+    std::vector<double> nodes;   ///< Abscissae x_i.
+    std::vector<double> weights; ///< Weights w_i for weight e^{-x^2}.
+};
+
+/**
+ * Compute the n-point Gauss-Hermite rule (physicists' convention,
+ * weight function e^{-x^2}) by Newton iteration on the Hermite
+ * recurrence.
+ *
+ * @param n Number of nodes; 1 <= n <= 64.
+ * @return The rule; integral f(x) e^{-x^2} dx ~= sum w_i f(x_i).
+ */
+GaussHermiteRule gaussHermite(size_t n);
+
+/**
+ * Integrate f against a standard normal density using an n-point
+ * rule: E[f(Z)], Z ~ N(0,1).
+ *
+ * @param rule Precomputed rule.
+ * @param f    Integrand evaluated at rescaled nodes.
+ * @return The quadrature approximation of E[f(Z)].
+ */
+template <typename F>
+double
+normalExpectation(const GaussHermiteRule &rule, F &&f)
+{
+    // E[f(Z)] = (1/sqrt(pi)) * sum w_i f(sqrt(2) x_i).
+    double sum = 0.0;
+    for (size_t i = 0; i < rule.nodes.size(); ++i)
+        sum += rule.weights[i] * f(1.4142135623730951 * rule.nodes[i]);
+    return sum / 1.7724538509055160; // sqrt(pi)
+}
+
+} // namespace ucx
+
+#endif // UCX_STATS_GAUSS_HERMITE_HH

@@ -1,0 +1,55 @@
+#include "stats/ks_test.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hh"
+
+namespace ucx
+{
+
+namespace
+{
+
+/** Asymptotic Kolmogorov distribution complement Q(lambda). */
+double
+kolmogorovQ(double lambda)
+{
+    if (lambda < 1e-8)
+        return 1.0;
+    double sum = 0.0;
+    double sign = 1.0;
+    for (int k = 1; k <= 100; ++k) {
+        double term = sign * std::exp(-2.0 * k * k * lambda * lambda);
+        sum += term;
+        if (std::abs(term) < 1e-12)
+            break;
+        sign = -sign;
+    }
+    return std::clamp(2.0 * sum, 0.0, 1.0);
+}
+
+} // namespace
+
+KsResult
+ksTest(std::vector<double> sample,
+       const std::function<double(double)> &cdf)
+{
+    require(!sample.empty(), "ksTest needs a non-empty sample");
+    std::sort(sample.begin(), sample.end());
+    double n = static_cast<double>(sample.size());
+    double d = 0.0;
+    for (size_t i = 0; i < sample.size(); ++i) {
+        double f = cdf(sample[i]);
+        double above = (static_cast<double>(i) + 1.0) / n - f;
+        double below = f - static_cast<double>(i) / n;
+        d = std::max({d, above, below});
+    }
+    KsResult res;
+    res.statistic = d;
+    double sqrt_n = std::sqrt(n);
+    res.pValue = kolmogorovQ((sqrt_n + 0.12 + 0.11 / sqrt_n) * d);
+    return res;
+}
+
+} // namespace ucx

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * One-sample Kolmogorov-Smirnov goodness-of-fit test; used by the
+ * property tests to check that sampled productivities/errors really
+ * follow the lognormal laws assumed by the model.
+ */
+
+#ifndef UCX_STATS_KS_TEST_HH
+#define UCX_STATS_KS_TEST_HH
+
+#include <functional>
+#include <vector>
+
+namespace ucx
+{
+
+/** Result of a one-sample Kolmogorov-Smirnov test. */
+struct KsResult
+{
+    double statistic = 0.0; ///< Supremum distance D_n.
+    double pValue = 0.0;    ///< Asymptotic p-value.
+};
+
+/**
+ * One-sample KS test against a continuous cdf.
+ *
+ * @param sample Observations (copied and sorted internally).
+ * @param cdf    Hypothesized cumulative distribution function.
+ * @return Statistic and asymptotic p-value.
+ */
+KsResult ksTest(std::vector<double> sample,
+                const std::function<double(double)> &cdf);
+
+} // namespace ucx
+
+#endif // UCX_STATS_KS_TEST_HH

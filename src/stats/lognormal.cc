@@ -1,0 +1,77 @@
+#include "stats/lognormal.hh"
+
+#include <cmath>
+
+#include "stats/normal.hh"
+#include "util/error.hh"
+
+namespace ucx
+{
+
+Lognormal::Lognormal(double mu, double sigma)
+    : mu_(mu), sigma_(sigma)
+{
+    require(sigma > 0.0, "Lognormal needs sigma > 0");
+}
+
+double
+Lognormal::pdf(double x) const
+{
+    if (x <= 0.0)
+        return 0.0;
+    double z = (std::log(x) - mu_) / sigma_;
+    return std::exp(-0.5 * z * z) /
+           (x * sigma_ * std::sqrt(2.0 * M_PI));
+}
+
+double
+Lognormal::cdf(double x) const
+{
+    if (x <= 0.0)
+        return 0.0;
+    return Normal::stdCdf((std::log(x) - mu_) / sigma_);
+}
+
+double
+Lognormal::quantile(double p) const
+{
+    return std::exp(mu_ + sigma_ * Normal::stdQuantile(p));
+}
+
+double
+Lognormal::mode() const
+{
+    return std::exp(mu_ - sigma_ * sigma_);
+}
+
+double
+Lognormal::median() const
+{
+    return std::exp(mu_);
+}
+
+double
+Lognormal::mean() const
+{
+    return std::exp(mu_ + sigma_ * sigma_ / 2.0);
+}
+
+std::pair<double, double>
+Lognormal::centralInterval(double confidence) const
+{
+    require(confidence > 0.0 && confidence < 1.0,
+            "confidence must be in (0,1)");
+    double tail = (1.0 - confidence) / 2.0;
+    return {quantile(tail), quantile(1.0 - tail)};
+}
+
+std::pair<double, double>
+errorFactors(double sigma_eps, double confidence)
+{
+    require(sigma_eps >= 0.0, "sigma_eps must be >= 0");
+    if (sigma_eps == 0.0)
+        return {1.0, 1.0};
+    return Lognormal(0.0, sigma_eps).centralInterval(confidence);
+}
+
+} // namespace ucx

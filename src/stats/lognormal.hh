@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Lognormal distribution, the error/productivity law at the heart of
+ * µComplexity (paper Section 3.1, Figure 2).
+ *
+ * The paper fixes mu = 0 for both the productivity rho and the error
+ * epsilon, making the median of both distributions exactly 1.
+ */
+
+#ifndef UCX_STATS_LOGNORMAL_HH
+#define UCX_STATS_LOGNORMAL_HH
+
+#include <utility>
+
+namespace ucx
+{
+
+/** Lognormal distribution: X = exp(N(mu, sigma^2)). */
+class Lognormal
+{
+  public:
+    /**
+     * Create a lognormal distribution.
+     *
+     * @param mu    Mean of the log.
+     * @param sigma Standard deviation of the log; must be > 0.
+     */
+    Lognormal(double mu, double sigma);
+
+    /** @return mu, the mean of log(X). */
+    double mu() const { return mu_; }
+
+    /** @return sigma, the standard deviation of log(X). */
+    double sigma() const { return sigma_; }
+
+    /** @return The density at x (0 for x <= 0). */
+    double pdf(double x) const;
+
+    /** @return P(X <= x). */
+    double cdf(double x) const;
+
+    /**
+     * Inverse cdf.
+     *
+     * @param p Probability in (0, 1).
+     * @return x such that cdf(x) == p.
+     */
+    double quantile(double p) const;
+
+    /** @return The mode exp(mu - sigma^2) (paper Figure 2). */
+    double mode() const;
+
+    /** @return The median exp(mu); equals 1 when mu == 0. */
+    double median() const;
+
+    /** @return The mean exp(mu + sigma^2 / 2) (paper Eq. 4 uses this). */
+    double mean() const;
+
+    /**
+     * Central (equal-tail) confidence interval of the distribution.
+     *
+     * For mu = 0 this yields the multiplicative factors (yl, yh) of
+     * paper Figures 3 and 4: the x% CI for an estimate eff is
+     * (yl * eff, yh * eff).
+     *
+     * @param confidence Coverage in (0, 1), e.g. 0.90.
+     * @return The pair (lower, upper) quantiles.
+     */
+    std::pair<double, double> centralInterval(double confidence) const;
+
+  private:
+    double mu_;
+    double sigma_;
+};
+
+/**
+ * Multiplicative CI factors for a lognormal error with log-sd
+ * sigma_eps and median 1 — the (yl, yh) mapping of paper Figure 3.
+ *
+ * @param sigma_eps  Standard deviation of the log error; >= 0.
+ * @param confidence Coverage in (0, 1).
+ * @return The pair (yl, yh); (1, 1) when sigma_eps == 0.
+ */
+std::pair<double, double> errorFactors(double sigma_eps,
+                                       double confidence);
+
+} // namespace ucx
+
+#endif // UCX_STATS_LOGNORMAL_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Normal distribution: pdf, cdf, quantile (inverse cdf), and the
+ * log-density used by the likelihood code.
+ */
+
+#ifndef UCX_STATS_NORMAL_HH
+#define UCX_STATS_NORMAL_HH
+
+namespace ucx
+{
+
+/** Normal (Gaussian) distribution N(mu, sigma^2). */
+class Normal
+{
+  public:
+    /**
+     * Create a normal distribution.
+     *
+     * @param mu    Mean.
+     * @param sigma Standard deviation; must be > 0.
+     */
+    Normal(double mu, double sigma);
+
+    /** @return The mean mu. */
+    double mu() const { return mu_; }
+
+    /** @return The standard deviation sigma. */
+    double sigma() const { return sigma_; }
+
+    /** @return The density at x. */
+    double pdf(double x) const;
+
+    /** @return The log-density at x. */
+    double logPdf(double x) const;
+
+    /** @return P(X <= x). */
+    double cdf(double x) const;
+
+    /**
+     * Inverse cdf.
+     *
+     * @param p Probability in (0, 1).
+     * @return x such that cdf(x) == p.
+     */
+    double quantile(double p) const;
+
+    /** @return The standard-normal cdf Phi(z). */
+    static double stdCdf(double z);
+
+    /** @return The standard-normal quantile Phi^-1(p), p in (0,1). */
+    static double stdQuantile(double p);
+
+  private:
+    double mu_;
+    double sigma_;
+};
+
+} // namespace ucx
+
+#endif // UCX_STATS_NORMAL_HH

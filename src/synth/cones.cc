@@ -1,0 +1,54 @@
+#include "synth/cones.hh"
+
+#include <algorithm>
+#include <set>
+
+namespace ucx
+{
+
+ConeReport
+extractCones(const Netlist &netlist)
+{
+    ConeReport report;
+    std::vector<GateId> endpoints = netlist.coneEndpoints();
+
+    // Reused scratch marks to avoid per-cone allocation.
+    std::vector<uint32_t> mark(netlist.gates.size(), 0);
+    uint32_t stamp = 0;
+
+    for (GateId root : endpoints) {
+        ++stamp;
+        Cone cone;
+        cone.endpointDriver = root;
+
+        std::vector<GateId> stack = {root};
+        std::set<GateId> inputs;
+        while (!stack.empty()) {
+            GateId g = stack.back();
+            stack.pop_back();
+            if (mark[g] == stamp)
+                continue;
+            mark[g] = stamp;
+            const Gate &gate = netlist.gates[g];
+            if (netlist.isConeSource(g)) {
+                // Constants are not real cone inputs.
+                if (gate.op != GateOp::Const0 &&
+                    gate.op != GateOp::Const1) {
+                    inputs.insert(g);
+                }
+                continue;
+            }
+            ++cone.gateCount;
+            for (GateId in : gate.in)
+                stack.push_back(in);
+        }
+        cone.inputCount = inputs.size();
+        report.fanInSum += cone.inputCount;
+        report.maxInputs = std::max(report.maxInputs,
+                                    cone.inputCount);
+        report.cones.push_back(std::move(cone));
+    }
+    return report;
+}
+
+} // namespace ucx

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Logic-cone extraction: the from-first-principles FanInLC.
+ *
+ * Paper Section 4.3: "Given a primary output (a signal that reaches
+ * a pipeline latch), we identify the set of logic gates that
+ * produces it starting from the preceding pipeline latch (its logic
+ * cone), and count all the primary inputs to the cone. We then
+ * repeat the process for all the primary outputs in the design,
+ * accumulating the counts."
+ */
+
+#ifndef UCX_SYNTH_CONES_HH
+#define UCX_SYNTH_CONES_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "synth/netlist.hh"
+
+namespace ucx
+{
+
+/** One extracted logic cone. */
+struct Cone
+{
+    GateId endpointDriver;       ///< Gate feeding the endpoint pin.
+    size_t gateCount = 0;        ///< Combinational gates inside.
+    size_t inputCount = 0;       ///< Distinct sequential inputs.
+};
+
+/** Summary of a cone analysis. */
+struct ConeReport
+{
+    std::vector<Cone> cones;
+    size_t fanInSum = 0;  ///< Sum of inputCount over all cones:
+                          ///< the exact FanInLC.
+    size_t maxInputs = 0; ///< Largest single cone fan-in.
+};
+
+/**
+ * Extract the logic cone of every endpoint (DFF d-pin, memory pin,
+ * primary output) and accumulate fan-in counts.
+ *
+ * @param netlist Gate netlist.
+ * @return Per-cone statistics and the accumulated FanInLC.
+ */
+ConeReport extractCones(const Netlist &netlist);
+
+} // namespace ucx
+
+#endif // UCX_SYNTH_CONES_HH

@@ -1,0 +1,1518 @@
+#include "synth/elaborate.hh"
+
+#include <algorithm>
+
+#include "hdl/const_eval.hh"
+#include "util/error.hh"
+
+namespace ucx
+{
+
+bool
+GenerateStats::degenerateAgainst(const GenerateStats &reference) const
+{
+    // A loop that iterates in the reference must still iterate here;
+    // a loop whose every instance now runs zero times has been
+    // optimized away. (Reference loops that never iterate — e.g. the
+    // zeroth slot of a triangular dependency network — impose no
+    // constraint.)
+    for (const auto &[key, ref_trips] : reference.loopTrips) {
+        int64_t ref_max = *std::max_element(ref_trips.begin(),
+                                            ref_trips.end());
+        if (ref_max <= 0)
+            continue;
+        auto it = loopTrips.find(key);
+        if (it == loopTrips.end())
+            return true; // loop removed entirely
+        int64_t here_max =
+            *std::max_element(it->second.begin(), it->second.end());
+        if (here_max <= 0)
+            return true;
+    }
+    // A generate-if that no longer takes a branch the reference
+    // takes has had that conditional optimized away.
+    for (const auto &[key, branches] : reference.ifBranches) {
+        auto it = ifBranches.find(key);
+        if (it == ifBranches.end())
+            return true;
+        for (int b : branches)
+            if (it->second.find(b) == it->second.end())
+                return true;
+    }
+    return false;
+}
+
+size_t
+InstanceInfo::totalInstances() const
+{
+    size_t n = 1;
+    for (const auto &c : children)
+        n += c.totalInstances();
+    return n;
+}
+
+void
+InstanceInfo::countModules(std::map<std::string, size_t> &counts) const
+{
+    ++counts[moduleName];
+    for (const auto &c : children)
+        c.countModules(counts);
+}
+
+namespace
+{
+
+/** One generate-expanded module item with its constant bindings. */
+struct FlatItem
+{
+    ItemPtr item;
+    ConstEnv consts;
+};
+
+/** A bit-field assignment to part of a wire. */
+struct FieldAssign
+{
+    int offset;
+    int width;
+    NodeId node;
+    int line;
+};
+
+/** Port of an elaborated child instance. */
+struct PortInfo
+{
+    SigId sig;
+    PortDir dir;
+    int width;
+};
+
+/** Symbolic state of one always block during lowering. */
+struct SymState
+{
+    std::map<SigId, NodeId> env;   ///< Blocking view.
+    std::map<SigId, NodeId> nbEnv; ///< Pending non-blocking updates.
+};
+
+/** Identifier renaming applied when unrolling generate loops. */
+using RenameMap = std::map<std::string, std::string>;
+
+void
+renameExpr(Expr &e, const RenameMap &map)
+{
+    if ((e.kind == ExprKind::Ident || e.kind == ExprKind::Range) &&
+        !e.name.empty()) {
+        auto it = map.find(e.name);
+        if (it != map.end())
+            e.name = it->second;
+    }
+    if (e.a)
+        renameExpr(*e.a, map);
+    if (e.b)
+        renameExpr(*e.b, map);
+    if (e.c)
+        renameExpr(*e.c, map);
+    for (auto &p : e.parts)
+        renameExpr(*p, map);
+}
+
+void
+renameStmt(Stmt &s, const RenameMap &map)
+{
+    for (auto &child : s.stmts)
+        renameStmt(*child, map);
+    if (s.cond)
+        renameExpr(*s.cond, map);
+    if (s.thenStmt)
+        renameStmt(*s.thenStmt, map);
+    if (s.elseStmt)
+        renameStmt(*s.elseStmt, map);
+    if (s.subject)
+        renameExpr(*s.subject, map);
+    for (auto &item : s.items) {
+        for (auto &l : item.labels)
+            renameExpr(*l, map);
+        if (item.body)
+            renameStmt(*item.body, map);
+    }
+    if (s.lhs)
+        renameExpr(*s.lhs, map);
+    if (s.rhs)
+        renameExpr(*s.rhs, map);
+    if (s.loopInit)
+        renameExpr(*s.loopInit, map);
+    if (s.loopStep)
+        renameExpr(*s.loopStep, map);
+}
+
+void
+renameItem(Item &i, const RenameMap &map)
+{
+    for (auto &n : i.names) {
+        auto it = map.find(n);
+        if (it != map.end())
+            n = it->second;
+    }
+    if (i.msb)
+        renameExpr(*i.msb, map);
+    if (i.lsb)
+        renameExpr(*i.lsb, map);
+    if (i.arrayLeft)
+        renameExpr(*i.arrayLeft, map);
+    if (i.arrayRight)
+        renameExpr(*i.arrayRight, map);
+    if (i.param.value)
+        renameExpr(*i.param.value, map);
+    if (i.lhs)
+        renameExpr(*i.lhs, map);
+    if (i.rhs)
+        renameExpr(*i.rhs, map);
+    if (i.body)
+        renameStmt(*i.body, map);
+    {
+        auto it = map.find(i.instName);
+        if (it != map.end())
+            i.instName = it->second;
+    }
+    for (auto &c : i.paramOverrides)
+        if (c.expr)
+            renameExpr(*c.expr, map);
+    for (auto &c : i.connections)
+        if (c.expr)
+            renameExpr(*c.expr, map);
+    for (auto &child : i.genBody)
+        renameItem(*child, map);
+    if (i.genIfCond)
+        renameExpr(*i.genIfCond, map);
+    for (auto &child : i.genThen)
+        renameItem(*child, map);
+    for (auto &child : i.genElse)
+        renameItem(*child, map);
+}
+
+/** Collect names a flattened item list declares (nets, instances). */
+void
+collectDeclaredNames(const std::vector<FlatItem> &items,
+                     std::vector<std::string> &names)
+{
+    for (const auto &fi : items) {
+        if (fi.item->kind == ItemKind::Net) {
+            for (const auto &n : fi.item->names)
+                names.push_back(n);
+        } else if (fi.item->kind == ItemKind::Instance) {
+            names.push_back(fi.item->instName);
+        }
+    }
+}
+
+/** The elaboration engine. */
+class Elaborator
+{
+  public:
+    Elaborator(const Design &design, const ElabOptions &opts)
+        : design_(design), opts_(opts)
+    {}
+
+    ElabResult
+    run(const std::string &top)
+    {
+        ElabResult result;
+        std::map<std::string, int64_t> overrides = opts_.topParams;
+        result.top = elabInstance(top, "", overrides, 0, nullptr);
+        finalizeDrivers();
+        result.rtl = std::move(rtl_);
+        result.stats = std::move(stats_);
+        result.warnings = std::move(warnings_);
+        result.rtl.check();
+        return result;
+    }
+
+  private:
+    struct Scope
+    {
+        std::string prefix;
+        std::map<std::string, SigId> sigs;
+        std::map<std::string, MemId> mems;
+    };
+
+    // ---------------------------------------------------------
+    // Instance elaboration
+    // ---------------------------------------------------------
+
+    InstanceInfo
+    elabInstance(const std::string &module_name,
+                 const std::string &prefix,
+                 const std::map<std::string, int64_t> &param_overrides,
+                 size_t depth, std::map<std::string, PortInfo> *ports_out)
+    {
+        require(depth <= opts_.maxDepth,
+                "hierarchy deeper than " +
+                    std::to_string(opts_.maxDepth) +
+                    " (recursive instantiation?)");
+        const Module &mod = design_.module(module_name);
+
+        InstanceInfo info;
+        info.moduleName = module_name;
+        info.path = prefix.empty() ? std::string("")
+                                   : prefix.substr(0, prefix.size() - 1);
+
+        Scope scope;
+        scope.prefix = prefix;
+        ConstEnv consts;
+
+        // Bind parameters in declaration order.
+        for (const auto &p : mod.params) {
+            int64_t v;
+            auto it = param_overrides.find(p.name);
+            if (it != param_overrides.end())
+                v = it->second;
+            else
+                v = evalConst(*p.value, consts);
+            consts[p.name] = v;
+            info.params[p.name] = v;
+        }
+        for (const auto &[name, value] : param_overrides) {
+            bool known = false;
+            for (const auto &p : mod.params)
+                known = known || p.name == name;
+            require(known, "module '" + module_name +
+                               "' has no parameter '" + name + "'");
+            (void)value;
+        }
+
+        // Declare ports.
+        std::map<std::string, PortInfo> ports;
+        for (const auto &port : mod.ports) {
+            require(port.dir != PortDir::Inout,
+                    "inout ports are not supported (module '" +
+                        module_name + "')");
+            int width = 1;
+            if (port.msb) {
+                int64_t msb = evalConst(*port.msb, consts);
+                int64_t lsb = evalConst(*port.lsb, consts);
+                require(msb >= lsb && lsb == 0,
+                        "port '" + port.name +
+                            "' range must be [msb:0] with msb >= 0");
+                width = static_cast<int>(msb - lsb + 1);
+            }
+            SigKind kind = SigKind::Wire;
+            if (depth == 0 && port.dir == PortDir::Input)
+                kind = SigKind::Input;
+            else if (port.isReg)
+                kind = SigKind::Reg;
+            SigId sig = rtl_.addSignal(prefix + port.name, width, kind);
+            scope.sigs[port.name] = sig;
+            ports[port.name] = {sig, port.dir, width};
+            if (depth == 0) {
+                if (port.dir == PortDir::Input)
+                    rtl_.inputs.push_back(sig);
+                else
+                    rtl_.outputs.push_back(sig);
+            }
+        }
+        if (ports_out)
+            *ports_out = ports;
+
+        // Generate expansion.
+        std::vector<FlatItem> flat;
+        expandItems(mod.items, consts, module_name, flat);
+
+        // Pass A: declarations.
+        for (const auto &fi : flat) {
+            if (fi.item->kind == ItemKind::Net)
+                declareNet(*fi.item, fi.consts, scope);
+        }
+
+        // Pass B: behavior and children.
+        for (const auto &fi : flat) {
+            switch (fi.item->kind) {
+              case ItemKind::ContAssign:
+                processContAssign(*fi.item, fi.consts, scope);
+                break;
+              case ItemKind::Always:
+                processAlways(*fi.item, fi.consts, scope);
+                break;
+              case ItemKind::Instance:
+                info.children.push_back(
+                    processInstance(*fi.item, fi.consts, scope, depth));
+                break;
+              default:
+                break;
+            }
+        }
+        return info;
+    }
+
+    void
+    declareNet(const Item &item, const ConstEnv &consts, Scope &scope)
+    {
+        int width = 1;
+        if (item.msb) {
+            int64_t msb = evalConst(*item.msb, consts);
+            int64_t lsb = evalConst(*item.lsb, consts);
+            require(msb >= lsb && lsb == 0,
+                    "net range must be [msb:0] with msb >= 0 (line " +
+                        std::to_string(item.line) + ")");
+            width = static_cast<int>(msb - lsb + 1);
+        }
+        if (item.arrayLeft) {
+            require(item.isReg, "memories must be declared 'reg'");
+            require(item.names.size() == 1,
+                    "one memory per declaration");
+            int64_t l = evalConst(*item.arrayLeft, consts);
+            int64_t r = evalConst(*item.arrayRight, consts);
+            int64_t depth = std::max(l, r) - std::min(l, r) + 1;
+            require(depth >= 1 && depth <= (1 << 24),
+                    "unreasonable memory depth");
+            RtlMemory memory;
+            memory.name = scope.prefix + item.names[0];
+            memory.width = width;
+            memory.depth = static_cast<int>(depth);
+            MemId id = static_cast<MemId>(rtl_.memories.size());
+            rtl_.memories.push_back(std::move(memory));
+            scope.mems[item.names[0]] = id;
+            return;
+        }
+        for (const auto &name : item.names) {
+            SigKind kind = item.isReg ? SigKind::Reg : SigKind::Wire;
+            SigId sig =
+                rtl_.addSignal(scope.prefix + name, width, kind);
+            scope.sigs[name] = sig;
+        }
+    }
+
+    // ---------------------------------------------------------
+    // Generate expansion
+    // ---------------------------------------------------------
+
+    void
+    expandItems(const std::vector<ItemPtr> &items, ConstEnv consts,
+                const std::string &module_name,
+                std::vector<FlatItem> &out)
+    {
+        for (const auto &item : items)
+            expandItem(*item, consts, module_name, out);
+    }
+
+    void
+    expandItem(const Item &item, ConstEnv &consts,
+               const std::string &module_name, std::vector<FlatItem> &out)
+    {
+        switch (item.kind) {
+          case ItemKind::Localparam:
+            consts[item.param.name] =
+                evalConst(*item.param.value, consts);
+            return;
+          case ItemKind::Genvar:
+            return; // Bound when loops run.
+          case ItemKind::GenFor: {
+            std::string key =
+                module_name + ":" + std::to_string(item.line);
+            int64_t v = evalConst(*item.genInit, consts);
+            int64_t trips = 0;
+            while (true) {
+                ConstEnv iter = consts;
+                iter[item.genvar] = v;
+                if (evalConst(*item.genCond, iter) == 0)
+                    break;
+                require(static_cast<size_t>(trips) <
+                            opts_.maxLoopIterations,
+                        "generate loop exceeds iteration cap at " +
+                            key);
+                // Expand this iteration into a scratch list, then
+                // rename everything it declares so iterations do not
+                // collide.
+                std::vector<FlatItem> scratch;
+                for (const auto &child : item.genBody) {
+                    ConstEnv child_env = iter;
+                    expandItem(*child, child_env, module_name,
+                               scratch);
+                    iter = std::move(child_env);
+                }
+                std::vector<std::string> declared;
+                collectDeclaredNames(scratch, declared);
+                RenameMap rename;
+                for (const auto &n : declared) {
+                    rename[n] = n + "__l" +
+                                std::to_string(item.line) + "_" +
+                                std::to_string(v);
+                }
+                for (auto &fi : scratch) {
+                    if (!rename.empty())
+                        renameItem(*fi.item, rename);
+                    out.push_back(std::move(fi));
+                }
+                v = [&] {
+                    ConstEnv step = consts;
+                    step[item.genvar] = v;
+                    return evalConst(*item.genStep, step);
+                }();
+                ++trips;
+            }
+            stats_.loopTrips[key].insert(trips);
+            return;
+          }
+          case ItemKind::GenIf: {
+            std::string key =
+                module_name + ":" + std::to_string(item.line);
+            bool taken = evalConst(*item.genIfCond, consts) != 0;
+            stats_.ifBranches[key].insert(taken ? 1 : 0);
+            const auto &branch = taken ? item.genThen : item.genElse;
+            for (const auto &child : branch)
+                expandItem(*child, consts, module_name, out);
+            return;
+          }
+          default: {
+            FlatItem fi;
+            fi.item = item.clone();
+            fi.consts = consts;
+            out.push_back(std::move(fi));
+            return;
+          }
+        }
+    }
+
+    // ---------------------------------------------------------
+    // Expressions
+    // ---------------------------------------------------------
+
+    NodeId
+    toBool(NodeId node)
+    {
+        if (rtl_.nodes[node].width == 1)
+            return node;
+        RtlNode n;
+        n.op = RtlOp::RedOr;
+        n.width = 1;
+        n.args = {node};
+        return rtl_.addNode(std::move(n));
+    }
+
+    NodeId
+    unaryNode(RtlOp op, NodeId a, int width)
+    {
+        RtlNode n;
+        n.op = op;
+        n.width = width;
+        n.args = {a};
+        return rtl_.addNode(std::move(n));
+    }
+
+    NodeId
+    binaryNode(RtlOp op, NodeId a, NodeId b, int width)
+    {
+        RtlNode n;
+        n.op = op;
+        n.width = width;
+        n.args = {a, b};
+        return rtl_.addNode(std::move(n));
+    }
+
+    NodeId
+    muxNode(NodeId sel, NodeId a, NodeId b)
+    {
+        int w = std::max(rtl_.nodes[a].width, rtl_.nodes[b].width);
+        RtlNode n;
+        n.op = RtlOp::Mux;
+        n.width = w;
+        n.args = {toBool(sel), rtl_.resize(a, w), rtl_.resize(b, w)};
+        return rtl_.addNode(std::move(n));
+    }
+
+    NodeId
+    sliceNode(NodeId a, int lo, int width)
+    {
+        // User-facing: part selects exceeding a signal's declared
+        // width arrive here (e.g. a candidate parameterization that
+        // shrinks a bus below a hard-coded field position).
+        require(lo >= 0 && width >= 1 &&
+                    lo + width <= rtl_.nodes[a].width,
+                "bit/part select out of range for a " +
+                    std::to_string(rtl_.nodes[a].width) +
+                    "-bit value (select [" +
+                    std::to_string(lo + width - 1) + ":" +
+                    std::to_string(lo) + "])");
+        RtlNode n;
+        n.op = RtlOp::Slice;
+        n.width = width;
+        n.lo = lo;
+        n.args = {a};
+        return rtl_.addNode(std::move(n));
+    }
+
+    /** Current value of a signal as seen by procedural reads. */
+    NodeId
+    readSignal(SigId sig, const SymState *state)
+    {
+        if (state) {
+            auto it = state->env.find(sig);
+            if (it != state->env.end())
+                return it->second;
+        }
+        return rtl_.sigNode(sig);
+    }
+
+    NodeId
+    exprToNode(const Expr &e, const ConstEnv &consts, Scope &scope,
+               const SymState *state)
+    {
+        switch (e.kind) {
+          case ExprKind::Number: {
+            int w = e.literalWidth > 0 ? e.literalWidth : 32;
+            return rtl_.constNode(e.value, w);
+          }
+          case ExprKind::Ident: {
+            auto cit = consts.find(e.name);
+            if (cit != consts.end()) {
+                return rtl_.constNode(
+                    static_cast<uint64_t>(cit->second), 32);
+            }
+            auto sit = scope.sigs.find(e.name);
+            require(sit != scope.sigs.end(),
+                    "unknown identifier '" + e.name + "' (line " +
+                        std::to_string(e.line) + ")");
+            return readSignal(sit->second, state);
+          }
+          case ExprKind::Index: {
+            require(e.a && e.a->kind == ExprKind::Ident,
+                    "only simple names can be indexed (line " +
+                        std::to_string(e.line) + ")");
+            const std::string &base = e.a->name;
+            auto mit = scope.mems.find(base);
+            if (mit != scope.mems.end()) {
+                NodeId addr = exprToNode(*e.b, consts, scope, state);
+                RtlNode n;
+                n.op = RtlOp::MemRead;
+                n.width = rtl_.memories[mit->second].width;
+                n.mem = mit->second;
+                n.args = {addr};
+                return rtl_.addNode(std::move(n));
+            }
+            NodeId value = exprToNode(*e.a, consts, scope, state);
+            if (isConst(*e.b, consts)) {
+                int64_t idx = evalConst(*e.b, consts);
+                require(idx >= 0 &&
+                            idx < rtl_.nodes[value].width,
+                        "bit index out of range (line " +
+                            std::to_string(e.line) + ")");
+                return sliceNode(value, static_cast<int>(idx), 1);
+            }
+            NodeId idx = exprToNode(*e.b, consts, scope, state);
+            NodeId shifted = binaryNode(RtlOp::Shr, value, idx,
+                                        rtl_.nodes[value].width);
+            return sliceNode(shifted, 0, 1);
+          }
+          case ExprKind::Range: {
+            auto sit = scope.sigs.find(e.name);
+            require(sit != scope.sigs.end(),
+                    "unknown identifier '" + e.name + "' (line " +
+                        std::to_string(e.line) + ")");
+            NodeId value = readSignal(sit->second, state);
+            int64_t msb = evalConst(*e.a, consts);
+            int64_t lsb = evalConst(*e.b, consts);
+            require(msb >= lsb && lsb >= 0,
+                    "bad part select (line " +
+                        std::to_string(e.line) + ")");
+            return sliceNode(value, static_cast<int>(lsb),
+                             static_cast<int>(msb - lsb + 1));
+          }
+          case ExprKind::Unary: {
+            NodeId a = exprToNode(*e.a, consts, scope, state);
+            int w = rtl_.nodes[a].width;
+            switch (e.unOp) {
+              case UnOp::Plus:
+                return a;
+              case UnOp::Minus:
+                return binaryNode(RtlOp::Sub,
+                                  rtl_.constNode(0, w), a, w);
+              case UnOp::Not:
+                return unaryNode(RtlOp::LogNot, a, 1);
+              case UnOp::BitNot:
+                return unaryNode(RtlOp::Not, a, w);
+              case UnOp::RedAnd:
+                return unaryNode(RtlOp::RedAnd, a, 1);
+              case UnOp::RedOr:
+                return unaryNode(RtlOp::RedOr, a, 1);
+              case UnOp::RedXor:
+                return unaryNode(RtlOp::RedXor, a, 1);
+            }
+            break;
+          }
+          case ExprKind::Binary: {
+            NodeId a = exprToNode(*e.a, consts, scope, state);
+            NodeId b = exprToNode(*e.b, consts, scope, state);
+            int wa = rtl_.nodes[a].width;
+            int wb = rtl_.nodes[b].width;
+            int w = std::max(wa, wb);
+            auto both = [&](int width) {
+                a = rtl_.resize(a, width);
+                b = rtl_.resize(b, width);
+            };
+            switch (e.binOp) {
+              case BinOp::Add:
+                both(w);
+                return binaryNode(RtlOp::Add, a, b, w);
+              case BinOp::Sub:
+                both(w);
+                return binaryNode(RtlOp::Sub, a, b, w);
+              case BinOp::Mul: {
+                int wm = std::min(wa + wb, 64);
+                both(wm);
+                return binaryNode(RtlOp::Mul, a, b, wm);
+              }
+              case BinOp::Div:
+              case BinOp::Mod: {
+                require(isConst(*e.b, consts),
+                        "division only by constants (line " +
+                            std::to_string(e.line) + ")");
+                int64_t d = evalConst(*e.b, consts);
+                require(d > 0 && (d & (d - 1)) == 0,
+                        "division only by powers of two (line " +
+                            std::to_string(e.line) + ")");
+                int sh = 0;
+                while ((1ll << sh) != d)
+                    ++sh;
+                if (e.binOp == BinOp::Div) {
+                    NodeId amt = rtl_.constNode(
+                        static_cast<uint64_t>(sh), 32);
+                    return binaryNode(RtlOp::Shr, a, amt, wa);
+                }
+                if (sh == 0)
+                    return rtl_.constNode(0, 1);
+                return sliceNode(a, 0, sh);
+              }
+              case BinOp::And:
+                both(w);
+                return binaryNode(RtlOp::And, a, b, w);
+              case BinOp::Or:
+                both(w);
+                return binaryNode(RtlOp::Or, a, b, w);
+              case BinOp::Xor:
+                both(w);
+                return binaryNode(RtlOp::Xor, a, b, w);
+              case BinOp::LogAnd:
+                return binaryNode(RtlOp::And, toBool(a), toBool(b),
+                                  1);
+              case BinOp::LogOr:
+                return binaryNode(RtlOp::Or, toBool(a), toBool(b), 1);
+              case BinOp::Eq:
+                both(w);
+                return binaryNode(RtlOp::Eq, a, b, 1);
+              case BinOp::Ne:
+                both(w);
+                return unaryNode(RtlOp::Not,
+                                 binaryNode(RtlOp::Eq, a, b, 1), 1);
+              case BinOp::Lt:
+                both(w);
+                return binaryNode(RtlOp::Lt, a, b, 1);
+              case BinOp::Gt:
+                both(w);
+                return binaryNode(RtlOp::Lt, b, a, 1);
+              case BinOp::Le:
+                both(w);
+                return unaryNode(RtlOp::Not,
+                                 binaryNode(RtlOp::Lt, b, a, 1), 1);
+              case BinOp::Ge:
+                both(w);
+                return unaryNode(RtlOp::Not,
+                                 binaryNode(RtlOp::Lt, a, b, 1), 1);
+              case BinOp::Shl:
+                return binaryNode(RtlOp::Shl, a, b, wa);
+              case BinOp::Shr:
+                return binaryNode(RtlOp::Shr, a, b, wa);
+            }
+            break;
+          }
+          case ExprKind::Ternary: {
+            NodeId cond = exprToNode(*e.a, consts, scope, state);
+            NodeId t = exprToNode(*e.b, consts, scope, state);
+            NodeId f = exprToNode(*e.c, consts, scope, state);
+            return muxNode(cond, t, f);
+          }
+          case ExprKind::Concat: {
+            RtlNode n;
+            n.op = RtlOp::Concat;
+            int w = 0;
+            for (const auto &part : e.parts) {
+                NodeId p = exprToNode(*part, consts, scope, state);
+                w += rtl_.nodes[p].width;
+                n.args.push_back(p);
+            }
+            n.width = w;
+            return rtl_.addNode(std::move(n));
+          }
+          case ExprKind::Repl: {
+            int64_t count = evalConst(*e.a, consts);
+            require(count >= 1 && count <= 4096,
+                    "bad replication count (line " +
+                        std::to_string(e.line) + ")");
+            NodeId body = exprToNode(*e.b, consts, scope, state);
+            RtlNode n;
+            n.op = RtlOp::Concat;
+            n.width = static_cast<int>(count) *
+                      rtl_.nodes[body].width;
+            for (int64_t i = 0; i < count; ++i)
+                n.args.push_back(body);
+            return rtl_.addNode(std::move(n));
+          }
+        }
+        panic("unreachable expression kind in exprToNode");
+    }
+
+    // ---------------------------------------------------------
+    // Continuous assignments and field assembly
+    // ---------------------------------------------------------
+
+    void
+    addField(SigId sig, int offset, int width, NodeId node, int line)
+    {
+        const RtlSignal &s = rtl_.signals[sig];
+        require(s.kind == SigKind::Wire,
+                "continuous assignment target '" + s.name +
+                    "' must be a wire (line " + std::to_string(line) +
+                    ")");
+        require(offset >= 0 && offset + width <= s.width,
+                "assignment out of range for '" + s.name + "'");
+        fields_[sig].push_back(
+            {offset, width, rtl_.resize(node, width), line});
+    }
+
+    /** Drive an lvalue expression from a node (continuous context). */
+    void
+    driveLvalue(const Expr &lhs, NodeId node, const ConstEnv &consts,
+                Scope &scope)
+    {
+        switch (lhs.kind) {
+          case ExprKind::Ident: {
+            auto sit = scope.sigs.find(lhs.name);
+            require(sit != scope.sigs.end(),
+                    "unknown assignment target '" + lhs.name + "'");
+            int w = rtl_.signals[sit->second].width;
+            addField(sit->second, 0, w, node, lhs.line);
+            return;
+          }
+          case ExprKind::Index: {
+            require(lhs.a && lhs.a->kind == ExprKind::Ident,
+                    "bad assignment target");
+            auto sit = scope.sigs.find(lhs.a->name);
+            require(sit != scope.sigs.end(),
+                    "unknown assignment target '" + lhs.a->name +
+                        "'");
+            int64_t idx = evalConst(*lhs.b, consts);
+            addField(sit->second, static_cast<int>(idx), 1, node,
+                     lhs.line);
+            return;
+          }
+          case ExprKind::Range: {
+            auto sit = scope.sigs.find(lhs.name);
+            require(sit != scope.sigs.end(),
+                    "unknown assignment target '" + lhs.name + "'");
+            int64_t msb = evalConst(*lhs.a, consts);
+            int64_t lsb = evalConst(*lhs.b, consts);
+            require(msb >= lsb && lsb >= 0, "bad part select target");
+            addField(sit->second, static_cast<int>(lsb),
+                     static_cast<int>(msb - lsb + 1), node, lhs.line);
+            return;
+          }
+          case ExprKind::Concat: {
+            // Leftmost part takes the most-significant bits.
+            int total = 0;
+            std::vector<int> widths;
+            for (const auto &part : lhs.parts) {
+                int w = lvalueWidth(*part, consts, scope);
+                widths.push_back(w);
+                total += w;
+            }
+            NodeId value = rtl_.resize(node, total);
+            int hi = total;
+            for (size_t i = 0; i < lhs.parts.size(); ++i) {
+                int w = widths[i];
+                NodeId piece = sliceNode(value, hi - w, w);
+                driveLvalue(*lhs.parts[i], piece, consts, scope);
+                hi -= w;
+            }
+            return;
+          }
+          default:
+            fatal("expression is not a valid assignment target "
+                  "(line " +
+                  std::to_string(lhs.line) + ")");
+        }
+    }
+
+    int
+    lvalueWidth(const Expr &lhs, const ConstEnv &consts, Scope &scope)
+    {
+        switch (lhs.kind) {
+          case ExprKind::Ident: {
+            auto sit = scope.sigs.find(lhs.name);
+            require(sit != scope.sigs.end(),
+                    "unknown assignment target '" + lhs.name + "'");
+            return rtl_.signals[sit->second].width;
+          }
+          case ExprKind::Index:
+            return 1;
+          case ExprKind::Range: {
+            int64_t msb = evalConst(*lhs.a, consts);
+            int64_t lsb = evalConst(*lhs.b, consts);
+            require(msb >= lsb, "bad part select target");
+            return static_cast<int>(msb - lsb + 1);
+          }
+          case ExprKind::Concat: {
+            int total = 0;
+            for (const auto &part : lhs.parts)
+                total += lvalueWidth(*part, consts, scope);
+            return total;
+          }
+          default:
+            fatal("expression is not a valid assignment target");
+        }
+    }
+
+    void
+    processContAssign(const Item &item, const ConstEnv &consts,
+                      Scope &scope)
+    {
+        NodeId rhs = exprToNode(*item.rhs, consts, scope, nullptr);
+        driveLvalue(*item.lhs, rhs, consts, scope);
+    }
+
+    // ---------------------------------------------------------
+    // Always blocks
+    // ---------------------------------------------------------
+
+    /** Assignment targets collected from a block (for conflict
+     * detection and final driver emission). */
+    void
+    processAlways(const Item &item, const ConstEnv &consts,
+                  Scope &scope)
+    {
+        SymState state;
+        ConstEnv env = consts;
+        NodeId path = invalidNode; // "always true"
+        exec(*item.body, state, env, scope, path, item.sequential);
+
+        if (item.sequential) {
+            // Non-blocking updates become register next-state
+            // expressions; blocking updates inside sequential blocks
+            // are treated the same way (common lint-clean subset).
+            std::map<SigId, NodeId> merged = state.env;
+            for (const auto &[sig, node] : state.nbEnv)
+                merged[sig] = node;
+            for (const auto &[sig, node] : merged) {
+                RtlSignal &s = rtl_.signals[sig];
+                require(s.kind == SigKind::Reg,
+                        "sequential assignment to non-reg '" +
+                            s.name + "'");
+                require(s.driver == invalidNode,
+                        "register '" + s.name +
+                            "' driven by multiple always blocks");
+                s.driver = rtl_.resize(node, s.width);
+            }
+        } else {
+            require(state.nbEnv.empty(),
+                    "non-blocking assignment in combinational "
+                    "always block");
+            for (const auto &[sig, node] : state.env) {
+                RtlSignal &s = rtl_.signals[sig];
+                require(s.kind == SigKind::Reg ||
+                            s.kind == SigKind::Wire,
+                        "bad combinational assignment target");
+                // A reg assigned combinationally is really a wire.
+                if (s.kind == SigKind::Reg)
+                    s.kind = SigKind::Wire;
+                fields_[sig].push_back(
+                    {0, s.width, rtl_.resize(node, s.width),
+                     item.line});
+            }
+        }
+    }
+
+    NodeId
+    andCond(NodeId a, NodeId b)
+    {
+        if (a == invalidNode)
+            return b;
+        if (b == invalidNode)
+            return a;
+        return binaryNode(RtlOp::And, a, b, 1);
+    }
+
+    NodeId
+    notCond(NodeId a)
+    {
+        return unaryNode(RtlOp::Not, toBool(a), 1);
+    }
+
+    /** Read a signal's pending value for non-blocking RMW. */
+    NodeId
+    nbRead(SigId sig, const SymState &state)
+    {
+        auto it = state.nbEnv.find(sig);
+        if (it != state.nbEnv.end())
+            return it->second;
+        auto eit = state.env.find(sig);
+        if (eit != state.env.end())
+            return eit->second;
+        return rtl_.sigNode(sig);
+    }
+
+    void
+    exec(const Stmt &stmt, SymState &state, ConstEnv &consts,
+         Scope &scope, NodeId path, bool sequential)
+    {
+        switch (stmt.kind) {
+          case StmtKind::Block:
+            for (const auto &child : stmt.stmts)
+                exec(*child, state, consts, scope, path, sequential);
+            return;
+          case StmtKind::Assign:
+            execAssign(stmt, state, consts, scope, path, sequential);
+            return;
+          case StmtKind::If: {
+            if (isConst(*stmt.cond, consts)) {
+                // Constant condition: only one branch exists after
+                // constant propagation.
+                if (evalConst(*stmt.cond, consts) != 0)
+                    exec(*stmt.thenStmt, state, consts, scope, path,
+                         sequential);
+                else if (stmt.elseStmt)
+                    exec(*stmt.elseStmt, state, consts, scope, path,
+                         sequential);
+                return;
+            }
+            NodeId cond = toBool(
+                exprToNode(*stmt.cond, consts, scope, &state));
+            SymState then_state = state;
+            exec(*stmt.thenStmt, then_state, consts, scope,
+                 andCond(path, cond), sequential);
+            SymState else_state = state;
+            if (stmt.elseStmt) {
+                exec(*stmt.elseStmt, else_state, consts, scope,
+                     andCond(path, notCond(cond)), sequential);
+            }
+            mergeStates(state, cond, then_state, else_state);
+            return;
+          }
+          case StmtKind::Case: {
+            std::vector<const CaseItem *> labeled;
+            const CaseItem *default_arm = nullptr;
+            for (const auto &item : stmt.items) {
+                if (item.labels.empty()) {
+                    require(default_arm == nullptr,
+                            "multiple default arms in case");
+                    default_arm = &item;
+                } else {
+                    labeled.push_back(&item);
+                }
+            }
+            execCase(stmt, labeled, default_arm, 0, state, consts,
+                     scope, path, sequential);
+            return;
+          }
+          case StmtKind::For: {
+            int64_t v = evalConst(*stmt.loopInit, consts);
+            size_t trips = 0;
+            std::string key =
+                "proc:" + std::to_string(stmt.line);
+            while (true) {
+                ConstEnv iter = consts;
+                iter[stmt.loopVar] = v;
+                if (evalConst(*stmt.cond, iter) == 0)
+                    break;
+                require(trips < opts_.maxLoopIterations,
+                        "procedural loop exceeds iteration cap");
+                exec(*stmt.thenStmt, state, iter, scope, path,
+                     sequential);
+                iter[stmt.loopVar] = v;
+                v = evalConst(*stmt.loopStep, iter);
+                ++trips;
+            }
+            stats_.loopTrips[key].insert(
+                static_cast<int64_t>(trips));
+            return;
+          }
+        }
+    }
+
+    void
+    execCase(const Stmt &stmt,
+             const std::vector<const CaseItem *> &labeled,
+             const CaseItem *default_arm, size_t index,
+             SymState &state, ConstEnv &consts, Scope &scope,
+             NodeId path, bool sequential)
+    {
+        if (index >= labeled.size()) {
+            // No label matched: the default arm (if any) fires.
+            if (default_arm) {
+                exec(*default_arm->body, state, consts, scope, path,
+                     sequential);
+            }
+            return;
+        }
+        const CaseItem &item = *labeled[index];
+
+        NodeId subject =
+            exprToNode(*stmt.subject, consts, scope, &state);
+        NodeId match = invalidNode;
+        for (const auto &label : item.labels) {
+            NodeId l = exprToNode(*label, consts, scope, &state);
+            int w = std::max(rtl_.nodes[subject].width,
+                             rtl_.nodes[l].width);
+            NodeId eq = binaryNode(RtlOp::Eq,
+                                   rtl_.resize(subject, w),
+                                   rtl_.resize(l, w), 1);
+            match = match == invalidNode
+                        ? eq
+                        : binaryNode(RtlOp::Or, match, eq, 1);
+        }
+
+        SymState then_state = state;
+        exec(*item.body, then_state, consts, scope,
+             andCond(path, match), sequential);
+        SymState else_state = state;
+        execCase(stmt, labeled, default_arm, index + 1, else_state,
+                 consts, scope, andCond(path, notCond(match)),
+                 sequential);
+        mergeStates(state, match, then_state, else_state);
+    }
+
+    void
+    mergeStates(SymState &state, NodeId cond, const SymState &t,
+                const SymState &e)
+    {
+        auto merge_map = [&](std::map<SigId, NodeId> SymState::*which) {
+            std::map<SigId, NodeId> &base = state.*which;
+            const std::map<SigId, NodeId> &mt = t.*which;
+            const std::map<SigId, NodeId> &me = e.*which;
+            std::vector<SigId> keys;
+            for (const auto &[k, v] : mt) {
+                (void)v;
+                keys.push_back(k);
+            }
+            for (const auto &[k, v] : me) {
+                (void)v;
+                if (mt.find(k) == mt.end())
+                    keys.push_back(k);
+            }
+            for (SigId k : keys) {
+                auto get = [&](const std::map<SigId, NodeId> &m)
+                    -> NodeId {
+                    auto it = m.find(k);
+                    if (it != m.end())
+                        return it->second;
+                    auto bit = base.find(k);
+                    if (bit != base.end())
+                        return bit->second;
+                    return rtl_.sigNode(k);
+                };
+                NodeId tv = get(mt);
+                NodeId ev = get(me);
+                if (tv == ev) {
+                    base[k] = tv;
+                    continue;
+                }
+                base[k] = muxNode(cond, tv, ev);
+            }
+        };
+        merge_map(&SymState::env);
+        merge_map(&SymState::nbEnv);
+    }
+
+    void
+    execAssign(const Stmt &stmt, SymState &state, ConstEnv &consts,
+               Scope &scope, NodeId path, bool sequential)
+    {
+        NodeId rhs = exprToNode(*stmt.rhs, consts, scope, &state);
+        assignLvalue(*stmt.lhs, rhs, state, consts, scope, path,
+                     stmt.nonBlocking, sequential);
+    }
+
+    void
+    assignLvalue(const Expr &lhs, NodeId value, SymState &state,
+                 ConstEnv &consts, Scope &scope, NodeId path,
+                 bool non_blocking, bool sequential)
+    {
+        auto write = [&](SigId sig, NodeId node) {
+            const RtlSignal &s = rtl_.signals[sig];
+            NodeId resized = rtl_.resize(node, s.width);
+            if (non_blocking)
+                state.nbEnv[sig] = resized;
+            else
+                state.env[sig] = resized;
+        };
+        auto current = [&](SigId sig) {
+            if (non_blocking)
+                return nbRead(sig, state);
+            return readSignal(sig, &state);
+        };
+
+        switch (lhs.kind) {
+          case ExprKind::Ident: {
+            auto sit = scope.sigs.find(lhs.name);
+            require(sit != scope.sigs.end(),
+                    "unknown assignment target '" + lhs.name + "'");
+            write(sit->second, value);
+            return;
+          }
+          case ExprKind::Index: {
+            require(lhs.a && lhs.a->kind == ExprKind::Ident,
+                    "bad assignment target");
+            const std::string &base = lhs.a->name;
+            auto mit = scope.mems.find(base);
+            if (mit != scope.mems.end()) {
+                require(sequential,
+                        "memory writes only in sequential blocks");
+                MemWritePort port;
+                port.addr =
+                    exprToNode(*lhs.b, consts, scope, &state);
+                port.data = rtl_.resize(
+                    value, rtl_.memories[mit->second].width);
+                port.enable = path;
+                rtl_.memories[mit->second].writePorts.push_back(port);
+                return;
+            }
+            auto sit = scope.sigs.find(base);
+            require(sit != scope.sigs.end(),
+                    "unknown assignment target '" + base + "'");
+            require(isConst(*lhs.b, consts),
+                    "bit-select writes need constant indices; use a "
+                    "memory for variable addressing (line " +
+                        std::to_string(lhs.line) + ")");
+            int64_t idx = evalConst(*lhs.b, consts);
+            SigId sig = sit->second;
+            int w = rtl_.signals[sig].width;
+            require(idx >= 0 && idx < w, "bit index out of range");
+            NodeId cur = current(sig);
+            write(sig, replaceBits(cur, static_cast<int>(idx), 1,
+                                   value, w));
+            return;
+          }
+          case ExprKind::Range: {
+            auto sit = scope.sigs.find(lhs.name);
+            require(sit != scope.sigs.end(),
+                    "unknown assignment target '" + lhs.name + "'");
+            int64_t msb = evalConst(*lhs.a, consts);
+            int64_t lsb = evalConst(*lhs.b, consts);
+            require(msb >= lsb && lsb >= 0, "bad part select target");
+            SigId sig = sit->second;
+            int w = rtl_.signals[sig].width;
+            require(msb < w, "part select out of range");
+            NodeId cur = current(sig);
+            write(sig,
+                  replaceBits(cur, static_cast<int>(lsb),
+                              static_cast<int>(msb - lsb + 1), value,
+                              w));
+            return;
+          }
+          case ExprKind::Concat: {
+            int total = 0;
+            std::vector<int> widths;
+            for (const auto &part : lhs.parts) {
+                int w = lvalueWidth(*part, consts, scope);
+                widths.push_back(w);
+                total += w;
+            }
+            NodeId value_full = rtl_.resize(value, total);
+            int hi = total;
+            for (size_t i = 0; i < lhs.parts.size(); ++i) {
+                int w = widths[i];
+                NodeId piece = sliceNode(value_full, hi - w, w);
+                assignLvalue(*lhs.parts[i], piece, state, consts,
+                             scope, path, non_blocking, sequential);
+                hi -= w;
+            }
+            return;
+          }
+          default:
+            fatal("expression is not a valid assignment target "
+                  "(line " +
+                  std::to_string(lhs.line) + ")");
+        }
+    }
+
+    /** Build {cur[w-1:off+fw], value, cur[off-1:0]}. */
+    NodeId
+    replaceBits(NodeId cur, int offset, int field_width, NodeId value,
+                int total_width)
+    {
+        cur = rtl_.resize(cur, total_width);
+        NodeId field = rtl_.resize(value, field_width);
+        RtlNode n;
+        n.op = RtlOp::Concat;
+        n.width = total_width;
+        if (offset + field_width < total_width) {
+            n.args.push_back(sliceNode(cur, offset + field_width,
+                                       total_width - offset -
+                                           field_width));
+        }
+        n.args.push_back(field);
+        if (offset > 0)
+            n.args.push_back(sliceNode(cur, 0, offset));
+        if (n.args.size() == 1)
+            return n.args[0];
+        return rtl_.addNode(std::move(n));
+    }
+
+    // ---------------------------------------------------------
+    // Instances
+    // ---------------------------------------------------------
+
+    InstanceInfo
+    processInstance(const Item &item, const ConstEnv &consts,
+                    Scope &scope, size_t depth)
+    {
+        require(design_.hasModule(item.moduleName),
+                "unknown module '" + item.moduleName + "' (line " +
+                    std::to_string(item.line) + ")");
+
+        std::map<std::string, int64_t> overrides;
+        for (const auto &po : item.paramOverrides) {
+            require(po.expr != nullptr,
+                    "empty parameter override for '" + po.port + "'");
+            overrides[po.port] = evalConst(*po.expr, consts);
+        }
+
+        if (opts_.blackBoxChildren)
+            return processBlackBox(item, overrides, consts, scope);
+
+        std::map<std::string, PortInfo> child_ports;
+        std::string child_prefix =
+            scope.prefix + item.instName + ".";
+        InstanceInfo info =
+            elabInstance(item.moduleName, child_prefix, overrides,
+                         depth + 1, &child_ports);
+
+        std::set<std::string> connected;
+        for (const auto &conn : item.connections) {
+            auto pit = child_ports.find(conn.port);
+            require(pit != child_ports.end(),
+                    "module '" + item.moduleName + "' has no port '" +
+                        conn.port + "'");
+            require(connected.insert(conn.port).second,
+                    "port '" + conn.port + "' connected twice");
+            const PortInfo &port = pit->second;
+            if (port.dir == PortDir::Input) {
+                NodeId node =
+                    conn.expr
+                        ? exprToNode(*conn.expr, consts, scope,
+                                     nullptr)
+                        : rtl_.constNode(0, port.width);
+                // Drive the child port wire from the parent side.
+                RtlSignal &ps = rtl_.signals[port.sig];
+                require(ps.kind == SigKind::Wire,
+                        "input port '" + conn.port +
+                            "' must elaborate as a wire");
+                fields_[port.sig].push_back(
+                    {0, port.width, rtl_.resize(node, port.width),
+                     item.line});
+            } else {
+                if (!conn.expr)
+                    continue; // explicitly unconnected output
+                driveLvalue(*conn.expr, rtl_.sigNode(port.sig),
+                            consts, scope);
+            }
+        }
+        for (const auto &[name, port] : child_ports) {
+            if (port.dir == PortDir::Input &&
+                connected.find(name) == connected.end()) {
+                // Unconnected input: tie low, with a warning.
+                fields_[port.sig].push_back(
+                    {0, port.width, rtl_.constNode(0, port.width),
+                     item.line});
+                warnings_.push_back("input port '" + name +
+                                    "' of instance '" +
+                                    item.instName +
+                                    "' is unconnected (tied to 0)");
+            }
+        }
+        return info;
+    }
+
+    /**
+     * Black-box instantiation (accounting mode): bind parameters to
+     * size the ports, make input pins pseudo primary outputs and
+     * output pins pseudo primary inputs, elaborate nothing inside.
+     */
+    InstanceInfo
+    processBlackBox(const Item &item,
+                    const std::map<std::string, int64_t> &overrides,
+                    const ConstEnv &consts, Scope &scope)
+    {
+        const Module &mod = design_.module(item.moduleName);
+        std::string prefix = scope.prefix + item.instName + ".";
+
+        InstanceInfo info;
+        info.moduleName = item.moduleName;
+        info.path = prefix.substr(0, prefix.size() - 1);
+
+        // Bind parameters (defaults + overrides) for port widths.
+        ConstEnv child_env;
+        for (const auto &p : mod.params) {
+            auto it = overrides.find(p.name);
+            int64_t v = it != overrides.end()
+                            ? it->second
+                            : evalConst(*p.value, child_env);
+            child_env[p.name] = v;
+            info.params[p.name] = v;
+        }
+        for (const auto &[name, value] : overrides) {
+            (void)value;
+            bool known = false;
+            for (const auto &p : mod.params)
+                known = known || p.name == name;
+            require(known, "module '" + item.moduleName +
+                               "' has no parameter '" + name + "'");
+        }
+
+        std::map<std::string, const Connection *> by_port;
+        for (const auto &conn : item.connections) {
+            require(by_port.emplace(conn.port, &conn).second,
+                    "port '" + conn.port + "' connected twice");
+        }
+
+        for (const auto &port : mod.ports) {
+            require(port.dir != PortDir::Inout,
+                    "inout ports are not supported");
+            int width = 1;
+            if (port.msb) {
+                int64_t msb = evalConst(*port.msb, child_env);
+                int64_t lsb = evalConst(*port.lsb, child_env);
+                require(msb >= lsb && lsb == 0,
+                        "port '" + port.name +
+                            "' range must be [msb:0]");
+                width = static_cast<int>(msb - lsb + 1);
+            }
+            auto cit = by_port.find(port.name);
+            const Connection *conn =
+                cit == by_port.end() ? nullptr : cit->second;
+            if (port.dir == PortDir::Input) {
+                // Pin is a sink: a pseudo primary output driven by
+                // the parent expression.
+                SigId sig = rtl_.addSignal(prefix + port.name, width,
+                                           SigKind::Wire);
+                NodeId node =
+                    conn && conn->expr
+                        ? exprToNode(*conn->expr, consts, scope,
+                                     nullptr)
+                        : rtl_.constNode(0, width);
+                fields_[sig].push_back(
+                    {0, width, rtl_.resize(node, width), item.line});
+                rtl_.outputs.push_back(sig);
+            } else {
+                // Pin is a source: a pseudo primary input feeding
+                // the parent lvalue.
+                SigId sig = rtl_.addSignal(prefix + port.name, width,
+                                           SigKind::Input);
+                rtl_.inputs.push_back(sig);
+                if (conn && conn->expr) {
+                    driveLvalue(*conn->expr, rtl_.sigNode(sig),
+                                consts, scope);
+                }
+            }
+        }
+        // Check unknown connections.
+        for (const auto &[name, conn] : by_port) {
+            (void)conn;
+            bool known = false;
+            for (const auto &port : mod.ports)
+                known = known || port.name == name;
+            require(known, "module '" + item.moduleName +
+                               "' has no port '" + name + "'");
+        }
+        return info;
+    }
+
+    // ---------------------------------------------------------
+    // Driver finalization
+    // ---------------------------------------------------------
+
+    void
+    finalizeDrivers()
+    {
+        for (SigId sig = 0; sig < rtl_.signals.size(); ++sig) {
+            RtlSignal &s = rtl_.signals[sig];
+            if (s.kind == SigKind::Input)
+                continue;
+            if (s.kind == SigKind::Reg) {
+                auto fit = fields_.find(sig);
+                require(fit == fields_.end(),
+                        "register '" + s.name +
+                            "' also driven combinationally");
+                if (s.driver == invalidNode) {
+                    warnings_.push_back("register '" + s.name +
+                                        "' is never assigned");
+                    s.driver = rtl_.sigNode(sig);
+                }
+                continue;
+            }
+            auto fit = fields_.find(sig);
+            if (fit == fields_.end()) {
+                warnings_.push_back("wire '" + s.name +
+                                    "' is undriven (tied to 0)");
+                s.driver = rtl_.constNode(0, s.width);
+                continue;
+            }
+            auto &fields = fit->second;
+            std::sort(fields.begin(), fields.end(),
+                      [](const FieldAssign &a, const FieldAssign &b) {
+                          return a.offset < b.offset;
+                      });
+            // Check overlaps, fill gaps, and build the concat
+            // (most-significant first).
+            int cursor = 0;
+            std::vector<NodeId> parts_lsb_first;
+            for (const auto &f : fields) {
+                require(f.offset >= cursor,
+                        "wire '" + s.name +
+                            "' has multiple drivers for overlapping "
+                            "bits");
+                if (f.offset > cursor) {
+                    warnings_.push_back(
+                        "wire '" + s.name +
+                        "' is partially driven (gap filled with 0)");
+                    parts_lsb_first.push_back(
+                        rtl_.constNode(0, f.offset - cursor));
+                }
+                parts_lsb_first.push_back(f.node);
+                cursor = f.offset + f.width;
+            }
+            if (cursor < s.width) {
+                warnings_.push_back(
+                    "wire '" + s.name +
+                    "' is partially driven (gap filled with 0)");
+                parts_lsb_first.push_back(
+                    rtl_.constNode(0, s.width - cursor));
+            }
+            if (parts_lsb_first.size() == 1) {
+                s.driver = parts_lsb_first[0];
+            } else {
+                RtlNode n;
+                n.op = RtlOp::Concat;
+                n.width = s.width;
+                for (auto it = parts_lsb_first.rbegin();
+                     it != parts_lsb_first.rend(); ++it)
+                    n.args.push_back(*it);
+                s.driver = rtl_.addNode(std::move(n));
+            }
+        }
+    }
+
+    const Design &design_;
+    const ElabOptions &opts_;
+    RtlDesign rtl_;
+    GenerateStats stats_;
+    std::vector<std::string> warnings_;
+    std::map<SigId, std::vector<FieldAssign>> fields_;
+};
+
+} // namespace
+
+ElabResult
+elaborate(const Design &design, const std::string &top,
+          const ElabOptions &opts)
+{
+    Elaborator elab(design, opts);
+    return elab.run(top);
+}
+
+} // namespace ucx

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Elaboration: µHDL AST -> flattened word-level RTL.
+ *
+ * Responsibilities:
+ *  - bind parameters (defaults, instance overrides, top overrides);
+ *  - unroll generate-for loops and resolve generate-if branches;
+ *  - flatten the instance hierarchy with dotted names;
+ *  - lower always blocks to per-signal next-state/driver expressions
+ *    by symbolic execution (if/case become mux trees);
+ *  - turn memory reads/writes into explicit ports.
+ *
+ * It also records which generate loops and branches survived
+ * constant propagation — the liveness information the accounting
+ * procedure of paper Section 2.2 uses to find the minimal
+ * non-degenerate parameterization.
+ */
+
+#ifndef UCX_SYNTH_ELABORATE_HH
+#define UCX_SYNTH_ELABORATE_HH
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "hdl/design.hh"
+#include "synth/rtl.hh"
+
+namespace ucx
+{
+
+/** Options controlling elaboration. */
+struct ElabOptions
+{
+    /** Parameter overrides applied to the top module. */
+    std::map<std::string, int64_t> topParams;
+    /** Safety cap on generate/procedural loop trip counts. */
+    size_t maxLoopIterations = 4096;
+    /** Safety cap on hierarchy depth. */
+    size_t maxDepth = 64;
+    /**
+     * Replace child instances with black boxes: their input pins
+     * become pseudo primary outputs (so the parent's glue logic
+     * stays live) and their output pins pseudo primary inputs; no
+     * child logic is elaborated. This is how the accounting
+     * procedure measures each module type's *own* logic exactly
+     * once (paper Section 2.2's count-once rule).
+     */
+    bool blackBoxChildren = false;
+};
+
+/**
+ * Liveness of compile-time-resolved control constructs, keyed by
+ * "module:line". Two elaborations of the same module are
+ * "structurally equivalent" for the accounting procedure when these
+ * records have the same keys, every recorded loop executed at least
+ * once in both, and every if took the same branch set.
+ */
+struct GenerateStats
+{
+    /** Iteration counts of each generate/procedural for loop. */
+    std::map<std::string, std::set<int64_t>> loopTrips;
+    /** Branches taken by each generate if (1 = then, 0 = else). */
+    std::map<std::string, std::set<int>> ifBranches;
+
+    /**
+     * Degeneracy check of paper Section 2.2: true when some loop
+     * executed zero times or some generate-if lost the branch it
+     * takes in @p reference (constructs "optimized away").
+     *
+     * @param reference Stats of the reference (default) elaboration.
+     * @return True when this elaboration is degenerate w.r.t. it.
+     */
+    bool degenerateAgainst(const GenerateStats &reference) const;
+};
+
+/** One node of the elaborated instance tree. */
+struct InstanceInfo
+{
+    std::string moduleName;
+    std::string path;  ///< Hierarchical instance path ("" for top).
+    std::map<std::string, int64_t> params; ///< Bound values.
+    std::vector<InstanceInfo> children;
+
+    /** @return Total number of instances in this subtree. */
+    size_t totalInstances() const;
+
+    /**
+     * Count instances per module type in this subtree.
+     *
+     * @param counts Accumulator: module name -> instance count.
+     */
+    void countModules(std::map<std::string, size_t> &counts) const;
+};
+
+/** Everything elaboration produces. */
+struct ElabResult
+{
+    RtlDesign rtl;
+    InstanceInfo top;
+    GenerateStats stats;
+    std::vector<std::string> warnings;
+};
+
+/**
+ * Elaborate a design.
+ *
+ * @param design Parsed modules.
+ * @param top    Name of the top module.
+ * @param opts   Options.
+ * @return The flattened design; throws UcxError on semantic errors
+ *         (unknown modules/signals, non-constant widths, loops
+ *         exceeding caps, ...).
+ */
+ElabResult elaborate(const Design &design, const std::string &top,
+                     const ElabOptions &opts = {});
+
+} // namespace ucx
+
+#endif // UCX_SYNTH_ELABORATE_HH

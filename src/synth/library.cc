@@ -1,0 +1,62 @@
+#include "synth/library.hh"
+
+#include "util/error.hh"
+
+namespace ucx
+{
+
+const CellLibrary &
+CellLibrary::generic180()
+{
+    static const CellLibrary lib = [] {
+        CellLibrary l;
+        l.inv_ = {"INVX1", 9.4, 0.08, 0.010, 0.030};
+        l.and2_ = {"AND2X1", 16.6, 0.14, 0.018, 0.055};
+        l.or2_ = {"OR2X1", 16.6, 0.14, 0.018, 0.055};
+        l.xor2_ = {"XOR2X1", 26.4, 0.19, 0.028, 0.095};
+        l.mux2_ = {"MUX2X1", 29.8, 0.21, 0.030, 0.110};
+        l.dff_ = {"DFFX1", 50.2, 0.25, 0.055, 0.210};
+        return l;
+    }();
+    return lib;
+}
+
+const CellSpec &
+CellLibrary::cellFor(GateOp op) const
+{
+    switch (op) {
+      case GateOp::Not: return inv_;
+      case GateOp::And: return and2_;
+      case GateOp::Or: return or2_;
+      case GateOp::Xor: return xor2_;
+      case GateOp::Mux: return mux2_;
+      case GateOp::Dff: return dff_;
+      default:
+        fatal(std::string("no cell for gate kind ") + gateOpName(op));
+    }
+}
+
+bool
+CellLibrary::mapsToCell(GateOp op)
+{
+    switch (op) {
+      case GateOp::Not:
+      case GateOp::And:
+      case GateOp::Or:
+      case GateOp::Xor:
+      case GateOp::Mux:
+      case GateOp::Dff:
+        return true;
+      default:
+        return false;
+    }
+}
+
+const FpgaFabric &
+FpgaFabric::stratix2Like()
+{
+    static const FpgaFabric fabric;
+    return fabric;
+}
+
+} // namespace ucx

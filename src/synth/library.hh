@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Synthetic 180 nm standard-cell library and 90 nm FPGA fabric
+ * parameters.
+ *
+ * The paper synthesized with a 180 nm standard-cell library (Design
+ * Compiler) and a 90 nm Altera Stratix-II FPGA (Synplify Pro). Both
+ * are proprietary; these synthetic numbers are on the same order of
+ * magnitude as published 180 nm cell datasheets, which is all the
+ * metric *shape* study needs (absolute calibration cancels into the
+ * regression weights w_k).
+ */
+
+#ifndef UCX_SYNTH_LIBRARY_HH
+#define UCX_SYNTH_LIBRARY_HH
+
+#include <string>
+
+#include "synth/netlist.hh"
+
+namespace ucx
+{
+
+/** Electrical/physical characteristics of one standard cell. */
+struct CellSpec
+{
+    std::string name;     ///< Library cell name.
+    double areaUm2 = 0.0; ///< Cell area in um^2.
+    double delayNs = 0.0; ///< Intrinsic pin-to-pin delay in ns.
+    double leakUw = 0.0;  ///< Static leakage in uW.
+    double energyPj = 0.0;///< Switching energy per output toggle, pJ.
+};
+
+/** A technology library binding gate kinds to cells. */
+class CellLibrary
+{
+  public:
+    /** @return The built-in synthetic 180 nm library. */
+    static const CellLibrary &generic180();
+
+    /**
+     * Cell used for a gate kind.
+     *
+     * @param op Combinational or sequential gate kind (not Input,
+     *           Const, or memory pins).
+     * @return Cell characteristics.
+     */
+    const CellSpec &cellFor(GateOp op) const;
+
+    /** @return True when gates of this kind map to a cell. */
+    static bool mapsToCell(GateOp op);
+
+    /** Additional wire delay per fanout, ns. */
+    double fanoutDelayNs = 0.02;
+
+    /** Storage area per RAM bit, um^2 (dense SRAM macro). */
+    double ramBitAreaUm2 = 1.5;
+
+    /** Leakage per RAM bit, uW. */
+    double ramBitLeakUw = 0.0002;
+
+    /** DFF setup time, ns. */
+    double dffSetupNs = 0.15;
+
+    /** DFF clock-to-q, ns. */
+    double dffClkQNs = 0.25;
+
+  private:
+    CellSpec inv_, and2_, or2_, xor2_, mux2_, dff_;
+};
+
+/** FPGA fabric parameters (synthetic Stratix-II-like, 90 nm). */
+struct FpgaFabric
+{
+    int lutInputs = 8;          ///< Max LUT inputs (paper: 8).
+    double lutDelayNs = 0.45;   ///< LUT propagation delay.
+    double routeDelayNs = 0.85; ///< Average routing delay per level.
+    double ffOverheadNs = 0.6;  ///< FF setup + clk-to-q.
+
+    /** @return The default fabric. */
+    static const FpgaFabric &stratix2Like();
+};
+
+} // namespace ucx
+
+#endif // UCX_SYNTH_LIBRARY_HH

@@ -1,0 +1,548 @@
+#include "synth/lower.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "util/error.hh"
+
+namespace ucx
+{
+
+namespace
+{
+
+/** Bit-blasting engine. */
+class Lowerer
+{
+  public:
+    explicit Lowerer(const RtlDesign &rtl)
+        : rtl_(rtl)
+    {}
+
+    Netlist
+    run()
+    {
+        const0_ = net_.add({GateOp::Const0, {}});
+        const1_ = net_.add({GateOp::Const1, {}});
+
+        // Primary inputs and register q bits exist up front so that
+        // Sig references resolve without recursion.
+        for (SigId sig = 0; sig < rtl_.signals.size(); ++sig) {
+            const RtlSignal &s = rtl_.signals[sig];
+            if (s.kind == SigKind::Input) {
+                std::vector<GateId> bits;
+                for (int b = 0; b < s.width; ++b)
+                    bits.push_back(net_.add({GateOp::Input, {}}));
+                sigBits_[sig] = std::move(bits);
+            } else if (s.kind == SigKind::Reg) {
+                std::vector<GateId> bits;
+                for (int b = 0; b < s.width; ++b)
+                    bits.push_back(
+                        net_.add({GateOp::Dff, {invalidGate}}));
+                sigBits_[sig] = std::move(bits);
+            }
+        }
+
+        // Register next-state logic.
+        for (SigId sig = 0; sig < rtl_.signals.size(); ++sig) {
+            const RtlSignal &s = rtl_.signals[sig];
+            if (s.kind != SigKind::Reg)
+                continue;
+            std::vector<GateId> d = bitsOf(s.driver);
+            const std::vector<GateId> &q = sigBits_[sig];
+            for (int b = 0; b < s.width; ++b)
+                net_.gates[q[b]].in[0] = d[b];
+        }
+
+        // Primary outputs.
+        for (SigId sig : rtl_.outputs) {
+            std::vector<GateId> bits = bitsOfSignal(sig);
+            for (GateId g : bits)
+                net_.outputBits.push_back(g);
+        }
+
+        // Memory write ports become sink pins; storage bits counted
+        // for area.
+        for (const RtlMemory &mem : rtl_.memories) {
+            net_.memoryBits +=
+                static_cast<size_t>(mem.width) *
+                static_cast<size_t>(mem.depth);
+            for (const MemWritePort &port : mem.writePorts) {
+                Gate sink;
+                sink.op = GateOp::MemIn;
+                sink.mem = static_cast<uint32_t>(
+                    &mem - rtl_.memories.data());
+                appendAddrBits(mem, port.addr, sink.in);
+                for (GateId g : bitsOf(port.data))
+                    sink.in.push_back(g);
+                if (port.enable != invalidNode)
+                    sink.in.push_back(bitsOf(port.enable)[0]);
+                net_.add(std::move(sink));
+            }
+        }
+
+        net_.check();
+        return std::move(net_);
+    }
+
+  private:
+    /** Number of address bits a memory needs. */
+    static int
+    addrWidth(const RtlMemory &mem)
+    {
+        int w = 0;
+        while ((1 << w) < mem.depth)
+            ++w;
+        return std::max(w, 1);
+    }
+
+    void
+    appendAddrBits(const RtlMemory &mem, NodeId addr,
+                   std::vector<GateId> &out)
+    {
+        std::vector<GateId> bits = bitsOf(addr);
+        int want = addrWidth(mem);
+        for (int b = 0; b < want; ++b) {
+            out.push_back(b < static_cast<int>(bits.size())
+                              ? bits[b]
+                              : const0_);
+        }
+    }
+
+    // -------------------------------------------------------------
+    // Hash-consed gate constructors with constant folding.
+    // -------------------------------------------------------------
+
+    GateId
+    mkNot(GateId a)
+    {
+        if (a == const0_)
+            return const1_;
+        if (a == const1_)
+            return const0_;
+        if (net_.gates[a].op == GateOp::Not)
+            return net_.gates[a].in[0];
+        return hashed({GateOp::Not, {a}});
+    }
+
+    GateId
+    mkAnd(GateId a, GateId b)
+    {
+        if (a == const0_ || b == const0_)
+            return const0_;
+        if (a == const1_)
+            return b;
+        if (b == const1_)
+            return a;
+        if (a == b)
+            return a;
+        if (a > b)
+            std::swap(a, b);
+        return hashed({GateOp::And, {a, b}});
+    }
+
+    GateId
+    mkOr(GateId a, GateId b)
+    {
+        if (a == const1_ || b == const1_)
+            return const1_;
+        if (a == const0_)
+            return b;
+        if (b == const0_)
+            return a;
+        if (a == b)
+            return a;
+        if (a > b)
+            std::swap(a, b);
+        return hashed({GateOp::Or, {a, b}});
+    }
+
+    GateId
+    mkXor(GateId a, GateId b)
+    {
+        if (a == const0_)
+            return b;
+        if (b == const0_)
+            return a;
+        if (a == const1_)
+            return mkNot(b);
+        if (b == const1_)
+            return mkNot(a);
+        if (a == b)
+            return const0_;
+        if (a > b)
+            std::swap(a, b);
+        return hashed({GateOp::Xor, {a, b}});
+    }
+
+    GateId
+    mkMux(GateId s, GateId a, GateId b)
+    {
+        // s ? a : b.
+        if (s == const1_)
+            return a;
+        if (s == const0_)
+            return b;
+        if (a == b)
+            return a;
+        if (a == const1_ && b == const0_)
+            return s;
+        if (a == const0_ && b == const1_)
+            return mkNot(s);
+        if (a == const1_)
+            return mkOr(s, b);
+        if (a == const0_)
+            return mkAnd(mkNot(s), b);
+        if (b == const0_)
+            return mkAnd(s, a);
+        if (b == const1_)
+            return mkOr(mkNot(s), a);
+        return hashed({GateOp::Mux, {s, a, b}});
+    }
+
+    GateId
+    hashed(Gate gate)
+    {
+        auto key = std::make_tuple(gate.op, gate.in);
+        auto it = hash_.find(key);
+        if (it != hash_.end())
+            return it->second;
+        GateId id = net_.add(gate);
+        hash_.emplace(std::move(key), id);
+        return id;
+    }
+
+    // -------------------------------------------------------------
+    // Word-level helpers
+    // -------------------------------------------------------------
+
+    std::vector<GateId>
+    addWords(const std::vector<GateId> &a, const std::vector<GateId> &b,
+             GateId carry_in)
+    {
+        ensure(a.size() == b.size(), "adder width mismatch");
+        std::vector<GateId> sum(a.size());
+        GateId carry = carry_in;
+        for (size_t i = 0; i < a.size(); ++i) {
+            GateId axb = mkXor(a[i], b[i]);
+            sum[i] = mkXor(axb, carry);
+            carry = mkOr(mkAnd(a[i], b[i]), mkAnd(carry, axb));
+        }
+        return sum;
+    }
+
+    std::vector<GateId>
+    notWord(const std::vector<GateId> &a)
+    {
+        std::vector<GateId> out(a.size());
+        for (size_t i = 0; i < a.size(); ++i)
+            out[i] = mkNot(a[i]);
+        return out;
+    }
+
+    GateId
+    reduceTree(const std::vector<GateId> &bits,
+               GateId (Lowerer::*op)(GateId, GateId), GateId empty)
+    {
+        if (bits.empty())
+            return empty;
+        std::vector<GateId> level = bits;
+        while (level.size() > 1) {
+            std::vector<GateId> next;
+            for (size_t i = 0; i + 1 < level.size(); i += 2)
+                next.push_back((this->*op)(level[i], level[i + 1]));
+            if (level.size() % 2 == 1)
+                next.push_back(level.back());
+            level = std::move(next);
+        }
+        return level[0];
+    }
+
+    GateId
+    lessThan(const std::vector<GateId> &a, const std::vector<GateId> &b)
+    {
+        ensure(a.size() == b.size(), "comparator width mismatch");
+        // From LSB to MSB: lt = (~a & b) | (xnor(a,b) & lt_prev).
+        GateId lt = const0_;
+        for (size_t i = 0; i < a.size(); ++i) {
+            GateId ne = mkXor(a[i], b[i]);
+            GateId this_lt = mkAnd(mkNot(a[i]), b[i]);
+            lt = mkOr(this_lt, mkAnd(mkNot(ne), lt));
+        }
+        return lt;
+    }
+
+    // -------------------------------------------------------------
+    // Node lowering
+    // -------------------------------------------------------------
+
+    /**
+     * Resolve one bit of a signal. Wires resolve through their
+     * driver's wiring structure bit-by-bit so that self-referential
+     * chains (a wire whose high bits are functions of its own low
+     * bits, a legal and common generate idiom) are not flagged as
+     * loops; only a genuine dependency of a bit on itself is.
+     */
+    GateId
+    resolveBit(SigId sig, int b)
+    {
+        const RtlSignal &s = rtl_.signals[sig];
+        if (s.kind == SigKind::Input || s.kind == SigKind::Reg)
+            return sigBits_[sig][b];
+        auto key = std::make_pair(sig, b);
+        auto it = sigBitMemo_.find(key);
+        if (it != sigBitMemo_.end())
+            return it->second;
+        require(inProgressBits_.insert(key).second,
+                "combinational loop through signal '" + s.name +
+                    "' bit " + std::to_string(b));
+        GateId g = resolveNodeBit(s.driver, b);
+        inProgressBits_.erase(key);
+        sigBitMemo_[key] = g;
+        return g;
+    }
+
+    /** Resolve bit @p b of a node through pure wiring ops. */
+    GateId
+    resolveNodeBit(NodeId id, int b)
+    {
+        const RtlNode &n = rtl_.nodes[id];
+        switch (n.op) {
+          case RtlOp::Const: {
+            bool set = b < 64 && ((n.constVal >> b) & 1);
+            return set ? const1_ : const0_;
+          }
+          case RtlOp::Sig:
+            return resolveBit(n.sig, b);
+          case RtlOp::Slice:
+            return resolveNodeBit(n.args[0], n.lo + b);
+          case RtlOp::Concat: {
+            // Args are most-significant first; walk from the last
+            // (least significant) accumulating widths.
+            int offset = b;
+            for (auto it = n.args.rbegin(); it != n.args.rend();
+                 ++it) {
+                int w = rtl_.nodes[*it].width;
+                if (offset < w)
+                    return resolveNodeBit(*it, offset);
+                offset -= w;
+            }
+            panic("concat bit out of range");
+          }
+          default:
+            // A real logic node: lower it fully (memoized).
+            return bitsOf(id)[b];
+        }
+    }
+
+    std::vector<GateId>
+    bitsOfSignal(SigId sig)
+    {
+        const RtlSignal &s = rtl_.signals[sig];
+        std::vector<GateId> bits(s.width);
+        for (int b = 0; b < s.width; ++b)
+            bits[b] = resolveBit(sig, b);
+        return bits;
+    }
+
+    std::vector<GateId>
+    bitsOf(NodeId node)
+    {
+        auto it = nodeBits_.find(node);
+        if (it != nodeBits_.end())
+            return it->second;
+        std::vector<GateId> bits = lowerNode(node);
+        ensure(bits.size() ==
+                   static_cast<size_t>(rtl_.nodes[node].width),
+               "lowering produced wrong width");
+        nodeBits_[node] = bits;
+        return bits;
+    }
+
+    std::vector<GateId>
+    lowerNode(NodeId id)
+    {
+        const RtlNode &n = rtl_.nodes[id];
+        switch (n.op) {
+          case RtlOp::Const: {
+            std::vector<GateId> bits(n.width);
+            for (int b = 0; b < n.width; ++b) {
+                bool set = b < 64 && ((n.constVal >> b) & 1);
+                bits[b] = set ? const1_ : const0_;
+            }
+            return bits;
+          }
+          case RtlOp::Sig:
+          case RtlOp::Slice:
+          case RtlOp::Concat: {
+            // Pure wiring: resolve bit-by-bit so self-referential
+            // field chains never materialize unrelated bits.
+            std::vector<GateId> bits(n.width);
+            for (int b = 0; b < n.width; ++b)
+                bits[b] = resolveNodeBit(id, b);
+            return bits;
+          }
+          case RtlOp::Not:
+            return notWord(bitsOf(n.args[0]));
+          case RtlOp::And:
+          case RtlOp::Or:
+          case RtlOp::Xor: {
+            std::vector<GateId> a = bitsOf(n.args[0]);
+            std::vector<GateId> b = bitsOf(n.args[1]);
+            std::vector<GateId> out(n.width);
+            for (int i = 0; i < n.width; ++i) {
+                if (n.op == RtlOp::And)
+                    out[i] = mkAnd(a[i], b[i]);
+                else if (n.op == RtlOp::Or)
+                    out[i] = mkOr(a[i], b[i]);
+                else
+                    out[i] = mkXor(a[i], b[i]);
+            }
+            return out;
+          }
+          case RtlOp::RedAnd:
+            return {reduceTree(bitsOf(n.args[0]), &Lowerer::mkAnd,
+                               const1_)};
+          case RtlOp::RedOr:
+            return {reduceTree(bitsOf(n.args[0]), &Lowerer::mkOr,
+                               const0_)};
+          case RtlOp::RedXor:
+            return {reduceTree(bitsOf(n.args[0]), &Lowerer::mkXor,
+                               const0_)};
+          case RtlOp::LogNot:
+            return {mkNot(reduceTree(bitsOf(n.args[0]),
+                                     &Lowerer::mkOr, const0_))};
+          case RtlOp::Add:
+            return addWords(bitsOf(n.args[0]), bitsOf(n.args[1]),
+                            const0_);
+          case RtlOp::Sub:
+            return addWords(bitsOf(n.args[0]),
+                            notWord(bitsOf(n.args[1])), const1_);
+          case RtlOp::Mul: {
+            std::vector<GateId> a = bitsOf(n.args[0]);
+            std::vector<GateId> b = bitsOf(n.args[1]);
+            std::vector<GateId> acc(n.width, const0_);
+            for (int i = 0;
+                 i < static_cast<int>(b.size()) && i < n.width; ++i) {
+                // Partial product (a << i) & b[i].
+                std::vector<GateId> partial(n.width, const0_);
+                for (int j = 0; j + i < n.width &&
+                                j < static_cast<int>(a.size());
+                     ++j) {
+                    partial[j + i] = mkAnd(a[j], b[i]);
+                }
+                acc = addWords(acc, partial, const0_);
+            }
+            return acc;
+          }
+          case RtlOp::Eq: {
+            std::vector<GateId> a = bitsOf(n.args[0]);
+            std::vector<GateId> b = bitsOf(n.args[1]);
+            std::vector<GateId> eq_bits(a.size());
+            for (size_t i = 0; i < a.size(); ++i)
+                eq_bits[i] = mkNot(mkXor(a[i], b[i]));
+            return {reduceTree(eq_bits, &Lowerer::mkAnd, const1_)};
+          }
+          case RtlOp::Lt:
+            return {lessThan(bitsOf(n.args[0]), bitsOf(n.args[1]))};
+          case RtlOp::Mux: {
+            GateId s = bitsOf(n.args[0])[0];
+            std::vector<GateId> a = bitsOf(n.args[1]);
+            std::vector<GateId> b = bitsOf(n.args[2]);
+            std::vector<GateId> out(n.width);
+            for (int i = 0; i < n.width; ++i)
+                out[i] = mkMux(s, a[i], b[i]);
+            return out;
+          }
+          case RtlOp::Shl:
+          case RtlOp::Shr: {
+            std::vector<GateId> a = bitsOf(n.args[0]);
+            const RtlNode &amt = rtl_.nodes[n.args[1]];
+            bool left = n.op == RtlOp::Shl;
+            if (amt.op == RtlOp::Const) {
+                int k = static_cast<int>(
+                    std::min<uint64_t>(amt.constVal, 1u << 20));
+                return shiftConst(a, k, left);
+            }
+            // Barrel shifter over the meaningful amount bits.
+            std::vector<GateId> sel = bitsOf(n.args[1]);
+            int stages = 1;
+            while ((1 << stages) < static_cast<int>(a.size()))
+                ++stages;
+            stages = std::min<int>(stages + 1,
+                                   static_cast<int>(sel.size()));
+            std::vector<GateId> cur = a;
+            for (int k = 0; k < stages; ++k) {
+                std::vector<GateId> shifted =
+                    shiftConst(cur, 1 << k, left);
+                std::vector<GateId> next(cur.size());
+                for (size_t i = 0; i < cur.size(); ++i)
+                    next[i] = mkMux(sel[k], shifted[i], cur[i]);
+                cur = std::move(next);
+            }
+            // Amount bits beyond the stages force zero if set.
+            if (sel.size() > static_cast<size_t>(stages)) {
+                std::vector<GateId> high(sel.begin() + stages,
+                                         sel.end());
+                GateId any = reduceTree(high, &Lowerer::mkOr,
+                                        const0_);
+                for (auto &g : cur)
+                    g = mkMux(any, const0_, g);
+            }
+            return cur;
+          }
+          case RtlOp::MemRead: {
+            const RtlMemory &mem = rtl_.memories[n.mem];
+            Gate proto;
+            proto.op = GateOp::MemOut;
+            proto.mem = n.mem;
+            appendAddrBits(mem, n.args[0], proto.in);
+            std::vector<GateId> bits(n.width);
+            for (int b = 0; b < n.width; ++b) {
+                Gate g = proto; // one data bit per gate
+                g.bit = static_cast<uint32_t>(b);
+                bits[b] = net_.add(std::move(g));
+            }
+            return bits;
+          }
+        }
+        panic("unreachable node op in lowerNode");
+    }
+
+    std::vector<GateId>
+    shiftConst(const std::vector<GateId> &a, int k, bool left)
+    {
+        std::vector<GateId> out(a.size(), const0_);
+        int w = static_cast<int>(a.size());
+        for (int i = 0; i < w; ++i) {
+            int src = left ? i - k : i + k;
+            if (src >= 0 && src < w)
+                out[i] = a[src];
+        }
+        return out;
+    }
+
+    const RtlDesign &rtl_;
+    Netlist net_;
+    GateId const0_ = 0;
+    GateId const1_ = 0;
+    std::map<NodeId, std::vector<GateId>> nodeBits_;
+    std::map<SigId, std::vector<GateId>> sigBits_;
+    std::map<std::pair<SigId, int>, GateId> sigBitMemo_;
+    std::set<std::pair<SigId, int>> inProgressBits_;
+    std::map<std::tuple<GateOp, std::vector<GateId>>, GateId> hash_;
+};
+
+} // namespace
+
+Netlist
+lowerToGates(const RtlDesign &rtl)
+{
+    Lowerer lowerer(rtl);
+    return lowerer.run();
+}
+
+} // namespace ucx

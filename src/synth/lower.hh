@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Lowering: word-level RTL -> gate-level netlist (bit blasting).
+ *
+ * Arithmetic expands structurally (ripple-carry adders, array
+ * multipliers, borrow comparators, barrel shifters), mirroring what
+ * a synthesis tool's generic expansion produces before technology
+ * mapping. Light constant folding and structural hashing keep the
+ * netlist from carrying trivially redundant gates.
+ */
+
+#ifndef UCX_SYNTH_LOWER_HH
+#define UCX_SYNTH_LOWER_HH
+
+#include "synth/netlist.hh"
+#include "synth/rtl.hh"
+
+namespace ucx
+{
+
+/**
+ * Bit-blast a flattened RTL design into a gate netlist.
+ *
+ * @param rtl Elaborated design (check()-clean).
+ * @return The gate-level netlist; throws UcxError on combinational
+ *         loops.
+ */
+Netlist lowerToGates(const RtlDesign &rtl);
+
+} // namespace ucx
+
+#endif // UCX_SYNTH_LOWER_HH

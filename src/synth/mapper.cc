@@ -1,0 +1,158 @@
+#include "synth/mapper.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/error.hh"
+
+namespace ucx
+{
+
+size_t
+LutMapping::fanInSum() const
+{
+    size_t sum = 0;
+    for (const auto &lut : luts)
+        sum += lut.inputs.size();
+    return sum;
+}
+
+namespace
+{
+
+bool
+isComb(GateOp op)
+{
+    return op == GateOp::Not || op == GateOp::And ||
+           op == GateOp::Or || op == GateOp::Xor || op == GateOp::Mux;
+}
+
+bool
+isConst(GateOp op)
+{
+    return op == GateOp::Const0 || op == GateOp::Const1;
+}
+
+} // namespace
+
+LutMapping
+mapToLuts(const Netlist &netlist, const FpgaFabric &fabric)
+{
+    const size_t k = static_cast<size_t>(fabric.lutInputs);
+    const size_t n = netlist.gates.size();
+
+    // Fanout counts and endpoint feeders.
+    std::vector<uint32_t> fanout(n, 0);
+    std::vector<bool> feeds_endpoint(n, false);
+    for (GateId g = 0; g < n; ++g) {
+        const Gate &gate = netlist.gates[g];
+        bool endpoint_pin = gate.op == GateOp::Dff ||
+                            gate.op == GateOp::MemIn ||
+                            gate.op == GateOp::MemOut;
+        for (GateId in : gate.in) {
+            ++fanout[in];
+            if (endpoint_pin)
+                feeds_endpoint[in] = true;
+        }
+    }
+    for (GateId g : netlist.outputBits)
+        feeds_endpoint[g] = true;
+
+    std::vector<bool> is_root(n, false);
+    for (GateId g = 0; g < n; ++g) {
+        if (!isComb(netlist.gates[g].op))
+            continue;
+        if (feeds_endpoint[g] || fanout[g] > 1)
+            is_root[g] = true;
+    }
+
+    // Greedy cut computation in topological order.
+    std::vector<std::vector<GateId>> cut(n);
+    std::vector<GateId> order = netlist.topoOrder();
+    auto leafset = [&](GateId f, std::set<GateId> &into) {
+        const Gate &fg = netlist.gates[f];
+        if (isConst(fg.op))
+            return; // constants are absorbed into the LUT mask
+        if (!isComb(fg.op) || is_root[f] || cut[f].empty()) {
+            into.insert(f);
+            return;
+        }
+        into.insert(cut[f].begin(), cut[f].end());
+    };
+
+    for (GateId g : order) {
+        const Gate &gate = netlist.gates[g];
+        if (!isComb(gate.op))
+            continue;
+        std::set<GateId> leaves;
+        for (GateId in : gate.in)
+            leafset(in, leaves);
+        if (leaves.size() <= k) {
+            cut[g].assign(leaves.begin(), leaves.end());
+            continue;
+        }
+        // Overflow: the gate's fanins become LUT roots and this
+        // gate's cut is just its fanins.
+        std::set<GateId> direct;
+        for (GateId in : gate.in) {
+            if (isConst(netlist.gates[in].op))
+                continue;
+            if (isComb(netlist.gates[in].op))
+                is_root[in] = true;
+            direct.insert(in);
+        }
+        cut[g].assign(direct.begin(), direct.end());
+    }
+
+    // Depth via DP over roots.
+    std::vector<int> level(n, 0);
+    LutMapping mapping;
+    for (GateId g : order) {
+        if (!isComb(netlist.gates[g].op) || !is_root[g])
+            continue;
+        Lut lut;
+        lut.root = g;
+        lut.inputs = cut[g];
+        if (lut.inputs.empty()) {
+            // Fully constant logic still occupies one LUT.
+            lut.depth = 1;
+        } else {
+            int deepest = 0;
+            for (GateId leaf : lut.inputs)
+                deepest = std::max(deepest, level[leaf]);
+            lut.depth = deepest + 1;
+        }
+        level[g] = lut.depth;
+        mapping.maxDepth = std::max(mapping.maxDepth, lut.depth);
+        mapping.luts.push_back(std::move(lut));
+    }
+    return mapping;
+}
+
+CellMapping
+mapToCells(const Netlist &netlist, const CellLibrary &library)
+{
+    CellMapping m;
+    for (const Gate &gate : netlist.gates) {
+        if (!CellLibrary::mapsToCell(gate.op))
+            continue;
+        const CellSpec &cell = library.cellFor(gate.op);
+        ++m.cells;
+        m.leakageUw += cell.leakUw;
+        if (gate.op == GateOp::Dff) {
+            ++m.seqCells;
+            m.areaStorageUm2 += cell.areaUm2;
+        } else {
+            ++m.combCells;
+            m.areaLogicUm2 += cell.areaUm2;
+        }
+    }
+    m.areaStorageUm2 += static_cast<double>(netlist.memoryBits) *
+                        library.ramBitAreaUm2;
+    m.leakageUw += static_cast<double>(netlist.memoryBits) *
+                   library.ramBitLeakUw;
+    return m;
+}
+
+} // namespace ucx

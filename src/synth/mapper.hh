@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Technology mapping.
+ *
+ * ASIC flow: gates bind 1:1 to standard cells (the lowering already
+ * emits library-shaped primitives).
+ *
+ * FPGA flow: combinational gates are greedily clustered into K-input
+ * LUTs. The paper estimated FanInLC from Synplify's LUT report by
+ * summing all LUT input counts; lutFanInSum() reproduces exactly
+ * that estimate, and the cone traversal in cones.hh provides the
+ * from-first-principles definition for cross-checking.
+ */
+
+#ifndef UCX_SYNTH_MAPPER_HH
+#define UCX_SYNTH_MAPPER_HH
+
+#include <vector>
+
+#include "synth/library.hh"
+#include "synth/netlist.hh"
+
+namespace ucx
+{
+
+/** One mapped LUT. */
+struct Lut
+{
+    GateId root;                 ///< Gate whose output the LUT drives.
+    std::vector<GateId> inputs;  ///< Leaf gates feeding the LUT.
+    int depth = 0;               ///< LUT level from sources (1-based).
+};
+
+/** Result of LUT mapping. */
+struct LutMapping
+{
+    std::vector<Lut> luts;
+    int maxDepth = 0;     ///< Deepest LUT level.
+
+    /**
+     * @return Sum over LUTs of the number of inputs used — the
+     *         paper's FanInLC estimate.
+     */
+    size_t fanInSum() const;
+};
+
+/**
+ * Map the combinational logic of a netlist into K-input LUTs.
+ *
+ * Greedy bottom-up clustering in topological order: a gate is
+ * absorbed into the cluster of its fanins while the union of leaves
+ * fits in K inputs; gates with multiple fanouts, boundary drivers,
+ * and overflowing unions become LUT roots.
+ *
+ * @param netlist Gate netlist.
+ * @param fabric  FPGA fabric (K = fabric.lutInputs).
+ * @return The LUT cover.
+ */
+LutMapping mapToLuts(const Netlist &netlist,
+                     const FpgaFabric &fabric =
+                         FpgaFabric::stratix2Like());
+
+/** ASIC cell-count summary. */
+struct CellMapping
+{
+    size_t cells = 0;        ///< Total mapped standard cells.
+    size_t combCells = 0;    ///< Combinational cells.
+    size_t seqCells = 0;     ///< Flip-flops.
+    double areaLogicUm2 = 0; ///< Combinational area.
+    double areaStorageUm2 = 0; ///< FF + RAM area.
+    double leakageUw = 0;    ///< Total static leakage.
+};
+
+/**
+ * Bind gates to standard cells and total the physical numbers.
+ *
+ * @param netlist Gate netlist.
+ * @param library Cell library.
+ * @return Counts and areas.
+ */
+CellMapping mapToCells(const Netlist &netlist,
+                       const CellLibrary &library =
+                           CellLibrary::generic180());
+
+} // namespace ucx
+
+#endif // UCX_SYNTH_MAPPER_HH

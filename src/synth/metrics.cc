@@ -1,0 +1,43 @@
+#include "synth/metrics.hh"
+
+#include "synth/lower.hh"
+#include "synth/power.hh"
+
+namespace ucx
+{
+
+SynthMetrics
+synthesize(const RtlDesign &rtl)
+{
+    Netlist netlist = lowerToGates(rtl);
+
+    SynthMetrics m;
+    m.gateCount = netlist.gates.size();
+    m.nets = netlist.numNets();
+    m.ffs = netlist.numDffs();
+
+    CellMapping cells = mapToCells(netlist);
+    m.cells = cells.cells;
+    m.areaLogicUm2 = cells.areaLogicUm2;
+    m.areaStorageUm2 = cells.areaStorageUm2;
+
+    LutMapping luts = mapToLuts(netlist);
+    m.luts = luts.luts.size();
+    m.lutDepth = luts.maxDepth;
+    m.fanInLC = luts.fanInSum();
+
+    ConeReport cones = extractCones(netlist);
+    m.fanInLCExact = cones.fanInSum;
+
+    TimingReport fpga = staFpga(luts);
+    m.freqMHz = fpga.freqMHz;
+    TimingReport asic = staAsic(netlist);
+    m.freqAsicMHz = asic.freqMHz;
+
+    PowerReport power = estimatePower(netlist, fpga.freqMHz);
+    m.powerDynamicMw = power.dynamicMw;
+    m.powerStaticUw = power.staticUw;
+    return m;
+}
+
+} // namespace ucx

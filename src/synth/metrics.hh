@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Synthesis-metric driver: runs the full flow (lowering, cell
+ * mapping, LUT mapping, timing, power, cones) on an elaborated
+ * design and produces the nine synthesis metrics of paper Table 3.
+ */
+
+#ifndef UCX_SYNTH_METRICS_HH
+#define UCX_SYNTH_METRICS_HH
+
+#include "synth/cones.hh"
+#include "synth/mapper.hh"
+#include "synth/rtl.hh"
+#include "synth/timing.hh"
+
+namespace ucx
+{
+
+/** All synthesis metrics of one design. */
+struct SynthMetrics
+{
+    size_t fanInLC = 0;      ///< LUT-input sum (paper's estimate).
+    size_t fanInLCExact = 0; ///< Cone-traversal FanInLC.
+    size_t nets = 0;         ///< Nets in the mapped netlist.
+    size_t cells = 0;        ///< Standard cells.
+    size_t ffs = 0;          ///< Flip-flops.
+    double areaLogicUm2 = 0; ///< AreaL.
+    double areaStorageUm2 = 0; ///< AreaS.
+    double powerDynamicMw = 0; ///< PowerD at the FPGA frequency.
+    double powerStaticUw = 0;  ///< PowerS.
+    double freqMHz = 0;      ///< FPGA frequency (Table 3 Freq).
+    double freqAsicMHz = 0;  ///< ASIC frequency (extra diagnostic).
+    size_t luts = 0;         ///< LUT count from the FPGA cover.
+    int lutDepth = 0;        ///< LUT levels on the critical path.
+    size_t gateCount = 0;    ///< Pre-mapping gate count.
+};
+
+/**
+ * Run the full synthesis flow on an elaborated design.
+ *
+ * @param rtl Elaborated RTL.
+ * @return All synthesis metrics.
+ */
+SynthMetrics synthesize(const RtlDesign &rtl);
+
+} // namespace ucx
+
+#endif // UCX_SYNTH_METRICS_HH

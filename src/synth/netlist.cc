@@ -1,0 +1,195 @@
+#include "synth/netlist.hh"
+
+#include <algorithm>
+
+#include "util/error.hh"
+
+namespace ucx
+{
+
+const char *
+gateOpName(GateOp op)
+{
+    switch (op) {
+      case GateOp::Const0: return "const0";
+      case GateOp::Const1: return "const1";
+      case GateOp::Input: return "input";
+      case GateOp::Not: return "not";
+      case GateOp::And: return "and";
+      case GateOp::Or: return "or";
+      case GateOp::Xor: return "xor";
+      case GateOp::Mux: return "mux";
+      case GateOp::Dff: return "dff";
+      case GateOp::MemOut: return "memout";
+      case GateOp::MemIn: return "memin";
+    }
+    return "?";
+}
+
+namespace
+{
+
+size_t
+expectedInputs(GateOp op)
+{
+    switch (op) {
+      case GateOp::Const0:
+      case GateOp::Const1:
+      case GateOp::Input:
+        return 0;
+      case GateOp::Not:
+      case GateOp::Dff:
+        return 1;
+      case GateOp::And:
+      case GateOp::Or:
+      case GateOp::Xor:
+        return 2;
+      case GateOp::Mux:
+        return 3;
+      case GateOp::MemOut:
+      case GateOp::MemIn:
+        return SIZE_MAX; // variable
+    }
+    return SIZE_MAX;
+}
+
+bool
+isComb(GateOp op)
+{
+    return op == GateOp::Not || op == GateOp::And ||
+           op == GateOp::Or || op == GateOp::Xor || op == GateOp::Mux;
+}
+
+} // namespace
+
+GateId
+Netlist::add(Gate gate)
+{
+    size_t want = expectedInputs(gate.op);
+    if (want != SIZE_MAX) {
+        ensure(gate.in.size() == want,
+               std::string("wrong input count for gate ") +
+                   gateOpName(gate.op));
+    }
+    for (GateId g : gate.in) {
+        // invalidGate is allowed transiently: Dff d-pins are patched
+        // after the next-state logic is lowered; check() rejects any
+        // leftovers.
+        ensure(g < gates.size() || g == invalidGate,
+               "gate input out of range");
+    }
+    GateId id = static_cast<GateId>(gates.size());
+    gates.push_back(std::move(gate));
+    if (gates.back().op == GateOp::Input)
+        inputBits.push_back(id);
+    return id;
+}
+
+size_t
+Netlist::numDffs() const
+{
+    size_t n = 0;
+    for (const auto &g : gates)
+        if (g.op == GateOp::Dff)
+            ++n;
+    return n;
+}
+
+size_t
+Netlist::numCombGates() const
+{
+    size_t n = 0;
+    for (const auto &g : gates)
+        if (isComb(g.op))
+            ++n;
+    return n;
+}
+
+size_t
+Netlist::numNets() const
+{
+    size_t n = 0;
+    for (const auto &g : gates)
+        if (g.op != GateOp::MemIn)
+            ++n;
+    return n;
+}
+
+bool
+Netlist::isConeSource(GateId gate) const
+{
+    GateOp op = gates[gate].op;
+    return op == GateOp::Input || op == GateOp::Dff ||
+           op == GateOp::MemOut || op == GateOp::Const0 ||
+           op == GateOp::Const1;
+}
+
+std::vector<GateId>
+Netlist::coneEndpoints() const
+{
+    std::vector<GateId> roots;
+    for (GateId g = 0; g < gates.size(); ++g) {
+        const Gate &gate = gates[g];
+        if (gate.op == GateOp::Dff || gate.op == GateOp::MemOut ||
+            gate.op == GateOp::MemIn) {
+            for (GateId in : gate.in)
+                roots.push_back(in);
+        }
+    }
+    for (GateId g : outputBits)
+        roots.push_back(g);
+    return roots;
+}
+
+std::vector<GateId>
+Netlist::topoOrder() const
+{
+    // Dependencies follow combinational fanin edges only; register,
+    // memory-read, and input gates are sources (their fanins are
+    // sequential, not evaluation-order, edges).
+    std::vector<uint32_t> indeg(gates.size(), 0);
+    std::vector<std::vector<GateId>> fanout(gates.size());
+    for (GateId g = 0; g < gates.size(); ++g) {
+        const Gate &gate = gates[g];
+        if (!isComb(gate.op) && gate.op != GateOp::MemIn)
+            continue;
+        indeg[g] = static_cast<uint32_t>(gate.in.size());
+        for (GateId in : gate.in)
+            fanout[in].push_back(g);
+    }
+
+    std::vector<GateId> order;
+    order.reserve(gates.size());
+    std::vector<GateId> ready;
+    for (GateId g = 0; g < gates.size(); ++g)
+        if (indeg[g] == 0)
+            ready.push_back(g);
+
+    size_t head = 0;
+    std::vector<GateId> queue = std::move(ready);
+    while (head < queue.size()) {
+        GateId g = queue[head++];
+        order.push_back(g);
+        for (GateId next : fanout[g]) {
+            if (--indeg[next] == 0)
+                queue.push_back(next);
+        }
+    }
+    require(order.size() == gates.size(),
+            "combinational loop detected in netlist");
+    return order;
+}
+
+void
+Netlist::check() const
+{
+    for (const auto &g : gates)
+        for (GateId in : g.in)
+            ensure(in < gates.size(), "gate input out of range");
+    for (GateId g : outputBits)
+        ensure(g < gates.size(), "output bit out of range");
+    // Topological ordering also proves combinational acyclicity.
+    (void)topoOrder();
+}
+
+} // namespace ucx

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Gate-level netlist: the bit-blasted form of an RtlDesign.
+ *
+ * Gate kinds are the technology-independent primitives the mapper
+ * later binds to standard cells (ASIC flow) or clusters into LUTs
+ * (FPGA flow). Sequential boundaries (DFF outputs, memory read data,
+ * primary inputs) and endpoints (DFF inputs, memory write pins,
+ * primary outputs) delimit the logic cones of paper Table 3's
+ * FanInLC metric.
+ */
+
+#ifndef UCX_SYNTH_NETLIST_HH
+#define UCX_SYNTH_NETLIST_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ucx
+{
+
+/** Index of a gate in Netlist::gates. */
+using GateId = uint32_t;
+
+/** Sentinel for "no gate". */
+inline constexpr GateId invalidGate = 0xffffffff;
+
+/** Gate kinds. */
+enum class GateOp : uint8_t
+{
+    Const0, ///< Tie-low.
+    Const1, ///< Tie-high.
+    Input,  ///< Primary input bit.
+    Not,    ///< in = {a}.
+    And,    ///< in = {a, b}.
+    Or,     ///< in = {a, b}.
+    Xor,    ///< in = {a, b}.
+    Mux,    ///< in = {s, a, b}: s ? a : b.
+    Dff,    ///< in = {d}; output is the q bit.
+    MemOut, ///< Memory read-port data bit; in = address bits.
+    MemIn,  ///< Memory write-port sink; in = addr+data+enable bits.
+};
+
+/** @return A printable gate-kind name. */
+const char *gateOpName(GateOp op);
+
+/** One gate. */
+struct Gate
+{
+    GateOp op = GateOp::Const0;
+    std::vector<GateId> in;
+    /**
+     * Payload for memory-port gates: the RtlDesign memory index
+     * this port belongs to (MemOut: which RAM is read; MemIn: which
+     * RAM is written). Unused for other kinds.
+     */
+    uint32_t mem = 0;
+    /** MemOut only: which bit of the read word this gate carries. */
+    uint32_t bit = 0;
+};
+
+/** A flat gate-level netlist. */
+class Netlist
+{
+  public:
+    std::vector<Gate> gates;
+    std::vector<GateId> inputBits;   ///< All Input gates.
+    std::vector<GateId> outputBits;  ///< Gates driving primary outputs.
+    size_t memoryBits = 0;           ///< Total storage bits in RAMs.
+
+    /** Append a gate and return its id. */
+    GateId add(Gate gate);
+
+    /** @return Number of flip-flops (Dff gates). */
+    size_t numDffs() const;
+
+    /** @return Number of combinational gates (Not/And/Or/Xor/Mux). */
+    size_t numCombGates() const;
+
+    /**
+     * @return Number of nets: every gate output plus every primary
+     *         input is one net (inputs are already gates here, so
+     *         this is the gate count minus write-port sinks, which
+     *         have no output net).
+     */
+    size_t numNets() const;
+
+    /**
+     * @return True when @p gate is a sequential/boundary *source*
+     *         for cone extraction: Input, Dff (its q), MemOut, or a
+     *         constant.
+     */
+    bool isConeSource(GateId gate) const;
+
+    /**
+     * All cone endpoints: pairs of (root gate feeding the endpoint).
+     * Endpoints are DFF d-pins, primary output bits, and memory
+     * write pins.
+     *
+     * @return The driving gate of every endpoint pin.
+     */
+    std::vector<GateId> coneEndpoints() const;
+
+    /** Topological order of all gates (sources first). */
+    std::vector<GateId> topoOrder() const;
+
+    /** Validate structural invariants; throws UcxPanic on bugs. */
+    void check() const;
+};
+
+} // namespace ucx
+
+#endif // UCX_SYNTH_NETLIST_HH

@@ -1,0 +1,36 @@
+#include "synth/power.hh"
+
+#include "util/error.hh"
+
+namespace ucx
+{
+
+PowerReport
+estimatePower(const Netlist &netlist, double freq_mhz,
+              const CellLibrary &library,
+              const PowerModelConfig &config)
+{
+    require(freq_mhz > 0.0, "power model needs freq > 0");
+    PowerReport report;
+    double energy_per_cycle_pj = 0.0;
+    for (const Gate &gate : netlist.gates) {
+        if (!CellLibrary::mapsToCell(gate.op))
+            continue;
+        const CellSpec &cell = library.cellFor(gate.op);
+        report.staticUw += cell.leakUw;
+        if (gate.op == GateOp::Dff) {
+            energy_per_cycle_pj +=
+                cell.energyPj * config.seqActivity +
+                config.clockPinEnergyPj * config.clockActivity;
+        } else {
+            energy_per_cycle_pj += cell.energyPj * config.combActivity;
+        }
+    }
+    report.staticUw += static_cast<double>(netlist.memoryBits) *
+                       library.ramBitLeakUw;
+    // pJ/cycle * Mcycles/s = uW; divide by 1000 for mW.
+    report.dynamicMw = energy_per_cycle_pj * freq_mhz / 1000.0;
+    return report;
+}
+
+} // namespace ucx

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Activity-based power model for the mapped netlist: dynamic power
+ * from per-cell switching energy at the achieved clock frequency,
+ * static power from per-cell leakage.
+ */
+
+#ifndef UCX_SYNTH_POWER_HH
+#define UCX_SYNTH_POWER_HH
+
+#include "synth/library.hh"
+#include "synth/netlist.hh"
+
+namespace ucx
+{
+
+/** Power report for one netlist. */
+struct PowerReport
+{
+    double dynamicMw = 0.0; ///< Dynamic (switching) power, mW.
+    double staticUw = 0.0;  ///< Static (leakage) power, uW.
+};
+
+/** Configuration of the power model. */
+struct PowerModelConfig
+{
+    double combActivity = 0.15; ///< Toggle probability per cycle.
+    double seqActivity = 0.25;  ///< FF output toggle probability.
+    double clockActivity = 1.0; ///< Clock pin always toggles.
+    double clockPinEnergyPj = 0.035; ///< Per-FF clock-pin energy.
+};
+
+/**
+ * Estimate power at a clock frequency.
+ *
+ * @param netlist Gate netlist.
+ * @param freq_mhz Clock frequency in MHz.
+ * @param library Cell library.
+ * @param config  Activity assumptions.
+ * @return Dynamic and static power.
+ */
+PowerReport estimatePower(const Netlist &netlist, double freq_mhz,
+                          const CellLibrary &library =
+                              CellLibrary::generic180(),
+                          const PowerModelConfig &config = {});
+
+} // namespace ucx
+
+#endif // UCX_SYNTH_POWER_HH

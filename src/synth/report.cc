@@ -1,0 +1,72 @@
+#include "synth/report.hh"
+
+#include <sstream>
+
+#include "util/table.hh"
+
+namespace ucx
+{
+
+SynthReport
+buildReport(const Netlist &netlist)
+{
+    SynthReport report;
+    report.totalGates = netlist.gates.size();
+    for (const Gate &gate : netlist.gates)
+        ++report.gateHistogram[gateOpName(gate.op)];
+
+    LutMapping luts = mapToLuts(netlist);
+    report.totalLuts = luts.luts.size();
+    report.fanInSumLut = luts.fanInSum();
+    for (const Lut &lut : luts.luts)
+        ++report.lutInputHistogram[lut.inputs.size()];
+
+    ConeReport cones = extractCones(netlist);
+    report.totalCones = cones.cones.size();
+    report.fanInSumExact = cones.fanInSum;
+    for (const Cone &cone : cones.cones) {
+        size_t bucket = 1;
+        while (bucket < cone.inputCount)
+            bucket *= 2;
+        ++report.coneFanInHistogram[bucket];
+    }
+    return report;
+}
+
+std::string
+SynthReport::render() const
+{
+    std::ostringstream out;
+    {
+        Table t({"Gate kind", "Count"});
+        for (const auto &[name, count] : gateHistogram)
+            t.addRow({name, std::to_string(count)});
+        t.addRule();
+        t.addRow({"total", std::to_string(totalGates)});
+        out << t.render() << "\n";
+    }
+    {
+        Table t({"LUT inputs used", "LUTs"});
+        for (const auto &[inputs, count] : lutInputHistogram)
+            t.addRow({std::to_string(inputs),
+                      std::to_string(count)});
+        t.addRule();
+        t.addRow({"total (" + std::to_string(totalLuts) + " LUTs)",
+                  "FanInLC " + std::to_string(fanInSumLut)});
+        out << t.render() << "\n";
+    }
+    {
+        Table t({"Cone fan-in (<=)", "Cones"});
+        for (const auto &[bucket, count] : coneFanInHistogram)
+            t.addRow({std::to_string(bucket),
+                      std::to_string(count)});
+        t.addRule();
+        t.addRow({"total (" + std::to_string(totalCones) +
+                      " cones)",
+                  "exact " + std::to_string(fanInSumExact)});
+        out << t.render();
+    }
+    return out.str();
+}
+
+} // namespace ucx

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Synthesis reports: per-gate-kind histograms, cone-size
+ * distributions, and LUT usage — the kind of summary Synplify Pro
+ * prints and from which the paper estimated FanInLC (Section 4.3).
+ */
+
+#ifndef UCX_SYNTH_REPORT_HH
+#define UCX_SYNTH_REPORT_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "synth/cones.hh"
+#include "synth/mapper.hh"
+#include "synth/netlist.hh"
+
+namespace ucx
+{
+
+/** Structured synthesis report for one netlist. */
+struct SynthReport
+{
+    /** Gate count per kind name ("and", "dff", ...). */
+    std::map<std::string, size_t> gateHistogram;
+
+    /**
+     * LUT count per used-input count (index 1..K), mirroring
+     * Synplify's "LUTs using N inputs" table.
+     */
+    std::map<size_t, size_t> lutInputHistogram;
+
+    /** Cone count per fan-in bucket (bucket = power of two). */
+    std::map<size_t, size_t> coneFanInHistogram;
+
+    size_t totalGates = 0;
+    size_t totalLuts = 0;
+    size_t totalCones = 0;
+    size_t fanInSumLut = 0;   ///< Paper's FanInLC estimate.
+    size_t fanInSumExact = 0; ///< Cone-traversal FanInLC.
+
+    /** @return A human-readable multi-line rendering. */
+    std::string render() const;
+};
+
+/**
+ * Build the report for a netlist.
+ *
+ * @param netlist Gate netlist.
+ * @return The structured report.
+ */
+SynthReport buildReport(const Netlist &netlist);
+
+} // namespace ucx
+
+#endif // UCX_SYNTH_REPORT_HH

@@ -1,0 +1,131 @@
+#include "synth/rtl.hh"
+
+#include "util/error.hh"
+
+namespace ucx
+{
+
+SigId
+RtlDesign::addSignal(const std::string &name, int width, SigKind kind)
+{
+    require(width >= 1, "signal '" + name + "' needs width >= 1");
+    require(byName_.find(name) == byName_.end(),
+            "duplicate signal '" + name + "'");
+    RtlSignal s;
+    s.name = name;
+    s.width = width;
+    s.kind = kind;
+    SigId id = static_cast<SigId>(signals.size());
+    signals.push_back(std::move(s));
+    byName_[name] = id;
+    return id;
+}
+
+SigId
+RtlDesign::findSignal(const std::string &name) const
+{
+    auto it = byName_.find(name);
+    require(it != byName_.end(), "unknown signal '" + name + "'");
+    return it->second;
+}
+
+bool
+RtlDesign::hasSignal(const std::string &name) const
+{
+    return byName_.find(name) != byName_.end();
+}
+
+NodeId
+RtlDesign::addNode(RtlNode node)
+{
+    ensure(node.width >= 1, "node width must be >= 1");
+    for (NodeId arg : node.args)
+        ensure(arg < nodes.size(), "node argument out of range");
+    NodeId id = static_cast<NodeId>(nodes.size());
+    nodes.push_back(std::move(node));
+    return id;
+}
+
+NodeId
+RtlDesign::constNode(uint64_t value, int width)
+{
+    RtlNode n;
+    n.op = RtlOp::Const;
+    n.width = width;
+    if (width < 64)
+        value &= (1ull << width) - 1;
+    n.constVal = value;
+    return addNode(std::move(n));
+}
+
+NodeId
+RtlDesign::sigNode(SigId sig)
+{
+    ensure(sig < signals.size(), "signal id out of range");
+    RtlNode n;
+    n.op = RtlOp::Sig;
+    n.width = signals[sig].width;
+    n.sig = sig;
+    return addNode(std::move(n));
+}
+
+NodeId
+RtlDesign::resize(NodeId node, int width)
+{
+    ensure(node < nodes.size(), "node id out of range");
+    int have = nodes[node].width;
+    if (have == width)
+        return node;
+    if (have > width) {
+        RtlNode s;
+        s.op = RtlOp::Slice;
+        s.width = width;
+        s.lo = 0;
+        s.args = {node};
+        return addNode(std::move(s));
+    }
+    // Zero-extend: {zeros, node}.
+    NodeId zeros = constNode(0, width - have);
+    RtlNode c;
+    c.op = RtlOp::Concat;
+    c.width = width;
+    c.args = {zeros, node};
+    return addNode(std::move(c));
+}
+
+size_t
+RtlDesign::numRegs() const
+{
+    size_t n = 0;
+    for (const auto &s : signals)
+        if (s.kind == SigKind::Reg)
+            ++n;
+    return n;
+}
+
+void
+RtlDesign::check() const
+{
+    for (const auto &s : signals) {
+        if (s.kind == SigKind::Wire || s.kind == SigKind::Output ||
+            s.kind == SigKind::Reg) {
+            ensure(s.driver != invalidNode,
+                   "signal '" + s.name + "' has no driver");
+            ensure(s.driver < nodes.size(),
+                   "signal '" + s.name + "' driver out of range");
+            ensure(nodes[s.driver].width == s.width,
+                   "signal '" + s.name + "' driver width mismatch");
+        }
+    }
+    for (const auto &n : nodes) {
+        for (NodeId arg : n.args)
+            ensure(arg < nodes.size(), "node arg out of range");
+        if (n.op == RtlOp::Sig)
+            ensure(n.sig < signals.size(), "Sig node out of range");
+        if (n.op == RtlOp::MemRead)
+            ensure(n.mem < memories.size(),
+                   "MemRead node out of range");
+    }
+}
+
+} // namespace ucx

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Word-level RTL intermediate representation.
+ *
+ * The elaborator flattens a µHDL design into one RtlDesign: a pool
+ * of typed expression nodes, a driver per wire, a next-state
+ * expression per register, and explicit memory objects. The gate
+ * lowering in lower.hh consumes this IR.
+ */
+
+#ifndef UCX_SYNTH_RTL_HH
+#define UCX_SYNTH_RTL_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ucx
+{
+
+/** Index of a signal in RtlDesign::signals. */
+using SigId = uint32_t;
+
+/** Index of a node in RtlDesign::nodes. */
+using NodeId = uint32_t;
+
+/** Index of a memory in RtlDesign::memories. */
+using MemId = uint32_t;
+
+/** Sentinel for "no node". */
+inline constexpr NodeId invalidNode = 0xffffffff;
+
+/** Word-level operation kinds. */
+enum class RtlOp
+{
+    Const,   ///< Constant (value, width).
+    Sig,     ///< Reference to a signal's value.
+    Slice,   ///< bits [lo .. lo+width-1] of the operand.
+    Concat,  ///< Operands concatenated, first = most significant.
+    Not,     ///< Bitwise not.
+    And, Or, Xor,
+    RedAnd, RedOr, RedXor, ///< Reductions to 1 bit.
+    LogNot,  ///< 1-bit logical not (operand == 0).
+    Add, Sub, Mul,
+    Eq,      ///< 1-bit equality.
+    Lt,      ///< 1-bit unsigned less-than.
+    Mux,     ///< args = {sel(1), a, b}: sel ? a : b.
+    Shl, Shr,///< Variable or constant shifts (amount = args[1]).
+    MemRead, ///< Memory read port: args = {addr}; mem set.
+};
+
+/** One word-level expression node. */
+struct RtlNode
+{
+    RtlOp op = RtlOp::Const;
+    int width = 1;          ///< Result width in bits.
+    uint64_t constVal = 0;  ///< Const payload.
+    SigId sig = 0;          ///< Sig payload.
+    int lo = 0;             ///< Slice low bit.
+    MemId mem = 0;          ///< MemRead payload.
+    std::vector<NodeId> args;
+};
+
+/** Role of a signal in the flattened design. */
+enum class SigKind
+{
+    Wire,   ///< Combinational, has a driver node.
+    Reg,    ///< Sequential, backed by flip-flops.
+    Input,  ///< Primary input.
+    Output, ///< Primary output (driven wire).
+};
+
+/** One flattened signal. */
+struct RtlSignal
+{
+    std::string name; ///< Hierarchical name, e.g. "u_alu.sum".
+    int width = 1;
+    SigKind kind = SigKind::Wire;
+    NodeId driver = invalidNode; ///< Wire/Output driver; Reg next-state.
+};
+
+/** One memory write port. */
+struct MemWritePort
+{
+    NodeId addr = invalidNode;
+    NodeId data = invalidNode;
+    NodeId enable = invalidNode; ///< 1-bit; invalidNode = always on.
+};
+
+/** One flattened memory array. */
+struct RtlMemory
+{
+    std::string name;
+    int width = 1;   ///< Word width in bits.
+    int depth = 1;   ///< Number of words.
+    std::vector<MemWritePort> writePorts;
+};
+
+/** A flattened word-level design. */
+class RtlDesign
+{
+  public:
+    std::vector<RtlSignal> signals;
+    std::vector<RtlNode> nodes;
+    std::vector<RtlMemory> memories;
+    std::vector<SigId> inputs;   ///< Primary inputs, in port order.
+    std::vector<SigId> outputs;  ///< Primary outputs, in port order.
+
+    /**
+     * Create a signal.
+     *
+     * @param name  Hierarchical name (must be unique).
+     * @param width Bit width >= 1.
+     * @param kind  Signal role.
+     * @return The new signal id.
+     */
+    SigId addSignal(const std::string &name, int width, SigKind kind);
+
+    /** @return The signal id for a hierarchical name (must exist). */
+    SigId findSignal(const std::string &name) const;
+
+    /** @return True when the named signal exists. */
+    bool hasSignal(const std::string &name) const;
+
+    /** Append a node to the pool and return its id. */
+    NodeId addNode(RtlNode node);
+
+    /** @return A Const node of the given value and width. */
+    NodeId constNode(uint64_t value, int width);
+
+    /** @return A Sig node reading the given signal. */
+    NodeId sigNode(SigId sig);
+
+    /**
+     * A node reinterpreted at a different width: truncated via Slice
+     * or zero-extended via Concat with a Const 0.
+     *
+     * @param node  Source node.
+     * @param width Target width.
+     * @return A node of exactly @p width bits.
+     */
+    NodeId resize(NodeId node, int width);
+
+    /** @return Number of registers (signals of kind Reg). */
+    size_t numRegs() const;
+
+    /** Validate internal invariants; throws UcxPanic on corruption. */
+    void check() const;
+
+  private:
+    std::map<std::string, SigId> byName_;
+};
+
+} // namespace ucx
+
+#endif // UCX_SYNTH_RTL_HH

@@ -1,0 +1,91 @@
+#include "synth/timing.hh"
+
+#include <algorithm>
+
+namespace ucx
+{
+
+namespace
+{
+
+bool
+isComb(GateOp op)
+{
+    return op == GateOp::Not || op == GateOp::And ||
+           op == GateOp::Or || op == GateOp::Xor || op == GateOp::Mux;
+}
+
+} // namespace
+
+TimingReport
+staAsic(const Netlist &netlist, const CellLibrary &library)
+{
+    const size_t n = netlist.gates.size();
+    std::vector<uint32_t> fanout(n, 0);
+    for (const Gate &gate : netlist.gates)
+        for (GateId in : gate.in)
+            ++fanout[in];
+
+    // Arrival time at each gate output.
+    std::vector<double> arrival(n, 0.0);
+    std::vector<GateId> order = netlist.topoOrder();
+    double worst = 0.0;
+    for (GateId g : order) {
+        const Gate &gate = netlist.gates[g];
+        if (gate.op == GateOp::Dff) {
+            arrival[g] = library.dffClkQNs;
+            continue;
+        }
+        if (gate.op == GateOp::MemOut) {
+            // RAM access time modeled as one FF delay.
+            arrival[g] = library.dffClkQNs;
+            continue;
+        }
+        if (!isComb(gate.op)) {
+            arrival[g] = 0.0;
+            continue;
+        }
+        double in_max = 0.0;
+        for (GateId in : gate.in)
+            in_max = std::max(in_max, arrival[in]);
+        const CellSpec &cell = library.cellFor(gate.op);
+        double load = library.fanoutDelayNs *
+                      static_cast<double>(std::max<uint32_t>(
+                          fanout[g], 1u) - 1u);
+        arrival[g] = in_max + cell.delayNs + load;
+    }
+    // Endpoints: FF d-pins, memory pins, primary outputs.
+    for (GateId g = 0; g < n; ++g) {
+        const Gate &gate = netlist.gates[g];
+        if (gate.op == GateOp::Dff || gate.op == GateOp::MemIn ||
+            gate.op == GateOp::MemOut) {
+            for (GateId in : gate.in) {
+                worst = std::max(worst,
+                                 arrival[in] + library.dffSetupNs);
+            }
+        }
+    }
+    for (GateId g : netlist.outputBits)
+        worst = std::max(worst, arrival[g]);
+
+    TimingReport report;
+    // A design with no logic still has FF-to-FF overhead.
+    report.criticalPathNs =
+        std::max(worst, library.dffClkQNs + library.dffSetupNs);
+    report.freqMHz = 1000.0 / report.criticalPathNs;
+    return report;
+}
+
+TimingReport
+staFpga(const LutMapping &mapping, const FpgaFabric &fabric)
+{
+    TimingReport report;
+    double levels = static_cast<double>(std::max(mapping.maxDepth, 1));
+    report.criticalPathNs =
+        levels * (fabric.lutDelayNs + fabric.routeDelayNs) +
+        fabric.ffOverheadNs;
+    report.freqMHz = 1000.0 / report.criticalPathNs;
+    return report;
+}
+
+} // namespace ucx

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Static timing analysis over the mapped netlist.
+ *
+ * Two models: the ASIC path delay from standard-cell delays plus a
+ * per-fanout wire penalty, and the FPGA delay from LUT levels (the
+ * paper's Freq metric is the FPGA frequency reported by Synplify).
+ */
+
+#ifndef UCX_SYNTH_TIMING_HH
+#define UCX_SYNTH_TIMING_HH
+
+#include "synth/library.hh"
+#include "synth/mapper.hh"
+#include "synth/netlist.hh"
+
+namespace ucx
+{
+
+/** Timing report for one netlist. */
+struct TimingReport
+{
+    double criticalPathNs = 0.0; ///< Longest boundary-to-boundary path.
+    double freqMHz = 0.0;        ///< 1000 / criticalPathNs.
+};
+
+/**
+ * ASIC STA: longest combinational path between sequential
+ * boundaries, including FF clk-to-q and setup.
+ *
+ * @param netlist Gate netlist.
+ * @param library Cell library.
+ * @return Critical path and frequency.
+ */
+TimingReport staAsic(const Netlist &netlist,
+                     const CellLibrary &library =
+                         CellLibrary::generic180());
+
+/**
+ * FPGA timing from a LUT cover: depth * (LUT + routing delay) plus
+ * FF overhead.
+ *
+ * @param mapping LUT mapping.
+ * @param fabric  FPGA fabric.
+ * @return Critical path and frequency (the Table 3 Freq metric).
+ */
+TimingReport staFpga(const LutMapping &mapping,
+                     const FpgaFabric &fabric =
+                         FpgaFabric::stratix2Like());
+
+} // namespace ucx
+
+#endif // UCX_SYNTH_TIMING_HH

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Minimal CSV writer used by benches to optionally dump machine-
+ * readable series next to the human-readable tables.
+ */
+
+#ifndef UCX_UTIL_CSV_HH
+#define UCX_UTIL_CSV_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ucx
+{
+
+/**
+ * Streams rows of fields to an ostream in RFC-4180 style (quotes
+ * fields containing commas, quotes, or newlines).
+ */
+class CsvWriter
+{
+  public:
+    /**
+     * Create a writer.
+     *
+     * @param out Stream the CSV rows are appended to.
+     */
+    explicit CsvWriter(std::ostream &out);
+
+    /**
+     * Write one row.
+     *
+     * @param fields Field values; escaped as needed.
+     */
+    void writeRow(const std::vector<std::string> &fields);
+
+  private:
+    static std::string escape(const std::string &field);
+
+    std::ostream &out_;
+};
+
+} // namespace ucx
+
+#endif // UCX_UTIL_CSV_HH

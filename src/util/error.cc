@@ -1,0 +1,32 @@
+#include "util/error.hh"
+
+namespace ucx
+{
+
+void
+fatal(const std::string &msg)
+{
+    throw UcxError(msg);
+}
+
+void
+panic(const std::string &msg)
+{
+    throw UcxPanic(msg);
+}
+
+void
+require(bool cond, const std::string &msg)
+{
+    if (!cond)
+        fatal(msg);
+}
+
+void
+ensure(bool cond, const std::string &msg)
+{
+    if (!cond)
+        panic(msg);
+}
+
+} // namespace ucx

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Error-handling primitives shared by every µComplexity library.
+ *
+ * Follows the gem5 convention of separating user-caused failures
+ * (fatal -> UcxError) from internal invariant violations
+ * (panic -> UcxPanic).
+ */
+
+#ifndef UCX_UTIL_ERROR_HH
+#define UCX_UTIL_ERROR_HH
+
+#include <stdexcept>
+#include <string>
+
+namespace ucx
+{
+
+/**
+ * Exception thrown when an operation cannot continue because of a
+ * condition caused by the caller (bad input file, singular matrix
+ * supplied by the user, unknown metric name, ...).
+ */
+class UcxError : public std::runtime_error
+{
+  public:
+    explicit UcxError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+/**
+ * Exception thrown when an internal invariant is violated; indicates a
+ * bug in µComplexity itself rather than in its inputs.
+ */
+class UcxPanic : public std::logic_error
+{
+  public:
+    explicit UcxPanic(const std::string &msg)
+        : std::logic_error(msg)
+    {}
+};
+
+/**
+ * Throw a UcxError with a printf-free formatted message.
+ *
+ * @param msg Description of the user-facing failure.
+ */
+[[noreturn]] void fatal(const std::string &msg);
+
+/**
+ * Throw a UcxPanic. Use for conditions that can only arise from an
+ * internal bug.
+ *
+ * @param msg Description of the violated invariant.
+ */
+[[noreturn]] void panic(const std::string &msg);
+
+/**
+ * Check a user-facing precondition; throws UcxError when it fails.
+ *
+ * @param cond Condition that must hold.
+ * @param msg  Message used when the condition fails.
+ */
+void require(bool cond, const std::string &msg);
+
+/**
+ * Check an internal invariant; throws UcxPanic when it fails.
+ *
+ * @param cond Condition that must hold.
+ * @param msg  Message used when the condition fails.
+ */
+void ensure(bool cond, const std::string &msg);
+
+} // namespace ucx
+
+#endif // UCX_UTIL_ERROR_HH

@@ -1,0 +1,52 @@
+#include "util/logging.hh"
+
+#include <iostream>
+
+namespace ucx
+{
+
+namespace
+{
+
+LogLevel globalLevel = LogLevel::Info;
+
+void
+emit(LogLevel level, const char *tag, const std::string &msg)
+{
+    if (level >= globalLevel)
+        std::cerr << tag << msg << std::endl;
+}
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    globalLevel = level;
+}
+
+LogLevel
+logLevel()
+{
+    return globalLevel;
+}
+
+void
+debug(const std::string &msg)
+{
+    emit(LogLevel::Debug, "debug: ", msg);
+}
+
+void
+inform(const std::string &msg)
+{
+    emit(LogLevel::Info, "info: ", msg);
+}
+
+void
+warn(const std::string &msg)
+{
+    emit(LogLevel::Warn, "warn: ", msg);
+}
+
+} // namespace ucx

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Minimal leveled logging for µComplexity tools.
+ *
+ * Benches and examples print their tables on stdout; diagnostics go
+ * through this logger on stderr so table output stays machine-parsable.
+ */
+
+#ifndef UCX_UTIL_LOGGING_HH
+#define UCX_UTIL_LOGGING_HH
+
+#include <string>
+
+namespace ucx
+{
+
+/** Severity of a log message. */
+enum class LogLevel
+{
+    Debug = 0,
+    Info = 1,
+    Warn = 2,
+    Quiet = 3,
+};
+
+/**
+ * Set the global minimum severity that is printed.
+ *
+ * @param level Messages below this level are suppressed.
+ */
+void setLogLevel(LogLevel level);
+
+/** @return The current global minimum severity. */
+LogLevel logLevel();
+
+/** Print a debug-level message to stderr. */
+void debug(const std::string &msg);
+
+/** Print an informational message to stderr. */
+void inform(const std::string &msg);
+
+/** Print a warning to stderr. */
+void warn(const std::string &msg);
+
+} // namespace ucx
+
+#endif // UCX_UTIL_LOGGING_HH

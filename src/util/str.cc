@@ -1,0 +1,112 @@
+#include "util/str.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <sstream>
+
+namespace ucx
+{
+
+std::vector<std::string>
+split(const std::string &text, char delim)
+{
+    std::vector<std::string> out;
+    std::string field;
+    std::istringstream in(text);
+    while (std::getline(in, field, delim))
+        out.push_back(field);
+    if (!text.empty() && text.back() == delim)
+        out.push_back("");
+    if (text.empty())
+        out.push_back("");
+    return out;
+}
+
+std::vector<std::string>
+splitWs(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::istringstream in(text);
+    std::string tok;
+    while (in >> tok)
+        out.push_back(tok);
+    return out;
+}
+
+std::string
+trim(const std::string &text)
+{
+    size_t b = 0;
+    size_t e = text.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(text[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(text[e - 1])))
+        --e;
+    return text.substr(b, e - b);
+}
+
+std::string
+toLower(const std::string &text)
+{
+    std::string out(text);
+    std::transform(out.begin(), out.end(), out.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    return out;
+}
+
+bool
+startsWith(const std::string &text, const std::string &prefix)
+{
+    return text.size() >= prefix.size() &&
+           text.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool
+endsWith(const std::string &text, const std::string &suffix)
+{
+    return text.size() >= suffix.size() &&
+           text.compare(text.size() - suffix.size(), suffix.size(),
+                        suffix) == 0;
+}
+
+std::string
+join(const std::vector<std::string> &parts, const std::string &sep)
+{
+    std::string out;
+    for (size_t i = 0; i < parts.size(); ++i) {
+        if (i > 0)
+            out += sep;
+        out += parts[i];
+    }
+    return out;
+}
+
+std::string
+fmtFixed(double value, int decimals)
+{
+    std::ostringstream out;
+    out.setf(std::ios::fixed);
+    out.precision(decimals);
+    out << value;
+    return out.str();
+}
+
+std::string
+fmtCompact(double value, int decimals)
+{
+    if (std::isfinite(value) && value == std::floor(value) &&
+        std::abs(value) < 1e15) {
+        std::ostringstream out;
+        out << static_cast<long long>(value);
+        return out.str();
+    }
+    std::string s = fmtFixed(value, decimals);
+    while (!s.empty() && s.back() == '0')
+        s.pop_back();
+    if (!s.empty() && s.back() == '.')
+        s.pop_back();
+    return s;
+}
+
+} // namespace ucx

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Small string utilities used across the µComplexity libraries.
+ */
+
+#ifndef UCX_UTIL_STR_HH
+#define UCX_UTIL_STR_HH
+
+#include <string>
+#include <vector>
+
+namespace ucx
+{
+
+/**
+ * Split a string on a single-character delimiter.
+ *
+ * @param text  Input text.
+ * @param delim Delimiter character.
+ * @return The (possibly empty) fields between delimiters.
+ */
+std::vector<std::string> split(const std::string &text, char delim);
+
+/**
+ * Split a string on runs of whitespace, dropping empty fields.
+ *
+ * @param text Input text.
+ * @return The non-empty whitespace-separated tokens.
+ */
+std::vector<std::string> splitWs(const std::string &text);
+
+/** @return @p text with leading and trailing whitespace removed. */
+std::string trim(const std::string &text);
+
+/** @return @p text converted to lower case (ASCII only). */
+std::string toLower(const std::string &text);
+
+/** @return True when @p text starts with @p prefix. */
+bool startsWith(const std::string &text, const std::string &prefix);
+
+/** @return True when @p text ends with @p suffix. */
+bool endsWith(const std::string &text, const std::string &suffix);
+
+/**
+ * Join strings with a separator.
+ *
+ * @param parts Pieces to join.
+ * @param sep   Separator inserted between consecutive pieces.
+ * @return The joined string.
+ */
+std::string join(const std::vector<std::string> &parts,
+                 const std::string &sep);
+
+/**
+ * Format a double with a fixed number of decimals.
+ *
+ * @param value    Value to format.
+ * @param decimals Digits after the decimal point.
+ * @return The formatted value.
+ */
+std::string fmtFixed(double value, int decimals);
+
+/**
+ * Format a double compactly: integers without a decimal point,
+ * otherwise with up to @p decimals digits, trailing zeros trimmed.
+ *
+ * @param value    Value to format.
+ * @param decimals Maximum digits after the decimal point.
+ * @return The formatted value.
+ */
+std::string fmtCompact(double value, int decimals = 4);
+
+} // namespace ucx
+
+#endif // UCX_UTIL_STR_HH

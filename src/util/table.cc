@@ -1,0 +1,91 @@
+#include "util/table.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.hh"
+
+namespace ucx
+{
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    require(!headers_.empty(), "table needs at least one column");
+    aligns_.assign(headers_.size(), Align::Right);
+    aligns_[0] = Align::Left;
+}
+
+void
+Table::setAlign(size_t col, Align align)
+{
+    require(col < aligns_.size(), "column index out of range");
+    aligns_[col] = align;
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    require(cells.size() == headers_.size(),
+            "row width does not match header width");
+    rows_.push_back(Row{false, std::move(cells)});
+}
+
+void
+Table::addRule()
+{
+    rows_.push_back(Row{true, {}});
+}
+
+std::string
+Table::render() const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const Row &row : rows_) {
+        if (row.rule)
+            continue;
+        for (size_t c = 0; c < row.cells.size(); ++c)
+            widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+
+    auto pad = [](const std::string &s, size_t w, Align a) {
+        std::string fill(w - s.size(), ' ');
+        return a == Align::Left ? s + fill : fill + s;
+    };
+
+    std::ostringstream out;
+    auto emitRule = [&]() {
+        for (size_t c = 0; c < widths.size(); ++c) {
+            out << std::string(widths[c] + 2, '-');
+            if (c + 1 < widths.size())
+                out << '+';
+        }
+        out << '\n';
+    };
+
+    for (size_t c = 0; c < headers_.size(); ++c) {
+        out << ' ' << pad(headers_[c], widths[c], aligns_[c]) << ' ';
+        if (c + 1 < headers_.size())
+            out << '|';
+    }
+    out << '\n';
+    emitRule();
+
+    for (const Row &row : rows_) {
+        if (row.rule) {
+            emitRule();
+            continue;
+        }
+        for (size_t c = 0; c < row.cells.size(); ++c) {
+            out << ' ' << pad(row.cells[c], widths[c], aligns_[c]) << ' ';
+            if (c + 1 < row.cells.size())
+                out << '|';
+        }
+        out << '\n';
+    }
+    return out.str();
+}
+
+} // namespace ucx

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Fixed-width ASCII table formatter.
+ *
+ * Every bench binary renders its reproduction of a paper table or
+ * figure series through this formatter so output stays uniform and
+ * diffable.
+ */
+
+#ifndef UCX_UTIL_TABLE_HH
+#define UCX_UTIL_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace ucx
+{
+
+/** Horizontal alignment of a table column. */
+enum class Align
+{
+    Left,
+    Right,
+};
+
+/**
+ * Accumulates rows of string cells and renders them as an aligned
+ * ASCII table with a header rule.
+ */
+class Table
+{
+  public:
+    /**
+     * Create a table.
+     *
+     * @param headers Column titles; fixes the column count.
+     */
+    explicit Table(std::vector<std::string> headers);
+
+    /**
+     * Set the alignment of one column (default: left for the first
+     * column, right for the rest).
+     *
+     * @param col   Column index.
+     * @param align Desired alignment.
+     */
+    void setAlign(size_t col, Align align);
+
+    /**
+     * Append a row of preformatted cells.
+     *
+     * @param cells One string per column.
+     */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a horizontal separator rule before the next row. */
+    void addRule();
+
+    /** @return The number of data rows added so far. */
+    size_t rows() const { return rows_.size(); }
+
+    /** @return The rendered table as a single string. */
+    std::string render() const;
+
+  private:
+    struct Row
+    {
+        bool rule = false;
+        std::vector<std::string> cells;
+    };
+
+    std::vector<std::string> headers_;
+    std::vector<Align> aligns_;
+    std::vector<Row> rows_;
+};
+
+} // namespace ucx
+
+#endif // UCX_UTIL_TABLE_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Monte-Carlo coverage test of the paper's confidence-interval
+ * machinery (Figure 3): when efforts truly follow the generative
+ * model, the 90% interval built from the fitted sigma_eps must cover
+ * roughly 90% of fresh components.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/estimator.hh"
+#include "util/rng.hh"
+
+namespace ucx
+{
+namespace
+{
+
+TEST(Coverage, NinetyPercentIntervalCoversAboutNinety)
+{
+    Rng rng(424242);
+    const double w = 0.006;
+    const double sigma_eps = 0.35;
+    const double sigma_rho = 0.3;
+
+    // One big calibration set keeps parameter-estimation noise out
+    // of the coverage measurement.
+    Dataset train;
+    std::vector<double> team_b;
+    for (int p = 0; p < 8; ++p) {
+        double b = rng.normal(0.0, sigma_rho);
+        team_b.push_back(b);
+        for (int c = 0; c < 8; ++c) {
+            Component comp;
+            comp.project = "p" + std::to_string(p);
+            comp.name = "c" + std::to_string(c);
+            double stmts = rng.uniform(100.0, 5000.0);
+            comp.metrics[static_cast<size_t>(Metric::Stmts)] = stmts;
+            comp.effort = std::exp(b + std::log(w * stmts) +
+                                   rng.normal(0.0, sigma_eps));
+            train.add(comp);
+        }
+    }
+    FittedEstimator fit = fitEstimator(train, {Metric::Stmts});
+
+    // Fresh components from the calibrated teams: predict with the
+    // estimated team rho; the interval covers the epsilon spread.
+    int covered = 0;
+    const int trials = 1000;
+    for (int t = 0; t < trials; ++t) {
+        int team = static_cast<int>(rng.below(8));
+        double stmts = rng.uniform(100.0, 5000.0);
+        double actual =
+            std::exp(team_b[static_cast<size_t>(team)] +
+                     std::log(w * stmts) +
+                     rng.normal(0.0, sigma_eps));
+        MetricValues v{};
+        v[static_cast<size_t>(Metric::Stmts)] = stmts;
+        double median = fit.predictMedian(
+            v, fit.productivity("p" + std::to_string(team)));
+        auto [lo, hi] = fit.confidenceInterval(median, 0.90);
+        covered += actual >= lo && actual <= hi;
+    }
+    double rate = static_cast<double>(covered) / trials;
+    // Allow for estimation error in sigma_eps and rho.
+    EXPECT_GT(rate, 0.84);
+    EXPECT_LT(rate, 0.96);
+}
+
+TEST(Coverage, IntervalWidthMatchesSigma)
+{
+    // A direct check of the Figure 3 math on synthetic data: the
+    // fraction of log-errors inside +-z90 * sigma must be ~90%.
+    Rng rng(7);
+    const double sigma = 0.5;
+    int inside = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        double eps = rng.lognormal(0.0, sigma);
+        // 90% factors for sigma = 0.5 are about (0.44, 2.28).
+        inside += eps >= 0.4394 && eps <= 2.2756;
+    }
+    EXPECT_NEAR(static_cast<double>(inside) / n, 0.90, 0.01);
+}
+
+} // namespace
+} // namespace ucx

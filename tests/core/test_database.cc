@@ -1,0 +1,133 @@
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/database.hh"
+#include "core/estimator.hh"
+#include "data/paper_data.hh"
+#include "util/error.hh"
+
+namespace ucx
+{
+namespace
+{
+
+TEST(Database, RoundTripPaperDataset)
+{
+    const Dataset &original = paperDataset();
+    std::stringstream buffer;
+    saveDatasetCsv(original, buffer);
+    Dataset loaded = loadDatasetCsv(buffer);
+
+    ASSERT_EQ(loaded.size(), original.size());
+    for (size_t i = 0; i < original.size(); ++i) {
+        const Component &a = original.components()[i];
+        const Component &b = loaded.components()[i];
+        EXPECT_EQ(a.project, b.project);
+        EXPECT_EQ(a.name, b.name);
+        EXPECT_DOUBLE_EQ(a.effort, b.effort);
+        for (Metric m : allMetrics()) {
+            EXPECT_DOUBLE_EQ(a.metrics[static_cast<size_t>(m)],
+                             b.metrics[static_cast<size_t>(m)])
+                << a.fullName() << " " << metricName(m);
+        }
+    }
+}
+
+TEST(Database, HeaderIsSelfDescribing)
+{
+    std::stringstream buffer;
+    saveDatasetCsv(paperDataset(), buffer);
+    std::string header;
+    std::getline(buffer, header);
+    EXPECT_NE(header.find("project"), std::string::npos);
+    EXPECT_NE(header.find("FanInLC"), std::string::npos);
+    EXPECT_NE(header.find("Stmts"), std::string::npos);
+}
+
+TEST(Database, LoadedDatasetFitsIdentically)
+{
+    // The persistence layer must not perturb the regression.
+    std::stringstream buffer;
+    saveDatasetCsv(paperDataset(), buffer);
+    Dataset loaded = loadDatasetCsv(buffer);
+    FittedEstimator original = fitDee1(paperDataset());
+    FittedEstimator reloaded = fitDee1(loaded);
+    EXPECT_NEAR(original.sigmaEps(), reloaded.sigmaEps(), 1e-9);
+    EXPECT_NEAR(original.weights()[0], reloaded.weights()[0], 1e-12);
+}
+
+TEST(Database, RejectsEmptyInput)
+{
+    std::stringstream empty;
+    EXPECT_THROW(loadDatasetCsv(empty), UcxError);
+}
+
+TEST(Database, RejectsWrongHeader)
+{
+    std::stringstream bad("a,b,c\n1,2,3\n");
+    EXPECT_THROW(loadDatasetCsv(bad), UcxError);
+}
+
+TEST(Database, RejectsWrongFieldCount)
+{
+    std::stringstream buffer;
+    saveDatasetCsv(paperDataset(), buffer);
+    std::string text = buffer.str();
+    text += "OnlyTwo,Fields\n";
+    std::stringstream bad(text);
+    EXPECT_THROW(loadDatasetCsv(bad), UcxError);
+}
+
+TEST(Database, RejectsNonNumericEffort)
+{
+    std::stringstream buffer;
+    saveDatasetCsv(paperDataset(), buffer);
+    std::string text = buffer.str();
+    text += "Team,Comp,lots,1,2,3,4,5,6,7,8,9,10,11\n";
+    std::stringstream bad(text);
+    EXPECT_THROW(loadDatasetCsv(bad), UcxError);
+}
+
+TEST(Database, SkipsBlankLinesAndHandlesCrLf)
+{
+    std::stringstream buffer;
+    saveDatasetCsv(paperDataset(), buffer);
+    // Re-join with CRLF and stray blank lines.
+    std::string text;
+    std::string line;
+    while (std::getline(buffer, line))
+        text += line + "\r\n\r\n";
+    std::stringstream crlf(text);
+    Dataset loaded = loadDatasetCsv(crlf);
+    EXPECT_EQ(loaded.size(), paperDataset().size());
+}
+
+TEST(Database, QuotedFieldsRoundTrip)
+{
+    Dataset d;
+    Component c;
+    c.project = "Team, with comma";
+    c.name = "has \"quotes\"";
+    c.effort = 2.5;
+    c.metrics[static_cast<size_t>(Metric::Stmts)] = 100;
+    d.add(c);
+    std::stringstream buffer;
+    saveDatasetCsv(d, buffer);
+    Dataset loaded = loadDatasetCsv(buffer);
+    ASSERT_EQ(loaded.size(), 1u);
+    EXPECT_EQ(loaded.components()[0].project, "Team, with comma");
+    EXPECT_EQ(loaded.components()[0].name, "has \"quotes\"");
+}
+
+TEST(Database, FileRoundTrip)
+{
+    std::string path = "/tmp/ucx_db_test.csv";
+    saveDatasetFile(paperDataset(), path);
+    Dataset loaded = loadDatasetFile(path);
+    EXPECT_EQ(loaded.size(), paperDataset().size());
+    EXPECT_THROW(loadDatasetFile("/nonexistent/nope.csv"), UcxError);
+}
+
+} // namespace
+} // namespace ucx

@@ -1,0 +1,152 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/dataset.hh"
+#include "util/error.hh"
+
+namespace ucx
+{
+namespace
+{
+
+Component
+makeComponent(const std::string &project, const std::string &name,
+              double effort, double stmts, double faninlc)
+{
+    Component c;
+    c.project = project;
+    c.name = name;
+    c.effort = effort;
+    c.metrics[static_cast<size_t>(Metric::Stmts)] = stmts;
+    c.metrics[static_cast<size_t>(Metric::FanInLC)] = faninlc;
+    return c;
+}
+
+Dataset
+smallDataset()
+{
+    Dataset d;
+    d.add(makeComponent("P1", "a", 2.0, 100, 1000));
+    d.add(makeComponent("P1", "b", 4.0, 200, 2500));
+    d.add(makeComponent("P2", "c", 1.0, 60, 700));
+    d.add(makeComponent("P2", "d", 8.0, 500, 4000));
+    return d;
+}
+
+TEST(Dataset, AddAndSize)
+{
+    Dataset d = smallDataset();
+    EXPECT_EQ(d.size(), 4u);
+    EXPECT_EQ(d.components()[1].fullName(), "P1-b");
+}
+
+TEST(Dataset, RejectsBadComponents)
+{
+    Dataset d;
+    Component no_effort = makeComponent("P", "x", 0.0, 1, 1);
+    EXPECT_THROW(d.add(no_effort), UcxError);
+    Component no_project = makeComponent("", "x", 1.0, 1, 1);
+    EXPECT_THROW(d.add(no_project), UcxError);
+    Component no_name = makeComponent("P", "", 1.0, 1, 1);
+    EXPECT_THROW(d.add(no_name), UcxError);
+}
+
+TEST(Dataset, ProjectsInFirstAppearanceOrder)
+{
+    Dataset d = smallDataset();
+    auto projects = d.projects();
+    ASSERT_EQ(projects.size(), 2u);
+    EXPECT_EQ(projects[0], "P1");
+    EXPECT_EQ(projects[1], "P2");
+}
+
+TEST(Dataset, FilterProject)
+{
+    Dataset d = smallDataset();
+    Dataset p2 = d.filterProject("P2");
+    EXPECT_EQ(p2.size(), 2u);
+    EXPECT_EQ(p2.components()[0].project, "P2");
+}
+
+TEST(Dataset, ToNlmeDataShape)
+{
+    Dataset d = smallDataset();
+    NlmeData data =
+        d.toNlmeData({Metric::Stmts, Metric::FanInLC});
+    ASSERT_EQ(data.groups.size(), 2u);
+    EXPECT_EQ(data.groups[0].name, "P1");
+    EXPECT_EQ(data.groups[0].y.size(), 2u);
+    EXPECT_EQ(data.groups[0].x.cols(), 2u);
+    // y is log effort.
+    EXPECT_NEAR(data.groups[0].y[0], std::log(2.0), 1e-12);
+    // Covariates in requested order.
+    EXPECT_DOUBLE_EQ(data.groups[0].x(0, 0), 100.0);
+    EXPECT_DOUBLE_EQ(data.groups[0].x(0, 1), 1000.0);
+    EXPECT_NO_THROW(data.validate());
+}
+
+TEST(Dataset, ZeroPolicyClampToOneIsDefault)
+{
+    Dataset d = smallDataset();
+    d.add(makeComponent("P2", "zero", 3.0, 0.0, 0.0));
+    NlmeData data = d.toNlmeData({Metric::Stmts});
+    // The zero component is kept, floored at 1 (the policy that
+    // reproduces the paper's FFs row).
+    size_t total = 0;
+    for (const auto &g : data.groups)
+        total += g.y.size();
+    EXPECT_EQ(total, 5u);
+    EXPECT_DOUBLE_EQ(data.groups[1].x(2, 0), 1.0);
+}
+
+TEST(Dataset, ZeroPolicyDropAndError)
+{
+    Dataset d = smallDataset();
+    d.add(makeComponent("P2", "zero", 3.0, 0.0, 0.0));
+    NlmeData data = d.toNlmeData({Metric::Stmts}, ZeroPolicy::Drop);
+    size_t total = 0;
+    for (const auto &g : data.groups)
+        total += g.y.size();
+    EXPECT_EQ(total, 4u);
+    EXPECT_THROW(d.toNlmeData({Metric::Stmts}, ZeroPolicy::Error),
+                 UcxError);
+}
+
+TEST(Dataset, ClampOnlyTouchesAllZeroRows)
+{
+    Dataset d = smallDataset();
+    // Zero Stmts but non-zero FanInLC: the pair row is usable as-is
+    // and must not be clamped.
+    d.add(makeComponent("P2", "halfzero", 3.0, 0.0, 500.0));
+    NlmeData data =
+        d.toNlmeData({Metric::Stmts, Metric::FanInLC});
+    EXPECT_DOUBLE_EQ(data.groups[1].x(2, 0), 0.0);
+    EXPECT_DOUBLE_EQ(data.groups[1].x(2, 1), 500.0);
+}
+
+TEST(Dataset, UsableComponentsMatchesNlmeOrder)
+{
+    Dataset d = smallDataset();
+    d.add(makeComponent("P1", "zero", 3.0, 0.0, 0.0));
+    auto usable =
+        d.usableComponents({Metric::Stmts}, ZeroPolicy::Drop);
+    NlmeData data = d.toNlmeData({Metric::Stmts}, ZeroPolicy::Drop);
+    size_t total = 0;
+    for (const auto &g : data.groups)
+        total += g.y.size();
+    EXPECT_EQ(usable.size(), total);
+    // Grouped order: all P1 rows first.
+    EXPECT_EQ(usable[0].project, "P1");
+    EXPECT_EQ(usable[1].project, "P1");
+    EXPECT_EQ(usable[2].project, "P2");
+}
+
+TEST(Dataset, EmptyMetricSelectionThrows)
+{
+    Dataset d = smallDataset();
+    EXPECT_THROW(d.toNlmeData({}), UcxError);
+}
+
+} // namespace
+} // namespace ucx

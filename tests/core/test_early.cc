@@ -1,0 +1,117 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/early.hh"
+#include "designs/registry.hh"
+#include "util/error.hh"
+
+namespace ucx
+{
+namespace
+{
+
+TEST(ScalingLaw, RecoversExactPowerLaw)
+{
+    // m = 3 * p^2.
+    std::vector<std::pair<double, double>> pts;
+    for (double p : {1.0, 2.0, 4.0, 8.0})
+        pts.push_back({p, 3.0 * p * p});
+    ScalingFit fit = fitScalingLaw(pts);
+    ASSERT_TRUE(fit.valid);
+    EXPECT_NEAR(std::exp(fit.alpha), 3.0, 1e-9);
+    EXPECT_NEAR(fit.beta, 2.0, 1e-9);
+    EXPECT_NEAR(fit.rmsLog, 0.0, 1e-9);
+    EXPECT_NEAR(fit.predict(16.0), 3.0 * 256.0, 1e-6);
+}
+
+TEST(ScalingLaw, LinearLawHasUnitExponent)
+{
+    std::vector<std::pair<double, double>> pts = {
+        {2, 10}, {4, 20}, {8, 40}};
+    ScalingFit fit = fitScalingLaw(pts);
+    ASSERT_TRUE(fit.valid);
+    EXPECT_NEAR(fit.beta, 1.0, 1e-9);
+}
+
+TEST(ScalingLaw, InvalidWithInsufficientData)
+{
+    EXPECT_FALSE(fitScalingLaw({}).valid);
+    EXPECT_FALSE(fitScalingLaw({{2.0, 5.0}}).valid);
+    // All-zero metrics (e.g. FFs of a combinational block).
+    EXPECT_FALSE(
+        fitScalingLaw({{2.0, 0.0}, {4.0, 0.0}}).valid);
+    // Identical params cannot identify an exponent.
+    EXPECT_FALSE(
+        fitScalingLaw({{4.0, 5.0}, {4.0, 7.0}}).valid);
+    EXPECT_DOUBLE_EQ(fitScalingLaw({}).predict(3.0), 0.0);
+}
+
+TEST(ScalingLaw, RejectsNonPositiveParams)
+{
+    EXPECT_THROW(fitScalingLaw({{0.0, 1.0}, {2.0, 2.0}}),
+                 UcxError);
+}
+
+TEST(Early, ExecClusterLanesExtrapolate)
+{
+    // Calibrate on 1..3 lanes, predict 6 lanes, compare to truth.
+    const ShippedDesign &sd = shippedDesign("exec_cluster");
+    Design design = sd.load();
+    EarlyEstimator early(design, sd.top, "LANES");
+    early.calibrate({1, 2, 3});
+
+    MetricValues predicted = early.predictMetrics(6);
+    MetricValues actual = early.measureActual(6);
+    for (Metric m : {Metric::Cells, Metric::Nets, Metric::AreaL}) {
+        double p = predicted[static_cast<size_t>(m)];
+        double a = actual[static_cast<size_t>(m)];
+        ASSERT_GT(a, 0.0) << metricName(m);
+        // Extrapolation 2x beyond the calibration range within 40%.
+        EXPECT_NEAR(p / a, 1.0, 0.4) << metricName(m);
+    }
+    // The cluster grows superlinearly in lanes (bypass network).
+    EXPECT_GT(early.law(Metric::Cells).beta, 0.9);
+}
+
+TEST(Early, MmuEntriesRoughlyLinear)
+{
+    const ShippedDesign &sd = shippedDesign("mmu_lite");
+    Design design = sd.load();
+    EarlyEstimator early(design, sd.top, "ENTRIES");
+    early.calibrate({2, 4, 8});
+    // Per-entry replication: cells scale close to linearly.
+    double beta = early.law(Metric::Cells).beta;
+    EXPECT_GT(beta, 0.7);
+    EXPECT_LT(beta, 1.4);
+    // Prediction at 16 entries within 35% of truth.
+    double p = early.predictMetric(Metric::Cells, 16);
+    double a = early.measureActual(
+        16)[static_cast<size_t>(Metric::Cells)];
+    EXPECT_NEAR(p / a, 1.0, 0.35);
+}
+
+TEST(Early, SourceMetricsParameterIndependent)
+{
+    const ShippedDesign &sd = shippedDesign("mmu_lite");
+    Design design = sd.load();
+    EarlyEstimator early(design, sd.top, "ENTRIES");
+    early.calibrate({2, 4});
+    EXPECT_DOUBLE_EQ(early.predictMetric(Metric::Stmts, 2),
+                     early.predictMetric(Metric::Stmts, 64));
+    EXPECT_GT(early.predictMetric(Metric::LoC, 8), 0.0);
+}
+
+TEST(Early, Validation)
+{
+    const ShippedDesign &sd = shippedDesign("alu");
+    Design design = sd.load();
+    EXPECT_THROW(EarlyEstimator(design, "alu", "NOPE"), UcxError);
+    EXPECT_THROW(EarlyEstimator(design, "ghost", "W"), UcxError);
+    EarlyEstimator early(design, "alu", "W");
+    EXPECT_THROW(early.calibrate({4}), UcxError);
+    EXPECT_THROW(early.predictMetric(Metric::Cells, 8), UcxError);
+}
+
+} // namespace
+} // namespace ucx

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Full-stack integration test: µHDL source -> accounting procedure
+ * -> synthesis metrics -> dataset -> mixed-effects fit -> prediction
+ * — the complete µComplexity methodology on designs this repository
+ * actually compiles, with efforts drawn from the generative model so
+ * the fit has a known ground truth.
+ */
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/estimator.hh"
+#include "core/measure.hh"
+#include "core/tracker.hh"
+#include "designs/registry.hh"
+#include "util/rng.hh"
+
+namespace ucx
+{
+namespace
+{
+
+/** Measure one shipped design with the accounting procedure. */
+MetricValues
+measure(const std::string &name)
+{
+    const ShippedDesign &sd = shippedDesign(name);
+    Design design = sd.load();
+    return measureComponent(design, sd.top).metrics;
+}
+
+TEST(EndToEnd, MeasureFitPredictRoundTrip)
+{
+    // Ground truth: effort = (1/rho_team) * (w1*Stmts + w2*FanInLC)
+    // * lognormal noise — exactly the paper's Eq. 2/3.
+    const double w1 = 0.01;
+    const double w2 = 0.002;
+    const double sigma_eps = 0.15;
+    struct Team
+    {
+        const char *name;
+        double rho;
+        std::vector<const char *> components;
+    };
+    const Team teams[] = {
+        {"alpha", 1.4,
+         {"alu", "decoder", "regfile", "serial_mul", "div_unit",
+          "scoreboard"}},
+        {"beta", 0.7,
+         {"fetch", "cache_ctrl", "memctrl", "mmu_lite",
+          "issue_queue", "rob"}},
+        {"gamma", 1.0,
+         {"lsq", "exec_cluster", "rat_standard", "rat_sliding"}},
+    };
+
+    Rng rng(20051210);
+    Dataset dataset;
+    for (const Team &team : teams) {
+        for (const char *name : team.components) {
+            Component c;
+            c.project = team.name;
+            c.name = name;
+            c.metrics = measure(name);
+            double stmts =
+                c.metrics[static_cast<size_t>(Metric::Stmts)];
+            double fan =
+                c.metrics[static_cast<size_t>(Metric::FanInLC)];
+            c.effort = (w1 * stmts + w2 * fan) / team.rho *
+                       rng.lognormal(0.0, sigma_eps);
+            dataset.add(c);
+        }
+    }
+
+    FittedEstimator fit = fitEstimator(
+        dataset, {Metric::Stmts, Metric::FanInLC});
+
+    // Residual noise recovered within sampling error.
+    EXPECT_LT(fit.sigmaEps(), 0.35);
+    // Productivity ordering recovered: alpha > gamma > beta.
+    EXPECT_GT(fit.productivity("alpha"), fit.productivity("gamma"));
+    EXPECT_GT(fit.productivity("gamma"), fit.productivity("beta"));
+    // And roughly the right magnitudes.
+    EXPECT_NEAR(fit.productivity("alpha") / fit.productivity("beta"),
+                1.4 / 0.7, 0.8);
+
+    // Predict a held-out component (pipeline, by team gamma) and
+    // check the 90% interval covers its generated effort most of
+    // the time; with one draw just check the right scale.
+    MetricValues pipeline_metrics = measure("pipeline");
+    double stmts =
+        pipeline_metrics[static_cast<size_t>(Metric::Stmts)];
+    double fan =
+        pipeline_metrics[static_cast<size_t>(Metric::FanInLC)];
+    double truth = (w1 * stmts + w2 * fan) / 1.0;
+    double predicted = fit.predictMedian(pipeline_metrics,
+                                         fit.productivity("gamma"));
+    EXPECT_NEAR(std::log(predicted / truth), 0.0, 0.5);
+}
+
+TEST(EndToEnd, TrackerOverMeasuredDesigns)
+{
+    // A tracker seeded with measured components from two teams
+    // learns the ongoing team's productivity from completions.
+    const double w1 = 0.01;
+    const double w2 = 0.002;
+    Rng rng(77);
+
+    Dataset history;
+    for (const char *name :
+         {"alu", "decoder", "regfile", "serial_mul", "rob",
+          "issue_queue"}) {
+        Component c;
+        c.project = "past";
+        c.name = name;
+        c.metrics = measure(name);
+        double stmts = c.metrics[static_cast<size_t>(Metric::Stmts)];
+        double fan =
+            c.metrics[static_cast<size_t>(Metric::FanInLC)];
+        c.effort =
+            (w1 * stmts + w2 * fan) * rng.lognormal(0.0, 0.15);
+        history.add(c);
+    }
+    // Second historical team so the random effect is identified.
+    for (const char *name :
+         {"fetch", "cache_ctrl", "memctrl", "mmu_lite"}) {
+        Component c;
+        c.project = "past2";
+        c.name = name;
+        c.metrics = measure(name);
+        double stmts = c.metrics[static_cast<size_t>(Metric::Stmts)];
+        double fan =
+            c.metrics[static_cast<size_t>(Metric::FanInLC)];
+        c.effort = (w1 * stmts + w2 * fan) / 1.2 *
+                   rng.lognormal(0.0, 0.15);
+        history.add(c);
+    }
+
+    ProductivityTracker tracker(std::move(history), "now");
+    // The new team is 2x slower (rho = 0.5).
+    for (const char *name : {"lsq", "exec_cluster", "div_unit"}) {
+        MetricValues m = measure(name);
+        double stmts = m[static_cast<size_t>(Metric::Stmts)];
+        double fan = m[static_cast<size_t>(Metric::FanInLC)];
+        tracker.completeComponent(
+            name, m,
+            2.0 * (w1 * stmts + w2 * fan) *
+                rng.lognormal(0.0, 0.1));
+    }
+    ASSERT_TRUE(tracker.currentRho().has_value());
+    EXPECT_LT(*tracker.currentRho(), 0.8);
+}
+
+} // namespace
+} // namespace ucx

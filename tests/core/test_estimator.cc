@@ -1,0 +1,146 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/estimator.hh"
+#include "util/error.hh"
+#include "util/rng.hh"
+
+namespace ucx
+{
+namespace
+{
+
+/** Synthetic calibration set drawn from the paper's model. */
+Dataset
+syntheticDataset(uint64_t seed, double w_stmts, double w_fan,
+                 double s_eps, double s_rho)
+{
+    Rng rng(seed);
+    Dataset d;
+    for (int p = 0; p < 5; ++p) {
+        double b = rng.normal(0.0, s_rho);
+        for (int c = 0; c < 6; ++c) {
+            Component comp;
+            comp.project = "proj" + std::to_string(p);
+            comp.name = "comp" + std::to_string(c);
+            double stmts = rng.uniform(100.0, 4000.0);
+            double fan = rng.uniform(1000.0, 20000.0);
+            comp.metrics[static_cast<size_t>(Metric::Stmts)] = stmts;
+            comp.metrics[static_cast<size_t>(Metric::FanInLC)] = fan;
+            // Irrelevant noise metric.
+            comp.metrics[static_cast<size_t>(Metric::AreaS)] =
+                rng.uniform(1e3, 1e6);
+            comp.effort = std::exp(
+                b + std::log(w_stmts * stmts + w_fan * fan) +
+                rng.normal(0.0, s_eps));
+            d.add(comp);
+        }
+    }
+    return d;
+}
+
+TEST(Estimator, FitRecoversAccuracy)
+{
+    Dataset d = syntheticDataset(1, 0.004, 0.0004, 0.3, 0.4);
+    FittedEstimator fit =
+        fitEstimator(d, {Metric::Stmts, Metric::FanInLC});
+    EXPECT_NEAR(fit.sigmaEps(), 0.3, 0.12);
+    EXPECT_GT(fit.sigmaRho(), 0.1);
+    EXPECT_EQ(fit.componentsUsed(), 30u);
+    EXPECT_EQ(fit.mode(), FitMode::MixedEffects);
+}
+
+TEST(Estimator, IrrelevantMetricFitsWorse)
+{
+    Dataset d = syntheticDataset(3, 0.004, 0.0004, 0.25, 0.3);
+    FittedEstimator good = fitEstimator(d, {Metric::Stmts});
+    FittedEstimator bad = fitEstimator(d, {Metric::AreaS});
+    EXPECT_LT(good.sigmaEps(), bad.sigmaEps());
+}
+
+TEST(Estimator, PredictMedianUsesWeightsAndRho)
+{
+    Dataset d = syntheticDataset(5, 0.004, 0.0004, 0.3, 0.4);
+    FittedEstimator fit =
+        fitEstimator(d, {Metric::Stmts, Metric::FanInLC});
+    MetricValues v{};
+    v[static_cast<size_t>(Metric::Stmts)] = 1000.0;
+    v[static_cast<size_t>(Metric::FanInLC)] = 5000.0;
+    double base = fit.predictMedian(v, 1.0);
+    double expect = fit.weights()[0] * 1000.0 +
+                    fit.weights()[1] * 5000.0;
+    EXPECT_NEAR(base, expect, 1e-9);
+    // Paper Eq. 1: a team twice as productive takes half the time.
+    EXPECT_NEAR(fit.predictMedian(v, 2.0), base / 2.0, 1e-9);
+}
+
+TEST(Estimator, PredictMeanAppliesEq4)
+{
+    Dataset d = syntheticDataset(7, 0.004, 0.0004, 0.3, 0.4);
+    FittedEstimator fit = fitEstimator(d, {Metric::Stmts});
+    MetricValues v{};
+    v[static_cast<size_t>(Metric::Stmts)] = 500.0;
+    double median = fit.predictMedian(v);
+    double mean = fit.predictMean(v);
+    double s2 = fit.sigmaEps() * fit.sigmaEps() +
+                fit.sigmaRho() * fit.sigmaRho();
+    EXPECT_NEAR(mean, median * std::exp(s2 / 2.0), 1e-9);
+    EXPECT_GT(mean, median);
+}
+
+TEST(Estimator, ConfidenceIntervalBracketsMedian)
+{
+    Dataset d = syntheticDataset(9, 0.004, 0.0004, 0.3, 0.4);
+    FittedEstimator fit = fitEstimator(d, {Metric::Stmts});
+    auto [lo, hi] = fit.confidenceInterval(10.0, 0.90);
+    EXPECT_LT(lo, 10.0);
+    EXPECT_GT(hi, 10.0);
+    // Symmetric in log space.
+    EXPECT_NEAR(lo * hi, 100.0, 1e-6);
+}
+
+TEST(Estimator, ProductivityLookup)
+{
+    Dataset d = syntheticDataset(11, 0.004, 0.0004, 0.3, 0.4);
+    FittedEstimator fit = fitEstimator(d, {Metric::Stmts});
+    EXPECT_EQ(fit.productivities().size(), 5u);
+    EXPECT_GT(fit.productivity("proj0"), 0.0);
+    EXPECT_THROW(fit.productivity("nope"), UcxError);
+}
+
+TEST(Estimator, PooledModeHasUnitRho)
+{
+    Dataset d = syntheticDataset(13, 0.004, 0.0004, 0.3, 0.4);
+    FittedEstimator fit =
+        fitEstimator(d, {Metric::Stmts}, FitMode::Pooled);
+    EXPECT_EQ(fit.mode(), FitMode::Pooled);
+    EXPECT_DOUBLE_EQ(fit.sigmaRho(), 0.0);
+    for (const auto &[name, rho] : fit.productivities()) {
+        (void)name;
+        EXPECT_DOUBLE_EQ(rho, 1.0);
+    }
+}
+
+TEST(Estimator, PredictRejectsBadInput)
+{
+    Dataset d = syntheticDataset(15, 0.004, 0.0004, 0.3, 0.4);
+    FittedEstimator fit = fitEstimator(d, {Metric::Stmts});
+    MetricValues zero{};
+    EXPECT_THROW(fit.predictMedian(zero), UcxError);
+    MetricValues v{};
+    v[static_cast<size_t>(Metric::Stmts)] = 100.0;
+    EXPECT_THROW(fit.predictMedian(v, 0.0), UcxError);
+}
+
+TEST(Estimator, Dee1IsStmtsPlusFanInLC)
+{
+    Dataset d = syntheticDataset(17, 0.004, 0.0004, 0.3, 0.4);
+    FittedEstimator dee1 = fitDee1(d);
+    ASSERT_EQ(dee1.metrics().size(), 2u);
+    EXPECT_EQ(dee1.metrics()[0], Metric::Stmts);
+    EXPECT_EQ(dee1.metrics()[1], Metric::FanInLC);
+}
+
+} // namespace
+} // namespace ucx

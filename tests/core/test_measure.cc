@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Tests of the accounting procedure (paper Section 2.2) and the full
+ * measurement driver.
+ */
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "core/measure.hh"
+#include "designs/registry.hh"
+
+namespace ucx
+{
+namespace
+{
+
+double
+metric(const ComponentMeasurement &m, Metric which)
+{
+    return m.metrics[static_cast<size_t>(which)];
+}
+
+TEST(Minimize, PicksSmallestNonDegenerateWidth)
+{
+    // The replication {(W-1){1'b0}} makes W = 1 fail to elaborate;
+    // the minimal non-degenerate W is 2.
+    Design d = shippedDesign("alu").load();
+    auto params = minimizeParameters(d, "alu");
+    ASSERT_EQ(params.count("W"), 1u);
+    EXPECT_EQ(params.at("W"), 2);
+}
+
+TEST(Minimize, LoopBoundParametersScaleToOne)
+{
+    Design d;
+    d.addSource(
+        "module m #(parameter N = 8) (input wire [N-1:0] a, "
+        "output wire [N-1:0] y);\n"
+        "  genvar g;\n"
+        "  generate\n"
+        "    for (g = 0; g < N; g = g + 1) begin : l\n"
+        "      assign y[g] = ~a[g];\n"
+        "    end\n"
+        "  endgenerate\n"
+        "endmodule");
+    auto params = minimizeParameters(d, "m");
+    EXPECT_EQ(params.at("N"), 1);
+}
+
+TEST(Minimize, GenerateIfGuardKeepsParameterAboveThreshold)
+{
+    // The wide branch only exists when W > 4; minimizing below 5
+    // would lose it.
+    Design d;
+    d.addSource(
+        "module m #(parameter W = 16) (input wire [W-1:0] a, "
+        "output wire y);\n"
+        "  if (W > 4) begin\n"
+        "    assign y = ^a;\n"
+        "  end else begin\n"
+        "    assign y = a[0];\n"
+        "  end\n"
+        "endmodule");
+    auto params = minimizeParameters(d, "m");
+    EXPECT_EQ(params.at("W"), 5);
+}
+
+TEST(Minimize, ModuleWithoutParamsEmpty)
+{
+    Design d;
+    d.addSource("module m (input wire a, output wire y);\n"
+                "  assign y = ~a;\nendmodule");
+    EXPECT_TRUE(minimizeParameters(d, "m").empty());
+}
+
+TEST(Measure, SourceMetricsIndependentOfAccounting)
+{
+    Design d = shippedDesign("exec_cluster").load();
+    auto with =
+        measureComponent(d, "exec_cluster",
+                         AccountingMode::WithProcedure);
+    auto without =
+        measureComponent(d, "exec_cluster",
+                         AccountingMode::WithoutProcedure);
+    EXPECT_DOUBLE_EQ(metric(with, Metric::LoC),
+                     metric(without, Metric::LoC));
+    EXPECT_DOUBLE_EQ(metric(with, Metric::Stmts),
+                     metric(without, Metric::Stmts));
+    EXPECT_GT(metric(with, Metric::LoC), 0.0);
+}
+
+TEST(Measure, AccountingShrinksReplicatedDesigns)
+{
+    // exec_cluster instantiates four ALUs; with the accounting
+    // procedure the ALU is counted once at minimal parameters, so
+    // every synthesis metric shrinks.
+    Design d = shippedDesign("exec_cluster").load();
+    auto with =
+        measureComponent(d, "exec_cluster",
+                         AccountingMode::WithProcedure);
+    auto without =
+        measureComponent(d, "exec_cluster",
+                         AccountingMode::WithoutProcedure);
+    for (Metric m : {Metric::FanInLC, Metric::Nets, Metric::Cells,
+                     Metric::AreaL}) {
+        EXPECT_LT(metric(with, m), metric(without, m))
+            << metricName(m);
+    }
+    EXPECT_EQ(with.moduleCounts.at("alu"), 4u);
+}
+
+TEST(Measure, AccountingNeutralForFlatDesigns)
+{
+    // The decoder has no parameters to shrink and no replicated
+    // instances: both accountings agree.
+    Design d = shippedDesign("decoder").load();
+    auto with = measureComponent(d, "decoder",
+                                 AccountingMode::WithProcedure);
+    auto without = measureComponent(
+        d, "decoder", AccountingMode::WithoutProcedure);
+    // W is the only parameter; the decoder hard-codes 32-bit field
+    // positions, so its minimal W is close to the default and the
+    // difference is small.
+    double ratio = metric(without, Metric::Nets) /
+                   std::max(metric(with, Metric::Nets), 1.0);
+    EXPECT_LT(ratio, 1.5);
+}
+
+TEST(Measure, ModuleCountsCoverHierarchy)
+{
+    Design d = shippedDesign("pipeline").load();
+    auto m = measureComponent(d, "pipeline");
+    EXPECT_EQ(m.moduleCounts.at("pipeline"), 1u);
+    EXPECT_EQ(m.moduleCounts.at("alu"), 1u);
+    EXPECT_EQ(m.moduleCounts.at("decoder"), 1u);
+    EXPECT_EQ(m.moduleCounts.at("regfile"), 1u);
+    // All four types were measured.
+    EXPECT_EQ(m.measuredParams.size(), 4u);
+}
+
+TEST(Measure, MinimizedParamsRecorded)
+{
+    Design d = shippedDesign("mmu_lite").load();
+    auto m = measureComponent(d, "mmu_lite");
+    const auto &params = m.measuredParams.at("mmu_lite");
+    // ENTRIES minimizes below its default of 8.
+    EXPECT_LT(params.at("ENTRIES"), 8);
+    EXPECT_GE(params.at("ENTRIES"), 1);
+}
+
+TEST(Measure, FrequencyIsMinOverModules)
+{
+    Design d = shippedDesign("pipeline").load();
+    auto whole = measureComponent(d, "pipeline");
+    // The component frequency cannot exceed the slowest measured
+    // module; sanity: it is positive and below 2 GHz.
+    EXPECT_GT(metric(whole, Metric::Freq), 1.0);
+    EXPECT_LT(metric(whole, Metric::Freq), 2000.0);
+}
+
+} // namespace
+} // namespace ucx

@@ -1,0 +1,75 @@
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/metric.hh"
+#include "util/error.hh"
+
+namespace ucx
+{
+namespace
+{
+
+TEST(Metric, AllMetricsCount)
+{
+    EXPECT_EQ(allMetrics().size(), numMetrics);
+    EXPECT_EQ(numMetrics, 11u);
+}
+
+TEST(Metric, NamesMatchPaperTable3)
+{
+    EXPECT_EQ(metricName(Metric::Stmts), "Stmts");
+    EXPECT_EQ(metricName(Metric::LoC), "LoC");
+    EXPECT_EQ(metricName(Metric::FanInLC), "FanInLC");
+    EXPECT_EQ(metricName(Metric::Nets), "Nets");
+    EXPECT_EQ(metricName(Metric::Freq), "Freq");
+    EXPECT_EQ(metricName(Metric::AreaL), "AreaL");
+    EXPECT_EQ(metricName(Metric::PowerD), "PowerD");
+    EXPECT_EQ(metricName(Metric::PowerS), "PowerS");
+    EXPECT_EQ(metricName(Metric::AreaS), "AreaS");
+    EXPECT_EQ(metricName(Metric::Cells), "Cells");
+    EXPECT_EQ(metricName(Metric::FFs), "FFs");
+}
+
+TEST(Metric, NamesAreUnique)
+{
+    std::set<std::string> names;
+    for (Metric m : allMetrics())
+        names.insert(metricName(m));
+    EXPECT_EQ(names.size(), numMetrics);
+}
+
+TEST(Metric, LookupByNameCaseInsensitive)
+{
+    EXPECT_EQ(metricFromName("faninlc"), Metric::FanInLC);
+    EXPECT_EQ(metricFromName("STMTS"), Metric::Stmts);
+    EXPECT_EQ(metricFromName("LoC"), Metric::LoC);
+}
+
+TEST(Metric, LookupUnknownThrows)
+{
+    EXPECT_THROW(metricFromName("bogus"), UcxError);
+}
+
+TEST(Metric, DescriptionsAndToolsNonEmpty)
+{
+    for (Metric m : allMetrics()) {
+        EXPECT_FALSE(metricDescription(m).empty());
+        EXPECT_FALSE(metricTool(m).empty());
+    }
+}
+
+TEST(Metric, SelectMetricsOrdersBySelection)
+{
+    MetricValues v{};
+    v[static_cast<size_t>(Metric::Stmts)] = 10.0;
+    v[static_cast<size_t>(Metric::FanInLC)] = 20.0;
+    auto sel = selectMetrics(v, {Metric::FanInLC, Metric::Stmts});
+    ASSERT_EQ(sel.size(), 2u);
+    EXPECT_DOUBLE_EQ(sel[0], 20.0);
+    EXPECT_DOUBLE_EQ(sel[1], 10.0);
+}
+
+} // namespace
+} // namespace ucx

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "core/reuse.hh"
+#include "data/paper_data.hh"
+#include "util/error.hh"
+
+namespace ucx
+{
+namespace
+{
+
+MetricValues
+dee1Metrics(double stmts, double fan)
+{
+    MetricValues v{};
+    v[static_cast<size_t>(Metric::Stmts)] = stmts;
+    v[static_cast<size_t>(Metric::FanInLC)] = fan;
+    return v;
+}
+
+TEST(Reuse, AafFormulaKnownValues)
+{
+    // 0.4 DM + 0.3 CM + 0.3 IM.
+    ReuseFactors half{0.5, 0.5, 0.5, 0.05};
+    EXPECT_NEAR(adaptationAdjustment(half), 0.5, 1e-12);
+    ReuseFactors full{1.0, 1.0, 1.0, 0.05};
+    EXPECT_NEAR(adaptationAdjustment(full), 1.0, 1e-12);
+    ReuseFactors design_only{1.0, 0.0, 0.0, 0.0};
+    EXPECT_NEAR(adaptationAdjustment(design_only), 0.4, 1e-12);
+}
+
+TEST(Reuse, UnmodifiedReuseIsNotFree)
+{
+    // Paper: "Integrating a reused component incurs some design
+    // effort, even if it requires no modification at all."
+    ReuseFactors untouched{0.0, 0.0, 0.0, 0.05};
+    EXPECT_DOUBLE_EQ(adaptationAdjustment(untouched), 0.05);
+}
+
+TEST(Reuse, MonotoneInEachFactor)
+{
+    ReuseFactors base{0.2, 0.2, 0.2, 0.05};
+    double aaf = adaptationAdjustment(base);
+    for (int which = 0; which < 3; ++which) {
+        ReuseFactors more = base;
+        if (which == 0)
+            more.designModified = 0.6;
+        else if (which == 1)
+            more.codeModified = 0.6;
+        else
+            more.integration = 0.6;
+        EXPECT_GT(adaptationAdjustment(more), aaf);
+    }
+}
+
+TEST(Reuse, RejectsOutOfRange)
+{
+    ReuseFactors bad{1.5, 0.0, 0.0, 0.05};
+    EXPECT_THROW(adaptationAdjustment(bad), UcxError);
+    ReuseFactors neg{0.0, -0.1, 0.0, 0.05};
+    EXPECT_THROW(adaptationAdjustment(neg), UcxError);
+}
+
+TEST(Reuse, ReusedPredictionScalesFreshPrediction)
+{
+    FittedEstimator dee1 = fitDee1(paperDataset());
+    MetricValues v = dee1Metrics(1200, 8000);
+    double fresh = dee1.predictMedian(v);
+    ReuseFactors factors{0.25, 0.5, 0.3, 0.05};
+    double reused = predictReusedMedian(dee1, v, factors);
+    EXPECT_NEAR(reused, fresh * adaptationAdjustment(factors),
+                1e-12);
+    EXPECT_LT(reused, fresh);
+}
+
+TEST(Reuse, MixedDesignSumsComponents)
+{
+    FittedEstimator dee1 = fitDee1(paperDataset());
+    std::vector<MetricValues> fresh = {dee1Metrics(900, 6000),
+                                       dee1Metrics(400, 3000)};
+    ReuseFactors factors{0.0, 0.1, 0.2, 0.05};
+    std::vector<std::pair<MetricValues, ReuseFactors>> reused = {
+        {dee1Metrics(2000, 15000), factors}};
+    double total = predictMixedDesign(dee1, fresh, reused);
+    double expect = dee1.predictMedian(fresh[0]) +
+                    dee1.predictMedian(fresh[1]) +
+                    predictReusedMedian(dee1, reused[0].first,
+                                        factors);
+    EXPECT_NEAR(total, expect, 1e-12);
+}
+
+TEST(Reuse, ReuseVsScratchCrossover)
+{
+    // A heavily modified reused component approaches (but never
+    // exceeds) from-scratch effort.
+    FittedEstimator dee1 = fitDee1(paperDataset());
+    MetricValues v = dee1Metrics(1500, 9000);
+    double fresh = dee1.predictMedian(v);
+    for (double frac : {0.1, 0.4, 0.7, 1.0}) {
+        ReuseFactors f{frac, frac, frac, 0.05};
+        EXPECT_LE(predictReusedMedian(dee1, v, f), fresh + 1e-9);
+    }
+}
+
+} // namespace
+} // namespace ucx

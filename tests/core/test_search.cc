@@ -1,0 +1,111 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/search.hh"
+#include "util/rng.hh"
+
+namespace ucx
+{
+namespace
+{
+
+/**
+ * Dataset where effort is driven by Stmts and FanInLC; every other
+ * metric is noise with matching scale.
+ */
+Dataset
+plantedDataset(uint64_t seed)
+{
+    Rng rng(seed);
+    Dataset d;
+    for (int p = 0; p < 4; ++p) {
+        double b = rng.normal(0.0, 0.3);
+        for (int c = 0; c < 5; ++c) {
+            Component comp;
+            comp.project = "proj" + std::to_string(p);
+            comp.name = "comp" + std::to_string(c);
+            double stmts = rng.uniform(100.0, 4000.0);
+            double fan = rng.uniform(1000.0, 20000.0);
+            for (Metric m : allMetrics()) {
+                comp.metrics[static_cast<size_t>(m)] =
+                    rng.uniform(10.0, 10000.0);
+            }
+            comp.metrics[static_cast<size_t>(Metric::Stmts)] = stmts;
+            comp.metrics[static_cast<size_t>(Metric::FanInLC)] = fan;
+            comp.effort = std::exp(
+                b + std::log(0.004 * stmts + 0.0004 * fan) +
+                rng.normal(0.0, 0.2));
+            d.add(comp);
+        }
+    }
+    return d;
+}
+
+TEST(Search, SinglesSortedBySigma)
+{
+    Dataset d = plantedDataset(21);
+    auto ranked = rankSingleMetrics(d);
+    ASSERT_EQ(ranked.size(), numMetrics);
+    for (size_t i = 1; i < ranked.size(); ++i) {
+        EXPECT_LE(ranked[i - 1].fit.sigmaEps(),
+                  ranked[i].fit.sigmaEps());
+    }
+}
+
+TEST(Search, PlantedMetricsRankTop)
+{
+    Dataset d = plantedDataset(23);
+    auto ranked = rankSingleMetrics(d);
+    // The two planted drivers must rank in the top three.
+    auto rank_of = [&](Metric m) {
+        for (size_t i = 0; i < ranked.size(); ++i)
+            if (ranked[i].metrics[0] == m)
+                return i;
+        return ranked.size();
+    };
+    EXPECT_LT(rank_of(Metric::Stmts), 3u);
+    EXPECT_LT(rank_of(Metric::FanInLC), 3u);
+}
+
+TEST(Search, PairCountIs55)
+{
+    Dataset d = plantedDataset(25);
+    auto pairs = rankMetricPairs(d);
+    EXPECT_EQ(pairs.size(), numMetrics * (numMetrics - 1) / 2);
+    for (const auto &entry : pairs)
+        EXPECT_EQ(entry.metrics.size(), 2u);
+}
+
+TEST(Search, BestPairBeatsItsSingles)
+{
+    Dataset d = plantedDataset(27);
+    auto pairs = rankMetricPairs(d);
+    auto singles = rankSingleMetrics(d);
+    // The best pair is at least as accurate as the best single
+    // (more parameters, nested model, small numerical slack).
+    EXPECT_LE(pairs[0].fit.sigmaEps(),
+              singles[0].fit.sigmaEps() + 0.02);
+}
+
+TEST(Search, PlantedPairNearTop)
+{
+    Dataset d = plantedDataset(29);
+    auto pairs = rankMetricPairs(d);
+    // The planted combination must appear among the best 5 pairs.
+    size_t rank = pairs.size();
+    for (size_t i = 0; i < pairs.size(); ++i) {
+        bool has_stmts = pairs[i].metrics[0] == Metric::Stmts ||
+                         pairs[i].metrics[1] == Metric::Stmts;
+        bool has_fan = pairs[i].metrics[0] == Metric::FanInLC ||
+                       pairs[i].metrics[1] == Metric::FanInLC;
+        if (has_stmts && has_fan) {
+            rank = i;
+            break;
+        }
+    }
+    EXPECT_LT(rank, 5u);
+}
+
+} // namespace
+} // namespace ucx

@@ -1,0 +1,117 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/validation.hh"
+#include "data/paper_data.hh"
+#include "util/error.hh"
+#include "util/rng.hh"
+
+namespace ucx
+{
+namespace
+{
+
+Dataset
+cvDataset(uint64_t seed, size_t projects, size_t per_project)
+{
+    Rng rng(seed);
+    Dataset d;
+    for (size_t p = 0; p < projects; ++p) {
+        double b = rng.normal(0.0, 0.3);
+        for (size_t c = 0; c < per_project; ++c) {
+            Component comp;
+            comp.project = "proj" + std::to_string(p);
+            comp.name = "comp" + std::to_string(c);
+            double stmts = rng.uniform(100.0, 4000.0);
+            comp.metrics[static_cast<size_t>(Metric::Stmts)] = stmts;
+            comp.metrics[static_cast<size_t>(Metric::FanInLC)] =
+                rng.uniform(1000.0, 20000.0);
+            comp.effort = std::exp(b + std::log(0.005 * stmts) +
+                                   rng.normal(0.0, 0.25));
+            d.add(comp);
+        }
+    }
+    return d;
+}
+
+TEST(Validation, LoocvProducesOneRecordPerComponent)
+{
+    Dataset d = cvDataset(1, 4, 5);
+    auto cv = leaveOneComponentOut(d, {Metric::Stmts});
+    EXPECT_EQ(cv.records.size(), 20u);
+    for (const auto &r : cv.records) {
+        EXPECT_GT(r.predicted, 0.0);
+        EXPECT_GT(r.actual, 0.0);
+        EXPECT_NEAR(r.logError,
+                    std::log(r.predicted / r.actual), 1e-12);
+    }
+}
+
+TEST(Validation, LoocvErrorNearGenerativeSigma)
+{
+    Dataset d = cvDataset(3, 5, 6);
+    auto cv = leaveOneComponentOut(d, {Metric::Stmts});
+    // Out-of-sample rms log error should be in the vicinity of the
+    // generating sigma (0.25), a bit above due to estimation noise.
+    EXPECT_GT(cv.rmsLogError(), 0.15);
+    EXPECT_LT(cv.rmsLogError(), 0.55);
+    EXPECT_LT(std::abs(cv.meanLogError()), 0.2);
+    EXPECT_GT(cv.withinFactorTwo(), 0.8);
+}
+
+TEST(Validation, ProjectHoldOutWorseThanComponentHoldOut)
+{
+    // Predicting a whole unseen team with rho = 1 must be harder
+    // than predicting one component of a calibrated team.
+    Dataset d = cvDataset(5, 5, 6);
+    double loco =
+        leaveOneComponentOut(d, {Metric::Stmts}).rmsLogError();
+    double lopo =
+        leaveOneProjectOut(d, {Metric::Stmts}).rmsLogError();
+    EXPECT_GE(lopo, loco - 0.05);
+}
+
+TEST(Validation, PaperDatasetDee1Generalizes)
+{
+    // On the paper's own data: DEE1 should predict held-out
+    // components within roughly its in-sample accuracy band.
+    auto cv = leaveOneComponentOut(
+        paperDataset(), {Metric::Stmts, Metric::FanInLC});
+    EXPECT_EQ(cv.records.size(), 18u);
+    // In-sample sigma is 0.46; generous out-of-sample ceiling.
+    EXPECT_LT(cv.rmsLogError(), 1.0);
+    EXPECT_GT(cv.withinFactorTwo(), 0.5);
+}
+
+TEST(Validation, PaperDatasetGoodBeatsBadOutOfSample)
+{
+    // The in-sample ranking (Stmts beats Cells) must survive
+    // cross-validation, otherwise the paper's conclusion would be
+    // an artifact of overfitting.
+    auto good = leaveOneComponentOut(paperDataset(),
+                                     {Metric::Stmts});
+    auto bad = leaveOneComponentOut(paperDataset(),
+                                    {Metric::Cells});
+    EXPECT_LT(good.rmsLogError(), bad.rmsLogError());
+}
+
+TEST(Validation, RequiresMinimumData)
+{
+    Dataset tiny = cvDataset(2, 1, 1);
+    EXPECT_THROW(leaveOneComponentOut(tiny, {Metric::Stmts}),
+                 UcxError);
+    EXPECT_THROW(leaveOneProjectOut(tiny, {Metric::Stmts}),
+                 UcxError);
+}
+
+TEST(Validation, SummariesRejectEmpty)
+{
+    CrossValidationResult empty;
+    EXPECT_THROW(empty.rmsLogError(), UcxError);
+    EXPECT_THROW(empty.meanLogError(), UcxError);
+    EXPECT_THROW(empty.withinFactorTwo(), UcxError);
+}
+
+} // namespace
+} // namespace ucx

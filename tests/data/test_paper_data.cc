@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include "data/paper_data.hh"
+
+namespace ucx
+{
+namespace
+{
+
+TEST(PaperData, EighteenComponentsFourProjects)
+{
+    const Dataset &d = paperDataset();
+    EXPECT_EQ(d.size(), 18u);
+    auto projects = d.projects();
+    ASSERT_EQ(projects.size(), 4u);
+    EXPECT_EQ(projects[0], "Leon3");
+    EXPECT_EQ(projects[1], "PUMA");
+    EXPECT_EQ(projects[2], "IVM");
+    EXPECT_EQ(projects[3], "RAT");
+}
+
+TEST(PaperData, ComponentCountsPerProject)
+{
+    const Dataset &d = paperDataset();
+    EXPECT_EQ(d.filterProject("Leon3").size(), 4u);
+    EXPECT_EQ(d.filterProject("PUMA").size(), 5u);
+    EXPECT_EQ(d.filterProject("IVM").size(), 7u);
+    EXPECT_EQ(d.filterProject("RAT").size(), 2u);
+}
+
+TEST(PaperData, SpotCheckTable4Rows)
+{
+    const Dataset &d = paperDataset();
+    const Component &pipe = d.components()[0];
+    EXPECT_EQ(pipe.fullName(), "Leon3-Pipeline");
+    EXPECT_DOUBLE_EQ(pipe.effort, 24.0);
+    EXPECT_DOUBLE_EQ(
+        pipe.metrics[static_cast<size_t>(Metric::Stmts)], 2070.0);
+    EXPECT_DOUBLE_EQ(
+        pipe.metrics[static_cast<size_t>(Metric::FanInLC)], 10502.0);
+    EXPECT_DOUBLE_EQ(
+        pipe.metrics[static_cast<size_t>(Metric::FFs)], 1062.0);
+
+    const Component &ivm_mem = d.components()[14];
+    EXPECT_EQ(ivm_mem.fullName(), "IVM-Memory");
+    EXPECT_DOUBLE_EQ(
+        ivm_mem.metrics[static_cast<size_t>(Metric::Nets)], 23247.0);
+    EXPECT_DOUBLE_EQ(
+        ivm_mem.metrics[static_cast<size_t>(Metric::AreaS)],
+        625952.0);
+}
+
+TEST(PaperData, KnownZeroFfRows)
+{
+    // IVM-Decode and IVM-Execute report zero flip-flops in Table 4;
+    // the Drop policy removes exactly those two rows, while the
+    // default ClampToOne keeps all 18 with the zeros floored at 1.
+    const Dataset &d = paperDataset();
+    auto dropped = d.usableComponents({Metric::FFs},
+                                      ZeroPolicy::Drop);
+    EXPECT_EQ(dropped.size(), 16u);
+    for (const auto &c : dropped) {
+        EXPECT_NE(c.fullName(), "IVM-Decode");
+        EXPECT_NE(c.fullName(), "IVM-Execute");
+    }
+    auto clamped = d.usableComponents({Metric::FFs});
+    EXPECT_EQ(clamped.size(), 18u);
+    for (const auto &c : clamped)
+        EXPECT_GE(c.metrics[static_cast<size_t>(Metric::FFs)], 1.0);
+}
+
+TEST(PaperData, Table2MatchesTable4ExceptRat)
+{
+    // The paper's own Table 2 and Table 4 disagree on the RAT rows
+    // (0.3/0.5 vs 0.6/1.0); we preserve both as printed.
+    const auto &t2 = paperTable2Efforts();
+    const Dataset &d = paperDataset();
+    ASSERT_EQ(t2.size(), d.size());
+    for (size_t i = 0; i < t2.size(); ++i) {
+        const Component &c = d.components()[i];
+        EXPECT_EQ(t2[i].project, c.project);
+        EXPECT_EQ(t2[i].component, c.name);
+        if (c.project != "RAT") {
+            EXPECT_DOUBLE_EQ(t2[i].personMonths, c.effort);
+        } else {
+            EXPECT_DOUBLE_EQ(t2[i].personMonths * 2.0, c.effort);
+        }
+    }
+}
+
+TEST(PaperData, Table1Characteristics)
+{
+    const auto &t1 = paperTable1();
+    ASSERT_EQ(t1.size(), 3u);
+    EXPECT_EQ(t1[0].name, "Leon3");
+    EXPECT_EQ(t1[0].isa, "Sparc V8");
+    EXPECT_EQ(t1[0].pipelineStages, 7);
+    EXPECT_TRUE(t1[0].multiprocessorSupport);
+    EXPECT_EQ(t1[1].name, "PUMA");
+    EXPECT_EQ(t1[1].pipelineStages, 9);
+    EXPECT_EQ(t1[2].name, "IVM");
+    EXPECT_EQ(t1[2].branchPredictor, "Tournament");
+}
+
+TEST(PaperData, SigmaReferenceShape)
+{
+    const auto &sigmas = paperSigmas();
+    ASSERT_EQ(sigmas.size(), numMetrics);
+    // Published ordering: every pooled sigma except AreaS is worse
+    // than (or equal to) the mixed sigma.
+    for (const auto &s : sigmas)
+        EXPECT_GE(s.sigmaPooled + 1e-9, s.sigmaMixed);
+    // Stmts is the best single metric in the published table.
+    EXPECT_DOUBLE_EQ(sigmas[0].sigmaMixed, 0.50);
+}
+
+TEST(PaperData, Dee1EstimatesAlignWithDataset)
+{
+    const auto &dee1 = paperDee1Estimates();
+    ASSERT_EQ(dee1.size(), 18u);
+    EXPECT_DOUBLE_EQ(dee1[0], 12.8); // Leon3-Pipeline
+    EXPECT_DOUBLE_EQ(dee1[17], 1.0); // RAT-Sliding
+}
+
+TEST(PaperData, NoAccountingInflatesOnlySynthesisMetrics)
+{
+    const Dataset &with = paperDataset();
+    const Dataset &without = paperDatasetNoAccounting();
+    ASSERT_EQ(with.size(), without.size());
+    for (size_t i = 0; i < with.size(); ++i) {
+        const Component &a = with.components()[i];
+        const Component &b = without.components()[i];
+        // Source metrics identical.
+        EXPECT_DOUBLE_EQ(
+            a.metrics[static_cast<size_t>(Metric::Stmts)],
+            b.metrics[static_cast<size_t>(Metric::Stmts)]);
+        EXPECT_DOUBLE_EQ(
+            a.metrics[static_cast<size_t>(Metric::LoC)],
+            b.metrics[static_cast<size_t>(Metric::LoC)]);
+        // Synthesis metrics never shrink; frequency never rises.
+        EXPECT_GE(b.metrics[static_cast<size_t>(Metric::Nets)],
+                  a.metrics[static_cast<size_t>(Metric::Nets)]);
+        EXPECT_GE(b.metrics[static_cast<size_t>(Metric::Cells)],
+                  a.metrics[static_cast<size_t>(Metric::Cells)]);
+        EXPECT_LE(b.metrics[static_cast<size_t>(Metric::Freq)],
+                  a.metrics[static_cast<size_t>(Metric::Freq)] +
+                      1e-9);
+    }
+}
+
+TEST(PaperData, NoAccountingConcentratedInIvm)
+{
+    // Paper Section 5.3: IVM is the main contributor; Leon3 has
+    // practically none.
+    const Dataset &with = paperDataset();
+    const Dataset &without = paperDatasetNoAccounting();
+    double ivm_ratio = 0.0;
+    double leon_ratio = 0.0;
+    int ivm_n = 0;
+    int leon_n = 0;
+    for (size_t i = 0; i < with.size(); ++i) {
+        const Component &a = with.components()[i];
+        const Component &b = without.components()[i];
+        double r = b.metrics[static_cast<size_t>(Metric::Nets)] /
+                   a.metrics[static_cast<size_t>(Metric::Nets)];
+        if (a.project == "IVM") {
+            ivm_ratio += r;
+            ++ivm_n;
+        } else if (a.project == "Leon3") {
+            leon_ratio += r;
+            ++leon_n;
+        }
+    }
+    EXPECT_GT(ivm_ratio / ivm_n, 3.0);
+    EXPECT_LT(leon_ratio / leon_n, 1.2);
+}
+
+} // namespace
+} // namespace ucx

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * The headline reproduction test: refit every estimator of paper
+ * Table 4 on the paper's own data and compare the resulting
+ * sigma_eps (and the DEE1 AIC/BIC of Section 5.1.1) against the
+ * published values.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/estimator.hh"
+#include "core/search.hh"
+#include "data/paper_data.hh"
+
+namespace ucx
+{
+namespace
+{
+
+/** Single-metric accuracy vs the published Table 4 row. */
+class SingleMetricReproduction
+    : public ::testing::TestWithParam<PaperSigma>
+{};
+
+TEST_P(SingleMetricReproduction, MixedSigmaNearPaper)
+{
+    const PaperSigma &ref = GetParam();
+    FittedEstimator fit =
+        fitEstimator(paperDataset(), {ref.metric});
+    // Tolerance scales with the published value: the good
+    // estimators should land close; the noisy ones (sigma > 1)
+    // within ~15%.
+    double tol = std::max(0.08, 0.15 * ref.sigmaMixed);
+    EXPECT_NEAR(fit.sigmaEps(), ref.sigmaMixed, tol)
+        << metricName(ref.metric);
+}
+
+TEST_P(SingleMetricReproduction, PooledSigmaNearPaper)
+{
+    const PaperSigma &ref = GetParam();
+    FittedEstimator fit = fitEstimator(paperDataset(), {ref.metric},
+                                       FitMode::Pooled);
+    double tol = std::max(0.10, 0.15 * ref.sigmaPooled);
+    EXPECT_NEAR(fit.sigmaEps(), ref.sigmaPooled, tol)
+        << metricName(ref.metric);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table4, SingleMetricReproduction,
+    ::testing::ValuesIn(paperSigmas()),
+    [](const ::testing::TestParamInfo<PaperSigma> &info) {
+        return metricName(info.param.metric);
+    });
+
+TEST(Reproduction, Dee1SigmaNearPaper)
+{
+    FittedEstimator dee1 = fitDee1(paperDataset());
+    EXPECT_NEAR(dee1.sigmaEps(), paperDee1Reference().sigmaMixed,
+                0.08);
+}
+
+TEST(Reproduction, Dee1PooledSigmaNearPaper)
+{
+    FittedEstimator dee1 =
+        fitDee1(paperDataset(), FitMode::Pooled);
+    EXPECT_NEAR(dee1.sigmaEps(), paperDee1Reference().sigmaPooled,
+                0.08);
+}
+
+TEST(Reproduction, Dee1InformationCriteria)
+{
+    // Section 5.1.1: DEE1 AIC 34.8, BIC 38.4; Stmts AIC 37.0,
+    // BIC 39.7.
+    FittedEstimator dee1 = fitDee1(paperDataset());
+    FittedEstimator stmts =
+        fitEstimator(paperDataset(), {Metric::Stmts});
+    EXPECT_NEAR(dee1.aic(), paperDee1Reference().aicDee1, 2.5);
+    EXPECT_NEAR(dee1.bic(), paperDee1Reference().bicDee1, 2.5);
+    EXPECT_NEAR(stmts.aic(), paperDee1Reference().aicStmts, 2.5);
+    EXPECT_NEAR(stmts.bic(), paperDee1Reference().bicStmts, 2.5);
+    // The paper's conclusion: DEE1 fits better than Stmts alone on
+    // both criteria.
+    EXPECT_LT(dee1.aic(), stmts.aic());
+    EXPECT_LT(dee1.bic(), stmts.bic());
+}
+
+TEST(Reproduction, GoodEstimatorsBeatBadOnes)
+{
+    // The paper's qualitative split: {Stmts, LoC, FanInLC, Nets}
+    // are usable; {Freq, AreaL, PowerD, PowerS, AreaS, Cells, FFs}
+    // are not.
+    const Dataset &d = paperDataset();
+    double worst_good = 0.0;
+    for (Metric m : {Metric::Stmts, Metric::LoC, Metric::FanInLC,
+                     Metric::Nets}) {
+        worst_good = std::max(worst_good,
+                              fitEstimator(d, {m}).sigmaEps());
+    }
+    double best_bad = 1e9;
+    for (Metric m : {Metric::Freq, Metric::AreaL, Metric::PowerD,
+                     Metric::PowerS, Metric::AreaS, Metric::Cells,
+                     Metric::FFs}) {
+        best_bad =
+            std::min(best_bad, fitEstimator(d, {m}).sigmaEps());
+    }
+    EXPECT_LT(worst_good, best_bad);
+}
+
+TEST(Reproduction, ProductivityAdjustmentAlwaysHelps)
+{
+    // Section 5.2 / Table 4 last row: dropping rho degrades every
+    // usable estimator.
+    const Dataset &d = paperDataset();
+    for (Metric m : {Metric::Stmts, Metric::LoC, Metric::FanInLC,
+                     Metric::Nets, Metric::Freq}) {
+        double mixed = fitEstimator(d, {m}).sigmaEps();
+        double pooled =
+            fitEstimator(d, {m}, FitMode::Pooled).sigmaEps();
+        EXPECT_LT(mixed, pooled + 1e-6) << metricName(m);
+    }
+}
+
+TEST(Reproduction, Dee1PerComponentEstimatesTrackPaper)
+{
+    // Figure 5: our fitted DEE1 predictions (deflated by each
+    // team's productivity) should track the paper's printed DEE1
+    // column.
+    FittedEstimator dee1 = fitDee1(paperDataset());
+    const auto &paper_est = paperDee1Estimates();
+    const auto &components = paperDataset().components();
+    double log_rms = 0.0;
+    for (size_t i = 0; i < components.size(); ++i) {
+        const Component &c = components[i];
+        double mine = dee1.predictMedian(
+            c.metrics, dee1.productivity(c.project));
+        double ratio = mine / paper_est[i];
+        log_rms += std::log(ratio) * std::log(ratio);
+    }
+    log_rms = std::sqrt(log_rms / components.size());
+    // Within ~35% RMS of the authors' own fitted values.
+    EXPECT_LT(log_rms, 0.35);
+}
+
+TEST(Reproduction, Leon3PipelineUnderestimated)
+{
+    // Figure 5's discussed outlier: every good estimator
+    // underestimates the Leon3 pipeline (reported 24 person-months,
+    // DEE1 estimate ~12.8).
+    FittedEstimator dee1 = fitDee1(paperDataset());
+    const Component &pipe = paperDataset().components()[0];
+    ASSERT_EQ(pipe.fullName(), "Leon3-Pipeline");
+    double est = dee1.predictMedian(pipe.metrics,
+                                    dee1.productivity("Leon3"));
+    EXPECT_LT(est, pipe.effort * 0.75);
+}
+
+TEST(Reproduction, NoAccountingDegradesSynthesisEstimators)
+{
+    // Section 5.3 / Figure 6: without the accounting procedure,
+    // FanInLC and Nets collapse (published 1.18 and 1.07); Stmts
+    // and LoC are untouched; DEE1 moves little.
+    const Dataset &with = paperDataset();
+    const Dataset &without = paperDatasetNoAccounting();
+
+    double fan_with =
+        fitEstimator(with, {Metric::FanInLC}).sigmaEps();
+    double fan_without =
+        fitEstimator(without, {Metric::FanInLC}).sigmaEps();
+    EXPECT_GT(fan_without, fan_with + 0.2);
+    EXPECT_NEAR(fan_without,
+                paperNoAccountingReference().sigmaFanInLC, 0.35);
+
+    double nets_without =
+        fitEstimator(without, {Metric::Nets}).sigmaEps();
+    EXPECT_NEAR(nets_without,
+                paperNoAccountingReference().sigmaNets, 0.35);
+
+    double stmts_with =
+        fitEstimator(with, {Metric::Stmts}).sigmaEps();
+    double stmts_without =
+        fitEstimator(without, {Metric::Stmts}).sigmaEps();
+    EXPECT_NEAR(stmts_with, stmts_without, 1e-6);
+
+    double dee1_with = fitDee1(with).sigmaEps();
+    double dee1_without = fitDee1(without).sigmaEps();
+    EXPECT_LT(std::abs(dee1_without - dee1_with), 0.15);
+}
+
+TEST(Reproduction, ProductivitiesMedianAroundOne)
+{
+    // mu = 0 means the median team has rho = 1; with four teams the
+    // fitted productivities should straddle 1.
+    FittedEstimator dee1 = fitDee1(paperDataset());
+    int above = 0;
+    int below = 0;
+    for (const auto &[team, rho] : dee1.productivities()) {
+        (void)team;
+        above += rho > 1.0;
+        below += rho < 1.0;
+    }
+    EXPECT_GE(above, 1);
+    EXPECT_GE(below, 1);
+}
+
+} // namespace
+} // namespace ucx

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "hdl/const_eval.hh"
+#include "hdl/parser.hh"
+#include "util/error.hh"
+
+namespace ucx
+{
+namespace
+{
+
+/** Parse a constant expression by wrapping it in a localparam. */
+ExprPtr
+expr(const std::string &text)
+{
+    SourceFile sf = parseSource(
+        "module m (input wire a);\n  localparam X = " + text +
+        ";\nendmodule");
+    return std::move(sf.modules[0].items[0]->param.value);
+}
+
+TEST(ConstEval, Arithmetic)
+{
+    ConstEnv env;
+    EXPECT_EQ(evalConst(*expr("2 + 3 * 4"), env), 14);
+    EXPECT_EQ(evalConst(*expr("(2 + 3) * 4"), env), 20);
+    EXPECT_EQ(evalConst(*expr("7 / 2"), env), 3);
+    EXPECT_EQ(evalConst(*expr("7 % 2"), env), 1);
+    EXPECT_EQ(evalConst(*expr("1 << 10"), env), 1024);
+    EXPECT_EQ(evalConst(*expr("256 >> 4"), env), 16);
+}
+
+TEST(ConstEval, ComparisonAndLogic)
+{
+    ConstEnv env;
+    EXPECT_EQ(evalConst(*expr("3 < 4"), env), 1);
+    EXPECT_EQ(evalConst(*expr("4 <= 4"), env), 1);
+    EXPECT_EQ(evalConst(*expr("3 == 4"), env), 0);
+    EXPECT_EQ(evalConst(*expr("3 != 4"), env), 1);
+    EXPECT_EQ(evalConst(*expr("1 && 0"), env), 0);
+    EXPECT_EQ(evalConst(*expr("1 || 0"), env), 1);
+    EXPECT_EQ(evalConst(*expr("!5"), env), 0);
+}
+
+TEST(ConstEval, Bitwise)
+{
+    ConstEnv env;
+    EXPECT_EQ(evalConst(*expr("12 & 10"), env), 8);
+    EXPECT_EQ(evalConst(*expr("12 | 10"), env), 14);
+    EXPECT_EQ(evalConst(*expr("12 ^ 10"), env), 6);
+    EXPECT_EQ(evalConst(*expr("~0"), env), -1);
+}
+
+TEST(ConstEval, Ternary)
+{
+    ConstEnv env;
+    EXPECT_EQ(evalConst(*expr("1 ? 10 : 20"), env), 10);
+    EXPECT_EQ(evalConst(*expr("0 ? 10 : 20"), env), 20);
+}
+
+TEST(ConstEval, ParameterLookup)
+{
+    ConstEnv env = {{"W", 8}, {"D", 4}};
+    EXPECT_EQ(evalConst(*expr("W - 1"), env), 7);
+    EXPECT_EQ(evalConst(*expr("W * D"), env), 32);
+    EXPECT_EQ(evalConst(*expr("(1 << W) - 1"), env), 255);
+}
+
+TEST(ConstEval, UnboundNameThrows)
+{
+    ConstEnv env;
+    EXPECT_THROW(evalConst(*expr("W + 1"), env), UcxError);
+}
+
+TEST(ConstEval, DivisionByZeroThrows)
+{
+    ConstEnv env;
+    EXPECT_THROW(evalConst(*expr("1 / 0"), env), UcxError);
+    EXPECT_THROW(evalConst(*expr("1 % 0"), env), UcxError);
+}
+
+TEST(ConstEval, NegativeResults)
+{
+    ConstEnv env = {{"W", 2}};
+    EXPECT_EQ(evalConst(*expr("W - 5"), env), -3);
+    EXPECT_EQ(evalConst(*expr("-W"), env), -2);
+}
+
+TEST(ConstEval, IsConstPredicate)
+{
+    ConstEnv env = {{"W", 8}};
+    EXPECT_TRUE(isConst(*expr("W * 2 + 1"), env));
+    EXPECT_FALSE(isConst(*expr("W + unknown"), env));
+}
+
+TEST(ConstEval, SizedLiteralsKeepValue)
+{
+    ConstEnv env;
+    EXPECT_EQ(evalConst(*expr("8'hFF"), env), 255);
+    EXPECT_EQ(evalConst(*expr("4'b1010"), env), 10);
+}
+
+} // namespace
+} // namespace ucx

@@ -1,0 +1,52 @@
+#include <gtest/gtest.h>
+
+#include "hdl/design.hh"
+#include "util/error.hh"
+
+namespace ucx
+{
+namespace
+{
+
+TEST(Design, AddSourceAndLookup)
+{
+    Design d;
+    d.addSource("module a (input wire x); endmodule\n"
+                "module b (input wire y); endmodule");
+    EXPECT_TRUE(d.hasModule("a"));
+    EXPECT_TRUE(d.hasModule("b"));
+    EXPECT_FALSE(d.hasModule("c"));
+    EXPECT_EQ(d.module("a").name, "a");
+    EXPECT_THROW(d.module("c"), UcxError);
+}
+
+TEST(Design, DuplicateModuleThrows)
+{
+    Design d;
+    d.addSource("module a (input wire x); endmodule");
+    EXPECT_THROW(
+        d.addSource("module a (input wire x); endmodule"),
+        UcxError);
+}
+
+TEST(Design, ModuleNamesInOrder)
+{
+    Design d;
+    d.addSource("module z (input wire x); endmodule");
+    d.addSource("module a (input wire x); endmodule");
+    ASSERT_EQ(d.moduleNames().size(), 2u);
+    EXPECT_EQ(d.moduleNames()[0], "z");
+    EXPECT_EQ(d.moduleNames()[1], "a");
+}
+
+TEST(Design, SourceTextAccumulates)
+{
+    Design d;
+    d.addSource("module a (input wire x); endmodule");
+    d.addSource("module b (input wire y); endmodule");
+    EXPECT_NE(d.sourceText().find("module a"), std::string::npos);
+    EXPECT_NE(d.sourceText().find("module b"), std::string::npos);
+}
+
+} // namespace
+} // namespace ucx

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Failure-injection battery: every malformed source must be rejected
+ * with a UcxError (never a crash, hang, or silent acceptance).
+ */
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "hdl/design.hh"
+#include "synth/elaborate.hh"
+#include "synth/lower.hh"
+#include "util/error.hh"
+
+namespace ucx
+{
+namespace
+{
+
+struct BadSource
+{
+    const char *label;
+    const char *source;
+};
+
+class ErrorBattery : public ::testing::TestWithParam<BadSource>
+{};
+
+TEST_P(ErrorBattery, RejectedWithUcxError)
+{
+    const BadSource &bad = GetParam();
+    EXPECT_THROW(
+        {
+            Design d;
+            d.addSource(bad.source, "bad.v");
+            // Some defects only surface at elaboration or lowering.
+            if (d.hasModule("m"))
+                lowerToGates(elaborate(d, "m").rtl);
+        },
+        UcxError)
+        << bad.label;
+}
+
+const BadSource cases[] = {
+    {"missing_module_keyword", "foo (input wire a); endmodule"},
+    {"missing_endmodule", "module m (input wire a);"},
+    {"missing_port_semicolon",
+     "module m (input wire a)\nendmodule"},
+    {"bad_port_direction",
+     "module m (sideways wire a); endmodule"},
+    {"unclosed_paren",
+     "module m (input wire a;\nendmodule"},
+    {"assign_without_lhs",
+     "module m (input wire a);\n  assign = a;\nendmodule"},
+    {"assign_missing_rhs",
+     "module m (input wire a, output wire y);\n"
+     "  assign y = ;\nendmodule"},
+    {"stray_token_in_body",
+     "module m (input wire a);\n  $$$\nendmodule"},
+    {"unterminated_block_comment",
+     "module m (input wire a); /* oops\nendmodule"},
+    {"bad_based_literal",
+     "module m (input wire a);\n  localparam X = 8'z12;\n"
+     "endmodule"},
+    {"zero_width_literal",
+     "module m (input wire a);\n  localparam X = 0'd1;\n"
+     "endmodule"},
+    {"case_without_endcase",
+     "module m (input wire a, output reg y);\n"
+     "  always @* begin\n    case (a)\n      1'b0: y = 1'b0;\n"
+     "  end\nendmodule"},
+    {"if_without_condition",
+     "module m (input wire a, output reg y);\n"
+     "  always @* begin\n    if y = a;\n  end\nendmodule"},
+    {"for_step_wrong_variable",
+     "module m (input wire [3:0] a, output reg y);\n"
+     "  integer i;\n  always @* begin\n"
+     "    for (i = 0; i < 4; j = j + 1) y = a[0];\n"
+     "  end\nendmodule"},
+    {"unknown_identifier",
+     "module m (input wire a, output wire y);\n"
+     "  assign y = ghost;\nendmodule"},
+    {"unknown_module_instance",
+     "module m (input wire a);\n  ghost u (.x(a));\nendmodule"},
+    {"unknown_port_connection",
+     "module child (input wire p); endmodule\n"
+     "module m (input wire a);\n  child u (.nope(a));\n"
+     "endmodule"},
+    {"unknown_parameter_override",
+     "module child #(parameter W = 2) (input wire [W-1:0] p); "
+     "endmodule\n"
+     "module m (input wire a);\n"
+     "  child #(.BOGUS(3)) u (.p(a));\nendmodule"},
+    {"duplicate_port_connection",
+     "module child (input wire p); endmodule\n"
+     "module m (input wire a);\n"
+     "  child u (.p(a), .p(a));\nendmodule"},
+    {"duplicate_signal",
+     "module m (input wire a);\n  wire t;\n  wire t;\nendmodule"},
+    {"multiple_drivers",
+     "module m (input wire a, output wire y);\n"
+     "  assign y = a;\n  assign y = ~a;\nendmodule"},
+    {"overlapping_part_drivers",
+     "module m (input wire [7:0] a, output wire [7:0] y);\n"
+     "  assign y[4:0] = a[4:0];\n  assign y[5:2] = a[7:4];\n"
+     "endmodule"},
+    {"reg_in_two_always_blocks",
+     "module m (input wire clk, input wire a, output reg q);\n"
+     "  always @(posedge clk) q <= a;\n"
+     "  always @(posedge clk) q <= ~a;\nendmodule"},
+    {"assign_to_reg",
+     "module m (input wire a, output reg y);\n"
+     "  assign y = a;\nendmodule"},
+    {"nonblocking_in_comb",
+     "module m (input wire a, output reg y);\n"
+     "  always @* y <= a;\nendmodule"},
+    {"bit_select_out_of_range",
+     "module m (input wire [3:0] a, output wire y);\n"
+     "  assign y = a[9];\nendmodule"},
+    {"part_select_out_of_range",
+     "module m (input wire [3:0] a, output wire [7:0] y);\n"
+     "  assign y = a[11:4];\nendmodule"},
+    {"reversed_range",
+     "module m (input wire [0:7] a); endmodule"},
+    {"variable_bit_write_to_vector",
+     "module m (input wire clk, input wire [2:0] idx, "
+     "input wire d, output reg [7:0] q);\n"
+     "  always @(posedge clk) q[idx] <= d;\nendmodule"},
+    {"memory_write_in_comb_block",
+     "module m (input wire [1:0] addr, input wire [3:0] d, "
+     "output wire [3:0] q);\n"
+     "  reg [3:0] mem [0:3];\n"
+     "  always @* mem[addr] = d;\n"
+     "  assign q = mem[addr];\nendmodule"},
+    {"division_by_non_power_of_two",
+     "module m (input wire [7:0] a, output wire [7:0] y);\n"
+     "  assign y = a / 3;\nendmodule"},
+    {"division_by_signal",
+     "module m (input wire [7:0] a, input wire [7:0] b, "
+     "output wire [7:0] y);\n  assign y = a / b;\nendmodule"},
+    {"non_constant_generate_bound",
+     "module m (input wire [3:0] a, output wire [3:0] y);\n"
+     "  genvar g;\n  generate\n"
+     "    for (g = 0; g < a; g = g + 1) begin : l\n"
+     "      assign y[g] = a[g];\n    end\n  endgenerate\n"
+     "endmodule"},
+    {"inout_port",
+     "module m (inout wire a); endmodule"},
+    {"recursive_instantiation",
+     "module m (input wire a);\n  m u (.a(a));\nendmodule"},
+    {"combinational_loop",
+     "module m (input wire a, output wire y);\n"
+     "  wire u;\n  wire v;\n"
+     "  assign u = v & a;\n  assign v = u | a;\n"
+     "  assign y = v;\nendmodule"},
+    {"part_select_on_expression",
+     "module m (input wire [7:0] a, output wire y);\n"
+     "  assign y = (a + 1)[0];\nendmodule"},
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Battery, ErrorBattery, ::testing::ValuesIn(cases),
+    [](const ::testing::TestParamInfo<BadSource> &info) {
+        return std::string(info.param.label);
+    });
+
+} // namespace
+} // namespace ucx

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "hdl/lexer.hh"
+#include "util/error.hh"
+
+namespace ucx
+{
+namespace
+{
+
+std::vector<Token>
+lex(const std::string &src)
+{
+    return Lexer(src, "test.v").tokenize();
+}
+
+TEST(Lexer, EmptyInputYieldsEof)
+{
+    auto toks = lex("");
+    ASSERT_EQ(toks.size(), 1u);
+    EXPECT_EQ(toks[0].kind, Tok::Eof);
+}
+
+TEST(Lexer, KeywordsAndIdentifiers)
+{
+    auto toks = lex("module foo endmodule");
+    ASSERT_EQ(toks.size(), 4u);
+    EXPECT_EQ(toks[0].kind, Tok::KwModule);
+    EXPECT_EQ(toks[1].kind, Tok::Identifier);
+    EXPECT_EQ(toks[1].text, "foo");
+    EXPECT_EQ(toks[2].kind, Tok::KwEndmodule);
+}
+
+TEST(Lexer, DecimalNumbers)
+{
+    auto toks = lex("42 0 123_456");
+    EXPECT_EQ(toks[0].value, 42u);
+    EXPECT_EQ(toks[0].width, -1);
+    EXPECT_EQ(toks[1].value, 0u);
+    EXPECT_EQ(toks[2].value, 123456u);
+}
+
+TEST(Lexer, SizedLiterals)
+{
+    auto toks = lex("8'hFF 4'b1010 6'o17 10'd512 'd9");
+    EXPECT_EQ(toks[0].value, 255u);
+    EXPECT_EQ(toks[0].width, 8);
+    EXPECT_EQ(toks[1].value, 10u);
+    EXPECT_EQ(toks[1].width, 4);
+    EXPECT_EQ(toks[2].value, 15u);
+    EXPECT_EQ(toks[2].width, 6);
+    EXPECT_EQ(toks[3].value, 512u);
+    EXPECT_EQ(toks[3].width, 10);
+    EXPECT_EQ(toks[4].value, 9u);
+    EXPECT_EQ(toks[4].width, -1);
+}
+
+TEST(Lexer, ZeroWidthLiteralRejected)
+{
+    EXPECT_THROW(lex("0'd1"), UcxError);
+}
+
+TEST(Lexer, OperatorsGreedy)
+{
+    auto toks = lex("<= << < == = && & >= >> >");
+    EXPECT_EQ(toks[0].kind, Tok::NonBlocking);
+    EXPECT_EQ(toks[1].kind, Tok::Shl);
+    EXPECT_EQ(toks[2].kind, Tok::Lt);
+    EXPECT_EQ(toks[3].kind, Tok::EqEq);
+    EXPECT_EQ(toks[4].kind, Tok::Assign);
+    EXPECT_EQ(toks[5].kind, Tok::AmpAmp);
+    EXPECT_EQ(toks[6].kind, Tok::Amp);
+    EXPECT_EQ(toks[7].kind, Tok::GtEq);
+    EXPECT_EQ(toks[8].kind, Tok::Shr);
+    EXPECT_EQ(toks[9].kind, Tok::Gt);
+}
+
+TEST(Lexer, LineCommentsSkipped)
+{
+    auto toks = lex("a // comment with module keyword\nb");
+    ASSERT_EQ(toks.size(), 3u);
+    EXPECT_EQ(toks[0].text, "a");
+    EXPECT_EQ(toks[1].text, "b");
+    EXPECT_EQ(toks[1].line, 2);
+}
+
+TEST(Lexer, BlockCommentsSkipped)
+{
+    auto toks = lex("a /* multi\nline\ncomment */ b");
+    ASSERT_EQ(toks.size(), 3u);
+    EXPECT_EQ(toks[1].text, "b");
+    EXPECT_EQ(toks[1].line, 3);
+}
+
+TEST(Lexer, UnterminatedBlockCommentThrows)
+{
+    EXPECT_THROW(lex("a /* never closed"), UcxError);
+}
+
+TEST(Lexer, LineNumbersTracked)
+{
+    auto toks = lex("one\ntwo\n\nthree");
+    EXPECT_EQ(toks[0].line, 1);
+    EXPECT_EQ(toks[1].line, 2);
+    EXPECT_EQ(toks[2].line, 4);
+}
+
+TEST(Lexer, UnexpectedCharacterThrows)
+{
+    EXPECT_THROW(lex("a ` b"), UcxError);
+}
+
+TEST(Lexer, DollarAllowedInIdentifiers)
+{
+    auto toks = lex("sig$1");
+    EXPECT_EQ(toks[0].kind, Tok::Identifier);
+    EXPECT_EQ(toks[0].text, "sig$1");
+}
+
+TEST(Lexer, BadBaseCharacterThrows)
+{
+    EXPECT_THROW(lex("8'q12"), UcxError);
+}
+
+TEST(Lexer, DigitsOutOfBaseTerminate)
+{
+    // '9' is not a binary digit: literal ends, 9 lexes separately.
+    auto toks = lex("2'b109");
+    EXPECT_EQ(toks[0].value, 2u); // 0b10
+    EXPECT_EQ(toks[1].value, 9u);
+}
+
+} // namespace
+} // namespace ucx

@@ -1,0 +1,299 @@
+#include <gtest/gtest.h>
+
+#include "hdl/parser.hh"
+#include "util/error.hh"
+
+namespace ucx
+{
+namespace
+{
+
+Module
+parseOne(const std::string &src)
+{
+    SourceFile sf = parseSource(src, "test.v");
+    EXPECT_EQ(sf.modules.size(), 1u);
+    return std::move(sf.modules[0]);
+}
+
+TEST(Parser, MinimalModule)
+{
+    Module m = parseOne("module m (input wire a); endmodule");
+    EXPECT_EQ(m.name, "m");
+    ASSERT_EQ(m.ports.size(), 1u);
+    EXPECT_EQ(m.ports[0].name, "a");
+    EXPECT_EQ(m.ports[0].dir, PortDir::Input);
+    EXPECT_TRUE(m.items.empty());
+}
+
+TEST(Parser, ParameterList)
+{
+    Module m = parseOne(
+        "module m #(parameter W = 8, parameter D = W * 2) "
+        "(input wire [W-1:0] a); endmodule");
+    ASSERT_EQ(m.params.size(), 2u);
+    EXPECT_EQ(m.params[0].name, "W");
+    EXPECT_EQ(m.params[1].name, "D");
+    ASSERT_NE(m.ports[0].msb, nullptr);
+}
+
+TEST(Parser, PortDirectionsAndReg)
+{
+    Module m = parseOne(
+        "module m (input wire a, output reg [3:0] b, "
+        "output wire c); endmodule");
+    ASSERT_EQ(m.ports.size(), 3u);
+    EXPECT_FALSE(m.ports[0].isReg);
+    EXPECT_TRUE(m.ports[1].isReg);
+    EXPECT_EQ(m.ports[1].dir, PortDir::Output);
+}
+
+TEST(Parser, NetAndMemoryDeclarations)
+{
+    Module m = parseOne(
+        "module m (input wire clk);\n"
+        "  wire [7:0] a, b;\n"
+        "  reg [15:0] mem [0:63];\n"
+        "endmodule");
+    ASSERT_EQ(m.items.size(), 2u);
+    EXPECT_EQ(m.items[0]->kind, ItemKind::Net);
+    EXPECT_EQ(m.items[0]->names.size(), 2u);
+    EXPECT_FALSE(m.items[0]->isReg);
+    EXPECT_EQ(m.items[1]->names[0], "mem");
+    EXPECT_NE(m.items[1]->arrayLeft, nullptr);
+    EXPECT_TRUE(m.items[1]->isReg);
+}
+
+TEST(Parser, ContinuousAssignPrecedence)
+{
+    Module m = parseOne(
+        "module m (input wire [7:0] a, input wire [7:0] b, "
+        "output wire [7:0] y);\n"
+        "  assign y = a + b * 2 == 6 ? a : b;\n"
+        "endmodule");
+    const Item &item = *m.items[0];
+    ASSERT_EQ(item.kind, ItemKind::ContAssign);
+    // Top: ternary; condition is ==; its rhs multiplied before add.
+    EXPECT_EQ(item.rhs->kind, ExprKind::Ternary);
+    EXPECT_EQ(item.rhs->a->kind, ExprKind::Binary);
+    EXPECT_EQ(item.rhs->a->binOp, BinOp::Eq);
+    EXPECT_EQ(item.rhs->a->a->binOp, BinOp::Add);
+    EXPECT_EQ(item.rhs->a->a->b->binOp, BinOp::Mul);
+}
+
+TEST(Parser, AlwaysCombStar)
+{
+    Module m = parseOne(
+        "module m (input wire a, output reg y);\n"
+        "  always @* y = a;\n"
+        "  always @(*) begin y = a; end\n"
+        "endmodule");
+    EXPECT_FALSE(m.items[0]->sequential);
+    EXPECT_FALSE(m.items[1]->sequential);
+}
+
+TEST(Parser, AlwaysSequentialEdges)
+{
+    Module m = parseOne(
+        "module m (input wire clk, input wire rst_n, "
+        "output reg q);\n"
+        "  always @(posedge clk or negedge rst_n) q <= 1'b0;\n"
+        "endmodule");
+    const Item &item = *m.items[0];
+    EXPECT_TRUE(item.sequential);
+    ASSERT_EQ(item.edges.size(), 2u);
+    EXPECT_TRUE(item.edges[0].posedge);
+    EXPECT_EQ(item.edges[0].signal, "clk");
+    EXPECT_FALSE(item.edges[1].posedge);
+    EXPECT_EQ(item.body->kind, StmtKind::Assign);
+    EXPECT_TRUE(item.body->nonBlocking);
+}
+
+TEST(Parser, IfElseChain)
+{
+    Module m = parseOne(
+        "module m (input wire [1:0] s, output reg y);\n"
+        "  always @* begin\n"
+        "    if (s == 2'd0) y = 1'b0;\n"
+        "    else if (s == 2'd1) y = 1'b1;\n"
+        "    else y = 1'b0;\n"
+        "  end\n"
+        "endmodule");
+    const Stmt &block = *m.items[0]->body;
+    ASSERT_EQ(block.stmts.size(), 1u);
+    const Stmt &iff = *block.stmts[0];
+    EXPECT_EQ(iff.kind, StmtKind::If);
+    ASSERT_NE(iff.elseStmt, nullptr);
+    EXPECT_EQ(iff.elseStmt->kind, StmtKind::If);
+}
+
+TEST(Parser, CaseWithMultipleLabelsAndDefault)
+{
+    Module m = parseOne(
+        "module m (input wire [1:0] s, output reg [1:0] y);\n"
+        "  always @* begin\n"
+        "    case (s)\n"
+        "      2'd0, 2'd1: y = 2'd0;\n"
+        "      2'd2: y = 2'd1;\n"
+        "      default: y = 2'd3;\n"
+        "    endcase\n"
+        "  end\n"
+        "endmodule");
+    const Stmt &cs = *m.items[0]->body->stmts[0];
+    ASSERT_EQ(cs.kind, StmtKind::Case);
+    ASSERT_EQ(cs.items.size(), 3u);
+    EXPECT_EQ(cs.items[0].labels.size(), 2u);
+    EXPECT_TRUE(cs.items[2].labels.empty());
+}
+
+TEST(Parser, InstanceWithParamsAndConnections)
+{
+    Module m = parseOne(
+        "module m (input wire clk);\n"
+        "  sub #(.W(8), .D(16)) u_sub (.clk(clk), .q(), .en(1'b1));\n"
+        "endmodule");
+    const Item &inst = *m.items[0];
+    ASSERT_EQ(inst.kind, ItemKind::Instance);
+    EXPECT_EQ(inst.moduleName, "sub");
+    EXPECT_EQ(inst.instName, "u_sub");
+    ASSERT_EQ(inst.paramOverrides.size(), 2u);
+    EXPECT_EQ(inst.paramOverrides[0].port, "W");
+    ASSERT_EQ(inst.connections.size(), 3u);
+    EXPECT_EQ(inst.connections[1].port, "q");
+    EXPECT_EQ(inst.connections[1].expr, nullptr); // unconnected
+}
+
+TEST(Parser, GenerateForAndIf)
+{
+    Module m = parseOne(
+        "module m (input wire [3:0] a, output wire [3:0] y);\n"
+        "  genvar g;\n"
+        "  generate\n"
+        "    for (g = 0; g < 4; g = g + 1) begin : loop\n"
+        "      assign y[g] = a[g];\n"
+        "    end\n"
+        "    if (1) begin\n"
+        "      wire dummy;\n"
+        "    end else begin\n"
+        "      wire other;\n"
+        "    end\n"
+        "  endgenerate\n"
+        "endmodule");
+    // The generate region is wrapped in a constant-true GenIf.
+    ASSERT_EQ(m.items.size(), 2u);
+    EXPECT_EQ(m.items[0]->kind, ItemKind::Genvar);
+    const Item &region = *m.items[1];
+    EXPECT_EQ(region.kind, ItemKind::GenIf);
+    ASSERT_EQ(region.genThen.size(), 2u);
+    EXPECT_EQ(region.genThen[0]->kind, ItemKind::GenFor);
+    EXPECT_EQ(region.genThen[0]->genvar, "g");
+    EXPECT_EQ(region.genThen[1]->kind, ItemKind::GenIf);
+    EXPECT_EQ(region.genThen[1]->genElse.size(), 1u);
+}
+
+TEST(Parser, ConcatAndReplication)
+{
+    Module m = parseOne(
+        "module m (input wire [3:0] a, output wire [7:0] y);\n"
+        "  assign y = {a, {4{1'b1}}};\n"
+        "endmodule");
+    const Expr &rhs = *m.items[0]->rhs;
+    ASSERT_EQ(rhs.kind, ExprKind::Concat);
+    ASSERT_EQ(rhs.parts.size(), 2u);
+    EXPECT_EQ(rhs.parts[1]->kind, ExprKind::Repl);
+}
+
+TEST(Parser, LvalueForms)
+{
+    Module m = parseOne(
+        "module m (input wire [7:0] a, output wire [7:0] y, "
+        "output wire z);\n"
+        "  assign y[3:0] = a[3:0];\n"
+        "  assign {z, y[7:4]} = a[4:0];\n"
+        "endmodule");
+    EXPECT_EQ(m.items[0]->lhs->kind, ExprKind::Range);
+    EXPECT_EQ(m.items[1]->lhs->kind, ExprKind::Concat);
+}
+
+TEST(Parser, ProceduralForLoop)
+{
+    Module m = parseOne(
+        "module m (input wire [3:0] a, output reg [3:0] y);\n"
+        "  integer i;\n"
+        "  always @* begin\n"
+        "    y = 4'd0;\n"
+        "    for (i = 0; i < 4; i = i + 1) begin\n"
+        "      if (a[i]) y = i;\n"
+        "    end\n"
+        "  end\n"
+        "endmodule");
+    const Stmt &block = *m.items[1]->body;
+    ASSERT_EQ(block.stmts.size(), 2u);
+    EXPECT_EQ(block.stmts[1]->kind, StmtKind::For);
+    EXPECT_EQ(block.stmts[1]->loopVar, "i");
+}
+
+TEST(Parser, LessEqualInExpressionContext)
+{
+    // '<=' must parse as less-equal inside an expression but as
+    // non-blocking assignment at statement level.
+    Module m = parseOne(
+        "module m (input wire clk, input wire [3:0] a, "
+        "output reg y);\n"
+        "  always @(posedge clk) y <= a <= 4'd7;\n"
+        "endmodule");
+    const Stmt &s = *m.items[0]->body;
+    EXPECT_TRUE(s.nonBlocking);
+    EXPECT_EQ(s.rhs->kind, ExprKind::Binary);
+    EXPECT_EQ(s.rhs->binOp, BinOp::Le);
+}
+
+TEST(Parser, ErrorsCarryLineNumbers)
+{
+    try {
+        parseSource("module m (input wire a);\n  assign = 1;\n"
+                    "endmodule",
+                    "file.v");
+        FAIL() << "expected parse error";
+    } catch (const UcxError &e) {
+        EXPECT_NE(std::string(e.what()).find("file.v:2"),
+                  std::string::npos);
+    }
+}
+
+TEST(Parser, MissingSemicolonThrows)
+{
+    EXPECT_THROW(
+        parseOne("module m (input wire a)\nendmodule"),
+        UcxError);
+}
+
+TEST(Parser, UnterminatedModuleThrows)
+{
+    EXPECT_THROW(parseOne("module m (input wire a);"), UcxError);
+}
+
+TEST(Parser, MultipleModules)
+{
+    SourceFile sf = parseSource(
+        "module a (input wire x); endmodule\n"
+        "module b (input wire y); endmodule");
+    ASSERT_EQ(sf.modules.size(), 2u);
+    EXPECT_EQ(sf.modules[0].name, "a");
+    EXPECT_EQ(sf.modules[1].name, "b");
+}
+
+TEST(Parser, CloneIsDeep)
+{
+    Module m = parseOne(
+        "module m (input wire a, output wire y);\n"
+        "  assign y = a ? 1'b1 : 1'b0;\n"
+        "endmodule");
+    ItemPtr copy = m.items[0]->clone();
+    // Mutating the clone must not affect the original.
+    copy->rhs->a->name = "changed";
+    EXPECT_EQ(m.items[0]->rhs->a->name, "a");
+}
+
+} // namespace
+} // namespace ucx

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "hdl/source_metrics.hh"
+
+namespace ucx
+{
+namespace
+{
+
+TEST(SourceMetrics, LocSkipsBlankAndCommentLines)
+{
+    std::string src =
+        "// header comment\n"
+        "\n"
+        "module m (input wire a);\n"
+        "  /* block\n"
+        "     comment */\n"
+        "  wire b; // trailing comment still counts\n"
+        "endmodule\n";
+    EXPECT_EQ(countLoc(src), 3u);
+}
+
+TEST(SourceMetrics, LocHandlesCodeAroundBlockComment)
+{
+    std::string src = "wire a; /* c */ wire b;\n";
+    EXPECT_EQ(countLoc(src), 1u);
+    // Code before a block comment on its opening line counts.
+    EXPECT_EQ(countLoc("wire a; /* open\n still comment */\n"), 1u);
+    // Code after the close on the closing line counts.
+    EXPECT_EQ(countLoc("/* open\n close */ wire b;\n"), 1u);
+}
+
+TEST(SourceMetrics, LocNoTrailingNewline)
+{
+    EXPECT_EQ(countLoc("wire a;"), 1u);
+    EXPECT_EQ(countLoc(""), 0u);
+}
+
+TEST(SourceMetrics, StmtsCountsDeclarationsAndBehavior)
+{
+    SourceMetrics m = measureSource(
+        "module m #(parameter W = 4) (input wire clk, "
+        "input wire [W-1:0] d, output reg [W-1:0] q);\n"
+        "  wire [W-1:0] t;\n"
+        "  assign t = d;\n"
+        "  always @(posedge clk) q <= t;\n"
+        "endmodule");
+    // 1 param + 3 ports + 1 net + 1 assign + (1 always + 1 stmt).
+    EXPECT_EQ(m.stmts, 8u);
+}
+
+TEST(SourceMetrics, StmtsCountsControlStructure)
+{
+    SourceMetrics m = measureSource(
+        "module m (input wire [1:0] s, output reg y);\n"
+        "  always @* begin\n"
+        "    if (s == 2'd0) y = 1'b0;\n"
+        "    else y = 1'b1;\n"
+        "    case (s)\n"
+        "      2'd1: y = 1'b0;\n"
+        "      default: y = 1'b1;\n"
+        "    endcase\n"
+        "  end\n"
+        "endmodule");
+    // 2 ports + always(1) + if(1) + 2 assigns + case(1) + 2 arms.
+    EXPECT_EQ(m.stmts, 9u);
+}
+
+TEST(SourceMetrics, GenerateCountsOnceNotPerIteration)
+{
+    // The paper measures the *written* code: a generate loop is one
+    // loop statement plus its body, independent of trip count.
+    std::string body =
+        "module m (input wire [7:0] a, output wire [7:0] y);\n"
+        "  genvar g;\n"
+        "  generate\n"
+        "    for (g = 0; g < %N%; g = g + 1) begin : l\n"
+        "      assign y[g] = a[g];\n"
+        "    end\n"
+        "  endgenerate\n"
+        "endmodule";
+    auto with_n = [&](const std::string &n) {
+        std::string s = body;
+        s.replace(s.find("%N%"), 3, n);
+        return measureSource(s).stmts;
+    };
+    EXPECT_EQ(with_n("2"), with_n("8"));
+}
+
+TEST(SourceMetrics, MultipleModulesSummed)
+{
+    SourceMetrics one = measureSource(
+        "module a (input wire x); endmodule");
+    SourceMetrics two = measureSource(
+        "module a (input wire x); endmodule\n"
+        "module b (input wire y); endmodule");
+    EXPECT_EQ(two.stmts, 2 * one.stmts);
+}
+
+TEST(SourceMetrics, NetListCountsPerName)
+{
+    SourceMetrics m = measureSource(
+        "module m (input wire x);\n  wire a, b, c;\nendmodule");
+    // 1 port + 3 declared names.
+    EXPECT_EQ(m.stmts, 4u);
+}
+
+} // namespace
+} // namespace ucx

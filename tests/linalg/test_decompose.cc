@@ -1,0 +1,149 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "linalg/decompose.hh"
+#include "util/error.hh"
+#include "util/rng.hh"
+
+namespace ucx
+{
+namespace
+{
+
+Matrix
+randomSpd(size_t n, uint64_t seed)
+{
+    // A A^T + n I is symmetric positive definite.
+    Rng rng(seed);
+    Matrix a(n, n);
+    for (size_t r = 0; r < n; ++r)
+        for (size_t c = 0; c < n; ++c)
+            a(r, c) = rng.uniform(-1.0, 1.0);
+    Matrix spd = matmul(a, a.transposed());
+    for (size_t i = 0; i < n; ++i)
+        spd(i, i) += static_cast<double>(n);
+    return spd;
+}
+
+TEST(Cholesky, ReconstructsMatrix)
+{
+    Matrix a = randomSpd(5, 1);
+    Cholesky chol(a);
+    Matrix rebuilt = matmul(chol.lower(), chol.lower().transposed());
+    EXPECT_LT(maxAbsDiff(rebuilt, a), 1e-10);
+}
+
+TEST(Cholesky, SolvesSystem)
+{
+    Matrix a = randomSpd(6, 2);
+    Vector x_true = {1, -2, 3, 0.5, -0.25, 4};
+    Vector b = matvec(a, x_true);
+    Vector x = Cholesky(a).solve(b);
+    for (size_t i = 0; i < x.size(); ++i)
+        EXPECT_NEAR(x[i], x_true[i], 1e-9);
+}
+
+TEST(Cholesky, LogDetMatchesLu)
+{
+    Matrix a = randomSpd(4, 3);
+    double log_det = Cholesky(a).logDet();
+    double det = Lu(a).det();
+    EXPECT_NEAR(log_det, std::log(det), 1e-9);
+}
+
+TEST(Cholesky, RejectsNonSpd)
+{
+    Matrix a = Matrix::fromRows({{1, 2}, {2, 1}}); // indefinite
+    EXPECT_THROW((Cholesky(a)), UcxError);
+}
+
+TEST(Cholesky, RejectsNonSquare)
+{
+    EXPECT_THROW((Cholesky(Matrix(2, 3))), UcxError);
+}
+
+TEST(Lu, SolvesGeneralSystem)
+{
+    Matrix a = Matrix::fromRows({{0, 2, 1}, {3, -1, 2}, {1, 1, 1}});
+    Vector x_true = {2, -1, 3};
+    Vector b = matvec(a, x_true);
+    Vector x = Lu(a).solve(b);
+    for (size_t i = 0; i < 3; ++i)
+        EXPECT_NEAR(x[i], x_true[i], 1e-10);
+}
+
+TEST(Lu, DetOfKnownMatrix)
+{
+    Matrix a = Matrix::fromRows({{1, 2}, {3, 4}});
+    EXPECT_NEAR(Lu(a).det(), -2.0, 1e-12);
+}
+
+TEST(Lu, PivotingHandlesZeroDiagonal)
+{
+    Matrix a = Matrix::fromRows({{0, 1}, {1, 0}});
+    Vector x = Lu(a).solve({2, 3});
+    EXPECT_NEAR(x[0], 3.0, 1e-12);
+    EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Lu, SingularThrows)
+{
+    Matrix a = Matrix::fromRows({{1, 2}, {2, 4}});
+    EXPECT_THROW((Lu(a)), UcxError);
+}
+
+TEST(Qr, SolvesExactSystem)
+{
+    Matrix a = Matrix::fromRows({{2, 1}, {1, 3}});
+    Vector x = Qr(a).solveLeastSquares({5, 10});
+    EXPECT_NEAR(2 * x[0] + x[1], 5.0, 1e-10);
+    EXPECT_NEAR(x[0] + 3 * x[1], 10.0, 1e-10);
+}
+
+TEST(Qr, LeastSquaresMatchesNormalEquations)
+{
+    // Overdetermined: fit y = b0 + b1 x.
+    Matrix x = Matrix::fromRows(
+        {{1, 0}, {1, 1}, {1, 2}, {1, 3}, {1, 4}});
+    Vector y = {1.1, 2.9, 5.2, 6.8, 9.1};
+    Vector beta = Qr(x).solveLeastSquares(y);
+    // Normal equations solution.
+    Matrix xtx = matmul(x.transposed(), x);
+    Vector xty = matvec(x.transposed(), y);
+    Vector beta_ne = Cholesky(xtx).solve(xty);
+    EXPECT_NEAR(beta[0], beta_ne[0], 1e-9);
+    EXPECT_NEAR(beta[1], beta_ne[1], 1e-9);
+}
+
+TEST(Qr, FullRankDetection)
+{
+    Matrix good = Matrix::fromRows({{1, 0}, {0, 1}, {1, 1}});
+    EXPECT_TRUE(Qr(good).fullRank());
+    Matrix bad = Matrix::fromRows({{1, 2}, {2, 4}, {3, 6}});
+    EXPECT_FALSE(Qr(bad).fullRank());
+}
+
+TEST(Qr, RandomizedRoundTrip)
+{
+    Rng rng(9);
+    for (int trial = 0; trial < 20; ++trial) {
+        size_t m = 4 + rng.below(5);
+        size_t n = 2 + rng.below(3);
+        Matrix a(m, n);
+        for (size_t r = 0; r < m; ++r)
+            for (size_t c = 0; c < n; ++c)
+                a(r, c) = rng.normal();
+        Vector x_true(n);
+        for (auto &v : x_true)
+            v = rng.normal();
+        // Consistent rhs -> exact recovery.
+        Vector b = matvec(a, x_true);
+        Vector x = Qr(a).solveLeastSquares(b);
+        for (size_t i = 0; i < n; ++i)
+            EXPECT_NEAR(x[i], x_true[i], 1e-8);
+    }
+}
+
+} // namespace
+} // namespace ucx

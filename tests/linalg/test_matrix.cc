@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "linalg/matrix.hh"
+#include "util/error.hh"
+
+namespace ucx
+{
+namespace
+{
+
+TEST(Matrix, ConstructAndIndex)
+{
+    Matrix m(2, 3, 1.5);
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 3u);
+    EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+    m(0, 0) = 7.0;
+    EXPECT_DOUBLE_EQ(m(0, 0), 7.0);
+}
+
+TEST(Matrix, FromRows)
+{
+    Matrix m = Matrix::fromRows({{1, 2}, {3, 4}, {5, 6}});
+    EXPECT_EQ(m.rows(), 3u);
+    EXPECT_EQ(m.cols(), 2u);
+    EXPECT_DOUBLE_EQ(m(2, 1), 6.0);
+}
+
+TEST(Matrix, FromRowsRaggedThrows)
+{
+    EXPECT_THROW(Matrix::fromRows({{1, 2}, {3}}), UcxError);
+}
+
+TEST(Matrix, Identity)
+{
+    Matrix id = Matrix::identity(3);
+    for (size_t r = 0; r < 3; ++r)
+        for (size_t c = 0; c < 3; ++c)
+            EXPECT_DOUBLE_EQ(id(r, c), r == c ? 1.0 : 0.0);
+}
+
+TEST(Matrix, Transpose)
+{
+    Matrix m = Matrix::fromRows({{1, 2, 3}, {4, 5, 6}});
+    Matrix t = m.transposed();
+    EXPECT_EQ(t.rows(), 3u);
+    EXPECT_EQ(t.cols(), 2u);
+    EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+    EXPECT_DOUBLE_EQ(t(0, 1), 4.0);
+}
+
+TEST(Matrix, IndexOutOfRangePanics)
+{
+    Matrix m(2, 2);
+    EXPECT_THROW(m(2, 0), UcxPanic);
+    EXPECT_THROW(m(0, 2), UcxPanic);
+}
+
+TEST(Matrix, Matmul)
+{
+    Matrix a = Matrix::fromRows({{1, 2}, {3, 4}});
+    Matrix b = Matrix::fromRows({{5, 6}, {7, 8}});
+    Matrix c = matmul(a, b);
+    EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+    EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+    EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+    EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, MatmulDimensionMismatchThrows)
+{
+    Matrix a(2, 3);
+    Matrix b(2, 3);
+    EXPECT_THROW(matmul(a, b), UcxError);
+}
+
+TEST(Matrix, MatmulIdentityIsNoop)
+{
+    Matrix a = Matrix::fromRows({{1, 2}, {3, 4}});
+    EXPECT_DOUBLE_EQ(maxAbsDiff(matmul(a, Matrix::identity(2)), a),
+                     0.0);
+    EXPECT_DOUBLE_EQ(maxAbsDiff(matmul(Matrix::identity(2), a), a),
+                     0.0);
+}
+
+TEST(Matrix, Matvec)
+{
+    Matrix a = Matrix::fromRows({{1, 2}, {3, 4}});
+    Vector x = {1, 1};
+    Vector y = matvec(a, x);
+    EXPECT_DOUBLE_EQ(y[0], 3.0);
+    EXPECT_DOUBLE_EQ(y[1], 7.0);
+}
+
+TEST(Vector, Arithmetic)
+{
+    Vector a = {1, 2, 3};
+    Vector b = {4, 5, 6};
+    Vector sum = add(a, b);
+    Vector diff = sub(b, a);
+    EXPECT_DOUBLE_EQ(sum[2], 9.0);
+    EXPECT_DOUBLE_EQ(diff[0], 3.0);
+    EXPECT_DOUBLE_EQ(dot(a, b), 32.0);
+    EXPECT_DOUBLE_EQ(norm(Vector{3, 4}), 5.0);
+    EXPECT_DOUBLE_EQ(maxAbs(Vector{-7, 2}), 7.0);
+    Vector s = scale(a, 2.0);
+    EXPECT_DOUBLE_EQ(s[1], 4.0);
+}
+
+TEST(Vector, SizeMismatchThrows)
+{
+    EXPECT_THROW(add(Vector{1}, Vector{1, 2}), UcxError);
+    EXPECT_THROW(dot(Vector{1}, Vector{1, 2}), UcxError);
+}
+
+TEST(Matrix, AddAndScale)
+{
+    Matrix a = Matrix::fromRows({{1, 2}, {3, 4}});
+    Matrix b = add(a, scale(a, 1.0));
+    EXPECT_DOUBLE_EQ(b(1, 1), 8.0);
+}
+
+} // namespace
+} // namespace ucx

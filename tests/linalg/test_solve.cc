@@ -1,0 +1,50 @@
+#include <gtest/gtest.h>
+
+#include "linalg/solve.hh"
+
+namespace ucx
+{
+namespace
+{
+
+TEST(Solve, LinearAgainstKnown)
+{
+    Matrix a = Matrix::fromRows({{4, 1}, {1, 3}});
+    // b = A * (2, 1).
+    Vector x = solveLinear(a, {9, 5});
+    EXPECT_NEAR(x[0], 2.0, 1e-12);
+    EXPECT_NEAR(x[1], 1.0, 1e-12);
+}
+
+TEST(Solve, SpdMatchesLinear)
+{
+    Matrix a = Matrix::fromRows({{5, 2}, {2, 3}});
+    Vector b = {1, 2};
+    Vector x1 = solveLinear(a, b);
+    Vector x2 = solveSpd(a, b);
+    EXPECT_NEAR(x1[0], x2[0], 1e-10);
+    EXPECT_NEAR(x1[1], x2[1], 1e-10);
+}
+
+TEST(Solve, LeastSquaresResidualOrthogonal)
+{
+    Matrix x = Matrix::fromRows({{1, 0}, {1, 1}, {1, 2}});
+    Vector y = {0.0, 1.1, 1.9};
+    Vector beta = leastSquares(x, y);
+    // Residual must be orthogonal to the column space.
+    Vector fit = matvec(x, beta);
+    Vector resid = sub(y, fit);
+    Vector xtres = matvec(x.transposed(), resid);
+    EXPECT_NEAR(maxAbs(xtres), 0.0, 1e-10);
+}
+
+TEST(Solve, InverseTimesMatrixIsIdentity)
+{
+    Matrix a = Matrix::fromRows({{2, 1, 0}, {1, 3, 1}, {0, 1, 4}});
+    Matrix inv = inverse(a);
+    Matrix prod = matmul(a, inv);
+    EXPECT_LT(maxAbsDiff(prod, Matrix::identity(3)), 1e-10);
+}
+
+} // namespace
+} // namespace ucx

@@ -1,0 +1,119 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nlme/bootstrap.hh"
+#include "util/error.hh"
+#include "util/rng.hh"
+
+namespace ucx
+{
+namespace
+{
+
+NlmeData
+bootData(uint64_t seed)
+{
+    Rng rng(seed);
+    NlmeData data;
+    for (size_t g = 0; g < 4; ++g) {
+        NlmeGroup grp;
+        grp.name = "g" + std::to_string(g);
+        double b = rng.normal(0.0, 0.35);
+        std::vector<std::vector<double>> rows;
+        for (size_t j = 0; j < 5; ++j) {
+            double m = rng.uniform(100.0, 5000.0);
+            grp.y.push_back(b + std::log(0.008 * m) +
+                            rng.normal(0.0, 0.3));
+            rows.push_back({m});
+        }
+        grp.x = Matrix::fromRows(rows);
+        data.groups.push_back(std::move(grp));
+    }
+    return data;
+}
+
+TEST(Bootstrap, ReplicateCountRespected)
+{
+    NlmeData data = bootData(1);
+    MixedFit fit = MixedModel(data).fit();
+    BootstrapConfig cfg;
+    cfg.replicates = 25;
+    cfg.starts = 1;
+    BootstrapResult res = parametricBootstrap(data, fit, cfg);
+    EXPECT_EQ(res.fits.size(), 25u);
+}
+
+TEST(Bootstrap, SamplesCenterNearTruth)
+{
+    NlmeData data = bootData(3);
+    MixedFit fit = MixedModel(data).fit();
+    BootstrapConfig cfg;
+    cfg.replicates = 60;
+    cfg.starts = 1;
+    BootstrapResult res = parametricBootstrap(data, fit, cfg);
+    std::vector<double> sig = res.sigmaEpsSamples();
+    double med = sig[sig.size() / 2];
+    // The bootstrap distribution of sigma_eps centers near the
+    // generating value (slight downward ML bias is expected).
+    EXPECT_NEAR(med, fit.sigmaEps, 0.12);
+}
+
+TEST(Bootstrap, IntervalBracketsGeneratingValue)
+{
+    NlmeData data = bootData(5);
+    MixedFit fit = MixedModel(data).fit();
+    BootstrapConfig cfg;
+    cfg.replicates = 80;
+    cfg.starts = 1;
+    BootstrapResult res = parametricBootstrap(data, fit, cfg);
+    auto [lo, hi] = res.sigmaEpsInterval(0.90);
+    EXPECT_LT(lo, fit.sigmaEps);
+    EXPECT_GT(hi, lo);
+    EXPECT_GT(hi, fit.sigmaEps * 0.8);
+}
+
+TEST(Bootstrap, DeterministicForFixedSeed)
+{
+    NlmeData data = bootData(7);
+    MixedFit fit = MixedModel(data).fit();
+    BootstrapConfig cfg;
+    cfg.replicates = 10;
+    cfg.starts = 1;
+    BootstrapResult a = parametricBootstrap(data, fit, cfg);
+    BootstrapResult b = parametricBootstrap(data, fit, cfg);
+    for (size_t i = 0; i < 10; ++i) {
+        EXPECT_DOUBLE_EQ(a.fits[i].sigmaEps, b.fits[i].sigmaEps);
+        EXPECT_DOUBLE_EQ(a.fits[i].weights[0],
+                         b.fits[i].weights[0]);
+    }
+}
+
+TEST(Bootstrap, SortedSamples)
+{
+    NlmeData data = bootData(9);
+    MixedFit fit = MixedModel(data).fit();
+    BootstrapConfig cfg;
+    cfg.replicates = 15;
+    cfg.starts = 1;
+    BootstrapResult res = parametricBootstrap(data, fit, cfg);
+    auto sig = res.sigmaEpsSamples();
+    for (size_t i = 1; i < sig.size(); ++i)
+        EXPECT_LE(sig[i - 1], sig[i]);
+    auto rho = res.sigmaRhoSamples();
+    EXPECT_EQ(rho.size(), 15u);
+}
+
+TEST(Bootstrap, RejectsBadArguments)
+{
+    NlmeData data = bootData(11);
+    MixedFit fit = MixedModel(data).fit();
+    BootstrapConfig cfg;
+    cfg.replicates = 0;
+    EXPECT_THROW(parametricBootstrap(data, fit, cfg), UcxError);
+    BootstrapResult empty;
+    EXPECT_THROW(empty.sigmaEpsInterval(0.9), UcxError);
+}
+
+} // namespace
+} // namespace ucx

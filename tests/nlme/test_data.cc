@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "nlme/data.hh"
+#include "util/error.hh"
+
+namespace ucx
+{
+namespace
+{
+
+NlmeData
+twoGroupData()
+{
+    NlmeData data;
+    NlmeGroup a;
+    a.name = "A";
+    a.y = {0.0, 1.0};
+    a.x = Matrix::fromRows({{1.0, 2.0}, {3.0, 4.0}});
+    NlmeGroup b;
+    b.name = "B";
+    b.y = {2.0};
+    b.x = Matrix::fromRows({{5.0, 6.0}});
+    data.groups = {std::move(a), std::move(b)};
+    return data;
+}
+
+TEST(NlmeData, Totals)
+{
+    NlmeData data = twoGroupData();
+    EXPECT_EQ(data.totalObservations(), 3u);
+    EXPECT_EQ(data.numCovariates(), 2u);
+    EXPECT_NO_THROW(data.validate());
+}
+
+TEST(NlmeData, EmptyIsInvalid)
+{
+    NlmeData data;
+    EXPECT_THROW(data.validate(), UcxError);
+}
+
+TEST(NlmeData, RowCountMismatchIsInvalid)
+{
+    NlmeData data = twoGroupData();
+    data.groups[0].y.push_back(3.0); // now 3 y's but 2 x rows
+    EXPECT_THROW(data.validate(), UcxError);
+}
+
+TEST(NlmeData, CovariateCountMismatchIsInvalid)
+{
+    NlmeData data = twoGroupData();
+    data.groups[1].x = Matrix::fromRows({{1.0}});
+    EXPECT_THROW(data.validate(), UcxError);
+}
+
+TEST(NlmeData, AllZeroRowIsInvalid)
+{
+    NlmeData data = twoGroupData();
+    data.groups[0].x(0, 0) = 0.0;
+    data.groups[0].x(0, 1) = 0.0;
+    EXPECT_THROW(data.validate(), UcxError);
+}
+
+TEST(NlmeData, NegativeMetricIsInvalid)
+{
+    NlmeData data = twoGroupData();
+    data.groups[0].x(0, 0) = -1.0;
+    EXPECT_THROW(data.validate(), UcxError);
+}
+
+TEST(NlmeData, EmptyGroupIsInvalid)
+{
+    NlmeData data = twoGroupData();
+    data.groups[1].y.clear();
+    data.groups[1].x = Matrix(0, 2);
+    EXPECT_THROW(data.validate(), UcxError);
+}
+
+} // namespace
+} // namespace ucx

@@ -1,0 +1,152 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nlme/generic.hh"
+#include "nlme/mixed_model.hh"
+#include "util/rng.hh"
+
+namespace ucx
+{
+namespace
+{
+
+NlmeData
+smallData(uint64_t seed)
+{
+    Rng rng(seed);
+    NlmeData data;
+    for (size_t g = 0; g < 3; ++g) {
+        NlmeGroup grp;
+        grp.name = "g" + std::to_string(g);
+        double b = rng.normal(0.0, 0.4);
+        std::vector<std::vector<double>> rows;
+        for (size_t j = 0; j < 4; ++j) {
+            double m1 = rng.uniform(200.0, 3000.0);
+            double m2 = rng.uniform(2000.0, 15000.0);
+            double y = b + std::log(0.004 * m1 + 0.0004 * m2) +
+                       rng.normal(0.0, 0.3);
+            rows.push_back({m1, m2});
+            grp.y.push_back(y);
+        }
+        grp.x = Matrix::fromRows(rows);
+        data.groups.push_back(std::move(grp));
+    }
+    return data;
+}
+
+/**
+ * The decisive cross-check: for the log-additive random intercept,
+ * Laplace is *exact* (the integrand is Gaussian in b), so the
+ * generic fitter's likelihood must equal the analytic one.
+ */
+TEST(GenericNlme, LaplaceMatchesAnalyticExactly)
+{
+    NlmeData data = smallData(3);
+    MixedModel analytic(data);
+    GenericNlmeConfig cfg;
+    cfg.integration = Integration::Laplace;
+    GenericNlme laplace(data, logLinearMean(), cfg);
+
+    std::vector<double> w = {0.004, 0.0004};
+    for (double se : {0.2, 0.4}) {
+        for (double sr : {0.1, 0.5}) {
+            double a = analytic.logLikelihood(w, se, sr);
+            double l = laplace.logLikelihood(w, se, sr);
+            EXPECT_NEAR(a, l, 1e-5)
+                << "se=" << se << " sr=" << sr;
+        }
+    }
+}
+
+TEST(GenericNlme, AghqMatchesAnalytic)
+{
+    NlmeData data = smallData(5);
+    MixedModel analytic(data);
+    GenericNlmeConfig cfg;
+    cfg.integration = Integration::Aghq;
+    cfg.quadraturePoints = 15;
+    GenericNlme aghq(data, logLinearMean(), cfg);
+
+    std::vector<double> w = {0.004, 0.0004};
+    double a = analytic.logLikelihood(w, 0.3, 0.4);
+    double q = aghq.logLikelihood(w, 0.3, 0.4);
+    EXPECT_NEAR(a, q, 1e-6);
+}
+
+TEST(GenericNlme, AghqConvergesWithNodeCount)
+{
+    NlmeData data = smallData(7);
+    MixedModel analytic(data);
+    std::vector<double> w = {0.004, 0.0004};
+    double exact = analytic.logLikelihood(w, 0.35, 0.45);
+
+    double err_few;
+    double err_many;
+    {
+        GenericNlmeConfig cfg;
+        cfg.quadraturePoints = 3;
+        GenericNlme fitter(data, logLinearMean(), cfg);
+        err_few =
+            std::abs(fitter.logLikelihood(w, 0.35, 0.45) - exact);
+    }
+    {
+        GenericNlmeConfig cfg;
+        cfg.quadraturePoints = 25;
+        GenericNlme fitter(data, logLinearMean(), cfg);
+        err_many =
+            std::abs(fitter.logLikelihood(w, 0.35, 0.45) - exact);
+    }
+    EXPECT_LE(err_many, err_few + 1e-12);
+    EXPECT_LT(err_many, 1e-7);
+}
+
+TEST(GenericNlme, FitAgreesWithAnalyticFit)
+{
+    NlmeData data = smallData(9);
+    MixedFit exact = MixedModel(data).fit();
+
+    GenericNlmeConfig cfg;
+    cfg.integration = Integration::Aghq;
+    cfg.starts = 3;
+    MixedFit approx =
+        GenericNlme(data, logLinearMean(), cfg).fit();
+
+    // Same model, same ML criterion: the maximized likelihoods agree
+    // up to optimizer tolerance.
+    EXPECT_NEAR(exact.logLik, approx.logLik,
+                0.05 * std::abs(exact.logLik) + 0.05);
+    EXPECT_NEAR(exact.sigmaEps, approx.sigmaEps, 0.05);
+}
+
+TEST(GenericNlme, CustomMeanFunction)
+{
+    // A different conditional mean: y = w0 * x0 + b (identity link).
+    // The generic machinery must handle it.
+    NlmeData data;
+    Rng rng(21);
+    for (size_t g = 0; g < 3; ++g) {
+        NlmeGroup grp;
+        grp.name = "g" + std::to_string(g);
+        double b = rng.normal(0.0, 0.3);
+        std::vector<std::vector<double>> rows;
+        for (size_t j = 0; j < 5; ++j) {
+            double x = rng.uniform(0.5, 2.0);
+            rows.push_back({x});
+            grp.y.push_back(2.5 * x + b + rng.normal(0.0, 0.1));
+        }
+        grp.x = Matrix::fromRows(rows);
+        data.groups.push_back(std::move(grp));
+    }
+    MeanFn linear = [](const std::vector<double> &w,
+                       const std::vector<double> &x, double b) {
+        return w[0] * x[0] + b;
+    };
+    GenericNlmeConfig cfg;
+    cfg.starts = 2;
+    MixedFit fit = GenericNlme(data, linear, cfg).fit();
+    EXPECT_NEAR(fit.weights[0], 2.5, 0.3);
+}
+
+} // namespace
+} // namespace ucx

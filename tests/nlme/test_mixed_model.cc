@@ -1,0 +1,185 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nlme/mixed_model.hh"
+#include "util/error.hh"
+#include "util/rng.hh"
+
+namespace ucx
+{
+namespace
+{
+
+/**
+ * Brute-force marginal log-likelihood by naive MVN evaluation:
+ * build sigma_e^2 I + sigma_r^2 J explicitly and evaluate the
+ * quadratic form via dense inversion (small n), to validate the
+ * closed-form compound-symmetry evaluation.
+ */
+double
+naiveGroupLogLik(const std::vector<double> &resid, double ve,
+                 double vr)
+{
+    size_t n = resid.size();
+    // Direct computation with Sherman-Morrison:
+    // Sigma^{-1} = (1/ve)(I - (vr/(ve + n vr)) J).
+    double ss = 0.0;
+    double s = 0.0;
+    for (double r : resid) {
+        ss += r * r;
+        s += r;
+    }
+    double tau = ve + static_cast<double>(n) * vr;
+    double quad = (ss - vr / tau * s * s) / ve;
+    double logdet =
+        (static_cast<double>(n) - 1.0) * std::log(ve) + std::log(tau);
+    return -0.5 * (static_cast<double>(n) * std::log(2.0 * M_PI) +
+                   logdet + quad);
+}
+
+NlmeData
+syntheticData(uint64_t seed, double w1, double w2, double s_eps,
+              double s_rho, size_t groups, size_t per_group)
+{
+    Rng rng(seed);
+    NlmeData data;
+    for (size_t g = 0; g < groups; ++g) {
+        NlmeGroup grp;
+        grp.name = "team" + std::to_string(g);
+        double b = rng.normal(0.0, s_rho);
+        std::vector<std::vector<double>> rows;
+        for (size_t j = 0; j < per_group; ++j) {
+            double m1 = rng.uniform(100.0, 4000.0);
+            double m2 = rng.uniform(1000.0, 20000.0);
+            double y = b + std::log(w1 * m1 + w2 * m2) +
+                       rng.normal(0.0, s_eps);
+            rows.push_back({m1, m2});
+            grp.y.push_back(y);
+        }
+        grp.x = Matrix::fromRows(rows);
+        data.groups.push_back(std::move(grp));
+    }
+    return data;
+}
+
+TEST(MixedModel, LogLikelihoodMatchesNaive)
+{
+    NlmeData data =
+        syntheticData(5, 0.004, 0.0005, 0.4, 0.5, 4, 5);
+    MixedModel model(data);
+    std::vector<double> w = {0.004, 0.0005};
+    double got = model.logLikelihood(w, 0.4, 0.5);
+
+    double expect = 0.0;
+    for (const auto &g : data.groups) {
+        std::vector<double> resid;
+        for (size_t j = 0; j < g.y.size(); ++j) {
+            double lin = w[0] * g.x(j, 0) + w[1] * g.x(j, 1);
+            resid.push_back(g.y[j] - std::log(lin));
+        }
+        expect += naiveGroupLogLik(resid, 0.16, 0.25);
+    }
+    EXPECT_NEAR(got, expect, 1e-9);
+}
+
+TEST(MixedModel, LikelihoodDecreasesAwayFromTruth)
+{
+    NlmeData data =
+        syntheticData(7, 0.004, 0.0005, 0.3, 0.4, 6, 8);
+    MixedModel model(data);
+    double at_truth =
+        model.logLikelihood({0.004, 0.0005}, 0.3, 0.4);
+    double off = model.logLikelihood({0.02, 0.0005}, 0.3, 0.4);
+    EXPECT_GT(at_truth, off);
+}
+
+TEST(MixedModel, InvalidWeightsGiveMinusInfinity)
+{
+    NlmeData data = syntheticData(9, 0.004, 0.0005, 0.3, 0.4, 3, 4);
+    MixedModel model(data);
+    // Weights can never make w.m <= 0 here since metrics are
+    // positive and weights are constrained positive; but a zero
+    // weight vector would. logLikelihood requires positive sigmas
+    // instead.
+    EXPECT_THROW(model.logLikelihood({0.004, 0.0005}, 0.0, 0.4),
+                 UcxError);
+    EXPECT_THROW(model.logLikelihood({0.004, 0.0005}, 0.3, -0.1),
+                 UcxError);
+    EXPECT_THROW(model.logLikelihood({0.004}, 0.3, 0.4), UcxError);
+}
+
+TEST(MixedModel, EmpiricalBayesShrinkage)
+{
+    NlmeData data = syntheticData(11, 0.004, 0.0005, 0.3, 0.5, 4, 6);
+    MixedModel model(data);
+    std::vector<double> w = {0.004, 0.0005};
+
+    // With sigma_rho -> 0 the random effects collapse to zero.
+    std::vector<double> b_small = model.empiricalBayes(w, 0.3, 1e-9);
+    for (double b : b_small)
+        EXPECT_NEAR(b, 0.0, 1e-6);
+
+    // With huge sigma_rho the estimate approaches the group residual
+    // mean.
+    std::vector<double> b_large =
+        model.empiricalBayes(w, 0.3, 100.0);
+    for (size_t i = 0; i < data.groups.size(); ++i) {
+        const auto &g = data.groups[i];
+        double mean_resid = 0.0;
+        for (size_t j = 0; j < g.y.size(); ++j) {
+            double lin = w[0] * g.x(j, 0) + w[1] * g.x(j, 1);
+            mean_resid += g.y[j] - std::log(lin);
+        }
+        mean_resid /= static_cast<double>(g.y.size());
+        EXPECT_NEAR(b_large[i], mean_resid, 1e-3);
+    }
+}
+
+TEST(MixedModel, FitImprovesOnStart)
+{
+    NlmeData data =
+        syntheticData(13, 0.003, 0.0004, 0.35, 0.45, 5, 6);
+    MixedModel model(data);
+    MixedFit fit = model.fit();
+    EXPECT_GT(fit.sigmaEps, 0.0);
+    EXPECT_GT(fit.sigmaRho, 0.0);
+    EXPECT_EQ(fit.weights.size(), 2u);
+    EXPECT_EQ(fit.nParams, 4u);
+    // Fit log-likelihood must beat the likelihood at a perturbed
+    // point.
+    double perturbed = model.logLikelihood(
+        {fit.weights[0] * 2.0, fit.weights[1] * 0.5},
+        fit.sigmaEps, fit.sigmaRho);
+    EXPECT_GE(fit.logLik, perturbed);
+}
+
+TEST(MixedModel, ProductivitiesCenterAroundOne)
+{
+    NlmeData data =
+        syntheticData(17, 0.003, 0.0004, 0.3, 0.5, 8, 6);
+    MixedFit fit = MixedModel(data).fit();
+    ASSERT_EQ(fit.productivity.size(), 8u);
+    // Median-1 lognormal: log productivities average near 0.
+    double sum = 0.0;
+    for (double rho : fit.productivity) {
+        EXPECT_GT(rho, 0.0);
+        sum += std::log(rho);
+    }
+    EXPECT_NEAR(sum / 8.0, 0.0, 0.5);
+}
+
+TEST(MixedModel, AicBicRelationship)
+{
+    NlmeData data =
+        syntheticData(19, 0.003, 0.0004, 0.3, 0.4, 4, 5);
+    MixedFit fit = MixedModel(data).fit();
+    // BIC penalizes harder than AIC when ln(n) > 2 (n = 20).
+    EXPECT_GT(fit.bic, fit.aic);
+    EXPECT_NEAR(fit.aic, -2.0 * fit.logLik + 2.0 * 4.0, 1e-9);
+    EXPECT_NEAR(fit.bic, -2.0 * fit.logLik + std::log(20.0) * 4.0,
+                1e-9);
+}
+
+} // namespace
+} // namespace ucx

@@ -1,0 +1,94 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nlme/pooled.hh"
+#include "nlme/mixed_model.hh"
+#include "util/rng.hh"
+
+namespace ucx
+{
+namespace
+{
+
+NlmeData
+pooledData(uint64_t seed, double rho_spread)
+{
+    Rng rng(seed);
+    NlmeData data;
+    for (size_t g = 0; g < 4; ++g) {
+        NlmeGroup grp;
+        grp.name = "g" + std::to_string(g);
+        double b = rng.normal(0.0, rho_spread);
+        std::vector<std::vector<double>> rows;
+        for (size_t j = 0; j < 6; ++j) {
+            double m = rng.uniform(100.0, 5000.0);
+            grp.y.push_back(b + std::log(0.01 * m) +
+                            rng.normal(0.0, 0.2));
+            rows.push_back({m});
+        }
+        grp.x = Matrix::fromRows(rows);
+        data.groups.push_back(std::move(grp));
+    }
+    return data;
+}
+
+TEST(PooledModel, RecoversWeightWithoutGroupEffects)
+{
+    NlmeData data = pooledData(1, 0.0);
+    PooledFit fit = PooledModel(data).fit();
+    EXPECT_NEAR(fit.weights[0], 0.01, 0.002);
+    EXPECT_NEAR(fit.sigmaEps, 0.2, 0.06);
+    EXPECT_EQ(fit.nParams, 2u);
+}
+
+TEST(PooledModel, RssAtTruthIsSmall)
+{
+    NlmeData data = pooledData(3, 0.0);
+    PooledModel model(data);
+    double at_truth = model.rss({0.01});
+    double off = model.rss({0.05});
+    EXPECT_LT(at_truth, off);
+}
+
+TEST(PooledModel, RssInfinityForDegenerateWeights)
+{
+    NlmeData data = pooledData(5, 0.0);
+    // A weight of exactly zero zeroes the linear predictor.
+    EXPECT_TRUE(std::isinf(PooledModel(data).rss({0.0})));
+}
+
+TEST(PooledModel, SigmaInflatedByGroupEffects)
+{
+    // Key paper point (Section 3.2 / Table 4 last row): ignoring
+    // productivity differences inflates sigma_eps.
+    PooledFit no_spread = PooledModel(pooledData(7, 0.0)).fit();
+    PooledFit spread = PooledModel(pooledData(7, 0.8)).fit();
+    EXPECT_GT(spread.sigmaEps, no_spread.sigmaEps + 0.2);
+}
+
+TEST(PooledModel, MixedBeatsPooledWhenGroupsDiffer)
+{
+    NlmeData data = pooledData(9, 0.8);
+    PooledFit pooled = PooledModel(data).fit();
+    MixedFit mixed = MixedModel(data).fit();
+    // The mixed model absorbs group offsets into sigma_rho, leaving
+    // a smaller residual sigma_eps.
+    EXPECT_LT(mixed.sigmaEps, pooled.sigmaEps);
+    EXPECT_GT(mixed.sigmaRho, 0.3);
+}
+
+TEST(PooledModel, LogLikConsistentWithSigma)
+{
+    NlmeData data = pooledData(11, 0.0);
+    PooledFit fit = PooledModel(data).fit();
+    double n = static_cast<double>(data.totalObservations());
+    double expect = -0.5 * n *
+                    (std::log(2.0 * M_PI * fit.sigmaEps *
+                              fit.sigmaEps) +
+                     1.0);
+    EXPECT_NEAR(fit.logLik, expect, 1e-9);
+}
+
+} // namespace
+} // namespace ucx

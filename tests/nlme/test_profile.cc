@@ -1,0 +1,126 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nlme/profile.hh"
+#include "util/error.hh"
+#include "util/rng.hh"
+
+namespace ucx
+{
+namespace
+{
+
+NlmeData
+profileData(uint64_t seed)
+{
+    Rng rng(seed);
+    NlmeData data;
+    for (size_t g = 0; g < 5; ++g) {
+        NlmeGroup grp;
+        grp.name = "g" + std::to_string(g);
+        double b = rng.normal(0.0, 0.4);
+        std::vector<std::vector<double>> rows;
+        for (size_t j = 0; j < 6; ++j) {
+            double m = rng.uniform(100.0, 5000.0);
+            grp.y.push_back(b + std::log(0.01 * m) +
+                            rng.normal(0.0, 0.3));
+            rows.push_back({m});
+        }
+        grp.x = Matrix::fromRows(rows);
+        data.groups.push_back(std::move(grp));
+    }
+    return data;
+}
+
+TEST(Profile, ProfileAtMleEqualsMaxLikelihood)
+{
+    NlmeData data = profileData(1);
+    MixedModel model(data);
+    MixedFit fit = model.fit();
+    double pll = profileLogLik(model, fit, MixedParam::SigmaEps, 0,
+                               fit.sigmaEps, 4);
+    // Profiling at the MLE re-finds (at least) the maximum.
+    EXPECT_NEAR(pll, fit.logLik, 0.02);
+    EXPECT_LE(pll, fit.logLik + 0.02);
+}
+
+TEST(Profile, ProfileDropsAwayFromMle)
+{
+    NlmeData data = profileData(3);
+    MixedModel model(data);
+    MixedFit fit = model.fit();
+    double at_mle = profileLogLik(model, fit, MixedParam::SigmaEps,
+                                  0, fit.sigmaEps, 3);
+    double far = profileLogLik(model, fit, MixedParam::SigmaEps, 0,
+                               fit.sigmaEps * 4.0, 3);
+    EXPECT_GT(at_mle, far + 1.0);
+}
+
+TEST(Profile, IntervalBracketsMle)
+{
+    NlmeData data = profileData(5);
+    MixedModel model(data);
+    MixedFit fit = model.fit();
+    ProfileInterval ci =
+        profileInterval(model, fit, MixedParam::SigmaEps);
+    EXPECT_LT(ci.lower, fit.sigmaEps);
+    EXPECT_GT(ci.upper, fit.sigmaEps);
+    EXPECT_FALSE(ci.lowerOpen);
+    EXPECT_FALSE(ci.upperOpen);
+}
+
+TEST(Profile, WiderIntervalAtHigherLevel)
+{
+    NlmeData data = profileData(7);
+    MixedModel model(data);
+    MixedFit fit = model.fit();
+    ProfileConfig c68;
+    c68.level = 0.68;
+    ProfileConfig c95;
+    c95.level = 0.95;
+    ProfileInterval i68 = profileInterval(
+        model, fit, MixedParam::SigmaEps, 0, c68);
+    ProfileInterval i95 = profileInterval(
+        model, fit, MixedParam::SigmaEps, 0, c95);
+    EXPECT_LE(i95.lower, i68.lower + 1e-6);
+    EXPECT_GE(i95.upper, i68.upper - 1e-6);
+}
+
+TEST(Profile, WeightIntervalBracketsMle)
+{
+    NlmeData data = profileData(9);
+    MixedModel model(data);
+    MixedFit fit = model.fit();
+    ProfileConfig cfg;
+    cfg.starts = 2;
+    ProfileInterval ci = profileInterval(
+        model, fit, MixedParam::Weight, 0, cfg);
+    EXPECT_LT(ci.lower, fit.weights[0]);
+    EXPECT_GT(ci.upper, fit.weights[0]);
+    // Truth (0.01) should fall inside a 95% interval most of the
+    // time; this seed's dataset is well behaved.
+    EXPECT_LT(ci.lower, 0.01);
+    EXPECT_GT(ci.upper, 0.01);
+}
+
+TEST(Profile, RejectsBadArguments)
+{
+    NlmeData data = profileData(11);
+    MixedModel model(data);
+    MixedFit fit = model.fit();
+    EXPECT_THROW(
+        profileLogLik(model, fit, MixedParam::Weight, 5, 0.5),
+        UcxError);
+    EXPECT_THROW(
+        profileLogLik(model, fit, MixedParam::SigmaEps, 0, 0.0),
+        UcxError);
+    ProfileConfig bad;
+    bad.level = 1.5;
+    EXPECT_THROW(profileInterval(model, fit, MixedParam::SigmaEps,
+                                 0, bad),
+                 UcxError);
+}
+
+} // namespace
+} // namespace ucx

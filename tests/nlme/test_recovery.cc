@@ -1,0 +1,129 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nlme/mixed_model.hh"
+#include "util/rng.hh"
+
+namespace ucx
+{
+namespace
+{
+
+/**
+ * Parameter-recovery property test: generate data from the exact
+ * generative model of paper Section 3.1 and confirm the fitter
+ * recovers weights and variance components within sampling error.
+ * Parameterized over (sigma_eps, sigma_rho) regimes.
+ */
+struct Regime
+{
+    double sigmaEps;
+    double sigmaRho;
+    uint64_t seed;
+};
+
+class Recovery : public ::testing::TestWithParam<Regime>
+{};
+
+TEST_P(Recovery, RecoversGenerativeParameters)
+{
+    const Regime regime = GetParam();
+    const double w1 = 0.006;
+    const double w2 = 0.0003;
+    const size_t groups = 12;
+    const size_t per_group = 10;
+
+    Rng rng(regime.seed);
+    NlmeData data;
+    for (size_t g = 0; g < groups; ++g) {
+        NlmeGroup grp;
+        grp.name = "team" + std::to_string(g);
+        double b = rng.normal(0.0, regime.sigmaRho);
+        std::vector<std::vector<double>> rows;
+        for (size_t j = 0; j < per_group; ++j) {
+            double m1 = rng.uniform(100.0, 4000.0);
+            double m2 = rng.uniform(1000.0, 20000.0);
+            grp.y.push_back(b + std::log(w1 * m1 + w2 * m2) +
+                            rng.normal(0.0, regime.sigmaEps));
+            rows.push_back({m1, m2});
+        }
+        grp.x = Matrix::fromRows(rows);
+        data.groups.push_back(std::move(grp));
+    }
+
+    MixedFit fit = MixedModel(data).fit();
+
+    // Weights recovered within ~35% (120 observations, lognormal
+    // noise).
+    EXPECT_NEAR(fit.weights[0] / w1, 1.0, 0.35);
+    EXPECT_NEAR(fit.weights[1] / w2, 1.0, 0.55);
+    // Variance components within generous sampling bounds.
+    EXPECT_NEAR(fit.sigmaEps, regime.sigmaEps,
+                0.3 * regime.sigmaEps + 0.03);
+    EXPECT_NEAR(fit.sigmaRho, regime.sigmaRho,
+                0.6 * regime.sigmaRho + 0.08);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Regimes, Recovery,
+    ::testing::Values(Regime{0.2, 0.3, 101}, Regime{0.4, 0.2, 202},
+                      Regime{0.5, 0.5, 303}, Regime{0.3, 0.8, 404},
+                      Regime{0.15, 0.15, 505}));
+
+/**
+ * Empirical-Bayes productivity recovery: simulated team offsets must
+ * correlate strongly with the estimated ones.
+ */
+TEST(RecoveryRanef, ProductivitiesTrackTrueOffsets)
+{
+    Rng rng(777);
+    const size_t groups = 10;
+    NlmeData data;
+    std::vector<double> true_b;
+    for (size_t g = 0; g < groups; ++g) {
+        NlmeGroup grp;
+        grp.name = "team" + std::to_string(g);
+        double b = rng.normal(0.0, 0.6);
+        true_b.push_back(b);
+        std::vector<std::vector<double>> rows;
+        for (size_t j = 0; j < 8; ++j) {
+            double m = rng.uniform(200.0, 6000.0);
+            grp.y.push_back(b + std::log(0.01 * m) +
+                            rng.normal(0.0, 0.2));
+            rows.push_back({m});
+        }
+        grp.x = Matrix::fromRows(rows);
+        data.groups.push_back(std::move(grp));
+    }
+    MixedFit fit = MixedModel(data).fit();
+    // Pearson correlation between true and estimated offsets.
+    double mx = 0.0;
+    double my = 0.0;
+    for (size_t g = 0; g < groups; ++g) {
+        mx += true_b[g];
+        my += fit.ranef[g];
+    }
+    mx /= groups;
+    my /= groups;
+    double sxy = 0.0;
+    double sxx = 0.0;
+    double syy = 0.0;
+    for (size_t g = 0; g < groups; ++g) {
+        sxy += (true_b[g] - mx) * (fit.ranef[g] - my);
+        sxx += (true_b[g] - mx) * (true_b[g] - mx);
+        syy += (fit.ranef[g] - my) * (fit.ranef[g] - my);
+    }
+    double corr = sxy / std::sqrt(sxx * syy);
+    EXPECT_GT(corr, 0.9);
+
+    // rho_i = exp(-b_i): a team with larger offset (slower) has a
+    // smaller productivity.
+    for (size_t g = 0; g < groups; ++g) {
+        EXPECT_NEAR(fit.productivity[g], std::exp(-fit.ranef[g]),
+                    1e-12);
+    }
+}
+
+} // namespace
+} // namespace ucx

@@ -1,0 +1,80 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "opt/bfgs.hh"
+#include "util/error.hh"
+
+namespace ucx
+{
+namespace
+{
+
+TEST(Bfgs, QuadraticConvergesFast)
+{
+    Objective f = [](const std::vector<double> &x) {
+        return 3.0 * (x[0] - 1.0) * (x[0] - 1.0) +
+               (x[1] - 2.0) * (x[1] - 2.0);
+    };
+    OptResult r = bfgs(f, {10.0, -10.0});
+    EXPECT_TRUE(r.converged);
+    EXPECT_NEAR(r.x[0], 1.0, 1e-5);
+    EXPECT_NEAR(r.x[1], 2.0, 1e-5);
+    EXPECT_LT(r.iterations, 50u);
+}
+
+TEST(Bfgs, Rosenbrock)
+{
+    Objective f = [](const std::vector<double> &x) {
+        double a = 1.0 - x[0];
+        double b = x[1] - x[0] * x[0];
+        return a * a + 100.0 * b * b;
+    };
+    OptResult r = bfgs(f, {-1.2, 1.0});
+    EXPECT_NEAR(r.x[0], 1.0, 1e-3);
+    EXPECT_NEAR(r.x[1], 1.0, 1e-3);
+}
+
+TEST(Bfgs, NumericGradientAccuracy)
+{
+    Objective f = [](const std::vector<double> &x) {
+        return std::sin(x[0]) * std::exp(x[1]);
+    };
+    std::vector<double> x = {0.7, 0.3};
+    std::vector<double> g = numericGradient(f, x);
+    EXPECT_NEAR(g[0], std::cos(0.7) * std::exp(0.3), 1e-6);
+    EXPECT_NEAR(g[1], std::sin(0.7) * std::exp(0.3), 1e-6);
+}
+
+TEST(Bfgs, NumericHessianAccuracy)
+{
+    // f = x^2 y + y^3; Hxx = 2y, Hxy = 2x, Hyy = 6y.
+    Objective f = [](const std::vector<double> &x) {
+        return x[0] * x[0] * x[1] + x[1] * x[1] * x[1];
+    };
+    std::vector<double> x = {1.5, 2.0};
+    std::vector<double> h = numericHessian(f, x);
+    EXPECT_NEAR(h[0], 2.0 * 2.0, 1e-4);
+    EXPECT_NEAR(h[1], 2.0 * 1.5, 1e-4);
+    EXPECT_NEAR(h[2], 2.0 * 1.5, 1e-4);
+    EXPECT_NEAR(h[3], 6.0 * 2.0, 1e-4);
+}
+
+TEST(Bfgs, StartsAtOptimum)
+{
+    Objective f = [](const std::vector<double> &x) {
+        return x[0] * x[0];
+    };
+    OptResult r = bfgs(f, {0.0});
+    EXPECT_TRUE(r.converged);
+    EXPECT_NEAR(r.x[0], 0.0, 1e-8);
+}
+
+TEST(Bfgs, EmptyStartThrows)
+{
+    Objective f = [](const std::vector<double> &) { return 0.0; };
+    EXPECT_THROW(bfgs(f, {}), UcxError);
+}
+
+} // namespace
+} // namespace ucx

@@ -1,0 +1,74 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "opt/multistart.hh"
+#include "util/error.hh"
+
+namespace ucx
+{
+namespace
+{
+
+TEST(Multistart, EscapesLocalMinimum)
+{
+    // Double well: local minimum near x = -1.1 (value ~0.05), global
+    // near x = 1 (value 0). A single start at the local well stays
+    // there; multi-start jitter should find the global one.
+    Objective f = [](const std::vector<double> &x) {
+        double v = x[0];
+        return (v * v - 1.0) * (v * v - 1.0) + 0.05 * (1.0 - v);
+    };
+    MultistartConfig cfg;
+    cfg.starts = 12;
+    cfg.jitterSigma = 2.0;
+    OptResult r = multistartMinimize(f, {-1.0}, cfg);
+    EXPECT_NEAR(r.x[0], 1.0, 0.05);
+}
+
+TEST(Multistart, SingleStartStillWorks)
+{
+    Objective f = [](const std::vector<double> &x) {
+        return (x[0] - 2.0) * (x[0] - 2.0);
+    };
+    MultistartConfig cfg;
+    cfg.starts = 1;
+    OptResult r = multistartMinimize(f, {0.0}, cfg);
+    EXPECT_NEAR(r.x[0], 2.0, 1e-5);
+}
+
+TEST(Multistart, DeterministicForFixedSeed)
+{
+    Objective f = [](const std::vector<double> &x) {
+        return std::sin(3.0 * x[0]) + x[0] * x[0] * 0.1;
+    };
+    MultistartConfig cfg;
+    cfg.seed = 99;
+    OptResult a = multistartMinimize(f, {0.0}, cfg);
+    OptResult b = multistartMinimize(f, {0.0}, cfg);
+    EXPECT_DOUBLE_EQ(a.x[0], b.x[0]);
+    EXPECT_DOUBLE_EQ(a.fx, b.fx);
+}
+
+TEST(Multistart, ZeroStartsThrows)
+{
+    Objective f = [](const std::vector<double> &) { return 0.0; };
+    MultistartConfig cfg;
+    cfg.starts = 0;
+    EXPECT_THROW(multistartMinimize(f, {0.0}, cfg), UcxError);
+}
+
+TEST(Multistart, BfgsPolishImprovesPrecision)
+{
+    Objective f = [](const std::vector<double> &x) {
+        return (x[0] - 1.0) * (x[0] - 1.0) +
+               (x[1] - 2.0) * (x[1] - 2.0);
+    };
+    MultistartConfig with;
+    with.polishWithBfgs = true;
+    OptResult r = multistartMinimize(f, {5.0, 5.0}, with);
+    EXPECT_LT(r.fx, 1e-10);
+}
+
+} // namespace
+} // namespace ucx

@@ -1,0 +1,94 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "opt/nelder_mead.hh"
+#include "util/error.hh"
+
+namespace ucx
+{
+namespace
+{
+
+TEST(NelderMead, QuadraticBowl)
+{
+    Objective f = [](const std::vector<double> &x) {
+        return (x[0] - 3.0) * (x[0] - 3.0) +
+               2.0 * (x[1] + 1.0) * (x[1] + 1.0);
+    };
+    OptResult r = nelderMead(f, {0.0, 0.0});
+    EXPECT_NEAR(r.x[0], 3.0, 1e-5);
+    EXPECT_NEAR(r.x[1], -1.0, 1e-5);
+    EXPECT_LT(r.fx, 1e-8);
+}
+
+TEST(NelderMead, Rosenbrock2d)
+{
+    Objective f = [](const std::vector<double> &x) {
+        double a = 1.0 - x[0];
+        double b = x[1] - x[0] * x[0];
+        return a * a + 100.0 * b * b;
+    };
+    OptResult r = nelderMead(f, {-1.2, 1.0});
+    EXPECT_NEAR(r.x[0], 1.0, 1e-3);
+    EXPECT_NEAR(r.x[1], 1.0, 1e-3);
+}
+
+TEST(NelderMead, OneDimensional)
+{
+    Objective f = [](const std::vector<double> &x) {
+        return std::cosh(x[0] - 0.5);
+    };
+    OptResult r = nelderMead(f, {5.0});
+    EXPECT_NEAR(r.x[0], 0.5, 1e-5);
+}
+
+TEST(NelderMead, HandlesInfiniteRegions)
+{
+    // Objective returns +inf outside a valid region; the simplex
+    // must still find the constrained minimum.
+    Objective f = [](const std::vector<double> &x) {
+        if (x[0] <= 0.0)
+            return std::numeric_limits<double>::infinity();
+        return x[0] - std::log(x[0]); // min at x = 1
+    };
+    OptResult r = nelderMead(f, {4.0});
+    EXPECT_NEAR(r.x[0], 1.0, 1e-4);
+}
+
+TEST(NelderMead, RespectsEvaluationBudget)
+{
+    size_t calls = 0;
+    Objective f = [&](const std::vector<double> &x) {
+        ++calls;
+        return x[0] * x[0];
+    };
+    NelderMeadConfig cfg;
+    cfg.maxEvaluations = 50;
+    nelderMead(f, {100.0}, cfg);
+    EXPECT_LE(calls, 52u); // initial simplex may add a couple
+}
+
+TEST(NelderMead, EmptyStartThrows)
+{
+    Objective f = [](const std::vector<double> &) { return 0.0; };
+    EXPECT_THROW(nelderMead(f, {}), UcxError);
+}
+
+TEST(NelderMead, FiveDimensionalSphere)
+{
+    Objective f = [](const std::vector<double> &x) {
+        double s = 0.0;
+        for (size_t i = 0; i < x.size(); ++i) {
+            double d = x[i] - static_cast<double>(i);
+            s += d * d;
+        }
+        return s;
+    };
+    OptResult r = nelderMead(f, std::vector<double>(5, 10.0));
+    for (size_t i = 0; i < 5; ++i)
+        EXPECT_NEAR(r.x[i], static_cast<double>(i), 1e-3);
+}
+
+} // namespace
+} // namespace ucx

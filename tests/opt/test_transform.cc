@@ -1,0 +1,86 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "opt/transform.hh"
+#include "util/error.hh"
+
+namespace ucx
+{
+namespace
+{
+
+TEST(Transform, SoftplusBasics)
+{
+    EXPECT_NEAR(softplus(0.0), std::log(2.0), 1e-12);
+    EXPECT_NEAR(softplus(100.0), 100.0, 1e-9);
+    EXPECT_GT(softplus(-100.0), 0.0);
+    EXPECT_LT(softplus(-100.0), 1e-20);
+}
+
+TEST(Transform, SoftplusInverseRoundTrip)
+{
+    for (double y : {0.01, 0.5, 1.0, 5.0, 50.0})
+        EXPECT_NEAR(softplus(softplusInv(y)), y, 1e-9);
+    EXPECT_THROW(softplusInv(0.0), UcxError);
+}
+
+TEST(Transform, PositiveRoundTrip)
+{
+    ParamTransform t({Constraint::Positive, Constraint::Positive});
+    std::vector<double> theta = {0.25, 3.0};
+    std::vector<double> u = t.toUnconstrained(theta);
+    std::vector<double> back = t.toConstrained(u);
+    EXPECT_NEAR(back[0], 0.25, 1e-12);
+    EXPECT_NEAR(back[1], 3.0, 1e-12);
+}
+
+TEST(Transform, PositiveAlwaysPositive)
+{
+    ParamTransform t({Constraint::Positive});
+    for (double u : {-50.0, -1.0, 0.0, 1.0, 50.0})
+        EXPECT_GT(t.toConstrained({u})[0], 0.0);
+}
+
+TEST(Transform, NoneIsIdentity)
+{
+    ParamTransform t({Constraint::None});
+    EXPECT_DOUBLE_EQ(t.toConstrained({-7.5})[0], -7.5);
+    EXPECT_DOUBLE_EQ(t.toUnconstrained({-7.5})[0], -7.5);
+}
+
+TEST(Transform, NonNegativeRoundTrip)
+{
+    ParamTransform t({Constraint::NonNegative});
+    for (double y : {0.001, 0.1, 1.0, 10.0}) {
+        auto u = t.toUnconstrained({y});
+        EXPECT_NEAR(t.toConstrained(u)[0], y, 1e-9);
+    }
+}
+
+TEST(Transform, MixedConstraints)
+{
+    ParamTransform t({Constraint::None, Constraint::Positive,
+                      Constraint::NonNegative});
+    std::vector<double> theta = {-2.0, 0.5, 1.5};
+    auto back = t.toConstrained(t.toUnconstrained(theta));
+    for (size_t i = 0; i < 3; ++i)
+        EXPECT_NEAR(back[i], theta[i], 1e-9);
+}
+
+TEST(Transform, RejectsSizeMismatch)
+{
+    ParamTransform t({Constraint::None});
+    EXPECT_THROW(t.toConstrained({1.0, 2.0}), UcxError);
+    EXPECT_THROW(t.toUnconstrained({}), UcxError);
+}
+
+TEST(Transform, RejectsNonPositiveForPositive)
+{
+    ParamTransform t({Constraint::Positive});
+    EXPECT_THROW(t.toUnconstrained({0.0}), UcxError);
+    EXPECT_THROW(t.toUnconstrained({-1.0}), UcxError);
+}
+
+} // namespace
+} // namespace ucx

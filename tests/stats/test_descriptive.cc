@@ -1,0 +1,94 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stats/descriptive.hh"
+#include "util/error.hh"
+
+namespace ucx
+{
+namespace
+{
+
+TEST(Descriptive, MeanAndVariance)
+{
+    std::vector<double> xs = {2, 4, 4, 4, 5, 5, 7, 9};
+    EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+    EXPECT_NEAR(variance(xs), 32.0 / 7.0, 1e-12);
+    EXPECT_NEAR(stddev(xs), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Descriptive, MeanEmptyThrows)
+{
+    EXPECT_THROW(mean({}), UcxError);
+    EXPECT_THROW(variance({1.0}), UcxError);
+}
+
+TEST(Descriptive, QuantileType7)
+{
+    std::vector<double> xs = {1, 2, 3, 4};
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+    EXPECT_DOUBLE_EQ(quantile(xs, 1.0 / 3.0), 2.0);
+}
+
+TEST(Descriptive, MedianOddEven)
+{
+    EXPECT_DOUBLE_EQ(median({3, 1, 2}), 2.0);
+    EXPECT_DOUBLE_EQ(median({4, 1, 3, 2}), 2.5);
+    EXPECT_DOUBLE_EQ(median({7}), 7.0);
+}
+
+TEST(Descriptive, PearsonPerfectAndInverse)
+{
+    std::vector<double> x = {1, 2, 3, 4};
+    std::vector<double> y = {2, 4, 6, 8};
+    EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+    std::vector<double> yneg = {8, 6, 4, 2};
+    EXPECT_NEAR(pearson(x, yneg), -1.0, 1e-12);
+}
+
+TEST(Descriptive, PearsonConstantThrows)
+{
+    EXPECT_THROW(pearson({1, 1, 1}, {1, 2, 3}), UcxError);
+}
+
+TEST(Descriptive, SpearmanMonotoneNonlinear)
+{
+    // Monotone but nonlinear: Spearman is exactly 1.
+    std::vector<double> x = {1, 2, 3, 4, 5};
+    std::vector<double> y = {1, 8, 27, 64, 125};
+    EXPECT_NEAR(spearman(x, y), 1.0, 1e-12);
+    EXPECT_LT(pearson(x, y), 1.0);
+}
+
+TEST(Descriptive, SpearmanHandlesTies)
+{
+    std::vector<double> x = {1, 2, 2, 3};
+    std::vector<double> y = {10, 20, 20, 30};
+    EXPECT_NEAR(spearman(x, y), 1.0, 1e-12);
+}
+
+TEST(Descriptive, RmsLogErrorKnown)
+{
+    // est = 2*actual everywhere -> rms log error = log 2.
+    std::vector<double> est = {2, 4, 8};
+    std::vector<double> act = {1, 2, 4};
+    EXPECT_NEAR(rmsLogError(est, act), std::log(2.0), 1e-12);
+}
+
+TEST(Descriptive, RmsLogErrorZeroForPerfect)
+{
+    std::vector<double> v = {1.5, 2.5, 9.0};
+    EXPECT_DOUBLE_EQ(rmsLogError(v, v), 0.0);
+}
+
+TEST(Descriptive, RmsLogErrorRejectsNonPositive)
+{
+    EXPECT_THROW(rmsLogError({0.0}, {1.0}), UcxError);
+    EXPECT_THROW(rmsLogError({1.0}, {-1.0}), UcxError);
+}
+
+} // namespace
+} // namespace ucx

@@ -1,0 +1,101 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stats/gauss_hermite.hh"
+#include "util/error.hh"
+
+namespace ucx
+{
+namespace
+{
+
+TEST(GaussHermite, WeightsSumToSqrtPi)
+{
+    // Integral of e^{-x^2} over R is sqrt(pi).
+    for (size_t n : {1u, 2u, 5u, 10u, 20u, 40u}) {
+        GaussHermiteRule rule = gaussHermite(n);
+        double sum = 0.0;
+        for (double w : rule.weights)
+            sum += w;
+        EXPECT_NEAR(sum, std::sqrt(M_PI), 1e-10) << "n=" << n;
+    }
+}
+
+TEST(GaussHermite, NodesSymmetric)
+{
+    GaussHermiteRule rule = gaussHermite(9);
+    for (size_t i = 0; i < rule.nodes.size(); ++i) {
+        EXPECT_NEAR(rule.nodes[i],
+                    -rule.nodes[rule.nodes.size() - 1 - i], 1e-10);
+    }
+    EXPECT_NEAR(rule.nodes[4], 0.0, 1e-12); // odd rule centers at 0
+}
+
+TEST(GaussHermite, TwoPointRuleExact)
+{
+    // Known: nodes +-1/sqrt(2), weights sqrt(pi)/2.
+    GaussHermiteRule rule = gaussHermite(2);
+    EXPECT_NEAR(std::abs(rule.nodes[0]), 1.0 / std::sqrt(2.0), 1e-12);
+    EXPECT_NEAR(rule.weights[0], std::sqrt(M_PI) / 2.0, 1e-12);
+}
+
+TEST(GaussHermite, IntegratesPolynomialsExactly)
+{
+    // An n-point rule integrates x^k e^{-x^2} exactly for
+    // k <= 2n - 1. Moments: integral x^2 e^{-x^2} = sqrt(pi)/2,
+    // x^4 -> 3 sqrt(pi)/4.
+    GaussHermiteRule rule = gaussHermite(5);
+    double m2 = 0.0;
+    double m4 = 0.0;
+    for (size_t i = 0; i < rule.nodes.size(); ++i) {
+        double x = rule.nodes[i];
+        m2 += rule.weights[i] * x * x;
+        m4 += rule.weights[i] * x * x * x * x;
+    }
+    EXPECT_NEAR(m2, std::sqrt(M_PI) / 2.0, 1e-10);
+    EXPECT_NEAR(m4, 3.0 * std::sqrt(M_PI) / 4.0, 1e-10);
+}
+
+TEST(GaussHermite, NormalExpectationOfVariance)
+{
+    // E[Z^2] = 1 for Z ~ N(0,1).
+    GaussHermiteRule rule = gaussHermite(10);
+    double v = normalExpectation(rule,
+                                 [](double z) { return z * z; });
+    EXPECT_NEAR(v, 1.0, 1e-10);
+}
+
+TEST(GaussHermite, NormalExpectationLognormalMean)
+{
+    // E[e^Z] = e^{1/2}.
+    GaussHermiteRule rule = gaussHermite(20);
+    double v = normalExpectation(rule,
+                                 [](double z) { return std::exp(z); });
+    EXPECT_NEAR(v, std::exp(0.5), 1e-8);
+}
+
+TEST(GaussHermite, RejectsBadCounts)
+{
+    EXPECT_THROW(gaussHermite(0), UcxError);
+    EXPECT_THROW(gaussHermite(65), UcxError);
+}
+
+/** Convergence sweep: expectation of a smooth nonlinearity. */
+class GhConvergence : public ::testing::TestWithParam<size_t>
+{};
+
+TEST_P(GhConvergence, CosExpectation)
+{
+    // E[cos Z] = e^{-1/2}.
+    GaussHermiteRule rule = gaussHermite(GetParam());
+    double v = normalExpectation(rule,
+                                 [](double z) { return std::cos(z); });
+    EXPECT_NEAR(v, std::exp(-0.5), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GhConvergence,
+                         ::testing::Values(8, 12, 16, 24, 32, 48, 64));
+
+} // namespace
+} // namespace ucx

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "stats/ks_test.hh"
+#include "stats/lognormal.hh"
+#include "stats/normal.hh"
+#include "util/error.hh"
+#include "util/rng.hh"
+
+namespace ucx
+{
+namespace
+{
+
+TEST(KsTest, AcceptsCorrectDistribution)
+{
+    Rng rng(31);
+    std::vector<double> sample;
+    for (int i = 0; i < 2000; ++i)
+        sample.push_back(rng.normal(0.0, 1.0));
+    Normal n(0.0, 1.0);
+    KsResult res =
+        ksTest(sample, [&](double x) { return n.cdf(x); });
+    EXPECT_GT(res.pValue, 0.01);
+    EXPECT_LT(res.statistic, 0.05);
+}
+
+TEST(KsTest, RejectsWrongLocation)
+{
+    Rng rng(33);
+    std::vector<double> sample;
+    for (int i = 0; i < 2000; ++i)
+        sample.push_back(rng.normal(0.5, 1.0));
+    Normal n(0.0, 1.0);
+    KsResult res =
+        ksTest(sample, [&](double x) { return n.cdf(x); });
+    EXPECT_LT(res.pValue, 1e-6);
+}
+
+TEST(KsTest, LognormalSamplesMatchLognormal)
+{
+    // The productivity / error law assumed by the model: samples of
+    // exp(N(0, s)) must pass a lognormal KS test.
+    Rng rng(37);
+    std::vector<double> sample;
+    for (int i = 0; i < 2000; ++i)
+        sample.push_back(rng.lognormal(0.0, 0.45));
+    Lognormal d(0.0, 0.45);
+    KsResult res =
+        ksTest(sample, [&](double x) { return d.cdf(x); });
+    EXPECT_GT(res.pValue, 0.01);
+}
+
+TEST(KsTest, LognormalSamplesFailNormalTest)
+{
+    Rng rng(41);
+    std::vector<double> sample;
+    for (int i = 0; i < 2000; ++i)
+        sample.push_back(rng.lognormal(0.0, 1.0));
+    Normal n(1.65, 2.16); // matched mean/sd, wrong shape
+    KsResult res =
+        ksTest(sample, [&](double x) { return n.cdf(x); });
+    EXPECT_LT(res.pValue, 1e-4);
+}
+
+TEST(KsTest, EmptySampleThrows)
+{
+    EXPECT_THROW(ksTest({}, [](double) { return 0.5; }), UcxError);
+}
+
+TEST(KsTest, StatisticBoundedByOne)
+{
+    KsResult res = ksTest({1.0, 2.0, 3.0},
+                          [](double) { return 0.0; });
+    EXPECT_LE(res.statistic, 1.0);
+    EXPECT_GT(res.statistic, 0.9);
+}
+
+} // namespace
+} // namespace ucx

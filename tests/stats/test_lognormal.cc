@@ -1,0 +1,153 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stats/lognormal.hh"
+#include "util/error.hh"
+
+namespace ucx
+{
+namespace
+{
+
+TEST(Lognormal, ModeMedianMeanOrdering)
+{
+    // Paper Figure 2: for mu = 0, mode < median < mean.
+    Lognormal d(0.0, 0.5);
+    EXPECT_LT(d.mode(), d.median());
+    EXPECT_LT(d.median(), d.mean());
+}
+
+TEST(Lognormal, MedianIsOneForMuZero)
+{
+    // The paper chooses mu = 0 so that the median productivity and
+    // error are exactly 1.
+    for (double s : {0.1, 0.46, 1.0, 2.0})
+        EXPECT_DOUBLE_EQ(Lognormal(0.0, s).median(), 1.0);
+}
+
+TEST(Lognormal, Figure2Annotations)
+{
+    // Figure 2 marks mode ~= 0.75 and mean ~= 1.16 for its example
+    // lognormal; those annotations correspond to sigma ~= 0.54.
+    Lognormal d(0.0, 0.54);
+    EXPECT_NEAR(d.mode(), 0.75, 0.02);
+    EXPECT_NEAR(d.mean(), 1.16, 0.02);
+}
+
+TEST(Lognormal, MeanFormula)
+{
+    Lognormal d(0.3, 0.8);
+    EXPECT_NEAR(d.mean(), std::exp(0.3 + 0.8 * 0.8 / 2.0), 1e-12);
+}
+
+TEST(Lognormal, PdfIntegratesToOne)
+{
+    Lognormal d(0.0, 0.5);
+    double sum = 0.0;
+    double dx = 0.001;
+    for (double x = dx / 2; x < 20.0; x += dx)
+        sum += d.pdf(x) * dx;
+    EXPECT_NEAR(sum, 1.0, 1e-4);
+}
+
+TEST(Lognormal, PdfZeroForNonPositive)
+{
+    Lognormal d(0.0, 0.5);
+    EXPECT_DOUBLE_EQ(d.pdf(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(d.pdf(-1.0), 0.0);
+    EXPECT_DOUBLE_EQ(d.cdf(-1.0), 0.0);
+}
+
+TEST(Lognormal, CdfQuantileRoundTrip)
+{
+    Lognormal d(0.2, 0.7);
+    for (double p : {0.05, 0.25, 0.5, 0.75, 0.95})
+        EXPECT_NEAR(d.cdf(d.quantile(p)), p, 1e-10);
+}
+
+TEST(Lognormal, CentralIntervalCoverage)
+{
+    Lognormal d(0.0, 0.45);
+    auto [lo, hi] = d.centralInterval(0.90);
+    EXPECT_NEAR(d.cdf(hi) - d.cdf(lo), 0.90, 1e-10);
+}
+
+TEST(Lognormal, Figure3ReferencePoint)
+{
+    // Paper Figure 3: sigma = 0.45 gives a 90% interval of about
+    // (0.5, 2.1).
+    auto [yl, yh] = errorFactors(0.45, 0.90);
+    EXPECT_NEAR(yl, 0.5, 0.03);
+    EXPECT_NEAR(yh, 2.1, 0.05);
+}
+
+TEST(Lognormal, PaperConfidenceIntervals)
+{
+    // Section 5.1: sigma 0.50 -> (0.44, 2.28); 0.55 -> (0.40, 2.47).
+    {
+        auto [yl, yh] = errorFactors(0.50, 0.90);
+        EXPECT_NEAR(yl, 0.44, 0.01);
+        EXPECT_NEAR(yh, 2.28, 0.01);
+    }
+    {
+        auto [yl, yh] = errorFactors(0.55, 0.90);
+        EXPECT_NEAR(yl, 0.40, 0.01);
+        EXPECT_NEAR(yh, 2.47, 0.01);
+    }
+    // Section 5.1: AreaS 2.07 -> (0.03, 30.11); FFs 2.14 ->
+    // (0.03, 33.78).
+    {
+        auto [yl, yh] = errorFactors(2.07, 0.90);
+        EXPECT_NEAR(yl, 0.03, 0.005);
+        EXPECT_NEAR(yh, 30.11, 0.5);
+    }
+    {
+        auto [yl, yh] = errorFactors(2.14, 0.90);
+        EXPECT_NEAR(yh, 33.78, 0.5);
+    }
+}
+
+TEST(Lognormal, ErrorFactorsZeroSigma)
+{
+    auto [yl, yh] = errorFactors(0.0, 0.90);
+    EXPECT_DOUBLE_EQ(yl, 1.0);
+    EXPECT_DOUBLE_EQ(yh, 1.0);
+}
+
+TEST(Lognormal, ErrorFactorsSymmetricInLog)
+{
+    // yl * yh == 1 for a median-1 lognormal.
+    auto [yl, yh] = errorFactors(0.6, 0.90);
+    EXPECT_NEAR(yl * yh, 1.0, 1e-10);
+}
+
+TEST(Lognormal, RejectsBadArguments)
+{
+    EXPECT_THROW(Lognormal(0.0, 0.0), UcxError);
+    EXPECT_THROW(errorFactors(-0.1, 0.9), UcxError);
+    EXPECT_THROW(Lognormal(0.0, 1.0).centralInterval(0.0), UcxError);
+    EXPECT_THROW(Lognormal(0.0, 1.0).centralInterval(1.0), UcxError);
+}
+
+/** Property sweep: interval widens monotonically with sigma. */
+class ErrorFactorSweep : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(ErrorFactorSweep, WiderThanSmallerSigma)
+{
+    double s = GetParam();
+    auto [lo_s, hi_s] = errorFactors(s, 0.90);
+    auto [lo_t, hi_t] = errorFactors(s + 0.1, 0.90);
+    EXPECT_LT(lo_t, lo_s);
+    EXPECT_GT(hi_t, hi_s);
+    EXPECT_LT(lo_s, 1.0);
+    EXPECT_GT(hi_s, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ErrorFactorSweep,
+                         ::testing::Values(0.1, 0.2, 0.3, 0.45, 0.5,
+                                           0.6, 0.7, 1.0, 1.5, 2.0));
+
+} // namespace
+} // namespace ucx

@@ -1,0 +1,103 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stats/normal.hh"
+#include "util/error.hh"
+
+namespace ucx
+{
+namespace
+{
+
+TEST(Normal, PdfAtMean)
+{
+    Normal n(0.0, 1.0);
+    EXPECT_NEAR(n.pdf(0.0), 1.0 / std::sqrt(2.0 * M_PI), 1e-12);
+}
+
+TEST(Normal, PdfScalesWithSigma)
+{
+    Normal wide(0.0, 2.0);
+    EXPECT_NEAR(wide.pdf(0.0), 0.5 / std::sqrt(2.0 * M_PI), 1e-12);
+}
+
+TEST(Normal, LogPdfConsistent)
+{
+    Normal n(1.5, 0.7);
+    for (double x : {-2.0, 0.0, 1.5, 3.0})
+        EXPECT_NEAR(std::log(n.pdf(x)), n.logPdf(x), 1e-10);
+}
+
+TEST(Normal, CdfKnownValues)
+{
+    Normal n(0.0, 1.0);
+    EXPECT_NEAR(n.cdf(0.0), 0.5, 1e-12);
+    EXPECT_NEAR(n.cdf(1.0), 0.8413447460685429, 1e-10);
+    EXPECT_NEAR(n.cdf(-1.96), 0.024997895, 1e-7);
+}
+
+TEST(Normal, CdfSymmetry)
+{
+    Normal n(0.0, 1.0);
+    for (double z : {0.3, 1.1, 2.7})
+        EXPECT_NEAR(n.cdf(z) + n.cdf(-z), 1.0, 1e-12);
+}
+
+TEST(Normal, QuantileInvertsCore)
+{
+    Normal n(0.0, 1.0);
+    for (double p : {0.001, 0.025, 0.1, 0.5, 0.9, 0.975, 0.999}) {
+        double z = n.quantile(p);
+        EXPECT_NEAR(n.cdf(z), p, 1e-10);
+    }
+}
+
+TEST(Normal, QuantileKnownValues)
+{
+    EXPECT_NEAR(Normal::stdQuantile(0.5), 0.0, 1e-12);
+    EXPECT_NEAR(Normal::stdQuantile(0.975), 1.959963984540054, 1e-8);
+    EXPECT_NEAR(Normal::stdQuantile(0.95), 1.644853626951473, 1e-8);
+    EXPECT_NEAR(Normal::stdQuantile(0.84), 0.994457883209753, 1e-8);
+}
+
+TEST(Normal, QuantileShiftScale)
+{
+    Normal n(10.0, 2.0);
+    EXPECT_NEAR(n.quantile(0.975), 10.0 + 2.0 * 1.959963984540054,
+                1e-7);
+}
+
+TEST(Normal, QuantileRejectsBadP)
+{
+    Normal n(0.0, 1.0);
+    EXPECT_THROW(n.quantile(0.0), UcxError);
+    EXPECT_THROW(n.quantile(1.0), UcxError);
+    EXPECT_THROW(n.quantile(-0.5), UcxError);
+}
+
+TEST(Normal, RejectsBadSigma)
+{
+    EXPECT_THROW(Normal(0.0, 0.0), UcxError);
+    EXPECT_THROW(Normal(0.0, -1.0), UcxError);
+}
+
+/** Quantile accuracy across the whole open interval. */
+class NormalQuantileSweep : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(NormalQuantileSweep, RoundTrip)
+{
+    double p = GetParam();
+    double z = Normal::stdQuantile(p);
+    EXPECT_NEAR(Normal::stdCdf(z), p, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, NormalQuantileSweep,
+    ::testing::Values(1e-8, 1e-6, 1e-4, 0.01, 0.05, 0.2, 0.35, 0.5,
+                      0.65, 0.8, 0.95, 0.99, 1.0 - 1e-4, 1.0 - 1e-6,
+                      1.0 - 1e-8));
+
+} // namespace
+} // namespace ucx

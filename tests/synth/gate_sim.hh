@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Tiny gate-level simulator used by the tests to check that
+ * elaboration + lowering preserve µHDL semantics, including
+ * asynchronous-read RAMs with write ports.
+ */
+
+#ifndef UCX_TESTS_GATE_SIM_HH
+#define UCX_TESTS_GATE_SIM_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "synth/lower.hh"
+#include "synth/netlist.hh"
+#include "synth/rtl.hh"
+#include "util/error.hh"
+
+namespace ucx
+{
+
+/** Cycle-accurate two-value simulator over a lowered netlist,
+ * including asynchronous-read RAMs. */
+class GateSim
+{
+  public:
+    explicit GateSim(const RtlDesign &rtl)
+        : rtl_(rtl), net_(lowerToGates(rtl))
+    {
+        for (const RtlMemory &mem : rtl_.memories) {
+            require(mem.width <= 64,
+                    "GateSim supports RAM words up to 64 bits");
+            mems_.emplace_back(static_cast<size_t>(mem.depth), 0);
+        }
+        // Reconstruct the input-bit mapping: lowering creates Input
+        // gates in signal order.
+        size_t cursor = 0;
+        for (SigId sig = 0; sig < rtl_.signals.size(); ++sig) {
+            const RtlSignal &s = rtl_.signals[sig];
+            if (s.kind != SigKind::Input)
+                continue;
+            std::vector<GateId> bits;
+            for (int b = 0; b < s.width; ++b)
+                bits.push_back(net_.inputBits.at(cursor++));
+            inputBits_[s.name] = bits;
+        }
+        // Output bits are concatenated in rtl.outputs order.
+        size_t out_cursor = 0;
+        for (SigId sig : rtl_.outputs) {
+            const RtlSignal &s = rtl_.signals[sig];
+            std::vector<GateId> bits;
+            for (int b = 0; b < s.width; ++b)
+                bits.push_back(net_.outputBits.at(out_cursor++));
+            outputBits_[s.name] = bits;
+        }
+        values_.assign(net_.gates.size(), 0);
+        order_ = net_.topoOrder();
+    }
+
+    /** Set an input port value (truncated to the port width). */
+    void
+    poke(const std::string &name, uint64_t value)
+    {
+        auto it = inputBits_.find(name);
+        require(it != inputBits_.end(), "no input '" + name + "'");
+        for (size_t b = 0; b < it->second.size(); ++b)
+            values_[it->second[b]] =
+                b < 64 ? ((value >> b) & 1) : 0;
+    }
+
+    /** Evaluate combinational logic with current inputs/registers.
+     * Runs multiple passes so asynchronous RAM reads (topological
+     * sources whose addresses are combinational) settle. */
+    void
+    eval()
+    {
+        for (int pass = 0; pass < 3; ++pass)
+            evalOnce();
+    }
+
+    void
+    evalOnce()
+    {
+        for (GateId g : order_) {
+            const Gate &gate = net_.gates[g];
+            switch (gate.op) {
+              case GateOp::Const0:
+                values_[g] = 0;
+                break;
+              case GateOp::Const1:
+                values_[g] = 1;
+                break;
+              case GateOp::Input:
+              case GateOp::Dff:
+                break; // externally set / state-held
+              case GateOp::Not:
+                values_[g] = !values_[gate.in[0]];
+                break;
+              case GateOp::And:
+                values_[g] =
+                    values_[gate.in[0]] & values_[gate.in[1]];
+                break;
+              case GateOp::Or:
+                values_[g] =
+                    values_[gate.in[0]] | values_[gate.in[1]];
+                break;
+              case GateOp::Xor:
+                values_[g] =
+                    values_[gate.in[0]] ^ values_[gate.in[1]];
+                break;
+              case GateOp::Mux:
+                values_[g] = values_[gate.in[0]]
+                                 ? values_[gate.in[1]]
+                                 : values_[gate.in[2]];
+                break;
+              case GateOp::MemOut: {
+                uint64_t addr = addrOf(gate);
+                const RtlMemory &mem = rtl_.memories[gate.mem];
+                uint64_t word =
+                    addr < static_cast<uint64_t>(mem.depth)
+                        ? mems_[gate.mem][addr]
+                        : 0;
+                values_[g] = (word >> gate.bit) & 1;
+                break;
+              }
+              case GateOp::MemIn:
+                break;
+            }
+        }
+    }
+
+    /** Advance one clock: commit RAM writes, latch every DFF. */
+    void
+    step()
+    {
+        eval();
+        // Memory write ports sample the pre-edge values.
+        for (const Gate &gate : net_.gates) {
+            if (gate.op != GateOp::MemIn)
+                continue;
+            const RtlMemory &mem = rtl_.memories[gate.mem];
+            size_t aw = addrWidthOf(mem);
+            size_t w = static_cast<size_t>(mem.width);
+            bool has_enable = gate.in.size() == aw + w + 1;
+            ensure(gate.in.size() == aw + w ||
+                       has_enable,
+                   "unexpected MemIn pin count");
+            if (has_enable && !values_[gate.in[aw + w]])
+                continue;
+            uint64_t addr = addrOf(gate);
+            if (addr >= static_cast<uint64_t>(mem.depth))
+                continue;
+            uint64_t data = 0;
+            for (size_t b = 0; b < w && b < 64; ++b) {
+                data |= static_cast<uint64_t>(
+                            values_[gate.in[aw + b]])
+                        << b;
+            }
+            mems_[gate.mem][addr] = data;
+        }
+        std::vector<uint8_t> next(values_);
+        for (GateId g = 0; g < net_.gates.size(); ++g) {
+            const Gate &gate = net_.gates[g];
+            if (gate.op == GateOp::Dff)
+                next[g] = values_[gate.in[0]];
+        }
+        values_ = std::move(next);
+        eval();
+    }
+
+    /** Directly read a RAM word (for assertions). */
+    uint64_t
+    peekMem(size_t mem, uint64_t addr) const
+    {
+        require(mem < mems_.size() &&
+                    addr < mems_[mem].size(),
+                "peekMem out of range");
+        return mems_[mem][addr];
+    }
+
+    /** Read an output port value. */
+    uint64_t
+    peek(const std::string &name) const
+    {
+        auto it = outputBits_.find(name);
+        require(it != outputBits_.end(), "no output '" + name + "'");
+        uint64_t v = 0;
+        for (size_t b = 0; b < it->second.size() && b < 64; ++b)
+            v |= static_cast<uint64_t>(values_[it->second[b]]) << b;
+        return v;
+    }
+
+    /** @return The lowered netlist (for structural assertions). */
+    const Netlist &netlist() const { return net_; }
+
+  private:
+    static size_t
+    addrWidthOf(const RtlMemory &mem)
+    {
+        size_t w = 0;
+        while ((1u << w) < static_cast<unsigned>(mem.depth))
+            ++w;
+        return std::max<size_t>(w, 1);
+    }
+
+    /** Decode the address pins (always the leading fanins). */
+    uint64_t
+    addrOf(const Gate &gate) const
+    {
+        const RtlMemory &mem = rtl_.memories[gate.mem];
+        size_t aw = addrWidthOf(mem);
+        uint64_t addr = 0;
+        for (size_t b = 0; b < aw && b < 64; ++b)
+            addr |= static_cast<uint64_t>(values_[gate.in[b]]) << b;
+        return addr;
+    }
+
+    const RtlDesign &rtl_;
+    Netlist net_;
+    std::map<std::string, std::vector<GateId>> inputBits_;
+    std::map<std::string, std::vector<GateId>> outputBits_;
+    std::vector<uint8_t> values_;
+    std::vector<GateId> order_;
+    std::vector<std::vector<uint64_t>> mems_;
+};
+
+} // namespace ucx
+
+#endif // UCX_TESTS_GATE_SIM_HH

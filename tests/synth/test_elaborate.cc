@@ -1,0 +1,323 @@
+#include <gtest/gtest.h>
+
+#include "hdl/design.hh"
+#include "synth/elaborate.hh"
+#include "util/error.hh"
+
+namespace ucx
+{
+namespace
+{
+
+ElabResult
+elab(const std::string &src, const std::string &top,
+     std::map<std::string, int64_t> params = {})
+{
+    Design d;
+    d.addSource(src);
+    ElabOptions opts;
+    opts.topParams = std::move(params);
+    return elaborate(d, top, opts);
+}
+
+TEST(Elaborate, PortsBecomeSignals)
+{
+    ElabResult r = elab(
+        "module m (input wire clk, input wire [7:0] d, "
+        "output wire [7:0] q);\n  assign q = d;\nendmodule",
+        "m");
+    EXPECT_EQ(r.rtl.inputs.size(), 2u);
+    EXPECT_EQ(r.rtl.outputs.size(), 1u);
+    EXPECT_EQ(r.rtl.signals[r.rtl.findSignal("d")].width, 8);
+    EXPECT_EQ(r.rtl.signals[r.rtl.findSignal("q")].kind,
+              SigKind::Wire);
+}
+
+TEST(Elaborate, ParameterOverridesApply)
+{
+    std::string src =
+        "module m #(parameter W = 8) (input wire [W-1:0] d, "
+        "output wire [W-1:0] q);\n  assign q = d;\nendmodule";
+    ElabResult def = elab(src, "m");
+    EXPECT_EQ(def.rtl.signals[def.rtl.findSignal("d")].width, 8);
+    EXPECT_EQ(def.top.params.at("W"), 8);
+
+    ElabResult ovr = elab(src, "m", {{"W", 16}});
+    EXPECT_EQ(ovr.rtl.signals[ovr.rtl.findSignal("d")].width, 16);
+    EXPECT_EQ(ovr.top.params.at("W"), 16);
+}
+
+TEST(Elaborate, UnknownParameterOverrideThrows)
+{
+    std::string src =
+        "module m #(parameter W = 8) (input wire [W-1:0] d);\n"
+        "endmodule";
+    EXPECT_THROW(elab(src, "m", {{"BOGUS", 1}}), UcxError);
+}
+
+TEST(Elaborate, HierarchyFlattensWithDottedNames)
+{
+    ElabResult r = elab(
+        "module child (input wire a, output wire y);\n"
+        "  assign y = ~a;\n"
+        "endmodule\n"
+        "module top (input wire x, output wire z);\n"
+        "  child u0 (.a(x), .y(z));\n"
+        "endmodule",
+        "top");
+    EXPECT_TRUE(r.rtl.hasSignal("u0.a"));
+    EXPECT_TRUE(r.rtl.hasSignal("u0.y"));
+    ASSERT_EQ(r.top.children.size(), 1u);
+    EXPECT_EQ(r.top.children[0].moduleName, "child");
+    EXPECT_EQ(r.top.children[0].path, "u0");
+}
+
+TEST(Elaborate, InstanceTreeCounts)
+{
+    ElabResult r = elab(
+        "module leaf (input wire a); endmodule\n"
+        "module mid (input wire a);\n"
+        "  leaf l0 (.a(a));\n"
+        "  leaf l1 (.a(a));\n"
+        "endmodule\n"
+        "module top (input wire a);\n"
+        "  mid m0 (.a(a));\n"
+        "  mid m1 (.a(a));\n"
+        "  leaf l (.a(a));\n"
+        "endmodule",
+        "top");
+    EXPECT_EQ(r.top.totalInstances(), 8u); // top + 2 mid + 5 leaf
+    std::map<std::string, size_t> counts;
+    r.top.countModules(counts);
+    EXPECT_EQ(counts["top"], 1u);
+    EXPECT_EQ(counts["mid"], 2u);
+    EXPECT_EQ(counts["leaf"], 5u);
+}
+
+TEST(Elaborate, GenerateLoopUnrollsAndRecordsTrips)
+{
+    ElabResult r = elab(
+        "module m #(parameter N = 4) (input wire [N-1:0] a, "
+        "output wire [N-1:0] y);\n"
+        "  genvar g;\n"
+        "  generate\n"
+        "    for (g = 0; g < N; g = g + 1) begin : l\n"
+        "      assign y[g] = ~a[g];\n"
+        "    end\n"
+        "  endgenerate\n"
+        "endmodule",
+        "m");
+    ASSERT_EQ(r.stats.loopTrips.size(), 1u);
+    EXPECT_EQ(*r.stats.loopTrips.begin()->second.begin(), 4);
+}
+
+TEST(Elaborate, GenerateIfBranchesRecorded)
+{
+    std::string src =
+        "module m #(parameter FAST = 1) (input wire a, "
+        "output wire y);\n"
+        "  if (FAST) begin\n"
+        "    assign y = a;\n"
+        "  end else begin\n"
+        "    assign y = ~a;\n"
+        "  end\n"
+        "endmodule";
+    ElabResult fast = elab(src, "m");
+    ElabResult slow = elab(src, "m", {{"FAST", 0}});
+    ASSERT_EQ(fast.stats.ifBranches.size(), 1u);
+    EXPECT_TRUE(fast.stats.ifBranches.begin()->second.count(1));
+    EXPECT_TRUE(slow.stats.ifBranches.begin()->second.count(0));
+    // Changing the branch is degenerate against the default.
+    EXPECT_TRUE(slow.stats.degenerateAgainst(fast.stats));
+    EXPECT_FALSE(fast.stats.degenerateAgainst(fast.stats));
+}
+
+TEST(Elaborate, ZeroTripLoopDegenerate)
+{
+    std::string src =
+        "module m #(parameter N = 3) (input wire a, "
+        "output wire y);\n"
+        "  genvar g;\n"
+        "  wire [7:0] t;\n"
+        "  assign t[0] = a;\n"
+        "  generate\n"
+        "    for (g = 1; g < N; g = g + 1) begin : l\n"
+        "      assign t[g] = t[g-1];\n"
+        "    end\n"
+        "  endgenerate\n"
+        "  assign y = t[N-1];\n"
+        "endmodule";
+    ElabResult ref = elab(src, "m");
+    ElabResult one = elab(src, "m", {{"N", 1}});
+    EXPECT_TRUE(one.stats.degenerateAgainst(ref.stats));
+    ElabResult two = elab(src, "m", {{"N", 2}});
+    EXPECT_FALSE(two.stats.degenerateAgainst(ref.stats));
+}
+
+TEST(Elaborate, PerIterationNetsRenamed)
+{
+    // Nets declared inside a generate body must not collide across
+    // iterations.
+    ElabResult r = elab(
+        "module m (input wire [1:0] a, output wire [1:0] y);\n"
+        "  genvar g;\n"
+        "  generate\n"
+        "    for (g = 0; g < 2; g = g + 1) begin : l\n"
+        "      wire t;\n"
+        "      assign t = ~a[g];\n"
+        "      assign y[g] = t;\n"
+        "    end\n"
+        "  endgenerate\n"
+        "endmodule",
+        "m");
+    // Two distinct renamed wires exist.
+    size_t renamed = 0;
+    for (const auto &s : r.rtl.signals)
+        if (s.name.find("t__") != std::string::npos)
+            ++renamed;
+    EXPECT_EQ(renamed, 2u);
+}
+
+TEST(Elaborate, MemoryDeclaredAndPorted)
+{
+    ElabResult r = elab(
+        "module m (input wire clk, input wire we, "
+        "input wire [3:0] addr, input wire [7:0] wd, "
+        "output wire [7:0] rd);\n"
+        "  reg [7:0] mem [0:15];\n"
+        "  always @(posedge clk) begin\n"
+        "    if (we) mem[addr] <= wd;\n"
+        "  end\n"
+        "  assign rd = mem[addr];\n"
+        "endmodule",
+        "m");
+    ASSERT_EQ(r.rtl.memories.size(), 1u);
+    const RtlMemory &mem = r.rtl.memories[0];
+    EXPECT_EQ(mem.width, 8);
+    EXPECT_EQ(mem.depth, 16);
+    ASSERT_EQ(mem.writePorts.size(), 1u);
+    EXPECT_NE(mem.writePorts[0].enable, invalidNode);
+}
+
+TEST(Elaborate, MultipleDriversThrow)
+{
+    EXPECT_THROW(
+        elab("module m (input wire a, output wire y);\n"
+             "  assign y = a;\n"
+             "  assign y = ~a;\n"
+             "endmodule",
+             "m"),
+        UcxError);
+}
+
+TEST(Elaborate, RegDrivenByTwoAlwaysBlocksThrows)
+{
+    EXPECT_THROW(
+        elab("module m (input wire clk, input wire a, "
+             "output reg q);\n"
+             "  always @(posedge clk) q <= a;\n"
+             "  always @(posedge clk) q <= ~a;\n"
+             "endmodule",
+             "m"),
+        UcxError);
+}
+
+TEST(Elaborate, UndrivenWireWarnsAndTiesLow)
+{
+    ElabResult r = elab(
+        "module m (input wire a, output wire y);\n"
+        "  wire floating;\n"
+        "  assign y = a & floating;\n"
+        "endmodule",
+        "m");
+    bool warned = false;
+    for (const auto &w : r.warnings)
+        warned |= w.find("floating") != std::string::npos;
+    EXPECT_TRUE(warned);
+}
+
+TEST(Elaborate, UnconnectedInputTiedLowWithWarning)
+{
+    ElabResult r = elab(
+        "module child (input wire a, input wire b, "
+        "output wire y);\n  assign y = a | b;\nendmodule\n"
+        "module top (input wire x, output wire z);\n"
+        "  child u (.a(x), .y(z));\n"
+        "endmodule",
+        "top");
+    bool warned = false;
+    for (const auto &w : r.warnings)
+        warned |= w.find("'b'") != std::string::npos;
+    EXPECT_TRUE(warned);
+}
+
+TEST(Elaborate, UnknownModuleThrows)
+{
+    EXPECT_THROW(elab("module top (input wire a);\n"
+                      "  ghost u (.x(a));\nendmodule",
+                      "top"),
+                 UcxError);
+}
+
+TEST(Elaborate, UnknownPortThrows)
+{
+    EXPECT_THROW(
+        elab("module child (input wire a); endmodule\n"
+             "module top (input wire x);\n"
+             "  child u (.bogus(x));\nendmodule",
+             "top"),
+        UcxError);
+}
+
+TEST(Elaborate, RecursiveInstantiationCapped)
+{
+    EXPECT_THROW(elab("module m (input wire a);\n"
+                      "  m u (.a(a));\nendmodule",
+                      "m"),
+                 UcxError);
+}
+
+TEST(Elaborate, LoopIterationCapEnforced)
+{
+    Design d;
+    d.addSource(
+        "module m (input wire a);\n"
+        "  genvar g;\n"
+        "  generate\n"
+        "    for (g = 0; g < 100000; g = g + 1) begin : l\n"
+        "      wire t;\n"
+        "    end\n"
+        "  endgenerate\n"
+        "endmodule");
+    ElabOptions opts;
+    opts.maxLoopIterations = 100;
+    EXPECT_THROW(elaborate(d, "m", opts), UcxError);
+}
+
+TEST(Elaborate, LocalparamUsable)
+{
+    ElabResult r = elab(
+        "module m (input wire [7:0] a, output wire [7:0] y);\n"
+        "  localparam SHIFT = 2;\n"
+        "  assign y = a << SHIFT;\n"
+        "endmodule",
+        "m");
+    EXPECT_NO_THROW(r.rtl.check());
+}
+
+TEST(Elaborate, WidthMismatchResized)
+{
+    // Narrow to wide and wide to narrow assignments are legal and
+    // zero-extend / truncate.
+    ElabResult r = elab(
+        "module m (input wire [3:0] a, output wire [7:0] wide, "
+        "output wire [1:0] narrow);\n"
+        "  assign wide = a;\n"
+        "  assign narrow = a;\n"
+        "endmodule",
+        "m");
+    EXPECT_NO_THROW(r.rtl.check());
+}
+
+} // namespace
+} // namespace ucx

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "hdl/design.hh"
+#include "synth/elaborate.hh"
+#include "synth/lower.hh"
+#include "util/error.hh"
+
+namespace ucx
+{
+namespace
+{
+
+Netlist
+lower(const std::string &src, const std::string &top)
+{
+    Design d;
+    d.addSource(src);
+    return lowerToGates(elaborate(d, top).rtl);
+}
+
+TEST(Lower, RegistersBecomeDffs)
+{
+    Netlist n = lower(
+        "module m (input wire clk, input wire [7:0] d, "
+        "output reg [7:0] q);\n"
+        "  always @(posedge clk) q <= d;\n"
+        "endmodule",
+        "m");
+    EXPECT_EQ(n.numDffs(), 8u);
+    EXPECT_EQ(n.inputBits.size(), 9u); // clk + 8 data bits
+    EXPECT_EQ(n.outputBits.size(), 8u);
+}
+
+TEST(Lower, PureWiringCreatesNoLogic)
+{
+    Netlist n = lower(
+        "module m (input wire [7:0] a, output wire [7:0] y);\n"
+        "  assign y = {a[3:0], a[7:4]};\n"
+        "endmodule",
+        "m");
+    EXPECT_EQ(n.numCombGates(), 0u);
+    EXPECT_EQ(n.numDffs(), 0u);
+}
+
+TEST(Lower, ConstantFoldingKillsDeadLogic)
+{
+    Netlist n = lower(
+        "module m (input wire [7:0] a, output wire [7:0] y);\n"
+        "  assign y = a & 8'h00;\n"
+        "endmodule",
+        "m");
+    // AND with constant zero folds away entirely.
+    EXPECT_EQ(n.numCombGates(), 0u);
+}
+
+TEST(Lower, StructuralHashingDeduplicates)
+{
+    Netlist twice = lower(
+        "module m (input wire a, input wire b, output wire x, "
+        "output wire y);\n"
+        "  assign x = a & b;\n"
+        "  assign y = a & b;\n"
+        "endmodule",
+        "m");
+    // The two identical ANDs share one gate.
+    EXPECT_EQ(twice.numCombGates(), 1u);
+}
+
+TEST(Lower, AdderGateCountLinearInWidth)
+{
+    auto count = [&](int w) {
+        std::string src =
+            "module m (input wire [" + std::to_string(w - 1) +
+            ":0] a, input wire [" + std::to_string(w - 1) +
+            ":0] b, output wire [" + std::to_string(w - 1) +
+            ":0] y);\n  assign y = a + b;\nendmodule";
+        return lower(src, "m").numCombGates();
+    };
+    size_t c8 = count(8);
+    size_t c16 = count(16);
+    size_t c32 = count(32);
+    // Ripple-carry: roughly proportional to width.
+    EXPECT_GT(c16, c8);
+    EXPECT_LT(c32, 2 * c16 + 8);
+    EXPECT_GT(c32, 2 * c16 - 16);
+}
+
+TEST(Lower, MultiplierQuadraticInWidth)
+{
+    auto count = [&](int w) {
+        std::string src =
+            "module m (input wire [" + std::to_string(w - 1) +
+            ":0] a, input wire [" + std::to_string(w - 1) +
+            ":0] b, output wire [" + std::to_string(2 * w - 1) +
+            ":0] y);\n  assign y = a * b;\nendmodule";
+        return lower(src, "m").numCombGates();
+    };
+    size_t c4 = count(4);
+    size_t c8 = count(8);
+    EXPECT_GT(c8, 3 * c4);
+}
+
+TEST(Lower, CombinationalLoopDetected)
+{
+    EXPECT_THROW(
+        lower("module m (input wire a, output wire y);\n"
+              "  wire u;\n  wire v;\n"
+              "  assign u = v & a;\n"
+              "  assign v = u | a;\n"
+              "  assign y = v;\n"
+              "endmodule",
+              "m"),
+        UcxError);
+}
+
+TEST(Lower, MemoryBitsCountedNotExpanded)
+{
+    Netlist n = lower(
+        "module m (input wire clk, input wire we, "
+        "input wire [5:0] addr, input wire [15:0] wd, "
+        "output wire [15:0] rd);\n"
+        "  reg [15:0] mem [0:63];\n"
+        "  always @(posedge clk) begin\n"
+        "    if (we) mem[addr] <= wd;\n"
+        "  end\n"
+        "  assign rd = mem[addr];\n"
+        "endmodule",
+        "m");
+    EXPECT_EQ(n.memoryBits, 64u * 16u);
+    // Memory storage contributes no DFFs.
+    EXPECT_EQ(n.numDffs(), 0u);
+    // Read port: one MemOut gate per data bit.
+    size_t memouts = 0;
+    size_t memins = 0;
+    for (const auto &g : n.gates) {
+        memouts += g.op == GateOp::MemOut;
+        memins += g.op == GateOp::MemIn;
+    }
+    EXPECT_EQ(memouts, 16u);
+    EXPECT_EQ(memins, 1u);
+}
+
+TEST(Lower, NetsCountsGateOutputsAndInputs)
+{
+    Netlist n = lower(
+        "module m (input wire a, input wire b, output wire y);\n"
+        "  assign y = a ^ b;\n"
+        "endmodule",
+        "m");
+    // 2 consts + 2 inputs + 1 xor = 5 nets.
+    EXPECT_EQ(n.numNets(), 5u);
+}
+
+TEST(Lower, DffDPinsPatched)
+{
+    Netlist n = lower(
+        "module m (input wire clk, input wire d, output reg q);\n"
+        "  always @(posedge clk) q <= ~d;\n"
+        "endmodule",
+        "m");
+    for (const auto &g : n.gates) {
+        if (g.op == GateOp::Dff) {
+            EXPECT_NE(g.in[0], invalidGate);
+        }
+    }
+    EXPECT_NO_THROW(n.check());
+}
+
+} // namespace
+} // namespace ucx

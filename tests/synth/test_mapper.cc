@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "hdl/design.hh"
+#include "synth/elaborate.hh"
+#include "synth/lower.hh"
+#include "synth/mapper.hh"
+
+namespace ucx
+{
+namespace
+{
+
+Netlist
+lower(const std::string &src, const std::string &top)
+{
+    Design d;
+    d.addSource(src);
+    return lowerToGates(elaborate(d, top).rtl);
+}
+
+TEST(CellMapper, CountsAndAreas)
+{
+    Netlist n = lower(
+        "module m (input wire clk, input wire a, input wire b, "
+        "output reg q);\n"
+        "  always @(posedge clk) q <= a ^ b;\n"
+        "endmodule",
+        "m");
+    CellMapping cm = mapToCells(n);
+    EXPECT_EQ(cm.cells, 2u); // one XOR + one DFF
+    EXPECT_EQ(cm.combCells, 1u);
+    EXPECT_EQ(cm.seqCells, 1u);
+    EXPECT_GT(cm.areaLogicUm2, 0.0);
+    EXPECT_GT(cm.areaStorageUm2, cm.areaLogicUm2); // DFF is bigger
+    EXPECT_GT(cm.leakageUw, 0.0);
+}
+
+TEST(CellMapper, RamCountedAsStorageArea)
+{
+    Netlist n = lower(
+        "module m (input wire clk, input wire we, "
+        "input wire [3:0] addr, input wire [7:0] wd, "
+        "output wire [7:0] rd);\n"
+        "  reg [7:0] mem [0:15];\n"
+        "  always @(posedge clk) begin\n"
+        "    if (we) mem[addr] <= wd;\n"
+        "  end\n"
+        "  assign rd = mem[addr];\n"
+        "endmodule",
+        "m");
+    CellMapping cm = mapToCells(n);
+    const CellLibrary &lib = CellLibrary::generic180();
+    EXPECT_GE(cm.areaStorageUm2, 128.0 * lib.ramBitAreaUm2);
+}
+
+TEST(LutMapper, SmallLogicFitsOneLut)
+{
+    Netlist n = lower(
+        "module m (input wire [3:0] a, output wire y);\n"
+        "  assign y = (a[0] & a[1]) | (a[2] ^ a[3]);\n"
+        "endmodule",
+        "m");
+    LutMapping lm = mapToLuts(n);
+    ASSERT_EQ(lm.luts.size(), 1u);
+    EXPECT_EQ(lm.luts[0].inputs.size(), 4u);
+    EXPECT_EQ(lm.maxDepth, 1);
+    EXPECT_EQ(lm.fanInSum(), 4u);
+}
+
+TEST(LutMapper, WideLogicNeedsMultipleLuts)
+{
+    Netlist n = lower(
+        "module m (input wire [31:0] a, output wire y);\n"
+        "  assign y = &a;\n"
+        "endmodule",
+        "m");
+    LutMapping lm = mapToLuts(n);
+    // 32 inputs cannot fit an 8-input LUT.
+    EXPECT_GT(lm.luts.size(), 1u);
+    EXPECT_GE(lm.fanInSum(), 32u);
+    EXPECT_GE(lm.maxDepth, 2);
+}
+
+TEST(LutMapper, FanInGrowsWithWidth)
+{
+    auto fanin = [&](int w) {
+        std::string ws = std::to_string(w - 1);
+        return mapToLuts(
+                   lower("module m (input wire [" + ws +
+                             ":0] a, input wire [" + ws +
+                             ":0] b, output wire [" + ws +
+                             ":0] y);\n  assign y = a + b;\n"
+                             "endmodule",
+                         "m"))
+            .fanInSum();
+    };
+    EXPECT_GT(fanin(16), fanin(8));
+    EXPECT_GT(fanin(32), fanin(16));
+}
+
+TEST(LutMapper, RegistersAreBoundaries)
+{
+    // Logic split by a register stage maps to shallower LUT levels.
+    Netlist pipelined = lower(
+        "module m (input wire clk, input wire [7:0] a, "
+        "input wire [7:0] b, input wire [7:0] c, "
+        "output reg [7:0] y);\n"
+        "  reg [7:0] t;\n"
+        "  always @(posedge clk) begin\n"
+        "    t <= a + b;\n"
+        "    y <= t + c;\n"
+        "  end\n"
+        "endmodule",
+        "m");
+    Netlist flat = lower(
+        "module m (input wire clk, input wire [7:0] a, "
+        "input wire [7:0] b, input wire [7:0] c, "
+        "output reg [7:0] y);\n"
+        "  always @(posedge clk) y <= a + b + c;\n"
+        "endmodule",
+        "m");
+    EXPECT_LT(mapToLuts(pipelined).maxDepth,
+              mapToLuts(flat).maxDepth + 1);
+}
+
+TEST(LutMapper, ConstantsNotCountedAsInputs)
+{
+    Netlist n = lower(
+        "module m (input wire [2:0] a, output wire y);\n"
+        "  assign y = a == 3'd5;\n"
+        "endmodule",
+        "m");
+    LutMapping lm = mapToLuts(n);
+    ASSERT_GE(lm.luts.size(), 1u);
+    // Only the 3 signal bits count as LUT inputs.
+    EXPECT_EQ(lm.fanInSum(), 3u);
+}
+
+} // namespace
+} // namespace ucx

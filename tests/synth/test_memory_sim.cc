@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Behavioral tests of memory-bearing designs through the full
+ * parse -> elaborate -> lower -> simulate path.
+ */
+
+#include <gtest/gtest.h>
+
+#include "designs/registry.hh"
+#include "hdl/design.hh"
+#include "synth/elaborate.hh"
+
+#include "gate_sim.hh"
+
+namespace ucx
+{
+namespace
+{
+
+RtlDesign
+build(const std::string &src, const std::string &top)
+{
+    Design d;
+    d.addSource(src);
+    return elaborate(d, top).rtl;
+}
+
+TEST(MemorySim, WriteThenReadBack)
+{
+    RtlDesign rtl = build(
+        "module m (input wire clk, input wire we, "
+        "input wire [3:0] addr, input wire [7:0] wd, "
+        "output wire [7:0] rd);\n"
+        "  reg [7:0] mem [0:15];\n"
+        "  always @(posedge clk) begin\n"
+        "    if (we) mem[addr] <= wd;\n"
+        "  end\n"
+        "  assign rd = mem[addr];\n"
+        "endmodule",
+        "m");
+    GateSim sim(rtl);
+    // Write distinct values to every address.
+    sim.poke("we", 1);
+    for (uint64_t a = 0; a < 16; ++a) {
+        sim.poke("addr", a);
+        sim.poke("wd", a * 9 + 3);
+        sim.step();
+    }
+    // Read them all back.
+    sim.poke("we", 0);
+    for (uint64_t a = 0; a < 16; ++a) {
+        sim.poke("addr", a);
+        sim.eval();
+        EXPECT_EQ(sim.peek("rd"), (a * 9 + 3) & 0xff) << a;
+    }
+}
+
+TEST(MemorySim, WriteEnableGates)
+{
+    RtlDesign rtl = build(
+        "module m (input wire clk, input wire we, "
+        "input wire [1:0] addr, input wire [7:0] wd, "
+        "output wire [7:0] rd);\n"
+        "  reg [7:0] mem [0:3];\n"
+        "  always @(posedge clk) begin\n"
+        "    if (we) mem[addr] <= wd;\n"
+        "  end\n"
+        "  assign rd = mem[addr];\n"
+        "endmodule",
+        "m");
+    GateSim sim(rtl);
+    sim.poke("addr", 2);
+    sim.poke("wd", 55);
+    sim.poke("we", 1);
+    sim.step();
+    sim.poke("wd", 99);
+    sim.poke("we", 0);
+    sim.step(); // disabled write must not land
+    sim.eval();
+    EXPECT_EQ(sim.peek("rd"), 55u);
+}
+
+TEST(MemorySim, RegfileBypassAndStorage)
+{
+    Design d = shippedDesign("regfile").load();
+    RtlDesign rtl = elaborate(d, "regfile").rtl;
+    GateSim sim(rtl);
+
+    // Write r3 = 1234.
+    sim.poke("we", 1);
+    sim.poke("waddr", 3);
+    sim.poke("wdata", 1234);
+    sim.poke("raddr0", 3);
+    sim.poke("raddr1", 7);
+    sim.eval();
+    // Same-cycle bypass: read port 0 sees the in-flight write.
+    EXPECT_EQ(sim.peek("rdata0"), 1234u);
+    sim.step();
+    // After the edge the RAM itself holds the value.
+    sim.poke("we", 0);
+    sim.eval();
+    EXPECT_EQ(sim.peek("rdata0"), 1234u);
+    EXPECT_EQ(sim.peek("rdata1"), 0u);
+}
+
+TEST(MemorySim, RobDispatchCompleteRetire)
+{
+    Design d = shippedDesign("rob").load();
+    RtlDesign rtl = elaborate(d, "rob").rtl;
+    GateSim sim(rtl);
+    sim.poke("rst", 1);
+    sim.step();
+    sim.poke("rst", 0);
+
+    // Dispatch two instructions.
+    sim.poke("disp_valid", 1);
+    sim.poke("disp_pc", 0x100);
+    sim.poke("disp_dst", 5);
+    sim.eval();
+    uint64_t idx0 = sim.peek("disp_idx");
+    sim.step();
+    sim.poke("disp_pc", 0x104);
+    sim.poke("disp_dst", 6);
+    sim.eval();
+    uint64_t idx1 = sim.peek("disp_idx");
+    sim.step();
+    sim.poke("disp_valid", 0);
+    EXPECT_NE(idx0, idx1);
+
+    // Nothing retires while the head is incomplete.
+    sim.step();
+    EXPECT_EQ(sim.peek("retire_valid"), 0u);
+
+    // Complete out of order: the younger first.
+    sim.poke("comp_valid", 1);
+    sim.poke("comp_idx", idx1);
+    sim.step();
+    sim.poke("comp_idx", idx0);
+    sim.step();
+    sim.poke("comp_valid", 0);
+
+    // Head retires first, in program order.
+    sim.step();
+    EXPECT_EQ(sim.peek("retire_valid"), 1u);
+    EXPECT_EQ(sim.peek("retire_pc"), 0x100u);
+    EXPECT_EQ(sim.peek("retire_dst"), 5u);
+    sim.step();
+    EXPECT_EQ(sim.peek("retire_valid"), 1u);
+    EXPECT_EQ(sim.peek("retire_pc"), 0x104u);
+}
+
+TEST(MemorySim, LsqForwardsYoungestMatchingStore)
+{
+    Design d = shippedDesign("lsq").load();
+    RtlDesign rtl = elaborate(d, "lsq").rtl;
+    GateSim sim(rtl);
+    sim.poke("rst", 1);
+    sim.step();
+    sim.poke("rst", 0);
+
+    // Enqueue a store to 0x40 with data 77.
+    sim.poke("st_valid", 1);
+    sim.poke("st_addr", 0x40);
+    sim.poke("st_data", 77);
+    sim.poke("drain_en", 0);
+    sim.step();
+    sim.poke("st_valid", 0);
+
+    // A load to the same address forwards.
+    sim.poke("ld_valid", 1);
+    sim.poke("ld_addr", 0x40);
+    sim.eval();
+    EXPECT_EQ(sim.peek("fwd_hit"), 1u);
+    EXPECT_EQ(sim.peek("fwd_data"), 77u);
+
+    // A load elsewhere misses.
+    sim.poke("ld_addr", 0x44);
+    sim.eval();
+    EXPECT_EQ(sim.peek("fwd_hit"), 0u);
+
+    // Drain the store; forwarding stops.
+    sim.poke("ld_valid", 0);
+    sim.poke("drain_en", 1);
+    sim.eval();
+    EXPECT_EQ(sim.peek("drain_valid"), 1u);
+    EXPECT_EQ(sim.peek("drain_addr"), 0x40u);
+    EXPECT_EQ(sim.peek("drain_data"), 77u);
+    sim.step();
+    sim.poke("drain_en", 0);
+    sim.poke("ld_valid", 1);
+    sim.poke("ld_addr", 0x40);
+    sim.eval();
+    EXPECT_EQ(sim.peek("fwd_hit"), 0u);
+}
+
+TEST(MemorySim, CacheMissRefillThenHit)
+{
+    Design d = shippedDesign("cache_ctrl").load();
+    RtlDesign rtl = elaborate(d, "cache_ctrl").rtl;
+    GateSim sim(rtl);
+    sim.poke("rst", 1);
+    sim.step();
+    sim.poke("rst", 0);
+
+    // Read miss: controller must go to memory.
+    sim.poke("req_valid", 1);
+    sim.poke("req_write", 0);
+    sim.poke("req_addr", 0x1234);
+    sim.poke("mem_ack", 0);
+    sim.step(); // IDLE -> LOOKUP
+    sim.poke("req_valid", 0);
+    sim.step(); // LOOKUP -> REFILL (miss)
+    EXPECT_EQ(sim.peek("busy"), 1u);
+    EXPECT_EQ(sim.peek("mem_req"), 1u);
+    // Memory answers.
+    sim.poke("mem_ack", 1);
+    sim.poke("mem_rdata", 0xabcd);
+    sim.step();
+    EXPECT_EQ(sim.peek("resp_valid"), 1u);
+    sim.poke("mem_ack", 0);
+    sim.step();
+    EXPECT_EQ(sim.peek("busy"), 0u);
+
+    // Same address again: hit, served without memory.
+    sim.poke("req_valid", 1);
+    sim.step();
+    sim.poke("req_valid", 0);
+    sim.step(); // LOOKUP: hit
+    EXPECT_EQ(sim.peek("resp_valid"), 1u);
+    EXPECT_EQ(sim.peek("resp_rdata"), 0xabcdu);
+    EXPECT_EQ(sim.peek("mem_req"), 0u);
+}
+
+TEST(MemorySim, GshareLearnsTakenBranch)
+{
+    Design d = shippedDesign("fetch").load();
+    RtlDesign rtl = elaborate(d, "gshare").rtl;
+    GateSim sim(rtl);
+    sim.poke("rst", 1);
+    sim.step();
+    sim.poke("rst", 0);
+
+    const uint64_t pc = 0x3f;
+    sim.poke("lookup_pc", pc);
+    sim.eval();
+    EXPECT_EQ(sim.peek("predict_taken"), 0u); // cold counters
+
+    // Train taken repeatedly. The global history register shifts
+    // with every update, scattering the first updates across PHT
+    // indices; once the 8-bit GHR saturates at all-ones the index
+    // stabilizes and the 2-bit counter there climbs past the taken
+    // threshold.
+    sim.poke("update_en", 1);
+    sim.poke("update_pc", pc);
+    sim.poke("update_taken", 1);
+    for (int i = 0; i < 12; ++i)
+        sim.step();
+    sim.poke("update_en", 0);
+    // Probe lookups across PCs: with GHR = 0xff the trained index
+    // pc ^ 0xff falls in the probed range.
+    bool any_taken = false;
+    for (uint64_t probe = 0; probe < 64; ++probe) {
+        sim.poke("lookup_pc", probe);
+        sim.eval();
+        any_taken |= sim.peek("predict_taken") == 1;
+    }
+    EXPECT_TRUE(any_taken);
+}
+
+} // namespace
+} // namespace ucx

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "hdl/design.hh"
+#include "synth/elaborate.hh"
+#include "synth/lower.hh"
+#include "synth/report.hh"
+
+namespace ucx
+{
+namespace
+{
+
+Netlist
+lower(const std::string &src, const std::string &top)
+{
+    Design d;
+    d.addSource(src);
+    return lowerToGates(elaborate(d, top).rtl);
+}
+
+TEST(Report, HistogramsSumToTotals)
+{
+    Netlist n = lower(
+        "module m (input wire clk, input wire [7:0] a, "
+        "input wire [7:0] b, output reg [7:0] q);\n"
+        "  always @(posedge clk) q <= (a + b) ^ (a & b);\n"
+        "endmodule",
+        "m");
+    SynthReport report = buildReport(n);
+
+    size_t gate_sum = 0;
+    for (const auto &[name, count] : report.gateHistogram) {
+        (void)name;
+        gate_sum += count;
+    }
+    EXPECT_EQ(gate_sum, report.totalGates);
+
+    size_t lut_sum = 0;
+    for (const auto &[inputs, count] : report.lutInputHistogram) {
+        (void)inputs;
+        lut_sum += count;
+    }
+    EXPECT_EQ(lut_sum, report.totalLuts);
+
+    size_t cone_sum = 0;
+    for (const auto &[bucket, count] : report.coneFanInHistogram) {
+        (void)bucket;
+        cone_sum += count;
+    }
+    EXPECT_EQ(cone_sum, report.totalCones);
+}
+
+TEST(Report, ExpectedGateKinds)
+{
+    Netlist n = lower(
+        "module m (input wire clk, input wire d, output reg q);\n"
+        "  always @(posedge clk) q <= ~d;\n"
+        "endmodule",
+        "m");
+    SynthReport report = buildReport(n);
+    EXPECT_EQ(report.gateHistogram.at("dff"), 1u);
+    EXPECT_EQ(report.gateHistogram.at("not"), 1u);
+    EXPECT_EQ(report.gateHistogram.at("input"), 2u); // clk + d
+}
+
+TEST(Report, FanInSumsMatchUnderlyingAnalyses)
+{
+    Netlist n = lower(
+        "module m (input wire [15:0] a, input wire [15:0] b, "
+        "output wire [15:0] y);\n"
+        "  assign y = a + b;\n"
+        "endmodule",
+        "m");
+    SynthReport report = buildReport(n);
+    EXPECT_EQ(report.fanInSumLut, mapToLuts(n).fanInSum());
+    EXPECT_EQ(report.fanInSumExact, extractCones(n).fanInSum);
+    EXPECT_GT(report.fanInSumLut, 0u);
+}
+
+TEST(Report, LutInputCountsBounded)
+{
+    Netlist n = lower(
+        "module m (input wire [31:0] a, output wire y);\n"
+        "  assign y = ^a;\n"
+        "endmodule",
+        "m");
+    SynthReport report = buildReport(n);
+    for (const auto &[inputs, count] : report.lutInputHistogram) {
+        (void)count;
+        EXPECT_GE(inputs, 1u);
+        EXPECT_LE(inputs, 8u);
+    }
+}
+
+TEST(Report, RenderContainsSections)
+{
+    Netlist n = lower(
+        "module m (input wire [3:0] a, output wire y);\n"
+        "  assign y = &a;\n"
+        "endmodule",
+        "m");
+    std::string text = buildReport(n).render();
+    EXPECT_NE(text.find("Gate kind"), std::string::npos);
+    EXPECT_NE(text.find("LUT inputs used"), std::string::npos);
+    EXPECT_NE(text.find("Cone fan-in"), std::string::npos);
+    EXPECT_NE(text.find("FanInLC"), std::string::npos);
+}
+
+} // namespace
+} // namespace ucx

@@ -1,0 +1,397 @@
+/**
+ * @file
+ * End-to-end semantic checks: parse µHDL, elaborate, lower to gates,
+ * and simulate against the behavior the source describes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hdl/design.hh"
+#include "synth/elaborate.hh"
+#include "gate_sim.hh"
+
+namespace ucx
+{
+namespace
+{
+
+RtlDesign
+build(const std::string &src, const std::string &top)
+{
+    Design d;
+    d.addSource(src);
+    return elaborate(d, top).rtl;
+}
+
+TEST(Simulate, AdderSubtractor)
+{
+    RtlDesign rtl = build(
+        "module m (input wire [7:0] a, input wire [7:0] b, "
+        "output wire [7:0] sum, output wire [7:0] diff);\n"
+        "  assign sum = a + b;\n"
+        "  assign diff = a - b;\n"
+        "endmodule",
+        "m");
+    GateSim sim(rtl);
+    struct Case { uint64_t a, b; };
+    for (Case c : {Case{5, 3}, Case{200, 100}, Case{255, 255},
+                   Case{0, 0}, Case{3, 5}}) {
+        sim.poke("a", c.a);
+        sim.poke("b", c.b);
+        sim.eval();
+        EXPECT_EQ(sim.peek("sum"), (c.a + c.b) & 0xff);
+        EXPECT_EQ(sim.peek("diff"), (c.a - c.b) & 0xff);
+    }
+}
+
+TEST(Simulate, MultiplyAndCompare)
+{
+    RtlDesign rtl = build(
+        "module m (input wire [3:0] a, input wire [3:0] b, "
+        "output wire [7:0] prod, output wire lt, output wire eq, "
+        "output wire ge);\n"
+        "  assign prod = a * b;\n"
+        "  assign lt = a < b;\n"
+        "  assign eq = a == b;\n"
+        "  assign ge = a >= b;\n"
+        "endmodule",
+        "m");
+    GateSim sim(rtl);
+    for (uint64_t a = 0; a < 16; a += 3) {
+        for (uint64_t b = 0; b < 16; b += 5) {
+            sim.poke("a", a);
+            sim.poke("b", b);
+            sim.eval();
+            EXPECT_EQ(sim.peek("prod"), a * b);
+            EXPECT_EQ(sim.peek("lt"), a < b ? 1u : 0u);
+            EXPECT_EQ(sim.peek("eq"), a == b ? 1u : 0u);
+            EXPECT_EQ(sim.peek("ge"), a >= b ? 1u : 0u);
+        }
+    }
+}
+
+TEST(Simulate, BitwiseAndReductions)
+{
+    RtlDesign rtl = build(
+        "module m (input wire [7:0] a, input wire [7:0] b, "
+        "output wire [7:0] x, output wire ra, output wire ro, "
+        "output wire rx);\n"
+        "  assign x = (a & b) | (~a ^ b);\n"
+        "  assign ra = &a;\n"
+        "  assign ro = |a;\n"
+        "  assign rx = ^a;\n"
+        "endmodule",
+        "m");
+    GateSim sim(rtl);
+    for (uint64_t a : {0x00ull, 0xffull, 0x5aull, 0x81ull}) {
+        sim.poke("a", a);
+        sim.poke("b", 0x3c);
+        sim.eval();
+        uint64_t expect = ((a & 0x3c) | ((~a & 0xff) ^ 0x3c)) & 0xff;
+        EXPECT_EQ(sim.peek("x"), expect);
+        EXPECT_EQ(sim.peek("ra"), a == 0xff ? 1u : 0u);
+        EXPECT_EQ(sim.peek("ro"), a != 0 ? 1u : 0u);
+        EXPECT_EQ(sim.peek("rx"), __builtin_parityll(a));
+    }
+}
+
+TEST(Simulate, VariableShifts)
+{
+    RtlDesign rtl = build(
+        "module m (input wire [7:0] a, input wire [2:0] s, "
+        "output wire [7:0] l, output wire [7:0] r);\n"
+        "  assign l = a << s;\n"
+        "  assign r = a >> s;\n"
+        "endmodule",
+        "m");
+    GateSim sim(rtl);
+    for (uint64_t s = 0; s < 8; ++s) {
+        sim.poke("a", 0xc5);
+        sim.poke("s", s);
+        sim.eval();
+        EXPECT_EQ(sim.peek("l"), (0xc5ull << s) & 0xff) << s;
+        EXPECT_EQ(sim.peek("r"), 0xc5ull >> s) << s;
+    }
+}
+
+TEST(Simulate, TernaryAndCase)
+{
+    RtlDesign rtl = build(
+        "module m (input wire [1:0] sel, input wire [3:0] a, "
+        "input wire [3:0] b, output reg [3:0] y);\n"
+        "  always @* begin\n"
+        "    case (sel)\n"
+        "      2'd0: y = a;\n"
+        "      2'd1: y = b;\n"
+        "      2'd2: y = a + b;\n"
+        "      default: y = 4'd15;\n"
+        "    endcase\n"
+        "  end\n"
+        "endmodule",
+        "m");
+    GateSim sim(rtl);
+    sim.poke("a", 5);
+    sim.poke("b", 9);
+    uint64_t expect[4] = {5, 9, 14, 15};
+    for (uint64_t sel = 0; sel < 4; ++sel) {
+        sim.poke("sel", sel);
+        sim.eval();
+        EXPECT_EQ(sim.peek("y"), expect[sel]) << sel;
+    }
+}
+
+TEST(Simulate, CaseDefaultNotLast)
+{
+    // Default arm placed first: must still act as the no-match arm.
+    RtlDesign rtl = build(
+        "module m (input wire [1:0] sel, output reg [3:0] y);\n"
+        "  always @* begin\n"
+        "    case (sel)\n"
+        "      default: y = 4'd7;\n"
+        "      2'd1: y = 4'd1;\n"
+        "    endcase\n"
+        "  end\n"
+        "endmodule",
+        "m");
+    GateSim sim(rtl);
+    sim.poke("sel", 1);
+    sim.eval();
+    EXPECT_EQ(sim.peek("y"), 1u);
+    sim.poke("sel", 2);
+    sim.eval();
+    EXPECT_EQ(sim.peek("y"), 7u);
+}
+
+TEST(Simulate, IfElsePriority)
+{
+    RtlDesign rtl = build(
+        "module m (input wire [3:0] a, output reg [1:0] y);\n"
+        "  always @* begin\n"
+        "    y = 2'd0;\n"
+        "    if (a > 4'd10) y = 2'd3;\n"
+        "    else if (a > 4'd5) y = 2'd2;\n"
+        "    else if (a > 4'd2) y = 2'd1;\n"
+        "  end\n"
+        "endmodule",
+        "m");
+    GateSim sim(rtl);
+    struct Case { uint64_t a, y; };
+    for (Case c : {Case{0, 0}, Case{3, 1}, Case{6, 2}, Case{12, 3},
+                   Case{5, 1}, Case{11, 3}}) {
+        sim.poke("a", c.a);
+        sim.eval();
+        EXPECT_EQ(sim.peek("y"), c.y) << c.a;
+    }
+}
+
+TEST(Simulate, ConcatReplicationSelects)
+{
+    RtlDesign rtl = build(
+        "module m (input wire [7:0] a, output wire [7:0] swapped, "
+        "output wire [3:0] rep, output wire msb);\n"
+        "  assign swapped = {a[3:0], a[7:4]};\n"
+        "  assign rep = {4{a[0]}};\n"
+        "  assign msb = a[7];\n"
+        "endmodule",
+        "m");
+    GateSim sim(rtl);
+    sim.poke("a", 0xa7);
+    sim.eval();
+    EXPECT_EQ(sim.peek("swapped"), 0x7au);
+    EXPECT_EQ(sim.peek("rep"), 0xfu);
+    EXPECT_EQ(sim.peek("msb"), 1u);
+}
+
+TEST(Simulate, SequentialCounterWithReset)
+{
+    RtlDesign rtl = build(
+        "module m (input wire clk, input wire rst, "
+        "input wire en, output reg [3:0] q);\n"
+        "  always @(posedge clk) begin\n"
+        "    if (rst) q <= 4'd0;\n"
+        "    else if (en) q <= q + 4'd1;\n"
+        "  end\n"
+        "endmodule",
+        "m");
+    GateSim sim(rtl);
+    sim.poke("rst", 1);
+    sim.poke("en", 0);
+    sim.step();
+    EXPECT_EQ(sim.peek("q"), 0u);
+    sim.poke("rst", 0);
+    sim.poke("en", 1);
+    for (uint64_t i = 1; i <= 5; ++i) {
+        sim.step();
+        EXPECT_EQ(sim.peek("q"), i);
+    }
+    // Hold when disabled.
+    sim.poke("en", 0);
+    sim.step();
+    EXPECT_EQ(sim.peek("q"), 5u);
+    // Wraps at 16.
+    sim.poke("en", 1);
+    for (int i = 0; i < 11; ++i)
+        sim.step();
+    EXPECT_EQ(sim.peek("q"), 0u);
+}
+
+TEST(Simulate, NonBlockingSwap)
+{
+    // The classic NBA test: two registers swap atomically.
+    RtlDesign rtl = build(
+        "module m (input wire clk, input wire load, "
+        "input wire [3:0] a0, input wire [3:0] b0, "
+        "output reg [3:0] a, output reg [3:0] b);\n"
+        "  always @(posedge clk) begin\n"
+        "    if (load) begin\n"
+        "      a <= a0;\n"
+        "      b <= b0;\n"
+        "    end else begin\n"
+        "      a <= b;\n"
+        "      b <= a;\n"
+        "    end\n"
+        "  end\n"
+        "endmodule",
+        "m");
+    GateSim sim(rtl);
+    sim.poke("load", 1);
+    sim.poke("a0", 3);
+    sim.poke("b0", 12);
+    sim.step();
+    EXPECT_EQ(sim.peek("a"), 3u);
+    EXPECT_EQ(sim.peek("b"), 12u);
+    sim.poke("load", 0);
+    sim.step();
+    EXPECT_EQ(sim.peek("a"), 12u);
+    EXPECT_EQ(sim.peek("b"), 3u);
+    sim.step();
+    EXPECT_EQ(sim.peek("a"), 3u);
+    EXPECT_EQ(sim.peek("b"), 12u);
+}
+
+TEST(Simulate, BlockingSequenceInComb)
+{
+    // Blocking assignments see earlier updates in the same block.
+    RtlDesign rtl = build(
+        "module m (input wire [3:0] a, output reg [3:0] y);\n"
+        "  reg [3:0] t;\n"
+        "  always @* begin\n"
+        "    t = a + 4'd1;\n"
+        "    t = t + 4'd1;\n"
+        "    y = t;\n"
+        "  end\n"
+        "endmodule",
+        "m");
+    GateSim sim(rtl);
+    sim.poke("a", 7);
+    sim.eval();
+    EXPECT_EQ(sim.peek("y"), 9u);
+}
+
+TEST(Simulate, ProceduralForUnrolls)
+{
+    // Priority encoder via a descending for loop.
+    RtlDesign rtl = build(
+        "module m (input wire [7:0] a, output reg [3:0] y);\n"
+        "  integer i;\n"
+        "  always @* begin\n"
+        "    y = 4'd15;\n"
+        "    for (i = 7; i >= 0; i = i - 1) begin\n"
+        "      if (a[i]) y = i;\n"
+        "    end\n"
+        "  end\n"
+        "endmodule",
+        "m");
+    GateSim sim(rtl);
+    struct Case { uint64_t a, y; };
+    for (Case c : {Case{0x00, 15}, Case{0x01, 0}, Case{0x80, 7},
+                   Case{0x06, 1}, Case{0xf0, 4}}) {
+        sim.poke("a", c.a);
+        sim.eval();
+        EXPECT_EQ(sim.peek("y"), c.y) << c.a;
+    }
+}
+
+TEST(Simulate, HierarchyAndGenerate)
+{
+    // A 4-lane generate instantiating a child adder per lane.
+    RtlDesign rtl = build(
+        "module addone #(parameter W = 4) (input wire [W-1:0] x, "
+        "output wire [W-1:0] y);\n"
+        "  assign y = x + 1;\n"
+        "endmodule\n"
+        "module m (input wire [15:0] a, output wire [15:0] y);\n"
+        "  genvar g;\n"
+        "  generate\n"
+        "    for (g = 0; g < 4; g = g + 1) begin : lane\n"
+        "      addone #(.W(4)) u (.x(a[g*4+3:g*4]), "
+        ".y(y[g*4+3:g*4]));\n"
+        "    end\n"
+        "  endgenerate\n"
+        "endmodule",
+        "m");
+    GateSim sim(rtl);
+    sim.poke("a", 0x10f3);
+    sim.eval();
+    // Each nibble incremented (with wrap): 1->2, 0->1, f->0, 3->4.
+    EXPECT_EQ(sim.peek("y"), 0x2104u);
+}
+
+TEST(Simulate, PartSelectWrite)
+{
+    RtlDesign rtl = build(
+        "module m (input wire [3:0] lo, input wire [3:0] hi, "
+        "output wire [7:0] y);\n"
+        "  assign y[3:0] = lo;\n"
+        "  assign y[7:4] = hi;\n"
+        "endmodule",
+        "m");
+    GateSim sim(rtl);
+    sim.poke("lo", 0x5);
+    sim.poke("hi", 0xa);
+    sim.eval();
+    EXPECT_EQ(sim.peek("y"), 0xa5u);
+}
+
+TEST(Simulate, DivModByPowerOfTwo)
+{
+    RtlDesign rtl = build(
+        "module m (input wire [7:0] a, output wire [7:0] q, "
+        "output wire [1:0] r);\n"
+        "  assign q = a / 4;\n"
+        "  assign r = a % 4;\n"
+        "endmodule",
+        "m");
+    GateSim sim(rtl);
+    for (uint64_t a : {0ull, 7ull, 100ull, 255ull}) {
+        sim.poke("a", a);
+        sim.eval();
+        EXPECT_EQ(sim.peek("q"), a / 4);
+        EXPECT_EQ(sim.peek("r"), a % 4);
+    }
+}
+
+TEST(Simulate, LogicalOperators)
+{
+    RtlDesign rtl = build(
+        "module m (input wire [3:0] a, input wire [3:0] b, "
+        "output wire land, output wire lor, output wire lnot);\n"
+        "  assign land = a && b;\n"
+        "  assign lor = a || b;\n"
+        "  assign lnot = !a;\n"
+        "endmodule",
+        "m");
+    GateSim sim(rtl);
+    struct Case { uint64_t a, b; };
+    for (Case c : {Case{0, 0}, Case{3, 0}, Case{0, 9}, Case{2, 5}}) {
+        sim.poke("a", c.a);
+        sim.poke("b", c.b);
+        sim.eval();
+        EXPECT_EQ(sim.peek("land"), (c.a && c.b) ? 1u : 0u);
+        EXPECT_EQ(sim.peek("lor"), (c.a || c.b) ? 1u : 0u);
+        EXPECT_EQ(sim.peek("lnot"), !c.a ? 1u : 0u);
+    }
+}
+
+} // namespace
+} // namespace ucx

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "hdl/design.hh"
+#include "synth/elaborate.hh"
+#include "synth/lower.hh"
+#include "synth/power.hh"
+#include "synth/timing.hh"
+#include "util/error.hh"
+
+namespace ucx
+{
+namespace
+{
+
+Netlist
+lower(const std::string &src, const std::string &top)
+{
+    Design d;
+    d.addSource(src);
+    return lowerToGates(elaborate(d, top).rtl);
+}
+
+Netlist
+adderChain(int stages)
+{
+    // One register stage feeding `stages` chained adders.
+    std::string body =
+        "module m (input wire clk, input wire [15:0] a, "
+        "output reg [15:0] q);\n"
+        "  wire [15:0] t0;\n  assign t0 = a;\n";
+    for (int s = 1; s <= stages; ++s) {
+        body += "  wire [15:0] t" + std::to_string(s) + ";\n";
+        body += "  assign t" + std::to_string(s) + " = t" +
+                std::to_string(s - 1) + " + 16'd" +
+                std::to_string(s) + ";\n";
+    }
+    body += "  always @(posedge clk) q <= t" +
+            std::to_string(stages) + ";\nendmodule";
+    return lower(body, "m");
+}
+
+TEST(Timing, LongerChainsAreSlower)
+{
+    TimingReport short_path = staAsic(adderChain(1));
+    TimingReport long_path = staAsic(adderChain(4));
+    EXPECT_GT(long_path.criticalPathNs, short_path.criticalPathNs);
+    EXPECT_LT(long_path.freqMHz, short_path.freqMHz);
+}
+
+TEST(Timing, EmptyDesignHasFloorDelay)
+{
+    Netlist n = lower(
+        "module m (input wire clk, input wire d, output reg q);\n"
+        "  always @(posedge clk) q <= d;\n"
+        "endmodule",
+        "m");
+    TimingReport t = staAsic(n);
+    const CellLibrary &lib = CellLibrary::generic180();
+    EXPECT_GE(t.criticalPathNs,
+              lib.dffClkQNs + lib.dffSetupNs - 1e-9);
+    EXPECT_GT(t.freqMHz, 0.0);
+}
+
+TEST(Timing, FreqInversesCriticalPath)
+{
+    TimingReport t = staAsic(adderChain(2));
+    EXPECT_NEAR(t.freqMHz * t.criticalPathNs, 1000.0, 1e-6);
+}
+
+TEST(Timing, FpgaDepthDrivesFrequency)
+{
+    LutMapping shallow = mapToLuts(adderChain(1));
+    LutMapping deep = mapToLuts(adderChain(6));
+    TimingReport ts = staFpga(shallow);
+    TimingReport td = staFpga(deep);
+    EXPECT_GT(ts.freqMHz, td.freqMHz);
+}
+
+TEST(Timing, FpgaFrequencyPlausibleRange)
+{
+    // The paper's components run 41..159 MHz on the Stratix II; a
+    // modest adder pipeline should land in the tens-to-hundreds.
+    TimingReport t = staFpga(mapToLuts(adderChain(2)));
+    EXPECT_GT(t.freqMHz, 20.0);
+    EXPECT_LT(t.freqMHz, 600.0);
+}
+
+TEST(Power, ScalesWithFrequency)
+{
+    Netlist n = adderChain(3);
+    PowerReport slow = estimatePower(n, 50.0);
+    PowerReport fast = estimatePower(n, 100.0);
+    EXPECT_NEAR(fast.dynamicMw, 2.0 * slow.dynamicMw, 1e-9);
+    // Leakage is frequency-independent.
+    EXPECT_DOUBLE_EQ(fast.staticUw, slow.staticUw);
+}
+
+TEST(Power, MoreLogicMorePower)
+{
+    PowerReport small = estimatePower(adderChain(1), 100.0);
+    PowerReport big = estimatePower(adderChain(5), 100.0);
+    EXPECT_GT(big.dynamicMw, small.dynamicMw);
+    EXPECT_GT(big.staticUw, small.staticUw);
+}
+
+TEST(Power, RamLeaksButDoesNotSwitch)
+{
+    Netlist with_ram = lower(
+        "module m (input wire clk, input wire we, "
+        "input wire [7:0] addr, input wire [31:0] wd, "
+        "output wire [31:0] rd);\n"
+        "  reg [31:0] mem [0:255];\n"
+        "  always @(posedge clk) begin\n"
+        "    if (we) mem[addr] <= wd;\n"
+        "  end\n"
+        "  assign rd = mem[addr];\n"
+        "endmodule",
+        "m");
+    PowerReport p = estimatePower(with_ram, 100.0);
+    const CellLibrary &lib = CellLibrary::generic180();
+    EXPECT_GE(p.staticUw, 256.0 * 32.0 * lib.ramBitLeakUw);
+}
+
+TEST(Power, RejectsNonPositiveFrequency)
+{
+    Netlist n = adderChain(1);
+    EXPECT_THROW(estimatePower(n, 0.0), UcxError);
+}
+
+} // namespace
+} // namespace ucx

@@ -1,0 +1,62 @@
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/csv.hh"
+
+namespace ucx
+{
+namespace
+{
+
+TEST(Csv, PlainRow)
+{
+    std::ostringstream out;
+    CsvWriter w(out);
+    w.writeRow({"a", "b", "c"});
+    EXPECT_EQ(out.str(), "a,b,c\n");
+}
+
+TEST(Csv, QuotesCommas)
+{
+    std::ostringstream out;
+    CsvWriter w(out);
+    w.writeRow({"a,b", "c"});
+    EXPECT_EQ(out.str(), "\"a,b\",c\n");
+}
+
+TEST(Csv, EscapesQuotes)
+{
+    std::ostringstream out;
+    CsvWriter w(out);
+    w.writeRow({"say \"hi\""});
+    EXPECT_EQ(out.str(), "\"say \"\"hi\"\"\"\n");
+}
+
+TEST(Csv, QuotesNewlines)
+{
+    std::ostringstream out;
+    CsvWriter w(out);
+    w.writeRow({"two\nlines"});
+    EXPECT_EQ(out.str(), "\"two\nlines\"\n");
+}
+
+TEST(Csv, EmptyRow)
+{
+    std::ostringstream out;
+    CsvWriter w(out);
+    w.writeRow({});
+    EXPECT_EQ(out.str(), "\n");
+}
+
+TEST(Csv, MultipleRows)
+{
+    std::ostringstream out;
+    CsvWriter w(out);
+    w.writeRow({"h1", "h2"});
+    w.writeRow({"1", "2"});
+    EXPECT_EQ(out.str(), "h1,h2\n1,2\n");
+}
+
+} // namespace
+} // namespace ucx

@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "util/error.hh"
+#include "util/logging.hh"
+
+namespace ucx
+{
+namespace
+{
+
+TEST(Error, FatalThrowsUcxError)
+{
+    EXPECT_THROW(fatal("boom"), UcxError);
+}
+
+TEST(Error, PanicThrowsUcxPanic)
+{
+    EXPECT_THROW(panic("bug"), UcxPanic);
+}
+
+TEST(Error, RequirePassesOnTrue)
+{
+    EXPECT_NO_THROW(require(true, "fine"));
+}
+
+TEST(Error, RequireThrowsWithMessage)
+{
+    try {
+        require(false, "specific message");
+        FAIL() << "expected UcxError";
+    } catch (const UcxError &e) {
+        EXPECT_STREQ(e.what(), "specific message");
+    }
+}
+
+TEST(Error, EnsureThrowsPanic)
+{
+    EXPECT_NO_THROW(ensure(true, "fine"));
+    EXPECT_THROW(ensure(false, "bug"), UcxPanic);
+}
+
+TEST(Error, PanicIsNotUcxError)
+{
+    // The two exception families are distinct: a panic must not be
+    // swallowed by handlers for user errors.
+    try {
+        panic("bug");
+    } catch (const UcxError &) {
+        FAIL() << "UcxPanic must not derive from UcxError";
+    } catch (const UcxPanic &) {
+        SUCCEED();
+    }
+}
+
+TEST(Logging, LevelFilteringRoundTrip)
+{
+    LogLevel original = logLevel();
+    setLogLevel(LogLevel::Quiet);
+    EXPECT_EQ(logLevel(), LogLevel::Quiet);
+    // These must not crash even when suppressed.
+    debug("d");
+    inform("i");
+    warn("w");
+    setLogLevel(original);
+}
+
+} // namespace
+} // namespace ucx

@@ -1,0 +1,122 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/error.hh"
+#include "util/rng.hh"
+
+namespace ucx
+{
+namespace
+{
+
+TEST(Rng, DeterministicFromSeed)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformRangeRespected)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        double u = rng.uniform(-2.0, 3.0);
+        EXPECT_GE(u, -2.0);
+        EXPECT_LT(u, 3.0);
+    }
+}
+
+TEST(Rng, UniformMeanNearHalf)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(13);
+    const int n = 100000;
+    double sum = 0.0;
+    double ss = 0.0;
+    for (int i = 0; i < n; ++i) {
+        double x = rng.normal(2.0, 3.0);
+        sum += x;
+        ss += x * x;
+    }
+    double mean = sum / n;
+    double var = ss / n - mean * mean;
+    EXPECT_NEAR(mean, 2.0, 0.05);
+    EXPECT_NEAR(std::sqrt(var), 3.0, 0.05);
+}
+
+TEST(Rng, NormalRejectsNegativeSigma)
+{
+    Rng rng(1);
+    EXPECT_THROW(rng.normal(0.0, -1.0), UcxError);
+}
+
+TEST(Rng, LognormalMedian)
+{
+    Rng rng(17);
+    const int n = 50000;
+    std::vector<double> xs;
+    xs.reserve(n);
+    for (int i = 0; i < n; ++i)
+        xs.push_back(rng.lognormal(0.0, 0.5));
+    std::sort(xs.begin(), xs.end());
+    // Median of exp(N(0, s)) is 1.
+    EXPECT_NEAR(xs[n / 2], 1.0, 0.03);
+}
+
+TEST(Rng, BelowBounds)
+{
+    Rng rng(19);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, BelowZeroThrows)
+{
+    Rng rng(1);
+    EXPECT_THROW(rng.below(0), UcxError);
+}
+
+TEST(Rng, BelowCoversAllResidues)
+{
+    Rng rng(23);
+    std::vector<int> seen(5, 0);
+    for (int i = 0; i < 5000; ++i)
+        ++seen[rng.below(5)];
+    for (int count : seen)
+        EXPECT_GT(count, 800);
+}
+
+} // namespace
+} // namespace ucx

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "util/str.hh"
+
+namespace ucx
+{
+namespace
+{
+
+TEST(Str, SplitBasic)
+{
+    auto parts = split("a,b,c", ',');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[1], "b");
+    EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Str, SplitEmptyFields)
+{
+    auto parts = split("a,,c,", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[1], "");
+    EXPECT_EQ(parts[3], "");
+}
+
+TEST(Str, SplitEmptyString)
+{
+    auto parts = split("", ',');
+    ASSERT_EQ(parts.size(), 1u);
+    EXPECT_EQ(parts[0], "");
+}
+
+TEST(Str, SplitWsDropsEmpty)
+{
+    auto parts = splitWs("  alpha \t beta\n gamma  ");
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "alpha");
+    EXPECT_EQ(parts[2], "gamma");
+}
+
+TEST(Str, Trim)
+{
+    EXPECT_EQ(trim("  x  "), "x");
+    EXPECT_EQ(trim("x"), "x");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("\t a b \n"), "a b");
+}
+
+TEST(Str, ToLower)
+{
+    EXPECT_EQ(toLower("FanInLC"), "faninlc");
+    EXPECT_EQ(toLower("already"), "already");
+}
+
+TEST(Str, StartsEndsWith)
+{
+    EXPECT_TRUE(startsWith("module foo", "module"));
+    EXPECT_FALSE(startsWith("mod", "module"));
+    EXPECT_TRUE(endsWith("file.v", ".v"));
+    EXPECT_FALSE(endsWith("v", ".v"));
+}
+
+TEST(Str, Join)
+{
+    EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+    EXPECT_EQ(join({}, ","), "");
+    EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+TEST(Str, FmtFixed)
+{
+    EXPECT_EQ(fmtFixed(0.456789, 2), "0.46");
+    EXPECT_EQ(fmtFixed(24.0, 1), "24.0");
+}
+
+TEST(Str, FmtCompactIntegers)
+{
+    EXPECT_EQ(fmtCompact(24.0, 2), "24");
+    EXPECT_EQ(fmtCompact(-3.0, 2), "-3");
+    EXPECT_EQ(fmtCompact(0.0, 2), "0");
+}
+
+TEST(Str, FmtCompactTrimsZeros)
+{
+    EXPECT_EQ(fmtCompact(0.5, 4), "0.5");
+    EXPECT_EQ(fmtCompact(0.46, 4), "0.46");
+    EXPECT_EQ(fmtCompact(1.75, 1), "1.8");
+}
+
+} // namespace
+} // namespace ucx

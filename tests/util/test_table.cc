@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "util/error.hh"
+#include "util/table.hh"
+
+namespace ucx
+{
+namespace
+{
+
+TEST(Table, RendersHeaderAndRows)
+{
+    Table t({"Name", "Value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "22"});
+    std::string out = t.render();
+    EXPECT_NE(out.find("Name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("22"), std::string::npos);
+    // Header rule is present.
+    EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Table, ColumnsAligned)
+{
+    Table t({"A", "B"});
+    t.addRow({"x", "1"});
+    t.addRow({"longer", "2"});
+    std::string out = t.render();
+    // All lines must have equal length (fixed-width columns).
+    size_t first_len = out.find('\n');
+    size_t pos = 0;
+    while (pos < out.size()) {
+        size_t next = out.find('\n', pos);
+        if (next == std::string::npos)
+            break;
+        EXPECT_EQ(next - pos, first_len);
+        pos = next + 1;
+    }
+}
+
+TEST(Table, RowWidthMismatchThrows)
+{
+    Table t({"A", "B"});
+    EXPECT_THROW(t.addRow({"only-one"}), UcxError);
+}
+
+TEST(Table, EmptyHeaderThrows)
+{
+    EXPECT_THROW(Table({}), UcxError);
+}
+
+TEST(Table, RuleSeparatesSections)
+{
+    Table t({"A"});
+    t.addRow({"above"});
+    t.addRule();
+    t.addRow({"below"});
+    std::string out = t.render();
+    size_t above = out.find("above");
+    size_t below = out.find("below");
+    size_t rule = out.find("---", above);
+    EXPECT_LT(above, rule);
+    EXPECT_LT(rule, below);
+}
+
+TEST(Table, RowCount)
+{
+    Table t({"A"});
+    EXPECT_EQ(t.rows(), 0u);
+    t.addRow({"1"});
+    t.addRule();
+    t.addRow({"2"});
+    EXPECT_EQ(t.rows(), 3u); // rules count as rows internally
+}
+
+TEST(Table, AlignmentOutOfRangeThrows)
+{
+    Table t({"A"});
+    EXPECT_THROW(t.setAlign(5, Align::Left), UcxError);
+}
+
+} // namespace
+} // namespace ucx
