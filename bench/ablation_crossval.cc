@@ -21,6 +21,7 @@ using namespace ucx;
 int
 main()
 {
+    BenchReport report("ablation_crossval");
     banner("Extension: cross-validation",
            "Out-of-sample error of the Table 4 estimators "
            "(rms log error; comparable to sigma_eps).");

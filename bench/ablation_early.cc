@@ -24,6 +24,7 @@ using namespace ucx;
 int
 main()
 {
+    BenchReport report("ablation_early");
     banner("Extension: early estimation",
            "Power-law extrapolation of synthesis metrics from small "
            "configurations.");

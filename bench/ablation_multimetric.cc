@@ -36,6 +36,7 @@ comboName(const std::vector<Metric> &metrics)
 int
 main()
 {
+    BenchReport report("ablation_multimetric");
     banner("Extension: >2-metric estimators",
            "Does adding metrics beyond DEE1 pay? (Section 5.1.1, "
            "closing remark)");

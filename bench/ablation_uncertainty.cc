@@ -21,6 +21,7 @@ using namespace ucx;
 int
 main()
 {
+    BenchReport report("ablation_uncertainty");
     banner("Extension: uncertainty of sigma_eps",
            "Profile-likelihood and bootstrap intervals on the "
            "published dataset.");

@@ -1,29 +1,106 @@
 /**
  * @file
- * Shared formatting helpers for the table/figure reproduction
- * harnesses in bench/.
+ * Shared harness for the table/figure reproduction benches in
+ * bench/: banner formatting plus the machine-readable run report.
+ *
+ * Every bench holds a BenchReport for the duration of main(). The
+ * report turns observability collection on (stdout stays untouched —
+ * obs data flows only into the report file), wraps the run in a root
+ * span, and on destruction writes BENCH_<name>.json into the current
+ * directory: wall time plus the full metrics/span snapshot (fit
+ * counts, optimizer iteration counts, per-stage synthesis timings,
+ * ...). This file is what populates the perf trajectory; the
+ * human-readable tables on stdout are unchanged.
  */
 
 #ifndef UCX_BENCH_BENCH_UTIL_HH
 #define UCX_BENCH_BENCH_UTIL_HH
 
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
+
+#include "obs/export.hh"
+#include "obs/metrics.hh"
+#include "obs/span.hh"
+#include "util/logging.hh"
 
 namespace ucx
 {
+
+/** Separator line used above and below every bench banner. */
+inline constexpr const char *kBannerRule =
+    "================================================================";
 
 /** Print a bench banner naming the paper artifact reproduced. */
 inline void
 banner(const std::string &what, const std::string &detail)
 {
-    std::cout << "==============================================="
-                 "=================\n";
+    std::cout << kBannerRule << "\n";
     std::cout << "uComplexity reproduction: " << what << "\n";
     std::cout << detail << "\n";
-    std::cout << "==============================================="
-                 "=================\n\n";
+    std::cout << kBannerRule << "\n\n";
+    // Flush so banners interleave correctly with stderr diagnostics.
+    std::cout << std::flush;
 }
+
+/**
+ * RAII bench run report. Construct first thing in main(); the
+ * destructor writes BENCH_<name>.json next to the working directory
+ * the bench was launched from.
+ */
+class BenchReport
+{
+  public:
+    /**
+     * Start the report.
+     *
+     * @param name Bench binary name; names the root span and the
+     *             output file.
+     */
+    explicit BenchReport(std::string name) : name_(std::move(name))
+    {
+        // Collection is forced on so the report is populated even
+        // without UCX_OBS in the environment; nothing is printed, so
+        // stdout remains byte-identical either way. An explicit
+        // UCX_OBS=0 still wins — that is how to time the disabled
+        // instrumentation path.
+        const char *env = std::getenv("UCX_OBS");
+        if (!(env && std::string(env) == "0")) {
+            obs::setEnabled(true);
+            obs::Registry::instance().reset();
+            obs::resetSpans();
+            root_.emplace("bench:" + name_);
+        }
+        start_ = std::chrono::steady_clock::now();
+    }
+
+    ~BenchReport()
+    {
+        double wall_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - start_)
+                             .count();
+        root_.reset(); // close the root span before snapshotting
+        std::string path = "BENCH_" + name_ + ".json";
+        std::ofstream out(path);
+        if (!out) {
+            warn("could not write " + path);
+            return;
+        }
+        out << obs::benchReportJson(name_, wall_ms);
+    }
+
+    BenchReport(const BenchReport &) = delete;
+    BenchReport &operator=(const BenchReport &) = delete;
+
+  private:
+    std::string name_;
+    std::chrono::steady_clock::time_point start_;
+    std::optional<obs::ScopedSpan> root_;
+};
 
 } // namespace ucx
 

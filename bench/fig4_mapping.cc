@@ -22,6 +22,7 @@ using namespace ucx;
 int
 main()
 {
+    BenchReport report("fig4_mapping");
     banner("Figure 4",
            "Mapping between sigma_eps and the 90% CI, annotated "
            "with the fitted estimators.");

@@ -19,6 +19,7 @@ using namespace ucx;
 int
 main()
 {
+    BenchReport report("fig5_scatter");
     banner("Figure 5",
            "Scatter: DEE1 estimate vs reported design effort "
            "(person-months).");

@@ -22,6 +22,7 @@ using namespace ucx;
 int
 main()
 {
+    BenchReport report("fig6_accounting");
     banner("Figure 6",
            "sigma_eps without vs with the accounting procedure "
            "(Section 2.2).");

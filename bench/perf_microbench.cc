@@ -8,6 +8,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hh"
 #include "core/estimator.hh"
 #include "data/paper_data.hh"
 #include "designs/registry.hh"
@@ -141,4 +142,17 @@ BENCHMARK(BM_SynthesizeIssueQueue)->Unit(benchmark::kMillisecond);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN() so the whole run sits inside a
+// BenchReport and BENCH_perf_microbench.json captures the
+// instrumentation counters alongside google-benchmark's own output.
+int
+main(int argc, char **argv)
+{
+    ucx::BenchReport report("perf_microbench");
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

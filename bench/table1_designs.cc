@@ -18,6 +18,7 @@ using namespace ucx;
 int
 main()
 {
+    BenchReport report("table1_designs");
     banner("Table 1",
            "Characteristics of the processor designs used in the "
            "evaluation.");

@@ -16,6 +16,7 @@ using namespace ucx;
 int
 main()
 {
+    BenchReport report("table2_effort");
     banner("Table 2",
            "Reported design effort in person-months (designer "
            "interviews).");

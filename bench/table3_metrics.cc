@@ -20,6 +20,7 @@ using namespace ucx;
 int
 main()
 {
+    BenchReport report("table3_metrics");
     banner("Table 3",
            "Metrics gathered for each component, and the measuring "
            "pass.");

@@ -19,6 +19,7 @@ using namespace ucx;
 int
 main()
 {
+    BenchReport report("table4_accuracy");
     banner("Table 4",
            "Accuracy of various design effort estimators "
            "(sigma_eps; lower is better).");

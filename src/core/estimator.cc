@@ -74,6 +74,7 @@ fitEstimator(const Dataset &dataset, const std::vector<Metric> &metrics,
         est.aic_ = fit.aic;
         est.bic_ = fit.bic;
         est.converged_ = fit.converged;
+        est.trace_ = std::move(fit.trace);
         for (size_t i = 0; i < fit.groupNames.size(); ++i)
             est.rho_[fit.groupNames[i]] = fit.productivity[i];
     } else {
@@ -86,6 +87,7 @@ fitEstimator(const Dataset &dataset, const std::vector<Metric> &metrics,
         est.aic_ = fit.aic;
         est.bic_ = fit.bic;
         est.converged_ = fit.converged;
+        est.trace_ = std::move(fit.trace);
         for (const auto &g : data.groups)
             est.rho_[g.name] = 1.0;
     }

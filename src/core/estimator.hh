@@ -19,6 +19,7 @@
 
 #include "core/dataset.hh"
 #include "core/metric.hh"
+#include "obs/trace.hh"
 
 namespace ucx
 {
@@ -63,6 +64,9 @@ class FittedEstimator
 
     /** @return True when the underlying optimizer converged. */
     bool converged() const { return converged_; }
+
+    /** @return Per-iteration history of the calibrating optimizer. */
+    const obs::ConvergenceTrace &trace() const { return trace_; }
 
     /**
      * Productivity of a calibrated project.
@@ -125,6 +129,7 @@ class FittedEstimator
     size_t nUsed_ = 0;
     bool converged_ = false;
     std::map<std::string, double> rho_;
+    obs::ConvergenceTrace trace_;
 };
 
 /**

@@ -3,6 +3,8 @@
 #include <cctype>
 #include <unordered_map>
 
+#include "obs/metrics.hh"
+#include "obs/span.hh"
 #include "util/error.hh"
 
 namespace ucx
@@ -373,6 +375,7 @@ Lexer::lexOperator()
 std::vector<Token>
 Lexer::tokenize()
 {
+    obs::ScopedSpan span("hdl.lex");
     std::vector<Token> tokens;
     while (true) {
         skipWhitespaceAndComments();
@@ -396,6 +399,12 @@ Lexer::tokenize()
     }
     Token eof = makeToken(Tok::Eof);
     tokens.push_back(eof);
+    if (obs::enabled()) {
+        static obs::Counter &files = obs::counter("hdl.lex.files");
+        static obs::Counter &count = obs::counter("hdl.lex.tokens");
+        files.add(1);
+        count.add(tokens.size());
+    }
     return tokens;
 }
 

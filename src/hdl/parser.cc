@@ -1,6 +1,8 @@
 #include "hdl/parser.hh"
 
 #include "hdl/lexer.hh"
+#include "obs/metrics.hh"
+#include "obs/span.hh"
 #include "util/error.hh"
 
 namespace ucx
@@ -64,12 +66,21 @@ Parser::expect(Tok kind, const std::string &context)
 SourceFile
 Parser::parse()
 {
+    obs::ScopedSpan span("hdl.parse");
     SourceFile sf;
     sf.file = file_;
     while (!check(Tok::Eof)) {
         if (!check(Tok::KwModule))
             error("expected 'module' at top level");
         sf.modules.push_back(parseModule());
+    }
+    if (obs::enabled()) {
+        static obs::Counter &modules =
+            obs::counter("hdl.parse.modules");
+        static obs::Counter &items = obs::counter("hdl.parse.items");
+        modules.add(sf.modules.size());
+        for (const Module &m : sf.modules)
+            items.add(m.items.size());
     }
     return sf;
 }
@@ -917,6 +928,10 @@ Parser::parsePrimary()
 SourceFile
 parseSource(const std::string &source, const std::string &file)
 {
+    // Per-file span so the trace shows which sources cost the time;
+    // the name is only built when collection is on.
+    obs::ScopedSpan span(
+        obs::enabled() ? "hdl.file:" + file : std::string());
     Lexer lexer(source, file);
     Parser parser(lexer.tokenize(), file);
     return parser.parse();

@@ -1,8 +1,11 @@
 #include "nlme/bootstrap.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
+#include "obs/metrics.hh"
+#include "obs/span.hh"
 #include "util/error.hh"
 #include "util/rng.hh"
 
@@ -57,11 +60,17 @@ parametricBootstrap(const NlmeData &data, const MixedFit &fit,
     require(fit.weights.size() == data.numCovariates(),
             "fit does not match data");
 
+    obs::ScopedSpan span("nlme.bootstrap");
     Rng rng(config.seed);
     BootstrapResult result;
     result.fits.reserve(config.replicates);
 
     for (size_t rep = 0; rep < config.replicates; ++rep) {
+        using Clock = std::chrono::steady_clock;
+        Clock::time_point rep_start;
+        bool timing = obs::enabled();
+        if (timing)
+            rep_start = Clock::now();
         NlmeData sim = data;
         for (auto &group : sim.groups) {
             double b = rng.normal(0.0, fit.sigmaRho);
@@ -80,6 +89,17 @@ parametricBootstrap(const NlmeData &data, const MixedFit &fit,
         mc.seed = rng.next();
         MixedModel model(sim, mc);
         result.fits.push_back(model.fit());
+        if (timing) {
+            static obs::Counter &reps =
+                obs::counter("nlme.bootstrap.replicates");
+            static obs::Histogram &times =
+                obs::histogram("nlme.bootstrap.replicate_us");
+            reps.add(1);
+            times.observe(
+                std::chrono::duration<double, std::micro>(
+                    Clock::now() - rep_start)
+                    .count());
+        }
     }
     return result;
 }

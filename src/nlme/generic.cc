@@ -4,10 +4,13 @@
 #include <limits>
 
 #include "nlme/criteria.hh"
+#include "obs/metrics.hh"
+#include "obs/span.hh"
 #include "opt/multistart.hh"
 #include "opt/transform.hh"
 #include "stats/gauss_hermite.hh"
 #include "util/error.hh"
+#include "util/logging.hh"
 
 namespace ucx
 {
@@ -158,6 +161,7 @@ GenericNlme::logLikelihood(const std::vector<double> &weights,
 MixedFit
 GenericNlme::fit() const
 {
+    obs::ScopedSpan span("nlme.generic.fit");
     const size_t ncov = data_.numCovariates();
     const size_t nobs = data_.totalObservations();
 
@@ -210,6 +214,15 @@ GenericNlme::fit() const
     fit.aic = aic(fit.logLik, fit.nParams);
     fit.bic = bic(fit.logLik, fit.nParams, nobs);
     fit.converged = opt.converged;
+    fit.trace = std::move(opt.trace);
+    if (obs::enabled()) {
+        static obs::Counter &fits = obs::counter("nlme.generic.fits");
+        fits.add(1);
+    }
+    if (!fit.converged) {
+        error("generic NLME fit did not converge (" +
+              std::to_string(opt.evaluations) + " evaluations)");
+    }
 
     double var_e = fit.sigmaEps * fit.sigmaEps;
     double var_r = fit.sigmaRho * fit.sigmaRho;

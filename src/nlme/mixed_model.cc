@@ -3,9 +3,13 @@
 #include <cmath>
 
 #include "nlme/criteria.hh"
+#include "obs/metrics.hh"
+#include "obs/span.hh"
 #include "opt/multistart.hh"
 #include "opt/transform.hh"
 #include "util/error.hh"
+#include "util/logging.hh"
+#include "util/str.hh"
 
 namespace ucx
 {
@@ -111,6 +115,7 @@ MixedModel::empiricalBayes(const std::vector<double> &weights,
 MixedFit
 MixedModel::fit() const
 {
+    obs::ScopedSpan span("nlme.mixed.fit");
     const size_t ncov = data_.numCovariates();
     const size_t nobs = data_.totalObservations();
 
@@ -167,6 +172,17 @@ MixedModel::fit() const
     fit.aic = aic(fit.logLik, fit.nParams);
     fit.bic = bic(fit.logLik, fit.nParams, nobs);
     fit.converged = opt.converged;
+    fit.trace = std::move(opt.trace);
+    if (obs::enabled()) {
+        static obs::Counter &fits = obs::counter("nlme.mixed.fits");
+        fits.add(1);
+    }
+    if (!fit.converged) {
+        error("mixed-effects fit did not converge (" +
+              std::to_string(opt.evaluations) +
+              " evaluations, logLik " + fmtCompact(fit.logLik, 4) +
+              ")");
+    }
 
     fit.ranef = empiricalBayes(fit.weights, fit.sigmaEps, fit.sigmaRho);
     for (const auto &g : data_.groups)

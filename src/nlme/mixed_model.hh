@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "nlme/data.hh"
+#include "obs/trace.hh"
 
 namespace ucx
 {
@@ -46,6 +47,12 @@ struct MixedFit
     std::vector<std::string> groupNames; ///< Group order for ranef.
     std::vector<double> ranef;        ///< Empirical-Bayes b_i.
     std::vector<double> productivity; ///< rho_i = exp(-b_i).
+
+    /**
+     * Per-iteration optimizer history of the winning start (negative
+     * log-likelihood as the objective), SAS-iteration-history style.
+     */
+    obs::ConvergenceTrace trace;
 };
 
 /** Configuration for the mixed-effects fitter. */

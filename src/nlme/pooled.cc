@@ -4,9 +4,12 @@
 #include <limits>
 
 #include "nlme/criteria.hh"
+#include "obs/metrics.hh"
+#include "obs/span.hh"
 #include "opt/multistart.hh"
 #include "opt/transform.hh"
 #include "util/error.hh"
+#include "util/logging.hh"
 
 namespace ucx
 {
@@ -40,6 +43,7 @@ PooledModel::rss(const std::vector<double> &weights) const
 PooledFit
 PooledModel::fit() const
 {
+    obs::ScopedSpan span("nlme.pooled.fit");
     const size_t ncov = data_.numCovariates();
     const size_t nobs = data_.totalObservations();
 
@@ -88,6 +92,15 @@ PooledModel::fit() const
     fit.aic = aic(fit.logLik, fit.nParams);
     fit.bic = bic(fit.logLik, fit.nParams, nobs);
     fit.converged = opt.converged;
+    fit.trace = std::move(opt.trace);
+    if (obs::enabled()) {
+        static obs::Counter &fits = obs::counter("nlme.pooled.fits");
+        fits.add(1);
+    }
+    if (!fit.converged) {
+        error("pooled fit did not converge (" +
+              std::to_string(opt.evaluations) + " evaluations)");
+    }
     return fit;
 }
 

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "nlme/data.hh"
+#include "obs/trace.hh"
 
 namespace ucx
 {
@@ -29,6 +30,12 @@ struct PooledFit
     double bic = 0.0;            ///< Bayesian information criterion.
     size_t nParams = 0;          ///< Parameters counted in AIC/BIC.
     bool converged = false;      ///< Optimizer reported success.
+
+    /**
+     * Per-iteration optimizer history of the winning start (residual
+     * sum of squares as the objective).
+     */
+    obs::ConvergenceTrace trace;
 };
 
 /** Configuration for the pooled fitter. */

@@ -1,0 +1,190 @@
+#include "obs/export.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "util/str.hh"
+#include "util/table.hh"
+
+namespace ucx
+{
+namespace obs
+{
+
+namespace
+{
+
+double
+nsToMs(uint64_t ns)
+{
+    return static_cast<double>(ns) / 1e6;
+}
+
+void
+spanJson(const SpanStats &node, std::ostringstream &out)
+{
+    out << "{\"name\":\"" << jsonEscape(node.name) << "\""
+        << ",\"calls\":" << node.calls
+        << ",\"total_ms\":" << jsonNumber(nsToMs(node.totalNs))
+        << ",\"self_ms\":" << jsonNumber(nsToMs(node.selfNs()))
+        << ",\"children\":[";
+    for (size_t i = 0; i < node.children.size(); ++i) {
+        if (i > 0)
+            out << ",";
+        spanJson(node.children[i], out);
+    }
+    out << "]}";
+}
+
+void
+spanRows(const SpanStats &node, int depth, Table &table)
+{
+    std::string indent(static_cast<size_t>(depth) * 2, ' ');
+    table.addRow({indent + node.name, std::to_string(node.calls),
+                  fmtFixed(nsToMs(node.totalNs), 3),
+                  fmtFixed(nsToMs(node.selfNs()), 3)});
+    for (const auto &child : node.children)
+        spanRows(child, depth + 1, table);
+}
+
+} // namespace
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNumber(double value)
+{
+    if (!std::isfinite(value))
+        return "null";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.9g", value);
+    return buf;
+}
+
+std::string
+snapshotJson(const MetricsSnapshot &metrics, const SpanStats &spans)
+{
+    std::ostringstream out;
+    out << "{\"schema\":\"ucx.obs.v1\",\"counters\":{";
+    for (size_t i = 0; i < metrics.counters.size(); ++i) {
+        const auto &c = metrics.counters[i];
+        if (i > 0)
+            out << ",";
+        out << "\"" << jsonEscape(c.name) << "\":" << c.value;
+    }
+    out << "},\"gauges\":{";
+    for (size_t i = 0; i < metrics.gauges.size(); ++i) {
+        const auto &g = metrics.gauges[i];
+        if (i > 0)
+            out << ",";
+        out << "\"" << jsonEscape(g.name)
+            << "\":" << jsonNumber(g.value);
+    }
+    out << "},\"histograms\":{";
+    for (size_t i = 0; i < metrics.histograms.size(); ++i) {
+        const auto &h = metrics.histograms[i];
+        if (i > 0)
+            out << ",";
+        double mean = h.count == 0
+                          ? 0.0
+                          : h.sum / static_cast<double>(h.count);
+        out << "\"" << jsonEscape(h.name) << "\":{"
+            << "\"count\":" << h.count
+            << ",\"sum\":" << jsonNumber(h.sum)
+            << ",\"min\":" << jsonNumber(h.min)
+            << ",\"max\":" << jsonNumber(h.max)
+            << ",\"mean\":" << jsonNumber(mean) << ",\"buckets\":[";
+        bool first = true;
+        for (size_t b = 0; b < h.buckets.size(); ++b) {
+            if (h.buckets[b] == 0)
+                continue;
+            if (!first)
+                out << ",";
+            first = false;
+            out << "{\"le\":"
+                << jsonNumber(Histogram::bucketUpperBound(b))
+                << ",\"count\":" << h.buckets[b] << "}";
+        }
+        out << "]}";
+    }
+    out << "},\"spans\":";
+    spanJson(spans, out);
+    out << "}";
+    return out.str();
+}
+
+std::string
+snapshotTable(const MetricsSnapshot &metrics, const SpanStats &spans)
+{
+    std::ostringstream out;
+    if (!metrics.counters.empty() || !metrics.gauges.empty()) {
+        Table t({"Metric", "Value"});
+        for (const auto &c : metrics.counters)
+            t.addRow({c.name, std::to_string(c.value)});
+        for (const auto &g : metrics.gauges)
+            t.addRow({g.name, fmtCompact(g.value, 4)});
+        out << t.render() << "\n";
+    }
+    if (!metrics.histograms.empty()) {
+        Table t({"Histogram", "Count", "Mean", "Min", "Max"});
+        for (const auto &h : metrics.histograms) {
+            double mean = h.count == 0
+                              ? 0.0
+                              : h.sum / static_cast<double>(h.count);
+            t.addRow({h.name, std::to_string(h.count),
+                      fmtCompact(mean, 4),
+                      h.count == 0 ? "-" : fmtCompact(h.min, 4),
+                      h.count == 0 ? "-" : fmtCompact(h.max, 4)});
+        }
+        out << t.render() << "\n";
+    }
+    if (!spans.children.empty()) {
+        Table t({"Span", "Calls", "Total ms", "Self ms"});
+        for (const auto &child : spans.children)
+            spanRows(child, 0, t);
+        out << t.render();
+    }
+    return out.str();
+}
+
+std::string
+benchReportJson(const std::string &bench, double wall_ms)
+{
+    MetricsSnapshot metrics = Registry::instance().snapshot();
+    SpanStats spans = spanSnapshot();
+    std::ostringstream out;
+    out << "{\"schema\":\"ucx.bench.v1\",\"bench\":\""
+        << jsonEscape(bench)
+        << "\",\"wall_ms\":" << jsonNumber(wall_ms)
+        << ",\"obs\":" << snapshotJson(metrics, spans) << "}\n";
+    return out.str();
+}
+
+} // namespace obs
+} // namespace ucx

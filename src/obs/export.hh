@@ -1,0 +1,91 @@
+/**
+ * @file
+ * ucx::obs — snapshot exporters.
+ *
+ * Serializes a metrics + span snapshot either as JSON (for machine
+ * consumption, e.g. the BENCH_<name>.json files the bench harness
+ * writes) or as aligned text tables (for eyeballing on stderr).
+ */
+
+#ifndef UCX_OBS_EXPORT_HH
+#define UCX_OBS_EXPORT_HH
+
+#include <string>
+
+#include "obs/metrics.hh"
+#include "obs/span.hh"
+
+namespace ucx
+{
+namespace obs
+{
+
+/**
+ * Escape a string for inclusion in a JSON string literal (quotes,
+ * backslashes, control characters).
+ *
+ * @param text Raw text.
+ * @return The escaped text, without surrounding quotes.
+ */
+std::string jsonEscape(const std::string &text);
+
+/**
+ * Format a double as a JSON number token.
+ *
+ * @param value Value to format.
+ * @return A JSON number, or "null" for NaN/infinity (which JSON
+ *         cannot represent).
+ */
+std::string jsonNumber(double value);
+
+/**
+ * Serialize a snapshot as a JSON object:
+ *
+ *     {
+ *       "schema": "ucx.obs.v1",
+ *       "counters":   { "<name>": <count>, ... },
+ *       "gauges":     { "<name>": <value>, ... },
+ *       "histograms": { "<name>": { "count", "sum", "min", "max",
+ *                                   "mean", "buckets": [
+ *                                     {"le": <bound>, "count": n},
+ *                                     ... (non-empty buckets only)
+ *                                   ] }, ... },
+ *       "spans": <span node>
+ *     }
+ *
+ * where a span node is {"name", "calls", "total_ms", "self_ms",
+ * "children": [...]}.
+ *
+ * @param metrics Registry snapshot.
+ * @param spans   Trace-tree snapshot.
+ * @return The JSON text (no trailing newline).
+ */
+std::string snapshotJson(const MetricsSnapshot &metrics,
+                         const SpanStats &spans);
+
+/**
+ * Serialize a snapshot as aligned ASCII tables (counters/gauges,
+ * histograms, and an indented span tree).
+ *
+ * @param metrics Registry snapshot.
+ * @param spans   Trace-tree snapshot.
+ * @return Human-readable text ending in a newline.
+ */
+std::string snapshotTable(const MetricsSnapshot &metrics,
+                          const SpanStats &spans);
+
+/**
+ * Build the machine-readable bench report: the current registry and
+ * span snapshots wrapped with the bench name and wall time. This is
+ * the payload of the BENCH_<name>.json files.
+ *
+ * @param bench   Bench binary name.
+ * @param wall_ms Total wall time of the bench run in milliseconds.
+ * @return The JSON text, newline-terminated.
+ */
+std::string benchReportJson(const std::string &bench, double wall_ms);
+
+} // namespace obs
+} // namespace ucx
+
+#endif // UCX_OBS_EXPORT_HH

@@ -1,0 +1,246 @@
+#include "obs/metrics.hh"
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace ucx
+{
+namespace obs
+{
+
+namespace
+{
+
+/** Collection flag: -1 = not yet read from the environment. */
+std::atomic<int> collectionState{-1};
+
+int
+stateFromEnv()
+{
+    const char *env = std::getenv("UCX_OBS");
+    bool on = env != nullptr && env[0] != '\0' &&
+              !(env[0] == '0' && env[1] == '\0');
+    return on ? 1 : 0;
+}
+
+} // namespace
+
+bool
+enabled()
+{
+    int state = collectionState.load(std::memory_order_relaxed);
+    if (state < 0) {
+        state = stateFromEnv();
+        collectionState.store(state, std::memory_order_relaxed);
+    }
+    return state != 0;
+}
+
+void
+setEnabled(bool on)
+{
+    collectionState.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+// ------------------------------------------------------- Histogram
+
+Histogram::Histogram()
+    : min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity())
+{
+}
+
+size_t
+Histogram::bucketIndex(double v)
+{
+    if (!(v >= 1.0))
+        return 0;
+    int exp = 0;
+    std::frexp(v, &exp); // v = m * 2^exp with m in [0.5, 1)
+    size_t idx = static_cast<size_t>(exp);
+    return idx < kBuckets ? idx : kBuckets - 1;
+}
+
+double
+Histogram::bucketUpperBound(size_t index)
+{
+    if (index + 1 >= kBuckets)
+        return std::numeric_limits<double>::infinity();
+    return std::ldexp(1.0, static_cast<int>(index));
+}
+
+void
+Histogram::observe(double v)
+{
+    if (!enabled())
+        return;
+    if (std::isnan(v))
+        return;
+    buckets_[bucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+
+    double old_sum = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(old_sum, old_sum + v,
+                                       std::memory_order_relaxed)) {
+    }
+    double old_min = min_.load(std::memory_order_relaxed);
+    while (v < old_min &&
+           !min_.compare_exchange_weak(old_min, v,
+                                       std::memory_order_relaxed)) {
+    }
+    double old_max = max_.load(std::memory_order_relaxed);
+    while (v > old_max &&
+           !max_.compare_exchange_weak(old_max, v,
+                                       std::memory_order_relaxed)) {
+    }
+}
+
+double
+Histogram::mean() const
+{
+    uint64_t n = count();
+    return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+std::vector<uint64_t>
+Histogram::bucketCounts() const
+{
+    std::vector<uint64_t> out(kBuckets);
+    for (size_t i = 0; i < kBuckets; ++i)
+        out[i] = buckets_[i].load(std::memory_order_relaxed);
+    return out;
+}
+
+void
+Histogram::reset()
+{
+    for (auto &b : buckets_)
+        b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0.0, std::memory_order_relaxed);
+    min_.store(std::numeric_limits<double>::infinity(),
+               std::memory_order_relaxed);
+    max_.store(-std::numeric_limits<double>::infinity(),
+               std::memory_order_relaxed);
+}
+
+// -------------------------------------------------------- Registry
+
+struct Registry::Impl
+{
+    mutable std::mutex mutex;
+    std::map<std::string, std::unique_ptr<Counter>> counters;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms;
+};
+
+Registry::Impl &
+Registry::impl() const
+{
+    static Impl the_impl;
+    return the_impl;
+}
+
+Registry &
+Registry::instance()
+{
+    static Registry the_registry;
+    return the_registry;
+}
+
+Counter &
+Registry::counter(const std::string &name)
+{
+    Impl &im = impl();
+    std::lock_guard<std::mutex> lock(im.mutex);
+    auto &slot = im.counters[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+Registry::gauge(const std::string &name)
+{
+    Impl &im = impl();
+    std::lock_guard<std::mutex> lock(im.mutex);
+    auto &slot = im.gauges[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram &
+Registry::histogram(const std::string &name)
+{
+    Impl &im = impl();
+    std::lock_guard<std::mutex> lock(im.mutex);
+    auto &slot = im.histograms[name];
+    if (!slot)
+        slot = std::make_unique<Histogram>();
+    return *slot;
+}
+
+MetricsSnapshot
+Registry::snapshot() const
+{
+    Impl &im = impl();
+    std::lock_guard<std::mutex> lock(im.mutex);
+    MetricsSnapshot snap;
+    snap.counters.reserve(im.counters.size());
+    for (const auto &[name, c] : im.counters)
+        snap.counters.push_back({name, c->value()});
+    snap.gauges.reserve(im.gauges.size());
+    for (const auto &[name, g] : im.gauges)
+        snap.gauges.push_back({name, g->value()});
+    snap.histograms.reserve(im.histograms.size());
+    for (const auto &[name, h] : im.histograms) {
+        HistogramSample s;
+        s.name = name;
+        s.count = h->count();
+        s.sum = h->sum();
+        s.min = h->min();
+        s.max = h->max();
+        s.buckets = h->bucketCounts();
+        snap.histograms.push_back(std::move(s));
+    }
+    return snap;
+}
+
+void
+Registry::reset()
+{
+    Impl &im = impl();
+    std::lock_guard<std::mutex> lock(im.mutex);
+    for (auto &[name, c] : im.counters)
+        c->reset();
+    for (auto &[name, g] : im.gauges)
+        g->reset();
+    for (auto &[name, h] : im.histograms)
+        h->reset();
+}
+
+Counter &
+counter(const std::string &name)
+{
+    return Registry::instance().counter(name);
+}
+
+Gauge &
+gauge(const std::string &name)
+{
+    return Registry::instance().gauge(name);
+}
+
+Histogram &
+histogram(const std::string &name)
+{
+    return Registry::instance().histogram(name);
+}
+
+} // namespace obs
+} // namespace ucx

@@ -1,0 +1,235 @@
+/**
+ * @file
+ * ucx::obs — process-wide metrics registry.
+ *
+ * Counters, gauges and histograms (fixed log2-scale buckets) shared
+ * by every layer of the library. The registry is off by default:
+ * collection is enabled either by setting the UCX_OBS environment
+ * variable (any non-empty value except "0") or programmatically via
+ * setEnabled(). When disabled every mutation is a single relaxed
+ * atomic load plus an untaken branch, so instrumented hot paths cost
+ * nothing measurable.
+ *
+ * Usage pattern at an instrumentation site (the static handle makes
+ * the name lookup a one-time cost):
+ *
+ *     static obs::Counter &c = obs::counter("opt.nm.iterations");
+ *     c.add(result.iterations);
+ */
+
+#ifndef UCX_OBS_METRICS_HH
+#define UCX_OBS_METRICS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ucx
+{
+namespace obs
+{
+
+/**
+ * @return True when observability collection is on. First use reads
+ *         the UCX_OBS environment variable; setEnabled() overrides.
+ */
+bool enabled();
+
+/**
+ * Force collection on or off, overriding UCX_OBS.
+ *
+ * @param on New collection state.
+ */
+void setEnabled(bool on);
+
+/** Monotonically increasing event count. */
+class Counter
+{
+  public:
+    /** Add @p n to the counter; no-op while collection is disabled. */
+    void add(uint64_t n = 1)
+    {
+        if (enabled())
+            value_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    /** @return The current count. */
+    uint64_t value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    /** Reset the count to zero. */
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<uint64_t> value_{0};
+};
+
+/** Last-write-wins instantaneous value. */
+class Gauge
+{
+  public:
+    /** Record @p v; no-op while collection is disabled. */
+    void set(double v)
+    {
+        if (enabled())
+            value_.store(v, std::memory_order_relaxed);
+    }
+
+    /** @return The most recently set value (0 before any set). */
+    double value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    /** Reset the gauge to zero. */
+    void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<double> value_{0.0};
+};
+
+/**
+ * Histogram over non-negative values with fixed log2-scale buckets:
+ * bucket 0 holds values < 1, bucket i (1 <= i < kBuckets-1) holds
+ * [2^(i-1), 2^i), and the last bucket holds everything larger.
+ * Count/sum/min/max are tracked exactly.
+ */
+class Histogram
+{
+  public:
+    static constexpr size_t kBuckets = 40;
+
+    /** Record @p v; no-op while collection is disabled. */
+    void observe(double v);
+
+    /**
+     * @param v Observed value.
+     * @return Index of the bucket @p v falls into.
+     */
+    static size_t bucketIndex(double v);
+
+    /**
+     * @param index Bucket index.
+     * @return Exclusive upper bound of the bucket; +inf for the last.
+     */
+    static double bucketUpperBound(size_t index);
+
+    /** @return Number of recorded observations. */
+    uint64_t count() const
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+
+    /** @return Sum of recorded observations. */
+    double sum() const { return sum_.load(std::memory_order_relaxed); }
+
+    /** @return Smallest recorded value (+inf when empty). */
+    double min() const { return min_.load(std::memory_order_relaxed); }
+
+    /** @return Largest recorded value (-inf when empty). */
+    double max() const { return max_.load(std::memory_order_relaxed); }
+
+    /** @return Mean of recorded values (0 when empty). */
+    double mean() const;
+
+    /** @return Per-bucket observation counts. */
+    std::vector<uint64_t> bucketCounts() const;
+
+    /** Reset all state. */
+    void reset();
+
+  private:
+    std::atomic<uint64_t> buckets_[kBuckets] = {};
+    std::atomic<uint64_t> count_{0};
+    std::atomic<double> sum_{0.0};
+    std::atomic<double> min_;
+    std::atomic<double> max_;
+
+  public:
+    Histogram();
+};
+
+/** Point-in-time copy of one counter. */
+struct CounterSample
+{
+    std::string name;
+    uint64_t value = 0;
+};
+
+/** Point-in-time copy of one gauge. */
+struct GaugeSample
+{
+    std::string name;
+    double value = 0.0;
+};
+
+/** Point-in-time copy of one histogram. */
+struct HistogramSample
+{
+    std::string name;
+    uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    std::vector<uint64_t> buckets;
+};
+
+/** Point-in-time copy of the whole registry, sorted by name. */
+struct MetricsSnapshot
+{
+    std::vector<CounterSample> counters;
+    std::vector<GaugeSample> gauges;
+    std::vector<HistogramSample> histograms;
+};
+
+/**
+ * Process-wide, thread-safe name -> instrument registry. Handles
+ * returned by counter()/gauge()/histogram() stay valid for the
+ * process lifetime.
+ */
+class Registry
+{
+  public:
+    /** @return The process-wide registry. */
+    static Registry &instance();
+
+    /** Find or create the counter named @p name. */
+    Counter &counter(const std::string &name);
+
+    /** Find or create the gauge named @p name. */
+    Gauge &gauge(const std::string &name);
+
+    /** Find or create the histogram named @p name. */
+    Histogram &histogram(const std::string &name);
+
+    /** @return A consistent copy of every registered instrument. */
+    MetricsSnapshot snapshot() const;
+
+    /** Zero every instrument (registrations are kept). */
+    void reset();
+
+    Registry(const Registry &) = delete;
+    Registry &operator=(const Registry &) = delete;
+
+  private:
+    Registry() = default;
+    struct Impl;
+    Impl &impl() const;
+};
+
+/** Shorthand for Registry::instance().counter(name). */
+Counter &counter(const std::string &name);
+
+/** Shorthand for Registry::instance().gauge(name). */
+Gauge &gauge(const std::string &name);
+
+/** Shorthand for Registry::instance().histogram(name). */
+Histogram &histogram(const std::string &name);
+
+} // namespace obs
+} // namespace ucx
+
+#endif // UCX_OBS_METRICS_HH

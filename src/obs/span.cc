@@ -1,0 +1,136 @@
+#include "obs/span.hh"
+
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "obs/metrics.hh"
+
+namespace ucx
+{
+namespace obs
+{
+
+namespace
+{
+
+/** One live node of the trace tree. */
+struct Node
+{
+    std::string name;
+    uint64_t calls = 0;
+    uint64_t totalNs = 0;
+    Node *parent = nullptr;
+    std::map<std::string, std::unique_ptr<Node>> children;
+};
+
+std::mutex treeMutex;
+
+Node &
+treeRoot()
+{
+    static Node root;
+    root.name = "root";
+    return root;
+}
+
+/**
+ * Innermost open span of this thread; nullptr means the next span
+ * opens at the root. Nodes are never deleted (resetSpans only zeroes
+ * them), so these pointers stay valid for the process lifetime.
+ */
+thread_local Node *tlCurrent = nullptr;
+
+void
+zeroTree(Node &node)
+{
+    node.calls = 0;
+    node.totalNs = 0;
+    for (auto &[name, child] : node.children)
+        zeroTree(*child);
+}
+
+void
+copyTree(const Node &node, SpanStats &out)
+{
+    out.name = node.name;
+    out.calls = node.calls;
+    out.totalNs = node.totalNs;
+    out.children.reserve(node.children.size());
+    for (const auto &[name, child] : node.children) {
+        SpanStats s;
+        copyTree(*child, s);
+        out.children.push_back(std::move(s));
+    }
+}
+
+} // namespace
+
+uint64_t
+SpanStats::selfNs() const
+{
+    uint64_t child_total = 0;
+    for (const auto &c : children)
+        child_total += c.totalNs;
+    return totalNs > child_total ? totalNs - child_total : 0;
+}
+
+const SpanStats *
+SpanStats::child(const std::string &child_name) const
+{
+    for (const auto &c : children)
+        if (c.name == child_name)
+            return &c;
+    return nullptr;
+}
+
+ScopedSpan::ScopedSpan(const std::string &name)
+{
+    if (!enabled() || name.empty())
+        return;
+    std::lock_guard<std::mutex> lock(treeMutex);
+    Node *parent = tlCurrent != nullptr ? tlCurrent : &treeRoot();
+    auto &slot = parent->children[name];
+    if (!slot) {
+        slot = std::make_unique<Node>();
+        slot->name = name;
+        slot->parent = parent;
+    }
+    tlCurrent = slot.get();
+    node_ = slot.get();
+    start_ = std::chrono::steady_clock::now();
+}
+
+ScopedSpan::~ScopedSpan()
+{
+    if (node_ == nullptr)
+        return;
+    auto elapsed = std::chrono::steady_clock::now() - start_;
+    uint64_t ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+            .count());
+    std::lock_guard<std::mutex> lock(treeMutex);
+    Node *node = static_cast<Node *>(node_);
+    node->calls += 1;
+    node->totalNs += ns;
+    tlCurrent = node->parent == &treeRoot() ? nullptr : node->parent;
+}
+
+SpanStats
+spanSnapshot()
+{
+    std::lock_guard<std::mutex> lock(treeMutex);
+    SpanStats out;
+    copyTree(treeRoot(), out);
+    return out;
+}
+
+void
+resetSpans()
+{
+    std::lock_guard<std::mutex> lock(treeMutex);
+    zeroTree(treeRoot());
+}
+
+} // namespace obs
+} // namespace ucx

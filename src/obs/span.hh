@@ -1,0 +1,88 @@
+/**
+ * @file
+ * ucx::obs — scoped timer spans forming a hierarchical trace tree.
+ *
+ * A ScopedSpan measures the wall time (monotonic clock) between its
+ * construction and destruction and attributes it to a node of a
+ * process-wide trace tree. Nodes are keyed by (parent, name): two
+ * spans with the same name opened under the same parent aggregate
+ * into one node (call count + total time), so steady-state traces
+ * stay bounded no matter how many times a stage runs.
+ *
+ * Nesting is tracked per thread: a span opened while another span is
+ * live on the same thread becomes its child. Like the metrics
+ * registry, spans are no-ops while obs::enabled() is false.
+ */
+
+#ifndef UCX_OBS_SPAN_HH
+#define UCX_OBS_SPAN_HH
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ucx
+{
+namespace obs
+{
+
+/** Snapshot of one trace-tree node. */
+struct SpanStats
+{
+    std::string name;
+    uint64_t calls = 0;    ///< Completed spans aggregated here.
+    uint64_t totalNs = 0;  ///< Wall time summed over those spans.
+    std::vector<SpanStats> children;
+
+    /** @return Total time minus the time of all children. */
+    uint64_t selfNs() const;
+
+    /**
+     * Find a direct child by name.
+     *
+     * @param child_name Name to look up.
+     * @return The child, or nullptr.
+     */
+    const SpanStats *child(const std::string &child_name) const;
+};
+
+/**
+ * RAII timer span. Construct to open, destroy to close and record.
+ * A span constructed with an empty name, or while collection is
+ * disabled, records nothing.
+ */
+class ScopedSpan
+{
+  public:
+    /**
+     * Open a span.
+     *
+     * @param name Stage name; aggregation key under the parent span.
+     */
+    explicit ScopedSpan(const std::string &name);
+
+    ~ScopedSpan();
+
+    ScopedSpan(const ScopedSpan &) = delete;
+    ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+  private:
+    void *node_ = nullptr; ///< Internal tree node; null when inert.
+    std::chrono::steady_clock::time_point start_;
+};
+
+/**
+ * @return A copy of the whole trace tree. The root is a synthetic
+ *         node named "root" whose children are the top-level spans;
+ *         its calls/totalNs stay zero.
+ */
+SpanStats spanSnapshot();
+
+/** Drop all recorded spans (open spans keep recording safely). */
+void resetSpans();
+
+} // namespace obs
+} // namespace ucx
+
+#endif // UCX_OBS_SPAN_HH

@@ -1,0 +1,67 @@
+#include "obs/trace.hh"
+
+namespace ucx
+{
+namespace obs
+{
+
+void
+ConvergenceTrace::record(const IterationSample &sample)
+{
+    bool keep = seen_ % stride_ == 0;
+    ++seen_;
+    if (!keep)
+        return;
+    samples_.push_back(sample);
+    if (samples_.size() < kMaxSamples)
+        return;
+    // Decimate: keep every other sample, double the stride.
+    size_t kept = 0;
+    for (size_t i = 0; i < samples_.size(); i += 2)
+        samples_[kept++] = samples_[i];
+    samples_.resize(kept);
+    stride_ *= 2;
+}
+
+void
+ConvergenceTrace::append(const ConvergenceTrace &tail)
+{
+    size_t iter_base = 0;
+    size_t eval_base = 0;
+    if (!samples_.empty()) {
+        iter_base = samples_.back().iteration + 1;
+        eval_base = samples_.back().evaluations;
+    }
+    for (IterationSample s : tail.samples_) {
+        s.iteration += iter_base;
+        s.evaluations += eval_base;
+        record(s);
+    }
+    if (!algorithm.empty() && !tail.algorithm.empty())
+        algorithm += "+" + tail.algorithm;
+    else if (algorithm.empty())
+        algorithm = tail.algorithm;
+    restarts += tail.restarts;
+    converged = tail.converged;
+}
+
+void
+ConvergenceTrace::clear()
+{
+    samples_.clear();
+    stride_ = 1;
+    seen_ = 0;
+}
+
+bool
+ConvergenceTrace::monotoneNonIncreasing(double tol) const
+{
+    for (size_t i = 1; i < samples_.size(); ++i) {
+        if (samples_[i].objective > samples_[i - 1].objective + tol)
+            return false;
+    }
+    return true;
+}
+
+} // namespace obs
+} // namespace ucx

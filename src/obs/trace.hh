@@ -1,0 +1,108 @@
+/**
+ * @file
+ * ucx::obs — per-iteration convergence traces for the optimizers.
+ *
+ * Unlike the metrics registry and spans, traces are not gated on
+ * obs::enabled(): a ConvergenceTrace is part of an optimizer's
+ * result (OptResult, MixedFit, PooledFit expose one), the same way
+ * SAS PROC NLMIXED prints its iteration history. Recording one is a
+ * handful of stores per optimizer iteration — far below the cost of
+ * a single objective evaluation — so it is always on.
+ *
+ * Long runs are decimated: once the sample buffer reaches
+ * kMaxSamples, every other sample is dropped and the sampling stride
+ * doubles. Decimation keeps a subsequence of the true history, so
+ * monotonicity diagnostics remain valid.
+ */
+
+#ifndef UCX_OBS_TRACE_HH
+#define UCX_OBS_TRACE_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ucx
+{
+namespace obs
+{
+
+/**
+ * Optimizer state at one iteration. Fields an algorithm does not
+ * track are NaN (e.g. gradNorm for Nelder-Mead, simplexSpread for
+ * BFGS).
+ */
+struct IterationSample
+{
+    size_t iteration = 0;      ///< 0 = the starting point.
+    double objective = 0.0;    ///< Best objective value so far.
+    double gradNorm = 0.0;     ///< Max-abs gradient (BFGS).
+    double stepSize = 0.0;     ///< Step length / simplex diameter.
+    double simplexSpread = 0.0; ///< f spread over the simplex (NM).
+    size_t evaluations = 0;    ///< Objective evaluations so far.
+};
+
+/** Iteration history of one optimization run. */
+class ConvergenceTrace
+{
+  public:
+    static constexpr size_t kMaxSamples = 1024;
+
+    /** Append a sample, subject to stride decimation. */
+    void record(const IterationSample &sample);
+
+    /**
+     * Append another trace after this one (multi-start polishing:
+     * the Nelder-Mead history of the winning start followed by the
+     * BFGS history). Iteration and evaluation numbers of @p tail are
+     * shifted to continue this trace's; @p tail's convergence flag
+     * and restart count are adopted.
+     *
+     * @param tail Trace of the follow-on optimizer run.
+     */
+    void append(const ConvergenceTrace &tail);
+
+    /** Drop all samples and reset decimation. */
+    void clear();
+
+    /** @return True when no sample has been recorded. */
+    bool empty() const { return samples_.empty(); }
+
+    /** @return Number of retained samples (post decimation). */
+    size_t size() const { return samples_.size(); }
+
+    /** @return The retained samples, in iteration order. */
+    const std::vector<IterationSample> &samples() const
+    {
+        return samples_;
+    }
+
+    /** @return First retained sample; trace must be non-empty. */
+    const IterationSample &front() const { return samples_.front(); }
+
+    /** @return Last retained sample; trace must be non-empty. */
+    const IterationSample &back() const { return samples_.back(); }
+
+    /**
+     * Check that the recorded objective never increases from one
+     * sample to the next.
+     *
+     * @param tol Allowed increase between consecutive samples.
+     * @return True when the objective is monotone non-increasing.
+     */
+    bool monotoneNonIncreasing(double tol = 0.0) const;
+
+    std::string algorithm; ///< "nelder_mead", "bfgs", or combined.
+    size_t restarts = 0;   ///< Extra starting points explored.
+    bool converged = false; ///< Final optimizer convergence flag.
+
+  private:
+    std::vector<IterationSample> samples_;
+    size_t stride_ = 1; ///< Record every stride_-th call.
+    size_t seen_ = 0;   ///< record() calls so far.
+};
+
+} // namespace obs
+} // namespace ucx
+
+#endif // UCX_OBS_TRACE_HH

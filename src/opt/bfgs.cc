@@ -4,6 +4,8 @@
 #include <limits>
 
 #include "linalg/matrix.hh"
+#include "obs/metrics.hh"
+#include "obs/span.hh"
 #include "util/error.hh"
 
 namespace ucx
@@ -77,7 +79,10 @@ bfgs(const Objective &f, const std::vector<double> &start,
     require(!start.empty(), "bfgs needs a non-empty start point");
     const size_t n = start.size();
 
+    obs::ScopedSpan obs_span("opt.bfgs");
     OptResult result;
+    result.trace.algorithm = "bfgs";
+    const double nan = std::numeric_limits<double>::quiet_NaN();
     auto eval = [&](const std::vector<double> &x) {
         ++result.evaluations;
         double v = f(x);
@@ -89,6 +94,8 @@ bfgs(const Objective &f, const std::vector<double> &start,
     double fx = eval(x);
     std::vector<double> g = numericGradient(f, x, config.fdStep);
     Matrix hinv = Matrix::identity(n);
+    result.trace.record(
+        {0, fx, maxAbs(g), nan, nan, result.evaluations});
 
     for (size_t it = 0; it < config.maxIterations; ++it) {
         ++result.iterations;
@@ -154,6 +161,8 @@ bfgs(const Objective &f, const std::vector<double> &start,
         x = std::move(xnew);
         fx = fnew;
         g = std::move(gnew);
+        result.trace.record({result.iterations, fx, maxAbs(g), step,
+                             nan, result.evaluations});
         if (step < config.stepTol) {
             result.converged = true;
             break;
@@ -162,6 +171,17 @@ bfgs(const Objective &f, const std::vector<double> &start,
 
     result.x = x;
     result.fx = fx;
+    result.trace.converged = result.converged;
+    if (obs::enabled()) {
+        static obs::Counter &runs = obs::counter("opt.bfgs.runs");
+        static obs::Counter &iters =
+            obs::counter("opt.bfgs.iterations");
+        static obs::Counter &evals =
+            obs::counter("opt.bfgs.evaluations");
+        runs.add(1);
+        iters.add(result.iterations);
+        evals.add(result.evaluations);
+    }
     return result;
 }
 

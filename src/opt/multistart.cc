@@ -2,6 +2,8 @@
 
 #include <limits>
 
+#include "obs/metrics.hh"
+#include "obs/span.hh"
 #include "opt/bfgs.hh"
 #include "opt/nelder_mead.hh"
 #include "util/error.hh"
@@ -15,6 +17,7 @@ multistartMinimize(const Objective &f, const std::vector<double> &start,
                    const MultistartConfig &config)
 {
     require(config.starts >= 1, "multistart needs at least one start");
+    obs::ScopedSpan span("opt.multistart");
     Rng rng(config.seed);
 
     OptResult best;
@@ -31,13 +34,27 @@ multistartMinimize(const Objective &f, const std::vector<double> &start,
             best = std::move(r);
         }
     }
+    // The trace follows the winning start; the other starts show up
+    // only as restarts.
+    best.trace.restarts += config.starts - 1;
 
     if (config.polishWithBfgs) {
         OptResult polished = bfgs(f, best.x);
         if (polished.fx < best.fx) {
             polished.evaluations += best.evaluations;
+            obs::ConvergenceTrace combined = std::move(best.trace);
+            combined.append(polished.trace);
+            polished.trace = std::move(combined);
             best = std::move(polished);
         }
+    }
+    if (obs::enabled()) {
+        static obs::Counter &runs =
+            obs::counter("opt.multistart.runs");
+        static obs::Counter &starts =
+            obs::counter("opt.multistart.starts");
+        runs.add(1);
+        starts.add(config.starts);
     }
     return best;
 }

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numeric>
 
+#include "obs/metrics.hh"
+#include "obs/span.hh"
 #include "util/error.hh"
 
 namespace ucx
@@ -39,7 +42,9 @@ nelderMead(const Objective &f, const std::vector<double> &start,
     require(!start.empty(), "nelderMead needs a non-empty start point");
     const size_t n = start.size();
 
+    obs::ScopedSpan span("opt.nelder_mead");
     OptResult result;
+    result.trace.algorithm = "nelder_mead";
     auto eval = [&](const std::vector<double> &x) {
         ++result.evaluations;
         double v = f(x);
@@ -64,12 +69,17 @@ nelderMead(const Objective &f, const std::vector<double> &start,
         return a.fx < b.fx;
     };
 
+    const double nan = std::numeric_limits<double>::quiet_NaN();
     bool restarted = false;
     while (result.evaluations < config.maxEvaluations) {
         std::sort(simplex.begin(), simplex.end(), byValue);
         ++result.iterations;
 
         double spread = simplex.back().fx - simplex.front().fx;
+        result.trace.record({result.iterations - 1,
+                             simplex.front().fx, nan,
+                             diameter(simplex), spread,
+                             result.evaluations});
         if (spread < config.fTol && diameter(simplex) < config.xTol) {
             if (restarted) {
                 result.converged = true;
@@ -79,6 +89,7 @@ nelderMead(const Objective &f, const std::vector<double> &start,
             // guards against false convergence on a degenerate
             // simplex.
             restarted = true;
+            result.trace.restarts += 1;
             std::vector<double> best = simplex.front().x;
             simplex.clear();
             simplex.push_back({best, eval(best)});
@@ -147,6 +158,20 @@ nelderMead(const Objective &f, const std::vector<double> &start,
     std::sort(simplex.begin(), simplex.end(), byValue);
     result.x = simplex.front().x;
     result.fx = simplex.front().fx;
+    result.trace.record({result.iterations, result.fx, nan,
+                         diameter(simplex),
+                         simplex.back().fx - simplex.front().fx,
+                         result.evaluations});
+    result.trace.converged = result.converged;
+    if (obs::enabled()) {
+        static obs::Counter &runs = obs::counter("opt.nm.runs");
+        static obs::Counter &iters = obs::counter("opt.nm.iterations");
+        static obs::Counter &evals =
+            obs::counter("opt.nm.evaluations");
+        runs.add(1);
+        iters.add(result.iterations);
+        evals.add(result.evaluations);
+    }
     return result;
 }
 

@@ -9,6 +9,8 @@
 #include <functional>
 #include <vector>
 
+#include "obs/trace.hh"
+
 namespace ucx
 {
 
@@ -23,6 +25,7 @@ struct OptResult
     size_t evaluations = 0;    ///< Objective evaluations used.
     size_t iterations = 0;     ///< Iterations performed.
     bool converged = false;    ///< Tolerance met before budget ran out.
+    obs::ConvergenceTrace trace; ///< Per-iteration history.
 };
 
 } // namespace ucx

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "hdl/const_eval.hh"
+#include "obs/metrics.hh"
+#include "obs/span.hh"
 #include "util/error.hh"
 
 namespace ucx
@@ -1511,8 +1513,18 @@ ElabResult
 elaborate(const Design &design, const std::string &top,
           const ElabOptions &opts)
 {
+    obs::ScopedSpan span("synth.elaborate");
     Elaborator elab(design, opts);
-    return elab.run(top);
+    ElabResult result = elab.run(top);
+    if (obs::enabled()) {
+        static obs::Counter &runs =
+            obs::counter("synth.elaborate.runs");
+        static obs::Counter &instances =
+            obs::counter("synth.elaborate.instances");
+        runs.add(1);
+        instances.add(result.top.totalInstances());
+    }
+    return result;
 }
 
 } // namespace ucx

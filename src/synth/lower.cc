@@ -6,6 +6,8 @@
 #include <set>
 #include <tuple>
 
+#include "obs/metrics.hh"
+#include "obs/span.hh"
 #include "util/error.hh"
 
 namespace ucx
@@ -541,8 +543,17 @@ class Lowerer
 Netlist
 lowerToGates(const RtlDesign &rtl)
 {
+    obs::ScopedSpan span("synth.lower");
     Lowerer lowerer(rtl);
-    return lowerer.run();
+    Netlist netlist = lowerer.run();
+    if (obs::enabled()) {
+        static obs::Counter &runs = obs::counter("synth.lower.runs");
+        static obs::Counter &gates =
+            obs::counter("synth.lower.gates");
+        runs.add(1);
+        gates.add(netlist.gates.size());
+    }
+    return netlist;
 }
 
 } // namespace ucx

@@ -4,6 +4,8 @@
 #include <map>
 #include <set>
 
+#include "obs/metrics.hh"
+#include "obs/span.hh"
 #include "util/error.hh"
 
 namespace ucx
@@ -39,6 +41,7 @@ isConst(GateOp op)
 LutMapping
 mapToLuts(const Netlist &netlist, const FpgaFabric &fabric)
 {
+    obs::ScopedSpan span("synth.map_luts");
     const size_t k = static_cast<size_t>(fabric.lutInputs);
     const size_t n = netlist.gates.size();
 
@@ -133,6 +136,7 @@ mapToLuts(const Netlist &netlist, const FpgaFabric &fabric)
 CellMapping
 mapToCells(const Netlist &netlist, const CellLibrary &library)
 {
+    obs::ScopedSpan span("synth.map_cells");
     CellMapping m;
     for (const Gate &gate : netlist.gates) {
         if (!CellLibrary::mapsToCell(gate.op))

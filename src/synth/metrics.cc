@@ -1,5 +1,7 @@
 #include "synth/metrics.hh"
 
+#include "obs/metrics.hh"
+#include "obs/span.hh"
 #include "synth/lower.hh"
 #include "synth/power.hh"
 
@@ -9,6 +11,7 @@ namespace ucx
 SynthMetrics
 synthesize(const RtlDesign &rtl)
 {
+    obs::ScopedSpan span("synth.synthesize");
     Netlist netlist = lowerToGates(rtl);
 
     SynthMetrics m;
@@ -26,17 +29,32 @@ synthesize(const RtlDesign &rtl)
     m.lutDepth = luts.maxDepth;
     m.fanInLC = luts.fanInSum();
 
-    ConeReport cones = extractCones(netlist);
-    m.fanInLCExact = cones.fanInSum;
+    {
+        obs::ScopedSpan cones_span("synth.cones");
+        ConeReport cones = extractCones(netlist);
+        m.fanInLCExact = cones.fanInSum;
+    }
 
-    TimingReport fpga = staFpga(luts);
-    m.freqMHz = fpga.freqMHz;
-    TimingReport asic = staAsic(netlist);
-    m.freqAsicMHz = asic.freqMHz;
+    {
+        obs::ScopedSpan sta_span("synth.sta");
+        TimingReport fpga = staFpga(luts);
+        m.freqMHz = fpga.freqMHz;
+        TimingReport asic = staAsic(netlist);
+        m.freqAsicMHz = asic.freqMHz;
+    }
 
-    PowerReport power = estimatePower(netlist, fpga.freqMHz);
-    m.powerDynamicMw = power.dynamicMw;
-    m.powerStaticUw = power.staticUw;
+    {
+        obs::ScopedSpan power_span("synth.power");
+        PowerReport power = estimatePower(netlist, m.freqMHz);
+        m.powerDynamicMw = power.dynamicMw;
+        m.powerStaticUw = power.staticUw;
+    }
+
+    if (obs::enabled()) {
+        static obs::Counter &runs =
+            obs::counter("synth.synthesize.runs");
+        runs.add(1);
+    }
     return m;
 }
 

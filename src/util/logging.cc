@@ -1,6 +1,9 @@
 #include "util/logging.hh"
 
+#include <cstdlib>
 #include <iostream>
+
+#include "util/str.hh"
 
 namespace ucx
 {
@@ -8,12 +11,39 @@ namespace ucx
 namespace
 {
 
-LogLevel globalLevel = LogLevel::Info;
+LogLevel
+levelFromEnv()
+{
+    const char *env = std::getenv("UCX_LOG_LEVEL");
+    if (env == nullptr)
+        return LogLevel::Info;
+    std::string name = toLower(trim(env));
+    if (name == "debug")
+        return LogLevel::Debug;
+    if (name == "info")
+        return LogLevel::Info;
+    if (name == "warn" || name == "warning")
+        return LogLevel::Warn;
+    if (name == "error")
+        return LogLevel::Error;
+    if (name == "quiet")
+        return LogLevel::Quiet;
+    return LogLevel::Info;
+}
+
+LogLevel &
+globalLevel()
+{
+    // Initialized from UCX_LOG_LEVEL at first use of the logger, so
+    // benches and examples can be made verbose without recompiling.
+    static LogLevel level = levelFromEnv();
+    return level;
+}
 
 void
 emit(LogLevel level, const char *tag, const std::string &msg)
 {
-    if (level >= globalLevel)
+    if (level >= globalLevel())
         std::cerr << tag << msg << std::endl;
 }
 
@@ -22,13 +52,13 @@ emit(LogLevel level, const char *tag, const std::string &msg)
 void
 setLogLevel(LogLevel level)
 {
-    globalLevel = level;
+    globalLevel() = level;
 }
 
 LogLevel
 logLevel()
 {
-    return globalLevel;
+    return globalLevel();
 }
 
 void
@@ -47,6 +77,12 @@ void
 warn(const std::string &msg)
 {
     emit(LogLevel::Warn, "warn: ", msg);
+}
+
+void
+error(const std::string &msg)
+{
+    emit(LogLevel::Error, "error: ", msg);
 }
 
 } // namespace ucx

@@ -20,11 +20,17 @@ enum class LogLevel
     Debug = 0,
     Info = 1,
     Warn = 2,
-    Quiet = 3,
+    Error = 3,
+    Quiet = 4,
 };
 
 /**
  * Set the global minimum severity that is printed.
+ *
+ * The initial level comes from the UCX_LOG_LEVEL environment
+ * variable (debug|info|warn|error|quiet, case-insensitive; read at
+ * first use of the logger) and defaults to Info when the variable is
+ * unset or unrecognized.
  *
  * @param level Messages below this level are suppressed.
  */
@@ -41,6 +47,9 @@ void inform(const std::string &msg);
 
 /** Print a warning to stderr. */
 void warn(const std::string &msg);
+
+/** Print an error to stderr (ranked above warnings). */
+void error(const std::string &msg);
 
 } // namespace ucx
 

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Regression: fitting the paper's DEE1 estimator on the bundled
+ * 18-component dataset must converge and must leave a populated,
+ * monotone convergence trace on the fit — the observability contract
+ * the bench reports and the Table 4 reproduction rely on.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/paper_data.hh"
+#include "nlme/mixed_model.hh"
+
+namespace ucx
+{
+namespace
+{
+
+TEST(ConvergenceTraceRegression, Dee1FitTraceIsMonotone)
+{
+    NlmeData data = paperDataset().toNlmeData(
+        {Metric::Stmts, Metric::FanInLC});
+    MixedModel model(data);
+    MixedFit fit = model.fit();
+
+    EXPECT_TRUE(fit.converged);
+    ASSERT_GE(fit.trace.size(), 1u);
+    EXPECT_TRUE(fit.trace.converged);
+    EXPECT_FALSE(fit.trace.algorithm.empty());
+
+    // The trace records the negative log-likelihood, so its last
+    // objective must match the reported fit up to sign.
+    EXPECT_NEAR(fit.trace.back().objective, -fit.logLik,
+                1e-6 * std::abs(fit.logLik) + 1e-8);
+
+    // Nelder-Mead's best vertex and BFGS's accepted iterates never
+    // regress, so the whole recorded history is non-increasing after
+    // the first accepted step. Tolerance covers the multi-start seam
+    // where the polish re-evaluates the same point.
+    EXPECT_TRUE(fit.trace.monotoneNonIncreasing(1e-9))
+        << "objective increased within the recorded trace";
+
+    // Iteration numbering stays strictly increasing across the
+    // multistart -> polish seam.
+    for (size_t i = 1; i < fit.trace.size(); ++i)
+        EXPECT_LT(fit.trace.samples()[i - 1].iteration,
+                  fit.trace.samples()[i].iteration);
+}
+
+} // namespace
+} // namespace ucx

@@ -1,0 +1,135 @@
+#include <cctype>
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/export.hh"
+#include "obs/metrics.hh"
+#include "obs/span.hh"
+
+using namespace ucx;
+
+namespace
+{
+
+class ExportTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        obs::setEnabled(true);
+        obs::Registry::instance().reset();
+        obs::resetSpans();
+    }
+
+    void TearDown() override { obs::setEnabled(false); }
+};
+
+// Minimal structural JSON check: balanced braces/brackets outside
+// string literals, and no trailing commas before a closer.
+void
+expectBalancedJson(const std::string &text)
+{
+    int depth = 0;
+    bool in_string = false;
+    char prev = '\0';
+    for (size_t i = 0; i < text.size(); ++i) {
+        char c = text[i];
+        if (in_string) {
+            if (c == '\\')
+                ++i; // skip the escaped character
+            else if (c == '"')
+                in_string = false;
+            continue;
+        }
+        if (c == '"') {
+            in_string = true;
+        } else if (c == '{' || c == '[') {
+            ++depth;
+        } else if (c == '}' || c == ']') {
+            EXPECT_NE(prev, ',') << "trailing comma at offset " << i;
+            --depth;
+            EXPECT_GE(depth, 0);
+        }
+        if (!std::isspace(static_cast<unsigned char>(c)))
+            prev = c;
+    }
+    EXPECT_FALSE(in_string);
+    EXPECT_EQ(depth, 0);
+}
+
+TEST_F(ExportTest, JsonEscapeHandlesSpecials)
+{
+    EXPECT_EQ(obs::jsonEscape("plain"), "plain");
+    EXPECT_EQ(obs::jsonEscape("a\"b"), "a\\\"b");
+    EXPECT_EQ(obs::jsonEscape("a\\b"), "a\\\\b");
+    EXPECT_EQ(obs::jsonEscape("a\nb"), "a\\nb");
+    EXPECT_EQ(obs::jsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST_F(ExportTest, JsonNumberRejectsNonFinite)
+{
+    EXPECT_EQ(obs::jsonNumber(1.5), "1.5");
+    EXPECT_EQ(obs::jsonNumber(0.0), "0");
+    EXPECT_EQ(obs::jsonNumber(std::nan("")), "null");
+    EXPECT_EQ(obs::jsonNumber(std::numeric_limits<double>::infinity()),
+              "null");
+}
+
+TEST_F(ExportTest, SnapshotJsonShape)
+{
+    obs::counter("exp.counter").add(3);
+    obs::gauge("exp.gauge").set(2.5);
+    obs::histogram("exp.hist").observe(5.0);
+    {
+        obs::ScopedSpan outer("exp.outer");
+        obs::ScopedSpan inner("exp.inner");
+    }
+
+    std::string json = obs::snapshotJson(
+        obs::Registry::instance().snapshot(), obs::spanSnapshot());
+    expectBalancedJson(json);
+    EXPECT_NE(json.find("\"schema\":\"ucx.obs.v1\""), std::string::npos);
+    EXPECT_NE(json.find("\"exp.counter\":3"), std::string::npos);
+    EXPECT_NE(json.find("\"exp.gauge\":2.5"), std::string::npos);
+    EXPECT_NE(json.find("\"exp.hist\":{\"count\":1"), std::string::npos);
+    // 5.0 falls in [4,8), so its bucket upper bound is 8.
+    EXPECT_NE(json.find("{\"le\":8,\"count\":1}"), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"exp.outer\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"exp.inner\""), std::string::npos);
+    // The inner span serializes inside the outer span's children.
+    EXPECT_LT(json.find("\"name\":\"exp.outer\""),
+              json.find("\"name\":\"exp.inner\""));
+}
+
+TEST_F(ExportTest, BenchReportWrapsSnapshot)
+{
+    obs::counter("exp.bench.counter").add(1);
+    std::string json = obs::benchReportJson("unit_test", 12.5);
+    expectBalancedJson(json);
+    EXPECT_EQ(json.back(), '\n');
+    EXPECT_NE(json.find("\"schema\":\"ucx.bench.v1\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"bench\":\"unit_test\""), std::string::npos);
+    EXPECT_NE(json.find("\"wall_ms\":12.5"), std::string::npos);
+    EXPECT_NE(json.find("\"obs\":{\"schema\":\"ucx.obs.v1\""),
+              std::string::npos);
+}
+
+TEST_F(ExportTest, SnapshotTableMentionsEveryInstrument)
+{
+    obs::counter("tab.counter").add(2);
+    obs::histogram("tab.hist").observe(1.0);
+    {
+        obs::ScopedSpan span("tab.span");
+    }
+    std::string text = obs::snapshotTable(
+        obs::Registry::instance().snapshot(), obs::spanSnapshot());
+    EXPECT_NE(text.find("tab.counter"), std::string::npos);
+    EXPECT_NE(text.find("tab.hist"), std::string::npos);
+    EXPECT_NE(text.find("tab.span"), std::string::npos);
+}
+
+} // namespace

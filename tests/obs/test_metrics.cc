@@ -1,0 +1,187 @@
+#include <cmath>
+#include <limits>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.hh"
+
+using namespace ucx;
+
+namespace
+{
+
+class MetricsTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        obs::setEnabled(true);
+        obs::Registry::instance().reset();
+    }
+
+    void TearDown() override { obs::setEnabled(false); }
+};
+
+TEST_F(MetricsTest, CounterAccumulates)
+{
+    obs::Counter &c = obs::counter("test.counter.basic");
+    EXPECT_EQ(c.value(), 0u);
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST_F(MetricsTest, RegistryReturnsSameInstrumentByName)
+{
+    obs::Counter &a = obs::counter("test.counter.same");
+    obs::Counter &b = obs::counter("test.counter.same");
+    EXPECT_EQ(&a, &b);
+    obs::Histogram &h1 = obs::histogram("test.hist.same");
+    obs::Histogram &h2 = obs::histogram("test.hist.same");
+    EXPECT_EQ(&h1, &h2);
+}
+
+TEST_F(MetricsTest, GaugeLastWriteWins)
+{
+    obs::Gauge &g = obs::gauge("test.gauge.basic");
+    g.set(1.5);
+    g.set(-3.25);
+    EXPECT_DOUBLE_EQ(g.value(), -3.25);
+}
+
+TEST_F(MetricsTest, HistogramBucketBoundaries)
+{
+    // Bucket 0 holds values below 1.
+    EXPECT_EQ(obs::Histogram::bucketIndex(0.0), 0u);
+    EXPECT_EQ(obs::Histogram::bucketIndex(0.5), 0u);
+    EXPECT_EQ(obs::Histogram::bucketIndex(0.999), 0u);
+    // Bucket i holds [2^(i-1), 2^i).
+    EXPECT_EQ(obs::Histogram::bucketIndex(1.0), 1u);
+    EXPECT_EQ(obs::Histogram::bucketIndex(1.999), 1u);
+    EXPECT_EQ(obs::Histogram::bucketIndex(2.0), 2u);
+    EXPECT_EQ(obs::Histogram::bucketIndex(3.999), 2u);
+    EXPECT_EQ(obs::Histogram::bucketIndex(4.0), 3u);
+    EXPECT_EQ(obs::Histogram::bucketIndex(1024.0), 11u);
+    // Everything huge lands in the last bucket.
+    EXPECT_EQ(obs::Histogram::bucketIndex(1e30),
+              obs::Histogram::kBuckets - 1);
+
+    // Upper bounds line up with the bucket definition: le(0) = 1,
+    // le(i) = 2^i, last = +inf.
+    EXPECT_DOUBLE_EQ(obs::Histogram::bucketUpperBound(0), 1.0);
+    EXPECT_DOUBLE_EQ(obs::Histogram::bucketUpperBound(1), 2.0);
+    EXPECT_DOUBLE_EQ(obs::Histogram::bucketUpperBound(11), 2048.0);
+    EXPECT_TRUE(std::isinf(obs::Histogram::bucketUpperBound(
+        obs::Histogram::kBuckets - 1)));
+
+    // Every value sorts strictly below its bucket's upper bound and
+    // at or above the previous bucket's.
+    for (double v : {0.25, 1.0, 1.5, 2.0, 7.0, 100.0, 1e6}) {
+        size_t b = obs::Histogram::bucketIndex(v);
+        EXPECT_LT(v, obs::Histogram::bucketUpperBound(b)) << v;
+        if (b > 0)
+            EXPECT_GE(v, obs::Histogram::bucketUpperBound(b - 1)) << v;
+    }
+}
+
+TEST_F(MetricsTest, HistogramStats)
+{
+    obs::Histogram &h = obs::histogram("test.hist.stats");
+    h.observe(1.0);
+    h.observe(3.0);
+    h.observe(8.0);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_DOUBLE_EQ(h.sum(), 12.0);
+    EXPECT_DOUBLE_EQ(h.min(), 1.0);
+    EXPECT_DOUBLE_EQ(h.max(), 8.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 4.0);
+    std::vector<uint64_t> buckets = h.bucketCounts();
+    EXPECT_EQ(buckets[obs::Histogram::bucketIndex(1.0)], 1u);
+    EXPECT_EQ(buckets[obs::Histogram::bucketIndex(3.0)], 1u);
+    EXPECT_EQ(buckets[obs::Histogram::bucketIndex(8.0)], 1u);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST_F(MetricsTest, CounterIsThreadSafe)
+{
+    obs::Counter &c = obs::counter("test.counter.threads");
+    constexpr int kPerThread = 100000;
+    auto work = [&c] {
+        for (int i = 0; i < kPerThread; ++i)
+            c.add();
+    };
+    std::thread a(work), b(work);
+    a.join();
+    b.join();
+    EXPECT_EQ(c.value(), 2u * kPerThread);
+}
+
+TEST_F(MetricsTest, HistogramIsThreadSafe)
+{
+    obs::Histogram &h = obs::histogram("test.hist.threads");
+    constexpr int kPerThread = 50000;
+    auto work = [&h](double v) {
+        for (int i = 0; i < kPerThread; ++i)
+            h.observe(v);
+    };
+    std::thread a(work, 1.0), b(work, 3.0);
+    a.join();
+    b.join();
+    EXPECT_EQ(h.count(), 2u * kPerThread);
+    EXPECT_DOUBLE_EQ(h.sum(), kPerThread * 1.0 + kPerThread * 3.0);
+    EXPECT_DOUBLE_EQ(h.min(), 1.0);
+    EXPECT_DOUBLE_EQ(h.max(), 3.0);
+}
+
+TEST_F(MetricsTest, SnapshotIsSortedAndComplete)
+{
+    obs::counter("test.snap.b").add(2);
+    obs::counter("test.snap.a").add(1);
+    obs::gauge("test.snap.g").set(7.0);
+    obs::histogram("test.snap.h").observe(5.0);
+    obs::MetricsSnapshot snap = obs::Registry::instance().snapshot();
+    ASSERT_EQ(snap.counters.size(), 2u);
+    EXPECT_EQ(snap.counters[0].name, "test.snap.a");
+    EXPECT_EQ(snap.counters[0].value, 1u);
+    EXPECT_EQ(snap.counters[1].name, "test.snap.b");
+    EXPECT_EQ(snap.counters[1].value, 2u);
+    ASSERT_EQ(snap.gauges.size(), 1u);
+    EXPECT_DOUBLE_EQ(snap.gauges[0].value, 7.0);
+    ASSERT_EQ(snap.histograms.size(), 1u);
+    EXPECT_EQ(snap.histograms[0].count, 1u);
+    EXPECT_EQ(snap.histograms[0].buckets.size(),
+              obs::Histogram::kBuckets);
+}
+
+TEST(MetricsDisabledTest, MutationsAreNoOpsWhenDisabled)
+{
+    obs::setEnabled(false);
+    obs::Registry::instance().reset();
+    EXPECT_FALSE(obs::enabled());
+
+    obs::Counter &c = obs::counter("test.off.counter");
+    c.add(100);
+    EXPECT_EQ(c.value(), 0u);
+
+    obs::Gauge &g = obs::gauge("test.off.gauge");
+    g.set(3.0);
+    EXPECT_DOUBLE_EQ(g.value(), 0.0);
+
+    obs::Histogram &h = obs::histogram("test.off.hist");
+    h.observe(9.0);
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+
+    // Re-enabling makes the same handles live again.
+    obs::setEnabled(true);
+    c.add(1);
+    EXPECT_EQ(c.value(), 1u);
+    obs::setEnabled(false);
+}
+
+} // namespace

@@ -1,0 +1,134 @@
+#include <chrono>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.hh"
+#include "obs/span.hh"
+
+using namespace ucx;
+
+namespace
+{
+
+class SpanTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        obs::setEnabled(true);
+        obs::resetSpans();
+    }
+
+    void TearDown() override { obs::setEnabled(false); }
+};
+
+void
+busyWait(std::chrono::microseconds at_least)
+{
+    auto start = std::chrono::steady_clock::now();
+    while (std::chrono::steady_clock::now() - start < at_least) {
+    }
+}
+
+TEST_F(SpanTest, NestedSpansFormTree)
+{
+    {
+        obs::ScopedSpan outer("outer");
+        busyWait(std::chrono::microseconds(200));
+        {
+            obs::ScopedSpan inner("inner");
+            busyWait(std::chrono::microseconds(200));
+        }
+    }
+    obs::SpanStats root = obs::spanSnapshot();
+    EXPECT_EQ(root.name, "root");
+    ASSERT_EQ(root.children.size(), 1u);
+    const obs::SpanStats &outer = root.children[0];
+    EXPECT_EQ(outer.name, "outer");
+    EXPECT_EQ(outer.calls, 1u);
+    const obs::SpanStats *inner = outer.child("inner");
+    ASSERT_NE(inner, nullptr);
+    EXPECT_EQ(inner->calls, 1u);
+    EXPECT_GT(inner->totalNs, 0u);
+    // A parent's total covers its children; self time is the rest.
+    EXPECT_GE(outer.totalNs, inner->totalNs);
+    EXPECT_EQ(outer.selfNs(), outer.totalNs - inner->totalNs);
+    EXPECT_EQ(outer.child("missing"), nullptr);
+}
+
+TEST_F(SpanTest, RepeatedSpansAggregate)
+{
+    for (int i = 0; i < 3; ++i) {
+        obs::ScopedSpan outer("stage");
+        obs::ScopedSpan inner("sub");
+    }
+    obs::SpanStats root = obs::spanSnapshot();
+    ASSERT_EQ(root.children.size(), 1u);
+    EXPECT_EQ(root.children[0].calls, 3u);
+    ASSERT_EQ(root.children[0].children.size(), 1u);
+    EXPECT_EQ(root.children[0].children[0].calls, 3u);
+}
+
+TEST_F(SpanTest, SameNameUnderDifferentParentsStaysSeparate)
+{
+    {
+        obs::ScopedSpan a("a");
+        obs::ScopedSpan shared("shared");
+    }
+    {
+        obs::ScopedSpan b("b");
+        obs::ScopedSpan shared("shared");
+    }
+    obs::SpanStats root = obs::spanSnapshot();
+    ASSERT_EQ(root.children.size(), 2u);
+    for (const auto &top : root.children) {
+        const obs::SpanStats *shared = top.child("shared");
+        ASSERT_NE(shared, nullptr) << top.name;
+        EXPECT_EQ(shared->calls, 1u);
+    }
+}
+
+TEST_F(SpanTest, SiblingsAfterCloseAttachToSameParent)
+{
+    {
+        obs::ScopedSpan outer("outer");
+        {
+            obs::ScopedSpan first("first");
+        }
+        {
+            obs::ScopedSpan second("second");
+        }
+    }
+    obs::SpanStats root = obs::spanSnapshot();
+    ASSERT_EQ(root.children.size(), 1u);
+    EXPECT_NE(root.children[0].child("first"), nullptr);
+    EXPECT_NE(root.children[0].child("second"), nullptr);
+}
+
+TEST_F(SpanTest, ResetClearsRecordedSpans)
+{
+    {
+        obs::ScopedSpan span("gone");
+    }
+    obs::resetSpans();
+    obs::SpanStats root = obs::spanSnapshot();
+    for (const auto &child : root.children) {
+        EXPECT_EQ(child.calls, 0u);
+        EXPECT_EQ(child.totalNs, 0u);
+    }
+}
+
+TEST(SpanDisabledTest, SpansAreInertWhenDisabled)
+{
+    obs::setEnabled(false);
+    obs::resetSpans();
+    {
+        obs::ScopedSpan span("invisible");
+    }
+    obs::SpanStats root = obs::spanSnapshot();
+    for (const auto &child : root.children)
+        EXPECT_NE(child.name, "invisible");
+}
+
+} // namespace

@@ -1,0 +1,107 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "obs/trace.hh"
+
+using namespace ucx;
+
+namespace
+{
+
+obs::IterationSample
+sampleAt(size_t iteration, double objective)
+{
+    obs::IterationSample s;
+    s.iteration = iteration;
+    s.objective = objective;
+    s.evaluations = iteration + 1;
+    return s;
+}
+
+TEST(ConvergenceTraceTest, RecordsSamplesInOrder)
+{
+    obs::ConvergenceTrace trace;
+    EXPECT_TRUE(trace.empty());
+    trace.record(sampleAt(0, 10.0));
+    trace.record(sampleAt(1, 5.0));
+    trace.record(sampleAt(2, 2.5));
+    ASSERT_EQ(trace.size(), 3u);
+    EXPECT_DOUBLE_EQ(trace.front().objective, 10.0);
+    EXPECT_DOUBLE_EQ(trace.back().objective, 2.5);
+    EXPECT_EQ(trace.back().iteration, 2u);
+}
+
+TEST(ConvergenceTraceTest, MonotoneCheck)
+{
+    obs::ConvergenceTrace trace;
+    trace.record(sampleAt(0, 3.0));
+    trace.record(sampleAt(1, 3.0)); // equal is allowed
+    trace.record(sampleAt(2, 1.0));
+    EXPECT_TRUE(trace.monotoneNonIncreasing());
+
+    trace.record(sampleAt(3, 1.0 + 1e-9));
+    EXPECT_FALSE(trace.monotoneNonIncreasing());
+    EXPECT_TRUE(trace.monotoneNonIncreasing(1e-8));
+}
+
+TEST(ConvergenceTraceTest, DecimationKeepsSubsequenceAndEndpoints)
+{
+    obs::ConvergenceTrace trace;
+    const size_t total = 10000;
+    for (size_t i = 0; i < total; ++i)
+        trace.record(sampleAt(i, static_cast<double>(total - i)));
+    EXPECT_LE(trace.size(), obs::ConvergenceTrace::kMaxSamples);
+    EXPECT_GE(trace.size(), obs::ConvergenceTrace::kMaxSamples / 2);
+    // The first sample always survives decimation.
+    EXPECT_EQ(trace.front().iteration, 0u);
+    // Retained samples are a strictly increasing subsequence, so the
+    // monotone diagnostic stays meaningful after decimation.
+    for (size_t i = 1; i < trace.size(); ++i)
+        EXPECT_LT(trace.samples()[i - 1].iteration,
+                  trace.samples()[i].iteration);
+    EXPECT_TRUE(trace.monotoneNonIncreasing());
+}
+
+TEST(ConvergenceTraceTest, AppendRenumbersAndAdoptsFlags)
+{
+    obs::ConvergenceTrace head;
+    head.algorithm = "nelder_mead";
+    head.restarts = 2;
+    head.record(sampleAt(0, 8.0));
+    head.record(sampleAt(5, 4.0));
+
+    obs::ConvergenceTrace tail;
+    tail.algorithm = "bfgs";
+    tail.converged = true;
+    obs::IterationSample t0 = sampleAt(0, 4.0);
+    obs::IterationSample t1 = sampleAt(1, 3.0);
+    tail.record(t0);
+    tail.record(t1);
+
+    head.append(tail);
+    ASSERT_EQ(head.size(), 4u);
+    EXPECT_EQ(head.algorithm, "nelder_mead+bfgs");
+    EXPECT_TRUE(head.converged);
+    EXPECT_EQ(head.restarts, 2u);
+    // Tail iterations continue after the head's last iteration.
+    EXPECT_GT(head.samples()[2].iteration, head.samples()[1].iteration);
+    EXPECT_GT(head.samples()[3].iteration, head.samples()[2].iteration);
+    EXPECT_DOUBLE_EQ(head.back().objective, 3.0);
+    // Evaluation counts accumulate across the seam too.
+    EXPECT_GT(head.samples()[2].evaluations,
+              head.samples()[1].evaluations);
+    EXPECT_TRUE(head.monotoneNonIncreasing());
+}
+
+TEST(ConvergenceTraceTest, ClearResetsEverything)
+{
+    obs::ConvergenceTrace trace;
+    trace.record(sampleAt(0, 1.0));
+    trace.clear();
+    EXPECT_TRUE(trace.empty());
+    trace.record(sampleAt(0, 2.0));
+    EXPECT_EQ(trace.size(), 1u);
+}
+
+} // namespace
