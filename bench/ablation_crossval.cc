@@ -13,6 +13,7 @@
 #include "bench_util.hh"
 #include "core/validation.hh"
 #include "data/paper_data.hh"
+#include "exec/context.hh"
 #include "util/str.hh"
 #include "util/table.hh"
 
@@ -27,14 +28,21 @@ main()
            "(rms log error; comparable to sigma_eps).");
 
     const Dataset &data = paperDataset();
+    // UCX_THREADS controls the pool; the fold errors below are
+    // byte-identical at any thread count.
+    ExecContext ctx = ExecContext::fromEnv();
 
     Table t({"Estimator", "in-sample sigma", "LOO component",
              "LOO project (rho=1)", "within 2x (LOO comp)"});
     auto add = [&](const std::string &name,
                    const std::vector<Metric> &metrics) {
-        FittedEstimator fit = fitEstimator(data, metrics);
-        auto loco = leaveOneComponentOut(data, metrics);
-        auto lopo = leaveOneProjectOut(data, metrics);
+        FittedEstimator fit =
+            fitEstimator(data, metrics, FitMode::MixedEffects,
+                         ZeroPolicy::ClampToOne, ctx);
+        auto loco = leaveOneComponentOut(data, metrics,
+                                         FitMode::MixedEffects, ctx);
+        auto lopo = leaveOneProjectOut(data, metrics,
+                                       FitMode::MixedEffects, ctx);
         t.addRow({name, fmtFixed(fit.sigmaEps(), 2),
                   fmtFixed(loco.rmsLogError(), 2),
                   fmtFixed(lopo.rmsLogError(), 2),
@@ -55,7 +63,8 @@ main()
 
     // Per-component detail for DEE1.
     auto cv = leaveOneComponentOut(
-        data, {Metric::Stmts, Metric::FanInLC});
+        data, {Metric::Stmts, Metric::FanInLC},
+        FitMode::MixedEffects, ctx);
     Table detail({"Held-out component", "actual", "predicted",
                   "ratio"});
     for (const auto &r : cv.records) {

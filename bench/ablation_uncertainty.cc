@@ -10,6 +10,7 @@
 #include "bench_util.hh"
 #include "core/estimator.hh"
 #include "data/paper_data.hh"
+#include "exec/context.hh"
 #include "nlme/bootstrap.hh"
 #include "nlme/mixed_model.hh"
 #include "nlme/profile.hh"
@@ -27,6 +28,9 @@ main()
            "published dataset.");
 
     const Dataset &data = paperDataset();
+    // UCX_THREADS controls the pool; the intervals below are
+    // byte-identical at any thread count.
+    ExecContext ctx = ExecContext::fromEnv();
 
     Table t({"Estimator", "sigma_eps", "95% profile CI",
              "90% bootstrap CI"});
@@ -48,17 +52,17 @@ main()
     for (const Entry &e : entries) {
         NlmeData nd = data.toNlmeData(e.metrics);
         MixedModel model(nd);
-        MixedFit fit = model.fit();
+        MixedFit fit = model.fit(ctx);
 
         ProfileConfig pc;
         pc.starts = 2;
-        ProfileInterval ci =
-            profileInterval(model, fit, MixedParam::SigmaEps, 0, pc);
+        ProfileInterval ci = profileInterval(
+            model, fit, MixedParam::SigmaEps, 0, pc, ctx);
 
         BootstrapConfig bc;
         bc.replicates = 120;
         bc.starts = 1;
-        BootstrapResult boot = parametricBootstrap(nd, fit, bc);
+        BootstrapResult boot = parametricBootstrap(nd, fit, bc, ctx);
         auto [blo, bhi] = boot.sigmaEpsInterval(0.90);
 
         t.addRow({e.name, fmtFixed(fit.sigmaEps, 2),

@@ -6,14 +6,20 @@
  * the synthesis pipeline.
  */
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
 #include <benchmark/benchmark.h>
 
 #include "bench_util.hh"
 #include "core/estimator.hh"
 #include "data/paper_data.hh"
 #include "designs/registry.hh"
+#include "exec/context.hh"
 #include "hdl/parser.hh"
 #include "hdl/source_metrics.hh"
+#include "nlme/bootstrap.hh"
 #include "nlme/generic.hh"
 #include "nlme/mixed_model.hh"
 #include "nlme/pooled.hh"
@@ -140,6 +146,80 @@ BM_SynthesizeIssueQueue(benchmark::State &state)
 }
 BENCHMARK(BM_SynthesizeIssueQueue)->Unit(benchmark::kMillisecond);
 
+void
+BM_BuildAllShipped(benchmark::State &state)
+{
+    ExecContext ctx =
+        ExecContext::withThreads(static_cast<size_t>(state.range(0)));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(buildAll(ctx));
+}
+BENCHMARK(BM_BuildAllShipped)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+/**
+ * Headline parallel workload: a 200-replicate parametric bootstrap
+ * of the DEE1 mixed-effects fit, timed serially and through a
+ * >= 4-thread pool. The wall times, the speedup, and whether the two
+ * runs produced identical replicate fits land in
+ * BENCH_perf_microbench.json as gauges.
+ */
+void
+bootstrapSpeedup()
+{
+    NlmeData nd = paperNlme();
+    MixedModel model(nd);
+    MixedFit fit = model.fit();
+
+    BootstrapConfig bc;
+    bc.replicates = 200;
+    bc.starts = 1;
+
+    auto run = [&](const ExecContext &ctx, double &wall_ms) {
+        auto t0 = std::chrono::steady_clock::now();
+        BootstrapResult r = parametricBootstrap(nd, fit, bc, ctx);
+        wall_ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+        return r;
+    };
+
+    double serial_ms = 0.0;
+    double parallel_ms = 0.0;
+    BootstrapResult serial = run(ExecContext::serial(), serial_ms);
+    size_t threads = std::max<size_t>(
+        4, std::thread::hardware_concurrency());
+    BootstrapResult parallel =
+        run(ExecContext::withThreads(threads), parallel_ms);
+
+    bool identical = serial.fits.size() == parallel.fits.size();
+    for (size_t i = 0; identical && i < serial.fits.size(); ++i) {
+        identical = serial.fits[i].sigmaEps ==
+                        parallel.fits[i].sigmaEps &&
+                    serial.fits[i].sigmaRho ==
+                        parallel.fits[i].sigmaRho &&
+                    serial.fits[i].weights == parallel.fits[i].weights;
+    }
+
+    obs::gauge("bench.bootstrap200.serial_ms").set(serial_ms);
+    obs::gauge("bench.bootstrap200.parallel_ms").set(parallel_ms);
+    obs::gauge("bench.bootstrap200.threads")
+        .set(static_cast<double>(threads));
+    obs::gauge("bench.bootstrap200.speedup")
+        .set(parallel_ms > 0.0 ? serial_ms / parallel_ms : 0.0);
+    obs::gauge("bench.bootstrap200.identical")
+        .set(identical ? 1.0 : 0.0);
+
+    std::cout << "bootstrap(200 replicates): serial " << serial_ms
+              << " ms, " << threads << " threads " << parallel_ms
+              << " ms, speedup "
+              << (parallel_ms > 0.0 ? serial_ms / parallel_ms : 0.0)
+              << "x, results "
+              << (identical ? "identical" : "DIFFERENT") << "\n";
+}
+
 } // namespace
 
 // Expanded BENCHMARK_MAIN() so the whole run sits inside a
@@ -154,5 +234,6 @@ main(int argc, char **argv)
         return 1;
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
+    bootstrapSpeedup();
     return 0;
 }

@@ -11,6 +11,7 @@
 #include "bench_util.hh"
 #include "core/search.hh"
 #include "data/paper_data.hh"
+#include "exec/context.hh"
 #include "util/str.hh"
 #include "util/table.hh"
 
@@ -25,9 +26,12 @@ main()
            "(sigma_eps; lower is better).");
 
     const Dataset &data = paperDataset();
+    // UCX_THREADS controls the pool; every number below is
+    // byte-identical at any thread count.
+    ExecContext ctx = ExecContext::fromEnv();
 
     // ------------------------------------------------------ body
-    FittedEstimator dee1 = fitDee1(data);
+    FittedEstimator dee1 = fitDee1(data, FitMode::MixedEffects, ctx);
     Table body({"Module", "Effort", "DEE1", "Stmts", "LoC",
                 "FanInLC", "Nets", "Freq", "AreaL", "PowerD",
                 "PowerS", "AreaS", "Cells", "FFs"});
@@ -52,7 +56,8 @@ main()
                "sigma_eps (rho=1)", "paper ", "90% CI (mixed)"});
     sig.setAlign(5, Align::Left);
     {
-        FittedEstimator pooled_dee1 = fitDee1(data, FitMode::Pooled);
+        FittedEstimator pooled_dee1 =
+            fitDee1(data, FitMode::Pooled, ctx);
         auto [lo, hi] = dee1.confidenceInterval(1.0, 0.90);
         sig.addRow({"DEE1", fmtFixed(dee1.sigmaEps(), 2),
                     fmtFixed(paperDee1Reference().sigmaMixed, 2),
@@ -63,9 +68,12 @@ main()
         sig.addRule();
     }
     for (const PaperSigma &ref : paperSigmas()) {
-        FittedEstimator mixed = fitEstimator(data, {ref.metric});
+        FittedEstimator mixed =
+            fitEstimator(data, {ref.metric}, FitMode::MixedEffects,
+                         ZeroPolicy::ClampToOne, ctx);
         FittedEstimator pooled =
-            fitEstimator(data, {ref.metric}, FitMode::Pooled);
+            fitEstimator(data, {ref.metric}, FitMode::Pooled,
+                         ZeroPolicy::ClampToOne, ctx);
         auto [lo, hi] = mixed.confidenceInterval(1.0, 0.90);
         sig.addRow({metricName(ref.metric),
                     fmtFixed(mixed.sigmaEps(), 2),
@@ -80,7 +88,9 @@ main()
     // ------------------------------------------- DEE1 diagnostics
     std::cout << "Section 5.1.1 - DEE1 vs Stmts information "
                  "criteria:\n\n";
-    FittedEstimator stmts = fitEstimator(data, {Metric::Stmts});
+    FittedEstimator stmts =
+        fitEstimator(data, {Metric::Stmts}, FitMode::MixedEffects,
+                     ZeroPolicy::ClampToOne, ctx);
     Table ic({"Model", "AIC", "paper AIC", "BIC", "paper BIC"});
     ic.addRow({"DEE1 (Stmts + FanInLC)", fmtFixed(dee1.aic(), 1),
                fmtFixed(paperDee1Reference().aicDee1, 1),
@@ -105,7 +115,7 @@ main()
     // ------------------------------------------------ pair search
     std::cout << "Two-metric estimator search (top 5 of 55 pairs, "
                  "by sigma_eps):\n\n";
-    auto pairs = rankMetricPairs(data);
+    auto pairs = rankMetricPairs(data, FitMode::MixedEffects, ctx);
     Table top({"Rank", "Pair", "sigma_eps", "AIC", "BIC"});
     top.setAlign(1, Align::Left);
     for (size_t i = 0; i < 5 && i < pairs.size(); ++i) {

@@ -16,6 +16,7 @@
 #include "core/measure.hh"
 #include "data/paper_data.hh"
 #include "designs/registry.hh"
+#include "exec/context.hh"
 #include "util/str.hh"
 #include "util/table.hh"
 
@@ -24,7 +25,9 @@ using namespace ucx;
 int
 main()
 {
-    FittedEstimator dee1 = fitDee1(paperDataset());
+    ExecContext ctx = ExecContext::fromEnv();
+    FittedEstimator dee1 =
+        fitDee1(paperDataset(), FitMode::MixedEffects, ctx);
 
     std::cout << "Measuring shipped uHDL components and estimating "
                  "their design effort\n(DEE1 calibrated on the "

@@ -13,6 +13,7 @@
 
 #include "core/estimator.hh"
 #include "data/paper_data.hh"
+#include "exec/context.hh"
 #include "util/str.hh"
 
 using namespace ucx;
@@ -23,8 +24,11 @@ main()
     // 1. Calibrate DEE1 (Stmts + FanInLC) on the paper's 18
     //    components from 4 projects. The fit returns the weights of
     //    Equation 1, the accuracy sigma_eps, and per-team
-    //    productivities rho_i.
-    FittedEstimator dee1 = fitDee1(paperDataset());
+    //    productivities rho_i. The multistart optimization runs
+    //    through the UCX_THREADS pool (same numbers at any count).
+    ExecContext ctx = ExecContext::fromEnv();
+    FittedEstimator dee1 =
+        fitDee1(paperDataset(), FitMode::MixedEffects, ctx);
 
     std::cout << "Calibrated DEE1 on the published dataset:\n"
               << "  w_Stmts   = " << fmtCompact(dee1.weights()[0], 6)

@@ -54,7 +54,8 @@ FittedEstimator::confidenceInterval(double median_estimate,
 
 FittedEstimator
 fitEstimator(const Dataset &dataset, const std::vector<Metric> &metrics,
-             FitMode mode, ZeroPolicy zero_policy)
+             FitMode mode, ZeroPolicy zero_policy,
+             const ExecContext &ctx)
 {
     require(!metrics.empty(), "estimator needs at least one metric");
     NlmeData data = dataset.toNlmeData(metrics, zero_policy);
@@ -66,7 +67,7 @@ fitEstimator(const Dataset &dataset, const std::vector<Metric> &metrics,
 
     if (mode == FitMode::MixedEffects) {
         MixedModel model(data);
-        MixedFit fit = model.fit();
+        MixedFit fit = model.fit(ctx);
         est.weights_ = fit.weights;
         est.sigmaEps_ = fit.sigmaEps;
         est.sigmaRho_ = fit.sigmaRho;
@@ -79,7 +80,7 @@ fitEstimator(const Dataset &dataset, const std::vector<Metric> &metrics,
             est.rho_[fit.groupNames[i]] = fit.productivity[i];
     } else {
         PooledModel model(data);
-        PooledFit fit = model.fit();
+        PooledFit fit = model.fit(ctx);
         est.weights_ = fit.weights;
         est.sigmaEps_ = fit.sigmaEps;
         est.sigmaRho_ = 0.0;
@@ -95,9 +96,10 @@ fitEstimator(const Dataset &dataset, const std::vector<Metric> &metrics,
 }
 
 FittedEstimator
-fitDee1(const Dataset &dataset, FitMode mode)
+fitDee1(const Dataset &dataset, FitMode mode, const ExecContext &ctx)
 {
-    return fitEstimator(dataset, {Metric::Stmts, Metric::FanInLC}, mode);
+    return fitEstimator(dataset, {Metric::Stmts, Metric::FanInLC},
+                        mode, ZeroPolicy::ClampToOne, ctx);
 }
 
 } // namespace ucx

@@ -19,6 +19,7 @@
 
 #include "core/dataset.hh"
 #include "core/metric.hh"
+#include "exec/context.hh"
 #include "obs/trace.hh"
 
 namespace ucx
@@ -116,7 +117,8 @@ class FittedEstimator
   private:
     friend FittedEstimator fitEstimator(const Dataset &,
                                         const std::vector<Metric> &,
-                                        FitMode, ZeroPolicy);
+                                        FitMode, ZeroPolicy,
+                                        const ExecContext &);
 
     std::vector<Metric> metrics_;
     std::vector<double> weights_;
@@ -140,13 +142,16 @@ class FittedEstimator
  * @param mode        Mixed-effects (recommended) or pooled.
  * @param zero_policy Treatment of all-zero metric rows (see
  *                    Dataset::toNlmeData).
+ * @param ctx         Execution context for the calibrating fit.
  * @return The calibrated estimator.
  */
 FittedEstimator fitEstimator(const Dataset &dataset,
                              const std::vector<Metric> &metrics,
                              FitMode mode = FitMode::MixedEffects,
                              ZeroPolicy zero_policy =
-                                 ZeroPolicy::ClampToOne);
+                                 ZeroPolicy::ClampToOne,
+                             const ExecContext &ctx =
+                                 ExecContext::serial());
 
 /**
  * Fit the paper's recommended DEE1 estimator (Stmts + FanInLC,
@@ -154,10 +159,13 @@ FittedEstimator fitEstimator(const Dataset &dataset,
  *
  * @param dataset Training components.
  * @param mode    Fit mode.
+ * @param ctx     Execution context for the calibrating fit.
  * @return The calibrated DEE1.
  */
 FittedEstimator fitDee1(const Dataset &dataset,
-                        FitMode mode = FitMode::MixedEffects);
+                        FitMode mode = FitMode::MixedEffects,
+                        const ExecContext &ctx =
+                            ExecContext::serial());
 
 } // namespace ucx
 

@@ -20,35 +20,54 @@ sortBySigma(std::vector<RankedEstimator> &ranked)
 
 } // namespace
 
-std::vector<RankedEstimator>
-rankSingleMetrics(const Dataset &dataset, FitMode mode)
+namespace
 {
-    std::vector<RankedEstimator> ranked;
-    for (Metric m : allMetrics()) {
-        RankedEstimator entry;
-        entry.metrics = {m};
-        entry.fit = fitEstimator(dataset, entry.metrics, mode);
-        ranked.push_back(std::move(entry));
-    }
+
+/**
+ * Fit every candidate metric subset through the context's pool.
+ * Each candidate's fit is independent and deterministic, and the
+ * results come back in candidate order, so the stable sort below
+ * yields the same ranking at any thread count.
+ */
+std::vector<RankedEstimator>
+rankCandidates(const Dataset &dataset,
+               const std::vector<std::vector<Metric>> &candidates,
+               FitMode mode, const ExecContext &ctx)
+{
+    std::vector<RankedEstimator> ranked =
+        ctx.parallelMap(candidates.size(), [&](size_t i) {
+            RankedEstimator entry;
+            entry.metrics = candidates[i];
+            entry.fit = fitEstimator(dataset, entry.metrics, mode,
+                                     ZeroPolicy::ClampToOne, ctx);
+            return entry;
+        });
     sortBySigma(ranked);
     return ranked;
 }
 
+} // namespace
+
 std::vector<RankedEstimator>
-rankMetricPairs(const Dataset &dataset, FitMode mode)
+rankSingleMetrics(const Dataset &dataset, FitMode mode,
+                  const ExecContext &ctx)
 {
-    std::vector<RankedEstimator> ranked;
+    std::vector<std::vector<Metric>> candidates;
+    for (Metric m : allMetrics())
+        candidates.push_back({m});
+    return rankCandidates(dataset, candidates, mode, ctx);
+}
+
+std::vector<RankedEstimator>
+rankMetricPairs(const Dataset &dataset, FitMode mode,
+                const ExecContext &ctx)
+{
+    std::vector<std::vector<Metric>> candidates;
     const auto &all = allMetrics();
-    for (size_t i = 0; i < all.size(); ++i) {
-        for (size_t j = i + 1; j < all.size(); ++j) {
-            RankedEstimator entry;
-            entry.metrics = {all[i], all[j]};
-            entry.fit = fitEstimator(dataset, entry.metrics, mode);
-            ranked.push_back(std::move(entry));
-        }
-    }
-    sortBySigma(ranked);
-    return ranked;
+    for (size_t i = 0; i < all.size(); ++i)
+        for (size_t j = i + 1; j < all.size(); ++j)
+            candidates.push_back({all[i], all[j]});
+    return rankCandidates(dataset, candidates, mode, ctx);
 }
 
 } // namespace ucx

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/estimator.hh"
+#include "exec/context.hh"
 
 namespace ucx
 {
@@ -27,10 +28,13 @@ struct RankedEstimator
  *
  * @param dataset Training components.
  * @param mode    Fit mode.
+ * @param ctx     Execution context; candidate fits run through its
+ *                pool (the ranking is thread-count independent).
  * @return One entry per metric, most accurate first.
  */
 std::vector<RankedEstimator> rankSingleMetrics(
-    const Dataset &dataset, FitMode mode = FitMode::MixedEffects);
+    const Dataset &dataset, FitMode mode = FitMode::MixedEffects,
+    const ExecContext &ctx = ExecContext::serial());
 
 /**
  * Fit every unordered pair of distinct metrics and sort by ascending
@@ -40,10 +44,13 @@ std::vector<RankedEstimator> rankSingleMetrics(
  *
  * @param dataset Training components.
  * @param mode    Fit mode.
+ * @param ctx     Execution context; the 55 candidate fits run
+ *                through its pool.
  * @return One entry per pair, most accurate first.
  */
 std::vector<RankedEstimator> rankMetricPairs(
-    const Dataset &dataset, FitMode mode = FitMode::MixedEffects);
+    const Dataset &dataset, FitMode mode = FitMode::MixedEffects,
+    const ExecContext &ctx = ExecContext::serial());
 
 } // namespace ucx
 

@@ -62,28 +62,40 @@ clampSelected(const MetricValues &values,
 
 CrossValidationResult
 leaveOneComponentOut(const Dataset &dataset,
-                     const std::vector<Metric> &metrics, FitMode mode)
+                     const std::vector<Metric> &metrics, FitMode mode,
+                     const ExecContext &ctx)
 {
     const auto &components = dataset.components();
     require(components.size() >= 3,
             "need at least three components");
 
-    CrossValidationResult result;
+    // Decide the usable folds up front so the parallel loop has a
+    // dense index space and the record order matches the serial
+    // component order.
+    std::vector<size_t> folds;
     for (size_t hold = 0; hold < components.size(); ++hold) {
+        const Component &target = components[hold];
+        // The held-out team must still be present to estimate rho.
+        bool team_present = false;
+        for (size_t i = 0; i < components.size(); ++i)
+            team_present |= i != hold &&
+                            components[i].project == target.project;
+        if (team_present)
+            folds.push_back(hold);
+    }
+    require(!folds.empty(), "no usable folds");
+
+    CrossValidationResult result;
+    result.records = ctx.parallelMap(folds.size(), [&](size_t f) {
+        size_t hold = folds[f];
         Dataset train;
         for (size_t i = 0; i < components.size(); ++i)
             if (i != hold)
                 train.add(components[i]);
 
         const Component &target = components[hold];
-        // The held-out team must still be present to estimate rho.
-        bool team_present = false;
-        for (const auto &c : train.components())
-            team_present |= c.project == target.project;
-        if (!team_present)
-            continue;
-
-        FittedEstimator fit = fitEstimator(train, metrics, mode);
+        FittedEstimator fit = fitEstimator(
+            train, metrics, mode, ZeroPolicy::ClampToOne, ctx);
         double rho = mode == FitMode::MixedEffects
                          ? fit.productivity(target.project)
                          : 1.0;
@@ -95,27 +107,31 @@ leaveOneComponentOut(const Dataset &dataset,
         record.actual = target.effort;
         record.predicted = predicted;
         record.logError = std::log(predicted / target.effort);
-        result.records.push_back(record);
-    }
-    require(!result.records.empty(), "no usable folds");
+        return record;
+    });
     return result;
 }
 
 CrossValidationResult
 leaveOneProjectOut(const Dataset &dataset,
-                   const std::vector<Metric> &metrics, FitMode mode)
+                   const std::vector<Metric> &metrics, FitMode mode,
+                   const ExecContext &ctx)
 {
     auto projects = dataset.projects();
     require(projects.size() >= 3, "need at least three projects");
 
-    CrossValidationResult result;
-    for (const std::string &held : projects) {
+    // One fold per held-out project; each fold produces the records
+    // of that project's components, flattened in project order.
+    auto per_fold = ctx.parallelMap(projects.size(), [&](size_t p) {
+        const std::string &held = projects[p];
         Dataset train;
         for (const auto &c : dataset.components())
             if (c.project != held)
                 train.add(c);
 
-        FittedEstimator fit = fitEstimator(train, metrics, mode);
+        FittedEstimator fit = fitEstimator(
+            train, metrics, mode, ZeroPolicy::ClampToOne, ctx);
+        std::vector<HoldOutRecord> records;
         for (const auto &c : dataset.components()) {
             if (c.project != held)
                 continue;
@@ -127,9 +143,15 @@ leaveOneProjectOut(const Dataset &dataset,
             record.actual = c.effort;
             record.predicted = predicted;
             record.logError = std::log(predicted / c.effort);
-            result.records.push_back(record);
+            records.push_back(record);
         }
-    }
+        return records;
+    });
+
+    CrossValidationResult result;
+    for (auto &records : per_fold)
+        for (auto &record : records)
+            result.records.push_back(std::move(record));
     return result;
 }
 

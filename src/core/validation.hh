@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/estimator.hh"
+#include "exec/context.hh"
 
 namespace ucx
 {
@@ -53,11 +54,14 @@ struct CrossValidationResult
  * @param dataset Calibration components (>= 3 per team recommended).
  * @param metrics Estimator metric subset.
  * @param mode    Fit mode for the per-fold fits.
+ * @param ctx     Execution context; folds run through its pool with
+ *                records kept in fold order.
  * @return Hold-out records and summaries.
  */
 CrossValidationResult leaveOneComponentOut(
     const Dataset &dataset, const std::vector<Metric> &metrics,
-    FitMode mode = FitMode::MixedEffects);
+    FitMode mode = FitMode::MixedEffects,
+    const ExecContext &ctx = ExecContext::serial());
 
 /**
  * Leave-one-project-out cross-validation: every component of one
@@ -68,11 +72,14 @@ CrossValidationResult leaveOneComponentOut(
  * @param dataset Calibration components from >= 3 projects.
  * @param metrics Estimator metric subset.
  * @param mode    Fit mode for the per-fold fits.
+ * @param ctx     Execution context; folds run through its pool with
+ *                records kept in fold order.
  * @return Hold-out records and summaries.
  */
 CrossValidationResult leaveOneProjectOut(
     const Dataset &dataset, const std::vector<Metric> &metrics,
-    FitMode mode = FitMode::MixedEffects);
+    FitMode mode = FitMode::MixedEffects,
+    const ExecContext &ctx = ExecContext::serial());
 
 } // namespace ucx
 

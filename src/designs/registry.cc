@@ -92,4 +92,19 @@ shippedDesign(const std::string &name)
     fatal("unknown shipped design '" + name + "'");
 }
 
+std::vector<BuiltDesign>
+buildAll(const ExecContext &ctx)
+{
+    const auto &shipped = shippedDesigns();
+    return ctx.parallelMap(shipped.size(), [&](size_t i) {
+        const ShippedDesign &sd = shipped[i];
+        BuiltDesign built;
+        built.name = sd.name;
+        built.design = sd.load();
+        built.elab = elaborate(built.design, sd.top);
+        built.metrics = synthesize(built.elab.rtl);
+        return built;
+    });
+}
+
 } // namespace ucx

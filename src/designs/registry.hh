@@ -16,7 +16,10 @@
 #include <string>
 #include <vector>
 
+#include "exec/context.hh"
 #include "hdl/design.hh"
+#include "synth/elaborate.hh"
+#include "synth/metrics.hh"
 
 namespace ucx
 {
@@ -43,6 +46,28 @@ const std::vector<ShippedDesign> &shippedDesigns();
  * @return The design; throws UcxError for unknown names.
  */
 const ShippedDesign &shippedDesign(const std::string &name);
+
+/** One shipped design taken through the full flow. */
+struct BuiltDesign
+{
+    std::string name;     ///< Registry key.
+    Design design;        ///< Parsed modules.
+    ElabResult elab;      ///< Elaborated RTL and instance tree.
+    SynthMetrics metrics; ///< Synthesis metrics of the flat design.
+};
+
+/**
+ * Parse, elaborate, and synthesize every shipped design.
+ *
+ * Each design is independent, so the per-design flow runs through
+ * the context's pool; results come back in registry order at any
+ * thread count.
+ *
+ * @param ctx Execution context.
+ * @return One entry per shipped design, in registry order.
+ */
+std::vector<BuiltDesign>
+buildAll(const ExecContext &ctx = ExecContext::serial());
 
 } // namespace ucx
 

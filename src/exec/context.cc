@@ -1,0 +1,90 @@
+#include "exec/context.hh"
+
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.hh"
+#include "obs/span.hh"
+
+namespace ucx
+{
+
+const ExecContext &
+ExecContext::serial()
+{
+    static const ExecContext ctx;
+    return ctx;
+}
+
+ExecContext
+ExecContext::withThreads(size_t threads)
+{
+    if (threads <= 1)
+        return ExecContext();
+    return ExecContext(
+        std::make_shared<exec::ThreadPool>(threads));
+}
+
+ExecContext
+ExecContext::fromEnv()
+{
+    size_t threads = 0;
+    const char *env = std::getenv("UCX_THREADS");
+    if (env != nullptr && *env != '\0') {
+        char *end = nullptr;
+        unsigned long v = std::strtoul(env, &end, 10);
+        if (end != nullptr && *end == '\0')
+            threads = static_cast<size_t>(v);
+    }
+    if (threads == 0) {
+        unsigned hw = std::thread::hardware_concurrency();
+        threads = hw > 0 ? hw : 1;
+    }
+    return withThreads(threads);
+}
+
+void
+ExecContext::runChunked(
+    size_t n, const std::function<void(size_t, size_t)> &chunk) const
+{
+    using Clock = std::chrono::steady_clock;
+    bool timing = obs::enabled();
+    Clock::time_point start;
+    if (timing)
+        start = Clock::now();
+    obs::ScopedSpan span("exec.parallel_for");
+
+    size_t workers = pool_->threads();
+    size_t chunks = n < workers ? n : workers;
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(chunks);
+    // Static chunking: chunk j covers a contiguous index range; the
+    // first (n % chunks) chunks take one extra index.
+    size_t base = n / chunks;
+    size_t extra = n % chunks;
+    size_t lo = 0;
+    for (size_t j = 0; j < chunks; ++j) {
+        size_t hi = lo + base + (j < extra ? 1 : 0);
+        tasks.emplace_back([&chunk, lo, hi] { chunk(lo, hi); });
+        lo = hi;
+    }
+    pool_->run(tasks);
+
+    if (timing) {
+        static obs::Counter &calls =
+            obs::counter("exec.parallel_for.calls");
+        static obs::Counter &items =
+            obs::counter("exec.parallel_for.items");
+        static obs::Histogram &wall_us =
+            obs::histogram("exec.parallel_for.wall_us");
+        calls.add(1);
+        items.add(n);
+        wall_us.observe(std::chrono::duration<double, std::micro>(
+                            Clock::now() - start)
+                            .count());
+    }
+}
+
+} // namespace ucx

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * ExecContext — the execution context threaded through every
+ * stochastic call chain of the library (bootstrap replicates,
+ * multi-start restarts, cross-validation folds, estimator search,
+ * design builds).
+ *
+ * One context object flows top-to-bottom from a bench/example into
+ * the layer that owns a loop; the loop body draws randomness from a
+ * per-task stream (Rng::split) and writes its result into the slot
+ * of its own index. That combination makes every result *seed-stable
+ * and independent of thread count*: the numbers at UCX_THREADS=8 are
+ * byte-identical to the numbers of ExecContext::serial().
+ *
+ * Chunking is static: [0, n) is cut into one contiguous chunk per
+ * worker up front. There is no work stealing — determinism comes
+ * from index-addressed results (so stealing would buy nothing but
+ * shared-queue contention), and the loops this library parallelizes
+ * have near-uniform task cost (one model refit per replicate, one
+ * fold per fit), which is the case where static chunking is already
+ * optimal.
+ */
+
+#ifndef UCX_EXEC_CONTEXT_HH
+#define UCX_EXEC_CONTEXT_HH
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include "exec/thread_pool.hh"
+
+namespace ucx
+{
+
+/**
+ * Bundle of thread pool + parallel-loop helpers handed down the call
+ * chains. Copying a context is cheap (the pool is shared).
+ *
+ * A context without a pool (serial(), or threads() == 1) runs every
+ * loop inline; results are identical either way. Loop bodies given
+ * to parallelFor/parallelMap must be safe to call concurrently when
+ * the context is parallel — in this library they are pure functions
+ * of the loop index plus a per-index RNG stream.
+ */
+class ExecContext
+{
+  public:
+    /** A context that runs everything inline on the calling thread. */
+    static const ExecContext &serial();
+
+    /**
+     * A context with an explicit degree of parallelism.
+     *
+     * @param threads 0 or 1 gives a serial context; otherwise a pool
+     *                with that many workers.
+     */
+    static ExecContext withThreads(size_t threads);
+
+    /**
+     * The default context of benches/examples: thread count from the
+     * UCX_THREADS environment variable (hardware concurrency when
+     * unset or invalid; 1 = serial).
+     */
+    static ExecContext fromEnv();
+
+    /** Serial context (same as serial(), but an owned value). */
+    ExecContext() = default;
+
+    /** @return Degree of parallelism (1 for serial contexts). */
+    size_t threads() const
+    {
+        return pool_ ? pool_->threads() : 1;
+    }
+
+    /** @return True when loops may run on pool workers. */
+    bool parallel() const { return pool_ != nullptr; }
+
+    /**
+     * Run fn(i) for every i in [0, n).
+     *
+     * The index range is cut into contiguous static chunks, one per
+     * worker. Calls made from inside a pool task run inline, so
+     * nested parallel regions are safe (and serial).
+     *
+     * @param n  Iteration count.
+     * @param fn Body; invoked exactly once per index.
+     */
+    template <typename Fn>
+    void
+    parallelFor(size_t n, Fn &&fn) const
+    {
+        if (!pool_ || n <= 1 ||
+            exec::ThreadPool::onWorkerThread()) {
+            for (size_t i = 0; i < n; ++i)
+                fn(i);
+            return;
+        }
+        runChunked(n, [&fn](size_t lo, size_t hi) {
+            for (size_t i = lo; i < hi; ++i)
+                fn(i);
+        });
+    }
+
+    /**
+     * Map [0, n) through fn, returning results ordered by index
+     * regardless of which thread computed them.
+     *
+     * @param n  Iteration count.
+     * @param fn Body returning the element for index i.
+     * @return { fn(0), fn(1), ..., fn(n-1) }.
+     */
+    template <typename Fn>
+    auto
+    parallelMap(size_t n, Fn &&fn) const
+        -> std::vector<std::decay_t<decltype(fn(size_t{0}))>>
+    {
+        using T = std::decay_t<decltype(fn(size_t{0}))>;
+        std::vector<T> out(n);
+        parallelFor(n, [&](size_t i) { out[i] = fn(i); });
+        return out;
+    }
+
+  private:
+    explicit ExecContext(std::shared_ptr<exec::ThreadPool> pool)
+        : pool_(std::move(pool))
+    {
+    }
+
+    /** Split [0, n) into static chunks and run them on the pool. */
+    void runChunked(
+        size_t n,
+        const std::function<void(size_t, size_t)> &chunk) const;
+
+    std::shared_ptr<exec::ThreadPool> pool_;
+};
+
+} // namespace ucx
+
+#endif // UCX_EXEC_CONTEXT_HH

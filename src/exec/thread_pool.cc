@@ -1,0 +1,145 @@
+#include "exec/thread_pool.hh"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+
+#include "obs/metrics.hh"
+#include "util/error.hh"
+
+namespace ucx
+{
+namespace exec
+{
+
+namespace
+{
+
+/** Set for the lifetime of every pool worker thread. */
+thread_local bool tlOnWorker = false;
+
+} // namespace
+
+ThreadPool::ThreadPool(size_t threads)
+{
+    require(threads >= 1, "thread pool needs at least one worker");
+    workers_.reserve(threads);
+    for (size_t i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+    if (obs::enabled())
+        obs::gauge("exec.pool.threads")
+            .set(static_cast<double>(threads));
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+bool
+ThreadPool::onWorkerThread()
+{
+    return tlOnWorker;
+}
+
+void
+ThreadPool::workerLoop()
+{
+    tlOnWorker = true;
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock,
+                       [this] { return stop_ || !queue_.empty(); });
+            if (queue_.empty()) {
+                if (stop_)
+                    return;
+                continue;
+            }
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();
+    }
+}
+
+void
+ThreadPool::run(const std::vector<std::function<void()>> &tasks)
+{
+    if (tasks.empty())
+        return;
+
+    struct Batch
+    {
+        std::mutex mutex;
+        std::condition_variable done;
+        size_t pending = 0;
+        std::exception_ptr firstError;
+        size_t firstErrorIndex = 0;
+    };
+    Batch batch;
+    batch.pending = tasks.size();
+
+    bool timing = obs::enabled();
+    if (timing) {
+        static obs::Counter &batches = obs::counter("exec.pool.batches");
+        static obs::Counter &submitted = obs::counter("exec.pool.tasks");
+        static obs::Histogram &depth =
+            obs::histogram("exec.pool.queue_depth");
+        batches.add(1);
+        submitted.add(tasks.size());
+        std::lock_guard<std::mutex> lock(mutex_);
+        depth.observe(static_cast<double>(queue_.size()));
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (size_t i = 0; i < tasks.size(); ++i) {
+            const auto &task = tasks[i];
+            queue_.emplace_back([&batch, &task, i, timing] {
+                using Clock = std::chrono::steady_clock;
+                Clock::time_point start;
+                if (timing)
+                    start = Clock::now();
+                std::exception_ptr err;
+                try {
+                    task();
+                } catch (...) {
+                    err = std::current_exception();
+                }
+                if (timing) {
+                    static obs::Histogram &task_us =
+                        obs::histogram("exec.pool.task_us");
+                    task_us.observe(
+                        std::chrono::duration<double, std::micro>(
+                            Clock::now() - start)
+                            .count());
+                }
+                std::lock_guard<std::mutex> lock(batch.mutex);
+                if (err &&
+                    (!batch.firstError || i < batch.firstErrorIndex)) {
+                    batch.firstError = err;
+                    batch.firstErrorIndex = i;
+                }
+                if (--batch.pending == 0)
+                    batch.done.notify_all();
+            });
+        }
+    }
+    wake_.notify_all();
+
+    std::unique_lock<std::mutex> lock(batch.mutex);
+    batch.done.wait(lock, [&batch] { return batch.pending == 0; });
+    if (batch.firstError)
+        std::rethrow_exception(batch.firstError);
+}
+
+} // namespace exec
+} // namespace ucx

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Fixed-size worker-thread pool for the exec layer.
+ *
+ * The pool is deliberately simple: a mutex-protected FIFO of
+ * std::function tasks drained by dedicated worker threads. All
+ * parallelism in this library goes through ExecContext::parallelFor,
+ * which submits one task per static chunk and blocks until the batch
+ * completes; the pool itself never needs work stealing because chunk
+ * results are addressed by index, not by completion order.
+ */
+
+#ifndef UCX_EXEC_THREAD_POOL_HH
+#define UCX_EXEC_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ucx
+{
+namespace exec
+{
+
+/**
+ * Dedicated worker threads draining a shared task queue.
+ *
+ * Tasks must not block on other tasks of the same pool (batches
+ * submitted from a worker thread run inline instead — see
+ * ExecContext), so the pool cannot deadlock on nesting.
+ */
+class ThreadPool
+{
+  public:
+    /**
+     * Start the workers.
+     *
+     * @param threads Worker count; must be >= 1.
+     */
+    explicit ThreadPool(size_t threads);
+
+    /** Drains outstanding tasks, then joins the workers. */
+    ~ThreadPool();
+
+    /** @return Number of worker threads. */
+    size_t threads() const { return workers_.size(); }
+
+    /**
+     * Run a batch of tasks and block until every one finished.
+     *
+     * Exceptions thrown by tasks are captured; the first one (in
+     * task order) is rethrown on the calling thread after the whole
+     * batch has drained, matching what a serial loop would throw.
+     *
+     * @param tasks Callables executed on the workers.
+     */
+    void run(const std::vector<std::function<void()>> &tasks);
+
+    /**
+     * @return True when called from one of this process's pool
+     *         worker threads (any pool). Used to run nested
+     *         parallel regions inline instead of re-submitting.
+     */
+    static bool onWorkerThread();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    bool stop_ = false;
+};
+
+} // namespace exec
+} // namespace ucx
+
+#endif // UCX_EXEC_THREAD_POOL_HH

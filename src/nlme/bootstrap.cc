@@ -7,6 +7,7 @@
 #include "obs/metrics.hh"
 #include "obs/span.hh"
 #include "util/error.hh"
+#include "util/logging.hh"
 #include "util/rng.hh"
 
 namespace ucx
@@ -18,7 +19,8 @@ BootstrapResult::sigmaEpsSamples() const
     std::vector<double> out;
     out.reserve(fits.size());
     for (const auto &f : fits)
-        out.push_back(f.sigmaEps);
+        if (f.converged)
+            out.push_back(f.sigmaEps);
     std::sort(out.begin(), out.end());
     return out;
 }
@@ -29,7 +31,8 @@ BootstrapResult::sigmaRhoSamples() const
     std::vector<double> out;
     out.reserve(fits.size());
     for (const auto &f : fits)
-        out.push_back(f.sigmaRho);
+        if (f.converged)
+            out.push_back(f.sigmaRho);
     std::sort(out.begin(), out.end());
     return out;
 }
@@ -40,6 +43,7 @@ BootstrapResult::sigmaEpsInterval(double level) const
     require(level > 0.0 && level < 1.0, "level must be in (0,1)");
     require(!fits.empty(), "no bootstrap replicates");
     std::vector<double> s = sigmaEpsSamples();
+    require(!s.empty(), "no converged bootstrap replicates");
     double tail = (1.0 - level) / 2.0;
     auto at = [&](double p) {
         double idx = p * static_cast<double>(s.size() - 1);
@@ -53,7 +57,8 @@ BootstrapResult::sigmaEpsInterval(double level) const
 
 BootstrapResult
 parametricBootstrap(const NlmeData &data, const MixedFit &fit,
-                    const BootstrapConfig &config)
+                    const BootstrapConfig &config,
+                    const ExecContext &ctx)
 {
     require(config.replicates >= 1, "need at least one replicate");
     data.validate();
@@ -61,16 +66,19 @@ parametricBootstrap(const NlmeData &data, const MixedFit &fit,
             "fit does not match data");
 
     obs::ScopedSpan span("nlme.bootstrap");
-    Rng rng(config.seed);
+    Rng root(config.seed);
     BootstrapResult result;
-    result.fits.reserve(config.replicates);
 
-    for (size_t rep = 0; rep < config.replicates; ++rep) {
+    // Replicate `rep` simulates and refits entirely from its own
+    // split stream, so the fit in slot `rep` does not depend on how
+    // replicates are scheduled across threads.
+    result.fits = ctx.parallelMap(config.replicates, [&](size_t rep) {
         using Clock = std::chrono::steady_clock;
         Clock::time_point rep_start;
         bool timing = obs::enabled();
         if (timing)
             rep_start = Clock::now();
+        Rng rng = root.split(rep);
         NlmeData sim = data;
         for (auto &group : sim.groups) {
             double b = rng.normal(0.0, fit.sigmaRho);
@@ -88,7 +96,7 @@ parametricBootstrap(const NlmeData &data, const MixedFit &fit,
         mc.starts = config.starts;
         mc.seed = rng.next();
         MixedModel model(sim, mc);
-        result.fits.push_back(model.fit());
+        MixedFit refit = model.fit(ctx);
         if (timing) {
             static obs::Counter &reps =
                 obs::counter("nlme.bootstrap.replicates");
@@ -100,6 +108,21 @@ parametricBootstrap(const NlmeData &data, const MixedFit &fit,
                     Clock::now() - rep_start)
                     .count());
         }
+        return refit;
+    });
+
+    for (const MixedFit &f : result.fits)
+        result.nonConverged += f.converged ? 0 : 1;
+    if (result.nonConverged > 0) {
+        if (obs::enabled()) {
+            static obs::Counter &bad =
+                obs::counter("nlme.bootstrap.non_converged");
+            bad.add(result.nonConverged);
+        }
+        error("bootstrap: " + std::to_string(result.nonConverged) +
+              " of " + std::to_string(config.replicates) +
+              " replicates did not converge; excluded from "
+              "percentile intervals");
     }
     return result;
 }

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "exec/context.hh"
 #include "nlme/mixed_model.hh"
 
 namespace ucx
@@ -26,14 +27,22 @@ struct BootstrapResult
 {
     std::vector<MixedFit> fits; ///< One refit per replicate.
 
-    /** @return sigma_eps of every replicate, sorted ascending. */
+    /**
+     * Replicates whose refit did not converge. Their fits stay in
+     * fits (indexed by replicate), but the sample/interval accessors
+     * below exclude them so the percentile intervals are not skewed
+     * by unconverged optimizer output.
+     */
+    size_t nonConverged = 0;
+
+    /** @return sigma_eps of every converged replicate, sorted. */
     std::vector<double> sigmaEpsSamples() const;
 
-    /** @return sigma_rho of every replicate, sorted ascending. */
+    /** @return sigma_rho of every converged replicate, sorted. */
     std::vector<double> sigmaRhoSamples() const;
 
     /**
-     * Percentile interval of sigma_eps.
+     * Percentile interval of sigma_eps over converged replicates.
      *
      * @param level Coverage in (0,1).
      * @return (lower, upper) empirical quantiles.
@@ -52,14 +61,22 @@ struct BootstrapConfig
 /**
  * Run a parametric bootstrap.
  *
+ * Replicate i simulates and refits from the RNG stream split(i) of
+ * the seed, so the whole result is byte-identical at any thread
+ * count — replicates run through ctx's pool, results land in
+ * replicate order.
+ *
  * @param data   The original grouped data (metric matrix reused).
  * @param fit    The ML fit whose parameters generate the replicates.
  * @param config Bootstrap options.
+ * @param ctx    Execution context for the replicate loop.
  * @return All replicate fits.
  */
 BootstrapResult parametricBootstrap(const NlmeData &data,
                                     const MixedFit &fit,
-                                    const BootstrapConfig &config = {});
+                                    const BootstrapConfig &config = {},
+                                    const ExecContext &ctx =
+                                        ExecContext::serial());
 
 } // namespace ucx
 

@@ -159,7 +159,7 @@ GenericNlme::logLikelihood(const std::vector<double> &weights,
 }
 
 MixedFit
-GenericNlme::fit() const
+GenericNlme::fit(const ExecContext &ctx) const
 {
     obs::ScopedSpan span("nlme.generic.fit");
     const size_t ncov = data_.numCovariates();
@@ -202,7 +202,7 @@ GenericNlme::fit() const
     MultistartConfig ms;
     ms.starts = config_.starts;
     ms.seed = config_.seed;
-    OptResult opt = multistartMinimize(nll, u0, ms);
+    OptResult opt = multistartMinimize(nll, u0, ms, ctx);
 
     std::vector<double> theta = transform.toConstrained(opt.x);
     MixedFit fit;

@@ -85,10 +85,11 @@ class GenericNlme
     /**
      * Fit by maximizing the approximated marginal likelihood.
      *
+     * @param ctx Execution context for the multi-start search.
      * @return Fitted parameters; ranef holds the per-group posterior
      *         modes.
      */
-    MixedFit fit() const;
+    MixedFit fit(const ExecContext &ctx = ExecContext::serial()) const;
 
   private:
     /**

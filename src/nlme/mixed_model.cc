@@ -113,7 +113,7 @@ MixedModel::empiricalBayes(const std::vector<double> &weights,
 }
 
 MixedFit
-MixedModel::fit() const
+MixedModel::fit(const ExecContext &ctx) const
 {
     obs::ScopedSpan span("nlme.mixed.fit");
     const size_t ncov = data_.numCovariates();
@@ -160,7 +160,7 @@ MixedModel::fit() const
     MultistartConfig ms;
     ms.starts = config_.starts;
     ms.seed = config_.seed;
-    OptResult opt = multistartMinimize(nll, u0, ms);
+    OptResult opt = multistartMinimize(nll, u0, ms, ctx);
 
     std::vector<double> theta = transform.toConstrained(opt.x);
     MixedFit fit;

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/context.hh"
 #include "nlme/data.hh"
 #include "obs/trace.hh"
 
@@ -78,9 +79,12 @@ class MixedModel
     /**
      * Fit the model by maximum likelihood.
      *
+     * @param ctx Execution context; the multi-start search runs
+     *            through its pool. The fit is byte-identical at any
+     *            thread count.
      * @return The fitted parameters and diagnostics.
      */
-    MixedFit fit() const;
+    MixedFit fit(const ExecContext &ctx = ExecContext::serial()) const;
 
     /**
      * Exact marginal log-likelihood at given parameters.

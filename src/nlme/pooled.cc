@@ -41,7 +41,7 @@ PooledModel::rss(const std::vector<double> &weights) const
 }
 
 PooledFit
-PooledModel::fit() const
+PooledModel::fit(const ExecContext &ctx) const
 {
     obs::ScopedSpan span("nlme.pooled.fit");
     const size_t ncov = data_.numCovariates();
@@ -80,7 +80,7 @@ PooledModel::fit() const
     MultistartConfig ms;
     ms.starts = config_.starts;
     ms.seed = config_.seed;
-    OptResult opt = multistartMinimize(obj, u0, ms);
+    OptResult opt = multistartMinimize(obj, u0, ms, ctx);
 
     PooledFit fit;
     fit.weights = transform.toConstrained(opt.x);

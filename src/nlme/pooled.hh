@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "exec/context.hh"
 #include "nlme/data.hh"
 #include "obs/trace.hh"
 
@@ -58,8 +59,12 @@ class PooledModel
      */
     explicit PooledModel(NlmeData data, PooledModelConfig config = {});
 
-    /** Fit the pooled model by maximum likelihood. */
-    PooledFit fit() const;
+    /**
+     * Fit the pooled model by maximum likelihood.
+     *
+     * @param ctx Execution context for the multi-start search.
+     */
+    PooledFit fit(const ExecContext &ctx = ExecContext::serial()) const;
 
     /**
      * Residual sum of squares of log errors at given weights.

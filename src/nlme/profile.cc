@@ -72,7 +72,7 @@ struct FreeLayout
 double
 profileLogLik(const MixedModel &model, const MixedFit &fit,
               MixedParam param, size_t weight_index, double value,
-              size_t starts)
+              size_t starts, const ExecContext &ctx)
 {
     require(value > 0.0, "profiled parameter must be > 0");
     size_t ncov = fit.weights.size();
@@ -98,15 +98,15 @@ profileLogLik(const MixedModel &model, const MixedFit &fit,
     MultistartConfig ms;
     ms.starts = starts;
     ms.jitterSigma = 0.5;
-    OptResult opt =
-        multistartMinimize(nll, transform.toUnconstrained(start), ms);
+    OptResult opt = multistartMinimize(
+        nll, transform.toUnconstrained(start), ms, ctx);
     return -opt.fx;
 }
 
 ProfileInterval
 profileInterval(const MixedModel &model, const MixedFit &fit,
                 MixedParam param, size_t weight_index,
-                const ProfileConfig &config)
+                const ProfileConfig &config, const ExecContext &ctx)
 {
     require(config.level > 0.0 && config.level < 1.0,
             "confidence level must be in (0,1)");
@@ -133,7 +133,7 @@ profileInterval(const MixedModel &model, const MixedFit &fit,
 
     auto pll = [&](double v) {
         return profileLogLik(model, fit, param, weight_index, v,
-                             config.starts);
+                             config.starts, ctx);
     };
 
     ProfileInterval interval;
@@ -180,12 +180,15 @@ profileInterval(const MixedModel &model, const MixedFit &fit,
         return {upward ? lo : hi, false};
     };
 
-    auto [upper, upper_open] = search(true);
-    auto [lower, lower_open] = search(false);
-    interval.upper = upper;
-    interval.upperOpen = upper_open;
-    interval.lower = lower;
-    interval.lowerOpen = lower_open;
+    // The walks in the two directions are independent; run them as
+    // a two-task parallel region (each is a sequential bisection, so
+    // this is the natural grain).
+    auto bounds = ctx.parallelMap(
+        2, [&](size_t dir) { return search(dir == 0); });
+    interval.upper = bounds[0].first;
+    interval.upperOpen = bounds[0].second;
+    interval.lower = bounds[1].first;
+    interval.lowerOpen = bounds[1].second;
     return interval;
 }
 

@@ -16,6 +16,7 @@
 
 #include <cstddef>
 
+#include "exec/context.hh"
 #include "nlme/mixed_model.hh"
 
 namespace ucx
@@ -56,12 +57,17 @@ struct ProfileConfig
  * @param param        Which parameter to profile.
  * @param weight_index Index of the weight when param == Weight.
  * @param config       Profiler options.
+ * @param ctx          Execution context: the upward and downward
+ *                     boundary searches run as two parallel tasks,
+ *                     and inner re-optimizations use its pool.
  * @return The profile interval around the MLE.
  */
 ProfileInterval profileInterval(const MixedModel &model,
                                 const MixedFit &fit, MixedParam param,
                                 size_t weight_index = 0,
-                                const ProfileConfig &config = {});
+                                const ProfileConfig &config = {},
+                                const ExecContext &ctx =
+                                    ExecContext::serial());
 
 /**
  * The profile log-likelihood: max over all other parameters with one
@@ -73,11 +79,13 @@ ProfileInterval profileInterval(const MixedModel &model,
  * @param weight_index Index of the weight when param == Weight.
  * @param value        The fixed value (> 0).
  * @param starts       Multi-start count for the inner optimization.
+ * @param ctx          Execution context for the inner optimization.
  * @return The maximized log-likelihood at the fixed value.
  */
 double profileLogLik(const MixedModel &model, const MixedFit &fit,
                      MixedParam param, size_t weight_index,
-                     double value, size_t starts = 2);
+                     double value, size_t starts = 2,
+                     const ExecContext &ctx = ExecContext::serial());
 
 } // namespace ucx
 

@@ -14,22 +14,30 @@ namespace ucx
 
 OptResult
 multistartMinimize(const Objective &f, const std::vector<double> &start,
-                   const MultistartConfig &config)
+                   const MultistartConfig &config,
+                   const ExecContext &ctx)
 {
     require(config.starts >= 1, "multistart needs at least one start");
     obs::ScopedSpan span("opt.multistart");
-    Rng rng(config.seed);
+    Rng root(config.seed);
+
+    // Each start jitters from its own split stream and lands in its
+    // own result slot, so the reduction below sees the same
+    // candidates in the same order at any thread count.
+    std::vector<OptResult> runs =
+        ctx.parallelMap(config.starts, [&](size_t s) {
+            std::vector<double> x0 = start;
+            if (s > 0) {
+                Rng rng = root.split(s);
+                for (double &v : x0)
+                    v += rng.normal(0.0, config.jitterSigma);
+            }
+            return nelderMead(f, x0);
+        });
 
     OptResult best;
     best.fx = std::numeric_limits<double>::max();
-
-    for (size_t s = 0; s < config.starts; ++s) {
-        std::vector<double> x0 = start;
-        if (s > 0) {
-            for (double &v : x0)
-                v += rng.normal(0.0, config.jitterSigma);
-        }
-        OptResult r = nelderMead(f, x0);
+    for (OptResult &r : runs) {
         if (r.fx < best.fx) {
             best = std::move(r);
         }

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 
+#include "exec/context.hh"
 #include "opt/objective.hh"
 
 namespace ucx
@@ -30,15 +31,24 @@ struct MultistartConfig
 /**
  * Run multi-start minimization.
  *
+ * Start s jitters with the RNG stream split(s) of the seed, so the
+ * result is a pure function of (f, start, config) — byte-identical
+ * whether the starts run serially or across ctx's pool. Ties between
+ * starts break toward the lowest start index. When ctx is parallel,
+ * f must be safe to evaluate concurrently.
+ *
  * @param f      Objective to minimize (unconstrained space).
  * @param start  Nominal starting point; other starts are jittered
  *               copies.
  * @param config Driver parameters.
+ * @param ctx    Execution context; starts run through its pool.
  * @return The best result across all starts.
  */
 OptResult multistartMinimize(const Objective &f,
                              const std::vector<double> &start,
-                             const MultistartConfig &config = {});
+                             const MultistartConfig &config = {},
+                             const ExecContext &ctx =
+                                 ExecContext::serial());
 
 } // namespace ucx
 

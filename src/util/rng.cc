@@ -87,6 +87,22 @@ Rng::lognormal(double mu, double sigma)
     return std::exp(normal(mu, sigma));
 }
 
+Rng
+Rng::split(uint64_t streamId) const
+{
+    // Hash the full state with the stream id through SplitMix64.
+    // Deliberately const: the derivation must not depend on how many
+    // draws interleave with other split() calls, or per-task streams
+    // would stop being a pure function of (seed, streamId).
+    uint64_t x = streamId;
+    uint64_t seed = splitMix64(x);
+    for (uint64_t w : state_) {
+        x ^= w;
+        seed ^= splitMix64(x);
+    }
+    return Rng(seed);
+}
+
 uint64_t
 Rng::below(uint64_t n)
 {

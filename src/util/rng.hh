@@ -64,6 +64,21 @@ class Rng
      */
     uint64_t below(uint64_t n);
 
+    /**
+     * Derive an independent child stream (counter-based splitting).
+     *
+     * The child seed is a SplitMix64 hash of this generator's
+     * current state and @p streamId, so distinct ids give decorrelated
+     * streams and splitting neither advances this generator nor
+     * inherits its Box-Muller spare. Task i of a parallel loop draws
+     * from split(i): the draws are a pure function of (root seed, i),
+     * independent of thread count and scheduling order.
+     *
+     * @param streamId Stream number (the task/replicate index).
+     * @return A fresh generator for that stream.
+     */
+    Rng split(uint64_t streamId) const;
+
   private:
     uint64_t state_[4];
     bool haveSpare_ = false;

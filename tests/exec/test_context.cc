@@ -1,0 +1,144 @@
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exec/context.hh"
+
+namespace ucx
+{
+namespace
+{
+
+TEST(ExecContext, SerialHasOneThreadAndNoPool)
+{
+    const ExecContext &ctx = ExecContext::serial();
+    EXPECT_EQ(ctx.threads(), 1u);
+    EXPECT_FALSE(ctx.parallel());
+}
+
+TEST(ExecContext, WithOneThreadIsSerial)
+{
+    ExecContext ctx = ExecContext::withThreads(1);
+    EXPECT_FALSE(ctx.parallel());
+    EXPECT_EQ(ctx.threads(), 1u);
+}
+
+TEST(ExecContext, WithThreadsReportsCount)
+{
+    ExecContext ctx = ExecContext::withThreads(4);
+    EXPECT_TRUE(ctx.parallel());
+    EXPECT_EQ(ctx.threads(), 4u);
+}
+
+TEST(ExecContext, FromEnvHonorsVariable)
+{
+    ASSERT_EQ(setenv("UCX_THREADS", "3", 1), 0);
+    EXPECT_EQ(ExecContext::fromEnv().threads(), 3u);
+    ASSERT_EQ(setenv("UCX_THREADS", "1", 1), 0);
+    EXPECT_FALSE(ExecContext::fromEnv().parallel());
+    ASSERT_EQ(unsetenv("UCX_THREADS"), 0);
+    EXPECT_GE(ExecContext::fromEnv().threads(), 1u);
+}
+
+TEST(ExecContext, FromEnvIgnoresGarbage)
+{
+    ASSERT_EQ(setenv("UCX_THREADS", "banana", 1), 0);
+    EXPECT_GE(ExecContext::fromEnv().threads(), 1u);
+    ASSERT_EQ(unsetenv("UCX_THREADS"), 0);
+}
+
+TEST(ExecContext, ParallelForVisitsEveryIndexOnce)
+{
+    ExecContext ctx = ExecContext::withThreads(4);
+    const size_t n = 1000;
+    std::vector<std::atomic<int>> visits(n);
+    ctx.parallelFor(n, [&](size_t i) { ++visits[i]; });
+    for (size_t i = 0; i < n; ++i)
+        EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+}
+
+TEST(ExecContext, ParallelForSerialContextRunsInline)
+{
+    size_t sum = 0;
+    ExecContext::serial().parallelFor(10, [&](size_t i) { sum += i; });
+    EXPECT_EQ(sum, 45u);
+}
+
+TEST(ExecContext, ParallelMapOrdersResultsByIndex)
+{
+    ExecContext ctx = ExecContext::withThreads(8);
+    std::vector<size_t> out =
+        ctx.parallelMap(257, [](size_t i) { return i * i; });
+    ASSERT_EQ(out.size(), 257u);
+    for (size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ExecContext, ParallelMapMatchesSerialExactly)
+{
+    auto work = [](size_t i) {
+        return std::to_string(i) + ":" + std::to_string(i % 7);
+    };
+    auto serial = ExecContext::serial().parallelMap(100, work);
+    for (size_t threads : {2u, 5u, 8u}) {
+        auto parallel =
+            ExecContext::withThreads(threads).parallelMap(100, work);
+        EXPECT_EQ(parallel, serial) << threads << " threads";
+    }
+}
+
+TEST(ExecContext, NestedParallelForRunsInlineWithoutDeadlock)
+{
+    ExecContext ctx = ExecContext::withThreads(2);
+    std::atomic<size_t> inner{0};
+    ctx.parallelFor(8, [&](size_t) {
+        // A nested call on a worker thread must not wait on the same
+        // pool it is occupying.
+        ctx.parallelFor(8, [&](size_t) { ++inner; });
+    });
+    EXPECT_EQ(inner.load(), 64u);
+}
+
+TEST(ExecContext, ParallelForPropagatesFirstError)
+{
+    ExecContext ctx = ExecContext::withThreads(4);
+    try {
+        ctx.parallelFor(100, [](size_t i) {
+            if (i == 17 || i == 63)
+                throw std::runtime_error("index " +
+                                         std::to_string(i));
+        });
+        FAIL() << "expected an exception";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "index 17");
+    }
+}
+
+TEST(ExecContext, SingleItemSkipsThePool)
+{
+    ExecContext ctx = ExecContext::withThreads(4);
+    bool onWorker = true;
+    ctx.parallelFor(1, [&](size_t) {
+        onWorker = exec::ThreadPool::onWorkerThread();
+    });
+    EXPECT_FALSE(onWorker);
+}
+
+TEST(ExecContext, CopiesShareThePool)
+{
+    ExecContext ctx = ExecContext::withThreads(3);
+    ExecContext copy = ctx;
+    EXPECT_TRUE(copy.parallel());
+    EXPECT_EQ(copy.threads(), 3u);
+    std::atomic<size_t> hits{0};
+    copy.parallelFor(10, [&](size_t) { ++hits; });
+    EXPECT_EQ(hits.load(), 10u);
+}
+
+} // namespace
+} // namespace ucx

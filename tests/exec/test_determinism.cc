@@ -1,0 +1,138 @@
+/**
+ * @file
+ * The central guarantee of the exec layer: every stochastic result
+ * is byte-identical at 1, 2, and 8 threads, and matches
+ * ExecContext::serial(). Per-task RNG streams (Rng::split) plus
+ * index-addressed result slots make each number a pure function of
+ * the seed, so thread count and scheduling order cannot leak in.
+ */
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/search.hh"
+#include "core/validation.hh"
+#include "data/paper_data.hh"
+#include "exec/context.hh"
+#include "nlme/bootstrap.hh"
+#include "nlme/mixed_model.hh"
+#include "opt/multistart.hh"
+
+namespace ucx
+{
+namespace
+{
+
+const std::vector<size_t> kThreadCounts = {1, 2, 8};
+
+void
+expectSameFit(const MixedFit &a, const MixedFit &b)
+{
+    EXPECT_EQ(a.weights, b.weights);
+    EXPECT_EQ(a.sigmaEps, b.sigmaEps);
+    EXPECT_EQ(a.sigmaRho, b.sigmaRho);
+    EXPECT_EQ(a.logLik, b.logLik);
+    EXPECT_EQ(a.converged, b.converged);
+    EXPECT_EQ(a.productivity, b.productivity);
+}
+
+TEST(Determinism, MultistartIdenticalAtAnyThreadCount)
+{
+    // A multimodal objective: jittered starts land in different
+    // basins, so the winner genuinely depends on the start set.
+    Objective f = [](const std::vector<double> &x) {
+        double v = 0.0;
+        for (double xi : x)
+            v += xi * xi + 3.0 * std::sin(3.0 * xi);
+        return v;
+    };
+    MultistartConfig config;
+    config.starts = 16;
+
+    OptResult serial =
+        multistartMinimize(f, {2.0, -1.5}, config);
+    for (size_t threads : kThreadCounts) {
+        ExecContext ctx = ExecContext::withThreads(threads);
+        OptResult r = multistartMinimize(f, {2.0, -1.5}, config, ctx);
+        EXPECT_EQ(r.x, serial.x) << threads << " threads";
+        EXPECT_EQ(r.fx, serial.fx) << threads << " threads";
+    }
+}
+
+TEST(Determinism, BootstrapIdenticalAtAnyThreadCount)
+{
+    NlmeData data = paperDataset().toNlmeData(
+        {Metric::Stmts, Metric::FanInLC});
+    MixedFit fit = MixedModel(data).fit();
+
+    BootstrapConfig config;
+    config.replicates = 24;
+    config.starts = 1;
+
+    BootstrapResult serial = parametricBootstrap(data, fit, config);
+    ASSERT_EQ(serial.fits.size(), 24u);
+    for (size_t threads : kThreadCounts) {
+        ExecContext ctx = ExecContext::withThreads(threads);
+        BootstrapResult r =
+            parametricBootstrap(data, fit, config, ctx);
+        ASSERT_EQ(r.fits.size(), serial.fits.size())
+            << threads << " threads";
+        for (size_t i = 0; i < r.fits.size(); ++i)
+            expectSameFit(r.fits[i], serial.fits[i]);
+        EXPECT_EQ(r.nonConverged, serial.nonConverged);
+        EXPECT_EQ(r.sigmaEpsSamples(), serial.sigmaEpsSamples());
+    }
+}
+
+TEST(Determinism, CrossValidationIdenticalAtAnyThreadCount)
+{
+    const Dataset &data = paperDataset();
+    const std::vector<Metric> metrics = {Metric::Stmts};
+
+    auto loco = leaveOneComponentOut(data, metrics);
+    auto lopo = leaveOneProjectOut(data, metrics);
+    for (size_t threads : kThreadCounts) {
+        ExecContext ctx = ExecContext::withThreads(threads);
+        auto loco_t = leaveOneComponentOut(
+            data, metrics, FitMode::MixedEffects, ctx);
+        auto lopo_t = leaveOneProjectOut(
+            data, metrics, FitMode::MixedEffects, ctx);
+
+        ASSERT_EQ(loco_t.records.size(), loco.records.size());
+        for (size_t i = 0; i < loco.records.size(); ++i) {
+            EXPECT_EQ(loco_t.records[i].component,
+                      loco.records[i].component);
+            EXPECT_EQ(loco_t.records[i].predicted,
+                      loco.records[i].predicted);
+        }
+        ASSERT_EQ(lopo_t.records.size(), lopo.records.size());
+        for (size_t i = 0; i < lopo.records.size(); ++i) {
+            EXPECT_EQ(lopo_t.records[i].component,
+                      lopo.records[i].component);
+            EXPECT_EQ(lopo_t.records[i].predicted,
+                      lopo.records[i].predicted);
+        }
+    }
+}
+
+TEST(Determinism, EstimatorSearchIdenticalAtAnyThreadCount)
+{
+    const Dataset &data = paperDataset();
+    auto serial = rankSingleMetrics(data);
+    for (size_t threads : kThreadCounts) {
+        ExecContext ctx = ExecContext::withThreads(threads);
+        auto r = rankSingleMetrics(data, FitMode::MixedEffects, ctx);
+        ASSERT_EQ(r.size(), serial.size());
+        for (size_t i = 0; i < r.size(); ++i) {
+            EXPECT_EQ(r[i].metrics, serial[i].metrics)
+                << "rank " << i << " at " << threads << " threads";
+            EXPECT_EQ(r[i].fit.sigmaEps(), serial[i].fit.sigmaEps());
+            EXPECT_EQ(r[i].fit.weights(), serial[i].fit.weights());
+        }
+    }
+}
+
+} // namespace
+} // namespace ucx

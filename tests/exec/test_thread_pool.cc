@@ -1,0 +1,124 @@
+#include <atomic>
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exec/thread_pool.hh"
+#include "util/error.hh"
+
+namespace ucx
+{
+namespace
+{
+
+std::vector<std::function<void()>>
+countingTasks(size_t n, std::atomic<size_t> &hits)
+{
+    std::vector<std::function<void()>> tasks;
+    for (size_t i = 0; i < n; ++i)
+        tasks.push_back([&hits] { ++hits; });
+    return tasks;
+}
+
+TEST(ThreadPool, RunsEveryTask)
+{
+    exec::ThreadPool pool(4);
+    std::atomic<size_t> hits{0};
+    pool.run(countingTasks(100, hits));
+    EXPECT_EQ(hits.load(), 100u);
+}
+
+TEST(ThreadPool, RunsMoreTasksThanThreads)
+{
+    exec::ThreadPool pool(2);
+    std::atomic<size_t> hits{0};
+    pool.run(countingTasks(64, hits));
+    EXPECT_EQ(hits.load(), 64u);
+}
+
+TEST(ThreadPool, ReusableAcrossBatches)
+{
+    exec::ThreadPool pool(3);
+    std::atomic<size_t> hits{0};
+    for (int batch = 0; batch < 10; ++batch)
+        pool.run(countingTasks(10, hits));
+    EXPECT_EQ(hits.load(), 100u);
+}
+
+TEST(ThreadPool, EmptyBatchIsANoOp)
+{
+    exec::ThreadPool pool(2);
+    pool.run({});
+}
+
+TEST(ThreadPool, ReportsThreadCount)
+{
+    exec::ThreadPool pool(3);
+    EXPECT_EQ(pool.threads(), 3u);
+}
+
+TEST(ThreadPool, RejectsZeroThreads)
+{
+    EXPECT_THROW(exec::ThreadPool pool(0), UcxError);
+}
+
+TEST(ThreadPool, TasksSeeWorkerFlag)
+{
+    EXPECT_FALSE(exec::ThreadPool::onWorkerThread());
+    exec::ThreadPool pool(2);
+    std::atomic<int> onWorker{0};
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 8; ++i) {
+        tasks.push_back([&onWorker] {
+            if (exec::ThreadPool::onWorkerThread())
+                ++onWorker;
+        });
+    }
+    pool.run(tasks);
+    EXPECT_EQ(onWorker.load(), 8);
+    EXPECT_FALSE(exec::ThreadPool::onWorkerThread());
+}
+
+TEST(ThreadPool, PropagatesFirstErrorInTaskOrder)
+{
+    exec::ThreadPool pool(4);
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 16; ++i) {
+        tasks.push_back([i] {
+            if (i == 3)
+                throw std::runtime_error("task three");
+            if (i == 11)
+                throw std::runtime_error("task eleven");
+        });
+    }
+    try {
+        pool.run(tasks);
+        FAIL() << "expected an exception";
+    } catch (const std::runtime_error &e) {
+        // Matches serial loop semantics: the earliest-index error
+        // wins regardless of which task threw first in time.
+        EXPECT_STREQ(e.what(), "task three");
+    }
+}
+
+TEST(ThreadPool, KeepsRunningRemainingTasksAfterError)
+{
+    exec::ThreadPool pool(2);
+    std::atomic<size_t> hits{0};
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 12; ++i) {
+        tasks.push_back([i, &hits] {
+            if (i == 0)
+                throw std::runtime_error("boom");
+            ++hits;
+        });
+    }
+    EXPECT_THROW(pool.run(tasks), std::runtime_error);
+    // The batch drains fully before the error is rethrown.
+    EXPECT_EQ(hits.load(), 11u);
+}
+
+} // namespace
+} // namespace ucx

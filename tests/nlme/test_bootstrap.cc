@@ -115,5 +115,57 @@ TEST(Bootstrap, RejectsBadArguments)
     EXPECT_THROW(empty.sigmaEpsInterval(0.9), UcxError);
 }
 
+TEST(Bootstrap, NonConvergedCountMatchesFits)
+{
+    NlmeData data = bootData(13);
+    MixedFit fit = MixedModel(data).fit();
+    BootstrapConfig cfg;
+    cfg.replicates = 20;
+    cfg.starts = 1;
+    BootstrapResult res = parametricBootstrap(data, fit, cfg);
+    size_t failed = 0;
+    for (const MixedFit &f : res.fits)
+        failed += f.converged ? 0 : 1;
+    EXPECT_EQ(res.nonConverged, failed);
+    // Replicates stay indexed by replicate even when some fail.
+    EXPECT_EQ(res.fits.size(), 20u);
+}
+
+TEST(Bootstrap, AccessorsExcludeNonConvergedReplicates)
+{
+    BootstrapResult res;
+    for (int i = 0; i < 6; ++i) {
+        MixedFit f;
+        f.sigmaEps = 0.1 * (i + 1);
+        f.sigmaRho = 0.01 * (i + 1);
+        f.converged = i % 2 == 0; // replicates 1, 3, 5 failed
+        res.fits.push_back(f);
+    }
+    res.nonConverged = 3;
+
+    std::vector<double> eps = res.sigmaEpsSamples();
+    ASSERT_EQ(eps.size(), 3u);
+    EXPECT_DOUBLE_EQ(eps[0], 0.1);
+    EXPECT_DOUBLE_EQ(eps[1], 0.3);
+    EXPECT_DOUBLE_EQ(eps[2], 0.5);
+    EXPECT_EQ(res.sigmaRhoSamples().size(), 3u);
+
+    auto [lo, hi] = res.sigmaEpsInterval(0.90);
+    EXPECT_GE(lo, 0.1);
+    EXPECT_LE(hi, 0.5);
+}
+
+TEST(Bootstrap, IntervalThrowsWhenNothingConverged)
+{
+    BootstrapResult res;
+    MixedFit f;
+    f.sigmaEps = 0.4;
+    f.converged = false;
+    res.fits.assign(5, f);
+    res.nonConverged = 5;
+    EXPECT_TRUE(res.sigmaEpsSamples().empty());
+    EXPECT_THROW(res.sigmaEpsInterval(0.9), UcxError);
+}
+
 } // namespace
 } // namespace ucx
