@@ -22,23 +22,24 @@ using namespace ucx;
 int
 main()
 {
-    BenchReport report("ablation_crossval");
+    BenchHarness bench("ablation_crossval");
     banner("Extension: cross-validation",
            "Out-of-sample error of the Table 4 estimators "
            "(rms log error; comparable to sigma_eps).");
 
-    const Dataset &data = paperDataset();
-    // UCX_THREADS controls the pool; the fold errors below are
-    // byte-identical at any thread count.
-    ExecContext ctx = ExecContext::fromEnv();
+    EstimationSession &session = bench.session();
+    const Dataset &data = session.accountedDataset();
+    // UCX_THREADS controls the session pool; the fold errors below
+    // are byte-identical at any thread count.
+    const ExecContext &ctx = session.exec();
 
     Table t({"Estimator", "in-sample sigma", "LOO component",
              "LOO project (rho=1)", "within 2x (LOO comp)"});
     auto add = [&](const std::string &name,
                    const std::vector<Metric> &metrics) {
-        FittedEstimator fit =
-            fitEstimator(data, metrics, FitMode::MixedEffects,
-                         ZeroPolicy::ClampToOne, ctx);
+        EstimatorSpec spec;
+        spec.metrics = metrics;
+        FittedEstimator fit = session.fit(spec);
         auto loco = leaveOneComponentOut(data, metrics,
                                          FitMode::MixedEffects, ctx);
         auto lopo = leaveOneProjectOut(data, metrics,

@@ -24,10 +24,12 @@ using namespace ucx;
 int
 main()
 {
-    BenchReport report("ablation_early");
+    BenchHarness bench("ablation_early");
     banner("Extension: early estimation",
            "Power-law extrapolation of synthesis metrics from small "
            "configurations.");
+
+    EstimationSession &session = bench.session();
 
     struct Study
     {
@@ -43,7 +45,7 @@ main()
         {"memctrl", "BANKS", {1, 2, 4}, 8},
     };
 
-    FittedEstimator dee1 = fitDee1(paperDataset());
+    FittedEstimator dee1 = session.fit(EstimatorSpec::dee1());
 
     Table t({"Design", "param", "target", "metric", "predicted",
              "actual", "error"});
@@ -52,7 +54,8 @@ main()
     for (const Study &s : studies) {
         const ShippedDesign &sd = shippedDesign(s.design);
         Design design = sd.load();
-        EarlyEstimator early(design, sd.top, s.param);
+        EarlyEstimator early =
+            session.earlyEstimator(design, sd.top, s.param);
         early.calibrate(s.calibrate);
 
         MetricValues predicted = early.predictMetrics(s.target);
@@ -85,7 +88,8 @@ main()
     {
         const ShippedDesign &sd = shippedDesign("exec_cluster");
         Design design = sd.load();
-        EarlyEstimator early(design, sd.top, "LANES");
+        EarlyEstimator early =
+            session.earlyEstimator(design, sd.top, "LANES");
         early.calibrate({1, 2, 3});
         MetricValues m = early.predictMetrics(8);
         double effort = dee1.predictMedian(m);

@@ -36,12 +36,14 @@ comboName(const std::vector<Metric> &metrics)
 int
 main()
 {
-    BenchReport report("ablation_multimetric");
+    BenchHarness bench("ablation_multimetric");
     banner("Extension: >2-metric estimators",
            "Does adding metrics beyond DEE1 pay? (Section 5.1.1, "
            "closing remark)");
 
-    const Dataset &data = paperDataset();
+    // The greedy search refits overlapping subsets; the session
+    // memoizes each (dataset, spec) fit, so repeats are cache hits.
+    EstimationSession &session = bench.session();
 
     // Greedy forward selection starting from the best single.
     std::vector<Metric> chosen;
@@ -54,9 +56,10 @@ main()
         Metric best = remaining.front();
         FittedEstimator best_fit;
         for (Metric candidate : remaining) {
-            std::vector<Metric> trial = chosen;
-            trial.push_back(candidate);
-            FittedEstimator fit = fitEstimator(data, trial);
+            EstimatorSpec spec;
+            spec.metrics = chosen;
+            spec.metrics.push_back(candidate);
+            FittedEstimator fit = session.fit(spec);
             if (fit.sigmaEps() < best_sigma) {
                 best_sigma = fit.sigmaEps();
                 best = candidate;
@@ -75,8 +78,9 @@ main()
     std::cout << t.render() << "\n";
 
     // The reference models from the paper.
-    FittedEstimator dee1 = fitDee1(data);
-    FittedEstimator stmts = fitEstimator(data, {Metric::Stmts});
+    FittedEstimator dee1 = session.fit(EstimatorSpec::dee1());
+    FittedEstimator stmts =
+        session.fit(EstimatorSpec::single(Metric::Stmts));
     Table ref({"Reference", "sigma_eps", "AIC", "BIC"});
     ref.setAlign(0, Align::Left);
     ref.addRow({"Stmts (best single)",

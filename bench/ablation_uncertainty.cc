@@ -22,15 +22,16 @@ using namespace ucx;
 int
 main()
 {
-    BenchReport report("ablation_uncertainty");
+    BenchHarness bench("ablation_uncertainty");
     banner("Extension: uncertainty of sigma_eps",
            "Profile-likelihood and bootstrap intervals on the "
            "published dataset.");
 
-    const Dataset &data = paperDataset();
-    // UCX_THREADS controls the pool; the intervals below are
-    // byte-identical at any thread count.
-    ExecContext ctx = ExecContext::fromEnv();
+    EstimationSession &session = bench.session();
+    const Dataset &data = session.accountedDataset();
+    // UCX_THREADS controls the session pool; the intervals below
+    // are byte-identical at any thread count.
+    const ExecContext &ctx = session.exec();
 
     Table t({"Estimator", "sigma_eps", "95% profile CI",
              "90% bootstrap CI"});

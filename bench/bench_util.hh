@@ -1,7 +1,8 @@
 /**
  * @file
  * Shared harness for the table/figure reproduction benches in
- * bench/: banner formatting plus the machine-readable run report.
+ * bench/: banner formatting, the machine-readable run report, and
+ * the BenchHarness bundling both with an EstimationSession.
  *
  * Every bench holds a BenchReport for the duration of main(). The
  * report turns observability collection on (stdout stays untouched —
@@ -9,8 +10,8 @@
  * span, and on destruction writes BENCH_<name>.json into the current
  * directory: wall time plus the full metrics/span snapshot (fit
  * counts, optimizer iteration counts, per-stage synthesis timings,
- * ...). This file is what populates the perf trajectory; the
- * human-readable tables on stdout are unchanged.
+ * cache hit/miss counts, ...). This file is what populates the perf
+ * trajectory; the human-readable tables on stdout are unchanged.
  */
 
 #ifndef UCX_BENCH_BENCH_UTIL_HH
@@ -23,6 +24,7 @@
 #include <optional>
 #include <string>
 
+#include "engine/session.hh"
 #include "obs/export.hh"
 #include "obs/metrics.hh"
 #include "obs/span.hh"
@@ -100,6 +102,53 @@ class BenchReport
     std::string name_;
     std::chrono::steady_clock::time_point start_;
     std::optional<obs::ScopedSpan> root_;
+};
+
+/**
+ * The one-liner every bench main() starts with: the run report plus
+ * a lazily constructed EstimationSession honoring UCX_THREADS,
+ * UCX_CACHE, and UCX_CACHE_CAPACITY. Replaces the per-bench
+ * BenchReport + ExecContext::fromEnv() boilerplate; benches that
+ * never touch the session (pure table prints) never pay for the
+ * thread pool.
+ */
+class BenchHarness
+{
+  public:
+    /** @param name Bench binary name (report file / root span). */
+    explicit BenchHarness(std::string name)
+        : report_(std::move(name))
+    {
+    }
+
+    /** @return The session, constructed from env on first use. */
+    EstimationSession &
+    session()
+    {
+        if (!session_)
+            session_.emplace();
+        return *session_;
+    }
+
+    /** @return The session's execution context. */
+    const ExecContext &exec() { return session().exec(); }
+
+    ~BenchHarness()
+    {
+        // Export the session's cache effectiveness into the report
+        // (the report itself is written by report_'s destructor,
+        // which runs after this body).
+        if (session_) {
+            ArtifactCache::Stats s = session_->cache().stats();
+            obs::gauge("bench.cache.hit_rate").set(s.hitRate());
+            obs::gauge("bench.cache.entries")
+                .set(static_cast<double>(s.entries));
+        }
+    }
+
+  private:
+    BenchReport report_;
+    std::optional<EstimationSession> session_;
 };
 
 } // namespace ucx

@@ -17,7 +17,7 @@ using namespace ucx;
 int
 main()
 {
-    BenchReport report("fig2_lognormal");
+    BenchHarness bench("fig2_lognormal");
     banner("Figure 2",
            "Lognormal distribution with mu = 0 (the productivity / "
            "error law).");

@@ -17,7 +17,7 @@ using namespace ucx;
 int
 main()
 {
-    BenchReport report("fig3_confidence");
+    BenchHarness bench("fig3_confidence");
     banner("Figure 3",
            "68% and 90% confidence-interval factors vs sigma_eps.");
 

@@ -11,8 +11,6 @@
 #include <vector>
 
 #include "bench_util.hh"
-#include "core/estimator.hh"
-#include "data/paper_data.hh"
 #include "stats/lognormal.hh"
 #include "util/str.hh"
 #include "util/table.hh"
@@ -22,12 +20,12 @@ using namespace ucx;
 int
 main()
 {
-    BenchReport report("fig4_mapping");
+    BenchHarness bench("fig4_mapping");
     banner("Figure 4",
            "Mapping between sigma_eps and the 90% CI, annotated "
            "with the fitted estimators.");
 
-    const Dataset &data = paperDataset();
+    EstimationSession &session = bench.session();
 
     struct Mark
     {
@@ -35,11 +33,13 @@ main()
         double sigma;
     };
     std::vector<Mark> marks;
-    marks.push_back({"DEE1", fitDee1(data).sigmaEps()});
+    marks.push_back(
+        {"DEE1", session.fit(EstimatorSpec::dee1()).sigmaEps()});
     for (Metric m : {Metric::Stmts, Metric::LoC, Metric::FanInLC,
                      Metric::Nets}) {
         marks.push_back(
-            {metricName(m), fitEstimator(data, {m}).sigmaEps()});
+            {metricName(m),
+             session.fit(EstimatorSpec::single(m)).sigmaEps()});
     }
     std::sort(marks.begin(), marks.end(),
               [](const Mark &a, const Mark &b) {

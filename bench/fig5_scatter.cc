@@ -19,13 +19,14 @@ using namespace ucx;
 int
 main()
 {
-    BenchReport report("fig5_scatter");
+    BenchHarness bench("fig5_scatter");
     banner("Figure 5",
            "Scatter: DEE1 estimate vs reported design effort "
            "(person-months).");
 
-    const Dataset &data = paperDataset();
-    FittedEstimator dee1 = fitDee1(data);
+    EstimationSession &session = bench.session();
+    const Dataset &data = session.accountedDataset();
+    FittedEstimator dee1 = session.fit(EstimatorSpec::dee1());
     const auto &paper_est = paperDee1Estimates();
 
     Table t({"Component", "Reported", "DEE1 (ours)", "DEE1 (paper)",

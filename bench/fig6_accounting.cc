@@ -22,26 +22,29 @@ using namespace ucx;
 int
 main()
 {
-    BenchReport report("fig6_accounting");
+    BenchHarness bench("fig6_accounting");
     banner("Figure 6",
            "sigma_eps without vs with the accounting procedure "
            "(Section 2.2).");
 
-    const Dataset &with = paperDataset();
-    const Dataset &without = paperDatasetNoAccounting();
+    // fit() calibrates on the accounted dataset, ablate() on the
+    // Section 5.3 no-accounting reconstruction.
+    EstimationSession &session = bench.session();
 
     Table t({"Estimator", "with procedure", "without procedure",
              "paper (without)"});
     {
-        double w = fitDee1(with).sigmaEps();
-        double wo = fitDee1(without).sigmaEps();
+        double w = session.fit(EstimatorSpec::dee1()).sigmaEps();
+        double wo =
+            session.ablate(EstimatorSpec::dee1()).sigmaEps();
         t.addRow({"DEE1", fmtFixed(w, 2), fmtFixed(wo, 2),
                   "~unchanged"});
         t.addRule();
     }
     for (Metric m : allMetrics()) {
-        double w = fitEstimator(with, {m}).sigmaEps();
-        double wo = fitEstimator(without, {m}).sigmaEps();
+        double w = session.fit(EstimatorSpec::single(m)).sigmaEps();
+        double wo =
+            session.ablate(EstimatorSpec::single(m)).sigmaEps();
         std::string paper = "-";
         if (m == Metric::FanInLC)
             paper = "1.18";
@@ -69,16 +72,14 @@ main()
                 "inflation"});
     for (const char *name :
          {"exec_cluster", "mmu_lite", "issue_queue", "memctrl"}) {
-        const ShippedDesign &sd = shippedDesign(name);
-        Design design = sd.load();
-        auto w = measureComponent(design, sd.top,
-                                  AccountingMode::WithProcedure);
-        auto wo = measureComponent(design, sd.top,
-                                   AccountingMode::WithoutProcedure);
+        auto w = session.measureShipped(
+            name, AccountingMode::WithProcedure);
+        auto wo = session.measureShipped(
+            name, AccountingMode::WithoutProcedure);
         for (Metric m : {Metric::FanInLC, Metric::Cells}) {
             double a = w.metrics[static_cast<size_t>(m)];
             double b = wo.metrics[static_cast<size_t>(m)];
-            mech.addRow({sd.name, metricName(m), fmtCompact(a, 0),
+            mech.addRow({name, metricName(m), fmtCompact(a, 0),
                          fmtCompact(b, 0),
                          fmtFixed(b / std::max(a, 1.0), 1) + "x"});
         }

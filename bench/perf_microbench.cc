@@ -220,6 +220,46 @@ bootstrapSpeedup()
               << (identical ? "identical" : "DIFFERENT") << "\n";
 }
 
+/**
+ * Artifact-cache effectiveness: build every shipped design twice
+ * through one session — cold (every elaboration and synthesis pass
+ * runs) then warm (every artifact is a cache hit) — and record the
+ * wall times, the speedup, and the session hit rate as gauges in
+ * BENCH_perf_microbench.json. With UCX_CACHE=0 both runs are cold
+ * and the speedup hovers around 1.
+ */
+void
+cacheSpeedup()
+{
+    EstimationSession session(SessionConfig::fromEnv(),
+                              ExecContext::serial());
+
+    auto run = [&] {
+        auto t0 = std::chrono::steady_clock::now();
+        benchmark::DoNotOptimize(session.buildShipped());
+        return std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - t0)
+            .count();
+    };
+
+    double cold_ms = run();
+    double warm_ms = run();
+    double speedup = warm_ms > 0.0 ? cold_ms / warm_ms : 0.0;
+    ArtifactCache::Stats stats = session.cache().stats();
+
+    obs::gauge("bench.cache.cold_ms").set(cold_ms);
+    obs::gauge("bench.cache.warm_ms").set(warm_ms);
+    obs::gauge("bench.cache.speedup").set(speedup);
+    obs::gauge("bench.cache.hit_rate").set(stats.hitRate());
+
+    std::cout << "buildShipped: cold " << cold_ms << " ms, warm "
+              << warm_ms << " ms, speedup " << speedup
+              << "x, hit rate " << stats.hitRate() << " ("
+              << (session.cache().enabled() ? "cache on"
+                                            : "cache off")
+              << ")\n";
+}
+
 } // namespace
 
 // Expanded BENCHMARK_MAIN() so the whole run sits inside a
@@ -228,12 +268,13 @@ bootstrapSpeedup()
 int
 main(int argc, char **argv)
 {
-    ucx::BenchReport report("perf_microbench");
+    ucx::BenchHarness harness("perf_microbench");
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))
         return 1;
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     bootstrapSpeedup();
+    cacheSpeedup();
     return 0;
 }

@@ -10,7 +10,6 @@
 #include "bench_util.hh"
 #include "data/paper_data.hh"
 #include "designs/registry.hh"
-#include "exec/context.hh"
 #include "hdl/source_metrics.hh"
 #include "util/table.hh"
 
@@ -19,7 +18,7 @@ using namespace ucx;
 int
 main()
 {
-    BenchReport report("table1_designs");
+    BenchHarness bench("table1_designs");
     banner("Table 1",
            "Characteristics of the processor designs used in the "
            "evaluation.");
@@ -69,10 +68,10 @@ main()
                  "reproduction (substitute\nfor the proprietary "
                  "sources; measured by the same pipeline):\n\n";
     // Parse + elaborate + synthesize every shipped design; the
-    // per-design flows run through the UCX_THREADS pool and the
-    // numbers are identical at any thread count.
-    ExecContext ctx = ExecContext::fromEnv();
-    std::vector<BuiltDesign> built = buildAll(ctx);
+    // per-design flows run through the session's UCX_THREADS pool
+    // and artifact cache, and the numbers are identical at any
+    // thread count, cached or not.
+    std::vector<BuiltDesign> built = bench.session().buildShipped();
     Table s({"Component", "Top module", "LoC", "Nets", "Cells",
              "FFs", "Description"});
     for (size_t i = 0; i < built.size(); ++i) {

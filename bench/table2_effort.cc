@@ -16,7 +16,7 @@ using namespace ucx;
 int
 main()
 {
-    BenchReport report("table2_effort");
+    BenchHarness bench("table2_effort");
     banner("Table 2",
            "Reported design effort in person-months (designer "
            "interviews).");
@@ -24,7 +24,8 @@ main()
     Table t({"Project", "Component", "Person-Months",
              "Effort used in Table 4"});
     const auto &t2 = paperTable2Efforts();
-    const auto &components = paperDataset().components();
+    const auto &components =
+        bench.session().accountedDataset().components();
     std::string last_project;
     for (size_t i = 0; i < t2.size(); ++i) {
         if (i > 0 && t2[i].project != last_project)

@@ -20,7 +20,7 @@ using namespace ucx;
 int
 main()
 {
-    BenchReport report("table3_metrics");
+    BenchHarness bench("table3_metrics");
     banner("Table 3",
            "Metrics gathered for each component, and the measuring "
            "pass.");
@@ -42,10 +42,9 @@ main()
     for (const char *name :
          {"alu", "decoder", "regfile", "fetch", "cache_ctrl",
           "issue_queue", "rob", "rat_standard", "rat_sliding"}) {
-        const ShippedDesign &sd = shippedDesign(name);
-        Design design = sd.load();
-        ComponentMeasurement m = measureComponent(design, sd.top);
-        std::vector<std::string> row = {sd.name};
+        ComponentMeasurement m =
+            bench.session().measureShipped(name);
+        std::vector<std::string> row = {name};
         for (Metric metric : allMetrics()) {
             row.push_back(fmtCompact(
                 m.metrics[static_cast<size_t>(metric)], 1));

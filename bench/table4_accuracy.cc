@@ -11,7 +11,6 @@
 #include "bench_util.hh"
 #include "core/search.hh"
 #include "data/paper_data.hh"
-#include "exec/context.hh"
 #include "util/str.hh"
 #include "util/table.hh"
 
@@ -20,18 +19,18 @@ using namespace ucx;
 int
 main()
 {
-    BenchReport report("table4_accuracy");
+    BenchHarness bench("table4_accuracy");
     banner("Table 4",
            "Accuracy of various design effort estimators "
            "(sigma_eps; lower is better).");
 
-    const Dataset &data = paperDataset();
-    // UCX_THREADS controls the pool; every number below is
-    // byte-identical at any thread count.
-    ExecContext ctx = ExecContext::fromEnv();
+    // UCX_THREADS controls the session pool; every number below is
+    // byte-identical at any thread count, cache on or off.
+    EstimationSession &session = bench.session();
+    const Dataset &data = session.accountedDataset();
 
     // ------------------------------------------------------ body
-    FittedEstimator dee1 = fitDee1(data, FitMode::MixedEffects, ctx);
+    FittedEstimator dee1 = session.fit(EstimatorSpec::dee1());
     Table body({"Module", "Effort", "DEE1", "Stmts", "LoC",
                 "FanInLC", "Nets", "Freq", "AreaL", "PowerD",
                 "PowerS", "AreaS", "Cells", "FFs"});
@@ -57,7 +56,7 @@ main()
     sig.setAlign(5, Align::Left);
     {
         FittedEstimator pooled_dee1 =
-            fitDee1(data, FitMode::Pooled, ctx);
+            session.fit(EstimatorSpec::dee1(FitMode::Pooled));
         auto [lo, hi] = dee1.confidenceInterval(1.0, 0.90);
         sig.addRow({"DEE1", fmtFixed(dee1.sigmaEps(), 2),
                     fmtFixed(paperDee1Reference().sigmaMixed, 2),
@@ -69,11 +68,9 @@ main()
     }
     for (const PaperSigma &ref : paperSigmas()) {
         FittedEstimator mixed =
-            fitEstimator(data, {ref.metric}, FitMode::MixedEffects,
-                         ZeroPolicy::ClampToOne, ctx);
-        FittedEstimator pooled =
-            fitEstimator(data, {ref.metric}, FitMode::Pooled,
-                         ZeroPolicy::ClampToOne, ctx);
+            session.fit(EstimatorSpec::single(ref.metric));
+        FittedEstimator pooled = session.fit(
+            EstimatorSpec::single(ref.metric, FitMode::Pooled));
         auto [lo, hi] = mixed.confidenceInterval(1.0, 0.90);
         sig.addRow({metricName(ref.metric),
                     fmtFixed(mixed.sigmaEps(), 2),
@@ -89,8 +86,7 @@ main()
     std::cout << "Section 5.1.1 - DEE1 vs Stmts information "
                  "criteria:\n\n";
     FittedEstimator stmts =
-        fitEstimator(data, {Metric::Stmts}, FitMode::MixedEffects,
-                     ZeroPolicy::ClampToOne, ctx);
+        session.fit(EstimatorSpec::single(Metric::Stmts));
     Table ic({"Model", "AIC", "paper AIC", "BIC", "paper BIC"});
     ic.addRow({"DEE1 (Stmts + FanInLC)", fmtFixed(dee1.aic(), 1),
                fmtFixed(paperDee1Reference().aicDee1, 1),
@@ -115,7 +111,8 @@ main()
     // ------------------------------------------------ pair search
     std::cout << "Two-metric estimator search (top 5 of 55 pairs, "
                  "by sigma_eps):\n\n";
-    auto pairs = rankMetricPairs(data, FitMode::MixedEffects, ctx);
+    auto pairs =
+        rankMetricPairs(data, FitMode::MixedEffects, session.exec());
     Table top({"Rank", "Pair", "sigma_eps", "AIC", "BIC"});
     top.setAlign(1, Align::Left);
     for (size_t i = 0; i < 5 && i < pairs.size(); ++i) {

@@ -14,7 +14,7 @@
 #include <iostream>
 
 #include "core/tracker.hh"
-#include "data/paper_data.hh"
+#include "engine/session.hh"
 #include "util/rng.hh"
 #include "util/str.hh"
 #include "util/table.hh"
@@ -41,7 +41,9 @@ main()
     const double true_rho = 0.625; // slower-than-median team
 
     // Past-project history: the published dataset.
-    ProductivityTracker tracker(paperDataset(), "NewCore");
+    EstimationSession session;
+    ProductivityTracker tracker(session.accountedDataset(),
+                                "NewCore");
 
     // The plan: eight components, measured up front (metrics are
     // available at RTL-complete, long before verification ends).

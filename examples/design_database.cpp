@@ -9,10 +9,7 @@
 #include <iostream>
 
 #include "core/database.hh"
-#include "core/estimator.hh"
-#include "core/measure.hh"
-#include "data/paper_data.hh"
-#include "designs/registry.hh"
+#include "engine/session.hh"
 #include "util/str.hh"
 
 using namespace ucx;
@@ -23,14 +20,13 @@ main()
     const std::string path = "/tmp/ucomplexity_calibration.csv";
 
     // Seed the database with the published dataset.
-    saveDatasetFile(paperDataset(), path);
+    EstimationSession session;
+    saveDatasetFile(session.accountedDataset(), path);
     std::cout << "Wrote calibration database: " << path << "\n";
 
     // A new component completes: measure its RTL and record the
     // reported effort next to the metrics.
-    const ShippedDesign &sd = shippedDesign("fetch");
-    Design design = sd.load();
-    ComponentMeasurement m = measureComponent(design, sd.top);
+    ComponentMeasurement m = session.measureShipped("fetch");
 
     Dataset db = loadDatasetFile(path);
     Component done;
@@ -52,7 +48,8 @@ main()
 
     // Any later session reloads and refits.
     Dataset reloaded = loadDatasetFile(path);
-    FittedEstimator dee1 = fitDee1(reloaded);
+    FittedEstimator dee1 =
+        session.fitOn(reloaded, EstimatorSpec::dee1());
     std::cout << "Refit DEE1 on " << reloaded.size()
               << " components:\n"
               << "  sigma_eps       = "

@@ -12,11 +12,7 @@
 
 #include <iostream>
 
-#include "core/estimator.hh"
-#include "core/measure.hh"
-#include "data/paper_data.hh"
-#include "designs/registry.hh"
-#include "exec/context.hh"
+#include "engine/session.hh"
 #include "util/str.hh"
 #include "util/table.hh"
 
@@ -25,9 +21,8 @@ using namespace ucx;
 int
 main()
 {
-    ExecContext ctx = ExecContext::fromEnv();
-    FittedEstimator dee1 =
-        fitDee1(paperDataset(), FitMode::MixedEffects, ctx);
+    EstimationSession session;
+    FittedEstimator dee1 = session.fit(EstimatorSpec::dee1());
 
     std::cout << "Measuring shipped uHDL components and estimating "
                  "their design effort\n(DEE1 calibrated on the "
@@ -40,16 +35,15 @@ main()
          {"alu", "decoder", "regfile", "fetch", "cache_ctrl",
           "memctrl", "issue_queue", "rob", "lsq", "exec_cluster",
           "rat_standard", "rat_sliding", "pipeline"}) {
-        const ShippedDesign &sd = shippedDesign(name);
-        Design design = sd.load();
-
         // Full measurement with the accounting procedure: each
         // module type counted once, parameters minimized.
-        ComponentMeasurement m = measureComponent(design, sd.top);
+        ComponentMeasurement m = session.measureShipped(name);
 
-        double median = dee1.predictMedian(m.metrics);
-        auto [lo, hi] = dee1.confidenceInterval(median, 0.90);
-        t.addRow({sd.name,
+        Prediction p = session.predict(dee1, m.metrics);
+        double median = p.median;
+        double lo = p.lo90;
+        double hi = p.hi90;
+        t.addRow({name,
                   fmtCompact(m.metrics[static_cast<size_t>(
                                  Metric::Stmts)], 0),
                   fmtCompact(m.metrics[static_cast<size_t>(
@@ -62,9 +56,7 @@ main()
     std::cout << t.render() << "\n";
 
     // Show the accounting procedure's decisions for one component.
-    const ShippedDesign &sd = shippedDesign("exec_cluster");
-    Design design = sd.load();
-    ComponentMeasurement m = measureComponent(design, sd.top);
+    ComponentMeasurement m = session.measureShipped("exec_cluster");
     std::cout << "Accounting decisions for 'exec_cluster':\n";
     for (const auto &[module, count] : m.moduleCounts) {
         std::cout << "  module '" << module << "': " << count

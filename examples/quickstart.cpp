@@ -11,9 +11,7 @@
 
 #include <iostream>
 
-#include "core/estimator.hh"
-#include "data/paper_data.hh"
-#include "exec/context.hh"
+#include "engine/session.hh"
 #include "util/str.hh"
 
 using namespace ucx;
@@ -24,11 +22,11 @@ main()
     // 1. Calibrate DEE1 (Stmts + FanInLC) on the paper's 18
     //    components from 4 projects. The fit returns the weights of
     //    Equation 1, the accuracy sigma_eps, and per-team
-    //    productivities rho_i. The multistart optimization runs
-    //    through the UCX_THREADS pool (same numbers at any count).
-    ExecContext ctx = ExecContext::fromEnv();
-    FittedEstimator dee1 =
-        fitDee1(paperDataset(), FitMode::MixedEffects, ctx);
+    //    productivities rho_i. The session owns the UCX_THREADS
+    //    pool and the artifact cache (same numbers at any count,
+    //    cached or not), and memoizes repeated fits.
+    EstimationSession session;
+    FittedEstimator dee1 = session.fit(EstimatorSpec::dee1());
 
     std::cout << "Calibrated DEE1 on the published dataset:\n"
               << "  w_Stmts   = " << fmtCompact(dee1.weights()[0], 6)
@@ -48,9 +46,11 @@ main()
 
     // With no calibration data for your team yet, use rho = 1
     // (a median-productivity team).
-    double median = dee1.predictMedian(lsu);
-    double mean = dee1.predictMean(lsu);
-    auto [lo, hi] = dee1.confidenceInterval(median, 0.90);
+    Prediction p = session.predict(dee1, lsu);
+    double median = p.median;
+    double mean = p.mean;
+    double lo = p.lo90;
+    double hi = p.hi90;
 
     std::cout << "Estimate for a new load-store unit "
               << "(Stmts=1500, FanInLC=9000):\n"

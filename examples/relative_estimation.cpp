@@ -12,10 +12,8 @@
 #include <algorithm>
 #include <iostream>
 
-#include "core/measure.hh"
 #include "core/tracker.hh"
-#include "data/paper_data.hh"
-#include "designs/registry.hh"
+#include "engine/session.hh"
 #include "util/str.hh"
 #include "util/table.hh"
 
@@ -26,16 +24,16 @@ main()
 {
     // Measure a full synthetic front-end + back-end, one component
     // per shipped design, with the accounting procedure.
-    ProductivityTracker tracker(paperDataset(), "NewCore");
+    EstimationSession session;
+    ProductivityTracker tracker(session.accountedDataset(),
+                                "NewCore");
 
     std::vector<PendingComponent> pending;
     for (const char *name :
          {"fetch", "decoder", "rat_standard", "issue_queue",
           "exec_cluster", "lsq", "rob", "cache_ctrl"}) {
-        const ShippedDesign &sd = shippedDesign(name);
-        Design design = sd.load();
-        ComponentMeasurement m = measureComponent(design, sd.top);
-        pending.push_back({sd.name, m.metrics});
+        ComponentMeasurement m = session.measureShipped(name);
+        pending.push_back({name, m.metrics});
     }
 
     auto rel = tracker.relativeEstimate(pending);

@@ -12,7 +12,7 @@
 #include <iostream>
 
 #include "core/reuse.hh"
-#include "data/paper_data.hh"
+#include "engine/session.hh"
 #include "util/str.hh"
 #include "util/table.hh"
 
@@ -35,7 +35,8 @@ dee1Metrics(double stmts, double fan)
 int
 main()
 {
-    FittedEstimator dee1 = fitDee1(paperDataset());
+    EstimationSession session;
+    FittedEstimator dee1 = session.fit(EstimatorSpec::dee1());
 
     struct Plan
     {

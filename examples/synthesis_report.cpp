@@ -2,16 +2,14 @@
  * @file
  * Print a Synplify-style synthesis report for a shipped component:
  * gate histogram, LUT usage (the source of the paper's FanInLC
- * estimate), and the exact logic-cone distribution.
+ * estimate), and the exact logic-cone distribution — all pulled
+ * from one EstimationSession::synthesisReport() call, which runs
+ * the pass-manager pipeline through the session cache.
  */
 
 #include <iostream>
 
-#include "designs/registry.hh"
-#include "synth/elaborate.hh"
-#include "synth/lower.hh"
-#include "synth/report.hh"
-#include "synth/timing.hh"
+#include "engine/session.hh"
 
 using namespace ucx;
 
@@ -19,24 +17,19 @@ int
 main(int argc, char **argv)
 {
     std::string name = argc > 1 ? argv[1] : "fetch";
-    const ShippedDesign &sd = shippedDesign(name);
-    std::cout << "Synthesis report for '" << sd.name << "' ("
-              << sd.description << ")\n\n";
+    EstimationSession session;
+    DesignReport r = session.synthesisReport(name);
+    std::cout << "Synthesis report for '" << r.name << "' ("
+              << r.description << ")\n\n";
 
-    Design design = sd.load();
-    ElabResult elab = elaborate(design, sd.top);
-    for (const auto &warning : elab.warnings)
+    for (const auto &warning : r.warnings)
         std::cout << "  warning: " << warning << "\n";
 
-    Netlist netlist = lowerToGates(elab.rtl);
-    SynthReport report = buildReport(netlist);
-    std::cout << report.render() << "\n";
+    std::cout << r.report.render() << "\n";
 
-    TimingReport fpga = staFpga(mapToLuts(netlist));
-    TimingReport asic = staAsic(netlist);
-    std::cout << "FPGA: " << static_cast<int>(fpga.freqMHz)
-              << " MHz (" << fpga.criticalPathNs << " ns)  ASIC: "
-              << static_cast<int>(asic.freqMHz) << " MHz ("
-              << asic.criticalPathNs << " ns)\n";
+    std::cout << "FPGA: " << static_cast<int>(r.fpga.freqMHz)
+              << " MHz (" << r.fpga.criticalPathNs << " ns)  ASIC: "
+              << static_cast<int>(r.asic.freqMHz) << " MHz ("
+              << r.asic.criticalPathNs << " ns)\n";
     return 0;
 }

@@ -1,0 +1,161 @@
+#include "cache/artifact_cache.hh"
+
+#include <cstdlib>
+
+#include "obs/metrics.hh"
+#include "util/error.hh"
+
+namespace ucx
+{
+
+namespace
+{
+
+obs::Counter &
+hitCounter()
+{
+    static obs::Counter &c = obs::counter("cache.artifact.hits");
+    return c;
+}
+
+obs::Counter &
+missCounter()
+{
+    static obs::Counter &c = obs::counter("cache.artifact.misses");
+    return c;
+}
+
+obs::Counter &
+evictionCounter()
+{
+    static obs::Counter &c = obs::counter("cache.artifact.evictions");
+    return c;
+}
+
+} // namespace
+
+ArtifactCache::ArtifactCache(size_t capacity, bool enabled)
+    : capacity_(capacity), enabled_(enabled)
+{
+    require(capacity >= 1, "cache capacity must be >= 1");
+}
+
+size_t
+ArtifactCache::defaultCapacity()
+{
+    const char *env = std::getenv("UCX_CACHE_CAPACITY");
+    if (env) {
+        char *end = nullptr;
+        long v = std::strtol(env, &end, 10);
+        if (end && *end == '\0' && v >= 1)
+            return static_cast<size_t>(v);
+    }
+    return 1024;
+}
+
+bool
+ArtifactCache::enabledFromEnv()
+{
+    const char *env = std::getenv("UCX_CACHE");
+    return !(env && std::string(env) == "0");
+}
+
+bool
+ArtifactCache::enabled() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return enabled_;
+}
+
+void
+ArtifactCache::setEnabled(bool on)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    enabled_ = on;
+}
+
+std::shared_ptr<const void>
+ArtifactCache::getRaw(const CacheKey &key, const std::type_info &type)
+{
+    require(!key.empty(), "cache lookup with an empty key");
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!enabled_)
+        return nullptr;
+    auto it = entries_.find(key.str());
+    if (it == entries_.end()) {
+        ++misses_;
+        missCounter().add(1);
+        return nullptr;
+    }
+    ensure(*it->second.type == type,
+           "cache key '" + key.str() +
+               "' holds an artifact of another type");
+    lru_.splice(lru_.begin(), lru_, it->second.lruPos);
+    ++hits_;
+    hitCounter().add(1);
+    return it->second.value;
+}
+
+void
+ArtifactCache::putRaw(const CacheKey &key,
+                      std::shared_ptr<const void> value,
+                      const std::type_info &type)
+{
+    require(!key.empty(), "cache insert with an empty key");
+    ensure(value != nullptr, "cache insert of a null artifact");
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!enabled_)
+        return;
+    auto it = entries_.find(key.str());
+    if (it != entries_.end()) {
+        // First insert wins: concurrent misses computed identical
+        // values, so keeping the stored one is both correct and
+        // keeps existing shared_ptr holders coherent.
+        lru_.splice(lru_.begin(), lru_, it->second.lruPos);
+        return;
+    }
+    lru_.push_front(key.str());
+    Entry entry;
+    entry.value = std::move(value);
+    entry.type = &type;
+    entry.lruPos = lru_.begin();
+    entries_.emplace(key.str(), std::move(entry));
+    while (entries_.size() > capacity_) {
+        entries_.erase(lru_.back());
+        lru_.pop_back();
+        ++evictions_;
+        evictionCounter().add(1);
+    }
+}
+
+double
+ArtifactCache::Stats::hitRate() const
+{
+    uint64_t lookups = hits + misses;
+    if (lookups == 0)
+        return 0.0;
+    return static_cast<double>(hits) / static_cast<double>(lookups);
+}
+
+ArtifactCache::Stats
+ArtifactCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Stats s;
+    s.hits = hits_;
+    s.misses = misses_;
+    s.evictions = evictions_;
+    s.entries = entries_.size();
+    s.capacity = capacity_;
+    return s;
+}
+
+void
+ArtifactCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.clear();
+    lru_.clear();
+}
+
+} // namespace ucx

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * ArtifactCache — a thread-safe, content-addressed memo store for
+ * pipeline artifacts (elaboration results, per-pass synthesis
+ * artifacts, fitted estimators).
+ *
+ * Entries are immutable values behind shared_ptr<const T>, keyed by
+ * a canonical CacheKey string, with LRU eviction at a fixed entry
+ * capacity. Because every producer in this library is deterministic
+ * (seed-stable, thread-count-independent by the exec-layer
+ * contract), a hit is byte-identical to a recompute — the cache can
+ * never change results, only skip work. Concurrent misses on the
+ * same key may compute twice; the first insert wins and both callers
+ * observe the same stored value.
+ *
+ * Hit/miss/eviction counts are exported through ucx::obs
+ * ("cache.artifact.{hits,misses,evictions}") and tracked locally for
+ * per-session stats (obs collection may be disabled).
+ *
+ * The UCX_CACHE environment variable gates caching in benches and
+ * examples: "0" disables it (every lookup misses, nothing is
+ * stored); anything else leaves it on. UCX_CACHE_CAPACITY overrides
+ * the default entry capacity.
+ */
+
+#ifndef UCX_CACHE_ARTIFACT_CACHE_HH
+#define UCX_CACHE_ARTIFACT_CACHE_HH
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <typeinfo>
+#include <unordered_map>
+#include <utility>
+
+#include "cache/key.hh"
+
+namespace ucx
+{
+
+/** Thread-safe content-addressed artifact store with LRU eviction. */
+class ArtifactCache
+{
+  public:
+    /**
+     * Create a cache.
+     *
+     * @param capacity Maximum entry count before LRU eviction;
+     *                 must be >= 1.
+     * @param enabled  Initial on/off state.
+     */
+    explicit ArtifactCache(size_t capacity = defaultCapacity(),
+                           bool enabled = true);
+
+    /** @return Entry capacity from UCX_CACHE_CAPACITY (default 1024). */
+    static size_t defaultCapacity();
+
+    /** @return False iff the UCX_CACHE environment variable is "0". */
+    static bool enabledFromEnv();
+
+    /** @return True when lookups and inserts are live. */
+    bool enabled() const;
+
+    /** Turn the cache on or off (off: get misses, put drops). */
+    void setEnabled(bool on);
+
+    /**
+     * Typed lookup.
+     *
+     * @param key Artifact key (non-empty).
+     * @return The stored artifact, or nullptr on miss. A stored
+     *         artifact of a different type is an internal bug
+     *         (UcxPanic).
+     */
+    template <typename T>
+    std::shared_ptr<const T>
+    get(const CacheKey &key)
+    {
+        return std::static_pointer_cast<const T>(
+            getRaw(key, typeid(T)));
+    }
+
+    /**
+     * Insert an artifact. An existing entry under the same key is
+     * kept (first insert wins; values are deterministic duplicates).
+     *
+     * @param key   Artifact key (non-empty).
+     * @param value Immutable artifact.
+     */
+    template <typename T>
+    void
+    put(const CacheKey &key, std::shared_ptr<const T> value)
+    {
+        putRaw(key,
+               std::static_pointer_cast<const void>(std::move(value)),
+               typeid(T));
+    }
+
+    /**
+     * Memoize: return the cached artifact or compute, store, and
+     * return it.
+     *
+     * The computation runs outside the cache lock, so concurrent
+     * misses on one key may both compute; determinism makes the
+     * results identical and the first insert wins.
+     *
+     * @param key Artifact key.
+     * @param fn  Producer returning a T by value.
+     * @return The (now cached) artifact.
+     */
+    template <typename T, typename Fn>
+    std::shared_ptr<const T>
+    getOrCompute(const CacheKey &key, Fn &&fn)
+    {
+        if (auto hit = get<T>(key))
+            return hit;
+        auto value = std::make_shared<const T>(fn());
+        put<T>(key, value);
+        if (auto stored = get<T>(key))
+            return stored; // share the winning insert
+        return value;      // cache disabled or already evicted
+    }
+
+    /** Point-in-time cache statistics. */
+    struct Stats
+    {
+        uint64_t hits = 0;
+        uint64_t misses = 0;
+        uint64_t evictions = 0;
+        size_t entries = 0;
+        size_t capacity = 0;
+
+        /** @return hits / (hits + misses), 0 when no lookups. */
+        double hitRate() const;
+    };
+
+    /** @return Current statistics. */
+    Stats stats() const;
+
+    /** Drop every entry (statistics are kept). */
+    void clear();
+
+    /**
+     * Type-erased lookup — the layer under get<T>(), used directly
+     * by callers that carry the artifact type at runtime (the pass
+     * manager's type-erased Pass hooks).
+     *
+     * @param key  Artifact key (non-empty).
+     * @param type Expected dynamic type of the stored artifact.
+     * @return The artifact, or nullptr on miss.
+     */
+    std::shared_ptr<const void> getRaw(const CacheKey &key,
+                                       const std::type_info &type);
+
+    /** Type-erased insert — the layer under put<T>(). */
+    void putRaw(const CacheKey &key,
+                std::shared_ptr<const void> value,
+                const std::type_info &type);
+
+  private:
+    struct Entry
+    {
+        std::shared_ptr<const void> value;
+        const std::type_info *type = nullptr;
+        std::list<std::string>::iterator lruPos;
+    };
+
+    mutable std::mutex mutex_;
+    std::unordered_map<std::string, Entry> entries_;
+    std::list<std::string> lru_; ///< Front = most recently used.
+    size_t capacity_;
+    bool enabled_;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+    uint64_t evictions_ = 0;
+};
+
+} // namespace ucx
+
+#endif // UCX_CACHE_ARTIFACT_CACHE_HH

@@ -1,0 +1,76 @@
+#include "cache/key.hh"
+
+#include <cstring>
+
+namespace ucx
+{
+
+uint64_t
+fnv1a(const void *data, size_t size, uint64_t seed)
+{
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    uint64_t h = seed;
+    for (size_t i = 0; i < size; ++i) {
+        h ^= bytes[i];
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+uint64_t
+fnv1a(const std::string &text)
+{
+    return fnv1a(text.data(), text.size());
+}
+
+uint64_t
+fnv1aMix(uint64_t seed, double value)
+{
+    uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(value));
+    std::memcpy(&bits, &value, sizeof(bits));
+    return fnv1aMix(seed, bits);
+}
+
+uint64_t
+fnv1aMix(uint64_t seed, uint64_t value)
+{
+    // One multiply round before absorbing the value: plain FNV
+    // folds the seed in by XOR with the first byte only, making
+    // mix(a, b) == mix(b, a) whenever the operands differ in just
+    // their low bytes.
+    seed *= 0x100000001b3ull;
+    return fnv1a(&value, sizeof(value), seed);
+}
+
+CacheKey &
+CacheKey::addHash(uint64_t hash)
+{
+    static const char digits[] = "0123456789abcdef";
+    char buf[16];
+    for (int i = 15; i >= 0; --i) {
+        buf[i] = digits[hash & 0xf];
+        hash >>= 4;
+    }
+    text_ += '|';
+    text_.append(buf, 16);
+    return *this;
+}
+
+CacheKey &
+CacheKey::addParams(const std::map<std::string, int64_t> &params)
+{
+    text_ += '|';
+    bool first = true;
+    for (const auto &[name, value] : params) {
+        if (!first)
+            text_ += ',';
+        first = false;
+        text_ += name;
+        text_ += '=';
+        text_ += std::to_string(value);
+    }
+    return *this;
+}
+
+} // namespace ucx

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Content-addressed cache keys.
+ *
+ * A CacheKey is an ordered sequence of fields rendered into one
+ * canonical string: a namespace, then every field appended with
+ * add(). Values that identify an artifact exactly (a top-module
+ * name, a parameter binding) go in *verbatim*, so two distinct
+ * bindings can never alias; bulky content (HDL source text) goes in
+ * as a 64-bit FNV-1a content hash. Numeric configuration is folded
+ * through fingerprint helpers.
+ *
+ * Domain layers own their key builders (the synth pass manager
+ * derives per-pass keys, the engine derives fit keys); this file
+ * only provides the canonical encoding.
+ */
+
+#ifndef UCX_CACHE_KEY_HH
+#define UCX_CACHE_KEY_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace ucx
+{
+
+/** 64-bit FNV-1a hash of a byte range. */
+uint64_t fnv1a(const void *data, size_t size,
+               uint64_t seed = 0xcbf29ce484222325ull);
+
+/** 64-bit FNV-1a hash of a string. */
+uint64_t fnv1a(const std::string &text);
+
+/**
+ * Fold a double's bit pattern into a running FNV-1a hash. Used to
+ * fingerprint numeric configuration (library delays, fabric
+ * parameters) where the exact bits define the artifact.
+ *
+ * @param seed  Running hash value.
+ * @param value Value to fold in.
+ * @return The updated hash.
+ */
+uint64_t fnv1aMix(uint64_t seed, double value);
+
+/** Fold an integer into a running FNV-1a hash. */
+uint64_t fnv1aMix(uint64_t seed, uint64_t value);
+
+/** An ordered, canonical, content-addressed artifact key. */
+class CacheKey
+{
+  public:
+    /** An empty (invalid) key; ArtifactCache rejects it. */
+    CacheKey() = default;
+
+    /**
+     * Start a key.
+     *
+     * @param ns Namespace naming the artifact family ("elab",
+     *           "synth", "measure", "fit", ...).
+     */
+    explicit CacheKey(const std::string &ns) : text_(ns) {}
+
+    /** Append one field verbatim. */
+    CacheKey &
+    add(const std::string &field)
+    {
+        text_ += '|';
+        text_ += field;
+        return *this;
+    }
+
+    /** Append an integer field. */
+    CacheKey &
+    add(int64_t value)
+    {
+        return add(std::to_string(value));
+    }
+
+    /** Append a 64-bit hash field in hex. */
+    CacheKey &addHash(uint64_t hash);
+
+    /**
+     * Append a parameter binding verbatim, in sorted-name order, as
+     * "name=value,..." — the collision-proof part of the key.
+     *
+     * @param params Parameter name -> bound value.
+     */
+    CacheKey &addParams(const std::map<std::string, int64_t> &params);
+
+    /**
+     * Derive a child key (this key plus one more field); used by the
+     * pass manager to key per-pass artifacts off one base key.
+     *
+     * @param suffix Field appended to the copy.
+     * @return The derived key.
+     */
+    CacheKey
+    child(const std::string &suffix) const
+    {
+        CacheKey k = *this;
+        k.add(suffix);
+        return k;
+    }
+
+    /** @return The canonical rendering. */
+    const std::string &str() const { return text_; }
+
+    /** @return True when no namespace was ever set. */
+    bool empty() const { return text_.empty(); }
+
+    bool operator==(const CacheKey &other) const
+    {
+        return text_ == other.text_;
+    }
+
+  private:
+    std::string text_;
+};
+
+} // namespace ucx
+
+#endif // UCX_CACHE_KEY_HH

@@ -6,6 +6,7 @@
 #include "linalg/solve.hh"
 #include "synth/elaborate.hh"
 #include "synth/metrics.hh"
+#include "synth/pass.hh"
 #include "util/error.hh"
 
 namespace ucx
@@ -62,9 +63,10 @@ fitScalingLaw(const std::vector<std::pair<double, double>> &points)
 }
 
 EarlyEstimator::EarlyEstimator(const Design &design, std::string top,
-                               std::string param_name)
+                               std::string param_name,
+                               ArtifactCache *cache)
     : design_(design), top_(std::move(top)),
-      param_(std::move(param_name))
+      param_(std::move(param_name)), cache_(cache)
 {
     require(design_.hasModule(top_), "unknown top module " + top_);
     bool has_param = false;
@@ -79,8 +81,16 @@ EarlyEstimator::measureAt(int64_t value) const
 {
     ElabOptions opts;
     opts.topParams[param_] = value;
-    ElabResult elab = elaborate(design_, top_, opts);
-    SynthMetrics m = synthesize(elab.rtl);
+    std::shared_ptr<const ElabResult> elab =
+        elaborateShared(design_, top_, opts, cache_);
+    PipelineRun run;
+    PassConfig config;
+    if (cache_) {
+        run.cache = cache_;
+        run.base = synthCacheKey(elabCacheKey(design_, top_, opts),
+                                 config);
+    }
+    SynthMetrics m = synthesizeWithPasses(elab->rtl, config, run);
 
     MetricValues out{};
     SourceMetrics src = measureSource(design_.sourceText(), top_);

@@ -23,6 +23,7 @@
 #include <utility>
 #include <vector>
 
+#include "cache/artifact_cache.hh"
 #include "core/metric.hh"
 #include "hdl/design.hh"
 
@@ -68,9 +69,13 @@ class EarlyEstimator
      * @param design     The component's design.
      * @param top        Top module name.
      * @param param_name Name of the parameter being scaled.
+     * @param cache      Memo store for the per-configuration
+     *                   elaborations and synthesis runs; null
+     *                   measures uncached.
      */
     EarlyEstimator(const Design &design, std::string top,
-                   std::string param_name);
+                   std::string param_name,
+                   ArtifactCache *cache = nullptr);
 
     /**
      * Synthesize the given (small) configurations and fit the
@@ -111,6 +116,7 @@ class EarlyEstimator
     const Design &design_;
     std::string top_;
     std::string param_;
+    ArtifactCache *cache_ = nullptr;
     std::map<Metric, ScalingFit> fits_;
     MetricValues sourceMetrics_{};
     bool calibrated_ = false;

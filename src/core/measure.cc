@@ -19,14 +19,28 @@ namespace
  * black-boxing its children so only the module's own logic is
  * measured (the count-once rule).
  */
-ElabResult
+std::shared_ptr<const ElabResult>
 elabModuleAsTop(const Design &design, const std::string &module_name,
-                const std::map<std::string, int64_t> &params)
+                const std::map<std::string, int64_t> &params,
+                ArtifactCache *cache)
 {
     ElabOptions opts;
     opts.topParams = params;
     opts.blackBoxChildren = true;
-    return elaborate(design, module_name, opts);
+    return elaborateShared(design, module_name, opts, cache);
+}
+
+/** Synthesize through the pass manager, memoized when cached. */
+SynthMetrics
+synthMetrics(const RtlDesign &rtl, const CacheKey &elab_key,
+             const MeasureOptions &opts)
+{
+    PipelineRun run;
+    if (opts.cache) {
+        run.cache = opts.cache;
+        run.base = synthCacheKey(elab_key, opts.passes);
+    }
+    return synthesizeWithPasses(rtl, opts.passes, run);
 }
 
 void
@@ -49,10 +63,83 @@ accumulate(MetricValues &into, const SynthMetrics &m, bool first)
         freq = m.freqMHz;
 }
 
+ComponentMeasurement
+measureComponentUncontexted(const Design &design,
+                            const std::string &top,
+                            const MeasureOptions &opts)
+{
+    ComponentMeasurement result;
+
+    // Source metrics are accounting-independent (paper Section 5.3:
+    // "the absence of the accounting procedure does not affect
+    // them").
+    SourceMetrics src = measureSource(design.sourceText(), top);
+    result.metrics[static_cast<size_t>(Metric::LoC)] =
+        static_cast<double>(src.loc);
+    result.metrics[static_cast<size_t>(Metric::Stmts)] =
+        static_cast<double>(src.stmts);
+
+    // As-written elaboration gives the instance census either way.
+    std::shared_ptr<const ElabResult> whole =
+        elaborateShared(design, top, {}, opts.cache);
+    whole->top.countModules(result.moduleCounts);
+
+    if (opts.mode == AccountingMode::WithoutProcedure) {
+        // Whole flattened design: every instance contributes, at its
+        // instantiated parameter values.
+        SynthMetrics m = synthMetrics(
+            whole->rtl, elabCacheKey(design, top, {}), opts);
+        accumulate(result.metrics, m, true);
+        std::map<std::string, int64_t> top_params;
+        for (const auto &[name, value] : whole->top.params)
+            top_params[name] = value;
+        result.measuredParams[top] = top_params;
+        return result;
+    }
+
+    // With the accounting procedure: each reachable module type is
+    // measured once, standalone, at its minimal non-degenerate
+    // parameterization.
+    bool first = true;
+    for (const auto &[module_name, count] : result.moduleCounts) {
+        (void)count;
+        std::map<std::string, int64_t> params =
+            minimizeParameters(design, module_name, opts.cache);
+        result.measuredParams[module_name] = params;
+        std::shared_ptr<const ElabResult> one =
+            elabModuleAsTop(design, module_name, params, opts.cache);
+        ElabOptions one_opts;
+        one_opts.topParams = params;
+        one_opts.blackBoxChildren = true;
+        SynthMetrics m = synthMetrics(
+            one->rtl, elabCacheKey(design, module_name, one_opts),
+            opts);
+        accumulate(result.metrics, m, first);
+        first = false;
+    }
+    return result;
+}
+
+/** Cache key of a whole-component measurement. */
+CacheKey
+measureKey(const Design &design, const std::string &top,
+           const MeasureOptions &opts)
+{
+    CacheKey key("measure");
+    key.addHash(fnv1a(design.sourceText()));
+    key.add(top);
+    key.add(opts.mode == AccountingMode::WithProcedure ? "acct"
+                                                       : "flat");
+    key.addHash(opts.passes.fingerprint());
+    return key;
+}
+
 } // namespace
 
 std::map<std::string, int64_t>
-minimizeParameters(const Design &design, const std::string &module_name)
+minimizeParameters(const Design &design,
+                   const std::string &module_name,
+                   ArtifactCache *cache)
 {
     const Module &mod = design.module(module_name);
 
@@ -70,7 +157,7 @@ minimizeParameters(const Design &design, const std::string &module_name)
         return {};
 
     GenerateStats reference =
-        elabModuleAsTop(design, module_name, defaults).stats;
+        elabModuleAsTop(design, module_name, defaults, cache)->stats;
 
     std::map<std::string, int64_t> chosen = defaults;
     for (const auto &p : mod.params) {
@@ -83,9 +170,9 @@ minimizeParameters(const Design &design, const std::string &module_name)
             bool ok = true;
             GenerateStats stats;
             try {
-                stats =
-                    elabModuleAsTop(design, module_name, candidate)
-                        .stats;
+                stats = elabModuleAsTop(design, module_name,
+                                        candidate, cache)
+                            ->stats;
             } catch (const UcxError &) {
                 ok = false;
             }
@@ -100,50 +187,31 @@ minimizeParameters(const Design &design, const std::string &module_name)
 
 ComponentMeasurement
 measureComponent(const Design &design, const std::string &top,
+                 const MeasureOptions &opts)
+{
+    try {
+        if (!opts.cache)
+            return measureComponentUncontexted(design, top, opts);
+        return *opts.cache->getOrCompute<ComponentMeasurement>(
+            measureKey(design, top, opts), [&] {
+                return measureComponentUncontexted(design, top,
+                                                   opts);
+            });
+    } catch (const UcxError &e) {
+        // Name the failing component: a caller sweeping a registry
+        // (buildAll, a bench loop) otherwise has to guess which
+        // design died.
+        throw UcxError("component '" + top + "': " + e.what());
+    }
+}
+
+ComponentMeasurement
+measureComponent(const Design &design, const std::string &top,
                  AccountingMode mode)
 {
-    ComponentMeasurement result;
-
-    // Source metrics are accounting-independent (paper Section 5.3:
-    // "the absence of the accounting procedure does not affect
-    // them").
-    SourceMetrics src = measureSource(design.sourceText(), top);
-    result.metrics[static_cast<size_t>(Metric::LoC)] =
-        static_cast<double>(src.loc);
-    result.metrics[static_cast<size_t>(Metric::Stmts)] =
-        static_cast<double>(src.stmts);
-
-    // As-written elaboration gives the instance census either way.
-    ElabResult whole = elaborate(design, top);
-    whole.top.countModules(result.moduleCounts);
-
-    if (mode == AccountingMode::WithoutProcedure) {
-        // Whole flattened design: every instance contributes, at its
-        // instantiated parameter values.
-        SynthMetrics m = synthesize(whole.rtl);
-        accumulate(result.metrics, m, true);
-        std::map<std::string, int64_t> top_params;
-        for (const auto &[name, value] : whole.top.params)
-            top_params[name] = value;
-        result.measuredParams[top] = top_params;
-        return result;
-    }
-
-    // With the accounting procedure: each reachable module type is
-    // measured once, standalone, at its minimal non-degenerate
-    // parameterization.
-    bool first = true;
-    for (const auto &[module_name, count] : result.moduleCounts) {
-        (void)count;
-        std::map<std::string, int64_t> params =
-            minimizeParameters(design, module_name);
-        result.measuredParams[module_name] = params;
-        ElabResult one = elabModuleAsTop(design, module_name, params);
-        SynthMetrics m = synthesize(one.rtl);
-        accumulate(result.metrics, m, first);
-        first = false;
-    }
-    return result;
+    MeasureOptions opts;
+    opts.mode = mode;
+    return measureComponent(design, top, opts);
 }
 
 } // namespace ucx

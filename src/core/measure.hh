@@ -27,9 +27,11 @@
 #include <map>
 #include <string>
 
+#include "cache/artifact_cache.hh"
 #include "core/metric.hh"
 #include "hdl/design.hh"
 #include "synth/elaborate.hh"
+#include "synth/pass.hh"
 
 namespace ucx
 {
@@ -58,6 +60,22 @@ struct ComponentMeasurement
         measuredParams;
 };
 
+/** Options threading the cache and pass config into measurement. */
+struct MeasureOptions
+{
+    /** Whether to apply the Section 2.2 accounting procedure. */
+    AccountingMode mode = AccountingMode::WithProcedure;
+
+    /**
+     * Memo store for elaborations, per-pass synthesis artifacts,
+     * and whole measurements; null measures uncached.
+     */
+    ArtifactCache *cache = nullptr;
+
+    /** Synthesis pipeline configuration. */
+    PassConfig passes;
+};
+
 /**
  * Find the minimal non-degenerate parameterization of a module
  * (paper Section 2.2's scaling rule).
@@ -70,13 +88,30 @@ struct ComponentMeasurement
  *
  * @param design      The design containing the module.
  * @param module_name Module to minimize.
+ * @param cache       Memo store for the candidate elaborations.
  * @return Parameter name -> minimal value.
  */
 std::map<std::string, int64_t> minimizeParameters(
-    const Design &design, const std::string &module_name);
+    const Design &design, const std::string &module_name,
+    ArtifactCache *cache = nullptr);
 
 /**
  * Measure one component.
+ *
+ * A thrown UcxError names the component (its top module), so a
+ * caller sweeping many designs knows which one failed.
+ *
+ * @param design µHDL design of the component (all its modules).
+ * @param top    The component's top module.
+ * @param opts   Accounting mode, cache, and pass configuration.
+ * @return Metric values and accounting diagnostics.
+ */
+ComponentMeasurement measureComponent(const Design &design,
+                                      const std::string &top,
+                                      const MeasureOptions &opts);
+
+/**
+ * Measure one component, uncached.
  *
  * @param design µHDL design of the component (all its modules).
  * @param top    The component's top module.

@@ -93,17 +93,31 @@ shippedDesign(const std::string &name)
 }
 
 std::vector<BuiltDesign>
-buildAll(const ExecContext &ctx)
+buildAll(const ExecContext &ctx, ArtifactCache *cache,
+         const PassConfig &config)
 {
     const auto &shipped = shippedDesigns();
     return ctx.parallelMap(shipped.size(), [&](size_t i) {
         const ShippedDesign &sd = shipped[i];
-        BuiltDesign built;
-        built.name = sd.name;
-        built.design = sd.load();
-        built.elab = elaborate(built.design, sd.top);
-        built.metrics = synthesize(built.elab.rtl);
-        return built;
+        try {
+            BuiltDesign built;
+            built.name = sd.name;
+            built.design = sd.load();
+            built.elab =
+                *elaborateShared(built.design, sd.top, {}, cache);
+            PipelineRun run;
+            if (cache) {
+                run.cache = cache;
+                run.base = synthCacheKey(
+                    elabCacheKey(built.design, sd.top, {}), config);
+            }
+            built.metrics = synthesizeWithPasses(built.elab.rtl,
+                                                 config, run);
+            return built;
+        } catch (const UcxError &e) {
+            throw UcxError("design '" + sd.name + "' (top '" +
+                           sd.top + "'): " + e.what());
+        }
     });
 }
 

@@ -16,10 +16,12 @@
 #include <string>
 #include <vector>
 
+#include "cache/artifact_cache.hh"
 #include "exec/context.hh"
 #include "hdl/design.hh"
 #include "synth/elaborate.hh"
 #include "synth/metrics.hh"
+#include "synth/pass.hh"
 
 namespace ucx
 {
@@ -61,13 +63,19 @@ struct BuiltDesign
  *
  * Each design is independent, so the per-design flow runs through
  * the context's pool; results come back in registry order at any
- * thread count.
+ * thread count. A failure names the design and its top module.
  *
- * @param ctx Execution context.
+ * @param ctx    Execution context.
+ * @param cache  Memo store for elaborations and per-pass synthesis
+ *               artifacts; null builds uncached. Safe to share
+ *               across the pool (the cache is thread-safe).
+ * @param config Synthesis pipeline configuration.
  * @return One entry per shipped design, in registry order.
  */
 std::vector<BuiltDesign>
-buildAll(const ExecContext &ctx = ExecContext::serial());
+buildAll(const ExecContext &ctx = ExecContext::serial(),
+         ArtifactCache *cache = nullptr,
+         const PassConfig &config = {});
 
 } // namespace ucx
 

@@ -1,0 +1,223 @@
+#include "engine/session.hh"
+
+#include "data/paper_data.hh"
+#include "synth/elaborate.hh"
+#include "util/error.hh"
+
+namespace ucx
+{
+
+namespace
+{
+
+/**
+ * Content hash of a dataset: every component's identity, effort,
+ * and metric values, in order. Two datasets with the same hash fit
+ * to the same estimator, so this is what keys fit memoization.
+ */
+uint64_t
+datasetFingerprint(const Dataset &dataset)
+{
+    uint64_t h = fnv1a("dataset");
+    for (const Component &c : dataset.components()) {
+        h = fnv1a(c.project.data(), c.project.size(), h);
+        h = fnv1a(c.name.data(), c.name.size(), h);
+        h = fnv1aMix(h, c.effort);
+        for (double v : c.metrics)
+            h = fnv1aMix(h, v);
+    }
+    return h;
+}
+
+/** Cache key of one (dataset, spec) calibration. */
+CacheKey
+fitKey(const Dataset &dataset, const EstimatorSpec &spec)
+{
+    CacheKey key("fit");
+    key.addHash(datasetFingerprint(dataset));
+    key.add(spec.fingerprint());
+    return key;
+}
+
+} // namespace
+
+EstimatorSpec
+EstimatorSpec::dee1(FitMode mode)
+{
+    EstimatorSpec spec;
+    spec.metrics = {Metric::Stmts, Metric::FanInLC};
+    spec.mode = mode;
+    return spec;
+}
+
+EstimatorSpec
+EstimatorSpec::single(Metric metric, FitMode mode)
+{
+    EstimatorSpec spec;
+    spec.metrics = {metric};
+    spec.mode = mode;
+    return spec;
+}
+
+std::string
+EstimatorSpec::name() const
+{
+    std::string out;
+    for (Metric m : metrics)
+        out += (out.empty() ? "" : "+") + metricName(m);
+    return out;
+}
+
+std::string
+EstimatorSpec::fingerprint() const
+{
+    std::string out = name();
+    out += mode == FitMode::MixedEffects ? "|mixed" : "|pooled";
+    switch (zeroPolicy) {
+    case ZeroPolicy::ClampToOne:
+        out += "|clamp";
+        break;
+    case ZeroPolicy::Drop:
+        out += "|drop";
+        break;
+    case ZeroPolicy::Error:
+        out += "|error";
+        break;
+    }
+    return out;
+}
+
+SessionConfig
+SessionConfig::fromEnv()
+{
+    SessionConfig config;
+    config.cacheEnabled = ArtifactCache::enabledFromEnv();
+    config.cacheCapacity = ArtifactCache::defaultCapacity();
+    return config;
+}
+
+EstimationSession::EstimationSession(SessionConfig config,
+                                     ExecContext ctx)
+    : config_(config), ctx_(std::move(ctx)),
+      cache_(config.cacheCapacity, config.cacheEnabled)
+{
+}
+
+MeasureOptions
+EstimationSession::measureOptions(AccountingMode mode)
+{
+    MeasureOptions opts;
+    opts.mode = mode;
+    opts.cache = &cache_;
+    opts.passes = config_.passes;
+    return opts;
+}
+
+ComponentMeasurement
+EstimationSession::measure(const Design &design,
+                           const std::string &top,
+                           AccountingMode mode)
+{
+    return measureComponent(design, top, measureOptions(mode));
+}
+
+ComponentMeasurement
+EstimationSession::measureShipped(const std::string &name,
+                                  AccountingMode mode)
+{
+    const ShippedDesign &sd = shippedDesign(name);
+    Design design = sd.load();
+    return measure(design, sd.top, mode);
+}
+
+std::vector<BuiltDesign>
+EstimationSession::buildShipped()
+{
+    return buildAll(ctx_, &cache_, config_.passes);
+}
+
+DesignReport
+EstimationSession::synthesisReport(const std::string &name)
+{
+    const ShippedDesign &sd = shippedDesign(name);
+    DesignReport out;
+    out.name = sd.name;
+    out.description = sd.description;
+
+    Design design = sd.load();
+    std::shared_ptr<const ElabResult> elab =
+        elaborateShared(design, sd.top, {}, &cache_);
+    out.warnings = elab->warnings;
+
+    PipelineRun run;
+    run.cache = &cache_;
+    run.base = synthCacheKey(elabCacheKey(design, sd.top, {}),
+                             config_.passes);
+    PipelineContext pipeline =
+        runPasses(elab->rtl, defaultPassList(), config_.passes, run);
+    out.report = buildReport(*pipeline.netlist);
+    out.fpga = pipeline.timing->fpga;
+    out.asic = pipeline.timing->asic;
+    return out;
+}
+
+const Dataset &
+EstimationSession::accountedDataset() const
+{
+    return paperDataset();
+}
+
+const Dataset &
+EstimationSession::unaccountedDataset() const
+{
+    return paperDatasetNoAccounting();
+}
+
+FittedEstimator
+EstimationSession::fit(const EstimatorSpec &spec)
+{
+    return fitOn(accountedDataset(), spec);
+}
+
+FittedEstimator
+EstimationSession::fitOn(const Dataset &dataset,
+                         const EstimatorSpec &spec)
+{
+    require(!spec.metrics.empty(),
+            "estimator spec needs at least one metric");
+    return *cache_.getOrCompute<FittedEstimator>(
+        fitKey(dataset, spec), [&] {
+            return fitEstimator(dataset, spec.metrics, spec.mode,
+                                spec.zeroPolicy, ctx_);
+        });
+}
+
+FittedEstimator
+EstimationSession::ablate(const EstimatorSpec &spec)
+{
+    return fitOn(unaccountedDataset(), spec);
+}
+
+Prediction
+EstimationSession::predict(const FittedEstimator &estimator,
+                           const MetricValues &metrics,
+                           double rho) const
+{
+    Prediction p;
+    p.median = estimator.predictMedian(metrics, rho);
+    p.mean = estimator.predictMean(metrics, rho);
+    auto [lo, hi] = estimator.confidenceInterval(p.median, 0.90);
+    p.lo90 = lo;
+    p.hi90 = hi;
+    return p;
+}
+
+EarlyEstimator
+EstimationSession::earlyEstimator(const Design &design,
+                                  const std::string &top,
+                                  const std::string &param_name)
+{
+    return EarlyEstimator(design, top, param_name, &cache_);
+}
+
+} // namespace ucx

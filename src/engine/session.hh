@@ -1,0 +1,266 @@
+/**
+ * @file
+ * EstimationSession — the facade over the measure → account → fit
+ * path.
+ *
+ * A session owns the two pieces of long-lived state every driver
+ * used to wire by hand: the execution context (thread pool, from
+ * UCX_THREADS) and the content-addressed ArtifactCache (gated by
+ * UCX_CACHE). Benches, examples, and user code go through one
+ * object:
+ *
+ *     EstimationSession session;
+ *     auto built = session.buildShipped();          // measure
+ *     auto m = session.measureShipped("fetch");     // account
+ *     auto dee1 = session.fit(EstimatorSpec::dee1()); // fit
+ *     auto p = session.predict(dee1, m.metrics);    // predict
+ *
+ * Every computation routed through the session is memoized in the
+ * session cache (elaborations, per-pass synthesis artifacts, whole
+ * component measurements, fitted estimators). Producers are
+ * deterministic, so a cache hit is byte-identical to a recompute at
+ * any thread count; disabling the cache (UCX_CACHE=0) only changes
+ * how much work is done, never a single output byte.
+ */
+
+#ifndef UCX_ENGINE_SESSION_HH
+#define UCX_ENGINE_SESSION_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cache/artifact_cache.hh"
+#include "core/dataset.hh"
+#include "core/early.hh"
+#include "core/estimator.hh"
+#include "core/measure.hh"
+#include "designs/registry.hh"
+#include "exec/context.hh"
+#include "synth/pass.hh"
+#include "synth/report.hh"
+
+namespace ucx
+{
+
+/**
+ * Declarative description of one design-effort estimator: the metric
+ * subset plus how its weights are calibrated. The spec (not a
+ * fitted object) is what callers pass around, and what the session
+ * keys its fit memoization on.
+ */
+struct EstimatorSpec
+{
+    std::vector<Metric> metrics;                 ///< Covariates.
+    FitMode mode = FitMode::MixedEffects;        ///< Calibration.
+    ZeroPolicy zeroPolicy = ZeroPolicy::ClampToOne; ///< Zero rows.
+
+    /** @return The paper's recommended DEE1 (Stmts + FanInLC). */
+    static EstimatorSpec dee1(FitMode mode = FitMode::MixedEffects);
+
+    /** @return A single-metric estimator. */
+    static EstimatorSpec single(Metric metric,
+                                FitMode mode =
+                                    FitMode::MixedEffects);
+
+    /** @return "Stmts+FanInLC" style display name. */
+    std::string name() const;
+
+    /** @return Canonical cache-key fragment (name|mode|policy). */
+    std::string fingerprint() const;
+};
+
+/** Session-wide configuration. */
+struct SessionConfig
+{
+    /** Cache on/off (fromEnv: false iff UCX_CACHE=0). */
+    bool cacheEnabled = true;
+
+    /** Cache entry capacity (fromEnv: UCX_CACHE_CAPACITY). */
+    size_t cacheCapacity = 1024;
+
+    /** Synthesis pipeline configuration (library/fabric/power). */
+    PassConfig passes;
+
+    /** @return Configuration honoring the UCX_CACHE* variables. */
+    static SessionConfig fromEnv();
+};
+
+/** A point effort estimate with its lognormal uncertainty. */
+struct Prediction
+{
+    double median = 0.0; ///< Paper Equation 1.
+    double mean = 0.0;   ///< Paper Equation 4.
+    double lo90 = 0.0;   ///< Lower 90% confidence bound.
+    double hi90 = 0.0;   ///< Upper 90% confidence bound.
+};
+
+/** Synthesis detail of one shipped design (synthesis_report). */
+struct DesignReport
+{
+    std::string name;                   ///< Registry key.
+    std::string description;            ///< One-line description.
+    std::vector<std::string> warnings;  ///< Elaboration warnings.
+    SynthReport report;                 ///< Gate/LUT/cone histograms.
+    TimingReport fpga;                  ///< FPGA STA.
+    TimingReport asic;                  ///< ASIC STA.
+};
+
+/**
+ * The unified driver for the measure → account → fit → predict
+ * path. Cheap to construct; holds the exec pool and the artifact
+ * cache. Thread-safe to the same degree as its parts: the cache is
+ * fully thread-safe, and the measurement/fit entry points are safe
+ * to call from parallelFor bodies (they share only the cache).
+ */
+class EstimationSession
+{
+  public:
+    /**
+     * Create a session.
+     *
+     * @param config Cache and pipeline configuration.
+     * @param ctx    Execution context for parallel loops.
+     */
+    explicit EstimationSession(
+        SessionConfig config = SessionConfig::fromEnv(),
+        ExecContext ctx = ExecContext::fromEnv());
+
+    /** @return The session's execution context. */
+    const ExecContext &exec() const { return ctx_; }
+
+    /** @return The session's artifact cache. */
+    ArtifactCache &cache() { return cache_; }
+
+    /** @return The session configuration. */
+    const SessionConfig &config() const { return config_; }
+
+    // ------------------------------------------------ measurement
+
+    /**
+     * Measure one component through the full pipeline (paper
+     * Section 2.2), memoized in the session cache.
+     *
+     * @param design The component's µHDL design.
+     * @param top    Top module name.
+     * @param mode   Accounting mode.
+     * @return Metric values and accounting diagnostics.
+     */
+    ComponentMeasurement measure(
+        const Design &design, const std::string &top,
+        AccountingMode mode = AccountingMode::WithProcedure);
+
+    /**
+     * Measure a shipped design by registry name.
+     *
+     * @param name Registry key, e.g. "fetch".
+     * @param mode Accounting mode.
+     * @return Metric values and accounting diagnostics.
+     */
+    ComponentMeasurement measureShipped(
+        const std::string &name,
+        AccountingMode mode = AccountingMode::WithProcedure);
+
+    /**
+     * Parse, elaborate, and synthesize every shipped design through
+     * the session's pool and cache.
+     *
+     * @return One entry per shipped design, in registry order.
+     */
+    std::vector<BuiltDesign> buildShipped();
+
+    /**
+     * Full synthesis detail of one shipped design (the Synplify-
+     * style report).
+     *
+     * @param name Registry key.
+     * @return Histograms, warnings, and both STA results.
+     */
+    DesignReport synthesisReport(const std::string &name);
+
+    // --------------------------------------------------- datasets
+
+    /**
+     * @return The published calibration dataset, measured *with* the
+     *         accounting procedure (paper Table 4).
+     */
+    const Dataset &accountedDataset() const;
+
+    /**
+     * @return The Section 5.3 reconstruction measured *without* the
+     *         accounting procedure (Figure 6 ablation).
+     */
+    const Dataset &unaccountedDataset() const;
+
+    // ---------------------------------------------------- fitting
+
+    /**
+     * Calibrate an estimator on the accounted dataset. Memoized: a
+     * repeated fit of the same spec is a cache hit.
+     *
+     * @param spec Estimator description.
+     * @return The calibrated estimator.
+     */
+    FittedEstimator fit(const EstimatorSpec &spec);
+
+    /**
+     * Calibrate on an arbitrary dataset (cross-validation folds,
+     * user data), memoized by dataset content + spec.
+     *
+     * @param dataset Training components.
+     * @param spec    Estimator description.
+     * @return The calibrated estimator.
+     */
+    FittedEstimator fitOn(const Dataset &dataset,
+                          const EstimatorSpec &spec);
+
+    /**
+     * The Section 5.3 accounting ablation: the same spec calibrated
+     * on the unaccounted dataset.
+     *
+     * @param spec Estimator description.
+     * @return The estimator fitted without the accounting procedure.
+     */
+    FittedEstimator ablate(const EstimatorSpec &spec);
+
+    // ------------------------------------------------- prediction
+
+    /**
+     * Point estimate plus uncertainty for one component.
+     *
+     * @param estimator A calibrated estimator.
+     * @param metrics   The component's measured metric values.
+     * @param rho       Productivity of the designing team.
+     * @return Median, mean, and the 90% interval.
+     */
+    Prediction predict(const FittedEstimator &estimator,
+                       const MetricValues &metrics,
+                       double rho = 1.0) const;
+
+    // ----------------------------------------------------- early
+
+    /**
+     * An early estimator (Section 7) wired to the session cache, so
+     * its calibration syntheses memoize.
+     *
+     * @param design     Parameterized component design; must outlive
+     *                   the returned estimator.
+     * @param top        Top module name.
+     * @param param_name Scaled parameter.
+     * @return The estimator (not yet calibrated).
+     */
+    EarlyEstimator earlyEstimator(const Design &design,
+                                  const std::string &top,
+                                  const std::string &param_name);
+
+  private:
+    MeasureOptions measureOptions(AccountingMode mode);
+
+    SessionConfig config_;
+    ExecContext ctx_;
+    ArtifactCache cache_;
+};
+
+} // namespace ucx
+
+#endif // UCX_ENGINE_SESSION_HH

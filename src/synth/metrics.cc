@@ -1,9 +1,6 @@
 #include "synth/metrics.hh"
 
-#include "obs/metrics.hh"
-#include "obs/span.hh"
-#include "synth/lower.hh"
-#include "synth/power.hh"
+#include "synth/pass.hh"
 
 namespace ucx
 {
@@ -11,51 +8,7 @@ namespace ucx
 SynthMetrics
 synthesize(const RtlDesign &rtl)
 {
-    obs::ScopedSpan span("synth.synthesize");
-    Netlist netlist = lowerToGates(rtl);
-
-    SynthMetrics m;
-    m.gateCount = netlist.gates.size();
-    m.nets = netlist.numNets();
-    m.ffs = netlist.numDffs();
-
-    CellMapping cells = mapToCells(netlist);
-    m.cells = cells.cells;
-    m.areaLogicUm2 = cells.areaLogicUm2;
-    m.areaStorageUm2 = cells.areaStorageUm2;
-
-    LutMapping luts = mapToLuts(netlist);
-    m.luts = luts.luts.size();
-    m.lutDepth = luts.maxDepth;
-    m.fanInLC = luts.fanInSum();
-
-    {
-        obs::ScopedSpan cones_span("synth.cones");
-        ConeReport cones = extractCones(netlist);
-        m.fanInLCExact = cones.fanInSum;
-    }
-
-    {
-        obs::ScopedSpan sta_span("synth.sta");
-        TimingReport fpga = staFpga(luts);
-        m.freqMHz = fpga.freqMHz;
-        TimingReport asic = staAsic(netlist);
-        m.freqAsicMHz = asic.freqMHz;
-    }
-
-    {
-        obs::ScopedSpan power_span("synth.power");
-        PowerReport power = estimatePower(netlist, m.freqMHz);
-        m.powerDynamicMw = power.dynamicMw;
-        m.powerStaticUw = power.staticUw;
-    }
-
-    if (obs::enabled()) {
-        static obs::Counter &runs =
-            obs::counter("synth.synthesize.runs");
-        runs.add(1);
-    }
-    return m;
+    return synthesizeWithPasses(rtl);
 }
 
 } // namespace ucx

@@ -1,8 +1,10 @@
 /**
  * @file
- * Synthesis-metric driver: runs the full flow (lowering, cell
- * mapping, LUT mapping, timing, power, cones) on an elaborated
- * design and produces the nine synthesis metrics of paper Table 3.
+ * Synthesis metrics: the nine synthesis columns of paper Table 3,
+ * produced by running the pass-manager pipeline (pass.hh) over an
+ * elaborated design. synthesize() is the uncached convenience entry
+ * point; synthesizeWithPasses() adds pass configuration and artifact
+ * memoization.
  */
 
 #ifndef UCX_SYNTH_METRICS_HH

@@ -1,0 +1,244 @@
+#include "synth/pass.hh"
+
+#include "obs/metrics.hh"
+#include "obs/span.hh"
+#include "synth/lower.hh"
+#include "util/error.hh"
+
+namespace ucx
+{
+
+namespace
+{
+
+/** Wrap a typed artifact producer into the Pass function triple. */
+template <typename T>
+Pass
+makePass(std::string name,
+         std::shared_ptr<const T> PipelineContext::*slot,
+         std::function<T(PipelineContext &)> produce)
+{
+    Pass pass;
+    pass.name = std::move(name);
+    pass.artifactType = &typeid(T);
+    pass.run = [slot, produce = std::move(produce)](
+                   PipelineContext &ctx) {
+        ctx.*slot = std::make_shared<const T>(produce(ctx));
+    };
+    pass.save = [slot](const PipelineContext &ctx) {
+        return std::static_pointer_cast<const void>(ctx.*slot);
+    };
+    pass.load = [slot](PipelineContext &ctx,
+                       std::shared_ptr<const void> artifact) {
+        ctx.*slot = std::static_pointer_cast<const T>(artifact);
+    };
+    return pass;
+}
+
+SynthMetrics
+assembleMetrics(const PipelineContext &ctx)
+{
+    ensure(ctx.netlist && ctx.cells && ctx.luts && ctx.cones &&
+               ctx.timing && ctx.power,
+           "metrics pass needs every upstream artifact");
+    SynthMetrics m;
+    m.gateCount = ctx.netlist->gates.size();
+    m.nets = ctx.netlist->numNets();
+    m.ffs = ctx.netlist->numDffs();
+    m.cells = ctx.cells->cells;
+    m.areaLogicUm2 = ctx.cells->areaLogicUm2;
+    m.areaStorageUm2 = ctx.cells->areaStorageUm2;
+    m.luts = ctx.luts->luts.size();
+    m.lutDepth = ctx.luts->maxDepth;
+    m.fanInLC = ctx.luts->fanInSum();
+    m.fanInLCExact = ctx.cones->fanInSum;
+    m.freqMHz = ctx.timing->fpga.freqMHz;
+    m.freqAsicMHz = ctx.timing->asic.freqMHz;
+    m.powerDynamicMw = ctx.power->dynamicMw;
+    m.powerStaticUw = ctx.power->staticUw;
+    return m;
+}
+
+} // namespace
+
+uint64_t
+PassConfig::fingerprint() const
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (GateOp op :
+         {GateOp::Not, GateOp::And, GateOp::Or, GateOp::Xor,
+          GateOp::Mux, GateOp::Dff}) {
+        const CellSpec &cell = library.cellFor(op);
+        h = fnv1aMix(h, cell.areaUm2);
+        h = fnv1aMix(h, cell.delayNs);
+        h = fnv1aMix(h, cell.leakUw);
+        h = fnv1aMix(h, cell.energyPj);
+    }
+    h = fnv1aMix(h, library.fanoutDelayNs);
+    h = fnv1aMix(h, library.ramBitAreaUm2);
+    h = fnv1aMix(h, library.ramBitLeakUw);
+    h = fnv1aMix(h, library.dffSetupNs);
+    h = fnv1aMix(h, library.dffClkQNs);
+    h = fnv1aMix(h, static_cast<uint64_t>(fabric.lutInputs));
+    h = fnv1aMix(h, fabric.lutDelayNs);
+    h = fnv1aMix(h, fabric.routeDelayNs);
+    h = fnv1aMix(h, fabric.ffOverheadNs);
+    h = fnv1aMix(h, power.combActivity);
+    h = fnv1aMix(h, power.seqActivity);
+    h = fnv1aMix(h, power.clockActivity);
+    h = fnv1aMix(h, power.clockPinEnergyPj);
+    return h;
+}
+
+const std::vector<Pass> &
+defaultPassList()
+{
+    static const std::vector<Pass> passes = [] {
+        std::vector<Pass> p;
+        p.push_back(makePass<Netlist>(
+            "lower", &PipelineContext::netlist,
+            [](PipelineContext &ctx) {
+                return lowerToGates(*ctx.rtl);
+            }));
+        p.push_back(makePass<CellMapping>(
+            "techmap", &PipelineContext::cells,
+            [](PipelineContext &ctx) {
+                ensure(ctx.netlist != nullptr,
+                       "techmap pass needs the lowered netlist");
+                return mapToCells(*ctx.netlist, ctx.config.library);
+            }));
+        p.push_back(makePass<LutMapping>(
+            "lutmap", &PipelineContext::luts,
+            [](PipelineContext &ctx) {
+                ensure(ctx.netlist != nullptr,
+                       "lutmap pass needs the lowered netlist");
+                return mapToLuts(*ctx.netlist, ctx.config.fabric);
+            }));
+        p.push_back(makePass<ConeReport>(
+            "cones", &PipelineContext::cones,
+            [](PipelineContext &ctx) {
+                ensure(ctx.netlist != nullptr,
+                       "cones pass needs the lowered netlist");
+                return extractCones(*ctx.netlist);
+            }));
+        p.push_back(makePass<TimingSummary>(
+            "timing", &PipelineContext::timing,
+            [](PipelineContext &ctx) {
+                ensure(ctx.netlist && ctx.luts,
+                       "timing pass needs netlist and LUT cover");
+                TimingSummary t;
+                t.fpga = staFpga(*ctx.luts, ctx.config.fabric);
+                t.asic = staAsic(*ctx.netlist, ctx.config.library);
+                return t;
+            }));
+        p.push_back(makePass<PowerReport>(
+            "power", &PipelineContext::power,
+            [](PipelineContext &ctx) {
+                ensure(ctx.netlist && ctx.timing,
+                       "power pass needs netlist and timing");
+                return estimatePower(*ctx.netlist,
+                                     ctx.timing->fpga.freqMHz,
+                                     ctx.config.library,
+                                     ctx.config.power);
+            }));
+        p.push_back(makePass<SynthMetrics>(
+            "metrics", &PipelineContext::metrics,
+            [](PipelineContext &ctx) {
+                return assembleMetrics(ctx);
+            }));
+        return p;
+    }();
+    return passes;
+}
+
+PipelineContext
+runPasses(const RtlDesign &rtl, const std::vector<Pass> &passes,
+          const PassConfig &config, const PipelineRun &run)
+{
+    require(!run.cache || !run.base.empty(),
+            "a cached pipeline run needs a base key");
+    PipelineContext ctx;
+    ctx.rtl = &rtl;
+    ctx.config = config;
+    for (const Pass &pass : passes) {
+        obs::ScopedSpan span("synth.pass." + pass.name);
+        if (run.cache) {
+            CacheKey key = run.base.child(pass.name);
+            if (auto cached =
+                    run.cache->getRaw(key, *pass.artifactType)) {
+                pass.load(ctx, std::move(cached));
+                if (obs::enabled()) {
+                    obs::counter("synth.pass." + pass.name +
+                                 ".cache_hits")
+                        .add(1);
+                }
+                continue;
+            }
+            pass.run(ctx);
+            run.cache->putRaw(key, pass.save(ctx),
+                              *pass.artifactType);
+        } else {
+            pass.run(ctx);
+        }
+        if (obs::enabled()) {
+            obs::counter("synth.pass." + pass.name + ".runs")
+                .add(1);
+        }
+    }
+    return ctx;
+}
+
+SynthMetrics
+synthesizeWithPasses(const RtlDesign &rtl, const PassConfig &config,
+                     const PipelineRun &run)
+{
+    obs::ScopedSpan span("synth.synthesize");
+    PipelineContext ctx =
+        runPasses(rtl, defaultPassList(), config, run);
+    ensure(ctx.metrics != nullptr,
+           "pipeline finished without a metrics artifact");
+    if (obs::enabled()) {
+        static obs::Counter &runs =
+            obs::counter("synth.synthesize.runs");
+        runs.add(1);
+    }
+    return *ctx.metrics;
+}
+
+CacheKey
+elabCacheKey(const Design &design, const std::string &top,
+             const ElabOptions &opts)
+{
+    CacheKey key("elab");
+    key.addHash(fnv1a(design.sourceText()));
+    key.add(top);
+    key.addParams(opts.topParams);
+    key.add(static_cast<int64_t>(opts.maxLoopIterations));
+    key.add(static_cast<int64_t>(opts.maxDepth));
+    key.add(opts.blackBoxChildren ? "bb" : "full");
+    return key;
+}
+
+CacheKey
+synthCacheKey(const CacheKey &elab_key, const PassConfig &config)
+{
+    CacheKey key = elab_key;
+    key.add("synth");
+    key.addHash(config.fingerprint());
+    return key;
+}
+
+std::shared_ptr<const ElabResult>
+elaborateShared(const Design &design, const std::string &top,
+                const ElabOptions &opts, ArtifactCache *cache)
+{
+    if (!cache) {
+        return std::make_shared<const ElabResult>(
+            elaborate(design, top, opts));
+    }
+    return cache->getOrCompute<ElabResult>(
+        elabCacheKey(design, top, opts),
+        [&] { return elaborate(design, top, opts); });
+}
+
+} // namespace ucx

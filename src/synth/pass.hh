@@ -1,0 +1,197 @@
+/**
+ * @file
+ * The synthesis pass manager.
+ *
+ * The flow that used to be a hard-wired call chain inside
+ * synthesize() is an explicit pipeline: each stage is a named Pass
+ * over a shared PipelineContext, and the stage list is declarative
+ * data (defaultPassList()) instead of code. The default pipeline is
+ *
+ *     lower ──► techmap ──► lutmap ──► cones ──► timing ──► power
+ *       │          │           │         │          │         │
+ *       ▼          ▼           ▼         ▼          ▼         ▼
+ *     Netlist  CellMapping LutMapping ConeReport TimingSummary PowerReport
+ *                                   └───────────► metrics ─► SynthMetrics
+ *
+ * ("lower" covers word-level to gate-level expansion — bit blasting
+ * plus the structural gate expansion of arithmetic.)
+ *
+ * Every pass produces exactly one immutable artifact, held in the
+ * context behind shared_ptr<const T>. That representation is what
+ * makes the pipeline memoizable: given an ArtifactCache and a base
+ * CacheKey (content hash of the elaborated design + the PassConfig
+ * fingerprint), the runner keys each pass's artifact individually,
+ * loads cached artifacts instead of re-running the pass, and stores
+ * fresh ones. Per-pass obs spans ("synth.pass.<name>") and counters
+ * ("synth.pass.<name>.{runs,cache_hits}") expose where time goes.
+ */
+
+#ifndef UCX_SYNTH_PASS_HH
+#define UCX_SYNTH_PASS_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/artifact_cache.hh"
+#include "cache/key.hh"
+#include "hdl/design.hh"
+#include "synth/cones.hh"
+#include "synth/elaborate.hh"
+#include "synth/library.hh"
+#include "synth/mapper.hh"
+#include "synth/metrics.hh"
+#include "synth/netlist.hh"
+#include "synth/power.hh"
+#include "synth/rtl.hh"
+#include "synth/timing.hh"
+
+namespace ucx
+{
+
+/** FPGA and ASIC timing, produced together by the timing pass. */
+struct TimingSummary
+{
+    TimingReport fpga;
+    TimingReport asic;
+};
+
+/** Declarative configuration of the synthesis pipeline. */
+struct PassConfig
+{
+    CellLibrary library = CellLibrary::generic180();
+    FpgaFabric fabric = FpgaFabric::stratix2Like();
+    PowerModelConfig power;
+
+    /**
+     * @return A hash of every numeric model parameter; part of the
+     *         cache key, so artifacts produced under different
+     *         technology assumptions never alias.
+     */
+    uint64_t fingerprint() const;
+};
+
+/** Shared state the passes read and extend. */
+struct PipelineContext
+{
+    const RtlDesign *rtl = nullptr; ///< Input (set by the runner).
+    PassConfig config;
+
+    // One immutable artifact per pass; null until produced (or
+    // loaded from the cache).
+    std::shared_ptr<const Netlist> netlist;
+    std::shared_ptr<const CellMapping> cells;
+    std::shared_ptr<const LutMapping> luts;
+    std::shared_ptr<const ConeReport> cones;
+    std::shared_ptr<const TimingSummary> timing;
+    std::shared_ptr<const PowerReport> power;
+    std::shared_ptr<const SynthMetrics> metrics;
+};
+
+/** One named stage of the synthesis pipeline. */
+struct Pass
+{
+    std::string name; ///< Stage name ("lower", "techmap", ...).
+
+    /** Dynamic type of the artifact (cache type checking). */
+    const std::type_info *artifactType = nullptr;
+
+    /** Produce the pass's artifact from the context. */
+    std::function<void(PipelineContext &)> run;
+
+    /** @return The artifact this pass produced (for caching). */
+    std::function<std::shared_ptr<const void>(
+        const PipelineContext &)>
+        save;
+
+    /** Install a cached artifact instead of running. */
+    std::function<void(PipelineContext &,
+                       std::shared_ptr<const void>)>
+        load;
+};
+
+/** @return The default pipeline (see the file comment's diagram). */
+const std::vector<Pass> &defaultPassList();
+
+/** Cache/observability options of one pipeline run. */
+struct PipelineRun
+{
+    /** Memo store; null runs everything uncached. */
+    ArtifactCache *cache = nullptr;
+
+    /**
+     * Base key identifying the elaborated design content; the
+     * runner derives "<base>|<pass name>" per pass. Required when
+     * cache is set.
+     */
+    CacheKey base;
+};
+
+/**
+ * Run a pass list over an elaborated design.
+ *
+ * @param rtl    Elaborated RTL (outlives the call).
+ * @param passes Stages, in order.
+ * @param config Technology configuration.
+ * @param run    Cache binding.
+ * @return The final context with every artifact populated.
+ */
+PipelineContext runPasses(const RtlDesign &rtl,
+                          const std::vector<Pass> &passes,
+                          const PassConfig &config = {},
+                          const PipelineRun &run = {});
+
+/**
+ * The full default pipeline, returning just the Table 3 metrics —
+ * the memoizing equivalent of synthesize().
+ *
+ * @param rtl    Elaborated RTL.
+ * @param config Technology configuration.
+ * @param run    Cache binding.
+ * @return All synthesis metrics.
+ */
+SynthMetrics synthesizeWithPasses(const RtlDesign &rtl,
+                                  const PassConfig &config = {},
+                                  const PipelineRun &run = {});
+
+/**
+ * Content-addressed key of one elaboration: source-text hash, top
+ * module, parameter binding (verbatim), and elaboration options.
+ *
+ * @param design The design (keyed by its concatenated source text).
+ * @param top    Top module.
+ * @param opts   Elaboration options.
+ * @return The key.
+ */
+CacheKey elabCacheKey(const Design &design, const std::string &top,
+                      const ElabOptions &opts = {});
+
+/**
+ * Key prefix for synthesis artifacts derived from one elaboration
+ * under one pass configuration.
+ *
+ * @param elab_key Output of elabCacheKey.
+ * @param config   Pass configuration.
+ * @return The base key for PipelineRun::base.
+ */
+CacheKey synthCacheKey(const CacheKey &elab_key,
+                       const PassConfig &config);
+
+/**
+ * Memoized elaboration: look the result up by content key, or
+ * elaborate and store it.
+ *
+ * @param design Parsed modules.
+ * @param top    Top module name.
+ * @param opts   Elaboration options.
+ * @param cache  Memo store; null elaborates directly.
+ * @return The (possibly shared) elaboration result.
+ */
+std::shared_ptr<const ElabResult> elaborateShared(
+    const Design &design, const std::string &top,
+    const ElabOptions &opts = {}, ArtifactCache *cache = nullptr);
+
+} // namespace ucx
+
+#endif // UCX_SYNTH_PASS_HH

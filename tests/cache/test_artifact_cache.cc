@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Tests of the content-addressed ArtifactCache and CacheKey: typed
+ * roundtrips, LRU eviction, first-insert-wins, the disabled path,
+ * key construction (distinct parameter bindings never alias), and
+ * thread safety of concurrent memoization.
+ */
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cache/artifact_cache.hh"
+#include "cache/key.hh"
+#include "util/error.hh"
+
+namespace ucx
+{
+namespace
+{
+
+TEST(CacheKey, BuildsCanonicalString)
+{
+    CacheKey key("elab");
+    key.add("alu");
+    key.add(int64_t{7});
+    EXPECT_EQ(key.str(), "elab|alu|7");
+    EXPECT_FALSE(key.empty());
+    EXPECT_TRUE(CacheKey().empty());
+}
+
+TEST(CacheKey, ParamsAreVerbatimSoDistinctBindingsNeverAlias)
+{
+    // The binding is serialized, not hashed: two different
+    // parameterizations cannot collide by construction.
+    CacheKey a("elab");
+    a.addParams({{"W", 8}, {"DEPTH", 4}});
+    CacheKey b("elab");
+    b.addParams({{"W", 4}, {"DEPTH", 8}});
+    CacheKey c("elab");
+    c.addParams({{"W", 8}, {"DEPTH", 4}});
+    EXPECT_NE(a.str(), b.str());
+    EXPECT_EQ(a.str(), c.str());
+    EXPECT_NE(a.str().find("W=8"), std::string::npos);
+}
+
+TEST(CacheKey, ChildExtendsParent)
+{
+    CacheKey base("synth");
+    base.addHash(0x1234u);
+    CacheKey child = base.child("lower");
+    EXPECT_NE(child.str(), base.str());
+    EXPECT_EQ(child.str().find(base.str()), 0u);
+}
+
+TEST(Fnv1a, SeparatesNearbyInputs)
+{
+    EXPECT_NE(fnv1a("a"), fnv1a("b"));
+    EXPECT_NE(fnv1aMix(1, 2.0), fnv1aMix(1, 2.5));
+    EXPECT_NE(fnv1aMix(1, uint64_t{2}), fnv1aMix(2, uint64_t{1}));
+    // Stable across calls (content-addressed keys must be).
+    EXPECT_EQ(fnv1a("alu"), fnv1a("alu"));
+}
+
+TEST(ArtifactCache, TypedRoundtrip)
+{
+    ArtifactCache cache(8);
+    CacheKey key("t");
+    key.add("x");
+    EXPECT_EQ(cache.get<int>(key), nullptr);
+    cache.put<int>(key, std::make_shared<const int>(42));
+    auto hit = cache.get<int>(key);
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(*hit, 42);
+}
+
+TEST(ArtifactCache, FirstInsertWins)
+{
+    ArtifactCache cache(8);
+    CacheKey key("t");
+    key.add("x");
+    cache.put<int>(key, std::make_shared<const int>(1));
+    cache.put<int>(key, std::make_shared<const int>(2));
+    EXPECT_EQ(*cache.get<int>(key), 1);
+}
+
+TEST(ArtifactCache, TypeMismatchPanics)
+{
+    ArtifactCache cache(8);
+    CacheKey key("t");
+    key.add("x");
+    cache.put<int>(key, std::make_shared<const int>(1));
+    EXPECT_THROW(cache.get<double>(key), UcxPanic);
+}
+
+TEST(ArtifactCache, EvictsLeastRecentlyUsed)
+{
+    ArtifactCache cache(2);
+    CacheKey a("k");
+    a.add("a");
+    CacheKey b("k");
+    b.add("b");
+    CacheKey c("k");
+    c.add("c");
+    cache.put<int>(a, std::make_shared<const int>(1));
+    cache.put<int>(b, std::make_shared<const int>(2));
+    // Touch a so b becomes the LRU entry.
+    EXPECT_NE(cache.get<int>(a), nullptr);
+    cache.put<int>(c, std::make_shared<const int>(3));
+    EXPECT_EQ(cache.get<int>(b), nullptr);
+    EXPECT_NE(cache.get<int>(a), nullptr);
+    EXPECT_NE(cache.get<int>(c), nullptr);
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    EXPECT_EQ(cache.stats().entries, 2u);
+}
+
+TEST(ArtifactCache, DisabledCacheMissesAndDropsInserts)
+{
+    ArtifactCache cache(8, /*enabled=*/false);
+    CacheKey key("t");
+    key.add("x");
+    EXPECT_FALSE(cache.enabled());
+    cache.put<int>(key, std::make_shared<const int>(42));
+    EXPECT_EQ(cache.get<int>(key), nullptr);
+    EXPECT_EQ(cache.stats().entries, 0u);
+
+    cache.setEnabled(true);
+    cache.put<int>(key, std::make_shared<const int>(42));
+    EXPECT_NE(cache.get<int>(key), nullptr);
+}
+
+TEST(ArtifactCache, GetOrComputeMemoizes)
+{
+    ArtifactCache cache(8);
+    CacheKey key("t");
+    key.add("x");
+    int calls = 0;
+    auto compute = [&] {
+        ++calls;
+        return 7;
+    };
+    auto first = cache.getOrCompute<int>(key, compute);
+    auto second = cache.getOrCompute<int>(key, compute);
+    EXPECT_EQ(*first, 7);
+    EXPECT_EQ(calls, 1);
+    EXPECT_EQ(first.get(), second.get()); // shared storage
+    EXPECT_GE(cache.stats().hits, 1u);
+}
+
+TEST(ArtifactCache, StatsTrackHitsAndMisses)
+{
+    ArtifactCache cache(8);
+    CacheKey key("t");
+    key.add("x");
+    EXPECT_EQ(cache.get<int>(key), nullptr); // miss
+    cache.put<int>(key, std::make_shared<const int>(1));
+    cache.get<int>(key); // hit
+    ArtifactCache::Stats s = cache.stats();
+    EXPECT_EQ(s.misses, 1u);
+    EXPECT_EQ(s.hits, 1u);
+    EXPECT_DOUBLE_EQ(s.hitRate(), 0.5);
+    cache.clear();
+    EXPECT_EQ(cache.stats().entries, 0u);
+    // Statistics survive clear().
+    EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(ArtifactCache, ConcurrentGetOrComputeIsSafeAndConsistent)
+{
+    // 8 threads hammer 16 keys; every thread must observe the same
+    // value per key and the cache must stay structurally sound.
+    ArtifactCache cache(64);
+    constexpr int kThreads = 8;
+    constexpr int kKeys = 16;
+    constexpr int kRounds = 200;
+    std::atomic<int> mismatches{0};
+
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&] {
+            for (int r = 0; r < kRounds; ++r) {
+                int k = r % kKeys;
+                CacheKey key("conc");
+                key.add(int64_t{k});
+                auto v = cache.getOrCompute<int>(
+                    key, [&] { return k * 3; });
+                if (*v != k * 3)
+                    mismatches.fetch_add(1);
+            }
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+
+    EXPECT_EQ(mismatches.load(), 0);
+    EXPECT_EQ(cache.stats().entries, static_cast<size_t>(kKeys));
+    for (int k = 0; k < kKeys; ++k) {
+        CacheKey key("conc");
+        key.add(int64_t{k});
+        auto v = cache.get<int>(key);
+        ASSERT_NE(v, nullptr);
+        EXPECT_EQ(*v, k * 3);
+    }
+}
+
+} // namespace
+} // namespace ucx

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * The cache's core contract: caching can skip work but never change
+ * a result. Every comparison here is exact (==, not near) — a cache
+ * hit must be byte-identical to a recompute, cold or warm, serial
+ * or through an 8-thread pool, and distinct parameter bindings must
+ * never alias to each other's artifacts.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/measure.hh"
+#include "designs/registry.hh"
+#include "exec/context.hh"
+#include "synth/pass.hh"
+#include "util/error.hh"
+
+namespace ucx
+{
+namespace
+{
+
+void
+expectIdentical(const ComponentMeasurement &a,
+                const ComponentMeasurement &b)
+{
+    for (Metric m : allMetrics()) {
+        size_t i = static_cast<size_t>(m);
+        EXPECT_EQ(a.metrics[i], b.metrics[i]) << metricName(m);
+    }
+    EXPECT_EQ(a.moduleCounts, b.moduleCounts);
+    EXPECT_EQ(a.measuredParams, b.measuredParams);
+}
+
+void
+expectIdentical(const SynthMetrics &a, const SynthMetrics &b)
+{
+    EXPECT_EQ(a.gateCount, b.gateCount);
+    EXPECT_EQ(a.nets, b.nets);
+    EXPECT_EQ(a.ffs, b.ffs);
+    EXPECT_EQ(a.cells, b.cells);
+    EXPECT_EQ(a.luts, b.luts);
+    EXPECT_EQ(a.lutDepth, b.lutDepth);
+    EXPECT_EQ(a.fanInLC, b.fanInLC);
+    EXPECT_EQ(a.fanInLCExact, b.fanInLCExact);
+    EXPECT_EQ(a.freqMHz, b.freqMHz);
+    EXPECT_EQ(a.freqAsicMHz, b.freqAsicMHz);
+    EXPECT_EQ(a.areaLogicUm2, b.areaLogicUm2);
+    EXPECT_EQ(a.areaStorageUm2, b.areaStorageUm2);
+    EXPECT_EQ(a.powerDynamicMw, b.powerDynamicMw);
+    EXPECT_EQ(a.powerStaticUw, b.powerStaticUw);
+}
+
+TEST(CacheCorrectness, MeasurementIdenticalCacheOnAndOff)
+{
+    for (const char *name : {"alu", "exec_cluster", "mmu_lite"}) {
+        const ShippedDesign &sd = shippedDesign(name);
+        Design design = sd.load();
+
+        ComponentMeasurement plain =
+            measureComponent(design, sd.top);
+
+        ArtifactCache cache;
+        MeasureOptions opts;
+        opts.cache = &cache;
+        ComponentMeasurement cached =
+            measureComponent(design, sd.top, opts);
+        expectIdentical(plain, cached);
+    }
+}
+
+TEST(CacheCorrectness, ColdAndWarmMeasurementsIdentical)
+{
+    const ShippedDesign &sd = shippedDesign("issue_queue");
+    Design design = sd.load();
+
+    ArtifactCache cache;
+    MeasureOptions opts;
+    opts.cache = &cache;
+    ComponentMeasurement cold =
+        measureComponent(design, sd.top, opts);
+    uint64_t misses_after_cold = cache.stats().misses;
+
+    ComponentMeasurement warm =
+        measureComponent(design, sd.top, opts);
+    expectIdentical(cold, warm);
+
+    // The warm run is answered from the cache: the whole-measurement
+    // memo hits and no new misses accrue.
+    EXPECT_EQ(cache.stats().misses, misses_after_cold);
+    EXPECT_GT(cache.stats().hits, 0u);
+}
+
+TEST(CacheCorrectness, WithoutProcedureModeAlsoIdentical)
+{
+    const ShippedDesign &sd = shippedDesign("exec_cluster");
+    Design design = sd.load();
+
+    MeasureOptions plain_opts;
+    plain_opts.mode = AccountingMode::WithoutProcedure;
+    ComponentMeasurement plain =
+        measureComponent(design, sd.top, plain_opts);
+
+    ArtifactCache cache;
+    MeasureOptions cached_opts = plain_opts;
+    cached_opts.cache = &cache;
+    ComponentMeasurement cached =
+        measureComponent(design, sd.top, cached_opts);
+    expectIdentical(plain, cached);
+}
+
+TEST(CacheCorrectness, AccountingModesNeverShareEntries)
+{
+    // One shared cache, both accounting modes: the mode is part of
+    // the key, so the (different) results must not cross-pollute.
+    const ShippedDesign &sd = shippedDesign("exec_cluster");
+    Design design = sd.load();
+
+    ArtifactCache cache;
+    MeasureOptions with;
+    with.cache = &cache;
+    MeasureOptions without;
+    without.mode = AccountingMode::WithoutProcedure;
+    without.cache = &cache;
+
+    ComponentMeasurement a = measureComponent(design, sd.top, with);
+    ComponentMeasurement b =
+        measureComponent(design, sd.top, without);
+    // exec_cluster multiply instantiates the ALU, so flattening
+    // must inflate Cells; equality would mean key aliasing.
+    EXPECT_GT(b.metrics[static_cast<size_t>(Metric::Cells)],
+              a.metrics[static_cast<size_t>(Metric::Cells)]);
+    expectIdentical(a, measureComponent(design, sd.top, with));
+    expectIdentical(b, measureComponent(design, sd.top, without));
+}
+
+TEST(CacheCorrectness, DistinctParameterBindingsNeverAlias)
+{
+    // Same design, same top, different parameter binding -> keys
+    // differ, and a shared cache returns the right artifacts for
+    // each binding (compared against uncached runs).
+    const ShippedDesign &sd = shippedDesign("alu");
+    Design design = sd.load();
+
+    ElabOptions w4;
+    w4.topParams["W"] = 4;
+    ElabOptions w8;
+    w8.topParams["W"] = 8;
+    EXPECT_NE(elabCacheKey(design, sd.top, w4).str(),
+              elabCacheKey(design, sd.top, w8).str());
+
+    ArtifactCache cache;
+    auto through = [&](const ElabOptions &opts,
+                       ArtifactCache *c) {
+        auto elab = elaborateShared(design, sd.top, opts, c);
+        PipelineRun run;
+        if (c) {
+            run.cache = c;
+            run.base = synthCacheKey(
+                elabCacheKey(design, sd.top, opts), {});
+        }
+        return synthesizeWithPasses(elab->rtl, {}, run);
+    };
+
+    SynthMetrics cached4 = through(w4, &cache);
+    SynthMetrics cached8 = through(w8, &cache);
+    expectIdentical(cached4, through(w4, nullptr));
+    expectIdentical(cached8, through(w8, nullptr));
+    EXPECT_NE(cached4.cells, cached8.cells);
+
+    // Warm repeats with both bindings resident stay correct.
+    expectIdentical(cached4, through(w4, &cache));
+    expectIdentical(cached8, through(w8, &cache));
+}
+
+TEST(CacheCorrectness, BuildAllIdenticalAcrossThreadsAndCache)
+{
+    std::vector<BuiltDesign> reference = buildAll();
+
+    ArtifactCache cache;
+    for (size_t threads : {size_t{1}, size_t{8}}) {
+        ExecContext ctx = ExecContext::withThreads(threads);
+        std::vector<BuiltDesign> built = buildAll(ctx, &cache);
+        ASSERT_EQ(built.size(), reference.size());
+        for (size_t i = 0; i < built.size(); ++i) {
+            EXPECT_EQ(built[i].name, reference[i].name);
+            expectIdentical(built[i].metrics,
+                            reference[i].metrics);
+        }
+    }
+    EXPECT_GT(cache.stats().hits, 0u); // second sweep was warm
+}
+
+TEST(CacheCorrectness, ParallelBuildSharesOneCacheSafely)
+{
+    // 8 workers populate one cache concurrently (cold), then a warm
+    // serial pass must reproduce the same metrics from the cached
+    // artifacts alone.
+    ArtifactCache cache;
+    ExecContext ctx = ExecContext::withThreads(8);
+    std::vector<BuiltDesign> cold = buildAll(ctx, &cache);
+
+    uint64_t misses_after_cold = cache.stats().misses;
+    std::vector<BuiltDesign> warm =
+        buildAll(ExecContext::serial(), &cache);
+    EXPECT_EQ(cache.stats().misses, misses_after_cold);
+    for (size_t i = 0; i < cold.size(); ++i)
+        expectIdentical(cold[i].metrics, warm[i].metrics);
+}
+
+TEST(CacheCorrectness, MeasureErrorNamesTheComponent)
+{
+    Design d;
+    d.addSource("module broken (input wire a, output wire y);\n"
+                "  assign y = nosuchwire;\n"
+                "endmodule");
+    try {
+        measureComponent(d, "broken");
+        FAIL() << "expected UcxError";
+    } catch (const UcxError &e) {
+        EXPECT_NE(std::string(e.what()).find("component 'broken'"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+} // namespace
+} // namespace ucx

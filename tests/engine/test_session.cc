@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Tests of the EstimationSession facade: fits match the underlying
+ * fitEstimator/fitDee1 entry points exactly, memoization goes
+ * through the session cache, predictions match the FittedEstimator
+ * methods, the accounting ablation uses the no-accounting dataset,
+ * and measurement errors carry the component name.
+ */
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "data/paper_data.hh"
+#include "engine/session.hh"
+#include "util/error.hh"
+
+namespace ucx
+{
+namespace
+{
+
+void
+expectSameFit(const FittedEstimator &a, const FittedEstimator &b)
+{
+    ASSERT_EQ(a.metrics(), b.metrics());
+    ASSERT_EQ(a.weights().size(), b.weights().size());
+    for (size_t i = 0; i < a.weights().size(); ++i)
+        EXPECT_EQ(a.weights()[i], b.weights()[i]);
+    EXPECT_EQ(a.sigmaEps(), b.sigmaEps());
+    EXPECT_EQ(a.sigmaRho(), b.sigmaRho());
+    EXPECT_EQ(a.logLik(), b.logLik());
+    EXPECT_EQ(a.productivities(), b.productivities());
+}
+
+TEST(EstimatorSpec, NamesAndFingerprints)
+{
+    EstimatorSpec dee1 = EstimatorSpec::dee1();
+    EXPECT_EQ(dee1.name(), "Stmts+FanInLC");
+    EXPECT_EQ(dee1.fingerprint(), "Stmts+FanInLC|mixed|clamp");
+
+    EstimatorSpec pooled =
+        EstimatorSpec::single(Metric::Nets, FitMode::Pooled);
+    EXPECT_EQ(pooled.fingerprint(), "Nets|pooled|clamp");
+    EXPECT_NE(dee1.fingerprint(),
+              EstimatorSpec::dee1(FitMode::Pooled).fingerprint());
+}
+
+TEST(Session, FitMatchesDirectFitDee1)
+{
+    EstimationSession session;
+    FittedEstimator ours = session.fit(EstimatorSpec::dee1());
+    FittedEstimator direct = fitDee1(
+        paperDataset(), FitMode::MixedEffects, session.exec());
+    expectSameFit(ours, direct);
+}
+
+TEST(Session, SingleMetricFitMatchesDirectFit)
+{
+    EstimationSession session;
+    FittedEstimator ours =
+        session.fit(EstimatorSpec::single(Metric::Nets));
+    FittedEstimator direct =
+        fitEstimator(paperDataset(), {Metric::Nets},
+                     FitMode::MixedEffects, ZeroPolicy::ClampToOne,
+                     session.exec());
+    expectSameFit(ours, direct);
+}
+
+TEST(Session, FitIsMemoizedInTheSessionCache)
+{
+    EstimationSession session;
+    FittedEstimator first = session.fit(EstimatorSpec::dee1());
+    uint64_t misses = session.cache().stats().misses;
+    uint64_t hits = session.cache().stats().hits;
+
+    FittedEstimator second = session.fit(EstimatorSpec::dee1());
+    expectSameFit(first, second);
+    EXPECT_EQ(session.cache().stats().misses, misses);
+    EXPECT_EQ(session.cache().stats().hits, hits + 1);
+}
+
+TEST(Session, DisabledCacheStillGivesIdenticalFits)
+{
+    SessionConfig off;
+    off.cacheEnabled = false;
+    EstimationSession uncached(off, ExecContext::serial());
+    EstimationSession cached(SessionConfig{},
+                             ExecContext::serial());
+    expectSameFit(uncached.fit(EstimatorSpec::dee1()),
+                  cached.fit(EstimatorSpec::dee1()));
+    EXPECT_EQ(uncached.cache().stats().entries, 0u);
+}
+
+TEST(Session, AblateFitsTheNoAccountingDataset)
+{
+    EstimationSession session;
+    FittedEstimator ablated =
+        session.ablate(EstimatorSpec::single(Metric::FanInLC));
+    FittedEstimator direct = fitEstimator(
+        paperDatasetNoAccounting(), {Metric::FanInLC},
+        FitMode::MixedEffects, ZeroPolicy::ClampToOne,
+        session.exec());
+    expectSameFit(ablated, direct);
+
+    // The two datasets must key separately: fitting both leaves
+    // both cached, and re-fitting either is pure hits.
+    session.fit(EstimatorSpec::single(Metric::FanInLC));
+    uint64_t misses = session.cache().stats().misses;
+    session.ablate(EstimatorSpec::single(Metric::FanInLC));
+    session.fit(EstimatorSpec::single(Metric::FanInLC));
+    EXPECT_EQ(session.cache().stats().misses, misses);
+}
+
+TEST(Session, PredictMatchesEstimatorMethods)
+{
+    EstimationSession session;
+    FittedEstimator dee1 = session.fit(EstimatorSpec::dee1());
+
+    MetricValues v{};
+    v[static_cast<size_t>(Metric::Stmts)] = 1500;
+    v[static_cast<size_t>(Metric::FanInLC)] = 9000;
+
+    Prediction p = session.predict(dee1, v, 0.8);
+    EXPECT_EQ(p.median, dee1.predictMedian(v, 0.8));
+    EXPECT_EQ(p.mean, dee1.predictMean(v, 0.8));
+    auto [lo, hi] = dee1.confidenceInterval(p.median, 0.90);
+    EXPECT_EQ(p.lo90, lo);
+    EXPECT_EQ(p.hi90, hi);
+    EXPECT_LT(p.lo90, p.median);
+    EXPECT_GT(p.hi90, p.median);
+}
+
+TEST(Session, MeasureShippedMatchesUncachedMeasure)
+{
+    EstimationSession session;
+    ComponentMeasurement ours = session.measureShipped("alu");
+
+    const ShippedDesign &sd = shippedDesign("alu");
+    Design design = sd.load();
+    ComponentMeasurement direct = measureComponent(design, sd.top);
+    for (Metric m : allMetrics()) {
+        size_t i = static_cast<size_t>(m);
+        EXPECT_EQ(ours.metrics[i], direct.metrics[i])
+            << metricName(m);
+    }
+    EXPECT_EQ(ours.moduleCounts, direct.moduleCounts);
+}
+
+TEST(Session, BuildShippedMatchesBuildAll)
+{
+    EstimationSession session;
+    std::vector<BuiltDesign> ours = session.buildShipped();
+    std::vector<BuiltDesign> direct = buildAll();
+    ASSERT_EQ(ours.size(), direct.size());
+    for (size_t i = 0; i < ours.size(); ++i) {
+        EXPECT_EQ(ours[i].name, direct[i].name);
+        EXPECT_EQ(ours[i].metrics.cells, direct[i].metrics.cells);
+        EXPECT_EQ(ours[i].metrics.freqMHz,
+                  direct[i].metrics.freqMHz);
+    }
+}
+
+TEST(Session, SynthesisReportMatchesDirectChain)
+{
+    EstimationSession session;
+    DesignReport r = session.synthesisReport("fetch");
+    EXPECT_EQ(r.name, "fetch");
+
+    std::vector<BuiltDesign> built = buildAll();
+    const BuiltDesign *fetch = nullptr;
+    for (const auto &b : built)
+        if (b.name == "fetch")
+            fetch = &b;
+    ASSERT_NE(fetch, nullptr);
+    EXPECT_EQ(r.fpga.freqMHz, fetch->metrics.freqMHz);
+    EXPECT_EQ(r.asic.freqMHz, fetch->metrics.freqAsicMHz);
+    EXPECT_EQ(r.report.totalLuts, fetch->metrics.luts);
+}
+
+TEST(Session, MeasureErrorNamesComponent)
+{
+    EstimationSession session;
+    Design d;
+    d.addSource("module broken (input wire a, output wire y);\n"
+                "  assign y = nosuchwire;\n"
+                "endmodule");
+    try {
+        session.measure(d, "broken");
+        FAIL() << "expected UcxError";
+    } catch (const UcxError &e) {
+        EXPECT_NE(std::string(e.what()).find("component 'broken'"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(Session, EarlyEstimatorUsesSessionCache)
+{
+    EstimationSession session;
+    const ShippedDesign &sd = shippedDesign("mmu_lite");
+    Design design = sd.load();
+
+    EarlyEstimator early =
+        session.earlyEstimator(design, sd.top, "ENTRIES");
+    early.calibrate({2, 4});
+    EXPECT_GT(session.cache().stats().entries, 0u);
+
+    // The uncached path agrees exactly.
+    EarlyEstimator plain(design, sd.top, "ENTRIES");
+    plain.calibrate({2, 4});
+    MetricValues a = early.predictMetrics(16);
+    MetricValues b = plain.predictMetrics(16);
+    for (Metric m : allMetrics()) {
+        size_t i = static_cast<size_t>(m);
+        EXPECT_EQ(a[i], b[i]) << metricName(m);
+    }
+}
+
+TEST(Session, ConfigFromEnvDefaults)
+{
+    // Default env in CI: cache on, capacity positive.
+    SessionConfig cfg = SessionConfig::fromEnv();
+    EXPECT_GT(cfg.cacheCapacity, 0u);
+}
+
+} // namespace
+} // namespace ucx
