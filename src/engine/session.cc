@@ -1,5 +1,8 @@
 #include "engine/session.hh"
 
+#include <cstdlib>
+#include <cstring>
+
 #include "data/paper_data.hh"
 #include "synth/elaborate.hh"
 #include "util/error.hh"
@@ -93,6 +96,8 @@ SessionConfig::fromEnv()
     SessionConfig config;
     config.cacheEnabled = ArtifactCache::enabledFromEnv();
     config.cacheCapacity = ArtifactCache::defaultCapacity();
+    const char *lint = std::getenv("UCX_LINT");
+    config.lintEnabled = !(lint && std::strcmp(lint, "0") == 0);
     return config;
 }
 
@@ -118,6 +123,20 @@ EstimationSession::measure(const Design &design,
                            const std::string &top,
                            AccountingMode mode)
 {
+    if (config_.lintEnabled) {
+        // Cheap pre-measure gate: AST and RTL-level rules only (the
+        // netlist rules need the lowering a comb-loop would break).
+        LintRunOptions opts;
+        opts.config = config_.passes;
+        opts.cache = &cache_;
+        opts.netlistRules = false;
+        LintReport report = lintHdlDesign(design, top, top, opts);
+        recordLintObs(report);
+        if (const LintDiagnostic *d =
+                report.firstAtLeast(LintSeverity::Error))
+            throw UcxError("component '" + top + "': lint [" +
+                           d->rule + "] " + d->message);
+    }
     return measureComponent(design, top, measureOptions(mode));
 }
 
@@ -179,12 +198,75 @@ EstimationSession::fit(const EstimatorSpec &spec)
     return fitOn(accountedDataset(), spec);
 }
 
+LintReport
+EstimationSession::lint(const Design &design,
+                        const std::string &top,
+                        const std::string &design_name)
+{
+    LintRunOptions opts;
+    opts.config = config_.passes;
+    opts.cache = &cache_;
+    LintReport report = lintHdlDesign(
+        design, top, design_name.empty() ? top : design_name, opts);
+    recordLintObs(report);
+    return report;
+}
+
+LintReport
+EstimationSession::lintShipped(const std::string &name)
+{
+    const ShippedDesign &sd = shippedDesign(name);
+    Design design = sd.load();
+    return lint(design, sd.top, sd.name);
+}
+
+LintReport
+EstimationSession::lintAllShipped()
+{
+    const std::vector<ShippedDesign> &designs = shippedDesigns();
+    std::vector<LintReport> reports =
+        ctx_.parallelMap(designs.size(), [&](size_t i) {
+            const ShippedDesign &sd = designs[i];
+            Design design = sd.load();
+            LintRunOptions opts;
+            opts.config = config_.passes;
+            opts.cache = &cache_;
+            return lintHdlDesign(design, sd.top, sd.name, opts);
+        });
+    LintReport merged;
+    for (const LintReport &report : reports)
+        merged.merge(report);
+    merged.sortCanonical();
+    recordLintObs(merged);
+    return merged;
+}
+
+LintReport
+EstimationSession::lintFit(const Dataset &dataset,
+                           const EstimatorSpec &spec,
+                           const std::string &dataset_name)
+{
+    LintReport report = lintDatasetAccounting(dataset, dataset_name);
+    report.merge(lintFitInputs(dataset, spec.metrics,
+                               spec.zeroPolicy, dataset_name));
+    report.sortCanonical();
+    recordLintObs(report);
+    return report;
+}
+
 FittedEstimator
 EstimationSession::fitOn(const Dataset &dataset,
                          const EstimatorSpec &spec)
 {
     require(!spec.metrics.empty(),
             "estimator spec needs at least one metric");
+    if (config_.lintEnabled) {
+        LintReport report = lintFit(dataset, spec, "dataset");
+        if (const LintDiagnostic *d =
+                report.firstAtLeast(LintSeverity::Error))
+            throw UcxError("fit '" + spec.name() + "': lint [" +
+                           d->rule + "] " + d->message);
+    }
     return *cache_.getOrCompute<FittedEstimator>(
         fitKey(dataset, spec), [&] {
             return fitEstimator(dataset, spec.metrics, spec.mode,

@@ -37,6 +37,7 @@
 #include "core/measure.hh"
 #include "designs/registry.hh"
 #include "exec/context.hh"
+#include "lint/lint.hh"
 #include "synth/pass.hh"
 #include "synth/report.hh"
 
@@ -82,7 +83,15 @@ struct SessionConfig
     /** Synthesis pipeline configuration (library/fabric/power). */
     PassConfig passes;
 
-    /** @return Configuration honoring the UCX_CACHE* variables. */
+    /**
+     * Lint gating on/off (fromEnv: false iff UCX_LINT=0). When on,
+     * measurement and fitting refuse inputs with Error-severity
+     * lint findings, naming the rule id in the thrown UcxError.
+     */
+    bool lintEnabled = true;
+
+    /** @return Configuration honoring the UCX_CACHE, UCX_CACHE_CAPACITY,
+     *          and UCX_LINT variables. */
     static SessionConfig fromEnv();
 };
 
@@ -222,6 +231,51 @@ class EstimationSession
      * @return The estimator fitted without the accounting procedure.
      */
     FittedEstimator ablate(const EstimatorSpec &spec);
+
+    // ---------------------------------------------------- linting
+
+    /**
+     * Lint one design end to end (AST rules, elaboration,
+     * structural passes; see lintHdlDesign). Structural-rule
+     * artifacts memoize in the session cache.
+     *
+     * @param design      Parsed design.
+     * @param top         Top module to elaborate.
+     * @param design_name Name used in diagnostics ("" uses @p top).
+     * @return The canonical report.
+     */
+    LintReport lint(const Design &design, const std::string &top,
+                    const std::string &design_name = "");
+
+    /**
+     * Lint a shipped design by registry name.
+     *
+     * @param name Registry key, e.g. "fetch".
+     * @return The canonical report.
+     */
+    LintReport lintShipped(const std::string &name);
+
+    /**
+     * Lint every shipped design through the session's pool, plus
+     * the accounting rules over the partition they form.
+     *
+     * @return The merged canonical report (byte-identical at any
+     *         thread count).
+     */
+    LintReport lintAllShipped();
+
+    /**
+     * Pre-fit dataset rules (fit.*) plus dataset accounting rules
+     * (acct.*) for one (dataset, spec) calibration input.
+     *
+     * @param dataset      Training components.
+     * @param spec         Estimator description.
+     * @param dataset_name Name used in diagnostics.
+     * @return The canonical report.
+     */
+    LintReport lintFit(const Dataset &dataset,
+                       const EstimatorSpec &spec,
+                       const std::string &dataset_name = "dataset");
 
     // ------------------------------------------------- prediction
 

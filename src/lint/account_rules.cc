@@ -1,0 +1,171 @@
+#include "lint/account_rules.hh"
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "cache/key.hh"
+#include "util/error.hh"
+
+namespace ucx
+{
+
+namespace
+{
+
+/** Verbatim "name=value,..." rendering of a parameter binding. */
+std::string
+bindingText(const std::map<std::string, int64_t> &params)
+{
+    // Reuse the cache-key encoding so the lint message shows the
+    // exact collision-proof segment the artifact cache keys on.
+    CacheKey key("");
+    key.addParams(params);
+    std::string text = key.str();
+    // Strip the "|" separator the namespace-less key starts with.
+    return text.size() > 1 ? text.substr(1) : "(none)";
+}
+
+} // namespace
+
+LintReport
+lintAccountingMeasurement(const Design &design,
+                          const std::string &top,
+                          const std::string &design_name,
+                          const ComponentMeasurement &measurement,
+                          ArtifactCache *cache)
+{
+    LintReport out;
+
+    // Count-once rule: a WithProcedure measurement records one
+    // binding per reachable module type. A measurement holding only
+    // the top binding while the instance census shows repeated
+    // types was taken per-instance.
+    bool per_type =
+        measurement.measuredParams.size() > 1 ||
+        (measurement.measuredParams.size() == 1 &&
+         measurement.measuredParams.begin()->first == top &&
+         measurement.moduleCounts.size() <= 1);
+    if (!per_type) {
+        for (const auto &[module_name, count] :
+             measurement.moduleCounts) {
+            if (count <= 1)
+                continue;
+            out.add("acct.duplicate-type", design_name, module_name,
+                    "module type '" + module_name +
+                        "' is instantiated " +
+                        std::to_string(count) +
+                        " times and was measured per instance")
+                .hint = "measure with the Section 2.2 accounting "
+                        "procedure (count each type once)";
+        }
+        return out;
+    }
+
+    // Minimal-parameter rule: re-derive the minimal non-degenerate
+    // binding per module type and compare verbatim.
+    for (const auto &[module_name, params] :
+         measurement.measuredParams) {
+        if (!design.hasModule(module_name))
+            continue;
+        std::map<std::string, int64_t> minimal =
+            minimizeParameters(design, module_name, cache);
+        if (params != minimal) {
+            out.add("acct.non-minimal-params", design_name,
+                    module_name,
+                    "measured binding {" + bindingText(params) +
+                        "} is not the minimal non-degenerate "
+                        "binding {" +
+                        bindingText(minimal) + "}")
+                .hint = "scale parameters down before measuring "
+                        "(paper Section 2.2)";
+        }
+    }
+    return out;
+}
+
+LintReport
+lintAccountingPartition(
+    const std::vector<std::pair<std::string, ComponentMeasurement>>
+        &partition)
+{
+    LintReport out;
+
+    std::set<std::string> seen;
+    std::map<std::string, std::string> owner; // module type -> comp
+    for (const auto &[name, measurement] : partition) {
+        if (!seen.insert(name).second) {
+            out.add("acct.duplicate-component", "", name,
+                    "component '" + name +
+                        "' appears more than once in the "
+                        "partition")
+                .hint = "partition cells must be disjoint";
+        }
+        for (const auto &[module_name, count] :
+             measurement.moduleCounts) {
+            (void)count;
+            auto [it, inserted] =
+                owner.emplace(module_name, name);
+            if (!inserted && it->second != name) {
+                out.add("acct.overlap", "", module_name,
+                        "module type '" + module_name +
+                            "' belongs to components '" +
+                            it->second + "' and '" + name + "'")
+                    .hint = "assign each module type to exactly "
+                            "one component";
+            }
+        }
+    }
+    return out;
+}
+
+LintReport
+lintDatasetAccounting(const Dataset &dataset,
+                      const std::string &dataset_name)
+{
+    LintReport out;
+
+    std::set<std::string> names;
+    for (const Component &c : dataset.components()) {
+        if (!names.insert(c.fullName()).second) {
+            out.add("acct.duplicate-component", dataset_name,
+                    c.fullName(),
+                    "component '" + c.fullName() +
+                        "' appears more than once in the dataset")
+                .hint = "each component is one data point";
+        }
+        if (!(c.effort > 0.0) || !std::isfinite(c.effort)) {
+            out.add("acct.nonpositive-effort", dataset_name,
+                    c.fullName(),
+                    "reported effort " + std::to_string(c.effort) +
+                        " person-months is not positive and "
+                        "finite")
+                .hint = "log(effort) is undefined; fix the "
+                        "reported value";
+        }
+    }
+
+    // Identical metric vectors inside one project suggest the same
+    // logic measured into two partition cells.
+    const auto &components = dataset.components();
+    for (size_t i = 0; i < components.size(); ++i) {
+        for (size_t j = i + 1; j < components.size(); ++j) {
+            const Component &a = components[i];
+            const Component &b = components[j];
+            if (a.project != b.project)
+                continue;
+            if (a.metrics == b.metrics) {
+                out.add("acct.duplicate-metrics", dataset_name,
+                        a.fullName() + "/" + b.fullName(),
+                        "components '" + a.fullName() + "' and '" +
+                            b.fullName() +
+                            "' have identical metric vectors")
+                    .hint = "was the same component measured "
+                            "twice?";
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace ucx

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * ucx::lint — accounting rule family ("acct.*"), enforcing the
+ * paper's Section 2.2 procedure on measured components and on the
+ * calibration dataset:
+ *
+ *  - the component partition must be disjoint (no module type in two
+ *    components, no component twice);
+ *  - each module type is counted once, not per instance;
+ *  - parameters are measured at their minimal non-degenerate values
+ *    (cross-checked against the verbatim parameter-binding segment
+ *    of the elaboration cache key, the representation PR 3 made
+ *    collision-proof).
+ */
+
+#ifndef UCX_LINT_ACCOUNT_RULES_HH
+#define UCX_LINT_ACCOUNT_RULES_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cache/artifact_cache.hh"
+#include "core/dataset.hh"
+#include "core/measure.hh"
+#include "hdl/design.hh"
+#include "lint/diagnostic.hh"
+
+namespace ucx
+{
+
+/**
+ * Check one measured component against §2.2: every module type
+ * measured at its minimal non-degenerate parameterization
+ * (acct.non-minimal-params) and counted once, not per instance
+ * (acct.duplicate-type).
+ *
+ * @param design      The component's design.
+ * @param top         The component's top module.
+ * @param design_name Name used in diagnostics.
+ * @param measurement The measurement to validate.
+ * @param cache       Memo store for the re-minimization
+ *                    elaborations; null recomputes uncached.
+ * @return The findings (unsorted).
+ */
+LintReport lintAccountingMeasurement(
+    const Design &design, const std::string &top,
+    const std::string &design_name,
+    const ComponentMeasurement &measurement,
+    ArtifactCache *cache = nullptr);
+
+/**
+ * Check a partition of measured components for disjointness: a
+ * module type contributing to two components is double-counted
+ * (acct.overlap), and a component name appearing twice is a
+ * malformed partition (acct.duplicate-component).
+ *
+ * @param partition (component name, measurement) pairs.
+ * @return The findings (unsorted).
+ */
+LintReport lintAccountingPartition(
+    const std::vector<std::pair<std::string, ComponentMeasurement>>
+        &partition);
+
+/**
+ * Check a calibration dataset's accounting hygiene: duplicate
+ * component identities (acct.duplicate-component), nonpositive
+ * reported efforts (acct.nonpositive-effort), and identical metric
+ * vectors within one project (acct.duplicate-metrics — the
+ * signature of a component measured into two partition cells).
+ *
+ * @param dataset      Dataset to validate.
+ * @param dataset_name Name used in diagnostics.
+ * @return The findings (unsorted).
+ */
+LintReport lintDatasetAccounting(const Dataset &dataset,
+                                 const std::string &dataset_name);
+
+} // namespace ucx
+
+#endif // UCX_LINT_ACCOUNT_RULES_HH

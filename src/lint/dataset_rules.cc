@@ -1,0 +1,183 @@
+#include "lint/dataset_rules.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "util/error.hh"
+
+namespace ucx
+{
+
+namespace
+{
+
+/** Absolute Pearson correlation of two equal-length columns;
+ *  returns -1 when either column has no variance. */
+double
+absCorrelation(const std::vector<double> &a,
+               const std::vector<double> &b)
+{
+    size_t n = a.size();
+    double mean_a = 0.0, mean_b = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        mean_a += a[i];
+        mean_b += b[i];
+    }
+    mean_a /= static_cast<double>(n);
+    mean_b /= static_cast<double>(n);
+    double sab = 0.0, saa = 0.0, sbb = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        double da = a[i] - mean_a;
+        double db = b[i] - mean_b;
+        sab += da * db;
+        saa += da * da;
+        sbb += db * db;
+    }
+    if (saa <= 0.0 || sbb <= 0.0)
+        return -1.0;
+    return std::fabs(sab / std::sqrt(saa * sbb));
+}
+
+std::string
+fmtCorr(double r)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6f", r);
+    return buf;
+}
+
+} // namespace
+
+LintReport
+lintFitInputs(const Dataset &dataset,
+              const std::vector<Metric> &metrics, ZeroPolicy policy,
+              const std::string &dataset_name,
+              const FitLintOptions &options)
+{
+    LintReport out;
+
+    // Non-finite raw values make the likelihood undefined no matter
+    // what the ZeroPolicy later does, so judge the raw dataset.
+    for (const Component &c : dataset.components()) {
+        if (!std::isfinite(c.effort)) {
+            out.add("fit.nonfinite", dataset_name, c.fullName(),
+                    "reported effort is not finite")
+                .hint = "fix the reported value";
+        }
+        for (Metric m : metrics) {
+            double v = c.metrics[static_cast<size_t>(m)];
+            if (!std::isfinite(v)) {
+                out.add("fit.nonfinite", dataset_name, c.fullName(),
+                        "metric " + metricName(m) +
+                            " is not finite")
+                    .hint = "re-measure the component";
+            }
+        }
+    }
+    if (out.hasError())
+        return out;
+
+    if (metrics.empty()) {
+        out.add("fit.empty", dataset_name, "",
+                "no covariate columns selected")
+            .hint = "pick at least one metric";
+        return out;
+    }
+
+    std::vector<Component> usable;
+    try {
+        usable = dataset.usableComponents(metrics, policy);
+    } catch (const UcxError &e) {
+        out.add("fit.empty", dataset_name, "",
+                std::string("regression input cannot be built: ") +
+                    e.what())
+            .hint = "use ZeroPolicy::ClampToOne or drop the "
+                    "offending components";
+        return out;
+    }
+    if (usable.empty()) {
+        out.add("fit.empty", dataset_name, "",
+                "no usable components after applying the zero "
+                "policy")
+            .hint = "the selected metrics are zero on every "
+                    "component";
+        return out;
+    }
+
+    // Columns as the fitter sees them (post zero-policy treatment).
+    std::vector<std::vector<double>> columns(
+        metrics.size(), std::vector<double>(usable.size()));
+    for (size_t row = 0; row < usable.size(); ++row) {
+        std::vector<double> values =
+            selectMetrics(usable[row].metrics, metrics);
+        for (size_t col = 0; col < metrics.size(); ++col)
+            columns[col][row] = values[col];
+    }
+
+    for (size_t col = 0; col < metrics.size(); ++col) {
+        bool constant = true;
+        for (double v : columns[col])
+            if (v != columns[col].front()) {
+                constant = false;
+                break;
+            }
+        if (constant && usable.size() > 1) {
+            out.add("fit.zero-variance", dataset_name,
+                    metricName(metrics[col]),
+                    "regressor " + metricName(metrics[col]) +
+                        " is constant (" +
+                        std::to_string(columns[col].front()) +
+                        ") across all " +
+                        std::to_string(usable.size()) +
+                        " components")
+                .hint = "its weight is unidentifiable; drop the "
+                        "metric from the subset";
+        }
+    }
+
+    for (size_t i = 0; i < metrics.size(); ++i) {
+        for (size_t j = i + 1; j < metrics.size(); ++j) {
+            double r = absCorrelation(columns[i], columns[j]);
+            if (r < options.warnCorrelation)
+                continue;
+            LintDiagnostic &d = out.add(
+                "fit.collinear", dataset_name,
+                metricName(metrics[i]) + "/" +
+                    metricName(metrics[j]),
+                "regressors " + metricName(metrics[i]) + " and " +
+                    metricName(metrics[j]) +
+                    " are nearly collinear (|r| = " + fmtCorr(r) +
+                    ")");
+            d.hint = "the weight split between them is "
+                     "ill-conditioned";
+            if (r >= options.errorCorrelation)
+                d.severity = LintSeverity::Error;
+        }
+    }
+
+    // Group sizes: the model estimates one productivity rho_i per
+    // team; a singleton team's rho_i is confounded with its single
+    // residual.
+    std::map<std::string, size_t> group_sizes;
+    for (const Component &c : usable)
+        ++group_sizes[c.project];
+    for (const auto &[project, n] : group_sizes) {
+        if (n >= options.softMinGroup)
+            continue;
+        LintDiagnostic &d = out.add(
+            "fit.small-group", dataset_name, project,
+            "team '" + project + "' has " + std::to_string(n) +
+                " usable component(s); its random effect rho_i "
+                "rests on " +
+                std::to_string(n) + " observation(s)");
+        d.hint = "treat this team's productivity estimate with "
+                 "caution";
+        if (n > 1)
+            d.severity = LintSeverity::Note;
+    }
+
+    return out;
+}
+
+} // namespace ucx

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * ucx::lint — pre-fit dataset rule family ("fit.*").
+ *
+ * These checks run on the regression input the NLME fitter (paper
+ * Section 3) is about to see, before any optimizer iteration:
+ *
+ *  - fit.nonfinite: a metric value or effort is NaN/Inf (Error —
+ *    the likelihood is undefined);
+ *  - fit.empty: no usable rows or no covariate columns (Error);
+ *  - fit.zero-variance: a regressor column constant across all
+ *    components (Warning — the weight is unidentifiable);
+ *  - fit.collinear: two regressor columns nearly collinear by
+ *    absolute Pearson correlation (Warning, Error above a stricter
+ *    threshold);
+ *  - fit.small-group: a team with too few components to support its
+ *    own productivity random effect rho_i (Warning for singletons,
+ *    Note at the configurable soft floor).
+ */
+
+#ifndef UCX_LINT_DATASET_RULES_HH
+#define UCX_LINT_DATASET_RULES_HH
+
+#include <string>
+#include <vector>
+
+#include "core/dataset.hh"
+#include "core/metric.hh"
+#include "lint/diagnostic.hh"
+
+namespace ucx
+{
+
+/** Tunable thresholds for the fit.* rules. */
+struct FitLintOptions
+{
+    /** |Pearson r| at or above which fit.collinear warns. */
+    double warnCorrelation = 0.999;
+    /** |Pearson r| at or above which fit.collinear is an Error. */
+    double errorCorrelation = 1.0 - 1e-9;
+    /** Group sizes strictly below this get a fit.small-group Note;
+     *  singleton groups always get a Warning. */
+    size_t softMinGroup = 3;
+};
+
+/**
+ * Run every "fit.*" rule over the regression input a (dataset,
+ * metric subset, zero policy) triple would produce.
+ *
+ * The checks observe the same usable-component view the fitter
+ * does: rows removed or clamped by the ZeroPolicy are judged after
+ * that treatment, so a column that is constant only because of
+ * clamping is still reported.
+ *
+ * @param dataset      Calibration dataset.
+ * @param metrics      Metric subset used as covariates.
+ * @param policy       Treatment of all-zero rows (as for the fit).
+ * @param dataset_name Name used in diagnostics.
+ * @param options      Rule thresholds.
+ * @return The findings (unsorted).
+ */
+LintReport lintFitInputs(const Dataset &dataset,
+                         const std::vector<Metric> &metrics,
+                         ZeroPolicy policy,
+                         const std::string &dataset_name,
+                         const FitLintOptions &options = {});
+
+} // namespace ucx
+
+#endif // UCX_LINT_DATASET_RULES_HH

@@ -1,0 +1,293 @@
+#include "lint/diagnostic.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "obs/export.hh"
+#include "obs/metrics.hh"
+#include "util/error.hh"
+#include "util/str.hh"
+
+namespace ucx
+{
+
+const char *
+lintSeverityName(LintSeverity severity)
+{
+    switch (severity) {
+    case LintSeverity::Note:
+        return "note";
+    case LintSeverity::Warning:
+        return "warning";
+    case LintSeverity::Error:
+        return "error";
+    }
+    return "unknown";
+}
+
+LintSeverity
+lintSeverityFromName(const std::string &name)
+{
+    std::string low = toLower(name);
+    if (low == "note")
+        return LintSeverity::Note;
+    if (low == "warning" || low == "warn")
+        return LintSeverity::Warning;
+    if (low == "error")
+        return LintSeverity::Error;
+    throw UcxError("unknown lint severity '" + name + "'");
+}
+
+const std::vector<LintRuleInfo> &
+lintRuleCatalog()
+{
+    static const std::vector<LintRuleInfo> catalog = {
+        {"acct.duplicate-component", "acct", LintSeverity::Error,
+         "a component appears more than once in a partition or "
+         "dataset"},
+        {"acct.duplicate-metrics", "acct", LintSeverity::Warning,
+         "two components of one project have identical metric "
+         "vectors"},
+        {"acct.duplicate-type", "acct", LintSeverity::Warning,
+         "a module type was counted per-instance instead of once"},
+        {"acct.non-minimal-params", "acct", LintSeverity::Warning,
+         "a module was measured above its minimal non-degenerate "
+         "parameterization"},
+        {"acct.nonpositive-effort", "acct", LintSeverity::Error,
+         "a component reports zero or negative design effort"},
+        {"acct.overlap", "acct", LintSeverity::Error,
+         "a module type belongs to more than one component of a "
+         "partition"},
+        {"fit.collinear", "fit", LintSeverity::Warning,
+         "two regressor columns are nearly collinear"},
+        {"fit.empty", "fit", LintSeverity::Error,
+         "the regression input has no usable rows or columns"},
+        {"fit.nonfinite", "fit", LintSeverity::Error,
+         "a metric value or effort is NaN or infinite"},
+        {"fit.small-group", "fit", LintSeverity::Warning,
+         "a team has too few components to support its random "
+         "effect"},
+        {"fit.zero-variance", "fit", LintSeverity::Warning,
+         "a regressor column is constant across all components"},
+        {"hdl.comb-loop", "hdl", LintSeverity::Error,
+         "combinational logic forms a cycle"},
+        {"hdl.const-condition", "hdl", LintSeverity::Warning,
+         "a condition is compile-time constant; a branch is dead"},
+        {"hdl.dead-logic", "hdl", LintSeverity::Note,
+         "gates are unreachable from any output or state element"},
+        {"hdl.elab-error", "hdl", LintSeverity::Error,
+         "the design does not elaborate"},
+        {"hdl.elab-warning", "hdl", LintSeverity::Warning,
+         "elaboration produced a warning with no dedicated rule"},
+        {"hdl.inferred-latch", "hdl", LintSeverity::Warning,
+         "a combinational always block does not assign a signal on "
+         "every path"},
+        {"hdl.multi-driven", "hdl", LintSeverity::Error,
+         "a signal has more than one driver"},
+        {"hdl.unconnected-input", "hdl", LintSeverity::Warning,
+         "an instance input port is unconnected"},
+        {"hdl.undriven", "hdl", LintSeverity::Warning,
+         "a signal is never driven"},
+        {"hdl.unused", "hdl", LintSeverity::Warning,
+         "a signal is never read"},
+        {"hdl.width-mismatch", "hdl", LintSeverity::Warning,
+         "assignment or port-binding widths disagree"},
+    };
+    return catalog;
+}
+
+const LintRuleInfo &
+lintRule(const std::string &id)
+{
+    for (const LintRuleInfo &rule : lintRuleCatalog())
+        if (rule.id == id)
+            return rule;
+    throw UcxError("unknown lint rule '" + id + "'");
+}
+
+std::string
+LintDiagnostic::key() const
+{
+    std::string out = rule;
+    out += ' ';
+    out += design.empty() ? "-" : design;
+    out += ' ';
+    out += object.empty() ? "-" : object;
+    return out;
+}
+
+std::string
+LintDiagnostic::format() const
+{
+    std::string out = lintSeverityName(severity);
+    out += " [" + rule + "] ";
+    if (!design.empty())
+        out += design + ": ";
+    if (!object.empty()) {
+        out += object;
+        if (line > 0)
+            out += ":" + std::to_string(line);
+        out += ": ";
+    }
+    out += message;
+    if (!hint.empty())
+        out += " (hint: " + hint + ")";
+    return out;
+}
+
+LintDiagnostic &
+LintReport::add(const std::string &rule, const std::string &design,
+                const std::string &object,
+                const std::string &message, int line)
+{
+    const LintRuleInfo &info = lintRule(rule);
+    LintDiagnostic d;
+    d.rule = info.id;
+    d.severity = info.severity;
+    d.design = design;
+    d.object = object;
+    d.line = line;
+    d.message = message;
+    diagnostics_.push_back(std::move(d));
+    return diagnostics_.back();
+}
+
+void
+LintReport::add(LintDiagnostic diagnostic)
+{
+    lintRule(diagnostic.rule); // reject unknown rule ids
+    diagnostics_.push_back(std::move(diagnostic));
+}
+
+void
+LintReport::merge(const LintReport &other)
+{
+    diagnostics_.insert(diagnostics_.end(),
+                        other.diagnostics_.begin(),
+                        other.diagnostics_.end());
+}
+
+void
+LintReport::sortCanonical()
+{
+    auto order = [](const LintDiagnostic &a,
+                    const LintDiagnostic &b) {
+        if (a.severity != b.severity)
+            return a.severity > b.severity;
+        if (a.rule != b.rule)
+            return a.rule < b.rule;
+        if (a.design != b.design)
+            return a.design < b.design;
+        if (a.object != b.object)
+            return a.object < b.object;
+        if (a.line != b.line)
+            return a.line < b.line;
+        return a.message < b.message;
+    };
+    std::stable_sort(diagnostics_.begin(), diagnostics_.end(),
+                     order);
+    auto same = [](const LintDiagnostic &a,
+                   const LintDiagnostic &b) {
+        return a.severity == b.severity && a.rule == b.rule &&
+               a.design == b.design && a.object == b.object &&
+               a.line == b.line && a.message == b.message;
+    };
+    diagnostics_.erase(std::unique(diagnostics_.begin(),
+                                   diagnostics_.end(), same),
+                       diagnostics_.end());
+}
+
+size_t
+LintReport::filter(
+    const std::function<bool(const LintDiagnostic &)> &keep)
+{
+    size_t before = diagnostics_.size();
+    diagnostics_.erase(
+        std::remove_if(diagnostics_.begin(), diagnostics_.end(),
+                       [&](const LintDiagnostic &d) {
+                           return !keep(d);
+                       }),
+        diagnostics_.end());
+    return before - diagnostics_.size();
+}
+
+size_t
+LintReport::count(LintSeverity at_least) const
+{
+    size_t n = 0;
+    for (const LintDiagnostic &d : diagnostics_)
+        if (d.severity >= at_least)
+            ++n;
+    return n;
+}
+
+const LintDiagnostic *
+LintReport::firstAtLeast(LintSeverity at_least) const
+{
+    for (const LintDiagnostic &d : diagnostics_)
+        if (d.severity >= at_least)
+            return &d;
+    return nullptr;
+}
+
+std::string
+LintReport::text() const
+{
+    if (diagnostics_.empty())
+        return "";
+    std::string out;
+    for (const LintDiagnostic &d : diagnostics_) {
+        out += d.format();
+        out += '\n';
+    }
+    out += std::to_string(count(LintSeverity::Error)) + " error(s), " +
+           std::to_string(count(LintSeverity::Warning) -
+                          count(LintSeverity::Error)) +
+           " warning(s), " +
+           std::to_string(size() - count(LintSeverity::Warning)) +
+           " note(s)\n";
+    return out;
+}
+
+std::string
+LintReport::json() const
+{
+    size_t errors = count(LintSeverity::Error);
+    size_t warnings = count(LintSeverity::Warning) - errors;
+    size_t notes = size() - errors - warnings;
+    std::string out = "{\"schema\":\"ucx.lint.v1\",\"counts\":{";
+    out += "\"error\":" + std::to_string(errors);
+    out += ",\"warning\":" + std::to_string(warnings);
+    out += ",\"note\":" + std::to_string(notes);
+    out += "},\"findings\":[";
+    bool first = true;
+    for (const LintDiagnostic &d : diagnostics_) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += "{\"rule\":\"" + obs::jsonEscape(d.rule) + "\"";
+        out += ",\"severity\":\"";
+        out += lintSeverityName(d.severity);
+        out += "\"";
+        out += ",\"design\":\"" + obs::jsonEscape(d.design) + "\"";
+        out += ",\"object\":\"" + obs::jsonEscape(d.object) + "\"";
+        out += ",\"line\":" + std::to_string(d.line);
+        out += ",\"message\":\"" + obs::jsonEscape(d.message) + "\"";
+        out += ",\"hint\":\"" + obs::jsonEscape(d.hint) + "\"}";
+    }
+    out += "]}";
+    return out;
+}
+
+void
+recordLintObs(const LintReport &report)
+{
+    if (!obs::enabled())
+        return;
+    for (const LintDiagnostic &d : report.diagnostics())
+        obs::counter("lint.rule." + d.rule).add(1);
+    obs::gauge("lint.findings")
+        .set(static_cast<double>(report.size()));
+}
+
+} // namespace ucx

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * ucx::lint — diagnostic model and rule catalog.
+ *
+ * A LintDiagnostic is one finding: a rule id, a severity, a location
+ * (design, object within the design, source line), a message, and a
+ * fix hint. A LintReport is an ordered collection of findings with
+ * canonical sorting (so reports are byte-identical at any thread
+ * count), severity counting, and text/JSON export mirroring the obs
+ * snapshot schema ("ucx.lint.v1" next to "ucx.obs.v1").
+ *
+ * Rules live in a static catalog (lintRuleCatalog()): three families,
+ * matching the paper's input requirements —
+ *  - "hdl"  (§4.3 substrate): well-formed HDL and netlists;
+ *  - "acct" (§2.2): disjoint partitions, count-once, minimal
+ *    parameters;
+ *  - "fit"  (§3): regression inputs the NLME fit will not silently
+ *    degrade on.
+ */
+
+#ifndef UCX_LINT_DIAGNOSTIC_HH
+#define UCX_LINT_DIAGNOSTIC_HH
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace ucx
+{
+
+/** Severity of one lint finding. */
+enum class LintSeverity
+{
+    Note,    ///< Informational; never fails a run.
+    Warning, ///< Suspicious; fails the CLI unless suppressed.
+    Error,   ///< Malformed input; fails measurement/fit early.
+};
+
+/** @return "note", "warning", or "error". */
+const char *lintSeverityName(LintSeverity severity);
+
+/**
+ * Parse a severity name (case-insensitive).
+ *
+ * @param name "note", "warning"/"warn", or "error".
+ * @return The severity; throws UcxError for unknown names.
+ */
+LintSeverity lintSeverityFromName(const std::string &name);
+
+/** Catalog entry describing one lint rule. */
+struct LintRuleInfo
+{
+    std::string id;        ///< Rule id, e.g. "hdl.comb-loop".
+    std::string family;    ///< "hdl", "acct", or "fit".
+    LintSeverity severity; ///< Default severity of findings.
+    std::string summary;   ///< One-line description.
+};
+
+/** @return Every rule, sorted by id. */
+const std::vector<LintRuleInfo> &lintRuleCatalog();
+
+/**
+ * Look a rule up by id.
+ *
+ * @param id Rule id such as "fit.collinear".
+ * @return The catalog entry; throws UcxError for unknown ids.
+ */
+const LintRuleInfo &lintRule(const std::string &id);
+
+/** One lint finding. */
+struct LintDiagnostic
+{
+    std::string rule;      ///< Catalog rule id.
+    LintSeverity severity = LintSeverity::Warning;
+    std::string design;    ///< Design/component/dataset name ("" n/a).
+    std::string object;    ///< Module.signal, team, metric pair, ...
+    int line = 0;          ///< Source line (0 when not applicable).
+    std::string message;   ///< What is wrong.
+    std::string hint;      ///< How to fix it.
+
+    /**
+     * @return The canonical suppression key "rule design object" —
+     *         the triple a suppression-file entry matches against.
+     */
+    std::string key() const;
+
+    /** @return One-line rendering used by text export and errors. */
+    std::string format() const;
+};
+
+/** An ordered, sortable collection of findings. */
+class LintReport
+{
+  public:
+    /**
+     * Append a finding built from the catalog defaults.
+     *
+     * @param rule    Catalog rule id (must exist).
+     * @param design  Design/component/dataset name.
+     * @param object  Object within the design.
+     * @param message What is wrong.
+     * @param line    Source line, 0 when unknown.
+     * @return The appended diagnostic (for tweaks).
+     */
+    LintDiagnostic &add(const std::string &rule,
+                        const std::string &design,
+                        const std::string &object,
+                        const std::string &message, int line = 0);
+
+    /** Append an explicit diagnostic. */
+    void add(LintDiagnostic diagnostic);
+
+    /** Append every finding of another report. */
+    void merge(const LintReport &other);
+
+    /** @return All findings in current order. */
+    const std::vector<LintDiagnostic> &diagnostics() const
+    {
+        return diagnostics_;
+    }
+
+    /** @return The number of findings. */
+    size_t size() const { return diagnostics_.size(); }
+
+    /** @return True when there are no findings. */
+    bool empty() const { return diagnostics_.empty(); }
+
+    /**
+     * Sort findings canonically (severity desc, rule, design,
+     * object, line, message) and drop exact duplicates. Reports
+     * assembled from parallel per-design runs become byte-identical
+     * to a serial run after this.
+     */
+    void sortCanonical();
+
+    /**
+     * Keep only findings satisfying a predicate.
+     *
+     * @param keep Predicate; false drops the finding.
+     * @return The number of findings removed.
+     */
+    size_t filter(
+        const std::function<bool(const LintDiagnostic &)> &keep);
+
+    /**
+     * @param at_least Minimum severity.
+     * @return Number of findings at or above that severity.
+     */
+    size_t count(LintSeverity at_least) const;
+
+    /** @return True when any Error-severity finding is present. */
+    bool hasError() const
+    {
+        return count(LintSeverity::Error) > 0;
+    }
+
+    /**
+     * @param at_least Minimum severity.
+     * @return The first finding at or above it in current order, or
+     *         null when none.
+     */
+    const LintDiagnostic *firstAtLeast(LintSeverity at_least) const;
+
+    /**
+     * @return Human-readable listing, one finding per line, followed
+     *         by a severity summary line; "" for an empty report.
+     */
+    std::string text() const;
+
+    /**
+     * @return JSON export:
+     *
+     *     {
+     *       "schema": "ucx.lint.v1",
+     *       "counts": { "error": n, "warning": n, "note": n },
+     *       "findings": [ { "rule", "severity", "design",
+     *                       "object", "line", "message",
+     *                       "hint" }, ... ]
+     *     }
+     */
+    std::string json() const;
+
+  private:
+    std::vector<LintDiagnostic> diagnostics_;
+};
+
+/**
+ * Export a finished report to ucx::obs: bumps one
+ * "lint.rule.<id>" counter per finding and sets the
+ * "lint.findings" gauge to the report size.
+ *
+ * @param report A finished (post-suppression) report.
+ */
+void recordLintObs(const LintReport &report);
+
+} // namespace ucx
+
+#endif // UCX_LINT_DIAGNOSTIC_HH

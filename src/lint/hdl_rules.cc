@@ -1,0 +1,1099 @@
+#include "lint/hdl_rules.hh"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "hdl/const_eval.hh"
+#include "util/error.hh"
+
+namespace ucx
+{
+
+namespace
+{
+
+// ---------------------------------------------------------------
+// Width inference
+// ---------------------------------------------------------------
+
+/** Declared widths of the signals of one module (-1 = unknown). */
+struct DeclWidths
+{
+    std::map<std::string, int> net;    ///< Nets and ports.
+    std::map<std::string, int> memory; ///< Memory word widths.
+};
+
+/** Evaluate a range declaration to a width; -1 when not constant. */
+int
+rangeWidth(const Expr *msb, const Expr *lsb, const ConstEnv &env)
+{
+    if (!msb)
+        return 1;
+    try {
+        int64_t hi = evalConst(*msb, env);
+        int64_t lo = lsb ? evalConst(*lsb, env) : 0;
+        if (hi < lo)
+            return -1;
+        return static_cast<int>(hi - lo + 1);
+    } catch (const UcxError &) {
+        return -1;
+    }
+}
+
+/**
+ * Base identifier of an Ident/Index/Range lvalue chain ("" when
+ * the base is not a plain identifier). The parser stores an index's
+ * base in Expr::a (possibly another Index for memory-word-then-bit
+ * chains); only Ident and Range carry the name directly.
+ */
+const std::string &
+baseName(const Expr &e)
+{
+    static const std::string empty;
+    const Expr *p = &e;
+    while (p->kind == ExprKind::Index && p->a)
+        p = p->a.get();
+    if (p->kind == ExprKind::Ident || p->kind == ExprKind::Range)
+        return p->name;
+    return empty;
+}
+
+/**
+ * Width of an expression in read position, following the
+ * self-determined sizing rules the elaborator applies; -1 unknown.
+ */
+int
+exprWidth(const Expr &e, const ConstEnv &env, const DeclWidths &w)
+{
+    switch (e.kind) {
+    case ExprKind::Number:
+        return e.literalWidth; // -1 for unsized literals
+    case ExprKind::Ident: {
+        auto it = w.net.find(e.name);
+        if (it != w.net.end())
+            return it->second;
+        return -1; // parameter, genvar, or undeclared
+    }
+    case ExprKind::Index: {
+        auto mit = w.memory.find(baseName(e));
+        if (mit != w.memory.end())
+            return mit->second; // memory word select
+        return 1;               // bit select
+    }
+    case ExprKind::Range: {
+        try {
+            int64_t hi = evalConst(*e.a, env);
+            int64_t lo = evalConst(*e.b, env);
+            if (hi < lo)
+                return -1;
+            return static_cast<int>(hi - lo + 1);
+        } catch (const UcxError &) {
+            return -1;
+        }
+    }
+    case ExprKind::Unary:
+        switch (e.unOp) {
+        case UnOp::Not:
+        case UnOp::RedAnd:
+        case UnOp::RedOr:
+        case UnOp::RedXor:
+            return 1;
+        default:
+            return exprWidth(*e.a, env, w);
+        }
+    case ExprKind::Binary:
+        switch (e.binOp) {
+        case BinOp::LogAnd:
+        case BinOp::LogOr:
+        case BinOp::Eq:
+        case BinOp::Ne:
+        case BinOp::Lt:
+        case BinOp::Le:
+        case BinOp::Gt:
+        case BinOp::Ge:
+            return 1;
+        case BinOp::Shl:
+        case BinOp::Shr:
+            return exprWidth(*e.a, env, w);
+        default: {
+            int wa = exprWidth(*e.a, env, w);
+            int wb = exprWidth(*e.b, env, w);
+            if (wa < 0 || wb < 0)
+                return -1;
+            return std::max(wa, wb);
+        }
+        }
+    case ExprKind::Ternary: {
+        int wb = exprWidth(*e.b, env, w);
+        int wc = exprWidth(*e.c, env, w);
+        if (wb < 0 || wc < 0)
+            return -1;
+        return std::max(wb, wc);
+    }
+    case ExprKind::Concat: {
+        int total = 0;
+        for (const ExprPtr &part : e.parts) {
+            int wp = exprWidth(*part, env, w);
+            if (wp < 0)
+                return -1;
+            total += wp;
+        }
+        return total;
+    }
+    case ExprKind::Repl: {
+        try {
+            int64_t n = evalConst(*e.a, env);
+            int wb = exprWidth(*e.b, env, w);
+            if (n < 0 || wb < 0)
+                return -1;
+            return static_cast<int>(n) * wb;
+        } catch (const UcxError &) {
+            return -1;
+        }
+    }
+    }
+    return -1;
+}
+
+/** Width of an lvalue expression; -1 unknown. */
+int
+lvalueWidth(const Expr &e, const ConstEnv &env, const DeclWidths &w)
+{
+    switch (e.kind) {
+    case ExprKind::Ident: {
+        auto it = w.net.find(e.name);
+        return it != w.net.end() ? it->second : -1;
+    }
+    case ExprKind::Index: {
+        auto mit = w.memory.find(baseName(e));
+        if (mit != w.memory.end())
+            return mit->second;
+        return 1;
+    }
+    case ExprKind::Range:
+        return exprWidth(e, env, w);
+    case ExprKind::Concat: {
+        int total = 0;
+        for (const ExprPtr &part : e.parts) {
+            int wp = lvalueWidth(*part, env, w);
+            if (wp < 0)
+                return -1;
+            total += wp;
+        }
+        return total;
+    }
+    default:
+        return -1;
+    }
+}
+
+// ---------------------------------------------------------------
+// Per-module scan
+// ---------------------------------------------------------------
+
+/** How a signal is driven by one source. */
+enum class DriveShape
+{
+    Whole, ///< The full vector, e.g. "assign y = ...".
+    Field, ///< A bit/part select or a concat member.
+};
+
+/** One declared signal of a module. */
+struct SigDecl
+{
+    int line = 0;
+    bool isReg = false;
+    bool isMemory = false;
+    bool isInput = false;
+    bool isOutput = false;
+};
+
+/** Accumulated usage facts of one module. */
+struct ModuleScan
+{
+    ConstEnv env; ///< Parameter and localparam bindings (defaults).
+    DeclWidths widths;
+    std::map<std::string, SigDecl> decls;
+    std::set<std::string> read;
+    /** Signal -> drive shape of each independent driving source. */
+    std::map<std::string, std::vector<DriveShape>> drivers;
+    /** Signal -> whether any driver is a continuous/instance one. */
+    std::set<std::string> contDriven;
+    std::set<std::string> loopVars; ///< Procedural/genvar induction.
+};
+
+/** Record every identifier read inside an expression. */
+void
+collectReads(const Expr &e, ModuleScan &scan)
+{
+    switch (e.kind) {
+    case ExprKind::Number:
+        return;
+    case ExprKind::Ident:
+        scan.read.insert(e.name);
+        return;
+    case ExprKind::Range:
+        scan.read.insert(e.name);
+        break;
+    case ExprKind::Index:
+        // Base name arrives via the recursion into e.a (an Ident
+        // or nested Index); e.name is empty here.
+        break;
+    default:
+        break;
+    }
+    if (e.a)
+        collectReads(*e.a, scan);
+    if (e.b)
+        collectReads(*e.b, scan);
+    if (e.c)
+        collectReads(*e.c, scan);
+    for (const ExprPtr &part : e.parts)
+        collectReads(*part, scan);
+}
+
+/**
+ * Record the base signals an lvalue drives into @p targets (shape
+ * per base), and the reads its selects perform.
+ */
+void
+collectLvalue(const Expr &e, ModuleScan &scan,
+              std::map<std::string, DriveShape> &targets)
+{
+    switch (e.kind) {
+    case ExprKind::Ident:
+        targets.emplace(e.name, DriveShape::Whole);
+        return;
+    case ExprKind::Index: {
+        const std::string &base = baseName(e);
+        if (!base.empty())
+            targets.emplace(base, DriveShape::Field);
+        // Index expressions are reads; the base itself is not.
+        for (const Expr *p = &e;
+             p->kind == ExprKind::Index && p->a; p = p->a.get())
+            if (p->b)
+                collectReads(*p->b, scan);
+        return;
+    }
+    case ExprKind::Range:
+        targets.emplace(e.name, DriveShape::Field);
+        if (e.a)
+            collectReads(*e.a, scan);
+        if (e.b)
+            collectReads(*e.b, scan);
+        return;
+    case ExprKind::Concat:
+        for (const ExprPtr &part : e.parts)
+            collectLvalue(*part, scan, targets);
+        return;
+    default:
+        // Not a valid lvalue; elaboration reports it.
+        collectReads(e, scan);
+        return;
+    }
+}
+
+/** Does @p s assign @p name on every execution path? */
+bool
+assignsOnAllPaths(const Stmt &s, const std::string &name)
+{
+    switch (s.kind) {
+    case StmtKind::Block:
+        for (const StmtPtr &child : s.stmts)
+            if (assignsOnAllPaths(*child, name))
+                return true;
+        return false;
+    case StmtKind::Assign: {
+        // Any assignment (whole or field) counts as covering: the
+        // latch rule is per-signal, not per-bit.
+        std::map<std::string, DriveShape> targets;
+        ModuleScan scratch;
+        collectLvalue(*s.lhs, scratch, targets);
+        return targets.find(name) != targets.end();
+    }
+    case StmtKind::If:
+        return s.thenStmt && s.elseStmt &&
+               assignsOnAllPaths(*s.thenStmt, name) &&
+               assignsOnAllPaths(*s.elseStmt, name);
+    case StmtKind::Case: {
+        bool has_default = false;
+        for (const CaseItem &item : s.items) {
+            if (!item.body || !assignsOnAllPaths(*item.body, name))
+                return false;
+            if (item.labels.empty())
+                has_default = true;
+        }
+        return has_default;
+    }
+    case StmtKind::For:
+        // Loop bounds are compile-time constants in µHDL and a
+        // zero-trip loop is already degenerate; treat the body as
+        // executing at least once.
+        return s.thenStmt && assignsOnAllPaths(*s.thenStmt, name);
+    }
+    return false;
+}
+
+/** Scan a statement tree: reads, writes, constant conditions. */
+void
+scanStmt(const Stmt &s, ModuleScan &scan, const std::string &module,
+         LintReport &out, const std::string &design_name,
+         std::map<std::string, DriveShape> &targets)
+{
+    switch (s.kind) {
+    case StmtKind::Block:
+        for (const StmtPtr &child : s.stmts)
+            scanStmt(*child, scan, module, out, design_name,
+                     targets);
+        return;
+    case StmtKind::Assign:
+        collectLvalue(*s.lhs, scan, targets);
+        collectReads(*s.rhs, scan);
+        return;
+    case StmtKind::If: {
+        collectReads(*s.cond, scan);
+        if (isConst(*s.cond, ConstEnv{})) {
+            out.add("hdl.const-condition", design_name,
+                    module, "if condition is always " +
+                        std::to_string(evalConst(*s.cond, {})),
+                    s.line)
+                .hint = "remove the dead branch";
+        } else if (isConst(*s.cond, scan.env)) {
+            LintDiagnostic &d = out.add(
+                "hdl.const-condition", design_name, module,
+                "if condition is constant under default "
+                "parameters",
+                s.line);
+            d.severity = LintSeverity::Note;
+            d.hint = "intended? the branch is dead at defaults";
+        }
+        if (s.thenStmt)
+            scanStmt(*s.thenStmt, scan, module, out, design_name,
+                     targets);
+        if (s.elseStmt)
+            scanStmt(*s.elseStmt, scan, module, out, design_name,
+                     targets);
+        return;
+    }
+    case StmtKind::Case: {
+        collectReads(*s.subject, scan);
+        if (isConst(*s.subject, ConstEnv{})) {
+            out.add("hdl.const-condition", design_name, module,
+                    "case subject is compile-time constant",
+                    s.line)
+                .hint = "only one arm can ever be taken";
+        }
+        for (const CaseItem &item : s.items) {
+            for (const ExprPtr &label : item.labels)
+                collectReads(*label, scan);
+            if (item.body)
+                scanStmt(*item.body, scan, module, out, design_name,
+                         targets);
+        }
+        return;
+    }
+    case StmtKind::For:
+        scan.loopVars.insert(s.loopVar);
+        if (s.loopInit)
+            collectReads(*s.loopInit, scan);
+        if (s.cond)
+            collectReads(*s.cond, scan);
+        if (s.loopStep)
+            collectReads(*s.loopStep, scan);
+        if (s.thenStmt)
+            scanStmt(*s.thenStmt, scan, module, out, design_name,
+                     targets);
+        return;
+    }
+}
+
+/** Walk ternary conditions of an expression tree. */
+void
+checkTernaryConds(const Expr &e, const ModuleScan &scan,
+                  const std::string &module, LintReport &out,
+                  const std::string &design_name)
+{
+    if (e.kind == ExprKind::Ternary && e.a) {
+        if (isConst(*e.a, ConstEnv{})) {
+            out.add("hdl.const-condition", design_name, module,
+                    "ternary condition is always " +
+                        std::to_string(evalConst(*e.a, {})),
+                    e.line)
+                .hint = "fold the select away";
+        } else if (isConst(*e.a, scan.env)) {
+            LintDiagnostic &d = out.add(
+                "hdl.const-condition", design_name, module,
+                "ternary condition is constant under default "
+                "parameters",
+                e.line);
+            d.severity = LintSeverity::Note;
+            d.hint = "intended? one arm is dead at defaults";
+        }
+    }
+    if (e.a)
+        checkTernaryConds(*e.a, scan, module, out, design_name);
+    if (e.b)
+        checkTernaryConds(*e.b, scan, module, out, design_name);
+    if (e.c)
+        checkTernaryConds(*e.c, scan, module, out, design_name);
+    for (const ExprPtr &part : e.parts)
+        checkTernaryConds(*part, scan, module, out, design_name);
+}
+
+/** Every expression reachable from an item, for ternary checks. */
+void
+forEachItemExpr(const Item &item,
+                const std::function<void(const Expr &)> &fn)
+{
+    std::function<void(const Stmt &)> walkStmt =
+        [&](const Stmt &s) {
+            if (s.cond)
+                fn(*s.cond);
+            if (s.subject)
+                fn(*s.subject);
+            if (s.lhs)
+                fn(*s.lhs);
+            if (s.rhs)
+                fn(*s.rhs);
+            for (const CaseItem &ci : s.items)
+                for (const ExprPtr &label : ci.labels)
+                    fn(*label);
+            for (const StmtPtr &child : s.stmts)
+                walkStmt(*child);
+            if (s.thenStmt)
+                walkStmt(*s.thenStmt);
+            if (s.elseStmt)
+                walkStmt(*s.elseStmt);
+            for (const CaseItem &ci : s.items)
+                if (ci.body)
+                    walkStmt(*ci.body);
+        };
+    if (item.lhs)
+        fn(*item.lhs);
+    if (item.rhs)
+        fn(*item.rhs);
+    if (item.body)
+        walkStmt(*item.body);
+    for (const Connection &conn : item.connections)
+        if (conn.expr)
+            fn(*conn.expr);
+    for (const Connection &conn : item.paramOverrides)
+        if (conn.expr)
+            fn(*conn.expr);
+}
+
+// Forward declaration: items recurse through generate bodies.
+void scanItems(const std::vector<ItemPtr> &items, const Design &design,
+               const std::string &module, ModuleScan &scan,
+               LintReport &out, const std::string &design_name);
+
+/** Declared widths of a child module's ports under a binding. */
+std::map<std::string, std::pair<PortDir, int>>
+childPortWidths(const Module &child, const ConstEnv &child_env)
+{
+    std::map<std::string, std::pair<PortDir, int>> out;
+    for (const Port &port : child.ports) {
+        out[port.name] = {port.dir,
+                          rangeWidth(port.msb.get(), port.lsb.get(),
+                                     child_env)};
+    }
+    return out;
+}
+
+/** Scan one instance item: connection reads/writes, width checks. */
+void
+scanInstance(const Item &item, const Design &design,
+             const std::string &module, ModuleScan &scan,
+             LintReport &out, const std::string &design_name)
+{
+    const Module *child = design.hasModule(item.moduleName)
+                              ? &design.module(item.moduleName)
+                              : nullptr;
+    for (const Connection &conn : item.paramOverrides)
+        if (conn.expr)
+            collectReads(*conn.expr, scan);
+
+    if (!child) {
+        // Unknown module: elaboration will fail; treat connection
+        // expressions as reads so they do not look dangling.
+        for (const Connection &conn : item.connections)
+            if (conn.expr)
+                collectReads(*conn.expr, scan);
+        return;
+    }
+
+    // Bind the child's parameters: defaults, then overrides that
+    // evaluate under the parent's constants.
+    ConstEnv child_env;
+    for (const Param &p : child->params) {
+        try {
+            child_env[p.name] = evalConst(*p.value, child_env);
+        } catch (const UcxError &) {
+        }
+    }
+    for (const Connection &ov : item.paramOverrides) {
+        if (!ov.expr)
+            continue;
+        try {
+            child_env[ov.port] = evalConst(*ov.expr, scan.env);
+        } catch (const UcxError &) {
+            child_env.erase(ov.port);
+        }
+    }
+    auto ports = childPortWidths(*child, child_env);
+
+    for (const Connection &conn : item.connections) {
+        auto pit = ports.find(conn.port);
+        if (pit == ports.end()) {
+            if (conn.expr)
+                collectReads(*conn.expr, scan);
+            continue; // unknown port: elaboration reports it
+        }
+        PortDir dir = pit->second.first;
+        int port_width = pit->second.second;
+        if (!conn.expr)
+            continue;
+        if (dir == PortDir::Input) {
+            collectReads(*conn.expr, scan);
+            int expr_width =
+                exprWidth(*conn.expr, scan.env, scan.widths);
+            if (port_width > 0 && expr_width > 0 &&
+                port_width != expr_width) {
+                out.add("hdl.width-mismatch", design_name, module,
+                        "input port '" + conn.port +
+                            "' of instance '" + item.instName +
+                            "' is " + std::to_string(port_width) +
+                            " bits but is bound to " +
+                            std::to_string(expr_width) + " bits",
+                        item.line)
+                    .hint = "resize the bound expression";
+            }
+        } else {
+            std::map<std::string, DriveShape> targets;
+            collectLvalue(*conn.expr, scan, targets);
+            for (const auto &[name, shape] : targets) {
+                scan.drivers[name].push_back(shape);
+                scan.contDriven.insert(name);
+            }
+            int expr_width =
+                lvalueWidth(*conn.expr, scan.env, scan.widths);
+            if (port_width > 0 && expr_width > 0 &&
+                port_width != expr_width) {
+                out.add("hdl.width-mismatch", design_name, module,
+                        "output port '" + conn.port +
+                            "' of instance '" + item.instName +
+                            "' is " + std::to_string(port_width) +
+                            " bits but drives " +
+                            std::to_string(expr_width) + " bits",
+                        item.line)
+                    .hint = "resize the connected signal";
+            }
+        }
+    }
+}
+
+void
+scanItems(const std::vector<ItemPtr> &items, const Design &design,
+          const std::string &module, ModuleScan &scan,
+          LintReport &out, const std::string &design_name)
+{
+    for (const ItemPtr &ip : items) {
+        const Item &item = *ip;
+        switch (item.kind) {
+        case ItemKind::Net: {
+            bool is_memory = item.arrayLeft != nullptr;
+            int width = rangeWidth(item.msb.get(), item.lsb.get(),
+                                   scan.env);
+            for (const std::string &name : item.names) {
+                SigDecl d;
+                d.line = item.line;
+                d.isReg = item.isReg;
+                d.isMemory = is_memory;
+                scan.decls.emplace(name, d);
+                if (is_memory)
+                    scan.widths.memory[name] = width;
+                else
+                    scan.widths.net[name] = width;
+            }
+            if (item.arrayLeft)
+                collectReads(*item.arrayLeft, scan);
+            if (item.arrayRight)
+                collectReads(*item.arrayRight, scan);
+            break;
+        }
+        case ItemKind::Localparam:
+            try {
+                scan.env[item.param.name] =
+                    evalConst(*item.param.value, scan.env);
+            } catch (const UcxError &) {
+            }
+            break;
+        case ItemKind::ContAssign: {
+            std::map<std::string, DriveShape> targets;
+            collectLvalue(*item.lhs, scan, targets);
+            collectReads(*item.rhs, scan);
+            for (const auto &[name, shape] : targets) {
+                scan.drivers[name].push_back(shape);
+                scan.contDriven.insert(name);
+            }
+            int lw = lvalueWidth(*item.lhs, scan.env, scan.widths);
+            int rw = exprWidth(*item.rhs, scan.env, scan.widths);
+            if (lw > 0 && rw > 0 && lw != rw) {
+                LintDiagnostic &d = out.add(
+                    "hdl.width-mismatch", design_name, module,
+                    "assignment of a " + std::to_string(rw) +
+                        "-bit expression to a " +
+                        std::to_string(lw) + "-bit target" +
+                        (rw > lw ? " truncates" : " zero-extends"),
+                    item.line);
+                if (rw < lw)
+                    d.severity = LintSeverity::Note;
+                d.hint = "make both sides the same width";
+            }
+            break;
+        }
+        case ItemKind::Always: {
+            for (const EdgeEvent &edge : item.edges)
+                scan.read.insert(edge.signal);
+            std::map<std::string, DriveShape> targets;
+            if (item.body)
+                scanStmt(*item.body, scan, module, out,
+                         design_name, targets);
+            for (const auto &[name, shape] : targets)
+                scan.drivers[name].push_back(shape);
+            // Latch inference: combinational block with a target
+            // not assigned on every path.
+            if (!item.sequential && item.body) {
+                for (const auto &[name, shape] : targets) {
+                    (void)shape;
+                    auto dit = scan.decls.find(name);
+                    if (dit != scan.decls.end() &&
+                        dit->second.isMemory)
+                        continue;
+                    if (!assignsOnAllPaths(*item.body, name)) {
+                        out.add("hdl.inferred-latch", design_name,
+                                module,
+                                "'" + name +
+                                    "' is not assigned on every "
+                                    "path of a combinational "
+                                    "always block",
+                                item.line)
+                            .hint = "add a default assignment "
+                                    "before the branches";
+                    }
+                }
+            }
+            break;
+        }
+        case ItemKind::Instance:
+            scanInstance(item, design, module, scan, out,
+                         design_name);
+            break;
+        case ItemKind::GenFor:
+            scan.loopVars.insert(item.genvar);
+            if (item.genInit)
+                collectReads(*item.genInit, scan);
+            if (item.genCond)
+                collectReads(*item.genCond, scan);
+            if (item.genStep)
+                collectReads(*item.genStep, scan);
+            scanItems(item.genBody, design, module, scan, out,
+                      design_name);
+            break;
+        case ItemKind::GenIf:
+            if (item.genIfCond)
+                collectReads(*item.genIfCond, scan);
+            scanItems(item.genThen, design, module, scan, out,
+                      design_name);
+            scanItems(item.genElse, design, module, scan, out,
+                      design_name);
+            break;
+        case ItemKind::Genvar:
+            for (const std::string &name : item.genvarNames)
+                scan.loopVars.insert(name);
+            break;
+        }
+        forEachItemExpr(item, [&](const Expr &e) {
+            checkTernaryConds(e, scan, module, out, design_name);
+        });
+    }
+}
+
+/** Run every AST rule over one module. */
+void
+lintModule(const Module &mod, const Design &design,
+           const std::string &design_name, LintReport &out)
+{
+    ModuleScan scan;
+
+    // Parameter defaults, in declaration order.
+    for (const Param &p : mod.params) {
+        try {
+            scan.env[p.name] = evalConst(*p.value, scan.env);
+        } catch (const UcxError &) {
+        }
+    }
+
+    // Port declarations.
+    for (const Port &port : mod.ports) {
+        SigDecl d;
+        d.line = port.line;
+        d.isReg = port.isReg;
+        d.isInput = port.dir == PortDir::Input;
+        d.isOutput = port.dir != PortDir::Input;
+        scan.decls.emplace(port.name, d);
+        scan.widths.net[port.name] = rangeWidth(
+            port.msb.get(), port.lsb.get(), scan.env);
+        if (port.msb)
+            collectReads(*port.msb, scan);
+        if (port.lsb)
+            collectReads(*port.lsb, scan);
+    }
+    // Port range expressions read only parameters; undo the reads.
+    scan.read.clear();
+
+    scanItems(mod.items, design, mod.name, scan, out, design_name);
+
+    // Per-signal drive rules.
+    for (const auto &[name, decl] : scan.decls) {
+        const std::vector<DriveShape> *drv = nullptr;
+        auto dit = scan.drivers.find(name);
+        if (dit != scan.drivers.end())
+            drv = &dit->second;
+        size_t whole = 0;
+        size_t field = 0;
+        if (drv) {
+            for (DriveShape shape : *drv)
+                (shape == DriveShape::Whole ? whole : field)++;
+        }
+
+        // hdl.multi-driven: two whole drivers, or a whole driver
+        // plus an independent field driver, or a register that is
+        // also continuously driven.
+        if (whole >= 2 || (whole >= 1 && field >= 1)) {
+            out.add("hdl.multi-driven", design_name,
+                    mod.name + "." + name,
+                    "'" + name + "' is driven by " +
+                        std::to_string(whole + field) +
+                        " independent sources",
+                    decl.line)
+                .hint = "keep exactly one driver per signal";
+        } else if (decl.isReg && !decl.isMemory && whole + field > 0 &&
+                   scan.contDriven.count(name) > 0) {
+            out.add("hdl.multi-driven", design_name,
+                    mod.name + "." + name,
+                    "register '" + name +
+                        "' is driven by a continuous assignment "
+                        "or instance output",
+                    decl.line)
+                .hint = "drive registers from always blocks only";
+        }
+
+        // hdl.undriven: nothing drives a non-input signal.
+        if (!decl.isInput && !decl.isMemory && whole + field == 0) {
+            out.add("hdl.undriven", design_name,
+                    mod.name + "." + name,
+                    std::string(decl.isReg ? "register '"
+                                           : "wire '") +
+                        name + "' is never driven",
+                    decl.line)
+                .hint = "drive it or delete it";
+        }
+
+        // hdl.unused: nothing reads a non-output signal.
+        if (!decl.isOutput && scan.read.count(name) == 0 &&
+            scan.loopVars.count(name) == 0) {
+            out.add("hdl.unused", design_name,
+                    mod.name + "." + name,
+                    std::string(decl.isMemory ? "memory '"
+                                              : "signal '") +
+                        name + "' is never read",
+                    decl.line)
+                .hint = "use it or delete it";
+        }
+    }
+}
+
+} // namespace
+
+LintReport
+lintModules(const Design &design, const std::string &design_name)
+{
+    LintReport out;
+    for (const std::string &name : design.moduleNames())
+        lintModule(design.module(name), design, design_name, out);
+    return out;
+}
+
+namespace
+{
+
+/**
+ * Bit-level combinational-loop detector mirroring the resolution
+ * order of gate lowering (lower.cc): wiring ops (Sig, Slice,
+ * Concat) resolve one bit at a time, so a word-level
+ * self-reference like "chain[(g+1)*W-1:g*W] = f(chain[g*W-1:...])"
+ * is legal as long as no single *bit* depends on itself; a logic
+ * op materializes its whole operand subtree, so it depends on
+ * every bit of every signal underneath it.
+ */
+class CombLoopScan
+{
+  public:
+    CombLoopScan(const RtlDesign &rtl, const std::string &design_name,
+                 LintReport &out)
+        : rtl_(rtl), design_name_(design_name), out_(&out)
+    {
+    }
+
+    void
+    run()
+    {
+        for (SigId sig = 0; sig < rtl_.signals.size(); ++sig)
+            visitSigBits(sig);
+    }
+
+  private:
+    using BitKey = std::pair<SigId, int>;
+
+    void
+    visitSigBits(SigId sig)
+    {
+        for (int b = 0; b < rtl_.signals[sig].width; ++b)
+            visitSigBit(sig, b);
+    }
+
+    void
+    visitSigBit(SigId sig, int b)
+    {
+        const RtlSignal &s = rtl_.signals[sig];
+        // Inputs and register q outputs are sequential sources; the
+        // register next-state expression is walked from run() via
+        // its own driver, where a purely combinational cycle would
+        // surface through the wires it reads.
+        if (s.kind == SigKind::Input || s.kind == SigKind::Reg)
+            return;
+        BitKey key{sig, b};
+        if (done_.count(key))
+            return;
+        if (!inProgress_.insert(key).second) {
+            reportCycle(sig);
+            return;
+        }
+        bitStack_.push_back(key);
+        if (s.driver != invalidNode)
+            walkWiringBit(s.driver, b);
+        bitStack_.pop_back();
+        inProgress_.erase(key);
+        done_.insert(key);
+    }
+
+    /** Bit @p b of a node, resolving wiring ops bit-precisely. */
+    void
+    walkWiringBit(NodeId id, int b)
+    {
+        const RtlNode &n = rtl_.nodes[id];
+        switch (n.op) {
+        case RtlOp::Const:
+            return;
+        case RtlOp::Sig:
+            visitSigBit(n.sig, b);
+            return;
+        case RtlOp::Slice:
+            walkWiringBit(n.args[0], n.lo + b);
+            return;
+        case RtlOp::Concat: {
+            // Args are most-significant first; walk from the last
+            // (least significant) accumulating widths.
+            int offset = b;
+            for (auto it = n.args.rbegin(); it != n.args.rend();
+                 ++it) {
+                int w = rtl_.nodes[*it].width;
+                if (offset < w) {
+                    walkWiringBit(*it, offset);
+                    return;
+                }
+                offset -= w;
+            }
+            return;
+        }
+        default:
+            // A real logic node: lowering materializes it fully, so
+            // this bit depends on the whole subtree.
+            walkLogic(id);
+            return;
+        }
+    }
+
+    /** Every signal bit a fully-lowered node subtree reads. */
+    void
+    walkLogic(NodeId id)
+    {
+        if (!logicSeen_.insert(id).second)
+            return;
+        const RtlNode &n = rtl_.nodes[id];
+        for (NodeId arg : n.args) {
+            const RtlNode &a = rtl_.nodes[arg];
+            switch (a.op) {
+            case RtlOp::Const:
+            case RtlOp::Sig:
+            case RtlOp::Slice:
+            case RtlOp::Concat:
+                // Wiring operand: lowered one bit at a time.
+                for (int b = 0; b < a.width; ++b)
+                    walkWiringBit(arg, b);
+                break;
+            default:
+                walkLogic(arg);
+                break;
+            }
+        }
+    }
+
+    void
+    reportCycle(SigId closing)
+    {
+        // Collect the distinct signals on the in-progress path from
+        // the closing signal onward.
+        std::vector<std::string> names;
+        std::set<std::string> seen;
+        auto it = std::find_if(bitStack_.begin(), bitStack_.end(),
+                               [&](const BitKey &k) {
+                                   return k.first == closing;
+                               });
+        for (; it != bitStack_.end(); ++it) {
+            const std::string &name =
+                rtl_.signals[it->first].name;
+            if (seen.insert(name).second)
+                names.push_back(name);
+        }
+        std::sort(names.begin(), names.end());
+        std::string joined;
+        for (const std::string &name : names)
+            joined += (joined.empty() ? "" : " -> ") + name;
+        std::string object = rtl_.signals[closing].name;
+        if (!reported_.insert(object).second)
+            return;
+        out_->add("hdl.comb-loop", design_name_, object,
+                  "combinational loop through: " + joined)
+            .hint = "break the cycle with a register";
+    }
+
+    const RtlDesign &rtl_;
+    std::string design_name_;
+    LintReport *out_;
+    std::set<BitKey> inProgress_;
+    std::set<BitKey> done_;
+    std::set<NodeId> logicSeen_;
+    std::vector<BitKey> bitStack_;
+    std::set<std::string> reported_;
+};
+
+} // namespace
+
+LintReport
+lintRtlStructure(const RtlDesign &rtl,
+                 const std::string &design_name)
+{
+    LintReport out;
+    CombLoopScan(rtl, design_name, out).run();
+    return out;
+}
+
+LintReport
+lintNetlistStructure(const Netlist &netlist,
+                     const std::string &design_name)
+{
+    LintReport out;
+
+    // Backward reachability from every endpoint: primary outputs,
+    // register d-pins, memory write pins. Dff/MemOut gates are
+    // traversed through (their q side feeds logic; their fanin is
+    // a sequential edge but still "live" logic).
+    std::vector<uint8_t> live(netlist.gates.size(), 0);
+    std::vector<GateId> stack;
+    auto push = [&](GateId g) {
+        if (g != invalidGate && !live[g]) {
+            live[g] = 1;
+            stack.push_back(g);
+        }
+    };
+    for (GateId g : netlist.outputBits)
+        push(g);
+    for (GateId g = 0; g < netlist.gates.size(); ++g) {
+        const Gate &gate = netlist.gates[g];
+        if (gate.op == GateOp::Dff || gate.op == GateOp::MemIn ||
+            gate.op == GateOp::MemOut)
+            push(g);
+    }
+    while (!stack.empty()) {
+        GateId g = stack.back();
+        stack.pop_back();
+        for (GateId in : netlist.gates[g].in)
+            push(in);
+    }
+    size_t dead = 0;
+    for (GateId g = 0; g < netlist.gates.size(); ++g) {
+        const Gate &gate = netlist.gates[g];
+        bool counts = gate.op == GateOp::Not ||
+                      gate.op == GateOp::And ||
+                      gate.op == GateOp::Or ||
+                      gate.op == GateOp::Xor ||
+                      gate.op == GateOp::Mux;
+        if (counts && !live[g])
+            ++dead;
+    }
+    if (dead > 0) {
+        out.add("hdl.dead-logic", design_name, "netlist",
+                std::to_string(dead) +
+                    " combinational gate(s) are unreachable from "
+                    "every output, register, and memory pin")
+            .hint = "dead logic inflates area/power metrics";
+    }
+    return out;
+}
+
+LintReport
+lintElabWarnings(const std::vector<std::string> &warnings,
+                 const std::string &design_name)
+{
+    LintReport out;
+    auto quoted = [](const std::string &text, size_t which) {
+        size_t pos = 0;
+        for (size_t i = 0; i <= which; ++i) {
+            size_t open = text.find('\'', pos);
+            if (open == std::string::npos)
+                return std::string();
+            size_t close = text.find('\'', open + 1);
+            if (close == std::string::npos)
+                return std::string();
+            if (i == which)
+                return text.substr(open + 1, close - open - 1);
+            pos = close + 1;
+        }
+        return std::string();
+    };
+    for (const std::string &w : warnings) {
+        if (w.rfind("input port", 0) == 0) {
+            std::string port = quoted(w, 0);
+            std::string inst = quoted(w, 1);
+            out.add("hdl.unconnected-input", design_name,
+                    inst + "." + port, w)
+                .hint = "connect the port or tie it explicitly";
+        } else if (w.find("is undriven") != std::string::npos ||
+                   w.find("never assigned") != std::string::npos ||
+                   w.find("partially driven") !=
+                       std::string::npos) {
+            out.add("hdl.undriven", design_name, quoted(w, 0), w)
+                .hint = "drive every bit of the signal";
+        } else {
+            out.add("hdl.elab-warning", design_name, "", w);
+        }
+    }
+    return out;
+}
+
+} // namespace ucx

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * ucx::lint — HDL/netlist rule family ("hdl.*").
+ *
+ * Two layers, matching where each defect is visible:
+ *
+ *  - AST rules (lintModules): per-module checks over the parsed
+ *    source — undriven/unused/multiply-driven signals, width
+ *    mismatches in assignments and port bindings, inferred latches,
+ *    constant conditions / dead branches. These run without
+ *    elaborating, so they also fire on modules a top never reaches.
+ *
+ *  - Structural rules (lintRtlStructure / lintNetlistStructure):
+ *    checks over the elaborated word-level RTL and the lowered gate
+ *    netlist — combinational loops (which would otherwise blow the
+ *    stack in gate lowering) and dead logic. These run as "lint" /
+ *    "lintnet" passes through the synthesis pass manager (lint.hh),
+ *    so their artifacts memoize like any other pass artifact.
+ */
+
+#ifndef UCX_LINT_HDL_RULES_HH
+#define UCX_LINT_HDL_RULES_HH
+
+#include <string>
+
+#include "hdl/design.hh"
+#include "lint/diagnostic.hh"
+#include "synth/netlist.hh"
+#include "synth/rtl.hh"
+
+namespace ucx
+{
+
+/**
+ * Run every AST-level "hdl.*" rule over all modules of a design.
+ *
+ * @param design      Parsed design.
+ * @param design_name Name used in diagnostics (registry key or top).
+ * @return The findings (unsorted).
+ */
+LintReport lintModules(const Design &design,
+                       const std::string &design_name);
+
+/**
+ * Run structural rules over elaborated word-level RTL: currently
+ * combinational-loop detection (hdl.comb-loop, Error). Safe on RTL
+ * that would crash gate lowering.
+ *
+ * @param rtl         Elaborated design.
+ * @param design_name Name used in diagnostics.
+ * @return The findings (unsorted).
+ */
+LintReport lintRtlStructure(const RtlDesign &rtl,
+                            const std::string &design_name);
+
+/**
+ * Run structural rules over a lowered gate netlist: dead-logic
+ * detection (hdl.dead-logic, Note) — combinational gates unreachable
+ * from every output, register, or memory pin.
+ *
+ * @param netlist     Lowered netlist.
+ * @param design_name Name used in diagnostics.
+ * @return The findings (unsorted).
+ */
+LintReport lintNetlistStructure(const Netlist &netlist,
+                                const std::string &design_name);
+
+/**
+ * Translate elaboration warnings (unconnected inputs, undriven or
+ * partially driven wires, never-assigned registers) into diagnostics
+ * under the matching rule ids.
+ *
+ * @param warnings    ElabResult::warnings.
+ * @param design_name Name used in diagnostics.
+ * @return The findings (unsorted).
+ */
+LintReport lintElabWarnings(const std::vector<std::string> &warnings,
+                            const std::string &design_name);
+
+} // namespace ucx
+
+#endif // UCX_LINT_HDL_RULES_HH

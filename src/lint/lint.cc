@@ -1,0 +1,116 @@
+#include "lint/lint.hh"
+
+#include "util/error.hh"
+
+namespace ucx
+{
+
+namespace
+{
+
+/** Build one lint Pass writing into the given context slot. */
+Pass
+makeLintPass(std::string name,
+             std::shared_ptr<const LintReport> PipelineContext::*slot,
+             std::function<LintReport(PipelineContext &)> produce)
+{
+    Pass pass;
+    pass.name = std::move(name);
+    pass.artifactType = &typeid(LintReport);
+    pass.run = [slot, produce = std::move(produce)](
+                   PipelineContext &ctx) {
+        LintReport report = produce(ctx);
+        report.sortCanonical();
+        ctx.*slot =
+            std::make_shared<const LintReport>(std::move(report));
+    };
+    pass.save = [slot](const PipelineContext &ctx) {
+        return std::static_pointer_cast<const void>(ctx.*slot);
+    };
+    pass.load = [slot](PipelineContext &ctx,
+                       std::shared_ptr<const void> artifact) {
+        ctx.*slot =
+            std::static_pointer_cast<const LintReport>(artifact);
+    };
+    return pass;
+}
+
+} // namespace
+
+Pass
+lintPass(const std::string &design_name)
+{
+    return makeLintPass(
+        "lint", &PipelineContext::lint,
+        [design_name](PipelineContext &ctx) {
+            return lintRtlStructure(*ctx.rtl, design_name);
+        });
+}
+
+Pass
+lintNetPass(const std::string &design_name)
+{
+    return makeLintPass(
+        "lintnet", &PipelineContext::lintNet,
+        [design_name](PipelineContext &ctx) {
+            ensure(ctx.netlist != nullptr,
+                   "lintnet pass needs the lowered netlist");
+            return lintNetlistStructure(*ctx.netlist, design_name);
+        });
+}
+
+LintReport
+lintHdlDesign(const Design &design, const std::string &top,
+              const std::string &design_name,
+              const LintRunOptions &options)
+{
+    LintReport report = lintModules(design, design_name);
+
+    std::shared_ptr<const ElabResult> elab;
+    try {
+        elab = elaborateShared(design, top, options.elab,
+                               options.cache);
+    } catch (const UcxError &e) {
+        report.add("hdl.elab-error", design_name, top, e.what())
+            .hint = "fix the elaboration error first; deeper "
+                    "checks need an elaborated design";
+        report.sortCanonical();
+        return report;
+    }
+    report.merge(lintElabWarnings(elab->warnings, design_name));
+
+    // The structural rules run as pipeline passes; their reports
+    // carry the design name, so the name joins the cache key.
+    PipelineRun run;
+    if (options.cache) {
+        run.cache = options.cache;
+        run.base =
+            synthCacheKey(elabCacheKey(design, top, options.elab),
+                          options.config)
+                .add(design_name);
+    }
+    PipelineContext ctx = runPasses(
+        elab->rtl, {lintPass(design_name)}, options.config, run);
+    if (ctx.lint)
+        report.merge(*ctx.lint);
+
+    // Gate lowering does not survive the defects the Error rules
+    // catch (a combinational loop recurses forever), so the netlist
+    // stage only runs on an error-free design.
+    if (options.netlistRules && !report.hasError()) {
+        std::vector<Pass> passes;
+        for (const Pass &pass : defaultPassList())
+            if (pass.name == "lower")
+                passes.push_back(pass);
+        passes.push_back(lintNetPass(design_name));
+        PipelineContext net_ctx =
+            runPasses(elab->rtl, passes, options.config, run);
+        if (net_ctx.lintNet)
+            report.merge(*net_ctx.lintNet);
+    }
+
+    report.sortCanonical();
+    return report;
+}
+
+} // namespace ucx

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * ucx::lint — facade and pass-manager wiring.
+ *
+ * lintHdlDesign() is the one-call entry: it runs every AST rule,
+ * elaborates (downgrading elaboration failures to hdl.elab-error
+ * findings instead of exceptions), translates elaboration warnings,
+ * and then drives the structural rules through the synthesis pass
+ * manager as real passes — "lint" over the elaborated RTL and
+ * "lintnet" over the lowered netlist — so their reports memoize in
+ * the ArtifactCache like any other pipeline artifact. The netlist
+ * stage is skipped while Error findings (notably hdl.comb-loop,
+ * which would not survive gate lowering) are present.
+ */
+
+#ifndef UCX_LINT_LINT_HH
+#define UCX_LINT_LINT_HH
+
+#include <string>
+
+#include "cache/artifact_cache.hh"
+#include "hdl/design.hh"
+#include "lint/account_rules.hh"
+#include "lint/dataset_rules.hh"
+#include "lint/diagnostic.hh"
+#include "lint/hdl_rules.hh"
+#include "lint/suppress.hh"
+#include "synth/pass.hh"
+
+namespace ucx
+{
+
+/** @return The "lint" pass: RTL structural rules (hdl.comb-loop)
+ *          into PipelineContext::lint. */
+Pass lintPass(const std::string &design_name);
+
+/** @return The "lintnet" pass: netlist structural rules
+ *          (hdl.dead-logic) into PipelineContext::lintNet. Needs
+ *          the "lower" artifact. */
+Pass lintNetPass(const std::string &design_name);
+
+/** Options of a full-design lint run. */
+struct LintRunOptions
+{
+    /** Elaboration options (top parameters, black-boxing). */
+    ElabOptions elab;
+    /** Pass configuration (keyed into cached lint artifacts). */
+    PassConfig config;
+    /** Memo store; null reruns everything. */
+    ArtifactCache *cache = nullptr;
+    /**
+     * Also lower to gates and run the netlist rules (hdl.dead-logic
+     * notes). Skipped automatically when Error findings exist.
+     */
+    bool netlistRules = true;
+};
+
+/**
+ * Lint one design end to end: AST rules on every module,
+ * elaboration of @p top (failures become hdl.elab-error findings),
+ * elaboration-warning translation, and the structural passes.
+ *
+ * @param design      Parsed design.
+ * @param top         Top module to elaborate.
+ * @param design_name Name used in diagnostics.
+ * @param options     Elaboration/cache/pass options.
+ * @return The canonical (sorted, deduplicated) report.
+ */
+LintReport lintHdlDesign(const Design &design,
+                         const std::string &top,
+                         const std::string &design_name,
+                         const LintRunOptions &options = {});
+
+} // namespace ucx
+
+#endif // UCX_LINT_LINT_HH

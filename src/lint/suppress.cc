@@ -1,0 +1,144 @@
+#include "lint/suppress.hh"
+
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "util/error.hh"
+#include "util/str.hh"
+
+namespace ucx
+{
+
+namespace
+{
+
+bool
+fieldMatches(const std::string &pattern, const std::string &value)
+{
+    if (pattern == "*")
+        return true;
+    if (pattern == "-")
+        return value.empty();
+    return pattern == value;
+}
+
+} // namespace
+
+bool
+LintSuppression::matches(const LintDiagnostic &d) const
+{
+    return fieldMatches(rule, d.rule) &&
+           fieldMatches(design, d.design) &&
+           fieldMatches(object, d.object);
+}
+
+LintSuppressions
+LintSuppressions::parse(const std::string &text)
+{
+    LintSuppressions out;
+    int line_no = 0;
+    for (const std::string &raw : split(text, '\n')) {
+        ++line_no;
+        std::string line = raw;
+        std::string comment;
+        size_t hash = line.find('#');
+        if (hash != std::string::npos) {
+            comment = trim(line.substr(hash + 1));
+            line = line.substr(0, hash);
+        }
+        line = trim(line);
+        if (line.empty())
+            continue;
+        std::vector<std::string> fields = splitWs(line);
+        if (fields.size() != 3)
+            throw UcxError(
+                "suppression line " + std::to_string(line_no) +
+                ": expected '<rule> <design> <object>', got '" +
+                trim(raw) + "'");
+        if (fields[0] != "*")
+            lintRule(fields[0]); // reject unknown rule ids
+        LintSuppression s;
+        s.rule = fields[0];
+        s.design = fields[1];
+        s.object = fields[2];
+        s.comment = comment;
+        out.add(std::move(s));
+    }
+    return out;
+}
+
+LintSuppressions
+LintSuppressions::fromFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw UcxError("cannot read suppression file '" + path +
+                       "'");
+    std::ostringstream text;
+    text << in.rdbuf();
+    try {
+        return parse(text.str());
+    } catch (const UcxError &e) {
+        throw UcxError("suppression file '" + path +
+                       "': " + e.what());
+    }
+}
+
+LintSuppressions
+LintSuppressions::baselineOf(const LintReport &report,
+                             const std::string &comment)
+{
+    LintSuppressions out;
+    std::set<std::string> seen;
+    for (const LintDiagnostic &d : report.diagnostics()) {
+        if (!seen.insert(d.key()).second)
+            continue;
+        LintSuppression s;
+        s.rule = d.rule;
+        s.design = d.design.empty() ? "-" : d.design;
+        s.object = d.object.empty() ? "-" : d.object;
+        s.comment = comment;
+        out.add(std::move(s));
+    }
+    return out;
+}
+
+void
+LintSuppressions::add(LintSuppression suppression)
+{
+    entries_.push_back(std::move(suppression));
+}
+
+bool
+LintSuppressions::matches(const LintDiagnostic &d) const
+{
+    for (const LintSuppression &s : entries_)
+        if (s.matches(d))
+            return true;
+    return false;
+}
+
+size_t
+LintSuppressions::apply(LintReport &report) const
+{
+    if (entries_.empty())
+        return 0;
+    return report.filter(
+        [&](const LintDiagnostic &d) { return !matches(d); });
+}
+
+std::string
+LintSuppressions::serialize() const
+{
+    std::string out;
+    for (const LintSuppression &s : entries_) {
+        out += s.rule + " " + s.design + " " + s.object;
+        if (!s.comment.empty())
+            out += "  # " + s.comment;
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace ucx

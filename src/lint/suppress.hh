@@ -1,0 +1,105 @@
+/**
+ * @file
+ * ucx::lint — suppression / baseline files.
+ *
+ * A suppression file is a line-oriented text format; each non-empty,
+ * non-comment line names one suppression:
+ *
+ *     <rule> <design> <object>   # optional trailing comment
+ *
+ * Any of the three fields may be "*" (match everything) and empty
+ * design/object fields in a diagnostic match the literal "-" used
+ * when baselining. Matching diagnostics are dropped from a report
+ * before severity gating, so a baseline freezes the current findings
+ * while still failing on anything new.
+ */
+
+#ifndef UCX_LINT_SUPPRESS_HH
+#define UCX_LINT_SUPPRESS_HH
+
+#include <string>
+#include <vector>
+
+#include "lint/diagnostic.hh"
+
+namespace ucx
+{
+
+/** One parsed suppression line. */
+struct LintSuppression
+{
+    std::string rule;    ///< Rule id or "*".
+    std::string design;  ///< Design name, "-" for empty, or "*".
+    std::string object;  ///< Object name, "-" for empty, or "*".
+    std::string comment; ///< Trailing "# ..." text, if any.
+
+    /** @return Whether this suppression matches @p d. */
+    bool matches(const LintDiagnostic &d) const;
+};
+
+/** A set of suppressions read from (or destined for) a file. */
+class LintSuppressions
+{
+  public:
+    /** Create an empty set. */
+    LintSuppressions() = default;
+
+    /**
+     * Parse suppression-file text.
+     *
+     * @param text File contents.
+     * @return The parsed set; throws UcxError on malformed lines or
+     *         unknown non-wildcard rule ids.
+     */
+    static LintSuppressions parse(const std::string &text);
+
+    /**
+     * Read and parse a suppression file.
+     *
+     * @param path File path.
+     * @return The parsed set; throws UcxError when unreadable.
+     */
+    static LintSuppressions fromFile(const std::string &path);
+
+    /**
+     * Build a baseline suppressing exactly the findings of
+     * @p report, one line per distinct (rule, design, object).
+     *
+     * @param report  Findings to freeze.
+     * @param comment Comment attached to every generated line.
+     * @return The baseline set.
+     */
+    static LintSuppressions baselineOf(
+        const LintReport &report,
+        const std::string &comment = "baselined");
+
+    /** Append one suppression. */
+    void add(LintSuppression suppression);
+
+    /** @return All suppressions in file order. */
+    const std::vector<LintSuppression> &entries() const
+    {
+        return entries_;
+    }
+
+    /** @return Whether any entry matches @p d. */
+    bool matches(const LintDiagnostic &d) const;
+
+    /**
+     * Remove matching diagnostics from a report.
+     *
+     * @param report Report to filter in place.
+     * @return The number of diagnostics removed.
+     */
+    size_t apply(LintReport &report) const;
+
+    /** @return The file representation; parse() round-trips it. */
+    std::string serialize() const;
+
+  private:
+    std::vector<LintSuppression> entries_;
+};
+
+} // namespace ucx
+
+#endif // UCX_LINT_SUPPRESS_HH

@@ -50,6 +50,8 @@
 namespace ucx
 {
 
+class LintReport; // src/lint — artifact of the lint passes
+
 /** FPGA and ASIC timing, produced together by the timing pass. */
 struct TimingSummary
 {
@@ -87,6 +89,11 @@ struct PipelineContext
     std::shared_ptr<const TimingSummary> timing;
     std::shared_ptr<const PowerReport> power;
     std::shared_ptr<const SynthMetrics> metrics;
+
+    // Lint-pass artifacts (providers live in src/lint; the slots
+    // live here so the passes run through the same runner).
+    std::shared_ptr<const LintReport> lint;    ///< "lint" pass.
+    std::shared_ptr<const LintReport> lintNet; ///< "lintnet" pass.
 };
 
 /** One named stage of the synthesis pipeline. */

@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/measure.hh"
+#include "hdl/design.hh"
+#include "lint/account_rules.hh"
+
+namespace ucx
+{
+namespace
+{
+
+size_t
+countRule(const LintReport &report, const std::string &rule)
+{
+    size_t n = 0;
+    for (const LintDiagnostic &d : report.diagnostics())
+        if (d.rule == rule)
+            ++n;
+    return n;
+}
+
+const LintDiagnostic *
+findRule(const LintReport &report, const std::string &rule)
+{
+    for (const LintDiagnostic &d : report.diagnostics())
+        if (d.rule == rule)
+            return &d;
+    return nullptr;
+}
+
+/** A two-level parameterized fixture with a repeated leaf type. */
+Design
+paramDesign()
+{
+    Design design;
+    design.addSource(
+        "module leaf #(parameter W = 8)\n"
+        "    (input wire [W-1:0] a, output wire [W-1:0] y);\n"
+        "  assign y = ~a;\n"
+        "endmodule\n"
+        "module top (input wire [7:0] a, output wire [7:0] y);\n"
+        "  wire [7:0] t;\n"
+        "  leaf #(.W(8)) u0 (.a(a), .y(t));\n"
+        "  leaf #(.W(8)) u1 (.a(t), .y(y));\n"
+        "endmodule\n",
+        "fixture.v");
+    return design;
+}
+
+// -------------------------------------- acct.duplicate-type
+
+TEST(AccountLint, DuplicateTypeFiresOnPerInstanceMeasurement)
+{
+    ComponentMeasurement m;
+    m.moduleCounts = {{"leaf", 2}, {"top", 1}};
+    // No per-type parameter record: the census was taken per
+    // instance, so the repeated leaf type was counted twice.
+    LintReport r = lintAccountingMeasurement(paramDesign(), "top",
+                                             "fixture", m);
+    const LintDiagnostic *d = findRule(r, "acct.duplicate-type");
+    ASSERT_NE(d, nullptr) << r.text();
+    EXPECT_EQ(d->object, "leaf");
+    EXPECT_EQ(d->severity, LintSeverity::Warning);
+}
+
+TEST(AccountLint, DuplicateTypeSilentOnProcedureMeasurement)
+{
+    Design design = paramDesign();
+    ComponentMeasurement m =
+        measureComponent(design, "top",
+                         AccountingMode::WithProcedure);
+    LintReport r =
+        lintAccountingMeasurement(design, "top", "fixture", m);
+    EXPECT_EQ(countRule(r, "acct.duplicate-type"), 0u) << r.text();
+}
+
+// ---------------------------------- acct.non-minimal-params
+
+TEST(AccountLint, NonMinimalParamsFires)
+{
+    Design design = paramDesign();
+    ComponentMeasurement m;
+    m.moduleCounts = {{"leaf", 2}, {"top", 1}};
+    m.measuredParams["top"] = {};
+    m.measuredParams["leaf"] = {{"W", 8}}; // as-written, not minimal
+    LintReport r =
+        lintAccountingMeasurement(design, "top", "fixture", m);
+    const LintDiagnostic *d =
+        findRule(r, "acct.non-minimal-params");
+    ASSERT_NE(d, nullptr) << r.text();
+    EXPECT_EQ(d->object, "leaf");
+    // The message shows both bindings verbatim (cache-key form).
+    EXPECT_NE(d->message.find("W=8"), std::string::npos);
+}
+
+TEST(AccountLint, NonMinimalParamsSilentOnMinimalBinding)
+{
+    Design design = paramDesign();
+    ComponentMeasurement m;
+    m.moduleCounts = {{"leaf", 2}, {"top", 1}};
+    m.measuredParams["top"] = minimizeParameters(design, "top");
+    m.measuredParams["leaf"] = minimizeParameters(design, "leaf");
+    LintReport r =
+        lintAccountingMeasurement(design, "top", "fixture", m);
+    EXPECT_EQ(countRule(r, "acct.non-minimal-params"), 0u)
+        << r.text();
+}
+
+// ------------------------ acct.overlap / duplicate-component
+
+TEST(AccountLint, OverlapFiresOnSharedModuleType)
+{
+    ComponentMeasurement a;
+    a.moduleCounts = {{"alu", 1}, {"shifter", 1}};
+    ComponentMeasurement b;
+    b.moduleCounts = {{"alu", 1}, {"mult", 1}};
+    LintReport r = lintAccountingPartition(
+        {{"exec", a}, {"issue", b}});
+    const LintDiagnostic *d = findRule(r, "acct.overlap");
+    ASSERT_NE(d, nullptr) << r.text();
+    EXPECT_EQ(d->object, "alu");
+    EXPECT_EQ(d->severity, LintSeverity::Error);
+    EXPECT_NE(d->message.find("exec"), std::string::npos);
+    EXPECT_NE(d->message.find("issue"), std::string::npos);
+}
+
+TEST(AccountLint, PartitionCleanWhenDisjoint)
+{
+    ComponentMeasurement a;
+    a.moduleCounts = {{"alu", 1}};
+    ComponentMeasurement b;
+    b.moduleCounts = {{"mult", 1}};
+    LintReport r = lintAccountingPartition(
+        {{"exec", a}, {"issue", b}});
+    EXPECT_TRUE(r.empty()) << r.text();
+}
+
+TEST(AccountLint, DuplicateComponentFiresInPartition)
+{
+    ComponentMeasurement a;
+    a.moduleCounts = {{"alu", 1}};
+    LintReport r =
+        lintAccountingPartition({{"exec", a}, {"exec", a}});
+    EXPECT_EQ(countRule(r, "acct.duplicate-component"), 1u)
+        << r.text();
+    // The same module type under the same component name is not an
+    // overlap — only the duplicate identity is reported.
+    EXPECT_EQ(countRule(r, "acct.overlap"), 0u) << r.text();
+}
+
+// --------------------------------------- dataset accounting
+
+Component
+makeComponent(const std::string &project, const std::string &name,
+              double effort, double stmts)
+{
+    Component c;
+    c.project = project;
+    c.name = name;
+    c.effort = effort;
+    c.metrics.fill(1.0);
+    c.metrics[0] = stmts;
+    return c;
+}
+
+TEST(AccountLint, DatasetDuplicateComponentFires)
+{
+    Dataset ds;
+    ds.add(makeComponent("Leon3", "IU", 10.0, 100.0));
+    ds.add(makeComponent("Leon3", "IU", 12.0, 200.0));
+    LintReport r = lintDatasetAccounting(ds, "dataset");
+    const LintDiagnostic *d =
+        findRule(r, "acct.duplicate-component");
+    ASSERT_NE(d, nullptr) << r.text();
+    EXPECT_EQ(d->object, "Leon3-IU");
+    EXPECT_EQ(d->design, "dataset");
+}
+
+TEST(AccountLint, DatasetNonpositiveEffortFiresOnInfinity)
+{
+    // Dataset::add rejects effort <= 0 and NaN outright, so the
+    // reachable bad value is an infinite effort, which still makes
+    // log(effort) useless for the fit.
+    Dataset ds;
+    ds.add(makeComponent("Leon3", "IU",
+                         std::numeric_limits<double>::infinity(),
+                         100.0));
+    LintReport r = lintDatasetAccounting(ds, "dataset");
+    const LintDiagnostic *d =
+        findRule(r, "acct.nonpositive-effort");
+    ASSERT_NE(d, nullptr) << r.text();
+    EXPECT_EQ(d->severity, LintSeverity::Error);
+}
+
+TEST(AccountLint, DatasetDuplicateMetricsFiresWithinProject)
+{
+    Dataset ds;
+    ds.add(makeComponent("Leon3", "IU", 10.0, 100.0));
+    ds.add(makeComponent("Leon3", "FPU", 12.0, 100.0));
+    // Same metric vector in another project is fine.
+    ds.add(makeComponent("PUMA", "IU", 9.0, 100.0));
+    LintReport r = lintDatasetAccounting(ds, "dataset");
+    const LintDiagnostic *d = findRule(r, "acct.duplicate-metrics");
+    ASSERT_NE(d, nullptr) << r.text();
+    EXPECT_EQ(d->object, "Leon3-IU/Leon3-FPU");
+    EXPECT_EQ(countRule(r, "acct.duplicate-metrics"), 1u);
+}
+
+TEST(AccountLint, DatasetCleanWhenWellFormed)
+{
+    Dataset ds;
+    ds.add(makeComponent("Leon3", "IU", 10.0, 100.0));
+    ds.add(makeComponent("Leon3", "FPU", 12.0, 250.0));
+    ds.add(makeComponent("PUMA", "LSQ", 9.0, 100.0));
+    LintReport r = lintDatasetAccounting(ds, "dataset");
+    EXPECT_TRUE(r.empty()) << r.text();
+}
+
+} // namespace
+} // namespace ucx

@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "lint/dataset_rules.hh"
+
+namespace ucx
+{
+namespace
+{
+
+size_t
+countRule(const LintReport &report, const std::string &rule)
+{
+    size_t n = 0;
+    for (const LintDiagnostic &d : report.diagnostics())
+        if (d.rule == rule)
+            ++n;
+    return n;
+}
+
+const LintDiagnostic *
+findRule(const LintReport &report, const std::string &rule)
+{
+    for (const LintDiagnostic &d : report.diagnostics())
+        if (d.rule == rule)
+            return &d;
+    return nullptr;
+}
+
+Component
+makeComponent(const std::string &project, const std::string &name,
+              double effort, double stmts, double loc,
+              double fanin)
+{
+    Component c;
+    c.project = project;
+    c.name = name;
+    c.effort = effort;
+    c.metrics.fill(1.0);
+    c.metrics[static_cast<size_t>(Metric::Stmts)] = stmts;
+    c.metrics[static_cast<size_t>(Metric::LoC)] = loc;
+    c.metrics[static_cast<size_t>(Metric::FanInLC)] = fanin;
+    return c;
+}
+
+/** A healthy three-team dataset with independent columns. */
+Dataset
+healthyDataset()
+{
+    Dataset ds;
+    ds.add(makeComponent("A", "c1", 4.0, 100.0, 310.0, 50.0));
+    ds.add(makeComponent("A", "c2", 7.0, 220.0, 410.0, 95.0));
+    ds.add(makeComponent("A", "c3", 5.0, 160.0, 820.0, 20.0));
+    ds.add(makeComponent("B", "c1", 9.0, 300.0, 520.0, 140.0));
+    ds.add(makeComponent("B", "c2", 3.0, 90.0, 130.0, 260.0));
+    ds.add(makeComponent("B", "c3", 6.0, 180.0, 950.0, 70.0));
+    return ds;
+}
+
+const std::vector<Metric> kThree = {Metric::Stmts, Metric::LoC,
+                                    Metric::FanInLC};
+
+// ------------------------------------------------ fit.nonfinite
+
+TEST(FitLint, NonfiniteMetricFiresAndShortCircuits)
+{
+    Dataset ds = healthyDataset();
+    Component bad = makeComponent(
+        "C", "c1", 5.0, std::numeric_limits<double>::quiet_NaN(),
+        200.0, 30.0);
+    ds.add(bad);
+    LintReport r = lintFitInputs(ds, kThree,
+                                 ZeroPolicy::ClampToOne, "ds");
+    const LintDiagnostic *d = findRule(r, "fit.nonfinite");
+    ASSERT_NE(d, nullptr) << r.text();
+    EXPECT_EQ(d->object, "C-c1");
+    EXPECT_NE(d->message.find("Stmts"), std::string::npos);
+    // Non-finite input stops further column analysis.
+    EXPECT_EQ(r.size(), countRule(r, "fit.nonfinite"));
+}
+
+TEST(FitLint, NonfiniteSilentOnFiniteData)
+{
+    LintReport r = lintFitInputs(healthyDataset(), kThree,
+                                 ZeroPolicy::ClampToOne, "ds");
+    EXPECT_EQ(countRule(r, "fit.nonfinite"), 0u) << r.text();
+}
+
+// ---------------------------------------------------- fit.empty
+
+TEST(FitLint, EmptyFiresOnNoMetrics)
+{
+    LintReport r = lintFitInputs(healthyDataset(), {},
+                                 ZeroPolicy::ClampToOne, "ds");
+    const LintDiagnostic *d = findRule(r, "fit.empty");
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->severity, LintSeverity::Error);
+}
+
+TEST(FitLint, EmptyFiresWhenZeroPolicyDropsEverything)
+{
+    Dataset ds;
+    ds.add(makeComponent("A", "c1", 4.0, 0.0, 0.0, 0.0));
+    ds.add(makeComponent("A", "c2", 6.0, 0.0, 0.0, 0.0));
+    LintReport r = lintFitInputs(ds, kThree, ZeroPolicy::Drop,
+                                 "ds");
+    EXPECT_GE(countRule(r, "fit.empty"), 1u) << r.text();
+}
+
+TEST(FitLint, EmptySilentOnUsableDataset)
+{
+    LintReport r = lintFitInputs(healthyDataset(), kThree,
+                                 ZeroPolicy::ClampToOne, "ds");
+    EXPECT_EQ(countRule(r, "fit.empty"), 0u) << r.text();
+}
+
+// -------------------------------------------- fit.zero-variance
+
+TEST(FitLint, ZeroVarianceFiresOnConstantColumn)
+{
+    Dataset ds;
+    ds.add(makeComponent("A", "c1", 4.0, 100.0, 42.0, 50.0));
+    ds.add(makeComponent("A", "c2", 7.0, 220.0, 42.0, 95.0));
+    ds.add(makeComponent("A", "c3", 5.0, 160.0, 42.0, 20.0));
+    LintReport r = lintFitInputs(ds, kThree,
+                                 ZeroPolicy::ClampToOne, "ds");
+    const LintDiagnostic *d = findRule(r, "fit.zero-variance");
+    ASSERT_NE(d, nullptr) << r.text();
+    EXPECT_EQ(d->object, "LoC");
+    EXPECT_EQ(d->severity, LintSeverity::Warning);
+}
+
+TEST(FitLint, ZeroVarianceSilentOnVaryingColumns)
+{
+    LintReport r = lintFitInputs(healthyDataset(), kThree,
+                                 ZeroPolicy::ClampToOne, "ds");
+    EXPECT_EQ(countRule(r, "fit.zero-variance"), 0u) << r.text();
+}
+
+// ------------------------------------------------ fit.collinear
+
+TEST(FitLint, CollinearErrorOnExactMultiple)
+{
+    Dataset ds;
+    ds.add(makeComponent("A", "c1", 4.0, 100.0, 300.0, 50.0));
+    ds.add(makeComponent("A", "c2", 7.0, 220.0, 660.0, 95.0));
+    ds.add(makeComponent("A", "c3", 5.0, 160.0, 480.0, 20.0));
+    // LoC == 3 * Stmts exactly: |r| = 1.
+    LintReport r = lintFitInputs(ds,
+                                 {Metric::Stmts, Metric::LoC},
+                                 ZeroPolicy::ClampToOne, "ds");
+    const LintDiagnostic *d = findRule(r, "fit.collinear");
+    ASSERT_NE(d, nullptr) << r.text();
+    EXPECT_EQ(d->object, "Stmts/LoC");
+    EXPECT_EQ(d->severity, LintSeverity::Error);
+}
+
+TEST(FitLint, CollinearWarningOnNearMultiple)
+{
+    Dataset ds;
+    ds.add(makeComponent("A", "c1", 4.0, 100.0, 300.1, 50.0));
+    ds.add(makeComponent("A", "c2", 7.0, 220.0, 659.8, 95.0));
+    ds.add(makeComponent("A", "c3", 5.0, 160.0, 480.2, 20.0));
+    LintReport r = lintFitInputs(ds,
+                                 {Metric::Stmts, Metric::LoC},
+                                 ZeroPolicy::ClampToOne, "ds");
+    const LintDiagnostic *d = findRule(r, "fit.collinear");
+    ASSERT_NE(d, nullptr) << r.text();
+    EXPECT_EQ(d->severity, LintSeverity::Warning);
+}
+
+TEST(FitLint, CollinearSilentOnIndependentColumns)
+{
+    LintReport r = lintFitInputs(healthyDataset(), kThree,
+                                 ZeroPolicy::ClampToOne, "ds");
+    EXPECT_EQ(countRule(r, "fit.collinear"), 0u) << r.text();
+}
+
+// ---------------------------------------------- fit.small-group
+
+TEST(FitLint, SmallGroupWarningOnSingletonTeam)
+{
+    Dataset ds = healthyDataset();
+    ds.add(makeComponent("Solo", "c1", 5.0, 140.0, 260.0, 80.0));
+    LintReport r = lintFitInputs(ds, kThree,
+                                 ZeroPolicy::ClampToOne, "ds");
+    const LintDiagnostic *d = findRule(r, "fit.small-group");
+    ASSERT_NE(d, nullptr) << r.text();
+    EXPECT_EQ(d->object, "Solo");
+    EXPECT_EQ(d->severity, LintSeverity::Warning);
+}
+
+TEST(FitLint, SmallGroupNoteOnTwoComponentTeam)
+{
+    Dataset ds = healthyDataset();
+    ds.add(makeComponent("Duo", "c1", 5.0, 140.0, 260.0, 80.0));
+    ds.add(makeComponent("Duo", "c2", 8.0, 250.0, 720.0, 170.0));
+    LintReport r = lintFitInputs(ds, kThree,
+                                 ZeroPolicy::ClampToOne, "ds");
+    const LintDiagnostic *d = findRule(r, "fit.small-group");
+    ASSERT_NE(d, nullptr) << r.text();
+    EXPECT_EQ(d->object, "Duo");
+    EXPECT_EQ(d->severity, LintSeverity::Note);
+}
+
+TEST(FitLint, SmallGroupSilentAtSoftMinimum)
+{
+    LintReport r = lintFitInputs(healthyDataset(), kThree,
+                                 ZeroPolicy::ClampToOne, "ds");
+    EXPECT_EQ(countRule(r, "fit.small-group"), 0u) << r.text();
+}
+
+TEST(FitLint, ThresholdsAreConfigurable)
+{
+    FitLintOptions strict;
+    strict.softMinGroup = 4; // all healthy teams now too small
+    LintReport r =
+        lintFitInputs(healthyDataset(), kThree,
+                      ZeroPolicy::ClampToOne, "ds", strict);
+    EXPECT_EQ(countRule(r, "fit.small-group"), 2u) << r.text();
+}
+
+} // namespace
+} // namespace ucx

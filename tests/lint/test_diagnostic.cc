@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "lint/diagnostic.hh"
+#include "obs/metrics.hh"
+#include "util/error.hh"
+
+namespace ucx
+{
+namespace
+{
+
+TEST(LintCatalog, SortedUniqueNonEmpty)
+{
+    const auto &rules = lintRuleCatalog();
+    ASSERT_FALSE(rules.empty());
+    for (size_t i = 1; i < rules.size(); ++i)
+        EXPECT_LT(rules[i - 1].id, rules[i].id);
+    for (const LintRuleInfo &rule : rules) {
+        EXPECT_FALSE(rule.summary.empty()) << rule.id;
+        EXPECT_TRUE(rule.family == "hdl" || rule.family == "acct" ||
+                    rule.family == "fit")
+            << rule.id;
+        EXPECT_EQ(rule.id.rfind(rule.family + ".", 0), 0u)
+            << rule.id;
+    }
+}
+
+TEST(LintCatalog, LookupKnownAndUnknown)
+{
+    const LintRuleInfo &rule = lintRule("hdl.comb-loop");
+    EXPECT_EQ(rule.severity, LintSeverity::Error);
+    EXPECT_EQ(rule.family, "hdl");
+    EXPECT_THROW(lintRule("hdl.no-such-rule"), UcxError);
+}
+
+TEST(LintCatalog, SeverityNamesRoundTrip)
+{
+    EXPECT_STREQ(lintSeverityName(LintSeverity::Note), "note");
+    EXPECT_STREQ(lintSeverityName(LintSeverity::Warning),
+                 "warning");
+    EXPECT_STREQ(lintSeverityName(LintSeverity::Error), "error");
+    EXPECT_EQ(lintSeverityFromName("warning"),
+              LintSeverity::Warning);
+    EXPECT_EQ(lintSeverityFromName("WARN"), LintSeverity::Warning);
+    EXPECT_EQ(lintSeverityFromName("Note"), LintSeverity::Note);
+    EXPECT_EQ(lintSeverityFromName("error"), LintSeverity::Error);
+    EXPECT_THROW(lintSeverityFromName("fatal"), UcxError);
+}
+
+TEST(LintReport, AddTakesCatalogSeverity)
+{
+    LintReport report;
+    report.add("hdl.unused", "d", "m.x", "never read");
+    report.add("hdl.comb-loop", "d", "m", "loop");
+    report.add("hdl.dead-logic", "d", "netlist", "dead gates");
+    ASSERT_EQ(report.size(), 3u);
+    EXPECT_EQ(report.diagnostics()[0].severity,
+              LintSeverity::Warning);
+    EXPECT_EQ(report.diagnostics()[1].severity,
+              LintSeverity::Error);
+    EXPECT_EQ(report.diagnostics()[2].severity, LintSeverity::Note);
+    EXPECT_THROW(report.add("bogus.rule", "d", "o", "m"), UcxError);
+}
+
+TEST(LintReport, SortCanonicalOrdersAndDedupes)
+{
+    LintReport report;
+    report.add("hdl.unused", "b", "m.x", "never read");
+    report.add("hdl.unused", "a", "m.x", "never read");
+    report.add("hdl.comb-loop", "z", "m", "loop");
+    report.add("hdl.unused", "b", "m.x", "never read"); // duplicate
+    report.sortCanonical();
+    ASSERT_EQ(report.size(), 3u);
+    // Errors first, then warnings ordered by design.
+    EXPECT_EQ(report.diagnostics()[0].rule, "hdl.comb-loop");
+    EXPECT_EQ(report.diagnostics()[1].design, "a");
+    EXPECT_EQ(report.diagnostics()[2].design, "b");
+}
+
+TEST(LintReport, CountFirstAtLeastAndHasError)
+{
+    LintReport report;
+    EXPECT_FALSE(report.hasError());
+    EXPECT_EQ(report.firstAtLeast(LintSeverity::Note), nullptr);
+    report.add("hdl.dead-logic", "d", "netlist", "note");
+    report.add("hdl.unused", "d", "m.x", "warn");
+    report.add("hdl.multi-driven", "d", "m.y", "error");
+    EXPECT_EQ(report.count(LintSeverity::Note), 3u);
+    EXPECT_EQ(report.count(LintSeverity::Warning), 2u);
+    EXPECT_EQ(report.count(LintSeverity::Error), 1u);
+    EXPECT_TRUE(report.hasError());
+    const LintDiagnostic *first =
+        report.firstAtLeast(LintSeverity::Error);
+    ASSERT_NE(first, nullptr);
+    EXPECT_EQ(first->rule, "hdl.multi-driven");
+}
+
+TEST(LintReport, KeyUsesDashForEmptyFields)
+{
+    LintDiagnostic d;
+    d.rule = "fit.empty";
+    EXPECT_EQ(d.key(), "fit.empty - -");
+    d.design = "dataset";
+    d.object = "Leon3-IU";
+    EXPECT_EQ(d.key(), "fit.empty dataset Leon3-IU");
+}
+
+TEST(LintReport, TextListsFindingsAndSummary)
+{
+    LintReport report;
+    EXPECT_EQ(report.text(), "");
+    report.add("hdl.unused", "fetch", "fetch.tmp", "never read");
+    std::string text = report.text();
+    EXPECT_NE(text.find("hdl.unused"), std::string::npos);
+    EXPECT_NE(text.find("fetch.tmp"), std::string::npos);
+    EXPECT_NE(text.find("1 warning"), std::string::npos);
+}
+
+TEST(LintReport, JsonSchemaAndCounts)
+{
+    LintReport report;
+    report.add("hdl.comb-loop", "d", "m", "a -> b -> a");
+    report.add("hdl.unused", "d", "m.x", "never read");
+    std::string json = report.json();
+    EXPECT_NE(json.find("\"schema\":\"ucx.lint.v1\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"error\":1"), std::string::npos);
+    EXPECT_NE(json.find("\"warning\":1"), std::string::npos);
+    EXPECT_NE(json.find("\"hdl.comb-loop\""), std::string::npos);
+}
+
+TEST(LintReport, FilterRemovesAndCounts)
+{
+    LintReport report;
+    report.add("hdl.unused", "d", "m.x", "never read");
+    report.add("hdl.undriven", "d", "m.y", "never driven");
+    size_t removed = report.filter([](const LintDiagnostic &d) {
+        return d.rule != "hdl.unused";
+    });
+    EXPECT_EQ(removed, 1u);
+    ASSERT_EQ(report.size(), 1u);
+    EXPECT_EQ(report.diagnostics()[0].rule, "hdl.undriven");
+}
+
+TEST(LintReport, MergeAppendsEverything)
+{
+    LintReport a;
+    a.add("hdl.unused", "d", "m.x", "never read");
+    LintReport b;
+    b.add("hdl.undriven", "d", "m.y", "never driven");
+    b.add("hdl.dead-logic", "d", "netlist", "dead");
+    a.merge(b);
+    EXPECT_EQ(a.size(), 3u);
+}
+
+TEST(LintObs, RecordsCountersAndGauge)
+{
+    bool was = obs::enabled();
+    obs::setEnabled(true);
+    obs::Counter &c = obs::counter("lint.rule.hdl.unused");
+    uint64_t before = c.value();
+    LintReport report;
+    report.add("hdl.unused", "d", "m.x", "never read");
+    report.add("hdl.unused", "d", "m.y", "never read");
+    recordLintObs(report);
+    EXPECT_EQ(c.value(), before + 2);
+    EXPECT_EQ(obs::gauge("lint.findings").value(), 2.0);
+    obs::setEnabled(was);
+}
+
+} // namespace
+} // namespace ucx

@@ -1,0 +1,437 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "hdl/design.hh"
+#include "lint/lint.hh"
+
+namespace ucx
+{
+namespace
+{
+
+/** Parse one fixture and run the AST rules. */
+LintReport
+lintSrc(const std::string &src)
+{
+    Design design;
+    design.addSource(src, "fixture.v");
+    return lintModules(design, "fixture");
+}
+
+/** Parse one fixture and lint it end to end (default options). */
+LintReport
+lintFull(const std::string &src, const std::string &top)
+{
+    Design design;
+    design.addSource(src, "fixture.v");
+    return lintHdlDesign(design, top, "fixture");
+}
+
+size_t
+countRule(const LintReport &report, const std::string &rule)
+{
+    size_t n = 0;
+    for (const LintDiagnostic &d : report.diagnostics())
+        if (d.rule == rule)
+            ++n;
+    return n;
+}
+
+const LintDiagnostic *
+findRule(const LintReport &report, const std::string &rule)
+{
+    for (const LintDiagnostic &d : report.diagnostics())
+        if (d.rule == rule)
+            return &d;
+    return nullptr;
+}
+
+// ------------------------------------------------- hdl.undriven
+
+TEST(HdlLint, UndrivenFires)
+{
+    LintReport r = lintSrc(
+        "module m (input wire a, output wire y);\n"
+        "  wire b;\n"
+        "  assign y = a & b;\n"
+        "endmodule\n");
+    const LintDiagnostic *d = findRule(r, "hdl.undriven");
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->object, "m.b");
+    EXPECT_EQ(d->severity, LintSeverity::Warning);
+}
+
+TEST(HdlLint, UndrivenSilentWhenDriven)
+{
+    LintReport r = lintSrc(
+        "module m (input wire a, output wire y);\n"
+        "  wire b;\n"
+        "  assign b = ~a;\n"
+        "  assign y = a & b;\n"
+        "endmodule\n");
+    EXPECT_EQ(countRule(r, "hdl.undriven"), 0u);
+}
+
+TEST(HdlLint, GenerateIndexedAssignCountsAsDriver)
+{
+    // Regression: the Index lvalue keeps its base signal in the
+    // nested expression, not in the node's own name. z must not be
+    // reported undriven and g must count as read.
+    LintReport r = lintSrc(
+        "module m (input wire [3:0] a, output wire y);\n"
+        "  wire [3:0] z;\n"
+        "  genvar g;\n"
+        "  generate\n"
+        "    for (g = 0; g < 4; g = g + 1) begin : lane\n"
+        "      assign z[g] = ~a[g];\n"
+        "    end\n"
+        "  endgenerate\n"
+        "  assign y = z[0] & z[1] & z[2] & z[3];\n"
+        "endmodule\n");
+    EXPECT_EQ(countRule(r, "hdl.undriven"), 0u) << r.text();
+    EXPECT_EQ(countRule(r, "hdl.unused"), 0u) << r.text();
+}
+
+// --------------------------------------------------- hdl.unused
+
+TEST(HdlLint, UnusedFires)
+{
+    LintReport r = lintSrc(
+        "module m (input wire a, output wire y);\n"
+        "  wire b;\n"
+        "  assign b = ~a;\n"
+        "  assign y = a;\n"
+        "endmodule\n");
+    const LintDiagnostic *d = findRule(r, "hdl.unused");
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->object, "m.b");
+}
+
+TEST(HdlLint, UnusedSilentForOutputsAndReads)
+{
+    LintReport r = lintSrc(
+        "module m (input wire a, output wire y);\n"
+        "  wire b;\n"
+        "  assign b = ~a;\n"
+        "  assign y = b;\n"
+        "endmodule\n");
+    EXPECT_EQ(countRule(r, "hdl.unused"), 0u);
+}
+
+// --------------------------------------------- hdl.multi-driven
+
+TEST(HdlLint, MultiDrivenFiresOnTwoWholeDrivers)
+{
+    LintReport r = lintSrc(
+        "module m (input wire a, input wire b, output wire y);\n"
+        "  assign y = a;\n"
+        "  assign y = b;\n"
+        "endmodule\n");
+    const LintDiagnostic *d = findRule(r, "hdl.multi-driven");
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->object, "m.y");
+    EXPECT_EQ(d->severity, LintSeverity::Error);
+}
+
+TEST(HdlLint, MultiDrivenFiresOnRegWithContinuousDriver)
+{
+    LintReport r = lintSrc(
+        "module m (input wire clk, input wire a, output wire y);\n"
+        "  reg r;\n"
+        "  always @(posedge clk) r <= a;\n"
+        "  assign r = ~a;\n"
+        "  assign y = r;\n"
+        "endmodule\n");
+    EXPECT_GE(countRule(r, "hdl.multi-driven"), 1u) << r.text();
+}
+
+TEST(HdlLint, MultiDrivenSilentOnDisjointFieldDrivers)
+{
+    LintReport r = lintSrc(
+        "module m (input wire a, input wire b,\n"
+        "          output wire [1:0] y);\n"
+        "  assign y[0] = a;\n"
+        "  assign y[1] = b;\n"
+        "endmodule\n");
+    EXPECT_EQ(countRule(r, "hdl.multi-driven"), 0u) << r.text();
+}
+
+// ------------------------------------------- hdl.width-mismatch
+
+TEST(HdlLint, WidthMismatchTruncationIsWarning)
+{
+    LintReport r = lintSrc(
+        "module m (input wire [7:0] a, output wire [3:0] y);\n"
+        "  assign y = a;\n"
+        "endmodule\n");
+    const LintDiagnostic *d = findRule(r, "hdl.width-mismatch");
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->severity, LintSeverity::Warning);
+    EXPECT_NE(d->message.find("truncates"), std::string::npos);
+}
+
+TEST(HdlLint, WidthMismatchZeroExtensionIsNote)
+{
+    LintReport r = lintSrc(
+        "module m (input wire [3:0] a, output wire [7:0] y);\n"
+        "  assign y = a;\n"
+        "endmodule\n");
+    const LintDiagnostic *d = findRule(r, "hdl.width-mismatch");
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->severity, LintSeverity::Note);
+}
+
+TEST(HdlLint, WidthMismatchSilentOnEqualWidthsAndMemoryWords)
+{
+    // Regression: a memory word select is the element width, not a
+    // single bit.
+    LintReport r = lintSrc(
+        "module m (input wire clk, input wire [1:0] i,\n"
+        "          input wire [7:0] d, output wire [7:0] y);\n"
+        "  reg [7:0] mem [0:3];\n"
+        "  always @(posedge clk) mem[i] <= d;\n"
+        "  assign y = mem[i];\n"
+        "endmodule\n");
+    EXPECT_EQ(countRule(r, "hdl.width-mismatch"), 0u) << r.text();
+}
+
+// ------------------------------------------- hdl.inferred-latch
+
+TEST(HdlLint, InferredLatchFires)
+{
+    LintReport r = lintSrc(
+        "module m (input wire sel, input wire a,\n"
+        "          output reg y);\n"
+        "  always @(*) begin\n"
+        "    if (sel) y = a;\n"
+        "  end\n"
+        "endmodule\n");
+    const LintDiagnostic *d = findRule(r, "hdl.inferred-latch");
+    ASSERT_NE(d, nullptr);
+    EXPECT_NE(d->message.find("'y'"), std::string::npos);
+}
+
+TEST(HdlLint, InferredLatchSilentWithFullPaths)
+{
+    LintReport r = lintSrc(
+        "module m (input wire sel, input wire a, input wire b,\n"
+        "          output reg y);\n"
+        "  always @(*) begin\n"
+        "    if (sel) y = a;\n"
+        "    else y = b;\n"
+        "  end\n"
+        "endmodule\n");
+    EXPECT_EQ(countRule(r, "hdl.inferred-latch"), 0u) << r.text();
+}
+
+TEST(HdlLint, InferredLatchSilentInSequentialBlocks)
+{
+    LintReport r = lintSrc(
+        "module m (input wire clk, input wire sel, input wire a,\n"
+        "          output reg y);\n"
+        "  always @(posedge clk) begin\n"
+        "    if (sel) y <= a;\n"
+        "  end\n"
+        "endmodule\n");
+    EXPECT_EQ(countRule(r, "hdl.inferred-latch"), 0u) << r.text();
+}
+
+// ------------------------------------------ hdl.const-condition
+
+TEST(HdlLint, ConstConditionFires)
+{
+    LintReport r = lintSrc(
+        "module m (input wire a, input wire b, output reg y);\n"
+        "  always @(*) begin\n"
+        "    if (1'b1) y = a;\n"
+        "    else y = b;\n"
+        "  end\n"
+        "endmodule\n");
+    EXPECT_GE(countRule(r, "hdl.const-condition"), 1u) << r.text();
+}
+
+TEST(HdlLint, ConstConditionSilentOnLiveConditions)
+{
+    LintReport r = lintSrc(
+        "module m (input wire sel, input wire a, input wire b,\n"
+        "          output reg y);\n"
+        "  always @(*) begin\n"
+        "    if (sel) y = a;\n"
+        "    else y = b;\n"
+        "  end\n"
+        "endmodule\n");
+    EXPECT_EQ(countRule(r, "hdl.const-condition"), 0u) << r.text();
+}
+
+// ------------------------------------------------ hdl.comb-loop
+
+TEST(HdlLint, CombLoopFires)
+{
+    LintReport r = lintFull(
+        "module m (input wire a, output wire y);\n"
+        "  wire p;\n"
+        "  wire q;\n"
+        "  assign p = q & a;\n"
+        "  assign q = p | a;\n"
+        "  assign y = q;\n"
+        "endmodule\n",
+        "m");
+    const LintDiagnostic *d = findRule(r, "hdl.comb-loop");
+    ASSERT_NE(d, nullptr) << r.text();
+    EXPECT_EQ(d->severity, LintSeverity::Error);
+    EXPECT_NE(d->message.find("->"), std::string::npos);
+    EXPECT_TRUE(r.hasError());
+}
+
+TEST(HdlLint, CombLoopSilentOnAcyclicLogic)
+{
+    LintReport r = lintFull(
+        "module m (input wire a, input wire b, output wire y);\n"
+        "  wire p;\n"
+        "  assign p = a & b;\n"
+        "  assign y = p | a;\n"
+        "endmodule\n",
+        "m");
+    EXPECT_EQ(countRule(r, "hdl.comb-loop"), 0u) << r.text();
+}
+
+TEST(HdlLint, CombLoopSilentOnSelfReferentialRippleChain)
+{
+    // Regression: a word-level self-reference whose bit-level
+    // dependency graph is acyclic (each slice depends only on lower
+    // bits of the same signal) is legal and must not be flagged.
+    LintReport r = lintFull(
+        "module m (input wire [3:0] a, output wire y);\n"
+        "  wire [4:0] c;\n"
+        "  assign c[0] = 1'b0;\n"
+        "  genvar g;\n"
+        "  generate\n"
+        "    for (g = 0; g < 4; g = g + 1) begin : rip\n"
+        "      assign c[g+1] = c[g] | a[g];\n"
+        "    end\n"
+        "  endgenerate\n"
+        "  assign y = c[4];\n"
+        "endmodule\n",
+        "m");
+    EXPECT_EQ(countRule(r, "hdl.comb-loop"), 0u) << r.text();
+    EXPECT_FALSE(r.hasError()) << r.text();
+}
+
+// ----------------------------------------------- hdl.elab-error
+
+TEST(HdlLint, ElabErrorReplacesThrow)
+{
+    LintReport r = lintFull(
+        "module m (input wire a, output wire y);\n"
+        "  missing u0 (.x(a), .y(y));\n"
+        "endmodule\n",
+        "m");
+    const LintDiagnostic *d = findRule(r, "hdl.elab-error");
+    ASSERT_NE(d, nullptr) << r.text();
+    EXPECT_EQ(d->severity, LintSeverity::Error);
+}
+
+TEST(HdlLint, ElabErrorSilentOnCleanDesign)
+{
+    LintReport r = lintFull(
+        "module m (input wire a, output wire y);\n"
+        "  assign y = ~a;\n"
+        "endmodule\n",
+        "m");
+    EXPECT_EQ(countRule(r, "hdl.elab-error"), 0u) << r.text();
+}
+
+// ---------------------------------- elaboration-warning mapping
+
+TEST(HdlLint, ElabWarningsMapToRules)
+{
+    LintReport r = lintElabWarnings(
+        {"input port 'en' of instance 'u0' is unconnected (tied "
+         "to 0)",
+         "wire 'w' is undriven (tied to 0)",
+         "register 'r' is never assigned",
+         "something else entirely"},
+        "fixture");
+    const LintDiagnostic *port =
+        findRule(r, "hdl.unconnected-input");
+    ASSERT_NE(port, nullptr);
+    EXPECT_EQ(port->object, "u0.en");
+    EXPECT_EQ(countRule(r, "hdl.undriven"), 2u);
+    EXPECT_EQ(countRule(r, "hdl.elab-warning"), 1u);
+}
+
+TEST(HdlLint, UnconnectedInputFiresEndToEnd)
+{
+    LintReport r = lintFull(
+        "module leaf (input wire a, input wire en,\n"
+        "             output wire y);\n"
+        "  assign y = a & en;\n"
+        "endmodule\n"
+        "module m (input wire a, output wire y);\n"
+        "  leaf u0 (.a(a), .y(y));\n"
+        "endmodule\n",
+        "m");
+    const LintDiagnostic *d = findRule(r, "hdl.unconnected-input");
+    ASSERT_NE(d, nullptr) << r.text();
+    EXPECT_EQ(d->object, "u0.en");
+}
+
+// ----------------------------------------------- hdl.dead-logic
+
+TEST(HdlLint, DeadLogicNoteOnUnreachableCone)
+{
+    // Gate lowering materializes every bit of a logic operator, so
+    // the adder's upper-bit gates exist in the netlist but reach no
+    // output once only t[0] is consumed.
+    LintReport r = lintFull(
+        "module m (input wire [3:0] a, input wire [3:0] b,\n"
+        "          output wire y);\n"
+        "  wire [3:0] t;\n"
+        "  assign t = a + b;\n"
+        "  assign y = t[0];\n"
+        "endmodule\n",
+        "m");
+    const LintDiagnostic *d = findRule(r, "hdl.dead-logic");
+    ASSERT_NE(d, nullptr) << r.text();
+    EXPECT_EQ(d->severity, LintSeverity::Note);
+}
+
+TEST(HdlLint, DeadLogicSilentWhenEverythingReachesOutputs)
+{
+    LintReport r = lintFull(
+        "module m (input wire a, input wire b, output wire y);\n"
+        "  wire t;\n"
+        "  assign t = a ^ b;\n"
+        "  assign y = t & a;\n"
+        "endmodule\n",
+        "m");
+    EXPECT_EQ(countRule(r, "hdl.dead-logic"), 0u) << r.text();
+}
+
+// ------------------------------------------------- full report
+
+TEST(HdlLint, FullReportIsCanonicallySorted)
+{
+    Design design;
+    design.addSource(
+        "module m (input wire a, output wire y);\n"
+        "  wire u;\n"
+        "  wire v;\n"
+        "  assign u = ~a;\n"
+        "  assign v = ~a;\n"
+        "  assign y = a;\n"
+        "endmodule\n",
+        "fixture.v");
+    LintReport r = lintHdlDesign(design, "m", "fixture");
+    ASSERT_GE(r.size(), 2u);
+    for (size_t i = 1; i < r.size(); ++i) {
+        const LintDiagnostic &p = r.diagnostics()[i - 1];
+        const LintDiagnostic &q = r.diagnostics()[i];
+        EXPECT_GE(static_cast<int>(p.severity),
+                  static_cast<int>(q.severity));
+    }
+}
+
+} // namespace
+} // namespace ucx

@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "engine/session.hh"
+#include "util/error.hh"
+
+namespace ucx
+{
+namespace
+{
+
+Design
+combLoopDesign()
+{
+    Design design;
+    design.addSource(
+        "module m (input wire a, output wire y);\n"
+        "  wire p;\n"
+        "  wire q;\n"
+        "  assign p = q & a;\n"
+        "  assign q = p | a;\n"
+        "  assign y = q;\n"
+        "endmodule\n",
+        "fixture.v");
+    return design;
+}
+
+Component
+makeComponent(const std::string &project, const std::string &name,
+              double effort, double stmts, double loc)
+{
+    Component c;
+    c.project = project;
+    c.name = name;
+    c.effort = effort;
+    c.metrics.fill(1.0);
+    c.metrics[static_cast<size_t>(Metric::Stmts)] = stmts;
+    c.metrics[static_cast<size_t>(Metric::LoC)] = loc;
+    return c;
+}
+
+TEST(SessionLint, FromEnvHonorsUcxLint)
+{
+    ::setenv("UCX_LINT", "0", 1);
+    EXPECT_FALSE(SessionConfig::fromEnv().lintEnabled);
+    ::setenv("UCX_LINT", "1", 1);
+    EXPECT_TRUE(SessionConfig::fromEnv().lintEnabled);
+    ::unsetenv("UCX_LINT");
+    EXPECT_TRUE(SessionConfig::fromEnv().lintEnabled);
+}
+
+TEST(SessionLint, LintFacadeReportsAndRepeats)
+{
+    EstimationSession session;
+    Design design = combLoopDesign();
+    LintReport first = session.lint(design, "m", "fixture");
+    EXPECT_TRUE(first.hasError());
+    const LintDiagnostic *d =
+        first.firstAtLeast(LintSeverity::Error);
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->rule, "hdl.comb-loop");
+    // Second run goes through the artifact cache; same report.
+    LintReport second = session.lint(design, "m", "fixture");
+    EXPECT_EQ(second.text(), first.text());
+}
+
+TEST(SessionLint, MeasureFailsEarlyNamingTheRule)
+{
+    EstimationSession session;
+    Design design = combLoopDesign();
+    try {
+        session.measure(design, "m");
+        FAIL() << "measure() accepted a combinational loop";
+    } catch (const UcxError &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("component 'm'"), std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find("lint [hdl.comb-loop]"),
+                  std::string::npos)
+            << msg;
+    }
+}
+
+TEST(SessionLint, MeasureSkipsGateWhenDisabled)
+{
+    SessionConfig config;
+    config.lintEnabled = false;
+    EstimationSession session(config, ExecContext());
+    Design design = combLoopDesign();
+    // The loop still fails, but in the pipeline itself — the error
+    // is not a lint finding.
+    try {
+        session.measure(design, "m");
+        FAIL() << "a combinational loop cannot be measured";
+    } catch (const UcxError &e) {
+        EXPECT_EQ(std::string(e.what()).find("lint ["),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(SessionLint, MeasureCleanDesignUnaffectedByGate)
+{
+    Design design;
+    design.addSource(
+        "module m (input wire clk, input wire [3:0] a,\n"
+        "          output reg [3:0] y);\n"
+        "  always @(posedge clk) y <= ~a;\n"
+        "endmodule\n",
+        "fixture.v");
+    SessionConfig on;
+    SessionConfig off;
+    off.lintEnabled = false;
+    ComponentMeasurement with =
+        EstimationSession(on, ExecContext()).measure(design, "m");
+    ComponentMeasurement without =
+        EstimationSession(off, ExecContext()).measure(design, "m");
+    EXPECT_EQ(with.metrics, without.metrics);
+    EXPECT_EQ(with.moduleCounts, without.moduleCounts);
+}
+
+TEST(SessionLint, FitFailsEarlyNamingTheRule)
+{
+    Dataset ds;
+    // LoC is exactly 3 * Stmts: |r| = 1, an Error-severity
+    // fit.collinear finding.
+    ds.add(makeComponent("A", "c1", 4.0, 100.0, 300.0));
+    ds.add(makeComponent("A", "c2", 7.0, 220.0, 660.0));
+    ds.add(makeComponent("A", "c3", 5.0, 160.0, 480.0));
+    EstimatorSpec spec;
+    spec.metrics = {Metric::Stmts, Metric::LoC};
+    EstimationSession session;
+    try {
+        session.fitOn(ds, spec);
+        FAIL() << "fitOn() accepted perfectly collinear columns";
+    } catch (const UcxError &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("fit '" + spec.name() + "'"),
+                  std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find("lint [fit.collinear]"),
+                  std::string::npos)
+            << msg;
+    }
+}
+
+TEST(SessionLint, LintFitPublishedDatasetHasNoErrors)
+{
+    EstimationSession session;
+    LintReport r = session.lintFit(session.accountedDataset(),
+                                   EstimatorSpec::dee1(),
+                                   "accounted");
+    EXPECT_FALSE(r.hasError()) << r.text();
+    EXPECT_EQ(r.count(LintSeverity::Warning), 0u) << r.text();
+}
+
+TEST(SessionLint, BundledDesignsCleanUnderBaseline)
+{
+    EstimationSession session;
+    LintReport report = session.lintAllShipped();
+    EXPECT_FALSE(report.hasError()) << report.text();
+    // The two genuinely unused flag wires are frozen in
+    // tools/lint.baseline; everything else must be warning-free.
+    LintSuppressions baseline = LintSuppressions::parse(
+        "hdl.unused exec_cluster exec_cluster.n\n"
+        "hdl.unused pipeline pipeline.alu_neg\n");
+    EXPECT_EQ(baseline.apply(report), 2u) << report.text();
+    EXPECT_EQ(report.count(LintSeverity::Warning), 0u)
+        << report.text();
+}
+
+TEST(SessionLint, ReportsAreThreadCountInvariant)
+{
+    SessionConfig config;
+    EstimationSession serial(config, ExecContext::withThreads(1));
+    EstimationSession pooled(config, ExecContext::withThreads(8));
+    LintReport a = serial.lintAllShipped();
+    LintReport b = pooled.lintAllShipped();
+    EXPECT_EQ(a.text(), b.text());
+    EXPECT_EQ(a.json(), b.json());
+}
+
+} // namespace
+} // namespace ucx

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "lint/suppress.hh"
+#include "util/error.hh"
+
+namespace ucx
+{
+namespace
+{
+
+LintDiagnostic
+makeDiag(const std::string &rule, const std::string &design,
+         const std::string &object)
+{
+    LintDiagnostic d;
+    d.rule = rule;
+    d.severity = LintSeverity::Warning;
+    d.design = design;
+    d.object = object;
+    d.message = "fixture";
+    return d;
+}
+
+TEST(LintSuppress, ParsesFieldsCommentsAndBlanks)
+{
+    LintSuppressions s = LintSuppressions::parse(
+        "# header comment\n"
+        "\n"
+        "hdl.unused fetch fetch.tmp  # known dead wire\n"
+        "* pipeline *\n");
+    ASSERT_EQ(s.entries().size(), 2u);
+    EXPECT_EQ(s.entries()[0].rule, "hdl.unused");
+    EXPECT_EQ(s.entries()[0].design, "fetch");
+    EXPECT_EQ(s.entries()[0].object, "fetch.tmp");
+    EXPECT_EQ(s.entries()[0].comment, "known dead wire");
+    EXPECT_EQ(s.entries()[1].rule, "*");
+}
+
+TEST(LintSuppress, RejectsMalformedLines)
+{
+    EXPECT_THROW(LintSuppressions::parse("hdl.unused fetch\n"),
+                 UcxError);
+    EXPECT_THROW(
+        LintSuppressions::parse("hdl.bogus-rule fetch x\n"),
+        UcxError);
+    EXPECT_THROW(
+        LintSuppressions::parse("hdl.unused a b extra-field\n"),
+        UcxError);
+}
+
+TEST(LintSuppress, MatchingHonorsWildcardsAndDash)
+{
+    LintSuppressions s = LintSuppressions::parse(
+        "hdl.unused fetch fetch.tmp\n"
+        "hdl.undriven * *\n"
+        "fit.empty - -\n");
+    EXPECT_TRUE(
+        s.matches(makeDiag("hdl.unused", "fetch", "fetch.tmp")));
+    EXPECT_FALSE(
+        s.matches(makeDiag("hdl.unused", "fetch", "fetch.other")));
+    EXPECT_FALSE(
+        s.matches(makeDiag("hdl.unused", "decode", "fetch.tmp")));
+    // Full wildcard on design/object.
+    EXPECT_TRUE(
+        s.matches(makeDiag("hdl.undriven", "anything", "at.all")));
+    // "-" matches only empty fields.
+    EXPECT_TRUE(s.matches(makeDiag("fit.empty", "", "")));
+    EXPECT_FALSE(s.matches(makeDiag("fit.empty", "ds", "")));
+}
+
+TEST(LintSuppress, ApplyRemovesMatchesAndReportsCount)
+{
+    LintReport report;
+    report.add("hdl.unused", "fetch", "fetch.tmp", "never read");
+    report.add("hdl.unused", "decode", "decode.x", "never read");
+    report.add("hdl.undriven", "fetch", "fetch.y", "never driven");
+    LintSuppressions s =
+        LintSuppressions::parse("hdl.unused fetch *\n");
+    EXPECT_EQ(s.apply(report), 1u);
+    ASSERT_EQ(report.size(), 2u);
+    for (const LintDiagnostic &d : report.diagnostics())
+        EXPECT_NE(d.key(), "hdl.unused fetch fetch.tmp");
+}
+
+TEST(LintSuppress, SerializeParseRoundTrip)
+{
+    LintSuppressions s = LintSuppressions::parse(
+        "hdl.unused fetch fetch.tmp  # keep\n"
+        "fit.small-group dataset RAT\n"
+        "* pipeline *  # everything there\n");
+    LintSuppressions reparsed =
+        LintSuppressions::parse(s.serialize());
+    ASSERT_EQ(reparsed.entries().size(), s.entries().size());
+    for (size_t i = 0; i < s.entries().size(); ++i) {
+        EXPECT_EQ(reparsed.entries()[i].rule, s.entries()[i].rule);
+        EXPECT_EQ(reparsed.entries()[i].design,
+                  s.entries()[i].design);
+        EXPECT_EQ(reparsed.entries()[i].object,
+                  s.entries()[i].object);
+        EXPECT_EQ(reparsed.entries()[i].comment,
+                  s.entries()[i].comment);
+    }
+    EXPECT_EQ(reparsed.serialize(), s.serialize());
+}
+
+TEST(LintSuppress, BaselineFreezesFindingsExactly)
+{
+    LintReport report;
+    report.add("hdl.unused", "fetch", "fetch.tmp", "never read");
+    report.add("hdl.unused", "fetch", "fetch.tmp", "duplicate");
+    report.add("fit.empty", "", "", "no metrics");
+    LintSuppressions baseline =
+        LintSuppressions::baselineOf(report, "frozen");
+    // One line per distinct (rule, design, object) triple.
+    ASSERT_EQ(baseline.entries().size(), 2u);
+    for (const LintSuppression &e : baseline.entries())
+        EXPECT_EQ(e.comment, "frozen");
+
+    // The baseline suppresses everything it was built from...
+    LintReport again;
+    again.add("hdl.unused", "fetch", "fetch.tmp", "never read");
+    again.add("fit.empty", "", "", "no metrics");
+    EXPECT_EQ(baseline.apply(again), 2u);
+    EXPECT_TRUE(again.empty());
+
+    // ...but not a new finding.
+    LintReport fresh;
+    fresh.add("hdl.unused", "decode", "decode.x", "never read");
+    EXPECT_EQ(baseline.apply(fresh), 0u);
+    EXPECT_EQ(fresh.size(), 1u);
+
+    // And it round-trips through the file format.
+    LintSuppressions reparsed =
+        LintSuppressions::parse(baseline.serialize());
+    EXPECT_EQ(reparsed.serialize(), baseline.serialize());
+}
+
+} // namespace
+} // namespace ucx

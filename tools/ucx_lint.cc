@@ -1,0 +1,224 @@
+/**
+ * @file
+ * ucx_lint — command-line HDL/netlist linter and accounting-rule
+ * validator.
+ *
+ * Usage:
+ *
+ *     ucx_lint [options] [design ...]
+ *
+ * Each positional argument is a shipped-design registry key (e.g.
+ * "fetch") or a µHDL source file; with no arguments every shipped
+ * design is linted. Options:
+ *
+ *     --top NAME         Top module for file inputs (default: the
+ *                        last module in the file).
+ *     --fit              Also lint the published calibration
+ *                        dataset (acct.* and fit.* rules).
+ *     --json             JSON output (schema ucx.lint.v1).
+ *     --suppress FILE    Drop findings matching a suppression file.
+ *     --write-baseline FILE
+ *                        Write a suppression file freezing every
+ *                        current finding, then exit 0.
+ *     --min-severity S   Exit-code threshold: note|warning|error
+ *                        (default warning).
+ *     --list-rules       Print the rule catalog and exit.
+ *
+ * Exit status: 0 when no finding reaches the threshold, 1 when one
+ * does, 2 on usage or input errors.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "engine/session.hh"
+#include "util/error.hh"
+#include "util/table.hh"
+
+using namespace ucx;
+
+namespace
+{
+
+struct CliOptions
+{
+    std::vector<std::string> inputs;
+    std::string top;
+    std::string suppressPath;
+    std::string baselinePath;
+    LintSeverity threshold = LintSeverity::Warning;
+    bool fit = false;
+    bool json = false;
+    bool listRules = false;
+};
+
+int
+usage(std::ostream &out, int code)
+{
+    out << "usage: ucx_lint [--top NAME] [--fit] [--json]\n"
+           "                [--suppress FILE] [--write-baseline "
+           "FILE]\n"
+           "                [--min-severity note|warning|error]\n"
+           "                [--list-rules] [design ...]\n";
+    return code;
+}
+
+CliOptions
+parseArgs(int argc, char **argv)
+{
+    CliOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&](const std::string &flag) {
+            if (i + 1 >= argc)
+                throw UcxError(flag + " needs an argument");
+            return std::string(argv[++i]);
+        };
+        if (arg == "--top")
+            opts.top = value(arg);
+        else if (arg == "--fit")
+            opts.fit = true;
+        else if (arg == "--json")
+            opts.json = true;
+        else if (arg == "--suppress")
+            opts.suppressPath = value(arg);
+        else if (arg == "--write-baseline")
+            opts.baselinePath = value(arg);
+        else if (arg == "--min-severity")
+            opts.threshold = lintSeverityFromName(value(arg));
+        else if (arg == "--list-rules")
+            opts.listRules = true;
+        else if (arg == "--help" || arg == "-h")
+            throw UcxError("help");
+        else if (!arg.empty() && arg[0] == '-')
+            throw UcxError("unknown option '" + arg + "'");
+        else
+            opts.inputs.push_back(arg);
+    }
+    return opts;
+}
+
+bool
+isShippedName(const std::string &name)
+{
+    for (const ShippedDesign &sd : shippedDesigns())
+        if (sd.name == name)
+            return true;
+    return false;
+}
+
+LintReport
+lintFile(EstimationSession &session, const std::string &path,
+         const std::string &top)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw UcxError("cannot read '" + path +
+                       "' (not a shipped design or readable file)");
+    std::ostringstream text;
+    text << in.rdbuf();
+    Design design;
+    design.addSource(text.str(), path);
+    if (design.moduleNames().empty())
+        throw UcxError("'" + path + "' contains no modules");
+    std::string use_top =
+        top.empty() ? design.moduleNames().back() : top;
+    return session.lint(design, use_top, path);
+}
+
+void
+printRules()
+{
+    Table t({"Rule", "Family", "Severity", "Summary"});
+    t.setAlign(3, Align::Left);
+    for (const LintRuleInfo &rule : lintRuleCatalog())
+        t.addRow({rule.id, rule.family,
+                  lintSeverityName(rule.severity), rule.summary});
+    std::cout << t.render();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliOptions opts;
+    try {
+        opts = parseArgs(argc, argv);
+    } catch (const UcxError &e) {
+        if (std::string(e.what()) == "help")
+            return usage(std::cout, 0);
+        std::cerr << "ucx_lint: " << e.what() << "\n";
+        return usage(std::cerr, 2);
+    }
+
+    try {
+        if (opts.listRules) {
+            printRules();
+            return 0;
+        }
+
+        EstimationSession session;
+        LintReport report;
+        if (opts.inputs.empty()) {
+            report = session.lintAllShipped();
+        } else {
+            for (const std::string &input : opts.inputs) {
+                if (isShippedName(input))
+                    report.merge(session.lintShipped(input));
+                else
+                    report.merge(
+                        lintFile(session, input, opts.top));
+            }
+        }
+        if (opts.fit) {
+            EstimatorSpec all;
+            for (Metric m : allMetrics())
+                all.metrics.push_back(m);
+            report.merge(session.lintFit(session.accountedDataset(),
+                                         all, "accounted"));
+        }
+        report.sortCanonical();
+
+        if (!opts.baselinePath.empty()) {
+            LintSuppressions baseline =
+                LintSuppressions::baselineOf(report, "baselined");
+            std::ofstream out(opts.baselinePath);
+            if (!out)
+                throw UcxError("cannot write '" +
+                               opts.baselinePath + "'");
+            out << baseline.serialize();
+            std::cout << "wrote " << baseline.entries().size()
+                      << " suppression(s) to " << opts.baselinePath
+                      << "\n";
+            return 0;
+        }
+
+        size_t suppressed = 0;
+        if (!opts.suppressPath.empty()) {
+            LintSuppressions suppressions =
+                LintSuppressions::fromFile(opts.suppressPath);
+            suppressed = suppressions.apply(report);
+        }
+
+        if (opts.json) {
+            std::cout << report.json() << "\n";
+        } else if (report.empty()) {
+            std::cout << "no findings";
+            if (suppressed > 0)
+                std::cout << " (" << suppressed << " suppressed)";
+            std::cout << "\n";
+        } else {
+            std::cout << report.text();
+            if (suppressed > 0)
+                std::cout << suppressed << " suppressed\n";
+        }
+        return report.count(opts.threshold) > 0 ? 1 : 0;
+    } catch (const UcxError &e) {
+        std::cerr << "ucx_lint: " << e.what() << "\n";
+        return 2;
+    }
+}
