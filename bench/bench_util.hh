@@ -8,7 +8,8 @@
  * report turns observability collection on (stdout stays untouched —
  * obs data flows only into the report file), wraps the run in a root
  * span, and on destruction writes BENCH_<name>.json into the current
- * directory: wall time plus the full metrics/span snapshot (fit
+ * directory (or $UCX_BENCH_DIR when set): wall time plus the full
+ * metrics/span snapshot (fit
  * counts, optimizer iteration counts, per-stage synthesis timings,
  * cache hit/miss counts, ...). This file is what populates the perf
  * trajectory; the human-readable tables on stdout are unchanged.
@@ -26,8 +27,10 @@
 
 #include "engine/session.hh"
 #include "obs/export.hh"
+#include "obs/memory.hh"
 #include "obs/metrics.hh"
 #include "obs/span.hh"
+#include "obs/tracelog.hh"
 #include "util/logging.hh"
 
 namespace ucx
@@ -73,10 +76,11 @@ class BenchReport
         const char *env = std::getenv("UCX_OBS");
         if (!(env && std::string(env) == "0")) {
             obs::setEnabled(true);
-            obs::Registry::instance().reset();
-            obs::resetSpans();
+            obs::resetAll();
             root_.emplace("bench:" + name_);
         }
+        if (obs::traceEnabled())
+            obs::setTraceThreadName("main");
         start_ = std::chrono::steady_clock::now();
     }
 
@@ -86,13 +90,25 @@ class BenchReport
                              std::chrono::steady_clock::now() - start_)
                              .count();
         root_.reset(); // close the root span before snapshotting
+        if (obs::enabled())
+            obs::sampleMemoryGauges();
         std::string path = "BENCH_" + name_ + ".json";
+        // UCX_BENCH_DIR redirects report files (CI archives them
+        // from one place instead of scraping working directories).
+        const char *dir = std::getenv("UCX_BENCH_DIR");
+        if (dir && *dir != '\0')
+            path = std::string(dir) + "/" + path;
         std::ofstream out(path);
         if (!out) {
             warn("could not write " + path);
             return;
         }
         out << obs::benchReportJson(name_, wall_ms);
+        // The trace file (if tracing) is flushed at process exit as
+        // well, but writing it here keeps it complete even if exit
+        // handlers are skipped.
+        if (obs::traceEnabled())
+            obs::writeTraceFile();
     }
 
     BenchReport(const BenchReport &) = delete;
@@ -143,6 +159,8 @@ class BenchHarness
             obs::gauge("bench.cache.hit_rate").set(s.hitRate());
             obs::gauge("bench.cache.entries")
                 .set(static_cast<double>(s.entries));
+            obs::gauge("bench.cache.bytes")
+                .set(static_cast<double>(s.approxBytes));
         }
     }
 

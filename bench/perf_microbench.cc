@@ -274,6 +274,13 @@ main(int argc, char **argv)
         return 1;
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
+    // UCX_BENCH_SMOKE skips the multi-second custom workloads so CI
+    // can exercise the report/diff machinery in seconds; the
+    // google-benchmark suite above still runs (use
+    // --benchmark_filter to trim it too).
+    const char *smoke = std::getenv("UCX_BENCH_SMOKE");
+    if (smoke && *smoke != '\0' && std::string(smoke) != "0")
+        return 0;
     bootstrapSpeedup();
     cacheSpeedup();
     return 0;

@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "obs/metrics.hh"
+#include "obs/tracelog.hh"
 #include "util/error.hh"
 
 namespace ucx
@@ -10,6 +11,17 @@ namespace ucx
 
 namespace
 {
+
+/** Trim long canonical keys for trace-event attributes. */
+std::string
+traceKey(const CacheKey &key)
+{
+    const std::string &s = key.str();
+    constexpr size_t kMax = 96;
+    if (s.size() <= kMax)
+        return s;
+    return s.substr(0, kMax) + "...";
+}
 
 obs::Counter &
 hitCounter()
@@ -85,6 +97,10 @@ ArtifactCache::getRaw(const CacheKey &key, const std::type_info &type)
     if (it == entries_.end()) {
         ++misses_;
         missCounter().add(1);
+        if (obs::traceEnabled()) {
+            obs::traceInstant("cache.miss",
+                              {{"key", traceKey(key)}});
+        }
         return nullptr;
     }
     ensure(*it->second.type == type,
@@ -93,13 +109,15 @@ ArtifactCache::getRaw(const CacheKey &key, const std::type_info &type)
     lru_.splice(lru_.begin(), lru_, it->second.lruPos);
     ++hits_;
     hitCounter().add(1);
+    if (obs::traceEnabled())
+        obs::traceInstant("cache.hit", {{"key", traceKey(key)}});
     return it->second.value;
 }
 
 void
 ArtifactCache::putRaw(const CacheKey &key,
                       std::shared_ptr<const void> value,
-                      const std::type_info &type)
+                      const std::type_info &type, size_t bytes)
 {
     require(!key.empty(), "cache insert with an empty key");
     ensure(value != nullptr, "cache insert of a null artifact");
@@ -118,13 +136,23 @@ ArtifactCache::putRaw(const CacheKey &key,
     Entry entry;
     entry.value = std::move(value);
     entry.type = &type;
+    entry.bytes = bytes + key.str().size();
     entry.lruPos = lru_.begin();
+    approxBytes_ += entry.bytes;
     entries_.emplace(key.str(), std::move(entry));
     while (entries_.size() > capacity_) {
-        entries_.erase(lru_.back());
+        auto victim = entries_.find(lru_.back());
+        ensure(victim != entries_.end(),
+               "LRU list out of sync with the entry map");
+        approxBytes_ -= victim->second.bytes;
+        entries_.erase(victim);
         lru_.pop_back();
         ++evictions_;
         evictionCounter().add(1);
+    }
+    if (obs::enabled()) {
+        obs::gauge("cache.artifact.bytes")
+            .set(static_cast<double>(approxBytes_));
     }
 }
 
@@ -147,6 +175,7 @@ ArtifactCache::stats() const
     s.evictions = evictions_;
     s.entries = entries_.size();
     s.capacity = capacity_;
+    s.approxBytes = approxBytes_;
     return s;
 }
 
@@ -156,6 +185,9 @@ ArtifactCache::clear()
     std::lock_guard<std::mutex> lock(mutex_);
     entries_.clear();
     lru_.clear();
+    approxBytes_ = 0;
+    if (obs::enabled())
+        obs::gauge("cache.artifact.bytes").set(0.0);
 }
 
 } // namespace ucx

@@ -95,7 +95,7 @@ class ArtifactCache
     {
         putRaw(key,
                std::static_pointer_cast<const void>(std::move(value)),
-               typeid(T));
+               typeid(T), sizeof(T));
     }
 
     /**
@@ -132,6 +132,14 @@ class ArtifactCache
         size_t entries = 0;
         size_t capacity = 0;
 
+        /**
+         * Shallow byte footprint: per-entry sizeof of the stored
+         * artifact (as reported at insert time) plus the key
+         * string. A lower bound — heap payloads behind the
+         * artifacts (vectors, strings) are not followed.
+         */
+        size_t approxBytes = 0;
+
         /** @return hits / (hits + misses), 0 when no lookups. */
         double hitRate() const;
     };
@@ -154,16 +162,25 @@ class ArtifactCache
     std::shared_ptr<const void> getRaw(const CacheKey &key,
                                        const std::type_info &type);
 
-    /** Type-erased insert — the layer under put<T>(). */
+    /**
+     * Type-erased insert — the layer under put<T>().
+     *
+     * @param key   Artifact key (non-empty).
+     * @param value Immutable artifact.
+     * @param type  Dynamic type of the artifact.
+     * @param bytes Shallow artifact size (sizeof the stored type);
+     *              0 when the caller cannot tell.
+     */
     void putRaw(const CacheKey &key,
                 std::shared_ptr<const void> value,
-                const std::type_info &type);
+                const std::type_info &type, size_t bytes = 0);
 
   private:
     struct Entry
     {
         std::shared_ptr<const void> value;
         const std::type_info *type = nullptr;
+        size_t bytes = 0; ///< Shallow footprint incl. the key.
         std::list<std::string>::iterator lruPos;
     };
 
@@ -175,6 +192,7 @@ class ArtifactCache
     uint64_t hits_ = 0;
     uint64_t misses_ = 0;
     uint64_t evictions_ = 0;
+    size_t approxBytes_ = 0;
 };
 
 } // namespace ucx

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "data/paper_data.hh"
+#include "obs/tracelog.hh"
 #include "synth/elaborate.hh"
 #include "util/error.hh"
 
@@ -123,6 +124,9 @@ EstimationSession::measure(const Design &design,
                            const std::string &top,
                            AccountingMode mode)
 {
+    obs::TraceScope trace("engine.measure");
+    if (trace.active())
+        trace.arg("top", top);
     if (config_.lintEnabled) {
         // Cheap pre-measure gate: AST and RTL-level rules only (the
         // netlist rules need the lowering a comb-loop would break).
@@ -152,12 +156,16 @@ EstimationSession::measureShipped(const std::string &name,
 std::vector<BuiltDesign>
 EstimationSession::buildShipped()
 {
+    obs::TraceScope trace("engine.build_shipped");
     return buildAll(ctx_, &cache_, config_.passes);
 }
 
 DesignReport
 EstimationSession::synthesisReport(const std::string &name)
 {
+    obs::TraceScope trace("engine.synthesis_report");
+    if (trace.active())
+        trace.arg("design", name);
     const ShippedDesign &sd = shippedDesign(name);
     DesignReport out;
     out.name = sd.name;
@@ -223,6 +231,7 @@ EstimationSession::lintShipped(const std::string &name)
 LintReport
 EstimationSession::lintAllShipped()
 {
+    obs::TraceScope trace("engine.lint_all_shipped");
     const std::vector<ShippedDesign> &designs = shippedDesigns();
     std::vector<LintReport> reports =
         ctx_.parallelMap(designs.size(), [&](size_t i) {
@@ -258,6 +267,13 @@ FittedEstimator
 EstimationSession::fitOn(const Dataset &dataset,
                          const EstimatorSpec &spec)
 {
+    obs::TraceScope trace("engine.fit");
+    if (trace.active()) {
+        trace.arg("spec", spec.name())
+            .arg("mode", spec.mode == FitMode::MixedEffects
+                             ? "mixed"
+                             : "pooled");
+    }
     require(!spec.metrics.empty(),
             "estimator spec needs at least one metric");
     if (config_.lintEnabled) {

@@ -7,6 +7,7 @@
 
 #include "obs/metrics.hh"
 #include "obs/span.hh"
+#include "obs/tracelog.hh"
 
 namespace ucx
 {
@@ -58,6 +59,11 @@ ExecContext::runChunked(
 
     size_t workers = pool_->threads();
     size_t chunks = n < workers ? n : workers;
+    obs::TraceScope trace("exec.parallel_for");
+    if (trace.active()) {
+        trace.arg("items", std::to_string(n))
+            .arg("chunks", std::to_string(chunks));
+    }
     std::vector<std::function<void()>> tasks;
     tasks.reserve(chunks);
     // Static chunking: chunk j covers a contiguous index range; the
@@ -67,7 +73,16 @@ ExecContext::runChunked(
     size_t lo = 0;
     for (size_t j = 0; j < chunks; ++j) {
         size_t hi = lo + base + (j < extra ? 1 : 0);
-        tasks.emplace_back([&chunk, lo, hi] { chunk(lo, hi); });
+        tasks.emplace_back([&chunk, lo, hi] {
+            // Runs on a pool worker, so the event lands on that
+            // worker's Perfetto track.
+            obs::TraceScope chunk_trace("exec.chunk");
+            if (chunk_trace.active()) {
+                chunk_trace.arg("lo", std::to_string(lo))
+                    .arg("hi", std::to_string(hi));
+            }
+            chunk(lo, hi);
+        });
         lo = hi;
     }
     pool_->run(tasks);

@@ -5,6 +5,7 @@
 #include <exception>
 
 #include "obs/metrics.hh"
+#include "obs/tracelog.hh"
 #include "util/error.hh"
 
 namespace ucx
@@ -25,7 +26,7 @@ ThreadPool::ThreadPool(size_t threads)
     require(threads >= 1, "thread pool needs at least one worker");
     workers_.reserve(threads);
     for (size_t i = 0; i < threads; ++i)
-        workers_.emplace_back([this] { workerLoop(); });
+        workers_.emplace_back([this, i] { workerLoop(i); });
     if (obs::enabled())
         obs::gauge("exec.pool.threads")
             .set(static_cast<double>(threads));
@@ -49,9 +50,15 @@ ThreadPool::onWorkerThread()
 }
 
 void
-ThreadPool::workerLoop()
+ThreadPool::workerLoop(size_t index)
 {
     tlOnWorker = true;
+    // Register this worker's trace track up front so every pool
+    // worker shows up in the Perfetto export even before (or
+    // without) its first task.
+    if (obs::traceEnabled())
+        obs::setTraceThreadName("pool-worker-" +
+                                std::to_string(index));
     for (;;) {
         std::function<void()> task;
         {

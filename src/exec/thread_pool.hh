@@ -71,7 +71,8 @@ class ThreadPool
     ThreadPool &operator=(const ThreadPool &) = delete;
 
   private:
-    void workerLoop();
+    /** @param index Worker index, 0-based; names the trace track. */
+    void workerLoop(size_t index);
 
     std::vector<std::thread> workers_;
     std::deque<std::function<void()>> queue_;

@@ -6,6 +6,7 @@
 
 #include "obs/metrics.hh"
 #include "obs/span.hh"
+#include "obs/tracelog.hh"
 #include "util/error.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
@@ -66,6 +67,9 @@ parametricBootstrap(const NlmeData &data, const MixedFit &fit,
             "fit does not match data");
 
     obs::ScopedSpan span("nlme.bootstrap");
+    obs::TraceScope trace("nlme.bootstrap");
+    if (trace.active())
+        trace.arg("replicates", std::to_string(config.replicates));
     Rng root(config.seed);
     BootstrapResult result;
 
@@ -78,6 +82,11 @@ parametricBootstrap(const NlmeData &data, const MixedFit &fit,
         bool timing = obs::enabled();
         if (timing)
             rep_start = Clock::now();
+        // Runs on whichever worker picked up the chunk, so replicate
+        // events land on per-worker Perfetto tracks.
+        obs::TraceScope rep_trace("nlme.bootstrap.replicate");
+        if (rep_trace.active())
+            rep_trace.arg("rep", std::to_string(rep));
         Rng rng = root.split(rep);
         NlmeData sim = data;
         for (auto &group : sim.groups) {

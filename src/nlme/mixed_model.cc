@@ -5,6 +5,7 @@
 #include "nlme/criteria.hh"
 #include "obs/metrics.hh"
 #include "obs/span.hh"
+#include "obs/tracelog.hh"
 #include "opt/multistart.hh"
 #include "opt/transform.hh"
 #include "util/error.hh"
@@ -116,6 +117,7 @@ MixedFit
 MixedModel::fit(const ExecContext &ctx) const
 {
     obs::ScopedSpan span("nlme.mixed.fit");
+    obs::TraceScope trace("nlme.mixed.fit");
     const size_t ncov = data_.numCovariates();
     const size_t nobs = data_.totalObservations();
 
@@ -173,6 +175,10 @@ MixedModel::fit(const ExecContext &ctx) const
     fit.bic = bic(fit.logLik, fit.nParams, nobs);
     fit.converged = opt.converged;
     fit.trace = std::move(opt.trace);
+    if (trace.active()) {
+        trace.arg("groups", std::to_string(data_.groups.size()))
+            .arg("converged", fit.converged ? "1" : "0");
+    }
     if (obs::enabled()) {
         static obs::Counter &fits = obs::counter("nlme.mixed.fits");
         fits.add(1);

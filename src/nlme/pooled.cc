@@ -6,6 +6,7 @@
 #include "nlme/criteria.hh"
 #include "obs/metrics.hh"
 #include "obs/span.hh"
+#include "obs/tracelog.hh"
 #include "opt/multistart.hh"
 #include "opt/transform.hh"
 #include "util/error.hh"
@@ -44,6 +45,7 @@ PooledFit
 PooledModel::fit(const ExecContext &ctx) const
 {
     obs::ScopedSpan span("nlme.pooled.fit");
+    obs::TraceScope trace("nlme.pooled.fit");
     const size_t ncov = data_.numCovariates();
     const size_t nobs = data_.totalObservations();
 
@@ -93,6 +95,10 @@ PooledModel::fit(const ExecContext &ctx) const
     fit.bic = bic(fit.logLik, fit.nParams, nobs);
     fit.converged = opt.converged;
     fit.trace = std::move(opt.trace);
+    if (trace.active()) {
+        trace.arg("groups", std::to_string(data_.groups.size()))
+            .arg("converged", fit.converged ? "1" : "0");
+    }
     if (obs::enabled()) {
         static obs::Counter &fits = obs::counter("nlme.pooled.fits");
         fits.add(1);

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <sstream>
 
 #include "util/str.hh"
@@ -119,7 +120,11 @@ snapshotJson(const MetricsSnapshot &metrics, const SpanStats &spans)
             << ",\"sum\":" << jsonNumber(h.sum)
             << ",\"min\":" << jsonNumber(h.min)
             << ",\"max\":" << jsonNumber(h.max)
-            << ",\"mean\":" << jsonNumber(mean) << ",\"buckets\":[";
+            << ",\"mean\":" << jsonNumber(mean)
+            << ",\"p50\":" << jsonNumber(histogramQuantile(h, 0.50))
+            << ",\"p90\":" << jsonNumber(histogramQuantile(h, 0.90))
+            << ",\"p99\":" << jsonNumber(histogramQuantile(h, 0.99))
+            << ",\"buckets\":[";
         bool first = true;
         for (size_t b = 0; b < h.buckets.size(); ++b) {
             if (h.buckets[b] == 0)
@@ -152,15 +157,23 @@ snapshotTable(const MetricsSnapshot &metrics, const SpanStats &spans)
         out << t.render() << "\n";
     }
     if (!metrics.histograms.empty()) {
-        Table t({"Histogram", "Count", "Mean", "Min", "Max"});
+        Table t({"Histogram", "Count", "Mean", "P50", "P90", "P99",
+                 "Min", "Max"});
         for (const auto &h : metrics.histograms) {
             double mean = h.count == 0
                               ? 0.0
                               : h.sum / static_cast<double>(h.count);
+            bool empty = h.count == 0;
             t.addRow({h.name, std::to_string(h.count),
                       fmtCompact(mean, 4),
-                      h.count == 0 ? "-" : fmtCompact(h.min, 4),
-                      h.count == 0 ? "-" : fmtCompact(h.max, 4)});
+                      empty ? "-"
+                            : fmtCompact(histogramQuantile(h, 0.50), 4),
+                      empty ? "-"
+                            : fmtCompact(histogramQuantile(h, 0.90), 4),
+                      empty ? "-"
+                            : fmtCompact(histogramQuantile(h, 0.99), 4),
+                      empty ? "-" : fmtCompact(h.min, 4),
+                      empty ? "-" : fmtCompact(h.max, 4)});
         }
         out << t.render() << "\n";
     }
@@ -178,10 +191,19 @@ benchReportJson(const std::string &bench, double wall_ms)
 {
     MetricsSnapshot metrics = Registry::instance().snapshot();
     SpanStats spans = spanSnapshot();
+    auto env = [](const char *name) {
+        const char *v = std::getenv(name);
+        return v != nullptr ? std::string(v) : std::string();
+    };
     std::ostringstream out;
-    out << "{\"schema\":\"ucx.bench.v1\",\"bench\":\""
+    out << "{\"schema\":\"ucx.bench.v2\",\"bench\":\""
         << jsonEscape(bench)
         << "\",\"wall_ms\":" << jsonNumber(wall_ms)
+        << ",\"settings\":{"
+        << "\"ucx_threads\":\"" << jsonEscape(env("UCX_THREADS"))
+        << "\",\"ucx_cache\":\"" << jsonEscape(env("UCX_CACHE"))
+        << "\",\"ucx_cache_capacity\":\""
+        << jsonEscape(env("UCX_CACHE_CAPACITY")) << "\"}"
         << ",\"obs\":" << snapshotJson(metrics, spans) << "}\n";
     return out.str();
 }

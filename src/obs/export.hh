@@ -46,7 +46,8 @@ std::string jsonNumber(double value);
  *       "counters":   { "<name>": <count>, ... },
  *       "gauges":     { "<name>": <value>, ... },
  *       "histograms": { "<name>": { "count", "sum", "min", "max",
- *                                   "mean", "buckets": [
+ *                                   "mean", "p50", "p90", "p99",
+ *                                   "buckets": [
  *                                     {"le": <bound>, "count": n},
  *                                     ... (non-empty buckets only)
  *                                   ] }, ... },
@@ -75,9 +76,12 @@ std::string snapshotTable(const MetricsSnapshot &metrics,
                           const SpanStats &spans);
 
 /**
- * Build the machine-readable bench report: the current registry and
- * span snapshots wrapped with the bench name and wall time. This is
- * the payload of the BENCH_<name>.json files.
+ * Build the machine-readable bench report (schema ucx.bench.v2): the
+ * current registry and span snapshots wrapped with the bench name,
+ * wall time, and a "settings" object recording the raw UCX_THREADS /
+ * UCX_CACHE / UCX_CACHE_CAPACITY environment ("" = unset), so
+ * ucx_obsdiff can refuse apples-to-oranges comparisons. This is the
+ * payload of the BENCH_<name>.json files.
  *
  * @param bench   Bench binary name.
  * @param wall_ms Total wall time of the bench run in milliseconds.

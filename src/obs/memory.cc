@@ -1,0 +1,63 @@
+#include "obs/memory.hh"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/metrics.hh"
+#include "obs/tracelog.hh"
+
+namespace ucx
+{
+namespace obs
+{
+
+MemoryUsage
+readMemoryUsage()
+{
+    MemoryUsage usage;
+#if defined(__linux__)
+    std::ifstream status("/proc/self/status");
+    if (!status)
+        return usage;
+    std::string line;
+    while (std::getline(status, line)) {
+        // "VmRSS:      12345 kB" / "VmHWM:      23456 kB"
+        uint64_t *field = nullptr;
+        if (line.rfind("VmRSS:", 0) == 0)
+            field = &usage.rssBytes;
+        else if (line.rfind("VmHWM:", 0) == 0)
+            field = &usage.rssPeakBytes;
+        if (field == nullptr)
+            continue;
+        std::istringstream fields(line.substr(6));
+        uint64_t kb = 0;
+        if (fields >> kb) {
+            *field = kb * 1024;
+            usage.valid = true;
+        }
+    }
+#endif
+    return usage;
+}
+
+MemoryUsage
+sampleMemoryGauges()
+{
+    MemoryUsage usage = readMemoryUsage();
+    if (!usage.valid)
+        return usage;
+    gauge("obs.rss_bytes").set(static_cast<double>(usage.rssBytes));
+    gauge("obs.rss_peak_bytes")
+        .set(static_cast<double>(usage.rssPeakBytes));
+    if (traceEnabled()) {
+        traceCounter("obs.rss_bytes",
+                     static_cast<double>(usage.rssBytes));
+        traceCounter("obs.rss_peak_bytes",
+                     static_cast<double>(usage.rssPeakBytes));
+    }
+    return usage;
+}
+
+} // namespace obs
+} // namespace ucx

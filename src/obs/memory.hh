@@ -1,0 +1,46 @@
+/**
+ * @file
+ * ucx::obs — process memory gauges.
+ *
+ * Reads the process's resident set size (current and peak) from the
+ * operating system and publishes it through the metrics registry as
+ * the gauges "obs.rss_bytes" and "obs.rss_peak_bytes" (plus Perfetto
+ * counter events when tracing is on). On platforms without
+ * /proc/self/status the readings are zero and flagged invalid.
+ */
+
+#ifndef UCX_OBS_MEMORY_HH
+#define UCX_OBS_MEMORY_HH
+
+#include <cstdint>
+
+namespace ucx
+{
+namespace obs
+{
+
+/** Point-in-time process memory reading. */
+struct MemoryUsage
+{
+    uint64_t rssBytes = 0;     ///< Current resident set size.
+    uint64_t rssPeakBytes = 0; ///< Peak resident set size (VmHWM).
+    bool valid = false;        ///< False when the OS has no reading.
+};
+
+/** @return The current process memory usage. */
+MemoryUsage readMemoryUsage();
+
+/**
+ * Publish the current memory usage as the "obs.rss_bytes" and
+ * "obs.rss_peak_bytes" gauges and, when tracing is enabled, as
+ * Perfetto counter events. No-op readings (invalid) leave the
+ * gauges untouched.
+ *
+ * @return The reading that was published.
+ */
+MemoryUsage sampleMemoryGauges();
+
+} // namespace obs
+} // namespace ucx
+
+#endif // UCX_OBS_MEMORY_HH

@@ -128,6 +128,43 @@ Histogram::reset()
                std::memory_order_relaxed);
 }
 
+double
+histogramQuantile(const HistogramSample &sample, double q)
+{
+    if (sample.count == 0)
+        return 0.0;
+    if (q <= 0.0)
+        return sample.min;
+    if (q >= 1.0)
+        return sample.max;
+    double target = q * static_cast<double>(sample.count);
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < sample.buckets.size(); ++i) {
+        uint64_t in_bucket = sample.buckets[i];
+        if (in_bucket == 0)
+            continue;
+        double before = static_cast<double>(cumulative);
+        cumulative += in_bucket;
+        if (static_cast<double>(cumulative) < target)
+            continue;
+        // Interpolate inside [lower, upper); the exact min/max
+        // envelope both seeds the open-ended bounds and clamps the
+        // estimate.
+        double lower = i == 0 ? 0.0 : Histogram::bucketUpperBound(i - 1);
+        double upper = Histogram::bucketUpperBound(i);
+        if (lower < sample.min)
+            lower = sample.min;
+        if (!(upper <= sample.max)) // also catches +inf
+            upper = sample.max;
+        if (upper < lower)
+            upper = lower;
+        double frac =
+            (target - before) / static_cast<double>(in_bucket);
+        return lower + frac * (upper - lower);
+    }
+    return sample.max;
+}
+
 // -------------------------------------------------------- Registry
 
 struct Registry::Impl

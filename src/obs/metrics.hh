@@ -177,6 +177,18 @@ struct HistogramSample
     std::vector<uint64_t> buckets;
 };
 
+/**
+ * Estimate a quantile of a histogram from its log2 buckets: find
+ * the bucket where the cumulative count crosses q*count and
+ * interpolate linearly inside it, clamping to the exactly-tracked
+ * [min, max] envelope (so q=0/q=1 return min/max exactly).
+ *
+ * @param sample Histogram snapshot.
+ * @param q      Quantile in [0, 1] (e.g. 0.5, 0.9, 0.99).
+ * @return The estimated quantile; 0 when the histogram is empty.
+ */
+double histogramQuantile(const HistogramSample &sample, double q);
+
 /** Point-in-time copy of the whole registry, sorted by name. */
 struct MetricsSnapshot
 {

@@ -1,0 +1,388 @@
+#include "obs/tracelog.hh"
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+#include "obs/export.hh"
+#include "obs/metrics.hh"
+#include "obs/span.hh"
+#include "util/error.hh"
+#include "util/logging.hh"
+
+namespace ucx
+{
+namespace obs
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+/**
+ * One thread's bounded event buffer. The owning thread is the only
+ * writer: it fills events_[n] and then publishes with a release
+ * store of count_; snapshot readers pair that with an acquire load.
+ * Logs are never destroyed while the process runs (the registry owns
+ * them), so a thread_local pointer stays valid after thread exit
+ * bookkeeping.
+ */
+struct ThreadLog
+{
+    ThreadLog(uint32_t tid_in, size_t capacity) : tid(tid_in)
+    {
+        events.resize(capacity);
+    }
+
+    uint32_t tid;
+    std::string threadName; ///< Guarded by the registry mutex.
+    std::vector<TraceEvent> events;
+    std::atomic<size_t> count{0};
+    std::atomic<uint64_t> dropped{0};
+};
+
+/** Registry of every thread log; the mutex guards the vector and
+ *  threadName only — event recording never takes it. */
+struct LogRegistry
+{
+    std::mutex mutex;
+    std::vector<std::unique_ptr<ThreadLog>> logs;
+    Clock::time_point epoch = Clock::now();
+    size_t capacityOverride = 0; ///< 0 = use the environment.
+};
+
+LogRegistry &
+logRegistry()
+{
+    static LogRegistry the_registry;
+    return the_registry;
+}
+
+thread_local ThreadLog *tlLog = nullptr;
+
+ThreadLog &
+localLog()
+{
+    if (tlLog != nullptr)
+        return *tlLog;
+    // Resolve the capacity before taking the registry mutex:
+    // traceCapacity() locks it too and std::mutex is non-recursive.
+    size_t capacity = traceCapacity();
+    LogRegistry &reg = logRegistry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    auto log = std::make_unique<ThreadLog>(
+        static_cast<uint32_t>(reg.logs.size()), capacity);
+    tlLog = log.get();
+    reg.logs.push_back(std::move(log));
+    return *tlLog;
+}
+
+uint64_t
+nowNs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            Clock::now() - logRegistry().epoch)
+            .count());
+}
+
+void
+emit(TraceEvent &&event)
+{
+    ThreadLog &log = localLog();
+    size_t n = log.count.load(std::memory_order_relaxed);
+    if (n >= log.events.size()) {
+        log.dropped.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    log.events[n] = std::move(event);
+    log.count.store(n + 1, std::memory_order_release);
+}
+
+size_t
+capacityFromEnv()
+{
+    const char *env = std::getenv("UCX_TRACE_CAPACITY");
+    if (env != nullptr && *env != '\0') {
+        char *end = nullptr;
+        unsigned long v = std::strtoul(env, &end, 10);
+        if (end != nullptr && *end == '\0' && v >= 1)
+            return static_cast<size_t>(v);
+    }
+    return 65536;
+}
+
+} // namespace
+
+namespace detail
+{
+
+std::atomic<int> traceState{-1};
+
+int
+traceStateSlow()
+{
+    // Touch the registry first so its static outlives the atexit
+    // writer registered below (registration order drives teardown).
+    logRegistry();
+    int state = tracePath().empty() ? 0 : 1;
+    int expected = -1;
+    if (detail::traceState.compare_exchange_strong(
+            expected, state, std::memory_order_relaxed) &&
+        state == 1) {
+        std::atexit([] { writeTraceFile(); });
+    }
+    return detail::traceState.load(std::memory_order_relaxed);
+}
+
+} // namespace detail
+
+void
+setTraceEnabled(bool on)
+{
+    // Pin the epoch (and registry) before the first event lands.
+    logRegistry();
+    detail::traceState.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+const std::string &
+tracePath()
+{
+    static const std::string path = [] {
+        const char *env = std::getenv("UCX_TRACE");
+        return env != nullptr ? std::string(env) : std::string();
+    }();
+    return path;
+}
+
+size_t
+traceCapacity()
+{
+    LogRegistry &reg = logRegistry();
+    {
+        std::lock_guard<std::mutex> lock(reg.mutex);
+        if (reg.capacityOverride > 0)
+            return reg.capacityOverride;
+    }
+    static const size_t env_capacity = capacityFromEnv();
+    return env_capacity;
+}
+
+void
+setTraceCapacity(size_t capacity)
+{
+    require(capacity >= 1, "trace capacity must be >= 1");
+    LogRegistry &reg = logRegistry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    reg.capacityOverride = capacity;
+}
+
+void
+setTraceThreadName(const std::string &name)
+{
+    if (!traceEnabled())
+        return;
+    ThreadLog &log = localLog();
+    std::lock_guard<std::mutex> lock(logRegistry().mutex);
+    log.threadName = name;
+}
+
+void
+traceInstant(const char *name,
+             std::vector<std::pair<std::string, std::string>> args)
+{
+    if (!traceEnabled())
+        return;
+    TraceEvent event;
+    event.phase = TraceEvent::Phase::Instant;
+    event.tsNs = nowNs();
+    event.name = name;
+    event.args = std::move(args);
+    emit(std::move(event));
+}
+
+void
+traceCounter(const char *name, double value)
+{
+    if (!traceEnabled())
+        return;
+    TraceEvent event;
+    event.phase = TraceEvent::Phase::Counter;
+    event.tsNs = nowNs();
+    event.name = name;
+    event.value = value;
+    emit(std::move(event));
+}
+
+TraceScope::TraceScope(const char *name)
+{
+    if (!traceEnabled())
+        return;
+    name_ = name;
+    active_ = true;
+    TraceEvent event;
+    event.phase = TraceEvent::Phase::Begin;
+    event.tsNs = nowNs();
+    event.name = name;
+    emit(std::move(event));
+}
+
+TraceScope::~TraceScope()
+{
+    if (!active_)
+        return;
+    TraceEvent event;
+    event.phase = TraceEvent::Phase::End;
+    event.tsNs = nowNs();
+    event.name = name_;
+    event.args = std::move(args_);
+    emit(std::move(event));
+}
+
+TraceScope &
+TraceScope::arg(const char *key, std::string value)
+{
+    if (active_)
+        args_.emplace_back(key, std::move(value));
+    return *this;
+}
+
+size_t
+TraceSnapshot::eventCount() const
+{
+    size_t total = 0;
+    for (const auto &t : threads)
+        total += t.events.size();
+    return total;
+}
+
+uint64_t
+TraceSnapshot::droppedCount() const
+{
+    uint64_t total = 0;
+    for (const auto &t : threads)
+        total += t.dropped;
+    return total;
+}
+
+TraceSnapshot
+traceSnapshot()
+{
+    LogRegistry &reg = logRegistry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    TraceSnapshot snap;
+    snap.threads.reserve(reg.logs.size());
+    for (const auto &log : reg.logs) {
+        TraceThreadSnapshot ts;
+        ts.tid = log->tid;
+        ts.threadName = log->threadName;
+        ts.dropped = log->dropped.load(std::memory_order_relaxed);
+        size_t n = log->count.load(std::memory_order_acquire);
+        ts.events.assign(log->events.begin(),
+                         log->events.begin() +
+                             static_cast<ptrdiff_t>(n));
+        snap.threads.push_back(std::move(ts));
+    }
+    return snap;
+}
+
+void
+resetTraceLog()
+{
+    LogRegistry &reg = logRegistry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    size_t capacity = reg.capacityOverride > 0 ? reg.capacityOverride
+                                               : capacityFromEnv();
+    for (auto &log : reg.logs) {
+        log->count.store(0, std::memory_order_relaxed);
+        log->dropped.store(0, std::memory_order_relaxed);
+        log->events.clear();
+        log->events.resize(capacity);
+    }
+}
+
+std::string
+perfettoJson(const TraceSnapshot &snapshot)
+{
+    std::ostringstream out;
+    out << "{\"traceEvents\":[";
+    bool first = true;
+    auto comma = [&] {
+        if (!first)
+            out << ",";
+        first = false;
+    };
+    comma();
+    out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+           "\"tid\":0,\"args\":{\"name\":\"ucx\"}}";
+    for (const auto &t : snapshot.threads) {
+        if (t.threadName.empty())
+            continue;
+        comma();
+        out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+            << "\"tid\":" << t.tid << ",\"args\":{\"name\":\""
+            << jsonEscape(t.threadName) << "\"}}";
+    }
+    for (const auto &t : snapshot.threads) {
+        for (const TraceEvent &e : t.events) {
+            comma();
+            out << "{\"name\":\"" << jsonEscape(e.name) << "\""
+                << ",\"ph\":\"" << static_cast<char>(e.phase) << "\""
+                << ",\"pid\":1,\"tid\":" << t.tid << ",\"ts\":"
+                << jsonNumber(static_cast<double>(e.tsNs) / 1e3);
+            if (e.phase == TraceEvent::Phase::Instant)
+                out << ",\"s\":\"t\"";
+            if (e.phase == TraceEvent::Phase::Counter) {
+                out << ",\"args\":{\"value\":" << jsonNumber(e.value)
+                    << "}";
+            } else if (!e.args.empty()) {
+                out << ",\"args\":{";
+                for (size_t i = 0; i < e.args.size(); ++i) {
+                    if (i > 0)
+                        out << ",";
+                    out << "\"" << jsonEscape(e.args[i].first)
+                        << "\":\"" << jsonEscape(e.args[i].second)
+                        << "\"";
+                }
+                out << "}";
+            }
+            out << "}";
+        }
+    }
+    out << "],\"displayTimeUnit\":\"ms\",\"otherData\":{"
+        << "\"schema\":\"ucx_tracelog.v1\",\"capacity\":"
+        << traceCapacity()
+        << ",\"dropped\":" << snapshot.droppedCount() << "}}\n";
+    return out.str();
+}
+
+bool
+writeTraceFile()
+{
+    const std::string &path = tracePath();
+    if (path.empty())
+        return false;
+    TraceSnapshot snap = traceSnapshot();
+    std::ofstream out(path);
+    if (!out) {
+        warn("could not write trace file " + path);
+        return false;
+    }
+    out << perfettoJson(snap);
+    return true;
+}
+
+void
+resetAll()
+{
+    Registry::instance().reset();
+    resetSpans();
+    resetTraceLog();
+}
+
+} // namespace obs
+} // namespace ucx

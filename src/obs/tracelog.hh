@@ -1,0 +1,248 @@
+/**
+ * @file
+ * ucx::obs — bounded, per-thread trace event log.
+ *
+ * The second observability layer next to the aggregated span tree:
+ * individual begin/end/instant/counter events with thread ids,
+ * nanosecond timestamps, and key=value attributes, exported as
+ * Chrome/Perfetto "traceEvents" JSON (schema ucx_tracelog.v1) so a
+ * run renders as one timeline track per thread.
+ *
+ * Collection is gated on the UCX_TRACE environment variable (a path;
+ * the trace is written there at process exit and by BenchReport) or
+ * programmatically via setTraceEnabled(). When tracing is off every
+ * instrumentation site costs a single relaxed atomic load plus an
+ * untaken branch — attribute strings are never even built (callers
+ * guard them behind TraceScope::active() / traceEnabled()).
+ *
+ * Storage is a bounded per-thread buffer: each thread writes only its
+ * own log, publication is one release store of the event count, and
+ * readers (traceSnapshot) acquire it — no locks on the record path,
+ * TSan-clean by construction. A full buffer never blocks: further
+ * events are counted as dropped (UCX_TRACE_CAPACITY sets the
+ * per-thread event capacity, default 65536).
+ *
+ * resetTraceLog() / resetAll() clear recorded events between
+ * back-to-back runs in one process; they must not race with writers
+ * (call them from quiescent points, the same contract as
+ * Registry::reset()).
+ */
+
+#ifndef UCX_OBS_TRACELOG_HH
+#define UCX_OBS_TRACELOG_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ucx
+{
+namespace obs
+{
+
+/** One recorded trace event. */
+struct TraceEvent
+{
+    /** Chrome trace-event phase. */
+    enum class Phase : char
+    {
+        Begin = 'B',   ///< Scope opened (TraceScope ctor).
+        End = 'E',     ///< Scope closed (TraceScope dtor).
+        Instant = 'i', ///< Point event.
+        Counter = 'C', ///< Sampled numeric value.
+    };
+
+    Phase phase = Phase::Instant;
+    uint64_t tsNs = 0; ///< Nanoseconds since the process trace epoch.
+    std::string name;  ///< Event / scope / counter name.
+    double value = 0.0; ///< Counter events only.
+
+    /** key=value attributes (design, pass, cache hit/miss, ...). */
+    std::vector<std::pair<std::string, std::string>> args;
+};
+
+namespace detail
+{
+/** -1 = not yet read from UCX_TRACE; 0 = off; 1 = on. */
+extern std::atomic<int> traceState;
+/** Slow path of traceEnabled(): read the environment once. */
+int traceStateSlow();
+} // namespace detail
+
+/**
+ * @return True when trace-event collection is on. First use reads
+ *         the UCX_TRACE environment variable (any non-empty value
+ *         enables tracing and names the output file);
+ *         setTraceEnabled() overrides. The fast path is a single
+ *         relaxed atomic load.
+ */
+inline bool
+traceEnabled()
+{
+    int state = detail::traceState.load(std::memory_order_relaxed);
+    if (state < 0)
+        state = detail::traceStateSlow();
+    return state != 0;
+}
+
+/** Force trace collection on or off, overriding UCX_TRACE. */
+void setTraceEnabled(bool on);
+
+/** @return The UCX_TRACE output path ("" when unset). */
+const std::string &tracePath();
+
+/**
+ * @return Per-thread event capacity: setTraceCapacity() override,
+ *         else UCX_TRACE_CAPACITY, else 65536.
+ */
+size_t traceCapacity();
+
+/**
+ * Override the per-thread event capacity. Applies to logs created
+ * afterwards; resetTraceLog() re-applies it to existing logs.
+ *
+ * @param capacity New capacity; must be >= 1.
+ */
+void setTraceCapacity(size_t capacity);
+
+/**
+ * Name this thread's timeline track in the exported trace (e.g.
+ * "pool-worker-3"). Registers the thread's log immediately, so named
+ * threads appear in the export even before their first event.
+ * No-op while tracing is disabled.
+ *
+ * @param name Track name.
+ */
+void setTraceThreadName(const std::string &name);
+
+/**
+ * Record an instant event on the calling thread's track.
+ * The attribute strings are only built when tracing is enabled —
+ * guard expensive values with traceEnabled().
+ *
+ * @param name Event name.
+ * @param args key=value attributes.
+ */
+void traceInstant(
+    const char *name,
+    std::vector<std::pair<std::string, std::string>> args = {});
+
+/**
+ * Record a sampled numeric value ("C" event; Perfetto renders these
+ * as a counter track).
+ *
+ * @param name  Counter name.
+ * @param value Sampled value.
+ */
+void traceCounter(const char *name, double value);
+
+/**
+ * RAII begin/end event pair. Construction emits the Begin event,
+ * destruction the End event; attributes added via arg() ride on the
+ * End event (Chrome merges begin/end args into one slice).
+ *
+ * The constructor takes a static string so the disabled path does no
+ * allocation: one relaxed atomic check, nothing else.
+ */
+class TraceScope
+{
+  public:
+    /** @param name Scope name (static string; copied only when on). */
+    explicit TraceScope(const char *name);
+
+    ~TraceScope();
+
+    /** @return True when this scope is recording events. */
+    bool active() const { return active_; }
+
+    /**
+     * Attach a key=value attribute to the End event. No-op when
+     * inactive — but build expensive values only behind active().
+     *
+     * @param key   Attribute name (static string).
+     * @param value Attribute value.
+     * @return *this, for chaining.
+     */
+    TraceScope &arg(const char *key, std::string value);
+
+    TraceScope(const TraceScope &) = delete;
+    TraceScope &operator=(const TraceScope &) = delete;
+
+  private:
+    const char *name_ = nullptr;
+    bool active_ = false;
+    std::vector<std::pair<std::string, std::string>> args_;
+};
+
+/** Point-in-time copy of one thread's trace log. */
+struct TraceThreadSnapshot
+{
+    uint32_t tid = 0;        ///< Stable track id (registration order).
+    std::string threadName;  ///< Track name ("" = default).
+    uint64_t dropped = 0;    ///< Events lost to a full buffer.
+    std::vector<TraceEvent> events; ///< In record order.
+};
+
+/** Point-in-time copy of every thread's trace log. */
+struct TraceSnapshot
+{
+    std::vector<TraceThreadSnapshot> threads; ///< Ordered by tid.
+
+    /** @return Total event count across threads. */
+    size_t eventCount() const;
+
+    /** @return Total dropped-event count across threads. */
+    uint64_t droppedCount() const;
+};
+
+/**
+ * @return A copy of every thread's recorded events. Safe to call
+ *         while other threads keep recording (their concurrently
+ *         appended events may or may not be included).
+ */
+TraceSnapshot traceSnapshot();
+
+/**
+ * Drop all recorded events and dropped-event counts, and re-apply
+ * the current capacity to every thread log. Must not race with
+ * writers.
+ */
+void resetTraceLog();
+
+/**
+ * Serialize a snapshot in Chrome/Perfetto trace-event JSON: an
+ * object with "traceEvents" (metadata thread_name events followed by
+ * the recorded B/E/i/C events, ts in microseconds, one tid per
+ * thread log) plus "otherData" carrying the ucx_tracelog.v1 schema
+ * tag, the capacity, and the drop count. Loads directly in
+ * Perfetto / chrome://tracing.
+ *
+ * @param snapshot Trace snapshot.
+ * @return The JSON text, newline-terminated.
+ */
+std::string perfettoJson(const TraceSnapshot &snapshot);
+
+/**
+ * Write perfettoJson(traceSnapshot()) to the UCX_TRACE path.
+ * Automatically invoked at process exit when UCX_TRACE is set (and
+ * by BenchReport, so bench traces exist even on abnormal exits
+ * after main).
+ *
+ * @return True when the file was written.
+ */
+bool writeTraceFile();
+
+/**
+ * Reset every observability surface: the metrics registry, the span
+ * tree, and the trace event log. Back-to-back bench runs in one
+ * process start from zero state without bleeding events.
+ */
+void resetAll();
+
+} // namespace obs
+} // namespace ucx
+
+#endif // UCX_OBS_TRACELOG_HH

@@ -2,6 +2,7 @@
 
 #include "obs/metrics.hh"
 #include "obs/span.hh"
+#include "obs/tracelog.hh"
 #include "synth/lower.hh"
 #include "util/error.hh"
 
@@ -162,11 +163,15 @@ runPasses(const RtlDesign &rtl, const std::vector<Pass> &passes,
     ctx.config = config;
     for (const Pass &pass : passes) {
         obs::ScopedSpan span("synth.pass." + pass.name);
+        obs::TraceScope trace("synth.pass");
+        if (trace.active())
+            trace.arg("pass", pass.name);
         if (run.cache) {
             CacheKey key = run.base.child(pass.name);
             if (auto cached =
                     run.cache->getRaw(key, *pass.artifactType)) {
                 pass.load(ctx, std::move(cached));
+                trace.arg("cache", "hit");
                 if (obs::enabled()) {
                     obs::counter("synth.pass." + pass.name +
                                  ".cache_hits")
@@ -177,8 +182,10 @@ runPasses(const RtlDesign &rtl, const std::vector<Pass> &passes,
             pass.run(ctx);
             run.cache->putRaw(key, pass.save(ctx),
                               *pass.artifactType);
+            trace.arg("cache", "miss");
         } else {
             pass.run(ctx);
+            trace.arg("cache", "off");
         }
         if (obs::enabled()) {
             obs::counter("synth.pass." + pass.name + ".runs")

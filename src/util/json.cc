@@ -1,0 +1,364 @@
+#include "util/json.hh"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "util/error.hh"
+
+namespace ucx
+{
+namespace json
+{
+
+namespace
+{
+
+/** Nesting bound: deep enough for any ucx report, shallow enough to
+ *  keep malicious input from exhausting the stack. */
+constexpr int kMaxDepth = 256;
+
+} // namespace
+
+/** Recursive-descent parser over the input text. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    Value
+    parseDocument()
+    {
+        Value root = parseValue(0);
+        skipWs();
+        if (pos_ != text_.size())
+            fail("trailing content after the top-level value");
+        return root;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &what) const
+    {
+        throw UcxError("json: " + what + " at offset " +
+                       std::to_string(pos_));
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size()) {
+            char c = text_[pos_];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r')
+                break;
+            ++pos_;
+        }
+    }
+
+    char
+    peek()
+    {
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    Value
+    parseValue(int depth)
+    {
+        if (depth > kMaxDepth)
+            fail("nesting deeper than " + std::to_string(kMaxDepth));
+        skipWs();
+        char c = peek();
+        switch (c) {
+          case '{': return parseObject(depth);
+          case '[': return parseArray(depth);
+          case '"': return makeString(parseString());
+          case 't': return parseKeyword("true", makeBool(true));
+          case 'f': return parseKeyword("false", makeBool(false));
+          case 'n': return parseKeyword("null", Value());
+          default: return parseNumber();
+        }
+    }
+
+    Value
+    parseKeyword(const std::string &word, Value value)
+    {
+        if (text_.compare(pos_, word.size(), word) != 0)
+            fail("invalid literal");
+        pos_ += word.size();
+        return value;
+    }
+
+    Value
+    parseNumber()
+    {
+        size_t start = pos_;
+        if (consume('-')) {
+        }
+        if (!std::isdigit(static_cast<unsigned char>(peek())))
+            fail("invalid number");
+        if (text_[pos_] == '0' && pos_ + 1 < text_.size() &&
+            std::isdigit(static_cast<unsigned char>(text_[pos_ + 1])))
+            fail("leading zero in number");
+        while (pos_ < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+        if (consume('.')) {
+            if (pos_ >= text_.size() ||
+                !std::isdigit(static_cast<unsigned char>(text_[pos_])))
+                fail("digits required after decimal point");
+            while (pos_ < text_.size() &&
+                   std::isdigit(
+                       static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+        }
+        if (consume('e') || consume('E')) {
+            if (!consume('+'))
+                consume('-');
+            if (pos_ >= text_.size() ||
+                !std::isdigit(static_cast<unsigned char>(text_[pos_])))
+                fail("digits required in exponent");
+            while (pos_ < text_.size() &&
+                   std::isdigit(
+                       static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+        }
+        Value v;
+        v.type_ = Value::Type::Number;
+        v.number_ = std::strtod(text_.c_str() + start, nullptr);
+        return v;
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        for (;;) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (static_cast<unsigned char>(c) < 0x20)
+                fail("raw control character in string");
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fail("unterminated escape");
+            char esc = text_[pos_++];
+            switch (esc) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': out += parseUnicodeEscape(); break;
+              default: fail("unknown escape");
+            }
+        }
+    }
+
+    std::string
+    parseUnicodeEscape()
+    {
+        unsigned cp = parseHex4();
+        // Surrogate pair: a high surrogate must be followed by
+        // "\uDC00".."\uDFFF"; encode the combined code point.
+        if (cp >= 0xD800 && cp <= 0xDBFF) {
+            if (!consume('\\') || !consume('u'))
+                fail("lone high surrogate");
+            unsigned lo = parseHex4();
+            if (lo < 0xDC00 || lo > 0xDFFF)
+                fail("invalid low surrogate");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+        } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            fail("lone low surrogate");
+        }
+        std::string out;
+        if (cp < 0x80) {
+            out += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            out += static_cast<char>(0xC0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else if (cp < 0x10000) {
+            out += static_cast<char>(0xE0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else {
+            out += static_cast<char>(0xF0 | (cp >> 18));
+            out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        }
+        return out;
+    }
+
+    unsigned
+    parseHex4()
+    {
+        unsigned value = 0;
+        for (int i = 0; i < 4; ++i) {
+            char c = peek();
+            ++pos_;
+            value <<= 4;
+            if (c >= '0' && c <= '9')
+                value |= static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                value |= static_cast<unsigned>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                value |= static_cast<unsigned>(c - 'A' + 10);
+            else
+                fail("invalid \\u escape");
+        }
+        return value;
+    }
+
+    Value
+    parseArray(int depth)
+    {
+        expect('[');
+        Value v;
+        v.type_ = Value::Type::Array;
+        skipWs();
+        if (consume(']'))
+            return v;
+        for (;;) {
+            v.items_.push_back(parseValue(depth + 1));
+            skipWs();
+            if (consume(']'))
+                return v;
+            expect(',');
+        }
+    }
+
+    Value
+    parseObject(int depth)
+    {
+        expect('{');
+        Value v;
+        v.type_ = Value::Type::Object;
+        skipWs();
+        if (consume('}'))
+            return v;
+        for (;;) {
+            skipWs();
+            std::string key = parseString();
+            skipWs();
+            expect(':');
+            v.members_.emplace_back(std::move(key),
+                                    parseValue(depth + 1));
+            skipWs();
+            if (consume('}'))
+                return v;
+            expect(',');
+        }
+    }
+
+    static Value
+    makeBool(bool b)
+    {
+        Value v;
+        v.type_ = Value::Type::Bool;
+        v.bool_ = b;
+        return v;
+    }
+
+    static Value
+    makeString(std::string s)
+    {
+        Value v;
+        v.type_ = Value::Type::String;
+        v.string_ = std::move(s);
+        return v;
+    }
+
+    const std::string &text_;
+    size_t pos_ = 0;
+};
+
+Value
+Value::parse(const std::string &text)
+{
+    return Parser(text).parseDocument();
+}
+
+bool
+Value::asBool() const
+{
+    require(type_ == Type::Bool, "json: value is not a bool");
+    return bool_;
+}
+
+double
+Value::asNumber() const
+{
+    require(type_ == Type::Number, "json: value is not a number");
+    return number_;
+}
+
+const std::string &
+Value::asString() const
+{
+    require(type_ == Type::String, "json: value is not a string");
+    return string_;
+}
+
+const std::vector<Value> &
+Value::items() const
+{
+    require(type_ == Type::Array, "json: value is not an array");
+    return items_;
+}
+
+const std::vector<std::pair<std::string, Value>> &
+Value::members() const
+{
+    require(type_ == Type::Object, "json: value is not an object");
+    return members_;
+}
+
+const Value *
+Value::find(const std::string &key) const
+{
+    if (type_ != Type::Object)
+        return nullptr;
+    for (const auto &[name, value] : members_)
+        if (name == key)
+            return &value;
+    return nullptr;
+}
+
+const Value &
+Value::at(const std::string &key) const
+{
+    const Value *v = find(key);
+    require(v != nullptr, "json: missing member '" + key + "'");
+    return *v;
+}
+
+} // namespace json
+} // namespace ucx

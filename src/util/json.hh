@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Minimal JSON value parser for the tooling layer (ucx_obsdiff reads
+ * BENCH_<name>.json reports; tests round-trip the Perfetto export).
+ *
+ * Full RFC 8259 input grammar (objects, arrays, strings with
+ * escapes, numbers, true/false/null); values are immutable once
+ * parsed. Object members preserve input order and duplicate keys
+ * keep the first occurrence on lookup. Malformed input throws
+ * UcxError with a byte offset.
+ */
+
+#ifndef UCX_UTIL_JSON_HH
+#define UCX_UTIL_JSON_HH
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ucx
+{
+namespace json
+{
+
+/** One parsed JSON value. */
+class Value
+{
+  public:
+    enum class Type
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    /**
+     * Parse a complete JSON document.
+     *
+     * @param text JSON text; trailing whitespace is allowed, any
+     *             other trailing content is an error.
+     * @return The root value.
+     */
+    static Value parse(const std::string &text);
+
+    /** @return The value's type. */
+    Type type() const { return type_; }
+
+    bool isNull() const { return type_ == Type::Null; }
+    bool isBool() const { return type_ == Type::Bool; }
+    bool isNumber() const { return type_ == Type::Number; }
+    bool isString() const { return type_ == Type::String; }
+    bool isArray() const { return type_ == Type::Array; }
+    bool isObject() const { return type_ == Type::Object; }
+
+    /** @return The boolean payload; value must be a Bool. */
+    bool asBool() const;
+
+    /** @return The numeric payload; value must be a Number. */
+    double asNumber() const;
+
+    /** @return The string payload; value must be a String. */
+    const std::string &asString() const;
+
+    /** @return The elements; value must be an Array. */
+    const std::vector<Value> &items() const;
+
+    /** @return The members in input order; must be an Object. */
+    const std::vector<std::pair<std::string, Value>> &members() const;
+
+    /**
+     * Object member lookup.
+     *
+     * @param key Member name.
+     * @return The member value, or nullptr when absent (or when
+     *         this value is not an object).
+     */
+    const Value *find(const std::string &key) const;
+
+    /**
+     * Required member lookup; throws UcxError naming @p key when the
+     * member is absent or this value is not an object.
+     *
+     * @param key Member name.
+     * @return The member value.
+     */
+    const Value &at(const std::string &key) const;
+
+    Value() = default;
+
+  private:
+    friend class Parser;
+
+    Type type_ = Type::Null;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    std::vector<Value> items_;
+    std::vector<std::pair<std::string, Value>> members_;
+};
+
+} // namespace json
+} // namespace ucx
+
+#endif // UCX_UTIL_JSON_HH

@@ -95,6 +95,10 @@ TEST_F(ExportTest, SnapshotJsonShape)
     EXPECT_NE(json.find("\"exp.counter\":3"), std::string::npos);
     EXPECT_NE(json.find("\"exp.gauge\":2.5"), std::string::npos);
     EXPECT_NE(json.find("\"exp.hist\":{\"count\":1"), std::string::npos);
+    // A single sample pins every quantile to that sample's value.
+    EXPECT_NE(json.find("\"p50\":5"), std::string::npos);
+    EXPECT_NE(json.find("\"p90\":5"), std::string::npos);
+    EXPECT_NE(json.find("\"p99\":5"), std::string::npos);
     // 5.0 falls in [4,8), so its bucket upper bound is 8.
     EXPECT_NE(json.find("{\"le\":8,\"count\":1}"), std::string::npos);
     EXPECT_NE(json.find("\"name\":\"exp.outer\""), std::string::npos);
@@ -110,10 +114,17 @@ TEST_F(ExportTest, BenchReportWrapsSnapshot)
     std::string json = obs::benchReportJson("unit_test", 12.5);
     expectBalancedJson(json);
     EXPECT_EQ(json.back(), '\n');
-    EXPECT_NE(json.find("\"schema\":\"ucx.bench.v1\""),
+    EXPECT_NE(json.find("\"schema\":\"ucx.bench.v2\""),
               std::string::npos);
     EXPECT_NE(json.find("\"bench\":\"unit_test\""), std::string::npos);
     EXPECT_NE(json.find("\"wall_ms\":12.5"), std::string::npos);
+    // v2 carries the run configuration so ucx_obsdiff can refuse
+    // apples-to-oranges comparisons.
+    EXPECT_NE(json.find("\"settings\":{\"ucx_threads\":"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"ucx_cache\":"), std::string::npos);
+    EXPECT_NE(json.find("\"ucx_cache_capacity\":"),
+              std::string::npos);
     EXPECT_NE(json.find("\"obs\":{\"schema\":\"ucx.obs.v1\""),
               std::string::npos);
 }

@@ -184,4 +184,45 @@ TEST(MetricsDisabledTest, MutationsAreNoOpsWhenDisabled)
     obs::setEnabled(false);
 }
 
+TEST_F(MetricsTest, QuantileOfEmptyHistogramIsZero)
+{
+    obs::histogram("test.q.empty");
+    obs::MetricsSnapshot snap = obs::Registry::instance().snapshot();
+    EXPECT_DOUBLE_EQ(obs::histogramQuantile(snap.histograms[0], 0.5),
+                     0.0);
+}
+
+TEST_F(MetricsTest, QuantileOfSingleSampleIsThatSample)
+{
+    obs::histogram("test.q.single").observe(7.0);
+    obs::MetricsSnapshot snap = obs::Registry::instance().snapshot();
+    const obs::HistogramSample &h = snap.histograms[0];
+    for (double q : {0.0, 0.01, 0.5, 0.9, 0.99, 1.0})
+        EXPECT_DOUBLE_EQ(obs::histogramQuantile(h, q), 7.0) << q;
+}
+
+TEST_F(MetricsTest, QuantilesAreOrderedAndInsideTheEnvelope)
+{
+    obs::Histogram &h = obs::histogram("test.q.spread");
+    for (int i = 1; i <= 1000; ++i)
+        h.observe(static_cast<double>(i));
+    obs::MetricsSnapshot snap = obs::Registry::instance().snapshot();
+    const obs::HistogramSample &s = snap.histograms[0];
+
+    double p50 = obs::histogramQuantile(s, 0.50);
+    double p90 = obs::histogramQuantile(s, 0.90);
+    double p99 = obs::histogramQuantile(s, 0.99);
+    EXPECT_LE(s.min, p50);
+    EXPECT_LE(p50, p90);
+    EXPECT_LE(p90, p99);
+    EXPECT_LE(p99, s.max);
+    // Log2 buckets bound the estimate by the bucket, not the exact
+    // rank: p50 of 1..1000 is 500, inside [256, 1000].
+    EXPECT_GE(p50, 256.0);
+    EXPECT_LE(p50, 1000.0);
+    // The extremes pin to the exact envelope.
+    EXPECT_DOUBLE_EQ(obs::histogramQuantile(s, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(obs::histogramQuantile(s, 1.0), 1000.0);
+}
+
 } // namespace

@@ -1,0 +1,253 @@
+#include <algorithm>
+#include <map>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exec/context.hh"
+#include "obs/memory.hh"
+#include "obs/metrics.hh"
+#include "obs/tracelog.hh"
+#include "util/json.hh"
+
+using namespace ucx;
+
+namespace
+{
+
+class TraceLogTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        obs::setTraceEnabled(true);
+        obs::resetTraceLog();
+    }
+
+    void TearDown() override
+    {
+        obs::setTraceEnabled(false);
+        obs::setTraceCapacity(65536);
+        obs::resetTraceLog();
+    }
+};
+
+/** Every non-metadata event of one run, normalized for comparison:
+ *  (name, phase, args), timestamps and thread placement dropped. */
+using EventKey =
+    std::tuple<std::string, char,
+               std::vector<std::pair<std::string, std::string>>>;
+
+std::vector<EventKey>
+normalizedEvents(const obs::TraceSnapshot &snap,
+                 const std::string &name_filter = "")
+{
+    std::vector<EventKey> out;
+    for (const auto &t : snap.threads) {
+        for (const obs::TraceEvent &e : t.events) {
+            if (!name_filter.empty() && e.name != name_filter)
+                continue;
+            out.emplace_back(e.name, static_cast<char>(e.phase),
+                             e.args);
+        }
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+TEST_F(TraceLogTest, DisabledPathRecordsNothing)
+{
+    obs::setTraceEnabled(false);
+    EXPECT_FALSE(obs::traceEnabled());
+    obs::traceInstant("off.instant", {{"k", "v"}});
+    obs::traceCounter("off.counter", 1.0);
+    {
+        obs::TraceScope scope("off.scope");
+        EXPECT_FALSE(scope.active());
+        scope.arg("k", "v"); // must be a no-op, not a crash
+    }
+    EXPECT_EQ(obs::traceSnapshot().eventCount(), 0u);
+}
+
+TEST_F(TraceLogTest, ScopeEmitsBalancedBeginEndWithArgs)
+{
+    {
+        obs::TraceScope scope("t.scope");
+        ASSERT_TRUE(scope.active());
+        scope.arg("pass", "lower").arg("cache", "hit");
+    }
+    obs::TraceSnapshot snap = obs::traceSnapshot();
+    ASSERT_EQ(snap.eventCount(), 2u);
+
+    std::vector<obs::TraceEvent> events;
+    for (const auto &t : snap.threads)
+        events.insert(events.end(), t.events.begin(),
+                      t.events.end());
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0].phase, obs::TraceEvent::Phase::Begin);
+    EXPECT_EQ(events[0].name, "t.scope");
+    EXPECT_TRUE(events[0].args.empty());
+    EXPECT_EQ(events[1].phase, obs::TraceEvent::Phase::End);
+    EXPECT_EQ(events[1].name, "t.scope");
+    ASSERT_EQ(events[1].args.size(), 2u);
+    EXPECT_EQ(events[1].args[0].first, "pass");
+    EXPECT_EQ(events[1].args[0].second, "lower");
+    EXPECT_GE(events[1].tsNs, events[0].tsNs);
+}
+
+TEST_F(TraceLogTest, FullBufferDropsAndCountsInsteadOfBlocking)
+{
+    obs::setTraceCapacity(4);
+    obs::resetTraceLog();
+    for (int i = 0; i < 10; ++i)
+        obs::traceInstant("drop.instant");
+    obs::TraceSnapshot snap = obs::traceSnapshot();
+    EXPECT_EQ(snap.eventCount(), 4u);
+    EXPECT_EQ(snap.droppedCount(), 6u);
+
+    // resetTraceLog() clears both the events and the drop counts.
+    obs::resetTraceLog();
+    snap = obs::traceSnapshot();
+    EXPECT_EQ(snap.eventCount(), 0u);
+    EXPECT_EQ(snap.droppedCount(), 0u);
+}
+
+TEST_F(TraceLogTest, EventSetIsThreadCountInvariant)
+{
+    // The same attributed workload at 1 and at 8 threads must record
+    // the same normalized event set — events move between worker
+    // tracks but never change or disappear (the determinism contract
+    // extended to traces).
+    auto workload = [](const ExecContext &ctx) {
+        ctx.parallelFor(64, [](size_t i) {
+            obs::TraceScope scope("det.item");
+            if (scope.active())
+                scope.arg("i", std::to_string(i));
+            obs::traceInstant("det.visit",
+                              {{"i", std::to_string(i)}});
+        });
+    };
+
+    workload(ExecContext::withThreads(1));
+    obs::TraceSnapshot serial = obs::traceSnapshot();
+    obs::resetTraceLog();
+    workload(ExecContext::withThreads(8));
+    obs::TraceSnapshot parallel = obs::traceSnapshot();
+
+    ASSERT_EQ(serial.droppedCount(), 0u);
+    ASSERT_EQ(parallel.droppedCount(), 0u);
+    for (const char *name : {"det.item", "det.visit"}) {
+        std::vector<EventKey> a = normalizedEvents(serial, name);
+        std::vector<EventKey> b = normalizedEvents(parallel, name);
+        EXPECT_EQ(a.size(), name == std::string("det.item") ? 128u
+                                                            : 64u);
+        EXPECT_EQ(a, b) << "event set for " << name
+                        << " changed with the thread count";
+    }
+}
+
+TEST_F(TraceLogTest, PerfettoJsonRoundTripsThroughParser)
+{
+    obs::setTraceThreadName("main-test");
+    {
+        obs::TraceScope scope("pj.scope");
+        scope.arg("design", "pipeline");
+        obs::traceInstant("pj.instant", {{"key", "va\"lue"}});
+        obs::traceCounter("pj.counter", 2.5);
+    }
+    std::string text = obs::perfettoJson(obs::traceSnapshot());
+    ASSERT_FALSE(text.empty());
+    EXPECT_EQ(text.back(), '\n');
+
+    json::Value root = json::Value::parse(text);
+    EXPECT_EQ(root.at("otherData").at("schema").asString(),
+              "ucx_tracelog.v1");
+    EXPECT_EQ(root.at("otherData").at("dropped").asNumber(), 0.0);
+
+    const auto &events = root.at("traceEvents").items();
+    // process_name + thread_name + B + i + C + E at minimum.
+    ASSERT_GE(events.size(), 6u);
+
+    bool sawProcessName = false;
+    bool sawThreadName = false;
+    std::map<double, int> beginEndDepth; // tid -> open scopes
+    for (const json::Value &e : events) {
+        const std::string &ph = e.at("ph").asString();
+        const std::string &name = e.at("name").asString();
+        if (ph == "M") {
+            sawProcessName |= name == "process_name";
+            sawThreadName |= name == "thread_name" &&
+                             e.at("args").at("name").asString() ==
+                                 "main-test";
+            continue;
+        }
+        double tid = e.at("tid").asNumber();
+        EXPECT_GE(e.at("ts").asNumber(), 0.0);
+        if (ph == "B")
+            ++beginEndDepth[tid];
+        else if (ph == "E")
+            --beginEndDepth[tid];
+        else
+            EXPECT_TRUE(ph == "i" || ph == "C") << "phase " << ph;
+        if (name == "pj.instant") {
+            EXPECT_EQ(ph, "i");
+            EXPECT_EQ(e.at("s").asString(), "t");
+            EXPECT_EQ(e.at("args").at("key").asString(), "va\"lue");
+        }
+        if (name == "pj.counter") {
+            EXPECT_EQ(ph, "C");
+            EXPECT_EQ(e.at("args").at("value").asNumber(), 2.5);
+        }
+    }
+    EXPECT_TRUE(sawProcessName);
+    EXPECT_TRUE(sawThreadName);
+    for (const auto &[tid, depth] : beginEndDepth)
+        EXPECT_EQ(depth, 0) << "unbalanced B/E on tid " << tid;
+}
+
+TEST_F(TraceLogTest, ResetAllClearsEveryObservabilitySurface)
+{
+    obs::setEnabled(true);
+    obs::counter("ra.counter").add(3);
+    obs::traceInstant("ra.instant");
+    ASSERT_GE(obs::traceSnapshot().eventCount(), 1u);
+
+    obs::resetAll();
+    EXPECT_EQ(obs::traceSnapshot().eventCount(), 0u);
+    obs::MetricsSnapshot metrics =
+        obs::Registry::instance().snapshot();
+    for (const auto &c : metrics.counters)
+        EXPECT_EQ(c.value, 0u) << c.name;
+    obs::setEnabled(false);
+}
+
+TEST_F(TraceLogTest, MemoryGaugesReportResidentSet)
+{
+    obs::MemoryUsage usage = obs::readMemoryUsage();
+#if defined(__linux__)
+    ASSERT_TRUE(usage.valid);
+    EXPECT_GT(usage.rssBytes, 0u);
+    EXPECT_GE(usage.rssPeakBytes, usage.rssBytes);
+#endif
+    obs::setEnabled(true);
+    obs::sampleMemoryGauges();
+    if (usage.valid) {
+        obs::MetricsSnapshot metrics =
+            obs::Registry::instance().snapshot();
+        bool sawRss = false;
+        bool sawPeak = false;
+        for (const auto &g : metrics.gauges) {
+            sawRss |= g.name == "obs.rss_bytes" && g.value > 0.0;
+            sawPeak |=
+                g.name == "obs.rss_peak_bytes" && g.value > 0.0;
+        }
+        EXPECT_TRUE(sawRss);
+        EXPECT_TRUE(sawPeak);
+    }
+    obs::setEnabled(false);
+}
+
+} // namespace

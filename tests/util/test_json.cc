@@ -1,0 +1,104 @@
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "util/error.hh"
+#include "util/json.hh"
+
+using namespace ucx;
+
+namespace
+{
+
+TEST(JsonTest, ParsesScalars)
+{
+    EXPECT_TRUE(json::Value::parse("null").isNull());
+    EXPECT_TRUE(json::Value::parse("true").asBool());
+    EXPECT_FALSE(json::Value::parse("false").asBool());
+    EXPECT_EQ(json::Value::parse("42").asNumber(), 42.0);
+    EXPECT_EQ(json::Value::parse("-1.5e2").asNumber(), -150.0);
+    EXPECT_EQ(json::Value::parse("\"hi\"").asString(), "hi");
+}
+
+TEST(JsonTest, ParsesStringEscapes)
+{
+    json::Value v =
+        json::Value::parse("\"a\\\"b\\\\c\\n\\t\\u0041\"");
+    EXPECT_EQ(v.asString(), "a\"b\\c\n\tA");
+    // Surrogate pair: U+1D11E (musical G clef) as UTF-8.
+    json::Value clef = json::Value::parse("\"\\uD834\\uDD1E\"");
+    EXPECT_EQ(clef.asString(), "\xF0\x9D\x84\x9E");
+}
+
+TEST(JsonTest, ParsesNestedContainers)
+{
+    json::Value v = json::Value::parse(
+        R"({"a":[1,2,{"b":true}],"c":{"d":null},"e":"x"})");
+    ASSERT_TRUE(v.isObject());
+    EXPECT_EQ(v.members().size(), 3u);
+    const auto &a = v.at("a").items();
+    ASSERT_EQ(a.size(), 3u);
+    EXPECT_EQ(a[1].asNumber(), 2.0);
+    EXPECT_TRUE(a[2].at("b").asBool());
+    EXPECT_TRUE(v.at("c").at("d").isNull());
+    EXPECT_EQ(v.at("e").asString(), "x");
+}
+
+TEST(JsonTest, MembersPreserveOrderAndFirstKeyWins)
+{
+    json::Value v =
+        json::Value::parse(R"({"z":1,"a":2,"z":3})");
+    ASSERT_EQ(v.members().size(), 3u);
+    EXPECT_EQ(v.members()[0].first, "z");
+    EXPECT_EQ(v.members()[1].first, "a");
+    EXPECT_EQ(v.at("z").asNumber(), 1.0); // first occurrence
+}
+
+TEST(JsonTest, FindReturnsNullForMissingAndAtThrows)
+{
+    json::Value v = json::Value::parse(R"({"a":1})");
+    EXPECT_NE(v.find("a"), nullptr);
+    EXPECT_EQ(v.find("b"), nullptr);
+    EXPECT_THROW(v.at("b"), UcxError);
+    EXPECT_EQ(json::Value::parse("3").find("a"), nullptr);
+}
+
+TEST(JsonTest, RejectsMalformedInput)
+{
+    for (const char *bad :
+         {"", "{", "[1,]", "{\"a\":}", "{\"a\" 1}", "tru",
+          "\"unterminated", "1 2", "{} trailing", "\"\\q\"",
+          "nan", "+1", "01", "[1,2,,3]"}) {
+        EXPECT_THROW(json::Value::parse(bad), UcxError)
+            << "input: " << bad;
+    }
+}
+
+TEST(JsonTest, ReportsByteOffsetInErrors)
+{
+    try {
+        json::Value::parse("{\"a\": x}");
+        FAIL() << "expected UcxError";
+    } catch (const UcxError &e) {
+        EXPECT_NE(std::string(e.what()).find("offset"),
+                  std::string::npos);
+    }
+}
+
+TEST(JsonTest, TypeMismatchThrows)
+{
+    json::Value v = json::Value::parse("[1]");
+    EXPECT_THROW(v.asNumber(), UcxError);
+    EXPECT_THROW(v.asString(), UcxError);
+    EXPECT_THROW(v.members(), UcxError);
+    EXPECT_THROW(json::Value::parse("1").items(), UcxError);
+}
+
+TEST(JsonTest, DepthLimitStopsRunawayNesting)
+{
+    std::string deep(1000, '[');
+    deep += std::string(1000, ']');
+    EXPECT_THROW(json::Value::parse(deep), UcxError);
+}
+
+} // namespace

@@ -1,0 +1,47 @@
+# Smoke test of the bench-report pipeline, run as a ctest entry:
+#
+#   cmake -DPERF_BIN=... -DOBSDIFF_BIN=... -DOUT_DIR=...
+#         -P bench_smoke.cmake
+#
+# Runs perf_microbench in smoke mode (UCX_BENCH_SMOKE=1 skips the
+# multi-second custom workloads; the benchmark filter trims the
+# google-benchmark suite to one fast case), writes
+# BENCH_perf_microbench.json into OUT_DIR via UCX_BENCH_DIR, and
+# then self-diffs the report with ucx_obsdiff --self-check — proving
+# the report is written where CI archives it, parses as valid JSON,
+# and diffs clean against itself.
+
+foreach(var PERF_BIN OBSDIFF_BIN OUT_DIR)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "bench_smoke.cmake needs -D${var}=...")
+    endif()
+endforeach()
+
+file(MAKE_DIRECTORY "${OUT_DIR}")
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env
+            UCX_BENCH_SMOKE=1
+            "UCX_BENCH_DIR=${OUT_DIR}"
+            UCX_THREADS=2
+            "${PERF_BIN}"
+            --benchmark_filter=BM_ParsePipeline
+            --benchmark_min_time=0.0001
+    RESULT_VARIABLE bench_rc)
+if(NOT bench_rc EQUAL 0)
+    message(FATAL_ERROR "perf_microbench exited with ${bench_rc}")
+endif()
+
+if(NOT EXISTS "${OUT_DIR}/BENCH_perf_microbench.json")
+    message(FATAL_ERROR
+            "perf_microbench did not write its report into "
+            "UCX_BENCH_DIR (${OUT_DIR})")
+endif()
+
+execute_process(
+    COMMAND "${OBSDIFF_BIN}" --self-check "${OUT_DIR}"
+    RESULT_VARIABLE diff_rc)
+if(NOT diff_rc EQUAL 0)
+    message(FATAL_ERROR "ucx_obsdiff --self-check exited with "
+                        "${diff_rc}")
+endif()

@@ -1,0 +1,585 @@
+/**
+ * @file
+ * ucx_obsdiff — regression diff over BENCH_<name>.json run reports.
+ *
+ * Usage:
+ *
+ *     ucx_obsdiff [options] BASE NEW
+ *     ucx_obsdiff [options] --self-check INPUT
+ *
+ * BASE and NEW are either two report files or two directories; a
+ * directory contributes every BENCH_*.json inside it, and reports
+ * are paired across the two sides by file name. --self-check diffs
+ * INPUT against itself — a pipeline smoke test that must exit 0.
+ *
+ * Deterministic metrics (counters, histogram counts, span call
+ * counts) are compared exactly by default; timing metrics (gauges,
+ * span total_ms, wall_ms) are thresholded so run-to-run noise does
+ * not trip the gate. Span times gate one-sided: only slowdowns
+ * count, and only past both a relative and an absolute floor.
+ *
+ * Options:
+ *
+ *     --json                JSON output (schema ucx.obsdiff.v1).
+ *     --self-check          Diff one input against itself.
+ *     --force               Diff despite schema or settings
+ *                           mismatches (otherwise exit 2 — an
+ *                           apples-to-oranges comparison is an
+ *                           input error, not a regression).
+ *     --counter-rel-tol X   Relative tolerance for counters,
+ *                           histogram counts, and span call counts
+ *                           (default 0 — exact).
+ *     --gauge-rel-tol X     Relative tolerance for gauges
+ *                           (default 0.5).
+ *     --gauge-abs-tol X     Absolute tolerance for gauges
+ *                           (default 1e-9).
+ *     --span-rel-tol X      One-sided relative slowdown tolerance
+ *                           for span/wall times (default 0.5).
+ *     --span-min-ms X       Absolute floor below which span/wall
+ *                           slowdowns never gate (default 5).
+ *
+ * Exit status: 0 when no comparison regressed, 1 when at least one
+ * did, 2 on usage or input errors (unreadable files, malformed
+ * JSON, schema or settings mismatch without --force).
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/export.hh"
+#include "util/error.hh"
+#include "util/json.hh"
+
+using namespace ucx;
+
+namespace
+{
+
+struct CliOptions
+{
+    std::vector<std::string> inputs;
+    bool json = false;
+    bool selfCheck = false;
+    bool force = false;
+    double counterRelTol = 0.0;
+    double gaugeRelTol = 0.5;
+    double gaugeAbsTol = 1e-9;
+    double spanRelTol = 0.5;
+    double spanMinMs = 5.0;
+};
+
+int
+usage(std::ostream &out, int code)
+{
+    out << "usage: ucx_obsdiff [--json] [--force]\n"
+           "                   [--counter-rel-tol X] "
+           "[--gauge-rel-tol X]\n"
+           "                   [--gauge-abs-tol X] "
+           "[--span-rel-tol X]\n"
+           "                   [--span-min-ms X] BASE NEW\n"
+           "       ucx_obsdiff [options] --self-check INPUT\n";
+    return code;
+}
+
+double
+parseDouble(const std::string &flag, const std::string &text)
+{
+    try {
+        size_t used = 0;
+        double v = std::stod(text, &used);
+        if (used != text.size() || !std::isfinite(v) || v < 0.0)
+            throw UcxError("");
+        return v;
+    } catch (...) {
+        throw UcxError(flag + " needs a non-negative number, got '" +
+                       text + "'");
+    }
+}
+
+CliOptions
+parseArgs(int argc, char **argv)
+{
+    CliOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&](const std::string &flag) {
+            if (i + 1 >= argc)
+                throw UcxError(flag + " needs an argument");
+            return std::string(argv[++i]);
+        };
+        if (arg == "--json")
+            opts.json = true;
+        else if (arg == "--self-check")
+            opts.selfCheck = true;
+        else if (arg == "--force")
+            opts.force = true;
+        else if (arg == "--counter-rel-tol")
+            opts.counterRelTol = parseDouble(arg, value(arg));
+        else if (arg == "--gauge-rel-tol")
+            opts.gaugeRelTol = parseDouble(arg, value(arg));
+        else if (arg == "--gauge-abs-tol")
+            opts.gaugeAbsTol = parseDouble(arg, value(arg));
+        else if (arg == "--span-rel-tol")
+            opts.spanRelTol = parseDouble(arg, value(arg));
+        else if (arg == "--span-min-ms")
+            opts.spanMinMs = parseDouble(arg, value(arg));
+        else if (arg == "--help" || arg == "-h")
+            throw UcxError("help");
+        else if (!arg.empty() && arg[0] == '-')
+            throw UcxError("unknown option '" + arg + "'");
+        else
+            opts.inputs.push_back(arg);
+    }
+    size_t want = opts.selfCheck ? 1 : 2;
+    if (opts.inputs.size() != want) {
+        throw UcxError(opts.selfCheck
+                           ? "--self-check takes exactly one input"
+                           : "expected BASE and NEW inputs");
+    }
+    return opts;
+}
+
+/** One comparison finding. */
+struct Finding
+{
+    bool regression = false; ///< Gating (true) vs informational.
+    std::string kind;        ///< counter|gauge|histogram|span|wall|report
+    std::string name;        ///< Metric name or span path.
+    std::string detail;      ///< Human-readable delta.
+    double base = 0.0;
+    double next = 0.0;
+};
+
+/** Diff result for one BASE/NEW report pair. */
+struct PairResult
+{
+    std::string label; ///< Report file name (or bench name).
+    std::vector<Finding> findings;
+
+    size_t
+    regressions() const
+    {
+        size_t n = 0;
+        for (const Finding &f : findings)
+            n += f.regression ? 1 : 0;
+        return n;
+    }
+};
+
+std::string
+fmtValue(double v)
+{
+    std::ostringstream out;
+    out << v;
+    return out.str();
+}
+
+void
+addFinding(PairResult &pair, bool regression, std::string kind,
+           std::string name, double base, double next,
+           std::string note = "")
+{
+    Finding f;
+    f.regression = regression;
+    f.kind = std::move(kind);
+    f.name = std::move(name);
+    f.base = base;
+    f.next = next;
+    f.detail = fmtValue(base) + " -> " + fmtValue(next);
+    if (!note.empty())
+        f.detail += " (" + note + ")";
+    pair.findings.push_back(std::move(f));
+}
+
+json::Value
+loadReport(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw UcxError("cannot read '" + path + "'");
+    std::ostringstream text;
+    text << in.rdbuf();
+    try {
+        return json::Value::parse(text.str());
+    } catch (const UcxError &e) {
+        throw UcxError(path + ": " + e.what());
+    }
+}
+
+/**
+ * Guard against apples-to-oranges diffs: both reports must carry a
+ * known schema and identical settings (thread count, cache state).
+ * Returns findings describing the mismatches; with --force they
+ * demote to informational notes instead of input errors.
+ */
+std::vector<std::string>
+compatibilityErrors(const json::Value &base, const json::Value &next)
+{
+    std::vector<std::string> errors;
+    auto schemaOf = [](const json::Value &v) {
+        const json::Value *s = v.find("schema");
+        return s && s->isString() ? s->asString() : std::string();
+    };
+    std::string bs = schemaOf(base);
+    std::string ns = schemaOf(next);
+    for (const std::string &s : {bs, ns}) {
+        if (s != "ucx.bench.v1" && s != "ucx.bench.v2")
+            errors.push_back("unknown report schema '" + s + "'");
+    }
+    if (bs != ns)
+        errors.push_back("schema mismatch: base '" + bs +
+                         "' vs new '" + ns + "'");
+    const json::Value *bset = base.find("settings");
+    const json::Value *nset = next.find("settings");
+    if ((bset != nullptr) != (nset != nullptr)) {
+        errors.push_back("one report has no settings block");
+    } else if (bset && nset && bset->isObject() && nset->isObject()) {
+        for (const auto &[key, bval] : bset->members()) {
+            const json::Value *nval = nset->find(key);
+            std::string bv = bval.isString() ? bval.asString() : "";
+            std::string nv = nval && nval->isString()
+                                 ? nval->asString()
+                                 : "";
+            if (bv != nv)
+                errors.push_back("settings." + key + " mismatch: '" +
+                                 bv + "' vs '" + nv + "'");
+        }
+    }
+    return errors;
+}
+
+/** Exact-by-default comparison for deterministic integer metrics. */
+void
+diffExactMap(PairResult &pair, const CliOptions &opts,
+             const std::string &kind, const json::Value *base,
+             const json::Value *next,
+             const std::string &member = "")
+{
+    auto numberOf = [&](const json::Value &v) {
+        if (member.empty())
+            return v.asNumber();
+        return v.at(member).asNumber();
+    };
+    if (base && base->isObject()) {
+        for (const auto &[name, bval] : base->members()) {
+            const json::Value *nval =
+                next && next->isObject() ? next->find(name) : nullptr;
+            double b = numberOf(bval);
+            if (!nval) {
+                addFinding(pair, true, kind, name, b, 0.0,
+                           "missing in new report");
+                continue;
+            }
+            double n = numberOf(*nval);
+            double tol = opts.counterRelTol * std::fabs(b);
+            if (std::fabs(n - b) > tol)
+                addFinding(pair, true, kind, name, b, n);
+        }
+    }
+    if (next && next->isObject()) {
+        for (const auto &[name, nval] : next->members()) {
+            if (!base || !base->isObject() || !base->find(name))
+                addFinding(pair, false, kind, name, 0.0,
+                           numberOf(nval), "new metric");
+        }
+    }
+}
+
+/** Thresholded two-sided comparison for noisy numeric gauges. */
+void
+diffGauges(PairResult &pair, const CliOptions &opts,
+           const json::Value *base, const json::Value *next)
+{
+    if (base && base->isObject()) {
+        for (const auto &[name, bval] : base->members()) {
+            const json::Value *nval =
+                next && next->isObject() ? next->find(name) : nullptr;
+            if (!bval.isNumber())
+                continue; // null = non-finite sample; skip
+            double b = bval.asNumber();
+            if (!nval) {
+                addFinding(pair, true, "gauge", name, b, 0.0,
+                           "missing in new report");
+                continue;
+            }
+            if (!nval->isNumber())
+                continue;
+            double n = nval->asNumber();
+            double tol = std::max(opts.gaugeAbsTol,
+                                  opts.gaugeRelTol * std::fabs(b));
+            if (std::fabs(n - b) > tol)
+                addFinding(pair, true, "gauge", name, b, n);
+        }
+    }
+    if (next && next->isObject()) {
+        for (const auto &[name, nval] : next->members()) {
+            if (!base || !base->isObject() || !base->find(name))
+                addFinding(pair, false, "gauge", name, 0.0,
+                           nval.isNumber() ? nval.asNumber() : 0.0,
+                           "new metric");
+        }
+    }
+}
+
+/** One-sided slowdown gate for span/wall times. */
+bool
+timeRegressed(const CliOptions &opts, double base_ms, double new_ms)
+{
+    return new_ms - base_ms > opts.spanMinMs &&
+           new_ms > base_ms * (1.0 + opts.spanRelTol);
+}
+
+void
+diffSpanTree(PairResult &pair, const CliOptions &opts,
+             const std::string &path, const json::Value &base,
+             const json::Value &next)
+{
+    const std::string label = path.empty() ? "(root)" : path;
+    double bcalls = base.at("calls").asNumber();
+    double ncalls = next.at("calls").asNumber();
+    double tol = opts.counterRelTol * std::fabs(bcalls);
+    if (std::fabs(ncalls - bcalls) > tol) {
+        addFinding(pair, true, "span", label, bcalls, ncalls,
+                   "call count");
+    }
+    double bms = base.at("total_ms").asNumber();
+    double nms = next.at("total_ms").asNumber();
+    if (timeRegressed(opts, bms, nms))
+        addFinding(pair, true, "span", label, bms, nms, "total_ms");
+
+    auto childByName = [](const json::Value &node,
+                          const std::string &name)
+        -> const json::Value * {
+        for (const json::Value &child : node.at("children").items())
+            if (child.at("name").asString() == name)
+                return &child;
+        return nullptr;
+    };
+    for (const json::Value &bchild : base.at("children").items()) {
+        const std::string &name = bchild.at("name").asString();
+        std::string child_path =
+            path.empty() ? name : path + "/" + name;
+        if (const json::Value *nchild = childByName(next, name)) {
+            diffSpanTree(pair, opts, child_path, bchild, *nchild);
+        } else {
+            addFinding(pair, true, "span", child_path,
+                       bchild.at("calls").asNumber(), 0.0,
+                       "missing in new report");
+        }
+    }
+    for (const json::Value &nchild : next.at("children").items()) {
+        const std::string &name = nchild.at("name").asString();
+        if (!childByName(base, name)) {
+            addFinding(pair, false, "span",
+                       path.empty() ? name : path + "/" + name, 0.0,
+                       nchild.at("calls").asNumber(), "new span");
+        }
+    }
+}
+
+PairResult
+diffReports(const CliOptions &opts, const std::string &label,
+            const json::Value &base, const json::Value &next)
+{
+    PairResult pair;
+    pair.label = label;
+
+    std::vector<std::string> errors =
+        compatibilityErrors(base, next);
+    if (!errors.empty() && !opts.force) {
+        std::string all;
+        for (const std::string &e : errors)
+            all += (all.empty() ? "" : "; ") + e;
+        throw UcxError(label + ": " + all + " (--force to compare "
+                       "anyway)");
+    }
+    for (const std::string &e : errors)
+        addFinding(pair, false, "report", label, 0.0, 0.0, e);
+
+    double bwall = base.at("wall_ms").asNumber();
+    double nwall = next.at("wall_ms").asNumber();
+    if (timeRegressed(opts, bwall, nwall))
+        addFinding(pair, true, "wall", "wall_ms", bwall, nwall);
+
+    const json::Value &bobs = base.at("obs");
+    const json::Value &nobs = next.at("obs");
+    diffExactMap(pair, opts, "counter", bobs.find("counters"),
+                 nobs.find("counters"));
+    diffGauges(pair, opts, bobs.find("gauges"), nobs.find("gauges"));
+    diffExactMap(pair, opts, "histogram", bobs.find("histograms"),
+                 nobs.find("histograms"), "count");
+    diffSpanTree(pair, opts, "", bobs.at("spans"), nobs.at("spans"));
+    return pair;
+}
+
+/** A report file, or every BENCH_*.json in a directory. */
+std::vector<std::string>
+expandInput(const std::string &input)
+{
+    namespace fs = std::filesystem;
+    if (!fs::exists(input))
+        throw UcxError("no such file or directory: '" + input + "'");
+    if (!fs::is_directory(input))
+        return {input};
+    std::vector<std::string> out;
+    for (const auto &entry : fs::directory_iterator(input)) {
+        std::string name = entry.path().filename().string();
+        if (entry.is_regular_file() &&
+            name.rfind("BENCH_", 0) == 0 &&
+            name.size() > 5 + 5 &&
+            name.compare(name.size() - 5, 5, ".json") == 0)
+            out.push_back(entry.path().string());
+    }
+    std::sort(out.begin(), out.end());
+    if (out.empty())
+        throw UcxError("no BENCH_*.json reports in '" + input + "'");
+    return out;
+}
+
+std::string
+fileName(const std::string &path)
+{
+    return std::filesystem::path(path).filename().string();
+}
+
+std::string
+resultsJson(const std::vector<PairResult> &pairs)
+{
+    std::ostringstream out;
+    size_t regressions = 0;
+    out << "{\"schema\":\"ucx.obsdiff.v1\",\"reports\":[";
+    for (size_t i = 0; i < pairs.size(); ++i) {
+        const PairResult &pair = pairs[i];
+        regressions += pair.regressions();
+        if (i > 0)
+            out << ",";
+        out << "{\"report\":\"" << obs::jsonEscape(pair.label)
+            << "\",\"regressions\":" << pair.regressions()
+            << ",\"findings\":[";
+        for (size_t j = 0; j < pair.findings.size(); ++j) {
+            const Finding &f = pair.findings[j];
+            if (j > 0)
+                out << ",";
+            out << "{\"kind\":\"" << obs::jsonEscape(f.kind)
+                << "\",\"name\":\"" << obs::jsonEscape(f.name)
+                << "\",\"regression\":"
+                << (f.regression ? "true" : "false")
+                << ",\"base\":" << obs::jsonNumber(f.base)
+                << ",\"new\":" << obs::jsonNumber(f.next)
+                << ",\"detail\":\"" << obs::jsonEscape(f.detail)
+                << "\"}";
+        }
+        out << "]}";
+    }
+    out << "],\"regressions\":" << regressions << "}\n";
+    return out.str();
+}
+
+std::string
+resultsText(const std::vector<PairResult> &pairs)
+{
+    std::ostringstream out;
+    size_t regressions = 0;
+    for (const PairResult &pair : pairs) {
+        regressions += pair.regressions();
+        out << pair.label << ": " << pair.regressions()
+            << " regression(s), " << pair.findings.size()
+            << " finding(s)\n";
+        for (const Finding &f : pair.findings) {
+            out << "  " << (f.regression ? "[REGRESSION] " : "[info] ")
+                << f.kind << " " << f.name << ": " << f.detail
+                << "\n";
+        }
+    }
+    out << (regressions == 0 ? "OK: no regressions\n"
+                             : "FAIL: " +
+                                   std::to_string(regressions) +
+                                   " regression(s)\n");
+    return out.str();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        CliOptions opts;
+        try {
+            opts = parseArgs(argc, argv);
+        } catch (const UcxError &e) {
+            if (std::string(e.what()) == "help")
+                return usage(std::cout, 0);
+            std::cerr << "ucx_obsdiff: " << e.what() << "\n";
+            return usage(std::cerr, 2);
+        }
+
+        std::vector<std::string> baseFiles =
+            expandInput(opts.inputs[0]);
+        std::vector<std::string> nextFiles =
+            opts.selfCheck ? baseFiles
+                           : expandInput(opts.inputs[1]);
+
+        // Pair reports across the two sides by file name; a file
+        // mode input is a single pair regardless of names.
+        std::vector<PairResult> pairs;
+        if (baseFiles.size() == 1 && nextFiles.size() == 1) {
+            pairs.push_back(diffReports(
+                opts, fileName(baseFiles[0]),
+                loadReport(baseFiles[0]), loadReport(nextFiles[0])));
+        } else {
+            auto findByName =
+                [](const std::vector<std::string> &files,
+                   const std::string &name) -> const std::string * {
+                for (const std::string &f : files)
+                    if (fileName(f) == name)
+                        return &f;
+                return nullptr;
+            };
+            for (const std::string &bfile : baseFiles) {
+                std::string name = fileName(bfile);
+                if (const std::string *nfile =
+                        findByName(nextFiles, name)) {
+                    pairs.push_back(
+                        diffReports(opts, name, loadReport(bfile),
+                                    loadReport(*nfile)));
+                } else {
+                    PairResult pair;
+                    pair.label = name;
+                    addFinding(pair, true, "report", name, 0.0, 0.0,
+                               "missing in new directory");
+                    pairs.push_back(std::move(pair));
+                }
+            }
+            for (const std::string &nfile : nextFiles) {
+                std::string name = fileName(nfile);
+                if (!findByName(baseFiles, name)) {
+                    PairResult pair;
+                    pair.label = name;
+                    addFinding(pair, false, "report", name, 0.0, 0.0,
+                               "only in new directory");
+                    pairs.push_back(std::move(pair));
+                }
+            }
+        }
+
+        if (opts.json)
+            std::cout << resultsJson(pairs);
+        else
+            std::cout << resultsText(pairs);
+
+        for (const PairResult &pair : pairs)
+            if (pair.regressions() > 0)
+                return 1;
+        return 0;
+    } catch (const UcxError &e) {
+        std::cerr << "ucx_obsdiff: " << e.what() << "\n";
+        return 2;
+    }
+}
