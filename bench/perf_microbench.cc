@@ -25,6 +25,7 @@
 #include "nlme/pooled.hh"
 #include "synth/elaborate.hh"
 #include "synth/metrics.hh"
+#include "synth/pass.hh"
 
 namespace
 {
@@ -260,6 +261,62 @@ cacheSpeedup()
               << ")\n";
 }
 
+/**
+ * Scheduler shape comparison: build several shipped designs cold
+ * (uncached) through the old flat fork-join shape — one task per
+ * design, each running its whole elaborate-then-pass pipeline
+ * sequentially — and through the per-pass dependency graph
+ * (buildDesigns), where independent passes of different designs
+ * interleave across the pool. Both run on the same >= 4-thread
+ * pool; the wall times and speedup land in
+ * BENCH_perf_microbench.json as bench.graph.* gauges. Runs even
+ * under UCX_BENCH_SMOKE (on a design subset) so bench-smoke can
+ * gate on the gauges' presence.
+ */
+void
+graphSpeedup(bool smoke)
+{
+    std::vector<std::string> names;
+    for (const ShippedDesign &sd : shippedDesigns())
+        names.push_back(sd.name);
+    if (smoke && names.size() > 4)
+        names.resize(4);
+
+    size_t threads = std::max<size_t>(
+        4, std::thread::hardware_concurrency());
+    ExecContext ctx = ExecContext::withThreads(threads);
+
+    auto t0 = std::chrono::steady_clock::now();
+    std::vector<SynthMetrics> flat =
+        ctx.parallelMap(names.size(), [&](size_t i) {
+            const ShippedDesign &sd = shippedDesign(names[i]);
+            Design design = sd.load();
+            ElabResult r = elaborate(design, sd.top);
+            return synthesizeWithPasses(r.rtl);
+        });
+    benchmark::DoNotOptimize(flat);
+    double flat_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+
+    t0 = std::chrono::steady_clock::now();
+    std::vector<BuiltDesign> built = buildDesigns(names, ctx);
+    benchmark::DoNotOptimize(built);
+    double graph_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+
+    double speedup = graph_ms > 0.0 ? flat_ms / graph_ms : 0.0;
+    obs::gauge("bench.graph.flat_ms").set(flat_ms);
+    obs::gauge("bench.graph.graph_ms").set(graph_ms);
+    obs::gauge("bench.graph.speedup").set(speedup);
+
+    std::cout << "cold build (" << names.size() << " designs, "
+              << threads << " threads): flat " << flat_ms
+              << " ms, graph " << graph_ms << " ms, speedup "
+              << speedup << "x\n";
+}
+
 } // namespace
 
 // Expanded BENCHMARK_MAIN() so the whole run sits inside a
@@ -278,8 +335,13 @@ main(int argc, char **argv)
     // can exercise the report/diff machinery in seconds; the
     // google-benchmark suite above still runs (use
     // --benchmark_filter to trim it too).
-    const char *smoke = std::getenv("UCX_BENCH_SMOKE");
-    if (smoke && *smoke != '\0' && std::string(smoke) != "0")
+    const char *smoke_env = std::getenv("UCX_BENCH_SMOKE");
+    bool smoke = smoke_env && *smoke_env != '\0' &&
+                 std::string(smoke_env) != "0";
+    // graphSpeedup runs either way (on a subset in smoke mode) so
+    // the smoke gate can assert the bench.graph.* gauges exist.
+    graphSpeedup(smoke);
+    if (smoke)
         return 0;
     bootstrapSpeedup();
     cacheSpeedup();

@@ -1,5 +1,6 @@
 #include "cache/artifact_cache.hh"
 
+#include <condition_variable>
 #include <cstdlib>
 
 #include "obs/metrics.hh"
@@ -44,7 +45,30 @@ evictionCounter()
     return c;
 }
 
+obs::Counter &
+dedupWaitCounter()
+{
+    static obs::Counter &c =
+        obs::counter("cache.artifact.dedup_wait");
+    return c;
+}
+
 } // namespace
+
+/**
+ * One in-flight computation. The owner publishes value-or-error
+ * under `mutex` and notifies; waiters block on `cv` until
+ * `finished`. Lives behind a shared_ptr so waiters stay safe after
+ * the cache erases the inflight_ entry.
+ */
+struct ArtifactCache::Flight
+{
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool finished = false;
+    std::shared_ptr<const void> value;
+    std::exception_ptr error;
+};
 
 ArtifactCache::ArtifactCache(size_t capacity, bool enabled)
     : capacity_(capacity), enabled_(enabled)
@@ -124,6 +148,14 @@ ArtifactCache::putRaw(const CacheKey &key,
     std::lock_guard<std::mutex> lock(mutex_);
     if (!enabled_)
         return;
+    insertLocked(key, std::move(value), type, bytes);
+}
+
+void
+ArtifactCache::insertLocked(const CacheKey &key,
+                            std::shared_ptr<const void> value,
+                            const std::type_info &type, size_t bytes)
+{
     auto it = entries_.find(key.str());
     if (it != entries_.end()) {
         // First insert wins: concurrent misses computed identical
@@ -156,6 +188,103 @@ ArtifactCache::putRaw(const CacheKey &key,
     }
 }
 
+std::shared_ptr<const void>
+ArtifactCache::getOrComputeRaw(
+    const CacheKey &key, const std::type_info &type,
+    const std::function<std::shared_ptr<const void>()> &produce,
+    size_t bytes)
+{
+    require(!key.empty(), "cache lookup with an empty key");
+
+    std::shared_ptr<Flight> flight;
+    bool owner = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!enabled_) {
+            // Fall through to an uncounted, unstored computation.
+        } else {
+            auto it = entries_.find(key.str());
+            if (it != entries_.end()) {
+                ensure(*it->second.type == type,
+                       "cache key '" + key.str() +
+                           "' holds an artifact of another type");
+                lru_.splice(lru_.begin(), lru_, it->second.lruPos);
+                ++hits_;
+                hitCounter().add(1);
+                if (obs::traceEnabled()) {
+                    obs::traceInstant("cache.hit",
+                                      {{"key", traceKey(key)}});
+                }
+                return it->second.value;
+            }
+            auto inserted = inflight_.try_emplace(key.str());
+            if (inserted.second) {
+                // We own the computation: this is the one miss the
+                // key will ever cost, at any thread count.
+                inserted.first->second = std::make_shared<Flight>();
+                owner = true;
+                ++misses_;
+                missCounter().add(1);
+                if (obs::traceEnabled()) {
+                    obs::traceInstant("cache.miss",
+                                      {{"key", traceKey(key)}});
+                }
+            } else {
+                ++dedupWaits_;
+                dedupWaitCounter().add(1);
+                if (obs::traceEnabled()) {
+                    obs::traceInstant("cache.dedup_wait",
+                                      {{"key", traceKey(key)}});
+                }
+            }
+            flight = inserted.first->second;
+        }
+    }
+
+    if (flight && !owner) {
+        std::unique_lock<std::mutex> lock(flight->mutex);
+        flight->cv.wait(lock, [&flight] { return flight->finished; });
+        if (flight->error)
+            std::rethrow_exception(flight->error);
+        return flight->value;
+    }
+
+    // Owner (or disabled cache): compute outside every lock, so
+    // other keys stay fully concurrent and the producer is free to
+    // use the cache itself.
+    std::shared_ptr<const void> value;
+    std::exception_ptr error;
+    try {
+        value = produce();
+        ensure(value != nullptr,
+               "cache producer returned a null artifact");
+    } catch (...) {
+        error = std::current_exception();
+    }
+
+    if (flight) {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            inflight_.erase(key.str());
+            // A failed key is released (not cached), so a later
+            // call retries the computation.
+            if (!error && enabled_)
+                insertLocked(key, value, type, bytes);
+        }
+        {
+            std::lock_guard<std::mutex> lock(flight->mutex);
+            flight->value = value;
+            flight->error = error;
+            flight->finished = true;
+        }
+        flight->cv.notify_all();
+    }
+
+    if (error)
+        std::rethrow_exception(error);
+    return value;
+}
+
 double
 ArtifactCache::Stats::hitRate() const
 {
@@ -173,6 +302,7 @@ ArtifactCache::stats() const
     s.hits = hits_;
     s.misses = misses_;
     s.evictions = evictions_;
+    s.dedupWaits = dedupWaits_;
     s.entries = entries_.size();
     s.capacity = capacity_;
     s.approxBytes = approxBytes_;

@@ -9,13 +9,21 @@
  * capacity. Because every producer in this library is deterministic
  * (seed-stable, thread-count-independent by the exec-layer
  * contract), a hit is byte-identical to a recompute — the cache can
- * never change results, only skip work. Concurrent misses on the
- * same key may compute twice; the first insert wins and both callers
- * observe the same stored value.
+ * never change results, only skip work.
+ *
+ * getOrCompute is *single-flight*: the first caller to miss a key
+ * becomes the owner of its computation, concurrent callers of the
+ * same key block on the owner's in-flight entry and share its
+ * result instead of duplicating the work. One cold computation per
+ * key, at any thread count — which also makes the miss counter
+ * thread-count-invariant. (Raw get/put callers can still race; the
+ * first insert wins and both observe the same stored value.)
  *
  * Hit/miss/eviction counts are exported through ucx::obs
- * ("cache.artifact.{hits,misses,evictions}") and tracked locally for
- * per-session stats (obs collection may be disabled).
+ * ("cache.artifact.{hits,misses,evictions}"), plus
+ * "cache.artifact.dedup_wait" for callers that waited on an
+ * in-flight computation; all are tracked locally for per-session
+ * stats (obs collection may be disabled).
  *
  * The UCX_CACHE environment variable gates caching in benches and
  * examples: "0" disables it (every lookup misses, nothing is
@@ -27,6 +35,7 @@
 #define UCX_CACHE_ARTIFACT_CACHE_HH
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -99,12 +108,17 @@ class ArtifactCache
     }
 
     /**
-     * Memoize: return the cached artifact or compute, store, and
-     * return it.
+     * Memoize, single-flight: return the cached artifact, or
+     * compute, store, and return it — with concurrent callers of
+     * the same key waiting on the one in-flight computation rather
+     * than duplicating it.
      *
-     * The computation runs outside the cache lock, so concurrent
-     * misses on one key may both compute; determinism makes the
-     * results identical and the first insert wins.
+     * The computation runs outside the cache lock (other keys stay
+     * fully concurrent). If the producer throws, the error
+     * propagates to the owner and every waiter, and the key is
+     * released so a later call retries. With the cache disabled the
+     * producer runs unconditionally and nothing is counted or
+     * stored.
      *
      * @param key Artifact key.
      * @param fn  Producer returning a T by value.
@@ -114,13 +128,14 @@ class ArtifactCache
     std::shared_ptr<const T>
     getOrCompute(const CacheKey &key, Fn &&fn)
     {
-        if (auto hit = get<T>(key))
-            return hit;
-        auto value = std::make_shared<const T>(fn());
-        put<T>(key, value);
-        if (auto stored = get<T>(key))
-            return stored; // share the winning insert
-        return value;      // cache disabled or already evicted
+        auto raw = getOrComputeRaw(
+            key, typeid(T),
+            [&fn]() -> std::shared_ptr<const void> {
+                return std::static_pointer_cast<const void>(
+                    std::make_shared<const T>(fn()));
+            },
+            sizeof(T));
+        return std::static_pointer_cast<const T>(raw);
     }
 
     /** Point-in-time cache statistics. */
@@ -129,6 +144,9 @@ class ArtifactCache
         uint64_t hits = 0;
         uint64_t misses = 0;
         uint64_t evictions = 0;
+        /** getOrCompute callers that waited on an in-flight
+         *  computation of their key instead of duplicating it. */
+        uint64_t dedupWaits = 0;
         size_t entries = 0;
         size_t capacity = 0;
 
@@ -175,7 +193,35 @@ class ArtifactCache
                 std::shared_ptr<const void> value,
                 const std::type_info &type, size_t bytes = 0);
 
+    /**
+     * Type-erased single-flight memoization — the layer under
+     * getOrCompute<T>(), used directly by the pass manager, which
+     * carries artifact types at runtime.
+     *
+     * Exactly one concurrent caller per key runs @p produce;
+     * the others wait and share the result (and count one
+     * "cache.artifact.dedup_wait" each). A throwing producer fails
+     * owner and waiters alike and releases the key for retry.
+     *
+     * @param key     Artifact key (non-empty).
+     * @param type    Dynamic type of the artifact.
+     * @param produce Producer returning the artifact (non-null).
+     * @param bytes   Shallow artifact size for footprint stats.
+     * @return The (now cached) artifact, never null.
+     */
+    std::shared_ptr<const void> getOrComputeRaw(
+        const CacheKey &key, const std::type_info &type,
+        const std::function<std::shared_ptr<const void>()> &produce,
+        size_t bytes = 0);
+
   private:
+    struct Flight;
+
+    /** putRaw minus locking/gating: insert assuming mutex_ held. */
+    void insertLocked(const CacheKey &key,
+                      std::shared_ptr<const void> value,
+                      const std::type_info &type, size_t bytes);
+
     struct Entry
     {
         std::shared_ptr<const void> value;
@@ -186,12 +232,17 @@ class ArtifactCache
 
     mutable std::mutex mutex_;
     std::unordered_map<std::string, Entry> entries_;
+    /** Keys whose computation is running right now; concurrent
+     *  getOrCompute callers of such a key wait on the Flight. */
+    std::unordered_map<std::string, std::shared_ptr<Flight>>
+        inflight_;
     std::list<std::string> lru_; ///< Front = most recently used.
     size_t capacity_;
     bool enabled_;
     uint64_t hits_ = 0;
     uint64_t misses_ = 0;
     uint64_t evictions_ = 0;
+    uint64_t dedupWaits_ = 0;
     size_t approxBytes_ = 0;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "exec/task_graph.hh"
 #include "hdl/const_eval.hh"
 #include "hdl/source_metrics.hh"
 #include "synth/metrics.hh"
@@ -63,25 +64,48 @@ accumulate(MetricValues &into, const SynthMetrics &m, bool first)
         freq = m.freqMHz;
 }
 
+/** One module type's standalone measurement (WithProcedure). */
+struct ModuleMeasure
+{
+    std::map<std::string, int64_t> params;
+    SynthMetrics metrics;
+};
+
 ComponentMeasurement
 measureComponentUncontexted(const Design &design,
                             const std::string &top,
                             const MeasureOptions &opts)
 {
+    const ExecContext &ctx =
+        opts.exec ? *opts.exec : ExecContext::serial();
     ComponentMeasurement result;
+
+    // The measurement is one request-scoped DAG: source metrics are
+    // independent of elaboration, and — once the instance census is
+    // known — each module type's standalone measurement is
+    // independent of the others. Results are assembled in fixed
+    // (module-map) order, so the numbers never depend on
+    // scheduling.
+    TaskGraph graph(ctx);
 
     // Source metrics are accounting-independent (paper Section 5.3:
     // "the absence of the accounting procedure does not affect
     // them").
-    SourceMetrics src = measureSource(design.sourceText(), top);
-    result.metrics[static_cast<size_t>(Metric::LoC)] =
-        static_cast<double>(src.loc);
-    result.metrics[static_cast<size_t>(Metric::Stmts)] =
-        static_cast<double>(src.stmts);
+    Future<SourceMetrics> src = graph.submit(
+        [&design, &top] {
+            return measureSource(design.sourceText(), top);
+        },
+        "measure.source");
 
     // As-written elaboration gives the instance census either way.
-    std::shared_ptr<const ElabResult> whole =
-        elaborateShared(design, top, {}, opts.cache);
+    // The join steals ready work (the source node, other requests'
+    // nodes) while waiting.
+    Future<std::shared_ptr<const ElabResult>> whole_f = graph.submit(
+        [&design, &top, &opts] {
+            return elaborateShared(design, top, {}, opts.cache);
+        },
+        "measure.elab");
+    std::shared_ptr<const ElabResult> whole = whole_f.take();
     whole->top.countModules(result.moduleCounts);
 
     if (opts.mode == AccountingMode::WithoutProcedure) {
@@ -94,29 +118,51 @@ measureComponentUncontexted(const Design &design,
         for (const auto &[name, value] : whole->top.params)
             top_params[name] = value;
         result.measuredParams[top] = top_params;
-        return result;
+    } else {
+        // With the accounting procedure: each reachable module type
+        // is measured once, standalone, at its minimal
+        // non-degenerate parameterization — one graph node per
+        // type, joined in module-map order (Freq is a minimum, the
+        // rest are sums, and the "first" flag follows that fixed
+        // order).
+        std::vector<std::string> modules;
+        modules.reserve(result.moduleCounts.size());
+        for (const auto &[module_name, count] : result.moduleCounts) {
+            (void)count;
+            modules.push_back(module_name);
+        }
+        std::vector<ModuleMeasure> measured =
+            graph.map(modules.size(), [&](size_t i) {
+                const std::string &module_name = modules[i];
+                ModuleMeasure mm;
+                mm.params = minimizeParameters(design, module_name,
+                                               opts.cache);
+                std::shared_ptr<const ElabResult> one =
+                    elabModuleAsTop(design, module_name, mm.params,
+                                    opts.cache);
+                ElabOptions one_opts;
+                one_opts.topParams = mm.params;
+                one_opts.blackBoxChildren = true;
+                mm.metrics = synthMetrics(
+                    one->rtl,
+                    elabCacheKey(design, module_name, one_opts),
+                    opts);
+                return mm;
+            });
+        bool first = true;
+        for (size_t i = 0; i < modules.size(); ++i) {
+            result.measuredParams[modules[i]] =
+                std::move(measured[i].params);
+            accumulate(result.metrics, measured[i].metrics, first);
+            first = false;
+        }
     }
 
-    // With the accounting procedure: each reachable module type is
-    // measured once, standalone, at its minimal non-degenerate
-    // parameterization.
-    bool first = true;
-    for (const auto &[module_name, count] : result.moduleCounts) {
-        (void)count;
-        std::map<std::string, int64_t> params =
-            minimizeParameters(design, module_name, opts.cache);
-        result.measuredParams[module_name] = params;
-        std::shared_ptr<const ElabResult> one =
-            elabModuleAsTop(design, module_name, params, opts.cache);
-        ElabOptions one_opts;
-        one_opts.topParams = params;
-        one_opts.blackBoxChildren = true;
-        SynthMetrics m = synthMetrics(
-            one->rtl, elabCacheKey(design, module_name, one_opts),
-            opts);
-        accumulate(result.metrics, m, first);
-        first = false;
-    }
+    SourceMetrics s = src.take();
+    result.metrics[static_cast<size_t>(Metric::LoC)] =
+        static_cast<double>(s.loc);
+    result.metrics[static_cast<size_t>(Metric::Stmts)] =
+        static_cast<double>(s.stmts);
     return result;
 }
 

@@ -29,6 +29,7 @@
 
 #include "cache/artifact_cache.hh"
 #include "core/metric.hh"
+#include "exec/context.hh"
 #include "hdl/design.hh"
 #include "synth/elaborate.hh"
 #include "synth/pass.hh"
@@ -74,6 +75,14 @@ struct MeasureOptions
 
     /** Synthesis pipeline configuration. */
     PassConfig passes;
+
+    /**
+     * Execution context for the per-measurement task graph (source
+     * metrics in parallel with elaboration, then one node per
+     * module type under WithProcedure). Null measures serially;
+     * results are byte-identical either way.
+     */
+    const ExecContext *exec = nullptr;
 };
 
 /**

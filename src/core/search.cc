@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "exec/task_graph.hh"
+
 namespace ucx
 {
 
@@ -34,8 +36,9 @@ rankCandidates(const Dataset &dataset,
                const std::vector<std::vector<Metric>> &candidates,
                FitMode mode, const ExecContext &ctx)
 {
+    TaskGraph graph(ctx);
     std::vector<RankedEstimator> ranked =
-        ctx.parallelMap(candidates.size(), [&](size_t i) {
+        graph.map(candidates.size(), [&](size_t i) {
             RankedEstimator entry;
             entry.metrics = candidates[i];
             entry.fit = fitEstimator(dataset, entry.metrics, mode,

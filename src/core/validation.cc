@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "exec/task_graph.hh"
 #include "util/error.hh"
 
 namespace ucx
@@ -85,8 +86,12 @@ leaveOneComponentOut(const Dataset &dataset,
     }
     require(!folds.empty(), "no usable folds");
 
+    // One graph node per fold: the nested estimator fits (which
+    // parallelize internally) share the pool with the other folds
+    // instead of serializing, and the join is index-ordered.
     CrossValidationResult result;
-    result.records = ctx.parallelMap(folds.size(), [&](size_t f) {
+    TaskGraph graph(ctx);
+    result.records = graph.map(folds.size(), [&](size_t f) {
         size_t hold = folds[f];
         Dataset train;
         for (size_t i = 0; i < components.size(); ++i)
@@ -122,7 +127,8 @@ leaveOneProjectOut(const Dataset &dataset,
 
     // One fold per held-out project; each fold produces the records
     // of that project's components, flattened in project order.
-    auto per_fold = ctx.parallelMap(projects.size(), [&](size_t p) {
+    TaskGraph graph(ctx);
+    auto per_fold = graph.map(projects.size(), [&](size_t p) {
         const std::string &held = projects[p];
         Dataset train;
         for (const auto &c : dataset.components())

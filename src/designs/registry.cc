@@ -92,33 +92,117 @@ shippedDesign(const std::string &name)
     fatal("unknown shipped design '" + name + "'");
 }
 
+namespace
+{
+
+/** State one design's graph nodes hand to each other. */
+struct DesignState
+{
+    Design design;
+    std::shared_ptr<const ElabResult> elab;
+    std::shared_ptr<PipelineContext> pctx;
+};
+
+} // namespace
+
+std::vector<BuiltDesign>
+buildDesigns(const std::vector<std::string> &names,
+             const ExecContext &ctx, ArtifactCache *cache,
+             const PassConfig &config)
+{
+    // Sources are parsed eagerly: the synthesis cache keys hash the
+    // parsed source text, and the whole per-design pipeline (keys
+    // included) must exist before its nodes can be submitted.
+    // Parsing is a sliver of the per-design cost; everything
+    // downstream of it runs as graph nodes.
+    std::vector<const ShippedDesign *> picked;
+    picked.reserve(names.size());
+    for (const std::string &name : names)
+        picked.push_back(&shippedDesign(name));
+
+    TaskGraph graph(ctx);
+    std::vector<Future<BuiltDesign>> futures;
+    futures.reserve(picked.size());
+    for (const ShippedDesign *sd : picked) {
+        auto st = std::make_shared<DesignState>();
+        try {
+            st->design = sd->load();
+        } catch (const UcxError &e) {
+            throw UcxError("design '" + sd->name + "' (top '" +
+                           sd->top + "'): " + e.what());
+        }
+        st->pctx = std::make_shared<PipelineContext>();
+        st->pctx->config = config;
+        PipelineRun run;
+        if (cache) {
+            run.cache = cache;
+            run.base = synthCacheKey(
+                elabCacheKey(st->design, sd->top, {}), config);
+        }
+
+        // Node 1: elaborate (memoized, single-flight) and point the
+        // pipeline context at the shared RTL, which `st` keeps
+        // alive for the downstream pass nodes.
+        Future<void> elab = graph.submit(
+            [st, sd, cache] {
+                st->elab =
+                    elaborateShared(st->design, sd->top, {}, cache);
+                st->pctx->rtl = &st->elab->rtl;
+            },
+            "design." + sd->name + ".elab");
+
+        // Nodes 2..n: one node per pass, wired by declared deps, so
+        // passes of *different* designs interleave across cores.
+        std::vector<TaskHandle> passes = submitPasses(
+            graph, elab.handle(), st->pctx, defaultPassList(), run);
+
+        // Final node: assemble the BuiltDesign once every pass of
+        // this design landed.
+        std::vector<TaskHandle> deps = std::move(passes);
+        deps.insert(deps.begin(), elab.handle());
+        futures.push_back(graph.submitAfter(
+            deps,
+            [st, sd] {
+                BuiltDesign built;
+                built.name = sd->name;
+                built.design = st->design;
+                built.elab = *st->elab;
+                ensure(st->pctx->metrics != nullptr,
+                       "pipeline finished without a metrics "
+                       "artifact");
+                built.metrics = *st->pctx->metrics;
+                return built;
+            },
+            "design." + sd->name + ".assemble"));
+    }
+
+    // Join in registry order: errors surface for the lowest failing
+    // design index, like the serial loop, and any error of a
+    // design's pipeline is wrapped with its name here.
+    std::vector<BuiltDesign> out;
+    out.reserve(futures.size());
+    for (size_t i = 0; i < futures.size(); ++i) {
+        try {
+            out.push_back(futures[i].take());
+        } catch (const UcxError &e) {
+            throw UcxError("design '" + picked[i]->name +
+                           "' (top '" + picked[i]->top +
+                           "'): " + e.what());
+        }
+    }
+    return out;
+}
+
 std::vector<BuiltDesign>
 buildAll(const ExecContext &ctx, ArtifactCache *cache,
          const PassConfig &config)
 {
+    std::vector<std::string> names;
     const auto &shipped = shippedDesigns();
-    return ctx.parallelMap(shipped.size(), [&](size_t i) {
-        const ShippedDesign &sd = shipped[i];
-        try {
-            BuiltDesign built;
-            built.name = sd.name;
-            built.design = sd.load();
-            built.elab =
-                *elaborateShared(built.design, sd.top, {}, cache);
-            PipelineRun run;
-            if (cache) {
-                run.cache = cache;
-                run.base = synthCacheKey(
-                    elabCacheKey(built.design, sd.top, {}), config);
-            }
-            built.metrics = synthesizeWithPasses(built.elab.rtl,
-                                                 config, run);
-            return built;
-        } catch (const UcxError &e) {
-            throw UcxError("design '" + sd.name + "' (top '" +
-                           sd.top + "'): " + e.what());
-        }
-    });
+    names.reserve(shipped.size());
+    for (const ShippedDesign &sd : shipped)
+        names.push_back(sd.name);
+    return buildDesigns(names, ctx, cache, config);
 }
 
 } // namespace ucx

@@ -59,11 +59,35 @@ struct BuiltDesign
 };
 
 /**
- * Parse, elaborate, and synthesize every shipped design.
+ * Parse, elaborate, and synthesize a chosen set of shipped designs.
  *
- * Each design is independent, so the per-design flow runs through
- * the context's pool; results come back in registry order at any
- * thread count. A failure names the design and its top module.
+ * The whole request is one TaskGraph: per design an elaboration
+ * node feeds one node per synthesis pass (wired by the passes'
+ * declared dependencies), so independent passes of different
+ * designs interleave across the context's pool. Results come back
+ * in @p names order at any thread count; elaborations and per-pass
+ * artifacts are memoized single-flight, so a cold build computes
+ * each artifact exactly once no matter how many threads race. A
+ * failure names the design and its top module, lowest failing index
+ * first.
+ *
+ * @param names  Registry keys to build (unknown names throw).
+ * @param ctx    Execution context.
+ * @param cache  Memo store for elaborations and per-pass synthesis
+ *               artifacts; null builds uncached. Safe to share
+ *               across the pool (the cache is thread-safe).
+ * @param config Synthesis pipeline configuration.
+ * @return One entry per requested design, in @p names order.
+ */
+std::vector<BuiltDesign>
+buildDesigns(const std::vector<std::string> &names,
+             const ExecContext &ctx = ExecContext::serial(),
+             ArtifactCache *cache = nullptr,
+             const PassConfig &config = {});
+
+/**
+ * Parse, elaborate, and synthesize every shipped design — the
+ * whole-registry case of buildDesigns.
  *
  * @param ctx    Execution context.
  * @param cache  Memo store for elaborations and per-pass synthesis

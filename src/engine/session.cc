@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "data/paper_data.hh"
+#include "exec/task_graph.hh"
 #include "obs/tracelog.hh"
 #include "synth/elaborate.hh"
 #include "util/error.hh"
@@ -116,6 +117,7 @@ EstimationSession::measureOptions(AccountingMode mode)
     opts.mode = mode;
     opts.cache = &cache_;
     opts.passes = config_.passes;
+    opts.exec = &ctx_;
     return opts;
 }
 
@@ -233,8 +235,9 @@ EstimationSession::lintAllShipped()
 {
     obs::TraceScope trace("engine.lint_all_shipped");
     const std::vector<ShippedDesign> &designs = shippedDesigns();
+    TaskGraph graph(ctx_);
     std::vector<LintReport> reports =
-        ctx_.parallelMap(designs.size(), [&](size_t i) {
+        graph.map(designs.size(), [&](size_t i) {
             const ShippedDesign &sd = designs[i];
             Design design = sd.load();
             LintRunOptions opts;

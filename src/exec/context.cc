@@ -5,9 +5,11 @@
 #include <string>
 #include <thread>
 
+#include "exec/task_graph.hh"
 #include "obs/metrics.hh"
 #include "obs/span.hh"
 #include "obs/tracelog.hh"
+#include "util/logging.hh"
 
 namespace ucx
 {
@@ -31,14 +33,27 @@ ExecContext::withThreads(size_t threads)
 ExecContext
 ExecContext::fromEnv()
 {
+    // Caps absurd requests: more workers than this is certainly a
+    // typo (e.g. a stray digit), not a real machine.
+    constexpr unsigned long maxThreads = 4096;
+
     size_t threads = 0;
     const char *env = std::getenv("UCX_THREADS");
     if (env != nullptr && *env != '\0') {
         char *end = nullptr;
         unsigned long v = std::strtoul(env, &end, 10);
-        if (end != nullptr && *end == '\0')
+        // strtoul accepts a leading '-' by wrapping; reject it
+        // explicitly so "-2" doesn't become a huge worker count.
+        bool valid = end != nullptr && *end == '\0' &&
+                     *env != '-' && v <= maxThreads;
+        if (valid)
             threads = static_cast<size_t>(v);
+        else
+            warn("ignoring invalid UCX_THREADS value '" +
+                 std::string(env) +
+                 "'; using hardware concurrency");
     }
+    // threads == 0 means "auto": one worker per hardware thread.
     if (threads == 0) {
         unsigned hw = std::thread::hardware_concurrency();
         threads = hw > 0 ? hw : 1;
@@ -64,28 +79,39 @@ ExecContext::runChunked(
         trace.arg("items", std::to_string(n))
             .arg("chunks", std::to_string(chunks));
     }
-    std::vector<std::function<void()>> tasks;
-    tasks.reserve(chunks);
-    // Static chunking: chunk j covers a contiguous index range; the
-    // first (n % chunks) chunks take one extra index.
-    size_t base = n / chunks;
-    size_t extra = n % chunks;
-    size_t lo = 0;
-    for (size_t j = 0; j < chunks; ++j) {
-        size_t hi = lo + base + (j < extra ? 1 : 0);
-        tasks.emplace_back([&chunk, lo, hi] {
-            // Runs on a pool worker, so the event lands on that
-            // worker's Perfetto track.
-            obs::TraceScope chunk_trace("exec.chunk");
-            if (chunk_trace.active()) {
-                chunk_trace.arg("lo", std::to_string(lo))
-                    .arg("hi", std::to_string(hi));
-            }
-            chunk(lo, hi);
-        });
-        lo = hi;
+    // Each chunk is one graph node; chunks are submitted in index
+    // order and joined in submission order (TaskGraph::wait), so
+    // the first error in index order is rethrown — the same error
+    // the serial loop would have thrown. Running the chunks through
+    // a TaskGraph (rather than ThreadPool::run) is what lets nested
+    // parallelFor calls scale: the graph's wait() drains ready
+    // chunks on the calling thread while workers take the rest.
+    {
+        TaskGraph graph(*this);
+        // Static chunking: chunk j covers a contiguous index range;
+        // the first (n % chunks) chunks take one extra index.
+        size_t base = n / chunks;
+        size_t extra = n % chunks;
+        size_t lo = 0;
+        for (size_t j = 0; j < chunks; ++j) {
+            size_t hi = lo + base + (j < extra ? 1 : 0);
+            graph.submit(
+                [&chunk, lo, hi] {
+                    // Runs on whichever thread picks up the node,
+                    // so the event lands on that thread's Perfetto
+                    // track.
+                    obs::TraceScope chunk_trace("exec.chunk");
+                    if (chunk_trace.active()) {
+                        chunk_trace.arg("lo", std::to_string(lo))
+                            .arg("hi", std::to_string(hi));
+                    }
+                    chunk(lo, hi);
+                },
+                "exec.chunk");
+            lo = hi;
+        }
+        graph.wait();
     }
-    pool_->run(tasks);
 
     if (timing) {
         static obs::Counter &calls =

@@ -13,12 +13,12 @@
  * byte-identical to the numbers of ExecContext::serial().
  *
  * Chunking is static: [0, n) is cut into one contiguous chunk per
- * worker up front. There is no work stealing — determinism comes
- * from index-addressed results (so stealing would buy nothing but
- * shared-queue contention), and the loops this library parallelizes
- * have near-uniform task cost (one model refit per replicate, one
- * fold per fit), which is the case where static chunking is already
- * optimal.
+ * worker up front, and each chunk becomes one node of a TaskGraph.
+ * Determinism comes from index-addressed results, never from
+ * scheduling order; the graph's continuation stealing means a loop
+ * entered from inside another parallel region genuinely runs in
+ * parallel (the waiting thread executes ready chunks itself while
+ * pool workers pick up the rest) instead of degrading to serial.
  */
 
 #ifndef UCX_EXEC_CONTEXT_HH
@@ -79,11 +79,24 @@ class ExecContext
     bool parallel() const { return pool_ != nullptr; }
 
     /**
+     * @return Shared handle of the underlying pool — null for
+     *         serial contexts. Exists for TaskGraph, which
+     *         schedules its wake-ups on the context's pool; other
+     *         code should go through parallelFor/TaskGraph.
+     */
+    const std::shared_ptr<exec::ThreadPool> &pool() const
+    {
+        return pool_;
+    }
+
+    /**
      * Run fn(i) for every i in [0, n).
      *
      * The index range is cut into contiguous static chunks, one per
-     * worker. Calls made from inside a pool task run inline, so
-     * nested parallel regions are safe (and serial).
+     * worker, submitted as independent TaskGraph nodes. Calls made
+     * from inside a pool task are safe and still parallel: the
+     * nested region's chunks join the shared pool, and the waiting
+     * thread runs ready chunks instead of blocking.
      *
      * @param n  Iteration count.
      * @param fn Body; invoked exactly once per index.
@@ -92,8 +105,7 @@ class ExecContext
     void
     parallelFor(size_t n, Fn &&fn) const
     {
-        if (!pool_ || n <= 1 ||
-            exec::ThreadPool::onWorkerThread()) {
+        if (!pool_ || n <= 1) {
             for (size_t i = 0; i < n; ++i)
                 fn(i);
             return;

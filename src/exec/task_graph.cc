@@ -1,0 +1,396 @@
+#include "exec/task_graph.hh"
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+#include "obs/metrics.hh"
+#include "obs/tracelog.hh"
+#include "util/error.hh"
+
+namespace ucx
+{
+namespace exec
+{
+namespace detail
+{
+
+namespace
+{
+
+/** One task of a graph. Protected by GraphState::mutex. */
+struct Node
+{
+    enum class State
+    {
+        Blocked, ///< Waiting on unfinished dependencies.
+        Ready,   ///< In the ready deque.
+        Running, ///< Body executing on some thread.
+        Done     ///< Finished (result or error set).
+    };
+
+    /** Body; moved out (and cleared) when the node starts. */
+    std::function<std::shared_ptr<void>()> run;
+    std::shared_ptr<void> result;
+    std::exception_ptr error;
+    /** Dependencies in declaration order (error-propagation order). */
+    std::vector<size_t> deps;
+    /** Nodes whose pendingDeps this node decrements on finish. */
+    std::vector<size_t> dependents;
+    size_t pendingDeps = 0;
+    State state = State::Blocked;
+    std::string label;
+};
+
+} // namespace
+
+/**
+ * Shared scheduler state of one graph. All fields except the pool
+ * handle are protected by `mutex`; `cv` is notified whenever a node
+ * finishes or becomes ready, which is exactly what the drain loops
+ * wait on.
+ */
+struct GraphState : std::enable_shared_from_this<GraphState>
+{
+    std::mutex mutex;
+    std::condition_variable cv;
+    /** FIFO of Ready node indices (FIFO keeps the serial drain in
+     *  submission order, i.e. the order an equivalent loop runs). */
+    std::deque<size_t> ready;
+    /** Deque for stable references while nodes are appended. */
+    std::deque<Node> nodes;
+    /** Nodes not yet Done. */
+    size_t incomplete = 0;
+    /**
+     * Weak on purpose: a stale wake-up shim may hold the last
+     * reference to this state, and if the state owned the pool the
+     * pool destructor could run on one of its own workers (a
+     * self-join). The TaskGraph's ExecContext copy keeps the pool
+     * alive for as long as kicks can be submitted.
+     */
+    std::weak_ptr<ThreadPool> pool;
+    /** True when a pool exists — then ready nodes get kicks. */
+    bool parallel = false;
+    /**
+     * Threads currently inside kick() holding a strong pool
+     * reference. graphWaitAll waits for this to reach zero so the
+     * graph owner's ExecContext (which holds the pool) provably
+     * outlives every such temporary — otherwise a racing kick could
+     * drop the *last* pool reference on a worker thread, and the
+     * pool destructor would self-join.
+     */
+    size_t kicksInFlight = 0;
+};
+
+namespace
+{
+
+/**
+ * Error of the first (in dependency-declaration order) failed
+ * dependency of @p n, or null. Callers hold the state mutex and
+ * only ask once every dependency is Done.
+ */
+std::exception_ptr
+firstDepErrorLocked(const GraphState &state, const Node &n)
+{
+    for (size_t d : n.deps)
+        if (state.nodes[d].error)
+            return state.nodes[d].error;
+    return nullptr;
+}
+
+/**
+ * Mark node @p idx Done with @p result / @p error, release its
+ * dependents, and wake waiters. Returns the indices that became
+ * Ready so the caller can kick pool workers after unlocking.
+ *
+ * Called with the state mutex held.
+ */
+std::vector<size_t>
+finishLocked(GraphState &state, size_t idx,
+             std::shared_ptr<void> result, std::exception_ptr error)
+{
+    Node &n = state.nodes[idx];
+    n.result = std::move(result);
+    n.error = error;
+    n.state = Node::State::Done;
+    --state.incomplete;
+    std::vector<size_t> newReady;
+    for (size_t d : n.dependents) {
+        Node &dep = state.nodes[d];
+        if (--dep.pendingDeps == 0) {
+            dep.state = Node::State::Ready;
+            state.ready.push_back(d);
+            newReady.push_back(d);
+        }
+    }
+    n.dependents.clear();
+    state.cv.notify_all();
+    return newReady;
+}
+
+/**
+ * Submit one wake-up shim per newly ready node. Each shim runs the
+ * *front* ready node of the graph (not a specific one) and no-ops
+ * when the graph died or a draining thread already emptied the
+ * deque — stale kicks are harmless by design.
+ */
+void runOne(GraphState &state, std::unique_lock<std::mutex> &lock);
+
+void
+kick(GraphState &state, size_t count)
+{
+    std::shared_ptr<ThreadPool> pool = state.pool.lock();
+    if (!pool)
+        return;
+    std::weak_ptr<GraphState> weak = state.weak_from_this();
+    for (size_t i = 0; i < count; ++i) {
+        pool->submit([weak] {
+            std::shared_ptr<GraphState> s = weak.lock();
+            if (!s)
+                return;
+            std::unique_lock<std::mutex> lock(s->mutex);
+            if (!s->ready.empty())
+                runOne(*s, lock);
+        });
+    }
+}
+
+/**
+ * Pop and execute the front ready node. Entered and left with the
+ * lock held; unlocked while the body runs, so other threads can
+ * pop, finish, and submit concurrently.
+ */
+void
+runOne(GraphState &state, std::unique_lock<std::mutex> &lock)
+{
+    size_t idx = state.ready.front();
+    state.ready.pop_front();
+    Node &n = state.nodes[idx];
+    n.state = Node::State::Running;
+    // Dependencies are all Done here; a failed one fails this node
+    // without running it (the serial loop would never have reached
+    // this iteration either).
+    std::exception_ptr err = firstDepErrorLocked(state, n);
+    std::function<std::shared_ptr<void>()> fn = std::move(n.run);
+    n.run = nullptr;
+    std::string label = n.label;
+
+    lock.unlock();
+    std::shared_ptr<void> result;
+    if (!err) {
+        using Clock = std::chrono::steady_clock;
+        bool timing = obs::enabled();
+        Clock::time_point start;
+        if (timing)
+            start = Clock::now();
+        {
+            obs::TraceScope trace("exec.task");
+            if (trace.active()) {
+                trace.arg("node", std::to_string(idx));
+                if (!label.empty())
+                    trace.arg("label", label);
+            }
+            try {
+                result = fn();
+            } catch (...) {
+                err = std::current_exception();
+            }
+        }
+        if (timing) {
+            static obs::Counter &tasks =
+                obs::counter("exec.graph.tasks");
+            static obs::Histogram &task_us =
+                obs::histogram("exec.graph.task_us");
+            tasks.add(1);
+            task_us.observe(std::chrono::duration<double, std::micro>(
+                                Clock::now() - start)
+                                .count());
+        }
+    }
+    // Destroy the body outside the lock — closures own captured
+    // shared state whose destructors must not run under our mutex.
+    fn = nullptr;
+    lock.lock();
+
+    std::vector<size_t> newReady =
+        finishLocked(state, idx, std::move(result), err);
+    if (!newReady.empty() && state.parallel) {
+        ++state.kicksInFlight;
+        lock.unlock();
+        kick(state, newReady.size());
+        lock.lock();
+        if (--state.kicksInFlight == 0)
+            state.cv.notify_all();
+    }
+}
+
+} // namespace
+
+std::shared_ptr<GraphState>
+makeGraphState(std::shared_ptr<ThreadPool> pool)
+{
+    auto state = std::make_shared<GraphState>();
+    state->parallel = pool != nullptr;
+    state->pool = pool;
+    return state;
+}
+
+size_t
+graphSubmit(GraphState &state,
+            std::function<std::shared_ptr<void>()> fn,
+            const std::vector<size_t> &deps, std::string label)
+{
+    bool kickOne = false;
+    size_t idx;
+    {
+        std::lock_guard<std::mutex> lock(state.mutex);
+        idx = state.nodes.size();
+        state.nodes.emplace_back();
+        Node &n = state.nodes.back();
+        n.run = std::move(fn);
+        n.deps = deps;
+        n.label = std::move(label);
+        for (size_t d : deps) {
+            require(d < idx, "task dependency submitted later than "
+                             "its dependent");
+            Node &dep = state.nodes[d];
+            if (dep.state != Node::State::Done) {
+                ++n.pendingDeps;
+                dep.dependents.push_back(idx);
+            }
+        }
+        ++state.incomplete;
+        if (n.pendingDeps == 0) {
+            n.state = Node::State::Ready;
+            state.ready.push_back(idx);
+            kickOne = state.parallel;
+            if (kickOne)
+                ++state.kicksInFlight;
+            // A drain loop may be parked on an empty deque.
+            state.cv.notify_all();
+        }
+    }
+    if (kickOne) {
+        kick(state, 1);
+        std::lock_guard<std::mutex> lock(state.mutex);
+        if (--state.kicksInFlight == 0)
+            state.cv.notify_all();
+    }
+    if (obs::enabled()) {
+        static obs::Counter &submits =
+            obs::counter("exec.graph.submits");
+        submits.add(1);
+    }
+    return idx;
+}
+
+std::shared_ptr<void>
+graphAwait(GraphState &state, size_t node)
+{
+    std::unique_lock<std::mutex> lock(state.mutex);
+    for (;;) {
+        Node &n = state.nodes[node];
+        if (n.state == Node::State::Done) {
+            if (n.error)
+                std::rethrow_exception(n.error);
+            return n.result;
+        }
+        if (!state.ready.empty()) {
+            // Continuation stealing: run some ready node of this
+            // graph instead of parking the thread.
+            runOne(state, lock);
+            continue;
+        }
+        state.cv.wait(lock, [&state, node] {
+            return state.nodes[node].state == Node::State::Done ||
+                   !state.ready.empty();
+        });
+    }
+}
+
+std::shared_ptr<void>
+graphTake(GraphState &state, size_t node)
+{
+    std::shared_ptr<void> result = graphAwait(state, node);
+    std::lock_guard<std::mutex> lock(state.mutex);
+    state.nodes[node].result = nullptr;
+    return result;
+}
+
+void
+graphWaitAll(GraphState &state)
+{
+    std::unique_lock<std::mutex> lock(state.mutex);
+    for (;;) {
+        // Kicks in flight hold strong pool references; returning
+        // before they drain would let the caller tear down the
+        // graph's ExecContext while a worker still holds one.
+        if (state.incomplete == 0 && state.kicksInFlight == 0)
+            return;
+        if (!state.ready.empty()) {
+            runOne(state, lock);
+            continue;
+        }
+        state.cv.wait(lock, [&state] {
+            return (state.incomplete == 0 &&
+                    state.kicksInFlight == 0) ||
+                   !state.ready.empty();
+        });
+    }
+}
+
+std::exception_ptr
+graphFirstError(GraphState &state)
+{
+    std::lock_guard<std::mutex> lock(state.mutex);
+    for (const Node &n : state.nodes)
+        if (n.error)
+            return n.error;
+    return nullptr;
+}
+
+bool
+graphDone(GraphState &state, size_t node)
+{
+    std::lock_guard<std::mutex> lock(state.mutex);
+    return state.nodes[node].state == Node::State::Done;
+}
+
+} // namespace detail
+} // namespace exec
+
+TaskGraph::TaskGraph(const ExecContext &ctx)
+    : state_(exec::detail::makeGraphState(ctx.pool())), ctx_(ctx)
+{
+}
+
+TaskGraph::~TaskGraph()
+{
+    exec::detail::graphWaitAll(*state_);
+}
+
+void
+TaskGraph::wait()
+{
+    exec::detail::graphWaitAll(*state_);
+    std::exception_ptr err = exec::detail::graphFirstError(*state_);
+    if (err)
+        std::rethrow_exception(err);
+}
+
+std::vector<size_t>
+TaskGraph::depIndices(const std::vector<TaskHandle> &deps) const
+{
+    std::vector<size_t> indices;
+    indices.reserve(deps.size());
+    for (const TaskHandle &h : deps) {
+        require(h.state_ == state_,
+                "task dependency belongs to a different graph");
+        indices.push_back(h.node_);
+    }
+    return indices;
+}
+
+} // namespace ucx

@@ -1,0 +1,348 @@
+/**
+ * @file
+ * TaskGraph — the deterministic dependency-driven scheduler every
+ * layer above the ThreadPool runs on.
+ *
+ * A graph is a DAG of tasks. Each submit() adds one node (optionally
+ * after explicit dependencies) and returns a typed Future; ready
+ * nodes are executed by pool workers woken through
+ * ThreadPool::submit, and — the part that makes nesting work — by
+ * any thread that *waits* on the graph. Future::get(), wait(), and
+ * map() all run a continuation-stealing drain loop: while the
+ * awaited node is unfinished they pop and execute other ready nodes
+ * of the same graph, so a task that blocks on a dependency, or a
+ * pool worker that enters a nested parallel region, keeps a core
+ * busy instead of parking or degrading to serial execution.
+ *
+ * Determinism is structural, exactly as in the rest of the exec
+ * layer: scheduling order is free, but every result lands in the
+ * slot of its own node, joins read results in submission/index
+ * order, and stochastic tasks draw from per-node split RNG streams
+ * (Rng::split(node index)). The numbers at UCX_THREADS=8 are
+ * byte-identical to a serial drain.
+ *
+ * Error contract: a throwing task stores its exception in its node;
+ * dependents do not run — they fail with the exception of their
+ * first (in dependency-list order) failed dependency. get()
+ * rethrows the node's error; wait() rethrows the first error in
+ * submission order, matching what the equivalent serial loop would
+ * have thrown.
+ */
+
+#ifndef UCX_EXEC_TASK_GRAPH_HH
+#define UCX_EXEC_TASK_GRAPH_HH
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "exec/context.hh"
+
+namespace ucx
+{
+
+namespace exec
+{
+namespace detail
+{
+
+struct GraphState;
+
+/** Create the shared scheduler state of one graph. */
+std::shared_ptr<GraphState>
+makeGraphState(std::shared_ptr<ThreadPool> pool);
+
+/**
+ * Add one node. @p fn runs once every dependency finished cleanly
+ * and returns the node's result (null for void tasks).
+ *
+ * @param state Scheduler state.
+ * @param fn    Node body.
+ * @param deps  Node indices this node waits for.
+ * @param label Trace label ("" for unlabeled).
+ * @return The new node's index.
+ */
+size_t graphSubmit(GraphState &state,
+                   std::function<std::shared_ptr<void>()> fn,
+                   const std::vector<size_t> &deps,
+                   std::string label);
+
+/**
+ * Block until node @p node is done, running other ready nodes of
+ * the graph while waiting; rethrows the node's error.
+ *
+ * @return The node's result (null for void tasks).
+ */
+std::shared_ptr<void> graphAwait(GraphState &state, size_t node);
+
+/** Like graphAwait, but moves the result out of the node. */
+std::shared_ptr<void> graphTake(GraphState &state, size_t node);
+
+/** Block until every node is done (never throws task errors). */
+void graphWaitAll(GraphState &state);
+
+/** @return First error in submission order, null when all clean. */
+std::exception_ptr graphFirstError(GraphState &state);
+
+/** @return True when node @p node finished (done or failed). */
+bool graphDone(GraphState &state, size_t node);
+
+} // namespace detail
+} // namespace exec
+
+class TaskGraph;
+
+/**
+ * Untyped reference to one graph node, used to declare dependencies
+ * (`submit(fn, {a.handle(), b.handle()})`). Default-constructed
+ * handles are invalid and may not be passed as dependencies.
+ */
+class TaskHandle
+{
+  public:
+    TaskHandle() = default;
+
+    /** @return True when this refers to a submitted node. */
+    bool valid() const { return state_ != nullptr; }
+
+  private:
+    friend class TaskGraph;
+    template <typename T> friend class Future;
+
+    TaskHandle(std::shared_ptr<exec::detail::GraphState> state,
+               size_t node)
+        : state_(std::move(state)), node_(node)
+    {
+    }
+
+    std::shared_ptr<exec::detail::GraphState> state_;
+    size_t node_ = 0;
+};
+
+/**
+ * Typed handle to one node's eventual result. Copies share the
+ * node; the result storage lives in the graph state, which futures
+ * keep alive, so a Future may outlive its TaskGraph.
+ */
+template <typename T>
+class Future
+{
+  public:
+    Future() = default;
+
+    /** @return True when this refers to a submitted node. */
+    bool valid() const { return state_ != nullptr; }
+
+    /** @return True when the node finished (no blocking). */
+    bool
+    done() const
+    {
+        return valid() && exec::detail::graphDone(*state_, node_);
+    }
+
+    /**
+     * Wait for the node (running other ready tasks of the graph
+     * meanwhile) and return its result; rethrows the task's error.
+     */
+    const T &
+    get() const
+    {
+        return *std::static_pointer_cast<T>(
+            exec::detail::graphAwait(*state_, node_));
+    }
+
+    /**
+     * Like get(), but moves the result out of the node. Call at
+     * most once, and only when no other Future shares the node.
+     */
+    T
+    take()
+    {
+        return std::move(*std::static_pointer_cast<T>(
+            exec::detail::graphTake(*state_, node_)));
+    }
+
+    /** @return Untyped handle for dependency lists. */
+    TaskHandle handle() const { return TaskHandle(state_, node_); }
+
+  private:
+    friend class TaskGraph;
+
+    Future(std::shared_ptr<exec::detail::GraphState> state,
+           size_t node)
+        : state_(std::move(state)), node_(node)
+    {
+    }
+
+    std::shared_ptr<exec::detail::GraphState> state_;
+    size_t node_ = 0;
+};
+
+/** Future of a task with no result. */
+template <>
+class Future<void>
+{
+  public:
+    Future() = default;
+
+    bool valid() const { return state_ != nullptr; }
+
+    bool
+    done() const
+    {
+        return valid() && exec::detail::graphDone(*state_, node_);
+    }
+
+    /** Wait for the node; rethrows the task's error. */
+    void
+    get() const
+    {
+        exec::detail::graphAwait(*state_, node_);
+    }
+
+    TaskHandle handle() const { return TaskHandle(state_, node_); }
+
+  private:
+    friend class TaskGraph;
+
+    Future(std::shared_ptr<exec::detail::GraphState> state,
+           size_t node)
+        : state_(std::move(state)), node_(node)
+    {
+    }
+
+    std::shared_ptr<exec::detail::GraphState> state_;
+    size_t node_ = 0;
+};
+
+/**
+ * One dependency-driven scheduling region on an ExecContext's pool.
+ *
+ * Cheap to construct; graphs are per-request objects (one per
+ * buildAll, per bootstrap, per parallelFor). Submission is
+ * thread-safe, including from inside the graph's own tasks
+ * (re-entrant sub-task submission is how nested parallel regions
+ * scale instead of serializing). The destructor waits for every
+ * submitted task, so references captured by task bodies only need
+ * to outlive the graph object.
+ */
+class TaskGraph
+{
+  public:
+    /**
+     * Create a graph executing on @p ctx's pool (inline on the
+     * waiting thread when the context is serial).
+     */
+    explicit TaskGraph(const ExecContext &ctx);
+
+    /** Waits for all tasks; unretrieved task errors are dropped. */
+    ~TaskGraph();
+
+    TaskGraph(const TaskGraph &) = delete;
+    TaskGraph &operator=(const TaskGraph &) = delete;
+
+    /**
+     * Submit a task with no dependencies.
+     *
+     * @param fn    Body; runs exactly once, on any thread.
+     * @param label Trace label for the node's "exec.task" span.
+     * @return Future of fn's result.
+     */
+    template <typename Fn>
+    auto
+    submit(Fn &&fn, std::string label = "")
+        -> Future<std::decay_t<decltype(fn())>>
+    {
+        return submitAfter({}, std::forward<Fn>(fn),
+                           std::move(label));
+    }
+
+    /**
+     * Submit a task that runs only after every dependency finished
+     * cleanly. A failed dependency fails this task with the same
+     * exception (first failed dependency in @p deps order) without
+     * running it.
+     *
+     * @param deps  Handles of tasks of *this* graph.
+     * @param fn    Body; may call Future::get() on its dependencies
+     *              (done, so the reads are free) and submit further
+     *              sub-tasks.
+     * @param label Trace label for the node's "exec.task" span.
+     * @return Future of fn's result.
+     */
+    template <typename Fn>
+    auto
+    submitAfter(const std::vector<TaskHandle> &deps, Fn &&fn,
+                std::string label = "")
+        -> Future<std::decay_t<decltype(fn())>>
+    {
+        using T = std::decay_t<decltype(fn())>;
+        std::function<std::shared_ptr<void>()> wrapped;
+        if constexpr (std::is_void_v<T>) {
+            wrapped = [f = std::forward<Fn>(fn)]() mutable
+                -> std::shared_ptr<void> {
+                f();
+                return nullptr;
+            };
+        } else {
+            wrapped = [f = std::forward<Fn>(fn)]() mutable
+                -> std::shared_ptr<void> {
+                return std::static_pointer_cast<void>(
+                    std::make_shared<T>(f()));
+            };
+        }
+        size_t node = exec::detail::graphSubmit(
+            *state_, std::move(wrapped), depIndices(deps),
+            std::move(label));
+        return Future<T>(state_, node);
+    }
+
+    /**
+     * Deterministic fork-join: submit fn(i) for every i in [0, n)
+     * as independent nodes and join in index order — the graph
+     * equivalent of ExecContext::parallelMap, safe to call from
+     * inside other graph tasks.
+     *
+     * @param n  Iteration count.
+     * @param fn Body returning the element for index i.
+     * @return { fn(0), ..., fn(n-1) }; rethrows the lowest-index
+     *         error, like a serial loop.
+     */
+    template <typename Fn>
+    auto
+    map(size_t n, Fn &&fn)
+        -> std::vector<std::decay_t<decltype(fn(size_t{0}))>>
+    {
+        using T = std::decay_t<decltype(fn(size_t{0}))>;
+        std::vector<Future<T>> futures;
+        futures.reserve(n);
+        for (size_t i = 0; i < n; ++i)
+            futures.push_back(submit([i, &fn] { return fn(i); }));
+        std::vector<T> out;
+        out.reserve(n);
+        for (Future<T> &f : futures)
+            out.push_back(f.take());
+        return out;
+    }
+
+    /**
+     * Wait for every submitted task, running ready ones on the
+     * calling thread; rethrows the first error in submission order.
+     */
+    void wait();
+
+  private:
+    std::vector<size_t>
+    depIndices(const std::vector<TaskHandle> &deps) const;
+
+    std::shared_ptr<exec::detail::GraphState> state_;
+    ExecContext ctx_; ///< Keeps the pool alive while tasks run.
+};
+
+} // namespace ucx
+
+#endif // UCX_EXEC_TASK_GRAPH_HH

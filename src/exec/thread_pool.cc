@@ -78,6 +78,21 @@ ThreadPool::workerLoop(size_t index)
 }
 
 void
+ThreadPool::submit(std::function<void()> task)
+{
+    if (obs::enabled()) {
+        static obs::Counter &submits =
+            obs::counter("exec.pool.submits");
+        submits.add(1);
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(task));
+    }
+    wake_.notify_one();
+}
+
+void
 ThreadPool::run(const std::vector<std::function<void()>> &tasks)
 {
     if (tasks.empty())

@@ -4,10 +4,12 @@
  *
  * The pool is deliberately simple: a mutex-protected FIFO of
  * std::function tasks drained by dedicated worker threads. All
- * parallelism in this library goes through ExecContext::parallelFor,
- * which submits one task per static chunk and blocks until the batch
- * completes; the pool itself never needs work stealing because chunk
- * results are addressed by index, not by completion order.
+ * parallelism in this library goes through the TaskGraph scheduler
+ * (ExecContext::parallelFor included), which submits one wake-up
+ * task per ready graph node; the pool itself never needs work
+ * stealing because node results are addressed by index, not by
+ * completion order, and a thread that blocks on a graph join drains
+ * ready nodes of that graph instead of parking.
  */
 
 #ifndef UCX_EXEC_THREAD_POOL_HH
@@ -59,6 +61,17 @@ class ThreadPool
      * @param tasks Callables executed on the workers.
      */
     void run(const std::vector<std::function<void()>> &tasks);
+
+    /**
+     * Enqueue one fire-and-forget task and return immediately.
+     *
+     * The task must not throw (the pool has nowhere to deliver the
+     * exception); the TaskGraph scheduler, the only caller, submits
+     * wake-up shims that capture errors inside the graph instead.
+     *
+     * @param task Callable executed on some worker, eventually.
+     */
+    void submit(std::function<void()> task);
 
     /**
      * @return True when called from one of this process's pool

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 
+#include "exec/task_graph.hh"
 #include "obs/metrics.hh"
 #include "obs/span.hh"
 #include "obs/tracelog.hh"
@@ -75,8 +76,12 @@ parametricBootstrap(const NlmeData &data, const MixedFit &fit,
 
     // Replicate `rep` simulates and refits entirely from its own
     // split stream, so the fit in slot `rep` does not depend on how
-    // replicates are scheduled across threads.
-    result.fits = ctx.parallelMap(config.replicates, [&](size_t rep) {
+    // replicates are scheduled across threads. Each replicate is
+    // one graph node: a nested fit that itself parallelizes shares
+    // the same pool instead of serializing, and the index-ordered
+    // join keeps the result vector thread-count-invariant.
+    TaskGraph graph(ctx);
+    result.fits = graph.map(config.replicates, [&](size_t rep) {
         using Clock = std::chrono::steady_clock;
         Clock::time_point rep_start;
         bool timing = obs::enabled();

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "exec/task_graph.hh"
 #include "opt/multistart.hh"
 #include "opt/transform.hh"
 #include "stats/normal.hh"
@@ -180,15 +181,22 @@ profileInterval(const MixedModel &model, const MixedFit &fit,
         return {upward ? lo : hi, false};
     };
 
-    // The walks in the two directions are independent; run them as
-    // a two-task parallel region (each is a sequential bisection, so
-    // this is the natural grain).
-    auto bounds = ctx.parallelMap(
-        2, [&](size_t dir) { return search(dir == 0); });
-    interval.upper = bounds[0].first;
-    interval.upperOpen = bounds[0].second;
-    interval.lower = bounds[1].first;
-    interval.lowerOpen = bounds[1].second;
+    // The walks in the two directions are independent; submit them
+    // as two graph nodes (each is a sequential bisection, so this
+    // is the natural grain) and join in a fixed order.
+    TaskGraph graph(ctx);
+    auto upper =
+        graph.submit([&search] { return search(true); },
+                     "nlme.profile.upper");
+    auto lower =
+        graph.submit([&search] { return search(false); },
+                     "nlme.profile.lower");
+    auto ub = upper.take();
+    auto lb = lower.take();
+    interval.upper = ub.first;
+    interval.upperOpen = ub.second;
+    interval.lower = lb.first;
+    interval.lowerOpen = lb.second;
     return interval;
 }
 

@@ -1,5 +1,8 @@
 #include "synth/pass.hh"
 
+#include <unordered_map>
+#include <unordered_set>
+
 #include "obs/metrics.hh"
 #include "obs/span.hh"
 #include "obs/tracelog.hh"
@@ -15,12 +18,13 @@ namespace
 /** Wrap a typed artifact producer into the Pass function triple. */
 template <typename T>
 Pass
-makePass(std::string name,
+makePass(std::string name, std::vector<std::string> deps,
          std::shared_ptr<const T> PipelineContext::*slot,
          std::function<T(PipelineContext &)> produce)
 {
     Pass pass;
     pass.name = std::move(name);
+    pass.deps = std::move(deps);
     pass.artifactType = &typeid(T);
     pass.run = [slot, produce = std::move(produce)](
                    PipelineContext &ctx) {
@@ -97,33 +101,34 @@ defaultPassList()
     static const std::vector<Pass> passes = [] {
         std::vector<Pass> p;
         p.push_back(makePass<Netlist>(
-            "lower", &PipelineContext::netlist,
+            "lower", {}, &PipelineContext::netlist,
             [](PipelineContext &ctx) {
                 return lowerToGates(*ctx.rtl);
             }));
         p.push_back(makePass<CellMapping>(
-            "techmap", &PipelineContext::cells,
+            "techmap", {"lower"}, &PipelineContext::cells,
             [](PipelineContext &ctx) {
                 ensure(ctx.netlist != nullptr,
                        "techmap pass needs the lowered netlist");
                 return mapToCells(*ctx.netlist, ctx.config.library);
             }));
         p.push_back(makePass<LutMapping>(
-            "lutmap", &PipelineContext::luts,
+            "lutmap", {"lower"}, &PipelineContext::luts,
             [](PipelineContext &ctx) {
                 ensure(ctx.netlist != nullptr,
                        "lutmap pass needs the lowered netlist");
                 return mapToLuts(*ctx.netlist, ctx.config.fabric);
             }));
         p.push_back(makePass<ConeReport>(
-            "cones", &PipelineContext::cones,
+            "cones", {"lower"}, &PipelineContext::cones,
             [](PipelineContext &ctx) {
                 ensure(ctx.netlist != nullptr,
                        "cones pass needs the lowered netlist");
                 return extractCones(*ctx.netlist);
             }));
         p.push_back(makePass<TimingSummary>(
-            "timing", &PipelineContext::timing,
+            "timing", {"lower", "lutmap"},
+            &PipelineContext::timing,
             [](PipelineContext &ctx) {
                 ensure(ctx.netlist && ctx.luts,
                        "timing pass needs netlist and LUT cover");
@@ -133,7 +138,7 @@ defaultPassList()
                 return t;
             }));
         p.push_back(makePass<PowerReport>(
-            "power", &PipelineContext::power,
+            "power", {"lower", "timing"}, &PipelineContext::power,
             [](PipelineContext &ctx) {
                 ensure(ctx.netlist && ctx.timing,
                        "power pass needs netlist and timing");
@@ -143,7 +148,10 @@ defaultPassList()
                                      ctx.config.power);
             }));
         p.push_back(makePass<SynthMetrics>(
-            "metrics", &PipelineContext::metrics,
+            "metrics",
+            {"lower", "techmap", "lutmap", "cones", "timing",
+             "power"},
+            &PipelineContext::metrics,
             [](PipelineContext &ctx) {
                 return assembleMetrics(ctx);
             }));
@@ -152,47 +160,127 @@ defaultPassList()
     return passes;
 }
 
+namespace
+{
+
+/**
+ * Execute one pass over a context — cache-aware, with the span,
+ * trace, and counter instrumentation. Shared by the sequential
+ * runner and the graph nodes of submitPasses; caching goes through
+ * the cache's single-flight layer, so two pipelines of the same
+ * design racing on one artifact compute it once.
+ */
+void
+runOnePass(const Pass &pass, PipelineContext &ctx,
+           const PipelineRun &run)
+{
+    obs::ScopedSpan span("synth.pass." + pass.name);
+    obs::TraceScope trace("synth.pass");
+    if (trace.active())
+        trace.arg("pass", pass.name);
+    bool ran = false;
+    if (run.cache) {
+        CacheKey key = run.base.child(pass.name);
+        auto artifact = run.cache->getOrComputeRaw(
+            key, *pass.artifactType,
+            [&pass, &ctx, &ran]() -> std::shared_ptr<const void> {
+                pass.run(ctx);
+                ran = true;
+                return pass.save(ctx);
+            });
+        if (!ran)
+            pass.load(ctx, std::move(artifact));
+        trace.arg("cache", ran ? "miss" : "hit");
+        if (!ran && obs::enabled()) {
+            obs::counter("synth.pass." + pass.name + ".cache_hits")
+                .add(1);
+        }
+    } else {
+        pass.run(ctx);
+        ran = true;
+        trace.arg("cache", "off");
+    }
+    if (ran && obs::enabled()) {
+        obs::counter("synth.pass." + pass.name + ".runs").add(1);
+    }
+}
+
+/**
+ * Check that every declared dep that appears in @p passes at all
+ * appears *before* its dependent (a sequential list must be a
+ * topological order of the declared DAG).
+ */
+void
+validatePassOrder(const std::vector<Pass> &passes)
+{
+    std::unordered_set<std::string> all;
+    for (const Pass &pass : passes)
+        all.insert(pass.name);
+    std::unordered_set<std::string> seen;
+    for (const Pass &pass : passes) {
+        for (const std::string &dep : pass.deps) {
+            ensure(!all.count(dep) || seen.count(dep),
+                   "pass list runs '" + pass.name +
+                       "' before its dependency '" + dep + "'");
+        }
+        seen.insert(pass.name);
+    }
+}
+
+} // namespace
+
 PipelineContext
 runPasses(const RtlDesign &rtl, const std::vector<Pass> &passes,
           const PassConfig &config, const PipelineRun &run)
 {
     require(!run.cache || !run.base.empty(),
             "a cached pipeline run needs a base key");
+    validatePassOrder(passes);
     PipelineContext ctx;
     ctx.rtl = &rtl;
     ctx.config = config;
-    for (const Pass &pass : passes) {
-        obs::ScopedSpan span("synth.pass." + pass.name);
-        obs::TraceScope trace("synth.pass");
-        if (trace.active())
-            trace.arg("pass", pass.name);
-        if (run.cache) {
-            CacheKey key = run.base.child(pass.name);
-            if (auto cached =
-                    run.cache->getRaw(key, *pass.artifactType)) {
-                pass.load(ctx, std::move(cached));
-                trace.arg("cache", "hit");
-                if (obs::enabled()) {
-                    obs::counter("synth.pass." + pass.name +
-                                 ".cache_hits")
-                        .add(1);
-                }
-                continue;
-            }
-            pass.run(ctx);
-            run.cache->putRaw(key, pass.save(ctx),
-                              *pass.artifactType);
-            trace.arg("cache", "miss");
-        } else {
-            pass.run(ctx);
-            trace.arg("cache", "off");
-        }
-        if (obs::enabled()) {
-            obs::counter("synth.pass." + pass.name + ".runs")
-                .add(1);
-        }
-    }
+    for (const Pass &pass : passes)
+        runOnePass(pass, ctx, run);
     return ctx;
+}
+
+std::vector<TaskHandle>
+submitPasses(TaskGraph &graph, const TaskHandle &after,
+             std::shared_ptr<PipelineContext> ctx,
+             const std::vector<Pass> &passes, const PipelineRun &run)
+{
+    require(!run.cache || !run.base.empty(),
+            "a cached pipeline run needs a base key");
+    require(ctx != nullptr, "submitPasses needs a context");
+    std::unordered_map<std::string, TaskHandle> byName;
+    std::vector<TaskHandle> handles;
+    handles.reserve(passes.size());
+    for (const Pass &pass : passes) {
+        std::vector<TaskHandle> deps;
+        deps.reserve(pass.deps.size() + 1);
+        if (after.valid())
+            deps.push_back(after);
+        for (const std::string &dep : pass.deps) {
+            auto it = byName.find(dep);
+            ensure(it != byName.end(),
+                   "pass '" + pass.name + "' depends on '" + dep +
+                       "', which is not in the submitted list");
+            deps.push_back(it->second);
+        }
+        // The pass is copied into the node: the caller's list may
+        // be temporary, while the node runs whenever its deps
+        // finish.
+        TaskHandle handle =
+            graph
+                .submitAfter(
+                    deps,
+                    [pass, ctx, run] { runOnePass(pass, *ctx, run); },
+                    "synth.pass." + pass.name)
+                .handle();
+        byName.emplace(pass.name, handle);
+        handles.push_back(handle);
+    }
+    return handles;
 }
 
 SynthMetrics

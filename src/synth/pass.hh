@@ -24,6 +24,14 @@
  * loads cached artifacts instead of re-running the pass, and stores
  * fresh ones. Per-pass obs spans ("synth.pass.<name>") and counters
  * ("synth.pass.<name>.{runs,cache_hits}") expose where time goes.
+ *
+ * Each pass also declares which passes it reads (Pass::deps), so a
+ * pipeline is a DAG, not just a list: submitPasses turns it into
+ * TaskGraph nodes where techmap, lutmap, and cones run concurrently
+ * after lower, and passes of *different* designs submitted to one
+ * graph interleave freely across cores. runPasses remains the
+ * sequential runner (and validates list order against the declared
+ * deps); both produce identical artifacts.
  */
 
 #ifndef UCX_SYNTH_PASS_HH
@@ -36,6 +44,7 @@
 
 #include "cache/artifact_cache.hh"
 #include "cache/key.hh"
+#include "exec/task_graph.hh"
 #include "hdl/design.hh"
 #include "synth/cones.hh"
 #include "synth/elaborate.hh"
@@ -101,6 +110,16 @@ struct Pass
 {
     std::string name; ///< Stage name ("lower", "techmap", ...).
 
+    /**
+     * Names of the passes this one reads artifacts from. The
+     * declared dependencies are what turns a pass list into a task
+     * graph: submitPasses connects each pass to exactly these
+     * producers, so independent passes (techmap vs lutmap vs cones,
+     * or any two passes of different designs) run concurrently.
+     * runPasses validates that a sequential list respects them.
+     */
+    std::vector<std::string> deps;
+
     /** Dynamic type of the artifact (cache type checking). */
     const std::type_info *artifactType = nullptr;
 
@@ -148,6 +167,35 @@ PipelineContext runPasses(const RtlDesign &rtl,
                           const std::vector<Pass> &passes,
                           const PassConfig &config = {},
                           const PipelineRun &run = {});
+
+/**
+ * Submit a pass list as TaskGraph nodes wired by each pass's
+ * declared deps, so independent passes — of this pipeline and of
+ * any other pipeline submitted to the same graph — interleave
+ * across cores while dependent ones wait exactly for their
+ * producers.
+ *
+ * The caller owns the context: @p ctx->config must be set before
+ * the call, @p ctx->rtl must be populated by the @p after node (or
+ * before submission when @p after is invalid), and the referenced
+ * RTL must stay alive until the graph drained. Artifacts land in
+ * @p ctx exactly as with runPasses; per-pass caching (including
+ * single-flight dedup across concurrent pipelines of the same
+ * design) behaves identically.
+ *
+ * @param graph  Graph to submit into.
+ * @param after  Node producing ctx->rtl; every pass waits for it
+ *               (pass an invalid handle when rtl is already set).
+ * @param ctx    Shared pipeline context the pass nodes write.
+ * @param passes Stages; every declared dep must be in the list.
+ * @param run    Cache binding.
+ * @return Handles of the pass nodes, in pass-list order.
+ */
+std::vector<TaskHandle> submitPasses(TaskGraph &graph,
+                                     const TaskHandle &after,
+                                     std::shared_ptr<PipelineContext> ctx,
+                                     const std::vector<Pass> &passes,
+                                     const PipelineRun &run = {});
 
 /**
  * The full default pipeline, returning just the Table 3 metrics —

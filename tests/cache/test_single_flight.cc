@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Tests of the single-flight getOrCompute contract: concurrent
+ * callers of one cold key share one computation (the others wait and
+ * count cache.artifact.dedup_wait), a failed flight releases the key
+ * for retry, and a cold buildAll produces the same miss count at any
+ * thread count — the regression pin for the dedup guarantee.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cache/artifact_cache.hh"
+#include "cache/key.hh"
+#include "designs/registry.hh"
+#include "exec/context.hh"
+
+namespace ucx
+{
+namespace
+{
+
+CacheKey
+key(const std::string &name)
+{
+    CacheKey k("single_flight");
+    k.add(name);
+    return k;
+}
+
+TEST(SingleFlight, ConcurrentCallersComputeOnce)
+{
+    ArtifactCache cache(64);
+    const size_t callers = 8;
+    std::atomic<size_t> computes{0};
+    std::atomic<size_t> waiting{0};
+
+    // All callers line up on the same cold key; the producer holds
+    // the flight open until every other caller has arrived, so the
+    // dedup path is exercised deterministically.
+    std::vector<std::thread> threads;
+    std::vector<int> results(callers, 0);
+    for (size_t t = 0; t < callers; ++t) {
+        threads.emplace_back([&, t] {
+            ++waiting;
+            results[t] = *cache.getOrCompute<int>(key("shared"), [&] {
+                ++computes;
+                while (waiting.load() < callers)
+                    std::this_thread::yield();
+                // Give the stragglers time to block on the flight.
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(20));
+                return 99;
+            });
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+
+    EXPECT_EQ(computes.load(), 1u);
+    for (int r : results)
+        EXPECT_EQ(r, 99);
+
+    ArtifactCache::Stats stats = cache.stats();
+    EXPECT_EQ(stats.misses, 1u);
+    // Every non-owner either waited on the flight or hit the stored
+    // entry (if it arrived after publication).
+    EXPECT_EQ(stats.dedupWaits + stats.hits, callers - 1);
+    EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(SingleFlight, DedupWaitCounterCounts)
+{
+    ArtifactCache cache(64);
+    std::atomic<bool> release{false};
+
+    std::thread owner([&] {
+        cache.getOrCompute<int>(key("counted"), [&] {
+            // Hold the flight open until the waiter is counted.
+            while (cache.stats().dedupWaits < 1)
+                std::this_thread::yield();
+            release = true;
+            return 1;
+        });
+    });
+    std::thread waiter([&] {
+        // Arrive strictly second: the owner is inside its producer.
+        while (!release.load() && cache.stats().misses < 1)
+            std::this_thread::yield();
+        int v = *cache.getOrCompute<int>(key("counted"),
+                                         [] { return 2; });
+        EXPECT_EQ(v, 1);
+    });
+    owner.join();
+    waiter.join();
+
+    ArtifactCache::Stats stats = cache.stats();
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.dedupWaits, 1u);
+}
+
+TEST(SingleFlight, FailedFlightPropagatesAndReleasesKey)
+{
+    ArtifactCache cache(64);
+    EXPECT_THROW(cache.getOrCompute<int>(
+                     key("flaky"),
+                     []() -> int {
+                         throw std::runtime_error("producer died");
+                     }),
+                 std::runtime_error);
+    // The failed key is released: a retry computes (and stores).
+    int v = *cache.getOrCompute<int>(key("flaky"), [] { return 7; });
+    EXPECT_EQ(v, 7);
+    EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(SingleFlight, FailedFlightPropagatesToWaiters)
+{
+    ArtifactCache cache(64);
+    std::atomic<size_t> arrived{0};
+    const size_t callers = 4;
+    std::atomic<size_t> threw{0};
+
+    std::vector<std::thread> threads;
+    for (size_t t = 0; t < callers; ++t) {
+        threads.emplace_back([&] {
+            ++arrived;
+            try {
+                cache.getOrCompute<int>(key("doomed"), [&]() -> int {
+                    while (arrived.load() < callers)
+                        std::this_thread::yield();
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(10));
+                    throw std::runtime_error("shared failure");
+                });
+            } catch (const std::runtime_error &) {
+                ++threw;
+            }
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+
+    // The owner threw, and every waiter that joined the flight got
+    // the same exception; late arrivals re-ran the producer (the key
+    // was released) and threw on their own.
+    EXPECT_EQ(threw.load(), callers);
+    EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(SingleFlight, DisabledCacheComputesWithoutCounting)
+{
+    ArtifactCache cache(64, false);
+    int v = *cache.getOrCompute<int>(key("off"), [] { return 5; });
+    EXPECT_EQ(v, 5);
+    ArtifactCache::Stats stats = cache.stats();
+    EXPECT_EQ(stats.misses, 0u);
+    EXPECT_EQ(stats.hits, 0u);
+    EXPECT_EQ(stats.dedupWaits, 0u);
+    EXPECT_EQ(stats.entries, 0u);
+}
+
+TEST(SingleFlight, ColdBuildAllMissCountIsThreadInvariant)
+{
+    // The dedup regression pin: a cold whole-registry build computes
+    // each artifact exactly once whether one thread walks the graph
+    // or eight race over it, so the miss/entry counts are identical
+    // and the serial run never dedup-waits.
+    ArtifactCache serial_cache(4096);
+    ExecContext serial = ExecContext::withThreads(1);
+    buildAll(serial, &serial_cache);
+    ArtifactCache::Stats serial_stats = serial_cache.stats();
+
+    ArtifactCache parallel_cache(4096);
+    ExecContext parallel = ExecContext::withThreads(8);
+    buildAll(parallel, &parallel_cache);
+    ArtifactCache::Stats parallel_stats = parallel_cache.stats();
+
+    EXPECT_EQ(serial_stats.dedupWaits, 0u);
+    EXPECT_EQ(parallel_stats.misses, serial_stats.misses);
+    // A lookup that hits serially may dedup-wait in the race, but
+    // the two outcomes partition the same non-miss lookups.
+    EXPECT_EQ(parallel_stats.hits + parallel_stats.dedupWaits,
+              serial_stats.hits + serial_stats.dedupWaits);
+    EXPECT_EQ(parallel_stats.entries, serial_stats.entries);
+    EXPECT_EQ(parallel_stats.evictions, 0u);
+    EXPECT_EQ(serial_stats.evictions, 0u);
+}
+
+} // namespace
+} // namespace ucx

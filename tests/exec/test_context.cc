@@ -52,6 +52,34 @@ TEST(ExecContext, FromEnvIgnoresGarbage)
     ASSERT_EQ(unsetenv("UCX_THREADS"), 0);
 }
 
+TEST(ExecContext, FromEnvWarnsOnInvalidValue)
+{
+    // Rejected values (garbage, negative, absurdly large) fall back
+    // to hardware concurrency and say so on stderr, naming the
+    // offending value.
+    for (const char *bad : {"banana", "-2", "999999999"}) {
+        ASSERT_EQ(setenv("UCX_THREADS", bad, 1), 0);
+        testing::internal::CaptureStderr();
+        ExecContext ctx = ExecContext::fromEnv();
+        std::string err = testing::internal::GetCapturedStderr();
+        EXPECT_GE(ctx.threads(), 1u) << bad;
+        EXPECT_NE(err.find("UCX_THREADS"), std::string::npos) << bad;
+        EXPECT_NE(err.find(bad), std::string::npos) << bad;
+    }
+    ASSERT_EQ(unsetenv("UCX_THREADS"), 0);
+}
+
+TEST(ExecContext, FromEnvZeroMeansAutoWithoutWarning)
+{
+    ASSERT_EQ(setenv("UCX_THREADS", "0", 1), 0);
+    testing::internal::CaptureStderr();
+    ExecContext ctx = ExecContext::fromEnv();
+    std::string err = testing::internal::GetCapturedStderr();
+    EXPECT_GE(ctx.threads(), 1u);
+    EXPECT_EQ(err.find("UCX_THREADS"), std::string::npos) << err;
+    ASSERT_EQ(unsetenv("UCX_THREADS"), 0);
+}
+
 TEST(ExecContext, ParallelForVisitsEveryIndexOnce)
 {
     ExecContext ctx = ExecContext::withThreads(4);

@@ -1,0 +1,281 @@
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exec/task_graph.hh"
+#include "util/error.hh"
+#include "util/rng.hh"
+
+namespace ucx
+{
+namespace
+{
+
+TEST(TaskGraph, SubmitAndGet)
+{
+    ExecContext ctx = ExecContext::withThreads(4);
+    TaskGraph graph(ctx);
+    Future<int> f = graph.submit([] { return 42; });
+    EXPECT_EQ(f.get(), 42);
+    EXPECT_TRUE(f.done());
+}
+
+TEST(TaskGraph, VoidTaskRuns)
+{
+    ExecContext ctx = ExecContext::withThreads(2);
+    std::atomic<bool> ran{false};
+    TaskGraph graph(ctx);
+    Future<void> f = graph.submit([&] { ran = true; });
+    f.get();
+    EXPECT_TRUE(ran.load());
+}
+
+TEST(TaskGraph, SerialContextDrainsInline)
+{
+    TaskGraph graph(ExecContext::serial());
+    std::vector<int> order;
+    graph.submit([&] { order.push_back(1); });
+    graph.submit([&] { order.push_back(2); });
+    graph.wait();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(TaskGraph, DependentRunsAfterItsDependencies)
+{
+    ExecContext ctx = ExecContext::withThreads(4);
+    for (int round = 0; round < 20; ++round) {
+        TaskGraph graph(ctx);
+        std::atomic<bool> a_done{false};
+        std::atomic<bool> b_done{false};
+        Future<int> a = graph.submit([&] {
+            a_done = true;
+            return 1;
+        });
+        Future<int> b = graph.submit([&] {
+            b_done = true;
+            return 2;
+        });
+        Future<int> sum = graph.submitAfter(
+            {a.handle(), b.handle()}, [&] {
+                // Both dependencies finished; their reads are free.
+                EXPECT_TRUE(a_done.load());
+                EXPECT_TRUE(b_done.load());
+                return a.get() + b.get();
+            });
+        EXPECT_EQ(sum.get(), 3);
+    }
+}
+
+TEST(TaskGraph, MapMatchesSerialAtAnyThreadCount)
+{
+    auto work = [](size_t i) {
+        return std::to_string(i * 3) + ":" + std::to_string(i % 5);
+    };
+    TaskGraph serial(ExecContext::serial());
+    std::vector<std::string> reference = serial.map(200, work);
+    for (size_t threads : {2u, 8u}) {
+        ExecContext ctx = ExecContext::withThreads(threads);
+        TaskGraph graph(ctx);
+        EXPECT_EQ(graph.map(200, work), reference)
+            << threads << " threads";
+    }
+}
+
+TEST(TaskGraph, PerNodeRngStreamsAreScheduleInvariant)
+{
+    // Stochastic tasks draw from Rng::split(node index): the draws
+    // are a pure function of (seed, index), so the joined vector is
+    // identical at every thread count.
+    auto run = [](const ExecContext &ctx) {
+        Rng root(12345);
+        TaskGraph graph(ctx);
+        return graph.map(64, [&root](size_t i) {
+            Rng stream = root.split(i);
+            double sum = 0.0;
+            for (int k = 0; k < 10; ++k)
+                sum += stream.uniform();
+            return sum;
+        });
+    };
+    std::vector<double> reference = run(ExecContext::serial());
+    for (size_t threads : {2u, 8u})
+        EXPECT_EQ(run(ExecContext::withThreads(threads)), reference)
+            << threads << " threads";
+}
+
+TEST(TaskGraph, TaskSubmitsSubTasksIntoItsOwnGraph)
+{
+    // Re-entrant scheduling: a running task submits further nodes
+    // into the same graph and joins them without deadlock — the
+    // waiting task drains ready nodes itself.
+    for (size_t threads : {1u, 2u, 8u}) {
+        ExecContext ctx = ExecContext::withThreads(threads);
+        TaskGraph graph(ctx);
+        Future<size_t> total = graph.submit([&graph] {
+            std::vector<size_t> parts =
+                graph.map(16, [](size_t i) { return i * i; });
+            size_t sum = 0;
+            for (size_t p : parts)
+                sum += p;
+            return sum;
+        });
+        EXPECT_EQ(total.get(), 1240u) << threads << " threads";
+    }
+}
+
+TEST(TaskGraph, TaskCallsNestedParallelFor)
+{
+    // A graph task entering a nested parallel region must keep its
+    // results index-addressed and deadlock-free at any thread count.
+    auto run = [](const ExecContext &ctx) {
+        TaskGraph graph(ctx);
+        return graph.map(8, [&ctx](size_t i) {
+            std::vector<size_t> inner =
+                ctx.parallelMap(32, [i](size_t j) { return i * j; });
+            size_t sum = 0;
+            for (size_t v : inner)
+                sum += v;
+            return sum;
+        });
+    };
+    std::vector<size_t> reference = run(ExecContext::serial());
+    for (size_t threads : {1u, 2u, 8u})
+        EXPECT_EQ(run(ExecContext::withThreads(threads)), reference)
+            << threads << " threads";
+}
+
+TEST(TaskGraph, GetRethrowsTaskError)
+{
+    ExecContext ctx = ExecContext::withThreads(2);
+    TaskGraph graph(ctx);
+    Future<int> f = graph.submit(
+        []() -> int { throw std::runtime_error("boom"); });
+    try {
+        f.get();
+        FAIL() << "expected an exception";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "boom");
+    }
+}
+
+TEST(TaskGraph, FailedDependencySkipsDependent)
+{
+    ExecContext ctx = ExecContext::withThreads(4);
+    TaskGraph graph(ctx);
+    std::atomic<bool> dependent_ran{false};
+    Future<int> bad = graph.submit(
+        []() -> int { throw std::runtime_error("dep failed"); });
+    Future<int> after =
+        graph.submitAfter({bad.handle()}, [&]() -> int {
+            dependent_ran = true;
+            return 0;
+        });
+    try {
+        after.get();
+        FAIL() << "expected the dependency's exception";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "dep failed");
+    }
+    EXPECT_FALSE(dependent_ran.load());
+}
+
+TEST(TaskGraph, WaitRethrowsFirstErrorInSubmissionOrder)
+{
+    ExecContext ctx = ExecContext::withThreads(8);
+    TaskGraph graph(ctx);
+    for (size_t i = 0; i < 50; ++i) {
+        graph.submit([i] {
+            if (i == 17 || i == 42)
+                throw std::runtime_error("index " +
+                                         std::to_string(i));
+        });
+    }
+    try {
+        graph.wait();
+        FAIL() << "expected an exception";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "index 17");
+    }
+}
+
+TEST(TaskGraph, MapRethrowsLowestIndexError)
+{
+    ExecContext ctx = ExecContext::withThreads(8);
+    TaskGraph graph(ctx);
+    try {
+        graph.map(100, [](size_t i) -> int {
+            if (i == 23 || i == 71)
+                throw std::runtime_error("index " +
+                                         std::to_string(i));
+            return 0;
+        });
+        FAIL() << "expected an exception";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "index 23");
+    }
+}
+
+TEST(TaskGraph, FutureOutlivesGraph)
+{
+    ExecContext ctx = ExecContext::withThreads(2);
+    Future<std::string> f;
+    {
+        TaskGraph graph(ctx);
+        f = graph.submit([] { return std::string("kept"); });
+        // ~TaskGraph waits for the task.
+    }
+    EXPECT_TRUE(f.done());
+    EXPECT_EQ(f.get(), "kept");
+}
+
+TEST(TaskGraph, RejectsDependencyFromAnotherGraph)
+{
+    ExecContext ctx = ExecContext::withThreads(2);
+    TaskGraph a(ctx);
+    TaskGraph b(ctx);
+    Future<int> fa = a.submit([] { return 1; });
+    EXPECT_THROW(b.submitAfter({fa.handle()}, [] { return 2; }),
+                 UcxError);
+}
+
+TEST(TaskGraph, RejectsInvalidDependencyHandle)
+{
+    ExecContext ctx = ExecContext::withThreads(2);
+    TaskGraph graph(ctx);
+    EXPECT_THROW(graph.submitAfter({TaskHandle()}, [] { return 1; }),
+                 UcxError);
+}
+
+TEST(TaskGraph, DiamondDependencyJoins)
+{
+    ExecContext ctx = ExecContext::withThreads(4);
+    TaskGraph graph(ctx);
+    Future<int> root = graph.submit([] { return 10; });
+    Future<int> left = graph.submitAfter(
+        {root.handle()}, [&] { return root.get() + 1; });
+    Future<int> right = graph.submitAfter(
+        {root.handle()}, [&] { return root.get() + 2; });
+    Future<int> join = graph.submitAfter(
+        {left.handle(), right.handle()},
+        [&] { return left.get() * right.get(); });
+    EXPECT_EQ(join.get(), 132);
+}
+
+TEST(TaskGraph, ManyTasksAllRunExactlyOnce)
+{
+    ExecContext ctx = ExecContext::withThreads(8);
+    const size_t n = 2000;
+    std::vector<std::atomic<int>> visits(n);
+    TaskGraph graph(ctx);
+    for (size_t i = 0; i < n; ++i)
+        graph.submit([&visits, i] { ++visits[i]; });
+    graph.wait();
+    for (size_t i = 0; i < n; ++i)
+        ASSERT_EQ(visits[i].load(), 1) << "index " << i;
+}
+
+} // namespace
+} // namespace ucx

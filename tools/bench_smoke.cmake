@@ -38,6 +38,16 @@ if(NOT EXISTS "${OUT_DIR}/BENCH_perf_microbench.json")
             "UCX_BENCH_DIR (${OUT_DIR})")
 endif()
 
+# The graph-vs-flat scheduler comparison runs even in smoke mode;
+# its gauges prove the task-graph build path executed end to end.
+file(READ "${OUT_DIR}/BENCH_perf_microbench.json" bench_report)
+string(FIND "${bench_report}" "bench.graph.flat_ms" graph_gauge)
+if(graph_gauge EQUAL -1)
+    message(FATAL_ERROR
+            "BENCH_perf_microbench.json is missing the "
+            "bench.graph.flat_ms gauge")
+endif()
+
 execute_process(
     COMMAND "${OBSDIFF_BIN}" --self-check "${OUT_DIR}"
     RESULT_VARIABLE diff_rc)
