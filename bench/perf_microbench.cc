@@ -8,11 +8,15 @@
 
 #include <algorithm>
 #include <chrono>
+#include <filesystem>
 #include <thread>
+
+#include <unistd.h>
 
 #include <benchmark/benchmark.h>
 
 #include "bench_util.hh"
+#include "io/artifact_serde.hh"
 #include "core/estimator.hh"
 #include "data/paper_data.hh"
 #include "designs/registry.hh"
@@ -317,6 +321,75 @@ graphSpeedup(bool smoke)
               << speedup << "x\n";
 }
 
+/**
+ * Disk-tier effectiveness: build a design set three times against a
+ * scratch UCX_CACHE_DIR-style store — cold (fresh cache, fresh
+ * store: every pass runs and writes through), disk-warm (a *new*
+ * cache on the populated store, the second-process scenario: memory
+ * empty, every artifact decodes from disk), then memory-warm (the
+ * same cache again: pure memory hits). Wall times, the cold/disk
+ * speedup, and the disk-hit count land in
+ * BENCH_perf_microbench.json as bench.disk.* gauges. Runs even
+ * under UCX_BENCH_SMOKE (on a design subset) so bench-smoke can
+ * gate on the gauges' presence.
+ */
+void
+diskSpeedup(bool smoke)
+{
+    namespace fs = std::filesystem;
+    io::registerArtifactSerdes();
+
+    std::vector<std::string> names;
+    for (const ShippedDesign &sd : shippedDesigns())
+        names.push_back(sd.name);
+    if (smoke && names.size() > 4)
+        names.resize(4);
+
+    fs::path dir =
+        fs::temp_directory_path() /
+        ("ucx_bench_disk_" + std::to_string(::getpid()));
+    std::error_code ec;
+    fs::remove_all(dir, ec);
+    fs::create_directories(dir);
+
+    ExecContext ctx = ExecContext::serial();
+    auto timedBuild = [&](ArtifactCache &cache) {
+        auto t0 = std::chrono::steady_clock::now();
+        benchmark::DoNotOptimize(
+            buildDesigns(names, ctx, &cache, {}));
+        return std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - t0)
+            .count();
+    };
+
+    ArtifactCache cold_cache(1024, true, dir.string());
+    double cold_ms = timedBuild(cold_cache);
+
+    // A second cache on the populated store stands in for a second
+    // process: its memory tier starts empty.
+    ArtifactCache warm_cache(1024, true, dir.string());
+    double warm_ms = timedBuild(warm_cache);
+    uint64_t disk_hits = warm_cache.stats().diskHits;
+
+    double mem_warm_ms = timedBuild(warm_cache);
+
+    double speedup = warm_ms > 0.0 ? cold_ms / warm_ms : 0.0;
+    obs::gauge("bench.disk.cold_ms").set(cold_ms);
+    obs::gauge("bench.disk.warm_ms").set(warm_ms);
+    obs::gauge("bench.disk.mem_warm_ms").set(mem_warm_ms);
+    obs::gauge("bench.disk.speedup").set(speedup);
+    obs::gauge("bench.disk.hits")
+        .set(static_cast<double>(disk_hits));
+
+    std::cout << "disk tier (" << names.size()
+              << " designs): cold " << cold_ms << " ms, disk-warm "
+              << warm_ms << " ms (" << disk_hits
+              << " disk hits), mem-warm " << mem_warm_ms
+              << " ms, cold/disk speedup " << speedup << "x\n";
+
+    fs::remove_all(dir, ec);
+}
+
 } // namespace
 
 // Expanded BENCHMARK_MAIN() so the whole run sits inside a
@@ -338,9 +411,11 @@ main(int argc, char **argv)
     const char *smoke_env = std::getenv("UCX_BENCH_SMOKE");
     bool smoke = smoke_env && *smoke_env != '\0' &&
                  std::string(smoke_env) != "0";
-    // graphSpeedup runs either way (on a subset in smoke mode) so
-    // the smoke gate can assert the bench.graph.* gauges exist.
+    // graphSpeedup and diskSpeedup run either way (on a subset in
+    // smoke mode) so the smoke gate can assert the bench.graph.*
+    // and bench.disk.* gauges exist.
     graphSpeedup(smoke);
+    diskSpeedup(smoke);
     if (smoke)
         return 0;
     bootstrapSpeedup();

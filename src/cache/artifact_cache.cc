@@ -3,6 +3,9 @@
 #include <condition_variable>
 #include <cstdlib>
 
+#include "io/disk_store.hh"
+#include "io/registry.hh"
+#include "io/serde.hh"
 #include "obs/metrics.hh"
 #include "obs/tracelog.hh"
 #include "util/error.hh"
@@ -53,6 +56,41 @@ dedupWaitCounter()
     return c;
 }
 
+obs::Counter &
+diskHitCounter()
+{
+    static obs::Counter &c = obs::counter("cache.disk.hits");
+    return c;
+}
+
+obs::Counter &
+diskMissCounter()
+{
+    static obs::Counter &c = obs::counter("cache.disk.misses");
+    return c;
+}
+
+obs::Counter &
+diskWriteCounter()
+{
+    static obs::Counter &c = obs::counter("cache.disk.writes");
+    return c;
+}
+
+obs::Counter &
+diskByteCounter()
+{
+    static obs::Counter &c = obs::counter("cache.disk.bytes");
+    return c;
+}
+
+obs::Counter &
+diskCorruptCounter()
+{
+    static obs::Counter &c = obs::counter("cache.disk.corrupt");
+    return c;
+}
+
 } // namespace
 
 /**
@@ -70,10 +108,27 @@ struct ArtifactCache::Flight
     std::exception_ptr error;
 };
 
-ArtifactCache::ArtifactCache(size_t capacity, bool enabled)
+ArtifactCache::ArtifactCache(size_t capacity, bool enabled,
+                             std::string disk_dir)
     : capacity_(capacity), enabled_(enabled)
 {
     require(capacity >= 1, "cache capacity must be >= 1");
+    if (!disk_dir.empty())
+        disk_ = std::make_unique<io::DiskStore>(std::move(disk_dir));
+}
+
+ArtifactCache::~ArtifactCache() = default;
+
+std::string
+ArtifactCache::diskDirFromEnv()
+{
+    return io::DiskStore::dirFromEnv();
+}
+
+std::string
+ArtifactCache::diskDir() const
+{
+    return disk_ ? disk_->dir() : std::string();
 }
 
 size_t
@@ -111,31 +166,112 @@ ArtifactCache::setEnabled(bool on)
 }
 
 std::shared_ptr<const void>
+ArtifactCache::diskProbe(const CacheKey &key,
+                         const io::ArtifactCodec &codec,
+                         std::string *framed_out)
+{
+    obs::TraceScope scope("cache.disk.read");
+    if (scope.active())
+        scope.arg("key", traceKey(key));
+    std::string framed;
+    io::DiskStore::ReadStatus status = disk_->read(key.str(), framed);
+    if (status == io::DiskStore::ReadStatus::Hit) {
+        try {
+            std::shared_ptr<const void> value = codec.decode(framed);
+            diskHits_.fetch_add(1, std::memory_order_relaxed);
+            diskHitCounter().add(1);
+            if (scope.active())
+                scope.arg("outcome", "hit");
+            if (framed_out)
+                *framed_out = std::move(framed);
+            return value;
+        } catch (const io::SerdeError &) {
+            // A frame the store's container checks let through but
+            // the codec rejects (bad checksum, truncated payload,
+            // schema version bump): treat exactly like a torn file.
+            disk_->remove(key.str());
+            status = io::DiskStore::ReadStatus::Corrupt;
+        }
+    }
+    if (status == io::DiskStore::ReadStatus::Corrupt) {
+        diskCorrupt_.fetch_add(1, std::memory_order_relaxed);
+        diskCorruptCounter().add(1);
+        if (scope.active())
+            scope.arg("outcome", "corrupt");
+    } else {
+        diskMisses_.fetch_add(1, std::memory_order_relaxed);
+        diskMissCounter().add(1);
+        if (scope.active())
+            scope.arg("outcome", "miss");
+    }
+    return nullptr;
+}
+
+void
+ArtifactCache::diskPublish(const CacheKey &key,
+                           const std::string &framed)
+{
+    obs::TraceScope scope("cache.disk.write");
+    if (scope.active())
+        scope.arg("key", traceKey(key));
+    if (disk_->write(key.str(), framed)) {
+        diskWrites_.fetch_add(1, std::memory_order_relaxed);
+        diskWriteCounter().add(1);
+        diskBytes_.fetch_add(framed.size(),
+                             std::memory_order_relaxed);
+        diskByteCounter().add(
+            static_cast<uint64_t>(framed.size()));
+    }
+}
+
+std::shared_ptr<const void>
 ArtifactCache::getRaw(const CacheKey &key, const std::type_info &type)
 {
     require(!key.empty(), "cache lookup with an empty key");
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (!enabled_)
-        return nullptr;
-    auto it = entries_.find(key.str());
-    if (it == entries_.end()) {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!enabled_)
+            return nullptr;
+        auto it = entries_.find(key.str());
+        if (it != entries_.end()) {
+            ensure(*it->second.type == type,
+                   "cache key '" + key.str() +
+                       "' holds an artifact of another type");
+            lru_.splice(lru_.begin(), lru_, it->second.lruPos);
+            ++hits_;
+            hitCounter().add(1);
+            if (obs::traceEnabled()) {
+                obs::traceInstant("cache.hit",
+                                  {{"key", traceKey(key)}});
+            }
+            return it->second.value;
+        }
         ++misses_;
         missCounter().add(1);
-        if (obs::traceEnabled()) {
-            obs::traceInstant("cache.miss",
-                              {{"key", traceKey(key)}});
-        }
-        return nullptr;
+        if (obs::traceEnabled())
+            obs::traceInstant("cache.miss", {{"key", traceKey(key)}});
     }
-    ensure(*it->second.type == type,
-           "cache key '" + key.str() +
-               "' holds an artifact of another type");
-    lru_.splice(lru_.begin(), lru_, it->second.lruPos);
-    ++hits_;
-    hitCounter().add(1);
-    if (obs::traceEnabled())
-        obs::traceInstant("cache.hit", {{"key", traceKey(key)}});
-    return it->second.value;
+
+    // Memory miss: fall through to the disk tier, outside the lock.
+    // Concurrent probes of one key may both read the file; the first
+    // memory insert wins and both return the same stored value.
+    if (!disk_)
+        return nullptr;
+    const io::ArtifactCodec *codec =
+        io::SerdeRegistry::global().byType(type);
+    if (codec == nullptr)
+        return nullptr;
+    std::string framed;
+    std::shared_ptr<const void> value =
+        diskProbe(key, *codec, &framed);
+    if (value == nullptr)
+        return nullptr;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (enabled_)
+            insertLocked(key, value, type, framed.size());
+    }
+    return value;
 }
 
 void
@@ -145,10 +281,28 @@ ArtifactCache::putRaw(const CacheKey &key,
 {
     require(!key.empty(), "cache insert with an empty key");
     ensure(value != nullptr, "cache insert of a null artifact");
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (!enabled_)
-        return;
-    insertLocked(key, std::move(value), type, bytes);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!enabled_)
+            return;
+    }
+    // Encode outside the lock: the frame size is the real footprint
+    // of serde-covered types, and doubles as the disk write-through.
+    const io::ArtifactCodec *codec =
+        io::SerdeRegistry::global().byType(type);
+    std::string framed;
+    if (codec != nullptr) {
+        framed = codec->encode(value);
+        bytes = framed.size();
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!enabled_)
+            return;
+        insertLocked(key, value, type, bytes);
+    }
+    if (disk_ && codec != nullptr)
+        diskPublish(key, framed);
 }
 
 void
@@ -249,27 +403,47 @@ ArtifactCache::getOrComputeRaw(
         return flight->value;
     }
 
-    // Owner (or disabled cache): compute outside every lock, so
-    // other keys stay fully concurrent and the producer is free to
-    // use the cache itself.
+    // Owner (or disabled cache): all work happens outside every
+    // lock, so other keys stay fully concurrent and the producer is
+    // free to use the cache itself. Being the single Flight owner
+    // also makes this the one place that touches the disk tier for
+    // the key — one probe, one write, at any thread count.
+    const io::ArtifactCodec *codec =
+        flight ? io::SerdeRegistry::global().byType(type) : nullptr;
+
     std::shared_ptr<const void> value;
     std::exception_ptr error;
-    try {
-        value = produce();
-        ensure(value != nullptr,
-               "cache producer returned a null artifact");
-    } catch (...) {
-        error = std::current_exception();
+    std::string framed;
+    bool from_disk = false;
+    if (codec != nullptr && disk_) {
+        value = diskProbe(key, *codec, &framed);
+        from_disk = value != nullptr;
     }
+    if (value == nullptr) {
+        try {
+            value = produce();
+            ensure(value != nullptr,
+                   "cache producer returned a null artifact");
+            if (codec != nullptr)
+                framed = codec->encode(value);
+        } catch (...) {
+            error = std::current_exception();
+        }
+    }
+    if (!framed.empty())
+        bytes = framed.size();
 
     if (flight) {
+        bool stored = false;
         {
             std::lock_guard<std::mutex> lock(mutex_);
             inflight_.erase(key.str());
             // A failed key is released (not cached), so a later
             // call retries the computation.
-            if (!error && enabled_)
+            if (!error && enabled_) {
                 insertLocked(key, value, type, bytes);
+                stored = true;
+            }
         }
         {
             std::lock_guard<std::mutex> lock(flight->mutex);
@@ -278,6 +452,8 @@ ArtifactCache::getOrComputeRaw(
             flight->finished = true;
         }
         flight->cv.notify_all();
+        if (stored && !from_disk && codec != nullptr && disk_)
+            diskPublish(key, framed);
     }
 
     if (error)
@@ -306,6 +482,11 @@ ArtifactCache::stats() const
     s.entries = entries_.size();
     s.capacity = capacity_;
     s.approxBytes = approxBytes_;
+    s.diskHits = diskHits_.load(std::memory_order_relaxed);
+    s.diskMisses = diskMisses_.load(std::memory_order_relaxed);
+    s.diskWrites = diskWrites_.load(std::memory_order_relaxed);
+    s.diskCorrupt = diskCorrupt_.load(std::memory_order_relaxed);
+    s.diskBytes = diskBytes_.load(std::memory_order_relaxed);
     return s;
 }
 

@@ -1,15 +1,28 @@
 /**
  * @file
- * ArtifactCache — a thread-safe, content-addressed memo store for
- * pipeline artifacts (elaboration results, per-pass synthesis
- * artifacts, fitted estimators).
+ * ArtifactCache — a thread-safe, content-addressed, two-tier memo
+ * store for pipeline artifacts (elaboration results, per-pass
+ * synthesis artifacts, fitted estimators).
  *
- * Entries are immutable values behind shared_ptr<const T>, keyed by
- * a canonical CacheKey string, with LRU eviction at a fixed entry
- * capacity. Because every producer in this library is deterministic
- * (seed-stable, thread-count-independent by the exec-layer
- * contract), a hit is byte-identical to a recompute — the cache can
- * never change results, only skip work.
+ * The memory tier holds immutable values behind shared_ptr<const T>,
+ * keyed by a canonical CacheKey string, with LRU eviction at a fixed
+ * entry capacity. Because every producer in this library is
+ * deterministic (seed-stable, thread-count-independent by the
+ * exec-layer contract), a hit is byte-identical to a recompute — the
+ * cache can never change results, only skip work.
+ *
+ * The optional disk tier (UCX_CACHE_DIR, or the constructor's
+ * disk_dir) persists artifacts across processes through the ucx::io
+ * serde layer: on a memory miss the owner probes the
+ * content-addressed file store (io::DiskStore) and decodes a hit
+ * instead of recomputing; a cold computation is encoded once and
+ * written through. Only types registered with the SerdeRegistry
+ * (registerArtifactSerdes()) use the disk tier — unregistered types
+ * silently stay memory-only. A corrupt, truncated, or
+ * version-mismatched entry counts as "corrupt", is removed, and
+ * degrades to a recompute — never an error. Eviction from the memory
+ * tier leaves disk entries in place, so evicted artifacts come back
+ * as disk hits.
  *
  * getOrCompute is *single-flight*: the first caller to miss a key
  * becomes the owner of its computation, concurrent callers of the
@@ -25,15 +38,21 @@
  * in-flight computation; all are tracked locally for per-session
  * stats (obs collection may be disabled).
  *
+ * Hit/miss/eviction counts are exported through ucx::obs as before;
+ * the disk tier adds "cache.disk.{hits,misses,writes,bytes,corrupt}"
+ * counters and per-operation "cache.disk.read"/"cache.disk.write"
+ * trace spans.
+ *
  * The UCX_CACHE environment variable gates caching in benches and
  * examples: "0" disables it (every lookup misses, nothing is
  * stored); anything else leaves it on. UCX_CACHE_CAPACITY overrides
- * the default entry capacity.
+ * the default entry capacity; UCX_CACHE_DIR enables the disk tier.
  */
 
 #ifndef UCX_CACHE_ARTIFACT_CACHE_HH
 #define UCX_CACHE_ARTIFACT_CACHE_HH
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <list>
@@ -49,6 +68,12 @@
 namespace ucx
 {
 
+namespace io
+{
+class DiskStore;      // src/io — content-addressed file tier
+struct ArtifactCodec; // src/io — type-erased serde codec
+}
+
 /** Thread-safe content-addressed artifact store with LRU eviction. */
 class ArtifactCache
 {
@@ -59,15 +84,29 @@ class ArtifactCache
      * @param capacity Maximum entry count before LRU eviction;
      *                 must be >= 1.
      * @param enabled  Initial on/off state.
+     * @param disk_dir Disk-tier directory; "" keeps the cache
+     *                 memory-only.
      */
     explicit ArtifactCache(size_t capacity = defaultCapacity(),
-                           bool enabled = true);
+                           bool enabled = true,
+                           std::string disk_dir = diskDirFromEnv());
+
+    ~ArtifactCache();
 
     /** @return Entry capacity from UCX_CACHE_CAPACITY (default 1024). */
     static size_t defaultCapacity();
 
     /** @return False iff the UCX_CACHE environment variable is "0". */
     static bool enabledFromEnv();
+
+    /** @return UCX_CACHE_DIR, or "" when unset (disk tier off). */
+    static std::string diskDirFromEnv();
+
+    /** @return True when a disk tier is attached. */
+    bool diskEnabled() const { return disk_ != nullptr; }
+
+    /** @return The disk-tier directory ("" when memory-only). */
+    std::string diskDir() const;
 
     /** @return True when lookups and inserts are live. */
     bool enabled() const;
@@ -151,12 +190,19 @@ class ArtifactCache
         size_t capacity = 0;
 
         /**
-         * Shallow byte footprint: per-entry sizeof of the stored
-         * artifact (as reported at insert time) plus the key
-         * string. A lower bound — heap payloads behind the
-         * artifacts (vectors, strings) are not followed.
+         * Byte footprint of the memory tier. For artifact types
+         * with a registered serde codec this is the exact encoded
+         * frame size (plus the key string); for unregistered types
+         * it falls back to the shallow sizeof reported at insert
+         * time, a lower bound that does not follow heap payloads.
          */
         size_t approxBytes = 0;
+
+        uint64_t diskHits = 0;    ///< Artifacts decoded from disk.
+        uint64_t diskMisses = 0;  ///< Disk probes finding no entry.
+        uint64_t diskWrites = 0;  ///< Entries written through.
+        uint64_t diskCorrupt = 0; ///< Malformed entries removed.
+        uint64_t diskBytes = 0;   ///< Bytes written to disk.
 
         /** @return hits / (hits + misses), 0 when no lookups. */
         double hitRate() const;
@@ -222,6 +268,23 @@ class ArtifactCache
                       std::shared_ptr<const void> value,
                       const std::type_info &type, size_t bytes);
 
+    /**
+     * Probe the disk tier (no locks held). A malformed frame counts
+     * as corrupt and removes the entry file.
+     *
+     * @param key        Artifact key.
+     * @param codec      Registered codec of the artifact type.
+     * @param framed_out Receives the frame bytes on a hit (for byte
+     *                   accounting); may be null.
+     * @return The decoded artifact, or null on miss/corruption.
+     */
+    std::shared_ptr<const void>
+    diskProbe(const CacheKey &key, const io::ArtifactCodec &codec,
+              std::string *framed_out);
+
+    /** Write one encoded frame through to disk (no locks held). */
+    void diskPublish(const CacheKey &key, const std::string &framed);
+
     struct Entry
     {
         std::shared_ptr<const void> value;
@@ -244,6 +307,15 @@ class ArtifactCache
     uint64_t evictions_ = 0;
     uint64_t dedupWaits_ = 0;
     size_t approxBytes_ = 0;
+
+    /** Disk tier; null when memory-only. All I/O runs outside
+     *  mutex_, so its statistics are atomics, not guarded fields. */
+    std::unique_ptr<io::DiskStore> disk_;
+    std::atomic<uint64_t> diskHits_{0};
+    std::atomic<uint64_t> diskMisses_{0};
+    std::atomic<uint64_t> diskWrites_{0};
+    std::atomic<uint64_t> diskCorrupt_{0};
+    std::atomic<uint64_t> diskBytes_{0};
 };
 
 } // namespace ucx

@@ -25,6 +25,11 @@
 namespace ucx
 {
 
+namespace io
+{
+template <typename T> struct Serde; // src/io — binary artifact codec
+}
+
 /** How the estimator weights are calibrated. */
 enum class FitMode
 {
@@ -119,6 +124,7 @@ class FittedEstimator
                                         const std::vector<Metric> &,
                                         FitMode, ZeroPolicy,
                                         const ExecContext &);
+    friend struct io::Serde<FittedEstimator>;
 
     std::vector<Metric> metrics_;
     std::vector<double> weights_;

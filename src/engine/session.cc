@@ -5,6 +5,7 @@
 
 #include "data/paper_data.hh"
 #include "exec/task_graph.hh"
+#include "io/artifact_serde.hh"
 #include "obs/tracelog.hh"
 #include "synth/elaborate.hh"
 #include "util/error.hh"
@@ -98,6 +99,7 @@ SessionConfig::fromEnv()
     SessionConfig config;
     config.cacheEnabled = ArtifactCache::enabledFromEnv();
     config.cacheCapacity = ArtifactCache::defaultCapacity();
+    config.cacheDir = ArtifactCache::diskDirFromEnv();
     const char *lint = std::getenv("UCX_LINT");
     config.lintEnabled = !(lint && std::strcmp(lint, "0") == 0);
     return config;
@@ -106,8 +108,13 @@ SessionConfig::fromEnv()
 EstimationSession::EstimationSession(SessionConfig config,
                                      ExecContext ctx)
     : config_(config), ctx_(std::move(ctx)),
-      cache_(config.cacheCapacity, config.cacheEnabled)
+      cache_(config.cacheCapacity, config.cacheEnabled,
+             config.cacheDir)
 {
+    // The disk tier only persists serde-registered types; publish
+    // the codecs up front so the very first computation writes
+    // through.
+    io::registerArtifactSerdes();
 }
 
 MeasureOptions

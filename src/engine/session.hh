@@ -80,6 +80,14 @@ struct SessionConfig
     /** Cache entry capacity (fromEnv: UCX_CACHE_CAPACITY). */
     size_t cacheCapacity = 1024;
 
+    /**
+     * Disk-tier directory of the artifact cache (fromEnv:
+     * UCX_CACHE_DIR). "" keeps the cache memory-only; set, it
+     * persists artifacts across sessions and processes, so a warm
+     * restart re-reads rather than recomputes.
+     */
+    std::string cacheDir;
+
     /** Synthesis pipeline configuration (library/fabric/power). */
     PassConfig passes;
 
@@ -90,8 +98,9 @@ struct SessionConfig
      */
     bool lintEnabled = true;
 
-    /** @return Configuration honoring the UCX_CACHE, UCX_CACHE_CAPACITY,
-     *          and UCX_LINT variables. */
+    /** @return Configuration honoring the UCX_CACHE,
+     *          UCX_CACHE_CAPACITY, UCX_CACHE_DIR, and UCX_LINT
+     *          variables. */
     static SessionConfig fromEnv();
 };
 

@@ -1,0 +1,760 @@
+#include "io/artifact_serde.hh"
+
+#include <mutex>
+
+#include "io/registry.hh"
+#include "util/error.hh"
+
+namespace ucx
+{
+namespace io
+{
+
+namespace
+{
+
+// ------------------------------------------------ small helpers
+
+/** Decode an enum stored as a varint, range-checked. */
+template <typename E>
+E
+decodeEnum(Decoder &d, uint64_t max_value, const char *what)
+{
+    uint64_t v = d.u64();
+    if (v > max_value)
+        d.fail(std::string(what) + " value " + std::to_string(v) +
+               " out of range");
+    return static_cast<E>(v);
+}
+
+/** Decode a width/depth-style int that must be >= 1. */
+int
+decodePositive(Decoder &d, const char *what)
+{
+    int64_t v = d.i64();
+    if (v < 1 || v > INT32_MAX)
+        d.fail(std::string(what) + " " + std::to_string(v) +
+               " out of range");
+    return static_cast<int>(v);
+}
+
+void
+encodeIds(Encoder &e, const std::vector<uint32_t> &ids)
+{
+    e.u64(ids.size());
+    for (uint32_t id : ids)
+        e.u32(id);
+}
+
+std::vector<uint32_t>
+decodeIds(Decoder &d)
+{
+    size_t n = d.seq();
+    std::vector<uint32_t> out;
+    out.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        out.push_back(d.u32());
+    return out;
+}
+
+void
+encodeMetricValues(Encoder &e, const MetricValues &values)
+{
+    for (double v : values)
+        e.f64(v);
+}
+
+MetricValues
+decodeMetricValues(Decoder &d)
+{
+    MetricValues values{};
+    for (size_t i = 0; i < numMetrics; ++i)
+        values[i] = d.f64();
+    return values;
+}
+
+// ------------------------------------------------ nested structs
+
+void
+encodeInstance(Encoder &e, const InstanceInfo &v)
+{
+    e.str(v.moduleName);
+    e.str(v.path);
+    e.u64(v.params.size());
+    for (const auto &[name, value] : v.params) {
+        e.str(name);
+        e.i64(value);
+    }
+    e.u64(v.children.size());
+    for (const InstanceInfo &child : v.children)
+        encodeInstance(e, child);
+}
+
+InstanceInfo
+decodeInstance(Decoder &d)
+{
+    InstanceInfo v;
+    v.moduleName = d.str();
+    v.path = d.str();
+    size_t params = d.seq(2);
+    for (size_t i = 0; i < params; ++i) {
+        std::string name = d.str();
+        v.params[name] = d.i64();
+    }
+    size_t children = d.seq(2);
+    v.children.reserve(children);
+    for (size_t i = 0; i < children; ++i)
+        v.children.push_back(decodeInstance(d));
+    return v;
+}
+
+void
+encodeGenerateStats(Encoder &e, const GenerateStats &v)
+{
+    e.u64(v.loopTrips.size());
+    for (const auto &[site, trips] : v.loopTrips) {
+        e.str(site);
+        e.u64(trips.size());
+        for (int64_t trip : trips)
+            e.i64(trip);
+    }
+    e.u64(v.ifBranches.size());
+    for (const auto &[site, branches] : v.ifBranches) {
+        e.str(site);
+        e.u64(branches.size());
+        for (int branch : branches)
+            e.i64(branch);
+    }
+}
+
+GenerateStats
+decodeGenerateStats(Decoder &d)
+{
+    GenerateStats v;
+    size_t loops = d.seq(2);
+    for (size_t i = 0; i < loops; ++i) {
+        std::string site = d.str();
+        auto &trips = v.loopTrips[site];
+        size_t n = d.seq();
+        for (size_t j = 0; j < n; ++j)
+            trips.insert(d.i64());
+    }
+    size_t ifs = d.seq(2);
+    for (size_t i = 0; i < ifs; ++i) {
+        std::string site = d.str();
+        auto &branches = v.ifBranches[site];
+        size_t n = d.seq();
+        for (size_t j = 0; j < n; ++j) {
+            int64_t branch = d.i64();
+            if (branch < 0 || branch > 1)
+                d.fail("generate-if branch " +
+                       std::to_string(branch) + " out of range");
+            branches.insert(static_cast<int>(branch));
+        }
+    }
+    return v;
+}
+
+void
+encodeTimingReport(Encoder &e, const TimingReport &v)
+{
+    e.f64(v.criticalPathNs);
+    e.f64(v.freqMHz);
+}
+
+TimingReport
+decodeTimingReport(Decoder &d)
+{
+    TimingReport v;
+    v.criticalPathNs = d.f64();
+    v.freqMHz = d.f64();
+    return v;
+}
+
+std::once_flag registerOnce;
+
+} // namespace
+
+// ---------------------------------------------------- RtlDesign
+
+void
+Serde<RtlDesign>::encode(Encoder &e, const RtlDesign &v)
+{
+    e.u64(v.signals.size());
+    for (const RtlSignal &s : v.signals) {
+        e.str(s.name);
+        e.i64(s.width);
+        e.u64(static_cast<uint64_t>(s.kind));
+        e.u32(s.driver);
+    }
+    e.u64(v.nodes.size());
+    for (const RtlNode &n : v.nodes) {
+        e.u64(static_cast<uint64_t>(n.op));
+        e.i64(n.width);
+        e.u64(n.constVal);
+        e.u32(n.sig);
+        e.i64(n.lo);
+        e.u32(n.mem);
+        encodeIds(e, n.args);
+    }
+    e.u64(v.memories.size());
+    for (const RtlMemory &m : v.memories) {
+        e.str(m.name);
+        e.i64(m.width);
+        e.i64(m.depth);
+        e.u64(m.writePorts.size());
+        for (const MemWritePort &p : m.writePorts) {
+            e.u32(p.addr);
+            e.u32(p.data);
+            e.u32(p.enable);
+        }
+    }
+    encodeIds(e, v.inputs);
+    encodeIds(e, v.outputs);
+}
+
+RtlDesign
+Serde<RtlDesign>::decode(Decoder &d)
+{
+    RtlDesign v;
+    size_t signals = d.seq(4);
+    for (size_t i = 0; i < signals; ++i) {
+        std::string name = d.str();
+        int width = decodePositive(d, "signal width");
+        auto kind = decodeEnum<SigKind>(
+            d, static_cast<uint64_t>(SigKind::Output), "SigKind");
+        NodeId driver = d.u32();
+        if (v.hasSignal(name))
+            d.fail("duplicate signal '" + name + "'");
+        SigId id = v.addSignal(name, width, kind);
+        v.signals[id].driver = driver;
+    }
+    size_t nodes = d.seq(6);
+    v.nodes.reserve(nodes);
+    for (size_t i = 0; i < nodes; ++i) {
+        RtlNode n;
+        n.op = decodeEnum<RtlOp>(
+            d, static_cast<uint64_t>(RtlOp::MemRead), "RtlOp");
+        n.width = decodePositive(d, "node width");
+        n.constVal = d.u64();
+        n.sig = d.u32();
+        int64_t lo = d.i64();
+        if (lo < 0 || lo > INT32_MAX)
+            d.fail("slice low bit " + std::to_string(lo) +
+                   " out of range");
+        n.lo = static_cast<int>(lo);
+        n.mem = d.u32();
+        n.args = decodeIds(d);
+        v.nodes.push_back(std::move(n));
+    }
+    size_t memories = d.seq(4);
+    v.memories.reserve(memories);
+    for (size_t i = 0; i < memories; ++i) {
+        RtlMemory m;
+        m.name = d.str();
+        m.width = decodePositive(d, "memory width");
+        m.depth = decodePositive(d, "memory depth");
+        size_t ports = d.seq(3);
+        m.writePorts.reserve(ports);
+        for (size_t j = 0; j < ports; ++j) {
+            MemWritePort p;
+            p.addr = d.u32();
+            p.data = d.u32();
+            p.enable = d.u32();
+            m.writePorts.push_back(p);
+        }
+        v.memories.push_back(std::move(m));
+    }
+    v.inputs = decodeIds(d);
+    v.outputs = decodeIds(d);
+    return v;
+}
+
+// ---------------------------------------------------- ElabResult
+
+void
+Serde<ElabResult>::encode(Encoder &e, const ElabResult &v)
+{
+    Serde<RtlDesign>::encode(e, v.rtl);
+    encodeInstance(e, v.top);
+    encodeGenerateStats(e, v.stats);
+    e.u64(v.warnings.size());
+    for (const std::string &w : v.warnings)
+        e.str(w);
+}
+
+ElabResult
+Serde<ElabResult>::decode(Decoder &d)
+{
+    ElabResult v;
+    v.rtl = Serde<RtlDesign>::decode(d);
+    v.top = decodeInstance(d);
+    v.stats = decodeGenerateStats(d);
+    size_t warnings = d.seq();
+    v.warnings.reserve(warnings);
+    for (size_t i = 0; i < warnings; ++i)
+        v.warnings.push_back(d.str());
+    return v;
+}
+
+// ------------------------------------------------------- Netlist
+
+void
+Serde<Netlist>::encode(Encoder &e, const Netlist &v)
+{
+    e.u64(v.gates.size());
+    for (const Gate &g : v.gates) {
+        e.u64(static_cast<uint64_t>(g.op));
+        encodeIds(e, g.in);
+        e.u32(g.mem);
+        e.u32(g.bit);
+    }
+    encodeIds(e, v.inputBits);
+    encodeIds(e, v.outputBits);
+    e.u64(v.memoryBits);
+}
+
+Netlist
+Serde<Netlist>::decode(Decoder &d)
+{
+    Netlist v;
+    size_t gates = d.seq(4);
+    v.gates.reserve(gates);
+    for (size_t i = 0; i < gates; ++i) {
+        Gate g;
+        g.op = decodeEnum<GateOp>(
+            d, static_cast<uint64_t>(GateOp::MemIn), "GateOp");
+        g.in = decodeIds(d);
+        g.mem = d.u32();
+        g.bit = d.u32();
+        v.gates.push_back(std::move(g));
+    }
+    v.inputBits = decodeIds(d);
+    v.outputBits = decodeIds(d);
+    v.memoryBits = d.u64();
+    return v;
+}
+
+// --------------------------------------------------- CellMapping
+
+void
+Serde<CellMapping>::encode(Encoder &e, const CellMapping &v)
+{
+    e.u64(v.cells);
+    e.u64(v.combCells);
+    e.u64(v.seqCells);
+    e.f64(v.areaLogicUm2);
+    e.f64(v.areaStorageUm2);
+    e.f64(v.leakageUw);
+}
+
+CellMapping
+Serde<CellMapping>::decode(Decoder &d)
+{
+    CellMapping v;
+    v.cells = d.u64();
+    v.combCells = d.u64();
+    v.seqCells = d.u64();
+    v.areaLogicUm2 = d.f64();
+    v.areaStorageUm2 = d.f64();
+    v.leakageUw = d.f64();
+    return v;
+}
+
+// ---------------------------------------------------- LutMapping
+
+void
+Serde<LutMapping>::encode(Encoder &e, const LutMapping &v)
+{
+    e.u64(v.luts.size());
+    for (const Lut &lut : v.luts) {
+        e.u32(lut.root);
+        encodeIds(e, lut.inputs);
+        e.i64(lut.depth);
+    }
+    e.i64(v.maxDepth);
+}
+
+LutMapping
+Serde<LutMapping>::decode(Decoder &d)
+{
+    LutMapping v;
+    size_t luts = d.seq(3);
+    v.luts.reserve(luts);
+    for (size_t i = 0; i < luts; ++i) {
+        Lut lut;
+        lut.root = d.u32();
+        lut.inputs = decodeIds(d);
+        lut.depth = static_cast<int>(d.i64());
+        v.luts.push_back(std::move(lut));
+    }
+    v.maxDepth = static_cast<int>(d.i64());
+    return v;
+}
+
+// ---------------------------------------------------- ConeReport
+
+void
+Serde<ConeReport>::encode(Encoder &e, const ConeReport &v)
+{
+    e.u64(v.cones.size());
+    for (const Cone &c : v.cones) {
+        e.u32(c.endpointDriver);
+        e.u64(c.gateCount);
+        e.u64(c.inputCount);
+    }
+    e.u64(v.fanInSum);
+    e.u64(v.maxInputs);
+}
+
+ConeReport
+Serde<ConeReport>::decode(Decoder &d)
+{
+    ConeReport v;
+    size_t cones = d.seq(3);
+    v.cones.reserve(cones);
+    for (size_t i = 0; i < cones; ++i) {
+        Cone c;
+        c.endpointDriver = d.u32();
+        c.gateCount = d.u64();
+        c.inputCount = d.u64();
+        v.cones.push_back(c);
+    }
+    v.fanInSum = d.u64();
+    v.maxInputs = d.u64();
+    return v;
+}
+
+// ------------------------------------------------- TimingSummary
+
+void
+Serde<TimingSummary>::encode(Encoder &e, const TimingSummary &v)
+{
+    encodeTimingReport(e, v.fpga);
+    encodeTimingReport(e, v.asic);
+}
+
+TimingSummary
+Serde<TimingSummary>::decode(Decoder &d)
+{
+    TimingSummary v;
+    v.fpga = decodeTimingReport(d);
+    v.asic = decodeTimingReport(d);
+    return v;
+}
+
+// --------------------------------------------------- PowerReport
+
+void
+Serde<PowerReport>::encode(Encoder &e, const PowerReport &v)
+{
+    e.f64(v.dynamicMw);
+    e.f64(v.staticUw);
+}
+
+PowerReport
+Serde<PowerReport>::decode(Decoder &d)
+{
+    PowerReport v;
+    v.dynamicMw = d.f64();
+    v.staticUw = d.f64();
+    return v;
+}
+
+// -------------------------------------------------- SynthMetrics
+
+void
+Serde<SynthMetrics>::encode(Encoder &e, const SynthMetrics &v)
+{
+    e.u64(v.fanInLC);
+    e.u64(v.fanInLCExact);
+    e.u64(v.nets);
+    e.u64(v.cells);
+    e.u64(v.ffs);
+    e.f64(v.areaLogicUm2);
+    e.f64(v.areaStorageUm2);
+    e.f64(v.powerDynamicMw);
+    e.f64(v.powerStaticUw);
+    e.f64(v.freqMHz);
+    e.f64(v.freqAsicMHz);
+    e.u64(v.luts);
+    e.i64(v.lutDepth);
+    e.u64(v.gateCount);
+}
+
+SynthMetrics
+Serde<SynthMetrics>::decode(Decoder &d)
+{
+    SynthMetrics v;
+    v.fanInLC = d.u64();
+    v.fanInLCExact = d.u64();
+    v.nets = d.u64();
+    v.cells = d.u64();
+    v.ffs = d.u64();
+    v.areaLogicUm2 = d.f64();
+    v.areaStorageUm2 = d.f64();
+    v.powerDynamicMw = d.f64();
+    v.powerStaticUw = d.f64();
+    v.freqMHz = d.f64();
+    v.freqAsicMHz = d.f64();
+    v.luts = d.u64();
+    v.lutDepth = static_cast<int>(d.i64());
+    v.gateCount = d.u64();
+    return v;
+}
+
+// ------------------------------------------ ComponentMeasurement
+
+void
+Serde<ComponentMeasurement>::encode(Encoder &e,
+                                    const ComponentMeasurement &v)
+{
+    encodeMetricValues(e, v.metrics);
+    e.u64(v.moduleCounts.size());
+    for (const auto &[module, count] : v.moduleCounts) {
+        e.str(module);
+        e.u64(count);
+    }
+    e.u64(v.measuredParams.size());
+    for (const auto &[module, params] : v.measuredParams) {
+        e.str(module);
+        e.u64(params.size());
+        for (const auto &[name, value] : params) {
+            e.str(name);
+            e.i64(value);
+        }
+    }
+}
+
+ComponentMeasurement
+Serde<ComponentMeasurement>::decode(Decoder &d)
+{
+    ComponentMeasurement v;
+    v.metrics = decodeMetricValues(d);
+    size_t modules = d.seq(2);
+    for (size_t i = 0; i < modules; ++i) {
+        std::string module = d.str();
+        v.moduleCounts[module] = d.u64();
+    }
+    size_t measured = d.seq(2);
+    for (size_t i = 0; i < measured; ++i) {
+        std::string module = d.str();
+        auto &params = v.measuredParams[module];
+        size_t n = d.seq(2);
+        for (size_t j = 0; j < n; ++j) {
+            std::string name = d.str();
+            params[name] = d.i64();
+        }
+    }
+    return v;
+}
+
+// ------------------------------------------------------- Dataset
+
+void
+Serde<Dataset>::encode(Encoder &e, const Dataset &v)
+{
+    e.u64(v.size());
+    for (const Component &c : v.components()) {
+        e.str(c.project);
+        e.str(c.name);
+        e.f64(c.effort);
+        encodeMetricValues(e, c.metrics);
+    }
+}
+
+Dataset
+Serde<Dataset>::decode(Decoder &d)
+{
+    Dataset v;
+    size_t components = d.seq(10);
+    for (size_t i = 0; i < components; ++i) {
+        Component c;
+        c.project = d.str();
+        c.name = d.str();
+        c.effort = d.f64();
+        c.metrics = decodeMetricValues(d);
+        if (c.project.empty() || c.name.empty())
+            d.fail("component with an empty project or name");
+        if (!(c.effort > 0.0))
+            d.fail("component '" + c.fullName() +
+                   "' with effort <= 0");
+        v.add(std::move(c));
+    }
+    return v;
+}
+
+// ---------------------------------------------- ConvergenceTrace
+
+void
+Serde<obs::ConvergenceTrace>::encode(Encoder &e,
+                                     const obs::ConvergenceTrace &v)
+{
+    e.str(v.algorithm);
+    e.u64(v.restarts);
+    e.boolean(v.converged);
+    e.u64(v.samples_.size());
+    for (const obs::IterationSample &s : v.samples_) {
+        e.u64(s.iteration);
+        e.f64(s.objective);
+        e.f64(s.gradNorm);
+        e.f64(s.stepSize);
+        e.f64(s.simplexSpread);
+        e.u64(s.evaluations);
+    }
+    e.u64(v.stride_);
+    e.u64(v.seen_);
+}
+
+obs::ConvergenceTrace
+Serde<obs::ConvergenceTrace>::decode(Decoder &d)
+{
+    obs::ConvergenceTrace v;
+    v.algorithm = d.str();
+    v.restarts = d.u64();
+    v.converged = d.boolean();
+    size_t samples = d.seq(6);
+    v.samples_.reserve(samples);
+    for (size_t i = 0; i < samples; ++i) {
+        obs::IterationSample s;
+        s.iteration = d.u64();
+        s.objective = d.f64();
+        s.gradNorm = d.f64();
+        s.stepSize = d.f64();
+        s.simplexSpread = d.f64();
+        s.evaluations = d.u64();
+        v.samples_.push_back(s);
+    }
+    v.stride_ = d.u64();
+    if (v.stride_ == 0)
+        d.fail("trace stride of 0");
+    v.seen_ = d.u64();
+    return v;
+}
+
+// ----------------------------------------------- FittedEstimator
+
+void
+Serde<FittedEstimator>::encode(Encoder &e, const FittedEstimator &v)
+{
+    e.u64(v.metrics_.size());
+    for (Metric m : v.metrics_)
+        e.u64(static_cast<uint64_t>(m));
+    e.u64(v.weights_.size());
+    for (double w : v.weights_)
+        e.f64(w);
+    e.f64(v.sigmaEps_);
+    e.f64(v.sigmaRho_);
+    e.f64(v.logLik_);
+    e.f64(v.aic_);
+    e.f64(v.bic_);
+    e.u64(static_cast<uint64_t>(v.mode_));
+    e.u64(v.nUsed_);
+    e.boolean(v.converged_);
+    e.u64(v.rho_.size());
+    for (const auto &[project, rho] : v.rho_) {
+        e.str(project);
+        e.f64(rho);
+    }
+    Serde<obs::ConvergenceTrace>::encode(e, v.trace_);
+}
+
+FittedEstimator
+Serde<FittedEstimator>::decode(Decoder &d)
+{
+    FittedEstimator v;
+    size_t metrics = d.seq();
+    v.metrics_.reserve(metrics);
+    for (size_t i = 0; i < metrics; ++i)
+        v.metrics_.push_back(decodeEnum<Metric>(
+            d, static_cast<uint64_t>(numMetrics) - 1, "Metric"));
+    size_t weights = d.seq(8);
+    v.weights_.reserve(weights);
+    for (size_t i = 0; i < weights; ++i)
+        v.weights_.push_back(d.f64());
+    v.sigmaEps_ = d.f64();
+    v.sigmaRho_ = d.f64();
+    v.logLik_ = d.f64();
+    v.aic_ = d.f64();
+    v.bic_ = d.f64();
+    v.mode_ = decodeEnum<FitMode>(
+        d, static_cast<uint64_t>(FitMode::Pooled), "FitMode");
+    v.nUsed_ = d.u64();
+    v.converged_ = d.boolean();
+    size_t projects = d.seq(9);
+    for (size_t i = 0; i < projects; ++i) {
+        std::string project = d.str();
+        v.rho_[project] = d.f64();
+    }
+    v.trace_ = Serde<obs::ConvergenceTrace>::decode(d);
+    return v;
+}
+
+// ---------------------------------------------------- LintReport
+
+void
+Serde<LintReport>::encode(Encoder &e, const LintReport &v)
+{
+    e.u64(v.size());
+    for (const LintDiagnostic &diag : v.diagnostics()) {
+        e.str(diag.rule);
+        e.u64(static_cast<uint64_t>(diag.severity));
+        e.str(diag.design);
+        e.str(diag.object);
+        e.i64(diag.line);
+        e.str(diag.message);
+        e.str(diag.hint);
+    }
+}
+
+LintReport
+Serde<LintReport>::decode(Decoder &d)
+{
+    LintReport v;
+    size_t findings = d.seq(7);
+    for (size_t i = 0; i < findings; ++i) {
+        LintDiagnostic diag;
+        diag.rule = d.str();
+        diag.severity = decodeEnum<LintSeverity>(
+            d, static_cast<uint64_t>(LintSeverity::Error),
+            "LintSeverity");
+        diag.design = d.str();
+        diag.object = d.str();
+        diag.line = static_cast<int>(d.i64());
+        diag.message = d.str();
+        diag.hint = d.str();
+        try {
+            lintRule(diag.rule);
+        } catch (const UcxError &) {
+            d.fail("unknown lint rule '" + diag.rule + "'");
+        }
+        v.add(std::move(diag));
+    }
+    return v;
+}
+
+// -------------------------------------------------- registration
+
+void
+registerArtifactSerdes()
+{
+    std::call_once(registerOnce, [] {
+        registerSerde<RtlDesign>("RtlDesign");
+        registerSerde<ElabResult>("ElabResult");
+        registerSerde<Netlist>("Netlist");
+        registerSerde<CellMapping>("CellMapping");
+        registerSerde<LutMapping>("LutMapping");
+        registerSerde<ConeReport>("ConeReport");
+        registerSerde<TimingSummary>("TimingSummary");
+        registerSerde<PowerReport>("PowerReport");
+        registerSerde<SynthMetrics>("SynthMetrics");
+        registerSerde<ComponentMeasurement>("ComponentMeasurement");
+        registerSerde<Dataset>("Dataset");
+        registerSerde<obs::ConvergenceTrace>("ConvergenceTrace");
+        registerSerde<FittedEstimator>("FittedEstimator");
+        registerSerde<LintReport>("LintReport");
+    });
+}
+
+} // namespace io
+} // namespace ucx

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Serde specializations for every cached artifact type.
+ *
+ * One specialization per artifact the two-tier ArtifactCache can
+ * persist: elaboration results, RTL designs, netlists, both mapping
+ * flavors, cone/timing/power/metrics reports, component
+ * measurements, datasets, fitted estimators, and lint reports. Each
+ * carries a fourcc wire tag and its own schema version — bump the
+ * version whenever a type's fields change, and old disk entries
+ * degrade to cache misses instead of mis-decoding.
+ *
+ * registerArtifactSerdes() publishes them all into the process-wide
+ * SerdeRegistry; it is idempotent and cheap, so every entry point
+ * that wants the disk tier (EstimationSession, CLIs) just calls it.
+ */
+
+#ifndef UCX_IO_ARTIFACT_SERDE_HH
+#define UCX_IO_ARTIFACT_SERDE_HH
+
+#include "core/dataset.hh"
+#include "core/estimator.hh"
+#include "core/measure.hh"
+#include "io/serde.hh"
+#include "lint/diagnostic.hh"
+#include "obs/trace.hh"
+#include "synth/cones.hh"
+#include "synth/elaborate.hh"
+#include "synth/mapper.hh"
+#include "synth/metrics.hh"
+#include "synth/netlist.hh"
+#include "synth/pass.hh"
+#include "synth/power.hh"
+#include "synth/rtl.hh"
+#include "synth/timing.hh"
+
+namespace ucx
+{
+namespace io
+{
+
+/**
+ * Register every artifact codec below with SerdeRegistry::global().
+ * Idempotent (guarded by std::call_once); call it from any entry
+ * point before enabling the cache's disk tier.
+ */
+void registerArtifactSerdes();
+
+template <> struct Serde<RtlDesign>
+{
+    static constexpr uint32_t kTypeTag = fourcc("RTLD");
+    static constexpr uint16_t kVersion = 1;
+    static void encode(Encoder &e, const RtlDesign &v);
+    static RtlDesign decode(Decoder &d);
+};
+
+template <> struct Serde<ElabResult>
+{
+    static constexpr uint32_t kTypeTag = fourcc("ELAB");
+    static constexpr uint16_t kVersion = 1;
+    static void encode(Encoder &e, const ElabResult &v);
+    static ElabResult decode(Decoder &d);
+};
+
+template <> struct Serde<Netlist>
+{
+    static constexpr uint32_t kTypeTag = fourcc("NETL");
+    static constexpr uint16_t kVersion = 1;
+    static void encode(Encoder &e, const Netlist &v);
+    static Netlist decode(Decoder &d);
+};
+
+template <> struct Serde<CellMapping>
+{
+    static constexpr uint32_t kTypeTag = fourcc("CMAP");
+    static constexpr uint16_t kVersion = 1;
+    static void encode(Encoder &e, const CellMapping &v);
+    static CellMapping decode(Decoder &d);
+};
+
+template <> struct Serde<LutMapping>
+{
+    static constexpr uint32_t kTypeTag = fourcc("LMAP");
+    static constexpr uint16_t kVersion = 1;
+    static void encode(Encoder &e, const LutMapping &v);
+    static LutMapping decode(Decoder &d);
+};
+
+template <> struct Serde<ConeReport>
+{
+    static constexpr uint32_t kTypeTag = fourcc("CONE");
+    static constexpr uint16_t kVersion = 1;
+    static void encode(Encoder &e, const ConeReport &v);
+    static ConeReport decode(Decoder &d);
+};
+
+template <> struct Serde<TimingSummary>
+{
+    static constexpr uint32_t kTypeTag = fourcc("TIMG");
+    static constexpr uint16_t kVersion = 1;
+    static void encode(Encoder &e, const TimingSummary &v);
+    static TimingSummary decode(Decoder &d);
+};
+
+template <> struct Serde<PowerReport>
+{
+    static constexpr uint32_t kTypeTag = fourcc("POWR");
+    static constexpr uint16_t kVersion = 1;
+    static void encode(Encoder &e, const PowerReport &v);
+    static PowerReport decode(Decoder &d);
+};
+
+template <> struct Serde<SynthMetrics>
+{
+    static constexpr uint32_t kTypeTag = fourcc("SMET");
+    static constexpr uint16_t kVersion = 1;
+    static void encode(Encoder &e, const SynthMetrics &v);
+    static SynthMetrics decode(Decoder &d);
+};
+
+template <> struct Serde<ComponentMeasurement>
+{
+    static constexpr uint32_t kTypeTag = fourcc("MEAS");
+    static constexpr uint16_t kVersion = 1;
+    static void encode(Encoder &e, const ComponentMeasurement &v);
+    static ComponentMeasurement decode(Decoder &d);
+};
+
+template <> struct Serde<Dataset>
+{
+    static constexpr uint32_t kTypeTag = fourcc("DSET");
+    static constexpr uint16_t kVersion = 1;
+    static void encode(Encoder &e, const Dataset &v);
+    static Dataset decode(Decoder &d);
+};
+
+/** Sub-codec of FittedEstimator; registered for completeness. */
+template <> struct Serde<obs::ConvergenceTrace>
+{
+    static constexpr uint32_t kTypeTag = fourcc("TRAC");
+    static constexpr uint16_t kVersion = 1;
+    static void encode(Encoder &e, const obs::ConvergenceTrace &v);
+    static obs::ConvergenceTrace decode(Decoder &d);
+};
+
+template <> struct Serde<FittedEstimator>
+{
+    static constexpr uint32_t kTypeTag = fourcc("FEST");
+    static constexpr uint16_t kVersion = 1;
+    static void encode(Encoder &e, const FittedEstimator &v);
+    static FittedEstimator decode(Decoder &d);
+};
+
+template <> struct Serde<LintReport>
+{
+    static constexpr uint32_t kTypeTag = fourcc("LINT");
+    static constexpr uint16_t kVersion = 1;
+    static void encode(Encoder &e, const LintReport &v);
+    static LintReport decode(Decoder &d);
+};
+
+} // namespace io
+} // namespace ucx
+
+#endif // UCX_IO_ARTIFACT_SERDE_HH

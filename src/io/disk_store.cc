@@ -1,0 +1,203 @@
+#include "io/disk_store.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include <unistd.h>
+
+#include "io/serde.hh"
+#include "util/error.hh"
+#include "util/logging.hh"
+
+namespace fs = std::filesystem;
+
+namespace ucx
+{
+namespace io
+{
+
+namespace
+{
+
+std::string
+hexHash(const std::string &key)
+{
+    static const char *digits = "0123456789abcdef";
+    uint64_t h = xxhash64(key.data(), key.size());
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[static_cast<size_t>(i)] = digits[h & 0xf];
+        h >>= 4;
+    }
+    return out;
+}
+
+/** Unique-enough temp suffix: pid is cross-process, the counter
+ *  cross-thread; rename makes the final step atomic either way. */
+std::string
+tempSuffix()
+{
+    static std::atomic<uint64_t> counter{0};
+    return ".tmp." +
+           std::to_string(static_cast<uint64_t>(::getpid())) + "." +
+           std::to_string(counter.fetch_add(1));
+}
+
+} // namespace
+
+DiskStore::DiskStore(std::string dir) : dir_(std::move(dir))
+{
+    require(!dir_.empty(), "disk store needs a directory");
+}
+
+std::string
+DiskStore::dirFromEnv()
+{
+    const char *env = std::getenv("UCX_CACHE_DIR");
+    return env != nullptr ? std::string(env) : std::string();
+}
+
+std::string
+DiskStore::pathFor(const std::string &key) const
+{
+    std::string hash = hexHash(key);
+    return dir_ + "/" + hash.substr(0, 2) + "/" + hash.substr(2, 2) +
+           "/" + hash + ".ucx";
+}
+
+DiskStore::ReadStatus
+DiskStore::read(const std::string &key, std::string &framed) const
+{
+    std::string path = pathFor(key);
+    std::error_code ec;
+    if (!fs::exists(path, ec) || ec)
+        return ReadStatus::Miss;
+    std::string bytes;
+    if (!readFile(path, bytes))
+        return ReadStatus::Miss;
+    std::string stored_key;
+    if (!unpackEntry(bytes, stored_key, framed)) {
+        fs::remove(path, ec);
+        framed.clear();
+        return ReadStatus::Corrupt;
+    }
+    if (stored_key != key) {
+        // A 64-bit hash collision with a different key: the entry
+        // legitimately belongs to someone else, so it stays.
+        framed.clear();
+        return ReadStatus::Miss;
+    }
+    return ReadStatus::Hit;
+}
+
+bool
+DiskStore::write(const std::string &key,
+                 const std::string &framed) const
+{
+    std::string path = pathFor(key);
+    std::error_code ec;
+    if (fs::exists(path, ec))
+        return false;
+    fs::path target(path);
+    fs::create_directories(target.parent_path(), ec);
+    if (ec) {
+        warn("cache disk tier: cannot create " +
+             target.parent_path().string() + ": " + ec.message());
+        return false;
+    }
+    fs::path tmp = target;
+    tmp += tempSuffix();
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out) {
+            warn("cache disk tier: cannot write " + tmp.string());
+            return false;
+        }
+        std::string bytes = packEntry(key, framed);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+        if (!out) {
+            out.close();
+            fs::remove(tmp, ec);
+            warn("cache disk tier: short write to " + tmp.string());
+            return false;
+        }
+    }
+    fs::rename(tmp, target, ec);
+    if (ec) {
+        fs::remove(tmp, ec);
+        warn("cache disk tier: cannot publish " + path + ": " +
+             ec.message());
+        return false;
+    }
+    return true;
+}
+
+void
+DiskStore::remove(const std::string &key) const
+{
+    std::error_code ec;
+    fs::remove(pathFor(key), ec);
+}
+
+std::string
+DiskStore::packEntry(const std::string &key,
+                     const std::string &framed)
+{
+    std::string out;
+    out.reserve(sizeof(kEntryMagic) + 2 + 4 + key.size() +
+                framed.size());
+    out.append(kEntryMagic, sizeof(kEntryMagic));
+    out.push_back(static_cast<char>(kEntryVersion & 0xff));
+    out.push_back(static_cast<char>(kEntryVersion >> 8));
+    uint32_t len = static_cast<uint32_t>(key.size());
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<char>((len >> (8 * i)) & 0xff));
+    out.append(key);
+    out.append(framed);
+    return out;
+}
+
+bool
+DiskStore::unpackEntry(const std::string &bytes, std::string &key,
+                       std::string &framed)
+{
+    constexpr size_t kHeader = sizeof(kEntryMagic) + 2 + 4;
+    if (bytes.size() < kHeader)
+        return false;
+    if (std::memcmp(bytes.data(), kEntryMagic,
+                    sizeof(kEntryMagic)) != 0)
+        return false;
+    uint16_t version = static_cast<uint16_t>(
+        static_cast<uint8_t>(bytes[4]) |
+        static_cast<uint16_t>(static_cast<uint8_t>(bytes[5])) << 8);
+    if (version != kEntryVersion)
+        return false;
+    uint32_t len = 0;
+    for (int i = 0; i < 4; ++i)
+        len |= static_cast<uint32_t>(
+                   static_cast<uint8_t>(bytes[6 + i]))
+               << (8 * i);
+    if (bytes.size() - kHeader < len)
+        return false;
+    key = bytes.substr(kHeader, len);
+    framed = bytes.substr(kHeader + len);
+    return true;
+}
+
+bool
+DiskStore::readFile(const std::string &path, std::string &bytes)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+    return in.good() || in.eof();
+}
+
+} // namespace io
+} // namespace ucx

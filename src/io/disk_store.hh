@@ -1,0 +1,142 @@
+/**
+ * @file
+ * DiskStore — the content-addressed on-disk artifact tier.
+ *
+ * Each entry is one file under the store directory, addressed by
+ * the XXH64 hash of its canonical cache-key string and sharded two
+ * levels deep to keep directories small:
+ *
+ *     <dir>/aa/bb/<16-hex-digit key hash>.ucx
+ *
+ * (aa/bb are the first four hex digits of the hash.) A file holds a
+ * small container — magic "UCXF", file version, the *full* key
+ * string — followed by the framed artifact (serde.hh). Storing the
+ * key verbatim makes hash collisions harmless (a mismatched key
+ * reads as a miss, never as wrong data) and lets ucx_cachectl list
+ * a store without a key database.
+ *
+ * Writes are crash-safe: the entry is written to a temporary file
+ * in the same shard directory and atomically renamed into place, so
+ * a concurrent reader (or another process) sees either no file or a
+ * complete one — never a torn write. An entry that already exists
+ * is left alone (artifacts are deterministic, so whoever got there
+ * first wrote the same bytes).
+ *
+ * This layer moves bytes only; checksum/version validation of the
+ * framed artifact is the caller's job (the cache decodes through
+ * the SerdeRegistry and treats any SerdeError as a removable
+ * corrupt entry). I/O failures never throw out of read/write — a
+ * broken disk degrades the cache to a recompute, not an error.
+ */
+
+#ifndef UCX_IO_DISK_STORE_HH
+#define UCX_IO_DISK_STORE_HH
+
+#include <string>
+
+namespace ucx
+{
+namespace io
+{
+
+/** File magic of one on-disk cache entry ("UCXF"). */
+inline constexpr char kEntryMagic[4] = {'U', 'C', 'X', 'F'};
+
+/** Version of the entry file container. */
+inline constexpr uint16_t kEntryVersion = 1;
+
+/** Content-addressed, sharded, atomic-write file store. */
+class DiskStore
+{
+  public:
+    /**
+     * Open (and lazily create) a store rooted at @p dir.
+     *
+     * @param dir Store directory; must be non-empty.
+     */
+    explicit DiskStore(std::string dir);
+
+    /** @return UCX_CACHE_DIR, or "" when unset (disk tier off). */
+    static std::string dirFromEnv();
+
+    /** @return The store root directory. */
+    const std::string &dir() const { return dir_; }
+
+    /** @return The sharded entry path of a cache key. */
+    std::string pathFor(const std::string &key) const;
+
+    /** Outcome of a read. */
+    enum class ReadStatus
+    {
+        Hit,    ///< Entry found; @p framed holds the artifact frame.
+        Miss,   ///< No entry (or a hash collision with another key).
+        Corrupt ///< Malformed entry file; it has been removed.
+    };
+
+    /**
+     * Read the entry of a key.
+     *
+     * @param key    Canonical cache-key string.
+     * @param framed Receives the framed artifact bytes on Hit.
+     * @return Hit, Miss, or Corrupt (never throws).
+     */
+    ReadStatus read(const std::string &key,
+                    std::string &framed) const;
+
+    /**
+     * Write an entry (write-temp-then-rename). A pre-existing entry
+     * is kept untouched.
+     *
+     * @param key    Canonical cache-key string.
+     * @param framed Framed artifact bytes.
+     * @return True when a new entry landed on disk; false when the
+     *         entry already existed or the write failed (logged,
+     *         never thrown).
+     */
+    bool write(const std::string &key,
+               const std::string &framed) const;
+
+    /**
+     * Remove the entry of a key (used for corrupt frames detected
+     * above this layer). Missing files are fine.
+     *
+     * @param key Canonical cache-key string.
+     */
+    void remove(const std::string &key) const;
+
+    // ------------------------- entry file container (cachectl too)
+
+    /** @return The entry-file bytes wrapping @p framed under @p key. */
+    static std::string packEntry(const std::string &key,
+                                 const std::string &framed);
+
+    /**
+     * Split an entry file into its key and framed artifact.
+     *
+     * @param bytes  Full entry-file bytes.
+     * @param key    Receives the stored key string.
+     * @param framed Receives the framed artifact bytes.
+     * @return False on a malformed container (bad magic/version/
+     *         lengths).
+     */
+    static bool unpackEntry(const std::string &bytes,
+                            std::string &key, std::string &framed);
+
+    /**
+     * Read a whole file into a string.
+     *
+     * @param path  File path.
+     * @param bytes Receives the contents.
+     * @return False when the file cannot be read.
+     */
+    static bool readFile(const std::string &path,
+                         std::string &bytes);
+
+  private:
+    std::string dir_;
+};
+
+} // namespace io
+} // namespace ucx
+
+#endif // UCX_IO_DISK_STORE_HH

@@ -1,0 +1,77 @@
+#include "io/registry.hh"
+
+#include <algorithm>
+
+#include "util/error.hh"
+
+namespace ucx
+{
+namespace io
+{
+
+SerdeRegistry &
+SerdeRegistry::global()
+{
+    static SerdeRegistry registry;
+    return registry;
+}
+
+void
+SerdeRegistry::add(ArtifactCodec codec)
+{
+    ensure(codec.type != nullptr && codec.encode && codec.decode,
+           "serde codec registration is incomplete");
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = byType_.find(std::type_index(*codec.type));
+    if (it != byType_.end()) {
+        ensure(it->second->typeTag == codec.typeTag &&
+                   it->second->version == codec.version,
+               "type '" + codec.name +
+                   "' re-registered with a different tag or "
+                   "version");
+        return;
+    }
+    auto tag_it = byTag_.find(codec.typeTag);
+    if (tag_it != byTag_.end())
+        panic("serde tag '" + fourccName(codec.typeTag) +
+              "' already registered for type '" +
+              tag_it->second->name + "'");
+    auto owned = std::make_unique<ArtifactCodec>(std::move(codec));
+    const ArtifactCodec *raw = owned.get();
+    byType_.emplace(std::type_index(*raw->type), std::move(owned));
+    byTag_.emplace(raw->typeTag, raw);
+}
+
+const ArtifactCodec *
+SerdeRegistry::byType(const std::type_info &type) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = byType_.find(std::type_index(type));
+    return it == byType_.end() ? nullptr : it->second.get();
+}
+
+const ArtifactCodec *
+SerdeRegistry::byTag(uint32_t tag) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = byTag_.find(tag);
+    return it == byTag_.end() ? nullptr : it->second;
+}
+
+std::vector<const ArtifactCodec *>
+SerdeRegistry::codecs() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<const ArtifactCodec *> out;
+    out.reserve(byType_.size());
+    for (const auto &[idx, codec] : byType_)
+        out.push_back(codec.get());
+    std::sort(out.begin(), out.end(),
+              [](const ArtifactCodec *a, const ArtifactCodec *b) {
+                  return a->name < b->name;
+              });
+    return out;
+}
+
+} // namespace io
+} // namespace ucx

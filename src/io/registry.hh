@@ -1,0 +1,128 @@
+/**
+ * @file
+ * SerdeRegistry — runtime, type-erased directory of artifact codecs.
+ *
+ * The two-tier ArtifactCache is type-erased (it stores
+ * shared_ptr<const void> behind std::type_info), while Serde<T> is
+ * a compile-time trait; the registry bridges the two without making
+ * the cache library depend on domain types. Each registered codec
+ * erases encodeArtifact<T>/decodeArtifact<T> behind std::function,
+ * keyed both by std::type_index (the cache's view) and by the wire
+ * type tag (the view of tools reading .ucx files).
+ *
+ * Artifact types that are *not* registered simply bypass the disk
+ * tier — the memory tier keeps working for them, so registration is
+ * an opt-in per type, not a correctness requirement.
+ *
+ * Registration normally happens once per process through
+ * registerArtifactSerdes() (artifact_serde.hh); add() is idempotent
+ * for an identical re-registration and panics on a conflicting one
+ * (two types claiming one tag would corrupt the on-disk store).
+ */
+
+#ifndef UCX_IO_REGISTRY_HH
+#define UCX_IO_REGISTRY_HH
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <typeindex>
+#include <typeinfo>
+#include <unordered_map>
+#include <vector>
+
+#include "io/serde.hh"
+
+namespace ucx
+{
+namespace io
+{
+
+/** One type-erased artifact codec. */
+struct ArtifactCodec
+{
+    std::string name;      ///< Human name, e.g. "Netlist".
+    uint32_t typeTag = 0;  ///< Serde<T>::kTypeTag.
+    uint16_t version = 0;  ///< Serde<T>::kVersion.
+    const std::type_info *type = nullptr;
+
+    /** Encode an artifact into frame bytes. */
+    std::function<std::string(const std::shared_ptr<const void> &)>
+        encode;
+
+    /** Decode frame bytes; throws SerdeError on malformed input. */
+    std::function<std::shared_ptr<const void>(const std::string &)>
+        decode;
+};
+
+/** Thread-safe process-wide codec directory. */
+class SerdeRegistry
+{
+  public:
+    /** @return The process-wide registry. */
+    static SerdeRegistry &global();
+
+    /**
+     * Register a codec. Re-registering the same (type, tag,
+     * version) is a no-op; a conflicting registration (same tag for
+     * another type, same type under another tag) is an internal bug
+     * (UcxPanic).
+     *
+     * @param codec Complete codec (non-null hooks).
+     */
+    void add(ArtifactCodec codec);
+
+    /**
+     * @param type Artifact dynamic type.
+     * @return The codec, or null when the type is unregistered.
+     */
+    const ArtifactCodec *byType(const std::type_info &type) const;
+
+    /**
+     * @param tag Wire type tag.
+     * @return The codec, or null when the tag is unknown.
+     */
+    const ArtifactCodec *byTag(uint32_t tag) const;
+
+    /** @return Every registered codec, sorted by name. */
+    std::vector<const ArtifactCodec *> codecs() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::unordered_map<std::type_index,
+                       std::unique_ptr<ArtifactCodec>>
+        byType_;
+    std::unordered_map<uint32_t, const ArtifactCodec *> byTag_;
+};
+
+/**
+ * Build and register the codec of one Serde-specialized type.
+ *
+ * @param name Human-readable type name for tools and diagnostics.
+ */
+template <typename T>
+void
+registerSerde(const std::string &name)
+{
+    ArtifactCodec codec;
+    codec.name = name;
+    codec.typeTag = Serde<T>::kTypeTag;
+    codec.version = Serde<T>::kVersion;
+    codec.type = &typeid(T);
+    codec.encode = [](const std::shared_ptr<const void> &value) {
+        return encodeArtifact<T>(
+            *std::static_pointer_cast<const T>(value));
+    };
+    codec.decode =
+        [](const std::string &framed) -> std::shared_ptr<const void> {
+        return std::static_pointer_cast<const void>(
+            std::make_shared<const T>(decodeArtifact<T>(framed)));
+    };
+    SerdeRegistry::global().add(std::move(codec));
+}
+
+} // namespace io
+} // namespace ucx
+
+#endif // UCX_IO_REGISTRY_HH

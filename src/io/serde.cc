@@ -1,0 +1,239 @@
+#include "io/serde.hh"
+
+namespace ucx
+{
+namespace io
+{
+
+namespace
+{
+
+constexpr uint64_t kPrime1 = 0x9E3779B185EBCA87ull;
+constexpr uint64_t kPrime2 = 0xC2B2AE3D27D4EB4Full;
+constexpr uint64_t kPrime3 = 0x165667B19E3779F9ull;
+constexpr uint64_t kPrime4 = 0x85EBCA77C2B2AE63ull;
+constexpr uint64_t kPrime5 = 0x27D4EB2F165667C5ull;
+
+uint64_t
+rotl(uint64_t v, int r)
+{
+    return (v << r) | (v >> (64 - r));
+}
+
+uint64_t
+read64(const uint8_t *p)
+{
+    uint64_t v;
+    std::memcpy(&v, p, sizeof(v));
+    return v; // Little-endian hosts only (the whole wire format is).
+}
+
+uint32_t
+read32(const uint8_t *p)
+{
+    uint32_t v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+}
+
+uint64_t
+round_(uint64_t acc, uint64_t input)
+{
+    acc += input * kPrime2;
+    acc = rotl(acc, 31);
+    acc *= kPrime1;
+    return acc;
+}
+
+uint64_t
+mergeRound(uint64_t acc, uint64_t val)
+{
+    acc ^= round_(0, val);
+    acc = acc * kPrime1 + kPrime4;
+    return acc;
+}
+
+void
+appendLe16(std::string &out, uint16_t v)
+{
+    out.push_back(static_cast<char>(v & 0xff));
+    out.push_back(static_cast<char>(v >> 8));
+}
+
+void
+appendLe32(std::string &out, uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void
+appendLe64(std::string &out, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+uint16_t
+le16At(const std::string &bytes, size_t off)
+{
+    return static_cast<uint16_t>(
+        static_cast<uint8_t>(bytes[off]) |
+        static_cast<uint16_t>(static_cast<uint8_t>(bytes[off + 1]))
+            << 8);
+}
+
+uint32_t
+le32At(const std::string &bytes, size_t off)
+{
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<uint32_t>(
+                 static_cast<uint8_t>(bytes[off + i]))
+             << (8 * i);
+    return v;
+}
+
+uint64_t
+le64At(const std::string &bytes, size_t off)
+{
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<uint64_t>(
+                 static_cast<uint8_t>(bytes[off + i]))
+             << (8 * i);
+    return v;
+}
+
+} // namespace
+
+uint64_t
+xxhash64(const void *data, size_t size, uint64_t seed)
+{
+    const uint8_t *p = static_cast<const uint8_t *>(data);
+    const uint8_t *end = p + size;
+    uint64_t h;
+
+    if (size >= 32) {
+        uint64_t v1 = seed + kPrime1 + kPrime2;
+        uint64_t v2 = seed + kPrime2;
+        uint64_t v3 = seed;
+        uint64_t v4 = seed - kPrime1;
+        const uint8_t *limit = end - 32;
+        do {
+            v1 = round_(v1, read64(p));
+            v2 = round_(v2, read64(p + 8));
+            v3 = round_(v3, read64(p + 16));
+            v4 = round_(v4, read64(p + 24));
+            p += 32;
+        } while (p <= limit);
+        h = rotl(v1, 1) + rotl(v2, 7) + rotl(v3, 12) + rotl(v4, 18);
+        h = mergeRound(h, v1);
+        h = mergeRound(h, v2);
+        h = mergeRound(h, v3);
+        h = mergeRound(h, v4);
+    } else {
+        h = seed + kPrime5;
+    }
+
+    h += static_cast<uint64_t>(size);
+
+    while (p + 8 <= end) {
+        h ^= round_(0, read64(p));
+        h = rotl(h, 27) * kPrime1 + kPrime4;
+        p += 8;
+    }
+    if (p + 4 <= end) {
+        h ^= static_cast<uint64_t>(read32(p)) * kPrime1;
+        h = rotl(h, 23) * kPrime2 + kPrime3;
+        p += 4;
+    }
+    while (p < end) {
+        h ^= static_cast<uint64_t>(*p) * kPrime5;
+        h = rotl(h, 11) * kPrime1;
+        ++p;
+    }
+
+    h ^= h >> 33;
+    h *= kPrime2;
+    h ^= h >> 29;
+    h *= kPrime3;
+    h ^= h >> 32;
+    return h;
+}
+
+std::string
+fourccName(uint32_t tag)
+{
+    std::string out;
+    for (int i = 0; i < 4; ++i) {
+        char c = static_cast<char>((tag >> (8 * i)) & 0xff);
+        out += (c >= 0x20 && c < 0x7f) ? c : '?';
+    }
+    return out;
+}
+
+std::string
+frame(uint32_t type_tag, uint16_t version,
+      const std::string &payload)
+{
+    std::string out;
+    out.reserve(kFrameHeaderSize + payload.size());
+    out.append(kFrameMagic, sizeof(kFrameMagic));
+    appendLe16(out, kContainerVersion);
+    appendLe16(out, version);
+    appendLe32(out, type_tag);
+    appendLe64(out, payload.size());
+    appendLe64(out, xxhash64(payload.data(), payload.size()));
+    out.append(payload);
+    return out;
+}
+
+FrameHeader
+peekFrame(const std::string &framed)
+{
+    if (framed.size() < kFrameHeaderSize)
+        throw SerdeError("frame shorter than its " +
+                             std::to_string(kFrameHeaderSize) +
+                             "-byte header",
+                         framed.size());
+    if (std::memcmp(framed.data(), kFrameMagic,
+                    sizeof(kFrameMagic)) != 0)
+        throw SerdeError("bad frame magic", kFrameOffMagic);
+    FrameHeader h;
+    h.containerVersion = le16At(framed, kFrameOffContainer);
+    if (h.containerVersion != kContainerVersion)
+        throw SerdeError(
+            "container version " +
+                std::to_string(h.containerVersion) +
+                " does not match expected " +
+                std::to_string(kContainerVersion),
+            kFrameOffContainer);
+    h.version = le16At(framed, kFrameOffVersion);
+    h.typeTag = le32At(framed, kFrameOffTypeTag);
+    h.payloadSize = le64At(framed, kFrameOffPayloadSize);
+    if (framed.size() - kFrameHeaderSize != h.payloadSize)
+        throw SerdeError(
+            "payload length field claims " +
+                std::to_string(h.payloadSize) + " bytes but " +
+                std::to_string(framed.size() - kFrameHeaderSize) +
+                " are present",
+            kFrameOffPayloadSize);
+    h.checksum = le64At(framed, kFrameOffChecksum);
+    return h;
+}
+
+FrameHeader
+readFrame(const std::string &framed)
+{
+    FrameHeader h = peekFrame(framed);
+    uint64_t actual = xxhash64(framed.data() + kFrameHeaderSize,
+                               h.payloadSize);
+    if (actual != h.checksum)
+        throw SerdeError("payload checksum mismatch",
+                         kFrameOffChecksum);
+    return h;
+}
+
+} // namespace io
+} // namespace ucx

@@ -1,0 +1,425 @@
+/**
+ * @file
+ * ucx::io — the versioned binary artifact codec.
+ *
+ * Every cached artifact travels as one self-describing *frame*:
+ *
+ *     offset  size  field
+ *          0     4  magic "UCXA"
+ *          4     2  container version (kContainerVersion, LE)
+ *          6     2  artifact schema version (Serde<T>::kVersion)
+ *          8     4  artifact type tag (Serde<T>::kTypeTag)
+ *         12     8  payload length in bytes
+ *         20     8  XXH64 checksum of the payload
+ *         28     -  payload (Encoder output)
+ *
+ * The payload is a compact byte stream: LEB128 varints for unsigned
+ * integers and lengths, zigzag varints for signed integers, raw
+ * little-endian bit patterns for doubles (lossless — a decoded
+ * artifact is value-identical to the encoded one, which is what
+ * keeps a disk cache hit byte-identical to a recompute), and
+ * length-prefixed strings.
+ *
+ * Serialization of a type T is described by specializing Serde<T>:
+ *
+ *     template <> struct Serde<Foo> {
+ *         static constexpr uint32_t kTypeTag = fourcc("FOO!");
+ *         static constexpr uint16_t kVersion = 1;
+ *         static void encode(Encoder &e, const Foo &v);
+ *         static Foo decode(Decoder &d);
+ *     };
+ *
+ * Every malformed input — truncation, bit flips (caught by the
+ * checksum), bad magic, container/schema version or type-tag
+ * mismatches, trailing garbage — fails with a typed SerdeError
+ * naming the byte offset of the fault. Nothing in this layer knows
+ * about domain types; artifact_serde.hh provides the
+ * specializations, and the registry (registry.hh) erases them for
+ * the cache.
+ */
+
+#ifndef UCX_IO_SERDE_HH
+#define UCX_IO_SERDE_HH
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "util/error.hh"
+
+namespace ucx
+{
+namespace io
+{
+
+/**
+ * Error decoding a malformed artifact: truncated, corrupted, or of
+ * an unexpected type/version. Carries the byte offset at which the
+ * fault was detected; the message names it too.
+ */
+class SerdeError : public UcxError
+{
+  public:
+    /**
+     * @param what   Description of the fault.
+     * @param offset Byte offset (into the frame or payload being
+     *               decoded) at which it was detected.
+     */
+    SerdeError(const std::string &what, size_t offset)
+        : UcxError("serde: " + what + " at offset " +
+                   std::to_string(offset)),
+          offset_(offset)
+    {}
+
+    /** @return Byte offset of the detected fault. */
+    size_t offset() const { return offset_; }
+
+  private:
+    size_t offset_;
+};
+
+/**
+ * XXH64 — the 64-bit xxHash checksum (Yann Collet's algorithm),
+ * guarding frame payloads against bit rot and torn writes.
+ *
+ * @param data Bytes to hash.
+ * @param size Byte count.
+ * @param seed Hash seed (0 for frames).
+ * @return The 64-bit digest.
+ */
+uint64_t xxhash64(const void *data, size_t size, uint64_t seed = 0);
+
+/** Four-character type tag, e.g. fourcc("NETL"). */
+constexpr uint32_t
+fourcc(const char (&s)[5])
+{
+    return static_cast<uint32_t>(static_cast<unsigned char>(s[0])) |
+           static_cast<uint32_t>(static_cast<unsigned char>(s[1]))
+               << 8 |
+           static_cast<uint32_t>(static_cast<unsigned char>(s[2]))
+               << 16 |
+           static_cast<uint32_t>(static_cast<unsigned char>(s[3]))
+               << 24;
+}
+
+/** @return The printable "NETL" form of a type tag. */
+std::string fourccName(uint32_t tag);
+
+/** Serialization descriptor; specialize per artifact type. */
+template <typename T> struct Serde;
+
+/** Appends the compact payload encoding to a byte string. */
+class Encoder
+{
+  public:
+    /** Append one raw byte. */
+    void
+    u8(uint8_t v)
+    {
+        bytes_.push_back(static_cast<char>(v));
+    }
+
+    /** Append an unsigned integer as a LEB128 varint. */
+    void
+    u64(uint64_t v)
+    {
+        while (v >= 0x80) {
+            u8(static_cast<uint8_t>(v) | 0x80);
+            v >>= 7;
+        }
+        u8(static_cast<uint8_t>(v));
+    }
+
+    /** Append a 32-bit unsigned integer (same varint wire form). */
+    void u32(uint32_t v) { u64(v); }
+
+    /** Append a signed integer as a zigzag varint. */
+    void
+    i64(int64_t v)
+    {
+        u64((static_cast<uint64_t>(v) << 1) ^
+            static_cast<uint64_t>(v >> 63));
+    }
+
+    /** Append a double as its little-endian bit pattern (lossless). */
+    void
+    f64(double v)
+    {
+        uint64_t bits;
+        std::memcpy(&bits, &v, sizeof(bits));
+        for (int i = 0; i < 8; ++i)
+            u8(static_cast<uint8_t>(bits >> (8 * i)));
+    }
+
+    /** Append a bool as one byte (0/1). */
+    void boolean(bool v) { u8(v ? 1 : 0); }
+
+    /** Append a length-prefixed string. */
+    void
+    str(const std::string &v)
+    {
+        u64(v.size());
+        bytes_.append(v);
+    }
+
+    /** @return The bytes encoded so far. */
+    const std::string &bytes() const { return bytes_; }
+
+    /** @return The encoded bytes, moved out. */
+    std::string take() { return std::move(bytes_); }
+
+  private:
+    std::string bytes_;
+};
+
+/** Bounds-checked reader of an Encoder payload. */
+class Decoder
+{
+  public:
+    /**
+     * @param data Payload bytes (not owned; must outlive the
+     *             decoder).
+     * @param size Payload size.
+     */
+    Decoder(const void *data, size_t size)
+        : data_(static_cast<const uint8_t *>(data)), size_(size)
+    {}
+
+    /** @return One raw byte; SerdeError past the end. */
+    uint8_t
+    u8()
+    {
+        if (pos_ >= size_)
+            fail("truncated input");
+        return data_[pos_++];
+    }
+
+    /** @return A LEB128 varint; SerdeError on truncation/overflow. */
+    uint64_t
+    u64()
+    {
+        uint64_t v = 0;
+        for (int shift = 0; shift < 64; shift += 7) {
+            uint8_t byte = u8();
+            v |= static_cast<uint64_t>(byte & 0x7f) << shift;
+            if (!(byte & 0x80))
+                return v;
+        }
+        fail("varint longer than 64 bits");
+    }
+
+    /** @return A 32-bit varint; SerdeError when out of range. */
+    uint32_t
+    u32()
+    {
+        uint64_t v = u64();
+        if (v > 0xffffffffull)
+            fail("varint exceeds 32 bits");
+        return static_cast<uint32_t>(v);
+    }
+
+    /** @return A zigzag-decoded signed integer. */
+    int64_t
+    i64()
+    {
+        uint64_t v = u64();
+        return static_cast<int64_t>((v >> 1) ^ (~(v & 1) + 1));
+    }
+
+    /** @return A double from its bit pattern. */
+    double
+    f64()
+    {
+        uint64_t bits = 0;
+        for (int i = 0; i < 8; ++i)
+            bits |= static_cast<uint64_t>(u8()) << (8 * i);
+        double v;
+        std::memcpy(&v, &bits, sizeof(v));
+        return v;
+    }
+
+    /** @return A bool; SerdeError on any byte other than 0/1. */
+    bool
+    boolean()
+    {
+        uint8_t v = u8();
+        if (v > 1)
+            fail("boolean byte is neither 0 nor 1");
+        return v == 1;
+    }
+
+    /** @return A length-prefixed string. */
+    std::string
+    str()
+    {
+        uint64_t n = u64();
+        if (n > remaining())
+            fail("string length " + std::to_string(n) +
+                 " exceeds the remaining " +
+                 std::to_string(remaining()) + " bytes");
+        std::string out(reinterpret_cast<const char *>(data_ + pos_),
+                        static_cast<size_t>(n));
+        pos_ += static_cast<size_t>(n);
+        return out;
+    }
+
+    /**
+     * Read a sequence length and sanity-bound it: every element of
+     * a sequence occupies at least @p min_element_bytes, so a
+     * length claiming more elements than the remaining bytes could
+     * hold is corruption — caught here instead of by an attempted
+     * multi-gigabyte allocation.
+     *
+     * @param min_element_bytes Minimum wire size of one element.
+     * @return The element count.
+     */
+    size_t
+    seq(size_t min_element_bytes = 1)
+    {
+        uint64_t n = u64();
+        if (min_element_bytes > 0 &&
+            n > remaining() / min_element_bytes)
+            fail("sequence length " + std::to_string(n) +
+                 " exceeds the remaining input");
+        return static_cast<size_t>(n);
+    }
+
+    /** @return Current read offset into the payload. */
+    size_t offset() const { return pos_; }
+
+    /** @return Bytes left to read. */
+    size_t remaining() const { return size_ - pos_; }
+
+    /** @return True when every byte has been consumed. */
+    bool done() const { return pos_ == size_; }
+
+    /** SerdeError unless the input was consumed exactly. */
+    void
+    expectEnd()
+    {
+        if (!done())
+            fail(std::to_string(remaining()) +
+                 " trailing bytes after the payload");
+    }
+
+    /** Throw a SerdeError at the current offset. */
+    [[noreturn]] void
+    fail(const std::string &what) const
+    {
+        throw SerdeError(what, pos_);
+    }
+
+  private:
+    const uint8_t *data_;
+    size_t size_;
+    size_t pos_ = 0;
+};
+
+// ------------------------------------------------------- framing
+
+/** Frame magic ("UCXA") as the first four bytes. */
+inline constexpr char kFrameMagic[4] = {'U', 'C', 'X', 'A'};
+
+/** Version of the container layout itself. */
+inline constexpr uint16_t kContainerVersion = 1;
+
+/** Fixed frame header size in bytes. */
+inline constexpr size_t kFrameHeaderSize = 28;
+
+/** Byte offsets of the header fields (for SerdeError reporting). */
+inline constexpr size_t kFrameOffMagic = 0;
+inline constexpr size_t kFrameOffContainer = 4;
+inline constexpr size_t kFrameOffVersion = 6;
+inline constexpr size_t kFrameOffTypeTag = 8;
+inline constexpr size_t kFrameOffPayloadSize = 12;
+inline constexpr size_t kFrameOffChecksum = 20;
+
+/** Parsed frame header. */
+struct FrameHeader
+{
+    uint16_t containerVersion = 0;
+    uint16_t version = 0;  ///< Artifact schema version.
+    uint32_t typeTag = 0;  ///< Serde<T>::kTypeTag.
+    uint64_t payloadSize = 0;
+    uint64_t checksum = 0; ///< XXH64 of the payload.
+};
+
+/**
+ * Wrap a payload into a framed artifact.
+ *
+ * @param type_tag Artifact type tag.
+ * @param version  Artifact schema version.
+ * @param payload  Encoder output.
+ * @return Header + payload bytes.
+ */
+std::string frame(uint32_t type_tag, uint16_t version,
+                  const std::string &payload);
+
+/**
+ * Parse and validate a frame header: magic, container version, and
+ * that the payload length matches the actual byte count. Does NOT
+ * verify the checksum (peek is what directory tools use to list
+ * entries without reading payload contents).
+ *
+ * @param framed Full frame bytes.
+ * @return The header; throws SerdeError naming the faulty offset.
+ */
+FrameHeader peekFrame(const std::string &framed);
+
+/**
+ * peekFrame plus checksum verification of the payload.
+ *
+ * @param framed Full frame bytes.
+ * @return The header; throws SerdeError on any mismatch.
+ */
+FrameHeader readFrame(const std::string &framed);
+
+/**
+ * Encode one artifact into a complete frame.
+ *
+ * @param value The artifact.
+ * @return Frame bytes (header + payload).
+ */
+template <typename T>
+std::string
+encodeArtifact(const T &value)
+{
+    Encoder e;
+    Serde<T>::encode(e, value);
+    return frame(Serde<T>::kTypeTag, Serde<T>::kVersion, e.bytes());
+}
+
+/**
+ * Decode one artifact from a complete frame, verifying checksum,
+ * type tag, and schema version.
+ *
+ * @param framed Frame bytes.
+ * @return The decoded artifact; throws SerdeError on any fault.
+ */
+template <typename T>
+T
+decodeArtifact(const std::string &framed)
+{
+    FrameHeader h = readFrame(framed);
+    if (h.typeTag != Serde<T>::kTypeTag)
+        throw SerdeError("type tag '" + fourccName(h.typeTag) +
+                             "' does not match expected '" +
+                             fourccName(Serde<T>::kTypeTag) + "'",
+                         kFrameOffTypeTag);
+    if (h.version != Serde<T>::kVersion)
+        throw SerdeError(
+            "schema version " + std::to_string(h.version) +
+                " does not match expected " +
+                std::to_string(Serde<T>::kVersion) + " for '" +
+                fourccName(h.typeTag) + "'",
+            kFrameOffVersion);
+    Decoder d(framed.data() + kFrameHeaderSize, h.payloadSize);
+    T value = Serde<T>::decode(d);
+    d.expectEnd();
+    return value;
+}
+
+} // namespace io
+} // namespace ucx
+
+#endif // UCX_IO_SERDE_HH

@@ -203,7 +203,9 @@ benchReportJson(const std::string &bench, double wall_ms)
         << "\"ucx_threads\":\"" << jsonEscape(env("UCX_THREADS"))
         << "\",\"ucx_cache\":\"" << jsonEscape(env("UCX_CACHE"))
         << "\",\"ucx_cache_capacity\":\""
-        << jsonEscape(env("UCX_CACHE_CAPACITY")) << "\"}"
+        << jsonEscape(env("UCX_CACHE_CAPACITY"))
+        << "\",\"ucx_cache_dir\":\""
+        << jsonEscape(env("UCX_CACHE_DIR")) << "\"}"
         << ",\"obs\":" << snapshotJson(metrics, spans) << "}\n";
     return out.str();
 }

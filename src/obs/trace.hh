@@ -24,6 +24,12 @@
 
 namespace ucx
 {
+
+namespace io
+{
+template <typename T> struct Serde; // src/io — binary artifact codec
+}
+
 namespace obs
 {
 
@@ -97,6 +103,8 @@ class ConvergenceTrace
     bool converged = false; ///< Final optimizer convergence flag.
 
   private:
+    friend struct io::Serde<ConvergenceTrace>;
+
     std::vector<IterationSample> samples_;
     size_t stride_ = 1; ///< Record every stride_-th call.
     size_t seen_ = 0;   ///< record() calls so far.

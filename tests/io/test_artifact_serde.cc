@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Round-trip property tests of every artifact codec: for each type
+ * the two-tier cache can persist, build a real instance through the
+ * production pipeline, then check encode → decode → re-encode is
+ * byte-identical. Byte identity is a stronger contract than field
+ * equality — it proves decode loses nothing the encoder writes and
+ * that a disk hit feeds downstream passes exactly the bytes a
+ * recompute would.
+ */
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/estimator.hh"
+#include "core/measure.hh"
+#include "data/paper_data.hh"
+#include "designs/registry.hh"
+#include "io/artifact_serde.hh"
+#include "io/registry.hh"
+#include "lint/lint.hh"
+#include "synth/cones.hh"
+#include "synth/elaborate.hh"
+#include "synth/lower.hh"
+#include "synth/mapper.hh"
+#include "synth/metrics.hh"
+#include "synth/power.hh"
+#include "synth/timing.hh"
+
+namespace ucx
+{
+namespace
+{
+
+/**
+ * The property under test. Returns the decoded copy so callers can
+ * spot-check semantic fields too.
+ */
+template <typename T>
+T
+expectRoundTrip(const T &value)
+{
+    std::string framed = io::encodeArtifact(value);
+    T decoded = io::decodeArtifact<T>(framed);
+    EXPECT_EQ(io::encodeArtifact(decoded), framed)
+        << "re-encode of " << io::fourccName(io::Serde<T>::kTypeTag)
+        << " is not byte-identical";
+    return decoded;
+}
+
+/**
+ * Elaborations of a hierarchical design with memories: exercises
+ * the instance tree, generate stats, memory ports, and every RTL op
+ * the shipped designs use.
+ */
+const ElabResult &
+fetchElab()
+{
+    static const ElabResult elab = [] {
+        Design d = shippedDesign("fetch").load();
+        return elaborate(d, "fetch");
+    }();
+    return elab;
+}
+
+const Netlist &
+fetchNetlist()
+{
+    static const Netlist netlist = lowerToGates(fetchElab().rtl);
+    return netlist;
+}
+
+TEST(ArtifactSerde, RtlDesign)
+{
+    const RtlDesign &rtl = fetchElab().rtl;
+    ASSERT_FALSE(rtl.signals.empty());
+    RtlDesign decoded = expectRoundTrip(rtl);
+    EXPECT_EQ(decoded.signals.size(), rtl.signals.size());
+    EXPECT_EQ(decoded.nodes.size(), rtl.nodes.size());
+    EXPECT_EQ(decoded.memories.size(), rtl.memories.size());
+}
+
+TEST(ArtifactSerde, ElabResult)
+{
+    const ElabResult &elab = fetchElab();
+    ElabResult decoded = expectRoundTrip(elab);
+    EXPECT_EQ(decoded.top.moduleName, elab.top.moduleName);
+    EXPECT_EQ(decoded.stats.loopTrips.size(),
+              elab.stats.loopTrips.size());
+    EXPECT_EQ(decoded.warnings, elab.warnings);
+}
+
+TEST(ArtifactSerde, Netlist)
+{
+    const Netlist &netlist = fetchNetlist();
+    ASSERT_FALSE(netlist.gates.empty());
+    Netlist decoded = expectRoundTrip(netlist);
+    EXPECT_EQ(decoded.gates.size(), netlist.gates.size());
+}
+
+TEST(ArtifactSerde, CellMapping)
+{
+    CellMapping mapping = mapToCells(fetchNetlist());
+    CellMapping decoded = expectRoundTrip(mapping);
+    EXPECT_EQ(decoded.cells, mapping.cells);
+    EXPECT_EQ(decoded.areaLogicUm2, mapping.areaLogicUm2);
+}
+
+TEST(ArtifactSerde, LutMapping)
+{
+    LutMapping mapping = mapToLuts(fetchNetlist());
+    LutMapping decoded = expectRoundTrip(mapping);
+    EXPECT_EQ(decoded.luts.size(), mapping.luts.size());
+}
+
+TEST(ArtifactSerde, ConeReport)
+{
+    expectRoundTrip(extractCones(fetchNetlist()));
+}
+
+TEST(ArtifactSerde, TimingSummary)
+{
+    TimingSummary timing;
+    timing.asic = staAsic(fetchNetlist());
+    timing.fpga = staFpga(mapToLuts(fetchNetlist()));
+    TimingSummary decoded = expectRoundTrip(timing);
+    EXPECT_EQ(decoded.fpga.freqMHz, timing.fpga.freqMHz);
+    EXPECT_EQ(decoded.asic.criticalPathNs,
+              timing.asic.criticalPathNs);
+}
+
+TEST(ArtifactSerde, PowerReport)
+{
+    PowerReport power = estimatePower(fetchNetlist(), 250.0);
+    PowerReport decoded = expectRoundTrip(power);
+    EXPECT_EQ(decoded.dynamicMw, power.dynamicMw);
+}
+
+TEST(ArtifactSerde, SynthMetrics)
+{
+    SynthMetrics metrics = synthesize(fetchElab().rtl);
+    SynthMetrics decoded = expectRoundTrip(metrics);
+    EXPECT_EQ(decoded.freqMHz, metrics.freqMHz);
+    EXPECT_EQ(decoded.fanInLC, metrics.fanInLC);
+}
+
+TEST(ArtifactSerde, ComponentMeasurement)
+{
+    Design d = shippedDesign("alu").load();
+    ComponentMeasurement m = measureComponent(d, "alu");
+    ComponentMeasurement decoded = expectRoundTrip(m);
+    EXPECT_EQ(decoded.metrics, m.metrics);
+}
+
+TEST(ArtifactSerde, Dataset)
+{
+    const Dataset &dataset = paperDataset();
+    ASSERT_GT(dataset.size(), 0u);
+    Dataset decoded = expectRoundTrip(dataset);
+    EXPECT_EQ(decoded.size(), dataset.size());
+}
+
+TEST(ArtifactSerde, ConvergenceTrace)
+{
+    obs::ConvergenceTrace trace;
+    for (size_t i = 0; i < 40; ++i) {
+        obs::IterationSample s;
+        s.iteration = i;
+        s.objective = 100.0 / static_cast<double>(i + 1);
+        s.gradNorm = 1e-3 * static_cast<double>(40 - i);
+        s.stepSize = 0.5;
+        s.simplexSpread = 0.01;
+        s.evaluations = i * 3;
+        trace.record(s);
+    }
+    obs::ConvergenceTrace decoded = expectRoundTrip(trace);
+    EXPECT_EQ(decoded.size(), trace.size());
+}
+
+TEST(ArtifactSerde, FittedEstimator)
+{
+    FittedEstimator fitted =
+        fitDee1(paperDataset(), FitMode::Pooled);
+    FittedEstimator decoded = expectRoundTrip(fitted);
+    EXPECT_EQ(decoded.metrics(), fitted.metrics());
+    EXPECT_EQ(decoded.mode(), fitted.mode());
+}
+
+TEST(ArtifactSerde, LintReport)
+{
+    Design d = shippedDesign("alu").load();
+    LintReport report = lintHdlDesign(d, "alu", "alu");
+    LintReport decoded = expectRoundTrip(report);
+    EXPECT_EQ(decoded.size(), report.size());
+}
+
+TEST(ArtifactSerde, CorruptPayloadIsTypedPerType)
+{
+    // A payload bit-flip in a real artifact frame must surface as
+    // SerdeError (checksum), which the cache maps to "recompute".
+    std::string framed = io::encodeArtifact(fetchElab().rtl);
+    framed[io::kFrameHeaderSize + framed.size() / 2] ^= 0x10;
+    EXPECT_THROW(io::decodeArtifact<RtlDesign>(framed),
+                 io::SerdeError);
+}
+
+TEST(ArtifactSerde, RegistryKnowsEveryArtifact)
+{
+    io::registerArtifactSerdes();
+    const auto &reg = io::SerdeRegistry::global();
+    for (const char *name :
+         {"RtlDesign", "ElabResult", "Netlist", "CellMapping",
+          "LutMapping", "ConeReport", "TimingSummary", "PowerReport",
+          "SynthMetrics", "ComponentMeasurement", "Dataset",
+          "ConvergenceTrace", "FittedEstimator", "LintReport"}) {
+        bool found = false;
+        for (const io::ArtifactCodec *codec : reg.codecs())
+            found = found || codec->name == name;
+        EXPECT_TRUE(found) << "codec missing: " << name;
+    }
+    EXPECT_NE(reg.byType(typeid(Netlist)), nullptr);
+    EXPECT_EQ(reg.byTag(io::fourcc("NETL")),
+              reg.byType(typeid(Netlist)));
+}
+
+} // namespace
+} // namespace ucx

@@ -1,0 +1,377 @@
+/**
+ * @file
+ * Tests of the ArtifactCache disk tier: cross-instance warm starts
+ * (the "second process" scenario), write-through, corruption and
+ * schema-version degradation to recompute, key-collision safety,
+ * unregistered-type bypass, eviction fallback, serde-exact byte
+ * accounting, and single-flight ownership of disk I/O.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "cache/artifact_cache.hh"
+#include "io/artifact_serde.hh"
+#include "io/disk_store.hh"
+#include "io/serde.hh"
+#include "synth/mapper.hh"
+
+namespace fs = std::filesystem;
+
+namespace ucx
+{
+namespace
+{
+
+/** Self-deleting store directory, unique per test. */
+struct TempDir
+{
+    fs::path path;
+
+    TempDir()
+    {
+        static std::atomic<int> counter{0};
+        path = fs::temp_directory_path() /
+               ("ucx_disk_cache_test_" +
+                std::to_string(::getpid()) + "_" +
+                std::to_string(counter.fetch_add(1)));
+        fs::create_directories(path);
+    }
+
+    ~TempDir()
+    {
+        std::error_code ec;
+        fs::remove_all(path, ec);
+    }
+
+    std::string
+    str() const
+    {
+        return path.string();
+    }
+};
+
+CellMapping
+sampleMapping()
+{
+    CellMapping m;
+    m.cells = 7;
+    m.combCells = 5;
+    m.seqCells = 2;
+    m.areaLogicUm2 = 123.5;
+    m.areaStorageUm2 = 48.25;
+    m.leakageUw = 0.75;
+    return m;
+}
+
+size_t
+ucxFileCount(const fs::path &dir)
+{
+    size_t n = 0;
+    for (const auto &de : fs::recursive_directory_iterator(dir)) {
+        if (de.is_regular_file() &&
+            de.path().extension() == ".ucx")
+            ++n;
+    }
+    return n;
+}
+
+class DiskCacheTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        io::registerArtifactSerdes();
+    }
+};
+
+TEST_F(DiskCacheTest, CrossInstanceWarmStart)
+{
+    TempDir dir;
+    CacheKey key("test");
+    key.add("mapping").add("v1");
+
+    {
+        ArtifactCache cold(16, true, dir.str());
+        auto v = cold.getOrCompute<CellMapping>(
+            key, [] { return sampleMapping(); });
+        ASSERT_NE(v, nullptr);
+        auto s = cold.stats();
+        EXPECT_EQ(s.misses, 1u);
+        EXPECT_EQ(s.diskMisses, 1u); // probed before computing
+        EXPECT_EQ(s.diskWrites, 1u);
+        EXPECT_GT(s.diskBytes, 0u);
+    }
+
+    // A new cache on the same directory stands in for a second
+    // process: the producer must NOT run.
+    ArtifactCache warm(16, true, dir.str());
+    bool ran = false;
+    auto v = warm.getOrCompute<CellMapping>(key, [&ran] {
+        ran = true;
+        return CellMapping();
+    });
+    EXPECT_FALSE(ran);
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(v->cells, 7u);
+    EXPECT_EQ(v->areaLogicUm2, 123.5);
+    auto s = warm.stats();
+    EXPECT_EQ(s.diskHits, 1u);
+    EXPECT_EQ(s.diskWrites, 0u); // a disk hit is not re-published
+
+    // Once decoded, the artifact lives in the memory tier: a second
+    // lookup is a pure memory hit, no further disk traffic.
+    warm.getOrCompute<CellMapping>(key, [] { return CellMapping(); });
+    s = warm.stats();
+    EXPECT_EQ(s.hits, 1u);
+    EXPECT_EQ(s.diskHits, 1u);
+}
+
+TEST_F(DiskCacheTest, DiskEntryIsSerdeExact)
+{
+    TempDir dir;
+    CacheKey key("test");
+    key.add("exact");
+    CellMapping value = sampleMapping();
+
+    ArtifactCache cache(16, true, dir.str());
+    cache.put<CellMapping>(
+        key, std::make_shared<const CellMapping>(value));
+
+    io::DiskStore store(dir.str());
+    std::string bytes;
+    std::string stored_key;
+    std::string framed;
+    ASSERT_TRUE(io::DiskStore::readFile(
+        store.pathFor(key.str()), bytes));
+    ASSERT_TRUE(io::DiskStore::unpackEntry(bytes, stored_key, framed));
+    EXPECT_EQ(stored_key, key.str());
+    // The file holds exactly the frame a fresh encode produces —
+    // the determinism contract behind "a disk hit is byte-identical
+    // to a recompute".
+    EXPECT_EQ(framed, io::encodeArtifact(value));
+}
+
+TEST_F(DiskCacheTest, CorruptEntryDegradesToRecompute)
+{
+    TempDir dir;
+    CacheKey key("test");
+    key.add("corrupt");
+    std::string path;
+
+    {
+        ArtifactCache cold(16, true, dir.str());
+        cold.getOrCompute<CellMapping>(
+            key, [] { return sampleMapping(); });
+        path = io::DiskStore(dir.str()).pathFor(key.str());
+        ASSERT_TRUE(fs::exists(path));
+    }
+
+    // Flip the last payload byte on disk: the frame checksum must
+    // catch it.
+    std::string bytes;
+    ASSERT_TRUE(io::DiskStore::readFile(path, bytes));
+    bytes.back() = static_cast<char>(bytes.back() ^ 0x40);
+    std::ofstream(path, std::ios::binary | std::ios::trunc)
+        << bytes;
+
+    ArtifactCache warm(16, true, dir.str());
+    bool ran = false;
+    auto v = warm.getOrCompute<CellMapping>(key, [&ran] {
+        ran = true;
+        return sampleMapping();
+    });
+    EXPECT_TRUE(ran); // corruption means recompute, never an error
+    EXPECT_EQ(v->cells, 7u);
+    auto s = warm.stats();
+    EXPECT_EQ(s.diskCorrupt, 1u);
+    EXPECT_EQ(s.diskHits, 0u);
+    EXPECT_EQ(s.diskWrites, 1u); // the recompute healed the store
+
+    // The healed entry reads back clean in a third instance.
+    ArtifactCache third(16, true, dir.str());
+    bool ran_again = false;
+    third.getOrCompute<CellMapping>(key, [&ran_again] {
+        ran_again = true;
+        return CellMapping();
+    });
+    EXPECT_FALSE(ran_again);
+    EXPECT_EQ(third.stats().diskHits, 1u);
+}
+
+TEST_F(DiskCacheTest, SchemaVersionBumpDegradesToRecompute)
+{
+    TempDir dir;
+    CacheKey key("test");
+    key.add("version");
+
+    // Hand-write an entry whose frame claims a future schema
+    // version (the payload checksum stays valid — only the version
+    // check can reject it).
+    std::string framed = io::encodeArtifact(sampleMapping());
+    framed[io::kFrameOffVersion] = static_cast<char>(
+        io::Serde<CellMapping>::kVersion + 1);
+    io::DiskStore store(dir.str());
+    std::string path = store.pathFor(key.str());
+    fs::create_directories(fs::path(path).parent_path());
+    std::ofstream(path, std::ios::binary)
+        << io::DiskStore::packEntry(key.str(), framed);
+
+    ArtifactCache cache(16, true, dir.str());
+    bool ran = false;
+    cache.getOrCompute<CellMapping>(key, [&ran] {
+        ran = true;
+        return sampleMapping();
+    });
+    EXPECT_TRUE(ran);
+    auto s = cache.stats();
+    EXPECT_EQ(s.diskCorrupt, 1u);
+    EXPECT_EQ(s.diskHits, 0u);
+}
+
+TEST_F(DiskCacheTest, KeyMismatchInSharedPathIsMiss)
+{
+    // Simulate a hash collision: an entry stored under key A sits
+    // at key B's path. The embedded key makes the read a Miss, not
+    // wrong data and not corruption.
+    TempDir dir;
+    io::DiskStore store(dir.str());
+    std::string framed = io::encodeArtifact(sampleMapping());
+    std::string path = store.pathFor("test|keyB");
+    fs::create_directories(fs::path(path).parent_path());
+    std::ofstream(path, std::ios::binary)
+        << io::DiskStore::packEntry("test|keyA", framed);
+
+    std::string out;
+    EXPECT_EQ(store.read("test|keyB", out),
+              io::DiskStore::ReadStatus::Miss);
+    EXPECT_TRUE(fs::exists(path)); // a miss never deletes
+}
+
+TEST_F(DiskCacheTest, UnregisteredTypeStaysMemoryOnly)
+{
+    struct Unregistered
+    {
+        int x = 0;
+    };
+    TempDir dir;
+    CacheKey key("test");
+    key.add("unregistered");
+
+    ArtifactCache cache(16, true, dir.str());
+    auto v = cache.getOrCompute<Unregistered>(
+        key, [] { return Unregistered{41}; });
+    EXPECT_EQ(v->x, 41);
+    auto s = cache.stats();
+    EXPECT_EQ(s.misses, 1u);
+    EXPECT_EQ(s.diskMisses, 0u); // never probed
+    EXPECT_EQ(s.diskWrites, 0u);
+    EXPECT_EQ(ucxFileCount(dir.path), 0u);
+}
+
+TEST_F(DiskCacheTest, EvictedEntryComesBackFromDisk)
+{
+    TempDir dir;
+    CacheKey first("test");
+    first.add("first");
+    CacheKey second("test");
+    second.add("second");
+
+    ArtifactCache cache(1, true, dir.str());
+    cache.getOrCompute<CellMapping>(
+        first, [] { return sampleMapping(); });
+    cache.getOrCompute<CellMapping>(second, [] {
+        CellMapping m;
+        m.cells = 9;
+        return m;
+    });
+    EXPECT_EQ(cache.stats().evictions, 1u);
+
+    // "first" left the memory tier but not the disk.
+    auto v = cache.get<CellMapping>(first);
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(v->cells, 7u);
+    EXPECT_EQ(cache.stats().diskHits, 1u);
+}
+
+TEST_F(DiskCacheTest, ByteAccountingUsesEncodedFrameSize)
+{
+    // No disk tier: the codec is still used to size the entry.
+    CacheKey key("test");
+    key.add("bytes");
+    CellMapping value = sampleMapping();
+
+    ArtifactCache cache(16, true, "");
+    EXPECT_FALSE(cache.diskEnabled());
+    cache.put<CellMapping>(
+        key, std::make_shared<const CellMapping>(value));
+    EXPECT_EQ(cache.stats().approxBytes,
+              io::encodeArtifact(value).size() + key.str().size());
+}
+
+TEST_F(DiskCacheTest, DisabledCacheTouchesNothing)
+{
+    TempDir dir;
+    CacheKey key("test");
+    key.add("disabled");
+
+    ArtifactCache cache(16, false, dir.str());
+    bool ran = false;
+    auto v = cache.getOrCompute<CellMapping>(key, [&ran] {
+        ran = true;
+        return sampleMapping();
+    });
+    EXPECT_TRUE(ran);
+    ASSERT_NE(v, nullptr);
+    auto s = cache.stats();
+    EXPECT_EQ(s.misses, 0u);
+    EXPECT_EQ(s.diskMisses, 0u);
+    EXPECT_EQ(s.diskWrites, 0u);
+    EXPECT_EQ(ucxFileCount(dir.path), 0u);
+}
+
+TEST_F(DiskCacheTest, SingleFlightOwnsTheDiskTraffic)
+{
+    TempDir dir;
+    CacheKey key("test");
+    key.add("flight");
+
+    ArtifactCache cache(16, true, dir.str());
+    std::atomic<int> produced{0};
+    std::vector<std::thread> threads;
+    for (int i = 0; i < 8; ++i) {
+        threads.emplace_back([&] {
+            auto v = cache.getOrCompute<CellMapping>(key, [&] {
+                ++produced;
+                // Widen the in-flight window so other threads pile
+                // onto the Flight instead of finding a memory hit.
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(20));
+                return sampleMapping();
+            });
+            EXPECT_EQ(v->cells, 7u);
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+
+    EXPECT_EQ(produced.load(), 1);
+    auto s = cache.stats();
+    EXPECT_EQ(s.misses, 1u);
+    EXPECT_EQ(s.diskMisses, 1u); // one probe: the owner's
+    EXPECT_EQ(s.diskWrites, 1u); // one write-through: the owner's
+    EXPECT_EQ(s.hits + s.dedupWaits, 7u);
+}
+
+} // namespace
+} // namespace ucx

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * warm_restart — fixture driver of the disk-tier warm-restart test.
+ *
+ * Runs a representative measure → fit workload through an
+ * EstimationSession (honoring UCX_CACHE_DIR and UCX_THREADS) and
+ * prints a deterministic summary to stdout. Run twice against the
+ * same fresh cache directory by tools/warm_restart.cmake, which then
+ * asserts:
+ *
+ *   - both runs' stdout is byte-identical (a disk hit feeds the
+ *     pipeline exactly the bytes a recompute would);
+ *   - the second run recomputed zero synthesis passes and took
+ *     every artifact from disk.
+ *
+ * Pass/disk statistics go to the --stats file as "name=value" lines
+ * so the assertion never disturbs the stdout under comparison.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "engine/session.hh"
+#include "obs/metrics.hh"
+#include "util/error.hh"
+#include "util/str.hh"
+
+using namespace ucx;
+
+namespace
+{
+
+/** Sum of all "synth.pass.*<suffix>" counters. */
+uint64_t
+sumPassCounters(const obs::MetricsSnapshot &snapshot,
+                const std::string &suffix)
+{
+    uint64_t total = 0;
+    for (const auto &c : snapshot.counters) {
+        if (c.name.rfind("synth.pass.", 0) == 0 &&
+            c.name.size() >= suffix.size() &&
+            c.name.compare(c.name.size() - suffix.size(),
+                           suffix.size(), suffix) == 0) {
+            total += c.value;
+        }
+    }
+    return total;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string stats_path;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--stats" && i + 1 < argc) {
+            stats_path = argv[++i];
+        } else {
+            std::cerr << "usage: warm_restart --stats FILE\n";
+            return 2;
+        }
+    }
+
+    // The pass-recompute counters below only tick while obs
+    // collection is on; force it so the harness need not export
+    // UCX_OBS (which would also change bench-style outputs).
+    obs::setEnabled(true);
+
+    try {
+        EstimationSession session;
+
+        // Measure: a hierarchical design through the full pipeline.
+        ComponentMeasurement fetch =
+            session.measureShipped("fetch");
+        std::cout << "fetch";
+        for (double v : fetch.metrics)
+            std::cout << " " << fmtCompact(v, 6);
+        std::cout << "\n";
+
+        // Build: every shipped design through the pass manager.
+        for (const BuiltDesign &built : session.buildShipped()) {
+            std::cout << built.name << " luts="
+                      << built.metrics.luts
+                      << " freq=" << fmtFixed(built.metrics.freqMHz, 3)
+                      << " fanInLC=" << built.metrics.fanInLC << "\n";
+        }
+
+        // Fit: the recommended DEE1 (pooled mode keeps the fixture
+        // fast; the FittedEstimator artifact still round-trips the
+        // disk tier).
+        FittedEstimator dee1 =
+            session.fit(EstimatorSpec::dee1(FitMode::Pooled));
+        std::cout << "dee1 sigma=" << fmtCompact(dee1.sigmaEps(), 6);
+        for (double w : dee1.weights())
+            std::cout << " w=" << fmtCompact(w, 6);
+        std::cout << "\n";
+
+        if (!stats_path.empty()) {
+            obs::MetricsSnapshot snapshot =
+                obs::Registry::instance().snapshot();
+            ArtifactCache::Stats cache = session.cache().stats();
+            std::ofstream out(stats_path, std::ios::trunc);
+            out << "pass_runs="
+                << sumPassCounters(snapshot, ".runs") << "\n"
+                << "pass_cache_hits="
+                << sumPassCounters(snapshot, ".cache_hits") << "\n"
+                << "disk_hits=" << cache.diskHits << "\n"
+                << "disk_misses=" << cache.diskMisses << "\n"
+                << "disk_writes=" << cache.diskWrites << "\n"
+                << "disk_corrupt=" << cache.diskCorrupt << "\n"
+                << "disk_bytes=" << cache.diskBytes << "\n";
+            if (!out) {
+                std::cerr << "warm_restart: cannot write "
+                          << stats_path << "\n";
+                return 2;
+            }
+        }
+    } catch (const UcxError &e) {
+        std::cerr << "warm_restart: " << e.what() << "\n";
+        return 1;
+    }
+    return 0;
+}

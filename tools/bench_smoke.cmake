@@ -48,6 +48,18 @@ if(graph_gauge EQUAL -1)
             "bench.graph.flat_ms gauge")
 endif()
 
+# The disk-tier comparison also runs in smoke mode; its gauges prove
+# the serde write-through/read-back path executed end to end.
+foreach(gauge bench.disk.cold_ms bench.disk.warm_ms
+        bench.disk.speedup)
+    string(FIND "${bench_report}" "${gauge}" found)
+    if(found EQUAL -1)
+        message(FATAL_ERROR
+                "BENCH_perf_microbench.json is missing the "
+                "${gauge} gauge")
+    endif()
+endforeach()
+
 execute_process(
     COMMAND "${OBSDIFF_BIN}" --self-check "${OUT_DIR}"
     RESULT_VARIABLE diff_rc)

@@ -1,0 +1,315 @@
+/**
+ * @file
+ * ucx_cachectl — inspect and maintain an on-disk artifact cache
+ * (the UCX_CACHE_DIR tier of the ArtifactCache).
+ *
+ * Usage:
+ *
+ *     ucx_cachectl [--dir DIR] ls
+ *     ucx_cachectl [--dir DIR] stat
+ *     ucx_cachectl [--dir DIR] verify
+ *     ucx_cachectl [--dir DIR] gc --max-bytes N
+ *
+ * Commands:
+ *
+ *     ls      One line per entry: type, schema version, payload
+ *             bytes, and the cache key, sorted by key.
+ *     stat    Store summary: entry/byte totals and a per-type
+ *             breakdown.
+ *     verify  Fully decode every entry through the registered
+ *             codecs (checksums, schema versions, payload shape).
+ *             Malformed entries are reported; exit 1 when any.
+ *     gc      Delete oldest entries (by file modification time)
+ *             until the store fits in --max-bytes bytes.
+ *
+ * The store directory comes from --dir or UCX_CACHE_DIR. Exit
+ * status: 0 on success, 1 when verify finds bad entries, 2 on usage
+ * or input errors.
+ */
+
+#include <algorithm>
+#include <filesystem>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "io/artifact_serde.hh"
+#include "io/disk_store.hh"
+#include "io/registry.hh"
+#include "io/serde.hh"
+#include "util/error.hh"
+#include "util/table.hh"
+
+namespace fs = std::filesystem;
+using namespace ucx;
+
+namespace
+{
+
+int
+usage(std::ostream &out, int code)
+{
+    out << "usage: ucx_cachectl [--dir DIR] "
+           "{ls | stat | verify | gc --max-bytes N}\n";
+    return code;
+}
+
+/** One parsed store entry (or the reason it would not parse). */
+struct EntryInfo
+{
+    std::string path;
+    std::string key;
+    uint64_t fileBytes = 0;
+    io::FrameHeader header;
+    std::string typeName;  ///< Codec name or the raw fourcc.
+    std::string error;     ///< "" when the container parsed.
+};
+
+/** Scan every *.ucx entry under the store root, sorted by key. */
+std::vector<EntryInfo>
+scanStore(const std::string &dir)
+{
+    require(fs::is_directory(dir),
+            "'" + dir + "' is not a directory");
+    std::vector<EntryInfo> entries;
+    for (const auto &de : fs::recursive_directory_iterator(dir)) {
+        if (!de.is_regular_file() ||
+            de.path().extension() != ".ucx")
+            continue;
+        EntryInfo info;
+        info.path = de.path().string();
+        info.fileBytes = static_cast<uint64_t>(de.file_size());
+        std::string bytes;
+        std::string framed;
+        if (!io::DiskStore::readFile(info.path, bytes)) {
+            info.error = "unreadable file";
+        } else if (!io::DiskStore::unpackEntry(bytes, info.key,
+                                               framed)) {
+            info.error = "malformed entry container";
+        } else {
+            try {
+                info.header = io::peekFrame(framed);
+                const io::ArtifactCodec *codec =
+                    io::SerdeRegistry::global().byTag(
+                        info.header.typeTag);
+                info.typeName =
+                    codec != nullptr
+                        ? codec->name
+                        : io::fourccName(info.header.typeTag);
+            } catch (const io::SerdeError &e) {
+                info.error = e.what();
+            }
+        }
+        entries.push_back(std::move(info));
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const EntryInfo &a, const EntryInfo &b) {
+                  if (a.key != b.key)
+                      return a.key < b.key;
+                  return a.path < b.path;
+              });
+    return entries;
+}
+
+int
+cmdLs(const std::string &dir)
+{
+    Table t({"Type", "Ver", "Bytes", "Key"});
+    for (const EntryInfo &e : scanStore(dir)) {
+        if (!e.error.empty()) {
+            t.addRow({"<bad>", "-", std::to_string(e.fileBytes),
+                      e.path + ": " + e.error});
+            continue;
+        }
+        t.addRow({e.typeName, std::to_string(e.header.version),
+                  std::to_string(e.header.payloadSize), e.key});
+    }
+    std::cout << t.render();
+    return 0;
+}
+
+int
+cmdStat(const std::string &dir)
+{
+    std::vector<EntryInfo> entries = scanStore(dir);
+    uint64_t bytes = 0;
+    size_t bad = 0;
+    std::map<std::string, std::pair<size_t, uint64_t>> byType;
+    for (const EntryInfo &e : entries) {
+        bytes += e.fileBytes;
+        if (!e.error.empty()) {
+            ++bad;
+            continue;
+        }
+        auto &[count, size] = byType[e.typeName];
+        ++count;
+        size += e.fileBytes;
+    }
+    std::cout << "store:    " << dir << "\n"
+              << "entries:  " << entries.size() << "\n"
+              << "bytes:    " << bytes << "\n"
+              << "bad:      " << bad << "\n";
+    if (!byType.empty()) {
+        Table t({"Type", "Entries", "Bytes"});
+        for (const auto &[name, stats] : byType) {
+            t.addRow({name, std::to_string(stats.first),
+                      std::to_string(stats.second)});
+        }
+        std::cout << t.render();
+    }
+    return 0;
+}
+
+int
+cmdVerify(const std::string &dir)
+{
+    size_t checked = 0;
+    size_t bad = 0;
+    size_t skipped = 0;
+    for (const EntryInfo &e : scanStore(dir)) {
+        if (!e.error.empty()) {
+            std::cout << "BAD  " << e.path << ": " << e.error
+                      << "\n";
+            ++bad;
+            continue;
+        }
+        const io::ArtifactCodec *codec =
+            io::SerdeRegistry::global().byTag(e.header.typeTag);
+        if (codec == nullptr) {
+            // An unknown tag is not corruption — a newer build may
+            // know codecs this one does not.
+            ++skipped;
+            continue;
+        }
+        std::string bytes;
+        std::string key;
+        std::string framed;
+        if (!io::DiskStore::readFile(e.path, bytes) ||
+            !io::DiskStore::unpackEntry(bytes, key, framed)) {
+            std::cout << "BAD  " << e.path
+                      << ": entry vanished or went malformed\n";
+            ++bad;
+            continue;
+        }
+        try {
+            codec->decode(framed);
+            ++checked;
+        } catch (const io::SerdeError &err) {
+            std::cout << "BAD  " << e.path << " (" << e.key
+                      << "): " << err.what() << "\n";
+            ++bad;
+        }
+    }
+    std::cout << "verified " << checked << " entries, " << bad
+              << " bad, " << skipped << " unknown-type\n";
+    return bad == 0 ? 0 : 1;
+}
+
+int
+cmdGc(const std::string &dir, uint64_t max_bytes)
+{
+    struct Victim
+    {
+        std::string path;
+        uint64_t bytes;
+        fs::file_time_type mtime;
+    };
+    std::vector<Victim> files;
+    uint64_t total = 0;
+    for (const auto &de : fs::recursive_directory_iterator(dir)) {
+        if (!de.is_regular_file() ||
+            de.path().extension() != ".ucx")
+            continue;
+        Victim v;
+        v.path = de.path().string();
+        v.bytes = static_cast<uint64_t>(de.file_size());
+        v.mtime = de.last_write_time();
+        total += v.bytes;
+        files.push_back(std::move(v));
+    }
+    // Oldest first; path breaks mtime ties so a gc run is
+    // reproducible.
+    std::sort(files.begin(), files.end(),
+              [](const Victim &a, const Victim &b) {
+                  if (a.mtime != b.mtime)
+                      return a.mtime < b.mtime;
+                  return a.path < b.path;
+              });
+    size_t removed = 0;
+    uint64_t freed = 0;
+    for (const Victim &v : files) {
+        if (total <= max_bytes)
+            break;
+        std::error_code ec;
+        if (fs::remove(v.path, ec) && !ec) {
+            total -= v.bytes;
+            freed += v.bytes;
+            ++removed;
+        }
+    }
+    std::cout << "removed " << removed << " entries, freed " << freed
+              << " bytes, " << total << " bytes remain\n";
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string dir = io::DiskStore::dirFromEnv();
+    std::string command;
+    bool haveMaxBytes = false;
+    uint64_t maxBytes = 0;
+    try {
+        for (int i = 1; i < argc; ++i) {
+            std::string arg = argv[i];
+            auto value = [&](const std::string &flag) {
+                if (i + 1 >= argc)
+                    throw UcxError(flag + " needs an argument");
+                return std::string(argv[++i]);
+            };
+            if (arg == "--dir") {
+                dir = value(arg);
+            } else if (arg == "--max-bytes") {
+                std::string v = value(arg);
+                size_t end = 0;
+                maxBytes = std::stoull(v, &end);
+                if (end != v.size())
+                    throw UcxError("--max-bytes needs an integer, "
+                                   "got '" + v + "'");
+                haveMaxBytes = true;
+            } else if (arg == "--help" || arg == "-h") {
+                return usage(std::cout, 0);
+            } else if (!arg.empty() && arg[0] == '-') {
+                throw UcxError("unknown option '" + arg + "'");
+            } else if (command.empty()) {
+                command = arg;
+            } else {
+                throw UcxError("unexpected argument '" + arg + "'");
+            }
+        }
+        if (command.empty())
+            return usage(std::cerr, 2);
+        require(!dir.empty(),
+                "no store directory: pass --dir or set "
+                "UCX_CACHE_DIR");
+
+        io::registerArtifactSerdes();
+        if (command == "ls")
+            return cmdLs(dir);
+        if (command == "stat")
+            return cmdStat(dir);
+        if (command == "verify")
+            return cmdVerify(dir);
+        if (command == "gc") {
+            require(haveMaxBytes, "gc needs --max-bytes N");
+            return cmdGc(dir, maxBytes);
+        }
+        throw UcxError("unknown command '" + command + "'");
+    } catch (const UcxError &e) {
+        std::cerr << "ucx_cachectl: " << e.what() << "\n";
+        return 2;
+    }
+}

@@ -250,6 +250,17 @@ compatibilityErrors(const json::Value &base, const json::Value &next)
                 errors.push_back("settings." + key + " mismatch: '" +
                                  bv + "' vs '" + nv + "'");
         }
+        // Symmetric check: a key only the *new* report carries (e.g.
+        // ucx_cache_dir turning the disk tier on) is just as much of
+        // an apples-to-oranges setup as a differing value.
+        for (const auto &[key, nval] : nset->members()) {
+            if (bset->find(key) != nullptr)
+                continue;
+            std::string nv = nval.isString() ? nval.asString() : "";
+            if (!nv.empty())
+                errors.push_back("settings." + key + " mismatch: '" +
+                                 "' vs '" + nv + "'");
+        }
     }
     return errors;
 }

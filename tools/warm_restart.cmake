@@ -1,0 +1,140 @@
+# Warm-restart test of the ArtifactCache disk tier, run as a ctest
+# entry:
+#
+#   cmake -DDRIVER_BIN=... -DCACHECTL_BIN=... -DOUT_DIR=...
+#         -P warm_restart.cmake
+#
+# Runs the warm_restart fixture twice against the same *fresh*
+# UCX_CACHE_DIR — two separate processes, so the second run's memory
+# tier starts empty — and asserts the disk tier's contract:
+#
+#   1. run 1 populated the store (disk_writes > 0);
+#   2. run 2 recomputed zero synthesis passes (pass_runs=0) and took
+#      artifacts from disk (disk_hits > 0, disk_corrupt = 0);
+#   3. both runs' stdout is byte-identical — a disk hit feeds the
+#      pipeline exactly the bytes a recompute would;
+#   4. ucx_cachectl can ls/stat/verify the store run 1 wrote, and gc
+#      down to an empty store.
+
+foreach(var DRIVER_BIN CACHECTL_BIN OUT_DIR)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "warm_restart.cmake needs -D${var}=...")
+    endif()
+endforeach()
+
+set(cache_dir "${OUT_DIR}/store")
+file(REMOVE_RECURSE "${OUT_DIR}")
+file(MAKE_DIRECTORY "${cache_dir}")
+
+function(run_driver label)
+    execute_process(
+        COMMAND ${CMAKE_COMMAND} -E env
+                "UCX_CACHE_DIR=${cache_dir}"
+                "${DRIVER_BIN}"
+                --stats "${OUT_DIR}/stats_${label}.txt"
+        OUTPUT_FILE "${OUT_DIR}/stdout_${label}.txt"
+        RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR
+                "warm_restart run ${label} exited with ${rc}")
+    endif()
+endfunction()
+
+# "name=value" stats file -> stat_<name> variables in the caller.
+function(read_stats label)
+    file(STRINGS "${OUT_DIR}/stats_${label}.txt" lines)
+    foreach(line IN LISTS lines)
+        if(line MATCHES "^([a-z_]+)=([0-9]+)$")
+            set(stat_${CMAKE_MATCH_1} "${CMAKE_MATCH_2}"
+                PARENT_SCOPE)
+        endif()
+    endforeach()
+endfunction()
+
+run_driver(cold)
+run_driver(warm)
+
+read_stats(cold)
+if(stat_pass_runs EQUAL 0)
+    message(FATAL_ERROR "cold run recomputed no passes — the "
+                        "fixture exercised nothing")
+endif()
+if(stat_disk_writes EQUAL 0)
+    message(FATAL_ERROR "cold run wrote nothing to the disk tier")
+endif()
+
+read_stats(warm)
+if(NOT stat_pass_runs EQUAL 0)
+    message(FATAL_ERROR
+            "warm restart recomputed ${stat_pass_runs} synthesis "
+            "passes; every artifact should have come from disk")
+endif()
+if(stat_disk_hits EQUAL 0)
+    message(FATAL_ERROR "warm restart had no disk hits")
+endif()
+if(NOT stat_disk_corrupt EQUAL 0)
+    message(FATAL_ERROR
+            "warm restart found ${stat_disk_corrupt} corrupt "
+            "entries in a store it just wrote")
+endif()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            "${OUT_DIR}/stdout_cold.txt"
+            "${OUT_DIR}/stdout_warm.txt"
+    RESULT_VARIABLE diff_rc)
+if(NOT diff_rc EQUAL 0)
+    message(FATAL_ERROR
+            "cold and warm stdout differ — disk hits changed "
+            "observable output")
+endif()
+
+# ---- ucx_cachectl over the populated store ----------------------
+
+execute_process(
+    COMMAND "${CACHECTL_BIN}" --dir "${cache_dir}" verify
+    OUTPUT_VARIABLE verify_out
+    RESULT_VARIABLE verify_rc)
+if(NOT verify_rc EQUAL 0)
+    message(FATAL_ERROR
+            "ucx_cachectl verify failed on a freshly written "
+            "store:\n${verify_out}")
+endif()
+if(NOT verify_out MATCHES "0 bad")
+    message(FATAL_ERROR
+            "ucx_cachectl verify reported bad entries:\n"
+            "${verify_out}")
+endif()
+
+execute_process(
+    COMMAND "${CACHECTL_BIN}" --dir "${cache_dir}" ls
+    OUTPUT_VARIABLE ls_out
+    RESULT_VARIABLE ls_rc)
+if(NOT ls_rc EQUAL 0 OR NOT ls_out MATCHES "Netlist")
+    message(FATAL_ERROR
+            "ucx_cachectl ls did not list the expected artifacts:\n"
+            "${ls_out}")
+endif()
+
+execute_process(
+    COMMAND "${CACHECTL_BIN}" --dir "${cache_dir}" stat
+    OUTPUT_VARIABLE stat_out
+    RESULT_VARIABLE stat_rc)
+if(NOT stat_rc EQUAL 0 OR NOT stat_out MATCHES "bad:      0")
+    message(FATAL_ERROR
+            "ucx_cachectl stat failed or found bad entries:\n"
+            "${stat_out}")
+endif()
+
+execute_process(
+    COMMAND "${CACHECTL_BIN}" --dir "${cache_dir}" gc --max-bytes 0
+    OUTPUT_VARIABLE gc_out
+    RESULT_VARIABLE gc_rc)
+if(NOT gc_rc EQUAL 0 OR NOT gc_out MATCHES "0 bytes remain")
+    message(FATAL_ERROR
+            "ucx_cachectl gc --max-bytes 0 did not empty the "
+            "store:\n${gc_out}")
+endif()
+
+message(STATUS "warm restart OK: pass_runs=0, disk_hits="
+               "${stat_disk_hits}, stdout byte-identical")
