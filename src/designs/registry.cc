@@ -154,7 +154,7 @@ buildDesigns(const std::vector<std::string> &names,
         // Nodes 2..n: one node per pass, wired by declared deps, so
         // passes of *different* designs interleave across cores.
         std::vector<TaskHandle> passes = submitPasses(
-            graph, elab.handle(), st->pctx, defaultPassList(), run);
+            graph, elab.handle(), st->pctx, passListFor(config), run);
 
         // Final node: assemble the BuiltDesign once every pass of
         // this design landed.

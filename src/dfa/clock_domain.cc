@@ -1,0 +1,375 @@
+#include "dfa/clock_domain.hh"
+
+#include <map>
+#include <set>
+
+#include "dfa/worklist.hh"
+
+namespace ucx
+{
+namespace dfa
+{
+
+namespace
+{
+
+/** @return The base name an lvalue expression assigns, or "". */
+std::string
+lvalueBase(const Expr &lhs)
+{
+    switch (lhs.kind) {
+      case ExprKind::Ident:
+      case ExprKind::Index:
+      case ExprKind::Range:
+        return lhs.name;
+      default:
+        return "";
+    }
+}
+
+/** Invoke @p fn on every (expr, name, line) read inside @p expr. */
+template <typename Fn>
+void
+forEachRead(const Expr &expr, Fn &&fn)
+{
+    if (expr.kind == ExprKind::Ident ||
+        expr.kind == ExprKind::Index ||
+        expr.kind == ExprKind::Range)
+        fn(expr, expr.name, expr.line);
+    if (expr.a)
+        forEachRead(*expr.a, fn);
+    if (expr.b)
+        forEachRead(*expr.b, fn);
+    if (expr.c)
+        forEachRead(*expr.c, fn);
+    for (const ExprPtr &part : expr.parts)
+        forEachRead(*part, fn);
+}
+
+/** Invoke @p fn on every (expr, name, line) the statements read. */
+template <typename Fn>
+void
+forEachStmtRead(const Stmt &stmt, Fn &&fn)
+{
+    if (stmt.cond)
+        forEachRead(*stmt.cond, fn);
+    if (stmt.subject)
+        forEachRead(*stmt.subject, fn);
+    if (stmt.rhs)
+        forEachRead(*stmt.rhs, fn);
+    if (stmt.lhs) {
+        // Lvalue index / range bounds are reads too.
+        if (stmt.lhs->a)
+            forEachRead(*stmt.lhs->a, fn);
+        if (stmt.lhs->b)
+            forEachRead(*stmt.lhs->b, fn);
+    }
+    if (stmt.loopInit)
+        forEachRead(*stmt.loopInit, fn);
+    if (stmt.loopStep)
+        forEachRead(*stmt.loopStep, fn);
+    for (const CaseItem &item : stmt.items) {
+        for (const ExprPtr &label : item.labels)
+            forEachRead(*label, fn);
+        if (item.body)
+            forEachStmtRead(*item.body, fn);
+    }
+    for (const StmtPtr &child : stmt.stmts)
+        forEachStmtRead(*child, fn);
+    if (stmt.thenStmt)
+        forEachStmtRead(*stmt.thenStmt, fn);
+    if (stmt.elseStmt)
+        forEachStmtRead(*stmt.elseStmt, fn);
+}
+
+/** Collect every base name the statement tree assigns. */
+void
+collectAssigned(const Stmt &stmt, std::set<std::string> &out)
+{
+    if (stmt.kind == StmtKind::Assign && stmt.lhs) {
+        std::string base = lvalueBase(*stmt.lhs);
+        if (!base.empty())
+            out.insert(base);
+    }
+    for (const StmtPtr &child : stmt.stmts)
+        collectAssigned(*child, out);
+    if (stmt.thenStmt)
+        collectAssigned(*stmt.thenStmt, out);
+    if (stmt.elseStmt)
+        collectAssigned(*stmt.elseStmt, out);
+    for (const CaseItem &item : stmt.items)
+        if (item.body)
+            collectAssigned(*item.body, out);
+}
+
+/** How one name gets its value, for taint propagation. */
+struct Def
+{
+    enum class Kind
+    {
+        Seq,  ///< Register: taint = {clock}, pure.
+        Cont, ///< assign: taint = union of sources.
+        Comb, ///< Comb always: coarse union of block reads.
+    };
+    Kind kind;
+    std::string clock;              ///< Seq only.
+    std::vector<std::string> reads; ///< Cont / Comb sources.
+    bool bareIdent = false;         ///< Cont: rhs is one Ident.
+};
+
+/** Analyze one module's items (generate bodies pre-flattened). */
+void
+analyzeModule(const std::string &moduleName,
+              const std::vector<const Item *> &items,
+              ClockDomainResult &out)
+{
+    // ---- Gather defs, clocks, and the name universe. -----------
+    std::map<std::string, std::vector<Def>> defs;
+    std::set<std::string> clocks;
+    struct SeqBlock
+    {
+        std::string clock;
+        const Stmt *body;
+    };
+    std::vector<SeqBlock> seqBlocks;
+    std::vector<const Item *> dataItems; // clock-as-data scan
+
+    for (const Item *item : items) {
+        if (item->kind == ItemKind::ContAssign) {
+            dataItems.push_back(item);
+            if (!item->lhs || !item->rhs)
+                continue;
+            std::string base = lvalueBase(*item->lhs);
+            if (base.empty())
+                continue;
+            Def def;
+            def.kind = Def::Kind::Cont;
+            def.bareIdent = item->rhs->kind == ExprKind::Ident;
+            std::set<std::string> reads;
+            forEachRead(*item->rhs,
+                        [&](const Expr &, const std::string &n,
+                            int) { reads.insert(n); });
+            def.reads.assign(reads.begin(), reads.end());
+            defs[base].push_back(std::move(def));
+        } else if (item->kind == ItemKind::Always && item->body) {
+            dataItems.push_back(item);
+            std::set<std::string> assigned;
+            collectAssigned(*item->body, assigned);
+            if (item->sequential && !item->edges.empty()) {
+                const std::string &clock = item->edges[0].signal;
+                clocks.insert(clock);
+                seqBlocks.push_back({clock, item->body.get()});
+                for (const std::string &reg : assigned) {
+                    Def def;
+                    def.kind = Def::Kind::Seq;
+                    def.clock = clock;
+                    defs[reg].push_back(std::move(def));
+                    out.domains.push_back(
+                        {moduleName, reg, clock});
+                }
+            } else if (!item->sequential) {
+                std::set<std::string> reads;
+                forEachStmtRead(
+                    *item->body,
+                    [&](const Expr &, const std::string &n, int) {
+                        reads.insert(n);
+                    });
+                Def def;
+                def.kind = Def::Kind::Comb;
+                def.reads.assign(reads.begin(), reads.end());
+                for (const std::string &name : assigned)
+                    defs[name].push_back(def);
+            }
+        }
+    }
+
+    // ---- Name universe and worklist edges. ---------------------
+    std::map<std::string, uint32_t> ids;
+    auto idOf = [&](const std::string &name) {
+        auto it = ids.find(name);
+        if (it != ids.end())
+            return it->second;
+        uint32_t id = static_cast<uint32_t>(ids.size());
+        ids.emplace(name, id);
+        return id;
+    };
+    for (const auto &entry : defs) {
+        idOf(entry.first);
+        for (const Def &def : entry.second)
+            for (const std::string &src : def.reads)
+                idOf(src);
+    }
+    std::vector<const std::string *> names(ids.size());
+    for (const auto &entry : ids)
+        names[entry.second] = &entry.first;
+
+    Worklist work(ids.size());
+    for (const auto &entry : defs) {
+        uint32_t to = ids.at(entry.first);
+        for (const Def &def : entry.second)
+            for (const std::string &src : def.reads)
+                work.addEdge(ids.at(src), to);
+    }
+
+    // ---- Fixpoint on the (clock set, through-logic) lattice. ---
+    std::vector<std::set<std::string>> taint(ids.size());
+    std::vector<uint8_t> through(ids.size(), 0);
+    work.pushAll();
+    out.iterations += work.solve([&](uint32_t id) {
+        auto it = defs.find(*names[id]);
+        if (it == defs.end())
+            return false; // input or undriven: stays untainted
+        std::set<std::string> next;
+        bool nextThrough = false;
+        for (const Def &def : it->second) {
+            switch (def.kind) {
+              case Def::Kind::Seq:
+                // A flop re-times its input: output belongs to
+                // the flop's own domain, glitch-free.
+                next.insert(def.clock);
+                break;
+              case Def::Kind::Cont:
+              case Def::Kind::Comb:
+                for (const std::string &src : def.reads) {
+                    uint32_t sid = ids.at(src);
+                    next.insert(taint[sid].begin(),
+                                taint[sid].end());
+                    if (through[sid])
+                        nextThrough = true;
+                }
+                if (def.kind == Def::Kind::Comb ||
+                    !def.bareIdent)
+                    nextThrough = true;
+                break;
+            }
+        }
+        if (next == taint[id] &&
+            nextThrough == (through[id] != 0))
+            return false;
+        // Union with the old state keeps the step monotone even
+        // with self-referential defs.
+        taint[id].insert(next.begin(), next.end());
+        through[id] = through[id] || nextThrough;
+        return true;
+    });
+
+    auto taintOf = [&](const std::string &name)
+        -> const std::set<std::string> * {
+        auto it = ids.find(name);
+        return it == ids.end() ? nullptr : &taint[it->second];
+    };
+    auto isThrough = [&](const std::string &name) {
+        auto it = ids.find(name);
+        return it != ids.end() && through[it->second] != 0;
+    };
+
+    // ---- Crossings at every capturing flop. --------------------
+    // Key: signal | from | to; unsynchronized verdicts win.
+    std::map<std::string, ClockDomainResult::Crossing> crossings;
+    for (const SeqBlock &block : seqBlocks) {
+        auto record = [&](const std::string &name, int line,
+                          bool synchronized) {
+            const std::set<std::string> *domains = taintOf(name);
+            if (!domains)
+                return;
+            for (const std::string &from : *domains) {
+                if (from == block.clock)
+                    continue;
+                std::string key =
+                    name + '|' + from + '|' + block.clock;
+                auto it = crossings.find(key);
+                if (it == crossings.end())
+                    crossings.emplace(
+                        key, ClockDomainResult::Crossing{
+                                 moduleName, name, from,
+                                 block.clock, line, synchronized});
+                else if (!synchronized)
+                    it->second.synchronized = false;
+            }
+        };
+        // Bare register-to-register captures are the synchronizer
+        // idiom; every other read is a raw crossing.
+        std::set<const Expr *> bareRhs;
+        std::vector<const Stmt *> stack = {block.body};
+        while (!stack.empty()) {
+            const Stmt *stmt = stack.back();
+            stack.pop_back();
+            if (stmt->kind == StmtKind::Assign && stmt->rhs &&
+                stmt->rhs->kind == ExprKind::Ident)
+                bareRhs.insert(stmt->rhs.get());
+            for (const StmtPtr &child : stmt->stmts)
+                stack.push_back(child.get());
+            if (stmt->thenStmt)
+                stack.push_back(stmt->thenStmt.get());
+            if (stmt->elseStmt)
+                stack.push_back(stmt->elseStmt.get());
+            for (const CaseItem &item : stmt->items)
+                if (item.body)
+                    stack.push_back(item.body.get());
+        }
+        forEachStmtRead(
+            *block.body,
+            [&](const Expr &expr, const std::string &name,
+                int line) {
+                bool sync = bareRhs.count(&expr) != 0 &&
+                            !isThrough(name);
+                record(name, line, sync);
+            });
+    }
+    for (auto &entry : crossings)
+        out.crossings.push_back(std::move(entry.second));
+
+    // ---- Clocks read as data. ----------------------------------
+    std::set<std::string> reportedClocks;
+    auto checkClockRead = [&](const Expr &,
+                              const std::string &name, int line) {
+        if (clocks.count(name) && !reportedClocks.count(name)) {
+            reportedClocks.insert(name);
+            out.clockAsData.push_back({moduleName, name, line});
+        }
+    };
+    for (const Item *item : dataItems) {
+        if (item->kind == ItemKind::ContAssign && item->rhs)
+            forEachRead(*item->rhs, checkClockRead);
+        else if (item->kind == ItemKind::Always && item->body)
+            forEachStmtRead(*item->body, checkClockRead);
+    }
+}
+
+/** Flatten items, recursing through generate bodies. */
+void
+flattenItems(const std::vector<ItemPtr> &items,
+             std::vector<const Item *> &out)
+{
+    for (const ItemPtr &item : items) {
+        switch (item->kind) {
+          case ItemKind::GenFor:
+            flattenItems(item->genBody, out);
+            break;
+          case ItemKind::GenIf:
+            flattenItems(item->genThen, out);
+            flattenItems(item->genElse, out);
+            break;
+          default:
+            out.push_back(item.get());
+            break;
+        }
+    }
+}
+
+} // namespace
+
+ClockDomainResult
+analyzeClockDomains(const Design &design)
+{
+    ClockDomainResult out;
+    for (const std::string &name : design.moduleNames()) {
+        std::vector<const Item *> items;
+        flattenItems(design.module(name).items, items);
+        analyzeModule(name, items, out);
+    }
+    return out;
+}
+
+} // namespace dfa
+} // namespace ucx

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * ucx::dfa — clock-domain inference and CDC detection.
+ *
+ * Per module, every sequential always block names its clock (the
+ * first edge in the sensitivity list; later edges are asynchronous
+ * resets). Registers assigned under a clock belong to that clock's
+ * domain, and their outputs are "pure": the flop re-times whatever
+ * it captured. Domain membership then flows forward through
+ * continuous assignments and combinational blocks on a
+ * set-of-clocks lattice driven by the worklist engine — wires fed
+ * from two domains carry both.
+ *
+ * A crossing is observed where a sequential block clocked by c
+ * reads a value tainted by some other domain d. The classic
+ * two-flop synchronizer front end — `sync <= other_domain_reg`,
+ * a bare register-to-register capture with no logic in between —
+ * is reported as a synchronized crossing; anything where the
+ * foreign value passes through combinational logic before the
+ * capturing flop is flagged unsynchronized (glitches on the logic
+ * output can be latched mid-settle). Reading a clock as ordinary
+ * data is reported separately.
+ */
+
+#ifndef UCX_DFA_CLOCK_DOMAIN_HH
+#define UCX_DFA_CLOCK_DOMAIN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hdl/design.hh"
+
+namespace ucx
+{
+namespace dfa
+{
+
+/** Fixpoint result of clock-domain inference for a design. */
+struct ClockDomainResult
+{
+    /** One register and the clock domain it settles in. */
+    struct RegDomain
+    {
+        std::string module;
+        std::string reg;
+        std::string clock;
+    };
+
+    /** One observed domain crossing at a capturing flop. */
+    struct Crossing
+    {
+        std::string module;
+        std::string signal;    ///< The value read across domains.
+        std::string fromClock; ///< Domain the value is tainted by.
+        std::string toClock;   ///< Domain of the capturing block.
+        int line = 0;
+        bool synchronized = false;
+    };
+
+    /** One read of a clock in a data expression. */
+    struct ClockData
+    {
+        std::string module;
+        std::string clock;
+        int line = 0;
+    };
+
+    std::vector<RegDomain> domains;
+    std::vector<Crossing> crossings;
+    std::vector<ClockData> clockAsData;
+
+    /** Transfer applications until the fixpoint. */
+    uint64_t iterations = 0;
+};
+
+/**
+ * Infer clock domains and find crossings in every module.
+ *
+ * @param design Parsed design.
+ * @return Domains, crossings, and clock-as-data reads.
+ */
+ClockDomainResult analyzeClockDomains(const Design &design);
+
+} // namespace dfa
+} // namespace ucx
+
+#endif // UCX_DFA_CLOCK_DOMAIN_HH

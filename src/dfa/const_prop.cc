@@ -1,0 +1,297 @@
+#include "dfa/const_prop.hh"
+
+#include "dfa/worklist.hh"
+#include "util/error.hh"
+
+namespace ucx
+{
+namespace dfa
+{
+
+namespace
+{
+
+/**
+ * The combined analysis domain: node ids first, then signal ids
+ * shifted past them. Signals and expression nodes constrain each
+ * other (a Sig node reads a signal's state; a signal's state is its
+ * driver node's value), so both live in one worklist.
+ */
+struct Domain
+{
+    explicit Domain(const RtlDesign &rtl)
+        : numNodes(static_cast<uint32_t>(rtl.nodes.size()))
+    {
+    }
+
+    uint32_t numNodes;
+
+    uint32_t ofNode(NodeId node) const { return node; }
+    uint32_t ofSignal(SigId sig) const { return numNodes + sig; }
+    bool isNode(uint32_t id) const { return id < numNodes; }
+    SigId toSignal(uint32_t id) const { return id - numNodes; }
+};
+
+/** All-ones mask of a width (widths >= 64 are saturating). */
+uint64_t
+onesOf(int width)
+{
+    if (width >= 64)
+        return ~uint64_t(0);
+    if (width <= 0)
+        return 0;
+    return (uint64_t(1) << width) - 1;
+}
+
+/** Evaluate one node from its operand/signal states. */
+ConstValue
+evalNode(const RtlDesign &rtl, const RtlNode &node,
+         const std::vector<ConstValue> &nodes,
+         const std::vector<ConstValue> &signals)
+{
+    // Values wider than a machine word cannot be tracked exactly;
+    // treat them as runtime-dependent rather than mis-fold.
+    if (node.width > 64)
+        return ConstValue::top();
+
+    auto arg = [&](size_t i) -> const ConstValue & {
+        return nodes[node.args[i]];
+    };
+    auto mask = [&](uint64_t v) {
+        return ConstValue::constant(maskToWidth(v, node.width));
+    };
+    // Join of a strict binary op: Bottom dominates (still
+    // optimistic), then Top, else both are constants.
+    auto binary = [&](auto &&op) -> ConstValue {
+        const ConstValue &a = arg(0);
+        const ConstValue &b = arg(1);
+        if (a.isBottom() || b.isBottom())
+            return ConstValue::bottom();
+        if (a.isTop() || b.isTop())
+            return ConstValue::top();
+        return mask(op(a.value, b.value));
+    };
+
+    switch (node.op) {
+      case RtlOp::Const:
+        return mask(node.constVal);
+      case RtlOp::Sig:
+        return signals[node.sig];
+      case RtlOp::Slice: {
+        const ConstValue &a = arg(0);
+        if (!a.isConst())
+            return a;
+        uint64_t v = node.lo >= 64 ? 0 : a.value >> node.lo;
+        return mask(v);
+      }
+      case RtlOp::Concat: {
+        // First operand is most significant.
+        uint64_t v = 0;
+        for (size_t i = 0; i < node.args.size(); ++i) {
+            const ConstValue &a = arg(i);
+            int w = rtl.nodes[node.args[i]].width;
+            if (a.isBottom())
+                return ConstValue::bottom();
+            if (a.isTop() || w >= 64)
+                return ConstValue::top();
+            v = (v << w) | maskToWidth(a.value, w);
+        }
+        return mask(v);
+      }
+      case RtlOp::Not: {
+        const ConstValue &a = arg(0);
+        if (!a.isConst())
+            return a;
+        return mask(~a.value);
+      }
+      case RtlOp::And: {
+        // Short-circuit: x & 0 == 0 even when x is unknown.
+        const ConstValue &a = arg(0);
+        const ConstValue &b = arg(1);
+        if (a.equals(0) || b.equals(0))
+            return mask(0);
+        return binary([](uint64_t x, uint64_t y) { return x & y; });
+      }
+      case RtlOp::Or: {
+        uint64_t ones = onesOf(node.width);
+        const ConstValue &a = arg(0);
+        const ConstValue &b = arg(1);
+        if (a.equals(ones) || b.equals(ones))
+            return mask(ones);
+        return binary([](uint64_t x, uint64_t y) { return x | y; });
+      }
+      case RtlOp::Xor:
+        return binary([](uint64_t x, uint64_t y) { return x ^ y; });
+      case RtlOp::RedAnd: {
+        const ConstValue &a = arg(0);
+        int w = rtl.nodes[node.args[0]].width;
+        if (!a.isConst())
+            return a;
+        return mask(maskToWidth(a.value, w) == onesOf(w) ? 1 : 0);
+      }
+      case RtlOp::RedOr: {
+        const ConstValue &a = arg(0);
+        if (!a.isConst())
+            return a;
+        return mask(a.value != 0 ? 1 : 0);
+      }
+      case RtlOp::RedXor: {
+        const ConstValue &a = arg(0);
+        if (!a.isConst())
+            return a;
+        return mask(
+            static_cast<uint64_t>(__builtin_popcountll(a.value)) &
+            1);
+      }
+      case RtlOp::LogNot: {
+        const ConstValue &a = arg(0);
+        if (!a.isConst())
+            return a;
+        return mask(a.value == 0 ? 1 : 0);
+      }
+      case RtlOp::Add:
+        return binary([](uint64_t x, uint64_t y) { return x + y; });
+      case RtlOp::Sub:
+        return binary([](uint64_t x, uint64_t y) { return x - y; });
+      case RtlOp::Mul:
+        return binary([](uint64_t x, uint64_t y) { return x * y; });
+      case RtlOp::Eq:
+        return binary(
+            [](uint64_t x, uint64_t y) { return x == y ? 1 : 0; });
+      case RtlOp::Lt:
+        return binary(
+            [](uint64_t x, uint64_t y) { return x < y ? 1 : 0; });
+      case RtlOp::Mux: {
+        const ConstValue &sel = arg(0);
+        if (sel.isBottom())
+            return ConstValue::bottom();
+        if (sel.isConst())
+            return sel.value != 0 ? arg(1) : arg(2);
+        return ConstValue::join(arg(1), arg(2));
+      }
+      case RtlOp::Shl: {
+        const ConstValue &a = arg(0);
+        const ConstValue &b = arg(1);
+        if (a.equals(0))
+            return mask(0);
+        if (a.isBottom() || b.isBottom())
+            return ConstValue::bottom();
+        if (a.isTop() || b.isTop())
+            return ConstValue::top();
+        return mask(b.value >= 64 ? 0 : a.value << b.value);
+      }
+      case RtlOp::Shr: {
+        const ConstValue &a = arg(0);
+        const ConstValue &b = arg(1);
+        if (a.equals(0))
+            return mask(0);
+        if (a.isBottom() || b.isBottom())
+            return ConstValue::bottom();
+        if (a.isTop() || b.isTop())
+            return ConstValue::top();
+        return mask(b.value >= 64 ? 0 : a.value >> b.value);
+      }
+      case RtlOp::MemRead:
+        return ConstValue::top();
+    }
+    return ConstValue::top();
+}
+
+} // namespace
+
+ConstPropResult
+propagateConstants(const RtlDesign &rtl)
+{
+    Domain dom(rtl);
+    ConstPropResult out;
+    out.nodes.assign(rtl.nodes.size(), ConstValue::bottom());
+    out.signals.assign(rtl.signals.size(), ConstValue::bottom());
+
+    Worklist work(rtl.nodes.size() + rtl.signals.size());
+
+    // Dependency edges: an operand node feeds its consumer node, a
+    // signal feeds every Sig node reading it, and a driver node
+    // feeds its signal.
+    for (NodeId n = 0; n < rtl.nodes.size(); ++n) {
+        const RtlNode &node = rtl.nodes[n];
+        for (NodeId a : node.args)
+            work.addEdge(dom.ofNode(a), dom.ofNode(n));
+        if (node.op == RtlOp::Sig)
+            work.addEdge(dom.ofSignal(node.sig), dom.ofNode(n));
+    }
+    for (SigId s = 0; s < rtl.signals.size(); ++s) {
+        if (rtl.signals[s].driver != invalidNode)
+            work.addEdge(dom.ofNode(rtl.signals[s].driver),
+                         dom.ofSignal(s));
+    }
+
+    work.pushAll();
+    std::vector<uint8_t> forceTop(rtl.signals.size(), 0);
+    auto transfer = [&](uint32_t id) {
+        if (dom.isNode(id)) {
+            ConstValue next = ConstValue::join(
+                out.nodes[id],
+                evalNode(rtl, rtl.nodes[id], out.nodes,
+                         out.signals));
+            if (next != out.nodes[id]) {
+                out.nodes[id] = next;
+                return true;
+            }
+            return false;
+        }
+        SigId s = dom.toSignal(id);
+        const RtlSignal &sig = rtl.signals[s];
+        ConstValue next;
+        if (sig.kind == SigKind::Input)
+            next = ConstValue::top();
+        else if (sig.driver == invalidNode)
+            next = ConstValue::top(); // undriven: value undefined
+        else
+            next = out.nodes[sig.driver];
+        if (next.isConst())
+            next = ConstValue::constant(
+                maskToWidth(next.value, sig.width));
+        if (forceTop[s])
+            next = ConstValue::top();
+        next = ConstValue::join(out.signals[s], next);
+        if (next != out.signals[s]) {
+            out.signals[s] = next;
+            return true;
+        }
+        return false;
+    };
+    out.iterations = work.solve(transfer);
+
+    // A signal still Bottom after the solve sits in a dependency
+    // cycle nothing external resolves (mutually-fed registers, a
+    // pipeline whose valid chain feeds its own flush). Its value is
+    // NOT known constant — only under-constrained — so conclusions
+    // supported by Bottom neighbors (a reset value winning a join
+    // against Bottom) would be unsound to report. Promote every
+    // such signal to Top and re-solve until no Bottom signal
+    // remains; genuine constants (folded by short-circuit rules,
+    // not by absorption) survive the promotion.
+    for (;;) {
+        bool promoted = false;
+        for (SigId s = 0; s < rtl.signals.size(); ++s) {
+            if (out.signals[s].isBottom() && !forceTop[s]) {
+                forceTop[s] = 1;
+                work.push(dom.ofSignal(s));
+                promoted = true;
+            }
+        }
+        if (!promoted)
+            break;
+        out.iterations += work.solve(transfer);
+    }
+
+    for (const RtlNode &node : rtl.nodes) {
+        if (node.op == RtlOp::Mux &&
+            out.nodes[node.args[0]].isConst())
+            ++out.constMuxCount;
+    }
+    return out;
+}
+
+} // namespace dfa
+} // namespace ucx

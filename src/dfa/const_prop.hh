@@ -1,0 +1,56 @@
+/**
+ * @file
+ * ucx::dfa — constant propagation over elaborated word-level RTL.
+ *
+ * A forward analysis on the ConstValue lattice: primary inputs and
+ * memory reads start at Top, everything else at Bottom (optimistic),
+ * and the worklist engine drives signal states and expression-node
+ * values to the least fixpoint. Because registers start at Bottom,
+ * the analysis sees through sequential feedback: a register whose
+ * next-state expression always evaluates to one constant is itself
+ * constant, which the purely combinational const_eval of the HDL
+ * front end cannot conclude.
+ */
+
+#ifndef UCX_DFA_CONST_PROP_HH
+#define UCX_DFA_CONST_PROP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "dfa/lattice.hh"
+#include "synth/rtl.hh"
+
+namespace ucx
+{
+namespace dfa
+{
+
+/** Fixpoint result of constant propagation. */
+struct ConstPropResult
+{
+    /** Final lattice value of every signal, indexed by SigId. */
+    std::vector<ConstValue> signals;
+
+    /** Final lattice value of every node, indexed by NodeId. */
+    std::vector<ConstValue> nodes;
+
+    /** Transfer applications until the fixpoint. */
+    uint64_t iterations = 0;
+
+    /** Mux nodes whose select settled to a constant. */
+    uint64_t constMuxCount = 0;
+};
+
+/**
+ * Run constant propagation to fixpoint.
+ *
+ * @param rtl Elaborated design.
+ * @return Per-signal and per-node constant lattice values.
+ */
+ConstPropResult propagateConstants(const RtlDesign &rtl);
+
+} // namespace dfa
+} // namespace ucx
+
+#endif // UCX_DFA_CONST_PROP_HH

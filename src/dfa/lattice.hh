@@ -1,0 +1,110 @@
+/**
+ * @file
+ * ucx::dfa — the constant lattice.
+ *
+ * The three-level lattice every forward constant analysis in the
+ * repo shares:
+ *
+ *           Top  (value unknown / runtime-dependent)
+ *            |
+ *        Const(v) (compile-time constant v)
+ *            |
+ *          Bottom (no information yet — optimistic start)
+ *
+ * join() moves up the lattice: Bottom is the identity, two equal
+ * constants stay that constant, two different constants (or anything
+ * joined with Top) collapse to Top. Transfer functions are monotone
+ * over this order, so a worklist iteration terminates at the least
+ * fixpoint in at most 2 steps per node.
+ *
+ * Header-only on purpose: the gate-level const_fold pass in
+ * src/synth uses the lattice without linking ucx_dfa (which itself
+ * links ucx_synth).
+ */
+
+#ifndef UCX_DFA_LATTICE_HH
+#define UCX_DFA_LATTICE_HH
+
+#include <cstdint>
+
+namespace ucx
+{
+namespace dfa
+{
+
+/** One value of the constant lattice. */
+struct ConstValue
+{
+    /** Lattice level. */
+    enum class Kind : uint8_t
+    {
+        Bottom, ///< No information yet (optimistic initial state).
+        Const,  ///< Known compile-time constant.
+        Top,    ///< Runtime-dependent.
+    };
+
+    Kind kind = Kind::Bottom;
+    uint64_t value = 0; ///< Payload when kind == Const.
+
+    /** @return The Bottom element. */
+    static ConstValue bottom() { return {}; }
+
+    /** @return The Top element. */
+    static ConstValue top() { return {Kind::Top, 0}; }
+
+    /** @return The constant @p v. */
+    static ConstValue constant(uint64_t v)
+    {
+        return {Kind::Const, v};
+    }
+
+    bool isBottom() const { return kind == Kind::Bottom; }
+    bool isConst() const { return kind == Kind::Const; }
+    bool isTop() const { return kind == Kind::Top; }
+
+    /** @return True when this is the constant @p v. */
+    bool equals(uint64_t v) const
+    {
+        return kind == Kind::Const && value == v;
+    }
+
+    bool operator==(const ConstValue &o) const
+    {
+        return kind == o.kind &&
+               (kind != Kind::Const || value == o.value);
+    }
+    bool operator!=(const ConstValue &o) const
+    {
+        return !(*this == o);
+    }
+
+    /** @return The least upper bound of @p a and @p b. */
+    static ConstValue join(const ConstValue &a, const ConstValue &b)
+    {
+        if (a.isBottom())
+            return b;
+        if (b.isBottom())
+            return a;
+        if (a.isTop() || b.isTop())
+            return top();
+        return a.value == b.value ? a : top();
+    }
+};
+
+/**
+ * @return @p value truncated to @p width bits; widths of 64 or more
+ *         (or nonpositive, which never reaches a valid node) pass
+ *         the value through untouched.
+ */
+inline uint64_t
+maskToWidth(uint64_t value, int width)
+{
+    if (width <= 0 || width >= 64)
+        return value;
+    return value & ((uint64_t(1) << width) - 1);
+}
+
+} // namespace dfa
+} // namespace ucx
+
+#endif // UCX_DFA_LATTICE_HH

@@ -1,0 +1,174 @@
+#include "dfa/liveness.hh"
+
+#include <algorithm>
+
+#include "dfa/worklist.hh"
+
+namespace ucx
+{
+namespace dfa
+{
+
+namespace
+{
+
+/**
+ * Node-cone walker with epoch-stamped visited marks, so scanning
+ * every signal's cone costs one allocation total instead of one
+ * per signal.
+ */
+class ConeReader
+{
+  public:
+    explicit ConeReader(const RtlDesign &rtl)
+        : rtl_(rtl), stamp_(rtl.nodes.size(), 0)
+    {
+    }
+
+    /** Collect the signals read anywhere in the cone of @p root. */
+    void collect(NodeId root, std::vector<SigId> &out)
+    {
+        ++epoch_;
+        if (root == invalidNode)
+            return;
+        stack_.clear();
+        stack_.push_back(root);
+        stamp_[root] = epoch_;
+        while (!stack_.empty()) {
+            NodeId n = stack_.back();
+            stack_.pop_back();
+            const RtlNode &node = rtl_.nodes[n];
+            if (node.op == RtlOp::Sig)
+                out.push_back(node.sig);
+            for (NodeId a : node.args) {
+                if (stamp_[a] != epoch_) {
+                    stamp_[a] = epoch_;
+                    stack_.push_back(a);
+                }
+            }
+        }
+        std::sort(out.begin(), out.end());
+        out.erase(std::unique(out.begin(), out.end()), out.end());
+    }
+
+  private:
+    const RtlDesign &rtl_;
+    std::vector<uint32_t> stamp_;
+    std::vector<NodeId> stack_;
+    uint32_t epoch_ = 0;
+};
+
+} // namespace
+
+LivenessResult
+analyzeLiveness(const RtlDesign &rtl)
+{
+    LivenessResult out;
+    out.live.assign(rtl.signals.size(), 0);
+
+    // reads[s]: the signals signal s's driver (or next-state) cone
+    // reads; readers[r]: the inverse.
+    ConeReader cones(rtl);
+    std::vector<std::vector<SigId>> reads(rtl.signals.size());
+    std::vector<std::vector<SigId>> readers(rtl.signals.size());
+    for (SigId s = 0; s < rtl.signals.size(); ++s) {
+        cones.collect(rtl.signals[s].driver, reads[s]);
+        for (SigId r : reads[s])
+            readers[r].push_back(s);
+    }
+
+    // Roots: primary outputs, and everything a memory write port
+    // reads (writes define future state the design can observe).
+    std::vector<uint8_t> root(rtl.signals.size(), 0);
+    for (SigId s : rtl.outputs)
+        root[s] = 1;
+    {
+        std::vector<SigId> portReads;
+        for (const RtlMemory &mem : rtl.memories) {
+            for (const MemWritePort &port : mem.writePorts) {
+                cones.collect(port.addr, portReads);
+                cones.collect(port.data, portReads);
+                cones.collect(port.enable, portReads);
+            }
+        }
+        for (SigId s : portReads)
+            root[s] = 1;
+    }
+
+    // live(s) = root(s) or some reader of s is live; when s turns
+    // live, everything s's own driver reads must be revisited.
+    Worklist work(rtl.signals.size());
+    for (SigId s = 0; s < rtl.signals.size(); ++s)
+        for (SigId r : reads[s])
+            work.addEdge(s, r);
+    work.pushAll();
+    out.iterations = work.solve([&](uint32_t id) {
+        SigId s = id;
+        if (out.live[s])
+            return false;
+        bool live = root[s] != 0;
+        if (!live) {
+            for (SigId reader : readers[s]) {
+                if (out.live[reader]) {
+                    live = true;
+                    break;
+                }
+            }
+        }
+        if (live) {
+            out.live[s] = 1;
+            return true;
+        }
+        return false;
+    });
+    return out;
+}
+
+NetlistLiveness
+analyzeNetlistLiveness(const Netlist &netlist)
+{
+    NetlistLiveness out;
+    out.live.assign(netlist.gates.size(), 0);
+
+    // Backward reachability from every endpoint: primary outputs,
+    // register d-pins, memory write pins. Dff/MemOut gates are
+    // traversed through (their q side feeds logic; their fanin is a
+    // sequential edge but still "live" logic).
+    std::vector<GateId> stack;
+    auto push = [&](GateId g) {
+        if (g != invalidGate && !out.live[g]) {
+            out.live[g] = 1;
+            stack.push_back(g);
+        }
+    };
+    for (GateId g : netlist.outputBits)
+        push(g);
+    for (GateId g = 0; g < netlist.gates.size(); ++g) {
+        const Gate &gate = netlist.gates[g];
+        if (gate.op == GateOp::Dff || gate.op == GateOp::MemIn ||
+            gate.op == GateOp::MemOut)
+            push(g);
+    }
+    while (!stack.empty()) {
+        GateId g = stack.back();
+        stack.pop_back();
+        ++out.iterations;
+        for (GateId in : netlist.gates[g].in)
+            push(in);
+    }
+
+    for (GateId g = 0; g < netlist.gates.size(); ++g) {
+        const Gate &gate = netlist.gates[g];
+        bool counts = gate.op == GateOp::Not ||
+                      gate.op == GateOp::And ||
+                      gate.op == GateOp::Or ||
+                      gate.op == GateOp::Xor ||
+                      gate.op == GateOp::Mux;
+        if (counts && !out.live[g])
+            ++out.deadCombGates;
+    }
+    return out;
+}
+
+} // namespace dfa
+} // namespace ucx

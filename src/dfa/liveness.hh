@@ -1,0 +1,74 @@
+/**
+ * @file
+ * ucx::dfa — signal liveness, at RTL and netlist level.
+ *
+ * Backward analyses on the boolean lattice (dead < live). The RTL
+ * flavor starts from the design's observable sinks — primary
+ * outputs and memory write ports — and propagates through driver
+ * expressions: a signal is live only when some live consumer reads
+ * it. Registers get no special treatment, so a register whose value
+ * never reaches a sink is dead even though it toggles every cycle
+ * (precise write-never-read detection, across the flattened module
+ * hierarchy). The netlist flavor is the gate-level equivalent the
+ * dead-logic lint rule and the const_fold pass both use: backward
+ * reachability from output bits and every state-element pin.
+ */
+
+#ifndef UCX_DFA_LIVENESS_HH
+#define UCX_DFA_LIVENESS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "synth/netlist.hh"
+#include "synth/rtl.hh"
+
+namespace ucx
+{
+namespace dfa
+{
+
+/** Fixpoint result of RTL-level liveness. */
+struct LivenessResult
+{
+    /** 1 when the signal's value can reach an observable sink. */
+    std::vector<uint8_t> live;
+
+    /** Transfer applications until the fixpoint. */
+    uint64_t iterations = 0;
+};
+
+/**
+ * Run backward liveness over an elaborated design.
+ *
+ * @param rtl Elaborated design.
+ * @return Per-SigId liveness.
+ */
+LivenessResult analyzeLiveness(const RtlDesign &rtl);
+
+/** Gate-level liveness of one lowered netlist. */
+struct NetlistLiveness
+{
+    /** 1 when the gate is reachable (backward) from an endpoint. */
+    std::vector<uint8_t> live;
+
+    /** Combinational gates no endpoint can observe. */
+    uint64_t deadCombGates = 0;
+
+    /** Transfer applications until the fixpoint. */
+    uint64_t iterations = 0;
+};
+
+/**
+ * Backward reachability from primary outputs, flip-flops, and
+ * memory pins over a gate netlist.
+ *
+ * @param netlist Lowered netlist.
+ * @return Per-GateId liveness and the dead combinational count.
+ */
+NetlistLiveness analyzeNetlistLiveness(const Netlist &netlist);
+
+} // namespace dfa
+} // namespace ucx
+
+#endif // UCX_DFA_LIVENESS_HH

@@ -1,0 +1,32 @@
+#include "dfa/pass.hh"
+
+#include "util/error.hh"
+
+namespace ucx
+{
+
+Pass
+dfaPass(const Design *design)
+{
+    Pass pass;
+    pass.name = "dfa";
+    pass.deps = {"lower"};
+    pass.artifactType = &typeid(DfaSummary);
+    pass.run = [design](PipelineContext &ctx) {
+        ensure(ctx.netlist != nullptr,
+               "dfa pass needs the lowered netlist");
+        ctx.dfa = std::make_shared<const DfaSummary>(
+            computeDfaSummary(*design, *ctx.rtl, *ctx.netlist));
+    };
+    pass.save = [](const PipelineContext &ctx) {
+        return std::static_pointer_cast<const void>(ctx.dfa);
+    };
+    pass.load = [](PipelineContext &ctx,
+                   std::shared_ptr<const void> artifact) {
+        ctx.dfa =
+            std::static_pointer_cast<const DfaSummary>(artifact);
+    };
+    return pass;
+}
+
+} // namespace ucx

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * The "dfa" pipeline pass: dataflow analyses as a cached artifact.
+ */
+
+#ifndef UCX_DFA_PASS_HH
+#define UCX_DFA_PASS_HH
+
+#include "dfa/summary.hh"
+#include "hdl/design.hh"
+#include "synth/pass.hh"
+
+namespace ucx
+{
+
+/**
+ * @return The "dfa" pass: all four dataflow analyses into
+ *         PipelineContext::dfa. Needs the "lower" artifact; the
+ *         parsed design must outlive the pipeline run (the AST
+ *         analyses read it directly — it is covered by the cache
+ *         key, which hashes the design source).
+ */
+Pass dfaPass(const Design *design);
+
+} // namespace ucx
+
+#endif // UCX_DFA_PASS_HH

@@ -1,0 +1,238 @@
+#include "dfa/reaching.hh"
+
+#include <set>
+
+namespace ucx
+{
+namespace dfa
+{
+
+namespace
+{
+
+/** @return The base name an lvalue expression assigns, or "". */
+std::string
+lvalueBase(const Expr &lhs)
+{
+    switch (lhs.kind) {
+      case ExprKind::Ident:
+      case ExprKind::Index:
+      case ExprKind::Range:
+        return lhs.name;
+      default:
+        return "";
+    }
+}
+
+/** Invoke @p fn on every (name, line) read inside @p expr. */
+template <typename Fn>
+void
+forEachRead(const Expr &expr, Fn &&fn)
+{
+    if (expr.kind == ExprKind::Ident)
+        fn(expr.name, expr.line);
+    if (expr.kind == ExprKind::Index ||
+        expr.kind == ExprKind::Range)
+        fn(expr.name, expr.line);
+    if (expr.a)
+        forEachRead(*expr.a, fn);
+    if (expr.b)
+        forEachRead(*expr.b, fn);
+    if (expr.c)
+        forEachRead(*expr.c, fn);
+    for (const ExprPtr &part : expr.parts)
+        forEachRead(*part, fn);
+}
+
+/** Collect every base name the statement tree assigns. */
+void
+collectAssigned(const Stmt &stmt, std::set<std::string> &out)
+{
+    if (stmt.kind == StmtKind::Assign && stmt.lhs) {
+        std::string base = lvalueBase(*stmt.lhs);
+        if (!base.empty())
+            out.insert(base);
+    }
+    for (const StmtPtr &child : stmt.stmts)
+        collectAssigned(*child, out);
+    if (stmt.thenStmt)
+        collectAssigned(*stmt.thenStmt, out);
+    if (stmt.elseStmt)
+        collectAssigned(*stmt.elseStmt, out);
+    for (const CaseItem &item : stmt.items)
+        if (item.body)
+            collectAssigned(*item.body, out);
+}
+
+/** Walks one combinational block tracking definitely-assigned names. */
+class BlockWalker
+{
+  public:
+    BlockWalker(const std::string &module,
+                const std::set<std::string> &assignedInBlock,
+                ReachingResult &out)
+        : module_(module), assigned_(assignedInBlock), out_(out)
+    {
+    }
+
+    /** Walk @p stmt, updating @p definite in place. */
+    void walk(const Stmt &stmt, std::set<std::string> &definite)
+    {
+        ++out_.iterations;
+        switch (stmt.kind) {
+          case StmtKind::Block:
+            for (const StmtPtr &child : stmt.stmts)
+                walk(*child, definite);
+            break;
+          case StmtKind::If: {
+            if (stmt.cond)
+                checkReads(*stmt.cond, definite);
+            std::set<std::string> thenSet = definite;
+            std::set<std::string> elseSet = definite;
+            if (stmt.thenStmt)
+                walk(*stmt.thenStmt, thenSet);
+            if (stmt.elseStmt)
+                walk(*stmt.elseStmt, elseSet);
+            else
+                elseSet = definite; // fall-through keeps old state
+            // Definite after the if: assigned on both paths.
+            for (const std::string &name : thenSet)
+                if (elseSet.count(name))
+                    definite.insert(name);
+            break;
+          }
+          case StmtKind::Case: {
+            if (stmt.subject)
+                checkReads(*stmt.subject, definite);
+            bool hasDefault = false;
+            std::vector<std::set<std::string>> arms;
+            for (const CaseItem &item : stmt.items) {
+                for (const ExprPtr &label : item.labels)
+                    checkReads(*label, definite);
+                if (item.labels.empty())
+                    hasDefault = true;
+                std::set<std::string> armSet = definite;
+                if (item.body)
+                    walk(*item.body, armSet);
+                arms.push_back(std::move(armSet));
+            }
+            // Without a default some value may leave the case
+            // untouched, so nothing new becomes definite.
+            if (hasDefault && !arms.empty()) {
+                std::set<std::string> meet = arms[0];
+                for (size_t i = 1; i < arms.size(); ++i) {
+                    std::set<std::string> next;
+                    for (const std::string &name : arms[i])
+                        if (meet.count(name))
+                            next.insert(name);
+                    meet = std::move(next);
+                }
+                definite.insert(meet.begin(), meet.end());
+            }
+            break;
+          }
+          case StmtKind::Assign: {
+            if (stmt.rhs)
+                checkReads(*stmt.rhs, definite);
+            if (stmt.lhs) {
+                // Index / range bounds of the lvalue are reads.
+                if (stmt.lhs->a)
+                    checkReads(*stmt.lhs->a, definite);
+                if (stmt.lhs->b)
+                    checkReads(*stmt.lhs->b, definite);
+                std::string base = lvalueBase(*stmt.lhs);
+                if (!base.empty())
+                    definite.insert(base);
+            }
+            break;
+          }
+          case StmtKind::For: {
+            if (stmt.loopInit)
+                checkReads(*stmt.loopInit, definite);
+            std::set<std::string> bodySet = definite;
+            bodySet.insert(stmt.loopVar);
+            // Later iterations legitimately read what earlier ones
+            // wrote, so inside the body every name the body assigns
+            // anywhere counts as defined (optimistic).
+            std::set<std::string> bodyAssigns;
+            if (stmt.thenStmt)
+                collectAssigned(*stmt.thenStmt, bodyAssigns);
+            bodySet.insert(bodyAssigns.begin(), bodyAssigns.end());
+            if (stmt.cond)
+                checkReads(*stmt.cond, bodySet);
+            if (stmt.thenStmt)
+                walk(*stmt.thenStmt, bodySet);
+            if (stmt.loopStep)
+                checkReads(*stmt.loopStep, bodySet);
+            // Loop bounds are compile-time constants; assume the
+            // body ran at least once, so its assignments hold
+            // afterwards (optimistic — avoids cascades of noise
+            // from one zero-trip loop).
+            definite.insert(bodyAssigns.begin(), bodyAssigns.end());
+            break;
+          }
+        }
+    }
+
+  private:
+    void checkReads(const Expr &expr,
+                    const std::set<std::string> &definite)
+    {
+        forEachRead(expr, [&](const std::string &name, int line) {
+            if (!assigned_.count(name) || definite.count(name) ||
+                reported_.count(name))
+                return;
+            reported_.insert(name);
+            out_.findings.push_back({module_, name, line});
+        });
+    }
+
+    const std::string &module_;
+    const std::set<std::string> &assigned_;
+    ReachingResult &out_;
+    std::set<std::string> reported_;
+};
+
+/** Walk one item list, recursing through generate bodies. */
+void
+walkItems(const std::string &module,
+          const std::vector<ItemPtr> &items, ReachingResult &out)
+{
+    for (const ItemPtr &item : items) {
+        switch (item->kind) {
+          case ItemKind::Always: {
+            if (item->sequential || !item->body)
+                break;
+            std::set<std::string> assigned;
+            collectAssigned(*item->body, assigned);
+            BlockWalker walker(module, assigned, out);
+            std::set<std::string> definite;
+            walker.walk(*item->body, definite);
+            break;
+          }
+          case ItemKind::GenFor:
+            walkItems(module, item->genBody, out);
+            break;
+          case ItemKind::GenIf:
+            walkItems(module, item->genThen, out);
+            walkItems(module, item->genElse, out);
+            break;
+          default:
+            break;
+        }
+    }
+}
+
+} // namespace
+
+ReachingResult
+analyzeReachingDefs(const Design &design)
+{
+    ReachingResult out;
+    for (const std::string &name : design.moduleNames())
+        walkItems(name, design.module(name).items, out);
+    return out;
+}
+
+} // namespace dfa
+} // namespace ucx

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * ucx::dfa — reaching definitions over procedural blocks.
+ *
+ * A definite-assignment walk of every combinational always block:
+ * a read of a name the block itself assigns, at a point where no
+ * assignment is guaranteed to have executed yet, uses last
+ * iteration's value — a latch in disguise that simulators and
+ * synthesis disagree on. Control flow is handled structurally
+ * (if joins on intersection, case joins on intersection only when
+ * a default arm exists), which converges without iteration because
+ * procedural µHDL has no backward branches other than for loops,
+ * and those are walked under an at-least-once assumption.
+ * Sequential blocks are skipped: reading a register's previous
+ * value there is the whole point.
+ */
+
+#ifndef UCX_DFA_REACHING_HH
+#define UCX_DFA_REACHING_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hdl/design.hh"
+
+namespace ucx
+{
+namespace dfa
+{
+
+/** Fixpoint result of the definite-assignment analysis. */
+struct ReachingResult
+{
+    /** One read that can observe a stale value. */
+    struct Finding
+    {
+        std::string module;
+        std::string signal;
+        int line = 0;
+    };
+
+    /** Reads before any guaranteed write, one per (block, name). */
+    std::vector<Finding> findings;
+
+    /** Statements visited until the result was stable. */
+    uint64_t iterations = 0;
+};
+
+/**
+ * Run definite assignment over every combinational always block.
+ *
+ * @param design Parsed design.
+ * @return Read-before-write findings in source order.
+ */
+ReachingResult analyzeReachingDefs(const Design &design);
+
+} // namespace dfa
+} // namespace ucx
+
+#endif // UCX_DFA_REACHING_HH

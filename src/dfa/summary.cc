@@ -1,0 +1,122 @@
+#include "dfa/summary.hh"
+
+#include <set>
+
+#include "dfa/clock_domain.hh"
+#include "dfa/const_prop.hh"
+#include "dfa/liveness.hh"
+#include "dfa/reaching.hh"
+#include "obs/metrics.hh"
+#include "obs/span.hh"
+#include "obs/tracelog.hh"
+
+namespace ucx
+{
+
+DfaSummary
+computeDfaSummary(const Design &design, const RtlDesign &rtl,
+                  const Netlist &netlist)
+{
+    obs::ScopedSpan span("dfa.analyze");
+    obs::TraceScope trace("dfa.analyze");
+
+    DfaSummary out;
+
+    // ---- Constant propagation ----------------------------------
+    // The elaborator marks primary outputs as plain wires and lists
+    // them in rtl.outputs (alongside pseudo-outputs for child
+    // instance pins, whose names carry the instance path). Recover
+    // the Output kind here so the lint layer can tell a constant
+    // port from a constant internal net.
+    std::vector<uint8_t> isOutput(rtl.signals.size(), 0);
+    for (SigId s : rtl.outputs)
+        if (rtl.signals[s].name.find('.') == std::string::npos)
+            isOutput[s] = 1;
+
+    dfa::ConstPropResult consts = dfa::propagateConstants(rtl);
+    out.constIterations = consts.iterations;
+    out.constMuxCount = consts.constMuxCount;
+    for (SigId s = 0; s < rtl.signals.size(); ++s) {
+        const RtlSignal &sig = rtl.signals[s];
+        if (sig.kind == SigKind::Input)
+            continue;
+        if (consts.signals[s].isConst())
+            out.constSignals.push_back(
+                {sig.name, consts.signals[s].value, sig.width,
+                 static_cast<uint8_t>(isOutput[s]
+                                          ? SigKind::Output
+                                          : sig.kind)});
+        if (sig.driver != invalidNode) {
+            const RtlNode &driver = rtl.nodes[sig.driver];
+            if (driver.op == RtlOp::Mux &&
+                consts.nodes[driver.args[0]].isConst())
+                out.constMuxSignals.push_back(sig.name);
+        }
+    }
+
+    // ---- Clock domains -----------------------------------------
+    // Run before liveness: the elaborated RTL models clocking
+    // implicitly (edge lists are consumed by elaboration), so a
+    // clock distribution wire has no RTL-level reader and would
+    // look dead. The AST-level clock inventory tells us which
+    // port/base names to exempt.
+    dfa::ClockDomainResult clocks = dfa::analyzeClockDomains(design);
+    std::set<std::string> clockNames;
+    for (const auto &d : clocks.domains)
+        clockNames.insert(d.clock);
+
+    // ---- Liveness ----------------------------------------------
+    auto isClockWire = [&](const std::string &name) {
+        size_t dot = name.rfind('.');
+        const std::string base =
+            dot == std::string::npos ? name : name.substr(dot + 1);
+        return clockNames.count(base) != 0;
+    };
+    dfa::LivenessResult live = dfa::analyzeLiveness(rtl);
+    out.livenessIterations = live.iterations;
+    for (SigId s = 0; s < rtl.signals.size(); ++s) {
+        const RtlSignal &sig = rtl.signals[s];
+        if (live.live[s])
+            continue;
+        if (sig.kind == SigKind::Wire && !isClockWire(sig.name))
+            out.deadWires.push_back(sig.name);
+        else if (sig.kind == SigKind::Reg)
+            out.deadRegs.push_back(sig.name);
+    }
+    dfa::NetlistLiveness gateLive =
+        dfa::analyzeNetlistLiveness(netlist);
+    out.livenessIterations += gateLive.iterations;
+    out.deadCombGates = gateLive.deadCombGates;
+
+    // ---- Reaching definitions ----------------------------------
+    dfa::ReachingResult reaching = dfa::analyzeReachingDefs(design);
+    out.reachingIterations = reaching.iterations;
+    for (const dfa::ReachingResult::Finding &f : reaching.findings)
+        out.readBeforeWrite.push_back(
+            {f.module, f.signal, f.line});
+
+    out.clockIterations = clocks.iterations;
+    for (const auto &d : clocks.domains)
+        out.domains.push_back({d.module, d.reg, d.clock});
+    for (const auto &c : clocks.crossings)
+        out.crossings.push_back({c.module, c.signal, c.fromClock,
+                                 c.toClock, c.line,
+                                 c.synchronized});
+    for (const auto &c : clocks.clockAsData)
+        out.clockAsData.push_back({c.module, c.clock, c.line});
+
+    if (obs::enabled()) {
+        obs::counter("dfa.runs").add(1);
+        obs::counter("dfa.const.iterations")
+            .add(out.constIterations);
+        obs::counter("dfa.liveness.iterations")
+            .add(out.livenessIterations);
+        obs::counter("dfa.reaching.iterations")
+            .add(out.reachingIterations);
+        obs::counter("dfa.clock.iterations")
+            .add(out.clockIterations);
+    }
+    return out;
+}
+
+} // namespace ucx

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * DfaSummary — the cached artifact of the dataflow analyses.
+ *
+ * One value object holding everything the four ucx::dfa analyses
+ * concluded about a design: constant signals, dead logic, reads
+ * before any guaranteed write, and clock-domain structure. It is a
+ * plain serializable struct (names, not SigIds, so it stays
+ * meaningful without the RtlDesign it came from) registered with
+ * the artifact serde registry, which makes "dfa" a first-class
+ * pass: memoized in the two-tier cache and restored from disk on
+ * warm restarts like any synthesis artifact. The lint layer
+ * translates a summary into dfa.* findings without re-running any
+ * analysis.
+ */
+
+#ifndef UCX_DFA_SUMMARY_HH
+#define UCX_DFA_SUMMARY_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hdl/design.hh"
+#include "synth/netlist.hh"
+#include "synth/rtl.hh"
+
+namespace ucx
+{
+
+/** Everything the dataflow analyses concluded about one design. */
+struct DfaSummary
+{
+    // ---- Constant propagation ----------------------------------
+    /** One non-input signal that settled to a single constant. */
+    struct ConstSignal
+    {
+        std::string name;   ///< Hierarchical signal name.
+        uint64_t value = 0; ///< The settled value.
+        int width = 1;
+        uint8_t kind = 0;   ///< SigKind of the signal.
+    };
+    std::vector<ConstSignal> constSignals;
+
+    /** Signals whose driver is a mux with a constant select. */
+    std::vector<std::string> constMuxSignals;
+
+    /** All mux nodes (named or not) with a constant select. */
+    uint64_t constMuxCount = 0;
+
+    // ---- Liveness ----------------------------------------------
+    /** Wires whose value can never reach an observable sink. */
+    std::vector<std::string> deadWires;
+
+    /** Registers that are written but never read. */
+    std::vector<std::string> deadRegs;
+
+    /** Dead combinational gates in the lowered netlist. */
+    uint64_t deadCombGates = 0;
+
+    // ---- Reaching definitions ----------------------------------
+    /** One procedural read before any guaranteed write. */
+    struct ReadBeforeWrite
+    {
+        std::string module;
+        std::string signal;
+        int line = 0;
+    };
+    std::vector<ReadBeforeWrite> readBeforeWrite;
+
+    // ---- Clock domains -----------------------------------------
+    /** One register and the clock domain it settles in. */
+    struct RegDomain
+    {
+        std::string module;
+        std::string reg;
+        std::string clock;
+    };
+    std::vector<RegDomain> domains;
+
+    /** One observed clock-domain crossing. */
+    struct Crossing
+    {
+        std::string module;
+        std::string signal;
+        std::string fromClock;
+        std::string toClock;
+        int line = 0;
+        bool synchronized = false;
+    };
+    std::vector<Crossing> crossings;
+
+    /** One clock read as ordinary data. */
+    struct ClockData
+    {
+        std::string module;
+        std::string clock;
+        int line = 0;
+    };
+    std::vector<ClockData> clockAsData;
+
+    // ---- Fixpoint accounting -----------------------------------
+    uint64_t constIterations = 0;
+    uint64_t livenessIterations = 0;
+    uint64_t reachingIterations = 0;
+    uint64_t clockIterations = 0;
+};
+
+/**
+ * Run all four dataflow analyses over one design.
+ *
+ * @param design  Parsed design (AST-level analyses).
+ * @param rtl     Elaborated design (const prop, liveness).
+ * @param netlist Lowered netlist (gate-level liveness).
+ * @return The combined summary, deterministically ordered.
+ */
+DfaSummary computeDfaSummary(const Design &design,
+                             const RtlDesign &rtl,
+                             const Netlist &netlist);
+
+} // namespace ucx
+
+#endif // UCX_DFA_SUMMARY_HH

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * ucx::dfa — the generic worklist fixpoint engine.
+ *
+ * A dataflow analysis over n nodes is: a dependency graph (when
+ * node u's state changes, which nodes must be revisited?) plus a
+ * transfer function (recompute node v's state from its inputs; did
+ * it change?). The engine owns the iteration strategy: a FIFO
+ * worklist with an on-queue bitmap, seeded in ascending node order,
+ * so a given (graph, transfer) pair always visits nodes in the same
+ * sequence — the iteration count it reports is deterministic, not
+ * just the fixpoint itself.
+ *
+ * Transfer functions must be monotone over their lattice; with a
+ * finite-height lattice the engine terminates at the least fixpoint.
+ * Header-only so analyses over any node type (RTL signals, netlist
+ * gates, AST names) instantiate it without link dependencies.
+ */
+
+#ifndef UCX_DFA_WORKLIST_HH
+#define UCX_DFA_WORKLIST_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace ucx
+{
+namespace dfa
+{
+
+/** FIFO worklist fixpoint driver over nodes 0 .. n-1. */
+class Worklist
+{
+  public:
+    /** Create an engine over @p n nodes with no edges. */
+    explicit Worklist(size_t n) : successors_(n), queued_(n, 0) {}
+
+    /** @return The number of nodes. */
+    size_t size() const { return successors_.size(); }
+
+    /**
+     * Declare that @p to must be revisited whenever @p from 's
+     * state changes.
+     */
+    void addEdge(uint32_t from, uint32_t to)
+    {
+        successors_[from].push_back(to);
+    }
+
+    /** Enqueue one node (no-op when already queued). */
+    void push(uint32_t node)
+    {
+        if (!queued_[node]) {
+            queued_[node] = 1;
+            queue_.push_back(node);
+        }
+    }
+
+    /** Enqueue every node, in ascending order. */
+    void pushAll()
+    {
+        for (uint32_t node = 0; node < size(); ++node)
+            push(node);
+    }
+
+    /**
+     * Run to fixpoint: pop nodes until the queue drains, calling
+     * @p transfer on each; when it returns true (state changed),
+     * every declared successor is re-enqueued.
+     *
+     * @param transfer Callable bool(uint32_t node).
+     * @return The number of transfer applications ("iterations").
+     */
+    template <typename Transfer>
+    uint64_t solve(Transfer &&transfer)
+    {
+        uint64_t iterations = 0;
+        while (!queue_.empty()) {
+            uint32_t node = queue_.front();
+            queue_.pop_front();
+            queued_[node] = 0;
+            ++iterations;
+            if (transfer(node)) {
+                for (uint32_t succ : successors_[node])
+                    push(succ);
+            }
+        }
+        return iterations;
+    }
+
+  private:
+    std::vector<std::vector<uint32_t>> successors_;
+    std::vector<uint8_t> queued_;
+    std::deque<uint32_t> queue_;
+};
+
+} // namespace dfa
+} // namespace ucx
+
+#endif // UCX_DFA_WORKLIST_HH

@@ -102,6 +102,11 @@ SessionConfig::fromEnv()
     config.cacheDir = ArtifactCache::diskDirFromEnv();
     const char *lint = std::getenv("UCX_LINT");
     config.lintEnabled = !(lint && std::strcmp(lint, "0") == 0);
+    const char *dfa = std::getenv("UCX_DFA");
+    config.dfaEnabled = !(dfa && std::strcmp(dfa, "0") == 0);
+    const char *fold = std::getenv("UCX_CONST_FOLD");
+    config.passes.constFold =
+        fold && std::strcmp(fold, "1") == 0;
     return config;
 }
 
@@ -190,7 +195,8 @@ EstimationSession::synthesisReport(const std::string &name)
     run.base = synthCacheKey(elabCacheKey(design, sd.top, {}),
                              config_.passes);
     PipelineContext pipeline =
-        runPasses(elab->rtl, defaultPassList(), config_.passes, run);
+        runPasses(elab->rtl, passListFor(config_.passes),
+                  config_.passes, run);
     out.report = buildReport(*pipeline.netlist);
     out.fpga = pipeline.timing->fpga;
     out.asic = pipeline.timing->asic;
@@ -223,6 +229,7 @@ EstimationSession::lint(const Design &design,
     LintRunOptions opts;
     opts.config = config_.passes;
     opts.cache = &cache_;
+    opts.dfaRules = config_.dfaEnabled;
     LintReport report = lintHdlDesign(
         design, top, design_name.empty() ? top : design_name, opts);
     recordLintObs(report);
@@ -250,6 +257,7 @@ EstimationSession::lintAllShipped()
             LintRunOptions opts;
             opts.config = config_.passes;
             opts.cache = &cache_;
+            opts.dfaRules = config_.dfaEnabled;
             return lintHdlDesign(design, sd.top, sd.name, opts);
         });
     LintReport merged;

@@ -98,9 +98,16 @@ struct SessionConfig
      */
     bool lintEnabled = true;
 
+    /**
+     * Dataflow-analysis lint rules (dfa.*) on/off in session lint
+     * runs (fromEnv: false iff UCX_DFA=0). Off leaves only the
+     * structural hdl.* rules, matching pre-dfa behavior.
+     */
+    bool dfaEnabled = true;
+
     /** @return Configuration honoring the UCX_CACHE,
-     *          UCX_CACHE_CAPACITY, UCX_CACHE_DIR, and UCX_LINT
-     *          variables. */
+     *          UCX_CACHE_CAPACITY, UCX_CACHE_DIR, UCX_LINT,
+     *          UCX_DFA, and UCX_CONST_FOLD variables. */
     static SessionConfig fromEnv();
 };
 

@@ -57,10 +57,19 @@ evalConst(const Expr &expr, const ConstEnv &env)
           case BinOp::Gt: return a > b ? 1 : 0;
           case BinOp::Ge: return a >= b ? 1 : 0;
           case BinOp::Shl:
-            require(b >= 0 && b < 63, "bad constant shift amount");
-            return a << b;
+            // Shift in uint64_t: a 64-bit-or-wider shift yields 0
+            // (every bit shifted out), and the unsigned left shift
+            // never hits signed-overflow UB. Only a negative amount
+            // is a malformed constant.
+            require(b >= 0, "bad constant shift amount");
+            if (b >= 64)
+                return 0;
+            return static_cast<int64_t>(
+                static_cast<uint64_t>(a) << b);
           case BinOp::Shr:
-            require(b >= 0 && b < 63, "bad constant shift amount");
+            require(b >= 0, "bad constant shift amount");
+            if (b >= 64)
+                return 0;
             return static_cast<int64_t>(
                 static_cast<uint64_t>(a) >> b);
         }

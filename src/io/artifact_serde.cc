@@ -733,6 +733,140 @@ Serde<LintReport>::decode(Decoder &d)
     return v;
 }
 
+// ---------------------------------------------------- DfaSummary
+
+void
+Serde<DfaSummary>::encode(Encoder &e, const DfaSummary &v)
+{
+    e.u64(v.constSignals.size());
+    for (const DfaSummary::ConstSignal &c : v.constSignals) {
+        e.str(c.name);
+        e.u64(c.value);
+        e.i64(c.width);
+        e.u64(c.kind);
+    }
+    e.u64(v.constMuxSignals.size());
+    for (const std::string &name : v.constMuxSignals)
+        e.str(name);
+    e.u64(v.constMuxCount);
+    e.u64(v.deadWires.size());
+    for (const std::string &name : v.deadWires)
+        e.str(name);
+    e.u64(v.deadRegs.size());
+    for (const std::string &name : v.deadRegs)
+        e.str(name);
+    e.u64(v.deadCombGates);
+    e.u64(v.readBeforeWrite.size());
+    for (const DfaSummary::ReadBeforeWrite &r : v.readBeforeWrite) {
+        e.str(r.module);
+        e.str(r.signal);
+        e.i64(r.line);
+    }
+    e.u64(v.domains.size());
+    for (const DfaSummary::RegDomain &r : v.domains) {
+        e.str(r.module);
+        e.str(r.reg);
+        e.str(r.clock);
+    }
+    e.u64(v.crossings.size());
+    for (const DfaSummary::Crossing &c : v.crossings) {
+        e.str(c.module);
+        e.str(c.signal);
+        e.str(c.fromClock);
+        e.str(c.toClock);
+        e.i64(c.line);
+        e.boolean(c.synchronized);
+    }
+    e.u64(v.clockAsData.size());
+    for (const DfaSummary::ClockData &c : v.clockAsData) {
+        e.str(c.module);
+        e.str(c.clock);
+        e.i64(c.line);
+    }
+    e.u64(v.constIterations);
+    e.u64(v.livenessIterations);
+    e.u64(v.reachingIterations);
+    e.u64(v.clockIterations);
+}
+
+DfaSummary
+Serde<DfaSummary>::decode(Decoder &d)
+{
+    DfaSummary v;
+    size_t consts = d.seq(4);
+    v.constSignals.reserve(consts);
+    for (size_t i = 0; i < consts; ++i) {
+        DfaSummary::ConstSignal c;
+        c.name = d.str();
+        c.value = d.u64();
+        c.width = decodePositive(d, "const signal width");
+        uint64_t kind = d.u64();
+        if (kind > static_cast<uint64_t>(SigKind::Output))
+            d.fail("SigKind value " + std::to_string(kind) +
+                   " out of range");
+        c.kind = static_cast<uint8_t>(kind);
+        v.constSignals.push_back(std::move(c));
+    }
+    size_t muxes = d.seq();
+    v.constMuxSignals.reserve(muxes);
+    for (size_t i = 0; i < muxes; ++i)
+        v.constMuxSignals.push_back(d.str());
+    v.constMuxCount = d.u64();
+    size_t wires = d.seq();
+    v.deadWires.reserve(wires);
+    for (size_t i = 0; i < wires; ++i)
+        v.deadWires.push_back(d.str());
+    size_t regs = d.seq();
+    v.deadRegs.reserve(regs);
+    for (size_t i = 0; i < regs; ++i)
+        v.deadRegs.push_back(d.str());
+    v.deadCombGates = d.u64();
+    size_t reads = d.seq(3);
+    v.readBeforeWrite.reserve(reads);
+    for (size_t i = 0; i < reads; ++i) {
+        DfaSummary::ReadBeforeWrite r;
+        r.module = d.str();
+        r.signal = d.str();
+        r.line = static_cast<int>(d.i64());
+        v.readBeforeWrite.push_back(std::move(r));
+    }
+    size_t domains = d.seq(3);
+    v.domains.reserve(domains);
+    for (size_t i = 0; i < domains; ++i) {
+        DfaSummary::RegDomain r;
+        r.module = d.str();
+        r.reg = d.str();
+        r.clock = d.str();
+        v.domains.push_back(std::move(r));
+    }
+    size_t crossings = d.seq(6);
+    v.crossings.reserve(crossings);
+    for (size_t i = 0; i < crossings; ++i) {
+        DfaSummary::Crossing c;
+        c.module = d.str();
+        c.signal = d.str();
+        c.fromClock = d.str();
+        c.toClock = d.str();
+        c.line = static_cast<int>(d.i64());
+        c.synchronized = d.boolean();
+        v.crossings.push_back(std::move(c));
+    }
+    size_t clocks = d.seq(3);
+    v.clockAsData.reserve(clocks);
+    for (size_t i = 0; i < clocks; ++i) {
+        DfaSummary::ClockData c;
+        c.module = d.str();
+        c.clock = d.str();
+        c.line = static_cast<int>(d.i64());
+        v.clockAsData.push_back(std::move(c));
+    }
+    v.constIterations = d.u64();
+    v.livenessIterations = d.u64();
+    v.reachingIterations = d.u64();
+    v.clockIterations = d.u64();
+    return v;
+}
+
 // -------------------------------------------------- registration
 
 void
@@ -753,6 +887,7 @@ registerArtifactSerdes()
         registerSerde<obs::ConvergenceTrace>("ConvergenceTrace");
         registerSerde<FittedEstimator>("FittedEstimator");
         registerSerde<LintReport>("LintReport");
+        registerSerde<DfaSummary>("DfaSummary");
     });
 }
 

@@ -21,6 +21,7 @@
 #include "core/dataset.hh"
 #include "core/estimator.hh"
 #include "core/measure.hh"
+#include "dfa/summary.hh"
 #include "io/serde.hh"
 #include "lint/diagnostic.hh"
 #include "obs/trace.hh"
@@ -157,6 +158,14 @@ template <> struct Serde<LintReport>
     static constexpr uint16_t kVersion = 1;
     static void encode(Encoder &e, const LintReport &v);
     static LintReport decode(Decoder &d);
+};
+
+template <> struct Serde<DfaSummary>
+{
+    static constexpr uint32_t kTypeTag = fourcc("DFAS");
+    static constexpr uint16_t kVersion = 1;
+    static void encode(Encoder &e, const DfaSummary &v);
+    static DfaSummary decode(Decoder &d);
 };
 
 } // namespace io

@@ -1,0 +1,102 @@
+#include "lint/dfa_rules.hh"
+
+#include "synth/rtl.hh"
+
+namespace ucx
+{
+
+LintReport
+dfaFindings(const DfaSummary &summary,
+            const std::string &design_name)
+{
+    LintReport report;
+
+    for (const DfaSummary::ConstSignal &sig :
+         summary.constSignals) {
+        bool isOutput =
+            sig.kind == static_cast<uint8_t>(SigKind::Output);
+        std::string message =
+            "settles to the constant " +
+            std::to_string(sig.value) + " (" +
+            std::to_string(sig.width) + "-bit) at the dataflow "
+            "fixpoint";
+        if (isOutput) {
+            report
+                .add("dfa.const-output", design_name, sig.name,
+                     message)
+                .hint = "a constant output usually means a "
+                        "disabled feature or a wiring bug";
+        } else {
+            report
+                .add("dfa.const-signal", design_name, sig.name,
+                     message)
+                .hint = "constant logic synthesizes away; "
+                        "consider a localparam";
+        }
+    }
+
+    for (const std::string &name : summary.constMuxSignals) {
+        report
+            .add("dfa.const-condition", design_name, name,
+                 "driven by a mux whose select settles to one "
+                 "constant; the other branch is dead")
+            .hint = "the condition may be a stale configuration "
+                    "check";
+    }
+
+    for (const std::string &name : summary.deadWires) {
+        report
+            .add("dfa.dead-signal", design_name, name,
+                 "value can never reach an output or state "
+                 "element")
+            .hint = "dead fanin inflates the netlist before "
+                    "mapping";
+    }
+    for (const std::string &name : summary.deadRegs) {
+        report
+            .add("dfa.write-never-read", design_name, name,
+                 "register is written every cycle but never read")
+            .hint = "remove the register or wire its value to a "
+                    "consumer";
+    }
+
+    for (const DfaSummary::ReadBeforeWrite &read :
+         summary.readBeforeWrite) {
+        report
+            .add("dfa.read-before-write", design_name,
+                 read.module + "." + read.signal,
+                 "combinational block reads this signal before "
+                 "any guaranteed write on some path",
+                 read.line)
+            .hint = "assign a default at the top of the block";
+    }
+
+    for (const DfaSummary::Crossing &crossing :
+         summary.crossings) {
+        if (crossing.synchronized)
+            continue;
+        report
+            .add("dfa.cdc-unsync", design_name,
+                 crossing.module + "." + crossing.signal,
+                 "crosses from clock domain '" +
+                     crossing.fromClock + "' into '" +
+                     crossing.toClock +
+                     "' through combinational logic",
+                 crossing.line)
+            .hint = "capture the raw signal in a two-flop "
+                    "synchronizer before using it";
+    }
+
+    for (const DfaSummary::ClockData &clock : summary.clockAsData) {
+        report
+            .add("dfa.clock-as-data", design_name,
+                 clock.module + "." + clock.clock,
+                 "clock is read as ordinary data", clock.line)
+            .hint = "gate or sample enables, not the clock wire "
+                    "itself";
+    }
+
+    return report;
+}
+
+} // namespace ucx

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * dfa.* lint rules: translating a DfaSummary into findings.
+ *
+ * The analyses live in src/dfa and produce a plain summary; this
+ * translation owns severity and message wording, so the dfa
+ * library never depends on the lint layer (and a cached summary
+ * re-renders to findings without re-running any analysis).
+ */
+
+#ifndef UCX_LINT_DFA_RULES_HH
+#define UCX_LINT_DFA_RULES_HH
+
+#include <string>
+
+#include "dfa/summary.hh"
+#include "lint/diagnostic.hh"
+
+namespace ucx
+{
+
+/**
+ * Render a dataflow summary as dfa.* findings.
+ *
+ * @param summary     Analysis results.
+ * @param design_name Name used in diagnostics.
+ * @return One finding per reportable fact, unsorted.
+ */
+LintReport dfaFindings(const DfaSummary &summary,
+                       const std::string &design_name);
+
+} // namespace ucx
+
+#endif // UCX_LINT_DFA_RULES_HH

@@ -58,6 +58,26 @@ lintRuleCatalog()
         {"acct.overlap", "acct", LintSeverity::Error,
          "a module type belongs to more than one component of a "
          "partition"},
+        {"dfa.cdc-unsync", "dfa", LintSeverity::Warning,
+         "a value crosses clock domains through combinational "
+         "logic before the capturing flop"},
+        {"dfa.clock-as-data", "dfa", LintSeverity::Warning,
+         "a clock is read as ordinary data"},
+        {"dfa.const-condition", "dfa", LintSeverity::Warning,
+         "a mux select settles to one constant at the dataflow "
+         "fixpoint; a branch is dead"},
+        {"dfa.const-output", "dfa", LintSeverity::Warning,
+         "a primary output settles to one constant value"},
+        {"dfa.const-signal", "dfa", LintSeverity::Note,
+         "a signal settles to one constant value"},
+        {"dfa.dead-signal", "dfa", LintSeverity::Note,
+         "a wire's value can never reach an output or state "
+         "element"},
+        {"dfa.read-before-write", "dfa", LintSeverity::Warning,
+         "a combinational block reads a signal it assigns before "
+         "any guaranteed write"},
+        {"dfa.write-never-read", "dfa", LintSeverity::Warning,
+         "a register is written but its value is never read"},
         {"fit.collinear", "fit", LintSeverity::Warning,
          "two regressor columns are nearly collinear"},
         {"fit.empty", "fit", LintSeverity::Error,

@@ -6,6 +6,7 @@
 #include <set>
 #include <vector>
 
+#include "dfa/liveness.hh"
 #include "hdl/const_eval.hh"
 #include "util/error.hh"
 
@@ -1009,43 +1010,10 @@ lintNetlistStructure(const Netlist &netlist,
 {
     LintReport out;
 
-    // Backward reachability from every endpoint: primary outputs,
-    // register d-pins, memory write pins. Dff/MemOut gates are
-    // traversed through (their q side feeds logic; their fanin is
-    // a sequential edge but still "live" logic).
-    std::vector<uint8_t> live(netlist.gates.size(), 0);
-    std::vector<GateId> stack;
-    auto push = [&](GateId g) {
-        if (g != invalidGate && !live[g]) {
-            live[g] = 1;
-            stack.push_back(g);
-        }
-    };
-    for (GateId g : netlist.outputBits)
-        push(g);
-    for (GateId g = 0; g < netlist.gates.size(); ++g) {
-        const Gate &gate = netlist.gates[g];
-        if (gate.op == GateOp::Dff || gate.op == GateOp::MemIn ||
-            gate.op == GateOp::MemOut)
-            push(g);
-    }
-    while (!stack.empty()) {
-        GateId g = stack.back();
-        stack.pop_back();
-        for (GateId in : netlist.gates[g].in)
-            push(in);
-    }
-    size_t dead = 0;
-    for (GateId g = 0; g < netlist.gates.size(); ++g) {
-        const Gate &gate = netlist.gates[g];
-        bool counts = gate.op == GateOp::Not ||
-                      gate.op == GateOp::And ||
-                      gate.op == GateOp::Or ||
-                      gate.op == GateOp::Xor ||
-                      gate.op == GateOp::Mux;
-        if (counts && !live[g])
-            ++dead;
-    }
+    // The gate-level liveness analysis owns the traversal (shared
+    // with the const-fold pass); this rule only words the finding.
+    uint64_t dead =
+        dfa::analyzeNetlistLiveness(netlist).deadCombGates;
     if (dead > 0) {
         out.add("hdl.dead-logic", design_name, "netlist",
                 std::to_string(dead) +

@@ -1,5 +1,7 @@
 #include "lint/lint.hh"
 
+#include "dfa/pass.hh"
+#include "lint/dfa_rules.hh"
 #include "util/error.hh"
 
 namespace ucx
@@ -102,11 +104,15 @@ lintHdlDesign(const Design &design, const std::string &top,
         for (const Pass &pass : defaultPassList())
             if (pass.name == "lower")
                 passes.push_back(pass);
+        if (options.dfaRules)
+            passes.push_back(dfaPass(&design));
         passes.push_back(lintNetPass(design_name));
         PipelineContext net_ctx =
             runPasses(elab->rtl, passes, options.config, run);
         if (net_ctx.lintNet)
             report.merge(*net_ctx.lintNet);
+        if (net_ctx.dfa)
+            report.merge(dfaFindings(*net_ctx.dfa, design_name));
     }
 
     report.sortCanonical();

@@ -53,6 +53,13 @@ struct LintRunOptions
      * notes). Skipped automatically when Error findings exist.
      */
     bool netlistRules = true;
+    /**
+     * Also run the dataflow analyses and render dfa.* findings
+     * (constant signals, dead logic, read-before-write, CDC).
+     * Runs with the netlist stage, so it obeys the same Error
+     * gating and @p netlistRules switch.
+     */
+    bool dfaRules = true;
 };
 
 /**

@@ -1,0 +1,266 @@
+#include "synth/const_fold.hh"
+
+#include "util/error.hh"
+
+namespace ucx
+{
+
+namespace
+{
+
+/** Per-gate fold state: settled bit, or an alias to another gate. */
+struct FoldState
+{
+    /** -1 = runtime-dependent, else the settled bit value. */
+    std::vector<int8_t> val;
+    /** alias[g] != g: g's output equals that gate's output. */
+    std::vector<GateId> alias;
+
+    explicit FoldState(size_t n) : val(n, -1), alias(n)
+    {
+        for (GateId g = 0; g < n; ++g)
+            alias[g] = g;
+    }
+
+    /** Follow the alias chain with path compression. */
+    GateId resolve(GateId g)
+    {
+        GateId root = g;
+        while (alias[root] != root)
+            root = alias[root];
+        while (alias[g] != root) {
+            GateId next = alias[g];
+            alias[g] = root;
+            g = next;
+        }
+        return root;
+    }
+
+    int8_t valOf(GateId g) { return val[resolve(g)]; }
+
+    /** Record that @p g 's output equals @p target 's. */
+    void aliasTo(GateId g, GateId target)
+    {
+        alias[g] = resolve(target);
+        val[g] = val[alias[g]];
+    }
+};
+
+} // namespace
+
+Netlist
+constFoldNetlist(const Netlist &src, FoldStats *stats)
+{
+    const size_t n = src.gates.size();
+    FoldState st(n);
+
+    auto isComb = [&](GateOp op) {
+        return op == GateOp::Not || op == GateOp::And ||
+               op == GateOp::Or || op == GateOp::Xor ||
+               op == GateOp::Mux;
+    };
+
+    // ---- One topological evaluation sweep. ---------------------
+    // Dff/MemOut/Input outputs are opaque (Top); everything
+    // combinational either settles to a bit, collapses onto one of
+    // its inputs, or stays.
+    for (GateId g : src.topoOrder()) {
+        const Gate &gate = src.gates[g];
+        switch (gate.op) {
+          case GateOp::Const0:
+            st.val[g] = 0;
+            break;
+          case GateOp::Const1:
+            st.val[g] = 1;
+            break;
+          case GateOp::Not: {
+            int8_t a = st.valOf(gate.in[0]);
+            if (a >= 0) {
+                st.val[g] = a ? 0 : 1;
+            } else {
+                GateId inner = st.resolve(gate.in[0]);
+                if (src.gates[inner].op == GateOp::Not)
+                    st.aliasTo(g, src.gates[inner].in[0]);
+            }
+            break;
+          }
+          case GateOp::And: {
+            int8_t a = st.valOf(gate.in[0]);
+            int8_t b = st.valOf(gate.in[1]);
+            if (a == 0 || b == 0)
+                st.val[g] = 0;
+            else if (a == 1 && b == 1)
+                st.val[g] = 1;
+            else if (a == 1)
+                st.aliasTo(g, gate.in[1]);
+            else if (b == 1)
+                st.aliasTo(g, gate.in[0]);
+            break;
+          }
+          case GateOp::Or: {
+            int8_t a = st.valOf(gate.in[0]);
+            int8_t b = st.valOf(gate.in[1]);
+            if (a == 1 || b == 1)
+                st.val[g] = 1;
+            else if (a == 0 && b == 0)
+                st.val[g] = 0;
+            else if (a == 0)
+                st.aliasTo(g, gate.in[1]);
+            else if (b == 0)
+                st.aliasTo(g, gate.in[0]);
+            break;
+          }
+          case GateOp::Xor: {
+            int8_t a = st.valOf(gate.in[0]);
+            int8_t b = st.valOf(gate.in[1]);
+            if (a >= 0 && b >= 0)
+                st.val[g] = static_cast<int8_t>(a ^ b);
+            else if (a == 0)
+                st.aliasTo(g, gate.in[1]);
+            else if (b == 0)
+                st.aliasTo(g, gate.in[0]);
+            break;
+          }
+          case GateOp::Mux: {
+            int8_t s = st.valOf(gate.in[0]);
+            int8_t a = st.valOf(gate.in[1]);
+            int8_t b = st.valOf(gate.in[2]);
+            if (s == 1)
+                st.aliasTo(g, gate.in[1]);
+            else if (s == 0)
+                st.aliasTo(g, gate.in[2]);
+            else if (st.resolve(gate.in[1]) ==
+                     st.resolve(gate.in[2]))
+                st.aliasTo(g, gate.in[1]);
+            else if (a >= 0 && b >= 0 && a == b)
+                st.val[g] = a;
+            break;
+          }
+          default:
+            break; // Input / Dff / MemOut / MemIn: opaque.
+        }
+    }
+
+    // ---- Liveness over the folded graph. -----------------------
+    // A reference to gate x really points at resolve(x), or at a
+    // canonical tie cell when that gate settled.
+    std::vector<uint8_t> live(n, 0);
+    bool needConst0 = false;
+    bool needConst1 = false;
+    std::vector<GateId> stack;
+    auto reach = [&](GateId g) {
+        GateId r = st.resolve(g);
+        if (st.val[r] >= 0) {
+            (st.val[r] ? needConst1 : needConst0) = true;
+            return;
+        }
+        if (!live[r]) {
+            live[r] = 1;
+            stack.push_back(r);
+        }
+    };
+    for (GateId g : src.outputBits)
+        reach(g);
+    for (GateId g = 0; g < n; ++g) {
+        const Gate &gate = src.gates[g];
+        if (gate.op == GateOp::Dff || gate.op == GateOp::MemIn ||
+            gate.op == GateOp::MemOut) {
+            live[g] = 1;
+            stack.push_back(g);
+        }
+    }
+    while (!stack.empty()) {
+        GateId g = stack.back();
+        stack.pop_back();
+        for (GateId in : src.gates[g].in)
+            reach(in);
+    }
+
+    // ---- Rebuild. ----------------------------------------------
+    // State elements and ports always survive; a combinational
+    // gate survives only when it neither settled nor aliased and
+    // some endpoint observes it. Ids are assigned ascending over
+    // the old order (canonical tie cells first), so the result is
+    // deterministic and input/output bit order is preserved.
+    Netlist out;
+    GateId const0 = invalidGate;
+    GateId const1 = invalidGate;
+    if (needConst0) {
+        const0 = static_cast<GateId>(out.gates.size());
+        Gate tie;
+        tie.op = GateOp::Const0;
+        out.gates.push_back(std::move(tie));
+    }
+    if (needConst1) {
+        const1 = static_cast<GateId>(out.gates.size());
+        Gate tie;
+        tie.op = GateOp::Const1;
+        out.gates.push_back(std::move(tie));
+    }
+
+    std::vector<GateId> newId(n, invalidGate);
+    for (GateId g = 0; g < n; ++g) {
+        const Gate &gate = src.gates[g];
+        bool keep = false;
+        switch (gate.op) {
+          case GateOp::Input:
+          case GateOp::Dff:
+          case GateOp::MemOut:
+          case GateOp::MemIn:
+            keep = true;
+            break;
+          case GateOp::Const0:
+          case GateOp::Const1:
+            keep = false; // replaced by the canonical tie cells
+            break;
+          default:
+            keep = st.resolve(g) == g && st.val[g] < 0 && live[g];
+            break;
+        }
+        if (keep) {
+            newId[g] = static_cast<GateId>(out.gates.size());
+            out.gates.push_back(gate);
+        }
+    }
+
+    auto mapRef = [&](GateId g) {
+        GateId r = st.resolve(g);
+        if (st.val[r] >= 0)
+            return st.val[r] ? const1 : const0;
+        ensure(newId[r] != invalidGate,
+               "const fold dropped a referenced gate");
+        return newId[r];
+    };
+    for (GateId g = 0; g < n; ++g) {
+        if (newId[g] == invalidGate)
+            continue;
+        Gate &rebuilt = out.gates[newId[g]];
+        for (GateId &in : rebuilt.in)
+            in = mapRef(in);
+    }
+    for (GateId g : src.inputBits)
+        out.inputBits.push_back(newId[g]);
+    for (GateId g : src.outputBits)
+        out.outputBits.push_back(mapRef(g));
+    out.memoryBits = src.memoryBits;
+    out.check();
+
+    if (stats) {
+        *stats = FoldStats{};
+        stats->cellsBefore = src.numCombGates();
+        stats->cellsAfter = out.numCombGates();
+        for (GateId g = 0; g < n; ++g) {
+            if (!isComb(src.gates[g].op))
+                continue;
+            if (st.val[g] >= 0)
+                ++stats->foldedConst;
+            else if (st.resolve(g) != g)
+                ++stats->aliased;
+            else if (!live[g])
+                ++stats->removedDead;
+        }
+    }
+    return out;
+}
+
+} // namespace ucx

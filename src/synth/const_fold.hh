@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Constant folding over the gate-level netlist.
+ *
+ * A synthesis optimisation driven by the dfa constant lattice:
+ * one topological sweep evaluates every combinational gate (the
+ * netlist is a DAG once Dff/MemOut outputs are treated as
+ * opaque sources), then the netlist is rebuilt with folded gates
+ * replaced by canonical tie cells, identity gates (x&1, x|0, x^0,
+ * double inverters, muxes with settled selects) bypassed, and
+ * combinational logic no endpoint can observe dropped. State
+ * elements and ports are never removed — the fold changes the
+ * combinational cloud only, so flop/memory/port counts stay
+ * comparable before and after.
+ */
+
+#ifndef UCX_SYNTH_CONST_FOLD_HH
+#define UCX_SYNTH_CONST_FOLD_HH
+
+#include <cstdint>
+
+#include "synth/netlist.hh"
+
+namespace ucx
+{
+
+/** What one fold did, for reporting and tests. */
+struct FoldStats
+{
+    uint64_t foldedConst = 0; ///< Comb gates settled to 0/1.
+    uint64_t aliased = 0;     ///< Identity gates bypassed.
+    uint64_t removedDead = 0; ///< Unreachable comb gates dropped.
+    uint64_t cellsBefore = 0; ///< Comb gates in the input.
+    uint64_t cellsAfter = 0;  ///< Comb gates in the output.
+};
+
+/**
+ * Fold constants through a netlist.
+ *
+ * @param src   Lowered netlist.
+ * @param stats Optional fold accounting.
+ * @return A new, checked netlist computing the same function.
+ */
+Netlist constFoldNetlist(const Netlist &src,
+                         FoldStats *stats = nullptr);
+
+} // namespace ucx
+
+#endif // UCX_SYNTH_CONST_FOLD_HH

@@ -6,6 +6,7 @@
 #include "obs/metrics.hh"
 #include "obs/span.hh"
 #include "obs/tracelog.hh"
+#include "synth/const_fold.hh"
 #include "synth/lower.hh"
 #include "util/error.hh"
 
@@ -92,6 +93,10 @@ PassConfig::fingerprint() const
     h = fnv1aMix(h, power.seqActivity);
     h = fnv1aMix(h, power.clockActivity);
     h = fnv1aMix(h, power.clockPinEnergyPj);
+    // The fold changes every downstream artifact, so it is part of
+    // the technology fingerprint: folded and unfolded netlists
+    // never alias in the cache.
+    h = fnv1aMix(h, static_cast<uint64_t>(constFold ? 2 : 1));
     return h;
 }
 
@@ -157,6 +162,37 @@ defaultPassList()
             }));
         return p;
     }();
+    return passes;
+}
+
+std::vector<Pass>
+passListFor(const PassConfig &config)
+{
+    std::vector<Pass> passes = defaultPassList();
+    if (!config.constFold)
+        return passes;
+    Pass fold = makePass<Netlist>(
+        "constfold", {"lower"}, &PipelineContext::netlist,
+        [](PipelineContext &ctx) {
+            ensure(ctx.netlist != nullptr,
+                   "constfold pass needs the lowered netlist");
+            return constFoldNetlist(*ctx.netlist);
+        });
+    // Everything that consumed the raw netlist now consumes the
+    // folded one (same context slot, stricter ordering).
+    for (Pass &pass : passes) {
+        bool readsNetlist = false;
+        for (const std::string &dep : pass.deps)
+            if (dep == "lower")
+                readsNetlist = true;
+        if (readsNetlist)
+            pass.deps.push_back("constfold");
+    }
+    auto it = passes.begin();
+    while (it != passes.end() && it->name != "lower")
+        ++it;
+    ensure(it != passes.end(), "default pipeline has no lower pass");
+    passes.insert(it + 1, std::move(fold));
     return passes;
 }
 
@@ -289,7 +325,7 @@ synthesizeWithPasses(const RtlDesign &rtl, const PassConfig &config,
 {
     obs::ScopedSpan span("synth.synthesize");
     PipelineContext ctx =
-        runPasses(rtl, defaultPassList(), config, run);
+        runPasses(rtl, passListFor(config), config, run);
     ensure(ctx.metrics != nullptr,
            "pipeline finished without a metrics artifact");
     if (obs::enabled()) {

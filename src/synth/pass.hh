@@ -59,7 +59,8 @@
 namespace ucx
 {
 
-class LintReport; // src/lint — artifact of the lint passes
+class LintReport;  // src/lint — artifact of the lint passes
+struct DfaSummary; // src/dfa — artifact of the dfa pass
 
 /** FPGA and ASIC timing, produced together by the timing pass. */
 struct TimingSummary
@@ -74,6 +75,14 @@ struct PassConfig
     CellLibrary library = CellLibrary::generic180();
     FpgaFabric fabric = FpgaFabric::stratix2Like();
     PowerModelConfig power;
+
+    /**
+     * Run the "constfold" pass between lowering and mapping (the
+     * dfa-driven netlist optimisation; see synth/const_fold.hh).
+     * Off by default so results stay comparable with published
+     * baselines unless explicitly requested (UCX_CONST_FOLD=1).
+     */
+    bool constFold = false;
 
     /**
      * @return A hash of every numeric model parameter; part of the
@@ -103,6 +112,9 @@ struct PipelineContext
     // live here so the passes run through the same runner).
     std::shared_ptr<const LintReport> lint;    ///< "lint" pass.
     std::shared_ptr<const LintReport> lintNet; ///< "lintnet" pass.
+
+    // Dataflow-analysis artifact (provider lives in src/dfa).
+    std::shared_ptr<const DfaSummary> dfa;     ///< "dfa" pass.
 };
 
 /** One named stage of the synthesis pipeline. */
@@ -139,6 +151,17 @@ struct Pass
 
 /** @return The default pipeline (see the file comment's diagram). */
 const std::vector<Pass> &defaultPassList();
+
+/**
+ * The pipeline a configuration asks for: the default list, with
+ * the "constfold" netlist optimisation spliced in after "lower"
+ * when @p config.constFold is set (every lower-dependent pass then
+ * also waits for the folded netlist).
+ *
+ * @param config Pass configuration.
+ * @return The stage list, in dependency order.
+ */
+std::vector<Pass> passListFor(const PassConfig &config);
 
 /** Cache/observability options of one pipeline run. */
 struct PipelineRun

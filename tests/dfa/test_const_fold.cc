@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Tests of the const_fold synthesis pass: folded netlists must stay
+ * structurally valid, strictly shrink when the input has foldable
+ * logic, keep every state element and port, and stay out of the
+ * pipeline entirely unless PassConfig::constFold asks for it.
+ *
+ * lowerToGates peephole-folds direct constants, bypasses double
+ * inverters, and hash-conses structurally equal gates while it
+ * builds, so its output rarely leaves settled logic behind. The
+ * fold/alias paths are therefore exercised on a hand-built netlist
+ * (the shape a less aggressive producer would emit); lowered
+ * fixtures cover what const_fold uniquely adds on top of lowering:
+ * removing combinational cones no endpoint observes.
+ */
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "designs/registry.hh"
+#include "synth/const_fold.hh"
+#include "synth/elaborate.hh"
+#include "synth/lower.hh"
+#include "synth/pass.hh"
+
+namespace ucx
+{
+namespace
+{
+
+Netlist
+lowerSrc(const std::string &src, const std::string &top)
+{
+    Design design;
+    design.addSource(src, "fixture.v");
+    return lowerToGates(elaborate(design, top).rtl);
+}
+
+/**
+ * a & 0 settles to a constant, 0 | b and a double inverter are
+ * identities, and the inner inverter goes dead once its only
+ * reader is bypassed — one gate for each fold statistic.
+ */
+Netlist
+unfoldedNetlist()
+{
+    Netlist net;
+    GateId c0 = net.add({GateOp::Const0, {}});
+    net.add({GateOp::Const1, {}});
+    GateId a = net.add({GateOp::Input, {}});
+    GateId b = net.add({GateOp::Input, {}});
+    GateId gated = net.add({GateOp::And, {a, c0}});
+    GateId y = net.add({GateOp::Or, {gated, b}});
+    GateId na = net.add({GateOp::Not, {a}});
+    GateId z = net.add({GateOp::Not, {na}});
+    net.outputBits = {y, z};
+    net.check();
+    return net;
+}
+
+TEST(ConstFold, StrictlyFewerCellsWithPinnedCounts)
+{
+    Netlist net = unfoldedNetlist();
+    FoldStats stats;
+    Netlist folded = constFoldNetlist(net, &stats);
+    folded.check();
+
+    EXPECT_EQ(stats.cellsBefore, 4u);
+    EXPECT_EQ(stats.cellsAfter, 0u);
+    EXPECT_LT(stats.cellsAfter, stats.cellsBefore);
+    EXPECT_EQ(stats.foldedConst, 1u); // a & 0
+    EXPECT_EQ(stats.aliased, 2u);     // 0 | b, ~~a
+    EXPECT_EQ(stats.removedDead, 1u); // the inner inverter
+
+    // Ports are untouchable, and both outputs now come straight
+    // from the input bits the identities resolved to.
+    EXPECT_EQ(folded.inputBits.size(), net.inputBits.size());
+    ASSERT_EQ(folded.outputBits.size(), 2u);
+    EXPECT_EQ(folded.gates[folded.outputBits[0]].op, GateOp::Input);
+    EXPECT_EQ(folded.gates[folded.outputBits[1]].op, GateOp::Input);
+}
+
+TEST(ConstFold, IdempotentOnItsOwnOutput)
+{
+    Netlist once = constFoldNetlist(unfoldedNetlist());
+    FoldStats stats;
+    Netlist twice = constFoldNetlist(once, &stats);
+    twice.check();
+    EXPECT_EQ(stats.foldedConst, 0u);
+    EXPECT_EQ(stats.aliased, 0u);
+    EXPECT_EQ(stats.removedDead, 0u);
+    EXPECT_EQ(once.gates.size(), twice.gates.size());
+}
+
+TEST(ConstFold, NoFoldableLogicIsANoOpOnCounts)
+{
+    Netlist net = lowerSrc(
+        "module m (input wire a, input wire b, output wire y);\n"
+        "  assign y = a ^ b;\n"
+        "endmodule\n",
+        "m");
+    FoldStats stats;
+    Netlist folded = constFoldNetlist(net, &stats);
+    folded.check();
+    EXPECT_EQ(stats.foldedConst, 0u);
+    EXPECT_EQ(stats.cellsAfter, stats.cellsBefore);
+}
+
+TEST(ConstFold, LoweredConstantsAreAlreadyGoneBeforeTheFold)
+{
+    // Division of labour: direct constant gating, a settled mux
+    // select, and constant wires all die inside lowerToGates — the
+    // fold sees zero comb gates and must leave it that way.
+    Netlist net = lowerSrc(
+        "module m (input wire clk, input wire a, input wire b,\n"
+        "          output wire y, output wire z);\n"
+        "  wire gated;\n"
+        "  wire sel;\n"
+        "  reg q;\n"
+        "  assign gated = a & 1'b0;\n"
+        "  assign sel = 1'b1;\n"
+        "  always @(posedge clk) q <= sel ? a : b;\n"
+        "  assign y = gated | b;\n"
+        "  assign z = q;\n"
+        "endmodule\n",
+        "m");
+    EXPECT_EQ(net.numCombGates(), 0u);
+    FoldStats stats;
+    Netlist folded = constFoldNetlist(net, &stats);
+    folded.check();
+    EXPECT_EQ(stats.cellsAfter, 0u);
+    EXPECT_EQ(folded.numDffs(), net.numDffs());
+}
+
+TEST(ConstFold, DeadInverterBehindALoweringBypassIsRemoved)
+{
+    // lowerToGates bypasses the double inversion itself (y is the
+    // input bit), but the inner ~a gate is still emitted as part of
+    // n1's cone and left dead. The fold sweeps it.
+    Netlist net = lowerSrc(
+        "module m (input wire a, output wire y);\n"
+        "  wire n1;\n"
+        "  assign n1 = ~a;\n"
+        "  assign y = ~n1;\n"
+        "endmodule\n",
+        "m");
+    FoldStats stats;
+    Netlist folded = constFoldNetlist(net, &stats);
+    folded.check();
+    EXPECT_EQ(stats.cellsBefore, 1u);
+    EXPECT_EQ(stats.removedDead, 1u);
+    EXPECT_EQ(stats.cellsAfter, 0u);
+    // y stays fed by the input bit directly.
+    ASSERT_EQ(folded.outputBits.size(), 1u);
+    EXPECT_EQ(folded.gates[folded.outputBits[0]].op, GateOp::Input);
+}
+
+TEST(ConstFold, EveryBundledDesignSurvivesAndNeverGrows)
+{
+    for (const ShippedDesign &sd : shippedDesigns()) {
+        Design design = sd.load();
+        Netlist net = lowerToGates(elaborate(design, sd.top).rtl);
+        FoldStats stats;
+        Netlist folded = constFoldNetlist(net, &stats);
+        folded.check();
+        EXPECT_LE(stats.cellsAfter, stats.cellsBefore) << sd.name;
+        EXPECT_EQ(folded.numDffs(), net.numDffs()) << sd.name;
+        EXPECT_EQ(folded.outputBits.size(), net.outputBits.size())
+            << sd.name;
+        EXPECT_EQ(folded.memoryBits, net.memoryBits) << sd.name;
+    }
+}
+
+// ------------------------------------------------ pass plumbing
+
+std::vector<std::string>
+passNames(const std::vector<Pass> &passes)
+{
+    std::vector<std::string> names;
+    for (const Pass &p : passes)
+        names.push_back(p.name);
+    return names;
+}
+
+TEST(ConstFoldPass, OffByDefaultLeavesThePassListUntouched)
+{
+    PassConfig config;
+    EXPECT_FALSE(config.constFold);
+    EXPECT_EQ(passNames(passListFor(config)),
+              passNames(defaultPassList()));
+}
+
+TEST(ConstFoldPass, EnabledSplicesConstfoldAfterLower)
+{
+    PassConfig config;
+    config.constFold = true;
+    std::vector<std::string> names = passNames(passListFor(config));
+    auto lower = std::find(names.begin(), names.end(), "lower");
+    ASSERT_NE(lower, names.end());
+    ASSERT_NE(lower + 1, names.end());
+    EXPECT_EQ(*(lower + 1), "constfold");
+    EXPECT_EQ(names.size(), defaultPassList().size() + 1);
+}
+
+TEST(ConstFoldPass, ConfigFingerprintSeparatesTheCacheKeys)
+{
+    PassConfig off;
+    PassConfig on;
+    on.constFold = true;
+    EXPECT_NE(off.fingerprint(), on.fingerprint());
+}
+
+TEST(ConstFoldPass, PipelineProducesFoldedNetlist)
+{
+    // The shipped alu carries exactly six dead comb gates (pinned
+    // by DfaLiveness.NetlistDeadGatesMatchLintCount); with the pass
+    // enabled the pipeline's netlist must shed exactly those.
+    const ShippedDesign &sd = shippedDesign("alu");
+    Design design = sd.load();
+    ElabResult elab = elaborate(design, sd.top);
+
+    PassConfig off;
+    PipelineRun run;
+    PipelineContext plain =
+        runPasses(elab.rtl, passListFor(off), off, run);
+
+    PassConfig on;
+    on.constFold = true;
+    PipelineContext folded =
+        runPasses(elab.rtl, passListFor(on), on, run);
+
+    ASSERT_NE(plain.netlist, nullptr);
+    ASSERT_NE(folded.netlist, nullptr);
+    EXPECT_LT(folded.netlist->numCombGates(),
+              plain.netlist->numCombGates());
+    EXPECT_EQ(plain.netlist->numCombGates() -
+                  folded.netlist->numCombGates(),
+              6u);
+    EXPECT_EQ(folded.netlist->numDffs(), plain.netlist->numDffs());
+}
+
+} // namespace
+} // namespace ucx

@@ -93,6 +93,34 @@ TEST(ConstEval, IsConstPredicate)
     EXPECT_FALSE(isConst(*expr("W + unknown"), env));
 }
 
+TEST(ConstEval, WideShiftsAreWellDefined)
+{
+    ConstEnv env = {{"W", 63}};
+    // Shift by 63 is legal and must not trip signed-overflow UB:
+    // 1 << 63 is the sign bit of the int64 result.
+    EXPECT_EQ(static_cast<uint64_t>(evalConst(*expr("1 << W"), env)),
+              0x8000000000000000ull);
+    EXPECT_EQ(evalConst(*expr("1 << 62"), env),
+              int64_t(1) << 62);
+    // Shifting a negative value right is a logical (unsigned)
+    // shift, matching hardware semantics.
+    EXPECT_EQ(evalConst(*expr("(0 - 1) >> 63"), env), 1);
+    // Amounts >= 64 shift every bit out: the result is 0, not UB
+    // and not an error (width expressions like 1 << W with W = 64
+    // appear in generate arithmetic).
+    EXPECT_EQ(evalConst(*expr("1 << 64"), env), 0);
+    EXPECT_EQ(evalConst(*expr("255 << 100"), env), 0);
+    EXPECT_EQ(evalConst(*expr("255 >> 64"), env), 0);
+    EXPECT_EQ(evalConst(*expr("(1 << 63) >> 70"), env), 0);
+}
+
+TEST(ConstEval, NegativeShiftThrows)
+{
+    ConstEnv env;
+    EXPECT_THROW(evalConst(*expr("1 << (0 - 1)"), env), UcxError);
+    EXPECT_THROW(evalConst(*expr("1 >> (0 - 2)"), env), UcxError);
+}
+
 TEST(ConstEval, SizedLiteralsKeepValue)
 {
     ConstEnv env;

@@ -195,6 +195,80 @@ TEST(ArtifactSerde, LintReport)
     EXPECT_EQ(decoded.size(), report.size());
 }
 
+/** A summary populated through the real analyses. */
+const DfaSummary &
+fetchDfaSummary()
+{
+    static const DfaSummary summary = [] {
+        Design d = shippedDesign("fetch").load();
+        return computeDfaSummary(d, fetchElab().rtl,
+                                 fetchNetlist());
+    }();
+    return summary;
+}
+
+TEST(ArtifactSerde, DfaSummary)
+{
+    const DfaSummary &summary = fetchDfaSummary();
+    ASSERT_FALSE(summary.domains.empty());
+    DfaSummary decoded = expectRoundTrip(summary);
+    EXPECT_EQ(decoded.constSignals.size(),
+              summary.constSignals.size());
+    EXPECT_EQ(decoded.deadWires, summary.deadWires);
+    EXPECT_EQ(decoded.deadRegs, summary.deadRegs);
+    EXPECT_EQ(decoded.deadCombGates, summary.deadCombGates);
+    EXPECT_EQ(decoded.domains.size(), summary.domains.size());
+    EXPECT_EQ(decoded.constIterations, summary.constIterations);
+}
+
+TEST(ArtifactSerde, DfaSummarySyntheticFieldsSurvive)
+{
+    // The bundled designs are single-clock, so exercise the CDC
+    // fields with a hand-built summary.
+    DfaSummary s;
+    s.constSignals.push_back({"top.u.stuck", 3, 2, 1});
+    s.constMuxSignals.push_back("top.sel_out");
+    s.constMuxCount = 7;
+    s.readBeforeWrite.push_back({"top", "tmp", 12});
+    s.domains.push_back({"top", "r", "clk_a"});
+    s.crossings.push_back({"top", "x", "clk_a", "clk_b", 9, false});
+    s.crossings.push_back({"top", "y", "clk_b", "clk_a", 14, true});
+    s.clockAsData.push_back({"top", "clk_a", 20});
+    s.clockIterations = 99;
+    DfaSummary decoded = expectRoundTrip(s);
+    ASSERT_EQ(decoded.crossings.size(), 2u);
+    EXPECT_EQ(decoded.crossings[0].fromClock, "clk_a");
+    EXPECT_FALSE(decoded.crossings[0].synchronized);
+    EXPECT_TRUE(decoded.crossings[1].synchronized);
+    ASSERT_EQ(decoded.clockAsData.size(), 1u);
+    EXPECT_EQ(decoded.clockAsData[0].line, 20);
+    EXPECT_EQ(decoded.constSignals[0].kind, 1);
+}
+
+TEST(ArtifactSerde, DfaSummaryTruncationAndBitFlip)
+{
+    std::string framed = io::encodeArtifact(fetchDfaSummary());
+    // Every truncation point must be a typed decode error, never a
+    // crash or a silently short summary.
+    for (size_t cut : {size_t(0), size_t(1), io::kFrameHeaderSize,
+                       framed.size() / 2, framed.size() - 1}) {
+        std::string trunc = framed.substr(0, cut);
+        EXPECT_THROW(io::decodeArtifact<DfaSummary>(trunc),
+                     io::SerdeError)
+            << "truncated at " << cut;
+    }
+    for (size_t at = io::kFrameHeaderSize; at < framed.size();
+         at += 7) {
+        std::string flipped = framed;
+        flipped[at] ^= 0x40;
+        try {
+            io::decodeArtifact<DfaSummary>(flipped);
+        } catch (const io::SerdeError &) {
+            // Checksum or structural failure: both acceptable.
+        }
+    }
+}
+
 TEST(ArtifactSerde, CorruptPayloadIsTypedPerType)
 {
     // A payload bit-flip in a real artifact frame must surface as
@@ -213,7 +287,8 @@ TEST(ArtifactSerde, RegistryKnowsEveryArtifact)
          {"RtlDesign", "ElabResult", "Netlist", "CellMapping",
           "LutMapping", "ConeReport", "TimingSummary", "PowerReport",
           "SynthMetrics", "ComponentMeasurement", "Dataset",
-          "ConvergenceTrace", "FittedEstimator", "LintReport"}) {
+          "ConvergenceTrace", "FittedEstimator", "LintReport",
+          "DfaSummary"}) {
         bool found = false;
         for (const io::ArtifactCodec *codec : reg.codecs())
             found = found || codec->name == name;

@@ -20,7 +20,7 @@ TEST(LintCatalog, SortedUniqueNonEmpty)
     for (const LintRuleInfo &rule : rules) {
         EXPECT_FALSE(rule.summary.empty()) << rule.id;
         EXPECT_TRUE(rule.family == "hdl" || rule.family == "acct" ||
-                    rule.family == "fit")
+                    rule.family == "fit" || rule.family == "dfa")
             << rule.id;
         EXPECT_EQ(rule.id.rfind(rule.family + ".", 0), 0u)
             << rule.id;

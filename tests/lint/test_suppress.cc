@@ -38,6 +38,53 @@ TEST(LintSuppress, ParsesFieldsCommentsAndBlanks)
     EXPECT_EQ(s.entries()[1].rule, "*");
 }
 
+TEST(LintSuppress, TolerantOfCrlfTabsAndCommentOnlyLines)
+{
+    // Files edited on other platforms arrive with CRLF endings,
+    // tab indentation, and stray comment-only lines; none of that
+    // may change what is suppressed.
+    LintSuppressions s = LintSuppressions::parse(
+        "# frozen findings\r\n"
+        "\r\n"
+        "\t \r\n"
+        "\thdl.unused\tfetch\tfetch.tmp\t# tabs\r\n"
+        "   dfa.dead-signal   pipeline   alu_neg   \r\n"
+        "#\n"
+        "dfa.cdc-unsync * *\r\n");
+    ASSERT_EQ(s.entries().size(), 3u);
+    EXPECT_EQ(s.entries()[0].rule, "hdl.unused");
+    EXPECT_EQ(s.entries()[0].object, "fetch.tmp");
+    EXPECT_EQ(s.entries()[0].comment, "tabs");
+    EXPECT_EQ(s.entries()[1].rule, "dfa.dead-signal");
+    EXPECT_EQ(s.entries()[1].design, "pipeline");
+    EXPECT_TRUE(s.entries()[1].comment.empty());
+    EXPECT_TRUE(s.matches(
+        makeDiag("dfa.cdc-unsync", "anything", "x.y")));
+    // A round trip through serialize drops none of it.
+    LintSuppressions reparsed =
+        LintSuppressions::parse(s.serialize());
+    ASSERT_EQ(reparsed.entries().size(), 3u);
+    EXPECT_EQ(reparsed.serialize(), s.serialize());
+}
+
+TEST(LintSuppress, DfaRuleIdsAreKnownToTheParser)
+{
+    // The parser validates rule ids against the catalog; every
+    // dfa.* id must be accepted so baselines can freeze them.
+    LintSuppressions s = LintSuppressions::parse(
+        "dfa.cdc-unsync a b\n"
+        "dfa.clock-as-data a b\n"
+        "dfa.const-condition a b\n"
+        "dfa.const-output a b\n"
+        "dfa.const-signal a b\n"
+        "dfa.dead-signal a b\n"
+        "dfa.read-before-write a b\n"
+        "dfa.write-never-read a b\n");
+    EXPECT_EQ(s.entries().size(), 8u);
+    EXPECT_THROW(LintSuppressions::parse("dfa.bogus a b\n"),
+                 UcxError);
+}
+
 TEST(LintSuppress, RejectsMalformedLines)
 {
     EXPECT_THROW(LintSuppressions::parse("hdl.unused fetch\n"),

@@ -88,6 +88,15 @@ main(int argc, char **argv)
                       << " fanInLC=" << built.metrics.fanInLC << "\n";
         }
 
+        // Lint: runs the dfa pass, whose DfaSummary artifact must
+        // round-trip the disk tier like any synthesis artifact.
+        LintReport lint = session.lintShipped("fetch");
+        std::cout << "lint fetch findings=" << lint.size()
+                  << " warnings="
+                  << lint.count(LintSeverity::Warning)
+                  << " notes=" << lint.count(LintSeverity::Note)
+                  << "\n";
+
         // Fit: the recommended DEE1 (pooled mode keeps the fixture
         // fast; the FittedEstimator artifact still round-trips the
         // disk tier).

@@ -23,6 +23,8 @@
  *     --min-severity S   Exit-code threshold: note|warning|error
  *                        (default warning).
  *     --list-rules       Print the rule catalog and exit.
+ *     --explain RULE     Print one rule's catalog entry (id,
+ *                        family, severity, summary) and exit.
  *
  * Exit status: 0 when no finding reaches the threshold, 1 when one
  * does, 2 on usage or input errors.
@@ -49,6 +51,7 @@ struct CliOptions
     std::string top;
     std::string suppressPath;
     std::string baselinePath;
+    std::vector<std::string> explainRules;
     LintSeverity threshold = LintSeverity::Warning;
     bool fit = false;
     bool json = false;
@@ -62,7 +65,8 @@ usage(std::ostream &out, int code)
            "                [--suppress FILE] [--write-baseline "
            "FILE]\n"
            "                [--min-severity note|warning|error]\n"
-           "                [--list-rules] [design ...]\n";
+           "                [--list-rules] [--explain RULE]\n"
+           "                [design ...]\n";
     return code;
 }
 
@@ -91,6 +95,8 @@ parseArgs(int argc, char **argv)
             opts.threshold = lintSeverityFromName(value(arg));
         else if (arg == "--list-rules")
             opts.listRules = true;
+        else if (arg == "--explain")
+            opts.explainRules.push_back(value(arg));
         else if (arg == "--help" || arg == "-h")
             throw UcxError("help");
         else if (!arg.empty() && arg[0] == '-')
@@ -130,6 +136,19 @@ lintFile(EstimationSession &session, const std::string &path,
 }
 
 void
+explainRule(const std::string &id)
+{
+    // lintRule throws a typed error for unknown ids, which main
+    // reports with exit 2 like any other bad input.
+    const LintRuleInfo &rule = lintRule(id);
+    std::cout << rule.id << "\n"
+              << "  family:   " << rule.family << "\n"
+              << "  severity: " << lintSeverityName(rule.severity)
+              << "\n"
+              << "  summary:  " << rule.summary << "\n";
+}
+
+void
 printRules()
 {
     Table t({"Rule", "Family", "Severity", "Summary"});
@@ -158,6 +177,11 @@ main(int argc, char **argv)
     try {
         if (opts.listRules) {
             printRules();
+            return 0;
+        }
+        if (!opts.explainRules.empty()) {
+            for (const std::string &id : opts.explainRules)
+                explainRule(id);
             return 0;
         }
 

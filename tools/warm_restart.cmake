@@ -115,6 +115,11 @@ if(NOT ls_rc EQUAL 0 OR NOT ls_out MATCHES "Netlist")
             "ucx_cachectl ls did not list the expected artifacts:\n"
             "${ls_out}")
 endif()
+if(NOT ls_out MATCHES "DfaSummary")
+    message(FATAL_ERROR
+            "ucx_cachectl ls did not list a persisted DfaSummary "
+            "artifact:\n${ls_out}")
+endif()
 
 execute_process(
     COMMAND "${CACHECTL_BIN}" --dir "${cache_dir}" stat
