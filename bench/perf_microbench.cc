@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <filesystem>
 #include <thread>
 
@@ -25,11 +26,15 @@
 #include "hdl/source_metrics.hh"
 #include "nlme/bootstrap.hh"
 #include "nlme/generic.hh"
+#include "nlme/kernels.hh"
 #include "nlme/mixed_model.hh"
 #include "nlme/pooled.hh"
+#include "opt/bfgs.hh"
+#include "opt/workspace.hh"
 #include "synth/elaborate.hh"
 #include "synth/metrics.hh"
 #include "synth/pass.hh"
+#include "util/alloc_hook.hh"
 
 namespace
 {
@@ -226,6 +231,215 @@ bootstrapSpeedup()
 }
 
 /**
+ * Fit-kernel throughput: the likelihood/gradient hot path that every
+ * fit, bootstrap replicate, and profile point sits on.
+ *
+ * Four comparisons land in BENCH_perf_microbench.json as
+ * bench.fit.* gauges:
+ *  - evals_per_sec vs legacy_evals_per_sec: the SoA workspace kernel
+ *    against a faithful reimplementation of the pre-kernel
+ *    evaluation path (fresh vector-of-vectors residuals per call),
+ *    with kernel_speedup as the ratio;
+ *  - serial_ms vs parallel_ms: a fit-heavy parametric-bootstrap
+ *    workload run serially and through a pool (thread-local
+ *    workspaces mean the workers never contend);
+ *  - grad_speedup: wall time of the finite-difference BFGS fit over
+ *    the analytic-gradient fit;
+ *  - steady_allocs: heap allocations (counting operator new) across
+ *    a warmed-up batch of logLikelihood calls — the zero-allocation
+ *    steady-state claim, asserted to stay 0 by bench-smoke.
+ *
+ * Runs even under UCX_BENCH_SMOKE (with smaller repetition counts)
+ * so the smoke gate can assert the gauges' presence.
+ */
+void
+fitSpeedup(bool smoke)
+{
+    NlmeData nd = paperNlme();
+    MixedModel model(nd);
+    const std::vector<double> w = {0.002, 0.0003};
+    const double se = 0.45;
+    const double sr = 0.3;
+
+    // The pre-kernel evaluation path, preserved here as the
+    // yardstick: a vector-of-vectors residual set allocated per
+    // call, row-major covariate access through the bounds-checked
+    // Matrix accessor, and precondition messages materialized as
+    // std::string temporaries (the overload every call bound to
+    // before the const char* fast path existed).
+    auto legacyLogLik = [&]() {
+        require(w.size() == nd.numCovariates(),
+                std::string("weight count does not match covariates"));
+        require(se > 0.0, std::string("sigma_eps must be > 0"));
+        require(sr >= 0.0, std::string("sigma_rho must be >= 0"));
+        std::vector<std::vector<double>> res;
+        res.reserve(nd.groups.size());
+        for (const auto &g : nd.groups) {
+            std::vector<double> r(g.y.size());
+            for (size_t j = 0; j < g.y.size(); ++j) {
+                double lin = 0.0;
+                for (size_t k = 0; k < w.size(); ++k)
+                    lin += w[k] * g.x(j, k);
+                r[j] = g.y[j] - std::log(lin);
+            }
+            res.push_back(std::move(r));
+        }
+        double var_e = se * se;
+        double var_r = sr * sr;
+        double ll = 0.0;
+        for (const auto &r : res) {
+            double n = static_cast<double>(r.size());
+            double tau = var_e + n * var_r;
+            double ss = 0.0;
+            double s = 0.0;
+            for (double v : r) {
+                ss += v * v;
+                s += v;
+            }
+            double log_det =
+                (n - 1.0) * std::log(var_e) + std::log(tau);
+            double quad = (ss - (var_r / tau) * s * s) / var_e;
+            ll += -0.5 *
+                  (n * std::log(2.0 * M_PI) + log_det + quad);
+        }
+        return ll;
+    };
+
+    const size_t evals = smoke ? 2000 : 50000;
+
+    // Warm the thread workspace, then count heap traffic across a
+    // steady-state batch through the hooked allocator.
+    for (int i = 0; i < 8; ++i)
+        benchmark::DoNotOptimize(model.logLikelihood(w, se, sr));
+    AllocCounts before = allocCountsThread();
+    for (int i = 0; i < 64; ++i)
+        benchmark::DoNotOptimize(model.logLikelihood(w, se, sr));
+    AllocCounts after = allocCountsThread();
+    double steady_allocs =
+        static_cast<double>(after.allocs - before.allocs);
+
+    auto t0 = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < evals; ++i)
+        benchmark::DoNotOptimize(model.logLikelihood(w, se, sr));
+    double kernel_s = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+
+    t0 = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < evals; ++i)
+        benchmark::DoNotOptimize(legacyLogLik());
+    double legacy_s = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+
+    double eps = kernel_s > 0.0
+                     ? static_cast<double>(evals) / kernel_s
+                     : 0.0;
+    double legacy_eps = legacy_s > 0.0
+                            ? static_cast<double>(evals) / legacy_s
+                            : 0.0;
+
+    // Analytic-gradient BFGS against the finite-difference path on
+    // the polish leg the gradient replaces: identical objective
+    // (through the SoA kernels), identical start near the optimum,
+    // central-difference probing (2p evals per gradient) vs one
+    // fused likelihood+gradient kernel call.
+    MixedFit fit = model.fit();
+    const size_t ncov = nd.numCovariates();
+    nlme::SoaData soa = nlme::SoaData::fromData(nd);
+    Objective nll = [&](const std::vector<double> &u) {
+        FitWorkspace &ws = threadFitWorkspace();
+        ws.ensure(soa.nobs, ncov + 2);
+        double *theta = ws.theta.data();
+        for (size_t i = 0; i < ncov + 2; ++i)
+            theta[i] = std::exp(u[i]);
+        if (nlme::residualKernel(soa, theta, ws) !=
+            nlme::KernelStatus::Ok)
+            return std::numeric_limits<double>::infinity();
+        return -nlme::logLikKernel(soa, ws.resid.data(),
+                                   theta[ncov] * theta[ncov],
+                                   theta[ncov + 1] * theta[ncov + 1]);
+    };
+    Gradient agrad = [&](const std::vector<double> &u,
+                         std::vector<double> &out) {
+        FitWorkspace &ws = threadFitWorkspace();
+        ws.ensure(soa.nobs, ncov + 2);
+        double *theta = ws.theta.data();
+        for (size_t i = 0; i < ncov + 2; ++i)
+            theta[i] = std::exp(u[i]);
+        if (nlme::residualKernel(soa, theta, ws) !=
+            nlme::KernelStatus::Ok) {
+            for (size_t i = 0; i < ncov + 2; ++i)
+                out[i] = 0.0;
+            return;
+        }
+        double *g = ws.grad.data();
+        nlme::logLikGradKernel(soa, theta[ncov], theta[ncov + 1], ws,
+                               g);
+        for (size_t i = 0; i < ncov + 2; ++i)
+            out[i] = -g[i] * theta[i];
+    };
+    std::vector<double> u0(ncov + 2);
+    for (size_t k = 0; k < ncov; ++k)
+        u0[k] = std::log(fit.weights[k]) + 0.4;
+    u0[ncov] = std::log(fit.sigmaEps) + 0.4;
+    u0[ncov + 1] = std::log(fit.sigmaRho) + 0.4;
+
+    const int polish_reps = smoke ? 50 : 500;
+    t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < polish_reps; ++i)
+        benchmark::DoNotOptimize(bfgs(nll, u0));
+    double fd_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+    t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < polish_reps; ++i)
+        benchmark::DoNotOptimize(bfgs(nll, agrad, u0));
+    double an_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+    double grad_speedup = an_ms > 0.0 ? fd_ms / an_ms : 0.0;
+
+    // Fit-heavy bootstrap workload, serial vs pooled.
+    BootstrapConfig bc;
+    bc.replicates = smoke ? 10 : 200;
+    bc.starts = 1;
+    t0 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(
+        parametricBootstrap(nd, fit, bc, ExecContext::serial()));
+    double serial_ms = std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+    size_t threads = std::max<size_t>(
+        4, std::thread::hardware_concurrency());
+    t0 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(parametricBootstrap(
+        nd, fit, bc, ExecContext::withThreads(threads)));
+    double parallel_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+
+    obs::gauge("bench.fit.evals_per_sec").set(eps);
+    obs::gauge("bench.fit.legacy_evals_per_sec").set(legacy_eps);
+    obs::gauge("bench.fit.kernel_speedup")
+        .set(legacy_eps > 0.0 && eps > 0.0 ? eps / legacy_eps : 0.0);
+    obs::gauge("bench.fit.serial_ms").set(serial_ms);
+    obs::gauge("bench.fit.parallel_ms").set(parallel_ms);
+    obs::gauge("bench.fit.grad_speedup").set(grad_speedup);
+    obs::gauge("bench.fit.steady_allocs").set(steady_allocs);
+    publishAllocCounters();
+
+    std::cout << "fit kernels: " << eps << " evals/s (legacy "
+              << legacy_eps << "/s, "
+              << (legacy_eps > 0.0 ? eps / legacy_eps : 0.0)
+              << "x), grad speedup " << grad_speedup
+              << "x, bootstrap(" << bc.replicates << ") serial "
+              << serial_ms << " ms / pooled " << parallel_ms
+              << " ms, steady-state allocs " << steady_allocs
+              << "\n";
+}
+
+/**
  * Artifact-cache effectiveness: build every shipped design twice
  * through one session — cold (every elaboration and synthesis pass
  * runs) then warm (every artifact is a cache hit) — and record the
@@ -411,11 +625,12 @@ main(int argc, char **argv)
     const char *smoke_env = std::getenv("UCX_BENCH_SMOKE");
     bool smoke = smoke_env && *smoke_env != '\0' &&
                  std::string(smoke_env) != "0";
-    // graphSpeedup and diskSpeedup run either way (on a subset in
-    // smoke mode) so the smoke gate can assert the bench.graph.*
-    // and bench.disk.* gauges exist.
+    // graphSpeedup, diskSpeedup and fitSpeedup run either way (with
+    // reduced work in smoke mode) so the smoke gate can assert the
+    // bench.graph.*, bench.disk.* and bench.fit.* gauges exist.
     graphSpeedup(smoke);
     diskSpeedup(smoke);
+    fitSpeedup(smoke);
     if (smoke)
         return 0;
     bootstrapSpeedup();

@@ -6,6 +6,7 @@
 #include "data/paper_data.hh"
 #include "exec/task_graph.hh"
 #include "io/artifact_serde.hh"
+#include "nlme/mixed_model.hh"
 #include "obs/tracelog.hh"
 #include "synth/elaborate.hh"
 #include "util/error.hh"
@@ -42,6 +43,11 @@ fitKey(const Dataset &dataset, const EstimatorSpec &spec)
     CacheKey key("fit");
     key.addHash(datasetFingerprint(dataset));
     key.add(spec.fingerprint());
+    // The gradient path changes which optimizer trajectory produced
+    // the artifact; the disk tier outlives the process, so the key
+    // must distinguish runs with the analytic path toggled off.
+    key.add(std::string("grad=") +
+            (MixedModelConfig::defaultAnalyticGradient() ? "1" : "0"));
     return key;
 }
 

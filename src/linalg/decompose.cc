@@ -7,11 +7,45 @@
 namespace ucx
 {
 
+namespace
+{
+
+/** Small-matrix cutoff for the stack-buffer factor/solve paths. */
+constexpr size_t kSmallN = 4;
+
+} // namespace
+
 Cholesky::Cholesky(const Matrix &a)
 {
     require(a.square(), "Cholesky needs a square matrix");
     size_t n = a.rows();
     l_ = Matrix(n, n);
+    if (n >= 1 && n <= kSmallN) {
+        // Fixed-size fast path: the covariance blocks the fitters
+        // factor are 2x2..4x4, so run the identical elimination on a
+        // stack buffer with the per-element bounds checks hoisted
+        // out. Statement order matches the general loop exactly, so
+        // the factor is bit-identical.
+        const double *ad = a.data().data();
+        double lf[kSmallN * kSmallN] = {0.0};
+        for (size_t j = 0; j < n; ++j) {
+            double diag = ad[j * n + j];
+            for (size_t k = 0; k < j; ++k)
+                diag -= lf[j * n + k] * lf[j * n + k];
+            require(diag > 0.0, "matrix is not positive definite");
+            lf[j * n + j] = std::sqrt(diag);
+            for (size_t i = j + 1; i < n; ++i) {
+                double sum = ad[i * n + j];
+                for (size_t k = 0; k < j; ++k)
+                    sum -= lf[i * n + k] * lf[j * n + k];
+                lf[i * n + j] = sum / lf[j * n + j];
+            }
+        }
+        for (size_t r = 0; r < n; ++r)
+            for (size_t c = 0; c <= r; ++c)
+                l_(r, c) = lf[r * n + c];
+        return;
+    }
     for (size_t j = 0; j < n; ++j) {
         double diag = a(j, j);
         for (size_t k = 0; k < j; ++k)
@@ -32,6 +66,27 @@ Cholesky::solve(const Vector &b) const
 {
     size_t n = l_.rows();
     require(b.size() == n, "rhs size mismatch in Cholesky::solve");
+    if (n >= 1 && n <= kSmallN) {
+        // Same substitutions as below on stack buffers (one fewer
+        // heap vector, unchecked element reads); identical operation
+        // order keeps the solution bit-identical.
+        const double *lf = l_.data().data();
+        double y[kSmallN];
+        double x[kSmallN];
+        for (size_t i = 0; i < n; ++i) {
+            double sum = b[i];
+            for (size_t k = 0; k < i; ++k)
+                sum -= lf[i * n + k] * y[k];
+            y[i] = sum / lf[i * n + i];
+        }
+        for (size_t ii = n; ii-- > 0;) {
+            double sum = y[ii];
+            for (size_t k = ii + 1; k < n; ++k)
+                sum -= lf[k * n + ii] * x[k];
+            x[ii] = sum / lf[ii * n + ii];
+        }
+        return Vector(x, x + n);
+    }
     // Forward substitution L y = b.
     Vector y(n);
     for (size_t i = 0; i < n; ++i) {

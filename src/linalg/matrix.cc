@@ -133,12 +133,23 @@ matmul(const Matrix &a, const Matrix &b)
 Vector
 matvec(const Matrix &a, const Vector &x)
 {
-    require(a.cols() == x.size(), "matvec dimension mismatch");
-    Vector out(a.rows(), 0.0);
-    for (size_t r = 0; r < a.rows(); ++r)
-        for (size_t c = 0; c < a.cols(); ++c)
-            out[r] += a(r, c) * x[c];
+    Vector out;
+    matvecInto(a, x, out);
     return out;
+}
+
+void
+matvecInto(const Matrix &a, const Vector &x, Vector &out)
+{
+    require(a.cols() == x.size(), "matvec dimension mismatch");
+    out.assign(a.rows(), 0.0);
+    const double *data = a.data().data();
+    const size_t cols = a.cols();
+    for (size_t r = 0; r < a.rows(); ++r) {
+        const double *row = data + r * cols;
+        for (size_t c = 0; c < cols; ++c)
+            out[r] += row[c] * x[c];
+    }
 }
 
 Matrix

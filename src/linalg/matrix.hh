@@ -99,6 +99,18 @@ Matrix matmul(const Matrix &a, const Matrix &b);
 /** @return Matrix-vector product a * x. */
 Vector matvec(const Matrix &a, const Vector &x);
 
+/**
+ * Matrix-vector product written into a caller-owned buffer — the
+ * allocation-free variant used by the optimizer inner loops. Values
+ * are bit-identical to matvec(); @p out is resized when needed and
+ * must not alias @p x.
+ *
+ * @param a   Matrix.
+ * @param x   Input vector (a.cols() long).
+ * @param out Output vector; receives a * x.
+ */
+void matvecInto(const Matrix &a, const Vector &x, Vector &out);
+
 /** @return a + b elementwise; shapes must match. */
 Matrix add(const Matrix &a, const Matrix &b);
 

@@ -5,7 +5,9 @@
 #include <cmath>
 
 #include "exec/task_graph.hh"
+#include "nlme/kernels.hh"
 #include "obs/metrics.hh"
+#include "opt/workspace.hh"
 #include "obs/span.hh"
 #include "obs/tracelog.hh"
 #include "util/error.hh"
@@ -74,6 +76,22 @@ parametricBootstrap(const NlmeData &data, const MixedFit &fit,
     Rng root(config.seed);
     BootstrapResult result;
 
+    // The fitted linear predictor is the same for every replicate
+    // (only the noise changes), so compute log(w . m_ij) once per
+    // observation through the SoA kernel instead of once per
+    // replicate x observation. Group-major order matches the
+    // replicate loop below.
+    nlme::SoaData soa = nlme::SoaData::fromData(data);
+    std::vector<double> mu(soa.nobs);
+    {
+        FitWorkspace &ws = threadFitWorkspace();
+        ensure(nlme::residualKernel(soa, fit.weights.data(), ws) ==
+                   nlme::KernelStatus::Ok,
+               "non-positive linear predictor in bootstrap");
+        for (size_t j = 0; j < soa.nobs; ++j)
+            mu[j] = std::log(ws.lin[j]);
+    }
+
     // Replicate `rep` simulates and refits entirely from its own
     // split stream, so the fit in slot `rep` does not depend on how
     // replicates are scheduled across threads. Each replicate is
@@ -94,16 +112,12 @@ parametricBootstrap(const NlmeData &data, const MixedFit &fit,
             rep_trace.arg("rep", std::to_string(rep));
         Rng rng = root.split(rep);
         NlmeData sim = data;
+        size_t row = 0;
         for (auto &group : sim.groups) {
             double b = rng.normal(0.0, fit.sigmaRho);
-            for (size_t j = 0; j < group.y.size(); ++j) {
-                double lin = 0.0;
-                for (size_t k = 0; k < fit.weights.size(); ++k)
-                    lin += fit.weights[k] * group.x(j, k);
-                ensure(lin > 0.0,
-                       "non-positive linear predictor in bootstrap");
-                group.y[j] = b + std::log(lin) +
-                             rng.normal(0.0, fit.sigmaEps);
+            for (size_t j = 0; j < group.y.size(); ++j, ++row) {
+                group.y[j] =
+                    b + mu[row] + rng.normal(0.0, fit.sigmaEps);
             }
         }
         MixedModelConfig mc;

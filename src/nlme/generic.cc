@@ -122,11 +122,13 @@ GenericNlme::logLikelihood(const std::vector<double> &weights,
     double var_e = sigma_eps * sigma_eps;
     double var_r = sigma_rho * sigma_rho;
 
-    static thread_local GaussHermiteRule rule;
-    if (config_.integration == Integration::Aghq &&
-        rule.nodes.size() != config_.quadraturePoints) {
-        rule = gaussHermite(config_.quadraturePoints);
-    }
+    // The compute-once table replaces a per-thread recompute; the
+    // cached rule is bit-identical to a fresh gaussHermite(n).
+    static const GaussHermiteRule empty_rule;
+    const GaussHermiteRule &rule =
+        config_.integration == Integration::Aghq
+            ? gaussHermiteCached(config_.quadraturePoints)
+            : empty_rule;
 
     double total = 0.0;
     for (const auto &g : data_.groups) {

@@ -1,0 +1,167 @@
+#include "nlme/kernels.hh"
+
+#include <cmath>
+
+#include "util/error.hh"
+
+namespace ucx
+{
+namespace nlme
+{
+
+SoaData
+SoaData::fromData(const NlmeData &data)
+{
+    SoaData d;
+    d.ngroups = data.groups.size();
+    d.ncov = data.numCovariates();
+    d.offsets.reserve(d.ngroups + 1);
+    d.offsets.push_back(0);
+    for (const auto &g : data.groups) {
+        d.nobs += g.y.size();
+        d.offsets.push_back(d.nobs);
+    }
+    d.y.reserve(d.nobs);
+    for (const auto &g : data.groups)
+        d.y.insert(d.y.end(), g.y.begin(), g.y.end());
+    d.x.assign(d.nobs * d.ncov, 0.0);
+    size_t row = 0;
+    for (const auto &g : data.groups) {
+        for (size_t j = 0; j < g.y.size(); ++j, ++row)
+            for (size_t k = 0; k < d.ncov; ++k)
+                d.x[k * d.nobs + row] = g.x(j, k);
+    }
+    return d;
+}
+
+KernelStatus
+residualKernel(const SoaData &d, const double *w, FitWorkspace &ws)
+{
+    ws.ensure(d.nobs, d.ncov + 2);
+    double *lin = ws.lin.data();
+    double *resid = ws.resid.data();
+
+    // lin_j accumulates w_k x_jk in ascending k — the same
+    // per-element addition order as the scalar j-outer/k-inner loop,
+    // but as unit-stride column sweeps.
+    for (size_t j = 0; j < d.nobs; ++j)
+        lin[j] = 0.0;
+    for (size_t k = 0; k < d.ncov; ++k) {
+        const double wk = w[k];
+        const double *xk = d.col(k);
+        for (size_t j = 0; j < d.nobs; ++j)
+            lin[j] += wk * xk[j];
+    }
+    for (size_t j = 0; j < d.nobs; ++j)
+        if (!(lin[j] > 0.0))
+            return KernelStatus::InvalidWeights;
+    const double *y = d.y.data();
+    for (size_t j = 0; j < d.nobs; ++j)
+        resid[j] = y[j] - std::log(lin[j]);
+    return KernelStatus::Ok;
+}
+
+double
+logLikKernel(const SoaData &d, const double *resid, double var_e,
+             double var_r)
+{
+    double ll = 0.0;
+    for (size_t g = 0; g < d.ngroups; ++g) {
+        const size_t lo = d.offsets[g];
+        const size_t hi = d.offsets[g + 1];
+        double n = static_cast<double>(hi - lo);
+        double tau = var_e + n * var_r;
+
+        double ss = 0.0;
+        double s = 0.0;
+        for (size_t j = lo; j < hi; ++j) {
+            double v = resid[j];
+            ss += v * v;
+            s += v;
+        }
+
+        double log_det = (n - 1.0) * std::log(var_e) + std::log(tau);
+        double quad = (ss - (var_r / tau) * s * s) / var_e;
+        ll += -0.5 * (n * std::log(2.0 * M_PI) + log_det + quad);
+    }
+    return ll;
+}
+
+double
+logLikGradKernel(const SoaData &d, double sigma_eps, double sigma_rho,
+                 FitWorkspace &ws, double *grad)
+{
+    const double var_e = sigma_eps * sigma_eps;
+    const double var_r = sigma_rho * sigma_rho;
+    const double *lin = ws.lin.data();
+    const double *resid = ws.resid.data();
+    double *coef = ws.coef.data();
+
+    double ll = 0.0;
+    double dve = 0.0; // d ll / d var_e
+    double dvr = 0.0; // d ll / d var_r
+    for (size_t g = 0; g < d.ngroups; ++g) {
+        const size_t lo = d.offsets[g];
+        const size_t hi = d.offsets[g + 1];
+        double n = static_cast<double>(hi - lo);
+        double tau = var_e + n * var_r;
+        double c = var_r / tau;
+
+        double ss = 0.0;
+        double s = 0.0;
+        for (size_t j = lo; j < hi; ++j) {
+            double v = resid[j];
+            ss += v * v;
+            s += v;
+        }
+
+        double log_det = (n - 1.0) * std::log(var_e) + std::log(tau);
+        double quad = (ss - (var_r / tau) * s * s) / var_e;
+        ll += -0.5 * (n * std::log(2.0 * M_PI) + log_det + quad);
+
+        // d ll / d r_j = -(r_j - c s)/var_e; chained through
+        // d r_j / d w_k = -x_jk / lin_j this leaves the positive
+        // per-observation coefficient accumulated below.
+        for (size_t j = lo; j < hi; ++j)
+            coef[j] = ((resid[j] - c * s) / var_e) / lin[j];
+
+        // Partials of -0.5 (log_det + quad) in the variances; the
+        // n log 2pi term is constant.
+        dve += -0.5 * ((n - 1.0) / var_e + 1.0 / tau -
+                       ss / (var_e * var_e) +
+                       var_r * s * s * (var_e + tau) /
+                           (tau * tau * var_e * var_e));
+        dvr += -0.5 * (n / tau - s * s / (tau * tau));
+    }
+
+    for (size_t k = 0; k < d.ncov; ++k) {
+        const double *xk = d.col(k);
+        double gk = 0.0;
+        for (size_t j = 0; j < d.nobs; ++j)
+            gk += coef[j] * xk[j];
+        grad[k] = gk;
+    }
+    grad[d.ncov] = 2.0 * sigma_eps * dve;
+    grad[d.ncov + 1] = 2.0 * sigma_rho * dvr;
+    return ll;
+}
+
+void
+empiricalBayesKernel(const SoaData &d, const double *resid,
+                     double var_e, double var_r, double *b)
+{
+    for (size_t g = 0; g < d.ngroups; ++g) {
+        const size_t lo = d.offsets[g];
+        const size_t hi = d.offsets[g + 1];
+        double n = static_cast<double>(hi - lo);
+        double sum = 0.0;
+        for (size_t j = lo; j < hi; ++j)
+            sum += resid[j];
+        // Posterior mean of b_g given the group residuals: shrinkage
+        // of the group mean toward zero.
+        b[g] = var_r * sum / (var_e + n * var_r);
+    }
+}
+
+} // namespace nlme
+} // namespace ucx

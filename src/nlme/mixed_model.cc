@@ -1,6 +1,8 @@
 #include "nlme/mixed_model.hh"
 
 #include <cmath>
+#include <cstdlib>
+#include <limits>
 
 #include "nlme/criteria.hh"
 #include "obs/metrics.hh"
@@ -8,6 +10,7 @@
 #include "obs/tracelog.hh"
 #include "opt/multistart.hh"
 #include "opt/transform.hh"
+#include "opt/workspace.hh"
 #include "util/error.hh"
 #include "util/logging.hh"
 #include "util/str.hh"
@@ -15,56 +18,37 @@
 namespace ucx
 {
 
-namespace
+bool
+MixedModelConfig::defaultAnalyticGradient()
 {
-
-/**
- * Log-density of a zero-mean MVN with compound-symmetric covariance
- * sigma_e^2 I + sigma_r^2 J, evaluated at residual vector r, using
- * the closed-form inverse and determinant of that structure.
- */
-double
-groupLogLik(const std::vector<double> &r, double var_e, double var_r)
-{
-    double n = static_cast<double>(r.size());
-    double tau = var_e + n * var_r;
-
-    double ss = 0.0;
-    double s = 0.0;
-    for (double v : r) {
-        ss += v * v;
-        s += v;
-    }
-
-    double log_det = (n - 1.0) * std::log(var_e) + std::log(tau);
-    double quad = (ss - (var_r / tau) * s * s) / var_e;
-    return -0.5 * (n * std::log(2.0 * M_PI) + log_det + quad);
+    static const bool on = [] {
+        const char *env = std::getenv("UCX_ANALYTIC_GRAD");
+        return !(env && *env != '\0' && std::string(env) == "0");
+    }();
+    return on;
 }
-
-} // namespace
 
 MixedModel::MixedModel(NlmeData data, MixedModelConfig config)
     : data_(std::move(data)), config_(config)
 {
     data_.validate();
+    soa_ = nlme::SoaData::fromData(data_);
 }
 
-std::vector<std::vector<double>>
+std::optional<std::vector<std::vector<double>>>
 MixedModel::residuals(const std::vector<double> &weights) const
 {
+    require(weights.size() == data_.numCovariates(),
+            "weight count does not match covariates");
+    FitWorkspace &ws = threadFitWorkspace();
+    if (nlme::residualKernel(soa_, weights.data(), ws) !=
+        nlme::KernelStatus::Ok)
+        return std::nullopt; // invalid weights, never "no data"
     std::vector<std::vector<double>> out;
-    out.reserve(data_.groups.size());
-    for (const auto &g : data_.groups) {
-        std::vector<double> r(g.y.size());
-        for (size_t j = 0; j < g.y.size(); ++j) {
-            double lin = 0.0;
-            for (size_t k = 0; k < weights.size(); ++k)
-                lin += weights[k] * g.x(j, k);
-            if (lin <= 0.0)
-                return {}; // signal invalid weights
-            r[j] = g.y[j] - std::log(lin);
-        }
-        out.push_back(std::move(r));
+    out.reserve(soa_.ngroups);
+    for (size_t g = 0; g < soa_.ngroups; ++g) {
+        out.emplace_back(ws.resid.begin() + soa_.offsets[g],
+                         ws.resid.begin() + soa_.offsets[g + 1]);
     }
     return out;
 }
@@ -78,38 +62,32 @@ MixedModel::logLikelihood(const std::vector<double> &weights,
     require(sigma_eps > 0.0, "sigma_eps must be > 0");
     require(sigma_rho >= 0.0, "sigma_rho must be >= 0");
 
-    auto res = residuals(weights);
-    if (res.empty())
+    FitWorkspace &ws = threadFitWorkspace();
+    if (nlme::residualKernel(soa_, weights.data(), ws) !=
+        nlme::KernelStatus::Ok)
         return -std::numeric_limits<double>::infinity();
 
     double var_e = sigma_eps * sigma_eps;
     double var_r = sigma_rho * sigma_rho;
-    double ll = 0.0;
-    for (const auto &r : res)
-        ll += groupLogLik(r, var_e, var_r);
-    return ll;
+    return nlme::logLikKernel(soa_, ws.resid.data(), var_e, var_r);
 }
 
 std::vector<double>
 MixedModel::empiricalBayes(const std::vector<double> &weights,
                            double sigma_eps, double sigma_rho) const
 {
-    auto res = residuals(weights);
-    require(!res.empty(), "invalid weights in empiricalBayes");
+    require(weights.size() == data_.numCovariates(),
+            "weight count does not match covariates");
+    FitWorkspace &ws = threadFitWorkspace();
+    require(nlme::residualKernel(soa_, weights.data(), ws) ==
+                nlme::KernelStatus::Ok,
+            "invalid weights in empiricalBayes");
     double var_e = sigma_eps * sigma_eps;
     double var_r = sigma_rho * sigma_rho;
 
-    std::vector<double> b;
-    b.reserve(res.size());
-    for (const auto &r : res) {
-        double n = static_cast<double>(r.size());
-        double sum = 0.0;
-        for (double v : r)
-            sum += v;
-        // Posterior mean of b_i given the group residuals: shrinkage
-        // of the group mean toward zero.
-        b.push_back(var_r * sum / (var_e + n * var_r));
-    }
+    std::vector<double> b(soa_.ngroups);
+    nlme::empiricalBayesKernel(soa_, ws.resid.data(), var_e, var_r,
+                               b.data());
     return b;
 }
 
@@ -150,19 +128,66 @@ MixedModel::fit(const ExecContext &ctx) const
     std::vector<double> u0 = transform.toUnconstrained(theta0);
 
     const double min_sigma = config_.minSigma;
-    Objective nll = [&](const std::vector<double> &u) {
-        std::vector<double> theta = transform.toConstrained(u);
-        std::vector<double> w(theta.begin(), theta.begin() + ncov);
+    const nlme::SoaData &soa = soa_;
+
+    // Allocation-free steady state: the objective writes the
+    // constrained parameters and all per-observation scratch into
+    // the calling thread's workspace. All constraints are Positive,
+    // so theta_i = exp(u_i) — elementwise identical to
+    // ParamTransform::toConstrained.
+    Objective nll = [&, min_sigma](const std::vector<double> &u) {
+        FitWorkspace &ws = threadFitWorkspace();
+        ws.ensure(soa.nobs, ncov + 2);
+        double *theta = ws.theta.data();
+        for (size_t i = 0; i < ncov + 2; ++i)
+            theta[i] = std::exp(u[i]);
         double se = std::max(theta[ncov], min_sigma);
         double sr = std::max(theta[ncov + 1], min_sigma);
-        double ll = logLikelihood(w, se, sr);
+        if (nlme::residualKernel(soa, theta, ws) !=
+            nlme::KernelStatus::Ok)
+            return std::numeric_limits<double>::infinity();
+        double ll = nlme::logLikKernel(soa, ws.resid.data(), se * se,
+                                       sr * sr);
         return -ll;
+    };
+
+    // Analytic gradient of the negative marginal log-likelihood in
+    // the unconstrained space: d(-ll)/du_i = -dll/dtheta_i * theta_i
+    // (exp chain rule), with the sigma clamp contributing zero
+    // derivative below min_sigma.
+    Gradient grad = [&, min_sigma](const std::vector<double> &u,
+                                   std::vector<double> &out) {
+        FitWorkspace &ws = threadFitWorkspace();
+        ws.ensure(soa.nobs, ncov + 2);
+        double *theta = ws.theta.data();
+        for (size_t i = 0; i < ncov + 2; ++i)
+            theta[i] = std::exp(u[i]);
+        double se = std::max(theta[ncov], min_sigma);
+        double sr = std::max(theta[ncov + 1], min_sigma);
+        if (nlme::residualKernel(soa, theta, ws) !=
+            nlme::KernelStatus::Ok) {
+            // Objective is +inf here; BFGS only differentiates at
+            // accepted (finite) points, so a zero direction is safe.
+            for (size_t i = 0; i < ncov + 2; ++i)
+                out[i] = 0.0;
+            return;
+        }
+        double *g = ws.grad.data();
+        nlme::logLikGradKernel(soa, se, sr, ws, g);
+        for (size_t k = 0; k < ncov; ++k)
+            out[k] = -g[k] * theta[k];
+        out[ncov] =
+            theta[ncov] >= min_sigma ? -g[ncov] * theta[ncov] : 0.0;
+        out[ncov + 1] = theta[ncov + 1] >= min_sigma
+                            ? -g[ncov + 1] * theta[ncov + 1]
+                            : 0.0;
     };
 
     MultistartConfig ms;
     ms.starts = config_.starts;
     ms.seed = config_.seed;
-    OptResult opt = multistartMinimize(nll, u0, ms, ctx);
+    OptResult opt = multistartMinimize(
+        nll, config_.analyticGradient ? &grad : nullptr, u0, ms, ctx);
 
     std::vector<double> theta = transform.toConstrained(opt.x);
     MixedFit fit;

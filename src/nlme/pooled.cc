@@ -5,6 +5,7 @@
 
 #include "nlme/criteria.hh"
 #include "obs/metrics.hh"
+#include "opt/workspace.hh"
 #include "obs/span.hh"
 #include "obs/tracelog.hh"
 #include "opt/multistart.hh"
@@ -19,6 +20,7 @@ PooledModel::PooledModel(NlmeData data, PooledModelConfig config)
     : data_(std::move(data)), config_(config)
 {
     data_.validate();
+    soa_ = nlme::SoaData::fromData(data_);
 }
 
 double
@@ -26,18 +28,16 @@ PooledModel::rss(const std::vector<double> &weights) const
 {
     require(weights.size() == data_.numCovariates(),
             "weight count does not match covariates");
+    FitWorkspace &ws = threadFitWorkspace();
+    if (nlme::residualKernel(soa_, weights.data(), ws) !=
+        nlme::KernelStatus::Ok)
+        return std::numeric_limits<double>::infinity();
+    // Observations are group-major in the SoA view, so this single
+    // sweep accumulates in the exact order of the old nested loops.
+    const double *resid = ws.resid.data();
     double ss = 0.0;
-    for (const auto &g : data_.groups) {
-        for (size_t j = 0; j < g.y.size(); ++j) {
-            double lin = 0.0;
-            for (size_t k = 0; k < weights.size(); ++k)
-                lin += weights[k] * g.x(j, k);
-            if (lin <= 0.0)
-                return std::numeric_limits<double>::infinity();
-            double r = g.y[j] - std::log(lin);
-            ss += r * r;
-        }
-    }
+    for (size_t j = 0; j < soa_.nobs; ++j)
+        ss += resid[j] * resid[j];
     return ss;
 }
 

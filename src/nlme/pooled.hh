@@ -16,6 +16,7 @@
 
 #include "exec/context.hh"
 #include "nlme/data.hh"
+#include "nlme/kernels.hh"
 #include "obs/trace.hh"
 
 namespace ucx
@@ -78,6 +79,7 @@ class PooledModel
   private:
     NlmeData data_;
     PooledModelConfig config_;
+    nlme::SoaData soa_; ///< Built once at construction.
 };
 
 } // namespace ucx

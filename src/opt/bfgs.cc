@@ -72,9 +72,19 @@ numericHessian(const Objective &f, const std::vector<double> &x,
     return hess;
 }
 
+namespace
+{
+
+/**
+ * Shared BFGS body: the classic algorithm with the gradient supplied
+ * by @p grad_fn — either analytic (the GradObjective path) or the
+ * central-difference fallback. Identical line search, update and
+ * convergence tests either way.
+ */
 OptResult
-bfgs(const Objective &f, const std::vector<double> &start,
-     const BfgsConfig &config)
+bfgsImpl(const Objective &f, const Gradient &grad_fn,
+         const std::vector<double> &start, const BfgsConfig &config,
+         bool analytic)
 {
     require(!start.empty(), "bfgs needs a non-empty start point");
     const size_t n = start.size();
@@ -89,10 +99,13 @@ bfgs(const Objective &f, const std::vector<double> &start,
         return std::isfinite(v) ? v
                                 : std::numeric_limits<double>::max();
     };
+    size_t grad_evals = 0;
 
     std::vector<double> x = start;
     double fx = eval(x);
-    std::vector<double> g = numericGradient(f, x, config.fdStep);
+    std::vector<double> g(n);
+    grad_fn(x, g);
+    ++grad_evals;
     Matrix hinv = Matrix::identity(n);
     result.trace.record(
         {0, fx, maxAbs(g), nan, nan, result.evaluations});
@@ -136,8 +149,9 @@ bfgs(const Objective &f, const std::vector<double> &start,
             break;
         }
 
-        std::vector<double> gnew =
-            numericGradient(f, xnew, config.fdStep);
+        std::vector<double> gnew(n);
+        grad_fn(xnew, gnew);
+        ++grad_evals;
 
         // BFGS inverse-Hessian update.
         Vector s = sub(xnew, x);
@@ -181,8 +195,36 @@ bfgs(const Objective &f, const std::vector<double> &start,
         runs.add(1);
         iters.add(result.iterations);
         evals.add(result.evaluations);
+        if (analytic) {
+            static obs::Counter &gevals =
+                obs::counter("opt.bfgs.gradient_evaluations");
+            gevals.add(grad_evals);
+        }
     }
     return result;
+}
+
+} // namespace
+
+OptResult
+bfgs(const Objective &f, const std::vector<double> &start,
+     const BfgsConfig &config)
+{
+    // Central-difference fallback; numericGradient's probe calls are
+    // deliberately not counted in result.evaluations (historical
+    // contract relied on by the convergence traces).
+    Gradient fd = [&f, &config](const std::vector<double> &x,
+                                std::vector<double> &g) {
+        g = numericGradient(f, x, config.fdStep);
+    };
+    return bfgsImpl(f, fd, start, config, false);
+}
+
+OptResult
+bfgs(const Objective &f, const Gradient &grad,
+     const std::vector<double> &start, const BfgsConfig &config)
+{
+    return bfgsImpl(f, grad, start, config, true);
 }
 
 } // namespace ucx

@@ -34,6 +34,22 @@ OptResult bfgs(const Objective &f, const std::vector<double> &start,
                const BfgsConfig &config = {});
 
 /**
+ * Minimize with a caller-supplied gradient (the GradObjective path):
+ * identical algorithm, line search and convergence tests, but every
+ * gradient is one call to @p grad instead of 2p objective
+ * evaluations of central differencing.
+ *
+ * @param f      Objective to minimize.
+ * @param grad   In-place gradient of f.
+ * @param start  Initial point.
+ * @param config Algorithm parameters.
+ * @return Best point found and bookkeeping.
+ */
+OptResult bfgs(const Objective &f, const Gradient &grad,
+               const std::vector<double> &start,
+               const BfgsConfig &config = {});
+
+/**
  * Central-difference gradient of f at x.
  *
  * @param f       Objective.

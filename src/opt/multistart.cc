@@ -17,6 +17,15 @@ multistartMinimize(const Objective &f, const std::vector<double> &start,
                    const MultistartConfig &config,
                    const ExecContext &ctx)
 {
+    return multistartMinimize(f, nullptr, start, config, ctx);
+}
+
+OptResult
+multistartMinimize(const Objective &f, const Gradient *grad,
+                   const std::vector<double> &start,
+                   const MultistartConfig &config,
+                   const ExecContext &ctx)
+{
     require(config.starts >= 1, "multistart needs at least one start");
     obs::ScopedSpan span("opt.multistart");
     Rng root(config.seed);
@@ -47,7 +56,8 @@ multistartMinimize(const Objective &f, const std::vector<double> &start,
     best.trace.restarts += config.starts - 1;
 
     if (config.polishWithBfgs) {
-        OptResult polished = bfgs(f, best.x);
+        OptResult polished =
+            grad ? bfgs(f, *grad, best.x) : bfgs(f, best.x);
         if (polished.fx < best.fx) {
             polished.evaluations += best.evaluations;
             obs::ConvergenceTrace combined = std::move(best.trace);

@@ -50,6 +50,26 @@ OptResult multistartMinimize(const Objective &f,
                              const ExecContext &ctx =
                                  ExecContext::serial());
 
+/**
+ * Multi-start minimization with an optional analytic gradient: the
+ * Nelder-Mead exploration stage is unchanged (derivative-free), but
+ * the BFGS polish differentiates through @p grad instead of central
+ * finite differences when one is supplied.
+ *
+ * @param f      Objective to minimize (unconstrained space).
+ * @param grad   In-place gradient of f, or nullptr for the
+ *               finite-difference polish.
+ * @param start  Nominal starting point.
+ * @param config Driver parameters.
+ * @param ctx    Execution context; starts run through its pool.
+ * @return The best result across all starts.
+ */
+OptResult multistartMinimize(const Objective &f, const Gradient *grad,
+                             const std::vector<double> &start,
+                             const MultistartConfig &config = {},
+                             const ExecContext &ctx =
+                                 ExecContext::serial());
+
 } // namespace ucx
 
 #endif // UCX_OPT_MULTISTART_HH

@@ -1,0 +1,96 @@
+#include "opt/workspace.hh"
+
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+#include "obs/metrics.hh"
+
+namespace ucx
+{
+
+namespace
+{
+
+std::atomic<uint64_t> g_threads{0};
+std::atomic<uint64_t> g_growths{0};
+
+// Every slot ever handed out, never freed. Anchoring the slots in a
+// globally reachable structure (itself leaked) keeps LeakSanitizer
+// quiet about the deliberate leak while preserving the property the
+// leak buys: a slot stays valid past its thread's exit and past
+// static teardown.
+std::mutex g_registry_mu;
+std::vector<FitWorkspace *> *g_registry = nullptr;
+
+void
+registerSlot(FitWorkspace *ws)
+{
+    std::lock_guard<std::mutex> lock(g_registry_mu);
+    if (g_registry == nullptr)
+        g_registry = new std::vector<FitWorkspace *>();
+    g_registry->push_back(ws);
+}
+
+void
+countGrowth()
+{
+    g_growths.fetch_add(1, std::memory_order_relaxed);
+    if (obs::enabled()) {
+        static obs::Counter &growths =
+            obs::counter("opt.workspace.growths");
+        growths.add(1);
+    }
+}
+
+} // namespace
+
+void
+FitWorkspace::ensure(size_t nobs, size_t nparams)
+{
+    auto grow = [&](std::vector<double> &buf, size_t n) {
+        if (buf.size() < n) {
+            buf.resize(n, 0.0);
+            ++growths;
+            countGrowth();
+        }
+    };
+    grow(lin, nobs);
+    grow(resid, nobs);
+    grow(coef, nobs);
+    grow(theta, nparams);
+    grow(grad, nparams);
+}
+
+FitWorkspace &
+threadFitWorkspace()
+{
+    // One slot per thread, created on first touch and kept for the
+    // thread's lifetime; pool workers of an ExecContext each own one.
+    thread_local FitWorkspace *slot = [] {
+        g_threads.fetch_add(1, std::memory_order_relaxed);
+        if (obs::enabled()) {
+            static obs::Counter &threads =
+                obs::counter("opt.workspace.threads");
+            threads.add(1);
+        }
+        // Leaked deliberately: workers can outlive static teardown
+        // order, and one small slot per thread is bounded by the
+        // pool size. The registry keeps the block reachable.
+        FitWorkspace *ws = new FitWorkspace();
+        registerSlot(ws);
+        return ws;
+    }();
+    return *slot;
+}
+
+WorkspacePoolStats
+workspacePoolStats()
+{
+    WorkspacePoolStats stats;
+    stats.threads = g_threads.load(std::memory_order_relaxed);
+    stats.growths = g_growths.load(std::memory_order_relaxed);
+    return stats;
+}
+
+} // namespace ucx

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Per-thread, grow-only scratch workspaces for the fitting hot path.
+ *
+ * A single likelihood evaluation used to allocate a fresh
+ * vector-of-vectors of residuals plus per-group temporaries; under a
+ * 200-replicate bootstrap or an 8-way multistart that is millions of
+ * short-lived heap allocations. A FitWorkspace owns those buffers
+ * instead: it is handed out one-per-thread (thread_local slots, so
+ * workers of the shared ExecContext pool never contend on it), its
+ * buffers only ever grow, and after the first evaluation of a given
+ * problem size every further evaluation on that thread is
+ * allocation-free.
+ *
+ * The workspace is pure scratch — no state survives an evaluation —
+ * so interleaved fits of different models on one thread (bootstrap
+ * replicate after replicate, nested profile searches) reuse the same
+ * slot safely. Growth events and per-thread slot creation are
+ * exported as obs counters (opt.workspace.threads /
+ * opt.workspace.growths) so steady-state regressions show up in
+ * BENCH diffs.
+ */
+
+#ifndef UCX_OPT_WORKSPACE_HH
+#define UCX_OPT_WORKSPACE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ucx
+{
+
+/** Grow-only scratch buffers for one likelihood/gradient evaluation. */
+struct FitWorkspace
+{
+    std::vector<double> lin;   ///< Linear predictor per observation.
+    std::vector<double> resid; ///< Residual per observation.
+    std::vector<double> coef;  ///< Per-observation gradient coefficients.
+    std::vector<double> theta; ///< Constrained-parameter scratch.
+    std::vector<double> grad;  ///< Gradient scratch (nparams).
+
+    /** Times any buffer of this workspace had to grow. */
+    uint64_t growths = 0;
+
+    /**
+     * Make every per-observation buffer at least @p nobs long and
+     * the parameter buffers at least @p nparams long. Buffers never
+     * shrink; once the high-water mark is reached this is free.
+     *
+     * @param nobs    Observation capacity needed.
+     * @param nparams Parameter capacity needed.
+     */
+    void ensure(size_t nobs, size_t nparams);
+};
+
+/**
+ * The calling thread's workspace slot.
+ *
+ * Each thread that evaluates a likelihood — the caller's thread for
+ * serial fits, each pool worker for parallel bootstrap/multistart —
+ * lazily creates exactly one workspace and keeps it for the thread's
+ * lifetime. No locking, no sharing, no contention.
+ *
+ * @return The thread-local workspace.
+ */
+FitWorkspace &threadFitWorkspace();
+
+/** Aggregate statistics over every workspace slot ever created. */
+struct WorkspacePoolStats
+{
+    uint64_t threads = 0; ///< Distinct thread slots created.
+    uint64_t growths = 0; ///< Total buffer-growth events.
+};
+
+/** @return Process-wide workspace pool statistics. */
+WorkspacePoolStats workspacePoolStats();
+
+} // namespace ucx
+
+#endif // UCX_OPT_WORKSPACE_HH

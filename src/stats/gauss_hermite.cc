@@ -1,6 +1,8 @@
 #include "stats/gauss_hermite.hh"
 
+#include <array>
 #include <cmath>
+#include <mutex>
 
 #include "util/error.hh"
 
@@ -87,6 +89,33 @@ gaussHermite(size_t n)
         rule.weights[m - 1] = 2.0 / (dh * dh);
     }
     return rule;
+}
+
+namespace
+{
+
+constexpr size_t kMaxOrder = 64;
+
+/** One once-computed slot per rule order. */
+struct RuleSlot
+{
+    std::once_flag once;
+    GaussHermiteRule rule;
+};
+
+} // namespace
+
+const GaussHermiteRule &
+gaussHermiteCached(size_t n)
+{
+    require(n >= 1 && n <= kMaxOrder,
+            "gaussHermite supports 1..64 nodes");
+    static std::array<RuleSlot, kMaxOrder> table;
+    RuleSlot &slot = table[n - 1];
+    std::call_once(slot.once, [&slot, n] {
+        slot.rule = gaussHermite(n);
+    });
+    return slot.rule;
 }
 
 } // namespace ucx

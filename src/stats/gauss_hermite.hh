@@ -33,6 +33,19 @@ struct GaussHermiteRule
 GaussHermiteRule gaussHermite(size_t n);
 
 /**
+ * The n-point rule from a process-wide compute-once table.
+ *
+ * The Newton solve behind gaussHermite() costs O(n^2) per call and
+ * used to run once per likelihood-evaluating thread; the cached
+ * table computes each order exactly once (thread-safe, bit-identical
+ * to a fresh gaussHermite(n) call) and hands out a stable reference.
+ *
+ * @param n Number of nodes; 1 <= n <= 64.
+ * @return The cached rule; valid for the process lifetime.
+ */
+const GaussHermiteRule &gaussHermiteCached(size_t n);
+
+/**
  * Integrate f against a standard normal density using an n-point
  * rule: E[f(Z)], Z ~ N(0,1).
  *

@@ -1,0 +1,215 @@
+#include "util/alloc_hook.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "obs/metrics.hh"
+
+namespace
+{
+
+// Process-wide tallies. Relaxed is enough: readers only want a
+// consistent-enough snapshot, never ordering against other memory.
+std::atomic<uint64_t> g_allocs{0};
+std::atomic<uint64_t> g_frees{0};
+std::atomic<uint64_t> g_bytes{0};
+
+// Per-thread tallies: plain integers, no synchronization needed.
+thread_local uint64_t t_allocs = 0;
+thread_local uint64_t t_frees = 0;
+thread_local uint64_t t_bytes = 0;
+
+void *
+countedAlloc(size_t size)
+{
+    t_allocs += 1;
+    t_bytes += size;
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+    g_bytes.fetch_add(size, std::memory_order_relaxed);
+    // malloc(0) may return nullptr legitimately; operator new must
+    // return a unique pointer, so round zero up.
+    return std::malloc(size ? size : 1);
+}
+
+void
+countedFree(void *ptr)
+{
+    if (!ptr)
+        return;
+    t_frees += 1;
+    g_frees.fetch_add(1, std::memory_order_relaxed);
+    std::free(ptr);
+}
+
+void *
+countedAllocAligned(size_t size, size_t align)
+{
+    t_allocs += 1;
+    t_bytes += size;
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+    g_bytes.fetch_add(size, std::memory_order_relaxed);
+    void *ptr = nullptr;
+    if (posix_memalign(&ptr, align < sizeof(void *) ? sizeof(void *)
+                                                    : align,
+                       size ? size : align) != 0)
+        return nullptr;
+    return ptr;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------
+// Global replacement operators. Defining any of these in a linked
+// object file overrides the toolchain defaults for the whole binary.
+// ---------------------------------------------------------------
+
+void *
+operator new(size_t size)
+{
+    void *ptr = countedAlloc(size);
+    if (!ptr)
+        throw std::bad_alloc();
+    return ptr;
+}
+
+void *
+operator new[](size_t size)
+{
+    void *ptr = countedAlloc(size);
+    if (!ptr)
+        throw std::bad_alloc();
+    return ptr;
+}
+
+void *
+operator new(size_t size, const std::nothrow_t &) noexcept
+{
+    return countedAlloc(size);
+}
+
+void *
+operator new[](size_t size, const std::nothrow_t &) noexcept
+{
+    return countedAlloc(size);
+}
+
+void *
+operator new(size_t size, std::align_val_t align)
+{
+    void *ptr = countedAllocAligned(size, static_cast<size_t>(align));
+    if (!ptr)
+        throw std::bad_alloc();
+    return ptr;
+}
+
+void *
+operator new[](size_t size, std::align_val_t align)
+{
+    void *ptr = countedAllocAligned(size, static_cast<size_t>(align));
+    if (!ptr)
+        throw std::bad_alloc();
+    return ptr;
+}
+
+void
+operator delete(void *ptr) noexcept
+{
+    countedFree(ptr);
+}
+
+void
+operator delete[](void *ptr) noexcept
+{
+    countedFree(ptr);
+}
+
+void
+operator delete(void *ptr, size_t) noexcept
+{
+    countedFree(ptr);
+}
+
+void
+operator delete[](void *ptr, size_t) noexcept
+{
+    countedFree(ptr);
+}
+
+void
+operator delete(void *ptr, const std::nothrow_t &) noexcept
+{
+    countedFree(ptr);
+}
+
+void
+operator delete[](void *ptr, const std::nothrow_t &) noexcept
+{
+    countedFree(ptr);
+}
+
+void
+operator delete(void *ptr, std::align_val_t) noexcept
+{
+    countedFree(ptr);
+}
+
+void
+operator delete[](void *ptr, std::align_val_t) noexcept
+{
+    countedFree(ptr);
+}
+
+void
+operator delete(void *ptr, size_t, std::align_val_t) noexcept
+{
+    countedFree(ptr);
+}
+
+void
+operator delete[](void *ptr, size_t, std::align_val_t) noexcept
+{
+    countedFree(ptr);
+}
+
+namespace ucx
+{
+
+AllocCounts
+allocCountsGlobal()
+{
+    AllocCounts c;
+    c.allocs = g_allocs.load(std::memory_order_relaxed);
+    c.frees = g_frees.load(std::memory_order_relaxed);
+    c.bytes = g_bytes.load(std::memory_order_relaxed);
+    return c;
+}
+
+AllocCounts
+allocCountsThread()
+{
+    AllocCounts c;
+    c.allocs = t_allocs;
+    c.frees = t_frees;
+    c.bytes = t_bytes;
+    return c;
+}
+
+void
+publishAllocCounters()
+{
+    if (!obs::enabled())
+        return;
+    AllocCounts c = allocCountsGlobal();
+    static obs::Counter &allocs = obs::counter("alloc.hook.allocs");
+    static obs::Counter &frees = obs::counter("alloc.hook.frees");
+    static obs::Counter &bytes = obs::counter("alloc.hook.bytes");
+    allocs.reset();
+    allocs.add(c.allocs);
+    frees.reset();
+    frees.add(c.frees);
+    bytes.reset();
+    bytes.add(c.bytes);
+}
+
+} // namespace ucx

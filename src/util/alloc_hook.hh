@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Counting allocator hook — heap-allocation accounting for tests
+ * and benchmarks.
+ *
+ * Linking the `ucx_alloc_hook` library into a binary replaces the
+ * global operator new/delete with counting wrappers around malloc/
+ * free. Counts are kept twice: per thread (plain thread-local
+ * integers, so a worker can assert *its own* steady state without
+ * cross-thread noise) and process-wide (relaxed atomics). The hook
+ * itself never allocates and costs two increments per call, so
+ * steady-state assertions measure the code under test, not the
+ * instrument.
+ *
+ * This is deliberately NOT linked into the core libraries: only the
+ * allocation tests and perf_microbench opt in, so ordinary binaries
+ * keep the system allocator untouched.
+ */
+
+#ifndef UCX_UTIL_ALLOC_HOOK_HH
+#define UCX_UTIL_ALLOC_HOOK_HH
+
+#include <cstdint>
+
+namespace ucx
+{
+
+/** Snapshot of allocation counters from the counting hook. */
+struct AllocCounts
+{
+    /** Number of operator new (all variants) calls. */
+    uint64_t allocs = 0;
+    /** Number of operator delete (all variants) calls. */
+    uint64_t frees = 0;
+    /** Total bytes requested through operator new. */
+    uint64_t bytes = 0;
+};
+
+/** @return Process-wide allocation counts since process start. */
+AllocCounts allocCountsGlobal();
+
+/**
+ * @return The calling thread's allocation counts since the thread
+ *         first allocated.
+ */
+AllocCounts allocCountsThread();
+
+/**
+ * Export the process-wide counts as obs counters
+ * `alloc.hook.{allocs,frees,bytes}` (set-to-current semantics via
+ * reset+add, so repeated publishes do not double count). No-op while
+ * obs collection is disabled.
+ */
+void publishAllocCounters();
+
+} // namespace ucx
+
+#endif // UCX_UTIL_ALLOC_HOOK_HH

@@ -23,7 +23,21 @@ require(bool cond, const std::string &msg)
 }
 
 void
+require(bool cond, const char *msg)
+{
+    if (!cond)
+        fatal(msg);
+}
+
+void
 ensure(bool cond, const std::string &msg)
+{
+    if (!cond)
+        panic(msg);
+}
+
+void
+ensure(bool cond, const char *msg)
 {
     if (!cond)
         panic(msg);

@@ -65,12 +65,22 @@ class UcxPanic : public std::logic_error
 void require(bool cond, const std::string &msg);
 
 /**
+ * String-literal overload: the message is only materialized into a
+ * std::string on failure, so checks in allocation-free hot paths
+ * (the fitting kernels) cost a branch, not a heap allocation.
+ */
+void require(bool cond, const char *msg);
+
+/**
  * Check an internal invariant; throws UcxPanic when it fails.
  *
  * @param cond Condition that must hold.
  * @param msg  Message used when the condition fails.
  */
 void ensure(bool cond, const std::string &msg);
+
+/** String-literal overload; see require(bool, const char *). */
+void ensure(bool cond, const char *msg);
 
 } // namespace ucx
 

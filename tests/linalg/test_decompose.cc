@@ -63,6 +63,87 @@ TEST(Cholesky, RejectsNonSquare)
     EXPECT_THROW((Cholesky(Matrix(2, 3))), UcxError);
 }
 
+TEST(Cholesky, SmallNFastPathBitIdentical)
+{
+    // n <= 4 takes a stack-buffer elimination; it must reproduce the
+    // generic checked-accessor loop to the bit, because fitted
+    // variance components feed printed output that is pinned
+    // byte-for-byte.
+    for (size_t n = 1; n <= 4; ++n) {
+        Matrix a = randomSpd(n, 40 + n);
+
+        // Reference: the original generic algorithm, verbatim.
+        Matrix ref(n, n);
+        for (size_t j = 0; j < n; ++j) {
+            double diag = a(j, j);
+            for (size_t k = 0; k < j; ++k)
+                diag -= ref(j, k) * ref(j, k);
+            ASSERT_GT(diag, 0.0);
+            ref(j, j) = std::sqrt(diag);
+            for (size_t i = j + 1; i < n; ++i) {
+                double sum = a(i, j);
+                for (size_t k = 0; k < j; ++k)
+                    sum -= ref(i, k) * ref(j, k);
+                ref(i, j) = sum / ref(j, j);
+            }
+        }
+
+        Cholesky chol(a);
+        for (size_t r = 0; r < n; ++r)
+            for (size_t c = 0; c <= r; ++c)
+                EXPECT_EQ(chol.lower()(r, c), ref(r, c))
+                    << "n=" << n << " (" << r << "," << c << ")";
+    }
+}
+
+TEST(Cholesky, SmallNSolveBitIdentical)
+{
+    for (size_t n = 1; n <= 4; ++n) {
+        Matrix a = randomSpd(n, 50 + n);
+        Vector b(n);
+        for (size_t i = 0; i < n; ++i)
+            b[i] = 0.25 * static_cast<double>(i + 1);
+
+        Cholesky chol(a);
+        Vector x = chol.solve(b);
+
+        // Reference substitutions against the same factor, using the
+        // generic checked-accessor order.
+        const Matrix &l = chol.lower();
+        Vector y(n);
+        for (size_t i = 0; i < n; ++i) {
+            double sum = b[i];
+            for (size_t k = 0; k < i; ++k)
+                sum -= l(i, k) * y[k];
+            y[i] = sum / l(i, i);
+        }
+        Vector xref(n);
+        for (size_t ii = n; ii-- > 0;) {
+            double sum = y[ii];
+            for (size_t k = ii + 1; k < n; ++k)
+                sum -= l(k, ii) * xref[k];
+            xref[ii] = sum / l(ii, ii);
+        }
+
+        for (size_t i = 0; i < n; ++i)
+            EXPECT_EQ(x[i], xref[i]) << "n=" << n << " i=" << i;
+
+        // And the solution actually solves the system.
+        Vector back = matvec(a, x);
+        for (size_t i = 0; i < n; ++i)
+            EXPECT_NEAR(back[i], b[i], 1e-10);
+    }
+}
+
+TEST(Cholesky, SmallNRejectsNonSpd)
+{
+    // The fast path keeps the positive-definiteness guard.
+    Matrix a = Matrix::fromRows({{1, 2}, {2, 1}});
+    EXPECT_THROW((Cholesky(a)), UcxError);
+    Matrix z = Matrix::fromRows({{0.0}});
+    EXPECT_THROW((Cholesky(z)), UcxError);
+}
+
 TEST(Lu, SolvesGeneralSystem)
 {
     Matrix a = Matrix::fromRows({{0, 2, 1}, {3, -1, 2}, {1, 1, 1}});

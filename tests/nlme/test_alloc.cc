@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Steady-state allocation accounting for the fitting hot path.
+ *
+ * This test binary links ucx_alloc_hook, so every operator new in
+ * the process is counted per thread. After a warm-up batch grows the
+ * thread-local workspaces, repeated logLikelihood / gradient
+ * evaluations must perform exactly zero heap allocations — on the
+ * calling thread and on every ExecContext pool worker (the suite
+ * runs under UCX_THREADS=1 and 8 in CI, and the pool test pins an
+ * 8-thread pool besides).
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "exec/context.hh"
+#include "nlme/kernels.hh"
+#include "nlme/mixed_model.hh"
+#include "opt/workspace.hh"
+#include "util/alloc_hook.hh"
+#include "util/rng.hh"
+
+namespace ucx
+{
+namespace
+{
+
+NlmeData
+syntheticData(uint64_t seed, double w1, double w2, double s_eps,
+              double s_rho, size_t groups, size_t per_group)
+{
+    Rng rng(seed);
+    NlmeData data;
+    for (size_t g = 0; g < groups; ++g) {
+        NlmeGroup grp;
+        grp.name = "team" + std::to_string(g);
+        double b = rng.normal(0.0, s_rho);
+        std::vector<std::vector<double>> rows;
+        for (size_t j = 0; j < per_group; ++j) {
+            double m1 = rng.uniform(100.0, 4000.0);
+            double m2 = rng.uniform(1000.0, 20000.0);
+            double y = b + std::log(w1 * m1 + w2 * m2) +
+                       rng.normal(0.0, s_eps);
+            rows.push_back({m1, m2});
+            grp.y.push_back(y);
+        }
+        grp.x = Matrix::fromRows(rows);
+        data.groups.push_back(std::move(grp));
+    }
+    return data;
+}
+
+TEST(AllocSteadyState, HookIsCounting)
+{
+    AllocCounts before = allocCountsThread();
+    std::vector<double> *v = new std::vector<double>(100);
+    AllocCounts mid = allocCountsThread();
+    delete v;
+    AllocCounts after = allocCountsThread();
+    // At least the 800-byte buffer is counted (the vector object
+    // itself may be elided by the optimizer, so >= 1, not 2).
+    EXPECT_GE(mid.allocs - before.allocs, 1u);
+    EXPECT_GE(after.frees - mid.frees, 1u);
+    EXPECT_GE(mid.bytes - before.bytes, 100 * sizeof(double));
+}
+
+TEST(AllocSteadyState, LogLikelihoodIsAllocationFree)
+{
+    NlmeData data = syntheticData(3, 0.004, 0.0005, 0.3, 0.4, 5, 6);
+    MixedModel model(data);
+    std::vector<double> w = {0.004, 0.0005};
+
+    // Warm-up: grows this thread's workspace to the dataset size.
+    double sink = 0.0;
+    for (int i = 0; i < 4; ++i)
+        sink += model.logLikelihood(w, 0.3, 0.4);
+
+    AllocCounts before = allocCountsThread();
+    for (int i = 0; i < 200; ++i)
+        sink += model.logLikelihood(w, 0.3, 0.4);
+    AllocCounts after = allocCountsThread();
+
+    EXPECT_EQ(after.allocs, before.allocs)
+        << "steady-state logLikelihood allocated on the heap";
+    EXPECT_EQ(after.bytes, before.bytes);
+    EXPECT_TRUE(std::isfinite(sink));
+}
+
+TEST(AllocSteadyState, GradientKernelIsAllocationFree)
+{
+    NlmeData data = syntheticData(5, 0.003, 0.0004, 0.35, 0.45, 4, 6);
+    nlme::SoaData soa = nlme::SoaData::fromData(data);
+    std::vector<double> w = {0.003, 0.0004};
+    std::vector<double> grad(soa.ncov + 2);
+
+    FitWorkspace &ws = threadFitWorkspace();
+    ws.ensure(soa.nobs, soa.ncov + 2);
+    ASSERT_EQ(nlme::residualKernel(soa, w.data(), ws),
+              nlme::KernelStatus::Ok);
+    nlme::logLikGradKernel(soa, 0.35, 0.45, ws, grad.data());
+
+    AllocCounts before = allocCountsThread();
+    double sink = 0.0;
+    for (int i = 0; i < 200; ++i) {
+        ASSERT_EQ(nlme::residualKernel(soa, w.data(), ws),
+                  nlme::KernelStatus::Ok);
+        sink += nlme::logLikGradKernel(soa, 0.35, 0.45, ws,
+                                       grad.data());
+    }
+    AllocCounts after = allocCountsThread();
+
+    EXPECT_EQ(after.allocs, before.allocs)
+        << "steady-state gradient kernel allocated on the heap";
+    EXPECT_TRUE(std::isfinite(sink));
+}
+
+TEST(AllocSteadyState, PoolWorkersAreAllocationFree)
+{
+    NlmeData data = syntheticData(7, 0.004, 0.0005, 0.3, 0.4, 6, 5);
+    MixedModel model(data);
+    std::vector<double> w = {0.004, 0.0005};
+
+    // Each task warms its own worker's workspace, then measures its
+    // own thread-local counters across a steady-state batch —
+    // per-thread counts, so concurrent workers cannot blur each
+    // other's deltas.
+    ExecContext ctx = ExecContext::withThreads(8);
+    std::vector<uint64_t> leaked =
+        ctx.parallelMap(64, [&](size_t) -> uint64_t {
+            double sink = 0.0;
+            for (int i = 0; i < 4; ++i)
+                sink += model.logLikelihood(w, 0.3, 0.4);
+            AllocCounts before = allocCountsThread();
+            for (int i = 0; i < 50; ++i)
+                sink += model.logLikelihood(w, 0.3, 0.4);
+            AllocCounts after = allocCountsThread();
+            if (!std::isfinite(sink))
+                return ~uint64_t(0);
+            return after.allocs - before.allocs;
+        });
+
+    for (uint64_t n : leaked)
+        EXPECT_EQ(n, 0u)
+            << "a pool worker allocated during steady-state "
+               "likelihood evaluation";
+}
+
+TEST(AllocSteadyState, EnvThreadContextIsAllocationFree)
+{
+    // Same assertion through ExecContext::fromEnv(), so the CI runs
+    // at UCX_THREADS=1 and UCX_THREADS=8 both exercise it on their
+    // configured pool shape.
+    NlmeData data = syntheticData(11, 0.004, 0.0005, 0.3, 0.4, 5, 5);
+    MixedModel model(data);
+    std::vector<double> w = {0.004, 0.0005};
+
+    ExecContext ctx = ExecContext::fromEnv();
+    std::vector<uint64_t> leaked =
+        ctx.parallelMap(32, [&](size_t) -> uint64_t {
+            double sink = 0.0;
+            for (int i = 0; i < 4; ++i)
+                sink += model.logLikelihood(w, 0.3, 0.4);
+            AllocCounts before = allocCountsThread();
+            for (int i = 0; i < 50; ++i)
+                sink += model.logLikelihood(w, 0.3, 0.4);
+            AllocCounts after = allocCountsThread();
+            if (!std::isfinite(sink))
+                return ~uint64_t(0);
+            return after.allocs - before.allocs;
+        });
+
+    for (uint64_t n : leaked)
+        EXPECT_EQ(n, 0u);
+}
+
+} // namespace
+} // namespace ucx

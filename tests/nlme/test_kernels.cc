@@ -1,0 +1,331 @@
+/**
+ * @file
+ * Fitting-kernel layer tests: SoA flattening, bit-identity of the
+ * fused kernels against the straightforward per-group evaluation,
+ * analytic marginal gradients against central differences, and the
+ * invalid-weights status channel.
+ */
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "nlme/kernels.hh"
+#include "nlme/mixed_model.hh"
+#include "opt/workspace.hh"
+#include "util/error.hh"
+#include "util/rng.hh"
+
+namespace ucx
+{
+namespace
+{
+
+NlmeData
+syntheticData(uint64_t seed, double w1, double w2, double s_eps,
+              double s_rho, size_t groups, size_t per_group)
+{
+    Rng rng(seed);
+    NlmeData data;
+    for (size_t g = 0; g < groups; ++g) {
+        NlmeGroup grp;
+        grp.name = "team" + std::to_string(g);
+        double b = rng.normal(0.0, s_rho);
+        std::vector<std::vector<double>> rows;
+        for (size_t j = 0; j < per_group; ++j) {
+            double m1 = rng.uniform(100.0, 4000.0);
+            double m2 = rng.uniform(1000.0, 20000.0);
+            double y = b + std::log(w1 * m1 + w2 * m2) +
+                       rng.normal(0.0, s_eps);
+            rows.push_back({m1, m2});
+            grp.y.push_back(y);
+        }
+        grp.x = Matrix::fromRows(rows);
+        data.groups.push_back(std::move(grp));
+    }
+    return data;
+}
+
+/** The scalar j-outer/k-inner evaluation the kernels replaced. */
+double
+referenceLogLik(const NlmeData &data, const std::vector<double> &w,
+                double var_e, double var_r, bool *valid)
+{
+    *valid = true;
+    double ll = 0.0;
+    for (const auto &g : data.groups) {
+        std::vector<double> r(g.y.size());
+        for (size_t j = 0; j < g.y.size(); ++j) {
+            double lin = 0.0;
+            for (size_t k = 0; k < w.size(); ++k)
+                lin += w[k] * g.x(j, k);
+            if (!(lin > 0.0)) {
+                *valid = false;
+                return 0.0;
+            }
+            r[j] = g.y[j] - std::log(lin);
+        }
+        double n = static_cast<double>(r.size());
+        double tau = var_e + n * var_r;
+        double ss = 0.0;
+        double s = 0.0;
+        for (double v : r) {
+            ss += v * v;
+            s += v;
+        }
+        double log_det = (n - 1.0) * std::log(var_e) + std::log(tau);
+        double quad = (ss - (var_r / tau) * s * s) / var_e;
+        ll += -0.5 * (n * std::log(2.0 * M_PI) + log_det + quad);
+    }
+    return ll;
+}
+
+TEST(Kernels, SoaLayoutFlattensGroupMajor)
+{
+    NlmeData data = syntheticData(3, 0.004, 0.0005, 0.3, 0.4, 3, 4);
+    nlme::SoaData soa = nlme::SoaData::fromData(data);
+
+    ASSERT_EQ(soa.ngroups, 3u);
+    ASSERT_EQ(soa.nobs, 12u);
+    ASSERT_EQ(soa.ncov, 2u);
+    ASSERT_EQ(soa.offsets.size(), 4u);
+    EXPECT_EQ(soa.offsets[0], 0u);
+    EXPECT_EQ(soa.offsets[3], 12u);
+
+    // y is group-major; x columns are contiguous with the same row
+    // order.
+    size_t row = 0;
+    for (const auto &g : data.groups) {
+        for (size_t j = 0; j < g.y.size(); ++j, ++row) {
+            EXPECT_EQ(soa.y[row], g.y[j]);
+            EXPECT_EQ(soa.col(0)[row], g.x(j, 0));
+            EXPECT_EQ(soa.col(1)[row], g.x(j, 1));
+        }
+    }
+}
+
+TEST(Kernels, LogLikBitIdenticalToReference)
+{
+    NlmeData data = syntheticData(5, 0.004, 0.0005, 0.4, 0.5, 5, 6);
+    nlme::SoaData soa = nlme::SoaData::fromData(data);
+    FitWorkspace ws;
+
+    Rng rng(11);
+    for (int i = 0; i < 20; ++i) {
+        std::vector<double> w = {rng.uniform(0.001, 0.01),
+                                 rng.uniform(0.0001, 0.001)};
+        double ve = rng.uniform(0.05, 1.0);
+        double vr = rng.uniform(0.05, 1.0);
+
+        ASSERT_EQ(nlme::residualKernel(soa, w.data(), ws),
+                  nlme::KernelStatus::Ok);
+        double got = nlme::logLikKernel(soa, ws.resid.data(), ve, vr);
+
+        bool valid = false;
+        double expect = referenceLogLik(data, w, ve, vr, &valid);
+        ASSERT_TRUE(valid);
+        // Same operations in the same order: exactly equal, not just
+        // close.
+        EXPECT_EQ(got, expect);
+    }
+}
+
+TEST(Kernels, GradKernelReturnsSameLogLik)
+{
+    NlmeData data = syntheticData(7, 0.003, 0.0004, 0.3, 0.4, 4, 5);
+    nlme::SoaData soa = nlme::SoaData::fromData(data);
+    FitWorkspace ws;
+    ws.ensure(soa.nobs, soa.ncov + 2);
+
+    std::vector<double> w = {0.003, 0.0004};
+    double se = 0.35;
+    double sr = 0.45;
+    ASSERT_EQ(nlme::residualKernel(soa, w.data(), ws),
+              nlme::KernelStatus::Ok);
+    double ll_plain =
+        nlme::logLikKernel(soa, ws.resid.data(), se * se, sr * sr);
+    std::vector<double> grad(soa.ncov + 2);
+    double ll_grad =
+        nlme::logLikGradKernel(soa, se, sr, ws, grad.data());
+    EXPECT_EQ(ll_plain, ll_grad);
+}
+
+TEST(Kernels, AnalyticGradientMatchesCentralDifferences)
+{
+    NlmeData data = syntheticData(13, 0.004, 0.0005, 0.35, 0.45, 6, 5);
+    nlme::SoaData soa = nlme::SoaData::fromData(data);
+    FitWorkspace ws;
+    ws.ensure(soa.nobs, soa.ncov + 2);
+
+    auto loglik = [&](const std::vector<double> &w, double se,
+                      double sr) {
+        EXPECT_EQ(nlme::residualKernel(soa, w.data(), ws),
+                  nlme::KernelStatus::Ok);
+        return nlme::logLikKernel(soa, ws.resid.data(), se * se,
+                                  sr * sr);
+    };
+
+    Rng rng(29);
+    const double h = 1e-6;
+    for (int pt = 0; pt < 20; ++pt) {
+        std::vector<double> w = {rng.uniform(0.002, 0.008),
+                                 rng.uniform(0.0002, 0.0009)};
+        double se = rng.uniform(0.2, 0.8);
+        double sr = rng.uniform(0.2, 0.8);
+
+        ASSERT_EQ(nlme::residualKernel(soa, w.data(), ws),
+                  nlme::KernelStatus::Ok);
+        std::vector<double> grad(soa.ncov + 2);
+        nlme::logLikGradKernel(soa, se, sr, ws, grad.data());
+
+        // Central differences at relative step h on each coordinate.
+        for (size_t k = 0; k < soa.ncov; ++k) {
+            std::vector<double> wp = w;
+            std::vector<double> wm = w;
+            double step = std::max(std::abs(w[k]), 1.0e-3) * h;
+            wp[k] += step;
+            wm[k] -= step;
+            double fd = (loglik(wp, se, sr) - loglik(wm, se, sr)) /
+                        (2.0 * step);
+            double scale = std::max(std::abs(fd), 1.0);
+            EXPECT_NEAR(grad[k], fd, 1e-4 * scale)
+                << "point " << pt << " weight " << k;
+        }
+        double step_e = std::max(se, 1.0e-3) * h;
+        double fd_se = (loglik(w, se + step_e, sr) -
+                        loglik(w, se - step_e, sr)) /
+                       (2.0 * step_e);
+        EXPECT_NEAR(grad[soa.ncov], fd_se,
+                    1e-4 * std::max(std::abs(fd_se), 1.0))
+            << "point " << pt << " sigma_eps";
+        double step_r = std::max(sr, 1.0e-3) * h;
+        double fd_sr = (loglik(w, se, sr + step_r) -
+                        loglik(w, se, sr - step_r)) /
+                       (2.0 * step_r);
+        EXPECT_NEAR(grad[soa.ncov + 1], fd_sr,
+                    1e-4 * std::max(std::abs(fd_sr), 1.0))
+            << "point " << pt << " sigma_rho";
+    }
+}
+
+TEST(Kernels, NonPositiveLinearPredictorReportsInvalidWeights)
+{
+    NlmeData data = syntheticData(17, 0.004, 0.0005, 0.3, 0.4, 3, 4);
+    nlme::SoaData soa = nlme::SoaData::fromData(data);
+    FitWorkspace ws;
+
+    std::vector<double> zero = {0.0, 0.0};
+    EXPECT_EQ(nlme::residualKernel(soa, zero.data(), ws),
+              nlme::KernelStatus::InvalidWeights);
+    std::vector<double> negative = {-0.004, -0.0005};
+    EXPECT_EQ(nlme::residualKernel(soa, negative.data(), ws),
+              nlme::KernelStatus::InvalidWeights);
+    std::vector<double> fine = {0.004, 0.0005};
+    EXPECT_EQ(nlme::residualKernel(soa, fine.data(), ws),
+              nlme::KernelStatus::Ok);
+}
+
+TEST(Kernels, EmpiricalBayesMatchesModel)
+{
+    NlmeData data = syntheticData(19, 0.003, 0.0004, 0.3, 0.5, 4, 6);
+    MixedModel model(data);
+    std::vector<double> w = {0.003, 0.0004};
+    std::vector<double> via_model = model.empiricalBayes(w, 0.3, 0.5);
+
+    nlme::SoaData soa = nlme::SoaData::fromData(data);
+    FitWorkspace ws;
+    ASSERT_EQ(nlme::residualKernel(soa, w.data(), ws),
+              nlme::KernelStatus::Ok);
+    std::vector<double> via_kernel(soa.ngroups);
+    // 0.3 * 0.3 != 0.09 in binary floating point; match the exact
+    // variance the model computes from its sigmas.
+    nlme::empiricalBayesKernel(soa, ws.resid.data(), 0.3 * 0.3,
+                               0.5 * 0.5, via_kernel.data());
+    ASSERT_EQ(via_model.size(), via_kernel.size());
+    for (size_t g = 0; g < via_model.size(); ++g)
+        EXPECT_EQ(via_model[g], via_kernel[g]);
+}
+
+TEST(Kernels, AnalyticAndFdFitsAgree)
+{
+    NlmeData data =
+        syntheticData(23, 0.003, 0.0004, 0.35, 0.45, 5, 6);
+    MixedModelConfig fd;
+    fd.analyticGradient = false;
+    MixedModelConfig an;
+    an.analyticGradient = true;
+    MixedFit fit_fd = MixedModel(data, fd).fit();
+    MixedFit fit_an = MixedModel(data, an).fit();
+
+    ASSERT_TRUE(fit_fd.converged);
+    ASSERT_TRUE(fit_an.converged);
+    // Both paths polish the same Nelder-Mead winner; the optima they
+    // land on must agree to optimizer tolerance.
+    EXPECT_NEAR(fit_an.logLik, fit_fd.logLik,
+                1e-6 * std::abs(fit_fd.logLik));
+    for (size_t k = 0; k < fit_fd.weights.size(); ++k) {
+        EXPECT_NEAR(fit_an.weights[k], fit_fd.weights[k],
+                    1e-4 * std::abs(fit_fd.weights[k]));
+    }
+    EXPECT_NEAR(fit_an.sigmaEps, fit_fd.sigmaEps,
+                1e-4 * fit_fd.sigmaEps);
+    EXPECT_NEAR(fit_an.sigmaRho, fit_fd.sigmaRho,
+                1e-4 * fit_fd.sigmaRho);
+}
+
+TEST(Kernels, ResidualsDistinguishInvalidWeightsFromData)
+{
+    NlmeData data = syntheticData(31, 0.004, 0.0005, 0.3, 0.4, 3, 4);
+    MixedModel model(data);
+
+    // Valid weights: per-group residual vectors, never empty
+    // (validate() requires at least one group with observations).
+    auto ok = model.residuals({0.004, 0.0005});
+    ASSERT_TRUE(ok.has_value());
+    ASSERT_EQ(ok->size(), 3u);
+    for (const auto &r : *ok)
+        EXPECT_EQ(r.size(), 4u);
+
+    // Invalid weights: nullopt, not an empty vector — the historical
+    // `return {}` conflated the two.
+    auto bad = model.residuals({0.0, 0.0});
+    EXPECT_FALSE(bad.has_value());
+
+    // A wrong-arity weight vector is a caller bug, not an invalid
+    // point in weight space.
+    EXPECT_THROW(model.residuals({0.004}), UcxError);
+}
+
+TEST(Kernels, ResidualsMatchLogLikelihoodPath)
+{
+    NlmeData data = syntheticData(37, 0.004, 0.0005, 0.3, 0.4, 4, 5);
+    MixedModel model(data);
+    std::vector<double> w = {0.004, 0.0005};
+    auto res = model.residuals(w);
+    ASSERT_TRUE(res.has_value());
+    // Products, not literals: 0.4 * 0.4 != 0.16 in binary floating
+    // point, and this test asserts exact equality.
+    double ve = 0.4 * 0.4;
+    double vr = 0.5 * 0.5;
+    double manual = 0.0;
+    for (const auto &r : *res) {
+        double n = static_cast<double>(r.size());
+        double tau = ve + n * vr;
+        double ss = 0.0;
+        double s = 0.0;
+        for (double v : r) {
+            ss += v * v;
+            s += v;
+        }
+        // Exact expression shape of the kernel (association order
+        // matters for bitwise equality).
+        double log_det = (n - 1.0) * std::log(ve) + std::log(tau);
+        double quad = (ss - (vr / tau) * s * s) / ve;
+        manual += -0.5 * (n * std::log(2.0 * M_PI) + log_det + quad);
+    }
+    EXPECT_EQ(manual, model.logLikelihood(w, 0.4, 0.5));
+}
+
+} // namespace
+} // namespace ucx

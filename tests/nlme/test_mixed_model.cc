@@ -109,6 +109,34 @@ TEST(MixedModel, InvalidWeightsGiveMinusInfinity)
     EXPECT_THROW(model.logLikelihood({0.004}, 0.3, 0.4), UcxError);
 }
 
+TEST(MixedModel, ResidualsOptionalSeparatesInvalidFromEmpty)
+{
+    // residuals() returns nullopt for weights that push the linear
+    // predictor non-positive — previously indistinguishable from a
+    // dataset with no observations.
+    NlmeData data = syntheticData(13, 0.004, 0.0005, 0.3, 0.4, 3, 4);
+    MixedModel model(data);
+
+    auto good = model.residuals({0.004, 0.0005});
+    ASSERT_TRUE(good.has_value());
+    ASSERT_EQ(good->size(), data.groups.size());
+    for (size_t g = 0; g < data.groups.size(); ++g) {
+        const auto &grp = data.groups[g];
+        ASSERT_EQ((*good)[g].size(), grp.y.size());
+        for (size_t j = 0; j < grp.y.size(); ++j) {
+            double lin = 0.004 * grp.x(j, 0) + 0.0005 * grp.x(j, 1);
+            EXPECT_EQ((*good)[g][j], grp.y[j] - std::log(lin));
+        }
+    }
+
+    // Zero weights make every linear predictor zero: invalid, not
+    // empty.
+    EXPECT_FALSE(model.residuals({0.0, 0.0}).has_value());
+
+    // Wrong arity is a caller bug, not an invalid-point signal.
+    EXPECT_THROW(model.residuals({0.004}), UcxError);
+}
+
 TEST(MixedModel, EmpiricalBayesShrinkage)
 {
     NlmeData data = syntheticData(11, 0.004, 0.0005, 0.3, 0.5, 4, 6);

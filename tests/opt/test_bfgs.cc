@@ -60,6 +60,59 @@ TEST(Bfgs, NumericHessianAccuracy)
     EXPECT_NEAR(h[3], 6.0 * 2.0, 1e-4);
 }
 
+TEST(Bfgs, AnalyticGradientQuadratic)
+{
+    Objective f = [](const std::vector<double> &x) {
+        return 3.0 * (x[0] - 1.0) * (x[0] - 1.0) +
+               (x[1] - 2.0) * (x[1] - 2.0);
+    };
+    Gradient g = [](const std::vector<double> &x,
+                    std::vector<double> &grad) {
+        grad[0] = 6.0 * (x[0] - 1.0);
+        grad[1] = 2.0 * (x[1] - 2.0);
+    };
+    OptResult r = bfgs(f, g, {10.0, -10.0});
+    EXPECT_TRUE(r.converged);
+    EXPECT_NEAR(r.x[0], 1.0, 1e-6);
+    EXPECT_NEAR(r.x[1], 2.0, 1e-6);
+    // FD probes are excluded from the evaluation count on purpose —
+    // both paths must report identical bookkeeping so convergence
+    // traces stay byte-identical when the gradient source changes.
+    OptResult fd = bfgs(f, {10.0, -10.0});
+    EXPECT_EQ(r.evaluations, fd.evaluations);
+    EXPECT_EQ(r.iterations, fd.iterations);
+}
+
+TEST(Bfgs, AnalyticGradientMatchesFdOnRosenbrock)
+{
+    Objective f = [](const std::vector<double> &x) {
+        double a = 1.0 - x[0];
+        double b = x[1] - x[0] * x[0];
+        return a * a + 100.0 * b * b;
+    };
+    Gradient g = [](const std::vector<double> &x,
+                    std::vector<double> &grad) {
+        double b = x[1] - x[0] * x[0];
+        grad[0] = -2.0 * (1.0 - x[0]) - 400.0 * x[0] * b;
+        grad[1] = 200.0 * b;
+    };
+    OptResult an = bfgs(f, g, {-1.2, 1.0});
+    OptResult fd = bfgs(f, {-1.2, 1.0});
+    EXPECT_NEAR(an.x[0], 1.0, 1e-3);
+    EXPECT_NEAR(an.x[1], 1.0, 1e-3);
+    // Both paths land on the same optimum.
+    EXPECT_NEAR(an.x[0], fd.x[0], 1e-3);
+    EXPECT_NEAR(an.x[1], fd.x[1], 1e-3);
+}
+
+TEST(Bfgs, AnalyticGradientEmptyStartThrows)
+{
+    Objective f = [](const std::vector<double> &) { return 0.0; };
+    Gradient g = [](const std::vector<double> &,
+                    std::vector<double> &) {};
+    EXPECT_THROW(bfgs(f, g, {}), UcxError);
+}
+
 TEST(Bfgs, StartsAtOptimum)
 {
     Objective f = [](const std::vector<double> &x) {

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Thread-local fit-workspace pool tests: per-thread isolation,
+ * grow-only reuse, and a hammer test across an ExecContext pool
+ * (included in the tsan preset's filter via the "Workspace" name).
+ */
+
+#include <cstring>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "exec/context.hh"
+#include "opt/workspace.hh"
+
+namespace ucx
+{
+namespace
+{
+
+TEST(Workspace, EnsureGrowsOnceAndReuses)
+{
+    FitWorkspace ws;
+    EXPECT_EQ(ws.growths, 0u);
+
+    ws.ensure(16, 4);
+    EXPECT_GE(ws.lin.size(), 16u);
+    EXPECT_GE(ws.resid.size(), 16u);
+    EXPECT_GE(ws.coef.size(), 16u);
+    EXPECT_GE(ws.theta.size(), 4u);
+    EXPECT_GE(ws.grad.size(), 4u);
+    uint64_t after_first = ws.growths;
+    EXPECT_GT(after_first, 0u);
+
+    // Same or smaller sizes: no buffer moves, no growth counted.
+    ws.ensure(16, 4);
+    ws.ensure(8, 2);
+    EXPECT_EQ(ws.growths, after_first);
+
+    // Larger: grows again, keeps capacity monotone.
+    ws.ensure(32, 4);
+    EXPECT_GT(ws.growths, after_first);
+    EXPECT_GE(ws.lin.size(), 32u);
+}
+
+TEST(Workspace, ThreadSlotIsStable)
+{
+    FitWorkspace &a = threadFitWorkspace();
+    FitWorkspace &b = threadFitWorkspace();
+    EXPECT_EQ(&a, &b);
+}
+
+TEST(Workspace, PoolWorkersGetDistinctSlots)
+{
+    ExecContext ctx = ExecContext::withThreads(4);
+    std::vector<FitWorkspace *> slots =
+        ctx.parallelMap(64, [](size_t) {
+            FitWorkspace &ws = threadFitWorkspace();
+            ws.ensure(64, 8);
+            return &ws;
+        });
+
+    // Every task saw a live slot; distinct threads saw distinct
+    // slots (at most pool-size + caller distinct addresses).
+    std::set<FitWorkspace *> distinct(slots.begin(), slots.end());
+    EXPECT_GE(distinct.size(), 1u);
+    EXPECT_LE(distinct.size(), 5u);
+    for (FitWorkspace *ws : slots)
+        ASSERT_NE(ws, nullptr);
+}
+
+TEST(Workspace, HammerAcrossPoolNoContention)
+{
+    // Many concurrent writers into their thread-local buffers; tsan
+    // (which runs this via the Workspace filter) must see no races,
+    // and each task's scratch writes must be self-consistent.
+    ExecContext ctx = ExecContext::withThreads(8);
+    std::vector<int> ok = ctx.parallelMap(256, [](size_t i) {
+        FitWorkspace &ws = threadFitWorkspace();
+        ws.ensure(128, 8);
+        double stamp = static_cast<double>(i + 1);
+        for (size_t j = 0; j < 128; ++j)
+            ws.lin[j] = stamp;
+        for (size_t j = 0; j < 128; ++j)
+            ws.resid[j] = ws.lin[j] * 2.0;
+        for (size_t j = 0; j < 128; ++j)
+            if (ws.resid[j] != stamp * 2.0)
+                return 0;
+        return 1;
+    });
+    for (int v : ok)
+        EXPECT_EQ(v, 1);
+}
+
+TEST(Workspace, PoolStatsCountThreadsAndGrowths)
+{
+    WorkspacePoolStats before = workspacePoolStats();
+    FitWorkspace &ws = threadFitWorkspace();
+    // Force at least one growth past anything earlier tests did.
+    ws.ensure(ws.lin.size() + 64, 8);
+    WorkspacePoolStats after = workspacePoolStats();
+    EXPECT_GE(after.threads, 1u);
+    EXPECT_GT(after.growths, before.growths);
+    EXPECT_GE(after.threads, before.threads);
+}
+
+} // namespace
+} // namespace ucx

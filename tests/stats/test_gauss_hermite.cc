@@ -81,6 +81,36 @@ TEST(GaussHermite, RejectsBadCounts)
     EXPECT_THROW(gaussHermite(65), UcxError);
 }
 
+TEST(GaussHermite, CachedRuleBitIdenticalToFresh)
+{
+    // The compute-once table must hand back exactly what a fresh
+    // computation produces — the AGHQ fitters changed from per-call
+    // recomputes to the cache, and printed results are pinned to the
+    // bit.
+    for (size_t n : {1u, 2u, 5u, 15u, 31u, 64u}) {
+        const GaussHermiteRule &cached = gaussHermiteCached(n);
+        GaussHermiteRule fresh = gaussHermite(n);
+        ASSERT_EQ(cached.nodes.size(), fresh.nodes.size()) << "n=" << n;
+        for (size_t i = 0; i < fresh.nodes.size(); ++i) {
+            EXPECT_EQ(cached.nodes[i], fresh.nodes[i])
+                << "n=" << n << " node " << i;
+            EXPECT_EQ(cached.weights[i], fresh.weights[i])
+                << "n=" << n << " weight " << i;
+        }
+    }
+}
+
+TEST(GaussHermite, CachedRuleIsStableAcrossCalls)
+{
+    // Repeated lookups return the same object (one compute per
+    // order, shared by every thread thereafter).
+    const GaussHermiteRule &a = gaussHermiteCached(15);
+    const GaussHermiteRule &b = gaussHermiteCached(15);
+    EXPECT_EQ(&a, &b);
+    EXPECT_THROW(gaussHermiteCached(0), UcxError);
+    EXPECT_THROW(gaussHermiteCached(65), UcxError);
+}
+
 /** Convergence sweep: expectation of a smooth nonlinearity. */
 class GhConvergence : public ::testing::TestWithParam<size_t>
 {};

@@ -60,6 +60,36 @@ foreach(gauge bench.disk.cold_ms bench.disk.warm_ms
     endif()
 endforeach()
 
+# The fit-kernel workload also runs in smoke mode; its gauges prove
+# the SoA kernel, analytic-gradient, and workspace paths executed.
+foreach(gauge bench.fit.evals_per_sec bench.fit.legacy_evals_per_sec
+        bench.fit.kernel_speedup bench.fit.serial_ms
+        bench.fit.parallel_ms bench.fit.grad_speedup
+        bench.fit.steady_allocs)
+    string(FIND "${bench_report}" "${gauge}" found)
+    if(found EQUAL -1)
+        message(FATAL_ERROR
+                "BENCH_perf_microbench.json is missing the "
+                "${gauge} gauge")
+    endif()
+endforeach()
+
+# Steady-state likelihood evaluation must not touch the heap: the
+# counting allocator saw zero operator-new calls across the warmed
+# batch, so the gauge serializes as exactly 0 (gauges render as
+# "name":value with no space).
+string(FIND "${bench_report}" "\"bench.fit.steady_allocs\":0,"
+       zero_allocs)
+if(zero_allocs EQUAL -1)
+    string(FIND "${bench_report}" "\"bench.fit.steady_allocs\":0}"
+           zero_allocs)
+endif()
+if(zero_allocs EQUAL -1)
+    message(FATAL_ERROR
+            "bench.fit.steady_allocs is non-zero: the fit hot path "
+            "allocated during steady-state likelihood evaluation")
+endif()
+
 execute_process(
     COMMAND "${OBSDIFF_BIN}" --self-check "${OUT_DIR}"
     RESULT_VARIABLE diff_rc)
